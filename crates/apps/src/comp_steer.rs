@@ -1,0 +1,469 @@
+//! `comp-steer`: the computational-steering application (paper §5.1).
+//!
+//! "A simulation running on one computer generates a data stream,
+//! representing intermediate values at different points in the mesh used
+//! for simulation. These values are sampled, communicated to another
+//! machine, and then analyzed. The processing time in the analysis phase
+//! is linear in the volume of data that is output after the sampling.
+//! The sampling rate … is the adjustment parameter."
+//!
+//! Pipeline: `simulation → sampler → (link) → analyzer`.
+//!
+//! * The simulation emits `f64` mesh values at a configurable byte rate.
+//! * The sampler forwards a fraction `p` of the values (`p` is the
+//!   adjustment parameter, declared exactly like the paper's
+//!   `specifyPara(0.20, 1.0, 0.01, 0.01, -1)` example).
+//! * The analyzer charges `cost_per_byte` seconds per received payload
+//!   byte (the paper's "1, 5, 8, 10, 20 ms/byte") and computes running
+//!   statistics plus a P² median over the sampled values — a real
+//!   analysis, so accuracy is observable, not merely asserted.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use gates_core::adapt::AdaptationConfig;
+use gates_core::{
+    CostModel, Direction, Packet, ParamId, PayloadReader, PayloadWriter, SourceStatus, StageApi,
+    StageBuilder, StreamProcessor, Topology,
+};
+use gates_grid::{AppConfig, ApplicationRepository};
+use gates_net::{Bandwidth, LinkSpec};
+use gates_sim::rng::seeded_stream;
+use gates_sim::stats::Welford;
+use gates_sim::SimDuration;
+use gates_streams::P2Quantile;
+
+/// Parameters of a comp-steer run.
+#[derive(Debug, Clone)]
+pub struct CompSteerParams {
+    /// Simulation output rate, bytes/second (paper Fig 8: ≈160 B/s).
+    pub generation_rate: f64,
+    /// Bytes per emitted packet (values are 8-byte `f64`s).
+    pub packet_bytes: usize,
+    /// Initial sampling factor (paper: 0.13 in Fig 8, 0.01 in Fig 9).
+    pub init_sampling: f64,
+    /// Sampling factor bounds.
+    pub min_sampling: f64,
+    /// Upper bound of the sampling factor.
+    pub max_sampling: f64,
+    /// Analyzer cost, seconds per byte (paper: 0.001–0.020).
+    pub cost_per_byte: f64,
+    /// Sampler-to-analyzer link; `None` means co-located (Fig 8).
+    pub bandwidth: Option<Bandwidth>,
+    /// RNG seed for the simulated mesh values.
+    pub seed: u64,
+    /// Adaptation constants applied to both the sampler and the analyzer
+    /// (`None` ⇒ defaults sized to their 100-packet queues). Exposed for
+    /// the ablation studies.
+    pub adaptation_override: Option<AdaptationConfig>,
+    /// Mid-run generation-rate changes: `(from_second, bytes_per_sec)`
+    /// steps applied in order. Empty = constant `generation_rate`. This
+    /// drives the "resource availability is varied widely" scenario the
+    /// paper claims the middleware survives.
+    pub rate_schedule: Vec<(f64, f64)>,
+}
+
+impl Default for CompSteerParams {
+    fn default() -> Self {
+        CompSteerParams {
+            generation_rate: 160.0,
+            packet_bytes: 16,
+            init_sampling: 0.13,
+            min_sampling: 0.01,
+            max_sampling: 1.0,
+            cost_per_byte: 0.008,
+            bandwidth: None,
+            seed: 7,
+            adaptation_override: None,
+            rate_schedule: Vec::new(),
+        }
+    }
+}
+
+impl CompSteerParams {
+    /// The paper's Figure 8 variant: processing constraint `c` ms/byte.
+    pub fn figure8(cost_ms_per_byte: f64) -> Self {
+        CompSteerParams { cost_per_byte: cost_ms_per_byte / 1_000.0, ..Default::default() }
+    }
+
+    /// The paper's Figure 9 variant: 10 KB/s link, generation `rate_kb`
+    /// KB/s, initial sampling 0.01, negligible processing cost.
+    pub fn figure9(rate_kb: f64) -> Self {
+        CompSteerParams {
+            generation_rate: rate_kb * 1_000.0,
+            packet_bytes: ((rate_kb * 1_000.0 / 10.0).round() as usize).clamp(64, 8_192),
+            init_sampling: 0.01,
+            cost_per_byte: 1e-6,
+            bandwidth: Some(Bandwidth::kb_per_sec(10.0)),
+            ..Default::default()
+        }
+    }
+
+    /// The theoretical sampling factor the middleware should converge
+    /// to: the fraction of the generated volume the bottleneck can carry.
+    pub fn expected_convergence(&self) -> f64 {
+        let cpu_capacity = 1.0 / self.cost_per_byte; // bytes/sec the analyzer absorbs
+        let link_capacity =
+            self.bandwidth.map(|b| b.as_bytes_per_sec()).unwrap_or(f64::INFINITY);
+        let capacity = cpu_capacity.min(link_capacity);
+        (capacity / self.generation_rate).min(self.max_sampling).max(self.min_sampling)
+    }
+}
+
+/// Shared analysis outputs.
+#[derive(Debug, Clone, Default)]
+pub struct CompSteerHandles {
+    /// `(count, mean, median)` of the values the analyzer actually saw.
+    pub analysis: Arc<Mutex<(u64, f64, f64)>>,
+}
+
+// ---------------------------------------------------------------------------
+// Processors
+// ---------------------------------------------------------------------------
+
+/// The running simulation: emits packets of pseudo-mesh `f64` values at
+/// a (possibly scheduled) byte rate.
+struct Simulation {
+    base_rate: f64,
+    rate_schedule: Vec<(f64, f64)>,
+    bytes_per_packet: usize,
+    values_per_packet: usize,
+    rng: SmallRng,
+    seq: u64,
+    phase: f64,
+}
+
+impl Simulation {
+    /// The generation rate in force at time `t` (seconds).
+    fn rate_at(&self, t: f64) -> f64 {
+        let mut rate = self.base_rate;
+        for &(from, r) in &self.rate_schedule {
+            if t >= from {
+                rate = r;
+            }
+        }
+        rate.max(1.0)
+    }
+}
+
+impl StreamProcessor for Simulation {
+    fn process(&mut self, _packet: Packet, _api: &mut StageApi) {}
+
+    fn poll_generate(&mut self, api: &mut StageApi) -> SourceStatus {
+        let mut w = PayloadWriter::with_capacity(self.values_per_packet * 8);
+        for _ in 0..self.values_per_packet {
+            // A smooth field plus noise — the "intermediate values at
+            // different points in the mesh".
+            self.phase += 0.01;
+            let v = self.phase.sin() * 10.0 + self.rng.gen::<f64>();
+            w.put_f64(v);
+        }
+        api.emit(Packet::data(0, self.seq, self.values_per_packet as u32, w.finish()));
+        self.seq += 1;
+        let rate = self.rate_at(api.now().as_secs_f64());
+        let next_poll = SimDuration::from_secs_f64(self.bytes_per_packet as f64 / rate);
+        SourceStatus::Continue { next_poll }
+    }
+}
+
+/// The sampling stage, owner of the adjustment parameter.
+struct Sampler {
+    param: Option<ParamId>,
+    init: f64,
+    min: f64,
+    max: f64,
+    /// Fractional-value carry so the long-run forwarded fraction is
+    /// exactly `p` even for small packets.
+    carry: f64,
+    seq: u64,
+}
+
+impl StreamProcessor for Sampler {
+    fn on_start(&mut self, api: &mut StageApi) {
+        // The paper's example call, verbatim semantics:
+        // specifyPara(sampling_rate, 0.20→init, max, min, 0.01, decrease).
+        let id = api
+            .specify_para("sampling_rate", self.init, self.min, self.max, 0.01, Direction::IncreaseSlowsDown)
+            .expect("valid parameter");
+        self.param = Some(id);
+    }
+
+    fn process(&mut self, packet: Packet, api: &mut StageApi) {
+        let p = self
+            .param
+            .map(|id| api.suggested_value(id).unwrap_or(self.init))
+            .unwrap_or(self.init);
+        let mut r = PayloadReader::new(packet.payload);
+        let total = (r.remaining() / 8) as f64;
+        self.carry += total * p;
+        let take = self.carry.floor() as usize;
+        self.carry -= take as f64;
+        if take == 0 {
+            return;
+        }
+        // Forward an evenly spaced subset of `take` values.
+        let n = total as usize;
+        let mut w = PayloadWriter::with_capacity(take * 8);
+        let mut kept = 0usize;
+        for i in 0..n {
+            let v = r.get_f64().expect("8 bytes remain");
+            // Evenly spread: keep while kept/take <= i/n.
+            if kept < take && (i * take) / n >= kept {
+                w.put_f64(v);
+                kept += 1;
+            }
+        }
+        api.emit(Packet::data(0, self.seq, kept as u32, w.finish()));
+        self.seq += 1;
+    }
+}
+
+/// The analysis stage: running statistics over the sampled stream.
+struct Analyzer {
+    stats: Welford,
+    median: P2Quantile,
+    out: Arc<Mutex<(u64, f64, f64)>>,
+}
+
+impl StreamProcessor for Analyzer {
+    fn process(&mut self, packet: Packet, _api: &mut StageApi) {
+        let mut r = PayloadReader::new(packet.payload);
+        while r.remaining() >= 8 {
+            let v = r.get_f64().expect("8 bytes remain");
+            self.stats.push(v);
+            self.median.insert(v);
+        }
+        *self.out.lock() =
+            (self.stats.count(), self.stats.mean(), self.median.value().unwrap_or(0.0));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Topology construction
+// ---------------------------------------------------------------------------
+
+/// Build the comp-steer topology and its result handles.
+pub fn build(params: &CompSteerParams) -> (Topology, CompSteerHandles) {
+    let handles = CompSteerHandles::default();
+    let mut topo = Topology::new();
+
+    let values_per_packet = (params.packet_bytes / 8).max(1);
+    let bytes_per_packet = values_per_packet * 8;
+
+    let p = params.clone();
+    let simulation = topo
+        .add_stage_raw(
+            StageBuilder::new("simulation").site("hpc").processor(move || Simulation {
+                base_rate: p.generation_rate,
+                rate_schedule: p.rate_schedule.clone(),
+                bytes_per_packet,
+                values_per_packet,
+                rng: seeded_stream(p.seed, 0),
+                seq: 0,
+                phase: 0.0,
+            }),
+        )
+        .expect("simulation stage");
+
+    let p = params.clone();
+    let adapt_cfg = params
+        .adaptation_override
+        .clone()
+        .unwrap_or_else(|| AdaptationConfig::with_capacity(100.0));
+    let sampler = topo
+        .add_stage(
+            StageBuilder::new("sampler")
+                .site("hpc")
+                .cost(CostModel::zero())
+                .queue_capacity(100)
+                .adaptation(adapt_cfg.clone())
+                .processor(move || Sampler {
+                    param: None,
+                    init: p.init_sampling,
+                    min: p.min_sampling,
+                    max: p.max_sampling,
+                    carry: 0.0,
+                    seq: 0,
+                }),
+        )
+        .expect("sampler stage");
+
+    let analyzer = {
+        let out = Arc::clone(&handles.analysis);
+        topo.add_stage(
+            StageBuilder::new("analyzer")
+                .site("analysis")
+                .cost(CostModel::per_byte(params.cost_per_byte))
+                .queue_capacity(100)
+                .adaptation(adapt_cfg)
+                .processor(move || Analyzer {
+                    stats: Welford::new(),
+                    median: P2Quantile::new(0.5),
+                    out: Arc::clone(&out),
+                }),
+        )
+        .expect("analyzer stage")
+    };
+
+    topo.connect(simulation, sampler, LinkSpec::local());
+    let link = match params.bandwidth {
+        Some(bw) => LinkSpec::with_bandwidth(bw).buffer(4),
+        None => LinkSpec::local(),
+    };
+    topo.connect(sampler, analyzer, link);
+
+    (topo, handles)
+}
+
+/// Publish the template under the key `"comp-steer"`.
+///
+/// XML parameters: `rate` (bytes/s), `packet_bytes`, `init_sampling`,
+/// `cost_ms_per_byte`, `bandwidth_kb` (absent ⇒ co-located), `seed`.
+pub fn publish(repo: &mut ApplicationRepository) {
+    repo.publish("comp-steer", |config: &AppConfig| {
+        let params = params_from_config(config).map_err(|e| e.to_string())?;
+        Ok(build(&params).0)
+    });
+}
+
+/// Parse run parameters from an XML [`AppConfig`].
+pub fn params_from_config(config: &AppConfig) -> Result<CompSteerParams, gates_grid::GridError> {
+    let d = CompSteerParams::default();
+    Ok(CompSteerParams {
+        generation_rate: config.f64_or("rate", d.generation_rate)?,
+        packet_bytes: config.usize_or("packet_bytes", d.packet_bytes)?,
+        init_sampling: config.f64_or("init_sampling", d.init_sampling)?,
+        cost_per_byte: config.f64_or("cost_ms_per_byte", d.cost_per_byte * 1_000.0)? / 1_000.0,
+        bandwidth: config.get_f64("bandwidth_kb")?.map(Bandwidth::kb_per_sec),
+        seed: config.usize_or("seed", d.seed as usize)? as u64,
+        ..d
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gates_engine::{DesEngine, RunOptions};
+    use gates_grid::{Deployer, ResourceRegistry};
+    use gates_sim::SimDuration;
+
+    fn run_for(params: &CompSteerParams, secs: u64) -> (gates_core::report::RunReport, CompSteerHandles) {
+        let (topo, handles) = build(params);
+        let registry = ResourceRegistry::uniform_cluster(&["hpc", "analysis"]);
+        let plan = Deployer::new().deploy(&topo, &registry).unwrap();
+        let mut engine = DesEngine::new(topo, &plan, RunOptions::default()).unwrap();
+        let report = engine.run_for(SimDuration::from_secs(secs));
+        (report, handles)
+    }
+
+    fn final_sampling(report: &gates_core::report::RunReport) -> f64 {
+        report
+            .stage("sampler")
+            .unwrap()
+            .param("sampling_rate")
+            .unwrap()
+            .tail_mean(20)
+            .unwrap()
+    }
+
+    #[test]
+    fn no_constraint_converges_to_full_sampling() {
+        // Paper Fig 8, c = 1 ms/byte: capacity 1000 B/s ≫ 160 B/s.
+        let params = CompSteerParams::figure8(1.0);
+        let (report, _) = run_for(&params, 400);
+        let p = final_sampling(&report);
+        assert!(p > 0.9, "unconstrained sampling must approach 1.0, got {p}");
+    }
+
+    #[test]
+    fn processing_constraint_limits_sampling() {
+        // Paper Fig 8, c = 20 ms/byte: capacity 50 B/s, ratio 0.3125.
+        let params = CompSteerParams::figure8(20.0);
+        let expected = params.expected_convergence();
+        let (report, _) = run_for(&params, 400);
+        let p = final_sampling(&report);
+        assert!(
+            (p - expected).abs() < 0.15,
+            "sampling should settle near {expected}, got {p}"
+        );
+        // And the pipeline must be healthy: no runaway queue at the analyzer.
+        let analyzer = report.stage("analyzer").unwrap();
+        assert!(analyzer.queue.mean() < 90.0, "queue out of control: {}", analyzer.queue.mean());
+    }
+
+    #[test]
+    fn network_constraint_limits_sampling() {
+        // Paper Fig 9, generation 40 KB/s over a 10 KB/s link: ratio 0.25.
+        let params = CompSteerParams::figure9(40.0);
+        let expected = params.expected_convergence();
+        assert!((expected - 0.25).abs() < 1e-9);
+        let (report, _) = run_for(&params, 400);
+        let p = final_sampling(&report);
+        assert!(
+            (p - expected).abs() < 0.15,
+            "sampling should settle near {expected}, got {p}"
+        );
+    }
+
+    #[test]
+    fn slow_generation_over_fast_link_reaches_full_sampling() {
+        // Paper Fig 9, 5 KB/s over 10 KB/s: no constraint binds.
+        let params = CompSteerParams::figure9(5.0);
+        let (report, _) = run_for(&params, 400);
+        let p = final_sampling(&report);
+        assert!(p > 0.8, "unconstrained Fig 9 case must rise toward 1.0, got {p}");
+    }
+
+    #[test]
+    fn analyzer_sees_sampled_values() {
+        let params = CompSteerParams::figure8(1.0);
+        let (report, handles) = run_for(&params, 100);
+        let (count, mean, median) = *handles.analysis.lock();
+        assert!(count > 100, "analyzer saw only {count} values");
+        // Mesh values are sin(·)·10 + U(0,1): mean ≈ 0.5, median within a
+        // few units of it.
+        assert!(mean.abs() < 8.0, "mean {mean} implausible");
+        assert!(median.abs() < 10.0, "median {median} implausible");
+        assert!(report.stage("analyzer").unwrap().packets_in > 0);
+    }
+
+    #[test]
+    fn sampler_fraction_is_exact_on_average() {
+        // Fixed p (adaptation off is easiest via min=max).
+        let params = CompSteerParams {
+            init_sampling: 0.25,
+            min_sampling: 0.25,
+            max_sampling: 0.25,
+            cost_per_byte: 1e-6,
+            ..Default::default()
+        };
+        let (report, _) = run_for(&params, 200);
+        let sampler = report.stage("sampler").unwrap();
+        let ratio = sampler.records_out as f64 / sampler.records_in as f64;
+        assert!((ratio - 0.25).abs() < 0.02, "forwarded fraction {ratio} ≠ 0.25");
+    }
+
+    #[test]
+    fn expected_convergence_math() {
+        assert!((CompSteerParams::figure8(8.0).expected_convergence() - 0.78125).abs() < 1e-9);
+        assert_eq!(CompSteerParams::figure8(1.0).expected_convergence(), 1.0);
+        assert!((CompSteerParams::figure9(80.0).expected_convergence() - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn xml_config_builds() {
+        let mut repo = ApplicationRepository::new();
+        publish(&mut repo);
+        let config = AppConfig::new("run", "comp-steer")
+            .with_param("rate", 160)
+            .with_param("cost_ms_per_byte", 10);
+        let topo = repo.build(&config).unwrap();
+        assert_eq!(topo.stages().len(), 3);
+        let params = params_from_config(&config).unwrap();
+        assert!((params.cost_per_byte - 0.010).abs() < 1e-12);
+        assert!(params.bandwidth.is_none());
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # gates-apps
+//!
+//! The GATES application templates.
+//!
+//! The paper evaluates its middleware with "two application templates,
+//! which are representative of the applications we described in
+//! Section 2" (§5.1); a third template covers the paper's
+//! intrusion-detection motivating application:
+//!
+//! * [`count_samps`] — the distributed counting-samples problem: skewed
+//!   integer streams at several sources, a top-k frequency query at a
+//!   central node. Supports centralized, distributed-fixed-k and
+//!   distributed-adaptive-k deployments; the source-side summary size
+//!   `k` is the adjustment parameter.
+//! * [`comp_steer`] — computational steering: a simulation emits mesh
+//!   values; a sampler forwards a fraction `p` (the adjustment
+//!   parameter) to an analysis stage whose processing cost is
+//!   `c` ms/byte. Reproduces the paper's Figures 8 and 9 setups.
+//! * [`intrusion`] — distributed network-intrusion detection: per-site
+//!   connection-log sketching (volume + distinct-destination spread)
+//!   with an adjustable report size, a Bloom allowlist, and a central
+//!   correlator that raises flood and scan alerts.
+//! * [`hierarchical`] — the multi-tier (LHC Tier-2/1/0 style) variant of
+//!   count-samps, with nested adjustment parameters at two tiers.
+//!
+//! Each module exposes a typed parameter struct, a
+//! `build(…) -> (Topology, Handles)` constructor, and a
+//! `publish(…)`/`register` helper that installs the template into a
+//! [`gates_grid::ApplicationRepository`] so it can be launched from an
+//! XML configuration.
+
+pub mod comp_steer;
+pub mod count_samps;
+pub mod hierarchical;
+pub mod intrusion;
+
+pub use comp_steer::{CompSteerHandles, CompSteerParams};
+pub use count_samps::{CountSampsHandles, CountSampsParams, Mode};
+pub use hierarchical::{HierarchicalHandles, HierarchicalParams};
+pub use intrusion::{IntrusionHandles, IntrusionParams};
+
+/// Register all application templates (with default result
+/// handles) into a repository, so XML-driven launches work end to end.
+pub fn publish_all(repo: &mut gates_grid::ApplicationRepository) {
+    count_samps::publish(repo);
+    comp_steer::publish(repo);
+    intrusion::publish(repo);
+    hierarchical::publish(repo);
+}

@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks of the self-adaptation hot path: the
+//! per-observation cost of the load tracker and the per-round cost of
+//! the parameter controller. These run on every queue observation
+//! (default every 100 ms of virtual time per stage), so they must be
+//! cheap enough to disappear next to packet processing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gates_core::adapt::{AdaptationConfig, LoadException, LoadTracker, ParamController};
+use gates_core::{AdjustmentParameter, Direction};
+
+fn bench_load_tracker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("load_tracker");
+    group.bench_function("observe_steady", |b| {
+        let mut tracker = LoadTracker::new(AdaptationConfig::default());
+        b.iter(|| tracker.observe(black_box(20.0)));
+    });
+    group.bench_function("observe_oscillating", |b| {
+        let mut tracker = LoadTracker::new(AdaptationConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let d = if i.is_multiple_of(2) { 95.0 } else { 2.0 };
+            tracker.observe(black_box(d))
+        });
+    });
+    group.finish();
+}
+
+fn bench_controller(c: &mut Criterion) {
+    let mut group = c.benchmark_group("param_controller");
+    let spec = AdjustmentParameter::new("p", 0.5, 0.01, 1.0, 0.01, Direction::IncreaseSlowsDown)
+        .unwrap();
+    group.bench_function("adapt_round", |b| {
+        let mut ctl = ParamController::new(AdaptationConfig::default(), spec.clone());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            if i.is_multiple_of(3) {
+                ctl.on_exception(LoadException::Overload);
+            }
+            ctl.adapt(black_box((i % 200) as f64 - 100.0))
+        });
+    });
+    group.bench_function("exception_ingest", |b| {
+        let mut ctl = ParamController::new(AdaptationConfig::default(), spec.clone());
+        b.iter(|| ctl.on_exception(black_box(LoadException::Underload)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_load_tracker, bench_controller);
+criterion_main!(benches);

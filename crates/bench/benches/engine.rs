@@ -1,0 +1,87 @@
+//! Criterion benchmarks of the virtual-time engine itself: end-to-end
+//! events/second for a representative pipeline, and the cost of building
+//! and deploying a topology. The engine's speed is what makes the figure
+//! harnesses (hundreds of virtual seconds each) finish in milliseconds.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gates_core::{
+    CostModel, Packet, SourceStatus, StageApi, StageBuilder, StreamProcessor, Topology,
+};
+use gates_engine::{DesEngine, RunOptions};
+use gates_grid::{Deployer, ResourceRegistry};
+use gates_net::{Bandwidth, LinkSpec};
+use gates_sim::SimDuration;
+
+struct Burst {
+    left: u32,
+}
+impl StreamProcessor for Burst {
+    fn process(&mut self, _p: Packet, _a: &mut StageApi) {}
+    fn poll_generate(&mut self, api: &mut StageApi) -> SourceStatus {
+        if self.left == 0 {
+            return SourceStatus::Done;
+        }
+        self.left -= 1;
+        api.emit(Packet::data(0, self.left as u64, 1, Bytes::from_static(&[0u8; 64])));
+        SourceStatus::Continue { next_poll: SimDuration::from_millis(1) }
+    }
+}
+
+struct Forward;
+impl StreamProcessor for Forward {
+    fn process(&mut self, p: Packet, api: &mut StageApi) {
+        api.emit(p);
+    }
+}
+
+struct Sink;
+impl StreamProcessor for Sink {
+    fn process(&mut self, _p: Packet, _a: &mut StageApi) {}
+}
+
+fn build_pipeline(packets: u32) -> (Topology, ResourceRegistry) {
+    let mut t = Topology::new();
+    let s = t
+        .add_stage_raw(StageBuilder::new("src").processor(move || Burst { left: packets }))
+        .unwrap();
+    let f = t
+        .add_stage(
+            StageBuilder::new("fwd").cost(CostModel::per_packet(0.0001)).processor(|| Forward),
+        )
+        .unwrap();
+    let k = t.add_stage(StageBuilder::new("sink").processor(|| Sink)).unwrap();
+    t.connect(s, f, LinkSpec::with_bandwidth(Bandwidth::mb_per_sec(1.0)));
+    t.connect(f, k, LinkSpec::with_bandwidth(Bandwidth::mb_per_sec(1.0)));
+    let registry = ResourceRegistry::uniform_cluster(&["src", "fwd", "sink"]);
+    (t, registry)
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let packets = 2_000u32;
+    let mut group = c.benchmark_group("des_engine");
+    group.throughput(Throughput::Elements(packets as u64));
+    group.bench_function("three_stage_pipeline_2k_packets", |b| {
+        b.iter(|| {
+            let (t, registry) = build_pipeline(packets);
+            let plan = Deployer::new().deploy(&t, &registry).unwrap();
+            let mut engine = DesEngine::new(t, &plan, RunOptions::default()).unwrap();
+            black_box(engine.run_to_completion())
+        });
+    });
+    group.finish();
+}
+
+fn bench_deploy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deployment");
+    group.bench_function("build_and_place_three_stages", |b| {
+        b.iter(|| {
+            let (t, registry) = build_pipeline(1);
+            black_box(Deployer::new().deploy(&t, &registry).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput, bench_deploy);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Criterion micro-benchmarks of the stream-summary data structures:
+//! per-item ingest cost of counting samples vs. Misra–Gries vs.
+//! Count-Min, plus merge and top-k costs. These dominate the per-record
+//! CPU budget of the source-side stages.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gates_sim::rng::seeded;
+use gates_streams::{CountMinSketch, CountingSamples, MisraGries, ZipfGenerator};
+
+const N: usize = 10_000;
+
+fn zipf_stream(seed: u64) -> Vec<u64> {
+    let zipf = ZipfGenerator::new(2_000, 1.4);
+    let mut rng = seeded(seed);
+    (0..N).map(|_| zipf.sample(&mut rng)).collect()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let stream = zipf_stream(1);
+    let mut group = c.benchmark_group("summary_ingest");
+    group.throughput(Throughput::Elements(N as u64));
+
+    group.bench_function("counting_samples_k100", |b| {
+        b.iter_batched(
+            || (CountingSamples::new(100), seeded(2)),
+            |(mut cs, mut rng)| {
+                for &v in &stream {
+                    cs.insert(black_box(v), &mut rng);
+                }
+                cs
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("misra_gries_k100", |b| {
+        b.iter_batched(
+            || MisraGries::new(100),
+            |mut mg| {
+                for &v in &stream {
+                    mg.insert(black_box(v));
+                }
+                mg
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("count_min_1pc", |b| {
+        b.iter_batched(
+            || CountMinSketch::with_error(0.01, 0.01),
+            |mut cm| {
+                for &v in &stream {
+                    cm.insert(black_box(v));
+                }
+                cm
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_query_and_merge(c: &mut Criterion) {
+    let stream = zipf_stream(3);
+    let mut group = c.benchmark_group("summary_query");
+
+    let mut cs = CountingSamples::new(100);
+    let mut rng = seeded(4);
+    for &v in &stream {
+        cs.insert(v, &mut rng);
+    }
+    group.bench_function("counting_samples_top10", |b| {
+        b.iter(|| black_box(&cs).top_k(10));
+    });
+
+    let mut a = CountingSamples::new(100);
+    let mut b2 = CountingSamples::new(100);
+    let mut rng = seeded(5);
+    for (i, &v) in stream.iter().enumerate() {
+        if i % 2 == 0 {
+            a.insert(v, &mut rng);
+        } else {
+            b2.insert(v, &mut rng);
+        }
+    }
+    group.bench_function("counting_samples_merge", |b| {
+        b.iter_batched(
+            || a.clone(),
+            |mut merged| {
+                merged.merge(black_box(&b2));
+                merged
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    let mut cm1 = CountMinSketch::with_error(0.01, 0.01);
+    let mut cm2 = CountMinSketch::with_error(0.01, 0.01);
+    for &v in &stream {
+        cm1.insert(v);
+        cm2.insert(v ^ 0x5555);
+    }
+    group.bench_function("count_min_merge", |b| {
+        b.iter_batched(
+            || cm1.clone(),
+            |mut merged| {
+                merged.merge(black_box(&cm2)).unwrap();
+                merged
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_query_and_merge);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Figure 5 (paper §5.2, "Benefits of Distributed Processing"):
+//! centralized vs. distributed count-samps.
+//!
+//! Paper setup: 4 streams × 25,000 integers, 100 KB/s links to a central
+//! machine, "top 10 most frequently occurring integers" query.
+//! Paper result: centralized 257.5 s / 99% vs. distributed 180.8 s / 97%
+//! — distributed processing is faster with a small accuracy loss.
+//!
+//! ```sh
+//! cargo run --release -p gates-bench --bin fig5
+//! ```
+
+use gates_apps::count_samps::{CountSampsParams, Mode};
+use gates_bench::{print_csv, run_count_samps};
+
+fn main() {
+    let base = CountSampsParams::default(); // 4 × 25k, 100 KB/s, top-10
+
+    println!("Figure 5 — Benefits of Distributed Processing (4 sub-streams)");
+    println!(
+        "workload: {} sources x {} Zipf({}) integers over {} links\n",
+        base.sources, base.items_per_source, base.zipf_s, base.bandwidth
+    );
+
+    let mut rows = Vec::new();
+    for (label, mode) in [
+        ("Centralized", Mode::Centralized),
+        ("Distributed", Mode::Distributed { k: 100.0 }),
+    ] {
+        let params = CountSampsParams { mode, ..base.clone() };
+        let (report, handles) = run_count_samps(&params);
+        let accuracy = handles.accuracy(params.top_k);
+        let collector = report.stage("collector").unwrap();
+        rows.push((
+            label,
+            report.execution_secs(),
+            accuracy.score,
+            collector.bytes_in as f64 / 1_000.0,
+            collector.busy_time.as_secs_f64(),
+        ));
+    }
+
+    println!(
+        "{:<14} {:>16} {:>14} {:>14} {:>16}",
+        "Processing", "Exec time (s)", "Accuracy", "WAN KB", "Central busy(s)"
+    );
+    for (label, secs, acc, kb, busy) in &rows {
+        println!("{label:<14} {secs:>16.1} {acc:>14.1} {kb:>14.1} {busy:>16.1}");
+    }
+    let speedup = rows[0].1 / rows[1].1;
+    let acc_loss = rows[0].2 - rows[1].2;
+    println!("\ndistributed speedup: {speedup:.2}x, accuracy cost: {acc_loss:.1} points");
+    println!("paper reported:      1.42x (257.5 s -> 180.8 s), 2 points (99 -> 97)");
+
+    print_csv(
+        "fig5",
+        &["mode", "exec_s", "accuracy", "wan_kb", "central_busy_s"],
+        &rows.iter().enumerate().map(|(i, r)| vec![i as f64, r.1, r.2, r.3, r.4]).collect::<Vec<_>>(),
+    );
+}

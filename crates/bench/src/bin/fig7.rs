@@ -1,0 +1,65 @@
+//! Figure 7 (paper §5.3): accuracy of the same five count-samps versions
+//! across the same four network configurations as Figure 6.
+//!
+//! Expected shape (paper): accuracy grows with k; "the accuracy can be
+//! quite low if a very small value of the adjustment parameters is
+//! chosen"; the self-adapting version "never had very low accuracy".
+//!
+//! ```sh
+//! cargo run --release -p gates-bench --bin fig7
+//! ```
+
+use gates_apps::count_samps::{CountSampsParams, Mode};
+use gates_bench::{print_csv, render_table, run_count_samps};
+use gates_net::Bandwidth;
+
+fn main() {
+    let bandwidths = [1.0, 10.0, 100.0, 1_000.0];
+    let versions: Vec<(String, Mode)> = [40.0, 80.0, 120.0, 160.0]
+        .iter()
+        .map(|&k| (format!("fixed k={k}"), Mode::Distributed { k }))
+        .chain(std::iter::once((
+            "adaptive k in [10,240]".to_string(),
+            Mode::Adaptive { init: 100.0, min: 10.0, max: 240.0 },
+        )))
+        .collect();
+
+    println!("Figure 7 — Accuracy vs bandwidth, five versions\n");
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (label, mode) in &versions {
+        let mut cells = Vec::new();
+        for &kb in &bandwidths {
+            let params = CountSampsParams {
+                mode: *mode,
+                bandwidth: Bandwidth::kb_per_sec(kb),
+                flush_every: 250,
+                ..Default::default()
+            };
+            let (_, handles) = run_count_samps(&params);
+            let acc = handles.accuracy(params.top_k);
+            cells.push(acc.score);
+            csv.push(vec![
+                match mode {
+                    Mode::Distributed { k } => *k,
+                    _ => -1.0,
+                },
+                kb,
+                acc.score,
+                acc.recall,
+                acc.fidelity,
+            ]);
+        }
+        rows.push((label.clone(), cells));
+    }
+
+    let cols: Vec<String> = bandwidths.iter().map(|kb| format!("{kb} KB/s")).collect();
+    println!("{}", render_table("accuracy (0-100)", &cols, &rows, "accuracy points"));
+
+    println!("paper shape check:");
+    println!("  - accuracy grows with k (read the fixed rows top to bottom)");
+    println!("  - the adaptive row is never the worst in a column");
+
+    print_csv("fig7", &["k", "bandwidth_kb", "accuracy", "recall", "fidelity"], &csv);
+}

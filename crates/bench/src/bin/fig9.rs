@@ -1,0 +1,75 @@
+//! Figure 9 (paper §5.5, "Self-Adaptation for a Network Constraint"):
+//! the sampling factor over time when the sampled stream crosses a
+//! 10 KB/s link, for generation rates of 5, 10, 20, 40 and 80 KB/s
+//! (initial sampling factor 0.01).
+//!
+//! Expected: the factor rises until the link saturates — toward 1.0 for
+//! 5 and 10 KB/s, and toward ≈0.5, ≈0.25, ≈0.125 for 20, 40, 80 KB/s —
+//! "the middleware is able to self-adapt effectively, and achieve
+//! highest accuracy possible while maintaining the real-time processing
+//! constraint."
+//!
+//! ```sh
+//! cargo run --release -p gates-bench --bin fig9
+//! ```
+
+use gates_apps::comp_steer::CompSteerParams;
+use gates_bench::{convergence_summary, print_csv, run_comp_steer, sampling_trajectory};
+
+/// One version's run: (parameter value, trajectory, theoretical target).
+type VersionRun = (f64, Vec<(f64, f64)>, f64);
+
+fn main() {
+    let rates_kb = [5.0, 10.0, 20.0, 40.0, 80.0];
+    let horizon_secs = 400;
+
+    println!("Figure 9 — Self-adaptation under a network constraint");
+    println!("10 KB/s link, initial sampling 0.01, horizon {horizon_secs}s\n");
+
+    let mut all: Vec<VersionRun> = Vec::new();
+    for &rate in &rates_kb {
+        let params = CompSteerParams::figure9(rate);
+        let expected = params.expected_convergence();
+        let report = run_comp_steer(&params, horizon_secs);
+        let trajectory = sampling_trajectory(&report);
+        all.push((rate, trajectory, expected));
+    }
+
+    println!("sampling factor over time:");
+    print!("{:>8}", "t (s)");
+    for &r in &rates_kb {
+        print!("{:>10}", format!("{r} KB/s"));
+    }
+    println!();
+    let steps = all.iter().map(|(_, t, _)| t.len()).min().unwrap_or(0);
+    for row in (0..steps).step_by(25) {
+        print!("{:>8.0}", all[0].1[row].0);
+        for (_, trajectory, _) in &all {
+            print!("{:>10.3}", trajectory[row].1);
+        }
+        println!();
+    }
+
+    println!("\nconvergence summary:");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>14}",
+        "gen rate", "converged", "tail std", "theory", "converge t(s)"
+    );
+    let mut csv = Vec::new();
+    for (rate, trajectory, expected) in &all {
+        let (mean, std, at) = convergence_summary(trajectory, 50, 0.08);
+        println!(
+            "{:>10} {:>12.3} {:>12.3} {:>12.3} {:>14.0}",
+            format!("{rate} KB/s"),
+            mean,
+            std,
+            expected,
+            at
+        );
+        csv.push(vec![*rate, mean, std, *expected, at]);
+    }
+    println!("\n(theory = link bandwidth / generation rate, capped at 1;");
+    println!(" the paper's converged values were 1, 1, ≈0.5, ≈0.25, ≈0.125.)");
+
+    print_csv("fig9", &["rate_kb", "converged", "tail_std", "theory", "converged_at_s"], &csv);
+}

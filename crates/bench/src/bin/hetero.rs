@@ -1,0 +1,65 @@
+//! Extension experiment: heterogeneous compute resources.
+//!
+//! Paper §1 (goal 3): "the system monitors … the available computing
+//! resources … and automatically adjusts the accuracy of the analysis."
+//! The paper never varies node speed; this harness does. The same
+//! comp-steer application (10 ms/byte analysis against a 160 B/s
+//! stream) is deployed onto analysis nodes of speed ×0.5, ×1, ×2 and
+//! ×4 — the middleware should discover a sustainable sampling factor
+//! proportional to the node's speed, saturating at 1.0.
+//!
+//! This exercises the full grid path: the Deployer reads each node's
+//! CPU factor from the resource directory, the engine divides service
+//! times by it, and adaptation finds the new equilibrium — no
+//! application change whatsoever.
+//!
+//! ```sh
+//! cargo run --release -p gates-bench --bin hetero
+//! ```
+
+use gates_apps::comp_steer::{self, CompSteerParams};
+use gates_bench::{convergence_summary, print_csv, sampling_trajectory};
+use gates_engine::{DesEngine, RunOptions};
+use gates_grid::{Deployer, NodeSpec, ResourceRegistry};
+use gates_sim::SimDuration;
+
+fn main() {
+    let speeds = [0.5, 1.0, 2.0, 4.0];
+    // 10 ms/byte at speed 1 ⇒ capacity 100 B/s against 160 B/s.
+    let params = CompSteerParams::figure8(10.0);
+    let base_capacity = 1.0 / params.cost_per_byte;
+
+    println!("Heterogeneous analysis nodes — same app, four machine speeds\n");
+    println!(
+        "analysis cost {} ms/byte, generation {} B/s",
+        params.cost_per_byte * 1_000.0,
+        params.generation_rate
+    );
+
+    let mut csv = Vec::new();
+    println!(
+        "\n{:>10} {:>14} {:>12} {:>12} {:>12}",
+        "speed", "capacity B/s", "theory", "settled", "tail std"
+    );
+    for &speed in &speeds {
+        let (topology, _) = comp_steer::build(&params);
+        let mut registry = ResourceRegistry::new();
+        registry.register(NodeSpec::new("hpc-0", "hpc"));
+        registry.register(NodeSpec::new("analysis-0", "analysis").speed(speed));
+        let plan = Deployer::new().deploy(&topology, &registry).expect("placement");
+        let mut engine =
+            DesEngine::new(topology, &plan, RunOptions::default()).expect("engine");
+        let report = engine.run_for(SimDuration::from_secs(400));
+
+        let trajectory = sampling_trajectory(&report);
+        let (settled, std, _) = convergence_summary(&trajectory, 50, 0.08);
+        let capacity = base_capacity * speed;
+        let theory = (capacity / params.generation_rate).min(1.0);
+        println!("{speed:>10} {capacity:>14.0} {theory:>12.3} {settled:>12.3} {std:>12.3}");
+        csv.push(vec![speed, capacity, theory, settled, std]);
+    }
+
+    println!("\nthe sustainable sampling factor scales with the node the Deployer picked —");
+    println!("resource discovery and self-adaptation composing, with zero app changes.");
+    print_csv("hetero", &["speed", "capacity_bps", "theory", "settled", "tail_std"], &csv);
+}

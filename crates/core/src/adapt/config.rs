@@ -1,0 +1,200 @@
+//! Tuning constants of the self-adaptation algorithm (paper Figure 2).
+
+use crate::CoreError;
+
+/// How the two demand signals (own queue, downstream exceptions) combine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombinePolicy {
+    /// `U = max(d̃n·σ1, φ1·σ2)` — slow down when either end is stressed;
+    /// speed up only when both have slack. Default; see the module docs
+    /// for why.
+    MaxDemand,
+    /// `U = d̃n·σ1 + φ1·σ2` — the literal reading of the paper's
+    /// Equation 4. Kept for ablation.
+    PaperAdditive,
+}
+
+/// Constants of the algorithm; field names follow paper Figure 2 where
+/// one exists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptationConfig {
+    /// Learning rate α ∈ (0, 1) smoothing d̃ (paper: "helps remove
+    /// transient behavior"). Closer to 1 ⇒ smoother, slower.
+    pub alpha: f64,
+    /// Window size W: how many recent over/under-load occurrences feed φ2.
+    pub window: usize,
+    /// Expected queue length D, in packets.
+    pub expected_len: f64,
+    /// Queue capacity C, in packets.
+    pub capacity: f64,
+    /// Weights (P1, P2, P3) of φ1, φ2, φ3; must sum to 1.
+    pub weights: (f64, f64, f64),
+    /// Lower threshold LT1 for d̃ as a fraction of C (typically negative):
+    /// below it the stage reports under-load exceptions upstream.
+    pub lt1: f64,
+    /// Upper threshold LT2 for d̃ as a fraction of C: above it the stage
+    /// reports over-load exceptions upstream.
+    pub lt2: f64,
+    /// An observation counts as *over-loaded* when `d > over_frac·C`.
+    pub over_frac: f64,
+    /// An observation counts as *under-loaded* when `d < under_frac·C`.
+    pub under_frac: f64,
+    /// Ring size for the recent average d̄ feeding φ3.
+    pub recent_window: usize,
+    /// Base gains (g1 for σ1, g2 for σ2).
+    pub sigma_base: (f64, f64),
+    /// Variability coupling κ: σᵢ = gᵢ·(1 + κ·std(argument)). Zero
+    /// disables the paper's "unsteady ⇒ larger steps" behaviour
+    /// (ablation knob).
+    pub sigma_variability: f64,
+    /// Sliding window (in exceptions) for the downstream T1/T2 counts.
+    pub exception_window: usize,
+    /// Exceptions aged out of the window per adaptation round, so φ1(T1,T2)
+    /// returns to 0 once the downstream stops complaining.
+    pub exception_decay: usize,
+    /// Parameter step per adaptation round, in increments, at |U| = 1.
+    pub step_scale: f64,
+    /// Signal combination policy.
+    pub combine: CombinePolicy,
+}
+
+impl Default for AdaptationConfig {
+    fn default() -> Self {
+        AdaptationConfig {
+            alpha: 0.8,
+            window: 16,
+            expected_len: 20.0,
+            capacity: 100.0,
+            weights: (0.2, 0.3, 0.5),
+            lt1: -0.3,
+            lt2: 0.3,
+            over_frac: 0.4,
+            under_frac: 0.1,
+            recent_window: 8,
+            sigma_base: (1.0, 0.6),
+            sigma_variability: 1.0,
+            exception_window: 32,
+            exception_decay: 1,
+            step_scale: 2.0,
+            combine: CombinePolicy::MaxDemand,
+        }
+    }
+}
+
+impl AdaptationConfig {
+    /// Default configuration with a different queue capacity (the most
+    /// commonly varied constant), keeping D at 20% of C.
+    pub fn with_capacity(capacity: f64) -> Self {
+        AdaptationConfig {
+            capacity,
+            expected_len: capacity * 0.2,
+            ..AdaptationConfig::default()
+        }
+    }
+
+    /// Validate invariants; call once at deployment time.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let fail = |msg: String| Err(CoreError::InvalidParam(msg));
+        if !(0.0 < self.alpha && self.alpha < 1.0) {
+            return fail(format!("alpha must be in (0,1), got {}", self.alpha));
+        }
+        if self.window == 0 || self.recent_window == 0 {
+            return fail("windows must be positive".into());
+        }
+        if self.capacity <= 0.0 || self.capacity.is_nan() {
+            return fail(format!("capacity must be positive, got {}", self.capacity));
+        }
+        if !(0.0 < self.expected_len && self.expected_len < self.capacity) {
+            return fail(format!(
+                "expected_len must be in (0, capacity), got {} vs {}",
+                self.expected_len, self.capacity
+            ));
+        }
+        let (p1, p2, p3) = self.weights;
+        if p1 < 0.0 || p2 < 0.0 || p3 < 0.0 || ((p1 + p2 + p3) - 1.0).abs() > 1e-9 {
+            return fail(format!("weights must be non-negative and sum to 1, got {:?}", self.weights));
+        }
+        if self.lt1 >= self.lt2 || self.lt1 < -1.0 || self.lt2 > 1.0 {
+            return fail(format!("need -1 ≤ LT1 < LT2 ≤ 1, got {} and {}", self.lt1, self.lt2));
+        }
+        if !(0.0 <= self.under_frac && self.under_frac < self.over_frac && self.over_frac <= 1.0) {
+            return fail(format!(
+                "need 0 ≤ under_frac < over_frac ≤ 1, got {} and {}",
+                self.under_frac, self.over_frac
+            ));
+        }
+        if self.sigma_base.0 <= 0.0 || self.sigma_base.1 <= 0.0 {
+            return fail("sigma base gains must be positive".into());
+        }
+        if self.sigma_variability < 0.0 {
+            return fail("sigma_variability must be non-negative".into());
+        }
+        if self.exception_window == 0 {
+            return fail("exception_window must be positive".into());
+        }
+        if self.step_scale <= 0.0 || self.step_scale.is_nan() {
+            return fail("step_scale must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        AdaptationConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn with_capacity_scales_expected_len() {
+        let c = AdaptationConfig::with_capacity(500.0);
+        c.validate().unwrap();
+        assert_eq!(c.capacity, 500.0);
+        assert_eq!(c.expected_len, 100.0);
+    }
+
+    #[test]
+    fn bad_alpha_rejected() {
+        for alpha in [0.0, 1.0, -0.5, 1.5] {
+            let cfg = AdaptationConfig { alpha, ..Default::default() };
+            assert!(cfg.validate().is_err(), "alpha={alpha} should fail");
+        }
+    }
+
+    #[test]
+    fn weights_must_sum_to_one() {
+        let cfg = AdaptationConfig { weights: (0.5, 0.5, 0.5), ..Default::default() };
+        assert!(cfg.validate().is_err());
+        let cfg = AdaptationConfig { weights: (-0.2, 0.7, 0.5), ..Default::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn thresholds_must_be_ordered() {
+        let cfg = AdaptationConfig { lt1: 0.5, lt2: 0.3, ..Default::default() };
+        assert!(cfg.validate().is_err());
+        let cfg = AdaptationConfig { lt1: -2.0, ..Default::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn load_fractions_must_be_ordered() {
+        let cfg = AdaptationConfig { over_frac: 0.05, under_frac: 0.1, ..Default::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn expected_len_must_be_below_capacity() {
+        let cfg = AdaptationConfig { expected_len: 200.0, capacity: 100.0, ..Default::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_step_scale_rejected() {
+        let cfg = AdaptationConfig { step_scale: 0.0, ..Default::default() };
+        assert!(cfg.validate().is_err());
+    }
+}

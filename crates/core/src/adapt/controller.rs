@@ -1,0 +1,334 @@
+//! Parameter adjustment: the "Parameter Adjustment" half of paper §4.2.
+
+use std::collections::VecDeque;
+
+use gates_sim::stats::RingStat;
+
+use super::config::{AdaptationConfig, CombinePolicy};
+use super::factors::phi1;
+use super::load::LoadException;
+use crate::param::AdjustmentParameter;
+
+/// Drives one adjustment parameter at the stage that owns it (server *B*
+/// in the paper's exposition), using B's own load factor d̃ and the
+/// exception stream reported by the downstream stage (server *C*).
+#[derive(Debug, Clone)]
+pub struct ParamController {
+    cfg: AdaptationConfig,
+    spec: AdjustmentParameter,
+    value: f64,
+    /// Recent downstream exceptions, +1 overload / −1 underload, capped at
+    /// `exception_window` and aged by `exception_decay` per round.
+    exceptions: VecDeque<i8>,
+    /// History of the normalized own-load signal, for σ1's variability.
+    dn_hist: RingStat,
+    /// History of the downstream balance φ1(T1, T2), for σ2's variability.
+    phi_hist: RingStat,
+    rounds: u64,
+    exceptions_received: (u64, u64),
+    /// Trajectory of suggested values, one entry per round (for Figures
+    /// 8 and 9, which plot exactly this).
+    trajectory: Vec<f64>,
+}
+
+impl ParamController {
+    /// Controller for `spec` under constants `cfg`.
+    pub fn new(cfg: AdaptationConfig, spec: AdjustmentParameter) -> Self {
+        debug_assert!(cfg.validate().is_ok());
+        let value = spec.init;
+        let dn_hist = RingStat::new(cfg.recent_window);
+        let phi_hist = RingStat::new(cfg.recent_window);
+        ParamController {
+            cfg,
+            spec,
+            value,
+            exceptions: VecDeque::new(),
+            dn_hist,
+            phi_hist,
+            rounds: 0,
+            exceptions_received: (0, 0),
+            trajectory: Vec::new(),
+        }
+    }
+
+    /// Record an exception reported by the downstream stage.
+    pub fn on_exception(&mut self, e: LoadException) {
+        match e {
+            LoadException::Overload => {
+                self.exceptions_received.0 += 1;
+                self.exceptions.push_back(1);
+            }
+            LoadException::Underload => {
+                self.exceptions_received.1 += 1;
+                self.exceptions.push_back(-1);
+            }
+        }
+        while self.exceptions.len() > self.cfg.exception_window {
+            self.exceptions.pop_front();
+        }
+    }
+
+    /// Downstream exception balance φ1(T1, T2) over the sliding window.
+    pub fn downstream_phi(&self) -> f64 {
+        let t1 = self.exceptions.iter().filter(|&&e| e > 0).count() as u64;
+        let t2 = self.exceptions.iter().filter(|&&e| e < 0).count() as u64;
+        phi1(t1, t2)
+    }
+
+    /// Run one adaptation round given the owning stage's current d̃
+    /// (un-normalized, in [−C, C]). Returns the new suggested value.
+    pub fn adapt(&mut self, d_tilde: f64) -> f64 {
+        self.rounds += 1;
+        let dn = (d_tilde / self.cfg.capacity).clamp(-1.0, 1.0);
+        let phi = self.downstream_phi();
+        self.dn_hist.push(dn);
+        self.phi_hist.push(phi);
+
+        // σ gains: base gain, inflated by the recent variability of the
+        // signal ("if the values of d_B and φ1(T1,T2) are unsteady, we
+        // want ΔP_B to be large").
+        let (g1, g2) = self.cfg.sigma_base;
+        let kappa = self.cfg.sigma_variability;
+        let sigma1 = g1 * (1.0 + kappa * self.dn_hist.variability(1.0));
+        let sigma2 = g2 * (1.0 + kappa * self.phi_hist.variability(1.0));
+
+        // Speed-up demand U ∈ ~[-σmax, σmax]: positive ⇒ the pipeline is
+        // stressed, make processing faster / volume smaller. A silent
+        // downstream (empty exception window) defers to the local signal,
+        // so an idle pipeline probes toward best accuracy — the paper's
+        // stated goal — instead of freezing.
+        let own = dn * sigma1;
+        let down = phi * sigma2;
+        let u = match self.cfg.combine {
+            CombinePolicy::MaxDemand if self.exceptions.is_empty() => own,
+            CombinePolicy::MaxDemand => own.max(down),
+            CombinePolicy::PaperAdditive => own + down,
+        };
+
+        // Map the demand onto the raw parameter through its declared
+        // direction, stepping in increments. The *internal* value stays
+        // unquantized so persistent small pressure accumulates across
+        // rounds instead of being swallowed by rounding (a sub-increment
+        // step would otherwise round back forever); only the reported
+        // suggestion snaps to the increment grid.
+        let delta = self.spec.direction.sign() * u * self.cfg.step_scale * self.spec.increment;
+        self.value = (self.value + delta).clamp(self.spec.min, self.spec.max);
+
+        // Age the exception window so φ1(T1,T2) returns to 0 once the
+        // downstream stops complaining.
+        for _ in 0..self.cfg.exception_decay {
+            if self.exceptions.pop_front().is_none() {
+                break;
+            }
+        }
+
+        let reported = self.spec.quantize(self.value);
+        self.trajectory.push(reported);
+        reported
+    }
+
+    /// Current suggested value (quantized to the increment grid).
+    pub fn value(&self) -> f64 {
+        self.spec.quantize(self.value)
+    }
+
+    /// The unquantized internal value (for diagnostics/ablation).
+    pub fn raw_value(&self) -> f64 {
+        self.value
+    }
+
+    /// The parameter declaration.
+    pub fn spec(&self) -> &AdjustmentParameter {
+        &self.spec
+    }
+
+    /// Adaptation rounds run.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// `(overloads, underloads)` received from downstream.
+    pub fn exceptions_received(&self) -> (u64, u64) {
+        self.exceptions_received
+    }
+
+    /// Value after each round (the paper's Figures 8/9 series).
+    pub fn trajectory(&self) -> &[f64] {
+        &self.trajectory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Direction;
+
+    fn sampling_param() -> AdjustmentParameter {
+        AdjustmentParameter::new("p", 0.13, 0.01, 1.0, 0.01, Direction::IncreaseSlowsDown).unwrap()
+    }
+
+    fn controller() -> ParamController {
+        ParamController::new(AdaptationConfig::default(), sampling_param())
+    }
+
+    #[test]
+    fn downstream_overload_decreases_volume_parameter() {
+        let mut c = controller();
+        for _ in 0..20 {
+            c.on_exception(LoadException::Overload);
+            c.adapt(0.0);
+        }
+        assert!(c.value() < 0.13, "overloaded downstream must shrink sampling rate");
+    }
+
+    #[test]
+    fn slack_everywhere_increases_volume_parameter() {
+        let mut c = controller();
+        for _ in 0..300 {
+            c.on_exception(LoadException::Underload);
+            c.adapt(-80.0); // own queue nearly empty
+        }
+        assert!((c.value() - 1.0).abs() < 1e-9, "idle pipeline must converge to max accuracy");
+    }
+
+    #[test]
+    fn own_queue_growth_decreases_volume_even_if_downstream_idle() {
+        // The Figure 9 scenario: the outgoing link saturates, the sender's
+        // queue grows, while the starved downstream reports underload.
+        let mut c = controller();
+        for _ in 0..20 {
+            c.on_exception(LoadException::Underload);
+            c.adapt(90.0); // own queue nearly full
+        }
+        assert!(c.value() < 0.13, "own backlog must win over downstream slack");
+    }
+
+    #[test]
+    fn additive_policy_lets_signals_cancel() {
+        // Same mixed scenario under the paper's additive Equation 4: the
+        // signals partially cancel, producing a much weaker (or wrong-
+        // direction) response. This is the ablation's key observation.
+        let cfg = AdaptationConfig {
+            combine: CombinePolicy::PaperAdditive,
+            sigma_base: (1.0, 1.0),
+            sigma_variability: 0.0,
+            ..Default::default()
+        };
+        let mut additive = ParamController::new(cfg.clone(), sampling_param());
+        let max_cfg = AdaptationConfig { combine: CombinePolicy::MaxDemand, ..cfg };
+        let mut maxd = ParamController::new(max_cfg, sampling_param());
+        for _ in 0..20 {
+            additive.on_exception(LoadException::Underload);
+            maxd.on_exception(LoadException::Underload);
+            additive.adapt(90.0);
+            maxd.adapt(90.0);
+        }
+        assert!(
+            maxd.value() < additive.value(),
+            "max-demand reacts harder to the bottleneck: {} vs {}",
+            maxd.value(),
+            additive.value()
+        );
+    }
+
+    #[test]
+    fn direction_flips_response_for_speed_parameters() {
+        // A parameter whose increase speeds processing up (e.g. a
+        // decimation factor) must move the other way.
+        let spec =
+            AdjustmentParameter::new("decim", 10.0, 1.0, 100.0, 1.0, Direction::IncreaseSpeedsUp)
+                .unwrap();
+        let mut c = ParamController::new(AdaptationConfig::default(), spec);
+        for _ in 0..20 {
+            c.on_exception(LoadException::Overload);
+            c.adapt(50.0);
+        }
+        assert!(c.value() > 10.0, "stress must raise a speeds-up parameter");
+    }
+
+    #[test]
+    fn value_respects_declared_bounds() {
+        let mut c = controller();
+        for _ in 0..500 {
+            c.on_exception(LoadException::Overload);
+            c.adapt(100.0);
+        }
+        assert!((c.value() - 0.01).abs() < 1e-9, "clamped at min");
+        for _ in 0..2000 {
+            c.on_exception(LoadException::Underload);
+            c.adapt(-100.0);
+        }
+        assert!((c.value() - 1.0).abs() < 1e-9, "clamped at max");
+    }
+
+    #[test]
+    fn exception_window_ages_out() {
+        let mut c = controller();
+        for _ in 0..10 {
+            c.on_exception(LoadException::Overload);
+        }
+        assert!(c.downstream_phi() > 0.99);
+        // Rounds with no new exceptions age the window away.
+        for _ in 0..15 {
+            c.adapt(0.0);
+        }
+        assert_eq!(c.downstream_phi(), 0.0, "stale exceptions must decay");
+    }
+
+    #[test]
+    fn neutral_inputs_hold_steady() {
+        let mut c = controller();
+        let before = c.value();
+        for _ in 0..50 {
+            c.adapt(0.0);
+        }
+        assert!((c.value() - before).abs() < 1e-9, "no signals ⇒ no movement");
+    }
+
+    #[test]
+    fn trajectory_records_every_round() {
+        let mut c = controller();
+        for _ in 0..7 {
+            c.adapt(0.0);
+        }
+        assert_eq!(c.trajectory().len(), 7);
+        assert_eq!(c.rounds(), 7);
+    }
+
+    #[test]
+    fn variability_inflates_step_size() {
+        let steady_cfg = AdaptationConfig { sigma_variability: 0.0, ..Default::default() };
+        let jumpy_cfg = AdaptationConfig { sigma_variability: 4.0, ..Default::default() };
+        let run = |cfg: AdaptationConfig| {
+            // Mid-range parameter so clamping can't mask the step size.
+            let spec =
+                AdjustmentParameter::new("p", 0.5, 0.0, 1.0, 0.01, Direction::IncreaseSlowsDown)
+                    .unwrap();
+            let mut c = ParamController::new(cfg, spec);
+            // Mild oscillation primes the variability estimate without
+            // pushing the value near a bound.
+            for i in 0..8 {
+                let d = if i % 2 == 0 { 30.0 } else { -30.0 };
+                c.adapt(d);
+            }
+            let before = c.value();
+            c.adapt(90.0);
+            (before - c.value()).abs()
+        };
+        let steady_step = run(steady_cfg);
+        let jumpy_step = run(jumpy_cfg);
+        assert!(
+            jumpy_step > steady_step,
+            "unsteady signals must take larger steps: {jumpy_step} vs {steady_step}"
+        );
+    }
+
+    #[test]
+    fn exception_counters_track_kinds() {
+        let mut c = controller();
+        c.on_exception(LoadException::Overload);
+        c.on_exception(LoadException::Overload);
+        c.on_exception(LoadException::Underload);
+        assert_eq!(c.exceptions_received(), (2, 1));
+    }
+}

@@ -1,0 +1,145 @@
+//! The three load factors of paper §4.2, as pure functions.
+//!
+//! All three map into `[-1, 1]`: negative means under-loaded, positive
+//! over-loaded, and "the closer |φᵢ| is to 1, it is more likely that the
+//! unit is over or under-loaded".
+
+/// φ1 — lifetime over/under-load balance (paper Equation 1):
+///
+/// ```text
+/// φ1(t1, t2) = (t1 − t2) / (t1 + t2)   if t1 + t2 > 0
+///            = 0                        otherwise
+/// ```
+///
+/// `t1` counts over-load observations, `t2` under-load observations. The
+/// same formula is reused for the downstream exception balance φ1(T1, T2).
+pub fn phi1(t1: u64, t2: u64) -> f64 {
+    let total = t1 + t2;
+    if total == 0 {
+        0.0
+    } else {
+        (t1 as f64 - t2 as f64) / total as f64
+    }
+}
+
+/// φ2 — recent over/under-load balance over the last `W` load events.
+///
+/// `w` is incremented for each over-load and decremented for each
+/// under-load among the last `window` such occurrences, so `|w| ≤ window`.
+///
+/// The paper's printed formula for φ2 is corrupted (it is not confined to
+/// the stated range `[-1, 1]`); we implement the stated *intent*: the sign
+/// of `w` with a magnitude that grows exponentially with `|w|` and reaches
+/// 1 at `|w| = W`:
+///
+/// ```text
+/// φ2(w) = sign(w) · (e^|w| − 1) / (e^W − 1)
+/// ```
+///
+/// The exponential emphasizes *consistent* recent overload: half the
+/// window agreeing is worth far less than the whole window agreeing.
+pub fn phi2(w: i64, window: usize) -> f64 {
+    if w == 0 || window == 0 {
+        return 0.0;
+    }
+    let wmag = (w.unsigned_abs() as f64).min(window as f64);
+    let scale = (window as f64).exp() - 1.0;
+    let mag = (wmag.exp() - 1.0) / scale;
+    mag.clamp(0.0, 1.0) * (w.signum() as f64)
+}
+
+/// φ3 — recent average queue length d̄ against the expected length `D`
+/// and capacity `C` (paper Equation 3):
+///
+/// ```text
+/// φ3(d̄) = (d̄ − D) / D        if d̄ < D     (under-load, in [−1, 0))
+///        = (d̄ − D) / (C − D)  if d̄ ≥ D     (over-load, in [0, 1])
+/// ```
+pub fn phi3(d_bar: f64, expected: f64, capacity: f64) -> f64 {
+    debug_assert!(expected > 0.0 && capacity > expected);
+    let v = if d_bar < expected {
+        (d_bar - expected) / expected
+    } else {
+        (d_bar - expected) / (capacity - expected)
+    };
+    v.clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phi1_balance_points() {
+        assert_eq!(phi1(0, 0), 0.0);
+        assert_eq!(phi1(10, 0), 1.0);
+        assert_eq!(phi1(0, 10), -1.0);
+        assert_eq!(phi1(5, 5), 0.0);
+        assert!((phi1(3, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi1_always_in_range() {
+        for t1 in 0..20u64 {
+            for t2 in 0..20u64 {
+                let v = phi1(t1, t2);
+                assert!((-1.0..=1.0).contains(&v), "phi1({t1},{t2}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn phi2_zero_and_extremes() {
+        assert_eq!(phi2(0, 16), 0.0);
+        assert!((phi2(16, 16) - 1.0).abs() < 1e-12);
+        assert!((phi2(-16, 16) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi2_is_odd_and_monotone() {
+        let window = 16;
+        let mut prev = 0.0;
+        for w in 1..=window {
+            let v = phi2(w as i64, window);
+            assert!(v > prev, "phi2 must be increasing in w");
+            assert!((phi2(-(w as i64), window) + v).abs() < 1e-12, "phi2 must be odd");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn phi2_emphasizes_consensus() {
+        // Exponential shape: half the window is worth far less than half
+        // the extreme value.
+        assert!(phi2(8, 16) < 0.01);
+    }
+
+    #[test]
+    fn phi2_clamps_out_of_range_w() {
+        assert!((phi2(100, 16) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi3_anchor_points() {
+        let (d_exp, c) = (20.0, 100.0);
+        assert_eq!(phi3(0.0, d_exp, c), -1.0);
+        assert_eq!(phi3(d_exp, d_exp, c), 0.0);
+        assert_eq!(phi3(c, d_exp, c), 1.0);
+        assert!((phi3(10.0, d_exp, c) + 0.5).abs() < 1e-12);
+        assert!((phi3(60.0, d_exp, c) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi3_clamps_beyond_capacity() {
+        assert_eq!(phi3(250.0, 20.0, 100.0), 1.0);
+        assert_eq!(phi3(-5.0, 20.0, 100.0), -1.0);
+    }
+
+    #[test]
+    fn phi3_piecewise_is_continuous_at_expected() {
+        let (d_exp, c) = (20.0, 100.0);
+        let below = phi3(d_exp - 1e-9, d_exp, c);
+        let above = phi3(d_exp + 1e-9, d_exp, c);
+        assert!((below - above).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,286 @@
+//! Per-queue load evaluation: the "Evaluating Long-Term Load" half of
+//! paper §4.2.
+
+use std::collections::VecDeque;
+
+use gates_sim::stats::{Ewma, RingStat, Welford};
+
+use super::config::AdaptationConfig;
+use super::factors::{phi1, phi2, phi3};
+
+/// An exception a stage reports to its *upstream* neighbour when its
+/// long-term load factor d̃ leaves `[LT1·C, LT2·C]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadException {
+    /// d̃ above LT2·C — the reporter cannot keep up; send less / slower.
+    Overload,
+    /// d̃ below LT1·C — the reporter is starved; more data is affordable.
+    Underload,
+}
+
+/// Observes one stage's input-queue length over time and maintains the
+/// load factors and d̃.
+#[derive(Debug, Clone)]
+pub struct LoadTracker {
+    cfg: AdaptationConfig,
+    /// Lifetime over-load observation count (paper t1).
+    t1: u64,
+    /// Lifetime under-load observation count (paper t2).
+    t2: u64,
+    /// Classification of the last `W` observations: +1 over-loaded,
+    /// −1 under-loaded, 0 neutral (neutral entries age the window; see
+    /// the note in [`LoadTracker::observe`]).
+    events: VecDeque<i8>,
+    /// Recent queue lengths for d̄.
+    recent: RingStat,
+    /// The long-term average queue size factor d̃ ∈ [−C, C].
+    d_tilde: Ewma,
+    /// All observed queue lengths (for reports).
+    all: Welford,
+    observations: u64,
+    overloads_reported: u64,
+    underloads_reported: u64,
+}
+
+impl LoadTracker {
+    /// Tracker with the given constants (validate the config first at
+    /// deployment; this asserts only in debug builds).
+    pub fn new(cfg: AdaptationConfig) -> Self {
+        debug_assert!(cfg.validate().is_ok());
+        let recent = RingStat::new(cfg.recent_window);
+        let d_tilde = Ewma::new(cfg.alpha);
+        LoadTracker {
+            cfg,
+            t1: 0,
+            t2: 0,
+            events: VecDeque::new(),
+            recent,
+            d_tilde,
+            all: Welford::new(),
+            observations: 0,
+            overloads_reported: 0,
+            underloads_reported: 0,
+        }
+    }
+
+    /// Record an instantaneous queue length `d` (in packets); returns the
+    /// exception to report upstream, if d̃ has left the allowed interval.
+    pub fn observe(&mut self, d: f64) -> Option<LoadException> {
+        self.observations += 1;
+        self.all.push(d);
+        self.recent.push(d);
+
+        // Classify the instantaneous observation. Neutral observations
+        // push a 0 so the φ2 window ages under steady load — the paper's
+        // wording ("the last W times the system was observed to be over
+        // or under-loaded") would freeze φ2 at its last extreme forever
+        // once the queue settles, which contradicts the recovery its own
+        // experiments show. Documented deviation.
+        if d > self.cfg.over_frac * self.cfg.capacity {
+            self.t1 += 1;
+            self.push_event(1);
+        } else if d < self.cfg.under_frac * self.cfg.capacity {
+            self.t2 += 1;
+            self.push_event(-1);
+        } else {
+            self.push_event(0);
+        }
+
+        // Blend the three factors and smooth (paper's d̃ equation).
+        let (p1, p2, p3) = self.cfg.weights;
+        let blend = p1 * self.phi1() + p2 * self.phi2() + p3 * self.phi3();
+        let target = (blend * self.cfg.capacity).clamp(-self.cfg.capacity, self.cfg.capacity);
+        self.d_tilde.update(target);
+
+        let d_tilde = self.d_tilde();
+        if d_tilde > self.cfg.lt2 * self.cfg.capacity {
+            self.overloads_reported += 1;
+            Some(LoadException::Overload)
+        } else if d_tilde < self.cfg.lt1 * self.cfg.capacity {
+            self.underloads_reported += 1;
+            Some(LoadException::Underload)
+        } else {
+            None
+        }
+    }
+
+    fn push_event(&mut self, e: i8) {
+        self.events.push_back(e);
+        while self.events.len() > self.cfg.window {
+            self.events.pop_front();
+        }
+    }
+
+    /// Lifetime balance φ1(t1, t2).
+    pub fn phi1(&self) -> f64 {
+        phi1(self.t1, self.t2)
+    }
+
+    /// Windowed balance φ2(w).
+    pub fn phi2(&self) -> f64 {
+        let w: i64 = self.events.iter().map(|&e| e as i64).sum();
+        phi2(w, self.cfg.window)
+    }
+
+    /// Recent-average factor φ3(d̄).
+    pub fn phi3(&self) -> f64 {
+        phi3(self.recent.mean(), self.cfg.expected_len, self.cfg.capacity)
+    }
+
+    /// The long-term average queue size factor d̃ ∈ [−C, C].
+    pub fn d_tilde(&self) -> f64 {
+        self.d_tilde.value()
+    }
+
+    /// d̃ normalized by capacity, in [−1, 1].
+    pub fn d_tilde_norm(&self) -> f64 {
+        self.d_tilde() / self.cfg.capacity
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AdaptationConfig {
+        &self.cfg
+    }
+
+    /// Total observations recorded.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// `(t1, t2)` lifetime over/under counts.
+    pub fn lifetime_counts(&self) -> (u64, u64) {
+        (self.t1, self.t2)
+    }
+
+    /// `(overloads, underloads)` exceptions this tracker has emitted.
+    pub fn exceptions_reported(&self) -> (u64, u64) {
+        (self.overloads_reported, self.underloads_reported)
+    }
+
+    /// Whole-run queue-length statistics.
+    pub fn queue_stats(&self) -> &Welford {
+        &self.all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AdaptationConfig {
+        AdaptationConfig::default() // C=100, D=20, over 40, under 10
+    }
+
+    #[test]
+    fn saturated_queue_drives_overload_exceptions() {
+        let mut lt = LoadTracker::new(cfg());
+        let mut saw_overload = false;
+        for _ in 0..100 {
+            if lt.observe(95.0) == Some(LoadException::Overload) {
+                saw_overload = true;
+            }
+        }
+        assert!(saw_overload, "persistently full queue must overload");
+        assert!(lt.d_tilde() > 0.3 * 100.0);
+        assert_eq!(lt.phi1(), 1.0);
+        assert!(lt.phi2() > 0.99);
+        assert!(lt.phi3() > 0.9);
+    }
+
+    #[test]
+    fn empty_queue_drives_underload_exceptions() {
+        let mut lt = LoadTracker::new(cfg());
+        let mut saw_underload = false;
+        for _ in 0..100 {
+            if lt.observe(0.0) == Some(LoadException::Underload) {
+                saw_underload = true;
+            }
+        }
+        assert!(saw_underload);
+        assert!(lt.d_tilde() < -0.3 * 100.0);
+        assert_eq!(lt.phi1(), -1.0);
+    }
+
+    #[test]
+    fn queue_at_expected_length_is_quiet() {
+        let mut lt = LoadTracker::new(cfg());
+        for _ in 0..200 {
+            assert_eq!(lt.observe(20.0), None, "expected-length queue must not alarm");
+        }
+        assert!(lt.d_tilde().abs() < 10.0);
+        // 20 is neither over (>60) nor under (<10): no load events at all.
+        assert_eq!(lt.lifetime_counts(), (0, 0));
+        assert_eq!(lt.phi2(), 0.0);
+    }
+
+    #[test]
+    fn recovery_after_transient_overload() {
+        let mut lt = LoadTracker::new(cfg());
+        for _ in 0..50 {
+            lt.observe(95.0);
+        }
+        assert!(lt.d_tilde() > 0.0);
+        // Long calm period: recent factors recover; φ1 decays only slowly
+        // (lifetime counts), which is exactly the paper's intent.
+        let mut last = None;
+        for _ in 0..300 {
+            last = lt.observe(20.0);
+        }
+        assert_eq!(last, None, "exceptions must stop after recovery");
+        assert!(lt.phi3().abs() < 0.05);
+        assert_eq!(lt.phi2(), 0.0, "no over/under events in recent window");
+    }
+
+    #[test]
+    fn alpha_controls_reaction_speed() {
+        let slow_cfg = AdaptationConfig { alpha: 0.99, ..cfg() };
+        let fast_cfg = AdaptationConfig { alpha: 0.5, ..cfg() };
+        let mut slow = LoadTracker::new(slow_cfg);
+        let mut fast = LoadTracker::new(fast_cfg);
+        for _ in 0..10 {
+            slow.observe(95.0);
+            fast.observe(95.0);
+        }
+        assert!(
+            fast.d_tilde() > slow.d_tilde(),
+            "smaller alpha reacts faster: {} vs {}",
+            fast.d_tilde(),
+            slow.d_tilde()
+        );
+    }
+
+    #[test]
+    fn d_tilde_stays_in_bounds() {
+        let mut lt = LoadTracker::new(cfg());
+        for i in 0..1000 {
+            let d = if i % 3 == 0 { 100.0 } else { 0.0 };
+            lt.observe(d);
+            let v = lt.d_tilde();
+            assert!((-100.0..=100.0).contains(&v), "d̃ out of bounds: {v}");
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut lt = LoadTracker::new(cfg());
+        for d in [0.0, 100.0, 50.0] {
+            lt.observe(d);
+        }
+        assert_eq!(lt.observations(), 3);
+        assert_eq!(lt.queue_stats().count(), 3);
+        assert!((lt.queue_stats().mean() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_limits_event_memory() {
+        let mut lt = LoadTracker::new(AdaptationConfig { window: 4, ..cfg() });
+        for _ in 0..50 {
+            lt.observe(95.0); // fill with overloads
+        }
+        // Four underloads flush the entire window.
+        for _ in 0..4 {
+            lt.observe(0.0);
+        }
+        assert!(lt.phi2() < 0.0, "window should now be all underloads");
+    }
+}

@@ -1,0 +1,45 @@
+//! The self-adaptation algorithm of paper §4.
+//!
+//! Every stage is modeled as a server with an input queue of (fixed-size)
+//! packets. The algorithm has two halves:
+//!
+//! 1. **Load evaluation** ([`LoadTracker`]) — each stage periodically
+//!    observes its instantaneous queue length `d` and folds three load
+//!    factors — φ1(t1, t2), the lifetime ratio of over- vs. under-load
+//!    observations; φ2(w), the windowed recent over/under-load balance;
+//!    and φ3(d̄), the recent average queue length relative to the
+//!    expected length D and capacity C — into a *long-term average queue
+//!    size factor* d̃. When d̃ leaves the interval `[LT1·C, LT2·C]` the
+//!    stage reports an over-load or under-load **exception** to its
+//!    upstream stage.
+//!
+//! 2. **Parameter adjustment** ([`ParamController`]) — each adaptation
+//!    round, the stage owning an adjustment parameter combines its own d̃
+//!    with the exception balance φ1(T1, T2) reported by its downstream
+//!    stage into a *speed-up demand* `U`, scales it by the variability
+//!    gains σ1/σ2 (paper: "if the values … are unsteady, we want ΔP to be
+//!    large"), and steps the parameter in the direction that satisfies
+//!    the demand (using the declared [`crate::Direction`]).
+//!
+//! ## Deviation from the paper's Equation 4 (documented)
+//!
+//! The paper combines the two signals additively
+//! (`ΔP = d̃·σ1 − φ1(T1,T2)·σ2`). For parameters that control the volume
+//! of data forwarded downstream — which describes *both* of the paper's
+//! applications — the additive form lets an empty local queue cancel a
+//! saturated downstream stage (and vice versa), preventing the
+//! convergence shown in the paper's Figures 8 and 9. We therefore default
+//! to the **max-demand** combination `U = max(d̃n·σ1, φ1·σ2)`: slow down
+//! if *either* end is stressed, speed up only when *both* report slack.
+//! The additive form is retained as [`CombinePolicy::PaperAdditive`] and
+//! evaluated in the ablation benchmarks.
+
+mod config;
+mod controller;
+mod factors;
+mod load;
+
+pub use config::{AdaptationConfig, CombinePolicy};
+pub use controller::ParamController;
+pub use factors::{phi1, phi2, phi3};
+pub use load::{LoadException, LoadTracker};

@@ -1,0 +1,40 @@
+//! Error type for the middleware core.
+
+use std::fmt;
+
+/// Errors raised by core middleware operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A parameter handle did not belong to this stage's table.
+    UnknownParam(usize),
+    /// A parameter specification was internally inconsistent.
+    InvalidParam(String),
+    /// A topology failed validation (cycle, dangling edge, …).
+    InvalidTopology(String),
+    /// A payload could not be decoded.
+    PayloadDecode(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownParam(id) => write!(f, "unknown adjustment parameter #{id}"),
+            CoreError::InvalidParam(msg) => write!(f, "invalid adjustment parameter: {msg}"),
+            CoreError::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
+            CoreError::PayloadDecode(msg) => write!(f, "payload decode failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CoreError::UnknownParam(3).to_string().contains("#3"));
+        assert!(CoreError::InvalidTopology("cycle".into()).to_string().contains("cycle"));
+    }
+}

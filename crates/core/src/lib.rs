@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # gates-core
+//!
+//! The GATES middleware core, reproducing *"GATES: A Grid-Based Middleware
+//! for Processing Distributed Data Streams"* (Chen, Reddy, Agrawal —
+//! HPDC 2004).
+//!
+//! GATES lets an application developer express stream analysis as a
+//! pipeline of **stages** deployed across grid resources. Each stage may
+//! expose **adjustment parameters** — tunables like a sampling rate or a
+//! summary-structure size — and the middleware continuously retunes them
+//! so the application delivers the best accuracy that still keeps up with
+//! the input streams (the *real-time constraint*).
+//!
+//! This crate contains everything execution-independent:
+//!
+//! * [`Packet`] — the unit of data flowing between stages.
+//! * [`StreamProcessor`] — the developer-facing stage trait, with the
+//!   paper's `specifyPara` / `getSuggestedValue` API surface on
+//!   [`StageApi`].
+//! * [`adapt`] — the self-adaptation algorithm of paper §4: load factors
+//!   φ1/φ2/φ3, the long-term queue factor d̃, over-/under-load exceptions,
+//!   and the σ-gain parameter controller.
+//! * [`Topology`] — the pipeline description (stages, edges, links,
+//!   placement sites) consumed by the deployer and the engines.
+//! * [`report`] — per-run statistics shared by all executors.
+//!
+//! Execution lives in `gates-engine` (deterministic virtual-time engine
+//! and a native-thread runtime); grid deployment in `gates-grid`.
+
+pub mod adapt;
+mod error;
+mod packet;
+mod param;
+pub mod report;
+mod stage;
+mod topology;
+
+pub use error::CoreError;
+pub use packet::{Packet, PacketKind, PayloadReader, PayloadWriter};
+pub use param::{AdjustmentParameter, Direction, ParamId, ParamTable};
+pub use stage::{CostModel, SourceStatus, StageApi, StreamProcessor};
+pub use topology::{Edge, StageBuilder, StageId, StageSpec, Topology, TopologyError};
+
+/// Crate-level result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

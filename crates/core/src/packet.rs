@@ -1,0 +1,347 @@
+//! Packets: the fixed-envelope unit of data flowing between stages.
+//!
+//! The adaptation model of paper §4 "assume[s] that the data arrives at a
+//! server in fixed-size packets"; queue lengths and capacities are counted
+//! in packets. A [`Packet`] carries an opaque payload plus the metadata
+//! the middleware needs (stream id, sequence number, logical record count,
+//! creation time). On a link it is framed by `gates-net`, so its wire size
+//! is `FRAME_HEADER_LEN + payload length`.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gates_net::{Frame, FrameKind, FRAME_HEADER_LEN};
+use gates_sim::SimTime;
+
+use crate::CoreError;
+
+/// What a packet carries (mirrors `gates_net::FrameKind` minus control).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// Raw stream records.
+    Data,
+    /// A summary structure produced by an intermediate stage.
+    Summary,
+    /// End-of-stream marker: the upstream stage will send nothing more.
+    Eos,
+}
+
+impl PacketKind {
+    fn to_frame_kind(self) -> FrameKind {
+        match self {
+            PacketKind::Data => FrameKind::Data,
+            PacketKind::Summary => FrameKind::Summary,
+            PacketKind::Eos => FrameKind::Eos,
+        }
+    }
+
+    fn from_frame_kind(kind: FrameKind) -> Option<Self> {
+        Some(match kind {
+            FrameKind::Data => PacketKind::Data,
+            FrameKind::Summary => PacketKind::Summary,
+            FrameKind::Eos => PacketKind::Eos,
+            _ => return None,
+        })
+    }
+}
+
+/// A unit of stream data exchanged between stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Packet type.
+    pub kind: PacketKind,
+    /// Logical stream the packet belongs to (e.g. source index).
+    pub stream_id: u32,
+    /// Per-stream sequence number, assigned by the producer.
+    pub seq: u64,
+    /// Number of logical records in the payload (drives per-record cost
+    /// models and throughput accounting).
+    pub records: u32,
+    /// Virtual time at which the packet was created at its source, for
+    /// end-to-end latency accounting.
+    pub created_at: SimTime,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// A data packet.
+    pub fn data(stream_id: u32, seq: u64, records: u32, payload: Bytes) -> Self {
+        Packet { kind: PacketKind::Data, stream_id, seq, records, created_at: SimTime::ZERO, payload }
+    }
+
+    /// A summary packet.
+    pub fn summary(stream_id: u32, seq: u64, records: u32, payload: Bytes) -> Self {
+        Packet {
+            kind: PacketKind::Summary,
+            stream_id,
+            seq,
+            records,
+            created_at: SimTime::ZERO,
+            payload,
+        }
+    }
+
+    /// An end-of-stream marker for `stream_id`.
+    pub fn eos(stream_id: u32, seq: u64) -> Self {
+        Packet {
+            kind: PacketKind::Eos,
+            stream_id,
+            seq,
+            records: 0,
+            created_at: SimTime::ZERO,
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Tag the packet with its creation time (builder style).
+    pub fn at(mut self, t: SimTime) -> Self {
+        self.created_at = t;
+        self
+    }
+
+    /// True for end-of-stream markers.
+    pub fn is_eos(&self) -> bool {
+        self.kind == PacketKind::Eos
+    }
+
+    /// Bytes this packet occupies on a link: frame header + payload +
+    /// the 12-byte metadata trailer added by [`Packet::to_frame`].
+    pub fn wire_len(&self) -> u64 {
+        (FRAME_HEADER_LEN + self.payload.len() + 12) as u64
+    }
+
+    /// Encode into a wire frame. `created_at` and `records` travel in a
+    /// 12-byte trailer appended to the payload so they survive the hop.
+    pub fn to_frame(&self) -> Frame {
+        let mut payload = BytesMut::with_capacity(self.payload.len() + 12);
+        payload.put_slice(&self.payload);
+        payload.put_u32(self.records);
+        payload.put_u64(self.created_at.as_micros());
+        Frame {
+            kind: self.kind.to_frame_kind(),
+            stream_id: self.stream_id,
+            seq: self.seq,
+            payload: payload.freeze(),
+        }
+    }
+
+    /// Decode from a wire frame produced by [`Packet::to_frame`].
+    pub fn from_frame(frame: &Frame) -> Result<Self, CoreError> {
+        let kind = PacketKind::from_frame_kind(frame.kind)
+            .ok_or_else(|| CoreError::PayloadDecode(format!("unexpected frame kind {:?}", frame.kind)))?;
+        if frame.payload.len() < 12 {
+            return Err(CoreError::PayloadDecode("missing packet trailer".into()));
+        }
+        let body_len = frame.payload.len() - 12;
+        let mut trailer = frame.payload.slice(body_len..);
+        let records = trailer.get_u32();
+        let created_at = SimTime::from_micros(trailer.get_u64());
+        Ok(Packet {
+            kind,
+            stream_id: frame.stream_id,
+            seq: frame.seq,
+            records,
+            created_at,
+            payload: frame.payload.slice(..body_len),
+        })
+    }
+}
+
+/// Incremental payload builder with fixed-width big-endian encodings.
+///
+/// Applications use this to encode records; sizes are explicit so the
+/// experiments can report exact on-wire volumes.
+#[derive(Debug, Default)]
+pub struct PayloadWriter {
+    buf: BytesMut,
+}
+
+impl PayloadWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        PayloadWriter { buf: BytesMut::new() }
+    }
+
+    /// Writer with pre-reserved capacity.
+    pub fn with_capacity(bytes: usize) -> Self {
+        PayloadWriter { buf: BytesMut::with_capacity(bytes) }
+    }
+
+    /// Append a `u32`.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.put_u32(v);
+        self
+    }
+
+    /// Append a `u64`.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.put_u64(v);
+        self
+    }
+
+    /// Append an `i64`.
+    pub fn put_i64(&mut self, v: i64) -> &mut Self {
+        self.buf.put_i64(v);
+        self
+    }
+
+    /// Append an `f64`.
+    pub fn put_f64(&mut self, v: f64) -> &mut Self {
+        self.buf.put_f64(v);
+        self
+    }
+
+    /// Append raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.put_slice(v);
+        self
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finish, yielding the immutable payload.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Sequential reader over a payload written by [`PayloadWriter`].
+#[derive(Debug)]
+pub struct PayloadReader {
+    buf: Bytes,
+}
+
+impl PayloadReader {
+    /// Read from the given payload.
+    pub fn new(payload: Bytes) -> Self {
+        PayloadReader { buf: payload }
+    }
+
+    fn ensure(&self, n: usize) -> Result<(), CoreError> {
+        if self.buf.len() < n {
+            Err(CoreError::PayloadDecode(format!("need {n} bytes, have {}", self.buf.len())))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Read a `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CoreError> {
+        self.ensure(4)?;
+        Ok(self.buf.get_u32())
+    }
+
+    /// Read a `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CoreError> {
+        self.ensure(8)?;
+        Ok(self.buf.get_u64())
+    }
+
+    /// Read an `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, CoreError> {
+        self.ensure(8)?;
+        Ok(self.buf.get_i64())
+    }
+
+    /// Read an `f64`.
+    pub fn get_f64(&mut self) -> Result<f64, CoreError> {
+        self.ensure(8)?;
+        Ok(self.buf.get_f64())
+    }
+
+    /// Read a single byte.
+    pub fn get_u8(&mut self) -> Result<u8, CoreError> {
+        self.ensure(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Read `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> Result<Bytes, CoreError> {
+        self.ensure(n)?;
+        Ok(self.buf.split_to(n))
+    }
+
+    /// Unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_len_matches_encoded_frame() {
+        let p = Packet::data(1, 1, 1, Bytes::from_static(&[0u8; 10]));
+        assert_eq!(p.wire_len(), (FRAME_HEADER_LEN + 10 + 12) as u64);
+        let encoded = gates_net::encode_frame(&p.to_frame());
+        assert_eq!(p.wire_len(), encoded.len() as u64, "wire_len must match the actual encoding");
+    }
+
+    #[test]
+    fn frame_round_trip_preserves_metadata() {
+        let p = Packet::summary(3, 42, 7, Bytes::from_static(b"payload"))
+            .at(SimTime::from_secs_f64(1.5));
+        let frame = p.to_frame();
+        let back = Packet::from_frame(&frame).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn eos_round_trips() {
+        let p = Packet::eos(9, 100).at(SimTime::from_micros(5));
+        let back = Packet::from_frame(&p.to_frame()).unwrap();
+        assert!(back.is_eos());
+        assert_eq!(back.stream_id, 9);
+        assert_eq!(back.created_at.as_micros(), 5);
+    }
+
+    #[test]
+    fn from_frame_rejects_control_frames() {
+        let frame = Frame {
+            kind: FrameKind::Control,
+            stream_id: 0,
+            seq: 0,
+            payload: Bytes::from_static(&[0u8; 12]),
+        };
+        assert!(Packet::from_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn from_frame_rejects_short_payload() {
+        let frame = Frame { kind: FrameKind::Data, stream_id: 0, seq: 0, payload: Bytes::from_static(b"short") };
+        assert!(Packet::from_frame(&frame).is_err());
+    }
+
+    #[test]
+    fn payload_writer_reader_round_trip() {
+        let mut w = PayloadWriter::new();
+        w.put_u32(7).put_i64(-5).put_f64(1.25).put_u64(u64::MAX).put_bytes(b"xy");
+        assert_eq!(w.len(), 4 + 8 + 8 + 8 + 2);
+        let mut r = PayloadReader::new(w.finish());
+        assert_eq!(r.get_u32().unwrap(), 7);
+        assert_eq!(r.get_i64().unwrap(), -5);
+        assert_eq!(r.get_f64().unwrap(), 1.25);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.remaining(), 2);
+    }
+
+    #[test]
+    fn reader_underflow_is_error_not_panic() {
+        let mut r = PayloadReader::new(Bytes::from_static(&[1, 2]));
+        assert!(r.get_u32().is_err());
+    }
+}

@@ -1,0 +1,257 @@
+//! Adjustment parameters — the paper's `specifyPara` API.
+//!
+//! An adjustment parameter is "a tunable parameter whose value can be
+//! modified to increase the processing rate, and in most cases, reduce
+//! the accuracy of the processing" (paper §3.1). The developer declares
+//! the initial value, the acceptable range, the granularity, and the
+//! *direction*: whether increasing the value speeds processing up or
+//! slows it down (the paper's final `specifyPara` argument).
+
+use crate::CoreError;
+
+/// How the parameter's value relates to processing speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger value ⇒ faster processing / less data volume
+    /// (e.g. a decimation factor).
+    IncreaseSpeedsUp,
+    /// Larger value ⇒ slower processing / more data volume
+    /// (e.g. a sampling rate or summary size — both paper applications).
+    IncreaseSlowsDown,
+}
+
+impl Direction {
+    /// Sign applied when converting a *speed-up demand* into a raw
+    /// parameter delta: `+1` if increasing the raw value speeds things up,
+    /// `-1` otherwise.
+    pub fn sign(self) -> f64 {
+        match self {
+            Direction::IncreaseSpeedsUp => 1.0,
+            Direction::IncreaseSlowsDown => -1.0,
+        }
+    }
+}
+
+/// Declaration of one adjustment parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdjustmentParameter {
+    /// Human-readable name (for reports).
+    pub name: String,
+    /// Starting value.
+    pub init: f64,
+    /// Smallest acceptable value.
+    pub min: f64,
+    /// Largest acceptable value.
+    pub max: f64,
+    /// Granularity of adjustment: suggested values move in multiples of
+    /// this and are rounded to it.
+    pub increment: f64,
+    /// Speed orientation.
+    pub direction: Direction,
+}
+
+impl AdjustmentParameter {
+    /// Declare a parameter, validating the specification.
+    pub fn new(
+        name: impl Into<String>,
+        init: f64,
+        min: f64,
+        max: f64,
+        increment: f64,
+        direction: Direction,
+    ) -> Result<Self, CoreError> {
+        let name = name.into();
+        if min > max || min.is_nan() || max.is_nan() {
+            return Err(CoreError::InvalidParam(format!("{name}: min {min} > max {max}")));
+        }
+        if !(min..=max).contains(&init) {
+            return Err(CoreError::InvalidParam(format!(
+                "{name}: init {init} outside [{min}, {max}]"
+            )));
+        }
+        if increment <= 0.0 || increment.is_nan() || !increment.is_finite() {
+            return Err(CoreError::InvalidParam(format!("{name}: increment must be positive")));
+        }
+        if [init, min, max].iter().any(|v| !v.is_finite()) {
+            return Err(CoreError::InvalidParam(format!("{name}: bounds must be finite")));
+        }
+        Ok(AdjustmentParameter { name, init, min, max, increment, direction })
+    }
+
+    /// Clamp `value` into range and round it to the increment grid
+    /// anchored at `min`.
+    pub fn quantize(&self, value: f64) -> f64 {
+        let clamped = value.clamp(self.min, self.max);
+        let steps = ((clamped - self.min) / self.increment).round();
+        (self.min + steps * self.increment).clamp(self.min, self.max)
+    }
+
+    /// Number of increments between min and max (the adaptation range).
+    pub fn range_steps(&self) -> f64 {
+        (self.max - self.min) / self.increment
+    }
+}
+
+/// Handle for a declared parameter within a stage's [`ParamTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Raw table index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Per-stage table of declared parameters and their current suggested
+/// values. The processor reads values via `get_suggested_value`; the
+/// adaptation controller writes them.
+#[derive(Debug, Default, Clone)]
+pub struct ParamTable {
+    entries: Vec<Entry>,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    spec: AdjustmentParameter,
+    suggested: f64,
+}
+
+impl ParamTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        ParamTable { entries: Vec::new() }
+    }
+
+    /// Register a parameter; its suggested value starts at `init`.
+    pub fn register(&mut self, spec: AdjustmentParameter) -> ParamId {
+        let id = ParamId(self.entries.len());
+        let suggested = spec.init;
+        self.entries.push(Entry { spec, suggested });
+        id
+    }
+
+    /// The current suggested value (the paper's `getSuggestedValue()`).
+    pub fn suggested(&self, id: ParamId) -> Result<f64, CoreError> {
+        self.entries.get(id.0).map(|e| e.suggested).ok_or(CoreError::UnknownParam(id.0))
+    }
+
+    /// Overwrite a suggestion (quantized and clamped to the declaration).
+    pub fn set_suggested(&mut self, id: ParamId, value: f64) -> Result<f64, CoreError> {
+        let entry = self.entries.get_mut(id.0).ok_or(CoreError::UnknownParam(id.0))?;
+        entry.suggested = entry.spec.quantize(value);
+        Ok(entry.suggested)
+    }
+
+    /// The declaration for a handle.
+    pub fn spec(&self, id: ParamId) -> Result<&AdjustmentParameter, CoreError> {
+        self.entries.get(id.0).map(|e| &e.spec).ok_or(CoreError::UnknownParam(id.0))
+    }
+
+    /// Number of declared parameters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no parameters are declared.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(id, spec, suggested)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &AdjustmentParameter, f64)> {
+        self.entries.iter().enumerate().map(|(i, e)| (ParamId(i), &e.spec, e.suggested))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sampling_rate() -> AdjustmentParameter {
+        // The paper's example: init 0.20, range [0.01, 1.0], increment
+        // 0.01, increase slows processing down.
+        AdjustmentParameter::new("sampling_rate", 0.20, 0.01, 1.0, 0.01, Direction::IncreaseSlowsDown)
+            .unwrap()
+    }
+
+    #[test]
+    fn paper_example_is_valid() {
+        let p = sampling_rate();
+        assert_eq!(p.direction.sign(), -1.0);
+        assert!((p.range_steps() - 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn init_outside_range_rejected() {
+        assert!(AdjustmentParameter::new("p", 2.0, 0.0, 1.0, 0.1, Direction::IncreaseSpeedsUp)
+            .is_err());
+    }
+
+    #[test]
+    fn inverted_range_rejected() {
+        assert!(AdjustmentParameter::new("p", 0.5, 1.0, 0.0, 0.1, Direction::IncreaseSpeedsUp)
+            .is_err());
+    }
+
+    #[test]
+    fn nonpositive_increment_rejected() {
+        assert!(AdjustmentParameter::new("p", 0.5, 0.0, 1.0, 0.0, Direction::IncreaseSpeedsUp)
+            .is_err());
+        assert!(AdjustmentParameter::new("p", 0.5, 0.0, 1.0, -0.1, Direction::IncreaseSpeedsUp)
+            .is_err());
+    }
+
+    #[test]
+    fn non_finite_bounds_rejected() {
+        assert!(AdjustmentParameter::new("p", 0.5, 0.0, f64::INFINITY, 0.1, Direction::IncreaseSpeedsUp)
+            .is_err());
+    }
+
+    #[test]
+    fn quantize_snaps_to_grid_and_clamps() {
+        let p = sampling_rate();
+        assert!((p.quantize(0.2349) - 0.23).abs() < 1e-12);
+        assert!((p.quantize(0.2351) - 0.24).abs() < 1e-12);
+        assert_eq!(p.quantize(5.0), 1.0);
+        assert_eq!(p.quantize(-1.0), 0.01);
+    }
+
+    #[test]
+    fn table_register_and_read() {
+        let mut t = ParamTable::new();
+        let id = t.register(sampling_rate());
+        assert_eq!(t.suggested(id).unwrap(), 0.20);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.spec(id).unwrap().name, "sampling_rate");
+    }
+
+    #[test]
+    fn table_set_quantizes() {
+        let mut t = ParamTable::new();
+        let id = t.register(sampling_rate());
+        let v = t.set_suggested(id, 0.333).unwrap();
+        assert!((v - 0.33).abs() < 1e-12);
+        assert_eq!(t.suggested(id).unwrap(), v);
+    }
+
+    #[test]
+    fn unknown_handle_is_error() {
+        let mut t = ParamTable::new();
+        assert!(t.suggested(ParamId(0)).is_err());
+        assert!(t.set_suggested(ParamId(1), 0.5).is_err());
+        assert!(t.spec(ParamId(2)).is_err());
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut t = ParamTable::new();
+        t.register(sampling_rate());
+        t.register(
+            AdjustmentParameter::new("k", 100.0, 10.0, 240.0, 10.0, Direction::IncreaseSlowsDown)
+                .unwrap(),
+        );
+        let names: Vec<_> = t.iter().map(|(_, s, _)| s.name.clone()).collect();
+        assert_eq!(names, ["sampling_rate", "k"]);
+    }
+}

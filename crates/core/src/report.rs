@@ -1,0 +1,252 @@
+//! Run reports shared by all executors.
+//!
+//! Both engines (virtual-time and threaded) produce the same
+//! [`RunReport`], so the experiment harness and tests are
+//! executor-agnostic.
+
+use gates_sim::stats::Welford;
+use gates_sim::{SimDuration, SimTime};
+
+/// One adjustment parameter's recorded trajectory.
+#[derive(Debug, Clone, Default)]
+pub struct ParamTrajectory {
+    /// Parameter name.
+    pub name: String,
+    /// `(time in seconds, suggested value)` samples, one per adaptation
+    /// round — exactly the series plotted in paper Figures 8 and 9.
+    pub samples: Vec<(f64, f64)>,
+}
+
+impl ParamTrajectory {
+    /// Final suggested value, if any rounds ran.
+    pub fn final_value(&self) -> Option<f64> {
+        self.samples.last().map(|&(_, v)| v)
+    }
+
+    /// Mean of the last `n` samples (convergence estimate).
+    pub fn tail_mean(&self, n: usize) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let tail = &self.samples[self.samples.len().saturating_sub(n)..];
+        Some(tail.iter().map(|&(_, v)| v).sum::<f64>() / tail.len() as f64)
+    }
+
+    /// True when the last `n` samples all lie within ±`tol` of their mean.
+    pub fn converged(&self, n: usize, tol: f64) -> bool {
+        if self.samples.len() < n {
+            return false;
+        }
+        let tail = &self.samples[self.samples.len() - n..];
+        let mean = tail.iter().map(|&(_, v)| v).sum::<f64>() / n as f64;
+        tail.iter().all(|&(_, v)| (v - mean).abs() <= tol)
+    }
+}
+
+/// Statistics for one stage over a run.
+#[derive(Debug, Clone, Default)]
+pub struct StageReport {
+    /// Stage name.
+    pub name: String,
+    /// Node the stage ran on (site label or node name).
+    pub placed_on: String,
+    /// Packets consumed from the input queue.
+    pub packets_in: u64,
+    /// Packets emitted downstream.
+    pub packets_out: u64,
+    /// Logical records consumed.
+    pub records_in: u64,
+    /// Logical records emitted.
+    pub records_out: u64,
+    /// Payload bytes consumed.
+    pub bytes_in: u64,
+    /// Payload bytes emitted.
+    pub bytes_out: u64,
+    /// Input packets dropped because the queue was full (real-time
+    /// constraint violations).
+    pub packets_dropped: u64,
+    /// Observed input queue length statistics.
+    pub queue: Welford,
+    /// End-to-end latency (seconds) of consumed packets, measured from
+    /// each packet's `created_at` stamp at its source to its arrival at
+    /// this stage — the real-time constraint made visible.
+    pub latency: Welford,
+    /// Time spent servicing packets.
+    pub busy_time: SimDuration,
+    /// `(overload, underload)` exceptions this stage reported upstream.
+    pub exceptions_sent: (u64, u64),
+    /// `(overload, underload)` exceptions received from downstream.
+    pub exceptions_received: (u64, u64),
+    /// One trajectory per declared adjustment parameter.
+    pub params: Vec<ParamTrajectory>,
+}
+
+impl StageReport {
+    /// Utilization of this stage over the run, in `[0, 1]`.
+    pub fn utilization(&self, run_time: SimTime) -> f64 {
+        let total = run_time.as_secs_f64();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        (self.busy_time.as_secs_f64() / total).min(1.0)
+    }
+
+    /// Trajectory for a parameter by name.
+    pub fn param(&self, name: &str) -> Option<&ParamTrajectory> {
+        self.params.iter().find(|p| p.name == name)
+    }
+}
+
+/// The outcome of executing a topology.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Virtual (or wall) time when the last stage finished.
+    pub finished_at: SimTime,
+    /// Per-stage statistics, in stage-id order.
+    pub stages: Vec<StageReport>,
+    /// Total events dispatched (virtual-time engine) or callbacks run.
+    pub events: u64,
+}
+
+impl RunReport {
+    /// A stage's report by name.
+    pub fn stage(&self, name: &str) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Total packets dropped anywhere in the pipeline.
+    pub fn total_dropped(&self) -> u64 {
+        self.stages.iter().map(|s| s.packets_dropped).sum()
+    }
+
+    /// End-to-end execution time in seconds (the paper's "execution
+    /// time" metric for Figures 5 and 6).
+    pub fn execution_secs(&self) -> f64 {
+        self.finished_at.as_secs_f64()
+    }
+
+    /// Render a fixed-width summary table (for examples and harnesses).
+    pub fn summary_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<18} {:>10} {:>10} {:>12} {:>12} {:>8} {:>10} {:>12}",
+            "stage", "pkts in", "pkts out", "bytes in", "bytes out", "drops", "queue avg", "busy (s)"
+        );
+        for s in &self.stages {
+            let _ = writeln!(
+                out,
+                "{:<18} {:>10} {:>10} {:>12} {:>12} {:>8} {:>10.2} {:>12.3}",
+                s.name,
+                s.packets_in,
+                s.packets_out,
+                s.bytes_in,
+                s.bytes_out,
+                s.packets_dropped,
+                s.queue.mean(),
+                s.busy_time.as_secs_f64(),
+            );
+        }
+        let _ = writeln!(out, "finished at {:.3}s, {} events", self.execution_secs(), self.events);
+        out
+    }
+
+    /// Render the second-level table: placement, utilization, latency and
+    /// exception traffic per stage.
+    pub fn detail_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<18} {:<14} {:>6} {:>12} {:>12} {:>10} {:>10}",
+            "stage", "node", "util", "lat avg (s)", "lat max (s)", "exc sent", "exc recv"
+        );
+        for s in &self.stages {
+            let lat_mean = if s.latency.count() > 0 { s.latency.mean() } else { 0.0 };
+            let lat_max = if s.latency.count() > 0 { s.latency.max() } else { 0.0 };
+            let _ = writeln!(
+                out,
+                "{:<18} {:<14} {:>5.0}% {:>12.4} {:>12.4} {:>10} {:>10}",
+                s.name,
+                s.placed_on,
+                s.utilization(self.finished_at) * 100.0,
+                lat_mean,
+                lat_max,
+                s.exceptions_sent.0 + s.exceptions_sent.1,
+                s.exceptions_received.0 + s.exceptions_received.1,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trajectory(values: &[f64]) -> ParamTrajectory {
+        ParamTrajectory {
+            name: "p".into(),
+            samples: values.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect(),
+        }
+    }
+
+    #[test]
+    fn final_value_and_tail_mean() {
+        let t = trajectory(&[0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(t.final_value(), Some(0.4));
+        assert!((t.tail_mean(2).unwrap() - 0.35).abs() < 1e-12);
+        assert!((t.tail_mean(100).unwrap() - 0.25).abs() < 1e-12, "tail longer than data uses all");
+        assert_eq!(trajectory(&[]).final_value(), None);
+        assert_eq!(trajectory(&[]).tail_mean(3), None);
+    }
+
+    #[test]
+    fn converged_detects_plateau() {
+        let mut values = vec![0.1; 5];
+        values.extend([0.5, 0.5, 0.5, 0.5, 0.5]);
+        let t = trajectory(&values);
+        assert!(t.converged(5, 0.01));
+        assert!(!t.converged(8, 0.01), "window reaching the ramp is not converged");
+        assert!(!trajectory(&[0.1]).converged(5, 0.1), "too few samples");
+    }
+
+    #[test]
+    fn stage_utilization_is_bounded() {
+        let mut s = StageReport { busy_time: SimDuration::from_secs(5), ..Default::default() };
+        assert!((s.utilization(SimTime::from_secs_f64(10.0)) - 0.5).abs() < 1e-12);
+        s.busy_time = SimDuration::from_secs(100);
+        assert_eq!(s.utilization(SimTime::from_secs_f64(10.0)), 1.0);
+        assert_eq!(s.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn report_lookup_and_totals() {
+        let report = RunReport {
+            finished_at: SimTime::from_secs_f64(2.5),
+            stages: vec![
+                StageReport { name: "a".into(), packets_dropped: 3, ..Default::default() },
+                StageReport { name: "b".into(), packets_dropped: 4, ..Default::default() },
+            ],
+            events: 10,
+        };
+        assert!(report.stage("a").is_some());
+        assert!(report.stage("zz").is_none());
+        assert_eq!(report.total_dropped(), 7);
+        assert_eq!(report.execution_secs(), 2.5);
+        let table = report.summary_table();
+        assert!(table.contains("a"));
+        assert!(table.contains("finished at 2.500s"));
+        let detail = report.detail_table();
+        assert!(detail.contains("util"));
+        assert!(detail.contains("lat avg"));
+    }
+
+    #[test]
+    fn param_lookup_by_name() {
+        let s = StageReport { params: vec![trajectory(&[1.0])], ..Default::default() };
+        assert!(s.param("p").is_some());
+        assert!(s.param("q").is_none());
+    }
+}

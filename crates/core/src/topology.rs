@@ -1,0 +1,546 @@
+//! Pipeline descriptions: stages, their placement sites, and the links
+//! between them.
+//!
+//! A [`Topology`] is pure data plus processor factories — no execution.
+//! The grid deployer maps each stage's *site* label onto a concrete node,
+//! and an executor (virtual-time or threaded) instantiates and runs it.
+
+use gates_net::LinkSpec;
+
+use crate::adapt::AdaptationConfig;
+use crate::stage::{CostModel, StreamProcessor};
+use crate::CoreError;
+
+/// Index of a stage within a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StageId(pub(crate) usize);
+
+impl StageId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Mint an id from an ordinal index. Ids are defined to be dense
+    /// indexes in stage-insertion order, so iterating
+    /// [`Topology::stages`] with `enumerate` and re-minting ids is valid.
+    pub fn from_index(i: usize) -> Self {
+        StageId(i)
+    }
+}
+
+/// Factory producing fresh processor instances for a stage.
+pub type ProcessorFactory = Box<dyn Fn() -> Box<dyn StreamProcessor + Send> + Send + Sync>;
+
+/// Description of one stage.
+pub struct StageSpec {
+    /// Stage name (unique within the topology).
+    pub name: String,
+    /// Placement site label, matched against grid node sites by the
+    /// deployer (e.g. `"source-0"`, `"central"`).
+    pub site: String,
+    /// Static processing cost per packet.
+    pub cost: CostModel,
+    /// Input queue capacity C, in packets.
+    pub queue_capacity: usize,
+    /// Adaptation constants for this stage's queue and parameters
+    /// (`None` disables adaptation at this stage).
+    pub adaptation: Option<AdaptationConfig>,
+    factory: ProcessorFactory,
+}
+
+impl StageSpec {
+    /// Instantiate a fresh processor for this stage.
+    pub fn instantiate(&self) -> Box<dyn StreamProcessor + Send> {
+        (self.factory)()
+    }
+}
+
+impl std::fmt::Debug for StageSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StageSpec")
+            .field("name", &self.name)
+            .field("site", &self.site)
+            .field("cost", &self.cost)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("adaptation", &self.adaptation.is_some())
+            .finish()
+    }
+}
+
+/// Builder for a [`StageSpec`].
+pub struct StageBuilder {
+    name: String,
+    site: String,
+    cost: CostModel,
+    queue_capacity: usize,
+    adaptation: Option<AdaptationConfig>,
+    factory: Option<ProcessorFactory>,
+}
+
+impl StageBuilder {
+    /// Start building a stage called `name` (site defaults to the name).
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        StageBuilder {
+            site: name.clone(),
+            name,
+            cost: CostModel::zero(),
+            queue_capacity: 100,
+            adaptation: None,
+            factory: None,
+        }
+    }
+
+    /// Placement site label.
+    pub fn site(mut self, site: impl Into<String>) -> Self {
+        self.site = site.into();
+        self
+    }
+
+    /// Static per-packet cost model.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Input queue capacity in packets (C).
+    pub fn queue_capacity(mut self, packets: usize) -> Self {
+        self.queue_capacity = packets.max(1);
+        self
+    }
+
+    /// Explicit adaptation constants (otherwise a default configuration
+    /// sized to the queue capacity is used).
+    pub fn adaptation(mut self, cfg: AdaptationConfig) -> Self {
+        self.adaptation = Some(cfg);
+        self
+    }
+
+    /// Disable adaptation for this stage.
+    pub fn no_adaptation(mut self) -> Self {
+        self.adaptation = None;
+        self
+    }
+
+    /// The processor factory (required).
+    pub fn processor<F, P>(mut self, factory: F) -> Self
+    where
+        F: Fn() -> P + Send + Sync + 'static,
+        P: StreamProcessor + Send,
+    {
+        self.factory = Some(Box::new(move || Box::new(factory())));
+        self
+    }
+
+    fn build(self) -> Result<StageSpec, CoreError> {
+        let factory = self.factory.ok_or_else(|| {
+            CoreError::InvalidTopology(format!("stage {:?} has no processor", self.name))
+        })?;
+        let adaptation = Some(
+            self.adaptation
+                .unwrap_or_else(|| AdaptationConfig::with_capacity(self.queue_capacity as f64)),
+        );
+        Ok(StageSpec {
+            name: self.name,
+            site: self.site,
+            cost: self.cost,
+            queue_capacity: self.queue_capacity,
+            adaptation,
+            factory,
+        })
+    }
+
+    fn build_no_default_adaptation(self) -> Result<StageSpec, CoreError> {
+        let factory = self.factory.ok_or_else(|| {
+            CoreError::InvalidTopology(format!("stage {:?} has no processor", self.name))
+        })?;
+        Ok(StageSpec {
+            name: self.name,
+            site: self.site,
+            cost: self.cost,
+            queue_capacity: self.queue_capacity,
+            adaptation: self.adaptation,
+            factory,
+        })
+    }
+}
+
+/// A directed connection between two stages over a network link.
+#[derive(Debug)]
+pub struct Edge {
+    /// Producing stage.
+    pub from: StageId,
+    /// Consuming stage.
+    pub to: StageId,
+    /// The link the data crosses.
+    pub link: LinkSpec,
+}
+
+/// Validation failures for a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// Two stages share a name.
+    DuplicateStageName(String),
+    /// An edge references a stage id not in this topology.
+    UnknownStage(usize),
+    /// An edge connects a stage to itself.
+    SelfLoop(String),
+    /// The stage graph contains a cycle.
+    Cycle,
+    /// No source stage (every stage has inputs).
+    NoSource,
+    /// A multi-stage topology has an unconnected stage.
+    Disconnected(String),
+    /// Two identical edges.
+    DuplicateEdge(String, String),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::DuplicateStageName(n) => write!(f, "duplicate stage name {n:?}"),
+            TopologyError::UnknownStage(i) => write!(f, "edge references unknown stage #{i}"),
+            TopologyError::SelfLoop(n) => write!(f, "stage {n:?} connects to itself"),
+            TopologyError::Cycle => write!(f, "stage graph contains a cycle"),
+            TopologyError::NoSource => write!(f, "topology has no source stage"),
+            TopologyError::Disconnected(n) => write!(f, "stage {n:?} has no edges"),
+            TopologyError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a:?} -> {b:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// The full pipeline description.
+#[derive(Debug, Default)]
+pub struct Topology {
+    stages: Vec<StageSpec>,
+    edges: Vec<Edge>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Add a stage; a default adaptation configuration (sized to the
+    /// queue capacity) is attached unless the builder set one.
+    pub fn add_stage(&mut self, builder: StageBuilder) -> Result<StageId, CoreError> {
+        let spec = builder.build()?;
+        self.push_spec(spec)
+    }
+
+    /// Add a stage without attaching a default adaptation configuration:
+    /// adaptation stays exactly as the builder left it (possibly off).
+    pub fn add_stage_raw(&mut self, builder: StageBuilder) -> Result<StageId, CoreError> {
+        let spec = builder.build_no_default_adaptation()?;
+        self.push_spec(spec)
+    }
+
+    fn push_spec(&mut self, spec: StageSpec) -> Result<StageId, CoreError> {
+        if self.stages.iter().any(|s| s.name == spec.name) {
+            return Err(CoreError::InvalidTopology(format!("duplicate stage name {:?}", spec.name)));
+        }
+        let id = StageId(self.stages.len());
+        self.stages.push(spec);
+        Ok(id)
+    }
+
+    /// Connect `from` to `to` over `link`.
+    pub fn connect(&mut self, from: StageId, to: StageId, link: LinkSpec) {
+        self.edges.push(Edge { from, to, link });
+    }
+
+    /// All stages in id order.
+    pub fn stages(&self) -> &[StageSpec] {
+        &self.stages
+    }
+
+    /// A stage by id.
+    pub fn stage(&self, id: StageId) -> Option<&StageSpec> {
+        self.stages.get(id.0)
+    }
+
+    /// A stage id by name.
+    pub fn stage_by_name(&self, name: &str) -> Option<StageId> {
+        self.stages.iter().position(|s| s.name == name).map(StageId)
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Ids of stages with no inbound edges (the data sources).
+    pub fn sources(&self) -> Vec<StageId> {
+        (0..self.stages.len())
+            .map(StageId)
+            .filter(|&id| !self.edges.iter().any(|e| e.to == id))
+            .collect()
+    }
+
+    /// Ids of stages with no outbound edges (the final consumers).
+    pub fn sinks(&self) -> Vec<StageId> {
+        (0..self.stages.len())
+            .map(StageId)
+            .filter(|&id| !self.edges.iter().any(|e| e.from == id))
+            .collect()
+    }
+
+    /// Inbound edge indexes of `id`.
+    pub fn in_edges(&self, id: StageId) -> Vec<usize> {
+        self.edges.iter().enumerate().filter(|(_, e)| e.to == id).map(|(i, _)| i).collect()
+    }
+
+    /// Outbound edge indexes of `id`.
+    pub fn out_edges(&self, id: StageId) -> Vec<usize> {
+        self.edges.iter().enumerate().filter(|(_, e)| e.from == id).map(|(i, _)| i).collect()
+    }
+
+    /// Validate structural invariants. Executors call this before running.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        // Edge endpoints exist, no self-loops, no duplicate edges.
+        let mut seen = std::collections::HashSet::new();
+        for e in &self.edges {
+            for id in [e.from, e.to] {
+                if id.0 >= self.stages.len() {
+                    return Err(TopologyError::UnknownStage(id.0));
+                }
+            }
+            if e.from == e.to {
+                return Err(TopologyError::SelfLoop(self.stages[e.from.0].name.clone()));
+            }
+            if !seen.insert((e.from, e.to)) {
+                return Err(TopologyError::DuplicateEdge(
+                    self.stages[e.from.0].name.clone(),
+                    self.stages[e.to.0].name.clone(),
+                ));
+            }
+        }
+        if self.stages.is_empty() {
+            return Err(TopologyError::NoSource);
+        }
+        // Kahn's algorithm: cycle detection.
+        let n = self.stages.len();
+        let mut indegree = vec![0usize; n];
+        for e in &self.edges {
+            indegree[e.to.0] += 1;
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        if ready.is_empty() {
+            return Err(TopologyError::NoSource);
+        }
+        let mut visited = 0;
+        while let Some(i) = ready.pop() {
+            visited += 1;
+            for e in &self.edges {
+                if e.from.0 == i {
+                    indegree[e.to.0] -= 1;
+                    if indegree[e.to.0] == 0 {
+                        ready.push(e.to.0);
+                    }
+                }
+            }
+        }
+        if visited != n {
+            return Err(TopologyError::Cycle);
+        }
+        // Connectivity (multi-stage topologies must have no isolated stage).
+        if n > 1 {
+            for (i, s) in self.stages.iter().enumerate() {
+                let connected = self.edges.iter().any(|e| e.from.0 == i || e.to.0 == i);
+                if !connected {
+                    return Err(TopologyError::Disconnected(s.name.clone()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Stage ids in a topological order (validate first).
+    pub fn topo_order(&self) -> Vec<StageId> {
+        let n = self.stages.len();
+        let mut indegree = vec![0usize; n];
+        for e in &self.edges {
+            indegree[e.to.0] += 1;
+        }
+        let mut ready: std::collections::VecDeque<usize> =
+            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = ready.pop_front() {
+            order.push(StageId(i));
+            for e in &self.edges {
+                if e.from.0 == i {
+                    indegree[e.to.0] -= 1;
+                    if indegree[e.to.0] == 0 {
+                        ready.push_back(e.to.0);
+                    }
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Packet;
+    use crate::stage::StageApi;
+    use gates_net::{Bandwidth, LinkSpec};
+
+    struct Nop;
+    impl StreamProcessor for Nop {
+        fn process(&mut self, _packet: Packet, _api: &mut StageApi) {}
+    }
+
+    fn stage(name: &str) -> StageBuilder {
+        StageBuilder::new(name).processor(|| Nop)
+    }
+
+    fn link() -> LinkSpec {
+        LinkSpec::with_bandwidth(Bandwidth::kb_per_sec(100.0))
+    }
+
+    #[test]
+    fn linear_pipeline_validates() {
+        let mut t = Topology::new();
+        let a = t.add_stage(stage("src")).unwrap();
+        let b = t.add_stage(stage("mid")).unwrap();
+        let c = t.add_stage(stage("sink")).unwrap();
+        t.connect(a, b, link());
+        t.connect(b, c, link());
+        t.validate().unwrap();
+        assert_eq!(t.sources(), vec![a]);
+        assert_eq!(t.sinks(), vec![c]);
+        assert_eq!(t.topo_order(), vec![a, b, c]);
+    }
+
+    #[test]
+    fn fan_in_topology() {
+        let mut t = Topology::new();
+        let s: Vec<_> = (0..4).map(|i| t.add_stage(stage(&format!("src{i}"))).unwrap()).collect();
+        let sink = t.add_stage(stage("sink")).unwrap();
+        for &src in &s {
+            t.connect(src, sink, link());
+        }
+        t.validate().unwrap();
+        assert_eq!(t.sources().len(), 4);
+        assert_eq!(t.in_edges(sink).len(), 4);
+        assert_eq!(t.out_edges(sink).len(), 0);
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut t = Topology::new();
+        t.add_stage(stage("x")).unwrap();
+        assert!(t.add_stage(stage("x")).is_err());
+    }
+
+    #[test]
+    fn missing_processor_rejected() {
+        let mut t = Topology::new();
+        assert!(t.add_stage(StageBuilder::new("no-proc")).is_err());
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut t = Topology::new();
+        let a = t.add_stage(stage("a")).unwrap();
+        let b = t.add_stage(stage("b")).unwrap();
+        t.connect(a, b, link());
+        t.connect(b, a, link());
+        assert!(matches!(t.validate(), Err(TopologyError::Cycle) | Err(TopologyError::NoSource)));
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let mut t = Topology::new();
+        let a = t.add_stage(stage("a")).unwrap();
+        t.connect(a, a, link());
+        assert_eq!(t.validate(), Err(TopologyError::SelfLoop("a".into())));
+    }
+
+    #[test]
+    fn duplicate_edge_detected() {
+        let mut t = Topology::new();
+        let a = t.add_stage(stage("a")).unwrap();
+        let b = t.add_stage(stage("b")).unwrap();
+        t.connect(a, b, link());
+        t.connect(a, b, link());
+        assert!(matches!(t.validate(), Err(TopologyError::DuplicateEdge(_, _))));
+    }
+
+    #[test]
+    fn disconnected_stage_detected() {
+        let mut t = Topology::new();
+        let a = t.add_stage(stage("a")).unwrap();
+        let b = t.add_stage(stage("b")).unwrap();
+        t.add_stage(stage("island")).unwrap();
+        t.connect(a, b, link());
+        assert_eq!(t.validate(), Err(TopologyError::Disconnected("island".into())));
+    }
+
+    #[test]
+    fn edge_to_unknown_stage_detected() {
+        let mut t = Topology::new();
+        let a = t.add_stage(stage("a")).unwrap();
+        t.connect(a, StageId(7), link());
+        assert_eq!(t.validate(), Err(TopologyError::UnknownStage(7)));
+    }
+
+    #[test]
+    fn empty_topology_is_invalid() {
+        assert_eq!(Topology::new().validate(), Err(TopologyError::NoSource));
+    }
+
+    #[test]
+    fn single_stage_is_valid() {
+        let mut t = Topology::new();
+        t.add_stage(stage("only")).unwrap();
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn default_adaptation_sized_to_queue() {
+        let mut t = Topology::new();
+        let a = t.add_stage(stage("a").queue_capacity(64)).unwrap();
+        let cfg = t.stage(a).unwrap().adaptation.as_ref().unwrap();
+        assert_eq!(cfg.capacity, 64.0);
+    }
+
+    #[test]
+    fn raw_add_respects_no_adaptation() {
+        let mut t = Topology::new();
+        let a = t.add_stage_raw(stage("a")).unwrap();
+        assert!(t.stage(a).unwrap().adaptation.is_none());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut t = Topology::new();
+        let a = t.add_stage(stage("alpha")).unwrap();
+        assert_eq!(t.stage_by_name("alpha"), Some(a));
+        assert_eq!(t.stage_by_name("beta"), None);
+    }
+
+    #[test]
+    fn instantiate_calls_factory_each_time() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let count = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&count);
+        let mut t = Topology::new();
+        let a = t
+            .add_stage(StageBuilder::new("a").processor(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                Nop
+            }))
+            .unwrap();
+        let _p1 = t.stage(a).unwrap().instantiate();
+        let _p2 = t.stage(a).unwrap().instantiate();
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the self-adaptation algorithm's invariants.
+
+use gates_core::adapt::{phi1, phi2, phi3, AdaptationConfig, LoadTracker, ParamController};
+use gates_core::{AdjustmentParameter, Direction};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn phi1_in_range_and_antisymmetric(t1 in 0u64..10_000, t2 in 0u64..10_000) {
+        let v = phi1(t1, t2);
+        prop_assert!((-1.0..=1.0).contains(&v));
+        prop_assert!((phi1(t2, t1) + v).abs() < 1e-12, "phi1 is antisymmetric");
+    }
+
+    #[test]
+    fn phi2_in_range(w in -100i64..100, window in 1usize..64) {
+        let v = phi2(w, window);
+        prop_assert!((-1.0..=1.0).contains(&v), "phi2({w},{window}) = {v}");
+        prop_assert_eq!(v.signum() as i64 * w.signum(), w.signum() * w.signum(),
+            "phi2 sign matches w sign");
+    }
+
+    #[test]
+    fn phi3_in_range_and_monotone(
+        d_bar in 0.0f64..200.0,
+        expected in 1.0f64..99.0,
+    ) {
+        let capacity = 100.0;
+        let v = phi3(d_bar, expected, capacity);
+        prop_assert!((-1.0..=1.0).contains(&v));
+        // Monotone: a longer queue is never "less loaded".
+        let v2 = phi3(d_bar + 1.0, expected, capacity);
+        prop_assert!(v2 >= v - 1e-12);
+    }
+
+    #[test]
+    fn d_tilde_always_bounded_by_capacity(
+        observations in proptest::collection::vec(0.0f64..150.0, 1..500),
+        alpha in 0.1f64..0.99,
+    ) {
+        let cfg = AdaptationConfig { alpha, ..AdaptationConfig::default() };
+        let capacity = cfg.capacity;
+        let mut lt = LoadTracker::new(cfg);
+        for d in observations {
+            lt.observe(d);
+            prop_assert!(lt.d_tilde().abs() <= capacity + 1e-9);
+            prop_assert!(lt.d_tilde_norm().abs() <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn controller_value_always_within_declared_bounds(
+        demands in proptest::collection::vec(-100.0f64..100.0, 1..300),
+        init in 0.1f64..0.9,
+    ) {
+        let spec = AdjustmentParameter::new("p", init, 0.01, 1.0, 0.01, Direction::IncreaseSlowsDown)
+            .unwrap();
+        let mut c = ParamController::new(AdaptationConfig::default(), spec);
+        for d in demands {
+            let v = c.adapt(d);
+            prop_assert!((0.01..=1.0 + 1e-12).contains(&v), "value {v} escaped bounds");
+            // Quantization: value sits on the increment grid.
+            let steps = (v - 0.01) / 0.01;
+            prop_assert!((steps - steps.round()).abs() < 1e-6, "value {v} off grid");
+        }
+    }
+
+    #[test]
+    fn sustained_overload_eventually_reaches_min(
+        noise in proptest::collection::vec(80.0f64..100.0, 200..300),
+    ) {
+        let spec = AdjustmentParameter::new("p", 0.5, 0.01, 1.0, 0.01, Direction::IncreaseSlowsDown)
+            .unwrap();
+        let mut c = ParamController::new(AdaptationConfig::default(), spec);
+        for d in noise {
+            c.adapt(d);
+        }
+        prop_assert!((c.value() - 0.01).abs() < 1e-9,
+            "persistent overload must floor the volume parameter, got {}", c.value());
+    }
+
+    #[test]
+    fn sustained_slack_eventually_reaches_max(
+        noise in proptest::collection::vec(-100.0f64..-80.0, 200..300),
+    ) {
+        let spec = AdjustmentParameter::new("p", 0.5, 0.01, 1.0, 0.01, Direction::IncreaseSlowsDown)
+            .unwrap();
+        let mut c = ParamController::new(AdaptationConfig::default(), spec);
+        for d in noise {
+            c.adapt(d);
+        }
+        prop_assert!((c.value() - 1.0).abs() < 1e-9,
+            "persistent slack must max the volume parameter, got {}", c.value());
+    }
+
+    #[test]
+    fn tracker_exception_kinds_match_d_tilde_sign(
+        observations in proptest::collection::vec(0.0f64..150.0, 1..300),
+    ) {
+        use gates_core::adapt::LoadException;
+        let cfg = AdaptationConfig::default();
+        let (lt1, lt2, capacity) = (cfg.lt1, cfg.lt2, cfg.capacity);
+        let mut lt = LoadTracker::new(cfg);
+        for d in observations {
+            let ex = lt.observe(d);
+            match ex {
+                Some(LoadException::Overload) => prop_assert!(lt.d_tilde() > lt2 * capacity),
+                Some(LoadException::Underload) => prop_assert!(lt.d_tilde() < lt1 * capacity),
+                None => {
+                    prop_assert!(lt.d_tilde() <= lt2 * capacity + 1e-9);
+                    prop_assert!(lt.d_tilde() >= lt1 * capacity - 1e-9);
+                }
+            }
+        }
+    }
+}

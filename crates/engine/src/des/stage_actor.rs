@@ -1,0 +1,492 @@
+//! The actor wrapping one stage instance in the virtual-time engine.
+
+use std::collections::VecDeque;
+
+use gates_core::adapt::{LoadException, LoadTracker, ParamController};
+use gates_core::report::{ParamTrajectory, StageReport};
+use gates_core::{CostModel, Packet, ParamId, SourceStatus, StageApi, StreamProcessor};
+use gates_net::LinkModel;
+use gates_sim::{Actor, ActorId, Context, Event, SimDuration, SimTime};
+
+use crate::options::RunOptions;
+
+/// Messages exchanged between stage actors.
+#[derive(Debug, Clone)]
+pub(crate) enum EngineMsg {
+    /// A data or EOS packet arriving after link transit.
+    Packet(Packet),
+    /// A load exception reported by a downstream stage.
+    Exception(LoadException),
+    /// Windowed-flow-control acknowledgement: the receiver consumed (or
+    /// finally disposed of) one packet from the sending edge.
+    Ack,
+}
+
+/// Timer tags.
+const TAG_SERVICE_DONE: u64 = 0;
+const TAG_OBSERVE: u64 = 1;
+const TAG_ADAPT: u64 = 2;
+const TAG_GENERATE: u64 = 3;
+/// Credit timers are `TAG_CREDIT_BASE + out-edge slot`.
+const TAG_CREDIT_BASE: u64 = 4;
+
+/// One outbound connection: the link model plus send-buffer accounting.
+pub(crate) struct OutLink {
+    to: ActorId,
+    link: LinkModel,
+    /// Packets accepted by the transmitter but not yet serialized.
+    in_flight: usize,
+    /// Max `in_flight` before sends queue locally in `pending`.
+    buffer: usize,
+    /// Packets waiting for a send-buffer slot (or a window slot).
+    pending: VecDeque<Packet>,
+    /// Windowed flow control: max unacknowledged packets (`None` = lossy
+    /// edge, no receiver feedback).
+    window: Option<usize>,
+    /// Packets sent but not yet acknowledged (windowed edges only).
+    unacked: usize,
+}
+
+impl OutLink {
+    fn can_transmit(&self) -> bool {
+        self.in_flight < self.buffer
+            && self.window.is_none_or(|w| self.unacked < w)
+    }
+}
+
+/// The per-stage actor.
+pub(crate) struct StageActor {
+    pub(crate) name: String,
+    pub(crate) placed_on: String,
+    processor: Box<dyn StreamProcessor + Send>,
+    api: StageApi,
+    cost: CostModel,
+    speed: f64,
+    queue: VecDeque<(ActorId, Packet)>,
+    queue_capacity: usize,
+    busy: bool,
+    /// Output of the packet currently in service, released when the
+    /// service timer fires (port, packet).
+    current_output: Vec<(Option<usize>, Packet)>,
+    out: Vec<OutLink>,
+    upstream: Vec<ActorId>,
+    /// In-edges that have not yet delivered EOS.
+    eos_remaining: usize,
+    is_source: bool,
+    source_done: bool,
+    /// Last poll interval requested by a source (used as the retry delay
+    /// while the source is output-blocked).
+    last_poll: SimDuration,
+    /// EOS markers have been queued on every out link.
+    eos_enqueued: bool,
+    finished: bool,
+    finish_time: Option<SimTime>,
+    tracker: Option<LoadTracker>,
+    controllers: Vec<(ParamId, ParamController)>,
+    trajectories: Vec<ParamTrajectory>,
+    opts: RunOptions,
+    // Statistics.
+    packets_in: u64,
+    packets_out: u64,
+    records_in: u64,
+    records_out: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+    drops: u64,
+    busy_time: SimDuration,
+    exceptions_sent: (u64, u64),
+    latency: gates_sim::stats::Welford,
+}
+
+impl StageActor {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        name: String,
+        placed_on: String,
+        processor: Box<dyn StreamProcessor + Send>,
+        cost: CostModel,
+        speed: f64,
+        queue_capacity: usize,
+        out: Vec<(ActorId, LinkModel, usize, Option<usize>)>,
+        upstream: Vec<ActorId>,
+        in_edge_count: usize,
+        tracker: Option<LoadTracker>,
+        opts: RunOptions,
+    ) -> Self {
+        StageActor {
+            name,
+            placed_on,
+            processor,
+            api: StageApi::new(),
+            cost,
+            speed,
+            queue: VecDeque::new(),
+            queue_capacity,
+            busy: false,
+            current_output: Vec::new(),
+            out: out
+                .into_iter()
+                .map(|(to, link, buffer, window)| OutLink {
+                    to,
+                    link,
+                    in_flight: 0,
+                    buffer: buffer.max(1),
+                    pending: VecDeque::new(),
+                    window: window.map(|w| w.max(1)),
+                    unacked: 0,
+                })
+                .collect(),
+            upstream,
+            eos_remaining: in_edge_count,
+            is_source: in_edge_count == 0,
+            source_done: false,
+            last_poll: SimDuration::from_millis(1),
+            eos_enqueued: false,
+            finished: false,
+            finish_time: None,
+            tracker,
+            controllers: Vec::new(),
+            trajectories: Vec::new(),
+            opts,
+            packets_in: 0,
+            packets_out: 0,
+            records_in: 0,
+            records_out: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+            drops: 0,
+            busy_time: SimDuration::ZERO,
+            exceptions_sent: (0, 0),
+            latency: gates_sim::stats::Welford::new(),
+        }
+    }
+
+    /// True once this stage will take no further part in the run.
+    pub(crate) fn finished(&self) -> bool {
+        self.finished
+    }
+
+    pub(crate) fn finish_time(&self) -> Option<SimTime> {
+        self.finish_time
+    }
+
+    /// Snapshot statistics into a report.
+    pub(crate) fn report(&self) -> StageReport {
+        StageReport {
+            name: self.name.clone(),
+            placed_on: self.placed_on.clone(),
+            packets_in: self.packets_in,
+            packets_out: self.packets_out,
+            records_in: self.records_in,
+            records_out: self.records_out,
+            bytes_in: self.bytes_in,
+            bytes_out: self.bytes_out,
+            packets_dropped: self.drops,
+            queue: self
+                .tracker
+                .as_ref()
+                .map(|t| t.queue_stats().clone())
+                .unwrap_or_default(),
+            latency: self.latency.clone(),
+            busy_time: self.busy_time,
+            exceptions_sent: self.exceptions_sent,
+            exceptions_received: self
+                .controllers
+                .iter()
+                .fold((0, 0), |acc, (_, c)| {
+                    let (o, u) = c.exceptions_received();
+                    (acc.0 + o, acc.1 + u)
+                }),
+            params: self.trajectories.clone(),
+        }
+    }
+
+    // --- internals -------------------------------------------------------
+
+    fn route_emitted(&mut self, ctx: &mut Context<'_, EngineMsg>) {
+        let emitted = self.api.take_emitted();
+        for (port, packet) in emitted {
+            self.send_downstream(port, packet, ctx);
+        }
+    }
+
+    fn send_downstream(
+        &mut self,
+        port: Option<usize>,
+        packet: Packet,
+        ctx: &mut Context<'_, EngineMsg>,
+    ) {
+        if self.out.is_empty() {
+            return; // sink: output vanishes (results live in the processor)
+        }
+        if let Some(p) = port {
+            // Routed emission: exactly one edge.
+            debug_assert!(p < self.out.len(), "stage {:?}: emit_to({p}) out of range", self.name);
+            if p >= self.out.len() {
+                return;
+            }
+            self.packets_out += 1;
+            self.records_out += packet.records as u64;
+            self.bytes_out += packet.payload.len() as u64;
+            self.enqueue_link(p, packet, ctx);
+            return;
+        }
+        self.packets_out += 1;
+        self.records_out += packet.records as u64;
+        self.bytes_out += packet.payload.len() as u64;
+        // Broadcast to every out edge. The payload is a cheap `Bytes`
+        // handle, so the clone copies only the packet envelope.
+        for i in 0..self.out.len() {
+            self.enqueue_link(i, packet.clone(), ctx);
+        }
+    }
+
+    fn enqueue_link(&mut self, i: usize, packet: Packet, ctx: &mut Context<'_, EngineMsg>) {
+        let now = ctx.now();
+        let link = &mut self.out[i];
+        if link.can_transmit() {
+            let tx = link.link.transmit(now, packet.wire_len());
+            link.in_flight += 1;
+            if link.window.is_some() {
+                link.unacked += 1;
+            }
+            ctx.send(link.to, EngineMsg::Packet(packet), tx.delivered_at - now);
+            ctx.set_timer(tx.serialized_at - now, TAG_CREDIT_BASE + i as u64);
+        } else {
+            link.pending.push_back(packet);
+        }
+    }
+
+    /// Move pending packets onto the link while buffer and window allow.
+    fn drain_link(&mut self, i: usize, ctx: &mut Context<'_, EngineMsg>) {
+        while self.out[i].can_transmit() {
+            let Some(p) = self.out[i].pending.pop_front() else { break };
+            self.enqueue_link(i, p, ctx);
+        }
+    }
+
+    fn output_blocked(&self) -> bool {
+        self.out.iter().any(|l| !l.pending.is_empty())
+    }
+
+    fn try_start_service(&mut self, ctx: &mut Context<'_, EngineMsg>) {
+        if self.busy || self.finished || self.output_blocked() {
+            return;
+        }
+        let Some((from, packet)) = self.queue.pop_front() else {
+            return;
+        };
+        // Windowed flow control: the queue slot is free, tell the sender.
+        ctx.send(from, EngineMsg::Ack, self.opts.control_latency);
+        self.busy = true;
+        self.api.set_now(ctx.now());
+        let service = self.cost.service_time(&packet, self.speed);
+        self.processor.process(packet, &mut self.api);
+        let extra = self.api.take_extra_cost();
+        let extra_scaled = SimDuration::from_secs_f64(extra.as_secs_f64() / self.speed);
+        let total = service + extra_scaled;
+        self.busy_time += total;
+        self.current_output = self.api.take_emitted();
+        ctx.set_timer(total, TAG_SERVICE_DONE);
+    }
+
+    fn inputs_done(&self) -> bool {
+        if self.is_source {
+            self.source_done
+        } else {
+            self.eos_remaining == 0
+        }
+    }
+
+    fn maybe_finish(&mut self, ctx: &mut Context<'_, EngineMsg>) {
+        if self.finished || self.busy || !self.queue.is_empty() || !self.inputs_done() {
+            return;
+        }
+        if !self.eos_enqueued {
+            self.eos_enqueued = true;
+            for i in 0..self.out.len() {
+                // EOS travels the link like data so it arrives after
+                // every previously sent packet.
+                let eos = Packet::eos(u32::MAX, 0).at(ctx.now());
+                self.enqueue_link(i, eos, ctx);
+            }
+        }
+        // Finished once every link has drained its pending queue and all
+        // in-flight serializations completed.
+        if self.out.iter().all(|l| l.pending.is_empty() && l.in_flight == 0) {
+            self.finished = true;
+            self.finish_time = Some(ctx.now());
+        }
+    }
+
+    fn on_observe(&mut self, ctx: &mut Context<'_, EngineMsg>) {
+        if self.finished {
+            return; // do not re-arm
+        }
+        if let Some(tracker) = &mut self.tracker {
+            if let Some(exception) = tracker.observe(self.queue.len() as f64) {
+                match exception {
+                    LoadException::Overload => self.exceptions_sent.0 += 1,
+                    LoadException::Underload => self.exceptions_sent.1 += 1,
+                }
+                let latency = self.opts.control_latency;
+                for &up in &self.upstream {
+                    ctx.send(up, EngineMsg::Exception(exception), latency);
+                }
+            }
+        }
+        ctx.set_timer(self.opts.observe_interval, TAG_OBSERVE);
+    }
+
+    fn on_adapt(&mut self, ctx: &mut Context<'_, EngineMsg>) {
+        if self.finished {
+            return; // do not re-arm
+        }
+        if let Some(tracker) = &self.tracker {
+            let d_tilde = tracker.d_tilde();
+            let t = ctx.now().as_secs_f64();
+            for (idx, (pid, controller)) in self.controllers.iter_mut().enumerate() {
+                let value = controller.adapt(d_tilde);
+                let _ = self.api.push_suggestion(*pid, value);
+                self.trajectories[idx].samples.push((t, value));
+            }
+        }
+        ctx.set_timer(self.opts.adapt_interval, TAG_ADAPT);
+    }
+
+    fn on_generate(&mut self, ctx: &mut Context<'_, EngineMsg>) {
+        if self.finished || self.source_done {
+            return;
+        }
+        // Elastic generation: while this source's out-link buffers are
+        // full, hold the stream back instead of piling up unbounded
+        // output (the paper's generators read from files/JVM streams,
+        // which block under TCP flow control). Sources that must model
+        // non-blockable external arrivals use a large link buffer so
+        // this never triggers.
+        if self.output_blocked() {
+            ctx.set_timer(self.last_poll.max(SimDuration::from_micros(100)), TAG_GENERATE);
+            return;
+        }
+        self.api.set_now(ctx.now());
+        let status = self.processor.poll_generate(&mut self.api);
+        self.route_emitted(ctx);
+        match status {
+            SourceStatus::Continue { next_poll } => {
+                self.last_poll = next_poll.max(SimDuration::from_micros(1));
+                ctx.set_timer(self.last_poll, TAG_GENERATE);
+            }
+            SourceStatus::Done => {
+                self.source_done = true;
+                self.maybe_finish(ctx);
+            }
+        }
+    }
+
+    fn on_packet(&mut self, from: ActorId, packet: Packet, ctx: &mut Context<'_, EngineMsg>) {
+        if self.finished {
+            return;
+        }
+        if packet.is_eos() {
+            // EOS never occupies a queue slot; release its window slot
+            // immediately.
+            ctx.send(from, EngineMsg::Ack, self.opts.control_latency);
+            self.eos_remaining = self.eos_remaining.saturating_sub(1);
+            if self.eos_remaining == 0 {
+                self.api.set_now(ctx.now());
+                self.processor.on_eos(&mut self.api);
+                self.route_emitted(ctx);
+                self.maybe_finish(ctx);
+            }
+            return;
+        }
+        if self.queue.len() >= self.queue_capacity {
+            // Dropped on the floor — still acknowledged, so a lossy
+            // sender's (absent) window and a misconfigured blocking one
+            // both stay consistent.
+            ctx.send(from, EngineMsg::Ack, self.opts.control_latency);
+            self.drops += 1;
+            return;
+        }
+        self.packets_in += 1;
+        self.records_in += packet.records as u64;
+        self.bytes_in += packet.payload.len() as u64;
+        self.latency.push(ctx.now().since(packet.created_at).as_secs_f64());
+        self.queue.push_back((from, packet));
+        self.try_start_service(ctx);
+    }
+
+    fn on_ack(&mut self, from: ActorId, ctx: &mut Context<'_, EngineMsg>) {
+        if let Some(i) = self.out.iter().position(|l| l.to == from) {
+            if self.out[i].window.is_some() {
+                self.out[i].unacked = self.out[i].unacked.saturating_sub(1);
+                self.drain_link(i, ctx);
+                self.try_start_service(ctx);
+                self.maybe_finish(ctx);
+            }
+        }
+    }
+}
+
+impl Actor<EngineMsg> for StageActor {
+    fn on_event(&mut self, event: Event<EngineMsg>, ctx: &mut Context<'_, EngineMsg>) {
+        match event {
+            Event::Start => {
+                self.api.set_now(ctx.now());
+                self.processor.on_start(&mut self.api);
+                // Parameters declared in on_start get one controller each
+                // (only when this stage has adaptation enabled).
+                if let Some(tracker) = &self.tracker {
+                    let cfg = tracker.config().clone();
+                    for (pid, spec, _) in self.api.params().iter() {
+                        self.controllers.push((pid, ParamController::new(cfg.clone(), spec.clone())));
+                        self.trajectories.push(ParamTrajectory {
+                            name: spec.name.clone(),
+                            samples: vec![(0.0, spec.init)],
+                        });
+                    }
+                }
+                self.route_emitted(ctx);
+                if self.is_source {
+                    ctx.set_timer(SimDuration::ZERO, TAG_GENERATE);
+                }
+                if self.tracker.is_some() {
+                    ctx.set_timer(self.opts.observe_interval, TAG_OBSERVE);
+                    ctx.set_timer(self.opts.adapt_interval, TAG_ADAPT);
+                }
+            }
+            Event::Message { payload: EngineMsg::Packet(p), from } => {
+                self.on_packet(from, p, ctx)
+            }
+            Event::Message { payload: EngineMsg::Exception(e), .. } => {
+                if !self.finished {
+                    for (_, controller) in &mut self.controllers {
+                        controller.on_exception(e);
+                    }
+                }
+            }
+            Event::Message { payload: EngineMsg::Ack, from } => self.on_ack(from, ctx),
+            Event::Timer { tag: TAG_SERVICE_DONE } => {
+                self.busy = false;
+                let output = std::mem::take(&mut self.current_output);
+                for (port, packet) in output {
+                    self.send_downstream(port, packet, ctx);
+                }
+                self.try_start_service(ctx);
+                self.maybe_finish(ctx);
+            }
+            Event::Timer { tag: TAG_OBSERVE } => self.on_observe(ctx),
+            Event::Timer { tag: TAG_ADAPT } => self.on_adapt(ctx),
+            Event::Timer { tag: TAG_GENERATE } => self.on_generate(ctx),
+            Event::Timer { tag } => {
+                let i = (tag - TAG_CREDIT_BASE) as usize;
+                if i < self.out.len() {
+                    self.out[i].in_flight = self.out[i].in_flight.saturating_sub(1);
+                    self.drain_link(i, ctx);
+                    self.try_start_service(ctx);
+                    self.maybe_finish(ctx);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! # gates-engine
+//!
+//! Executors for GATES pipelines.
+//!
+//! Two engines run the same [`gates_core::Topology`] and produce the same
+//! [`gates_core::report::RunReport`]:
+//!
+//! * [`DesEngine`] — a deterministic **virtual-time** executor built on
+//!   the `gates-sim` discrete-event kernel. Stage service times come from
+//!   each stage's cost model and its node's speed factor; links are
+//!   store-and-forward models with bounded send buffers (backpressure).
+//!   Every experiment in the repository runs here: a 250-virtual-second
+//!   run finishes in milliseconds and is bit-for-bit repeatable.
+//! * [`ThreadedEngine`] — a native-thread **wall-clock** runtime: one
+//!   thread per stage, bounded `crossbeam` channels as queues, and
+//!   token-bucket throttles as links. It demonstrates that the same
+//!   processors and the same adaptation algorithm run unchanged on real
+//!   threads; the quickstart example uses it.
+//!
+//! Both engines implement the paper's execution semantics: per-stage
+//! input queues observed by a [`gates_core::adapt::LoadTracker`],
+//! over-/under-load exceptions flowing upstream, and one
+//! [`gates_core::adapt::ParamController`] per declared adjustment
+//! parameter pushing suggested values into the stage's `StageApi`.
+
+mod des;
+mod options;
+mod threaded;
+
+pub use des::DesEngine;
+pub use options::RunOptions;
+pub use threaded::ThreadedEngine;
+
+/// Errors raised while building or running an engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The topology failed validation.
+    InvalidTopology(String),
+    /// Options were inconsistent.
+    BadOptions(String),
+    /// A worker thread panicked (threaded engine).
+    WorkerPanic(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
+            EngineError::BadOptions(msg) => write!(f, "bad run options: {msg}"),
+            EngineError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

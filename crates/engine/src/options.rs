@@ -1,0 +1,102 @@
+//! Run options shared by both engines.
+
+use gates_sim::{SimDuration, SimTime};
+
+use crate::EngineError;
+
+/// Timing knobs for a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOptions {
+    /// How often each stage samples its input-queue length.
+    pub observe_interval: SimDuration,
+    /// How often each stage runs a parameter-adaptation round.
+    pub adapt_interval: SimDuration,
+    /// Delivery delay for control traffic (exception reports) between
+    /// stages. Control packets are tiny; they are modeled with a fixed
+    /// latency rather than charged against link bandwidth.
+    pub control_latency: SimDuration,
+    /// Hard stop: `run_to_completion` gives up at this virtual time even
+    /// if streams have not ended (safety net for saturated pipelines).
+    pub max_time: SimTime,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            observe_interval: SimDuration::from_millis(100),
+            adapt_interval: SimDuration::from_secs(1),
+            control_latency: SimDuration::from_millis(1),
+            max_time: SimTime::from_secs_f64(3_600.0),
+        }
+    }
+}
+
+impl RunOptions {
+    /// Validate invariants.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        if self.observe_interval.is_zero() {
+            return Err(EngineError::BadOptions("observe_interval must be positive".into()));
+        }
+        if self.adapt_interval.is_zero() {
+            return Err(EngineError::BadOptions("adapt_interval must be positive".into()));
+        }
+        if self.max_time == SimTime::ZERO {
+            return Err(EngineError::BadOptions("max_time must be positive".into()));
+        }
+        Ok(())
+    }
+
+    /// Builder: observation interval.
+    pub fn observe_every(mut self, d: SimDuration) -> Self {
+        self.observe_interval = d;
+        self
+    }
+
+    /// Builder: adaptation interval.
+    pub fn adapt_every(mut self, d: SimDuration) -> Self {
+        self.adapt_interval = d;
+        self
+    }
+
+    /// Builder: control-message latency.
+    pub fn control_latency(mut self, d: SimDuration) -> Self {
+        self.control_latency = d;
+        self
+    }
+
+    /// Builder: maximum virtual time.
+    pub fn max_time(mut self, t: SimTime) -> Self {
+        self.max_time = t;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        RunOptions::default().validate().unwrap();
+    }
+
+    #[test]
+    fn zero_intervals_rejected() {
+        assert!(RunOptions::default().observe_every(SimDuration::ZERO).validate().is_err());
+        assert!(RunOptions::default().adapt_every(SimDuration::ZERO).validate().is_err());
+        assert!(RunOptions::default().max_time(SimTime::ZERO).validate().is_err());
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let o = RunOptions::default()
+            .observe_every(SimDuration::from_millis(50))
+            .adapt_every(SimDuration::from_millis(500))
+            .control_latency(SimDuration::from_millis(2))
+            .max_time(SimTime::from_secs_f64(10.0));
+        assert_eq!(o.observe_interval.as_micros(), 50_000);
+        assert_eq!(o.adapt_interval.as_micros(), 500_000);
+        assert_eq!(o.control_latency.as_micros(), 2_000);
+        assert_eq!(o.max_time.as_secs_f64(), 10.0);
+    }
+}

@@ -1,0 +1,477 @@
+//! The native-thread wall-clock runtime.
+//!
+//! One OS thread per stage; bounded `crossbeam` channels as input queues;
+//! token buckets as links. Processing cost is *realized* (the thread
+//! sleeps for the modeled service time), so small runs behave like the
+//! paper's real deployment — and the same [`StreamProcessor`]s and the
+//! same adaptation state machines run unchanged from the virtual-time
+//! engine.
+//!
+//! This runtime is for demonstrations and the quickstart; every
+//! experiment harness uses [`crate::DesEngine`] for speed and
+//! repeatability.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+
+use gates_core::adapt::{LoadException, LoadTracker, ParamController};
+use gates_core::report::{ParamTrajectory, RunReport, StageReport};
+use gates_core::{Packet, SourceStatus, StageApi, StageId, Topology};
+use gates_grid::DeploymentPlan;
+use gates_net::TokenBucket;
+use gates_sim::{SimDuration, SimTime};
+
+use crate::options::RunOptions;
+use crate::EngineError;
+
+/// Wall-clock executor. Build with [`ThreadedEngine::new`], run with
+/// [`ThreadedEngine::run`] (blocks until every stream ends or the
+/// `max_time` budget elapses).
+pub struct ThreadedEngine {
+    topology: Topology,
+    speeds: Vec<f64>,
+    nodes: Vec<String>,
+    opts: RunOptions,
+}
+
+/// Messages on a stage's control channel.
+enum Control {
+    Exception(LoadException),
+    /// Engine-wide shutdown (max_time exceeded).
+    Stop,
+}
+
+struct OutPort {
+    tx: Sender<Packet>,
+    bucket: TokenBucket,
+    /// Blocking edges use a blocking send; lossy edges drop when full.
+    blocking: bool,
+    /// Drop counter of the *receiving* stage.
+    drops: Arc<AtomicU64>,
+}
+
+impl ThreadedEngine {
+    /// Build a threaded engine for `topology` as placed by `plan`.
+    pub fn new(
+        topology: Topology,
+        plan: &DeploymentPlan,
+        opts: RunOptions,
+    ) -> Result<Self, EngineError> {
+        topology.validate().map_err(|e| EngineError::InvalidTopology(e.to_string()))?;
+        opts.validate()?;
+        let speeds =
+            (0..topology.stages().len()).map(|i| plan.speed_of(StageId::from_index(i))).collect();
+        let nodes = (0..topology.stages().len())
+            .map(|i| {
+                plan.node_of(StageId::from_index(i))
+                    .unwrap_or(&topology.stages()[i].site)
+                    .to_string()
+            })
+            .collect();
+        Ok(ThreadedEngine { topology, speeds, nodes, opts })
+    }
+
+    /// Execute the pipeline on real threads, blocking until done.
+    pub fn run(self) -> Result<RunReport, EngineError> {
+        let n = self.topology.stages().len();
+        let start = Instant::now();
+
+        // Input data channels (one per stage) and control channels.
+        let mut data_tx = Vec::with_capacity(n);
+        let mut data_rx = Vec::with_capacity(n);
+        let mut ctl_tx = Vec::with_capacity(n);
+        let mut ctl_rx = Vec::with_capacity(n);
+        let mut drops: Vec<Arc<AtomicU64>> = Vec::with_capacity(n);
+        for stage in self.topology.stages() {
+            let (tx, rx) = bounded::<Packet>(stage.queue_capacity);
+            data_tx.push(tx);
+            data_rx.push(rx);
+            let (ctx, crx) = unbounded::<Control>();
+            ctl_tx.push(ctx);
+            ctl_rx.push(crx);
+            drops.push(Arc::new(AtomicU64::new(0)));
+        }
+
+        let mut handles = Vec::with_capacity(n);
+        for idx in 0..n {
+            let stage = &self.topology.stages()[idx];
+            let id = StageId::from_index(idx);
+            let out: Vec<OutPort> = self
+                .topology
+                .out_edges(id)
+                .into_iter()
+                .map(|ei| {
+                    let edge = &self.topology.edges()[ei];
+                    let to = edge.to.index();
+                    OutPort {
+                        tx: data_tx[to].clone(),
+                        bucket: TokenBucket::new(
+                            edge.link.bandwidth.as_bytes_per_sec(),
+                            // Smooth pacing: ~50 ms of burst allowance.
+                            (edge.link.bandwidth.as_bytes_per_sec() * 0.05).clamp(64.0, 4096.0),
+                        ),
+                        blocking: edge.link.flow == gates_net::FlowControl::Blocking,
+                        drops: Arc::clone(&drops[to]),
+                    }
+                })
+                .collect();
+            let upstream_ctl: Vec<Sender<Control>> = self
+                .topology
+                .in_edges(id)
+                .into_iter()
+                .map(|ei| ctl_tx[self.topology.edges()[ei].from.index()].clone())
+                .collect();
+            let in_edges = self.topology.in_edges(id).len();
+
+            let worker = StageWorker {
+                name: stage.name.clone(),
+                placed_on: self.nodes[idx].clone(),
+                processor: stage.instantiate(),
+                cost: stage.cost,
+                speed: self.speeds[idx],
+                tracker: stage.adaptation.clone().map(LoadTracker::new),
+                rx: data_rx[idx].clone(),
+                ctl: ctl_rx[idx].clone(),
+                out,
+                upstream_ctl,
+                in_edges,
+                my_drops: Arc::clone(&drops[idx]),
+                opts: self.opts.clone(),
+                start,
+            };
+            handles.push(std::thread::Builder::new()
+                .name(format!("gates-{}", stage.name))
+                .spawn(move || worker.run())
+                .map_err(|e| EngineError::WorkerPanic(e.to_string()))?);
+        }
+        // Drop our clones so channels disconnect naturally when their
+        // workers finish. Keeping a receiver clone here would be a
+        // deadlock: a worker blocked on a (blocking or EOS) send into a
+        // dead stage's full channel would never observe the disconnect,
+        // and run() would wait on its join handle forever.
+        drop(data_tx);
+        drop(data_rx);
+        drop(ctl_rx);
+
+        // Watchdog: broadcast Stop when the budget elapses.
+        let budget = Duration::from_secs_f64(self.opts.max_time.as_secs_f64());
+        let watchdog_ctl: Vec<Sender<Control>> = ctl_tx.clone();
+        drop(ctl_tx);
+        let watchdog = std::thread::spawn(move || {
+            std::thread::sleep(budget);
+            for c in &watchdog_ctl {
+                let _ = c.send(Control::Stop);
+            }
+        });
+
+        let mut stages = Vec::with_capacity(n);
+        for handle in handles {
+            let report =
+                handle.join().map_err(|_| EngineError::WorkerPanic("stage thread".into()))?;
+            stages.push(report);
+        }
+        // The watchdog may still be sleeping; detach it (its sends will
+        // hit disconnected channels, which is fine).
+        drop(watchdog);
+
+        let finished_at = SimTime::from_secs_f64(start.elapsed().as_secs_f64());
+        Ok(RunReport { finished_at, stages, events: 0 })
+    }
+}
+
+struct StageWorker {
+    name: String,
+    placed_on: String,
+    processor: Box<dyn gates_core::StreamProcessor + Send>,
+    cost: gates_core::CostModel,
+    speed: f64,
+    tracker: Option<LoadTracker>,
+    rx: Receiver<Packet>,
+    ctl: Receiver<Control>,
+    out: Vec<OutPort>,
+    upstream_ctl: Vec<Sender<Control>>,
+    in_edges: usize,
+    my_drops: Arc<AtomicU64>,
+    opts: RunOptions,
+    start: Instant,
+}
+
+impl StageWorker {
+    fn now(&self) -> SimTime {
+        SimTime::from_secs_f64(self.start.elapsed().as_secs_f64())
+    }
+
+    fn run(mut self) -> StageReport {
+        let mut api = StageApi::new();
+        api.set_now(self.now());
+        self.processor.on_start(&mut api);
+
+        // Controllers for declared parameters (adaptation-enabled stages).
+        let mut controllers: Vec<(gates_core::ParamId, ParamController)> = Vec::new();
+        let mut trajectories: Vec<ParamTrajectory> = Vec::new();
+        if let Some(tracker) = &self.tracker {
+            let cfg = tracker.config().clone();
+            for (pid, spec, _) in api.params().iter() {
+                controllers.push((pid, ParamController::new(cfg.clone(), spec.clone())));
+                trajectories.push(ParamTrajectory { name: spec.name.clone(), samples: vec![(0.0, spec.init)] });
+            }
+        }
+
+        let mut stats = StageReport { name: self.name.clone(), placed_on: self.placed_on.clone(), ..Default::default() };
+        let is_source = self.in_edges == 0;
+        let mut eos_remaining = self.in_edges;
+        let mut stopped = false;
+
+        let observe_every = Duration::from_secs_f64(self.opts.observe_interval.as_secs_f64());
+        let adapt_every = Duration::from_secs_f64(self.opts.adapt_interval.as_secs_f64());
+        let mut last_observe = Instant::now();
+        let mut last_adapt = Instant::now();
+        let tick = observe_every.min(Duration::from_millis(10));
+
+        // The monitoring heartbeat, also run between service-sleep slices
+        // so a busy stage keeps observing its queue (the virtual-time
+        // engine gets this for free from independent timer events).
+        macro_rules! run_timers {
+            () => {
+                if let Some(tracker) = &mut self.tracker {
+                    if last_observe.elapsed() >= observe_every {
+                        last_observe = Instant::now();
+                        if let Some(exception) = tracker.observe(self.rx.len() as f64) {
+                            match exception {
+                                LoadException::Overload => stats.exceptions_sent.0 += 1,
+                                LoadException::Underload => stats.exceptions_sent.1 += 1,
+                            }
+                            for up in &self.upstream_ctl {
+                                let _ = up.send(Control::Exception(exception));
+                            }
+                        }
+                    }
+                    if last_adapt.elapsed() >= adapt_every {
+                        last_adapt = Instant::now();
+                        let d_tilde = tracker.d_tilde();
+                        let t = self.start.elapsed().as_secs_f64();
+                        for (i, (pid, controller)) in controllers.iter_mut().enumerate() {
+                            let v = controller.adapt(d_tilde);
+                            let _ = api.push_suggestion(*pid, v);
+                            trajectories[i].samples.push((t, v));
+                        }
+                    }
+                }
+            };
+        }
+
+        // Emit packets from on_start.
+        self.flush(&mut api, &mut stats);
+
+        'main: loop {
+            // Control: exceptions from downstream, or engine stop.
+            while let Ok(msg) = self.ctl.try_recv() {
+                match msg {
+                    Control::Exception(e) => {
+                        for (_, c) in &mut controllers {
+                            c.on_exception(e);
+                        }
+                    }
+                    Control::Stop => {
+                        stopped = true;
+                        break 'main;
+                    }
+                }
+            }
+            run_timers!();
+
+            if is_source {
+                api.set_now(self.now());
+                match self.processor.poll_generate(&mut api) {
+                    SourceStatus::Continue { next_poll } => {
+                        self.flush(&mut api, &mut stats);
+                        std::thread::sleep(Duration::from_secs_f64(next_poll.as_secs_f64()));
+                    }
+                    SourceStatus::Done => {
+                        self.flush(&mut api, &mut stats);
+                        break 'main;
+                    }
+                }
+                continue;
+            }
+
+            match self.rx.recv_timeout(tick) {
+                Ok(packet) if packet.is_eos() => {
+                    eos_remaining = eos_remaining.saturating_sub(1);
+                    if eos_remaining == 0 {
+                        break 'main;
+                    }
+                }
+                Ok(packet) => {
+                    stats.packets_in += 1;
+                    stats.records_in += packet.records as u64;
+                    stats.bytes_in += packet.payload.len() as u64;
+                    stats.latency.push(self.now().since(packet.created_at).as_secs_f64());
+                    let service = self.cost.service_time(&packet, self.speed);
+                    api.set_now(self.now());
+                    self.processor.process(packet, &mut api);
+                    let extra = api.take_extra_cost();
+                    let total = service.as_secs_f64() + extra.as_secs_f64() / self.speed;
+                    // Realize the service time in monitoring-friendly
+                    // slices so the queue keeps being observed while the
+                    // stage is busy.
+                    let tick_secs = tick.as_secs_f64();
+                    let mut remaining = total;
+                    while remaining > 0.0 {
+                        let slice = remaining.min(tick_secs);
+                        std::thread::sleep(Duration::from_secs_f64(slice));
+                        remaining -= slice;
+                        run_timers!();
+                    }
+                    stats.busy_time += SimDuration::from_secs_f64(total);
+                    self.flush(&mut api, &mut stats);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break 'main,
+            }
+        }
+
+        if !stopped && !is_source {
+            api.set_now(self.now());
+            self.processor.on_eos(&mut api);
+            self.flush(&mut api, &mut stats);
+        }
+        // Forward EOS downstream (one marker per out edge).
+        for port in &self.out {
+            let _ = port.tx.send(Packet::eos(u32::MAX, 0));
+        }
+        if let Some(tracker) = &self.tracker {
+            stats.queue = tracker.queue_stats().clone();
+        }
+        stats.packets_dropped = self.my_drops.load(Ordering::Relaxed);
+        stats.exceptions_received = controllers
+            .iter()
+            .fold((0, 0), |acc, (_, c)| {
+                let (o, u) = c.exceptions_received();
+                (acc.0 + o, acc.1 + u)
+            });
+        stats.params = trajectories;
+        stats
+    }
+
+    /// Send everything the processor emitted, pacing each packet with the
+    /// out-edge's token bucket. A `Some(port)` tag routes to one edge;
+    /// `None` broadcasts.
+    fn flush(&mut self, api: &mut StageApi, stats: &mut StageReport) {
+        for (target, packet) in api.take_emitted() {
+            if let Some(p) = target {
+                debug_assert!(p < self.out.len(), "emit_to({p}) out of range");
+                if p >= self.out.len() {
+                    continue;
+                }
+            }
+            stats.packets_out += 1;
+            stats.records_out += packet.records as u64;
+            stats.bytes_out += packet.payload.len() as u64;
+            let ports: Vec<usize> = match target {
+                Some(p) => vec![p],
+                None => (0..self.out.len()).collect(),
+            };
+            for i in ports {
+                let port = &mut self.out[i];
+                let now = self.start.elapsed().as_secs_f64();
+                let wait = port.bucket.acquire(packet.wire_len(), now);
+                if wait > 0.0 {
+                    std::thread::sleep(Duration::from_secs_f64(wait));
+                }
+                if port.blocking {
+                    // Windowed semantics: block until the receiver has room.
+                    let _ = port.tx.send(packet.clone());
+                } else if port.tx.try_send(packet.clone()).is_err() {
+                    port.drops.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use gates_core::{StageApi, StageBuilder, StreamProcessor};
+    use gates_grid::{Deployer, ResourceRegistry};
+    use gates_net::{Bandwidth, LinkSpec};
+
+    struct Burst {
+        left: u32,
+    }
+    impl StreamProcessor for Burst {
+        fn process(&mut self, _p: Packet, _a: &mut StageApi) {}
+        fn poll_generate(&mut self, api: &mut StageApi) -> SourceStatus {
+            if self.left == 0 {
+                return SourceStatus::Done;
+            }
+            self.left -= 1;
+            api.emit(Packet::data(0, self.left as u64, 1, Bytes::from_static(b"0123456789")));
+            SourceStatus::Continue { next_poll: SimDuration::from_millis(1) }
+        }
+    }
+
+    struct Sink;
+    impl StreamProcessor for Sink {
+        fn process(&mut self, _p: Packet, _a: &mut StageApi) {}
+    }
+
+    fn run_simple(packets: u32, bandwidth: Bandwidth) -> RunReport {
+        let mut t = Topology::new();
+        let s = t.add_stage_raw(StageBuilder::new("src").processor(move || Burst { left: packets })).unwrap();
+        let k = t.add_stage(StageBuilder::new("sink").processor(|| Sink)).unwrap();
+        t.connect(s, k, LinkSpec::with_bandwidth(bandwidth));
+        let registry = ResourceRegistry::uniform_cluster(&["src", "sink"]);
+        let plan = Deployer::new().deploy(&t, &registry).unwrap();
+        ThreadedEngine::new(t, &plan, RunOptions::default())
+            .unwrap()
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn packets_arrive_on_threads() {
+        let report = run_simple(20, Bandwidth::mb_per_sec(10.0));
+        assert_eq!(report.stage("sink").unwrap().packets_in, 20);
+        assert_eq!(report.stage("src").unwrap().packets_out, 20);
+    }
+
+    #[test]
+    fn token_bucket_throttles_wall_time() {
+        // 20 packets × 43 wire bytes ≈ 860 B at 2 KB/s ⇒ ≳0.2 s after the
+        // initial burst allowance.
+        let t0 = Instant::now();
+        let report = run_simple(20, Bandwidth::kb_per_sec(2.0));
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert_eq!(report.stage("sink").unwrap().packets_in, 20);
+        assert!(elapsed > 0.15, "throttled run finished too fast: {elapsed}s");
+    }
+
+    #[test]
+    fn max_time_stops_runaway_pipelines() {
+        struct Forever;
+        impl StreamProcessor for Forever {
+            fn process(&mut self, _p: Packet, _a: &mut StageApi) {}
+            fn poll_generate(&mut self, api: &mut StageApi) -> SourceStatus {
+                api.emit(Packet::data(0, 0, 1, Bytes::from_static(b"x")));
+                SourceStatus::Continue { next_poll: SimDuration::from_millis(5) }
+            }
+        }
+        let mut t = Topology::new();
+        let s = t.add_stage_raw(StageBuilder::new("src").processor(|| Forever)).unwrap();
+        let k = t.add_stage(StageBuilder::new("sink").processor(|| Sink)).unwrap();
+        t.connect(s, k, LinkSpec::local());
+        let registry = ResourceRegistry::uniform_cluster(&["src", "sink"]);
+        let plan = Deployer::new().deploy(&t, &registry).unwrap();
+        let opts = RunOptions::default().max_time(SimTime::from_secs_f64(0.3));
+        let t0 = Instant::now();
+        let report = ThreadedEngine::new(t, &plan, opts).unwrap().run().unwrap();
+        assert!(t0.elapsed().as_secs_f64() < 3.0, "watchdog must stop the run");
+        assert!(report.stage("sink").unwrap().packets_in > 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests for the virtual-time engine: conservation and
+//! determinism over randomly-shaped pipelines.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use gates_core::{
+    CostModel, Packet, SourceStatus, StageApi, StageBuilder, StreamProcessor, Topology,
+};
+use gates_engine::{DesEngine, RunOptions};
+use gates_grid::{Deployer, ResourceRegistry};
+use gates_net::{Bandwidth, LinkSpec};
+use gates_sim::SimDuration;
+use proptest::prelude::*;
+
+struct Burst {
+    left: u32,
+    payload: usize,
+    interval_us: u64,
+}
+impl StreamProcessor for Burst {
+    fn process(&mut self, _p: Packet, _a: &mut StageApi) {}
+    fn poll_generate(&mut self, api: &mut StageApi) -> SourceStatus {
+        if self.left == 0 {
+            return SourceStatus::Done;
+        }
+        self.left -= 1;
+        api.emit(Packet::data(0, self.left as u64, 1, Bytes::from(vec![0u8; self.payload])));
+        SourceStatus::Continue { next_poll: SimDuration::from_micros(self.interval_us.max(1)) }
+    }
+}
+
+struct Forward;
+impl StreamProcessor for Forward {
+    fn process(&mut self, p: Packet, api: &mut StageApi) {
+        api.emit(p);
+    }
+}
+
+struct Count(Arc<AtomicU64>);
+impl StreamProcessor for Count {
+    fn process(&mut self, _p: Packet, _a: &mut StageApi) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A random linear pipeline description.
+#[derive(Debug, Clone)]
+struct Pipeline {
+    packets: u32,
+    payload: usize,
+    interval_us: u64,
+    hops: usize,
+    bandwidth_kb: f64,
+    cost_ms: f64,
+    blocking: bool,
+}
+
+fn pipeline_strategy() -> impl Strategy<Value = Pipeline> {
+    (
+        1u32..60,
+        1usize..200,
+        100u64..20_000,
+        1usize..4,
+        1.0f64..1_000.0,
+        0.0f64..2.0,
+        any::<bool>(),
+    )
+        .prop_map(|(packets, payload, interval_us, hops, bandwidth_kb, cost_ms, blocking)| {
+            Pipeline { packets, payload, interval_us, hops, bandwidth_kb, cost_ms, blocking }
+        })
+}
+
+fn run(p: &Pipeline) -> (u64, gates_core::report::RunReport) {
+    let counter = Arc::new(AtomicU64::new(0));
+    let mut t = Topology::new();
+    let src = t
+        .add_stage_raw(StageBuilder::new("src").processor({
+            let p = p.clone();
+            move || Burst { left: p.packets, payload: p.payload, interval_us: p.interval_us }
+        }))
+        .unwrap();
+    let mut prev = src;
+    for h in 0..p.hops {
+        let fwd = t
+            .add_stage(
+                StageBuilder::new(format!("fwd{h}"))
+                    .cost(CostModel::per_packet(p.cost_ms / 1_000.0))
+                    .queue_capacity(1_000)
+                    .processor(|| Forward),
+            )
+            .unwrap();
+        let mut link = LinkSpec::with_bandwidth(Bandwidth::kb_per_sec(p.bandwidth_kb)).buffer(4);
+        if p.blocking {
+            link = link.blocking();
+        }
+        t.connect(prev, fwd, link);
+        prev = fwd;
+    }
+    let sink_counter = Arc::clone(&counter);
+    let sink = t
+        .add_stage(
+            StageBuilder::new("sink")
+                .queue_capacity(1_000)
+                .processor(move || Count(Arc::clone(&sink_counter))),
+        )
+        .unwrap();
+    let mut link = LinkSpec::with_bandwidth(Bandwidth::kb_per_sec(p.bandwidth_kb)).buffer(4);
+    if p.blocking {
+        link = link.blocking();
+    }
+    t.connect(prev, sink, link);
+
+    let sites: Vec<String> = t.stages().iter().map(|s| s.site.clone()).collect();
+    let refs: Vec<&str> = sites.iter().map(String::as_str).collect();
+    let registry = ResourceRegistry::uniform_cluster(&refs);
+    let plan = Deployer::new().deploy(&t, &registry).unwrap();
+    let mut engine = DesEngine::new(t, &plan, RunOptions::default()).unwrap();
+    let report = engine.run_to_completion();
+    (counter.load(Ordering::Relaxed), report)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn pipelines_conserve_packets(p in pipeline_strategy()) {
+        let (delivered, report) = run(&p);
+        // Queues are deep (1000 ≫ 60 packets) so nothing may drop,
+        // regardless of flow-control mode.
+        prop_assert_eq!(report.total_dropped(), 0, "no drops with deep queues");
+        prop_assert_eq!(delivered, p.packets as u64, "every packet reaches the sink");
+        let sink = report.stage("sink").unwrap();
+        prop_assert_eq!(sink.packets_in, p.packets as u64);
+        // The run can never beat the serialization lower bound of one hop.
+        let wire = p.packets as u64 * (p.payload as u64 + 33);
+        let min_secs = wire as f64 / (p.bandwidth_kb * 1_000.0);
+        prop_assert!(
+            report.execution_secs() >= min_secs * 0.99,
+            "finished in {} < bandwidth bound {min_secs}",
+            report.execution_secs()
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic(p in pipeline_strategy()) {
+        let (d1, r1) = run(&p);
+        let (d2, r2) = run(&p);
+        prop_assert_eq!(d1, d2);
+        prop_assert_eq!(r1.finished_at, r2.finished_at);
+        prop_assert_eq!(r1.events, r2.events);
+    }
+
+    #[test]
+    fn latency_accounting_is_sane(p in pipeline_strategy()) {
+        let (_, report) = run(&p);
+        let sink = report.stage("sink").unwrap();
+        if sink.latency.count() > 0 {
+            prop_assert!(sink.latency.min() >= 0.0);
+            prop_assert!(sink.latency.max() <= report.execution_secs() + 1e-6);
+        }
+    }
+}

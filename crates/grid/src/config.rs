@@ -1,0 +1,222 @@
+//! The XML application-configuration document.
+//!
+//! "The developer writes an XML file, specifying the configuration
+//! information of an application … the number of stages and where the
+//! stages' codes are. After submitting the codes to application
+//! repositories, the application developer informs an application user of
+//! the URL link to the configuration file." (paper §3.2)
+//!
+//! Format:
+//!
+//! ```xml
+//! <application name="my-run" repository="count-samps">
+//!   <param name="sources" value="4"/>
+//!   <param name="bandwidth_kb">100</param>
+//! </application>
+//! ```
+//!
+//! `repository` names the application in the [`crate::ApplicationRepository`];
+//! `<param>` entries are free-form key/values interpreted by the
+//! application factory. Both attribute and element-text forms of the
+//! value are accepted.
+
+use crate::GridError;
+use gates_xml::parse;
+
+/// A parsed application configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppConfig {
+    /// Run name (for reports).
+    pub name: String,
+    /// Application key in the repository.
+    pub repository: String,
+    params: Vec<(String, String)>,
+}
+
+impl AppConfig {
+    /// Build programmatically (tests, embedded defaults).
+    pub fn new(name: impl Into<String>, repository: impl Into<String>) -> Self {
+        AppConfig { name: name.into(), repository: repository.into(), params: Vec::new() }
+    }
+
+    /// Add or replace a parameter (builder style).
+    pub fn with_param(mut self, key: impl Into<String>, value: impl ToString) -> Self {
+        self.set_param(key, value);
+        self
+    }
+
+    /// Add or replace a parameter.
+    pub fn set_param(&mut self, key: impl Into<String>, value: impl ToString) {
+        let key = key.into();
+        let value = value.to_string();
+        if let Some(slot) = self.params.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.params.push((key, value));
+        }
+    }
+
+    /// Parse from XML text.
+    pub fn from_xml(text: &str) -> Result<Self, GridError> {
+        let doc = parse(text).map_err(|e| GridError::BadConfig(e.to_string()))?;
+        let root = doc.root();
+        if root.name() != "application" {
+            return Err(GridError::BadConfig(format!(
+                "expected <application> root, found <{}>",
+                root.name()
+            )));
+        }
+        let name = root
+            .attr("name")
+            .ok_or_else(|| GridError::BadConfig("<application> needs a name attribute".into()))?
+            .to_string();
+        let repository = root
+            .attr("repository")
+            .ok_or_else(|| GridError::BadConfig("<application> needs a repository attribute".into()))?
+            .to_string();
+        let mut config = AppConfig { name, repository, params: Vec::new() };
+        for p in root.children_named("param") {
+            let key = p
+                .attr("name")
+                .ok_or_else(|| GridError::BadConfig("<param> needs a name attribute".into()))?;
+            let value = match p.attr("value") {
+                Some(v) => v.to_string(),
+                None => {
+                    let text = p.text();
+                    if text.is_empty() {
+                        return Err(GridError::BadConfig(format!(
+                            "<param name={key:?}> needs a value attribute or text"
+                        )));
+                    }
+                    text
+                }
+            };
+            config.set_param(key, value);
+        }
+        Ok(config)
+    }
+
+    /// Raw string parameter.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.params.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Parameter parsed as `f64`.
+    pub fn get_f64(&self, key: &str) -> Result<Option<f64>, GridError> {
+        self.get(key)
+            .map(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| GridError::BadConfig(format!("param {key:?} is not a number: {v:?}")))
+            })
+            .transpose()
+    }
+
+    /// Parameter parsed as `usize`.
+    pub fn get_usize(&self, key: &str) -> Result<Option<usize>, GridError> {
+        self.get(key)
+            .map(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| GridError::BadConfig(format!("param {key:?} is not an integer: {v:?}")))
+            })
+            .transpose()
+    }
+
+    /// `f64` parameter with a default.
+    pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, GridError> {
+        Ok(self.get_f64(key)?.unwrap_or(default))
+    }
+
+    /// `usize` parameter with a default.
+    pub fn usize_or(&self, key: &str, default: usize) -> Result<usize, GridError> {
+        Ok(self.get_usize(key)?.unwrap_or(default))
+    }
+
+    /// All parameters in declaration order.
+    pub fn params(&self) -> &[(String, String)] {
+        &self.params
+    }
+
+    /// Serialize back to XML (round-trip support).
+    pub fn to_xml(&self) -> String {
+        use gates_xml::{write_document, Document, Element, WriteOptions};
+        let mut root = Element::new("application")
+            .with_attr("name", &self.name)
+            .with_attr("repository", &self.repository);
+        for (k, v) in &self.params {
+            root = root.with_child(Element::new("param").with_attr("name", k).with_attr("value", v));
+        }
+        write_document(&Document::new(root), &WriteOptions::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+        <application name="run-1" repository="count-samps">
+          <param name="sources" value="4"/>
+          <param name="bandwidth_kb">100</param>
+          <param name="label" value="baseline &amp; co"/>
+        </application>"#;
+
+    #[test]
+    fn parses_full_document() {
+        let c = AppConfig::from_xml(SAMPLE).unwrap();
+        assert_eq!(c.name, "run-1");
+        assert_eq!(c.repository, "count-samps");
+        assert_eq!(c.get("sources"), Some("4"));
+        assert_eq!(c.get("bandwidth_kb"), Some("100"), "element-text value form");
+        assert_eq!(c.get("label"), Some("baseline & co"));
+        assert_eq!(c.get("missing"), None);
+    }
+
+    #[test]
+    fn typed_getters() {
+        let c = AppConfig::from_xml(SAMPLE).unwrap();
+        assert_eq!(c.get_usize("sources").unwrap(), Some(4));
+        assert_eq!(c.get_f64("bandwidth_kb").unwrap(), Some(100.0));
+        assert_eq!(c.usize_or("missing", 7).unwrap(), 7);
+        assert_eq!(c.f64_or("missing", 2.5).unwrap(), 2.5);
+        assert!(c.get_usize("label").is_err(), "non-numeric param");
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        assert!(matches!(AppConfig::from_xml("<app/>"), Err(GridError::BadConfig(_))));
+    }
+
+    #[test]
+    fn missing_attributes_rejected() {
+        assert!(AppConfig::from_xml(r#"<application name="x"/>"#).is_err());
+        assert!(AppConfig::from_xml(r#"<application repository="x"/>"#).is_err());
+        assert!(AppConfig::from_xml(
+            r#"<application name="x" repository="y"><param value="1"/></application>"#
+        )
+        .is_err());
+        assert!(AppConfig::from_xml(
+            r#"<application name="x" repository="y"><param name="k"/></application>"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn malformed_xml_rejected() {
+        assert!(matches!(AppConfig::from_xml("<application"), Err(GridError::BadConfig(_))));
+    }
+
+    #[test]
+    fn duplicate_params_last_wins() {
+        let c = AppConfig::new("n", "r").with_param("k", 1).with_param("k", 2);
+        assert_eq!(c.get("k"), Some("2"));
+        assert_eq!(c.params().len(), 1);
+    }
+
+    #[test]
+    fn xml_round_trip() {
+        let original = AppConfig::new("trip", "app").with_param("a", 1).with_param("b", "x & y");
+        let xml = original.to_xml();
+        let reparsed = AppConfig::from_xml(&xml).unwrap();
+        assert_eq!(reparsed, original);
+    }
+}

@@ -1,0 +1,194 @@
+//! The Deployer: topology + directory → concrete deployment plan.
+//!
+//! Paper §3.2: the Deployer "1) receives the configuration information
+//! from the Launcher, 2) consults with a grid resource manager to find
+//! the nodes where the resources required by the individual stages are
+//! available, 3) initiates instances of GATES grid services at the nodes,
+//! 4) retrieves the stage codes from the application repositories, and
+//! 5) uploads the stage specific codes to every instance."
+
+use std::collections::HashMap;
+
+use gates_core::{StageId, Topology};
+
+use crate::matchmaker::Matchmaker;
+use crate::registry::ResourceRegistry;
+use crate::service::{ServiceInstance, ServiceState};
+use crate::GridError;
+
+/// Where each stage runs, plus the instantiated service containers.
+#[derive(Debug, Clone)]
+pub struct DeploymentPlan {
+    placements: HashMap<StageId, String>,
+    /// Node speed factor per stage (denormalized for the executors).
+    speeds: HashMap<StageId, f64>,
+    services: Vec<ServiceInstance>,
+}
+
+impl DeploymentPlan {
+    /// Node name hosting `stage`.
+    pub fn node_of(&self, stage: StageId) -> Option<&str> {
+        self.placements.get(&stage).map(String::as_str)
+    }
+
+    /// CPU speed factor of the node hosting `stage` (1.0 if unknown).
+    pub fn speed_of(&self, stage: StageId) -> f64 {
+        self.speeds.get(&stage).copied().unwrap_or(1.0)
+    }
+
+    /// All service instances, in stage order.
+    pub fn services(&self) -> &[ServiceInstance] {
+        &self.services
+    }
+
+    /// Mutable access for lifecycle transitions (start/stop).
+    pub fn services_mut(&mut self) -> &mut [ServiceInstance] {
+        &mut self.services
+    }
+
+    /// Mark all services running (executors call this at run start).
+    pub fn start_all(&mut self) -> Result<(), String> {
+        for s in &mut self.services {
+            s.start()?;
+        }
+        Ok(())
+    }
+
+    /// Mark all services stopped.
+    pub fn stop_all(&mut self) -> Result<(), String> {
+        for s in &mut self.services {
+            s.stop()?;
+        }
+        Ok(())
+    }
+
+    /// Number of placed stages.
+    pub fn len(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// True when the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+}
+
+/// Deploys validated topologies onto the grid.
+#[derive(Debug, Default)]
+pub struct Deployer {
+    matchmaker: Matchmaker,
+}
+
+impl Deployer {
+    /// A deployer with the default matchmaker.
+    pub fn new() -> Self {
+        Deployer::default()
+    }
+
+    /// Validate the topology, place every stage, and create a customized
+    /// service instance per stage.
+    pub fn deploy(
+        &self,
+        topology: &Topology,
+        registry: &ResourceRegistry,
+    ) -> Result<DeploymentPlan, GridError> {
+        topology.validate().map_err(|e| GridError::Topology(e.to_string()))?;
+        let placements = self.matchmaker.place(topology, registry)?;
+
+        let mut speeds = HashMap::new();
+        let mut services = Vec::with_capacity(topology.stages().len());
+        for (idx, stage) in topology.stages().iter().enumerate() {
+            let id = StageId::from_index(idx);
+            let node_name = placements.get(&id).expect("every stage placed");
+            let node = registry.node(node_name).expect("placement references known node");
+            speeds.insert(id, node.cpu_speed);
+            let mut service = ServiceInstance::create(stage.name.clone(), node_name.clone());
+            service
+                .customize()
+                .map_err(GridError::AppBuild)?;
+            debug_assert_eq!(service.state(), ServiceState::Customized);
+            services.push(service);
+        }
+        Ok(DeploymentPlan { placements, speeds, services })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeSpec;
+    use gates_core::{Packet, StageApi, StageBuilder, StreamProcessor};
+    use gates_net::{Bandwidth, LinkSpec};
+
+    struct Nop;
+    impl StreamProcessor for Nop {
+        fn process(&mut self, _p: Packet, _a: &mut StageApi) {}
+    }
+
+    fn topology() -> (Topology, StageId, StageId) {
+        let mut t = Topology::new();
+        let a = t.add_stage(StageBuilder::new("src").site("edge").processor(|| Nop)).unwrap();
+        let b = t.add_stage(StageBuilder::new("sink").site("central").processor(|| Nop)).unwrap();
+        t.connect(a, b, LinkSpec::with_bandwidth(Bandwidth::kb_per_sec(100.0)));
+        (t, a, b)
+    }
+
+    fn registry() -> ResourceRegistry {
+        let mut r = ResourceRegistry::new();
+        r.register(NodeSpec::new("e0", "edge").speed(1.0));
+        r.register(NodeSpec::new("c0", "central").speed(2.0));
+        r
+    }
+
+    #[test]
+    fn deploy_places_and_customizes() {
+        let (t, a, b) = topology();
+        let plan = Deployer::new().deploy(&t, &registry()).unwrap();
+        assert_eq!(plan.node_of(a), Some("e0"));
+        assert_eq!(plan.node_of(b), Some("c0"));
+        assert_eq!(plan.speed_of(a), 1.0);
+        assert_eq!(plan.speed_of(b), 2.0);
+        assert_eq!(plan.len(), 2);
+        assert!(plan.services().iter().all(|s| s.state() == ServiceState::Customized));
+    }
+
+    #[test]
+    fn deploy_rejects_invalid_topology() {
+        let mut t = Topology::new();
+        let a = t.add_stage(StageBuilder::new("a").processor(|| Nop)).unwrap();
+        t.connect(a, a, LinkSpec::local());
+        assert!(matches!(
+            Deployer::new().deploy(&t, &registry()),
+            Err(GridError::Topology(_))
+        ));
+    }
+
+    #[test]
+    fn deploy_fails_without_resources() {
+        let (t, _, _) = topology();
+        assert!(matches!(
+            Deployer::new().deploy(&t, &ResourceRegistry::new()),
+            Err(GridError::Placement(_))
+        ));
+    }
+
+    #[test]
+    fn plan_lifecycle_start_stop() {
+        let (t, _, _) = topology();
+        let mut plan = Deployer::new().deploy(&t, &registry()).unwrap();
+        plan.start_all().unwrap();
+        assert!(plan.services().iter().all(|s| s.state() == ServiceState::Running));
+        plan.stop_all().unwrap();
+        assert!(plan.services().iter().all(|s| s.state() == ServiceState::Stopped));
+    }
+
+    #[test]
+    fn unknown_stage_speed_defaults_to_one() {
+        let (t, _, _) = topology();
+        let plan = Deployer::new().deploy(&t, &registry()).unwrap();
+        // Mint an out-of-range id via the same ordinal contract.
+        let ghost = StageId::from_index(99);
+        assert_eq!(plan.speed_of(ghost), 1.0);
+        assert_eq!(plan.node_of(ghost), None);
+    }
+}

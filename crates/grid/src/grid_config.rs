@@ -1,0 +1,155 @@
+//! XML descriptions of the resource pool.
+//!
+//! In the original system the resource directory was populated by Globus
+//! index services; here an operator describes the grid in a small XML
+//! document (the same format the CLI's `--grid` flag loads):
+//!
+//! ```xml
+//! <grid>
+//!   <node name="cern-t0" site="tier0" speed="4.0" memory="16384"
+//!         capacity="8" tags="jvm,fast-io"/>
+//!   <node name="site-0"  site="tier2-0"/>
+//! </grid>
+//! ```
+//!
+//! Only `name` and `site` are required; the rest default to
+//! [`NodeSpec::new`]'s values.
+
+use crate::node::NodeSpec;
+use crate::registry::ResourceRegistry;
+use crate::GridError;
+use gates_xml::parse;
+
+/// Parse a `<grid>` document into a registry.
+pub fn registry_from_xml(text: &str) -> Result<ResourceRegistry, GridError> {
+    let doc = parse(text).map_err(|e| GridError::BadConfig(e.to_string()))?;
+    let root = doc.root();
+    if root.name() != "grid" {
+        return Err(GridError::BadConfig(format!(
+            "expected <grid> root, found <{}>",
+            root.name()
+        )));
+    }
+    let mut registry = ResourceRegistry::new();
+    for node in root.children_named("node") {
+        let name = node
+            .attr("name")
+            .ok_or_else(|| GridError::BadConfig("<node> needs a name attribute".into()))?;
+        let site = node
+            .attr("site")
+            .ok_or_else(|| GridError::BadConfig(format!("<node name={name:?}> needs a site")))?;
+        let mut spec = NodeSpec::new(name, site);
+        if let Some(v) = node.attr("speed") {
+            let speed: f64 = v
+                .parse()
+                .map_err(|_| GridError::BadConfig(format!("node {name:?}: bad speed {v:?}")))?;
+            if speed <= 0.0 || !speed.is_finite() {
+                return Err(GridError::BadConfig(format!(
+                    "node {name:?}: speed must be positive, got {v:?}"
+                )));
+            }
+            spec = spec.speed(speed);
+        }
+        if let Some(v) = node.attr("memory") {
+            let memory: u64 = v
+                .parse()
+                .map_err(|_| GridError::BadConfig(format!("node {name:?}: bad memory {v:?}")))?;
+            spec = spec.memory(memory);
+        }
+        if let Some(v) = node.attr("capacity") {
+            let capacity: usize = v
+                .parse()
+                .map_err(|_| GridError::BadConfig(format!("node {name:?}: bad capacity {v:?}")))?;
+            spec = spec.capacity(capacity);
+        }
+        if let Some(tags) = node.attr("tags") {
+            for tag in tags.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+                spec = spec.tag(tag);
+            }
+        }
+        registry.register(spec);
+    }
+    if registry.is_empty() {
+        return Err(GridError::BadConfig("<grid> declares no nodes".into()));
+    }
+    Ok(registry)
+}
+
+/// Serialize a registry back to the `<grid>` XML format.
+pub fn registry_to_xml(registry: &ResourceRegistry) -> String {
+    use gates_xml::{write_document, Document, Element, WriteOptions};
+    let mut root = Element::new("grid");
+    for node in registry.nodes() {
+        let mut e = Element::new("node")
+            .with_attr("name", &node.name)
+            .with_attr("site", &node.site)
+            .with_attr("speed", node.cpu_speed.to_string())
+            .with_attr("memory", node.memory_mb.to_string())
+            .with_attr("capacity", node.max_stages.to_string());
+        if !node.tags.is_empty() {
+            e = e.with_attr("tags", node.tags.join(","));
+        }
+        root = root.with_child(e);
+    }
+    write_document(&Document::new(root), &WriteOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+        <grid>
+          <node name="t0" site="tier0" speed="4" memory="16384" capacity="8" tags="jvm, fast-io"/>
+          <node name="s0" site="tier2-0"/>
+        </grid>"#;
+
+    #[test]
+    fn parses_full_document() {
+        let r = registry_from_xml(SAMPLE).unwrap();
+        assert_eq!(r.len(), 2);
+        let t0 = r.node("t0").unwrap();
+        assert_eq!(t0.site, "tier0");
+        assert_eq!(t0.cpu_speed, 4.0);
+        assert_eq!(t0.memory_mb, 16_384);
+        assert_eq!(t0.max_stages, 8);
+        assert!(t0.has_tag("jvm"));
+        assert!(t0.has_tag("fast-io"));
+        let s0 = r.node("s0").unwrap();
+        assert_eq!(s0.cpu_speed, 1.0, "defaults apply");
+    }
+
+    #[test]
+    fn missing_required_attributes_rejected() {
+        assert!(registry_from_xml(r#"<grid><node site="x"/></grid>"#).is_err());
+        assert!(registry_from_xml(r#"<grid><node name="x"/></grid>"#).is_err());
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        assert!(registry_from_xml("<cluster/>").is_err());
+    }
+
+    #[test]
+    fn empty_grid_rejected() {
+        assert!(registry_from_xml("<grid/>").is_err());
+    }
+
+    #[test]
+    fn bad_numbers_rejected() {
+        assert!(registry_from_xml(r#"<grid><node name="n" site="s" speed="fast"/></grid>"#)
+            .is_err());
+        assert!(registry_from_xml(r#"<grid><node name="n" site="s" speed="-1"/></grid>"#)
+            .is_err());
+        assert!(registry_from_xml(r#"<grid><node name="n" site="s" memory="lots"/></grid>"#)
+            .is_err());
+    }
+
+    #[test]
+    fn xml_round_trip() {
+        let original = registry_from_xml(SAMPLE).unwrap();
+        let text = registry_to_xml(&original);
+        let reparsed = registry_from_xml(&text).unwrap();
+        assert_eq!(reparsed.nodes(), original.nodes());
+    }
+}

@@ -1,0 +1,160 @@
+//! The Launcher: the application user's single entry point.
+//!
+//! "To start the application, the user simply passes the XML file's URL
+//! link to the Launcher. … The Launcher is in charge of getting
+//! configuration files and analyzing them by using an embedded XML
+//! parser" (paper §3.2). The Launcher hands the parsed configuration to
+//! the repository (to build the topology) and to the Deployer (to place
+//! it), returning a ready-to-execute [`Deployment`].
+
+use gates_core::Topology;
+
+use crate::config::AppConfig;
+use crate::deployer::{Deployer, DeploymentPlan};
+use crate::registry::ResourceRegistry;
+use crate::repository::ApplicationRepository;
+use crate::GridError;
+
+/// A launched application: the built topology plus its placement.
+pub struct Deployment {
+    /// The parsed configuration.
+    pub config: AppConfig,
+    /// The application's stage graph.
+    pub topology: Topology,
+    /// Stage → node placement and service instances.
+    pub plan: DeploymentPlan,
+}
+
+impl std::fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deployment")
+            .field("config", &self.config.name)
+            .field("stages", &self.topology.stages().len())
+            .field("placements", &self.plan.len())
+            .finish()
+    }
+}
+
+/// Parses configurations and drives the Deployer.
+#[derive(Debug, Default)]
+pub struct Launcher {
+    deployer: Deployer,
+}
+
+impl Launcher {
+    /// A launcher with the default deployer.
+    pub fn new() -> Self {
+        Launcher::default()
+    }
+
+    /// Launch from XML configuration text (the "URL contents").
+    pub fn launch_xml(
+        &self,
+        xml: &str,
+        repository: &ApplicationRepository,
+        registry: &ResourceRegistry,
+    ) -> Result<Deployment, GridError> {
+        let config = AppConfig::from_xml(xml)?;
+        self.launch(config, repository, registry)
+    }
+
+    /// Launch from an already-parsed configuration.
+    pub fn launch(
+        &self,
+        config: AppConfig,
+        repository: &ApplicationRepository,
+        registry: &ResourceRegistry,
+    ) -> Result<Deployment, GridError> {
+        let topology = repository.build(&config)?;
+        let plan = self.deployer.deploy(&topology, registry)?;
+        Ok(Deployment { config, topology, plan })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeSpec;
+    use gates_core::{Packet, StageApi, StageBuilder, StreamProcessor};
+    use gates_net::{Bandwidth, LinkSpec};
+
+    struct Nop;
+    impl StreamProcessor for Nop {
+        fn process(&mut self, _p: Packet, _a: &mut StageApi) {}
+    }
+
+    fn repository() -> ApplicationRepository {
+        let mut repo = ApplicationRepository::new();
+        repo.publish("pipeline", |config: &AppConfig| {
+            let stages = config.usize_or("stages", 2).map_err(|e| e.to_string())?;
+            let mut t = Topology::new();
+            let mut prev = None;
+            for i in 0..stages {
+                let id = t
+                    .add_stage(StageBuilder::new(format!("s{i}")).site(format!("site-{i}")).processor(|| Nop))
+                    .map_err(|e| e.to_string())?;
+                if let Some(p) = prev {
+                    t.connect(p, id, LinkSpec::with_bandwidth(Bandwidth::kb_per_sec(100.0)));
+                }
+                prev = Some(id);
+            }
+            Ok(t)
+        });
+        repo
+    }
+
+    fn registry(n: usize) -> ResourceRegistry {
+        let mut r = ResourceRegistry::new();
+        for i in 0..n {
+            r.register(NodeSpec::new(format!("node-{i}"), format!("site-{i}")));
+        }
+        r
+    }
+
+    #[test]
+    fn launch_from_xml_end_to_end() {
+        let xml = r#"
+            <application name="demo" repository="pipeline">
+              <param name="stages" value="3"/>
+            </application>"#;
+        let deployment =
+            Launcher::new().launch_xml(xml, &repository(), &registry(3)).unwrap();
+        assert_eq!(deployment.topology.stages().len(), 3);
+        assert_eq!(deployment.plan.len(), 3);
+        // Site affinity honoured.
+        let s1 = deployment.topology.stage_by_name("s1").unwrap();
+        assert_eq!(deployment.plan.node_of(s1), Some("node-1"));
+    }
+
+    #[test]
+    fn launch_bad_xml_fails_cleanly() {
+        let err = Launcher::new()
+            .launch_xml("<broken", &repository(), &registry(1))
+            .unwrap_err();
+        assert!(matches!(err, GridError::BadConfig(_)));
+    }
+
+    #[test]
+    fn launch_unknown_app_fails() {
+        let xml = r#"<application name="x" repository="ghost"/>"#;
+        let err = Launcher::new().launch_xml(xml, &repository(), &registry(1)).unwrap_err();
+        assert_eq!(err, GridError::UnknownApplication("ghost".into()));
+    }
+
+    #[test]
+    fn launch_without_resources_fails() {
+        let xml = r#"<application name="x" repository="pipeline"/>"#;
+        let err = Launcher::new()
+            .launch_xml(xml, &repository(), &ResourceRegistry::new())
+            .unwrap_err();
+        assert!(matches!(err, GridError::Placement(_)));
+    }
+
+    #[test]
+    fn debug_format_is_compact() {
+        let xml = r#"<application name="demo" repository="pipeline"/>"#;
+        let deployment = Launcher::new().launch_xml(xml, &repository(), &registry(2)).unwrap();
+        let dbg = format!("{deployment:?}");
+        assert!(dbg.contains("demo"));
+    }
+}

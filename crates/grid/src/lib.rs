@@ -1,0 +1,82 @@
+#![warn(missing_docs)]
+
+//! # gates-grid
+//!
+//! The simulated grid substrate beneath GATES.
+//!
+//! The original system "is built on the Open Grid Services Architecture
+//! (OGSA) model and uses the initial version of GT 3.0" for resource
+//! discovery, matching "between the resources and the requirements", and
+//! deployment of stage code into grid-service containers (paper §3).
+//! Globus itself is long gone; this crate reproduces the middleware-facing
+//! surface of that machinery as an in-process substrate:
+//!
+//! * [`NodeSpec`] / [`ResourceRegistry`] — the resource directory: nodes
+//!   with sites, CPU speed factors, memory and tags.
+//! * [`Matchmaker`] — matches each stage's placement requirements against
+//!   the directory (site affinity first, then capacity-aware fallback).
+//! * [`ApplicationRepository`] — named application factories, standing in
+//!   for the paper's web-hosted "application repositories" from which the
+//!   Deployer "retrieves the stage codes".
+//! * [`AppConfig`] — the XML application-configuration document the
+//!   developer writes and the user hands to the Launcher by URL.
+//! * [`Deployer`] — turns a validated topology plus the registry into a
+//!   [`DeploymentPlan`] (stage → node), instantiating one
+//!   [`ServiceInstance`] per stage.
+//! * [`Launcher`] — the user-facing entry point: parse the configuration,
+//!   look up the application, build its topology, deploy it.
+
+mod config;
+mod deployer;
+mod grid_config;
+mod launcher;
+mod matchmaker;
+mod node;
+mod registry;
+mod repository;
+mod service;
+
+pub use config::AppConfig;
+pub use deployer::{Deployer, DeploymentPlan};
+pub use grid_config::{registry_from_xml, registry_to_xml};
+pub use launcher::{Deployment, Launcher};
+pub use matchmaker::{Matchmaker, PlacementError};
+pub use node::NodeSpec;
+pub use registry::ResourceRegistry;
+pub use repository::{AppFactory, ApplicationRepository};
+pub use service::{ServiceInstance, ServiceState};
+
+/// Errors from the grid substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridError {
+    /// Configuration XML did not parse or lacked required fields.
+    BadConfig(String),
+    /// The repository has no application under the requested key.
+    UnknownApplication(String),
+    /// The application factory failed to build a topology.
+    AppBuild(String),
+    /// No feasible placement for a stage.
+    Placement(PlacementError),
+    /// The topology failed validation.
+    Topology(String),
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::BadConfig(msg) => write!(f, "bad application config: {msg}"),
+            GridError::UnknownApplication(key) => write!(f, "unknown application {key:?}"),
+            GridError::AppBuild(msg) => write!(f, "application build failed: {msg}"),
+            GridError::Placement(e) => write!(f, "placement failed: {e}"),
+            GridError::Topology(msg) => write!(f, "invalid topology: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+impl From<PlacementError> for GridError {
+    fn from(e: PlacementError) -> Self {
+        GridError::Placement(e)
+    }
+}

@@ -1,0 +1,194 @@
+//! Matching stage requirements against the resource directory
+//! ("automatic … matching between the resources and the requirements",
+//! paper §3.1).
+
+use std::collections::HashMap;
+
+use gates_core::{StageId, Topology};
+
+use crate::registry::ResourceRegistry;
+
+/// Why a stage could not be placed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// The directory is empty.
+    NoNodes,
+    /// Every candidate node is at capacity.
+    NoCapacity {
+        /// The stage that failed to place.
+        stage: String,
+    },
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::NoNodes => write!(f, "resource directory is empty"),
+            PlacementError::NoCapacity { stage } => {
+                write!(f, "no node has capacity for stage {stage:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// Greedy site-affinity matchmaker.
+///
+/// Policy, per stage in id order:
+/// 1. prefer a node whose site equals the stage's site label and that has
+///    free capacity (least-loaded first, then fastest);
+/// 2. otherwise any node with free capacity (least-loaded, then fastest) —
+///    "computing resources close to the source … can be used for initial
+///    processing" is a preference, not a hard constraint.
+#[derive(Debug, Default)]
+pub struct Matchmaker;
+
+impl Matchmaker {
+    /// Compute a placement for every stage. Returns stage-id → node name.
+    pub fn place(
+        &self,
+        topology: &Topology,
+        registry: &ResourceRegistry,
+    ) -> Result<HashMap<StageId, String>, PlacementError> {
+        if registry.is_empty() {
+            return Err(PlacementError::NoNodes);
+        }
+        let mut load: HashMap<&str, usize> = HashMap::new();
+        let mut placement = HashMap::new();
+
+        for (idx, stage) in topology.stages().iter().enumerate() {
+            let id = topology.stage_by_name(&stage.name).expect("stage exists");
+            debug_assert_eq!(id.index(), idx);
+
+            let pick = |candidates: &mut dyn Iterator<Item = &crate::node::NodeSpec>,
+                        load: &HashMap<&str, usize>| {
+                candidates
+                    .filter(|n| load.get(n.name.as_str()).copied().unwrap_or(0) < n.max_stages)
+                    .min_by(|a, b| {
+                        let la = load.get(a.name.as_str()).copied().unwrap_or(0);
+                        let lb = load.get(b.name.as_str()).copied().unwrap_or(0);
+                        la.cmp(&lb)
+                            .then(b.cpu_speed.partial_cmp(&a.cpu_speed).unwrap())
+                            .then(a.name.cmp(&b.name))
+                    })
+                    .map(|n| n.name.clone())
+            };
+
+            let site_match = pick(&mut registry.at_site(&stage.site), &load);
+            let chosen = match site_match {
+                Some(name) => name,
+                None => pick(&mut registry.nodes().iter(), &load)
+                    .ok_or_else(|| PlacementError::NoCapacity { stage: stage.name.clone() })?,
+            };
+            *load.entry(registry.node(&chosen).unwrap().name.as_str()).or_insert(0) += 1;
+            // Borrow gymnastics: re-key by the owned name.
+            let owned = chosen.clone();
+            placement.insert(id, owned);
+        }
+        Ok(placement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeSpec;
+    use gates_core::{CostModel, Packet, StageApi, StageBuilder, StreamProcessor};
+    use gates_net::{Bandwidth, LinkSpec};
+
+    struct Nop;
+    impl StreamProcessor for Nop {
+        fn process(&mut self, _p: Packet, _a: &mut StageApi) {}
+    }
+
+    fn stage(name: &str, site: &str) -> StageBuilder {
+        StageBuilder::new(name).site(site).cost(CostModel::zero()).processor(|| Nop)
+    }
+
+    fn link() -> LinkSpec {
+        LinkSpec::with_bandwidth(Bandwidth::kb_per_sec(100.0))
+    }
+
+    #[test]
+    fn site_affinity_wins() {
+        let mut t = Topology::new();
+        let a = t.add_stage(stage("src", "edge-0")).unwrap();
+        let b = t.add_stage(stage("sink", "central")).unwrap();
+        t.connect(a, b, link());
+
+        let mut r = ResourceRegistry::new();
+        r.register(NodeSpec::new("e0", "edge-0"));
+        r.register(NodeSpec::new("c0", "central"));
+
+        let placement = Matchmaker.place(&t, &r).unwrap();
+        assert_eq!(placement[&a], "e0");
+        assert_eq!(placement[&b], "c0");
+    }
+
+    #[test]
+    fn falls_back_to_any_node_when_site_missing() {
+        let mut t = Topology::new();
+        let a = t.add_stage(stage("src", "mars")).unwrap();
+        let _ = a;
+        let mut r = ResourceRegistry::new();
+        r.register(NodeSpec::new("c0", "central"));
+        let placement = Matchmaker.place(&t, &r).unwrap();
+        assert_eq!(placement[&a], "c0");
+    }
+
+    #[test]
+    fn prefers_least_loaded_then_fastest() {
+        let mut t = Topology::new();
+        let s1 = t.add_stage(stage("s1", "pool")).unwrap();
+        let s2 = t.add_stage(stage("s2", "pool")).unwrap();
+        let s3 = t.add_stage(stage("s3", "pool")).unwrap();
+        t.connect(s1, s2, link());
+        t.connect(s2, s3, link());
+        let mut r = ResourceRegistry::new();
+        r.register(NodeSpec::new("slow", "pool").speed(1.0).capacity(10));
+        r.register(NodeSpec::new("fast", "pool").speed(2.0).capacity(10));
+        let placement = Matchmaker.place(&t, &r).unwrap();
+        // First goes to fastest; second to the other (less loaded); third
+        // back to fastest.
+        assert_eq!(placement[&s1], "fast");
+        assert_eq!(placement[&s2], "slow");
+        assert_eq!(placement[&s3], "fast");
+    }
+
+    #[test]
+    fn capacity_limits_are_respected() {
+        let mut t = Topology::new();
+        let a = t.add_stage(stage("a", "pool")).unwrap();
+        let b = t.add_stage(stage("b", "pool")).unwrap();
+        t.connect(a, b, link());
+        let mut r = ResourceRegistry::new();
+        r.register(NodeSpec::new("tiny", "pool").capacity(1));
+        let err = Matchmaker.place(&t, &r).unwrap_err();
+        assert_eq!(err, PlacementError::NoCapacity { stage: "b".into() });
+    }
+
+    #[test]
+    fn empty_registry_is_an_error() {
+        let mut t = Topology::new();
+        t.add_stage(stage("a", "x")).unwrap();
+        assert_eq!(Matchmaker.place(&t, &ResourceRegistry::new()).unwrap_err(), PlacementError::NoNodes);
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let build = || {
+            let mut t = Topology::new();
+            let a = t.add_stage(stage("a", "pool")).unwrap();
+            let b = t.add_stage(stage("b", "pool")).unwrap();
+            t.connect(a, b, link());
+            t
+        };
+        let mut r = ResourceRegistry::new();
+        r.register(NodeSpec::new("n1", "pool").capacity(4));
+        r.register(NodeSpec::new("n2", "pool").capacity(4));
+        let p1 = Matchmaker.place(&build(), &r).unwrap();
+        let p2 = Matchmaker.place(&build(), &r).unwrap();
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,98 @@
+//! Node descriptions in the resource directory.
+
+/// One compute resource known to the grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// Unique node name (e.g. `"n0.cluster"`).
+    pub name: String,
+    /// Site label used for placement affinity (e.g. `"source-0"`,
+    /// `"central"`). Several nodes may share a site.
+    pub site: String,
+    /// Relative CPU speed factor: 1.0 is the reference machine; a stage's
+    /// service time is divided by this.
+    pub cpu_speed: f64,
+    /// Available memory in MB (matched against stage requirements).
+    pub memory_mb: u64,
+    /// Free-form capability tags (e.g. `"jvm"`, `"gpu"`).
+    pub tags: Vec<String>,
+    /// Maximum stages this node will host.
+    pub max_stages: usize,
+}
+
+impl NodeSpec {
+    /// A node with defaults: speed 1.0, 1024 MB, no tags, 4 stage slots.
+    pub fn new(name: impl Into<String>, site: impl Into<String>) -> Self {
+        NodeSpec {
+            name: name.into(),
+            site: site.into(),
+            cpu_speed: 1.0,
+            memory_mb: 1024,
+            tags: Vec::new(),
+            max_stages: 4,
+        }
+    }
+
+    /// Set the CPU speed factor (must be positive).
+    pub fn speed(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor.is_finite(), "speed factor must be positive");
+        self.cpu_speed = factor;
+        self
+    }
+
+    /// Set available memory.
+    pub fn memory(mut self, mb: u64) -> Self {
+        self.memory_mb = mb;
+        self
+    }
+
+    /// Add a capability tag.
+    pub fn tag(mut self, tag: impl Into<String>) -> Self {
+        self.tags.push(tag.into());
+        self
+    }
+
+    /// Set the stage-hosting capacity (min 1).
+    pub fn capacity(mut self, stages: usize) -> Self {
+        self.max_stages = stages.max(1);
+        self
+    }
+
+    /// Does this node carry `tag`?
+    pub fn has_tag(&self, tag: &str) -> bool {
+        self.tags.iter().any(|t| t == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let n = NodeSpec::new("n0", "central");
+        assert_eq!(n.cpu_speed, 1.0);
+        assert_eq!(n.memory_mb, 1024);
+        assert_eq!(n.max_stages, 4);
+        assert!(!n.has_tag("gpu"));
+    }
+
+    #[test]
+    fn builder_chain() {
+        let n = NodeSpec::new("n1", "edge").speed(2.0).memory(4096).tag("gpu").capacity(2);
+        assert_eq!(n.cpu_speed, 2.0);
+        assert_eq!(n.memory_mb, 4096);
+        assert!(n.has_tag("gpu"));
+        assert_eq!(n.max_stages, 2);
+    }
+
+    #[test]
+    fn capacity_minimum_is_one() {
+        assert_eq!(NodeSpec::new("n", "s").capacity(0).max_stages, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed factor must be positive")]
+    fn zero_speed_panics() {
+        let _ = NodeSpec::new("n", "s").speed(0.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! The resource directory: the stand-in for Globus/OGSA resource
+//! discovery ("the Globus support allows the system to do automatic
+//! resource discovery", paper §3.1).
+
+use gates_sim::SimTime;
+
+use crate::node::NodeSpec;
+
+/// A queryable catalog of grid nodes.
+///
+/// Entries carry a *lease*: directory services in the paper's OGSA world
+/// aged out nodes that stopped heartbeating. A node registered without a
+/// lease never expires; [`ResourceRegistry::heartbeat`] extends a lease,
+/// [`ResourceRegistry::expire`] sweeps out the dead.
+#[derive(Debug, Clone, Default)]
+pub struct ResourceRegistry {
+    nodes: Vec<NodeSpec>,
+    /// Lease expiry per node (index-aligned); `None` = permanent.
+    leases: Vec<Option<SimTime>>,
+}
+
+impl ResourceRegistry {
+    /// Empty directory.
+    pub fn new() -> Self {
+        ResourceRegistry::default()
+    }
+
+    /// Register a node permanently (no lease). Re-registering a name
+    /// replaces the old entry (directory refresh semantics).
+    pub fn register(&mut self, node: NodeSpec) {
+        self.register_leased(node, None);
+    }
+
+    /// Register a node with an optional lease expiry.
+    pub fn register_leased(&mut self, node: NodeSpec, lease_until: Option<SimTime>) {
+        if let Some(i) = self.nodes.iter().position(|n| n.name == node.name) {
+            self.nodes[i] = node;
+            self.leases[i] = lease_until;
+        } else {
+            self.nodes.push(node);
+            self.leases.push(lease_until);
+        }
+    }
+
+    /// Extend a node's lease to `until`. Returns false for unknown nodes.
+    /// A heartbeat on a permanent node attaches a lease to it.
+    pub fn heartbeat(&mut self, name: &str, until: SimTime) -> bool {
+        match self.nodes.iter().position(|n| n.name == name) {
+            Some(i) => {
+                self.leases[i] = Some(until);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drop every node whose lease expired at or before `now`; returns
+    /// the names removed.
+    pub fn expire(&mut self, now: SimTime) -> Vec<String> {
+        let mut removed = Vec::new();
+        let mut i = 0;
+        while i < self.nodes.len() {
+            if self.leases[i].is_some_and(|t| t <= now) {
+                removed.push(self.nodes.remove(i).name);
+                self.leases.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        removed
+    }
+
+    /// The lease expiry of a node (`None` = permanent or unknown).
+    pub fn lease_of(&self, name: &str) -> Option<SimTime> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .and_then(|i| self.leases[i])
+    }
+
+    /// Remove a node by name; true if it existed.
+    pub fn unregister(&mut self, name: &str) -> bool {
+        match self.nodes.iter().position(|n| n.name == name) {
+            Some(i) => {
+                self.nodes.remove(i);
+                self.leases.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// All registered nodes, in registration order.
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// A node by name.
+    pub fn node(&self, name: &str) -> Option<&NodeSpec> {
+        self.nodes.iter().find(|n| n.name == name)
+    }
+
+    /// Nodes at the given site, in registration order.
+    pub fn at_site<'a>(&'a self, site: &'a str) -> impl Iterator<Item = &'a NodeSpec> + 'a {
+        self.nodes.iter().filter(move |n| n.site == site)
+    }
+
+    /// Nodes meeting all given requirements (site may be `None` for any).
+    pub fn discover<'a>(
+        &'a self,
+        site: Option<&'a str>,
+        min_speed: f64,
+        min_memory_mb: u64,
+        required_tags: &'a [String],
+    ) -> impl Iterator<Item = &'a NodeSpec> + 'a {
+        self.nodes.iter().filter(move |n| {
+            site.is_none_or(|s| n.site == s)
+                && n.cpu_speed >= min_speed
+                && n.memory_mb >= min_memory_mb
+                && required_tags.iter().all(|t| n.has_tag(t))
+        })
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// A convenience uniform cluster: one node per site name, default
+    /// spec. Used throughout the experiments ("all our experiments were
+    /// conducted within a single cluster").
+    pub fn uniform_cluster(sites: &[&str]) -> Self {
+        let mut reg = ResourceRegistry::new();
+        for (i, site) in sites.iter().enumerate() {
+            reg.register(NodeSpec::new(format!("node-{i}"), *site));
+        }
+        reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> ResourceRegistry {
+        let mut r = ResourceRegistry::new();
+        r.register(NodeSpec::new("n0", "central").speed(2.0).memory(8192).tag("jvm"));
+        r.register(NodeSpec::new("n1", "edge").speed(1.0).memory(1024));
+        r.register(NodeSpec::new("n2", "edge").speed(0.5).memory(2048).tag("jvm"));
+        r
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let r = registry();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.node("n1").unwrap().site, "edge");
+        assert!(r.node("nope").is_none());
+    }
+
+    #[test]
+    fn reregistering_replaces() {
+        let mut r = registry();
+        r.register(NodeSpec::new("n1", "moved").speed(3.0));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.node("n1").unwrap().site, "moved");
+        assert_eq!(r.node("n1").unwrap().cpu_speed, 3.0);
+    }
+
+    #[test]
+    fn unregister_removes() {
+        let mut r = registry();
+        assert!(r.unregister("n2"));
+        assert!(!r.unregister("n2"));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn at_site_filters() {
+        let r = registry();
+        let edge: Vec<_> = r.at_site("edge").map(|n| n.name.clone()).collect();
+        assert_eq!(edge, ["n1", "n2"]);
+    }
+
+    #[test]
+    fn discover_applies_all_filters() {
+        let r = registry();
+        let jvm = "jvm".to_string();
+        let found: Vec<_> =
+            r.discover(Some("edge"), 0.0, 0, std::slice::from_ref(&jvm)).map(|n| &n.name).collect();
+        assert_eq!(found, ["n2"]);
+        let fast: Vec<_> = r.discover(None, 1.5, 0, &[]).map(|n| &n.name).collect();
+        assert_eq!(fast, ["n0"]);
+        let big: Vec<_> = r.discover(None, 0.0, 2048, &[]).map(|n| &n.name).collect();
+        assert_eq!(big, ["n0", "n2"]);
+    }
+
+    #[test]
+    fn uniform_cluster_builds_one_node_per_site() {
+        let r = ResourceRegistry::uniform_cluster(&["a", "b", "c"]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.at_site("b").count(), 1);
+    }
+
+    #[test]
+    fn leases_expire_and_heartbeats_extend() {
+        use gates_sim::SimTime;
+        let mut r = ResourceRegistry::new();
+        r.register_leased(NodeSpec::new("a", "s"), Some(SimTime::from_secs_f64(10.0)));
+        r.register_leased(NodeSpec::new("b", "s"), Some(SimTime::from_secs_f64(30.0)));
+        r.register(NodeSpec::new("c", "s")); // permanent
+        assert_eq!(r.lease_of("a"), Some(SimTime::from_secs_f64(10.0)));
+        assert_eq!(r.lease_of("c"), None);
+
+        // Heartbeat keeps 'a' alive past its original lease.
+        assert!(r.heartbeat("a", SimTime::from_secs_f64(60.0)));
+        assert!(!r.heartbeat("ghost", SimTime::from_secs_f64(60.0)));
+
+        let removed = r.expire(SimTime::from_secs_f64(30.0));
+        assert_eq!(removed, vec!["b".to_string()], "only the stale lease expires");
+        assert_eq!(r.len(), 2);
+        let removed = r.expire(SimTime::from_secs_f64(100.0));
+        assert_eq!(removed, vec!["a".to_string()]);
+        assert!(r.node("c").is_some(), "permanent nodes never expire");
+    }
+
+    #[test]
+    fn reregistering_updates_lease() {
+        use gates_sim::SimTime;
+        let mut r = ResourceRegistry::new();
+        r.register_leased(NodeSpec::new("a", "s"), Some(SimTime::from_secs_f64(5.0)));
+        r.register(NodeSpec::new("a", "s2"));
+        assert_eq!(r.lease_of("a"), None, "replacement clears the lease");
+        assert!(r.expire(SimTime::from_secs_f64(100.0)).is_empty());
+    }
+}

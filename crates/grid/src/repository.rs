@@ -1,0 +1,142 @@
+//! Application repositories: named application factories.
+//!
+//! In the original system the Deployer "retrieves the stage codes from
+//! the application repositories" — web servers hosting Java class files.
+//! Here an application is a function from its [`AppConfig`] to a
+//! [`Topology`]; registering it under a key is the equivalent of
+//! publishing the code.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use gates_core::Topology;
+
+use crate::config::AppConfig;
+use crate::GridError;
+
+/// An application factory: builds a topology from a configuration.
+pub type AppFactory = Arc<dyn Fn(&AppConfig) -> Result<Topology, String> + Send + Sync>;
+
+/// A keyed collection of application factories.
+#[derive(Clone, Default)]
+pub struct ApplicationRepository {
+    apps: BTreeMap<String, AppFactory>,
+}
+
+impl ApplicationRepository {
+    /// Empty repository.
+    pub fn new() -> Self {
+        ApplicationRepository::default()
+    }
+
+    /// Publish an application under `key` (replaces an existing entry).
+    pub fn publish<F>(&mut self, key: impl Into<String>, factory: F)
+    where
+        F: Fn(&AppConfig) -> Result<Topology, String> + Send + Sync + 'static,
+    {
+        self.apps.insert(key.into(), Arc::new(factory));
+    }
+
+    /// Build the topology for `config` by looking up its repository key.
+    pub fn build(&self, config: &AppConfig) -> Result<Topology, GridError> {
+        let factory = self
+            .apps
+            .get(&config.repository)
+            .ok_or_else(|| GridError::UnknownApplication(config.repository.clone()))?;
+        factory(config).map_err(GridError::AppBuild)
+    }
+
+    /// Published application keys, sorted.
+    pub fn keys(&self) -> Vec<&str> {
+        self.apps.keys().map(String::as_str).collect()
+    }
+
+    /// Is `key` published?
+    pub fn contains(&self, key: &str) -> bool {
+        self.apps.contains_key(key)
+    }
+
+    /// Number of published applications.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// True when nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+}
+
+impl std::fmt::Debug for ApplicationRepository {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ApplicationRepository").field("keys", &self.keys()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gates_core::{Packet, StageApi, StageBuilder, StreamProcessor};
+
+    struct Nop;
+    impl StreamProcessor for Nop {
+        fn process(&mut self, _p: Packet, _a: &mut StageApi) {}
+    }
+
+    fn publish_single(repo: &mut ApplicationRepository, key: &str) {
+        repo.publish(key, |config: &AppConfig| {
+            let mut t = Topology::new();
+            let stages = config.usize_or("stages", 1).map_err(|e| e.to_string())?;
+            for i in 0..stages {
+                t.add_stage(StageBuilder::new(format!("s{i}")).processor(|| Nop))
+                    .map_err(|e| e.to_string())?;
+            }
+            Ok(t)
+        });
+    }
+
+    #[test]
+    fn publish_and_build() {
+        let mut repo = ApplicationRepository::new();
+        publish_single(&mut repo, "demo");
+        let config = AppConfig::new("run", "demo").with_param("stages", 3);
+        let topo = repo.build(&config).unwrap();
+        assert_eq!(topo.stages().len(), 3);
+    }
+
+    #[test]
+    fn unknown_key_is_error() {
+        let repo = ApplicationRepository::new();
+        let config = AppConfig::new("run", "ghost");
+        assert_eq!(repo.build(&config).unwrap_err(), GridError::UnknownApplication("ghost".into()));
+    }
+
+    #[test]
+    fn factory_errors_are_wrapped() {
+        let mut repo = ApplicationRepository::new();
+        repo.publish("bad", |_| Err("boom".to_string()));
+        let config = AppConfig::new("run", "bad");
+        assert_eq!(repo.build(&config).unwrap_err(), GridError::AppBuild("boom".into()));
+    }
+
+    #[test]
+    fn keys_sorted_and_contains() {
+        let mut repo = ApplicationRepository::new();
+        publish_single(&mut repo, "zeta");
+        publish_single(&mut repo, "alpha");
+        assert_eq!(repo.keys(), ["alpha", "zeta"]);
+        assert!(repo.contains("zeta"));
+        assert!(!repo.contains("beta"));
+        assert_eq!(repo.len(), 2);
+    }
+
+    #[test]
+    fn republish_replaces() {
+        let mut repo = ApplicationRepository::new();
+        publish_single(&mut repo, "app");
+        repo.publish("app", |_| Err("v2".to_string()));
+        let config = AppConfig::new("run", "app");
+        assert_eq!(repo.build(&config).unwrap_err(), GridError::AppBuild("v2".into()));
+        assert_eq!(repo.len(), 1);
+    }
+}

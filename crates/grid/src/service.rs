@@ -1,0 +1,116 @@
+//! GATES grid-service instances.
+//!
+//! The Deployer "initiates instances of the GATES grid service at the
+//! nodes … and uploads the stage specific codes to every instance,
+//! thereby customizing it" (paper §3.2). A [`ServiceInstance`] models
+//! that lifecycle so deployment and teardown are observable and testable.
+
+/// Lifecycle of one grid-service instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceState {
+    /// Instance created at a node, no stage code yet.
+    Created,
+    /// Stage code uploaded ("customized" in the paper's wording).
+    Customized,
+    /// Executing its stage.
+    Running,
+    /// Stopped by the user or by end-of-stream.
+    Stopped,
+}
+
+/// One service instance hosting one stage on one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceInstance {
+    /// The stage this instance hosts.
+    pub stage: String,
+    /// The node it runs on.
+    pub node: String,
+    state: ServiceState,
+}
+
+impl ServiceInstance {
+    /// A freshly created instance.
+    pub fn create(stage: impl Into<String>, node: impl Into<String>) -> Self {
+        ServiceInstance { stage: stage.into(), node: node.into(), state: ServiceState::Created }
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> ServiceState {
+        self.state
+    }
+
+    /// Upload stage code. Only valid from `Created`.
+    pub fn customize(&mut self) -> Result<(), String> {
+        self.transition(ServiceState::Created, ServiceState::Customized)
+    }
+
+    /// Start execution. Only valid from `Customized`.
+    pub fn start(&mut self) -> Result<(), String> {
+        self.transition(ServiceState::Customized, ServiceState::Running)
+    }
+
+    /// Stop execution. Valid from `Running` (idempotent from `Stopped`).
+    pub fn stop(&mut self) -> Result<(), String> {
+        if self.state == ServiceState::Stopped {
+            return Ok(());
+        }
+        self.transition(ServiceState::Running, ServiceState::Stopped)
+    }
+
+    fn transition(&mut self, from: ServiceState, to: ServiceState) -> Result<(), String> {
+        if self.state != from {
+            return Err(format!(
+                "service for stage {:?}: invalid transition {:?} -> {:?}",
+                self.stage, self.state, to
+            ));
+        }
+        self.state = to;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn happy_path_lifecycle() {
+        let mut s = ServiceInstance::create("stage", "node");
+        assert_eq!(s.state(), ServiceState::Created);
+        s.customize().unwrap();
+        assert_eq!(s.state(), ServiceState::Customized);
+        s.start().unwrap();
+        assert_eq!(s.state(), ServiceState::Running);
+        s.stop().unwrap();
+        assert_eq!(s.state(), ServiceState::Stopped);
+    }
+
+    #[test]
+    fn cannot_start_before_customize() {
+        let mut s = ServiceInstance::create("stage", "node");
+        assert!(s.start().is_err());
+    }
+
+    #[test]
+    fn cannot_customize_twice() {
+        let mut s = ServiceInstance::create("stage", "node");
+        s.customize().unwrap();
+        assert!(s.customize().is_err());
+    }
+
+    #[test]
+    fn stop_is_idempotent() {
+        let mut s = ServiceInstance::create("stage", "node");
+        s.customize().unwrap();
+        s.start().unwrap();
+        s.stop().unwrap();
+        s.stop().unwrap();
+        assert_eq!(s.state(), ServiceState::Stopped);
+    }
+
+    #[test]
+    fn cannot_stop_before_running() {
+        let mut s = ServiceInstance::create("stage", "node");
+        assert!(s.stop().is_err());
+    }
+}

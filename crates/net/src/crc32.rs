@@ -1,0 +1,60 @@
+//! CRC-32 (IEEE 802.3 polynomial), table-driven.
+//!
+//! Used to protect frames on the simulated wire. Implemented here because
+//! no checksum crate is on the approved dependency list, and 30 lines of
+//! table-driven CRC is cheaper than a new dependency.
+
+/// Lazily-built 256-entry lookup table for polynomial `0xEDB88320`
+/// (reflected IEEE).
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            }
+            *entry = crc;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `data` (IEEE, as used by zlib/Ethernet).
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ t[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = b"The quick brown fox".to_vec();
+        let original = crc32(&data);
+        data[3] ^= 0x01;
+        assert_ne!(crc32(&data), original);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let data = vec![0xA5u8; 1024];
+        assert_eq!(crc32(&data), crc32(&data));
+    }
+}

@@ -1,0 +1,254 @@
+//! On-wire framing.
+//!
+//! Every packet that crosses a GATES link is encoded as a frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     payload length (u32 BE)
+//! 4       1     kind (data / summary / control / exception / eos)
+//! 5       4     stream id (u32 BE)
+//! 9       8     sequence number (u64 BE)
+//! 17      4     CRC-32 of kind..payload (u32 BE)
+//! 21      n     payload
+//! ```
+//!
+//! The 21-byte header is the per-packet overhead that the experiments
+//! charge against link bandwidth — the stand-in for Java serialization
+//! overhead in the original system.
+
+use crate::crc32::crc32;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Length of the fixed frame header in bytes.
+pub const FRAME_HEADER_LEN: usize = 4 + 1 + 4 + 8 + 4;
+
+/// Frame type tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Raw stream records.
+    Data,
+    /// A summary structure (e.g. counting-samples snapshot).
+    Summary,
+    /// Middleware control traffic (suggested parameter values, etc.).
+    Control,
+    /// An over-/under-load exception report.
+    Exception,
+    /// End of stream.
+    Eos,
+}
+
+impl FrameKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            FrameKind::Data => 0,
+            FrameKind::Summary => 1,
+            FrameKind::Control => 2,
+            FrameKind::Exception => 3,
+            FrameKind::Eos => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0 => FrameKind::Data,
+            1 => FrameKind::Summary,
+            2 => FrameKind::Control,
+            3 => FrameKind::Exception,
+            4 => FrameKind::Eos,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame type.
+    pub kind: FrameKind,
+    /// Which logical stream the frame belongs to.
+    pub stream_id: u32,
+    /// Per-stream sequence number.
+    pub seq: u64,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+impl Frame {
+    /// Total encoded size in bytes (header + payload).
+    pub fn wire_len(&self) -> usize {
+        FRAME_HEADER_LEN + self.payload.len()
+    }
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameDecodeError {
+    /// Fewer bytes available than a header needs, or than the header
+    /// claims; contains how many more bytes are needed at minimum.
+    Truncated(usize),
+    /// Unknown kind tag.
+    BadKind(u8),
+    /// CRC mismatch (stored, computed).
+    BadChecksum(u32, u32),
+}
+
+impl std::fmt::Display for FrameDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameDecodeError::Truncated(n) => write!(f, "frame truncated, need {n} more bytes"),
+            FrameDecodeError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameDecodeError::BadChecksum(stored, computed) => {
+                write!(f, "checksum mismatch: stored {stored:#10x}, computed {computed:#10x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameDecodeError {}
+
+/// Encode a frame to bytes.
+pub fn encode_frame(frame: &Frame) -> Bytes {
+    let mut buf = BytesMut::with_capacity(FRAME_HEADER_LEN + frame.payload.len());
+    buf.put_u32(frame.payload.len() as u32);
+    // The CRC covers kind..payload; build that region first in a scratch
+    // area conceptually — here we compute it incrementally for zero-copy.
+    let mut crc_region = Vec::with_capacity(1 + 4 + 8 + frame.payload.len());
+    crc_region.push(frame.kind.to_u8());
+    crc_region.extend_from_slice(&frame.stream_id.to_be_bytes());
+    crc_region.extend_from_slice(&frame.seq.to_be_bytes());
+    crc_region.extend_from_slice(&frame.payload);
+    let crc = crc32(&crc_region);
+    buf.put_u8(frame.kind.to_u8());
+    buf.put_u32(frame.stream_id);
+    buf.put_u64(frame.seq);
+    buf.put_u32(crc);
+    buf.put_slice(&frame.payload);
+    buf.freeze()
+}
+
+/// Decode one frame from the front of `buf`, consuming it on success.
+///
+/// On `Truncated` the buffer is left untouched so the caller can read
+/// more bytes and retry (standard streaming-decode contract).
+pub fn decode_frame(buf: &mut BytesMut) -> Result<Frame, FrameDecodeError> {
+    if buf.len() < FRAME_HEADER_LEN {
+        return Err(FrameDecodeError::Truncated(FRAME_HEADER_LEN - buf.len()));
+    }
+    let payload_len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    let total = FRAME_HEADER_LEN + payload_len;
+    if buf.len() < total {
+        return Err(FrameDecodeError::Truncated(total - buf.len()));
+    }
+    // Validate before consuming.
+    let kind_byte = buf[4];
+    let kind = FrameKind::from_u8(kind_byte).ok_or(FrameDecodeError::BadKind(kind_byte))?;
+    let stored_crc = u32::from_be_bytes([buf[17], buf[18], buf[19], buf[20]]);
+    let computed = {
+        let mut region = Vec::with_capacity(13 + payload_len);
+        region.extend_from_slice(&buf[4..17]);
+        region.extend_from_slice(&buf[FRAME_HEADER_LEN..total]);
+        crc32(&region)
+    };
+    if stored_crc != computed {
+        return Err(FrameDecodeError::BadChecksum(stored_crc, computed));
+    }
+    buf.advance(4);
+    buf.advance(1);
+    let stream_id = buf.get_u32();
+    let seq = buf.get_u64();
+    let _crc = buf.get_u32();
+    let payload = buf.split_to(payload_len).freeze();
+    Ok(Frame { kind, stream_id, seq, payload })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        Frame {
+            kind: FrameKind::Summary,
+            stream_id: 7,
+            seq: 123_456,
+            payload: Bytes::from_static(b"hello, stream"),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let frame = sample();
+        let encoded = encode_frame(&frame);
+        assert_eq!(encoded.len(), frame.wire_len());
+        let mut buf = BytesMut::from(&encoded[..]);
+        let decoded = decode_frame(&mut buf).unwrap();
+        assert_eq!(decoded, frame);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let frame = Frame { kind: FrameKind::Eos, stream_id: 0, seq: 0, payload: Bytes::new() };
+        let mut buf = BytesMut::from(&encode_frame(&frame)[..]);
+        assert_eq!(decode_frame(&mut buf).unwrap(), frame);
+    }
+
+    #[test]
+    fn truncated_header_reports_needed_bytes() {
+        let mut buf = BytesMut::from(&encode_frame(&sample())[..10]);
+        match decode_frame(&mut buf) {
+            Err(FrameDecodeError::Truncated(n)) => assert_eq!(n, FRAME_HEADER_LEN - 10),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(buf.len(), 10, "buffer untouched on truncation");
+    }
+
+    #[test]
+    fn truncated_payload_reports_needed_bytes() {
+        let encoded = encode_frame(&sample());
+        let cut = encoded.len() - 3;
+        let mut buf = BytesMut::from(&encoded[..cut]);
+        match decode_frame(&mut buf) {
+            Err(FrameDecodeError::Truncated(3)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let encoded = encode_frame(&sample());
+        let mut bytes = encoded.to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        let mut buf = BytesMut::from(&bytes[..]);
+        assert!(matches!(decode_frame(&mut buf), Err(FrameDecodeError::BadChecksum(_, _))));
+    }
+
+    #[test]
+    fn unknown_kind_fails() {
+        let encoded = encode_frame(&sample());
+        let mut bytes = encoded.to_vec();
+        bytes[4] = 200;
+        let mut buf = BytesMut::from(&bytes[..]);
+        assert!(matches!(decode_frame(&mut buf), Err(FrameDecodeError::BadKind(200))));
+    }
+
+    #[test]
+    fn two_frames_stream_decode() {
+        let f1 = sample();
+        let f2 = Frame { kind: FrameKind::Data, stream_id: 1, seq: 2, payload: Bytes::from_static(b"x") };
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&encode_frame(&f1));
+        buf.extend_from_slice(&encode_frame(&f2));
+        assert_eq!(decode_frame(&mut buf).unwrap(), f1);
+        assert_eq!(decode_frame(&mut buf).unwrap(), f2);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn kind_tags_round_trip() {
+        for kind in [FrameKind::Data, FrameKind::Summary, FrameKind::Control, FrameKind::Exception, FrameKind::Eos] {
+            assert_eq!(FrameKind::from_u8(kind.to_u8()), Some(kind));
+        }
+        assert_eq!(FrameKind::from_u8(99), None);
+    }
+}

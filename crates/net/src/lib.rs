@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # gates-net
+//!
+//! The network substrate for the GATES reproduction.
+//!
+//! The original GATES evaluation ran "within a single cluster" and
+//! "introduced delay in the networks to create execution configurations
+//! with different bandwidths" (paper §5). This crate is that mechanism,
+//! made explicit and deterministic:
+//!
+//! * [`LinkSpec`] — a point-to-point link description (bandwidth, latency,
+//!   buffer capacity).
+//! * [`LinkModel`] — a pure store-and-forward transmission model for the
+//!   virtual-time engine: given a packet size and the current clock it
+//!   yields the serialization-complete and delivery times.
+//! * [`TokenBucket`] — a wall-clock rate limiter for the threaded runtime,
+//!   producing the same average bandwidth by telling senders how long to
+//!   sleep.
+//! * [`Frame`] / framing — the on-wire encoding (length-prefixed, CRC-32
+//!   protected) used when stages exchange packets, so experiment byte
+//!   counts come from an actual encoding rather than a guess.
+
+mod crc32;
+mod frame;
+mod link;
+mod spec;
+mod token_bucket;
+
+pub use crc32::crc32;
+pub use frame::{decode_frame, encode_frame, Frame, FrameDecodeError, FrameKind, FRAME_HEADER_LEN};
+pub use link::LinkModel;
+pub use spec::{Bandwidth, FlowControl, LinkSpec};
+pub use token_bucket::TokenBucket;

@@ -1,0 +1,168 @@
+//! Pure store-and-forward transmission model for the virtual-time engine.
+
+use crate::spec::LinkSpec;
+use gates_sim::{SimDuration, SimTime};
+
+/// Transmission state of one simplex link.
+///
+/// The link serializes packets one at a time at `bandwidth`; a packet
+/// handed over at time `t` starts serializing at `max(t, link free time)`,
+/// finishes `size/bandwidth` later, and is delivered `latency` after that.
+/// The model is pure bookkeeping — the engine decides what the computed
+/// times mean (when to deliver, when to release send credits).
+#[derive(Debug, Clone)]
+pub struct LinkModel {
+    spec: LinkSpec,
+    /// When the transmitter finishes the last accepted packet.
+    free_at: SimTime,
+    /// Totals for reports.
+    packets_sent: u64,
+    bytes_sent: u64,
+    busy_time: SimDuration,
+}
+
+/// Times computed for one packet handed to the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transmission {
+    /// When the packet's serialization onto the wire completes — the
+    /// transmitter (and one send credit) is busy until then.
+    pub serialized_at: SimTime,
+    /// When the packet arrives at the receiver.
+    pub delivered_at: SimTime,
+}
+
+impl LinkModel {
+    /// A fresh link with the given spec.
+    pub fn new(spec: LinkSpec) -> Self {
+        LinkModel {
+            spec,
+            free_at: SimTime::ZERO,
+            packets_sent: 0,
+            bytes_sent: 0,
+            busy_time: SimDuration::ZERO,
+        }
+    }
+
+    /// The link's specification.
+    pub fn spec(&self) -> &LinkSpec {
+        &self.spec
+    }
+
+    /// Accept a packet of `bytes` at time `now`, returning its timings.
+    pub fn transmit(&mut self, now: SimTime, bytes: u64) -> Transmission {
+        let start = self.free_at.max(now);
+        let ser = self.spec.bandwidth.transfer_time(bytes);
+        let serialized_at = start + ser;
+        self.free_at = serialized_at;
+        self.packets_sent += 1;
+        self.bytes_sent += bytes;
+        self.busy_time += ser;
+        Transmission { serialized_at, delivered_at: serialized_at + self.spec.latency }
+    }
+
+    /// When the transmitter becomes idle.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Packets accepted so far.
+    pub fn packets_sent(&self) -> u64 {
+        self.packets_sent
+    }
+
+    /// Bytes accepted so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Cumulative serialization time (busy time of the transmitter).
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+
+    /// Transmitter utilization over `[0, now]`, in `[0, 1]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let elapsed = now.as_secs_f64();
+        if elapsed <= 0.0 {
+            return 0.0;
+        }
+        (self.busy_time.as_secs_f64() / elapsed).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Bandwidth;
+
+    fn link_10kbps() -> LinkModel {
+        LinkModel::new(LinkSpec::with_bandwidth(Bandwidth::kb_per_sec(10.0)))
+    }
+
+    #[test]
+    fn single_packet_timing() {
+        let mut link = link_10kbps();
+        // 10_000 bytes at 10 KB/s = 1 second.
+        let tx = link.transmit(SimTime::ZERO, 10_000);
+        assert_eq!(tx.serialized_at.as_secs_f64(), 1.0);
+        assert_eq!(tx.delivered_at, tx.serialized_at);
+    }
+
+    #[test]
+    fn latency_shifts_delivery_not_serialization() {
+        let spec = LinkSpec::with_bandwidth(Bandwidth::kb_per_sec(10.0))
+            .latency(SimDuration::from_millis(250));
+        let mut link = LinkModel::new(spec);
+        let tx = link.transmit(SimTime::ZERO, 10_000);
+        assert_eq!(tx.serialized_at.as_secs_f64(), 1.0);
+        assert_eq!(tx.delivered_at.as_secs_f64(), 1.25);
+    }
+
+    #[test]
+    fn back_to_back_packets_queue_on_transmitter() {
+        let mut link = link_10kbps();
+        let t1 = link.transmit(SimTime::ZERO, 5_000); // 0.5 s
+        let t2 = link.transmit(SimTime::ZERO, 5_000); // queued behind t1
+        assert_eq!(t1.serialized_at.as_secs_f64(), 0.5);
+        assert_eq!(t2.serialized_at.as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn idle_gap_resets_start_time() {
+        let mut link = link_10kbps();
+        link.transmit(SimTime::ZERO, 10_000); // busy until t=1
+        let tx = link.transmit(SimTime::from_secs_f64(5.0), 10_000);
+        assert_eq!(tx.serialized_at.as_secs_f64(), 6.0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut link = link_10kbps();
+        link.transmit(SimTime::ZERO, 1_000);
+        link.transmit(SimTime::ZERO, 2_000);
+        assert_eq!(link.packets_sent(), 2);
+        assert_eq!(link.bytes_sent(), 3_000);
+        assert_eq!(link.busy_time().as_micros(), 300_000);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let mut link = link_10kbps();
+        assert_eq!(link.utilization(SimTime::ZERO), 0.0);
+        link.transmit(SimTime::ZERO, 10_000);
+        let u = link.utilization(SimTime::from_secs_f64(2.0));
+        assert!((u - 0.5).abs() < 1e-9);
+        assert!(link.utilization(SimTime::from_secs_f64(0.5)) <= 1.0);
+    }
+
+    #[test]
+    fn throughput_matches_bandwidth_over_many_packets() {
+        let mut link = link_10kbps();
+        let mut last = SimTime::ZERO;
+        for _ in 0..100 {
+            last = link.transmit(SimTime::ZERO, 1_000).delivered_at;
+        }
+        // 100 KB at 10 KB/s = 10 seconds.
+        assert_eq!(last.as_secs_f64(), 10.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Link descriptions shared by both runtimes.
+
+use gates_sim::SimDuration;
+use std::fmt;
+
+/// A bandwidth in bytes per second.
+///
+/// The paper quotes links in KB/s (1 KB/s … 1 MB/s); constructors are
+/// provided for those units. Stored as `f64` bytes/second.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// From raw bytes per second (must be positive and finite).
+    pub fn bytes_per_sec(bps: f64) -> Self {
+        assert!(bps > 0.0 && bps.is_finite(), "bandwidth must be positive and finite");
+        Bandwidth(bps)
+    }
+
+    /// From kilobytes per second (1 KB = 1000 bytes, as in the paper).
+    pub fn kb_per_sec(kbps: f64) -> Self {
+        Self::bytes_per_sec(kbps * 1_000.0)
+    }
+
+    /// From megabytes per second.
+    pub fn mb_per_sec(mbps: f64) -> Self {
+        Self::bytes_per_sec(mbps * 1_000_000.0)
+    }
+
+    /// Raw bytes per second.
+    pub fn as_bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// Time to serialize `bytes` onto this link.
+    pub fn transfer_time(self, bytes: u64) -> SimDuration {
+        SimDuration::for_transfer(bytes, self.0)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000.0 {
+            write!(f, "{:.3} MB/s", self.0 / 1_000_000.0)
+        } else if self.0 >= 1_000.0 {
+            write!(f, "{:.3} KB/s", self.0 / 1_000.0)
+        } else {
+            write!(f, "{:.0} B/s", self.0)
+        }
+    }
+}
+
+/// End-to-end flow-control discipline of a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlowControl {
+    /// No receiver feedback: packets arriving at a full input queue are
+    /// dropped. Models non-blockable real-time arrivals (sensors, a
+    /// running simulation) — the situation the paper's adaptation exists
+    /// to survive.
+    #[default]
+    Lossy,
+    /// Windowed, receiver-acknowledged flow control (TCP-like): the
+    /// sender stalls instead of overrunning the receiver, and the stall
+    /// propagates upstream as backpressure. Models file-replay and
+    /// JVM-stream generators, which block.
+    Blocking,
+}
+
+/// A point-to-point link between two placement sites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkSpec {
+    /// Serialization bandwidth.
+    pub bandwidth: Bandwidth,
+    /// One-way propagation latency, added after serialization.
+    pub latency: SimDuration,
+    /// Packets the sender may have in flight or buffered at the link
+    /// before further sends block (backpressure). This is what turns a
+    /// saturated link into queue growth at the *upstream* stage, the
+    /// signal the paper's adaptation algorithm reacts to in Figure 9.
+    pub buffer_packets: usize,
+    /// Flow-control discipline (default [`FlowControl::Lossy`]).
+    pub flow: FlowControl,
+}
+
+impl LinkSpec {
+    /// A link with the given bandwidth, zero latency, default buffer (4),
+    /// lossy flow control.
+    pub fn with_bandwidth(bandwidth: Bandwidth) -> Self {
+        LinkSpec {
+            bandwidth,
+            latency: SimDuration::ZERO,
+            buffer_packets: 4,
+            flow: FlowControl::Lossy,
+        }
+    }
+
+    /// Switch to windowed (blocking) flow control.
+    pub fn blocking(mut self) -> Self {
+        self.flow = FlowControl::Blocking;
+        self
+    }
+
+    /// Set the propagation latency.
+    pub fn latency(mut self, latency: SimDuration) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Set the send-buffer capacity in packets (min 1).
+    pub fn buffer(mut self, packets: usize) -> Self {
+        self.buffer_packets = packets.max(1);
+        self
+    }
+
+    /// An effectively infinite link for co-located stages.
+    pub fn local() -> Self {
+        LinkSpec {
+            bandwidth: Bandwidth::bytes_per_sec(1e12),
+            latency: SimDuration::ZERO,
+            buffer_packets: usize::MAX / 2,
+            flow: FlowControl::Lossy,
+        }
+    }
+
+    /// True when this link never meaningfully constrains transfers.
+    pub fn is_local(&self) -> bool {
+        self.bandwidth.as_bytes_per_sec() >= 1e12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_units() {
+        assert_eq!(Bandwidth::kb_per_sec(10.0).as_bytes_per_sec(), 10_000.0);
+        assert_eq!(Bandwidth::mb_per_sec(1.0).as_bytes_per_sec(), 1_000_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = Bandwidth::bytes_per_sec(0.0);
+    }
+
+    #[test]
+    fn transfer_time_scales_inversely_with_bandwidth() {
+        let slow = Bandwidth::kb_per_sec(1.0).transfer_time(1_000);
+        let fast = Bandwidth::kb_per_sec(100.0).transfer_time(1_000);
+        assert_eq!(slow.as_micros(), 1_000_000);
+        assert_eq!(fast.as_micros(), 10_000);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(Bandwidth::bytes_per_sec(500.0).to_string(), "500 B/s");
+        assert_eq!(Bandwidth::kb_per_sec(10.0).to_string(), "10.000 KB/s");
+        assert_eq!(Bandwidth::mb_per_sec(2.0).to_string(), "2.000 MB/s");
+    }
+
+    #[test]
+    fn spec_builder_chain() {
+        let spec = LinkSpec::with_bandwidth(Bandwidth::kb_per_sec(10.0))
+            .latency(SimDuration::from_millis(5))
+            .buffer(2);
+        assert_eq!(spec.latency.as_micros(), 5_000);
+        assert_eq!(spec.buffer_packets, 2);
+        assert!(!spec.is_local());
+    }
+
+    #[test]
+    fn buffer_minimum_is_one() {
+        let spec = LinkSpec::with_bandwidth(Bandwidth::kb_per_sec(1.0)).buffer(0);
+        assert_eq!(spec.buffer_packets, 1);
+    }
+
+    #[test]
+    fn local_link_is_local() {
+        assert!(LinkSpec::local().is_local());
+    }
+
+    #[test]
+    fn flow_control_defaults_lossy_and_builder_switches() {
+        let spec = LinkSpec::with_bandwidth(Bandwidth::kb_per_sec(1.0));
+        assert_eq!(spec.flow, FlowControl::Lossy);
+        assert_eq!(spec.blocking().flow, FlowControl::Blocking);
+    }
+}

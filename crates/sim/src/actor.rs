@@ -1,0 +1,137 @@
+//! Actors, events, and the context actors use to affect the simulation.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Index of an actor within a [`crate::Simulation`].
+pub type ActorId = usize;
+
+/// An occurrence delivered to an actor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event<M> {
+    /// Delivered once to every actor when the simulation starts (t = 0) or,
+    /// for actors added after the run began, at the time of addition.
+    Start,
+    /// A message sent by another actor (or by the actor itself).
+    Message {
+        /// Sender's id.
+        from: ActorId,
+        /// The payload.
+        payload: M,
+    },
+    /// A timer set earlier by this actor via [`Context::set_timer`].
+    Timer {
+        /// The tag passed to `set_timer`, so one actor can multiplex timers.
+        tag: u64,
+    },
+}
+
+/// A simulated entity. `M` is the simulation-wide message payload type.
+pub trait Actor<M>: 'static {
+    /// React to an event. All side effects go through `ctx`.
+    fn on_event(&mut self, event: Event<M>, ctx: &mut Context<'_, M>);
+}
+
+/// One pending delivery in the event queue.
+#[derive(Debug)]
+pub(crate) struct Scheduled<M> {
+    pub at: SimTime,
+    pub seq: u64,
+    pub to: ActorId,
+    pub event: Event<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Earliest time first; FIFO within a timestamp via the sequence
+        // number. (The queue wraps this in `Reverse` for a min-heap.)
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Handle through which an actor inspects the clock and schedules effects.
+///
+/// Effects are buffered and merged into the event queue after the actor's
+/// handler returns, which keeps dispatch deterministic and borrow-friendly.
+pub struct Context<'a, M> {
+    pub(crate) now: SimTime,
+    pub(crate) self_id: ActorId,
+    pub(crate) outbox: &'a mut Vec<(SimDuration, ActorId, Event<M>)>,
+    pub(crate) stop: &'a mut bool,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the actor handling the current event.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Deliver `payload` to actor `to` after `delay` (zero is allowed and
+    /// preserves send order).
+    pub fn send(&mut self, to: ActorId, payload: M, delay: SimDuration) {
+        self.outbox.push((delay, to, Event::Message { from: self.self_id, payload }));
+    }
+
+    /// Deliver a [`Event::Timer`] with `tag` to this actor after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) {
+        self.outbox.push((delay, self.self_id, Event::Timer { tag }));
+    }
+
+    /// Request that the simulation stop after the current event completes.
+    /// Remaining queued events are not processed (but stay queued).
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduled_orders_by_time_then_seq() {
+        let a = Scheduled::<()> { at: SimTime::from_micros(5), seq: 2, to: 0, event: Event::Start };
+        let b = Scheduled::<()> { at: SimTime::from_micros(5), seq: 3, to: 0, event: Event::Start };
+        let c = Scheduled::<()> { at: SimTime::from_micros(9), seq: 1, to: 0, event: Event::Start };
+        assert!(a < b, "same time orders by sequence");
+        assert!(b < c, "earlier time wins regardless of sequence");
+    }
+
+    #[test]
+    fn context_buffers_effects() {
+        let mut outbox = Vec::new();
+        let mut stop = false;
+        let mut ctx =
+            Context::<u32> { now: SimTime::ZERO, self_id: 7, outbox: &mut outbox, stop: &mut stop };
+        ctx.send(3, 42, SimDuration::from_micros(10));
+        ctx.set_timer(SimDuration::from_micros(5), 99);
+        ctx.stop();
+        assert_eq!(outbox.len(), 2);
+        assert!(stop);
+        match &outbox[0] {
+            (d, 3, Event::Message { from: 7, payload: 42 }) => {
+                assert_eq!(d.as_micros(), 10)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &outbox[1] {
+            (_, 7, Event::Timer { tag: 99 }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

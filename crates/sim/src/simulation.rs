@@ -1,0 +1,308 @@
+//! The event loop: a time-ordered queue dispatching events to actors.
+
+use crate::actor::{Actor, ActorId, Context, Event, Scheduled};
+use crate::time::{SimDuration, SimTime};
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Internal object-safe wrapper adding downcast support to actors.
+trait AnyActor<M>: Actor<M> {
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<M, T: Actor<M> + 'static> AnyActor<M> for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A deterministic discrete-event simulation over message type `M`.
+pub struct Simulation<M> {
+    actors: Vec<Box<dyn AnyActor<M>>>,
+    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    outbox: Vec<(SimDuration, ActorId, Event<M>)>,
+    now: SimTime,
+    seq: u64,
+    stop: bool,
+    events_processed: u64,
+}
+
+impl<M: 'static> Default for Simulation<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: 'static> Simulation<M> {
+    /// An empty simulation at t = 0.
+    pub fn new() -> Self {
+        Simulation {
+            actors: Vec::new(),
+            queue: BinaryHeap::new(),
+            outbox: Vec::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            stop: false,
+            events_processed: 0,
+        }
+    }
+
+    /// Register an actor and schedule its [`Event::Start`] at the current
+    /// time. Returns the actor's id (ids are assigned sequentially).
+    pub fn add_actor<A: Actor<M>>(&mut self, actor: A) -> ActorId {
+        let id = self.actors.len();
+        self.actors.push(Box::new(actor));
+        self.push_event(self.now, id, Event::Start);
+        id
+    }
+
+    /// Current virtual time (time of the most recently dispatched event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of registered actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Immutable downcast access to an actor (e.g. to read results after a
+    /// run). Returns `None` for a wrong id or type.
+    pub fn actor<A: Actor<M>>(&self, id: ActorId) -> Option<&A> {
+        self.actors.get(id)?.as_any().downcast_ref::<A>()
+    }
+
+    /// Mutable downcast access to an actor.
+    pub fn actor_mut<A: Actor<M>>(&mut self, id: ActorId) -> Option<&mut A> {
+        self.actors.get_mut(id)?.as_any_mut().downcast_mut::<A>()
+    }
+
+    /// Schedule an event from outside any actor (e.g. test drivers).
+    pub fn inject(&mut self, to: ActorId, payload: M, delay: SimDuration) {
+        self.push_event(self.now + delay, to, Event::Message { from: usize::MAX, payload });
+    }
+
+    fn push_event(&mut self, at: SimTime, to: ActorId, event: Event<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, to, event }));
+    }
+
+    /// Dispatch the next event. Returns `false` when the queue is empty or
+    /// a stop was requested.
+    pub fn step(&mut self) -> bool {
+        if self.stop {
+            return false;
+        }
+        let Some(Reverse(next)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(next.at >= self.now, "time must be monotone");
+        self.now = next.at;
+        self.events_processed += 1;
+
+        if let Some(actor) = self.actors.get_mut(next.to) {
+            let mut ctx = Context {
+                now: self.now,
+                self_id: next.to,
+                outbox: &mut self.outbox,
+                stop: &mut self.stop,
+            };
+            actor.on_event(next.event, &mut ctx);
+        }
+        // Merge buffered effects into the queue (in emission order, so
+        // same-time sends keep their relative order via `seq`). The outbox
+        // is swapped out and back to reuse its capacity on the hot path.
+        let mut drained = std::mem::take(&mut self.outbox);
+        for (delay, to, event) in drained.drain(..) {
+            let at = self.now + delay;
+            let seq = self.seq;
+            self.seq += 1;
+            self.queue.push(Reverse(Scheduled { at, seq, to, event }));
+        }
+        self.outbox = drained;
+        true
+    }
+
+    /// Run until the queue empties or an actor calls [`Context::stop`].
+    /// Returns the final virtual time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Run until virtual time reaches `deadline` (events at exactly
+    /// `deadline` are processed), the queue empties, or a stop is requested.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(next)) if next.at <= deadline && !self.stop => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        // Advance the clock to the deadline even if no event landed on it,
+        // so repeated `run_until` calls observe monotone time.
+        if self.now < deadline && !self.stop {
+            self.now = deadline;
+        }
+        self.now
+    }
+
+    /// True once a stop has been requested.
+    pub fn stopped(&self) -> bool {
+        self.stop
+    }
+
+    /// Clear a previous stop request so the run can be resumed.
+    pub fn clear_stop(&mut self) {
+        self.stop = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Forwards each received number to its peer, incremented, until the
+    /// number reaches a limit.
+    struct Counter {
+        peer: ActorId,
+        limit: u32,
+        seen: Vec<u32>,
+    }
+
+    impl Actor<u32> for Counter {
+        fn on_event(&mut self, event: Event<u32>, ctx: &mut Context<'_, u32>) {
+            if let Event::Message { payload, .. } = event {
+                self.seen.push(payload);
+                if payload < self.limit {
+                    ctx.send(self.peer, payload + 1, SimDuration::from_micros(100));
+                } else {
+                    ctx.stop();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_advances_time() {
+        let mut sim = Simulation::new();
+        // Ids are sequential, so the peers are known up front.
+        let a = sim.add_actor(Counter { peer: 1, limit: 10, seen: vec![] });
+        let b = sim.add_actor(Counter { peer: 0, limit: 10, seen: vec![] });
+        sim.inject(a, 0, SimDuration::ZERO);
+        let end = sim.run();
+        // 0..=10 is 11 messages; 10 of them scheduled with 100 µs delay.
+        assert_eq!(end.as_micros(), 1_000);
+        let a_seen = &sim.actor::<Counter>(a).unwrap().seen;
+        let b_seen = &sim.actor::<Counter>(b).unwrap().seen;
+        assert_eq!(a_seen, &[0, 2, 4, 6, 8, 10]);
+        assert_eq!(b_seen, &[1, 3, 5, 7, 9]);
+    }
+
+    struct Recorder {
+        order: Vec<u32>,
+    }
+    impl Actor<u32> for Recorder {
+        fn on_event(&mut self, event: Event<u32>, _ctx: &mut Context<'_, u32>) {
+            if let Event::Message { payload, .. } = event {
+                self.order.push(payload);
+            }
+        }
+    }
+
+    #[test]
+    fn same_time_events_are_fifo() {
+        let mut sim = Simulation::new();
+        let r = sim.add_actor(Recorder { order: vec![] });
+        for i in 0..50 {
+            sim.inject(r, i, SimDuration::from_micros(10));
+        }
+        sim.run();
+        let order = &sim.actor::<Recorder>(r).unwrap().order;
+        assert_eq!(*order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulation::new();
+        let r = sim.add_actor(Recorder { order: vec![] });
+        for i in 0..10u32 {
+            sim.inject(r, i, SimDuration::from_secs(i as u64));
+        }
+        sim.run_until(SimTime::from_secs_f64(4.0));
+        assert_eq!(sim.actor::<Recorder>(r).unwrap().order.len(), 5); // t=0..4 inclusive
+        assert_eq!(sim.now().as_secs_f64(), 4.0);
+        sim.run();
+        assert_eq!(sim.actor::<Recorder>(r).unwrap().order.len(), 10);
+    }
+
+    #[test]
+    fn run_until_advances_clock_without_events() {
+        let mut sim = Simulation::<u32>::new();
+        sim.run(); // drain (nothing)
+        sim.run_until(SimTime::from_secs_f64(3.0));
+        assert_eq!(sim.now().as_secs_f64(), 3.0);
+    }
+
+    #[test]
+    fn stop_halts_processing_and_can_resume() {
+        let mut sim = Simulation::new();
+        let a = sim.add_actor(Counter { peer: 1, limit: 3, seen: vec![] });
+        let _b = sim.add_actor(Counter { peer: 0, limit: 3, seen: vec![] });
+        sim.inject(a, 0, SimDuration::ZERO);
+        // Two extras queued behind the stop: one triggers another stop on
+        // resume, proving the queue survived intact.
+        sim.inject(a, 100, SimDuration::from_secs(100));
+        sim.inject(a, 200, SimDuration::from_secs(200));
+        sim.run();
+        assert!(sim.stopped(), "payload 3 reached the limit and stopped");
+        let processed = sim.events_processed();
+        sim.clear_stop();
+        sim.run();
+        assert!(sim.events_processed() > processed, "resumed with queued events");
+    }
+
+    #[test]
+    fn actor_downcast_wrong_type_is_none() {
+        let mut sim = Simulation::<u32>::new();
+        let r = sim.add_actor(Recorder { order: vec![] });
+        assert!(sim.actor::<Counter>(r).is_none());
+        assert!(sim.actor::<Recorder>(r).is_some());
+        assert!(sim.actor::<Recorder>(99).is_none());
+    }
+
+    #[test]
+    fn identical_runs_are_deterministic() {
+        let run = || {
+            let mut sim = Simulation::new();
+            let a = sim.add_actor(Counter { peer: 1, limit: 20, seen: vec![] });
+            let b = sim.add_actor(Counter { peer: 0, limit: 20, seen: vec![] });
+            sim.inject(a, 0, SimDuration::ZERO);
+            sim.inject(b, 5, SimDuration::from_micros(7));
+            sim.run();
+            (sim.now(), sim.events_processed(), sim.actor::<Counter>(a).unwrap().seen.clone())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn events_to_unknown_actor_are_dropped() {
+        let mut sim = Simulation::<u32>::new();
+        sim.inject(42, 1, SimDuration::ZERO);
+        sim.run(); // must not panic
+        assert_eq!(sim.events_processed(), 1);
+    }
+}

@@ -1,0 +1,244 @@
+//! Virtual clock types: absolute [`SimTime`] and relative [`SimDuration`],
+//! both with microsecond resolution.
+//!
+//! Integer microseconds keep event ordering exact (no float comparison
+//! surprises) while still resolving the sub-millisecond service times the
+//! experiments need.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An instant on the simulation clock, in microseconds since t = 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future — later than any reachable event.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Construct from (possibly fractional) seconds. Saturates at zero for
+    /// negative input.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimTime(secs_to_micros(secs))
+    }
+
+    /// Whole microseconds since t = 0.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since t = 0 as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time elapsed since `earlier`; zero if `earlier` is in the future.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000)
+    }
+
+    /// Construct from fractional seconds; saturates at zero for negatives.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimDuration(secs_to_micros(secs))
+    }
+
+    /// Whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// True for the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Duration needed to transmit `bytes` at `bytes_per_sec` (rounds up to
+    /// the next microsecond so tiny packets still take nonzero time).
+    pub fn for_transfer(bytes: u64, bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
+        let micros = (bytes as f64 * 1e6 / bytes_per_sec).ceil() as u64;
+        SimDuration(micros.max(if bytes > 0 { 1 } else { 0 }))
+    }
+}
+
+fn secs_to_micros(secs: f64) -> u64 {
+    if secs <= 0.0 || secs.is_nan() {
+        0
+    } else {
+        (secs * 1e6).round().min(u64::MAX as f64) as u64
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_round_trip() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.as_micros(), 1_500_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_seconds_saturate_to_zero() {
+        assert_eq!(SimTime::from_secs_f64(-3.0), SimTime::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn add_duration_to_time() {
+        let t = SimTime::from_micros(10) + SimDuration::from_micros(5);
+        assert_eq!(t.as_micros(), 15);
+    }
+
+    #[test]
+    fn since_is_saturating() {
+        let a = SimTime::from_micros(10);
+        let b = SimTime::from_micros(30);
+        assert_eq!(b.since(a).as_micros(), 20);
+        assert_eq!(a.since(b), SimDuration::ZERO);
+        assert_eq!((b - a).as_micros(), 20);
+    }
+
+    #[test]
+    fn transfer_time_matches_bandwidth() {
+        // 1000 bytes at 1000 B/s = 1 second.
+        let d = SimDuration::for_transfer(1000, 1000.0);
+        assert_eq!(d.as_micros(), 1_000_000);
+    }
+
+    #[test]
+    fn transfer_time_rounds_up_and_is_nonzero() {
+        let d = SimDuration::for_transfer(1, 1e9);
+        assert!(d.as_micros() >= 1);
+        assert_eq!(SimDuration::for_transfer(0, 1000.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn transfer_with_zero_bandwidth_panics() {
+        let _ = SimDuration::for_transfer(10, 0.0);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = SimDuration::from_millis(2) * 3;
+        assert_eq!(d.as_micros(), 6_000);
+        assert_eq!((d / 2).as_micros(), 3_000);
+        assert_eq!((d - SimDuration::from_secs(1)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn saturating_add_at_max() {
+        let t = SimTime::MAX + SimDuration::from_secs(1);
+        assert_eq!(t, SimTime::MAX);
+    }
+
+    #[test]
+    fn display_formats_as_seconds() {
+        assert_eq!(SimTime::from_secs_f64(0.25).to_string(), "0.250000s");
+    }
+}

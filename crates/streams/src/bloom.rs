@@ -1,0 +1,186 @@
+//! Bloom filter: approximate set membership with no false negatives.
+//!
+//! The intrusion template uses one as a *known-benign allowlist* — a
+//! site can suppress reports for addresses the operations team has
+//! vetted, at a few bits per entry, and ship the filter itself to new
+//! sites (it serializes to its bit array).
+
+/// A Bloom filter over `u64` keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    /// Number of bits (power of two for cheap masking).
+    m: usize,
+    /// Number of hash probes.
+    k: u32,
+    items: u64,
+}
+
+fn mix(x: u64, seed: u64) -> u64 {
+    let mut z = x ^ seed.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    z = (z ^ (z >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    z ^ (z >> 33)
+}
+
+impl BloomFilter {
+    /// Filter sized for `expected` items at the given false-positive
+    /// rate (`0 < fp < 1`).
+    pub fn new(expected: usize, fp: f64) -> Self {
+        assert!(expected >= 1, "expected items must be positive");
+        assert!(fp > 0.0 && fp < 1.0, "false-positive rate in (0,1)");
+        // m = -n·ln(p)/ln(2)², k = m/n·ln(2); round m up to a power of two.
+        let m_exact = -(expected as f64) * fp.ln() / std::f64::consts::LN_2.powi(2);
+        let m = (m_exact.ceil() as usize).next_power_of_two().max(64);
+        let k = ((m as f64 / expected as f64) * std::f64::consts::LN_2).round().clamp(1.0, 16.0)
+            as u32;
+        BloomFilter { bits: vec![0; m / 64], m, k, items: 0 }
+    }
+
+    fn probe(&self, key: u64, i: u32) -> usize {
+        // Double hashing: h1 + i·h2, standard Kirsch–Mitzenmacher.
+        let h1 = mix(key, 0x9E37_79B9_7F4A_7C15);
+        let h2 = mix(key, 0x6A09_E667_F3BC_C909) | 1;
+        (h1.wrapping_add((i as u64).wrapping_mul(h2)) & (self.m as u64 - 1)) as usize
+    }
+
+    /// Add a key.
+    pub fn insert(&mut self, key: u64) {
+        for i in 0..self.k {
+            let bit = self.probe(key, i);
+            self.bits[bit / 64] |= 1 << (bit % 64);
+        }
+        self.items += 1;
+    }
+
+    /// Membership test: `false` is definitive; `true` may be a false
+    /// positive (at ≈ the configured rate).
+    pub fn contains(&self, key: u64) -> bool {
+        (0..self.k).all(|i| {
+            let bit = self.probe(key, i);
+            self.bits[bit / 64] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// Union with a same-shape filter.
+    pub fn union(&mut self, other: &BloomFilter) -> Result<(), String> {
+        if self.m != other.m || self.k != other.k {
+            return Err(format!("shape mismatch: ({}, {}) vs ({}, {})", self.m, self.k, other.m, other.k));
+        }
+        for (mine, theirs) in self.bits.iter_mut().zip(&other.bits) {
+            *mine |= *theirs;
+        }
+        self.items += other.items;
+        Ok(())
+    }
+
+    /// Number of bits.
+    pub fn bit_len(&self) -> usize {
+        self.m
+    }
+
+    /// Hash probes per key.
+    pub fn hashes(&self) -> u32 {
+        self.k
+    }
+
+    /// Items inserted (upper bound; duplicates counted).
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Fraction of bits set (fill factor; ~0.5 at design load).
+    pub fn fill(&self) -> f64 {
+        let set: u32 = self.bits.iter().map(|w| w.count_ones()).sum();
+        set as f64 / self.m as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = BloomFilter::new(1_000, 0.01);
+        for i in 0..1_000u64 {
+            bf.insert(i * 3);
+        }
+        for i in 0..1_000u64 {
+            assert!(bf.contains(i * 3), "inserted key {} missing", i * 3);
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_near_design() {
+        let mut bf = BloomFilter::new(10_000, 0.01);
+        for i in 0..10_000u64 {
+            bf.insert(i);
+        }
+        let mut fp = 0u32;
+        let probes = 100_000u64;
+        for i in 0..probes {
+            if bf.contains(1_000_000 + i) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / probes as f64;
+        assert!(rate < 0.03, "false-positive rate {rate} far above design 0.01");
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let bf = BloomFilter::new(100, 0.01);
+        for i in 0..1_000u64 {
+            assert!(!bf.contains(i));
+        }
+        assert_eq!(bf.fill(), 0.0);
+    }
+
+    #[test]
+    fn union_contains_both_sides() {
+        let mut a = BloomFilter::new(1_000, 0.01);
+        let mut b = BloomFilter::new(1_000, 0.01);
+        for i in 0..500u64 {
+            a.insert(i);
+            b.insert(10_000 + i);
+        }
+        a.union(&b).unwrap();
+        for i in 0..500u64 {
+            assert!(a.contains(i));
+            assert!(a.contains(10_000 + i));
+        }
+        assert_eq!(a.items(), 1_000);
+    }
+
+    #[test]
+    fn union_shape_mismatch_is_error() {
+        let mut a = BloomFilter::new(1_000, 0.01);
+        let b = BloomFilter::new(10, 0.5);
+        assert!(a.union(&b).is_err());
+    }
+
+    #[test]
+    fn sizing_is_sane() {
+        let bf = BloomFilter::new(10_000, 0.01);
+        // ~9.6 bits/item, rounded to a power of two: 131072 bits.
+        assert!(bf.bit_len() >= 95_851);
+        assert!(bf.bit_len().is_power_of_two());
+        assert!((5..=10).contains(&bf.hashes()));
+    }
+
+    #[test]
+    fn fill_factor_reasonable_at_design_load() {
+        let mut bf = BloomFilter::new(1_000, 0.01);
+        for i in 0..1_000u64 {
+            bf.insert(i);
+        }
+        let fill = bf.fill();
+        assert!(fill > 0.2 && fill < 0.7, "fill {fill} should be near 0.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "false-positive rate in (0,1)")]
+    fn bad_fp_rate_panics() {
+        let _ = BloomFilter::new(100, 1.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Count-Min sketch: fixed-memory frequency estimation with one-sided
+//! error. Used by the intrusion-detection application template, where
+//! per-key counters (connection sources) are too numerous to keep
+//! exactly.
+
+/// A Count-Min sketch over `u64` keys with `depth` rows of `width`
+/// counters. Estimates overcount by at most `ε·N` with probability
+/// `1 − δ`, for `width = ⌈e/ε⌉`, `depth = ⌈ln(1/δ)⌉`.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    rows: Vec<Vec<u64>>,
+    /// Row-specific hash seeds.
+    seeds: Vec<u64>,
+    total: u64,
+}
+
+impl CountMinSketch {
+    /// Sketch with explicit dimensions.
+    pub fn new(width: usize, depth: usize) -> Self {
+        assert!(width >= 1 && depth >= 1, "sketch dimensions must be positive");
+        let seeds = (0..depth as u64).map(|i| 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1)).collect();
+        CountMinSketch { width, depth, rows: vec![vec![0; width]; depth], seeds, total: 0 }
+    }
+
+    /// Sketch sized for additive error `ε·N` with failure chance `δ`.
+    pub fn with_error(epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon in (0,1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta in (0,1)");
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(width, depth)
+    }
+
+    fn bucket(&self, row: usize, key: u64) -> usize {
+        // SplitMix64-style mix with a per-row seed.
+        let mut z = key ^ self.seeds[row];
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % self.width as u64) as usize
+    }
+
+    /// Add `count` occurrences of `key`.
+    pub fn add(&mut self, key: u64, count: u64) {
+        for row in 0..self.depth {
+            let b = self.bucket(row, key);
+            self.rows[row][b] = self.rows[row][b].saturating_add(count);
+        }
+        self.total = self.total.saturating_add(count);
+    }
+
+    /// Observe a single occurrence.
+    pub fn insert(&mut self, key: u64) {
+        self.add(key, 1);
+    }
+
+    /// Frequency estimate for `key` (never an underestimate).
+    pub fn estimate(&self, key: u64) -> u64 {
+        (0..self.depth).map(|row| self.rows[row][self.bucket(row, key)]).min().unwrap_or(0)
+    }
+
+    /// Merge a same-shape sketch by element-wise addition.
+    pub fn merge(&mut self, other: &CountMinSketch) -> Result<(), String> {
+        if self.width != other.width || self.depth != other.depth {
+            return Err(format!(
+                "sketch shape mismatch: {}x{} vs {}x{}",
+                self.depth, self.width, other.depth, other.width
+            ));
+        }
+        for (mine, theirs) in self.rows.iter_mut().zip(&other.rows) {
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                *m = m.saturating_add(*t);
+            }
+        }
+        self.total = self.total.saturating_add(other.total);
+        Ok(())
+    }
+
+    /// Total count added.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `(width, depth)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.width, self.depth)
+    }
+
+    /// Memory footprint in counters.
+    pub fn counters(&self) -> usize {
+        self.width * self.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_never_undercount() {
+        let mut cm = CountMinSketch::new(64, 4);
+        for i in 0..1_000u64 {
+            cm.insert(i % 50);
+        }
+        for key in 0..50u64 {
+            assert!(cm.estimate(key) >= 20, "key {key} undercounted");
+        }
+    }
+
+    #[test]
+    fn exact_for_sparse_keys() {
+        let mut cm = CountMinSketch::new(1024, 4);
+        cm.add(1, 10);
+        cm.add(2, 20);
+        assert_eq!(cm.estimate(1), 10);
+        assert_eq!(cm.estimate(2), 20);
+        assert_eq!(cm.estimate(3), 0);
+    }
+
+    #[test]
+    fn with_error_sizes_reasonably() {
+        let cm = CountMinSketch::with_error(0.01, 0.01);
+        let (w, d) = cm.shape();
+        assert!(w >= 271, "width for eps=0.01 is ceil(e/0.01)");
+        assert!((4..=6).contains(&d));
+    }
+
+    #[test]
+    fn error_bound_holds_on_zipf_like_load() {
+        let mut cm = CountMinSketch::with_error(0.01, 0.01);
+        let n = 100_000u64;
+        for i in 0..n {
+            cm.insert(i % 1000); // uniform over 1000 keys
+        }
+        let eps_n = (0.01 * n as f64) as u64;
+        for key in (0..1000u64).step_by(97) {
+            let est = cm.estimate(key);
+            assert!(est >= 100);
+            assert!(est <= 100 + eps_n, "estimate {est} above error bound");
+        }
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = CountMinSketch::new(128, 3);
+        let mut b = CountMinSketch::new(128, 3);
+        a.add(7, 5);
+        b.add(7, 9);
+        a.merge(&b).unwrap();
+        assert_eq!(a.estimate(7), 14);
+        assert_eq!(a.total(), 14);
+    }
+
+    #[test]
+    fn merge_shape_mismatch_is_error() {
+        let mut a = CountMinSketch::new(128, 3);
+        let b = CountMinSketch::new(64, 3);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = CountMinSketch::new(64, 4);
+        let mut b = CountMinSketch::new(64, 4);
+        for i in 0..500u64 {
+            a.insert(i % 37);
+            b.insert(i % 37);
+        }
+        for key in 0..37u64 {
+            assert_eq!(a.estimate(key), b.estimate(key));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sketch dimensions must be positive")]
+    fn zero_width_panics() {
+        let _ = CountMinSketch::new(0, 2);
+    }
+}

@@ -1,0 +1,471 @@
+//! Gibbons–Matias *counting samples* — the approximate one-pass summary
+//! behind the paper's `count-samps` application.
+//!
+//! A counting sample maintains a bounded set of entries under a sampling
+//! threshold τ. Every arrival of a value already in the sample is counted
+//! exactly; a new value enters the sample with probability 1/τ. When the
+//! sample outgrows its footprint, τ is raised by a growth factor and
+//! every entry is *subsampled down*: its sample count is decremented by
+//! repeated coin flips until a flip at the new rate succeeds (or the
+//! entry dies). Frequent values therefore survive while rare values wash
+//! out — exactly the behaviour the top-k query needs.
+//!
+//! ## Frequency estimation
+//!
+//! Each entry tracks two counts:
+//!
+//! * `sample` — the Gibbons–Matias count, maintained under the
+//!   subsampling invariant; eviction decisions use it.
+//! * `exact` — the exact number of arrivals observed *since admission*.
+//!
+//! The only unobservable quantity is the number of arrivals missed
+//! *before* admission, whose expectation is `0.418·τ_admit` (Gibbons &
+//! Matias 1998), where `τ_admit` is the threshold at admission time. The
+//! reported estimate is therefore `exact + 0.418·τ_admit`: near-exact
+//! for heavy values admitted early (τ_admit ≈ 1), and properly
+//! compensated for late-admitted values. This is markedly better
+//! calibrated than the textbook `count + 0.418·τ_current`, which charges
+//! every entry for the *current* threshold even when its count has been
+//! exact since the stream began.
+
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Per-value state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    /// Gibbons–Matias sample count (governs survival).
+    sample: u64,
+    /// Exact arrivals since admission (governs the estimate).
+    exact: u64,
+    /// Threshold τ when this entry was (last) admitted.
+    tau_admit: f64,
+}
+
+/// A bounded-footprint counting sample over `u64` values.
+///
+/// ```
+/// use gates_streams::CountingSamples;
+/// use gates_sim::rng::seeded;
+///
+/// let mut cs = CountingSamples::new(100);
+/// let mut rng = seeded(1);
+/// for i in 0..10_000u64 {
+///     cs.insert(i % 7, &mut rng); // 7 heavy values
+/// }
+/// let top = cs.top_k(3);
+/// assert_eq!(top.len(), 3);
+/// assert!(top[0].estimate >= top[1].estimate);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountingSamples {
+    /// Maximum number of entries retained.
+    footprint: usize,
+    /// Current sampling threshold τ ≥ 1 (an arriving *new* value enters
+    /// with probability 1/τ).
+    tau: f64,
+    /// Multiplier applied to τ on overflow.
+    growth: f64,
+    entries: BTreeMap<u64, Entry>,
+    items_processed: u64,
+}
+
+/// One reported entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleEntry {
+    /// The value.
+    pub value: u64,
+    /// Raw retained sample count (underestimate).
+    pub count: u64,
+    /// Compensated frequency estimate (`exact + 0.418·τ_admit`).
+    pub estimate: f64,
+}
+
+impl CountingSamples {
+    /// A counting sample retaining at most `footprint` entries
+    /// (`footprint ≥ 1`).
+    pub fn new(footprint: usize) -> Self {
+        assert!(footprint >= 1, "footprint must be at least 1");
+        CountingSamples {
+            footprint,
+            tau: 1.0,
+            growth: 1.3,
+            entries: BTreeMap::new(),
+            items_processed: 0,
+        }
+    }
+
+    /// Change the overflow growth factor (default 1.3; must be > 1).
+    pub fn with_growth(mut self, growth: f64) -> Self {
+        assert!(growth > 1.0, "growth factor must exceed 1");
+        self.growth = growth;
+        self
+    }
+
+    /// Observe one value from the stream.
+    pub fn insert<R: Rng>(&mut self, value: u64, rng: &mut R) {
+        self.items_processed += 1;
+        if let Some(e) = self.entries.get_mut(&value) {
+            e.sample += 1;
+            e.exact += 1;
+            return;
+        }
+        // New value: admit with probability 1/τ.
+        if self.tau <= 1.0 || rng.gen::<f64>() < 1.0 / self.tau {
+            self.entries.insert(value, Entry { sample: 1, exact: 1, tau_admit: self.tau });
+            if self.entries.len() > self.footprint {
+                self.evict(rng);
+            }
+        }
+    }
+
+    /// Raise τ and subsample every entry until the footprint is honoured.
+    fn evict<R: Rng>(&mut self, rng: &mut R) {
+        while self.entries.len() > self.footprint {
+            let old_tau = self.tau;
+            self.tau *= self.growth;
+            let keep_prob = old_tau / self.tau;
+            let tau = self.tau;
+            self.entries.retain(|_, e| {
+                // Flip until a coin at the new rate succeeds; each failure
+                // burns one unit of sample count (Gibbons–Matias
+                // subsampling). A decremented survivor has effectively
+                // been re-sampled at the new threshold.
+                let before = e.sample;
+                while e.sample > 0 && rng.gen::<f64>() >= keep_prob {
+                    e.sample -= 1;
+                }
+                if e.sample == 0 {
+                    return false;
+                }
+                if e.sample != before {
+                    e.tau_admit = tau;
+                }
+                true
+            });
+        }
+    }
+
+    /// Change the footprint at runtime — this is the paper's adjustment
+    /// parameter for count-samps ("the number of frequently occurring
+    /// values at each sub-stream is the adjustment parameter"). Shrinking
+    /// below the current size triggers subsampling eviction; growing
+    /// simply allows more entries.
+    pub fn resize<R: Rng>(&mut self, footprint: usize, rng: &mut R) {
+        assert!(footprint >= 1, "footprint must be at least 1");
+        self.footprint = footprint;
+        if self.entries.len() > self.footprint {
+            self.evict(rng);
+        }
+    }
+
+    /// Entries with the largest estimates, descending (ties by value for
+    /// determinism). `k` may exceed the sample size.
+    pub fn top_k(&self, k: usize) -> Vec<SampleEntry> {
+        let mut all: Vec<SampleEntry> = self
+            .entries
+            .iter()
+            .map(|(&value, e)| SampleEntry {
+                value,
+                count: e.sample,
+                estimate: e.exact as f64 + 0.418 * (e.tau_admit - 1.0).max(0.0),
+            })
+            .collect();
+        all.sort_by(|a, b| {
+            b.estimate.partial_cmp(&a.estimate).unwrap().then(a.value.cmp(&b.value))
+        });
+        all.truncate(k);
+        all
+    }
+
+    /// Merge another summary into this one (distributed aggregation).
+    ///
+    /// Counting samples taken over *disjoint* sub-streams are combined by
+    /// summing per-value counts; the threshold becomes the max of the
+    /// two. This is the merge the paper's central collector performs on
+    /// the summaries received from the source-side stages.
+    pub fn merge(&mut self, other: &CountingSamples) {
+        for (&value, e) in &other.entries {
+            let slot = self
+                .entries
+                .entry(value)
+                .or_insert(Entry { sample: 0, exact: 0, tau_admit: e.tau_admit });
+            slot.sample += e.sample;
+            slot.exact += e.exact;
+            slot.tau_admit = slot.tau_admit.max(e.tau_admit);
+        }
+        self.tau = self.tau.max(other.tau);
+        self.items_processed += other.items_processed;
+        // Footprint enforcement after merge keeps only the heaviest
+        // entries; deterministic (no rng) truncation keeps merge pure.
+        if self.entries.len() > self.footprint {
+            let mut all: Vec<(u64, Entry)> =
+                std::mem::take(&mut self.entries).into_iter().collect();
+            all.sort_by(|a, b| b.1.exact.cmp(&a.1.exact).then(a.0.cmp(&b.0)));
+            all.truncate(self.footprint);
+            self.entries = all.into_iter().collect();
+        }
+    }
+
+    /// Merge from serialized `(value, count)` pairs (wire form).
+    pub fn merge_entries(&mut self, entries: &[(u64, u64)], other_tau: f64) {
+        for &(value, count) in entries {
+            let slot = self
+                .entries
+                .entry(value)
+                .or_insert(Entry { sample: 0, exact: 0, tau_admit: 1.0 });
+            slot.sample += count;
+            slot.exact += count;
+        }
+        self.tau = self.tau.max(other_tau);
+    }
+
+    /// Current number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current sampling threshold τ.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// The configured footprint.
+    pub fn footprint(&self) -> usize {
+        self.footprint
+    }
+
+    /// Total items observed (including non-admitted ones).
+    pub fn items_processed(&self) -> u64 {
+        self.items_processed
+    }
+
+    /// Raw retained sample count for `value`, if present.
+    pub fn count(&self, value: u64) -> Option<u64> {
+        self.entries.get(&value).map(|e| e.sample)
+    }
+
+    /// Exact-since-admission count for `value`, if present.
+    pub fn exact_count(&self, value: u64) -> Option<u64> {
+        self.entries.get(&value).map(|e| e.exact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gates_sim::rng::seeded;
+
+    #[test]
+    fn exact_when_under_footprint() {
+        let mut cs = CountingSamples::new(100);
+        let mut rng = seeded(1);
+        for i in 0..50u64 {
+            for _ in 0..=i % 5 {
+                cs.insert(i, &mut rng);
+            }
+        }
+        // τ never rose, so all counts are exact.
+        assert_eq!(cs.tau(), 1.0);
+        assert_eq!(cs.count(4), Some(5));
+        assert_eq!(cs.exact_count(4), Some(5));
+        assert_eq!(cs.count(0), Some(1));
+    }
+
+    #[test]
+    fn footprint_is_enforced() {
+        let mut cs = CountingSamples::new(10);
+        let mut rng = seeded(2);
+        for i in 0..10_000u64 {
+            cs.insert(i % 1000, &mut rng);
+        }
+        assert!(cs.len() <= 10);
+        assert!(cs.tau() > 1.0, "tau must have risen");
+    }
+
+    #[test]
+    fn heavy_hitters_survive_subsampling() {
+        let mut cs = CountingSamples::new(20);
+        let mut rng = seeded(3);
+        // 2 heavy values (30% each) + 4000 rare values.
+        for i in 0..20_000u64 {
+            let v = match i % 10 {
+                0..=2 => 1,
+                3..=5 => 2,
+                _ => 1000 + (i % 4000),
+            };
+            cs.insert(v, &mut rng);
+        }
+        let top = cs.top_k(2);
+        let top_values: Vec<u64> = top.iter().map(|e| e.value).collect();
+        assert!(top_values.contains(&1), "heavy value 1 must survive: {top:?}");
+        assert!(top_values.contains(&2), "heavy value 2 must survive: {top:?}");
+    }
+
+    #[test]
+    fn early_admitted_heavy_values_are_nearly_exact() {
+        let mut cs = CountingSamples::new(50);
+        let mut rng = seeded(4);
+        let heavy_count = 5_000u64;
+        // Admit the heavy value first (τ = 1), then churn the sample.
+        for _ in 0..heavy_count {
+            cs.insert(42, &mut rng);
+        }
+        for i in 0..5_000u64 {
+            cs.insert(100 + i, &mut rng);
+        }
+        let top = cs.top_k(1);
+        assert_eq!(top[0].value, 42);
+        let rel_err = (top[0].estimate - heavy_count as f64).abs() / heavy_count as f64;
+        assert!(rel_err < 0.01, "early-admitted heavy value must be near exact, off by {rel_err}");
+    }
+
+    #[test]
+    fn late_admitted_values_get_compensated() {
+        let mut cs = CountingSamples::new(8);
+        let mut rng = seeded(5);
+        // Mild churn to raise τ above 1 without exploding it.
+        for i in 0..200u64 {
+            cs.insert(1_000 + (i % 40), &mut rng);
+        }
+        let tau_before = cs.tau();
+        assert!(tau_before > 1.0, "churn must raise tau, got {tau_before}");
+        // Force a late admission: insert value 7 until it sticks (each
+        // attempt succeeds with probability 1/τ, so this terminates).
+        let mut attempts = 0u64;
+        while cs.exact_count(7).is_none() {
+            cs.insert(7, &mut rng);
+            attempts += 1;
+            assert!(attempts < 1_000_000, "admission must eventually succeed");
+        }
+        // Grow its exact count a little, then check the estimator.
+        for _ in 0..50 {
+            cs.insert(7, &mut rng);
+        }
+        let exact = cs.exact_count(7).unwrap() as f64;
+        let entry = *cs
+            .top_k(cs.len())
+            .iter()
+            .find(|e| e.value == 7)
+            .expect("value 7 present");
+        assert!(entry.estimate > exact, "late admission must be compensated");
+        assert!(
+            entry.estimate - exact <= 0.418 * cs.tau() + 1e-9,
+            "compensation bounded by the current threshold"
+        );
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_truncated() {
+        let mut cs = CountingSamples::new(100);
+        let mut rng = seeded(5);
+        for (v, n) in [(1u64, 10), (2, 30), (3, 20)] {
+            for _ in 0..n {
+                cs.insert(v, &mut rng);
+            }
+        }
+        let top = cs.top_k(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].value, 2);
+        assert_eq!(top[1].value, 3);
+        assert_eq!(cs.top_k(99).len(), 3, "k beyond size returns all");
+    }
+
+    #[test]
+    fn merge_sums_disjoint_substreams() {
+        let mut rng = seeded(6);
+        let mut a = CountingSamples::new(100);
+        let mut b = CountingSamples::new(100);
+        for _ in 0..50 {
+            a.insert(7, &mut rng);
+        }
+        for _ in 0..70 {
+            b.insert(7, &mut rng);
+        }
+        for _ in 0..10 {
+            b.insert(9, &mut rng);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(7), Some(120));
+        assert_eq!(a.count(9), Some(10));
+        assert_eq!(a.items_processed(), 130);
+    }
+
+    #[test]
+    fn merge_respects_footprint() {
+        let mut rng = seeded(7);
+        let mut a = CountingSamples::new(5);
+        let mut b = CountingSamples::new(5);
+        for v in 0..5u64 {
+            for _ in 0..(v + 1) * 10 {
+                a.insert(v, &mut rng);
+            }
+        }
+        for v in 10..15u64 {
+            for _ in 0..(v - 9) * 100 {
+                b.insert(v, &mut rng);
+            }
+        }
+        a.merge(&b);
+        assert!(a.len() <= 5);
+        // The heaviest value overall (14, count 500) must be present.
+        assert!(a.count(14).is_some());
+    }
+
+    #[test]
+    fn merge_entries_wire_form() {
+        let mut a = CountingSamples::new(10);
+        a.merge_entries(&[(1, 5), (2, 7)], 2.0);
+        assert_eq!(a.count(1), Some(5));
+        assert_eq!(a.tau(), 2.0);
+    }
+
+    #[test]
+    fn deterministic_under_seeded_rng() {
+        let run = |seed: u64| {
+            let mut cs = CountingSamples::new(10);
+            let mut rng = seeded(seed);
+            for i in 0..5_000u64 {
+                cs.insert(i % 300, &mut rng);
+            }
+            cs.top_k(10)
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn resize_shrinks_and_grows() {
+        let mut cs = CountingSamples::new(50);
+        let mut rng = seeded(11);
+        for i in 0..5_000u64 {
+            cs.insert(i % 40, &mut rng);
+        }
+        assert_eq!(cs.len(), 40);
+        cs.resize(10, &mut rng);
+        assert!(cs.len() <= 10, "shrink must evict, kept {}", cs.len());
+        assert!(cs.tau() > 1.0);
+        cs.resize(100, &mut rng);
+        for i in 100..160u64 {
+            cs.insert(i, &mut rng);
+        }
+        assert!(cs.len() <= 100, "grown footprint admits more entries");
+        assert_eq!(cs.footprint(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "footprint must be at least 1")]
+    fn zero_footprint_panics() {
+        let _ = CountingSamples::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "growth factor must exceed 1")]
+    fn bad_growth_panics() {
+        let _ = CountingSamples::new(10).with_growth(1.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! HyperLogLog distinct counting (Flajolet et al. 2007).
+//!
+//! Network-intrusion monitoring needs more than frequency: a port scan
+//! is a source contacting many *distinct* destinations with few packets
+//! each, invisible to heavy-hitter summaries. HyperLogLog estimates the
+//! distinct count in O(2^b) bytes with ~1.04/√(2^b) relative error, and
+//! merges losslessly — ideal for per-site sketching with central union.
+
+/// A HyperLogLog cardinality estimator over `u64` items.
+///
+/// ```
+/// use gates_streams::HyperLogLog;
+///
+/// let mut hll = HyperLogLog::new(10);
+/// for i in 0..1_000u64 {
+///     hll.insert(i);
+///     hll.insert(i); // duplicates don't count
+/// }
+/// let est = hll.estimate();
+/// assert!((est - 1_000.0).abs() < 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HyperLogLog {
+    /// log2 of the register count (4 ≤ b ≤ 16).
+    b: u32,
+    registers: Vec<u8>,
+}
+
+fn hash64(x: u64) -> u64 {
+    // SplitMix64 finalizer: good avalanche for sequential ids.
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl HyperLogLog {
+    /// Estimator with `2^b` registers (`b` in `4..=16`; 2^b bytes of
+    /// state; typical choice b = 10 ⇒ ~3% error).
+    pub fn new(b: u32) -> Self {
+        assert!((4..=16).contains(&b), "b must be in 4..=16");
+        HyperLogLog { b, registers: vec![0; 1 << b] }
+    }
+
+    /// Observe an item.
+    pub fn insert(&mut self, item: u64) {
+        let h = hash64(item);
+        let idx = (h >> (64 - self.b)) as usize;
+        // Rank of the first 1-bit among the remaining 64−b bits, 1-based.
+        let rest = h << self.b;
+        let rank = if rest == 0 { (64 - self.b + 1) as u8 } else { (rest.leading_zeros() + 1) as u8 };
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// Estimated number of distinct items observed.
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let alpha = match self.registers.len() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            _ => 0.7213 / (1.0 + 1.079 / m),
+        };
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
+        let raw = alpha * m * m / sum;
+
+        // Small-range correction (linear counting) and the standard
+        // large-range correction.
+        if raw <= 2.5 * m {
+            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+            if zeros > 0 {
+                return m * (m / zeros as f64).ln();
+            }
+        }
+        let two64 = 2f64.powi(64);
+        if raw > two64 / 30.0 {
+            return -two64 * (1.0 - raw / two64).ln();
+        }
+        raw
+    }
+
+    /// Merge another estimator (must have the same register count).
+    /// The union is exact: register-wise max.
+    pub fn merge(&mut self, other: &HyperLogLog) -> Result<(), String> {
+        if self.b != other.b {
+            return Err(format!("register mismatch: 2^{} vs 2^{}", self.b, other.b));
+        }
+        for (mine, theirs) in self.registers.iter_mut().zip(&other.registers) {
+            *mine = (*mine).max(*theirs);
+        }
+        Ok(())
+    }
+
+    /// Serialized register bytes (for shipping in a summary packet).
+    pub fn registers(&self) -> &[u8] {
+        &self.registers
+    }
+
+    /// Rebuild from serialized registers.
+    pub fn from_registers(registers: Vec<u8>) -> Result<Self, String> {
+        let len = registers.len();
+        if !len.is_power_of_two() || !(16..=65_536).contains(&len) {
+            return Err(format!("invalid register count {len}"));
+        }
+        Ok(HyperLogLog { b: len.trailing_zeros(), registers })
+    }
+
+    /// Expected relative standard error for this size (≈1.04/√m).
+    pub fn standard_error(&self) -> f64 {
+        1.04 / (self.registers.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimates_zero() {
+        let hll = HyperLogLog::new(10);
+        assert!(hll.estimate() < 1.0);
+    }
+
+    #[test]
+    fn small_cardinalities_are_close() {
+        let mut hll = HyperLogLog::new(10);
+        for i in 0..100u64 {
+            hll.insert(i);
+        }
+        let est = hll.estimate();
+        assert!((est - 100.0).abs() < 10.0, "estimate {est} for 100 distinct");
+    }
+
+    #[test]
+    fn large_cardinalities_within_error_bound() {
+        let mut hll = HyperLogLog::new(12); // σ ≈ 1.6%
+        let n = 100_000u64;
+        for i in 0..n {
+            hll.insert(i.wrapping_mul(0x1234_5678_9ABC_DEF1));
+        }
+        let est = hll.estimate();
+        let rel = (est - n as f64).abs() / n as f64;
+        assert!(rel < 5.0 * hll.standard_error(), "relative error {rel}");
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let mut hll = HyperLogLog::new(10);
+        for _ in 0..10_000 {
+            for v in 0..50u64 {
+                hll.insert(v);
+            }
+        }
+        let est = hll.estimate();
+        assert!((est - 50.0).abs() < 8.0, "estimate {est} for 50 distinct");
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = HyperLogLog::new(10);
+        let mut b = HyperLogLog::new(10);
+        for i in 0..1_000u64 {
+            a.insert(i);
+            b.insert(i + 500); // half overlapping
+        }
+        a.merge(&b).unwrap();
+        let est = a.estimate();
+        assert!((est - 1_500.0).abs() < 120.0, "union ≈ 1500, got {est}");
+    }
+
+    #[test]
+    fn merge_size_mismatch_is_error() {
+        let mut a = HyperLogLog::new(10);
+        let b = HyperLogLog::new(11);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut a = HyperLogLog::new(8);
+        for i in 0..5_000u64 {
+            a.insert(i * 7);
+        }
+        let restored = HyperLogLog::from_registers(a.registers().to_vec()).unwrap();
+        assert_eq!(restored, a);
+        assert_eq!(restored.estimate(), a.estimate());
+    }
+
+    #[test]
+    fn from_registers_rejects_bad_sizes() {
+        assert!(HyperLogLog::from_registers(vec![0; 17]).is_err());
+        assert!(HyperLogLog::from_registers(vec![0; 8]).is_err());
+        assert!(HyperLogLog::from_registers(vec![0; 1 << 17]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "b must be in 4..=16")]
+    fn b_bounds_enforced() {
+        let _ = HyperLogLog::new(3);
+    }
+}

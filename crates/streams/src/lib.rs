@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # gates-streams
+//!
+//! Single-pass stream-analysis algorithms and workload generators — the
+//! substrate beneath the GATES application templates.
+//!
+//! The paper's `count-samps` application "implements a distributed
+//! version of the counting samples problem" using the approximate
+//! one-pass method of Gibbons and Matias (its reference [18]); that
+//! algorithm lives in [`counting_samples`]. The remaining modules supply
+//! the comparison baselines and extensions exercised by the examples and
+//! the intrusion-detection template:
+//!
+//! * [`counting_samples`] — Gibbons–Matias counting samples.
+//! * [`misra_gries`] — deterministic frequent items (baseline).
+//! * [`count_min`] — Count-Min sketch.
+//! * [`hyperloglog`] — distinct counting (port-scan detection).
+//! * [`dgim`] — sliding-window bit counting (windowed alarms).
+//! * [`bloom`] — membership filters (allowlists).
+//! * [`reservoir`] — uniform reservoir sampling.
+//! * [`quantile`] — P² streaming quantile estimation.
+//! * [`window`] — tumbling and sliding windowed aggregates.
+//! * [`metrics`] — the paper's top-k accuracy metric and exact counting.
+//! * [`workload`] — Zipf and uniform integer stream generators.
+
+pub mod bloom;
+pub mod count_min;
+pub mod counting_samples;
+pub mod dgim;
+pub mod hyperloglog;
+pub mod metrics;
+pub mod misra_gries;
+pub mod quantile;
+pub mod reservoir;
+pub mod window;
+pub mod workload;
+
+pub use bloom::BloomFilter;
+pub use count_min::CountMinSketch;
+pub use counting_samples::CountingSamples;
+pub use dgim::Dgim;
+pub use hyperloglog::HyperLogLog;
+pub use metrics::{exact_counts, top_k_accuracy, AccuracyReport};
+pub use misra_gries::MisraGries;
+pub use quantile::P2Quantile;
+pub use reservoir::Reservoir;
+pub use window::{SlidingWindowSum, TumblingWindow};
+pub use workload::{UniformGenerator, ZipfGenerator};

@@ -1,0 +1,148 @@
+//! Accuracy metrics for the experiments.
+//!
+//! Paper §5.2: "The accuracy is measured by how often the top 10 most
+//! frequently occurring elements were correctly reported, and how
+//! correctly their frequency of occurrence was reported." We make that
+//! precise as the average of two components over the true top-k:
+//!
+//! * **recall** — fraction of the true top-k values that appear in the
+//!   reported list;
+//! * **frequency fidelity** — for each correctly reported value,
+//!   `max(0, 1 − |estimate − truth| / truth)`, 0 for missed values.
+//!
+//! `accuracy = 100 · (recall + fidelity) / 2`, so a perfect report scores
+//! 100 (the paper's tables quote 97–99).
+
+use std::collections::HashMap;
+
+/// Exact value counts of a stream (ground truth).
+pub fn exact_counts(stream: impl IntoIterator<Item = u64>) -> HashMap<u64, u64> {
+    let mut counts = HashMap::new();
+    for v in stream {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// True top-k `(value, count)` pairs, descending (ties by value).
+pub fn true_top_k(counts: &HashMap<u64, u64>, k: usize) -> Vec<(u64, u64)> {
+    let mut all: Vec<(u64, u64)> = counts.iter().map(|(&v, &c)| (v, c)).collect();
+    all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+/// Detailed accuracy breakdown from [`top_k_accuracy`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyReport {
+    /// Fraction of true top-k values present in the report, in [0, 1].
+    pub recall: f64,
+    /// Mean frequency fidelity over the true top-k, in [0, 1].
+    pub fidelity: f64,
+    /// Combined score on the paper's 0–100 scale.
+    pub score: f64,
+    /// k used.
+    pub k: usize,
+}
+
+/// Score a reported top-k list `(value, estimated count)` against the
+/// true counts, per the paper's §5.2 metric.
+pub fn top_k_accuracy(
+    reported: &[(u64, f64)],
+    truth: &HashMap<u64, u64>,
+    k: usize,
+) -> AccuracyReport {
+    let top = true_top_k(truth, k);
+    if top.is_empty() {
+        return AccuracyReport { recall: 1.0, fidelity: 1.0, score: 100.0, k };
+    }
+    let reported_map: HashMap<u64, f64> = reported.iter().copied().collect();
+    let mut hits = 0usize;
+    let mut fidelity_sum = 0.0;
+    for &(value, true_count) in &top {
+        if let Some(&est) = reported_map.get(&value) {
+            hits += 1;
+            let rel_err = (est - true_count as f64).abs() / true_count as f64;
+            fidelity_sum += (1.0 - rel_err).max(0.0);
+        }
+    }
+    let recall = hits as f64 / top.len() as f64;
+    let fidelity = fidelity_sum / top.len() as f64;
+    AccuracyReport { recall, fidelity, score: 100.0 * (recall + fidelity) / 2.0, k }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> HashMap<u64, u64> {
+        exact_counts(
+            [(1u64, 100u64), (2, 90), (3, 80), (4, 10), (5, 5)]
+                .iter()
+                .flat_map(|&(v, n)| std::iter::repeat_n(v, n as usize)),
+        )
+    }
+
+    #[test]
+    fn exact_counts_counts() {
+        let c = exact_counts([1u64, 1, 2, 3, 3, 3]);
+        assert_eq!(c[&1], 2);
+        assert_eq!(c[&2], 1);
+        assert_eq!(c[&3], 3);
+    }
+
+    #[test]
+    fn true_top_k_orders_and_truncates() {
+        let top = true_top_k(&truth(), 3);
+        assert_eq!(top, vec![(1, 100), (2, 90), (3, 80)]);
+        assert_eq!(true_top_k(&truth(), 100).len(), 5);
+    }
+
+    #[test]
+    fn perfect_report_scores_100() {
+        let reported: Vec<(u64, f64)> = vec![(1, 100.0), (2, 90.0), (3, 80.0)];
+        let acc = top_k_accuracy(&reported, &truth(), 3);
+        assert_eq!(acc.recall, 1.0);
+        assert!((acc.score - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_values_cost_recall_and_fidelity() {
+        let reported: Vec<(u64, f64)> = vec![(1, 100.0)];
+        let acc = top_k_accuracy(&reported, &truth(), 2);
+        assert!((acc.recall - 0.5).abs() < 1e-12);
+        assert!((acc.fidelity - 0.5).abs() < 1e-12);
+        assert!((acc.score - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_errors_cost_fidelity_only() {
+        let reported: Vec<(u64, f64)> = vec![(1, 80.0), (2, 90.0)]; // 20% off on value 1
+        let acc = top_k_accuracy(&reported, &truth(), 2);
+        assert_eq!(acc.recall, 1.0);
+        assert!((acc.fidelity - 0.9).abs() < 1e-9);
+        assert!((acc.score - 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wild_estimates_floor_at_zero() {
+        let reported: Vec<(u64, f64)> = vec![(1, 10_000.0)];
+        let acc = top_k_accuracy(&reported, &truth(), 1);
+        assert_eq!(acc.recall, 1.0);
+        assert_eq!(acc.fidelity, 0.0);
+        assert!((acc.score - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extra_reported_values_are_harmless() {
+        let reported: Vec<(u64, f64)> = vec![(1, 100.0), (2, 90.0), (999, 5000.0)];
+        let acc = top_k_accuracy(&reported, &truth(), 2);
+        assert!((acc.score - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_truth_is_perfect() {
+        let acc = top_k_accuracy(&[], &HashMap::new(), 10);
+        assert_eq!(acc.score, 100.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Misra–Gries frequent items — the deterministic counterpart to
+//! counting samples, used as a comparison baseline in the examples and
+//! ablation benches.
+//!
+//! With `k` counters, every value occurring more than `n/(k+1)` times in
+//! a stream of length `n` is guaranteed to be present, and each reported
+//! count underestimates the true count by at most `n/(k+1)`.
+
+use std::collections::HashMap;
+
+/// The Misra–Gries summary over `u64` values.
+///
+/// ```
+/// use gates_streams::MisraGries;
+///
+/// let mut mg = MisraGries::new(10);
+/// for i in 0..1_000u64 {
+///     mg.insert(if i % 3 == 0 { 42 } else { i }); // 42 is heavy
+/// }
+/// assert!(mg.count(42) > 0, "heavy hitters always survive");
+/// assert!(mg.count(42) <= 334, "counts never overestimate");
+/// ```
+#[derive(Debug, Clone)]
+pub struct MisraGries {
+    k: usize,
+    counters: HashMap<u64, u64>,
+    items_processed: u64,
+    decrements: u64,
+}
+
+impl MisraGries {
+    /// Summary with `k ≥ 1` counters.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "need at least one counter");
+        MisraGries { k, counters: HashMap::with_capacity(k + 1), items_processed: 0, decrements: 0 }
+    }
+
+    /// Observe one value.
+    pub fn insert(&mut self, value: u64) {
+        self.items_processed += 1;
+        if let Some(c) = self.counters.get_mut(&value) {
+            *c += 1;
+        } else if self.counters.len() < self.k {
+            self.counters.insert(value, 1);
+        } else {
+            // Decrement all counters; drop the ones that reach zero.
+            self.decrements += 1;
+            self.counters.retain(|_, c| {
+                *c -= 1;
+                *c > 0
+            });
+        }
+    }
+
+    /// Lower-bound count for `value` (0 when absent).
+    pub fn count(&self, value: u64) -> u64 {
+        self.counters.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Maximum possible undercount of any reported value.
+    pub fn error_bound(&self) -> u64 {
+        self.decrements
+    }
+
+    /// Entries with the largest counts, descending (ties by value).
+    pub fn top_k(&self, k: usize) -> Vec<(u64, u64)> {
+        let mut all: Vec<(u64, u64)> = self.counters.iter().map(|(&v, &c)| (v, c)).collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    /// Merge another summary (counts add; then the heaviest `k` entries
+    /// are kept, with the standard offset subtraction for correctness).
+    pub fn merge(&mut self, other: &MisraGries) {
+        for (&v, &c) in &other.counters {
+            *self.counters.entry(v).or_insert(0) += c;
+        }
+        self.items_processed += other.items_processed;
+        self.decrements += other.decrements;
+        if self.counters.len() > self.k {
+            let mut all: Vec<(u64, u64)> = self.counters.drain().collect();
+            all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            // Subtract the (k+1)-th weight from survivors, the canonical
+            // Misra–Gries merge (Agarwal et al.), preserving the error
+            // bound.
+            let cut = all[self.k].1;
+            self.decrements += cut;
+            all.truncate(self.k);
+            self.counters = all
+                .into_iter()
+                .filter(|&(_v, c)| c > cut).map(|(v, c)| (v, c - cut))
+                .collect();
+        }
+    }
+
+    /// Number of live counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// True when no counters are live.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Items observed.
+    pub fn items_processed(&self) -> u64 {
+        self.items_processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_when_few_distinct_values() {
+        let mut mg = MisraGries::new(10);
+        for v in [1u64, 2, 1, 3, 1, 2] {
+            mg.insert(v);
+        }
+        assert_eq!(mg.count(1), 3);
+        assert_eq!(mg.count(2), 2);
+        assert_eq!(mg.count(3), 1);
+        assert_eq!(mg.error_bound(), 0);
+    }
+
+    #[test]
+    fn majority_item_always_survives() {
+        let mut mg = MisraGries::new(1);
+        // Value 7 is a strict majority of the stream.
+        for i in 0..1_000u64 {
+            mg.insert(if i % 2 == 0 { 7 } else { i });
+        }
+        mg.insert(7);
+        assert!(mg.count(7) > 0, "majority element must be present");
+    }
+
+    #[test]
+    fn guarantee_heavy_hitters_present() {
+        let k = 9; // threshold n/(k+1) = n/10
+        let mut mg = MisraGries::new(k);
+        let n = 10_000u64;
+        // Value 5 occurs 20% of the time — well above n/10.
+        for i in 0..n {
+            mg.insert(if i % 5 == 0 { 5 } else { 1_000 + i });
+        }
+        assert!(mg.count(5) > 0);
+        // Count error bounded by n/(k+1).
+        let true_count = n / 5;
+        assert!(mg.count(5) <= true_count);
+        assert!(true_count - mg.count(5) <= n / (k as u64 + 1) + 1);
+    }
+
+    #[test]
+    fn counter_budget_is_respected() {
+        let mut mg = MisraGries::new(5);
+        for i in 0..10_000u64 {
+            mg.insert(i);
+        }
+        assert!(mg.len() <= 5);
+    }
+
+    #[test]
+    fn top_k_sorted() {
+        let mut mg = MisraGries::new(10);
+        for (v, n) in [(1u64, 5), (2, 9), (3, 7)] {
+            for _ in 0..n {
+                mg.insert(v);
+            }
+        }
+        assert_eq!(mg.top_k(3), vec![(2, 9), (3, 7), (1, 5)]);
+    }
+
+    #[test]
+    fn merge_preserves_heavy_hitters() {
+        let mut a = MisraGries::new(4);
+        let mut b = MisraGries::new(4);
+        for _ in 0..100 {
+            a.insert(1);
+            b.insert(2);
+        }
+        for i in 0..50u64 {
+            a.insert(100 + i);
+            b.insert(200 + i);
+        }
+        a.merge(&b);
+        assert!(a.len() <= 4);
+        assert!(a.count(1) > 0);
+        assert!(a.count(2) > 0);
+        assert_eq!(a.items_processed(), 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one counter")]
+    fn zero_counters_panics() {
+        let _ = MisraGries::new(0);
+    }
+}

@@ -1,0 +1,208 @@
+//! P² streaming quantile estimation (Jain & Chlamtac 1985): tracks one
+//! quantile with five markers and O(1) memory — used by the
+//! computational-steering analysis stage to monitor field-value
+//! distributions without storing the stream.
+
+/// A single-quantile P² estimator.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimated values).
+    heights: [f64; 5],
+    /// Marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    count: usize,
+    /// First five observations, buffered before initialization.
+    init: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Estimator for quantile `q ∈ (0, 1)`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1)");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            init: Vec::with_capacity(5),
+        }
+    }
+
+    /// Observe a value.
+    pub fn insert(&mut self, x: f64) {
+        self.count += 1;
+        if self.init.len() < 5 {
+            self.init.push(x);
+            if self.init.len() == 5 {
+                self.init.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                for (i, &v) in self.init.iter().enumerate() {
+                    self.heights[i] = v;
+                }
+            }
+            return;
+        }
+
+        // Find the cell containing x and adjust extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut cell = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    cell = i;
+                    break;
+                }
+            }
+            cell
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+
+        // Adjust the three interior markers with the parabolic formula.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let sign = d.signum();
+                let candidate = self.parabolic(i, sign);
+                self.heights[i] = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, sign)
+                };
+                self.positions[i] += sign;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, sign: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + sign / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + sign) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - sign) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, sign: f64) -> f64 {
+        let j = (i as f64 + sign) as usize;
+        self.heights[i]
+            + sign * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current quantile estimate (`None` before 5 observations).
+    pub fn value(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.init.len() < 5 {
+            // Exact small-sample quantile.
+            let mut sorted = self.init.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let idx = ((sorted.len() as f64 - 1.0) * self.q).round() as usize;
+            return sorted.get(idx).copied();
+        }
+        Some(self.heights[2])
+    }
+
+    /// The tracked quantile.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Observations so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gates_sim::rng::seeded;
+    use rand::Rng;
+
+    #[test]
+    fn small_sample_is_exact() {
+        let mut p = P2Quantile::new(0.5);
+        assert_eq!(p.value(), None);
+        for x in [3.0, 1.0, 2.0] {
+            p.insert(x);
+        }
+        assert_eq!(p.value(), Some(2.0));
+    }
+
+    #[test]
+    fn median_of_uniform_converges() {
+        let mut p = P2Quantile::new(0.5);
+        let mut rng = seeded(1);
+        for _ in 0..50_000 {
+            p.insert(rng.gen::<f64>());
+        }
+        let v = p.value().unwrap();
+        assert!((v - 0.5).abs() < 0.02, "median of U(0,1) ≈ 0.5, got {v}");
+    }
+
+    #[test]
+    fn p90_of_uniform_converges() {
+        let mut p = P2Quantile::new(0.9);
+        let mut rng = seeded(2);
+        for _ in 0..50_000 {
+            p.insert(rng.gen::<f64>());
+        }
+        let v = p.value().unwrap();
+        assert!((v - 0.9).abs() < 0.03, "p90 of U(0,1) ≈ 0.9, got {v}");
+    }
+
+    #[test]
+    fn handles_sorted_input() {
+        let mut p = P2Quantile::new(0.5);
+        for i in 0..10_000 {
+            p.insert(i as f64);
+        }
+        let v = p.value().unwrap();
+        assert!((v - 5_000.0).abs() < 500.0, "median of 0..10000 ≈ 5000, got {v}");
+    }
+
+    #[test]
+    fn handles_constant_input() {
+        let mut p = P2Quantile::new(0.25);
+        for _ in 0..1_000 {
+            p.insert(7.0);
+        }
+        assert_eq!(p.value(), Some(7.0));
+    }
+
+    #[test]
+    fn count_tracks_observations() {
+        let mut p = P2Quantile::new(0.5);
+        for i in 0..42 {
+            p.insert(i as f64);
+        }
+        assert_eq!(p.count(), 42);
+        assert_eq!(p.q(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0,1)")]
+    fn quantile_bounds_enforced() {
+        let _ = P2Quantile::new(1.0);
+    }
+}

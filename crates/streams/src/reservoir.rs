@@ -1,0 +1,142 @@
+//! Reservoir sampling (Vitter's Algorithm R): a uniform sample of fixed
+//! size over an unbounded stream. The simplest possible "adjustment
+//! parameter" summary — the sample size trades memory/transfer volume
+//! against fidelity.
+
+use rand::Rng;
+
+/// A fixed-capacity uniform sample over items of type `T`.
+#[derive(Debug, Clone)]
+pub struct Reservoir<T> {
+    capacity: usize,
+    items: Vec<T>,
+    seen: u64,
+}
+
+impl<T> Reservoir<T> {
+    /// Reservoir holding up to `capacity ≥ 1` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "capacity must be at least 1");
+        Reservoir { capacity, items: Vec::with_capacity(capacity), seen: 0 }
+    }
+
+    /// Observe one item.
+    pub fn insert<R: Rng>(&mut self, item: T, rng: &mut R) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            // Replace a random slot with probability capacity/seen.
+            let j = rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = item;
+            }
+        }
+    }
+
+    /// The current sample.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Items observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Sample capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of items currently in the sample.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gates_sim::rng::seeded;
+
+    #[test]
+    fn fills_up_to_capacity_then_stays() {
+        let mut r = Reservoir::new(10);
+        let mut rng = seeded(1);
+        for i in 0..5u64 {
+            r.insert(i, &mut rng);
+        }
+        assert_eq!(r.len(), 5);
+        for i in 5..100u64 {
+            r.insert(i, &mut rng);
+        }
+        assert_eq!(r.len(), 10);
+        assert_eq!(r.seen(), 100);
+    }
+
+    #[test]
+    fn short_stream_is_kept_exactly() {
+        let mut r = Reservoir::new(100);
+        let mut rng = seeded(2);
+        for i in 0..20u64 {
+            r.insert(i, &mut rng);
+        }
+        let mut items = r.items().to_vec();
+        items.sort_unstable();
+        assert_eq!(items, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sampling_is_approximately_uniform() {
+        // Insert 0..1000 into a 100-slot reservoir many times; each value
+        // should appear with probability ~0.1.
+        let trials = 400;
+        let mut hits = vec![0u32; 1000];
+        for seed in 0..trials {
+            let mut r = Reservoir::new(100);
+            let mut rng = seeded(seed);
+            for i in 0..1000u64 {
+                r.insert(i, &mut rng);
+            }
+            for &v in r.items() {
+                hits[v as usize] += 1;
+            }
+        }
+        // Expected hits per value = trials * 100/1000 = 40. Check the
+        // first/last deciles are not wildly biased (±50%).
+        let first: u32 = hits[..100].iter().sum();
+        let last: u32 = hits[900..].iter().sum();
+        let expected = trials as u32 * 100 * 100 / 1000;
+        for (label, sum) in [("first", first), ("last", last)] {
+            assert!(
+                (sum as f64) > 0.5 * expected as f64 && (sum as f64) < 1.5 * expected as f64,
+                "{label} decile biased: {sum} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let run = |seed| {
+            let mut r = Reservoir::new(5);
+            let mut rng = seeded(seed);
+            for i in 0..1000u64 {
+                r.insert(i, &mut rng);
+            }
+            r.items().to_vec()
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_panics() {
+        let _ = Reservoir::<u64>::new(0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Windowed aggregates: tumbling windows (disjoint batches) and a
+//! sliding-window sum. Stages use these to turn unbounded streams into
+//! periodic summaries — e.g. the intrusion template counts connection
+//! events per tumbling interval.
+
+use std::collections::VecDeque;
+
+/// A tumbling (non-overlapping) window of fixed length that emits a
+/// closed batch every `size` insertions.
+#[derive(Debug, Clone)]
+pub struct TumblingWindow<T> {
+    size: usize,
+    current: Vec<T>,
+}
+
+impl<T> TumblingWindow<T> {
+    /// Window of `size ≥ 1` items.
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 1, "window size must be at least 1");
+        TumblingWindow { size, current: Vec::with_capacity(size) }
+    }
+
+    /// Add an item; returns the completed window when it fills.
+    pub fn insert(&mut self, item: T) -> Option<Vec<T>> {
+        self.current.push(item);
+        if self.current.len() == self.size {
+            Some(std::mem::replace(&mut self.current, Vec::with_capacity(self.size)))
+        } else {
+            None
+        }
+    }
+
+    /// Items in the open (incomplete) window.
+    pub fn pending(&self) -> &[T] {
+        &self.current
+    }
+
+    /// Close the open window early, returning its items (possibly empty).
+    pub fn flush(&mut self) -> Vec<T> {
+        std::mem::take(&mut self.current)
+    }
+
+    /// Configured window size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+}
+
+/// A sliding-window sum over the last `size` numeric observations.
+#[derive(Debug, Clone)]
+pub struct SlidingWindowSum {
+    size: usize,
+    buf: VecDeque<f64>,
+    sum: f64,
+}
+
+impl SlidingWindowSum {
+    /// Window of `size ≥ 1` observations.
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 1, "window size must be at least 1");
+        SlidingWindowSum { size, buf: VecDeque::with_capacity(size), sum: 0.0 }
+    }
+
+    /// Add an observation; evicts the oldest when full. Returns the
+    /// current sum.
+    pub fn insert(&mut self, x: f64) -> f64 {
+        self.buf.push_back(x);
+        self.sum += x;
+        if self.buf.len() > self.size {
+            if let Some(old) = self.buf.pop_front() {
+                self.sum -= old;
+            }
+        }
+        self.sum
+    }
+
+    /// Current sum over the window.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Current mean over the window (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.buf.is_empty() {
+            0.0
+        } else {
+            self.sum / self.buf.len() as f64
+        }
+    }
+
+    /// Observations currently in the window.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no observations are present.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tumbling_emits_on_fill() {
+        let mut w = TumblingWindow::new(3);
+        assert_eq!(w.insert(1), None);
+        assert_eq!(w.insert(2), None);
+        assert_eq!(w.insert(3), Some(vec![1, 2, 3]));
+        assert_eq!(w.insert(4), None);
+        assert_eq!(w.pending(), &[4]);
+    }
+
+    #[test]
+    fn tumbling_flush_closes_early() {
+        let mut w = TumblingWindow::new(5);
+        w.insert("a");
+        w.insert("b");
+        assert_eq!(w.flush(), vec!["a", "b"]);
+        assert!(w.pending().is_empty());
+        assert!(w.flush().is_empty());
+    }
+
+    #[test]
+    fn tumbling_windows_are_disjoint() {
+        let mut w = TumblingWindow::new(2);
+        let mut batches = Vec::new();
+        for i in 0..6 {
+            if let Some(batch) = w.insert(i) {
+                batches.push(batch);
+            }
+        }
+        assert_eq!(batches, vec![vec![0, 1], vec![2, 3], vec![4, 5]]);
+    }
+
+    #[test]
+    fn sliding_sum_tracks_window() {
+        let mut s = SlidingWindowSum::new(3);
+        assert_eq!(s.insert(1.0), 1.0);
+        assert_eq!(s.insert(2.0), 3.0);
+        assert_eq!(s.insert(3.0), 6.0);
+        assert_eq!(s.insert(4.0), 9.0, "1.0 evicted");
+        assert_eq!(s.len(), 3);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sliding_sum_empty_mean_is_zero() {
+        let s = SlidingWindowSum::new(4);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn sliding_sum_no_drift_over_many_evictions() {
+        let mut s = SlidingWindowSum::new(10);
+        for i in 0..100_000 {
+            s.insert((i % 7) as f64 * 0.1);
+        }
+        // Recompute exactly from the final window contents.
+        let exact: f64 = (99_990..100_000).map(|i| (i % 7) as f64 * 0.1).sum();
+        assert!((s.sum() - exact).abs() < 1e-6, "drift: {} vs {}", s.sum(), exact);
+    }
+
+    #[test]
+    #[should_panic(expected = "window size must be at least 1")]
+    fn zero_tumbling_panics() {
+        let _ = TumblingWindow::<u8>::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window size must be at least 1")]
+    fn zero_sliding_panics() {
+        let _ = SlidingWindowSum::new(0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Workload generators for the experiments.
+//!
+//! The paper's count-samps experiment feeds each source "25,000 integers"
+//! with enough skew that a top-10 query is meaningful. We generate
+//! Zipf-distributed integers (the standard skewed model for frequency
+//! queries) with an explicit seed per source so runs are repeatable, plus
+//! a uniform generator as the unskewed baseline.
+
+use rand::Rng;
+
+/// Zipf(s) sampler over values `0..n` via inverse-CDF table lookup.
+///
+/// Value `v` has probability proportional to `1/(v+1)^s`. `s = 0` is
+/// uniform; `s ≈ 1` is the classic heavy-tail.
+#[derive(Debug, Clone)]
+pub struct ZipfGenerator {
+    /// Cumulative distribution, cdf[v] = P(value ≤ v).
+    cdf: Vec<f64>,
+}
+
+impl ZipfGenerator {
+    /// Zipf over `n ≥ 1` values with exponent `s ≥ 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "need at least one value");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for v in 0..n {
+            acc += 1.0 / ((v + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfGenerator { cdf }
+    }
+
+    /// Draw one value.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        // First index with cdf ≥ u.
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => i as u64,
+            Err(i) => i.min(self.cdf.len() - 1) as u64,
+        }
+    }
+
+    /// Number of distinct values.
+    pub fn support(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Exact probability of value `v`.
+    pub fn probability(&self, v: usize) -> f64 {
+        if v >= self.cdf.len() {
+            return 0.0;
+        }
+        if v == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[v] - self.cdf[v - 1]
+        }
+    }
+}
+
+/// Uniform sampler over `0..n`.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformGenerator {
+    n: u64,
+}
+
+impl UniformGenerator {
+    /// Uniform over `n ≥ 1` values.
+    pub fn new(n: u64) -> Self {
+        assert!(n >= 1, "need at least one value");
+        UniformGenerator { n }
+    }
+
+    /// Draw one value.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        rng.gen_range(0..self.n)
+    }
+
+    /// Number of distinct values.
+    pub fn support(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gates_sim::rng::seeded;
+
+    #[test]
+    fn zipf_probabilities_sum_to_one() {
+        let z = ZipfGenerator::new(100, 1.0);
+        let total: f64 = (0..100).map(|v| z.probability(v)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.probability(100), 0.0);
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_small_values() {
+        let z = ZipfGenerator::new(1000, 1.0);
+        assert!(z.probability(0) > 10.0 * z.probability(99));
+        let mut rng = seeded(1);
+        let mut low = 0u32;
+        for _ in 0..10_000 {
+            if z.sample(&mut rng) < 10 {
+                low += 1;
+            }
+        }
+        // Zipf(1) over 1000 values puts ~39% of mass on the first 10.
+        assert!(low > 3_000, "skew missing: only {low} of 10000 in the head");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = ZipfGenerator::new(10, 0.0);
+        for v in 0..10 {
+            assert!((z.probability(v) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zipf_empirical_matches_theoretical() {
+        let z = ZipfGenerator::new(50, 1.2);
+        let mut rng = seeded(2);
+        let n = 200_000;
+        let mut counts = [0u32; 50];
+        for _ in 0..n {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for v in [0usize, 1, 5, 20] {
+            let expected = z.probability(v) * n as f64;
+            let got = counts[v] as f64;
+            assert!(
+                (got - expected).abs() < 5.0 * expected.sqrt().max(10.0),
+                "value {v}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let z = ZipfGenerator::new(7, 1.0);
+        let mut rng = seeded(3);
+        for _ in 0..1_000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn uniform_covers_support() {
+        let u = UniformGenerator::new(5);
+        let mut rng = seeded(4);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[u.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(u.support(), 5);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let z = ZipfGenerator::new(100, 1.0);
+        let draw = |seed| {
+            let mut rng = seeded(seed);
+            (0..50).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one value")]
+    fn empty_support_panics() {
+        let _ = ZipfGenerator::new(0, 1.0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Property tests for the stream-summary data structures: the formal
+//! guarantees each algorithm advertises, checked on arbitrary inputs.
+
+use std::collections::{HashMap, HashSet};
+
+use gates_sim::rng::seeded;
+use gates_streams::{
+    BloomFilter, CountMinSketch, CountingSamples, Dgim, HyperLogLog, MisraGries, P2Quantile,
+    Reservoir, SlidingWindowSum, TumblingWindow,
+};
+use proptest::prelude::*;
+
+fn exact(stream: &[u64]) -> HashMap<u64, u64> {
+    let mut m = HashMap::new();
+    for &v in stream {
+        *m.entry(v).or_insert(0) += 1;
+    }
+    m
+}
+
+proptest! {
+    // ---- Misra–Gries -----------------------------------------------------
+
+    #[test]
+    fn misra_gries_never_overcounts_and_bounds_undercount(
+        stream in proptest::collection::vec(0u64..50, 1..2_000),
+        k in 1usize..20,
+    ) {
+        let mut mg = MisraGries::new(k);
+        for &v in &stream {
+            mg.insert(v);
+        }
+        let truth = exact(&stream);
+        let bound = stream.len() as u64 / (k as u64 + 1);
+        for (&v, &true_count) in &truth {
+            let reported = mg.count(v);
+            prop_assert!(reported <= true_count, "overcount for {v}");
+            prop_assert!(
+                true_count - reported <= bound + 1,
+                "undercount beyond n/(k+1): {true_count} vs {reported} (bound {bound})"
+            );
+        }
+    }
+
+    #[test]
+    fn misra_gries_heavy_hitters_always_present(
+        noise in proptest::collection::vec(100u64..10_000, 0..400),
+        k in 3usize..12,
+    ) {
+        // A value with strictly more than n/(k+1) occurrences must be live.
+        let mut stream = noise.clone();
+        let heavy_count = stream.len() / k + 2;
+        stream.extend(std::iter::repeat_n(7u64, heavy_count));
+        let mut mg = MisraGries::new(k);
+        for &v in &stream {
+            mg.insert(v);
+        }
+        prop_assert!(mg.count(7) > 0, "heavy hitter evicted");
+    }
+
+    // ---- Count-Min --------------------------------------------------------
+
+    #[test]
+    fn count_min_never_undercounts(
+        stream in proptest::collection::vec(0u64..200, 1..1_500),
+        width in 8usize..128,
+        depth in 1usize..6,
+    ) {
+        let mut cm = CountMinSketch::new(width, depth);
+        for &v in &stream {
+            cm.insert(v);
+        }
+        for (&v, &true_count) in &exact(&stream) {
+            prop_assert!(cm.estimate(v) >= true_count, "undercount for {v}");
+        }
+    }
+
+    #[test]
+    fn count_min_merge_equals_union_ingest(
+        a in proptest::collection::vec(0u64..100, 0..500),
+        b in proptest::collection::vec(0u64..100, 0..500),
+    ) {
+        let mut separate = CountMinSketch::new(64, 4);
+        let mut merged_a = CountMinSketch::new(64, 4);
+        let mut merged_b = CountMinSketch::new(64, 4);
+        for &v in a.iter().chain(&b) {
+            separate.insert(v);
+        }
+        for &v in &a {
+            merged_a.insert(v);
+        }
+        for &v in &b {
+            merged_b.insert(v);
+        }
+        merged_a.merge(&merged_b).unwrap();
+        for v in 0..100u64 {
+            prop_assert_eq!(separate.estimate(v), merged_a.estimate(v));
+        }
+    }
+
+    // ---- Counting samples -------------------------------------------------
+
+    #[test]
+    fn counting_samples_footprint_and_estimate_sanity(
+        stream in proptest::collection::vec(0u64..300, 1..2_000),
+        footprint in 1usize..40,
+        seed in 0u64..32,
+    ) {
+        let mut cs = CountingSamples::new(footprint);
+        let mut rng = seeded(seed);
+        for &v in &stream {
+            cs.insert(v, &mut rng);
+        }
+        prop_assert!(cs.len() <= footprint);
+        let truth = exact(&stream);
+        for entry in cs.top_k(footprint) {
+            // The exact-since-admission count can never exceed the truth.
+            let true_count = truth[&entry.value];
+            prop_assert!(
+                cs.exact_count(entry.value).unwrap() <= true_count,
+                "exact count exceeds truth for {}",
+                entry.value
+            );
+            prop_assert!(entry.estimate >= entry.count as f64 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn counting_samples_exact_below_footprint(
+        stream in proptest::collection::vec(0u64..20, 1..500),
+        seed in 0u64..16,
+    ) {
+        // ≤20 distinct values, footprint 32: never evicts, always exact.
+        let mut cs = CountingSamples::new(32);
+        let mut rng = seeded(seed);
+        for &v in &stream {
+            cs.insert(v, &mut rng);
+        }
+        prop_assert_eq!(cs.tau(), 1.0);
+        for (&v, &c) in &exact(&stream) {
+            prop_assert_eq!(cs.count(v), Some(c));
+        }
+    }
+
+    // ---- HyperLogLog ------------------------------------------------------
+
+    #[test]
+    fn hyperloglog_insensitive_to_duplicates(
+        distinct in proptest::collection::hash_set(any::<u64>(), 1..300),
+        repeats in 1usize..5,
+    ) {
+        let mut once = HyperLogLog::new(10);
+        let mut many = HyperLogLog::new(10);
+        for &v in &distinct {
+            once.insert(v);
+            for _ in 0..repeats {
+                many.insert(v);
+            }
+        }
+        prop_assert_eq!(once.estimate(), many.estimate());
+    }
+
+    #[test]
+    fn hyperloglog_merge_commutes(
+        a in proptest::collection::vec(any::<u64>(), 0..300),
+        b in proptest::collection::vec(any::<u64>(), 0..300),
+    ) {
+        let build = |items: &[u64]| {
+            let mut h = HyperLogLog::new(8);
+            for &v in items {
+                h.insert(v);
+            }
+            h
+        };
+        let mut ab = build(&a);
+        ab.merge(&build(&b)).unwrap();
+        let mut ba = build(&b);
+        ba.merge(&build(&a)).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn hyperloglog_reasonably_accurate(
+        distinct in proptest::collection::hash_set(any::<u64>(), 10..2_000),
+    ) {
+        let mut h = HyperLogLog::new(12);
+        for &v in &distinct {
+            h.insert(v);
+        }
+        let n = distinct.len() as f64;
+        let rel = (h.estimate() - n).abs() / n;
+        prop_assert!(rel < 0.25, "relative error {rel} for n={n}");
+    }
+
+    // ---- Bloom filter -----------------------------------------------------
+
+    #[test]
+    fn bloom_has_no_false_negatives(
+        keys in proptest::collection::hash_set(any::<u64>(), 1..500),
+    ) {
+        let mut bf = BloomFilter::new(keys.len(), 0.01);
+        for &k in &keys {
+            bf.insert(k);
+        }
+        for &k in &keys {
+            prop_assert!(bf.contains(k));
+        }
+    }
+
+    #[test]
+    fn bloom_union_superset_of_parts(
+        a in proptest::collection::hash_set(any::<u64>(), 1..200),
+        b in proptest::collection::hash_set(any::<u64>(), 1..200),
+    ) {
+        let mut fa = BloomFilter::new(512, 0.01);
+        let mut fb = BloomFilter::new(512, 0.01);
+        for &k in &a {
+            fa.insert(k);
+        }
+        for &k in &b {
+            fb.insert(k);
+        }
+        fa.union(&fb).unwrap();
+        for &k in a.union(&b) {
+            prop_assert!(fa.contains(k));
+        }
+    }
+
+    // ---- DGIM ---------------------------------------------------------------
+
+    #[test]
+    fn dgim_estimate_within_factor_bound(
+        bits in proptest::collection::vec(any::<bool>(), 1..3_000),
+        window in 16u64..512,
+    ) {
+        let mut d = Dgim::new(window);
+        for &b in &bits {
+            d.insert(b);
+        }
+        let start = bits.len().saturating_sub(window as usize);
+        let true_count = bits[start..].iter().filter(|&&b| b).count() as f64;
+        let est = d.estimate() as f64;
+        // DGIM guarantee: at most 50% relative error (plus one for edge
+        // rounding on tiny counts).
+        prop_assert!(
+            (est - true_count).abs() <= 0.5 * true_count + 1.0,
+            "estimate {est} vs true {true_count} (window {window})"
+        );
+    }
+
+    // ---- P² quantiles -------------------------------------------------------
+
+    #[test]
+    fn p2_median_brackets_true_median(
+        mut values in proptest::collection::vec(-1e6f64..1e6, 30..2_000),
+    ) {
+        let mut p = P2Quantile::new(0.5);
+        for &v in &values {
+            p.insert(v);
+        }
+        let est = p.value().unwrap();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // The estimate must lie within the data range and within a loose
+        // quantile band (P² is approximate but monotone-bounded).
+        let lo = values[(values.len() as f64 * 0.20) as usize];
+        let hi = values[((values.len() as f64 * 0.80) as usize).min(values.len() - 1)];
+        prop_assert!(est >= values[0] && est <= values[values.len() - 1]);
+        prop_assert!(est >= lo && est <= hi, "median estimate {est} outside [{lo}, {hi}]");
+    }
+
+    // ---- Reservoir / windows ------------------------------------------------
+
+    #[test]
+    fn reservoir_contents_are_always_from_the_stream(
+        stream in proptest::collection::vec(any::<u64>(), 1..500),
+        capacity in 1usize..64,
+        seed in 0u64..16,
+    ) {
+        let mut r = Reservoir::new(capacity);
+        let mut rng = seeded(seed);
+        for &v in &stream {
+            r.insert(v, &mut rng);
+        }
+        let universe: HashSet<u64> = stream.iter().copied().collect();
+        prop_assert_eq!(r.len(), capacity.min(stream.len()));
+        for item in r.items() {
+            prop_assert!(universe.contains(item));
+        }
+    }
+
+    #[test]
+    fn tumbling_windows_partition_the_stream(
+        stream in proptest::collection::vec(any::<u32>(), 0..300),
+        size in 1usize..20,
+    ) {
+        let mut w = TumblingWindow::new(size);
+        let mut reassembled = Vec::new();
+        for &v in &stream {
+            if let Some(batch) = w.insert(v) {
+                prop_assert_eq!(batch.len(), size);
+                reassembled.extend(batch);
+            }
+        }
+        reassembled.extend(w.flush());
+        prop_assert_eq!(reassembled, stream);
+    }
+
+    #[test]
+    fn sliding_sum_matches_direct_computation(
+        stream in proptest::collection::vec(-1e3f64..1e3, 1..500),
+        size in 1usize..32,
+    ) {
+        let mut s = SlidingWindowSum::new(size);
+        for (i, &v) in stream.iter().enumerate() {
+            let got = s.insert(v);
+            let start = (i + 1).saturating_sub(size);
+            let want: f64 = stream[start..=i].iter().sum();
+            prop_assert!((got - want).abs() < 1e-6, "at {i}: {got} vs {want}");
+        }
+    }
+}

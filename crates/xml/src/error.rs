@@ -1,0 +1,134 @@
+//! Error type for XML parsing.
+
+use std::fmt;
+
+/// What went wrong while parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A character that cannot start or continue the current construct.
+    UnexpectedChar(char),
+    /// `</b>` closed an element opened as `<a>`.
+    MismatchedClose {
+        /// Name of the element that was open.
+        open: String,
+        /// Name in the offending close tag.
+        close: String,
+    },
+    /// Close tag with no matching open tag.
+    UnopenedClose(String),
+    /// Document ended with unclosed elements.
+    UnclosedElement(String),
+    /// The same attribute appeared twice on one element.
+    DuplicateAttribute(String),
+    /// `&name;` where `name` is not one of the predefined entities and not
+    /// a valid numeric character reference.
+    UnknownEntity(String),
+    /// Numeric character reference does not denote a valid char.
+    InvalidCharRef(String),
+    /// An element or attribute name is empty or contains invalid chars.
+    InvalidName(String),
+    /// Document has no root element, or text outside the root.
+    NoRootElement,
+    /// More than one top-level element.
+    MultipleRoots,
+}
+
+impl fmt::Display for XmlErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            XmlErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            XmlErrorKind::MismatchedClose { open, close } => {
+                write!(f, "close tag </{close}> does not match open tag <{open}>")
+            }
+            XmlErrorKind::UnopenedClose(name) => {
+                write!(f, "close tag </{name}> has no matching open tag")
+            }
+            XmlErrorKind::UnclosedElement(name) => {
+                write!(f, "element <{name}> was never closed")
+            }
+            XmlErrorKind::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute {name:?}")
+            }
+            XmlErrorKind::UnknownEntity(name) => write!(f, "unknown entity &{name};"),
+            XmlErrorKind::InvalidCharRef(text) => {
+                write!(f, "invalid character reference &#{text};")
+            }
+            XmlErrorKind::InvalidName(name) => write!(f, "invalid name {name:?}"),
+            XmlErrorKind::NoRootElement => write!(f, "document has no root element"),
+            XmlErrorKind::MultipleRoots => write!(f, "document has more than one root element"),
+        }
+    }
+}
+
+/// Parse error with 1-based line/column position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    kind: XmlErrorKind,
+    line: usize,
+    column: usize,
+}
+
+impl XmlError {
+    pub(crate) fn new(kind: XmlErrorKind, line: usize, column: usize) -> Self {
+        XmlError { kind, line, column }
+    }
+
+    /// The kind of failure.
+    pub fn kind(&self) -> &XmlErrorKind {
+        &self.kind
+    }
+
+    /// 1-based line of the offending input.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// 1-based column of the offending input.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at line {}, column {}", self.kind, self.line, self.column)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let err = XmlError::new(XmlErrorKind::UnexpectedEof, 3, 14);
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"));
+        assert!(msg.contains("column 14"));
+    }
+
+    #[test]
+    fn display_mismatched_close_names_both_tags() {
+        let err = XmlError::new(
+            XmlErrorKind::MismatchedClose { open: "a".into(), close: "b".into() },
+            1,
+            1,
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("</b>"));
+        assert!(msg.contains("<a>"));
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let err = XmlError::new(XmlErrorKind::MultipleRoots, 7, 2);
+        assert_eq!(*err.kind(), XmlErrorKind::MultipleRoots);
+        assert_eq!(err.line(), 7);
+        assert_eq!(err.column(), 2);
+    }
+}

@@ -1,0 +1,166 @@
+//! Entity escaping and unescaping for the five predefined XML entities and
+//! numeric character references.
+
+use crate::{XmlError, XmlErrorKind};
+
+/// Escape a string for use as element character data.
+///
+/// `&`, `<` and `>` are replaced with entities. Quotes are left alone —
+/// they are only special inside attribute values.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a string for use inside a double-quoted attribute value.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Expand entity and character references in `s`.
+///
+/// Supports `&amp; &lt; &gt; &quot; &apos;` and numeric references in
+/// decimal (`&#65;`) and hex (`&#x41;`) form. Positions in errors are
+/// relative to `s` (the parser re-bases them onto the document).
+pub fn unescape(s: &str) -> Result<String, XmlError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.char_indices().peekable();
+    while let Some((start, c)) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        // Collect up to the closing ';'.
+        let mut name = String::new();
+        let mut closed = false;
+        for (_, c2) in chars.by_ref() {
+            if c2 == ';' {
+                closed = true;
+                break;
+            }
+            name.push(c2);
+            if name.len() > 10 {
+                break; // no legal reference is this long
+            }
+        }
+        if !closed {
+            return Err(err_at(s, start, XmlErrorKind::UnknownEntity(name)));
+        }
+        match name.as_str() {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ => {
+                if let Some(num) = name.strip_prefix('#') {
+                    let parsed = if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
+                        u32::from_str_radix(hex, 16)
+                    } else {
+                        num.parse::<u32>()
+                    };
+                    let cp = parsed
+                        .ok()
+                        .and_then(char::from_u32)
+                        .ok_or_else(|| err_at(s, start, XmlErrorKind::InvalidCharRef(num.to_string())))?;
+                    out.push(cp);
+                } else {
+                    return Err(err_at(s, start, XmlErrorKind::UnknownEntity(name)));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn err_at(s: &str, byte: usize, kind: XmlErrorKind) -> XmlError {
+    let prefix = &s[..byte];
+    let line = prefix.matches('\n').count() + 1;
+    let column = prefix.rsplit('\n').next().map_or(0, |l| l.chars().count()) + 1;
+    XmlError::new(kind, line, column)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_text_basic() {
+        assert_eq!(escape_text("a < b && c > d"), "a &lt; b &amp;&amp; c &gt; d");
+    }
+
+    #[test]
+    fn escape_text_leaves_quotes() {
+        assert_eq!(escape_text(r#"say "hi""#), r#"say "hi""#);
+    }
+
+    #[test]
+    fn escape_attr_escapes_quotes() {
+        assert_eq!(escape_attr(r#"a"b'c"#), "a&quot;b&apos;c");
+    }
+
+    #[test]
+    fn unescape_predefined() {
+        assert_eq!(unescape("&lt;a&gt; &amp; &quot;b&quot; &apos;c&apos;").unwrap(), "<a> & \"b\" 'c'");
+    }
+
+    #[test]
+    fn unescape_decimal_and_hex() {
+        assert_eq!(unescape("&#65;&#x42;&#X43;").unwrap(), "ABC");
+    }
+
+    #[test]
+    fn unescape_unicode_char_ref() {
+        assert_eq!(unescape("&#x1F600;").unwrap(), "\u{1F600}");
+    }
+
+    #[test]
+    fn unescape_unknown_entity_errors() {
+        let err = unescape("&bogus;").unwrap_err();
+        assert_eq!(*err.kind(), XmlErrorKind::UnknownEntity("bogus".into()));
+    }
+
+    #[test]
+    fn unescape_unterminated_entity_errors() {
+        assert!(unescape("a &amp b").is_err());
+    }
+
+    #[test]
+    fn unescape_invalid_char_ref_errors() {
+        // 0xD800 is a surrogate, not a valid char.
+        let err = unescape("&#xD800;").unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::InvalidCharRef(_)));
+    }
+
+    #[test]
+    fn unescape_reports_line_of_error() {
+        let err = unescape("line1\nline2 &nope;").unwrap_err();
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn round_trip_text() {
+        let original = "x < 1 && y > 2; \"quoted\" 'single'";
+        assert_eq!(unescape(&escape_text(original)).unwrap(), original);
+        assert_eq!(unescape(&escape_attr(original)).unwrap(), original);
+    }
+}

@@ -1,0 +1,173 @@
+//! A character cursor with line/column tracking, shared by the parser.
+
+use crate::{XmlError, XmlErrorKind};
+
+/// Cursor over the input with 1-based position tracking.
+pub(crate) struct Cursor<'a> {
+    input: &'a str,
+    /// Byte offset of the next unread char.
+    pos: usize,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(input: &'a str) -> Self {
+        Cursor { input, pos: 0, line: 1, column: 1 }
+    }
+
+    /// Next char without consuming.
+    pub fn peek(&self) -> Option<char> {
+        self.input[self.pos..].chars().next()
+    }
+
+    /// Consume and return the next char.
+    pub fn next(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    /// True when all input is consumed.
+    pub fn at_eof(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    /// Does the remaining input start with `s`?
+    pub fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    /// Consume `s` if the input starts with it; report success.
+    pub fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            for _ in s.chars() {
+                self.next();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume chars while `pred` holds, returning the consumed slice.
+    pub fn take_while(&mut self, pred: impl Fn(char) -> bool) -> &'a str {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if !pred(c) {
+                break;
+            }
+            self.next();
+        }
+        &self.input[start..self.pos]
+    }
+
+    /// Consume input until the literal `delim` is found; the delimiter is
+    /// consumed too. Returns the text before the delimiter, or an EOF error.
+    pub fn take_until(&mut self, delim: &str) -> Result<&'a str, XmlError> {
+        let start = self.pos;
+        while !self.at_eof() {
+            if self.starts_with(delim) {
+                let text = &self.input[start..self.pos];
+                self.eat(delim);
+                return Ok(text);
+            }
+            self.next();
+        }
+        Err(self.error(XmlErrorKind::UnexpectedEof))
+    }
+
+    /// Skip ASCII whitespace.
+    pub fn skip_ws(&mut self) {
+        self.take_while(|c| c.is_ascii_whitespace());
+    }
+
+    /// Build an error at the current position.
+    pub fn error(&self, kind: XmlErrorKind) -> XmlError {
+        XmlError::new(kind, self.line, self.column)
+    }
+
+    /// Current 1-based (line, column).
+    pub fn position(&self) -> (usize, usize) {
+        (self.line, self.column)
+    }
+}
+
+/// Is `c` valid as the first character of an XML name? (ASCII-ish subset
+/// plus all non-ASCII letters — sufficient for configuration files.)
+pub(crate) fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == ':'
+}
+
+/// Is `c` valid inside an XML name?
+pub(crate) fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit() || c == '-' || c == '.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_tracks_newlines() {
+        let mut c = Cursor::new("ab\ncd");
+        c.next();
+        c.next();
+        assert_eq!(c.position(), (1, 3));
+        c.next(); // newline
+        assert_eq!(c.position(), (2, 1));
+        c.next();
+        assert_eq!(c.position(), (2, 2));
+    }
+
+    #[test]
+    fn eat_consumes_only_on_match() {
+        let mut c = Cursor::new("<?xml?>");
+        assert!(!c.eat("<!"));
+        assert_eq!(c.position(), (1, 1));
+        assert!(c.eat("<?xml"));
+        assert!(c.starts_with("?>"));
+    }
+
+    #[test]
+    fn take_until_finds_delimiter() {
+        let mut c = Cursor::new("hello-->rest");
+        assert_eq!(c.take_until("-->").unwrap(), "hello");
+        assert!(c.starts_with("rest"));
+    }
+
+    #[test]
+    fn take_until_eof_is_error() {
+        let mut c = Cursor::new("no delimiter here");
+        assert!(c.take_until("-->").is_err());
+    }
+
+    #[test]
+    fn take_while_stops_at_predicate() {
+        let mut c = Cursor::new("abc123");
+        assert_eq!(c.take_while(|ch| ch.is_alphabetic()), "abc");
+        assert_eq!(c.take_while(|ch| ch.is_ascii_digit()), "123");
+        assert!(c.at_eof());
+    }
+
+    #[test]
+    fn name_char_classes() {
+        assert!(is_name_start('a'));
+        assert!(is_name_start('_'));
+        assert!(!is_name_start('1'));
+        assert!(is_name_char('1'));
+        assert!(is_name_char('-'));
+        assert!(!is_name_char(' '));
+    }
+
+    #[test]
+    fn unicode_names_allowed() {
+        assert!(is_name_start('é'));
+    }
+}

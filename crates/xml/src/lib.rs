@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # gates-xml
+//!
+//! A small, dependency-free XML 1.0 subset parser and writer.
+//!
+//! The GATES middleware (Chen, Reddy, Agrawal — HPDC 2004) describes
+//! applications with an XML configuration file that the *Launcher* parses
+//! with an "embedded XML parser". This crate is that embedded parser: it
+//! supports the subset of XML needed for configuration documents —
+//! elements, attributes, character data, CDATA sections, comments,
+//! processing instructions and the five predefined entities — and a
+//! matching pretty-printing writer.
+//!
+//! It deliberately does **not** implement DTDs, namespaces-aware
+//! validation, or external entities (external entity resolution is a
+//! well-known attack surface and configuration files never need it).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use gates_xml::{parse, Element};
+//!
+//! let doc = parse(r#"
+//!   <application name="count-samps">
+//!     <stage id="summarizer" instances="4"/>
+//!   </application>"#).unwrap();
+//! let root = doc.root();
+//! assert_eq!(root.name(), "application");
+//! assert_eq!(root.attr("name"), Some("count-samps"));
+//! let stage = root.child("stage").unwrap();
+//! assert_eq!(stage.attr("instances"), Some("4"));
+//! ```
+
+mod error;
+mod escape;
+mod lexer;
+mod node;
+mod parser;
+mod writer;
+
+pub use error::{XmlError, XmlErrorKind};
+pub use escape::{escape_attr, escape_text, unescape};
+pub use node::{Document, Element, Node};
+pub use parser::parse;
+pub use writer::{write_document, write_element, WriteOptions};
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, XmlError>;

@@ -1,0 +1,236 @@
+//! The document object model: owned tree of elements, text and comments.
+
+/// A node in an element's child list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// A child element.
+    Element(Element),
+    /// Character data (entity references already expanded, CDATA merged).
+    Text(String),
+    /// A comment (`<!-- ... -->`), preserved for round-tripping.
+    Comment(String),
+}
+
+impl Node {
+    /// The element inside, if this node is one.
+    pub fn as_element(&self) -> Option<&Element> {
+        match self {
+            Node::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The text inside, if this node is character data.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Node::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// An XML element: name, ordered attributes, ordered children.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Element {
+    name: String,
+    attributes: Vec<(String, String)>,
+    children: Vec<Node>,
+}
+
+impl Element {
+    /// Create an empty element named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+    }
+
+    /// Tag name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Attribute value by name, if present.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// All attributes in document order.
+    pub fn attributes(&self) -> &[(String, String)] {
+        &self.attributes
+    }
+
+    /// Set (or replace) an attribute. Returns `self` for chaining.
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.set_attr(name, value);
+        self
+    }
+
+    /// Set (or replace) an attribute in place.
+    pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        let value = value.into();
+        if let Some(slot) = self.attributes.iter_mut().find(|(k, _)| *k == name) {
+            slot.1 = value;
+        } else {
+            self.attributes.push((name, value));
+        }
+    }
+
+    /// All children, in document order.
+    pub fn children(&self) -> &[Node] {
+        &self.children
+    }
+
+    /// Append a child node.
+    pub fn push(&mut self, node: Node) {
+        self.children.push(node);
+    }
+
+    /// Append a child element, returning `self` for chaining.
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Append a text child, returning `self` for chaining.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// First child element with the given tag name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.elements().find(|e| e.name() == name)
+    }
+
+    /// Iterate over the child elements (skipping text and comments).
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(Node::as_element)
+    }
+
+    /// Iterate over child elements with the given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.elements().filter(move |e| e.name() == name)
+    }
+
+    /// Concatenation of all direct text children, whitespace-trimmed.
+    ///
+    /// Configuration documents use both `<p k="v"/>` and `<p>v</p>` forms;
+    /// this accessor serves the latter.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for child in &self.children {
+            if let Node::Text(t) = child {
+                out.push_str(t);
+            }
+        }
+        out.trim().to_string()
+    }
+
+    /// Attribute value, falling back to the text of a child element with
+    /// the same name: accepts `<stage cost="3"/>` and
+    /// `<stage><cost>3</cost></stage>` interchangeably.
+    pub fn attr_or_child_text(&self, name: &str) -> Option<String> {
+        if let Some(v) = self.attr(name) {
+            return Some(v.to_string());
+        }
+        self.child(name).map(|c| c.text())
+    }
+
+    /// Total number of element descendants, including `self`.
+    pub fn element_count(&self) -> usize {
+        1 + self.elements().map(Element::element_count).sum::<usize>()
+    }
+
+    /// Crate-internal mutable access to the child list (used by the parser
+    /// to merge adjacent text nodes).
+    pub(crate) fn children_vec_mut(&mut self) -> &mut Vec<Node> {
+        &mut self.children
+    }
+}
+
+/// A parsed document: prolog (ignored contents) plus one root element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    root: Element,
+}
+
+impl Document {
+    /// Wrap a root element as a document.
+    pub fn new(root: Element) -> Self {
+        Document { root }
+    }
+
+    /// The root element.
+    pub fn root(&self) -> &Element {
+        &self.root
+    }
+
+    /// Consume the document, yielding the root element.
+    pub fn into_root(self) -> Element {
+        self.root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        Element::new("app")
+            .with_attr("name", "demo")
+            .with_child(Element::new("stage").with_attr("id", "s1"))
+            .with_child(Element::new("stage").with_attr("id", "s2"))
+            .with_child(Element::new("note").with_text("  hello  "))
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let e = sample();
+        assert_eq!(e.attr("name"), Some("demo"));
+        assert_eq!(e.attr("missing"), None);
+    }
+
+    #[test]
+    fn set_attr_replaces_existing() {
+        let mut e = sample();
+        e.set_attr("name", "other");
+        assert_eq!(e.attr("name"), Some("other"));
+        assert_eq!(e.attributes().len(), 1);
+    }
+
+    #[test]
+    fn children_named_filters() {
+        let e = sample();
+        let ids: Vec<_> = e.children_named("stage").filter_map(|s| s.attr("id")).collect();
+        assert_eq!(ids, ["s1", "s2"]);
+    }
+
+    #[test]
+    fn text_is_trimmed() {
+        let e = sample();
+        assert_eq!(e.child("note").unwrap().text(), "hello");
+    }
+
+    #[test]
+    fn attr_or_child_text_accepts_both_forms() {
+        let attr_form = Element::new("stage").with_attr("cost", "3");
+        let child_form = Element::new("stage").with_child(Element::new("cost").with_text("3"));
+        assert_eq!(attr_form.attr_or_child_text("cost"), Some("3".into()));
+        assert_eq!(child_form.attr_or_child_text("cost"), Some("3".into()));
+    }
+
+    #[test]
+    fn element_count_counts_descendants() {
+        assert_eq!(sample().element_count(), 4);
+    }
+
+    #[test]
+    fn node_accessors() {
+        let n = Node::Text("t".into());
+        assert_eq!(n.as_text(), Some("t"));
+        assert!(n.as_element().is_none());
+        let e = Node::Element(Element::new("x"));
+        assert!(e.as_element().is_some());
+        assert!(e.as_text().is_none());
+    }
+}

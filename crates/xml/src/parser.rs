@@ -1,0 +1,331 @@
+//! Recursive-descent parser producing a [`Document`].
+
+use crate::escape::unescape;
+use crate::lexer::{is_name_char, is_name_start, Cursor};
+use crate::node::{Document, Element, Node};
+use crate::{XmlError, XmlErrorKind};
+
+/// Parse a complete XML document.
+///
+/// Accepts an optional `<?xml ...?>` declaration, comments and processing
+/// instructions in the prolog and epilog, and exactly one root element.
+/// A `<!DOCTYPE ...>` declaration is skipped without interpretation
+/// (internal subsets are not supported).
+pub fn parse(input: &str) -> Result<Document, XmlError> {
+    let mut cur = Cursor::new(input);
+    let mut root: Option<Element> = None;
+
+    loop {
+        cur.skip_ws();
+        if cur.at_eof() {
+            break;
+        }
+        if cur.eat("<?") {
+            // XML declaration or processing instruction — skip.
+            cur.take_until("?>")?;
+        } else if cur.eat("<!--") {
+            cur.take_until("-->")?;
+        } else if cur.starts_with("<!DOCTYPE") || cur.starts_with("<!doctype") {
+            skip_doctype(&mut cur)?;
+        } else if cur.starts_with("<") {
+            if root.is_some() {
+                return Err(cur.error(XmlErrorKind::MultipleRoots));
+            }
+            root = Some(parse_element(&mut cur)?);
+        } else {
+            let c = cur.peek().unwrap();
+            return Err(cur.error(XmlErrorKind::UnexpectedChar(c)));
+        }
+    }
+
+    root.map(Document::new).ok_or_else(|| cur.error(XmlErrorKind::NoRootElement))
+}
+
+/// Skip `<!DOCTYPE name SYSTEM "...">`, balancing any `[...]` subset.
+fn skip_doctype(cur: &mut Cursor) -> Result<(), XmlError> {
+    cur.eat("<!DOCTYPE");
+    cur.eat("<!doctype");
+    let mut depth = 0usize;
+    loop {
+        match cur.next() {
+            None => return Err(cur.error(XmlErrorKind::UnexpectedEof)),
+            Some('[') => depth += 1,
+            Some(']') => depth = depth.saturating_sub(1),
+            Some('>') if depth == 0 => return Ok(()),
+            Some(_) => {}
+        }
+    }
+}
+
+fn parse_name(cur: &mut Cursor) -> Result<String, XmlError> {
+    match cur.peek() {
+        Some(c) if is_name_start(c) => {}
+        Some(c) => return Err(cur.error(XmlErrorKind::InvalidName(c.to_string()))),
+        None => return Err(cur.error(XmlErrorKind::UnexpectedEof)),
+    }
+    Ok(cur.take_while(is_name_char).to_string())
+}
+
+/// Parse one element starting at `<name ...`.
+///
+/// Uses an explicit stack instead of recursion so arbitrarily deep
+/// documents cannot overflow the call stack.
+fn parse_element(cur: &mut Cursor) -> Result<Element, XmlError> {
+    // Stack of open elements; the element being filled is the top.
+    let mut stack: Vec<Element> = Vec::new();
+
+    loop {
+        // Expect a tag open at loop entry only the first time; afterwards we
+        // parse content until the stack empties.
+        if stack.is_empty() {
+            if !cur.eat("<") {
+                let c = cur.peek().unwrap_or('\0');
+                return Err(cur.error(XmlErrorKind::UnexpectedChar(c)));
+            }
+            match open_tag(cur)? {
+                Opened::SelfClosed(e) => return Ok(e),
+                Opened::Open(e) => stack.push(e),
+            }
+        }
+
+        // Parse content of the element on top of the stack.
+        let (eline, ecol) = cur.position();
+        if cur.at_eof() {
+            let name = stack.pop().map(|e| e.name().to_string()).unwrap_or_default();
+            return Err(XmlError::new(XmlErrorKind::UnclosedElement(name), eline, ecol));
+        }
+        if cur.eat("<!--") {
+            let text = cur.take_until("-->")?;
+            stack.last_mut().unwrap().push(Node::Comment(text.to_string()));
+        } else if cur.eat("<![CDATA[") {
+            let text = cur.take_until("]]>")?;
+            push_text(stack.last_mut().unwrap(), text.to_string());
+        } else if cur.eat("<?") {
+            cur.take_until("?>")?;
+        } else if cur.eat("</") {
+            let name = parse_name(cur)?;
+            cur.skip_ws();
+            if !cur.eat(">") {
+                let c = cur.peek().unwrap_or('\0');
+                return Err(cur.error(XmlErrorKind::UnexpectedChar(c)));
+            }
+            let finished = stack.pop().unwrap();
+            if finished.name() != name {
+                return Err(XmlError::new(
+                    XmlErrorKind::MismatchedClose { open: finished.name().to_string(), close: name },
+                    eline,
+                    ecol,
+                ));
+            }
+            match stack.last_mut() {
+                Some(parent) => parent.push(Node::Element(finished)),
+                None => return Ok(finished),
+            }
+        } else if cur.eat("<") {
+            match open_tag(cur)? {
+                Opened::SelfClosed(e) => stack.last_mut().unwrap().push(Node::Element(e)),
+                Opened::Open(e) => stack.push(e),
+            }
+        } else {
+            // Character data up to the next '<'.
+            let raw = cur.take_while(|c| c != '<');
+            let text = unescape(raw).map_err(|e| rebase(e, eline, ecol))?;
+            if !text.trim().is_empty() {
+                push_text(stack.last_mut().unwrap(), text);
+            }
+        }
+    }
+}
+
+/// Merge adjacent text nodes so `a<![CDATA[b]]>c` becomes one `"abc"`.
+fn push_text(parent: &mut Element, text: String) {
+    if let Some(Node::Text(prev)) = parent.children_vec_mut().last_mut() {
+        prev.push_str(&text);
+    } else {
+        parent.push(Node::Text(text));
+    }
+}
+
+enum Opened {
+    Open(Element),
+    SelfClosed(Element),
+}
+
+/// Parse the remainder of an open tag after the initial `<`.
+fn open_tag(cur: &mut Cursor) -> Result<Opened, XmlError> {
+    let name = parse_name(cur)?;
+    let mut element = Element::new(name);
+    loop {
+        cur.skip_ws();
+        if cur.eat("/>") {
+            return Ok(Opened::SelfClosed(element));
+        }
+        if cur.eat(">") {
+            return Ok(Opened::Open(element));
+        }
+        let (aline, acol) = cur.position();
+        let attr_name = parse_name(cur)?;
+        if element.attr(&attr_name).is_some() {
+            return Err(XmlError::new(XmlErrorKind::DuplicateAttribute(attr_name), aline, acol));
+        }
+        cur.skip_ws();
+        if !cur.eat("=") {
+            let c = cur.peek().unwrap_or('\0');
+            return Err(cur.error(XmlErrorKind::UnexpectedChar(c)));
+        }
+        cur.skip_ws();
+        let quote = match cur.next() {
+            Some(q @ ('"' | '\'')) => q,
+            Some(c) => return Err(cur.error(XmlErrorKind::UnexpectedChar(c))),
+            None => return Err(cur.error(XmlErrorKind::UnexpectedEof)),
+        };
+        let raw = cur.take_until(&quote.to_string())?;
+        let value = unescape(raw).map_err(|e| rebase(e, aline, acol))?;
+        element.set_attr(attr_name, value);
+    }
+}
+
+/// Re-base an error produced against a substring onto document coordinates.
+fn rebase(e: XmlError, base_line: usize, base_col: usize) -> XmlError {
+    let (line, column) = if e.line() == 1 {
+        (base_line, base_col + e.column() - 1)
+    } else {
+        (base_line + e.line() - 1, e.column())
+    };
+    XmlError::new(e.kind().clone(), line, column)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_document() {
+        let doc = parse("<a/>").unwrap();
+        assert_eq!(doc.root().name(), "a");
+    }
+
+    #[test]
+    fn parses_declaration_and_comments() {
+        let doc = parse("<?xml version=\"1.0\"?><!-- top --><a/><!-- tail -->").unwrap();
+        assert_eq!(doc.root().name(), "a");
+    }
+
+    #[test]
+    fn parses_nested_elements() {
+        let doc = parse("<a><b><c/></b><b/></a>").unwrap();
+        assert_eq!(doc.root().children_named("b").count(), 2);
+        assert!(doc.root().child("b").unwrap().child("c").is_some());
+    }
+
+    #[test]
+    fn parses_attributes_both_quote_styles() {
+        let doc = parse(r#"<a x="1" y='two'/>"#).unwrap();
+        assert_eq!(doc.root().attr("x"), Some("1"));
+        assert_eq!(doc.root().attr("y"), Some("two"));
+    }
+
+    #[test]
+    fn expands_entities_in_text_and_attrs() {
+        let doc = parse(r#"<a m="&lt;b&gt;">x &amp; y</a>"#).unwrap();
+        assert_eq!(doc.root().attr("m"), Some("<b>"));
+        assert_eq!(doc.root().text(), "x & y");
+    }
+
+    #[test]
+    fn cdata_is_literal() {
+        let doc = parse("<a><![CDATA[<not> & parsed]]></a>").unwrap();
+        assert_eq!(doc.root().text(), "<not> & parsed");
+    }
+
+    #[test]
+    fn adjacent_text_and_cdata_merge() {
+        let doc = parse("<a>pre <![CDATA[mid]]> post</a>").unwrap();
+        assert_eq!(doc.root().children().len(), 1);
+        assert_eq!(doc.root().text(), "pre mid post");
+    }
+
+    #[test]
+    fn mismatched_close_is_error() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::MismatchedClose { .. }));
+    }
+
+    #[test]
+    fn unclosed_element_is_error() {
+        let err = parse("<a><b>").unwrap_err();
+        assert!(matches!(
+            err.kind(),
+            XmlErrorKind::UnclosedElement(_) | XmlErrorKind::UnexpectedEof
+        ));
+    }
+
+    #[test]
+    fn duplicate_attribute_is_error() {
+        let err = parse(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::DuplicateAttribute(_)));
+    }
+
+    #[test]
+    fn multiple_roots_is_error() {
+        let err = parse("<a/><b/>").unwrap_err();
+        assert_eq!(*err.kind(), XmlErrorKind::MultipleRoots);
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert_eq!(*parse("  \n ").unwrap_err().kind(), XmlErrorKind::NoRootElement);
+    }
+
+    #[test]
+    fn doctype_is_skipped() {
+        let doc = parse("<!DOCTYPE app SYSTEM \"app.dtd\"><a/>").unwrap();
+        assert_eq!(doc.root().name(), "a");
+    }
+
+    #[test]
+    fn doctype_with_internal_subset_is_skipped() {
+        let doc = parse("<!DOCTYPE app [ <!ELEMENT a EMPTY> ]><a/>").unwrap();
+        assert_eq!(doc.root().name(), "a");
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let doc = parse("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(doc.root().children().len(), 1);
+    }
+
+    #[test]
+    fn deeply_nested_parses() {
+        // The parser itself is iterative; depth is bounded here only
+        // because dropping the resulting tree recurses per level.
+        let depth = 1_000;
+        let mut s = String::new();
+        for _ in 0..depth {
+            s.push_str("<d>");
+        }
+        for _ in 0..depth {
+            s.push_str("</d>");
+        }
+        let doc = parse(&s).unwrap();
+        assert_eq!(doc.root().name(), "d");
+    }
+
+    #[test]
+    fn error_positions_are_meaningful() {
+        let err = parse("<a>\n  <b x=1/>\n</a>").unwrap_err();
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn processing_instruction_inside_element_is_skipped() {
+        let doc = parse("<a><?pi data?><b/></a>").unwrap();
+        assert_eq!(doc.root().children().len(), 1);
+    }
+
+    #[test]
+    fn comments_are_preserved_as_nodes() {
+        let doc = parse("<a><!-- note --></a>").unwrap();
+        assert!(matches!(doc.root().children()[0], Node::Comment(_)));
+    }
+}

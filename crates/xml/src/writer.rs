@@ -1,0 +1,191 @@
+//! Serialize a [`Document`] or [`Element`] back to XML text.
+
+use crate::escape::{escape_attr, escape_text};
+use crate::node::{Document, Element, Node};
+use std::fmt::Write;
+
+/// Formatting options for the writer.
+#[derive(Debug, Clone)]
+pub struct WriteOptions {
+    /// Indent string per nesting level (empty ⇒ compact single-line output).
+    pub indent: String,
+    /// Emit the `<?xml version="1.0" encoding="UTF-8"?>` declaration.
+    pub declaration: bool,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions { indent: "  ".to_string(), declaration: true }
+    }
+}
+
+impl WriteOptions {
+    /// Compact output: no indentation, no declaration.
+    pub fn compact() -> Self {
+        WriteOptions { indent: String::new(), declaration: false }
+    }
+}
+
+/// Serialize a whole document.
+pub fn write_document(doc: &Document, opts: &WriteOptions) -> String {
+    let mut out = String::new();
+    if opts.declaration {
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        if !opts.indent.is_empty() {
+            out.push('\n');
+        }
+    }
+    write_elem(&mut out, doc.root(), opts, 0);
+    out
+}
+
+/// Serialize a single element (and subtree).
+pub fn write_element(element: &Element, opts: &WriteOptions) -> String {
+    let mut out = String::new();
+    write_elem(&mut out, element, opts, 0);
+    out
+}
+
+fn write_elem(out: &mut String, e: &Element, opts: &WriteOptions, depth: usize) {
+    let pretty = !opts.indent.is_empty();
+    if pretty {
+        for _ in 0..depth {
+            out.push_str(&opts.indent);
+        }
+    }
+    out.push('<');
+    out.push_str(e.name());
+    for (k, v) in e.attributes() {
+        let _ = write!(out, " {}=\"{}\"", k, escape_attr(v));
+    }
+    if e.children().is_empty() {
+        out.push_str("/>");
+        if pretty {
+            out.push('\n');
+        }
+        return;
+    }
+
+    // Elements whose only children are text are written inline:
+    // `<name>text</name>`; mixed/element content is written with one child
+    // per line.
+    let text_only = e.children().iter().all(|c| matches!(c, Node::Text(_)));
+    out.push('>');
+    if text_only {
+        for child in e.children() {
+            if let Node::Text(t) = child {
+                out.push_str(&escape_text(t));
+            }
+        }
+    } else {
+        if pretty {
+            out.push('\n');
+        }
+        for child in e.children() {
+            match child {
+                Node::Element(el) => write_elem(out, el, opts, depth + 1),
+                Node::Text(t) => {
+                    if pretty {
+                        for _ in 0..=depth {
+                            out.push_str(&opts.indent);
+                        }
+                    }
+                    out.push_str(&escape_text(t));
+                    if pretty {
+                        out.push('\n');
+                    }
+                }
+                Node::Comment(c) => {
+                    if pretty {
+                        for _ in 0..=depth {
+                            out.push_str(&opts.indent);
+                        }
+                    }
+                    let _ = write!(out, "<!--{c}-->");
+                    if pretty {
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        if pretty {
+            for _ in 0..depth {
+                out.push_str(&opts.indent);
+            }
+        }
+    }
+    let _ = write!(out, "</{}>", e.name());
+    if pretty {
+        out.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn sample() -> Element {
+        Element::new("app")
+            .with_attr("name", "demo <1>")
+            .with_child(Element::new("stage").with_attr("id", "s1"))
+            .with_child(Element::new("note").with_text("x & y"))
+    }
+
+    #[test]
+    fn compact_output_is_one_line() {
+        let s = write_element(&sample(), &WriteOptions::compact());
+        assert!(!s.contains('\n'));
+        assert!(s.starts_with("<app"));
+        assert!(s.ends_with("</app>"));
+    }
+
+    #[test]
+    fn attributes_are_escaped() {
+        let s = write_element(&sample(), &WriteOptions::compact());
+        assert!(s.contains("name=\"demo &lt;1&gt;\""));
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let s = write_element(&sample(), &WriteOptions::compact());
+        assert!(s.contains("<note>x &amp; y</note>"));
+    }
+
+    #[test]
+    fn declaration_emitted_when_requested() {
+        let doc = Document::new(sample());
+        let s = write_document(&doc, &WriteOptions::default());
+        assert!(s.starts_with("<?xml"));
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        let s = write_element(&Element::new("empty"), &WriteOptions::compact());
+        assert_eq!(s, "<empty/>");
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let original = sample();
+        let text = write_element(&original, &WriteOptions::default());
+        let reparsed = parse(&text).unwrap().into_root();
+        assert_eq!(reparsed.name(), original.name());
+        assert_eq!(reparsed.attr("name"), original.attr("name"));
+        assert_eq!(reparsed.child("note").unwrap().text(), "x & y");
+        assert_eq!(reparsed.children_named("stage").count(), 1);
+    }
+
+    #[test]
+    fn pretty_output_indents_children() {
+        let text = write_element(&sample(), &WriteOptions::default());
+        assert!(text.contains("\n  <stage"));
+    }
+
+    #[test]
+    fn comments_round_trip() {
+        let doc = parse("<a><!-- keep me --><b/></a>").unwrap();
+        let text = write_document(&doc, &WriteOptions::compact());
+        assert!(text.contains("<!-- keep me -->"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests: any generated tree serializes to text that parses back
+//! to an equivalent tree, and any string survives escape → unescape.
+
+use gates_xml::{parse, write_element, Element, Node, WriteOptions};
+use proptest::prelude::*;
+
+/// Strategy for XML names (restricted to a safe alphabet).
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_.-]{0,11}"
+}
+
+/// Strategy for text content, including characters needing escapes.
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Avoid strings that collapse to whitespace-only: those get dropped by
+    // the parser by design. Generated text always carries a visible char.
+    "[a-zA-Z0-9<>&'\" ]{0,20}x[a-zA-Z0-9<>&'\" ]{0,20}"
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (name_strategy(), proptest::collection::vec((name_strategy(), text_strategy()), 0..4))
+        .prop_map(|(name, attrs)| {
+            let mut e = Element::new(name);
+            for (k, v) in attrs {
+                e.set_attr(k, v); // duplicates collapse via set_attr
+            }
+            e
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), text_strategy()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+            proptest::option::of(text_strategy()),
+        )
+            .prop_map(|(name, attrs, children, text)| {
+                let mut e = Element::new(name);
+                for (k, v) in attrs {
+                    e.set_attr(k, v);
+                }
+                // Interleave: text first (if any), then child elements, so
+                // adjacent text nodes never need merging in the comparison.
+                if let Some(t) = text {
+                    e.push(Node::Text(t));
+                }
+                for c in children {
+                    e.push(Node::Element(c));
+                }
+                e
+            })
+    })
+}
+
+/// Structural comparison ignoring surrounding whitespace in text nodes
+/// (the parser drops whitespace-only nodes; the pretty writer adds none
+/// inside text).
+fn equivalent(a: &Element, b: &Element) -> bool {
+    if a.name() != b.name() {
+        return false;
+    }
+    if a.attributes() != b.attributes() {
+        return false;
+    }
+    let a_kids: Vec<&Node> = a.children().iter().collect();
+    let b_kids: Vec<&Node> = b.children().iter().collect();
+    if a_kids.len() != b_kids.len() {
+        return false;
+    }
+    a_kids.iter().zip(&b_kids).all(|(x, y)| match (x, y) {
+        (Node::Element(e1), Node::Element(e2)) => equivalent(e1, e2),
+        (Node::Text(t1), Node::Text(t2)) => t1 == t2,
+        (Node::Comment(c1), Node::Comment(c2)) => c1 == c2,
+        _ => false,
+    })
+}
+
+proptest! {
+    #[test]
+    fn compact_round_trip(e in element_strategy()) {
+        let text = write_element(&e, &WriteOptions::compact());
+        let parsed = parse(&text).unwrap().into_root();
+        prop_assert!(equivalent(&e, &parsed), "wrote: {text}");
+    }
+
+    #[test]
+    fn escape_unescape_text_identity(s in "\\PC{0,64}") {
+        let escaped = gates_xml::escape_text(&s);
+        prop_assert_eq!(gates_xml::unescape(&escaped).unwrap(), s);
+    }
+
+    #[test]
+    fn escape_unescape_attr_identity(s in "\\PC{0,64}") {
+        let escaped = gates_xml::escape_attr(&s);
+        prop_assert_eq!(gates_xml::unescape(&escaped).unwrap(), s);
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,128}") {
+        let _ = parse(&s); // must not panic, any Result is fine
+    }
+
+    #[test]
+    fn parser_never_panics_on_tagged_soup(s in "[<>a-z/=\"' ]{0,64}") {
+        let _ = parse(&s);
+    }
+}

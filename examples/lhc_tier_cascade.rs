@@ -1,0 +1,86 @@
+//! Multi-tier aggregation, shaped after the paper's §2 LHC motivation:
+//! detector sites (tier 2) summarize locally, regional centers (tier 1)
+//! condense, and a single tier-0 center answers the global query — with
+//! the middleware adapting the summary size at *both* tiers.
+//!
+//! ```sh
+//! cargo run --release --example lhc_tier_cascade
+//! ```
+
+use gates::apps::hierarchical::{self, HierarchicalParams};
+use gates::engine::{DesEngine, RunOptions};
+use gates::grid::{Deployer, NodeSpec, ResourceRegistry};
+use gates::net::Bandwidth;
+
+fn main() {
+    let params = HierarchicalParams {
+        regions: 3,
+        sites_per_region: 3,
+        items_per_source: 25_000,
+        adaptive: true,
+        site_bandwidth: Bandwidth::kb_per_sec(100.0),
+        region_bandwidth: Bandwidth::kb_per_sec(20.0),
+        ..Default::default()
+    };
+    let sites = params.regions * params.sites_per_region;
+    println!(
+        "tier cascade: {} sites -> {} regions -> 1 center ({} integers total)",
+        sites,
+        params.regions,
+        sites as u64 * params.items_per_source
+    );
+
+    let (topology, handles) = hierarchical::build(&params);
+
+    // A heterogeneous grid: tier-0 is the fastest machine, regional
+    // centers are mid-tier, sites are commodity nodes.
+    let mut registry = ResourceRegistry::new();
+    registry.register(NodeSpec::new("cern-t0", "tier0").speed(4.0).memory(16_384));
+    for r in 0..params.regions {
+        registry
+            .register(NodeSpec::new(format!("region-{r}"), format!("tier1-{r}")).speed(2.0));
+    }
+    for s in 0..sites {
+        registry.register(NodeSpec::new(format!("site-{s}"), format!("tier2-{s}")));
+    }
+
+    let plan = Deployer::new().deploy(&topology, &registry).expect("placement");
+    let mut engine = DesEngine::new(topology, &plan, RunOptions::default()).expect("engine");
+    let report = engine.run_to_completion();
+
+    println!("\n{}", report.summary_table());
+
+    // Per-tier traffic condensation.
+    let raw_bytes: u64 = (0..sites)
+        .filter_map(|i| report.stage(&format!("summarizer-{i}")).map(|s| s.bytes_in))
+        .sum();
+    let tier1_in: u64 = (0..params.regions)
+        .filter_map(|r| report.stage(&format!("region-{r}")).map(|s| s.bytes_in))
+        .sum();
+    let tier0_in = report.stage("center").unwrap().bytes_in;
+    println!("traffic per tier:");
+    println!("  raw at sites:        {raw_bytes:>12} bytes");
+    println!("  site -> region WAN:  {tier1_in:>12} bytes ({:.1}x reduction)", raw_bytes as f64 / tier1_in.max(1) as f64);
+    println!("  region -> center:    {tier0_in:>12} bytes ({:.1}x reduction)", raw_bytes as f64 / tier0_in.max(1) as f64);
+
+    // Adapted parameters at both tiers.
+    if let Some(t) = report.stage("summarizer-0").and_then(|s| s.param("k2")) {
+        println!("\ntier-2 k2 (site 0): start {:.0}, final {:.0}", t.samples[0].1, t.final_value().unwrap());
+    }
+    if let Some(t) = report.stage("region-0").and_then(|s| s.param("k1")) {
+        println!("tier-1 k1 (region 0): start {:.0}, final {:.0}", t.samples[0].1, t.final_value().unwrap());
+    }
+
+    let center = report.stage("center").unwrap();
+    println!(
+        "\nend-to-end summary latency at tier 0: mean {:.2}s, max {:.2}s",
+        center.latency.mean(),
+        center.latency.max()
+    );
+
+    let accuracy = handles.accuracy(params.top_k);
+    println!(
+        "global top-10 accuracy: {:.1}/100 (recall {:.2}, fidelity {:.2})",
+        accuracy.score, accuracy.recall, accuracy.fidelity
+    );
+}

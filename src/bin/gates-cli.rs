@@ -1,0 +1,257 @@
+//! `gates-cli` — launch a GATES application from configuration files.
+//!
+//! The command-line embodiment of the paper's application-user workflow
+//! (§3.2): "To start the application, the user simply passes the XML
+//! file's URL link to the Launcher."
+//!
+//! ```sh
+//! # Run an application config on an auto-generated uniform grid:
+//! gates-cli run app.xml
+//!
+//! # With an explicit resource pool and a fixed virtual-time horizon:
+//! gates-cli run app.xml --grid grid.xml --duration 120
+//!
+//! # On native threads instead of the virtual-time engine:
+//! gates-cli run app.xml --engine threaded --max-time 30
+//!
+//! # List the built-in application templates:
+//! gates-cli apps
+//!
+//! # Print skeleton config files:
+//! gates-cli template app | tee app.xml
+//! gates-cli template grid | tee grid.xml
+//! ```
+
+use std::process::ExitCode;
+
+use gates::apps;
+use gates::engine::{DesEngine, RunOptions, ThreadedEngine};
+use gates::grid::{registry_from_xml, ApplicationRepository, Launcher, ResourceRegistry};
+use gates::sim::{SimDuration, SimTime};
+
+fn usage() -> &'static str {
+    "usage:\n  gates-cli run <app.xml> [--grid <grid.xml>] [--duration <secs>]\n                          [--max-time <secs>] [--engine des|threaded]\n  gates-cli apps\n  gates-cli template app|grid"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => run(&args[1..]),
+        Some("apps") => {
+            let mut repo = ApplicationRepository::new();
+            apps::publish_all(&mut repo);
+            println!("published application templates:");
+            for key in repo.keys() {
+                println!("  {key}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("template") => template(args.get(1).map(String::as_str)),
+        _ => {
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn template(kind: Option<&str>) -> ExitCode {
+    match kind {
+        Some("app") => {
+            println!(
+                r#"<application name="my-run" repository="count-samps">
+  <param name="sources" value="4"/>
+  <param name="items_per_source" value="25000"/>
+  <param name="mode" value="adaptive"/>
+  <param name="bandwidth_kb" value="100"/>
+</application>"#
+            );
+            ExitCode::SUCCESS
+        }
+        Some("grid") => {
+            println!(
+                r#"<grid>
+  <node name="central-0" site="central" speed="2.0" memory="8192" capacity="4"/>
+  <node name="edge-0" site="site-0"/>
+  <node name="edge-1" site="site-1"/>
+  <node name="edge-2" site="site-2"/>
+  <node name="edge-3" site="site-3"/>
+</grid>"#
+            );
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct RunArgs {
+    app_path: String,
+    grid_path: Option<String>,
+    duration: Option<u64>,
+    max_time: Option<f64>,
+    engine: String,
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut parsed = RunArgs {
+        app_path: String::new(),
+        grid_path: None,
+        duration: None,
+        max_time: None,
+        engine: "des".to_string(),
+    };
+    let mut it = args.iter();
+    let Some(app) = it.next() else {
+        return Err("missing <app.xml>".into());
+    };
+    parsed.app_path = app.clone();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--grid" => parsed.grid_path = Some(value("--grid")?),
+            "--duration" => {
+                parsed.duration =
+                    Some(value("--duration")?.parse().map_err(|_| "--duration: not a number")?)
+            }
+            "--max-time" => {
+                parsed.max_time =
+                    Some(value("--max-time")?.parse().map_err(|_| "--max-time: not a number")?)
+            }
+            "--engine" => {
+                let v = value("--engine")?;
+                if v != "des" && v != "threaded" {
+                    return Err(format!("--engine must be des or threaded, got {v:?}"));
+                }
+                parsed.engine = v;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let parsed = match parse_run_args(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let app_xml = match std::fs::read_to_string(&parsed.app_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", parsed.app_path);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut repo = ApplicationRepository::new();
+    apps::publish_all(&mut repo);
+
+    // Build the topology once just to learn the sites it wants, so an
+    // auto-generated uniform grid can cover them when no --grid is given.
+    let config = match gates::grid::AppConfig::from_xml(&app_xml) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let registry = match &parsed.grid_path {
+        Some(path) => match std::fs::read_to_string(path).map_err(|e| e.to_string()).and_then(
+            |xml| registry_from_xml(&xml).map_err(|e| e.to_string()),
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: cannot load grid {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let probe = match repo.build(&config) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let sites: Vec<String> = probe.stages().iter().map(|s| s.site.clone()).collect();
+            let unique: Vec<&str> = {
+                let mut seen = std::collections::BTreeSet::new();
+                sites.iter().filter(|s| seen.insert(s.as_str())).map(String::as_str).collect()
+            };
+            eprintln!("no --grid given; generating a uniform cluster over {} sites", unique.len());
+            ResourceRegistry::uniform_cluster(&unique)
+        }
+    };
+
+    let deployment = match Launcher::new().launch(config, &repo, &registry) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: launch failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "launched {:?}: {} stages on {} nodes",
+        deployment.config.name,
+        deployment.topology.stages().len(),
+        registry.len()
+    );
+    for (i, stage) in deployment.topology.stages().iter().enumerate() {
+        let id = gates::core::StageId::from_index(i);
+        eprintln!("  {:<20} -> {}", stage.name, deployment.plan.node_of(id).unwrap_or("?"));
+    }
+
+    let mut opts = RunOptions::default();
+    if let Some(mt) = parsed.max_time {
+        opts = opts.max_time(SimTime::from_secs_f64(mt));
+    }
+
+    let report = match parsed.engine.as_str() {
+        "threaded" => {
+            match ThreadedEngine::new(deployment.topology, &deployment.plan, opts)
+                .and_then(ThreadedEngine::run)
+            {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        _ => {
+            let mut engine = match DesEngine::new(deployment.topology, &deployment.plan, opts) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match parsed.duration {
+                Some(secs) => engine.run_for(SimDuration::from_secs(secs)),
+                None => engine.run_to_completion(),
+            }
+        }
+    };
+
+    println!("{}", report.summary_table());
+    println!("{}", report.detail_table());
+    for stage in &report.stages {
+        for param in &stage.params {
+            if let Some(v) = param.final_value() {
+                println!(
+                    "parameter {}/{}: start {:.3}, final {:.3}",
+                    stage.name, param.name, param.samples[0].1, v
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

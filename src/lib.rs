@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # GATES — Grid-based Adaptive Execution on Streams
+//!
+//! A full Rust reproduction of *"GATES: A Grid-Based Middleware for
+//! Processing Distributed Data Streams"* (Chen, Reddy, Agrawal —
+//! HPDC 2004), including every substrate the paper relies on.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `gates-core` | stages, adjustment parameters, the self-adaptation algorithm, topologies, reports |
+//! | [`grid`] | `gates-grid` | resource directory, matchmaker, application repository, Deployer, Launcher |
+//! | [`engine`] | `gates-engine` | deterministic virtual-time executor and native-thread runtime |
+//! | [`net`] | `gates-net` | bandwidth-limited links, token buckets, wire framing |
+//! | [`sim`] | `gates-sim` | discrete-event kernel, virtual clock, statistics, seeded RNG |
+//! | [`streams`] | `gates-streams` | counting samples, Misra–Gries, Count-Min, reservoir, P², windows, workloads |
+//! | [`apps`] | `gates-apps` | the paper's `count-samps` and `comp-steer` templates plus an intrusion-detection template |
+//! | [`xml`] | `gates-xml` | the embedded XML parser used by the Launcher |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gates::apps::count_samps::{self, CountSampsParams, Mode};
+//! use gates::engine::{DesEngine, RunOptions};
+//! use gates::grid::{Deployer, ResourceRegistry};
+//!
+//! // Build the paper's count-samps application: 2 sources, a summary
+//! // stage near each source, a central collector.
+//! let params = CountSampsParams {
+//!     sources: 2,
+//!     items_per_source: 2_000,
+//!     mode: Mode::Distributed { k: 100.0 },
+//!     ..Default::default()
+//! };
+//! let (topology, handles) = count_samps::build(&params);
+//!
+//! // Deploy it onto a simulated grid and run it in virtual time.
+//! let registry = ResourceRegistry::uniform_cluster(&["site-0", "site-1", "central"]);
+//! let plan = Deployer::new().deploy(&topology, &registry).unwrap();
+//! let mut engine = DesEngine::new(topology, &plan, RunOptions::default()).unwrap();
+//! let report = engine.run_to_completion();
+//!
+//! // The central node answered the top-10 query.
+//! let accuracy = handles.accuracy(10);
+//! assert!(accuracy.score > 80.0);
+//! assert!(report.execution_secs() > 0.0);
+//! ```
+
+pub use gates_apps as apps;
+pub use gates_core as core;
+pub use gates_engine as engine;
+pub use gates_grid as grid;
+pub use gates_net as net;
+pub use gates_sim as sim;
+pub use gates_streams as streams;
+pub use gates_xml as xml;

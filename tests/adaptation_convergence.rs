@@ -1,0 +1,127 @@
+//! Integration tests pinning the paper's headline adaptation results
+//! (Figures 8 and 9) at reduced horizons: the middleware must find the
+//! highest sustainable sampling rate under processing and network
+//! constraints, and the distributed count-samps deployment must beat the
+//! centralized one on constrained links (Figure 5's claim).
+
+use gates::apps::comp_steer::{self, CompSteerParams};
+use gates::apps::count_samps::{self, CountSampsParams, Mode};
+use gates::engine::{DesEngine, RunOptions};
+use gates::grid::{Deployer, ResourceRegistry};
+use gates::net::Bandwidth;
+use gates::sim::SimDuration;
+
+fn run_steer(params: &CompSteerParams, secs: u64) -> gates::core::report::RunReport {
+    let (topology, _) = comp_steer::build(params);
+    let registry = ResourceRegistry::uniform_cluster(&["hpc", "analysis"]);
+    let plan = Deployer::new().deploy(&topology, &registry).unwrap();
+    let mut engine = DesEngine::new(topology, &plan, RunOptions::default()).unwrap();
+    engine.run_for(SimDuration::from_secs(secs))
+}
+
+fn settled_sampling(report: &gates::core::report::RunReport) -> f64 {
+    report.stage("sampler").unwrap().param("sampling_rate").unwrap().tail_mean(40).unwrap()
+}
+
+#[test]
+fn figure8_processing_constraints_order_correctly() {
+    // Heavier analysis cost ⇒ lower sustainable sampling rate.
+    let mut settled = Vec::new();
+    for cost in [1.0, 8.0, 20.0] {
+        let report = run_steer(&CompSteerParams::figure8(cost), 300);
+        settled.push(settled_sampling(&report));
+    }
+    assert!(settled[0] > 0.9, "1 ms/byte is unconstrained: {settled:?}");
+    assert!(settled[0] > settled[1] && settled[1] > settled[2], "ordering: {settled:?}");
+    assert!(settled[2] < 0.5, "20 ms/byte must throttle hard: {settled:?}");
+}
+
+#[test]
+fn figure9_network_constraints_track_bandwidth_ratio() {
+    for (rate_kb, expected) in [(20.0, 0.5), (80.0, 0.125)] {
+        let report = run_steer(&CompSteerParams::figure9(rate_kb), 300);
+        let p = settled_sampling(&report);
+        assert!(
+            (p - expected).abs() < 0.15,
+            "{rate_kb} KB/s over a 10 KB/s link should settle near {expected}, got {p}"
+        );
+    }
+}
+
+#[test]
+fn figure9_unconstrained_rate_reaches_full_sampling() {
+    let report = run_steer(&CompSteerParams::figure9(5.0), 300);
+    let p = settled_sampling(&report);
+    assert!(p > 0.85, "5 KB/s over 10 KB/s is unconstrained, got {p}");
+}
+
+#[test]
+fn figure5_distributed_beats_centralized_under_constraint() {
+    let run = |mode| {
+        let params = CountSampsParams {
+            sources: 2,
+            items_per_source: 5_000,
+            mode,
+            bandwidth: Bandwidth::kb_per_sec(2.0),
+            ..Default::default()
+        };
+        let (topology, handles) = count_samps::build(&params);
+        let registry = ResourceRegistry::uniform_cluster(&["site-0", "site-1", "central"]);
+        let plan = Deployer::new().deploy(&topology, &registry).unwrap();
+        let mut engine = DesEngine::new(topology, &plan, RunOptions::default()).unwrap();
+        let report = engine.run_to_completion();
+        (report.execution_secs(), handles.accuracy(10).score)
+    };
+    let (central_time, central_acc) = run(Mode::Centralized);
+    let (dist_time, dist_acc) = run(Mode::Distributed { k: 100.0 });
+    assert!(dist_time < central_time, "distributed {dist_time}s vs centralized {central_time}s");
+    assert!(central_acc > dist_acc - 1.0, "centralized at least as accurate");
+    assert!(dist_acc > 85.0, "distributed stays accurate: {dist_acc}");
+}
+
+#[test]
+fn adaptation_survives_a_midstream_load_change() {
+    // Start unconstrained (cost 1 ms/byte ⇒ p → 1), then the analysis
+    // cost is irrelevant — instead squeeze the link by switching the
+    // workload: run the 8 ms/byte variant after the 1 ms/byte one on the
+    // same horizon and verify both equilibria are found independently.
+    let fast = run_steer(&CompSteerParams::figure8(1.0), 200);
+    let slow = run_steer(&CompSteerParams::figure8(8.0), 200);
+    let p_fast = settled_sampling(&fast);
+    let p_slow = settled_sampling(&slow);
+    assert!(p_fast > 0.9 && p_slow < 0.95, "p_fast={p_fast}, p_slow={p_slow}");
+    // The slow variant must keep its analyzer queue under control (the
+    // real-time constraint): mean queue well below capacity.
+    assert!(slow.stage("analyzer").unwrap().queue.mean() < 90.0);
+}
+
+#[test]
+fn one_run_tracks_three_equilibria_through_rate_changes() {
+    // The midrun extension experiment, pinned: 20 KB/s → 80 KB/s →
+    // 5 KB/s over a 10 KB/s link, all inside a single trajectory.
+    let mut params = CompSteerParams::figure9(20.0);
+    params.rate_schedule = vec![(200.0, 80_000.0), (400.0, 5_000.0)];
+    let report = run_steer(&params, 600);
+    let trajectory = report
+        .stage("sampler")
+        .unwrap()
+        .param("sampling_rate")
+        .unwrap()
+        .samples
+        .clone();
+    let phase_mean = |from: f64, to: f64| {
+        let tail_start = to - (to - from) * 0.25;
+        let tail: Vec<f64> = trajectory
+            .iter()
+            .filter(|&&(t, _)| t >= tail_start && t < to)
+            .map(|&(_, v)| v)
+            .collect();
+        tail.iter().sum::<f64>() / tail.len().max(1) as f64
+    };
+    let p1 = phase_mean(0.0, 200.0);
+    let p2 = phase_mean(200.0, 400.0);
+    let p3 = phase_mean(400.0, 600.0);
+    assert!((p1 - 0.5).abs() < 0.15, "phase 1 should settle near 0.5, got {p1}");
+    assert!((p2 - 0.125).abs() < 0.1, "phase 2 should settle near 0.125, got {p2}");
+    assert!(p3 > 0.85, "phase 3 is unconstrained, got {p3}");
+}

@@ -1,0 +1,112 @@
+//! End-to-end integration: XML configuration → Launcher → resource
+//! discovery → deployment → virtual-time execution, for every published
+//! application template — the full path an application user takes in
+//! the paper's workflow (§3.2).
+
+use gates::apps;
+use gates::engine::{DesEngine, RunOptions};
+use gates::grid::{ApplicationRepository, Launcher, NodeSpec, ResourceRegistry};
+
+fn registry() -> ResourceRegistry {
+    let mut r = ResourceRegistry::new();
+    for i in 0..4 {
+        r.register(NodeSpec::new(format!("edge-{i}"), format!("site-{i}")));
+    }
+    r.register(NodeSpec::new("central-0", "central").speed(2.0).memory(8192));
+    r.register(NodeSpec::new("soc-0", "soc"));
+    r.register(NodeSpec::new("hpc-0", "hpc"));
+    r.register(NodeSpec::new("analysis-0", "analysis"));
+    r
+}
+
+fn repository() -> ApplicationRepository {
+    let mut repo = ApplicationRepository::new();
+    apps::publish_all(&mut repo);
+    repo
+}
+
+#[test]
+fn launch_count_samps_from_xml() {
+    let xml = r#"
+        <application name="it-count" repository="count-samps">
+          <param name="sources" value="2"/>
+          <param name="items_per_source" value="2000"/>
+          <param name="mode" value="distributed"/>
+          <param name="k" value="80"/>
+        </application>"#;
+    let deployment = Launcher::new().launch_xml(xml, &repository(), &registry()).unwrap();
+    assert_eq!(deployment.topology.stages().len(), 5, "2x(source+summarizer)+collector");
+
+    // Site affinity: summarizer-0 lands on the site-0 node.
+    let s0 = deployment.topology.stage_by_name("summarizer-0").unwrap();
+    assert_eq!(deployment.plan.node_of(s0), Some("edge-0"));
+    let col = deployment.topology.stage_by_name("collector").unwrap();
+    assert_eq!(deployment.plan.node_of(col), Some("central-0"));
+    assert_eq!(deployment.plan.speed_of(col), 2.0, "central node speed flows into the plan");
+
+    let mut engine =
+        DesEngine::new(deployment.topology, &deployment.plan, RunOptions::default()).unwrap();
+    let report = engine.run_to_completion();
+    assert!(engine.is_complete());
+    assert_eq!(report.stage("collector").unwrap().packets_dropped, 0);
+    assert!(report.stage("collector").unwrap().packets_in > 0);
+}
+
+#[test]
+fn launch_comp_steer_from_xml() {
+    let xml = r#"
+        <application name="it-steer" repository="comp-steer">
+          <param name="rate" value="160"/>
+          <param name="cost_ms_per_byte" value="5"/>
+        </application>"#;
+    let deployment = Launcher::new().launch_xml(xml, &repository(), &registry()).unwrap();
+    assert_eq!(deployment.topology.stages().len(), 3);
+    let mut engine =
+        DesEngine::new(deployment.topology, &deployment.plan, RunOptions::default()).unwrap();
+    let report = engine.run_for(gates::sim::SimDuration::from_secs(60));
+    let sampler = report.stage("sampler").unwrap();
+    assert!(sampler.packets_in > 0, "stream flows");
+    assert!(sampler.param("sampling_rate").is_some(), "parameter registered via specify_para");
+}
+
+#[test]
+fn launch_intrusion_from_xml() {
+    let xml = r#"
+        <application name="it-ids" repository="intrusion">
+          <param name="sites" value="2"/>
+          <param name="events_per_site" value="4000"/>
+        </application>"#;
+    let deployment = Launcher::new().launch_xml(xml, &repository(), &registry()).unwrap();
+    let mut engine =
+        DesEngine::new(deployment.topology, &deployment.plan, RunOptions::default()).unwrap();
+    let report = engine.run_to_completion();
+    let correlator = report.stage("correlator").unwrap();
+    assert!(correlator.packets_in > 0, "summaries reached the correlator");
+    assert!(correlator.bytes_in < 100_000, "only compact reports cross the WAN");
+}
+
+#[test]
+fn repository_lists_all_templates() {
+    let repo = repository();
+    assert!(repo.contains("count-samps"));
+    assert!(repo.contains("comp-steer"));
+    assert!(repo.contains("intrusion"));
+    assert!(repo.contains("hierarchical"));
+    assert_eq!(repo.len(), 4);
+}
+
+#[test]
+fn unknown_site_falls_back_gracefully() {
+    // A registry with no matching sites at all still yields a placement.
+    let mut r = ResourceRegistry::new();
+    r.register(NodeSpec::new("only", "somewhere").capacity(64));
+    let xml = r#"
+        <application name="fallback" repository="comp-steer">
+          <param name="rate" value="160"/>
+        </application>"#;
+    let deployment = Launcher::new().launch_xml(xml, &repository(), &r).unwrap();
+    for (i, _) in deployment.topology.stages().iter().enumerate() {
+        let id = gates::core::StageId::from_index(i);
+        assert_eq!(deployment.plan.node_of(id), Some("only"));
+    }
+}

@@ -1,0 +1,53 @@
+//! The adaptation loop must work on the native-thread runtime too: the
+//! same LoadTracker/ParamController state machines, driven by wall-clock
+//! timers and crossbeam queue lengths instead of virtual time.
+//!
+//! Kept deliberately small (a few wall-clock seconds) so the suite stays
+//! fast; the precision assertions live in the virtual-time tests.
+
+use gates::apps::comp_steer::{self, CompSteerParams};
+use gates::engine::{RunOptions, ThreadedEngine};
+use gates::grid::{Deployer, ResourceRegistry};
+use gates::sim::{SimDuration, SimTime};
+
+#[test]
+fn threaded_engine_adapts_sampling_under_processing_pressure() {
+    // Generation 20 KB/s, analysis 1 ms/byte ⇒ capacity 1 KB/s: wildly
+    // overloaded at full sampling, so the controller must push the rate
+    // down once the analyzer's overload exceptions build up (the d̃ EWMA
+    // needs a couple of wall seconds to cross LT2).
+    let params = CompSteerParams {
+        generation_rate: 20_000.0,
+        packet_bytes: 256,
+        init_sampling: 1.0,
+        min_sampling: 0.01,
+        max_sampling: 1.0,
+        cost_per_byte: 0.001,
+        bandwidth: None,
+        ..Default::default()
+    };
+    let (topology, _handles) = comp_steer::build(&params);
+    let registry = ResourceRegistry::uniform_cluster(&["hpc", "analysis"]);
+    let plan = Deployer::new().deploy(&topology, &registry).unwrap();
+    let opts = RunOptions::default()
+        .observe_every(SimDuration::from_millis(20))
+        .adapt_every(SimDuration::from_millis(100))
+        .max_time(SimTime::from_secs_f64(8.0));
+    let report = ThreadedEngine::new(topology, &plan, opts).unwrap().run().unwrap();
+
+    let sampler = report.stage("sampler").unwrap();
+    let trajectory = sampler.param("sampling_rate").expect("parameter registered on threads");
+    assert!(trajectory.samples.len() > 5, "adaptation rounds ran on wall clock");
+    let final_p = trajectory.final_value().unwrap();
+    assert!(
+        final_p < 0.9,
+        "overloaded analyzer must push sampling below its 1.0 start, got {final_p}"
+    );
+    // Exceptions crossed the control channel.
+    let analyzer = report.stage("analyzer").unwrap();
+    assert!(
+        analyzer.exceptions_sent.0 > 0,
+        "the analyzer must report overload upstream: {:?}",
+        analyzer.exceptions_sent
+    );
+}
