@@ -106,8 +106,7 @@ impl CompSteerParams {
     /// to: the fraction of the generated volume the bottleneck can carry.
     pub fn expected_convergence(&self) -> f64 {
         let cpu_capacity = 1.0 / self.cost_per_byte; // bytes/sec the analyzer absorbs
-        let link_capacity =
-            self.bandwidth.map(|b| b.as_bytes_per_sec()).unwrap_or(f64::INFINITY);
+        let link_capacity = self.bandwidth.map(|b| b.as_bytes_per_sec()).unwrap_or(f64::INFINITY);
         let capacity = cpu_capacity.min(link_capacity);
         (capacity / self.generation_rate).min(self.max_sampling).max(self.min_sampling)
     }
@@ -186,16 +185,21 @@ impl StreamProcessor for Sampler {
         // The paper's example call, verbatim semantics:
         // specifyPara(sampling_rate, 0.20→init, max, min, 0.01, decrease).
         let id = api
-            .specify_para("sampling_rate", self.init, self.min, self.max, 0.01, Direction::IncreaseSlowsDown)
+            .specify_para(
+                "sampling_rate",
+                self.init,
+                self.min,
+                self.max,
+                0.01,
+                Direction::IncreaseSlowsDown,
+            )
             .expect("valid parameter");
         self.param = Some(id);
     }
 
     fn process(&mut self, packet: Packet, api: &mut StageApi) {
-        let p = self
-            .param
-            .map(|id| api.suggested_value(id).unwrap_or(self.init))
-            .unwrap_or(self.init);
+        let p =
+            self.param.map(|id| api.suggested_value(id).unwrap_or(self.init)).unwrap_or(self.init);
         let mut r = PayloadReader::new(packet.payload);
         let total = (r.remaining() / 8) as f64;
         self.carry += total * p;
@@ -255,17 +259,15 @@ pub fn build(params: &CompSteerParams) -> (Topology, CompSteerHandles) {
 
     let p = params.clone();
     let simulation = topo
-        .add_stage_raw(
-            StageBuilder::new("simulation").site("hpc").processor(move || Simulation {
-                base_rate: p.generation_rate,
-                rate_schedule: p.rate_schedule.clone(),
-                bytes_per_packet,
-                values_per_packet,
-                rng: seeded_stream(p.seed, 0),
-                seq: 0,
-                phase: 0.0,
-            }),
-        )
+        .add_stage_raw(StageBuilder::new("simulation").site("hpc").processor(move || Simulation {
+            base_rate: p.generation_rate,
+            rate_schedule: p.rate_schedule.clone(),
+            bytes_per_packet,
+            values_per_packet,
+            rng: seeded_stream(p.seed, 0),
+            seq: 0,
+            phase: 0.0,
+        }))
         .expect("simulation stage");
 
     let p = params.clone();
@@ -350,7 +352,10 @@ mod tests {
     use gates_grid::{Deployer, ResourceRegistry};
     use gates_sim::SimDuration;
 
-    fn run_for(params: &CompSteerParams, secs: u64) -> (gates_core::report::RunReport, CompSteerHandles) {
+    fn run_for(
+        params: &CompSteerParams,
+        secs: u64,
+    ) -> (gates_core::report::RunReport, CompSteerHandles) {
         let (topo, handles) = build(params);
         let registry = ResourceRegistry::uniform_cluster(&["hpc", "analysis"]);
         let plan = Deployer::new().deploy(&topo, &registry).unwrap();
@@ -360,13 +365,7 @@ mod tests {
     }
 
     fn final_sampling(report: &gates_core::report::RunReport) -> f64 {
-        report
-            .stage("sampler")
-            .unwrap()
-            .param("sampling_rate")
-            .unwrap()
-            .tail_mean(20)
-            .unwrap()
+        report.stage("sampler").unwrap().param("sampling_rate").unwrap().tail_mean(20).unwrap()
     }
 
     #[test]
@@ -385,10 +384,7 @@ mod tests {
         let expected = params.expected_convergence();
         let (report, _) = run_for(&params, 400);
         let p = final_sampling(&report);
-        assert!(
-            (p - expected).abs() < 0.15,
-            "sampling should settle near {expected}, got {p}"
-        );
+        assert!((p - expected).abs() < 0.15, "sampling should settle near {expected}, got {p}");
         // And the pipeline must be healthy: no runaway queue at the analyzer.
         let analyzer = report.stage("analyzer").unwrap();
         assert!(analyzer.queue.mean() < 90.0, "queue out of control: {}", analyzer.queue.mean());
@@ -402,10 +398,7 @@ mod tests {
         assert!((expected - 0.25).abs() < 1e-9);
         let (report, _) = run_for(&params, 400);
         let p = final_sampling(&report);
-        assert!(
-            (p - expected).abs() < 0.15,
-            "sampling should settle near {expected}, got {p}"
-        );
+        assert!((p - expected).abs() < 0.15, "sampling should settle near {expected}, got {p}");
     }
 
     #[test]

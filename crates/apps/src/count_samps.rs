@@ -362,9 +362,8 @@ pub fn build(params: &CountSampsParams) -> (Topology, CountSampsHandles) {
             let truth = Arc::clone(&handles.truth);
             let p = params.clone();
             topo.add_stage_raw(
-                StageBuilder::new(format!("source-{i}"))
-                    .site(format!("site-{i}"))
-                    .processor(move || ZipfSource {
+                StageBuilder::new(format!("source-{i}")).site(format!("site-{i}")).processor(
+                    move || ZipfSource {
                         stream_id,
                         remaining: p.items_per_source,
                         batch: p.batch,
@@ -373,7 +372,8 @@ pub fn build(params: &CountSampsParams) -> (Topology, CountSampsHandles) {
                         rng: seeded_stream(p.seed, stream_id as u64),
                         truth: Arc::clone(&truth),
                         seq: 0,
-                    }),
+                    },
+                ),
             )
             .expect("source stage")
         };
@@ -531,11 +531,8 @@ mod tests {
     #[test]
     fn distributed_is_faster_on_slow_links() {
         let slow = Bandwidth::kb_per_sec(5.0);
-        let central = run(&CountSampsParams {
-            mode: Mode::Centralized,
-            bandwidth: slow,
-            ..small()
-        });
+        let central =
+            run(&CountSampsParams { mode: Mode::Centralized, bandwidth: slow, ..small() });
         let dist = run(&CountSampsParams {
             mode: Mode::Distributed { k: 100.0 },
             bandwidth: slow,

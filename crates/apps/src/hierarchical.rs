@@ -473,9 +473,7 @@ pub fn publish(repo: &mut ApplicationRepository) {
 }
 
 /// Parse run parameters from an XML [`AppConfig`].
-pub fn params_from_config(
-    config: &AppConfig,
-) -> Result<HierarchicalParams, gates_grid::GridError> {
+pub fn params_from_config(config: &AppConfig) -> Result<HierarchicalParams, gates_grid::GridError> {
     let d = HierarchicalParams::default();
     Ok(HierarchicalParams {
         regions: config.usize_or("regions", d.regions)?,
@@ -544,14 +542,10 @@ mod tests {
         let site_bytes: u64 = (0..4)
             .filter_map(|i| report.stage(&format!("summarizer-{i}")).map(|s| s.bytes_out))
             .sum();
-        let region_bytes: u64 = (0..2)
-            .filter_map(|r| report.stage(&format!("region-{r}")).map(|s| s.bytes_out))
-            .sum();
+        let region_bytes: u64 =
+            (0..2).filter_map(|r| report.stage(&format!("region-{r}")).map(|s| s.bytes_out)).sum();
         let center_in = report.stage("center").unwrap().bytes_in;
-        assert!(
-            region_bytes < site_bytes,
-            "tier-1 condenses: {region_bytes} vs {site_bytes}"
-        );
+        assert!(region_bytes < site_bytes, "tier-1 condenses: {region_bytes} vs {site_bytes}");
         assert_eq!(center_in, region_bytes, "everything the regions sent arrived");
     }
 

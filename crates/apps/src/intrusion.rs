@@ -173,10 +173,8 @@ impl IntrusionHandles {
             return 1.0;
         }
         let alerts = self.alerts.lock();
-        let hit = truth
-            .iter()
-            .filter(|t| alerts.iter().any(|a| a.src() == **t && matches(a)))
-            .count();
+        let hit =
+            truth.iter().filter(|t| alerts.iter().any(|a| a.src() == **t && matches(a))).count();
         hit as f64 / truth.len() as f64
     }
 
@@ -246,9 +244,7 @@ impl StreamProcessor for LogSource {
                 // Flooder: one of a handful of fixed destinations.
                 let src = self.flooders[self.rng.gen_range(0..self.flooders.len())];
                 (src, self.rng.gen_range(0..4))
-            } else if !self.scanners.is_empty()
-                && roll < self.flood_fraction + self.scan_fraction
-            {
+            } else if !self.scanners.is_empty() && roll < self.flood_fraction + self.scan_fraction {
                 // Scanner: a fresh destination each probe.
                 let src = self.scanners[self.rng.gen_range(0..self.scanners.len())];
                 self.scan_cursor += 1;
@@ -339,7 +335,14 @@ impl StreamProcessor for Sketcher {
     fn on_start(&mut self, api: &mut StageApi) {
         if self.adaptive {
             let id = api
-                .specify_para("report_size", self.fixed_report, 8.0, 128.0, 8.0, Direction::IncreaseSlowsDown)
+                .specify_para(
+                    "report_size",
+                    self.fixed_report,
+                    8.0,
+                    128.0,
+                    8.0,
+                    Direction::IncreaseSlowsDown,
+                )
                 .expect("valid parameter");
             self.param = Some(id);
         }
@@ -627,7 +630,12 @@ mod tests {
     #[test]
     fn flooders_are_detected_by_volume() {
         let (_, handles) = run(&small());
-        assert_eq!(handles.flood_recall(), 1.0, "all flooders flagged: {:?}", handles.alerts.lock());
+        assert_eq!(
+            handles.flood_recall(),
+            1.0,
+            "all flooders flagged: {:?}",
+            handles.alerts.lock()
+        );
     }
 
     #[test]

@@ -28,8 +28,8 @@ fn bench_load_tracker(c: &mut Criterion) {
 
 fn bench_controller(c: &mut Criterion) {
     let mut group = c.benchmark_group("param_controller");
-    let spec = AdjustmentParameter::new("p", 0.5, 0.01, 1.0, 0.01, Direction::IncreaseSlowsDown)
-        .unwrap();
+    let spec =
+        AdjustmentParameter::new("p", 0.5, 0.01, 1.0, 0.01, Direction::IncreaseSlowsDown).unwrap();
     group.bench_function("adapt_round", |b| {
         let mut ctl = ParamController::new(AdaptationConfig::default(), spec.clone());
         let mut i = 0u64;

@@ -23,10 +23,8 @@ use gates_bench::{convergence_summary, run_comp_steer, sampling_trajectory};
 use gates_core::adapt::{AdaptationConfig, CombinePolicy};
 
 fn run_case(label: &str, cfg: AdaptationConfig) -> (String, f64, f64, f64) {
-    let params = CompSteerParams {
-        adaptation_override: Some(cfg),
-        ..CompSteerParams::figure8(10.0)
-    };
+    let params =
+        CompSteerParams { adaptation_override: Some(cfg), ..CompSteerParams::figure8(10.0) };
     let report = run_comp_steer(&params, 400);
     let trajectory = sampling_trajectory(&report);
     let (mean, std, at) = convergence_summary(&trajectory, 50, 0.08);

@@ -8,12 +8,15 @@
 //!
 //! ```sh
 //! cargo run --release -p gates-bench --bin fig5
+//! # With a flight-recorder trace of both runs (JSONL):
+//! cargo run --release -p gates-bench --bin fig5 -- --trace fig5.jsonl
 //! ```
 
 use gates_apps::count_samps::{CountSampsParams, Mode};
-use gates_bench::{print_csv, run_count_samps};
+use gates_bench::{print_csv, run_count_samps_with, TraceSink};
 
 fn main() {
+    let mut trace = TraceSink::from_env();
     let base = CountSampsParams::default(); // 4 × 25k, 100 KB/s, top-10
 
     println!("Figure 5 — Benefits of Distributed Processing (4 sub-streams)");
@@ -23,12 +26,13 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    for (label, mode) in [
-        ("Centralized", Mode::Centralized),
-        ("Distributed", Mode::Distributed { k: 100.0 }),
-    ] {
+    for (label, mode) in
+        [("Centralized", Mode::Centralized), ("Distributed", Mode::Distributed { k: 100.0 })]
+    {
         let params = CountSampsParams { mode, ..base.clone() };
-        let (report, handles) = run_count_samps(&params);
+        let opts = trace.begin(label);
+        let (report, handles) = run_count_samps_with(&params, opts);
+        trace.end();
         let accuracy = handles.accuracy(params.top_k);
         let collector = report.stage("collector").unwrap();
         rows.push((
@@ -55,6 +59,11 @@ fn main() {
     print_csv(
         "fig5",
         &["mode", "exec_s", "accuracy", "wan_kb", "central_busy_s"],
-        &rows.iter().enumerate().map(|(i, r)| vec![i as f64, r.1, r.2, r.3, r.4]).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| vec![i as f64, r.1, r.2, r.3, r.4])
+            .collect::<Vec<_>>(),
     );
+    trace.finish();
 }

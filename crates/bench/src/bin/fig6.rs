@@ -11,13 +11,16 @@
 //!
 //! ```sh
 //! cargo run --release -p gates-bench --bin fig6
+//! # With a flight-recorder trace of all 20 runs (JSONL):
+//! cargo run --release -p gates-bench --bin fig6 -- --trace fig6.jsonl
 //! ```
 
 use gates_apps::count_samps::{CountSampsParams, Mode};
-use gates_bench::{print_csv, render_table, run_count_samps};
+use gates_bench::{print_csv, render_table, run_count_samps_with, TraceSink};
 use gates_net::Bandwidth;
 
 fn main() {
+    let mut trace = TraceSink::from_env();
     let bandwidths = [1.0, 10.0, 100.0, 1_000.0];
     let versions: Vec<(String, Mode)> = [40.0, 80.0, 120.0, 160.0]
         .iter()
@@ -41,7 +44,9 @@ fn main() {
                 flush_every: 250,
                 ..Default::default()
             };
-            let (report, _) = run_count_samps(&params);
+            let opts = trace.begin(&format!("{label} @ {kb} KB/s"));
+            let (report, _) = run_count_samps_with(&params, opts);
+            trace.end();
             cells.push(report.execution_secs());
             csv.push(vec![
                 match mode {
@@ -59,9 +64,12 @@ fn main() {
     println!("{}", render_table("execution time (s)", &cols, &rows, "seconds"));
 
     println!("paper shape check:");
-    println!("  - time grows with k at low bandwidth (1 KB/s column, top to bottom of the fixed rows)");
+    println!(
+        "  - time grows with k at low bandwidth (1 KB/s column, top to bottom of the fixed rows)"
+    );
     println!("  - all versions converge at high bandwidth (1 MB/s column)");
     println!("  - the adaptive row avoids the worst case of the largest fixed k");
 
     print_csv("fig6", &["k", "bandwidth_kb", "exec_s"], &csv);
+    trace.finish();
 }

@@ -7,13 +7,16 @@
 //!
 //! ```sh
 //! cargo run --release -p gates-bench --bin fig7
+//! # With a flight-recorder trace of all 20 runs (JSONL):
+//! cargo run --release -p gates-bench --bin fig7 -- --trace fig7.jsonl
 //! ```
 
 use gates_apps::count_samps::{CountSampsParams, Mode};
-use gates_bench::{print_csv, render_table, run_count_samps};
+use gates_bench::{print_csv, render_table, run_count_samps_with, TraceSink};
 use gates_net::Bandwidth;
 
 fn main() {
+    let mut trace = TraceSink::from_env();
     let bandwidths = [1.0, 10.0, 100.0, 1_000.0];
     let versions: Vec<(String, Mode)> = [40.0, 80.0, 120.0, 160.0]
         .iter()
@@ -37,7 +40,9 @@ fn main() {
                 flush_every: 250,
                 ..Default::default()
             };
-            let (_, handles) = run_count_samps(&params);
+            let opts = trace.begin(&format!("{label} @ {kb} KB/s"));
+            let (_, handles) = run_count_samps_with(&params, opts);
+            trace.end();
             let acc = handles.accuracy(params.top_k);
             cells.push(acc.score);
             csv.push(vec![
@@ -62,4 +67,5 @@ fn main() {
     println!("  - the adaptive row is never the worst in a column");
 
     print_csv("fig7", &["k", "bandwidth_kb", "accuracy", "recall", "fidelity"], &csv);
+    trace.finish();
 }

@@ -10,15 +10,20 @@
 //!
 //! ```sh
 //! cargo run --release -p gates-bench --bin fig8
+//! # With a flight-recorder trace of every run (JSONL):
+//! cargo run --release -p gates-bench --bin fig8 -- --trace fig8.jsonl
 //! ```
 
 use gates_apps::comp_steer::CompSteerParams;
-use gates_bench::{convergence_summary, print_csv, run_comp_steer, sampling_trajectory};
+use gates_bench::{
+    convergence_summary, print_csv, run_comp_steer_with, sampling_trajectory, TraceSink,
+};
 
 /// One version's run: (parameter value, trajectory, theoretical target).
 type VersionRun = (f64, Vec<(f64, f64)>, f64);
 
 fn main() {
+    let mut trace = TraceSink::from_env();
     let costs_ms = [1.0, 5.0, 8.0, 10.0, 20.0];
     let paper_converged = [1.0, 1.0, 0.65, 0.55, 0.31];
     let horizon_secs = 400;
@@ -30,7 +35,9 @@ fn main() {
     for &c in &costs_ms {
         let params = CompSteerParams::figure8(c);
         let expected = params.expected_convergence();
-        let report = run_comp_steer(&params, horizon_secs);
+        let opts = trace.begin(&format!("{c} ms/B"));
+        let report = run_comp_steer_with(&params, horizon_secs, opts);
+        trace.end();
         let trajectory = sampling_trajectory(&report);
         all.push((c, trajectory, expected));
     }
@@ -73,5 +80,10 @@ fn main() {
     println!("\n(theory = bottleneck capacity / generation rate; the paper's testbed");
     println!(" converged slightly below theory, ours slightly above — same ordering.)");
 
-    print_csv("fig8", &["cost_ms_per_byte", "converged", "tail_std", "theory", "converged_at_s"], &csv);
+    print_csv(
+        "fig8",
+        &["cost_ms_per_byte", "converged", "tail_std", "theory", "converged_at_s"],
+        &csv,
+    );
+    trace.finish();
 }

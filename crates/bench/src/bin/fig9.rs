@@ -11,15 +11,20 @@
 //!
 //! ```sh
 //! cargo run --release -p gates-bench --bin fig9
+//! # With a flight-recorder trace of every run (JSONL):
+//! cargo run --release -p gates-bench --bin fig9 -- --trace fig9.jsonl
 //! ```
 
 use gates_apps::comp_steer::CompSteerParams;
-use gates_bench::{convergence_summary, print_csv, run_comp_steer, sampling_trajectory};
+use gates_bench::{
+    convergence_summary, print_csv, run_comp_steer_with, sampling_trajectory, TraceSink,
+};
 
 /// One version's run: (parameter value, trajectory, theoretical target).
 type VersionRun = (f64, Vec<(f64, f64)>, f64);
 
 fn main() {
+    let mut trace = TraceSink::from_env();
     let rates_kb = [5.0, 10.0, 20.0, 40.0, 80.0];
     let horizon_secs = 400;
 
@@ -30,7 +35,9 @@ fn main() {
     for &rate in &rates_kb {
         let params = CompSteerParams::figure9(rate);
         let expected = params.expected_convergence();
-        let report = run_comp_steer(&params, horizon_secs);
+        let opts = trace.begin(&format!("{rate} KB/s"));
+        let report = run_comp_steer_with(&params, horizon_secs, opts);
+        trace.end();
         let trajectory = sampling_trajectory(&report);
         all.push((rate, trajectory, expected));
     }
@@ -72,4 +79,5 @@ fn main() {
     println!(" the paper's converged values were 1, 1, ≈0.5, ≈0.25, ≈0.125.)");
 
     print_csv("fig9", &["rate_kb", "converged", "tail_std", "theory", "converged_at_s"], &csv);
+    trace.finish();
 }

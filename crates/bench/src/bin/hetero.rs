@@ -47,8 +47,7 @@ fn main() {
         registry.register(NodeSpec::new("hpc-0", "hpc"));
         registry.register(NodeSpec::new("analysis-0", "analysis").speed(speed));
         let plan = Deployer::new().deploy(&topology, &registry).expect("placement");
-        let mut engine =
-            DesEngine::new(topology, &plan, RunOptions::default()).expect("engine");
+        let mut engine = DesEngine::new(topology, &plan, RunOptions::default()).expect("engine");
         let report = engine.run_for(SimDuration::from_secs(400));
 
         let trajectory = sampling_trajectory(&report);

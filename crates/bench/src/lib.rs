@@ -16,9 +16,13 @@
 //! Every run uses the deterministic virtual-time engine, so the numbers
 //! are identical across machines and invocations.
 
-use gates_apps::count_samps::{self, CountSampsHandles, CountSampsParams};
+use std::path::PathBuf;
+use std::sync::Arc;
+
 use gates_apps::comp_steer::{self, CompSteerParams};
+use gates_apps::count_samps::{self, CountSampsHandles, CountSampsParams};
 use gates_core::report::RunReport;
+use gates_core::trace::FlightRecorder;
 use gates_engine::{DesEngine, RunOptions};
 use gates_grid::{Deployer, ResourceRegistry};
 use gates_sim::SimDuration;
@@ -33,11 +37,19 @@ pub fn count_samps_registry(sources: usize) -> ResourceRegistry {
 
 /// Build, deploy and run a count-samps configuration to completion.
 pub fn run_count_samps(params: &CountSampsParams) -> (RunReport, CountSampsHandles) {
+    run_count_samps_with(params, RunOptions::default())
+}
+
+/// [`run_count_samps`] with explicit run options (e.g. a flight
+/// recorder attached by [`TraceSink::begin`]).
+pub fn run_count_samps_with(
+    params: &CountSampsParams,
+    opts: RunOptions,
+) -> (RunReport, CountSampsHandles) {
     let (topology, handles) = count_samps::build(params);
     let registry = count_samps_registry(params.sources);
     let plan = Deployer::new().deploy(&topology, &registry).expect("placement");
-    let mut engine =
-        DesEngine::new(topology, &plan, RunOptions::default()).expect("engine");
+    let mut engine = DesEngine::new(topology, &plan, opts).expect("engine");
     let report = engine.run_to_completion();
     (report, handles)
 }
@@ -45,12 +57,107 @@ pub fn run_count_samps(params: &CountSampsParams) -> (RunReport, CountSampsHandl
 /// Build, deploy and run a comp-steer configuration for `secs` of
 /// virtual time; returns the run report (trajectories live in it).
 pub fn run_comp_steer(params: &CompSteerParams, secs: u64) -> RunReport {
+    run_comp_steer_with(params, secs, RunOptions::default())
+}
+
+/// [`run_comp_steer`] with explicit run options (e.g. a flight
+/// recorder attached by [`TraceSink::begin`]).
+pub fn run_comp_steer_with(params: &CompSteerParams, secs: u64, opts: RunOptions) -> RunReport {
     let (topology, _handles) = comp_steer::build(params);
     let registry = ResourceRegistry::uniform_cluster(&["hpc", "analysis"]);
     let plan = Deployer::new().deploy(&topology, &registry).expect("placement");
-    let mut engine =
-        DesEngine::new(topology, &plan, RunOptions::default()).expect("engine");
+    let mut engine = DesEngine::new(topology, &plan, opts).expect("engine");
     engine.run_for(SimDuration::from_secs(secs))
+}
+
+/// `--trace <path>` support shared by the fig binaries.
+///
+/// Each experiment run gets a fresh [`FlightRecorder`]; the per-run JSONL
+/// streams are concatenated into one file so a single invocation yields a
+/// single trace artifact, and a compact summary table per run is printed
+/// at the end. When the flag is absent every method is a no-op, so the
+/// binaries call `begin`/`end`/`finish` unconditionally.
+pub struct TraceSink {
+    inner: Option<TraceInner>,
+}
+
+struct TraceInner {
+    path: PathBuf,
+    current: Option<(String, Arc<FlightRecorder>)>,
+    jsonl: String,
+    summaries: Vec<String>,
+}
+
+impl TraceSink {
+    /// Parse `--trace <path>` from the process arguments. Exits with an
+    /// error when the flag is present without a path, or when an unknown
+    /// flag is given (the fig binaries take no other arguments).
+    pub fn from_env() -> TraceSink {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut it = args.iter();
+        let mut inner = None;
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--trace" => match it.next() {
+                    Some(path) => {
+                        inner = Some(TraceInner {
+                            path: PathBuf::from(path),
+                            current: None,
+                            jsonl: String::new(),
+                            summaries: Vec::new(),
+                        });
+                    }
+                    None => {
+                        eprintln!("error: --trace needs a file path");
+                        std::process::exit(2);
+                    }
+                },
+                other => {
+                    eprintln!("error: unknown flag {other:?} (supported: --trace <path>)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        TraceSink { inner }
+    }
+
+    /// Options for the next run: a fresh recorder when tracing, the plain
+    /// defaults otherwise. `label` names the run in the final summary.
+    pub fn begin(&mut self, label: &str) -> RunOptions {
+        match &mut self.inner {
+            Some(inner) => {
+                let rec = Arc::new(FlightRecorder::new(1 << 20));
+                inner.current = Some((label.to_string(), Arc::clone(&rec)));
+                RunOptions::default().recorder(rec)
+            }
+            None => RunOptions::default(),
+        }
+    }
+
+    /// Absorb the run started by the matching [`Self::begin`].
+    pub fn end(&mut self) {
+        let Some(inner) = &mut self.inner else { return };
+        if let Some((label, rec)) = inner.current.take() {
+            inner.jsonl.push_str(&rec.to_jsonl());
+            inner
+                .summaries
+                .push(format!("-- trace: {label} --\n{}", rec.run_trace().summary_table()));
+        }
+    }
+
+    /// Write the JSONL file and print the per-run summary tables.
+    pub fn finish(self) {
+        let Some(inner) = self.inner else { return };
+        if let Err(e) = std::fs::write(&inner.path, &inner.jsonl) {
+            eprintln!("error: cannot write trace {}: {e}", inner.path.display());
+            std::process::exit(1);
+        }
+        println!();
+        for s in &inner.summaries {
+            println!("{s}");
+        }
+        println!("trace written to {}", inner.path.display());
+    }
 }
 
 /// The sampler's sampling-rate trajectory from a comp-steer report.
@@ -70,8 +177,8 @@ pub fn convergence_summary(samples: &[(f64, f64)], tail: usize, tol: f64) -> (f6
     }
     let tail_slice = &samples[samples.len().saturating_sub(tail)..];
     let mean = tail_slice.iter().map(|&(_, v)| v).sum::<f64>() / tail_slice.len() as f64;
-    let var = tail_slice.iter().map(|&(_, v)| (v - mean).powi(2)).sum::<f64>()
-        / tail_slice.len() as f64;
+    let var =
+        tail_slice.iter().map(|&(_, v)| (v - mean).powi(2)).sum::<f64>() / tail_slice.len() as f64;
     let std = var.sqrt();
     // First time after which every sample stays within tolerance.
     let mut converged_at = samples.last().map(|&(t, _)| t).unwrap_or(0.0);
@@ -85,7 +192,12 @@ pub fn convergence_summary(samples: &[(f64, f64)], tail: usize, tol: f64) -> (f6
 }
 
 /// Render a row-major table with a header and fixed-width numeric cells.
-pub fn render_table(title: &str, col_names: &[String], rows: &[(String, Vec<f64>)], unit: &str) -> String {
+pub fn render_table(
+    title: &str,
+    col_names: &[String],
+    rows: &[(String, Vec<f64>)],
+    unit: &str,
+) -> String {
     use std::fmt::Write;
     let mut out = String::new();
     let _ = writeln!(out, "== {title} ==");
@@ -156,12 +268,8 @@ mod tests {
 
     #[test]
     fn table_renders_all_cells() {
-        let table = render_table(
-            "demo",
-            &["a".into(), "b".into()],
-            &[("row".into(), vec![1.0, 2.0])],
-            "s",
-        );
+        let table =
+            render_table("demo", &["a".into(), "b".into()], &[("row".into(), vec![1.0, 2.0])], "s");
         assert!(table.contains("demo"));
         assert!(table.contains("1.00"));
         assert!(table.contains("2.00"));

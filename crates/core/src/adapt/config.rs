@@ -85,11 +85,7 @@ impl AdaptationConfig {
     /// Default configuration with a different queue capacity (the most
     /// commonly varied constant), keeping D at 20% of C.
     pub fn with_capacity(capacity: f64) -> Self {
-        AdaptationConfig {
-            capacity,
-            expected_len: capacity * 0.2,
-            ..AdaptationConfig::default()
-        }
+        AdaptationConfig { capacity, expected_len: capacity * 0.2, ..AdaptationConfig::default() }
     }
 
     /// Validate invariants; call once at deployment time.
@@ -112,7 +108,10 @@ impl AdaptationConfig {
         }
         let (p1, p2, p3) = self.weights;
         if p1 < 0.0 || p2 < 0.0 || p3 < 0.0 || ((p1 + p2 + p3) - 1.0).abs() > 1e-9 {
-            return fail(format!("weights must be non-negative and sum to 1, got {:?}", self.weights));
+            return fail(format!(
+                "weights must be non-negative and sum to 1, got {:?}",
+                self.weights
+            ));
         }
         if self.lt1 >= self.lt2 || self.lt1 < -1.0 || self.lt2 > 1.0 {
             return fail(format!("need -1 ≤ LT1 < LT2 ≤ 1, got {} and {}", self.lt1, self.lt2));

@@ -9,6 +9,24 @@ use super::factors::phi1;
 use super::load::LoadException;
 use crate::param::AdjustmentParameter;
 
+/// Everything a single adaptation round computed, kept for the flight
+/// recorder: the inputs the controller saw and the gains it derived.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AdaptOutcome {
+    /// The un-normalized d̃ the round was given.
+    pub d_tilde: f64,
+    /// d̃ normalized by queue capacity, clamped to [−1, 1].
+    pub dn: f64,
+    /// Downstream exception balance φ1(T1, T2) at round time.
+    pub downstream_phi: f64,
+    /// Gain σ1 applied to the own-load signal this round.
+    pub sigma1: f64,
+    /// Gain σ2 applied to the downstream signal this round.
+    pub sigma2: f64,
+    /// The quantized suggested value the round produced.
+    pub suggested: f64,
+}
+
 /// Drives one adjustment parameter at the stage that owns it (server *B*
 /// in the paper's exposition), using B's own load factor d̃ and the
 /// exception stream reported by the downstream stage (server *C*).
@@ -29,6 +47,8 @@ pub struct ParamController {
     /// Trajectory of suggested values, one entry per round (for Figures
     /// 8 and 9, which plot exactly this).
     trajectory: Vec<f64>,
+    /// What the most recent round computed (for the flight recorder).
+    last_outcome: Option<AdaptOutcome>,
 }
 
 impl ParamController {
@@ -48,6 +68,7 @@ impl ParamController {
             rounds: 0,
             exceptions_received: (0, 0),
             trajectory: Vec::new(),
+            last_outcome: None,
         }
     }
 
@@ -124,7 +145,22 @@ impl ParamController {
 
         let reported = self.spec.quantize(self.value);
         self.trajectory.push(reported);
+        self.last_outcome = Some(AdaptOutcome {
+            d_tilde,
+            dn,
+            downstream_phi: phi,
+            sigma1,
+            sigma2,
+            suggested: reported,
+        });
         reported
+    }
+
+    /// What the most recent [`ParamController::adapt`] round computed,
+    /// or `None` before the first round. This is the flight recorder's
+    /// window into the otherwise-internal σ gains.
+    pub fn last_outcome(&self) -> Option<AdaptOutcome> {
+        self.last_outcome
     }
 
     /// Current suggested value (quantized to the increment grid).
@@ -321,6 +357,20 @@ mod tests {
             jumpy_step > steady_step,
             "unsteady signals must take larger steps: {jumpy_step} vs {steady_step}"
         );
+    }
+
+    #[test]
+    fn last_outcome_exposes_round_internals() {
+        let mut c = controller();
+        assert!(c.last_outcome().is_none(), "no outcome before the first round");
+        c.on_exception(LoadException::Overload);
+        let suggested = c.adapt(50.0);
+        let o = c.last_outcome().expect("round ran");
+        assert_eq!(o.d_tilde, 50.0);
+        assert!((o.dn - 0.5).abs() < 1e-9, "dn normalizes by capacity");
+        assert!(o.downstream_phi > 0.0, "overload window pushes phi positive");
+        assert!(o.sigma1 > 0.0 && o.sigma2 > 0.0);
+        assert_eq!(o.suggested, suggested);
     }
 
     #[test]

@@ -40,6 +40,6 @@ mod factors;
 mod load;
 
 pub use config::{AdaptationConfig, CombinePolicy};
-pub use controller::ParamController;
+pub use controller::{AdaptOutcome, ParamController};
 pub use factors::{phi1, phi2, phi3};
 pub use load::{LoadException, LoadTracker};

@@ -25,6 +25,8 @@
 //! * [`Topology`] — the pipeline description (stages, edges, links,
 //!   placement sites) consumed by the deployer and the engines.
 //! * [`report`] — per-run statistics shared by all executors.
+//! * [`trace`] — the flight recorder: per-round adaptation events and
+//!   per-stage runtime samples both engines can feed for debugging.
 //!
 //! Execution lives in `gates-engine` (deterministic virtual-time engine
 //! and a native-thread runtime); grid deployment in `gates-grid`.
@@ -36,6 +38,7 @@ mod param;
 pub mod report;
 mod stage;
 mod topology;
+pub mod trace;
 
 pub use error::CoreError;
 pub use packet::{Packet, PacketKind, PayloadReader, PayloadWriter};

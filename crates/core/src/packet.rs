@@ -65,7 +65,14 @@ pub struct Packet {
 impl Packet {
     /// A data packet.
     pub fn data(stream_id: u32, seq: u64, records: u32, payload: Bytes) -> Self {
-        Packet { kind: PacketKind::Data, stream_id, seq, records, created_at: SimTime::ZERO, payload }
+        Packet {
+            kind: PacketKind::Data,
+            stream_id,
+            seq,
+            records,
+            created_at: SimTime::ZERO,
+            payload,
+        }
     }
 
     /// A summary packet.
@@ -126,8 +133,9 @@ impl Packet {
 
     /// Decode from a wire frame produced by [`Packet::to_frame`].
     pub fn from_frame(frame: &Frame) -> Result<Self, CoreError> {
-        let kind = PacketKind::from_frame_kind(frame.kind)
-            .ok_or_else(|| CoreError::PayloadDecode(format!("unexpected frame kind {:?}", frame.kind)))?;
+        let kind = PacketKind::from_frame_kind(frame.kind).ok_or_else(|| {
+            CoreError::PayloadDecode(format!("unexpected frame kind {:?}", frame.kind))
+        })?;
         if frame.payload.len() < 12 {
             return Err(CoreError::PayloadDecode("missing packet trailer".into()));
         }
@@ -322,7 +330,12 @@ mod tests {
 
     #[test]
     fn from_frame_rejects_short_payload() {
-        let frame = Frame { kind: FrameKind::Data, stream_id: 0, seq: 0, payload: Bytes::from_static(b"short") };
+        let frame = Frame {
+            kind: FrameKind::Data,
+            stream_id: 0,
+            seq: 0,
+            payload: Bytes::from_static(b"short"),
+        };
         assert!(Packet::from_frame(&frame).is_err());
     }
 

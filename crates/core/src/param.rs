@@ -171,8 +171,15 @@ mod tests {
     fn sampling_rate() -> AdjustmentParameter {
         // The paper's example: init 0.20, range [0.01, 1.0], increment
         // 0.01, increase slows processing down.
-        AdjustmentParameter::new("sampling_rate", 0.20, 0.01, 1.0, 0.01, Direction::IncreaseSlowsDown)
-            .unwrap()
+        AdjustmentParameter::new(
+            "sampling_rate",
+            0.20,
+            0.01,
+            1.0,
+            0.01,
+            Direction::IncreaseSlowsDown,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -184,28 +191,38 @@ mod tests {
 
     #[test]
     fn init_outside_range_rejected() {
-        assert!(AdjustmentParameter::new("p", 2.0, 0.0, 1.0, 0.1, Direction::IncreaseSpeedsUp)
-            .is_err());
+        assert!(
+            AdjustmentParameter::new("p", 2.0, 0.0, 1.0, 0.1, Direction::IncreaseSpeedsUp).is_err()
+        );
     }
 
     #[test]
     fn inverted_range_rejected() {
-        assert!(AdjustmentParameter::new("p", 0.5, 1.0, 0.0, 0.1, Direction::IncreaseSpeedsUp)
-            .is_err());
+        assert!(
+            AdjustmentParameter::new("p", 0.5, 1.0, 0.0, 0.1, Direction::IncreaseSpeedsUp).is_err()
+        );
     }
 
     #[test]
     fn nonpositive_increment_rejected() {
-        assert!(AdjustmentParameter::new("p", 0.5, 0.0, 1.0, 0.0, Direction::IncreaseSpeedsUp)
-            .is_err());
+        assert!(
+            AdjustmentParameter::new("p", 0.5, 0.0, 1.0, 0.0, Direction::IncreaseSpeedsUp).is_err()
+        );
         assert!(AdjustmentParameter::new("p", 0.5, 0.0, 1.0, -0.1, Direction::IncreaseSpeedsUp)
             .is_err());
     }
 
     #[test]
     fn non_finite_bounds_rejected() {
-        assert!(AdjustmentParameter::new("p", 0.5, 0.0, f64::INFINITY, 0.1, Direction::IncreaseSpeedsUp)
-            .is_err());
+        assert!(AdjustmentParameter::new(
+            "p",
+            0.5,
+            0.0,
+            f64::INFINITY,
+            0.1,
+            Direction::IncreaseSpeedsUp
+        )
+        .is_err());
     }
 
     #[test]

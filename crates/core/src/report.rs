@@ -7,6 +7,8 @@
 use gates_sim::stats::Welford;
 use gates_sim::{SimDuration, SimTime};
 
+use crate::trace::RunTrace;
+
 /// One adjustment parameter's recorded trajectory.
 #[derive(Debug, Clone, Default)]
 pub struct ParamTrajectory {
@@ -106,6 +108,9 @@ pub struct RunReport {
     pub stages: Vec<StageReport>,
     /// Total events dispatched (virtual-time engine) or callbacks run.
     pub events: u64,
+    /// Flight recording grouped into per-stage time series, when the run
+    /// was executed with a [`crate::trace::FlightRecorder`] attached.
+    pub trace: Option<RunTrace>,
 }
 
 impl RunReport {
@@ -132,7 +137,14 @@ impl RunReport {
         let _ = writeln!(
             out,
             "{:<18} {:>10} {:>10} {:>12} {:>12} {:>8} {:>10} {:>12}",
-            "stage", "pkts in", "pkts out", "bytes in", "bytes out", "drops", "queue avg", "busy (s)"
+            "stage",
+            "pkts in",
+            "pkts out",
+            "bytes in",
+            "bytes out",
+            "drops",
+            "queue avg",
+            "busy (s)"
         );
         for s in &self.stages {
             let _ = writeln!(
@@ -230,6 +242,7 @@ mod tests {
                 StageReport { name: "b".into(), packets_dropped: 4, ..Default::default() },
             ],
             events: 10,
+            trace: None,
         };
         assert!(report.stage("a").is_some());
         assert!(report.stage("zz").is_none());

@@ -300,9 +300,8 @@ mod tests {
     #[test]
     fn api_specify_para_and_read_back() {
         let mut api = StageApi::new();
-        let id = api
-            .specify_para("rate", 0.2, 0.01, 1.0, 0.01, Direction::IncreaseSlowsDown)
-            .unwrap();
+        let id =
+            api.specify_para("rate", 0.2, 0.01, 1.0, 0.01, Direction::IncreaseSlowsDown).unwrap();
         assert_eq!(api.suggested_value(id).unwrap(), 0.2);
         api.push_suggestion(id, 0.5).unwrap();
         assert_eq!(api.suggested_value(id).unwrap(), 0.5);
@@ -311,9 +310,7 @@ mod tests {
     #[test]
     fn api_invalid_param_spec_propagates() {
         let mut api = StageApi::new();
-        assert!(api
-            .specify_para("bad", 2.0, 0.0, 1.0, 0.1, Direction::IncreaseSlowsDown)
-            .is_err());
+        assert!(api.specify_para("bad", 2.0, 0.0, 1.0, 0.1, Direction::IncreaseSlowsDown).is_err());
     }
 
     #[test]

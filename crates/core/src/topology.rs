@@ -241,7 +241,10 @@ impl Topology {
 
     fn push_spec(&mut self, spec: StageSpec) -> Result<StageId, CoreError> {
         if self.stages.iter().any(|s| s.name == spec.name) {
-            return Err(CoreError::InvalidTopology(format!("duplicate stage name {:?}", spec.name)));
+            return Err(CoreError::InvalidTopology(format!(
+                "duplicate stage name {:?}",
+                spec.name
+            )));
         }
         let id = StageId(self.stages.len());
         self.stages.push(spec);

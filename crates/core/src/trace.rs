@@ -1,0 +1,551 @@
+//! The flight recorder: lightweight run instrumentation shared by all
+//! executors.
+//!
+//! Debugging an adaptation run requires seeing *why* the long-term queue
+//! factor d̃ left `[LT1, LT2]` and which stage's queue blew up. Both
+//! engines feed a [`Recorder`] with two kinds of events while a run is in
+//! flight:
+//!
+//! * [`AdaptRound`] — one per parameter-adaptation round: d̃, the load
+//!   factors φ1/φ2/φ3, the gains σ1/σ2 the controller actually used, the
+//!   suggested value it produced, and the exception counts at that point.
+//! * [`StageSample`] — one per observation tick: instantaneous queue
+//!   depth, packet counters, throughput and realized service time since
+//!   the previous sample, and (threaded engine) token-bucket wait time.
+//!
+//! The default recorder is [`NullRecorder`], which reports itself
+//! disabled so call sites can skip building events entirely — the
+//! instrumented hot paths cost one virtual call on a shared `Arc` per
+//! tick, nothing per packet. Opting in is one line:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gates_core::trace::{FlightRecorder, Recorder, TraceEvent, StageSample};
+//!
+//! let rec = Arc::new(FlightRecorder::new(1024));
+//! rec.record(TraceEvent::Sample(StageSample { stage: "sink".into(), ..Default::default() }));
+//! let trace = rec.run_trace();
+//! assert_eq!(trace.stages[0].stage, "sink");
+//! assert!(rec.to_jsonl().contains("\"stage\":\"sink\""));
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Identity of a run: which engine executed it and where each stage was
+/// placed (stage name → node name, from the deployment plan).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunMeta {
+    /// Executor name (`"des"` or `"threaded"`).
+    pub engine: String,
+    /// `(stage, node)` placement pairs in stage order.
+    pub placements: Vec<(String, String)>,
+}
+
+/// One parameter-adaptation round as seen by a `ParamController`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdaptRound {
+    /// Run time of the round, in seconds (virtual or wall clock).
+    pub t: f64,
+    /// Stage that owns the parameter.
+    pub stage: String,
+    /// Adjustment-parameter name.
+    pub param: String,
+    /// Long-term queue factor d̃ fed into the round.
+    pub d_tilde: f64,
+    /// Load factor φ1 (queue-growth rate).
+    pub phi1: f64,
+    /// Load factor φ2 (normalized queue occupancy).
+    pub phi2: f64,
+    /// Load factor φ3 (exception pressure).
+    pub phi3: f64,
+    /// Gain σ1 applied to the stage's own demand this round.
+    pub sigma1: f64,
+    /// Gain σ2 applied to the downstream demand this round.
+    pub sigma2: f64,
+    /// Suggested (quantized) parameter value after the round.
+    pub suggested: f64,
+    /// Overload exceptions this stage has sent upstream so far.
+    pub overload_sent: u64,
+    /// Underload exceptions this stage has sent upstream so far.
+    pub underload_sent: u64,
+    /// Overload exceptions received from downstream so far.
+    pub overload_received: u64,
+    /// Underload exceptions received from downstream so far.
+    pub underload_received: u64,
+}
+
+/// One runtime sample of a stage, taken on the observation tick.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageSample {
+    /// Run time of the sample, in seconds (virtual or wall clock).
+    pub t: f64,
+    /// Stage name.
+    pub stage: String,
+    /// Instantaneous input-queue depth.
+    pub queue_depth: usize,
+    /// Packets accepted so far.
+    pub packets_in: u64,
+    /// Packets emitted so far.
+    pub packets_out: u64,
+    /// Packets dropped so far (queue overflow + lossy links).
+    pub dropped: u64,
+    /// Input throughput since the previous sample, packets/second.
+    pub throughput: f64,
+    /// Realized mean service time per packet since the previous sample,
+    /// seconds (0 when no packet was serviced in the window).
+    pub service_time: f64,
+    /// Token-bucket wait accumulated since the previous sample, seconds
+    /// (always 0 on the virtual-time engine, which models links by
+    /// transit delay instead of pacing).
+    pub bucket_wait: f64,
+}
+
+/// A single flight-recorder event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// Run identity, emitted once when an engine starts.
+    Meta(RunMeta),
+    /// A parameter-adaptation round.
+    Adapt(AdaptRound),
+    /// A per-stage runtime sample.
+    Sample(StageSample),
+}
+
+/// Sink for [`TraceEvent`]s. Implementations must be cheap when
+/// disabled: engines consult [`Recorder::enabled`] before assembling an
+/// event, so a disabled recorder costs one virtual call per tick.
+pub trait Recorder: Send + Sync {
+    /// Whether events should be assembled and recorded at all.
+    fn enabled(&self) -> bool;
+    /// Record one event. May drop it (ring buffer overflow, disabled).
+    fn record(&self, event: TraceEvent);
+    /// Downcast hook: the concrete [`FlightRecorder`], if that is what
+    /// this recorder is. Lets engines attach the collected trace to the
+    /// [`crate::report::RunReport`] without `Any` gymnastics.
+    fn as_flight(&self) -> Option<&FlightRecorder> {
+        None
+    }
+}
+
+/// The default recorder: records nothing, reports itself disabled.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn record(&self, _event: TraceEvent) {}
+}
+
+/// Ring-buffered in-memory recorder.
+///
+/// Keeps the most recent `capacity` events under a mutex; older events
+/// are evicted and counted in [`FlightRecorder::dropped`]. The buffer is
+/// written on observation/adaptation ticks only (never per packet), so
+/// contention is negligible.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    events: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// Default ring capacity: enough for hours of default-interval
+    /// observation on paper-sized pipelines.
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// Create a recorder keeping at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            events: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("flight recorder lock").len()
+    }
+
+    /// True when no events have been recorded (or all were evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copy of the buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("flight recorder lock").iter().cloned().collect()
+    }
+
+    /// Group the buffered events into per-stage time series.
+    pub fn run_trace(&self) -> RunTrace {
+        RunTrace::from_events(&self.snapshot())
+    }
+
+    /// Serialize the buffered events as JSON Lines (one event object per
+    /// line, oldest first).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in self.snapshot() {
+            event_to_json(&event, &mut out);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the JSONL serialization to `path`.
+    pub fn save_jsonl(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_jsonl().as_bytes())?;
+        file.flush()
+    }
+
+    /// Compact human-readable end-of-run summary table.
+    pub fn summary_table(&self) -> String {
+        self.run_trace().summary_table()
+    }
+}
+
+impl Recorder for FlightRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: TraceEvent) {
+        let mut events = self.events.lock().expect("flight recorder lock");
+        if events.len() >= self.capacity {
+            events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(event);
+    }
+
+    fn as_flight(&self) -> Option<&FlightRecorder> {
+        Some(self)
+    }
+}
+
+/// Per-stage time series recovered from a flight recording, attached to
+/// [`crate::report::RunReport::trace`] when a run used a
+/// [`FlightRecorder`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunTrace {
+    /// Run identity, when a [`TraceEvent::Meta`] survived in the ring.
+    pub meta: Option<RunMeta>,
+    /// One series per stage that produced at least one event, in order
+    /// of first appearance.
+    pub stages: Vec<StageTrace>,
+    /// Events evicted from the ring before the trace was assembled.
+    pub events_dropped: u64,
+}
+
+/// The recorded time series of a single stage.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageTrace {
+    /// Stage name.
+    pub stage: String,
+    /// Runtime samples, oldest first.
+    pub samples: Vec<StageSample>,
+    /// Adaptation rounds (all parameters interleaved), oldest first.
+    pub adapt_rounds: Vec<AdaptRound>,
+}
+
+impl RunTrace {
+    /// Build per-stage series from a flat event list.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut trace = RunTrace::default();
+        for event in events {
+            match event {
+                TraceEvent::Meta(m) => trace.meta = Some(m.clone()),
+                TraceEvent::Adapt(a) => {
+                    trace.stage_mut(&a.stage).adapt_rounds.push(a.clone());
+                }
+                TraceEvent::Sample(s) => {
+                    trace.stage_mut(&s.stage).samples.push(s.clone());
+                }
+            }
+        }
+        trace
+    }
+
+    fn stage_mut(&mut self, name: &str) -> &mut StageTrace {
+        if let Some(i) = self.stages.iter().position(|s| s.stage == name) {
+            return &mut self.stages[i];
+        }
+        self.stages.push(StageTrace { stage: name.to_string(), ..Default::default() });
+        self.stages.last_mut().expect("just pushed")
+    }
+
+    /// Series for `stage`, if it recorded anything.
+    pub fn stage(&self, name: &str) -> Option<&StageTrace> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
+
+    /// Compact per-stage summary table of the recording.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        if let Some(meta) = &self.meta {
+            let _ = writeln!(out, "flight recording · engine={}", meta.engine);
+        }
+        let _ = writeln!(
+            out,
+            "{:<14} {:>7} {:>7} {:>8} {:>9} {:>7} {:>6} {:>9} {:>9}",
+            "stage",
+            "samples",
+            "q.max",
+            "q.mean",
+            "thr p/s",
+            "drops",
+            "adapt",
+            "last d~",
+            "last sugg"
+        );
+        for s in &self.stages {
+            let q_max = s.samples.iter().map(|x| x.queue_depth).max().unwrap_or(0);
+            let q_mean = if s.samples.is_empty() {
+                0.0
+            } else {
+                s.samples.iter().map(|x| x.queue_depth as f64).sum::<f64>() / s.samples.len() as f64
+            };
+            let thr_mean = if s.samples.is_empty() {
+                0.0
+            } else {
+                s.samples.iter().map(|x| x.throughput).sum::<f64>() / s.samples.len() as f64
+            };
+            let drops = s.samples.last().map(|x| x.dropped).unwrap_or(0);
+            let last = s.adapt_rounds.last();
+            let _ = writeln!(
+                out,
+                "{:<14} {:>7} {:>7} {:>8.2} {:>9.1} {:>7} {:>6} {:>9} {:>9}",
+                s.stage,
+                s.samples.len(),
+                q_max,
+                q_mean,
+                thr_mean,
+                drops,
+                s.adapt_rounds.len(),
+                last.map(|a| format!("{:.3}", a.d_tilde)).unwrap_or_else(|| "-".into()),
+                last.map(|a| format!("{:.3}", a.suggested)).unwrap_or_else(|| "-".into()),
+            );
+        }
+        if self.events_dropped > 0 {
+            let _ = writeln!(out, "({} events evicted from the ring buffer)", self.events_dropped);
+        }
+        out
+    }
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn event_to_json(event: &TraceEvent, out: &mut String) {
+    match event {
+        TraceEvent::Meta(m) => {
+            out.push_str("{\"type\":\"meta\",\"engine\":");
+            json_escape(&m.engine, out);
+            out.push_str(",\"placements\":[");
+            for (i, (stage, node)) in m.placements.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"stage\":");
+                json_escape(stage, out);
+                out.push_str(",\"node\":");
+                json_escape(node, out);
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        TraceEvent::Adapt(a) => {
+            out.push_str("{\"type\":\"adapt\",\"t\":");
+            json_f64(a.t, out);
+            out.push_str(",\"stage\":");
+            json_escape(&a.stage, out);
+            out.push_str(",\"param\":");
+            json_escape(&a.param, out);
+            for (key, v) in [
+                ("d_tilde", a.d_tilde),
+                ("phi1", a.phi1),
+                ("phi2", a.phi2),
+                ("phi3", a.phi3),
+                ("sigma1", a.sigma1),
+                ("sigma2", a.sigma2),
+                ("suggested", a.suggested),
+            ] {
+                let _ = write!(out, ",\"{key}\":");
+                json_f64(v, out);
+            }
+            let _ = write!(
+                out,
+                ",\"overload_sent\":{},\"underload_sent\":{},\"overload_received\":{},\"underload_received\":{}}}",
+                a.overload_sent, a.underload_sent, a.overload_received, a.underload_received
+            );
+        }
+        TraceEvent::Sample(s) => {
+            out.push_str("{\"type\":\"sample\",\"t\":");
+            json_f64(s.t, out);
+            out.push_str(",\"stage\":");
+            json_escape(&s.stage, out);
+            let _ = write!(
+                out,
+                ",\"queue_depth\":{},\"packets_in\":{},\"packets_out\":{},\"dropped\":{}",
+                s.queue_depth, s.packets_in, s.packets_out, s.dropped
+            );
+            for (key, v) in [
+                ("throughput", s.throughput),
+                ("service_time", s.service_time),
+                ("bucket_wait", s.bucket_wait),
+            ] {
+                let _ = write!(out, ",\"{key}\":");
+                json_f64(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(stage: &str, t: f64, depth: usize) -> TraceEvent {
+        TraceEvent::Sample(StageSample {
+            t,
+            stage: stage.into(),
+            queue_depth: depth,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        let r = NullRecorder;
+        assert!(!r.enabled());
+        r.record(sample("s", 0.0, 1));
+        assert!(r.as_flight().is_none());
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let r = FlightRecorder::new(3);
+        for i in 0..5 {
+            r.record(sample("s", i as f64, i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let snap = r.snapshot();
+        match &snap[0] {
+            TraceEvent::Sample(s) => assert_eq!(s.queue_depth, 2, "oldest two evicted"),
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_trace_groups_by_stage() {
+        let r = FlightRecorder::new(64);
+        r.record(TraceEvent::Meta(RunMeta {
+            engine: "des".into(),
+            placements: vec![("a".into(), "n0".into())],
+        }));
+        r.record(sample("a", 0.1, 4));
+        r.record(sample("b", 0.1, 0));
+        r.record(sample("a", 0.2, 6));
+        r.record(TraceEvent::Adapt(AdaptRound {
+            t: 1.0,
+            stage: "a".into(),
+            param: "rate".into(),
+            d_tilde: 0.4,
+            suggested: 0.25,
+            ..Default::default()
+        }));
+        let trace = r.run_trace();
+        assert_eq!(trace.meta.as_ref().unwrap().engine, "des");
+        assert_eq!(trace.stages.len(), 2);
+        let a = trace.stage("a").unwrap();
+        assert_eq!(a.samples.len(), 2);
+        assert_eq!(a.adapt_rounds.len(), 1);
+        assert_eq!(trace.stage("b").unwrap().samples.len(), 1);
+        let table = r.summary_table();
+        assert!(table.contains("engine=des"));
+        assert!(table.contains("rate") || table.contains('a'));
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_line() {
+        let r = FlightRecorder::new(16);
+        r.record(TraceEvent::Meta(RunMeta {
+            engine: "threaded".into(),
+            placements: vec![("src \"x\"".into(), "n0".into())],
+        }));
+        r.record(sample("src \"x\"", 0.5, 2));
+        r.record(TraceEvent::Adapt(AdaptRound {
+            t: 1.0,
+            stage: "src \"x\"".into(),
+            param: "p".into(),
+            d_tilde: f64::NAN,
+            ..Default::default()
+        }));
+        let jsonl = r.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "bad line: {line}");
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+        assert!(lines[0].contains("\\\"x\\\""), "quotes escaped: {}", lines[0]);
+        assert!(lines[2].contains("\"d_tilde\":null"), "NaN maps to null: {}", lines[2]);
+    }
+
+    #[test]
+    fn save_jsonl_writes_file() {
+        let r = FlightRecorder::new(4);
+        r.record(sample("s", 0.0, 1));
+        let path = std::env::temp_dir().join("gates_trace_test.jsonl");
+        r.save_jsonl(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"type\":\"sample\""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -114,3 +114,24 @@ proptest! {
         }
     }
 }
+
+/// Deterministic replay of the checked-in regression seed for
+/// `sustained_slack_eventually_reaches_max` (see the sibling
+/// `.proptest-regressions` file): the shrunken case is ~200 rounds of
+/// all-underload noise pinned at the boundary of the `-100..-80` range.
+/// The seed file keeps proptest replaying it; this plain test keeps the
+/// scenario covered even if that file is ever pruned.
+#[test]
+fn regression_all_underload_noise_reaches_max() {
+    let spec =
+        AdjustmentParameter::new("p", 0.5, 0.01, 1.0, 0.01, Direction::IncreaseSlowsDown).unwrap();
+    let mut c = ParamController::new(AdaptationConfig::default(), spec);
+    for _ in 0..207 {
+        c.adapt(-80.0);
+    }
+    assert!(
+        (c.value() - 1.0).abs() < 1e-9,
+        "persistent underload must max the volume parameter, got {}",
+        c.value()
+    );
+}

@@ -4,6 +4,7 @@ mod stage_actor;
 
 use gates_core::adapt::LoadTracker;
 use gates_core::report::RunReport;
+use gates_core::trace::{RunMeta, TraceEvent};
 use gates_core::{StageId, Topology};
 use gates_grid::DeploymentPlan;
 use gates_net::LinkModel;
@@ -68,6 +69,7 @@ impl DesEngine {
 
         let mut sim = Simulation::new();
         let stage_count = topology.stages().len();
+        let mut placements = Vec::with_capacity(stage_count);
 
         for (idx, stage) in topology.stages().iter().enumerate() {
             let id = StageId::from_index(idx);
@@ -102,6 +104,7 @@ impl DesEngine {
             let in_edge_count = upstream.len();
             let tracker = stage.adaptation.clone().map(LoadTracker::new);
             let placed_on = plan.node_of(id).unwrap_or(&stage.site).to_string();
+            placements.push((stage.name.clone(), placed_on.clone()));
             let actor = StageActor::new(
                 stage.name.clone(),
                 placed_on,
@@ -117,6 +120,10 @@ impl DesEngine {
             );
             let actor_id = sim.add_actor(actor);
             debug_assert_eq!(actor_id, idx, "actor ids mirror stage ids");
+        }
+
+        if opts.recorder.enabled() {
+            opts.recorder.record(TraceEvent::Meta(RunMeta { engine: "des".into(), placements }));
         }
 
         Ok(DesEngine { sim, stage_count, opts, started: true })
@@ -178,7 +185,12 @@ impl DesEngine {
         if !all_finished {
             finished_at = self.sim.now();
         }
-        RunReport { finished_at, stages, events: self.sim.events_processed() }
+        RunReport {
+            finished_at,
+            stages,
+            events: self.sim.events_processed(),
+            trace: self.opts.recorder.as_flight().map(|f| f.run_trace()),
+        }
     }
 
     /// True once `run_to_completion` would return immediately.
@@ -358,11 +370,13 @@ mod tests {
         let mut sources = Vec::new();
         for i in 0..4 {
             let s = t
-                .add_stage_raw(StageBuilder::new(format!("src{i}")).processor(move || BurstSource {
-                    total: 10,
-                    emitted: 0,
-                    payload: 16,
-                    interval: SimDuration::from_millis(3 + i),
+                .add_stage_raw(StageBuilder::new(format!("src{i}")).processor(move || {
+                    BurstSource {
+                        total: 10,
+                        emitted: 0,
+                        payload: 16,
+                        interval: SimDuration::from_millis(3 + i),
+                    }
                 }))
                 .unwrap();
             sources.push(s);
@@ -406,7 +420,9 @@ mod tests {
         // 1-packet buffer: the forwarder's input queue must fill.
         let mut t = Topology::new();
         let s = t.add_stage_raw(source(100, 100, 1)).unwrap();
-        let f = t.add_stage(StageBuilder::new("fwd").queue_capacity(50).processor(|| Forwarder)).unwrap();
+        let f = t
+            .add_stage(StageBuilder::new("fwd").queue_capacity(50).processor(|| Forwarder))
+            .unwrap();
         let k = t.add_stage(StageBuilder::new("sink").processor(CountingSink::default)).unwrap();
         t.connect(s, f, LinkSpec::local());
         t.connect(f, k, LinkSpec::with_bandwidth(Bandwidth::kb_per_sec(1.0)).buffer(1));
@@ -437,8 +453,15 @@ mod tests {
                         .unwrap(),
                 );
                 self.b = Some(
-                    api.specify_para("beta", 100.0, 10.0, 200.0, 10.0, Direction::IncreaseSlowsDown)
-                        .unwrap(),
+                    api.specify_para(
+                        "beta",
+                        100.0,
+                        10.0,
+                        200.0,
+                        10.0,
+                        Direction::IncreaseSlowsDown,
+                    )
+                    .unwrap(),
                 );
             }
             fn process(&mut self, _p: Packet, _api: &mut StageApi) {}
@@ -464,6 +487,63 @@ mod tests {
         let beta = stage.param("beta").expect("beta trajectory");
         assert!(alpha.final_value().unwrap() < 0.5, "alpha must fall under overload");
         assert!(beta.final_value().unwrap() < 100.0, "beta must fall under overload");
+    }
+
+    #[test]
+    fn flight_recorder_captures_every_stage_and_adapt_rounds() {
+        use gates_core::trace::FlightRecorder;
+        use gates_core::Direction;
+        use std::sync::Arc;
+
+        struct OneParam(Option<gates_core::ParamId>);
+        impl StreamProcessor for OneParam {
+            fn on_start(&mut self, api: &mut StageApi) {
+                self.0 = Some(
+                    api.specify_para("rate", 0.5, 0.0, 1.0, 0.01, Direction::IncreaseSlowsDown)
+                        .unwrap(),
+                );
+            }
+            fn process(&mut self, _p: Packet, _api: &mut StageApi) {}
+        }
+
+        let mut t = Topology::new();
+        let s = t.add_stage_raw(source(600, 8, 1)).unwrap();
+        let k = t
+            .add_stage(
+                StageBuilder::new("slow")
+                    .cost(CostModel::per_packet(0.1))
+                    .queue_capacity(50)
+                    .processor(|| OneParam(None)),
+            )
+            .unwrap();
+        t.connect(s, k, LinkSpec::local());
+        let plan = deploy(&t);
+        let rec = Arc::new(FlightRecorder::new(8_192));
+        let opts = RunOptions::default().recorder(rec.clone());
+        let mut engine = DesEngine::new(t, &plan, opts).unwrap();
+        let report = engine.run_for(SimDuration::from_secs(20));
+
+        let trace = report.trace.as_ref().expect("recorder attaches a trace");
+        assert_eq!(trace.meta.as_ref().unwrap().engine, "des");
+        assert_eq!(trace.meta.as_ref().unwrap().placements.len(), 2);
+        // Every stage is sampled, including the tracker-less source.
+        let src = trace.stage("src").expect("source series");
+        assert!(!src.samples.is_empty(), "source must be sampled without a tracker");
+        let slow = trace.stage("slow").expect("slow series");
+        assert!(slow.samples.iter().any(|s| s.queue_depth > 0), "backlog must show up");
+        // Adaptation rounds carry the controller internals.
+        // The stage finishes once the stream ends (~6 s in), so expect a
+        // handful of 1 Hz rounds, not the full 20 s worth.
+        assert!(slow.adapt_rounds.len() >= 3, "one round per adapt tick while live");
+        let round = slow.adapt_rounds.last().unwrap();
+        assert_eq!(round.param, "rate");
+        assert!(round.sigma1 > 0.0 && round.sigma2 > 0.0, "gains recorded");
+        assert!(round.suggested < 0.5, "overload must shrink the suggestion");
+        // JSONL export carries both event kinds.
+        let jsonl = rec.to_jsonl();
+        assert!(jsonl.contains("\"type\":\"adapt\""));
+        assert!(jsonl.contains("\"type\":\"sample\""));
+        assert!(jsonl.contains("\"d_tilde\":"));
     }
 
     #[test]
@@ -511,7 +591,8 @@ mod tests {
         let run = || {
             let mut t = Topology::new();
             let s = t.add_stage_raw(source(50, 32, 2)).unwrap();
-            let k = t.add_stage(StageBuilder::new("sink").processor(CountingSink::default)).unwrap();
+            let k =
+                t.add_stage(StageBuilder::new("sink").processor(CountingSink::default)).unwrap();
             t.connect(s, k, LinkSpec::with_bandwidth(Bandwidth::kb_per_sec(10.0)));
             let plan = deploy(&t);
             let mut engine = DesEngine::new(t, &plan, RunOptions::default()).unwrap();

@@ -4,6 +4,7 @@ use std::collections::VecDeque;
 
 use gates_core::adapt::{LoadException, LoadTracker, ParamController};
 use gates_core::report::{ParamTrajectory, StageReport};
+use gates_core::trace::{AdaptRound, StageSample, TraceEvent};
 use gates_core::{CostModel, Packet, ParamId, SourceStatus, StageApi, StreamProcessor};
 use gates_net::LinkModel;
 use gates_sim::{Actor, ActorId, Context, Event, SimDuration, SimTime};
@@ -49,8 +50,7 @@ pub(crate) struct OutLink {
 
 impl OutLink {
     fn can_transmit(&self) -> bool {
-        self.in_flight < self.buffer
-            && self.window.is_none_or(|w| self.unacked < w)
+        self.in_flight < self.buffer && self.window.is_none_or(|w| self.unacked < w)
     }
 }
 
@@ -96,6 +96,11 @@ pub(crate) struct StageActor {
     busy_time: SimDuration,
     exceptions_sent: (u64, u64),
     latency: gates_sim::stats::Welford,
+    /// Packets taken into service (for realized service time).
+    serviced: u64,
+    /// Counters at the previous flight-recorder sample:
+    /// `(t, packets_in, serviced, busy_time)`.
+    last_sample: (f64, u64, u64, SimDuration),
 }
 
 impl StageActor {
@@ -158,6 +163,8 @@ impl StageActor {
             busy_time: SimDuration::ZERO,
             exceptions_sent: (0, 0),
             latency: gates_sim::stats::Welford::new(),
+            serviced: 0,
+            last_sample: (0.0, 0, 0, SimDuration::ZERO),
         }
     }
 
@@ -182,21 +189,14 @@ impl StageActor {
             bytes_in: self.bytes_in,
             bytes_out: self.bytes_out,
             packets_dropped: self.drops,
-            queue: self
-                .tracker
-                .as_ref()
-                .map(|t| t.queue_stats().clone())
-                .unwrap_or_default(),
+            queue: self.tracker.as_ref().map(|t| t.queue_stats().clone()).unwrap_or_default(),
             latency: self.latency.clone(),
             busy_time: self.busy_time,
             exceptions_sent: self.exceptions_sent,
-            exceptions_received: self
-                .controllers
-                .iter()
-                .fold((0, 0), |acc, (_, c)| {
-                    let (o, u) = c.exceptions_received();
-                    (acc.0 + o, acc.1 + u)
-                }),
+            exceptions_received: self.controllers.iter().fold((0, 0), |acc, (_, c)| {
+                let (o, u) = c.exceptions_received();
+                (acc.0 + o, acc.1 + u)
+            }),
             params: self.trajectories.clone(),
         }
     }
@@ -279,6 +279,7 @@ impl StageActor {
         // Windowed flow control: the queue slot is free, tell the sender.
         ctx.send(from, EngineMsg::Ack, self.opts.control_latency);
         self.busy = true;
+        self.serviced += 1;
         self.api.set_now(ctx.now());
         let service = self.cost.service_time(&packet, self.speed);
         self.processor.process(packet, &mut self.api);
@@ -335,7 +336,33 @@ impl StageActor {
                 }
             }
         }
+        if self.opts.recorder.enabled() {
+            self.record_sample(ctx.now());
+        }
         ctx.set_timer(self.opts.observe_interval, TAG_OBSERVE);
+    }
+
+    /// Flight recorder: one runtime sample, with rates computed against
+    /// the previous sample.
+    fn record_sample(&mut self, now: SimTime) {
+        let t = now.as_secs_f64();
+        let (t0, in0, serviced0, busy0) = self.last_sample;
+        let dt = t - t0;
+        let d_in = self.packets_in - in0;
+        let d_serviced = self.serviced - serviced0;
+        let d_busy = (self.busy_time - busy0).as_secs_f64();
+        self.last_sample = (t, self.packets_in, self.serviced, self.busy_time);
+        self.opts.recorder.record(TraceEvent::Sample(StageSample {
+            t,
+            stage: self.name.clone(),
+            queue_depth: self.queue.len(),
+            packets_in: self.packets_in,
+            packets_out: self.packets_out,
+            dropped: self.drops,
+            throughput: if dt > 0.0 { d_in as f64 / dt } else { 0.0 },
+            service_time: if d_serviced > 0 { d_busy / d_serviced as f64 } else { 0.0 },
+            bucket_wait: 0.0, // virtual-time links model transit, not pacing
+        }));
     }
 
     fn on_adapt(&mut self, ctx: &mut Context<'_, EngineMsg>) {
@@ -345,10 +372,32 @@ impl StageActor {
         if let Some(tracker) = &self.tracker {
             let d_tilde = tracker.d_tilde();
             let t = ctx.now().as_secs_f64();
+            let record = self.opts.recorder.enabled();
+            let (phi1, phi2, phi3) = (tracker.phi1(), tracker.phi2(), tracker.phi3());
             for (idx, (pid, controller)) in self.controllers.iter_mut().enumerate() {
                 let value = controller.adapt(d_tilde);
                 let _ = self.api.push_suggestion(*pid, value);
                 self.trajectories[idx].samples.push((t, value));
+                if record {
+                    let outcome = controller.last_outcome().unwrap_or_default();
+                    let received = controller.exceptions_received();
+                    self.opts.recorder.record(TraceEvent::Adapt(AdaptRound {
+                        t,
+                        stage: self.name.clone(),
+                        param: self.trajectories[idx].name.clone(),
+                        d_tilde,
+                        phi1,
+                        phi2,
+                        phi3,
+                        sigma1: outcome.sigma1,
+                        sigma2: outcome.sigma2,
+                        suggested: value,
+                        overload_sent: self.exceptions_sent.0,
+                        underload_sent: self.exceptions_sent.1,
+                        overload_received: received.0,
+                        underload_received: received.1,
+                    }));
+                }
             }
         }
         ctx.set_timer(self.opts.adapt_interval, TAG_ADAPT);
@@ -439,7 +488,8 @@ impl Actor<EngineMsg> for StageActor {
                 if let Some(tracker) = &self.tracker {
                     let cfg = tracker.config().clone();
                     for (pid, spec, _) in self.api.params().iter() {
-                        self.controllers.push((pid, ParamController::new(cfg.clone(), spec.clone())));
+                        self.controllers
+                            .push((pid, ParamController::new(cfg.clone(), spec.clone())));
                         self.trajectories.push(ParamTrajectory {
                             name: spec.name.clone(),
                             samples: vec![(0.0, spec.init)],
@@ -450,14 +500,17 @@ impl Actor<EngineMsg> for StageActor {
                 if self.is_source {
                     ctx.set_timer(SimDuration::ZERO, TAG_GENERATE);
                 }
-                if self.tracker.is_some() {
+                // The observe tick doubles as the flight recorder's
+                // sampling clock, so a recording run samples every stage
+                // even when it has no adaptation tracker.
+                if self.tracker.is_some() || self.opts.recorder.enabled() {
                     ctx.set_timer(self.opts.observe_interval, TAG_OBSERVE);
+                }
+                if self.tracker.is_some() {
                     ctx.set_timer(self.opts.adapt_interval, TAG_ADAPT);
                 }
             }
-            Event::Message { payload: EngineMsg::Packet(p), from } => {
-                self.on_packet(from, p, ctx)
-            }
+            Event::Message { payload: EngineMsg::Packet(p), from } => self.on_packet(from, p, ctx),
             Event::Message { payload: EngineMsg::Exception(e), .. } => {
                 if !self.finished {
                     for (_, controller) in &mut self.controllers {

@@ -1,11 +1,14 @@
 //! Run options shared by both engines.
 
+use std::sync::Arc;
+
+use gates_core::trace::{NullRecorder, Recorder};
 use gates_sim::{SimDuration, SimTime};
 
 use crate::EngineError;
 
 /// Timing knobs for a run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone)]
 pub struct RunOptions {
     /// How often each stage samples its input-queue length.
     pub observe_interval: SimDuration,
@@ -18,6 +21,33 @@ pub struct RunOptions {
     /// Hard stop: `run_to_completion` gives up at this virtual time even
     /// if streams have not ended (safety net for saturated pipelines).
     pub max_time: SimTime,
+    /// Flight recorder fed by both engines on observe/adapt ticks. The
+    /// default [`NullRecorder`] is disabled and costs nothing beyond one
+    /// `enabled()` check per tick.
+    pub recorder: Arc<dyn Recorder>,
+}
+
+impl std::fmt::Debug for RunOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("observe_interval", &self.observe_interval)
+            .field("adapt_interval", &self.adapt_interval)
+            .field("control_latency", &self.control_latency)
+            .field("max_time", &self.max_time)
+            .field("recorder_enabled", &self.recorder.enabled())
+            .finish()
+    }
+}
+
+// Equality intentionally ignores the recorder: it is an observer, not a
+// run parameter, and trait objects have no meaningful equality.
+impl PartialEq for RunOptions {
+    fn eq(&self, other: &Self) -> bool {
+        self.observe_interval == other.observe_interval
+            && self.adapt_interval == other.adapt_interval
+            && self.control_latency == other.control_latency
+            && self.max_time == other.max_time
+    }
 }
 
 impl Default for RunOptions {
@@ -27,6 +57,7 @@ impl Default for RunOptions {
             adapt_interval: SimDuration::from_secs(1),
             control_latency: SimDuration::from_millis(1),
             max_time: SimTime::from_secs_f64(3_600.0),
+            recorder: Arc::new(NullRecorder),
         }
     }
 }
@@ -69,11 +100,19 @@ impl RunOptions {
         self.max_time = t;
         self
     }
+
+    /// Builder: attach a flight recorder (see
+    /// [`gates_core::trace::FlightRecorder`]).
+    pub fn recorder(mut self, r: Arc<dyn Recorder>) -> Self {
+        self.recorder = r;
+        self
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gates_core::trace::FlightRecorder;
 
     #[test]
     fn default_is_valid() {
@@ -98,5 +137,18 @@ mod tests {
         assert_eq!(o.adapt_interval.as_micros(), 500_000);
         assert_eq!(o.control_latency.as_micros(), 2_000);
         assert_eq!(o.max_time.as_secs_f64(), 10.0);
+    }
+
+    #[test]
+    fn recorder_defaults_off_and_attaches() {
+        let o = RunOptions::default();
+        assert!(!o.recorder.enabled());
+        let rec = Arc::new(FlightRecorder::new(16));
+        let o = o.recorder(rec.clone());
+        assert!(o.recorder.enabled());
+        // Equality ignores the observer.
+        assert_eq!(o, RunOptions::default());
+        let debug = format!("{o:?}");
+        assert!(debug.contains("recorder_enabled: true"));
     }
 }

@@ -11,14 +11,17 @@
 //! experiment harness uses [`crate::DesEngine`] for speed and
 //! repeatability.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{
+    bounded, unbounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender,
+};
 
 use gates_core::adapt::{LoadException, LoadTracker, ParamController};
 use gates_core::report::{ParamTrajectory, RunReport, StageReport};
+use gates_core::trace::{AdaptRound, RunMeta, StageSample, TraceEvent};
 use gates_core::{Packet, SourceStatus, StageApi, StageId, Topology};
 use gates_grid::DeploymentPlan;
 use gates_net::TokenBucket;
@@ -78,6 +81,25 @@ impl ThreadedEngine {
     pub fn run(self) -> Result<RunReport, EngineError> {
         let n = self.topology.stages().len();
         let start = Instant::now();
+        // Engine-wide stop flag, set by the watchdog alongside the
+        // `Control::Stop` messages. Workers poll it from inside blocking
+        // sends and service sleeps, where a control message alone could
+        // arrive too late (or never, if the worker is wedged in a send
+        // into a full queue).
+        let stop = Arc::new(AtomicBool::new(false));
+
+        if self.opts.recorder.enabled() {
+            let placements = self
+                .topology
+                .stages()
+                .iter()
+                .zip(&self.nodes)
+                .map(|(s, node)| (s.name.clone(), node.clone()))
+                .collect();
+            self.opts
+                .recorder
+                .record(TraceEvent::Meta(RunMeta { engine: "threaded".into(), placements }));
+        }
 
         // Input data channels (one per stage) and control channels.
         let mut data_tx = Vec::with_capacity(n);
@@ -141,11 +163,15 @@ impl ThreadedEngine {
                 my_drops: Arc::clone(&drops[idx]),
                 opts: self.opts.clone(),
                 start,
+                stop: Arc::clone(&stop),
+                bucket_waited: 0.0,
             };
-            handles.push(std::thread::Builder::new()
-                .name(format!("gates-{}", stage.name))
-                .spawn(move || worker.run())
-                .map_err(|e| EngineError::WorkerPanic(e.to_string()))?);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("gates-{}", stage.name))
+                    .spawn(move || worker.run())
+                    .map_err(|e| EngineError::WorkerPanic(e.to_string()))?,
+            );
         }
         // Drop our clones so channels disconnect naturally when their
         // workers finish. Keeping a receiver clone here would be a
@@ -160,8 +186,10 @@ impl ThreadedEngine {
         let budget = Duration::from_secs_f64(self.opts.max_time.as_secs_f64());
         let watchdog_ctl: Vec<Sender<Control>> = ctl_tx.clone();
         drop(ctl_tx);
+        let watchdog_stop = Arc::clone(&stop);
         let watchdog = std::thread::spawn(move || {
             std::thread::sleep(budget);
+            watchdog_stop.store(true, Ordering::Relaxed);
             for c in &watchdog_ctl {
                 let _ = c.send(Control::Stop);
             }
@@ -178,7 +206,12 @@ impl ThreadedEngine {
         drop(watchdog);
 
         let finished_at = SimTime::from_secs_f64(start.elapsed().as_secs_f64());
-        Ok(RunReport { finished_at, stages, events: 0 })
+        Ok(RunReport {
+            finished_at,
+            stages,
+            events: 0,
+            trace: self.opts.recorder.as_flight().map(|f| f.run_trace()),
+        })
     }
 }
 
@@ -197,6 +230,10 @@ struct StageWorker {
     my_drops: Arc<AtomicU64>,
     opts: RunOptions,
     start: Instant,
+    /// Engine-wide stop flag (see [`ThreadedEngine::run`]).
+    stop: Arc<AtomicBool>,
+    /// Total token-bucket wait realized by this stage, seconds.
+    bucket_waited: f64,
 }
 
 impl StageWorker {
@@ -216,11 +253,18 @@ impl StageWorker {
             let cfg = tracker.config().clone();
             for (pid, spec, _) in api.params().iter() {
                 controllers.push((pid, ParamController::new(cfg.clone(), spec.clone())));
-                trajectories.push(ParamTrajectory { name: spec.name.clone(), samples: vec![(0.0, spec.init)] });
+                trajectories.push(ParamTrajectory {
+                    name: spec.name.clone(),
+                    samples: vec![(0.0, spec.init)],
+                });
             }
         }
 
-        let mut stats = StageReport { name: self.name.clone(), placed_on: self.placed_on.clone(), ..Default::default() };
+        let mut stats = StageReport {
+            name: self.name.clone(),
+            placed_on: self.placed_on.clone(),
+            ..Default::default()
+        };
         let is_source = self.in_edges == 0;
         let mut eos_remaining = self.in_edges;
         let mut stopped = false;
@@ -231,14 +275,20 @@ impl StageWorker {
         let mut last_adapt = Instant::now();
         let tick = observe_every.min(Duration::from_millis(10));
 
+        let recording = self.opts.recorder.enabled();
+        // Counters at the previous flight-recorder sample:
+        // `(t, packets_in, busy_secs, bucket_waited)`.
+        let mut last_rec = (0.0f64, 0u64, 0.0f64, 0.0f64);
+
         // The monitoring heartbeat, also run between service-sleep slices
         // so a busy stage keeps observing its queue (the virtual-time
-        // engine gets this for free from independent timer events).
+        // engine gets this for free from independent timer events). The
+        // observe tick doubles as the flight recorder's sampling clock.
         macro_rules! run_timers {
             () => {
-                if let Some(tracker) = &mut self.tracker {
-                    if last_observe.elapsed() >= observe_every {
-                        last_observe = Instant::now();
+                if last_observe.elapsed() >= observe_every {
+                    last_observe = Instant::now();
+                    if let Some(tracker) = &mut self.tracker {
                         if let Some(exception) = tracker.observe(self.rx.len() as f64) {
                             match exception {
                                 LoadException::Overload => stats.exceptions_sent.0 += 1,
@@ -249,14 +299,56 @@ impl StageWorker {
                             }
                         }
                     }
+                    if recording {
+                        let t = self.start.elapsed().as_secs_f64();
+                        let (t0, in0, busy0, wait0) = last_rec;
+                        let dt = t - t0;
+                        let d_in = stats.packets_in - in0;
+                        let busy = stats.busy_time.as_secs_f64();
+                        last_rec = (t, stats.packets_in, busy, self.bucket_waited);
+                        self.opts.recorder.record(TraceEvent::Sample(StageSample {
+                            t,
+                            stage: self.name.clone(),
+                            queue_depth: self.rx.len(),
+                            packets_in: stats.packets_in,
+                            packets_out: stats.packets_out,
+                            dropped: self.my_drops.load(Ordering::Relaxed),
+                            throughput: if dt > 0.0 { d_in as f64 / dt } else { 0.0 },
+                            service_time: if d_in > 0 { (busy - busy0) / d_in as f64 } else { 0.0 },
+                            bucket_wait: self.bucket_waited - wait0,
+                        }));
+                    }
+                }
+                if let Some(tracker) = &self.tracker {
                     if last_adapt.elapsed() >= adapt_every {
                         last_adapt = Instant::now();
                         let d_tilde = tracker.d_tilde();
                         let t = self.start.elapsed().as_secs_f64();
+                        let (phi1, phi2, phi3) = (tracker.phi1(), tracker.phi2(), tracker.phi3());
                         for (i, (pid, controller)) in controllers.iter_mut().enumerate() {
                             let v = controller.adapt(d_tilde);
                             let _ = api.push_suggestion(*pid, v);
                             trajectories[i].samples.push((t, v));
+                            if recording {
+                                let outcome = controller.last_outcome().unwrap_or_default();
+                                let received = controller.exceptions_received();
+                                self.opts.recorder.record(TraceEvent::Adapt(AdaptRound {
+                                    t,
+                                    stage: self.name.clone(),
+                                    param: trajectories[i].name.clone(),
+                                    d_tilde,
+                                    phi1,
+                                    phi2,
+                                    phi3,
+                                    sigma1: outcome.sigma1,
+                                    sigma2: outcome.sigma2,
+                                    suggested: v,
+                                    overload_sent: stats.exceptions_sent.0,
+                                    underload_sent: stats.exceptions_sent.1,
+                                    overload_received: received.0,
+                                    underload_received: received.1,
+                                }));
+                            }
                         }
                     }
                 }
@@ -267,6 +359,10 @@ impl StageWorker {
         self.flush(&mut api, &mut stats);
 
         'main: loop {
+            if self.stop.load(Ordering::Relaxed) {
+                stopped = true;
+                break 'main;
+            }
             // Control: exceptions from downstream, or engine stop.
             while let Ok(msg) = self.ctl.try_recv() {
                 match msg {
@@ -317,16 +413,19 @@ impl StageWorker {
                     let total = service.as_secs_f64() + extra.as_secs_f64() / self.speed;
                     // Realize the service time in monitoring-friendly
                     // slices so the queue keeps being observed while the
-                    // stage is busy.
+                    // stage is busy — and so an engine stop interrupts a
+                    // long service instead of overrunning the budget.
                     let tick_secs = tick.as_secs_f64();
                     let mut remaining = total;
-                    while remaining > 0.0 {
+                    let mut slept = 0.0;
+                    while remaining > 0.0 && !self.stop.load(Ordering::Relaxed) {
                         let slice = remaining.min(tick_secs);
                         std::thread::sleep(Duration::from_secs_f64(slice));
+                        slept += slice;
                         remaining -= slice;
                         run_timers!();
                     }
-                    stats.busy_time += SimDuration::from_secs_f64(total);
+                    stats.busy_time += SimDuration::from_secs_f64(slept);
                     self.flush(&mut api, &mut stats);
                 }
                 Err(RecvTimeoutError::Timeout) => {}
@@ -339,20 +438,19 @@ impl StageWorker {
             self.processor.on_eos(&mut api);
             self.flush(&mut api, &mut stats);
         }
-        // Forward EOS downstream (one marker per out edge).
-        for port in &self.out {
-            let _ = port.tx.send(Packet::eos(u32::MAX, 0));
+        // Forward EOS downstream (one marker per out edge) with a timed
+        // send: a full queue on a stopping run must not wedge shutdown.
+        for i in 0..self.out.len() {
+            self.send_with_stop_check(i, Packet::eos(u32::MAX, 0), true);
         }
         if let Some(tracker) = &self.tracker {
             stats.queue = tracker.queue_stats().clone();
         }
         stats.packets_dropped = self.my_drops.load(Ordering::Relaxed);
-        stats.exceptions_received = controllers
-            .iter()
-            .fold((0, 0), |acc, (_, c)| {
-                let (o, u) = c.exceptions_received();
-                (acc.0 + o, acc.1 + u)
-            });
+        stats.exceptions_received = controllers.iter().fold((0, 0), |acc, (_, c)| {
+            let (o, u) = c.exceptions_received();
+            (acc.0 + o, acc.1 + u)
+        });
         stats.params = trajectories;
         stats
     }
@@ -376,18 +474,42 @@ impl StageWorker {
                 None => (0..self.out.len()).collect(),
             };
             for i in ports {
-                let port = &mut self.out[i];
                 let now = self.start.elapsed().as_secs_f64();
-                let wait = port.bucket.acquire(packet.wire_len(), now);
+                let wait = self.out[i].bucket.acquire(packet.wire_len(), now);
                 if wait > 0.0 {
+                    self.bucket_waited += wait;
                     std::thread::sleep(Duration::from_secs_f64(wait));
                 }
-                if port.blocking {
-                    // Windowed semantics: block until the receiver has room.
-                    let _ = port.tx.send(packet.clone());
-                } else if port.tx.try_send(packet.clone()).is_err() {
-                    port.drops.fetch_add(1, Ordering::Relaxed);
+                if self.out[i].blocking {
+                    // Windowed semantics: block until the receiver has
+                    // room — but keep watching the stop flag so a stopped
+                    // run drains instead of deadlocking on a full queue
+                    // whose consumer has already quit.
+                    self.send_with_stop_check(i, packet.clone(), false);
+                } else if self.out[i].tx.try_send(packet.clone()).is_err() {
+                    self.out[i].drops.fetch_add(1, Ordering::Relaxed);
                 }
+            }
+        }
+    }
+
+    /// Blocking send on out-edge `i` that gives up once the engine stop
+    /// flag is raised (counting the packet as a drop) or the receiver
+    /// disconnects. With `final_attempt`, an already-stopped run still
+    /// tries one non-blocking send so EOS reaches a live receiver.
+    fn send_with_stop_check(&mut self, i: usize, packet: Packet, final_attempt: bool) {
+        let mut packet = packet;
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                if self.out[i].tx.try_send(packet).is_err() && !final_attempt {
+                    self.out[i].drops.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
+            match self.out[i].tx.send_timeout(packet, Duration::from_millis(10)) {
+                Ok(()) => return,
+                Err(SendTimeoutError::Timeout(p)) => packet = p,
+                Err(SendTimeoutError::Disconnected(_)) => return,
             }
         }
     }
@@ -423,15 +545,14 @@ mod tests {
 
     fn run_simple(packets: u32, bandwidth: Bandwidth) -> RunReport {
         let mut t = Topology::new();
-        let s = t.add_stage_raw(StageBuilder::new("src").processor(move || Burst { left: packets })).unwrap();
+        let s = t
+            .add_stage_raw(StageBuilder::new("src").processor(move || Burst { left: packets }))
+            .unwrap();
         let k = t.add_stage(StageBuilder::new("sink").processor(|| Sink)).unwrap();
         t.connect(s, k, LinkSpec::with_bandwidth(bandwidth));
         let registry = ResourceRegistry::uniform_cluster(&["src", "sink"]);
         let plan = Deployer::new().deploy(&t, &registry).unwrap();
-        ThreadedEngine::new(t, &plan, RunOptions::default())
-            .unwrap()
-            .run()
-            .unwrap()
+        ThreadedEngine::new(t, &plan, RunOptions::default()).unwrap().run().unwrap()
     }
 
     #[test]
@@ -473,5 +594,89 @@ mod tests {
         let report = ThreadedEngine::new(t, &plan, opts).unwrap().run().unwrap();
         assert!(t0.elapsed().as_secs_f64() < 3.0, "watchdog must stop the run");
         assert!(report.stage("sink").unwrap().packets_in > 0);
+    }
+
+    #[test]
+    fn saturated_blocking_pipeline_stops_within_budget() {
+        // A fast source feeding a 1-slot blocking queue in front of a
+        // pathologically slow sink: the source wedges in a blocking send
+        // and the sink in a multi-second service sleep. The stop flag
+        // must unwedge both well within the test's patience.
+        struct Firehose;
+        impl StreamProcessor for Firehose {
+            fn process(&mut self, _p: Packet, _a: &mut StageApi) {}
+            fn poll_generate(&mut self, api: &mut StageApi) -> SourceStatus {
+                api.emit(Packet::data(0, 0, 1, Bytes::from_static(b"xxxxxxxx")));
+                SourceStatus::Continue { next_poll: SimDuration::from_micros(200) }
+            }
+        }
+        let mut t = Topology::new();
+        let s = t.add_stage_raw(StageBuilder::new("src").processor(|| Firehose)).unwrap();
+        let k = t
+            .add_stage(
+                StageBuilder::new("sink")
+                    .cost(gates_core::CostModel::per_packet(30.0))
+                    .queue_capacity(1)
+                    .processor(|| Sink),
+            )
+            .unwrap();
+        t.connect(s, k, LinkSpec::local().blocking());
+        let registry = ResourceRegistry::uniform_cluster(&["src", "sink"]);
+        let plan = Deployer::new().deploy(&t, &registry).unwrap();
+        let opts = RunOptions::default().max_time(SimTime::from_secs_f64(0.4));
+        let t0 = Instant::now();
+        let report = ThreadedEngine::new(t, &plan, opts).unwrap().run().unwrap();
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert!(elapsed < 5.0, "saturated blocking pipeline must stop, took {elapsed}s");
+        assert!(report.stage("src").unwrap().packets_out > 0);
+    }
+
+    #[test]
+    fn flight_recorder_covers_threaded_runs() {
+        use gates_core::trace::FlightRecorder;
+        use gates_core::Direction;
+
+        struct OneParam(Option<gates_core::ParamId>);
+        impl StreamProcessor for OneParam {
+            fn on_start(&mut self, api: &mut StageApi) {
+                self.0 = Some(
+                    api.specify_para("rate", 0.5, 0.0, 1.0, 0.01, Direction::IncreaseSlowsDown)
+                        .unwrap(),
+                );
+            }
+            fn process(&mut self, _p: Packet, _api: &mut StageApi) {}
+        }
+
+        let mut t = Topology::new();
+        let s =
+            t.add_stage_raw(StageBuilder::new("src").processor(|| Burst { left: 400 })).unwrap();
+        let k = t
+            .add_stage(
+                StageBuilder::new("slow")
+                    .cost(gates_core::CostModel::per_packet(0.004))
+                    .queue_capacity(16)
+                    .processor(|| OneParam(None)),
+            )
+            .unwrap();
+        t.connect(s, k, LinkSpec::local());
+        let registry = ResourceRegistry::uniform_cluster(&["src", "slow"]);
+        let plan = Deployer::new().deploy(&t, &registry).unwrap();
+        let rec = Arc::new(FlightRecorder::new(4_096));
+        let opts = RunOptions::default()
+            .observe_every(SimDuration::from_millis(20))
+            .adapt_every(SimDuration::from_millis(100))
+            .max_time(SimTime::from_secs_f64(10.0))
+            .recorder(rec.clone());
+        let report = ThreadedEngine::new(t, &plan, opts).unwrap().run().unwrap();
+
+        let trace = report.trace.as_ref().expect("recorder attaches a trace");
+        assert_eq!(trace.meta.as_ref().unwrap().engine, "threaded");
+        let slow = trace.stage("slow").expect("slow stage series");
+        assert!(!slow.samples.is_empty(), "observe ticks must sample the stage");
+        assert!(!slow.adapt_rounds.is_empty(), "adapt ticks must record rounds");
+        let round = slow.adapt_rounds.last().unwrap();
+        assert_eq!(round.param, "rate");
+        assert!(round.sigma1 > 0.0, "controller internals recorded");
+        assert!(rec.to_jsonl().contains("\"type\":\"adapt\""));
     }
 }

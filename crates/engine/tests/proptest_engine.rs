@@ -58,15 +58,7 @@ struct Pipeline {
 }
 
 fn pipeline_strategy() -> impl Strategy<Value = Pipeline> {
-    (
-        1u32..60,
-        1usize..200,
-        100u64..20_000,
-        1usize..4,
-        1.0f64..1_000.0,
-        0.0f64..2.0,
-        any::<bool>(),
-    )
+    (1u32..60, 1usize..200, 100u64..20_000, 1usize..4, 1.0f64..1_000.0, 0.0f64..2.0, any::<bool>())
         .prop_map(|(packets, payload, interval_us, hops, bandwidth_kb, cost_ms, blocking)| {
             Pipeline { packets, payload, interval_us, hops, bandwidth_kb, cost_ms, blocking }
         })

@@ -72,7 +72,9 @@ impl AppConfig {
             .to_string();
         let repository = root
             .attr("repository")
-            .ok_or_else(|| GridError::BadConfig("<application> needs a repository attribute".into()))?
+            .ok_or_else(|| {
+                GridError::BadConfig("<application> needs a repository attribute".into())
+            })?
             .to_string();
         let mut config = AppConfig { name, repository, params: Vec::new() };
         for p in root.children_named("param") {
@@ -105,8 +107,9 @@ impl AppConfig {
     pub fn get_f64(&self, key: &str) -> Result<Option<f64>, GridError> {
         self.get(key)
             .map(|v| {
-                v.parse::<f64>()
-                    .map_err(|_| GridError::BadConfig(format!("param {key:?} is not a number: {v:?}")))
+                v.parse::<f64>().map_err(|_| {
+                    GridError::BadConfig(format!("param {key:?} is not a number: {v:?}"))
+                })
             })
             .transpose()
     }
@@ -115,8 +118,9 @@ impl AppConfig {
     pub fn get_usize(&self, key: &str) -> Result<Option<usize>, GridError> {
         self.get(key)
             .map(|v| {
-                v.parse::<usize>()
-                    .map_err(|_| GridError::BadConfig(format!("param {key:?} is not an integer: {v:?}")))
+                v.parse::<usize>().map_err(|_| {
+                    GridError::BadConfig(format!("param {key:?} is not an integer: {v:?}"))
+                })
             })
             .transpose()
     }
@@ -143,7 +147,8 @@ impl AppConfig {
             .with_attr("name", &self.name)
             .with_attr("repository", &self.repository);
         for (k, v) in &self.params {
-            root = root.with_child(Element::new("param").with_attr("name", k).with_attr("value", v));
+            root =
+                root.with_child(Element::new("param").with_attr("name", k).with_attr("value", v));
         }
         write_document(&Document::new(root), &WriteOptions::default())
     }

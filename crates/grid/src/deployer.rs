@@ -16,6 +16,40 @@ use crate::registry::ResourceRegistry;
 use crate::service::{ServiceInstance, ServiceState};
 use crate::GridError;
 
+/// Ways a placement can fail to materialize into a plan. These used to
+/// be panics; a matchmaker bug (or a hand-built placement map) now
+/// surfaces as an error the caller can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeployError {
+    /// The placement map has no entry for a stage.
+    StageNotPlaced {
+        /// Name of the unplaced stage.
+        stage: String,
+    },
+    /// A placement references a node the registry does not know.
+    UnknownNode {
+        /// Stage whose placement is dangling.
+        stage: String,
+        /// The unknown node name.
+        node: String,
+    },
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::StageNotPlaced { stage } => {
+                write!(f, "stage {stage:?} was not placed on any node")
+            }
+            DeployError::UnknownNode { stage, node } => {
+                write!(f, "stage {stage:?} placed on unknown node {node:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
 /// Where each stage runs, plus the instantiated service containers.
 #[derive(Debug, Clone)]
 pub struct DeploymentPlan {
@@ -94,23 +128,35 @@ impl Deployer {
     ) -> Result<DeploymentPlan, GridError> {
         topology.validate().map_err(|e| GridError::Topology(e.to_string()))?;
         let placements = self.matchmaker.place(topology, registry)?;
-
-        let mut speeds = HashMap::new();
-        let mut services = Vec::with_capacity(topology.stages().len());
-        for (idx, stage) in topology.stages().iter().enumerate() {
-            let id = StageId::from_index(idx);
-            let node_name = placements.get(&id).expect("every stage placed");
-            let node = registry.node(node_name).expect("placement references known node");
-            speeds.insert(id, node.cpu_speed);
-            let mut service = ServiceInstance::create(stage.name.clone(), node_name.clone());
-            service
-                .customize()
-                .map_err(GridError::AppBuild)?;
-            debug_assert_eq!(service.state(), ServiceState::Customized);
-            services.push(service);
-        }
-        Ok(DeploymentPlan { placements, speeds, services })
+        build_plan(topology, registry, placements)
     }
+}
+
+/// Realize a placement map into a full plan, validating that every stage
+/// is placed on a node the registry knows.
+fn build_plan(
+    topology: &Topology,
+    registry: &ResourceRegistry,
+    placements: HashMap<StageId, String>,
+) -> Result<DeploymentPlan, GridError> {
+    let mut speeds = HashMap::new();
+    let mut services = Vec::with_capacity(topology.stages().len());
+    for (idx, stage) in topology.stages().iter().enumerate() {
+        let id = StageId::from_index(idx);
+        let node_name = placements
+            .get(&id)
+            .ok_or_else(|| DeployError::StageNotPlaced { stage: stage.name.clone() })?;
+        let node = registry.node(node_name).ok_or_else(|| DeployError::UnknownNode {
+            stage: stage.name.clone(),
+            node: node_name.clone(),
+        })?;
+        speeds.insert(id, node.cpu_speed);
+        let mut service = ServiceInstance::create(stage.name.clone(), node_name.clone());
+        service.customize().map_err(GridError::AppBuild)?;
+        debug_assert_eq!(service.state(), ServiceState::Customized);
+        services.push(service);
+    }
+    Ok(DeploymentPlan { placements, speeds, services })
 }
 
 #[cfg(test)]
@@ -157,10 +203,7 @@ mod tests {
         let mut t = Topology::new();
         let a = t.add_stage(StageBuilder::new("a").processor(|| Nop)).unwrap();
         t.connect(a, a, LinkSpec::local());
-        assert!(matches!(
-            Deployer::new().deploy(&t, &registry()),
-            Err(GridError::Topology(_))
-        ));
+        assert!(matches!(Deployer::new().deploy(&t, &registry()), Err(GridError::Topology(_))));
     }
 
     #[test]
@@ -170,6 +213,37 @@ mod tests {
             Deployer::new().deploy(&t, &ResourceRegistry::new()),
             Err(GridError::Placement(_))
         ));
+    }
+
+    #[test]
+    fn partial_placement_is_an_error_not_a_panic() {
+        let (t, a, _) = topology();
+        let reg = registry();
+        // A placement map missing the second stage (a buggy matchmaker
+        // or a hand-built map).
+        let mut placements = HashMap::new();
+        placements.insert(a, "e0".to_string());
+        let err = build_plan(&t, &reg, placements).unwrap_err();
+        assert_eq!(err, GridError::Deploy(DeployError::StageNotPlaced { stage: "sink".into() }));
+        assert!(err.to_string().contains("was not placed"));
+    }
+
+    #[test]
+    fn placement_on_unknown_node_is_an_error_not_a_panic() {
+        let (t, a, b) = topology();
+        let reg = registry();
+        let mut placements = HashMap::new();
+        placements.insert(a, "e0".to_string());
+        placements.insert(b, "ghost-node".to_string());
+        let err = build_plan(&t, &reg, placements).unwrap_err();
+        assert_eq!(
+            err,
+            GridError::Deploy(DeployError::UnknownNode {
+                stage: "sink".into(),
+                node: "ghost-node".into()
+            })
+        );
+        assert!(err.to_string().contains("unknown node"));
     }
 
     #[test]

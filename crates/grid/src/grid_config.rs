@@ -25,10 +25,7 @@ pub fn registry_from_xml(text: &str) -> Result<ResourceRegistry, GridError> {
     let doc = parse(text).map_err(|e| GridError::BadConfig(e.to_string()))?;
     let root = doc.root();
     if root.name() != "grid" {
-        return Err(GridError::BadConfig(format!(
-            "expected <grid> root, found <{}>",
-            root.name()
-        )));
+        return Err(GridError::BadConfig(format!("expected <grid> root, found <{}>", root.name())));
     }
     let mut registry = ResourceRegistry::new();
     for node in root.children_named("node") {
@@ -137,12 +134,13 @@ mod tests {
 
     #[test]
     fn bad_numbers_rejected() {
-        assert!(registry_from_xml(r#"<grid><node name="n" site="s" speed="fast"/></grid>"#)
-            .is_err());
-        assert!(registry_from_xml(r#"<grid><node name="n" site="s" speed="-1"/></grid>"#)
-            .is_err());
-        assert!(registry_from_xml(r#"<grid><node name="n" site="s" memory="lots"/></grid>"#)
-            .is_err());
+        assert!(
+            registry_from_xml(r#"<grid><node name="n" site="s" speed="fast"/></grid>"#).is_err()
+        );
+        assert!(registry_from_xml(r#"<grid><node name="n" site="s" speed="-1"/></grid>"#).is_err());
+        assert!(
+            registry_from_xml(r#"<grid><node name="n" site="s" memory="lots"/></grid>"#).is_err()
+        );
     }
 
     #[test]

@@ -91,7 +91,11 @@ mod tests {
             let mut prev = None;
             for i in 0..stages {
                 let id = t
-                    .add_stage(StageBuilder::new(format!("s{i}")).site(format!("site-{i}")).processor(|| Nop))
+                    .add_stage(
+                        StageBuilder::new(format!("s{i}"))
+                            .site(format!("site-{i}"))
+                            .processor(|| Nop),
+                    )
                     .map_err(|e| e.to_string())?;
                 if let Some(p) = prev {
                     t.connect(p, id, LinkSpec::with_bandwidth(Bandwidth::kb_per_sec(100.0)));
@@ -117,8 +121,7 @@ mod tests {
             <application name="demo" repository="pipeline">
               <param name="stages" value="3"/>
             </application>"#;
-        let deployment =
-            Launcher::new().launch_xml(xml, &repository(), &registry(3)).unwrap();
+        let deployment = Launcher::new().launch_xml(xml, &repository(), &registry(3)).unwrap();
         assert_eq!(deployment.topology.stages().len(), 3);
         assert_eq!(deployment.plan.len(), 3);
         // Site affinity honoured.
@@ -128,9 +131,7 @@ mod tests {
 
     #[test]
     fn launch_bad_xml_fails_cleanly() {
-        let err = Launcher::new()
-            .launch_xml("<broken", &repository(), &registry(1))
-            .unwrap_err();
+        let err = Launcher::new().launch_xml("<broken", &repository(), &registry(1)).unwrap_err();
         assert!(matches!(err, GridError::BadConfig(_)));
     }
 
@@ -144,9 +145,8 @@ mod tests {
     #[test]
     fn launch_without_resources_fails() {
         let xml = r#"<application name="x" repository="pipeline"/>"#;
-        let err = Launcher::new()
-            .launch_xml(xml, &repository(), &ResourceRegistry::new())
-            .unwrap_err();
+        let err =
+            Launcher::new().launch_xml(xml, &repository(), &ResourceRegistry::new()).unwrap_err();
         assert!(matches!(err, GridError::Placement(_)));
     }
 

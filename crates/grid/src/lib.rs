@@ -37,7 +37,7 @@ mod repository;
 mod service;
 
 pub use config::AppConfig;
-pub use deployer::{Deployer, DeploymentPlan};
+pub use deployer::{DeployError, Deployer, DeploymentPlan};
 pub use grid_config::{registry_from_xml, registry_to_xml};
 pub use launcher::{Deployment, Launcher};
 pub use matchmaker::{Matchmaker, PlacementError};
@@ -59,6 +59,9 @@ pub enum GridError {
     Placement(PlacementError),
     /// The topology failed validation.
     Topology(String),
+    /// Placement succeeded but the plan could not be realized (partial
+    /// placement or a dangling node reference).
+    Deploy(DeployError),
 }
 
 impl std::fmt::Display for GridError {
@@ -69,6 +72,7 @@ impl std::fmt::Display for GridError {
             GridError::AppBuild(msg) => write!(f, "application build failed: {msg}"),
             GridError::Placement(e) => write!(f, "placement failed: {e}"),
             GridError::Topology(msg) => write!(f, "invalid topology: {msg}"),
+            GridError::Deploy(e) => write!(f, "deployment failed: {e}"),
         }
     }
 }
@@ -78,5 +82,11 @@ impl std::error::Error for GridError {}
 impl From<PlacementError> for GridError {
     fn from(e: PlacementError) -> Self {
         GridError::Placement(e)
+    }
+}
+
+impl From<DeployError> for GridError {
+    fn from(e: DeployError) -> Self {
+        GridError::Deploy(e)
     }
 }

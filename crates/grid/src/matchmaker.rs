@@ -172,7 +172,10 @@ mod tests {
     fn empty_registry_is_an_error() {
         let mut t = Topology::new();
         t.add_stage(stage("a", "x")).unwrap();
-        assert_eq!(Matchmaker.place(&t, &ResourceRegistry::new()).unwrap_err(), PlacementError::NoNodes);
+        assert_eq!(
+            Matchmaker.place(&t, &ResourceRegistry::new()).unwrap_err(),
+            PlacementError::NoNodes
+        );
     }
 
     #[test]

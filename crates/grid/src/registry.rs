@@ -72,10 +72,7 @@ impl ResourceRegistry {
 
     /// The lease expiry of a node (`None` = permanent or unknown).
     pub fn lease_of(&self, name: &str) -> Option<SimTime> {
-        self.nodes
-            .iter()
-            .position(|n| n.name == name)
-            .and_then(|i| self.leases[i])
+        self.nodes.iter().position(|n| n.name == name).and_then(|i| self.leases[i])
     }
 
     /// Remove a node by name; true if it existed.

@@ -235,7 +235,12 @@ mod tests {
     #[test]
     fn two_frames_stream_decode() {
         let f1 = sample();
-        let f2 = Frame { kind: FrameKind::Data, stream_id: 1, seq: 2, payload: Bytes::from_static(b"x") };
+        let f2 = Frame {
+            kind: FrameKind::Data,
+            stream_id: 1,
+            seq: 2,
+            payload: Bytes::from_static(b"x"),
+        };
         let mut buf = BytesMut::new();
         buf.extend_from_slice(&encode_frame(&f1));
         buf.extend_from_slice(&encode_frame(&f2));
@@ -246,7 +251,13 @@ mod tests {
 
     #[test]
     fn kind_tags_round_trip() {
-        for kind in [FrameKind::Data, FrameKind::Summary, FrameKind::Control, FrameKind::Exception, FrameKind::Eos] {
+        for kind in [
+            FrameKind::Data,
+            FrameKind::Summary,
+            FrameKind::Control,
+            FrameKind::Exception,
+            FrameKind::Eos,
+        ] {
             assert_eq!(FrameKind::from_u8(kind.to_u8()), Some(kind));
         }
         assert_eq!(FrameKind::from_u8(99), None);

@@ -35,12 +35,15 @@ impl TokenBucket {
 
     /// Try to take `bytes` tokens at time `now`. On success returns
     /// `Ok(())`; otherwise `Err(wait)` — the seconds to wait before the
-    /// tokens will be available (the caller sleeps and retries).
+    /// send can proceed (the caller sleeps and retries).
     ///
-    /// Requests larger than the burst are paced as multiple bucket-fulls:
-    /// the wait returned is the time until the bucket is full, and the
-    /// caller's retry loop drains it repeatedly. [`Self::acquire`] wraps
-    /// that loop for convenience.
+    /// Requests larger than the burst can never be covered by tokens
+    /// alone, so they are accepted once the bucket is full and the
+    /// balance goes negative — the deficit then drains at `rate`, giving
+    /// the same long-run pacing as [`Self::acquire`]. (The previous
+    /// behavior waited for `min(need, burst) - tokens` tokens, which for
+    /// an oversized request at a full bucket is a zero deficit: the
+    /// caller's retry loop spun forever on the anti-spin floor wait.)
     pub fn try_acquire(&mut self, bytes: u64, now: f64) -> Result<(), f64> {
         self.refill(now);
         let need = bytes as f64;
@@ -48,10 +51,17 @@ impl TokenBucket {
             self.tokens -= need;
             return Ok(());
         }
-        let deficit = (need.min(self.burst)) - self.tokens;
-        // Never return a zero wait (possible when need > burst): callers
-        // retry after the wait, and a zero would spin.
-        Err((deficit / self.rate).max(1e-6))
+        if need > self.burst {
+            // Oversized: proceed from a full bucket, carrying the deficit.
+            if self.tokens + 1e-9 >= self.burst {
+                self.tokens -= need;
+                return Ok(());
+            }
+            return Err(((self.burst - self.tokens) / self.rate).max(1e-6));
+        }
+        // Never return a zero wait: callers retry after the wait, and a
+        // zero would spin.
+        Err(((need - self.tokens) / self.rate).max(1e-6))
     }
 
     /// Compute the total time the caller must wait (starting at `now`) to
@@ -135,13 +145,27 @@ mod tests {
 
     #[test]
     fn oversized_packet_paced_by_bucket_fulls() {
+        // acquire() charges the full amount at once.
         let mut tb = TokenBucket::new(100.0, 10.0);
-        // try_acquire caps the deficit at one burst.
-        let err = tb.try_acquire(1_000, 1.0).unwrap_err();
-        assert!(err <= 0.1 + 1e-9);
-        // acquire() instead charges the full amount at once.
         let wait = tb.acquire(1_000, 1.0);
         assert!((wait - 9.9).abs() < 1e-6, "wait={wait}");
+    }
+
+    #[test]
+    fn oversized_try_acquire_goes_negative_from_full_bucket() {
+        let mut tb = TokenBucket::new(100.0, 10.0);
+        // Bucket is full: the oversized request is accepted and the
+        // balance carries the deficit.
+        assert!(tb.try_acquire(1_000, 1.0).is_ok());
+        // The deficit is paid by the next request.
+        let wait = tb.try_acquire(1, 1.0).unwrap_err();
+        assert!((wait - 9.91).abs() < 1e-6, "wait={wait}");
+        // From a part-full bucket, the wait is the time to full.
+        let mut tb = TokenBucket::new(100.0, 10.0);
+        tb.acquire(5, 0.0);
+        let wait = tb.try_acquire(1_000, 0.0).unwrap_err();
+        assert!((wait - 0.05).abs() < 1e-9, "wait={wait}");
+        assert!(tb.try_acquire(1_000, wait).is_ok(), "full bucket accepts after the wait");
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Property tests for the network substrate.
 
 use bytes::{Bytes, BytesMut};
-use gates_net::{decode_frame, encode_frame, Bandwidth, Frame, FrameKind, LinkModel, LinkSpec, TokenBucket};
+use gates_net::{
+    decode_frame, encode_frame, Bandwidth, Frame, FrameKind, LinkModel, LinkSpec, TokenBucket,
+};
 use gates_sim::SimTime;
 use proptest::prelude::*;
 
@@ -85,6 +87,43 @@ proptest! {
             let min_time = paced / rate;
             prop_assert!(clock >= min_time - 1e-6, "clock={clock} min={min_time}");
         }
+    }
+
+    #[test]
+    fn try_acquire_paces_oversized_requests(
+        bytes in 1_501u64..50_000,
+        rate in 100.0f64..100_000.0,
+        packets in 2u64..8,
+    ) {
+        // bytes > burst for every case: the retry loop must terminate,
+        // never see a zero wait, and realize bytes/rate pacing.
+        let burst = 1_000.0;
+        let mut tb = TokenBucket::new(rate, burst);
+        let mut clock = 0.0;
+        let mut total_wait = 0.0;
+        for _ in 0..packets {
+            let mut retries = 0;
+            loop {
+                match tb.try_acquire(bytes, clock) {
+                    Ok(()) => break,
+                    Err(wait) => {
+                        prop_assert!(wait > 0.0, "a zero wait would spin the caller");
+                        total_wait += wait;
+                        clock += wait;
+                        retries += 1;
+                        prop_assert!(retries < 1_000, "retry loop must make progress");
+                    }
+                }
+            }
+        }
+        // Each send after the first pays the previous send's deficit, so
+        // the total is (packets−1)·bytes/rate — i.e. the per-packet wait
+        // converges to bytes/rate (the last deficit stays outstanding).
+        let expected = ((packets - 1) * bytes) as f64 / rate;
+        prop_assert!(total_wait >= expected - 1e-6, "wait={total_wait} expected={expected}");
+        // And it never overshoots by more than the anti-spin floor per retry.
+        let max_time = expected + packets as f64 * 1e-3;
+        prop_assert!(total_wait <= max_time + 1e-6, "wait={total_wait} max={max_time}");
     }
 
     #[test]

@@ -31,8 +31,8 @@ impl BloomFilter {
         // m = -n·ln(p)/ln(2)², k = m/n·ln(2); round m up to a power of two.
         let m_exact = -(expected as f64) * fp.ln() / std::f64::consts::LN_2.powi(2);
         let m = (m_exact.ceil() as usize).next_power_of_two().max(64);
-        let k = ((m as f64 / expected as f64) * std::f64::consts::LN_2).round().clamp(1.0, 16.0)
-            as u32;
+        let k =
+            ((m as f64 / expected as f64) * std::f64::consts::LN_2).round().clamp(1.0, 16.0) as u32;
         BloomFilter { bits: vec![0; m / 64], m, k, items: 0 }
     }
 
@@ -64,7 +64,10 @@ impl BloomFilter {
     /// Union with a same-shape filter.
     pub fn union(&mut self, other: &BloomFilter) -> Result<(), String> {
         if self.m != other.m || self.k != other.k {
-            return Err(format!("shape mismatch: ({}, {}) vs ({}, {})", self.m, self.k, other.m, other.k));
+            return Err(format!(
+                "shape mismatch: ({}, {}) vs ({}, {})",
+                self.m, self.k, other.m, other.k
+            ));
         }
         for (mine, theirs) in self.bits.iter_mut().zip(&other.bits) {
             *mine |= *theirs;

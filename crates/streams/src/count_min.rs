@@ -20,7 +20,8 @@ impl CountMinSketch {
     /// Sketch with explicit dimensions.
     pub fn new(width: usize, depth: usize) -> Self {
         assert!(width >= 1 && depth >= 1, "sketch dimensions must be positive");
-        let seeds = (0..depth as u64).map(|i| 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1)).collect();
+        let seeds =
+            (0..depth as u64).map(|i| 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i + 1)).collect();
         CountMinSketch { width, depth, rows: vec![vec![0; width]; depth], seeds, total: 0 }
     }
 

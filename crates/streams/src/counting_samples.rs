@@ -186,10 +186,11 @@ impl CountingSamples {
     /// the summaries received from the source-side stages.
     pub fn merge(&mut self, other: &CountingSamples) {
         for (&value, e) in &other.entries {
-            let slot = self
-                .entries
-                .entry(value)
-                .or_insert(Entry { sample: 0, exact: 0, tau_admit: e.tau_admit });
+            let slot = self.entries.entry(value).or_insert(Entry {
+                sample: 0,
+                exact: 0,
+                tau_admit: e.tau_admit,
+            });
             slot.sample += e.sample;
             slot.exact += e.exact;
             slot.tau_admit = slot.tau_admit.max(e.tau_admit);
@@ -210,10 +211,8 @@ impl CountingSamples {
     /// Merge from serialized `(value, count)` pairs (wire form).
     pub fn merge_entries(&mut self, entries: &[(u64, u64)], other_tau: f64) {
         for &(value, count) in entries {
-            let slot = self
-                .entries
-                .entry(value)
-                .or_insert(Entry { sample: 0, exact: 0, tau_admit: 1.0 });
+            let slot =
+                self.entries.entry(value).or_insert(Entry { sample: 0, exact: 0, tau_admit: 1.0 });
             slot.sample += count;
             slot.exact += count;
         }
@@ -348,11 +347,7 @@ mod tests {
             cs.insert(7, &mut rng);
         }
         let exact = cs.exact_count(7).unwrap() as f64;
-        let entry = *cs
-            .top_k(cs.len())
-            .iter()
-            .find(|e| e.value == 7)
-            .expect("value 7 present");
+        let entry = *cs.top_k(cs.len()).iter().find(|e| e.value == 7).expect("value 7 present");
         assert!(entry.estimate > exact, "late admission must be compensated");
         assert!(
             entry.estimate - exact <= 0.418 * cs.tau() + 1e-9,

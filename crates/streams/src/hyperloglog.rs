@@ -48,7 +48,8 @@ impl HyperLogLog {
         let idx = (h >> (64 - self.b)) as usize;
         // Rank of the first 1-bit among the remaining 64−b bits, 1-based.
         let rest = h << self.b;
-        let rank = if rest == 0 { (64 - self.b + 1) as u8 } else { (rest.leading_zeros() + 1) as u8 };
+        let rank =
+            if rest == 0 { (64 - self.b + 1) as u8 } else { (rest.leading_zeros() + 1) as u8 };
         if rank > self.registers[idx] {
             self.registers[idx] = rank;
         }

@@ -87,10 +87,8 @@ impl MisraGries {
             let cut = all[self.k].1;
             self.decrements += cut;
             all.truncate(self.k);
-            self.counters = all
-                .into_iter()
-                .filter(|&(_v, c)| c > cut).map(|(v, c)| (v, c - cut))
-                .collect();
+            self.counters =
+                all.into_iter().filter(|&(_v, c)| c > cut).map(|(v, c)| (v, c - cut)).collect();
         }
     }
 

@@ -73,15 +73,16 @@ pub fn unescape(s: &str) -> Result<String, XmlError> {
             "apos" => out.push('\''),
             _ => {
                 if let Some(num) = name.strip_prefix('#') {
-                    let parsed = if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
+                    let parsed = if let Some(hex) =
+                        num.strip_prefix('x').or_else(|| num.strip_prefix('X'))
+                    {
                         u32::from_str_radix(hex, 16)
                     } else {
                         num.parse::<u32>()
                     };
-                    let cp = parsed
-                        .ok()
-                        .and_then(char::from_u32)
-                        .ok_or_else(|| err_at(s, start, XmlErrorKind::InvalidCharRef(num.to_string())))?;
+                    let cp = parsed.ok().and_then(char::from_u32).ok_or_else(|| {
+                        err_at(s, start, XmlErrorKind::InvalidCharRef(num.to_string()))
+                    })?;
                     out.push(cp);
                 } else {
                     return Err(err_at(s, start, XmlErrorKind::UnknownEntity(name)));
@@ -120,7 +121,10 @@ mod tests {
 
     #[test]
     fn unescape_predefined() {
-        assert_eq!(unescape("&lt;a&gt; &amp; &quot;b&quot; &apos;c&apos;").unwrap(), "<a> & \"b\" 'c'");
+        assert_eq!(
+            unescape("&lt;a&gt; &amp; &quot;b&quot; &apos;c&apos;").unwrap(),
+            "<a> & \"b\" 'c'"
+        );
     }
 
     #[test]

@@ -112,7 +112,10 @@ fn parse_element(cur: &mut Cursor) -> Result<Element, XmlError> {
             let finished = stack.pop().unwrap();
             if finished.name() != name {
                 return Err(XmlError::new(
-                    XmlErrorKind::MismatchedClose { open: finished.name().to_string(), close: name },
+                    XmlErrorKind::MismatchedClose {
+                        open: finished.name().to_string(),
+                        close: name,
+                    },
                     eline,
                     ecol,
                 ));

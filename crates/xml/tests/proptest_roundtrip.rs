@@ -17,14 +17,15 @@ fn text_strategy() -> impl Strategy<Value = String> {
 }
 
 fn element_strategy() -> impl Strategy<Value = Element> {
-    let leaf = (name_strategy(), proptest::collection::vec((name_strategy(), text_strategy()), 0..4))
-        .prop_map(|(name, attrs)| {
-            let mut e = Element::new(name);
-            for (k, v) in attrs {
-                e.set_attr(k, v); // duplicates collapse via set_attr
-            }
-            e
-        });
+    let leaf =
+        (name_strategy(), proptest::collection::vec((name_strategy(), text_strategy()), 0..4))
+            .prop_map(|(name, attrs)| {
+                let mut e = Element::new(name);
+                for (k, v) in attrs {
+                    e.set_attr(k, v); // duplicates collapse via set_attr
+                }
+                e
+            });
     leaf.prop_recursive(3, 24, 4, |inner| {
         (
             name_strategy(),

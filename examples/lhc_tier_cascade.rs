@@ -37,8 +37,7 @@ fn main() {
     let mut registry = ResourceRegistry::new();
     registry.register(NodeSpec::new("cern-t0", "tier0").speed(4.0).memory(16_384));
     for r in 0..params.regions {
-        registry
-            .register(NodeSpec::new(format!("region-{r}"), format!("tier1-{r}")).speed(2.0));
+        registry.register(NodeSpec::new(format!("region-{r}"), format!("tier1-{r}")).speed(2.0));
     }
     for s in 0..sites {
         registry.register(NodeSpec::new(format!("site-{s}"), format!("tier2-{s}")));
@@ -60,15 +59,29 @@ fn main() {
     let tier0_in = report.stage("center").unwrap().bytes_in;
     println!("traffic per tier:");
     println!("  raw at sites:        {raw_bytes:>12} bytes");
-    println!("  site -> region WAN:  {tier1_in:>12} bytes ({:.1}x reduction)", raw_bytes as f64 / tier1_in.max(1) as f64);
-    println!("  region -> center:    {tier0_in:>12} bytes ({:.1}x reduction)", raw_bytes as f64 / tier0_in.max(1) as f64);
+    println!(
+        "  site -> region WAN:  {tier1_in:>12} bytes ({:.1}x reduction)",
+        raw_bytes as f64 / tier1_in.max(1) as f64
+    );
+    println!(
+        "  region -> center:    {tier0_in:>12} bytes ({:.1}x reduction)",
+        raw_bytes as f64 / tier0_in.max(1) as f64
+    );
 
     // Adapted parameters at both tiers.
     if let Some(t) = report.stage("summarizer-0").and_then(|s| s.param("k2")) {
-        println!("\ntier-2 k2 (site 0): start {:.0}, final {:.0}", t.samples[0].1, t.final_value().unwrap());
+        println!(
+            "\ntier-2 k2 (site 0): start {:.0}, final {:.0}",
+            t.samples[0].1,
+            t.final_value().unwrap()
+        );
     }
     if let Some(t) = report.stage("region-0").and_then(|s| s.param("k1")) {
-        println!("tier-1 k1 (region 0): start {:.0}, final {:.0}", t.samples[0].1, t.final_value().unwrap());
+        println!(
+            "tier-1 k1 (region 0): start {:.0}, final {:.0}",
+            t.samples[0].1,
+            t.final_value().unwrap()
+        );
     }
 
     let center = report.stage("center").unwrap();

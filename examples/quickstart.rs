@@ -29,11 +29,7 @@ fn main() {
 
     // 3. Build the stage topology and its result handles.
     let (topology, handles) = count_samps::build(&params);
-    println!(
-        "topology: {} stages, {} links",
-        topology.stages().len(),
-        topology.edges().len()
-    );
+    println!("topology: {} stages, {} links", topology.stages().len(), topology.edges().len());
 
     // 4. Discover resources and deploy (the paper's Deployer consults a
     //    grid resource directory and places each stage).

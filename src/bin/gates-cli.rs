@@ -14,6 +14,9 @@
 //! # On native threads instead of the virtual-time engine:
 //! gates-cli run app.xml --engine threaded --max-time 30
 //!
+//! # With a flight-recorder trace (JSONL) of the run:
+//! gates-cli run app.xml --trace run.jsonl
+//!
 //! # List the built-in application templates:
 //! gates-cli apps
 //!
@@ -23,14 +26,16 @@
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use gates::apps;
+use gates::core::trace::FlightRecorder;
 use gates::engine::{DesEngine, RunOptions, ThreadedEngine};
 use gates::grid::{registry_from_xml, ApplicationRepository, Launcher, ResourceRegistry};
 use gates::sim::{SimDuration, SimTime};
 
 fn usage() -> &'static str {
-    "usage:\n  gates-cli run <app.xml> [--grid <grid.xml>] [--duration <secs>]\n                          [--max-time <secs>] [--engine des|threaded]\n  gates-cli apps\n  gates-cli template app|grid"
+    "usage:\n  gates-cli run <app.xml> [--grid <grid.xml>] [--duration <secs>]\n                          [--max-time <secs>] [--engine des|threaded]\n                          [--trace <out.jsonl>]\n  gates-cli apps\n  gates-cli template app|grid"
 }
 
 fn main() -> ExitCode {
@@ -92,6 +97,7 @@ struct RunArgs {
     duration: Option<u64>,
     max_time: Option<f64>,
     engine: String,
+    trace_path: Option<String>,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
@@ -101,6 +107,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         duration: None,
         max_time: None,
         engine: "des".to_string(),
+        trace_path: None,
     };
     let mut it = args.iter();
     let Some(app) = it.next() else {
@@ -108,9 +115,8 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     };
     parsed.app_path = app.clone();
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--grid" => parsed.grid_path = Some(value("--grid")?),
             "--duration" => {
@@ -128,6 +134,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 }
                 parsed.engine = v;
             }
+            "--trace" => parsed.trace_path = Some(value("--trace")?),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -164,9 +171,10 @@ fn run(args: &[String]) -> ExitCode {
         }
     };
     let registry = match &parsed.grid_path {
-        Some(path) => match std::fs::read_to_string(path).map_err(|e| e.to_string()).and_then(
-            |xml| registry_from_xml(&xml).map_err(|e| e.to_string()),
-        ) {
+        Some(path) => match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|xml| registry_from_xml(&xml).map_err(|e| e.to_string()))
+        {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("error: cannot load grid {path}: {e}");
@@ -213,6 +221,10 @@ fn run(args: &[String]) -> ExitCode {
     if let Some(mt) = parsed.max_time {
         opts = opts.max_time(SimTime::from_secs_f64(mt));
     }
+    let recorder = parsed.trace_path.as_ref().map(|_| Arc::new(FlightRecorder::default()));
+    if let Some(rec) = &recorder {
+        opts = opts.recorder(Arc::clone(rec) as _);
+    }
 
     let report = match parsed.engine.as_str() {
         "threaded" => {
@@ -240,6 +252,15 @@ fn run(args: &[String]) -> ExitCode {
             }
         }
     };
+
+    if let (Some(path), Some(rec)) = (&parsed.trace_path, &recorder) {
+        if let Err(e) = rec.save_jsonl(path) {
+            eprintln!("error: cannot write trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("{}", rec.run_trace().summary_table());
+        eprintln!("trace written to {path} ({} events)", rec.len());
+    }
 
     println!("{}", report.summary_table());
     println!("{}", report.detail_table());

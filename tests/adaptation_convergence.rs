@@ -102,13 +102,8 @@ fn one_run_tracks_three_equilibria_through_rate_changes() {
     let mut params = CompSteerParams::figure9(20.0);
     params.rate_schedule = vec![(200.0, 80_000.0), (400.0, 5_000.0)];
     let report = run_steer(&params, 600);
-    let trajectory = report
-        .stage("sampler")
-        .unwrap()
-        .param("sampling_rate")
-        .unwrap()
-        .samples
-        .clone();
+    let trajectory =
+        report.stage("sampler").unwrap().param("sampling_rate").unwrap().samples.clone();
     let phase_mean = |from: f64, to: f64| {
         let tail_start = to - (to - from) * 0.25;
         let tail: Vec<f64> = trajectory

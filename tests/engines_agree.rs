@@ -52,7 +52,9 @@ fn build(packets: u32) -> (Topology, Arc<AtomicU64>, ResourceRegistry) {
     let d = t.add_stage(StageBuilder::new("doubler").processor(|| Doubler)).unwrap();
     let sink_records = Arc::clone(&records);
     let k = t
-        .add_stage(StageBuilder::new("sink").processor(move || CountingSink(Arc::clone(&sink_records))))
+        .add_stage(
+            StageBuilder::new("sink").processor(move || CountingSink(Arc::clone(&sink_records))),
+        )
         .unwrap();
     t.connect(s, d, LinkSpec::with_bandwidth(Bandwidth::mb_per_sec(10.0)).blocking());
     t.connect(d, k, LinkSpec::with_bandwidth(Bandwidth::mb_per_sec(10.0)).blocking());

@@ -1,0 +1,774 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors an API-compatible subset of proptest: the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
+//! `prop_recursive` / `boxed`, range and tuple strategies, `any::<T>()`,
+//! [`collection::vec`] / [`collection::hash_set`], [`option::of`],
+//! regex-subset string strategies, `prop_oneof!`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream, by design:
+//! - Cases are generated from a deterministic per-test seed, so runs are
+//!   reproducible without a persistence file; there is **no shrinking** —
+//!   a failure reports the full generated input instead.
+//! - `*.proptest-regressions` files are still honored: each `cc <hex>`
+//!   line is replayed as a deterministic extra seed before the main
+//!   cases, so checked-in regression entries keep exercising the test.
+
+pub mod test_runner {
+    //! Deterministic case driver.
+
+    /// Failure raised by `prop_assert!` and friends inside a property.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Build from any message.
+        pub fn new(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Runner configuration. Only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases =
+                std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+            ProptestConfig { cases }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// SplitMix64 generator driving all value generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded constructor.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed ^ 0x5851_F42D_4C95_7F2D }
+        }
+
+        /// Next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform `usize` in `[lo, hi)`; `lo` when the range is empty.
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            if hi <= lo {
+                return lo;
+            }
+            lo + (self.next_u64() as usize) % (hi - lo)
+        }
+    }
+
+    fn fnv64(data: &[u8]) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for &b in data {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Collect replay seeds from every `*.proptest-regressions` file under
+    /// `<manifest_dir>/tests`. Each `cc <hex>` entry hashes to one seed.
+    pub fn regression_seeds(manifest_dir: &str) -> Vec<u64> {
+        let mut seeds = Vec::new();
+        let dir = std::path::Path::new(manifest_dir).join("tests");
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return seeds;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let is_regressions =
+                path.extension().and_then(|e| e.to_str()) == Some("proptest-regressions");
+            if !is_regressions {
+                continue;
+            }
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            for line in text.lines() {
+                let line = line.trim();
+                if let Some(rest) = line.strip_prefix("cc ") {
+                    let token = rest.split_whitespace().next().unwrap_or("");
+                    if !token.is_empty() {
+                        seeds.push(fnv64(token.as_bytes()));
+                    }
+                }
+            }
+        }
+        seeds
+    }
+
+    /// Drive one property: replay regression seeds, then `cfg.cases`
+    /// deterministic cases derived from the test name.
+    pub fn run_property(
+        cfg: &ProptestConfig,
+        manifest_dir: &str,
+        test_name: &str,
+        mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    ) {
+        for (i, seed) in regression_seeds(manifest_dir).into_iter().enumerate() {
+            let mut rng = TestRng::from_seed(seed);
+            if let Err(e) = case(&mut rng) {
+                panic!("proptest {test_name}: regression seed {i} failed:\n  {e}");
+            }
+        }
+        let base = fnv64(test_name.as_bytes());
+        for i in 0..cfg.cases {
+            let mut rng = TestRng::from_seed(base ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            if let Err(e) = case(&mut rng) {
+                panic!("proptest {test_name}: case {i}/{} failed:\n  {e}", cfg.cases);
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, f }
+        }
+
+        /// Build a recursive strategy: `recurse` wraps the current
+        /// strategy `depth` times (leaf probability comes from the
+        /// wrapped strategy's own size choices).
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut s = self.boxed();
+            for _ in 0..depth {
+                s = recurse(s.clone()).boxed();
+            }
+            s
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(move |rng| self.new_value(rng)))
+        }
+    }
+
+    /// Type-erased, cheaply cloneable strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Strategy yielding a clone of a fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn new_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.new_value(rng))
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from the alternatives; panics if empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.usize_in(0, self.options.len());
+            self.options[i].new_value(rng)
+        }
+    }
+
+    /// Types with a canonical whole-domain strategy, for [`any`].
+    pub trait Arbitrary: Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Whole-domain strategy for `T`.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`'s whole domain.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! impl_range_strategy_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + rng.unit_f64() * (self.end - self.start);
+            if v < self.end {
+                v
+            } else {
+                self.start
+            }
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn new_value(&self, rng: &mut TestRng) -> f32 {
+            (self.start as f64..self.end as f64).new_value(rng) as f32
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident . $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            super::string::generate(self, rng)
+        }
+    }
+}
+
+pub mod string {
+    //! Generation from the regex subset the workspace's patterns use:
+    //! literal characters, `[...]` classes with ranges, `\PC`
+    //! (printable, non-control), and `{m,n}` repetition.
+
+    use super::test_runner::TestRng;
+
+    enum Item {
+        Literal(char),
+        Class(Vec<(char, char)>),
+        Printable,
+    }
+
+    struct Token {
+        item: Item,
+        min: u32,
+        max: u32,
+    }
+
+    fn parse(pattern: &str) -> Vec<Token> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut tokens = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let item = match chars[i] {
+                '\\' => {
+                    i += 1;
+                    match chars.get(i) {
+                        Some('P') => {
+                            // \PC — "not in unicode category C (control)".
+                            i += 2; // consume 'P' and the category letter
+                            Item::Printable
+                        }
+                        Some(&c) => {
+                            i += 1;
+                            Item::Literal(c)
+                        }
+                        None => break,
+                    }
+                }
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = if chars[i] == '\\' {
+                            i += 1;
+                            chars[i]
+                        } else {
+                            chars[i]
+                        };
+                        i += 1;
+                        if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                            let hi = chars[i + 1];
+                            ranges.push((lo, hi));
+                            i += 2;
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    i += 1; // ']'
+                    Item::Class(ranges)
+                }
+                c => {
+                    i += 1;
+                    Item::Literal(c)
+                }
+            };
+            // Optional {m,n} quantifier.
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                let close = chars[i..].iter().position(|&c| c == '}').map(|p| i + p);
+                if let Some(close) = close {
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => {
+                            (lo.trim().parse().unwrap_or(0), hi.trim().parse().unwrap_or(1))
+                        }
+                        None => {
+                            let n = body.trim().parse().unwrap_or(1);
+                            (n, n)
+                        }
+                    }
+                } else {
+                    (1, 1)
+                }
+            } else {
+                (1, 1)
+            };
+            tokens.push(Token { item, min, max });
+        }
+        tokens
+    }
+
+    const EXTRA_PRINTABLE: &[char] = &['é', 'ß', 'λ', 'Ж', '中', '→', '✓', 'あ'];
+
+    fn sample(item: &Item, rng: &mut TestRng) -> char {
+        match item {
+            Item::Literal(c) => *c,
+            Item::Class(ranges) => {
+                let (lo, hi) = ranges[rng.usize_in(0, ranges.len())];
+                let span = hi as u32 - lo as u32 + 1;
+                char::from_u32(lo as u32 + (rng.next_u64() as u32) % span).unwrap_or(lo)
+            }
+            Item::Printable => {
+                if rng.usize_in(0, 10) == 0 {
+                    EXTRA_PRINTABLE[rng.usize_in(0, EXTRA_PRINTABLE.len())]
+                } else {
+                    char::from_u32(0x20 + (rng.next_u64() as u32) % (0x7F - 0x20)).unwrap_or(' ')
+                }
+            }
+        }
+    }
+
+    /// Generate one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for token in parse(pattern) {
+            let count = token.min + (rng.next_u64() as u32) % (token.max - token.min + 1);
+            for _ in 0..count {
+                out.push(sample(&token.item, rng));
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` strategy with length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.size.start, self.size.end);
+            (0..len).map(|_| self.elem.new_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with a size drawn from `size`.
+    pub struct HashSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `HashSet` strategy with cardinality in `size` (best effort when
+    /// the element universe is smaller than the requested minimum).
+    pub fn hash_set<S>(elem: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { elem, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = rng.usize_in(self.size.start, self.size.end);
+            let mut out = HashSet::with_capacity(target);
+            let mut attempts = 0usize;
+            let max_attempts = target * 10 + 100;
+            while out.len() < target && attempts < max_attempts {
+                out.insert(self.elem.new_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` three times out of four, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.usize_in(0, 4) == 0 {
+                None
+            } else {
+                Some(self.inner.new_value(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs.
+
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a property; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::new(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: {} == {}\n  left: {:?}\n  right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)+);
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// Uniform choice between strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests. Accepts an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions
+/// whose arguments are drawn from strategies (`name in strategy`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat_param in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run_property(
+                    &__cfg,
+                    env!("CARGO_MANIFEST_DIR"),
+                    stringify!($name),
+                    |__rng: &mut $crate::test_runner::TestRng| {
+                        let __vals = (
+                            $( $crate::strategy::Strategy::new_value(&($strategy), __rng), )+
+                        );
+                        let __desc = format!("{:?}", __vals);
+                        let ( $($pat,)+ ) = __vals;
+                        let mut __case = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        };
+                        __case().map_err(|e| $crate::test_runner::TestCaseError::new(
+                            format!("{}\n  input: {}", e.0, __desc),
+                        ))
+                    },
+                );
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -5i64..5, f in -2.5f64..7.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((-2.5..7.5).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(0u8..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6, "len {}", v.len());
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+
+        #[test]
+        fn mapped_values_transform(s in (0u32..10).prop_map(|v| v * 2)) {
+            prop_assert!(s % 2 == 0 && s < 20);
+        }
+
+        #[test]
+        fn oneof_picks_every_arm(mut seen in crate::collection::vec(prop_oneof![Just(1u8), Just(2u8)], 64..65)) {
+            seen.sort_unstable();
+            seen.dedup();
+            prop_assert_eq!(seen, vec![1u8, 2u8]);
+        }
+
+        #[test]
+        fn regex_subset_generates_matching(s in "[a-c]{2,4}x") {
+            prop_assert!(s.len() >= 3 && s.len() <= 5, "got {s:?}");
+            prop_assert!(s.ends_with('x'));
+            prop_assert!(s[..s.len() - 1].chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn printable_class_has_no_controls() {
+        let mut rng = TestRng::from_seed(42);
+        for _ in 0..200 {
+            let s = crate::string::generate("\\PC{0,64}", &mut rng);
+            assert!(!s.chars().any(|c| c.is_control()), "control char in {s:?}");
+        }
+    }
+}

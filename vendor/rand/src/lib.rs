@@ -1,0 +1,254 @@
+//! Offline stand-in for the `rand` crate (0.8-style API).
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset it uses: [`rngs::SmallRng`] (an
+//! xoshiro256++ generator), [`SeedableRng::seed_from_u64`], and the
+//! [`Rng`] extension trait with `gen`, `gen_range` and `gen_bool`.
+//! Deterministic for a given seed, like upstream `SmallRng`, but the
+//! exact value streams differ from the real crate — fine here, because
+//! everything in this workspace derives randomness from explicit seeds.
+
+/// Core PRNG interface: a source of random 64-bit words.
+pub trait RngCore {
+    /// Next random 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next random 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let w = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A PRNG constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed (stretched internally).
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Construct from OS entropy. Offline stand-in: derives the seed
+    /// from the monotonic clock; use `seed_from_u64` for determinism.
+    fn from_entropy() -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9E37_79B9_7F4A_7C15);
+        Self::seed_from_u64(nanos)
+    }
+}
+
+/// Types sampled uniformly over their whole domain by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u8 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types with a uniform distribution over a half-open range, for
+/// [`Rng::gen_range`].
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Draw uniformly from `[lo, hi)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                // Modulo bias is < 2^-64 per draw for the spans used here.
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        let u = f64::sample_standard(rng);
+        let v = lo + u * (hi - lo);
+        if v < hi {
+            v
+        } else {
+            lo
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        f64::sample_range(rng, lo as f64, hi as f64) as f32
+    }
+}
+
+/// Extension trait with the ergonomic sampling methods.
+pub trait Rng: RngCore {
+    /// Sample a value uniformly over the type's whole domain
+    /// (`[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from a half-open range `lo..hi`.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic PRNG (xoshiro256++).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        fn from_state(mut sm: u64) -> Self {
+            // SplitMix64 seed stretching, per the xoshiro reference code.
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng::from_state(seed)
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.gen()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = r.gen_range(0..5usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+        for _ in 0..200 {
+            let v = r.gen_range(-3.0f64..3.0);
+            assert!((-3.0..3.0).contains(&v));
+        }
+    }
+}
