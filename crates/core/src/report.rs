@@ -10,7 +10,7 @@ use gates_sim::{SimDuration, SimTime};
 use crate::trace::RunTrace;
 
 /// One adjustment parameter's recorded trajectory.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ParamTrajectory {
     /// Parameter name.
     pub name: String,
@@ -46,7 +46,7 @@ impl ParamTrajectory {
 }
 
 /// Statistics for one stage over a run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StageReport {
     /// Stage name.
     pub name: String,

@@ -12,6 +12,9 @@
 //! * [`StageSample`] — one per observation tick: instantaneous queue
 //!   depth, packet counters, throughput and realized service time since
 //!   the previous sample, and (threaded engine) token-bucket wait time.
+//! * [`LinkEvent`] — transport lifecycle on the distributed runtime: TCP
+//!   connects, reconnect attempts with backoff, CRC-failure drops, peer
+//!   EOFs and drain decisions, one event per transition per link.
 //!
 //! The default recorder is [`NullRecorder`], which reports itself
 //! disabled so call sites can skip building events entirely — the
@@ -105,6 +108,62 @@ pub struct StageSample {
     pub bucket_wait: f64,
 }
 
+/// Transport lifecycle transitions recorded by the distributed runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkEventKind {
+    /// A TCP connection for this link was established.
+    Connected,
+    /// The connection broke; a bounded-backoff reconnect is in progress.
+    Reconnecting,
+    /// A reconnect attempt succeeded and traffic resumed.
+    Reconnected,
+    /// The retry budget was exhausted; the link is dead and further
+    /// packets on it are dropped.
+    Dead,
+    /// A frame failed its CRC (or carried an unknown kind tag) and was
+    /// skipped.
+    CrcDrop,
+    /// The peer closed the connection (worker EOF).
+    PeerEof,
+    /// The receiver injected an end-of-stream marker after the drain
+    /// window expired without a reconnect (graceful pipeline drain).
+    Drained,
+    /// A worker's control connection to the coordinator was lost.
+    WorkerLost,
+}
+
+impl LinkEventKind {
+    /// Stable lowercase name used in the JSONL serialization.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LinkEventKind::Connected => "connected",
+            LinkEventKind::Reconnecting => "reconnecting",
+            LinkEventKind::Reconnected => "reconnected",
+            LinkEventKind::Dead => "dead",
+            LinkEventKind::CrcDrop => "crc_drop",
+            LinkEventKind::PeerEof => "peer_eof",
+            LinkEventKind::Drained => "drained",
+            LinkEventKind::WorkerLost => "worker_lost",
+        }
+    }
+}
+
+/// One transport lifecycle event on a distributed link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkEvent {
+    /// Run time of the event, in seconds (wall clock of the reporter).
+    pub t: f64,
+    /// Link label, `"<from-stage>-><to-stage>"` (or a worker name for
+    /// control-channel events).
+    pub link: String,
+    /// Worker (or coordinator) that observed the event.
+    pub node: String,
+    /// What happened.
+    pub kind: LinkEventKind,
+    /// Free-form detail: attempt counts, drop totals, error text.
+    pub detail: String,
+}
+
 /// A single flight-recorder event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
@@ -114,6 +173,8 @@ pub enum TraceEvent {
     Adapt(AdaptRound),
     /// A per-stage runtime sample.
     Sample(StageSample),
+    /// A transport lifecycle transition (distributed runtime only).
+    Link(LinkEvent),
 }
 
 /// Sink for [`TraceEvent`]s. Implementations must be cheap when
@@ -254,6 +315,8 @@ pub struct RunTrace {
     /// One series per stage that produced at least one event, in order
     /// of first appearance.
     pub stages: Vec<StageTrace>,
+    /// Transport lifecycle events (distributed runs), oldest first.
+    pub links: Vec<LinkEvent>,
     /// Events evicted from the ring before the trace was assembled.
     pub events_dropped: u64,
 }
@@ -282,6 +345,7 @@ impl RunTrace {
                 TraceEvent::Sample(s) => {
                     trace.stage_mut(&s.stage).samples.push(s.clone());
                 }
+                TraceEvent::Link(l) => trace.links.push(l.clone()),
             }
         }
         trace
@@ -346,6 +410,20 @@ impl RunTrace {
                 last.map(|a| format!("{:.3}", a.d_tilde)).unwrap_or_else(|| "-".into()),
                 last.map(|a| format!("{:.3}", a.suggested)).unwrap_or_else(|| "-".into()),
             );
+        }
+        if !self.links.is_empty() {
+            let _ = writeln!(out, "transport events ({}):", self.links.len());
+            for l in &self.links {
+                let _ = writeln!(
+                    out,
+                    "  t={:<8.3} {:<22} {:<12} {} {}",
+                    l.t,
+                    l.link,
+                    l.node,
+                    l.kind.as_str(),
+                    l.detail
+                );
+            }
         }
         if self.events_dropped > 0 {
             let _ = writeln!(out, "({} events evicted from the ring buffer)", self.events_dropped);
@@ -443,6 +521,19 @@ fn event_to_json(event: &TraceEvent, out: &mut String) {
             }
             out.push('}');
         }
+        TraceEvent::Link(l) => {
+            out.push_str("{\"type\":\"link\",\"t\":");
+            json_f64(l.t, out);
+            out.push_str(",\"link\":");
+            json_escape(&l.link, out);
+            out.push_str(",\"node\":");
+            json_escape(&l.node, out);
+            out.push_str(",\"kind\":");
+            json_escape(l.kind.as_str(), out);
+            out.push_str(",\"detail\":");
+            json_escape(&l.detail, out);
+            out.push('}');
+        }
     }
 }
 
@@ -536,6 +627,36 @@ mod tests {
         }
         assert!(lines[0].contains("\\\"x\\\""), "quotes escaped: {}", lines[0]);
         assert!(lines[2].contains("\"d_tilde\":null"), "NaN maps to null: {}", lines[2]);
+    }
+
+    #[test]
+    fn link_events_serialize_and_group() {
+        let r = FlightRecorder::new(16);
+        r.record(TraceEvent::Link(LinkEvent {
+            t: 0.5,
+            link: "summarizer-0->collector".into(),
+            node: "w1".into(),
+            kind: LinkEventKind::Reconnecting,
+            detail: "attempt 2".into(),
+        }));
+        r.record(TraceEvent::Link(LinkEvent {
+            t: 0.9,
+            link: "summarizer-0->collector".into(),
+            node: "w1".into(),
+            kind: LinkEventKind::Reconnected,
+            detail: String::new(),
+        }));
+        let trace = r.run_trace();
+        assert_eq!(trace.links.len(), 2);
+        assert_eq!(trace.links[0].kind, LinkEventKind::Reconnecting);
+        assert!(trace.stages.is_empty(), "link events are not stage series");
+        let jsonl = r.to_jsonl();
+        let first = jsonl.lines().next().unwrap();
+        assert!(first.contains("\"type\":\"link\""), "{first}");
+        assert!(first.contains("\"kind\":\"reconnecting\""), "{first}");
+        assert!(first.contains("\"detail\":\"attempt 2\""), "{first}");
+        let table = trace.summary_table();
+        assert!(table.contains("transport events (2)"), "{table}");
     }
 
     #[test]

@@ -1,0 +1,482 @@
+//! The coordinator side of the distributed runtime.
+//!
+//! [`DistEngine`] plays the paper's Launcher and Deployer for a
+//! multi-process run: it collects worker registrations into a
+//! [`ResourceRegistry`], places the application's stages with the
+//! matchmaker, ships every worker the XML plus the placement table,
+//! fires the start signal, and assembles the workers' per-stage reports
+//! into the same [`RunReport`] the other engines produce.
+
+use std::collections::{HashMap, HashSet};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
+
+use gates_core::report::{RunReport, StageReport};
+use gates_core::trace::{LinkEvent, LinkEventKind, Recorder, RunMeta, TraceEvent};
+use gates_core::StageId;
+use gates_grid::{ApplicationRepository, Launcher, NodeSpec, ResourceRegistry};
+use gates_net::{encode_frame, FrameKind, FrameStream, TransportError};
+use gates_sim::SimTime;
+
+use super::proto::{decode_ctrl, encode_ctrl, CtrlMsg, StagePlacement};
+use super::{read_ctrl, DistConfig};
+use crate::options::RunOptions;
+use crate::EngineError;
+
+/// How long the coordinator waits for the expected number of workers to
+/// register before giving up.
+const REGISTRATION_PATIENCE: Duration = Duration::from_secs(120);
+
+/// How long the coordinator waits for each worker's `Ready` after
+/// shipping assignments (topology build + data-plane wiring are local
+/// work; this is generous).
+const READY_PATIENCE: Duration = Duration::from_secs(30);
+
+/// One registered worker during the handshake phase.
+struct WorkerConn {
+    name: String,
+    data_addr: String,
+    site: Option<String>,
+    speed: f64,
+    capacity: u32,
+    ctrl: FrameStream,
+}
+
+/// What a worker's control connection ultimately produced.
+enum Outcome {
+    /// The worker's final per-stage statistics.
+    Report {
+        /// Worker name.
+        worker: String,
+        /// Its stages' reports.
+        stages: Vec<StageReport>,
+    },
+    /// The control connection died before a report arrived.
+    Lost {
+        /// Worker name.
+        worker: String,
+    },
+}
+
+/// The coordinator of a distributed run. Bind with [`DistEngine::bind`],
+/// point workers at [`DistEngine::local_addr`], then call
+/// [`DistEngine::run`] — it blocks until every worker reported (or was
+/// declared lost after `max_time` plus the report grace).
+#[derive(Debug)]
+pub struct DistEngine {
+    xml: String,
+    listener: TcpListener,
+    expected_workers: usize,
+    opts: RunOptions,
+    config: DistConfig,
+}
+
+impl DistEngine {
+    /// Bind the coordinator's control listener on `listen`
+    /// (`host:port`, port 0 picks a free one) for a run of the
+    /// application described by `xml` across `expected_workers` worker
+    /// processes.
+    pub fn bind(
+        xml: impl Into<String>,
+        listen: &str,
+        expected_workers: usize,
+        opts: RunOptions,
+        config: DistConfig,
+    ) -> Result<Self, EngineError> {
+        opts.validate()?;
+        if expected_workers == 0 {
+            return Err(EngineError::BadOptions("expected_workers must be at least 1".into()));
+        }
+        let listener = TcpListener::bind(listen)
+            .map_err(|e| EngineError::Transport(format!("bind {listen}: {e}")))?;
+        Ok(DistEngine { xml: xml.into(), listener, expected_workers, opts, config })
+    }
+
+    /// The bound control address workers should register with.
+    pub fn local_addr(&self) -> Result<SocketAddr, EngineError> {
+        self.listener.local_addr().map_err(|e| EngineError::Transport(e.to_string()))
+    }
+
+    /// Run the application to completion across the registered workers.
+    ///
+    /// `repo` is only used to build (and thereby place) the topology on
+    /// the coordinator; stage code itself runs inside the workers, which
+    /// rebuild the same topology from their own repositories.
+    pub fn run(self, repo: &ApplicationRepository) -> Result<RunReport, EngineError> {
+        let start = Instant::now();
+
+        // --- collect registrations -----------------------------------
+        self.listener.set_nonblocking(true).map_err(|e| EngineError::Transport(e.to_string()))?;
+        let mut workers: Vec<WorkerConn> = Vec::with_capacity(self.expected_workers);
+        let reg_deadline = Instant::now() + REGISTRATION_PATIENCE;
+        while workers.len() < self.expected_workers {
+            if Instant::now() >= reg_deadline {
+                return Err(EngineError::Transport(format!(
+                    "only {}/{} workers registered in time",
+                    workers.len(),
+                    self.expected_workers
+                )));
+            }
+            match self.listener.accept() {
+                Ok((socket, _peer)) => {
+                    let _ = socket.set_nonblocking(false);
+                    let mut fs = FrameStream::new(socket);
+                    if fs.set_read_timeout(Some(Duration::from_millis(100))).is_err() {
+                        continue;
+                    }
+                    let hello =
+                        read_ctrl(&mut fs, Instant::now() + Duration::from_secs(5), "hello");
+                    if let Ok(CtrlMsg::Hello { name, data_addr, site, speed, capacity }) = hello {
+                        if workers.iter().any(|w| w.name == name) {
+                            return Err(EngineError::Protocol(format!(
+                                "duplicate worker name {name:?}"
+                            )));
+                        }
+                        workers.push(WorkerConn {
+                            name,
+                            data_addr,
+                            site,
+                            speed,
+                            capacity,
+                            ctrl: fs,
+                        });
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(EngineError::Transport(format!("accept: {e}"))),
+            }
+        }
+
+        // --- place the application -----------------------------------
+        let mut registry = ResourceRegistry::new();
+        for w in &workers {
+            let site = w.site.clone().unwrap_or_else(|| w.name.clone());
+            registry.register(
+                NodeSpec::new(w.name.clone(), site)
+                    .speed(w.speed)
+                    .capacity(w.capacity as usize)
+                    .endpoint(w.data_addr.clone()),
+            );
+        }
+        let deployment = Launcher::new()
+            .launch_xml(&self.xml, repo, &registry)
+            .map_err(|e| EngineError::InvalidTopology(e.to_string()))?;
+        let topology = deployment.topology;
+        let plan = deployment.plan;
+        let n = topology.stages().len();
+
+        let mut placements = Vec::with_capacity(n);
+        for i in 0..n {
+            let id = StageId::from_index(i);
+            let worker = plan
+                .node_of(id)
+                .ok_or_else(|| EngineError::InvalidTopology(format!("stage {i} not placed")))?
+                .to_string();
+            let endpoint = plan
+                .endpoint_of(id)
+                .ok_or_else(|| {
+                    EngineError::InvalidTopology(format!(
+                        "stage {i} placed on node without endpoint"
+                    ))
+                })?
+                .to_string();
+            placements.push(StagePlacement {
+                stage: i as u32,
+                worker,
+                endpoint,
+                speed: plan.speed_of(id),
+            });
+        }
+        if self.opts.recorder.enabled() {
+            let meta = topology
+                .stages()
+                .iter()
+                .zip(&placements)
+                .map(|(s, p)| (s.name.clone(), p.worker.clone()))
+                .collect();
+            self.opts
+                .recorder
+                .record(TraceEvent::Meta(RunMeta { engine: "dist".into(), placements: meta }));
+        }
+
+        // --- assign / ready / start ----------------------------------
+        for w in &mut workers {
+            let my_stages: Vec<u32> =
+                placements.iter().filter(|p| p.worker == w.name).map(|p| p.stage).collect();
+            let assign = CtrlMsg::Assign(super::proto::AssignMsg {
+                app_xml: self.xml.clone(),
+                observe_us: self.opts.observe_interval.as_micros(),
+                adapt_us: self.opts.adapt_interval.as_micros(),
+                control_latency_us: self.opts.control_latency.as_micros(),
+                max_time_us: self.opts.max_time.as_micros(),
+                trace: self.opts.recorder.enabled(),
+                placements: placements.clone(),
+                my_stages,
+                config: self.config.clone(),
+            });
+            w.ctrl
+                .send(&encode_ctrl(&assign))
+                .map_err(|e| EngineError::Transport(format!("assign {}: {e}", w.name)))?;
+        }
+        for w in &mut workers {
+            let deadline = Instant::now() + READY_PATIENCE;
+            match read_ctrl(&mut w.ctrl, deadline, "ready")? {
+                CtrlMsg::Ready { .. } => {}
+                other => {
+                    return Err(EngineError::Protocol(format!(
+                        "expected ready from {}, got {other:?}",
+                        w.name
+                    )))
+                }
+            }
+        }
+        for w in &mut workers {
+            w.ctrl
+                .send(&encode_ctrl(&CtrlMsg::Start))
+                .map_err(|e| EngineError::Transport(format!("start {}: {e}", w.name)))?;
+        }
+
+        // --- collect traces and reports ------------------------------
+        let stop = Arc::new(AtomicBool::new(false));
+        let (res_tx, res_rx) = unbounded::<Outcome>();
+        let worker_names: Vec<String> = workers.iter().map(|w| w.name.clone()).collect();
+        // Raw write handles for the Stop broadcast: the reader threads
+        // own the FrameStreams, but writes on a try-cloned socket are
+        // safe (a frame is one `write_all`).
+        let mut stop_writers = Vec::with_capacity(workers.len());
+        for w in &workers {
+            stop_writers.push(
+                w.ctrl
+                    .try_clone_stream()
+                    .map_err(|e| EngineError::Transport(format!("clone {} ctrl: {e}", w.name)))?,
+            );
+        }
+        let mut reader_handles = Vec::with_capacity(workers.len());
+        for w in workers {
+            let recorder = Arc::clone(&self.opts.recorder);
+            let results = res_tx.clone();
+            let stop = Arc::clone(&stop);
+            reader_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("gates-ctrl-{}", w.name))
+                    .spawn(move || worker_reader(w.ctrl, w.name, recorder, results, stop))
+                    .map_err(|e| EngineError::Transport(e.to_string()))?,
+            );
+        }
+        drop(res_tx);
+
+        let budget = Duration::from_secs_f64(self.opts.max_time.as_secs_f64());
+        let mut deadline = start + budget + self.config.report_grace;
+        let mut stop_sent = false;
+        let mut reports: HashMap<String, Vec<StageReport>> = HashMap::new();
+        let mut lost: HashSet<String> = HashSet::new();
+        while reports.len() + lost.len() < worker_names.len() {
+            let now = Instant::now();
+            if now >= deadline {
+                if stop_sent {
+                    break;
+                }
+                // Budget exhausted: tell every worker to stop, then give
+                // them one more grace period to report.
+                stop_sent = true;
+                let stop_frame = encode_frame(&encode_ctrl(&CtrlMsg::Stop));
+                for s in &mut stop_writers {
+                    let _ = s.write_all(&stop_frame);
+                }
+                deadline = now + self.config.report_grace;
+                continue;
+            }
+            match res_rx.recv_timeout(deadline.duration_since(now).min(Duration::from_millis(100)))
+            {
+                Ok(Outcome::Report { worker, stages }) => {
+                    reports.insert(worker, stages);
+                }
+                Ok(Outcome::Lost { worker }) => {
+                    self.record_lost(start, &worker, "control connection closed before report");
+                    lost.insert(worker);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in reader_handles {
+            let _ = h.join();
+        }
+        for name in &worker_names {
+            if !reports.contains_key(name) && !lost.contains(name) {
+                self.record_lost(start, name, "no report before deadline");
+                lost.insert(name.clone());
+            }
+        }
+
+        // --- assemble the run report ---------------------------------
+        let mut by_name: HashMap<String, StageReport> =
+            reports.into_values().flatten().map(|s| (s.name.clone(), s)).collect();
+        let stages = (0..n)
+            .map(|i| {
+                let stage = &topology.stages()[i];
+                by_name.remove(&stage.name).unwrap_or_else(|| StageReport {
+                    name: stage.name.clone(),
+                    placed_on: placements[i].worker.clone(),
+                    ..Default::default()
+                })
+            })
+            .collect();
+        Ok(RunReport {
+            finished_at: SimTime::from_secs_f64(start.elapsed().as_secs_f64()),
+            stages,
+            events: 0,
+            trace: self.opts.recorder.as_flight().map(|f| f.run_trace()),
+        })
+    }
+
+    fn record_lost(&self, start: Instant, worker: &str, detail: &str) {
+        if self.opts.recorder.enabled() {
+            self.opts.recorder.record(TraceEvent::Link(LinkEvent {
+                t: start.elapsed().as_secs_f64(),
+                link: format!("{worker}->coordinator"),
+                node: "coordinator".into(),
+                kind: LinkEventKind::WorkerLost,
+                detail: detail.into(),
+            }));
+        }
+    }
+}
+
+/// Pump one worker's control connection: trace events into the
+/// coordinator's recorder, the final report (or the connection's death)
+/// into the results channel.
+fn worker_reader(
+    mut fs: FrameStream,
+    worker: String,
+    recorder: Arc<dyn Recorder>,
+    results: Sender<Outcome>,
+    stop: Arc<AtomicBool>,
+) {
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match fs.read_frame() {
+            Ok(Some(f)) if f.kind == FrameKind::Control => match decode_ctrl(&f) {
+                Ok(CtrlMsg::Trace(event)) if recorder.enabled() => recorder.record(event),
+                Ok(CtrlMsg::Trace(_)) => {}
+                Ok(CtrlMsg::Report { worker, stages }) => {
+                    let _ = results.send(Outcome::Report { worker, stages });
+                    return;
+                }
+                _ => {}
+            },
+            Ok(Some(_)) => {}
+            Err(TransportError::TimedOut) => {}
+            Ok(None) | Err(TransportError::Io(_)) => {
+                let _ = results.send(Outcome::Lost { worker });
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use gates_core::{Packet, SourceStatus, StageApi, StageBuilder, StreamProcessor, Topology};
+    use gates_net::LinkSpec;
+    use gates_sim::SimDuration;
+
+    struct Burst {
+        left: u32,
+    }
+    impl StreamProcessor for Burst {
+        fn process(&mut self, _p: Packet, _a: &mut StageApi) {}
+        fn poll_generate(&mut self, api: &mut StageApi) -> SourceStatus {
+            if self.left == 0 {
+                return SourceStatus::Done;
+            }
+            self.left -= 1;
+            api.emit(Packet::data(0, self.left as u64, 1, Bytes::from_static(b"0123456789")));
+            SourceStatus::Continue { next_poll: SimDuration::from_millis(1) }
+        }
+    }
+
+    struct Relay;
+    impl StreamProcessor for Relay {
+        fn process(&mut self, p: Packet, api: &mut StageApi) {
+            api.emit(p);
+        }
+    }
+
+    struct Sink;
+    impl StreamProcessor for Sink {
+        fn process(&mut self, _p: Packet, _a: &mut StageApi) {}
+    }
+
+    /// A three-stage pipeline with site affinities that spread it over
+    /// three workers, so both remote edges cross process boundaries.
+    fn test_repo() -> ApplicationRepository {
+        let mut repo = ApplicationRepository::new();
+        repo.publish("relay-line", |_cfg| {
+            let mut t = Topology::new();
+            let src = t
+                .add_stage_raw(StageBuilder::new("src").site("s0").processor(|| Burst { left: 40 }))
+                .unwrap();
+            let mid = t.add_stage(StageBuilder::new("mid").site("s1").processor(|| Relay)).unwrap();
+            let snk = t.add_stage(StageBuilder::new("snk").site("s2").processor(|| Sink)).unwrap();
+            t.connect(src, mid, LinkSpec::local());
+            t.connect(mid, snk, LinkSpec::local());
+            Ok(t)
+        });
+        repo
+    }
+
+    const XML: &str = r#"<application name="line" repository="relay-line"/>"#;
+
+    #[test]
+    fn three_workers_run_a_pipeline_over_loopback() {
+        let opts = RunOptions::default()
+            .observe_every(SimDuration::from_millis(20))
+            .adapt_every(SimDuration::from_millis(100))
+            .max_time(SimTime::from_secs_f64(30.0));
+        let engine = DistEngine::bind(XML, "127.0.0.1:0", 3, opts, DistConfig::default()).unwrap();
+        let coord_addr = engine.local_addr().unwrap().to_string();
+
+        let mut worker_handles = Vec::new();
+        for (name, site) in [("w0", "s0"), ("w1", "s1"), ("w2", "s2")] {
+            let addr = coord_addr.clone();
+            worker_handles.push(std::thread::spawn(move || {
+                DistWorker::new(name, addr).site(site).run(&test_repo())
+            }));
+        }
+        let report = engine.run(&test_repo()).unwrap();
+        for h in worker_handles {
+            h.join().unwrap().unwrap();
+        }
+
+        assert_eq!(report.stages.len(), 3);
+        assert_eq!(report.stage("src").unwrap().packets_out, 40);
+        assert_eq!(report.stage("mid").unwrap().packets_in, 40, "src->mid crossed TCP");
+        assert_eq!(report.stage("snk").unwrap().packets_in, 40, "mid->snk crossed TCP");
+        assert_eq!(report.stage("src").unwrap().placed_on, "w0");
+        assert_eq!(report.stage("mid").unwrap().placed_on, "w1");
+        assert_eq!(report.stage("snk").unwrap().placed_on, "w2");
+    }
+
+    use crate::dist::DistWorker;
+
+    #[test]
+    fn bind_rejects_zero_workers() {
+        let err =
+            DistEngine::bind(XML, "127.0.0.1:0", 0, RunOptions::default(), DistConfig::default())
+                .unwrap_err();
+        assert!(matches!(err, EngineError::BadOptions(_)));
+    }
+}

@@ -1,0 +1,139 @@
+//! The multi-process distributed runtime.
+//!
+//! This is the paper's actual deployment shape (§3): a coordinator
+//! process plays Launcher + Deployer, and every stage runs inside a
+//! worker process on some grid node. The pieces:
+//!
+//! * [`DistEngine`] — the coordinator. Accepts worker registrations,
+//!   builds a [`gates_grid::ResourceRegistry`] from them, places stages
+//!   with the matchmaker, ships each worker the application XML plus the
+//!   full placement table, and collects per-stage reports (and, with a
+//!   recorder attached, live trace events) when the run ends.
+//! * [`DistWorker`] — one worker process (`gates-cli worker`). Registers
+//!   with the coordinator, rebuilds the topology locally from the same
+//!   XML, runs its assigned stages on the shared
+//!   [`crate::runtime::StageWorker`] event loop, and bridges remote
+//!   edges over TCP.
+//! * [`DistConfig`] — transport tuning (timeouts, reconnect policy,
+//!   drain window), chosen on the coordinator and shipped to every
+//!   worker inside the assignment.
+//!
+//! ## Data plane
+//!
+//! Each topology edge whose endpoints live in different processes gets
+//! exactly one TCP connection, opened by the *sending* worker to the
+//! receiving worker's data listener and identified by an `EdgeHello`
+//! control frame. Stream packets travel downstream as
+//! [`gates_net::Frame`]s ([`gates_core::Packet::to_frame`]), paced by the
+//! sender's token bucket so `LinkSpec` bandwidths apply exactly as in the
+//! threaded engine; over-/under-load exceptions travel upstream as
+//! `Exception` frames on the same socket, so the §4 adaptation loop runs
+//! unchanged across process boundaries.
+//!
+//! ## Robustness
+//!
+//! A broken data connection is retried with bounded exponential backoff
+//! ([`gates_net::RetryPolicy`]); while dead, the sender accounts dropped
+//! packets against the *sending* stage (the receiver-side queue-full
+//! drops stay with the receiving stage, as in the paper). A receiver
+//! that sees EOF waits one [`DistConfig::drain_window`] for a reconnect,
+//! then injects an end-of-stream marker so the rest of the pipeline
+//! drains instead of hanging. Frames failing their CRC are counted and
+//! skipped. Every such transition is recorded as a
+//! [`gates_core::trace::LinkEvent`], so `--trace` shows per-link
+//! reconnects and drops for distributed runs.
+
+mod coordinator;
+mod proto;
+mod worker;
+
+use std::time::{Duration, Instant};
+
+use gates_net::{FrameKind, FrameStream, RetryPolicy, TransportError};
+
+use crate::EngineError;
+use proto::{decode_ctrl, CtrlMsg};
+
+pub use coordinator::DistEngine;
+pub use worker::DistWorker;
+
+/// Read control frames from `fs` until one decodes, the peer hangs up,
+/// or `deadline` passes. Non-control frames are ignored (the control
+/// plane never interleaves stream data on the same socket).
+pub(crate) fn read_ctrl(
+    fs: &mut FrameStream,
+    deadline: Instant,
+    what: &str,
+) -> Result<CtrlMsg, EngineError> {
+    loop {
+        if Instant::now() >= deadline {
+            return Err(EngineError::Transport(format!("timed out waiting for {what}")));
+        }
+        match fs.read_frame() {
+            Ok(Some(frame)) if frame.kind == FrameKind::Control => {
+                return decode_ctrl(&frame).map_err(|e| EngineError::Protocol(e.to_string()))
+            }
+            Ok(Some(_)) => {}
+            Ok(None) => {
+                return Err(EngineError::Transport(format!(
+                    "connection closed while waiting for {what}"
+                )))
+            }
+            Err(TransportError::TimedOut) => {}
+            Err(TransportError::Io(e)) => return Err(EngineError::Transport(e.to_string())),
+        }
+    }
+}
+
+/// Transport tuning for a distributed run. Built on the coordinator and
+/// shipped to every worker inside the stage assignment, so one knob set
+/// governs the whole run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistConfig {
+    /// Per-attempt TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Socket read timeout used by bridge threads between poll rounds.
+    pub read_timeout: Duration,
+    /// Reconnect policy for broken data connections.
+    pub retry: RetryPolicy,
+    /// How long a receiver waits after a peer EOF (without a clean
+    /// end-of-stream marker) before injecting one itself and letting the
+    /// pipeline drain. Should exceed the retry policy's total backoff,
+    /// or a transient sender outage turns into a truncated stream.
+    pub drain_window: Duration,
+    /// Extra wall-clock the coordinator waits beyond `max_time` for
+    /// worker reports before declaring them lost.
+    pub report_grace: Duration,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_millis(100),
+            retry: RetryPolicy::default(),
+            drain_window: Duration::from_secs(5),
+            report_grace: Duration::from_secs(10),
+        }
+    }
+}
+
+impl DistConfig {
+    /// Builder: reconnect policy.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Builder: drain window after a peer EOF.
+    pub fn drain_window(mut self, window: Duration) -> Self {
+        self.drain_window = window;
+        self
+    }
+
+    /// Builder: report grace beyond `max_time`.
+    pub fn report_grace(mut self, grace: Duration) -> Self {
+        self.report_grace = grace;
+        self
+    }
+}

@@ -1,0 +1,712 @@
+//! Wire protocol of the distributed runtime.
+//!
+//! Every message is one [`gates_net::Frame`]. Stream data travels as the
+//! packet's own frame (kind `Data`/`Summary`/`Eos`, produced by
+//! [`gates_core::Packet::to_frame`]); everything else is a `Control`
+//! frame whose payload starts with a one-byte message tag, or an
+//! `Exception` frame whose payload is the one-byte load-exception kind.
+//! Encodings use the fixed-width big-endian [`PayloadWriter`] /
+//! [`PayloadReader`] primitives shared with application payloads.
+
+use bytes::Bytes;
+
+use gates_core::adapt::LoadException;
+use gates_core::report::{ParamTrajectory, StageReport};
+use gates_core::trace::{AdaptRound, LinkEvent, LinkEventKind, RunMeta, StageSample, TraceEvent};
+use gates_core::{CoreError, PayloadReader, PayloadWriter};
+use gates_net::{Frame, FrameKind};
+use gates_sim::stats::Welford;
+use gates_sim::SimDuration;
+
+use super::DistConfig;
+use gates_net::RetryPolicy;
+use std::time::Duration;
+
+const TAG_HELLO: u8 = 1;
+const TAG_ASSIGN: u8 = 2;
+const TAG_READY: u8 = 3;
+const TAG_START: u8 = 4;
+const TAG_REPORT: u8 = 5;
+const TAG_TRACE: u8 = 6;
+const TAG_EDGE_HELLO: u8 = 7;
+const TAG_STOP: u8 = 8;
+
+/// One row of the coordinator's placement table, shipped to every worker
+/// so senders can resolve remote endpoints without further round-trips.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct StagePlacement {
+    /// Stage index in topology order.
+    pub(crate) stage: u32,
+    /// Hosting worker's name.
+    pub(crate) worker: String,
+    /// Hosting worker's data endpoint (`host:port`).
+    pub(crate) endpoint: String,
+    /// Speed factor of the hosting node.
+    pub(crate) speed: f64,
+}
+
+/// The deployment a worker receives: the full application config plus
+/// where every stage (its own and everyone else's) runs.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct AssignMsg {
+    /// The application XML, re-parsed by the worker against its local
+    /// application repository.
+    pub(crate) app_xml: String,
+    /// Observation interval, microseconds.
+    pub(crate) observe_us: u64,
+    /// Adaptation interval, microseconds.
+    pub(crate) adapt_us: u64,
+    /// Modeled control latency, microseconds.
+    pub(crate) control_latency_us: u64,
+    /// Run budget, microseconds.
+    pub(crate) max_time_us: u64,
+    /// Whether the worker should stream trace events back.
+    pub(crate) trace: bool,
+    /// Placement row per stage, in stage order.
+    pub(crate) placements: Vec<StagePlacement>,
+    /// Stage indexes this worker hosts.
+    pub(crate) my_stages: Vec<u32>,
+    /// Transport tuning, shared by every process in the run.
+    pub(crate) config: DistConfig,
+}
+
+/// A control-plane message.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum CtrlMsg {
+    /// Worker → coordinator: registration.
+    Hello {
+        /// Worker name (unique per run).
+        name: String,
+        /// Where the worker accepts data connections.
+        data_addr: String,
+        /// Optional placement-site label.
+        site: Option<String>,
+        /// Node speed factor.
+        speed: f64,
+        /// Stage-hosting capacity.
+        capacity: u32,
+    },
+    /// Coordinator → worker: the deployment.
+    Assign(AssignMsg),
+    /// Worker → coordinator: topology built, data plane wired.
+    Ready {
+        /// Worker name.
+        name: String,
+    },
+    /// Coordinator → worker: begin execution.
+    Start,
+    /// Worker → coordinator: final per-stage statistics.
+    Report {
+        /// Worker name.
+        worker: String,
+        /// Reports for the worker's stages, in its `my_stages` order.
+        stages: Vec<StageReport>,
+    },
+    /// Worker → coordinator: one live flight-recorder event.
+    Trace(TraceEvent),
+    /// Sender worker → receiver worker, first frame on a data socket:
+    /// which topology edge this connection carries.
+    EdgeHello {
+        /// Global edge index.
+        edge: u32,
+    },
+    /// Coordinator → worker: abort/stop the run.
+    Stop,
+}
+
+fn put_str(w: &mut PayloadWriter, s: &str) {
+    w.put_u32(s.len() as u32);
+    w.put_bytes(s.as_bytes());
+}
+
+fn get_str(r: &mut PayloadReader) -> Result<String, CoreError> {
+    let len = r.get_u32()? as usize;
+    let bytes = r.get_bytes(len)?;
+    String::from_utf8(bytes.to_vec())
+        .map_err(|e| CoreError::PayloadDecode(format!("invalid utf-8 string: {e}")))
+}
+
+fn put_opt_str(w: &mut PayloadWriter, s: &Option<String>) {
+    match s {
+        Some(s) => {
+            w.put_bytes(&[1]);
+            put_str(w, s);
+        }
+        None => {
+            w.put_bytes(&[0]);
+        }
+    }
+}
+
+fn get_opt_str(r: &mut PayloadReader) -> Result<Option<String>, CoreError> {
+    Ok(if r.get_u8()? == 1 { Some(get_str(r)?) } else { None })
+}
+
+fn put_welford(w: &mut PayloadWriter, s: &Welford) {
+    w.put_u64(s.count());
+    w.put_f64(s.mean());
+    w.put_f64(s.m2());
+    w.put_f64(s.min());
+    w.put_f64(s.max());
+}
+
+fn get_welford(r: &mut PayloadReader) -> Result<Welford, CoreError> {
+    let count = r.get_u64()?;
+    let mean = r.get_f64()?;
+    let m2 = r.get_f64()?;
+    let min = r.get_f64()?;
+    let max = r.get_f64()?;
+    Ok(Welford::from_parts(count, mean, m2, min, max))
+}
+
+fn put_stage_report(w: &mut PayloadWriter, s: &StageReport) {
+    put_str(w, &s.name);
+    put_str(w, &s.placed_on);
+    w.put_u64(s.packets_in);
+    w.put_u64(s.packets_out);
+    w.put_u64(s.records_in);
+    w.put_u64(s.records_out);
+    w.put_u64(s.bytes_in);
+    w.put_u64(s.bytes_out);
+    w.put_u64(s.packets_dropped);
+    put_welford(w, &s.queue);
+    put_welford(w, &s.latency);
+    w.put_u64(s.busy_time.as_micros());
+    w.put_u64(s.exceptions_sent.0);
+    w.put_u64(s.exceptions_sent.1);
+    w.put_u64(s.exceptions_received.0);
+    w.put_u64(s.exceptions_received.1);
+    w.put_u32(s.params.len() as u32);
+    for p in &s.params {
+        put_str(w, &p.name);
+        w.put_u32(p.samples.len() as u32);
+        for &(t, v) in &p.samples {
+            w.put_f64(t);
+            w.put_f64(v);
+        }
+    }
+}
+
+fn get_stage_report(r: &mut PayloadReader) -> Result<StageReport, CoreError> {
+    let name = get_str(r)?;
+    let placed_on = get_str(r)?;
+    let packets_in = r.get_u64()?;
+    let packets_out = r.get_u64()?;
+    let records_in = r.get_u64()?;
+    let records_out = r.get_u64()?;
+    let bytes_in = r.get_u64()?;
+    let bytes_out = r.get_u64()?;
+    let packets_dropped = r.get_u64()?;
+    let queue = get_welford(r)?;
+    let latency = get_welford(r)?;
+    let busy_time = SimDuration::from_micros(r.get_u64()?);
+    let exceptions_sent = (r.get_u64()?, r.get_u64()?);
+    let exceptions_received = (r.get_u64()?, r.get_u64()?);
+    let n_params = r.get_u32()? as usize;
+    let mut params = Vec::with_capacity(n_params.min(1024));
+    for _ in 0..n_params {
+        let pname = get_str(r)?;
+        let n_samples = r.get_u32()? as usize;
+        let mut samples = Vec::with_capacity(n_samples.min(65_536));
+        for _ in 0..n_samples {
+            let t = r.get_f64()?;
+            let v = r.get_f64()?;
+            samples.push((t, v));
+        }
+        params.push(ParamTrajectory { name: pname, samples });
+    }
+    Ok(StageReport {
+        name,
+        placed_on,
+        packets_in,
+        packets_out,
+        records_in,
+        records_out,
+        bytes_in,
+        bytes_out,
+        packets_dropped,
+        queue,
+        latency,
+        busy_time,
+        exceptions_sent,
+        exceptions_received,
+        params,
+    })
+}
+
+fn put_trace_event(w: &mut PayloadWriter, e: &TraceEvent) {
+    match e {
+        TraceEvent::Meta(m) => {
+            w.put_bytes(&[0]);
+            put_str(w, &m.engine);
+            w.put_u32(m.placements.len() as u32);
+            for (stage, node) in &m.placements {
+                put_str(w, stage);
+                put_str(w, node);
+            }
+        }
+        TraceEvent::Sample(s) => {
+            w.put_bytes(&[1]);
+            w.put_f64(s.t);
+            put_str(w, &s.stage);
+            w.put_u64(s.queue_depth as u64);
+            w.put_u64(s.packets_in);
+            w.put_u64(s.packets_out);
+            w.put_u64(s.dropped);
+            w.put_f64(s.throughput);
+            w.put_f64(s.service_time);
+            w.put_f64(s.bucket_wait);
+        }
+        TraceEvent::Adapt(a) => {
+            w.put_bytes(&[2]);
+            w.put_f64(a.t);
+            put_str(w, &a.stage);
+            put_str(w, &a.param);
+            for v in [a.d_tilde, a.phi1, a.phi2, a.phi3, a.sigma1, a.sigma2, a.suggested] {
+                w.put_f64(v);
+            }
+            for v in [a.overload_sent, a.underload_sent, a.overload_received, a.underload_received]
+            {
+                w.put_u64(v);
+            }
+        }
+        TraceEvent::Link(l) => {
+            w.put_bytes(&[3]);
+            w.put_f64(l.t);
+            put_str(w, &l.link);
+            put_str(w, &l.node);
+            w.put_bytes(&[link_kind_to_u8(l.kind)]);
+            put_str(w, &l.detail);
+        }
+    }
+}
+
+fn link_kind_to_u8(k: LinkEventKind) -> u8 {
+    match k {
+        LinkEventKind::Connected => 0,
+        LinkEventKind::Reconnecting => 1,
+        LinkEventKind::Reconnected => 2,
+        LinkEventKind::Dead => 3,
+        LinkEventKind::CrcDrop => 4,
+        LinkEventKind::PeerEof => 5,
+        LinkEventKind::Drained => 6,
+        LinkEventKind::WorkerLost => 7,
+    }
+}
+
+fn link_kind_from_u8(v: u8) -> Result<LinkEventKind, CoreError> {
+    Ok(match v {
+        0 => LinkEventKind::Connected,
+        1 => LinkEventKind::Reconnecting,
+        2 => LinkEventKind::Reconnected,
+        3 => LinkEventKind::Dead,
+        4 => LinkEventKind::CrcDrop,
+        5 => LinkEventKind::PeerEof,
+        6 => LinkEventKind::Drained,
+        7 => LinkEventKind::WorkerLost,
+        other => return Err(CoreError::PayloadDecode(format!("bad link event kind {other}"))),
+    })
+}
+
+fn get_trace_event(r: &mut PayloadReader) -> Result<TraceEvent, CoreError> {
+    Ok(match r.get_u8()? {
+        0 => {
+            let engine = get_str(r)?;
+            let n = r.get_u32()? as usize;
+            let mut placements = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                placements.push((get_str(r)?, get_str(r)?));
+            }
+            TraceEvent::Meta(RunMeta { engine, placements })
+        }
+        1 => TraceEvent::Sample(StageSample {
+            t: r.get_f64()?,
+            stage: get_str(r)?,
+            queue_depth: r.get_u64()? as usize,
+            packets_in: r.get_u64()?,
+            packets_out: r.get_u64()?,
+            dropped: r.get_u64()?,
+            throughput: r.get_f64()?,
+            service_time: r.get_f64()?,
+            bucket_wait: r.get_f64()?,
+        }),
+        2 => TraceEvent::Adapt(AdaptRound {
+            t: r.get_f64()?,
+            stage: get_str(r)?,
+            param: get_str(r)?,
+            d_tilde: r.get_f64()?,
+            phi1: r.get_f64()?,
+            phi2: r.get_f64()?,
+            phi3: r.get_f64()?,
+            sigma1: r.get_f64()?,
+            sigma2: r.get_f64()?,
+            suggested: r.get_f64()?,
+            overload_sent: r.get_u64()?,
+            underload_sent: r.get_u64()?,
+            overload_received: r.get_u64()?,
+            underload_received: r.get_u64()?,
+        }),
+        3 => TraceEvent::Link(LinkEvent {
+            t: r.get_f64()?,
+            link: get_str(r)?,
+            node: get_str(r)?,
+            kind: link_kind_from_u8(r.get_u8()?)?,
+            detail: get_str(r)?,
+        }),
+        other => return Err(CoreError::PayloadDecode(format!("bad trace event tag {other}"))),
+    })
+}
+
+fn put_config(w: &mut PayloadWriter, c: &DistConfig) {
+    w.put_u64(c.connect_timeout.as_micros() as u64);
+    w.put_u64(c.read_timeout.as_micros() as u64);
+    w.put_u32(c.retry.max_attempts);
+    w.put_u64(c.retry.base_delay.as_micros() as u64);
+    w.put_u64(c.retry.max_delay.as_micros() as u64);
+    w.put_u64(c.drain_window.as_micros() as u64);
+    w.put_u64(c.report_grace.as_micros() as u64);
+}
+
+fn get_config(r: &mut PayloadReader) -> Result<DistConfig, CoreError> {
+    Ok(DistConfig {
+        connect_timeout: Duration::from_micros(r.get_u64()?),
+        read_timeout: Duration::from_micros(r.get_u64()?),
+        retry: RetryPolicy {
+            max_attempts: r.get_u32()?,
+            base_delay: Duration::from_micros(r.get_u64()?),
+            max_delay: Duration::from_micros(r.get_u64()?),
+        },
+        drain_window: Duration::from_micros(r.get_u64()?),
+        report_grace: Duration::from_micros(r.get_u64()?),
+    })
+}
+
+/// Encode a control message into a `Control` frame.
+pub(crate) fn encode_ctrl(msg: &CtrlMsg) -> Frame {
+    let mut w = PayloadWriter::new();
+    match msg {
+        CtrlMsg::Hello { name, data_addr, site, speed, capacity } => {
+            w.put_bytes(&[TAG_HELLO]);
+            put_str(&mut w, name);
+            put_str(&mut w, data_addr);
+            put_opt_str(&mut w, site);
+            w.put_f64(*speed);
+            w.put_u32(*capacity);
+        }
+        CtrlMsg::Assign(a) => {
+            w.put_bytes(&[TAG_ASSIGN]);
+            put_str(&mut w, &a.app_xml);
+            w.put_u64(a.observe_us);
+            w.put_u64(a.adapt_us);
+            w.put_u64(a.control_latency_us);
+            w.put_u64(a.max_time_us);
+            w.put_bytes(&[a.trace as u8]);
+            w.put_u32(a.placements.len() as u32);
+            for p in &a.placements {
+                w.put_u32(p.stage);
+                put_str(&mut w, &p.worker);
+                put_str(&mut w, &p.endpoint);
+                w.put_f64(p.speed);
+            }
+            w.put_u32(a.my_stages.len() as u32);
+            for &s in &a.my_stages {
+                w.put_u32(s);
+            }
+            put_config(&mut w, &a.config);
+        }
+        CtrlMsg::Ready { name } => {
+            w.put_bytes(&[TAG_READY]);
+            put_str(&mut w, name);
+        }
+        CtrlMsg::Start => {
+            w.put_bytes(&[TAG_START]);
+        }
+        CtrlMsg::Report { worker, stages } => {
+            w.put_bytes(&[TAG_REPORT]);
+            put_str(&mut w, worker);
+            w.put_u32(stages.len() as u32);
+            for s in stages {
+                put_stage_report(&mut w, s);
+            }
+        }
+        CtrlMsg::Trace(e) => {
+            w.put_bytes(&[TAG_TRACE]);
+            put_trace_event(&mut w, e);
+        }
+        CtrlMsg::EdgeHello { edge } => {
+            w.put_bytes(&[TAG_EDGE_HELLO]);
+            w.put_u32(*edge);
+        }
+        CtrlMsg::Stop => {
+            w.put_bytes(&[TAG_STOP]);
+        }
+    }
+    Frame { kind: FrameKind::Control, stream_id: 0, seq: 0, payload: w.finish() }
+}
+
+/// Decode a `Control` frame into a message.
+pub(crate) fn decode_ctrl(frame: &Frame) -> Result<CtrlMsg, CoreError> {
+    if frame.kind != FrameKind::Control {
+        return Err(CoreError::PayloadDecode(format!(
+            "expected control frame, got {:?}",
+            frame.kind
+        )));
+    }
+    let mut r = PayloadReader::new(frame.payload.clone());
+    Ok(match r.get_u8()? {
+        TAG_HELLO => CtrlMsg::Hello {
+            name: get_str(&mut r)?,
+            data_addr: get_str(&mut r)?,
+            site: get_opt_str(&mut r)?,
+            speed: r.get_f64()?,
+            capacity: r.get_u32()?,
+        },
+        TAG_ASSIGN => {
+            let app_xml = get_str(&mut r)?;
+            let observe_us = r.get_u64()?;
+            let adapt_us = r.get_u64()?;
+            let control_latency_us = r.get_u64()?;
+            let max_time_us = r.get_u64()?;
+            let trace = r.get_u8()? != 0;
+            let n = r.get_u32()? as usize;
+            let mut placements = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                placements.push(StagePlacement {
+                    stage: r.get_u32()?,
+                    worker: get_str(&mut r)?,
+                    endpoint: get_str(&mut r)?,
+                    speed: r.get_f64()?,
+                });
+            }
+            let n = r.get_u32()? as usize;
+            let mut my_stages = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                my_stages.push(r.get_u32()?);
+            }
+            let config = get_config(&mut r)?;
+            CtrlMsg::Assign(AssignMsg {
+                app_xml,
+                observe_us,
+                adapt_us,
+                control_latency_us,
+                max_time_us,
+                trace,
+                placements,
+                my_stages,
+                config,
+            })
+        }
+        TAG_READY => CtrlMsg::Ready { name: get_str(&mut r)? },
+        TAG_START => CtrlMsg::Start,
+        TAG_REPORT => {
+            let worker = get_str(&mut r)?;
+            let n = r.get_u32()? as usize;
+            let mut stages = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                stages.push(get_stage_report(&mut r)?);
+            }
+            CtrlMsg::Report { worker, stages }
+        }
+        TAG_TRACE => CtrlMsg::Trace(get_trace_event(&mut r)?),
+        TAG_EDGE_HELLO => CtrlMsg::EdgeHello { edge: r.get_u32()? },
+        TAG_STOP => CtrlMsg::Stop,
+        other => return Err(CoreError::PayloadDecode(format!("unknown control tag {other}"))),
+    })
+}
+
+/// Encode an upstream-bound load exception.
+pub(crate) fn encode_exception(e: LoadException) -> Frame {
+    let byte = match e {
+        LoadException::Overload => 0u8,
+        LoadException::Underload => 1u8,
+    };
+    Frame { kind: FrameKind::Exception, stream_id: 0, seq: 0, payload: Bytes::from(vec![byte]) }
+}
+
+/// Decode an `Exception` frame.
+pub(crate) fn decode_exception(frame: &Frame) -> Result<LoadException, CoreError> {
+    let mut r = PayloadReader::new(frame.payload.clone());
+    Ok(match r.get_u8()? {
+        0 => LoadException::Overload,
+        1 => LoadException::Underload,
+        other => return Err(CoreError::PayloadDecode(format!("bad exception kind {other}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: CtrlMsg) {
+        let frame = encode_ctrl(&msg);
+        let back = decode_ctrl(&frame).expect("decode");
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn hello_round_trips() {
+        round_trip(CtrlMsg::Hello {
+            name: "w0".into(),
+            data_addr: "127.0.0.1:4000".into(),
+            site: Some("source-0".into()),
+            speed: 1.5,
+            capacity: 4,
+        });
+        round_trip(CtrlMsg::Hello {
+            name: "w1".into(),
+            data_addr: "127.0.0.1:4001".into(),
+            site: None,
+            speed: 1.0,
+            capacity: 2,
+        });
+    }
+
+    #[test]
+    fn assign_round_trips() {
+        round_trip(CtrlMsg::Assign(AssignMsg {
+            app_xml: "<application name=\"x\" repository=\"count-samps\"/>".into(),
+            observe_us: 100_000,
+            adapt_us: 1_000_000,
+            control_latency_us: 1_000,
+            max_time_us: 60_000_000,
+            trace: true,
+            placements: vec![
+                StagePlacement {
+                    stage: 0,
+                    worker: "w0".into(),
+                    endpoint: "127.0.0.1:4000".into(),
+                    speed: 1.0,
+                },
+                StagePlacement {
+                    stage: 1,
+                    worker: "w1".into(),
+                    endpoint: "127.0.0.1:4001".into(),
+                    speed: 2.0,
+                },
+            ],
+            my_stages: vec![1],
+            config: DistConfig::default(),
+        }));
+    }
+
+    #[test]
+    fn simple_messages_round_trip() {
+        round_trip(CtrlMsg::Ready { name: "w2".into() });
+        round_trip(CtrlMsg::Start);
+        round_trip(CtrlMsg::EdgeHello { edge: 3 });
+        round_trip(CtrlMsg::Stop);
+    }
+
+    #[test]
+    fn report_round_trips_with_welford_and_params() {
+        let mut queue = Welford::new();
+        for x in [0.0, 4.0, 2.0, 7.0] {
+            queue.push(x);
+        }
+        let report = StageReport {
+            name: "summarizer-0".into(),
+            placed_on: "w1".into(),
+            packets_in: 100,
+            packets_out: 60,
+            records_in: 5_000,
+            records_out: 600,
+            bytes_in: 81_920,
+            bytes_out: 9_600,
+            packets_dropped: 3,
+            queue: queue.clone(),
+            latency: Welford::new(),
+            busy_time: SimDuration::from_millis(1_234),
+            exceptions_sent: (2, 9),
+            exceptions_received: (0, 4),
+            params: vec![ParamTrajectory {
+                name: "k".into(),
+                samples: vec![(0.0, 100.0), (0.2, 110.0), (0.4, 120.0)],
+            }],
+        };
+        let frame =
+            encode_ctrl(&CtrlMsg::Report { worker: "w1".into(), stages: vec![report.clone()] });
+        match decode_ctrl(&frame).unwrap() {
+            CtrlMsg::Report { worker, stages } => {
+                assert_eq!(worker, "w1");
+                assert_eq!(stages.len(), 1);
+                let s = &stages[0];
+                assert_eq!(s.name, "summarizer-0");
+                assert_eq!(s.queue.count(), queue.count());
+                assert!((s.queue.mean() - queue.mean()).abs() < 1e-12);
+                assert!((s.queue.variance() - queue.variance()).abs() < 1e-9);
+                assert_eq!(s.params[0].samples.len(), 3);
+                assert_eq!(s.params[0].final_value(), Some(120.0));
+                assert_eq!(s.busy_time.as_micros(), 1_234_000);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_events_round_trip() {
+        for event in [
+            TraceEvent::Meta(RunMeta {
+                engine: "dist".into(),
+                placements: vec![("collector".into(), "w0".into())],
+            }),
+            TraceEvent::Sample(StageSample {
+                t: 1.5,
+                stage: "collector".into(),
+                queue_depth: 12,
+                packets_in: 40,
+                packets_out: 0,
+                dropped: 1,
+                throughput: 26.7,
+                service_time: 0.002,
+                bucket_wait: 0.0,
+            }),
+            TraceEvent::Adapt(AdaptRound {
+                t: 2.0,
+                stage: "summarizer-0".into(),
+                param: "k".into(),
+                d_tilde: 0.25,
+                phi1: 0.1,
+                phi2: 0.2,
+                phi3: 0.3,
+                sigma1: 1.0,
+                sigma2: 0.5,
+                suggested: 130.0,
+                overload_sent: 1,
+                underload_sent: 7,
+                overload_received: 0,
+                underload_received: 3,
+            }),
+            TraceEvent::Link(LinkEvent {
+                t: 3.0,
+                link: "summarizer-0->collector".into(),
+                node: "w1".into(),
+                kind: LinkEventKind::Reconnected,
+                detail: "attempt 2".into(),
+            }),
+        ] {
+            round_trip(CtrlMsg::Trace(event));
+        }
+    }
+
+    #[test]
+    fn exceptions_round_trip() {
+        for e in [LoadException::Overload, LoadException::Underload] {
+            let frame = encode_exception(e);
+            assert_eq!(frame.kind, FrameKind::Exception);
+            assert_eq!(decode_exception(&frame).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_wrong_kind_and_bad_tag() {
+        let data = Frame { kind: FrameKind::Data, stream_id: 0, seq: 0, payload: Bytes::new() };
+        assert!(decode_ctrl(&data).is_err());
+        let bogus = Frame {
+            kind: FrameKind::Control,
+            stream_id: 0,
+            seq: 0,
+            payload: Bytes::from_static(&[200]),
+        };
+        assert!(decode_ctrl(&bogus).is_err());
+    }
+}

@@ -1,0 +1,828 @@
+//! The worker side of the distributed runtime.
+//!
+//! A [`DistWorker`] is one OS process hosting a subset of the pipeline's
+//! stages (the `gates-cli worker` subcommand is a thin wrapper around
+//! it). It registers with the coordinator, receives the application XML
+//! plus the full placement table, rebuilds the topology from its local
+//! application repository, and runs its stages on the shared
+//! [`StageWorker`] event loop — local edges stay in-process channels,
+//! remote edges are bridged over TCP by dedicated sender/reader threads.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{
+    bounded, unbounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender,
+};
+
+use gates_core::adapt::LoadTracker;
+use gates_core::report::StageReport;
+use gates_core::trace::{LinkEvent, LinkEventKind, NullRecorder, Recorder, TraceEvent};
+use gates_core::{Packet, StageId};
+use gates_grid::{AppConfig, ApplicationRepository};
+use gates_net::{
+    connect_with_retry, FlowControl, FrameKind, FrameStream, RetryPolicy, TransportError,
+};
+use gates_sim::{SimDuration, SimTime};
+
+use super::proto::{decode_ctrl, decode_exception, encode_ctrl, encode_exception, CtrlMsg};
+use super::{read_ctrl, DistConfig};
+use crate::options::RunOptions;
+use crate::runtime::{Control, OutPort, StageWorker};
+use crate::EngineError;
+
+/// How long a worker waits for the coordinator's next handshake message
+/// (assignment, start) before giving up.
+const HANDSHAKE_PATIENCE: Duration = Duration::from_secs(120);
+
+/// One worker process of the distributed runtime. Build with
+/// [`DistWorker::new`], tune the advertised node properties with the
+/// builder methods, then call [`DistWorker::run`] — it blocks until the
+/// run completes (or the coordinator disappears).
+pub struct DistWorker {
+    name: String,
+    coordinator: String,
+    bind_host: String,
+    site: Option<String>,
+    speed: f64,
+    capacity: u32,
+}
+
+impl DistWorker {
+    /// A worker named `name` that registers with the coordinator at
+    /// `coordinator` (`host:port`). Defaults: loopback data listener,
+    /// no site affinity, speed 1.0, capacity 4.
+    pub fn new(name: impl Into<String>, coordinator: impl Into<String>) -> Self {
+        DistWorker {
+            name: name.into(),
+            coordinator: coordinator.into(),
+            bind_host: "127.0.0.1".into(),
+            site: None,
+            speed: 1.0,
+            capacity: 4,
+        }
+    }
+
+    /// Builder: the placement-site label this worker advertises.
+    pub fn site(mut self, site: impl Into<String>) -> Self {
+        self.site = Some(site.into());
+        self
+    }
+
+    /// Builder: the CPU speed factor this worker advertises.
+    pub fn speed(mut self, factor: f64) -> Self {
+        self.speed = factor;
+        self
+    }
+
+    /// Builder: how many stages this worker will host.
+    pub fn capacity(mut self, stages: u32) -> Self {
+        self.capacity = stages;
+        self
+    }
+
+    /// Builder: the host/interface the data listener binds to.
+    pub fn bind_host(mut self, host: impl Into<String>) -> Self {
+        self.bind_host = host.into();
+        self
+    }
+
+    /// Register, receive an assignment, run the assigned stages, report.
+    ///
+    /// `repo` must contain the application named in the coordinator's
+    /// XML — every process in a distributed run builds the topology from
+    /// the same configuration, which is how stage *code* reaches workers
+    /// without shipping binaries (the paper's application repositories).
+    pub fn run(self, repo: &ApplicationRepository) -> Result<(), EngineError> {
+        // --- register -------------------------------------------------
+        let listener = TcpListener::bind((self.bind_host.as_str(), 0u16))
+            .map_err(|e| EngineError::Transport(format!("bind data listener: {e}")))?;
+        let data_addr =
+            listener.local_addr().map_err(|e| EngineError::Transport(e.to_string()))?.to_string();
+
+        // Workers are often launched before the coordinator: be patient.
+        let register_policy = RetryPolicy {
+            max_attempts: 30,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_secs(1),
+        };
+        let coord = resolve(&self.coordinator)?;
+        let socket = connect_with_retry(coord, Duration::from_secs(2), &register_policy, |_, _| {})
+            .map_err(|e| EngineError::Transport(format!("connect to coordinator: {e}")))?;
+        let mut ctrl = FrameStream::new(socket);
+        ctrl.set_read_timeout(Some(Duration::from_millis(50)))
+            .map_err(|e| EngineError::Transport(e.to_string()))?;
+        ctrl.send(&encode_ctrl(&CtrlMsg::Hello {
+            name: self.name.clone(),
+            data_addr,
+            site: self.site.clone(),
+            speed: self.speed,
+            capacity: self.capacity,
+        }))
+        .map_err(|e| EngineError::Transport(format!("send hello: {e}")))?;
+
+        // --- receive the deployment ----------------------------------
+        let deadline = Instant::now() + HANDSHAKE_PATIENCE;
+        let assign = loop {
+            match read_ctrl(&mut ctrl, deadline, "assignment")? {
+                CtrlMsg::Assign(a) => break a,
+                CtrlMsg::Stop => return Ok(()),
+                _ => {}
+            }
+        };
+        let cfg = assign.config.clone();
+
+        let app = AppConfig::from_xml(&assign.app_xml)
+            .map_err(|e| EngineError::Protocol(format!("bad application config: {e}")))?;
+        let topology = repo
+            .build(&app)
+            .map_err(|e| EngineError::Protocol(format!("build application: {e}")))?;
+        topology.validate().map_err(|e| EngineError::InvalidTopology(e.to_string()))?;
+        let n = topology.stages().len();
+        if assign.placements.len() != n {
+            return Err(EngineError::Protocol(format!(
+                "placement table has {} rows for {n} stages",
+                assign.placements.len()
+            )));
+        }
+        let mut worker_of = vec![String::new(); n];
+        let mut endpoint_of = vec![String::new(); n];
+        let mut speed_of = vec![1.0f64; n];
+        for p in &assign.placements {
+            let i = p.stage as usize;
+            if i >= n {
+                return Err(EngineError::Protocol(format!("placement for unknown stage {i}")));
+            }
+            worker_of[i] = p.worker.clone();
+            endpoint_of[i] = p.endpoint.clone();
+            speed_of[i] = p.speed;
+        }
+        let mut is_mine = vec![false; n];
+        for &s in &assign.my_stages {
+            let i = s as usize;
+            if i >= n {
+                return Err(EngineError::Protocol(format!("assigned unknown stage {s}")));
+            }
+            is_mine[i] = true;
+        }
+
+        let (trace_tx, trace_rx) = unbounded::<TraceEvent>();
+        let recorder: Arc<dyn Recorder> = if assign.trace {
+            Arc::new(ChannelRecorder { tx: trace_tx })
+        } else {
+            drop(trace_tx);
+            Arc::new(NullRecorder)
+        };
+        let opts = RunOptions::default()
+            .observe_every(SimDuration::from_micros(assign.observe_us))
+            .adapt_every(SimDuration::from_micros(assign.adapt_us))
+            .control_latency(SimDuration::from_micros(assign.control_latency_us))
+            .max_time(SimTime::from_micros(assign.max_time_us))
+            .recorder(Arc::clone(&recorder));
+        opts.validate()?;
+
+        // --- wire the data plane -------------------------------------
+        let stop = Arc::new(AtomicBool::new(false));
+        let start = Instant::now();
+
+        let mut data_tx: HashMap<usize, Sender<Packet>> = HashMap::new();
+        let mut data_rx: HashMap<usize, Receiver<Packet>> = HashMap::new();
+        let mut ctl_tx: HashMap<usize, Sender<Control>> = HashMap::new();
+        let mut ctl_rx: HashMap<usize, Receiver<Control>> = HashMap::new();
+        let mut drops: HashMap<usize, Arc<AtomicU64>> = HashMap::new();
+        for (i, stage) in topology.stages().iter().enumerate() {
+            if !is_mine[i] {
+                continue;
+            }
+            let (tx, rx) = bounded(stage.queue_capacity);
+            data_tx.insert(i, tx);
+            data_rx.insert(i, rx);
+            let (ctx, crx) = unbounded::<Control>();
+            ctl_tx.insert(i, ctx);
+            ctl_rx.insert(i, crx);
+            drops.insert(i, Arc::new(AtomicU64::new(0)));
+        }
+
+        let mut remote_out: HashMap<usize, Sender<Packet>> = HashMap::new();
+        let mut remote_exc: HashMap<usize, Sender<Control>> = HashMap::new();
+        let mut in_edge_reg: HashMap<u32, Arc<InEdge>> = HashMap::new();
+        let mut bridge_handles = Vec::new();
+        for (ei, edge) in topology.edges().iter().enumerate() {
+            let from = edge.from.index();
+            let to = edge.to.index();
+            let reporter = LinkReporter {
+                recorder: Arc::clone(&recorder),
+                start,
+                link: format!("{}->{}", topology.stages()[from].name, topology.stages()[to].name),
+                node: self.name.clone(),
+            };
+            match (is_mine[from], is_mine[to]) {
+                (true, false) => {
+                    // Outgoing remote edge: the stage writes into a
+                    // bounded bridge channel drained by a sender thread.
+                    // `LinkSpec::local()` advertises an effectively
+                    // unbounded buffer and crossbeam preallocates, so
+                    // cap the bridge.
+                    let cap = edge.link.buffer_packets.clamp(1, 1024);
+                    let (btx, brx) = bounded::<Packet>(cap);
+                    remote_out.insert(ei, btx);
+                    let sender = RemoteSender {
+                        edge: ei as u32,
+                        endpoint: endpoint_of[to].clone(),
+                        rx: brx,
+                        upstream: ctl_tx[&from].clone(),
+                        drops: Arc::clone(&drops[&from]),
+                        cfg: cfg.clone(),
+                        reporter,
+                    };
+                    bridge_handles.push(
+                        std::thread::Builder::new()
+                            .name(format!("gates-tx-{ei}"))
+                            .spawn(move || sender.run())
+                            .map_err(|e| EngineError::Transport(e.to_string()))?,
+                    );
+                }
+                (false, true) => {
+                    let (etx, erx) = unbounded::<Control>();
+                    remote_exc.insert(ei, etx);
+                    in_edge_reg.insert(
+                        ei as u32,
+                        Arc::new(InEdge {
+                            data_tx: data_tx[&to].clone(),
+                            blocking: edge.link.flow == FlowControl::Blocking,
+                            drops: Arc::clone(&drops[&to]),
+                            exc_rx: erx,
+                            eos_forwarded: AtomicBool::new(false),
+                            connected: AtomicBool::new(false),
+                            // A sender that never manages to connect at
+                            // all must still drain eventually.
+                            disconnected_at: Mutex::new(Some(Instant::now())),
+                            connections: AtomicU64::new(0),
+                            reporter,
+                        }),
+                    );
+                }
+                _ => {}
+            }
+        }
+        let in_edge_reg = Arc::new(in_edge_reg);
+
+        let accept_handle = {
+            let reg = Arc::clone(&in_edge_reg);
+            let stop = Arc::clone(&stop);
+            let cfg = cfg.clone();
+            listener.set_nonblocking(true).map_err(|e| EngineError::Transport(e.to_string()))?;
+            std::thread::Builder::new()
+                .name("gates-accept".into())
+                .spawn(move || accept_loop(listener, reg, stop, cfg))
+                .map_err(|e| EngineError::Transport(e.to_string()))?
+        };
+        let drain_handle = {
+            let edges: Vec<Arc<InEdge>> = in_edge_reg.values().cloned().collect();
+            let stop = Arc::clone(&stop);
+            let window = cfg.drain_window;
+            std::thread::Builder::new()
+                .name("gates-drain".into())
+                .spawn(move || drain_monitor(edges, stop, window))
+                .map_err(|e| EngineError::Transport(e.to_string()))?
+        };
+
+        // --- ready / start -------------------------------------------
+        ctrl.send(&encode_ctrl(&CtrlMsg::Ready { name: self.name.clone() }))
+            .map_err(|e| EngineError::Transport(format!("send ready: {e}")))?;
+        let deadline = Instant::now() + HANDSHAKE_PATIENCE;
+        loop {
+            match read_ctrl(&mut ctrl, deadline, "start")? {
+                CtrlMsg::Start => break,
+                CtrlMsg::Stop => {
+                    stop.store(true, Ordering::Relaxed);
+                    return Ok(());
+                }
+                _ => {}
+            }
+        }
+
+        // --- run the assigned stages ---------------------------------
+        let mut handles = Vec::new();
+        for (i, stage) in topology.stages().iter().enumerate() {
+            if !is_mine[i] {
+                continue;
+            }
+            let id = StageId::from_index(i);
+            let mut out = Vec::new();
+            for ei in topology.out_edges(id) {
+                let edge = &topology.edges()[ei];
+                let to = edge.to.index();
+                let bucket = OutPort::bucket_for(edge.link.bandwidth.as_bytes_per_sec());
+                let blocking = edge.link.flow == FlowControl::Blocking;
+                if is_mine[to] {
+                    out.push(OutPort {
+                        tx: data_tx[&to].clone(),
+                        bucket,
+                        blocking,
+                        drops: Arc::clone(&drops[&to]),
+                    });
+                } else {
+                    // Remote edge: while the link is down, the transport
+                    // attributes dropped packets to the *sending* stage
+                    // (it cannot see the receiver's queue).
+                    out.push(OutPort {
+                        tx: remote_out[&ei].clone(),
+                        bucket,
+                        blocking,
+                        drops: Arc::clone(&drops[&i]),
+                    });
+                }
+            }
+            let mut upstream_ctl = Vec::new();
+            for ei in topology.in_edges(id) {
+                let from = topology.edges()[ei].from.index();
+                if is_mine[from] {
+                    upstream_ctl.push(ctl_tx[&from].clone());
+                } else {
+                    upstream_ctl.push(remote_exc[&ei].clone());
+                }
+            }
+            let in_edges = topology.in_edges(id).len();
+            let worker = StageWorker {
+                name: stage.name.clone(),
+                placed_on: worker_of[i].clone(),
+                processor: stage.instantiate(),
+                cost: stage.cost,
+                speed: speed_of[i],
+                tracker: stage.adaptation.clone().map(LoadTracker::new),
+                rx: data_rx[&i].clone(),
+                ctl: ctl_rx[&i].clone(),
+                out,
+                upstream_ctl,
+                in_edges,
+                my_drops: Arc::clone(&drops[&i]),
+                opts: opts.clone(),
+                start,
+                stop: Arc::clone(&stop),
+                bucket_waited: 0.0,
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("gates-{}", stage.name))
+                    .spawn(move || worker.run())
+                    .map_err(|e| EngineError::WorkerPanic(e.to_string()))?,
+            );
+        }
+        // As in the threaded engine, drop local clones so channels
+        // disconnect when their peers finish. The in-edge registry
+        // legitimately keeps `data_tx` clones alive (reconnects need
+        // them); EOS counting, not disconnection, ends a stage with
+        // remote inputs.
+        drop(data_tx);
+        drop(data_rx);
+        drop(ctl_rx);
+        drop(remote_out);
+        drop(remote_exc);
+        let stage_ctl: Vec<Sender<Control>> = ctl_tx.values().cloned().collect();
+        drop(ctl_tx);
+
+        // Watchdog: stop the run when the budget elapses (detached; its
+        // late sends hit disconnected channels, which is fine).
+        let budget = Duration::from_secs_f64(opts.max_time.as_secs_f64());
+        let watchdog_stop = Arc::clone(&stop);
+        let watchdog_ctl = stage_ctl.clone();
+        std::thread::Builder::new()
+            .name("gates-watchdog".into())
+            .spawn(move || {
+                std::thread::sleep(budget);
+                watchdog_stop.store(true, Ordering::Relaxed);
+                for c in &watchdog_ctl {
+                    let _ = c.send(Control::Stop);
+                }
+            })
+            .map_err(|e| EngineError::Transport(e.to_string()))?;
+
+        // Joiner: collect stage reports off the main thread so the main
+        // loop can keep servicing the coordinator connection.
+        let (done_tx, done_rx) = bounded::<Vec<StageReport>>(1);
+        std::thread::Builder::new()
+            .name("gates-join".into())
+            .spawn(move || {
+                let mut reports = Vec::with_capacity(handles.len());
+                for h in handles {
+                    reports.push(h.join().unwrap_or_default());
+                }
+                let _ = done_tx.send(reports);
+            })
+            .map_err(|e| EngineError::WorkerPanic(e.to_string()))?;
+
+        // --- main loop: trace relay + coordinator control ------------
+        let mut coordinator_gone = false;
+        let reports = loop {
+            while let Ok(event) = trace_rx.try_recv() {
+                if !coordinator_gone && ctrl.send(&encode_ctrl(&CtrlMsg::Trace(event))).is_err() {
+                    coordinator_gone = true;
+                }
+            }
+            if coordinator_gone {
+                // An orphaned worker must not run unbounded: stop and
+                // drain (idempotent; re-sent each lap until done).
+                stop.store(true, Ordering::Relaxed);
+                for c in &stage_ctl {
+                    let _ = c.send(Control::Stop);
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            } else {
+                match ctrl.read_frame() {
+                    Ok(Some(f)) if f.kind == FrameKind::Control => {
+                        if let Ok(CtrlMsg::Stop) = decode_ctrl(&f) {
+                            stop.store(true, Ordering::Relaxed);
+                            for c in &stage_ctl {
+                                let _ = c.send(Control::Stop);
+                            }
+                        }
+                    }
+                    Ok(Some(_)) => {}
+                    Err(TransportError::TimedOut) => {}
+                    Ok(None) | Err(TransportError::Io(_)) => coordinator_gone = true,
+                }
+            }
+            if let Ok(r) = done_rx.try_recv() {
+                break r;
+            }
+        };
+
+        // --- shutdown ------------------------------------------------
+        stop.store(true, Ordering::Relaxed);
+        // Bridge senders flush queued frames (including EOS markers)
+        // before their channels disconnect, so join before reporting.
+        for h in bridge_handles {
+            let _ = h.join();
+        }
+        let _ = accept_handle.join();
+        let _ = drain_handle.join();
+        while let Ok(event) = trace_rx.try_recv() {
+            if !coordinator_gone && ctrl.send(&encode_ctrl(&CtrlMsg::Trace(event))).is_err() {
+                coordinator_gone = true;
+            }
+        }
+        if !coordinator_gone
+            && ctrl
+                .send(&encode_ctrl(&CtrlMsg::Report { worker: self.name.clone(), stages: reports }))
+                .is_err()
+        {
+            coordinator_gone = true;
+        }
+        if coordinator_gone {
+            return Err(EngineError::Transport("coordinator connection lost".into()));
+        }
+        Ok(())
+    }
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr, EngineError> {
+    addr.to_socket_addrs()
+        .map_err(|e| EngineError::Transport(format!("resolve {addr}: {e}")))?
+        .next()
+        .ok_or_else(|| EngineError::Transport(format!("no address for {addr}")))
+}
+
+/// Recorder that forwards every event into a channel; the worker's main
+/// loop relays them to the coordinator as `Trace` control messages.
+struct ChannelRecorder {
+    tx: Sender<TraceEvent>,
+}
+
+impl Recorder for ChannelRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+    fn record(&self, event: TraceEvent) {
+        let _ = self.tx.send(event);
+    }
+}
+
+/// Emits [`LinkEvent`]s for one remote edge from one process's view.
+#[derive(Clone)]
+struct LinkReporter {
+    recorder: Arc<dyn Recorder>,
+    start: Instant,
+    link: String,
+    node: String,
+}
+
+impl LinkReporter {
+    fn record(&self, kind: LinkEventKind, detail: impl Into<String>) {
+        if self.recorder.enabled() {
+            self.recorder.record(TraceEvent::Link(LinkEvent {
+                t: self.start.elapsed().as_secs_f64(),
+                link: self.link.clone(),
+                node: self.node.clone(),
+                kind,
+                detail: detail.into(),
+            }));
+        }
+    }
+}
+
+/// Receiver-side state of one remote in-edge, shared between the accept
+/// loop, its reader threads, and the drain monitor.
+struct InEdge {
+    /// Input queue of the receiving stage.
+    data_tx: Sender<Packet>,
+    blocking: bool,
+    /// Queue-full drop counter of the receiving stage.
+    drops: Arc<AtomicU64>,
+    /// Exceptions from the receiving stage, to be written upstream.
+    exc_rx: Receiver<Control>,
+    /// Exactly-once end-of-stream delivery: set by the first EOS frame
+    /// or by the drain monitor, whichever comes first.
+    eos_forwarded: AtomicBool,
+    connected: AtomicBool,
+    /// When the link last went down (or registration time, if the
+    /// sender has not connected yet); cleared while connected.
+    disconnected_at: Mutex<Option<Instant>>,
+    /// Total accepted connections for this edge (>1 means reconnects).
+    connections: AtomicU64,
+    reporter: LinkReporter,
+}
+
+/// Sender side of one remote edge: drains the bridge channel into a
+/// framed TCP connection, reconnecting with bounded backoff, and relays
+/// upstream-bound exception frames into the sending stage's control
+/// channel.
+struct RemoteSender {
+    edge: u32,
+    endpoint: String,
+    rx: Receiver<Packet>,
+    upstream: Sender<Control>,
+    /// Drop counter of the *sending* stage (drops while the link is dead).
+    drops: Arc<AtomicU64>,
+    cfg: DistConfig,
+    reporter: LinkReporter,
+}
+
+impl RemoteSender {
+    fn connect(&self) -> Option<FrameStream> {
+        let addr = self.endpoint.to_socket_addrs().ok()?.next()?;
+        let reporter = &self.reporter;
+        let socket =
+            connect_with_retry(addr, self.cfg.connect_timeout, &self.cfg.retry, |attempt, err| {
+                reporter.record(LinkEventKind::Reconnecting, format!("attempt {attempt}: {err}"));
+            })
+            .ok()?;
+        let mut fs = FrameStream::new(socket);
+        fs.set_read_timeout(Some(Duration::from_millis(1))).ok()?;
+        fs.send(&encode_ctrl(&CtrlMsg::EdgeHello { edge: self.edge })).ok()?;
+        Some(fs)
+    }
+
+    fn run(self) {
+        let mut stream = self.connect();
+        let mut dead = false;
+        match &stream {
+            Some(_) => self.reporter.record(LinkEventKind::Connected, self.endpoint.clone()),
+            None => {
+                self.reporter.record(LinkEventKind::Dead, "no data connection after retries");
+                dead = true;
+            }
+        }
+        let mut crc_seen = 0u64;
+        loop {
+            match self.rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(packet) => {
+                    if dead {
+                        if !packet.is_eos() {
+                            self.drops.fetch_add(1, Ordering::Relaxed);
+                        }
+                        continue;
+                    }
+                    let frame = packet.to_frame();
+                    let mut send_err = None;
+                    if let Some(fs) = stream.as_mut() {
+                        send_err = fs.send(&frame).err();
+                    }
+                    if let Some(err) = send_err {
+                        // One bounded-backoff reconnect cycle, then the
+                        // link is dead for the rest of the run and the
+                        // receiver's drain window takes over.
+                        self.reporter
+                            .record(LinkEventKind::Reconnecting, format!("send failed: {err}"));
+                        stream = self.connect();
+                        match stream.as_mut() {
+                            Some(fs) => {
+                                self.reporter
+                                    .record(LinkEventKind::Reconnected, self.endpoint.clone());
+                                crc_seen = 0;
+                                if fs.send(&frame).is_err() && !packet.is_eos() {
+                                    self.drops.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            None => {
+                                self.reporter.record(
+                                    LinkEventKind::Dead,
+                                    "retries exhausted; dropping until end of stream",
+                                );
+                                dead = true;
+                                if !packet.is_eos() {
+                                    self.drops.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+            // Exceptions from the remote downstream stage ride this
+            // socket upstream; relay them into the sending stage's
+            // control channel.
+            if let Some(fs) = stream.as_mut() {
+                loop {
+                    match fs.read_frame() {
+                        Ok(Some(f)) if f.kind == FrameKind::Exception => {
+                            if let Ok(e) = decode_exception(&f) {
+                                let _ = self.upstream.send(Control::Exception(e));
+                            }
+                        }
+                        Ok(Some(_)) => {}
+                        Ok(None) | Err(_) => break,
+                    }
+                }
+                let crc = fs.crc_failures();
+                if crc > crc_seen {
+                    self.reporter
+                        .record(LinkEventKind::CrcDrop, format!("{crc} corrupted frames total"));
+                    crc_seen = crc;
+                }
+            }
+        }
+    }
+}
+
+/// Accept incoming data connections and hand each to a reader thread
+/// once its `EdgeHello` identifies the edge it carries.
+fn accept_loop(
+    listener: TcpListener,
+    reg: Arc<HashMap<u32, Arc<InEdge>>>,
+    stop: Arc<AtomicBool>,
+    cfg: DistConfig,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((socket, _peer)) => {
+                let _ = socket.set_nonblocking(false);
+                let mut fs = FrameStream::new(socket);
+                if fs.set_read_timeout(Some(cfg.read_timeout)).is_err() {
+                    continue;
+                }
+                let deadline = Instant::now() + cfg.connect_timeout;
+                let hello = loop {
+                    if Instant::now() >= deadline {
+                        break None;
+                    }
+                    match fs.read_frame() {
+                        Ok(Some(f)) if f.kind == FrameKind::Control => break decode_ctrl(&f).ok(),
+                        Ok(Some(_)) | Ok(None) => break None,
+                        Err(TransportError::TimedOut) => {}
+                        Err(_) => break None,
+                    }
+                };
+                if let Some(CtrlMsg::EdgeHello { edge }) = hello {
+                    if let Some(in_edge) = reg.get(&edge) {
+                        let in_edge = Arc::clone(in_edge);
+                        let stop = Arc::clone(&stop);
+                        let _ = std::thread::Builder::new()
+                            .name(format!("gates-rx-{edge}"))
+                            .spawn(move || edge_reader(fs, in_edge, stop));
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Pump one accepted data connection: frames into the receiving stage's
+/// queue downstream, exception frames back upstream.
+fn edge_reader(mut fs: FrameStream, ie: Arc<InEdge>, stop: Arc<AtomicBool>) {
+    let nth = ie.connections.fetch_add(1, Ordering::Relaxed);
+    ie.connected.store(true, Ordering::Relaxed);
+    *ie.disconnected_at.lock().expect("in-edge clock") = None;
+    ie.reporter.record(
+        if nth == 0 { LinkEventKind::Connected } else { LinkEventKind::Reconnected },
+        format!("connection {}", nth + 1),
+    );
+    let mut crc_seen = 0u64;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            // Engine shutdown, not a link failure: leave the connected
+            // flag alone so the drain monitor does not misread it.
+            return;
+        }
+        while let Ok(msg) = ie.exc_rx.try_recv() {
+            if let Control::Exception(e) = msg {
+                let _ = fs.send(&encode_exception(e));
+            }
+        }
+        match fs.read_frame() {
+            Ok(Some(f)) => match f.kind {
+                FrameKind::Data | FrameKind::Summary | FrameKind::Eos => {
+                    if let Ok(packet) = Packet::from_frame(&f) {
+                        deliver(&ie, packet, &stop);
+                    }
+                }
+                _ => {}
+            },
+            Ok(None) => {
+                ie.reporter.record(LinkEventKind::PeerEof, "connection closed");
+                break;
+            }
+            Err(TransportError::TimedOut) => {}
+            Err(TransportError::Io(e)) => {
+                ie.reporter.record(LinkEventKind::PeerEof, e.to_string());
+                break;
+            }
+        }
+        let crc = fs.crc_failures();
+        if crc > crc_seen {
+            ie.reporter.record(LinkEventKind::CrcDrop, format!("{crc} corrupted frames total"));
+            crc_seen = crc;
+        }
+    }
+    ie.connected.store(false, Ordering::Relaxed);
+    *ie.disconnected_at.lock().expect("in-edge clock") = Some(Instant::now());
+}
+
+fn deliver(ie: &InEdge, packet: Packet, stop: &AtomicBool) {
+    if packet.is_eos() {
+        // Exactly-once: a reconnecting sender re-sends nothing, but a
+        // drain-injected marker may race a late real one.
+        if !ie.eos_forwarded.swap(true, Ordering::SeqCst) {
+            push_with_stop(ie, packet, stop);
+        }
+        return;
+    }
+    if ie.blocking {
+        push_with_stop(ie, packet, stop);
+    } else if ie.data_tx.try_send(packet).is_err() {
+        ie.drops.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Blocking push into the stage queue that keeps watching the stop flag
+/// (mirror of the stage-side `send_with_stop_check`).
+fn push_with_stop(ie: &InEdge, packet: Packet, stop: &AtomicBool) {
+    let mut packet = packet;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            let _ = ie.data_tx.try_send(packet);
+            return;
+        }
+        match ie.data_tx.send_timeout(packet, Duration::from_millis(10)) {
+            Ok(()) => return,
+            Err(SendTimeoutError::Timeout(p)) => packet = p,
+            Err(SendTimeoutError::Disconnected(_)) => return,
+        }
+    }
+}
+
+/// Watch disconnected in-edges; once one stays down for the drain
+/// window, inject an end-of-stream marker so the local pipeline drains
+/// instead of waiting forever on a dead sender.
+fn drain_monitor(edges: Vec<Arc<InEdge>>, stop: Arc<AtomicBool>, window: Duration) {
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut pending = false;
+        for ie in &edges {
+            if ie.eos_forwarded.load(Ordering::SeqCst) {
+                continue;
+            }
+            pending = true;
+            if ie.connected.load(Ordering::Relaxed) {
+                continue;
+            }
+            let expired = ie
+                .disconnected_at
+                .lock()
+                .expect("in-edge clock")
+                .map(|since| since.elapsed() >= window)
+                .unwrap_or(false);
+            if expired && !ie.eos_forwarded.swap(true, Ordering::SeqCst) {
+                push_with_stop(ie, Packet::eos(u32::MAX, 0), &stop);
+                ie.reporter.record(
+                    LinkEventKind::Drained,
+                    format!("no reconnect within {window:?}; injected end-of-stream"),
+                );
+            }
+        }
+        if !pending {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}

@@ -1,11 +1,11 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # gates-engine
 //!
 //! Executors for GATES pipelines.
 //!
-//! Two engines run the same [`gates_core::Topology`] and produce the same
-//! [`gates_core::report::RunReport`]:
+//! Three engines run the same [`gates_core::Topology`] and produce the
+//! same [`gates_core::report::RunReport`]:
 //!
 //! * [`DesEngine`] — a deterministic **virtual-time** executor built on
 //!   the `gates-sim` discrete-event kernel. Stage service times come from
@@ -18,18 +18,27 @@
 //!   token-bucket throttles as links. It demonstrates that the same
 //!   processors and the same adaptation algorithm run unchanged on real
 //!   threads; the quickstart example uses it.
+//! * [`DistEngine`] — a **multi-process** runtime reproducing the paper's
+//!   actual deployment shape: a coordinator process (Launcher/Deployer)
+//!   assigns stages to `gates-cli worker` processes and remote edges
+//!   carry [`gates_net::Frame`]s over real TCP sockets, with exceptions
+//!   and suggested values crossing process boundaries on the same
+//!   connections.
 //!
-//! Both engines implement the paper's execution semantics: per-stage
+//! All engines implement the paper's execution semantics: per-stage
 //! input queues observed by a [`gates_core::adapt::LoadTracker`],
 //! over-/under-load exceptions flowing upstream, and one
 //! [`gates_core::adapt::ParamController`] per declared adjustment
 //! parameter pushing suggested values into the stage's `StageApi`.
 
 mod des;
+mod dist;
 mod options;
+mod runtime;
 mod threaded;
 
 pub use des::DesEngine;
+pub use dist::{DistConfig, DistEngine, DistWorker};
 pub use options::RunOptions;
 pub use threaded::ThreadedEngine;
 
@@ -42,6 +51,10 @@ pub enum EngineError {
     BadOptions(String),
     /// A worker thread panicked (threaded engine).
     WorkerPanic(String),
+    /// A socket operation failed (distributed engine).
+    Transport(String),
+    /// A peer sent a malformed or unexpected control message.
+    Protocol(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -50,6 +63,8 @@ impl std::fmt::Display for EngineError {
             EngineError::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
             EngineError::BadOptions(msg) => write!(f, "bad run options: {msg}"),
             EngineError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+            EngineError::Transport(msg) => write!(f, "transport failure: {msg}"),
+            EngineError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
         }
     }
 }

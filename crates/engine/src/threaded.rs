@@ -7,6 +7,10 @@
 //! same adaptation state machines run unchanged from the virtual-time
 //! engine.
 //!
+//! The per-stage event loop itself lives in [`crate::runtime`] and is
+//! shared with the multi-process [`crate::DistEngine`]; this module only
+//! wires every stage to in-process channel peers.
+//!
 //! This runtime is for demonstrations and the quickstart; every
 //! experiment harness uses [`crate::DesEngine`] for speed and
 //! repeatability.
@@ -15,19 +19,19 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{
-    bounded, unbounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender,
-};
+use crossbeam::channel::{bounded, unbounded, Sender};
 
-use gates_core::adapt::{LoadException, LoadTracker, ParamController};
-use gates_core::report::{ParamTrajectory, RunReport, StageReport};
-use gates_core::trace::{AdaptRound, RunMeta, StageSample, TraceEvent};
-use gates_core::{Packet, SourceStatus, StageApi, StageId, Topology};
+use gates_core::adapt::LoadTracker;
+use gates_core::report::RunReport;
+use gates_core::trace::{RunMeta, TraceEvent};
+#[allow(unused_imports)] // rustdoc link target
+use gates_core::StreamProcessor;
+use gates_core::{StageId, Topology};
 use gates_grid::DeploymentPlan;
-use gates_net::TokenBucket;
-use gates_sim::{SimDuration, SimTime};
+use gates_sim::SimTime;
 
 use crate::options::RunOptions;
+use crate::runtime::{Control, OutPort, StageWorker};
 use crate::EngineError;
 
 /// Wall-clock executor. Build with [`ThreadedEngine::new`], run with
@@ -38,22 +42,6 @@ pub struct ThreadedEngine {
     speeds: Vec<f64>,
     nodes: Vec<String>,
     opts: RunOptions,
-}
-
-/// Messages on a stage's control channel.
-enum Control {
-    Exception(LoadException),
-    /// Engine-wide shutdown (max_time exceeded).
-    Stop,
-}
-
-struct OutPort {
-    tx: Sender<Packet>,
-    bucket: TokenBucket,
-    /// Blocking edges use a blocking send; lossy edges drop when full.
-    blocking: bool,
-    /// Drop counter of the *receiving* stage.
-    drops: Arc<AtomicU64>,
 }
 
 impl ThreadedEngine {
@@ -108,7 +96,7 @@ impl ThreadedEngine {
         let mut ctl_rx = Vec::with_capacity(n);
         let mut drops: Vec<Arc<AtomicU64>> = Vec::with_capacity(n);
         for stage in self.topology.stages() {
-            let (tx, rx) = bounded::<Packet>(stage.queue_capacity);
+            let (tx, rx) = bounded(stage.queue_capacity);
             data_tx.push(tx);
             data_rx.push(rx);
             let (ctx, crx) = unbounded::<Control>();
@@ -130,11 +118,7 @@ impl ThreadedEngine {
                     let to = edge.to.index();
                     OutPort {
                         tx: data_tx[to].clone(),
-                        bucket: TokenBucket::new(
-                            edge.link.bandwidth.as_bytes_per_sec(),
-                            // Smooth pacing: ~50 ms of burst allowance.
-                            (edge.link.bandwidth.as_bytes_per_sec() * 0.05).clamp(64.0, 4096.0),
-                        ),
+                        bucket: OutPort::bucket_for(edge.link.bandwidth.as_bytes_per_sec()),
                         blocking: edge.link.flow == gates_net::FlowControl::Blocking,
                         drops: Arc::clone(&drops[to]),
                     }
@@ -215,313 +199,15 @@ impl ThreadedEngine {
     }
 }
 
-struct StageWorker {
-    name: String,
-    placed_on: String,
-    processor: Box<dyn gates_core::StreamProcessor + Send>,
-    cost: gates_core::CostModel,
-    speed: f64,
-    tracker: Option<LoadTracker>,
-    rx: Receiver<Packet>,
-    ctl: Receiver<Control>,
-    out: Vec<OutPort>,
-    upstream_ctl: Vec<Sender<Control>>,
-    in_edges: usize,
-    my_drops: Arc<AtomicU64>,
-    opts: RunOptions,
-    start: Instant,
-    /// Engine-wide stop flag (see [`ThreadedEngine::run`]).
-    stop: Arc<AtomicBool>,
-    /// Total token-bucket wait realized by this stage, seconds.
-    bucket_waited: f64,
-}
-
-impl StageWorker {
-    fn now(&self) -> SimTime {
-        SimTime::from_secs_f64(self.start.elapsed().as_secs_f64())
-    }
-
-    fn run(mut self) -> StageReport {
-        let mut api = StageApi::new();
-        api.set_now(self.now());
-        self.processor.on_start(&mut api);
-
-        // Controllers for declared parameters (adaptation-enabled stages).
-        let mut controllers: Vec<(gates_core::ParamId, ParamController)> = Vec::new();
-        let mut trajectories: Vec<ParamTrajectory> = Vec::new();
-        if let Some(tracker) = &self.tracker {
-            let cfg = tracker.config().clone();
-            for (pid, spec, _) in api.params().iter() {
-                controllers.push((pid, ParamController::new(cfg.clone(), spec.clone())));
-                trajectories.push(ParamTrajectory {
-                    name: spec.name.clone(),
-                    samples: vec![(0.0, spec.init)],
-                });
-            }
-        }
-
-        let mut stats = StageReport {
-            name: self.name.clone(),
-            placed_on: self.placed_on.clone(),
-            ..Default::default()
-        };
-        let is_source = self.in_edges == 0;
-        let mut eos_remaining = self.in_edges;
-        let mut stopped = false;
-
-        let observe_every = Duration::from_secs_f64(self.opts.observe_interval.as_secs_f64());
-        let adapt_every = Duration::from_secs_f64(self.opts.adapt_interval.as_secs_f64());
-        let mut last_observe = Instant::now();
-        let mut last_adapt = Instant::now();
-        let tick = observe_every.min(Duration::from_millis(10));
-
-        let recording = self.opts.recorder.enabled();
-        // Counters at the previous flight-recorder sample:
-        // `(t, packets_in, busy_secs, bucket_waited)`.
-        let mut last_rec = (0.0f64, 0u64, 0.0f64, 0.0f64);
-
-        // The monitoring heartbeat, also run between service-sleep slices
-        // so a busy stage keeps observing its queue (the virtual-time
-        // engine gets this for free from independent timer events). The
-        // observe tick doubles as the flight recorder's sampling clock.
-        macro_rules! run_timers {
-            () => {
-                if last_observe.elapsed() >= observe_every {
-                    last_observe = Instant::now();
-                    if let Some(tracker) = &mut self.tracker {
-                        if let Some(exception) = tracker.observe(self.rx.len() as f64) {
-                            match exception {
-                                LoadException::Overload => stats.exceptions_sent.0 += 1,
-                                LoadException::Underload => stats.exceptions_sent.1 += 1,
-                            }
-                            for up in &self.upstream_ctl {
-                                let _ = up.send(Control::Exception(exception));
-                            }
-                        }
-                    }
-                    if recording {
-                        let t = self.start.elapsed().as_secs_f64();
-                        let (t0, in0, busy0, wait0) = last_rec;
-                        let dt = t - t0;
-                        let d_in = stats.packets_in - in0;
-                        let busy = stats.busy_time.as_secs_f64();
-                        last_rec = (t, stats.packets_in, busy, self.bucket_waited);
-                        self.opts.recorder.record(TraceEvent::Sample(StageSample {
-                            t,
-                            stage: self.name.clone(),
-                            queue_depth: self.rx.len(),
-                            packets_in: stats.packets_in,
-                            packets_out: stats.packets_out,
-                            dropped: self.my_drops.load(Ordering::Relaxed),
-                            throughput: if dt > 0.0 { d_in as f64 / dt } else { 0.0 },
-                            service_time: if d_in > 0 { (busy - busy0) / d_in as f64 } else { 0.0 },
-                            bucket_wait: self.bucket_waited - wait0,
-                        }));
-                    }
-                }
-                if let Some(tracker) = &self.tracker {
-                    if last_adapt.elapsed() >= adapt_every {
-                        last_adapt = Instant::now();
-                        let d_tilde = tracker.d_tilde();
-                        let t = self.start.elapsed().as_secs_f64();
-                        let (phi1, phi2, phi3) = (tracker.phi1(), tracker.phi2(), tracker.phi3());
-                        for (i, (pid, controller)) in controllers.iter_mut().enumerate() {
-                            let v = controller.adapt(d_tilde);
-                            let _ = api.push_suggestion(*pid, v);
-                            trajectories[i].samples.push((t, v));
-                            if recording {
-                                let outcome = controller.last_outcome().unwrap_or_default();
-                                let received = controller.exceptions_received();
-                                self.opts.recorder.record(TraceEvent::Adapt(AdaptRound {
-                                    t,
-                                    stage: self.name.clone(),
-                                    param: trajectories[i].name.clone(),
-                                    d_tilde,
-                                    phi1,
-                                    phi2,
-                                    phi3,
-                                    sigma1: outcome.sigma1,
-                                    sigma2: outcome.sigma2,
-                                    suggested: v,
-                                    overload_sent: stats.exceptions_sent.0,
-                                    underload_sent: stats.exceptions_sent.1,
-                                    overload_received: received.0,
-                                    underload_received: received.1,
-                                }));
-                            }
-                        }
-                    }
-                }
-            };
-        }
-
-        // Emit packets from on_start.
-        self.flush(&mut api, &mut stats);
-
-        'main: loop {
-            if self.stop.load(Ordering::Relaxed) {
-                stopped = true;
-                break 'main;
-            }
-            // Control: exceptions from downstream, or engine stop.
-            while let Ok(msg) = self.ctl.try_recv() {
-                match msg {
-                    Control::Exception(e) => {
-                        for (_, c) in &mut controllers {
-                            c.on_exception(e);
-                        }
-                    }
-                    Control::Stop => {
-                        stopped = true;
-                        break 'main;
-                    }
-                }
-            }
-            run_timers!();
-
-            if is_source {
-                api.set_now(self.now());
-                match self.processor.poll_generate(&mut api) {
-                    SourceStatus::Continue { next_poll } => {
-                        self.flush(&mut api, &mut stats);
-                        std::thread::sleep(Duration::from_secs_f64(next_poll.as_secs_f64()));
-                    }
-                    SourceStatus::Done => {
-                        self.flush(&mut api, &mut stats);
-                        break 'main;
-                    }
-                }
-                continue;
-            }
-
-            match self.rx.recv_timeout(tick) {
-                Ok(packet) if packet.is_eos() => {
-                    eos_remaining = eos_remaining.saturating_sub(1);
-                    if eos_remaining == 0 {
-                        break 'main;
-                    }
-                }
-                Ok(packet) => {
-                    stats.packets_in += 1;
-                    stats.records_in += packet.records as u64;
-                    stats.bytes_in += packet.payload.len() as u64;
-                    stats.latency.push(self.now().since(packet.created_at).as_secs_f64());
-                    let service = self.cost.service_time(&packet, self.speed);
-                    api.set_now(self.now());
-                    self.processor.process(packet, &mut api);
-                    let extra = api.take_extra_cost();
-                    let total = service.as_secs_f64() + extra.as_secs_f64() / self.speed;
-                    // Realize the service time in monitoring-friendly
-                    // slices so the queue keeps being observed while the
-                    // stage is busy — and so an engine stop interrupts a
-                    // long service instead of overrunning the budget.
-                    let tick_secs = tick.as_secs_f64();
-                    let mut remaining = total;
-                    let mut slept = 0.0;
-                    while remaining > 0.0 && !self.stop.load(Ordering::Relaxed) {
-                        let slice = remaining.min(tick_secs);
-                        std::thread::sleep(Duration::from_secs_f64(slice));
-                        slept += slice;
-                        remaining -= slice;
-                        run_timers!();
-                    }
-                    stats.busy_time += SimDuration::from_secs_f64(slept);
-                    self.flush(&mut api, &mut stats);
-                }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => break 'main,
-            }
-        }
-
-        if !stopped && !is_source {
-            api.set_now(self.now());
-            self.processor.on_eos(&mut api);
-            self.flush(&mut api, &mut stats);
-        }
-        // Forward EOS downstream (one marker per out edge) with a timed
-        // send: a full queue on a stopping run must not wedge shutdown.
-        for i in 0..self.out.len() {
-            self.send_with_stop_check(i, Packet::eos(u32::MAX, 0), true);
-        }
-        if let Some(tracker) = &self.tracker {
-            stats.queue = tracker.queue_stats().clone();
-        }
-        stats.packets_dropped = self.my_drops.load(Ordering::Relaxed);
-        stats.exceptions_received = controllers.iter().fold((0, 0), |acc, (_, c)| {
-            let (o, u) = c.exceptions_received();
-            (acc.0 + o, acc.1 + u)
-        });
-        stats.params = trajectories;
-        stats
-    }
-
-    /// Send everything the processor emitted, pacing each packet with the
-    /// out-edge's token bucket. A `Some(port)` tag routes to one edge;
-    /// `None` broadcasts.
-    fn flush(&mut self, api: &mut StageApi, stats: &mut StageReport) {
-        for (target, packet) in api.take_emitted() {
-            if let Some(p) = target {
-                debug_assert!(p < self.out.len(), "emit_to({p}) out of range");
-                if p >= self.out.len() {
-                    continue;
-                }
-            }
-            stats.packets_out += 1;
-            stats.records_out += packet.records as u64;
-            stats.bytes_out += packet.payload.len() as u64;
-            let ports: Vec<usize> = match target {
-                Some(p) => vec![p],
-                None => (0..self.out.len()).collect(),
-            };
-            for i in ports {
-                let now = self.start.elapsed().as_secs_f64();
-                let wait = self.out[i].bucket.acquire(packet.wire_len(), now);
-                if wait > 0.0 {
-                    self.bucket_waited += wait;
-                    std::thread::sleep(Duration::from_secs_f64(wait));
-                }
-                if self.out[i].blocking {
-                    // Windowed semantics: block until the receiver has
-                    // room — but keep watching the stop flag so a stopped
-                    // run drains instead of deadlocking on a full queue
-                    // whose consumer has already quit.
-                    self.send_with_stop_check(i, packet.clone(), false);
-                } else if self.out[i].tx.try_send(packet.clone()).is_err() {
-                    self.out[i].drops.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-        }
-    }
-
-    /// Blocking send on out-edge `i` that gives up once the engine stop
-    /// flag is raised (counting the packet as a drop) or the receiver
-    /// disconnects. With `final_attempt`, an already-stopped run still
-    /// tries one non-blocking send so EOS reaches a live receiver.
-    fn send_with_stop_check(&mut self, i: usize, packet: Packet, final_attempt: bool) {
-        let mut packet = packet;
-        loop {
-            if self.stop.load(Ordering::Relaxed) {
-                if self.out[i].tx.try_send(packet).is_err() && !final_attempt {
-                    self.out[i].drops.fetch_add(1, Ordering::Relaxed);
-                }
-                return;
-            }
-            match self.out[i].tx.send_timeout(packet, Duration::from_millis(10)) {
-                Ok(()) => return,
-                Err(SendTimeoutError::Timeout(p)) => packet = p,
-                Err(SendTimeoutError::Disconnected(_)) => return,
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use bytes::Bytes;
-    use gates_core::{StageApi, StageBuilder, StreamProcessor};
+    use gates_core::SourceStatus;
+    use gates_core::{Packet, StageApi, StageBuilder, StreamProcessor};
     use gates_grid::{Deployer, ResourceRegistry};
     use gates_net::{Bandwidth, LinkSpec};
+    use gates_sim::{SimDuration, SimTime};
 
     struct Burst {
         left: u32,

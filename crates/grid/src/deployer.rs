@@ -56,6 +56,8 @@ pub struct DeploymentPlan {
     placements: HashMap<StageId, String>,
     /// Node speed factor per stage (denormalized for the executors).
     speeds: HashMap<StageId, f64>,
+    /// Data endpoint per stage, when the hosting node advertised one.
+    endpoints: HashMap<StageId, String>,
     services: Vec<ServiceInstance>,
 }
 
@@ -68,6 +70,12 @@ impl DeploymentPlan {
     /// CPU speed factor of the node hosting `stage` (1.0 if unknown).
     pub fn speed_of(&self, stage: StageId) -> f64 {
         self.speeds.get(&stage).copied().unwrap_or(1.0)
+    }
+
+    /// `host:port` data endpoint of the node hosting `stage`, when the
+    /// registry node carried one (distributed runs only).
+    pub fn endpoint_of(&self, stage: StageId) -> Option<&str> {
+        self.endpoints.get(&stage).map(String::as_str)
     }
 
     /// All service instances, in stage order.
@@ -140,6 +148,7 @@ fn build_plan(
     placements: HashMap<StageId, String>,
 ) -> Result<DeploymentPlan, GridError> {
     let mut speeds = HashMap::new();
+    let mut endpoints = HashMap::new();
     let mut services = Vec::with_capacity(topology.stages().len());
     for (idx, stage) in topology.stages().iter().enumerate() {
         let id = StageId::from_index(idx);
@@ -151,12 +160,15 @@ fn build_plan(
             node: node_name.clone(),
         })?;
         speeds.insert(id, node.cpu_speed);
+        if let Some(ep) = &node.endpoint {
+            endpoints.insert(id, ep.clone());
+        }
         let mut service = ServiceInstance::create(stage.name.clone(), node_name.clone());
         service.customize().map_err(GridError::AppBuild)?;
         debug_assert_eq!(service.state(), ServiceState::Customized);
         services.push(service);
     }
-    Ok(DeploymentPlan { placements, speeds, services })
+    Ok(DeploymentPlan { placements, speeds, endpoints, services })
 }
 
 #[cfg(test)]
@@ -254,6 +266,17 @@ mod tests {
         assert!(plan.services().iter().all(|s| s.state() == ServiceState::Running));
         plan.stop_all().unwrap();
         assert!(plan.services().iter().all(|s| s.state() == ServiceState::Stopped));
+    }
+
+    #[test]
+    fn endpoints_flow_from_registry_to_plan() {
+        let (t, a, b) = topology();
+        let mut reg = ResourceRegistry::new();
+        reg.register(NodeSpec::new("e0", "edge").endpoint("127.0.0.1:9001"));
+        reg.register(NodeSpec::new("c0", "central"));
+        let plan = Deployer::new().deploy(&t, &reg).unwrap();
+        assert_eq!(plan.endpoint_of(a), Some("127.0.0.1:9001"));
+        assert_eq!(plan.endpoint_of(b), None, "no endpoint advertised");
     }
 
     #[test]

@@ -17,6 +17,9 @@ pub struct NodeSpec {
     pub tags: Vec<String>,
     /// Maximum stages this node will host.
     pub max_stages: usize,
+    /// Network endpoint (`host:port`) where this node's worker process
+    /// accepts data connections. `None` for simulated nodes.
+    pub endpoint: Option<String>,
 }
 
 impl NodeSpec {
@@ -29,6 +32,7 @@ impl NodeSpec {
             memory_mb: 1024,
             tags: Vec::new(),
             max_stages: 4,
+            endpoint: None,
         }
     }
 
@@ -54,6 +58,12 @@ impl NodeSpec {
     /// Set the stage-hosting capacity (min 1).
     pub fn capacity(mut self, stages: usize) -> Self {
         self.max_stages = stages.max(1);
+        self
+    }
+
+    /// Set the worker's data endpoint (`host:port`).
+    pub fn endpoint(mut self, addr: impl Into<String>) -> Self {
+        self.endpoint = Some(addr.into());
         self
     }
 

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # gates-net
 //!
@@ -20,15 +20,21 @@
 //! * [`Frame`] / framing — the on-wire encoding (length-prefixed, CRC-32
 //!   protected) used when stages exchange packets, so experiment byte
 //!   counts come from an actual encoding rather than a guess.
+//! * [`FrameStream`] / [`connect_with_retry`] — the same framing carried
+//!   over real `std::net` TCP sockets for the distributed runtime, with
+//!   buffered streaming decode, CRC-failure skip-and-count, and bounded
+//!   exponential-backoff reconnect.
 
 mod crc32;
 mod frame;
 mod link;
 mod spec;
 mod token_bucket;
+mod transport;
 
 pub use crc32::crc32;
 pub use frame::{decode_frame, encode_frame, Frame, FrameDecodeError, FrameKind, FRAME_HEADER_LEN};
 pub use link::LinkModel;
 pub use spec::{Bandwidth, FlowControl, LinkSpec};
 pub use token_bucket::TokenBucket;
+pub use transport::{connect_with_retry, FrameStream, RetryPolicy, TransportError};

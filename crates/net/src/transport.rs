@@ -1,0 +1,381 @@
+//! Socket transport: framed IO over `std::net::TcpStream`.
+//!
+//! The frame encoding in [`crate::frame`] was designed for the wire; this
+//! module actually puts it there. A [`FrameStream`] wraps a connected TCP
+//! stream and speaks length-prefixed CRC-32 frames with the streaming
+//! decode contract of [`crate::decode_frame`]: short reads accumulate in
+//! an internal buffer, and a frame that fails its checksum is *counted
+//! and skipped* (the header's length field is trusted for resync) instead
+//! of poisoning the connection.
+//!
+//! [`connect_with_retry`] provides the bounded-retry, exponential-backoff
+//! connect used by the distributed runtime: stage processes come up in
+//! arbitrary order, so the first connect attempts routinely land before
+//! the peer's listener exists.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use bytes::BytesMut;
+
+use crate::frame::{decode_frame, encode_frame, Frame, FrameDecodeError, FRAME_HEADER_LEN};
+
+/// Errors surfaced by [`FrameStream`].
+#[derive(Debug)]
+pub enum TransportError {
+    /// The underlying socket failed (includes remote resets).
+    Io(std::io::Error),
+    /// A read timed out before a full frame arrived (only when a read
+    /// timeout is configured). The stream stays usable; retry later.
+    TimedOut,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "transport io error: {e}"),
+            TransportError::TimedOut => write!(f, "transport read timed out"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                TransportError::TimedOut
+            }
+            _ => TransportError::Io(e),
+        }
+    }
+}
+
+/// Bounded exponential backoff for reconnect loops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum connect attempts before giving up (min 1).
+    pub max_attempts: u32,
+    /// Delay before the second attempt; doubles each further attempt.
+    pub base_delay: Duration,
+    /// Ceiling on the per-attempt delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before attempt `attempt` (0-based; attempt 0 is immediate).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let factor = 1u64 << (attempt - 1).min(20);
+        self.base_delay.saturating_mul(factor as u32).min(self.max_delay)
+    }
+
+    /// Total time the policy may spend sleeping across all attempts.
+    pub fn total_backoff(&self) -> Duration {
+        (0..self.max_attempts).map(|a| self.delay(a)).sum()
+    }
+}
+
+/// Connect to `addr` with a per-attempt timeout, retrying with
+/// exponential backoff per `policy`. `on_retry(attempt, error)` is called
+/// before each backoff sleep (for logging / flight-recorder hooks).
+pub fn connect_with_retry(
+    addr: SocketAddr,
+    connect_timeout: Duration,
+    policy: &RetryPolicy,
+    mut on_retry: impl FnMut(u32, &std::io::Error),
+) -> std::io::Result<TcpStream> {
+    let attempts = policy.max_attempts.max(1);
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        let backoff = policy.delay(attempt);
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        match TcpStream::connect_timeout(&addr, connect_timeout) {
+            Ok(stream) => {
+                stream.set_nodelay(true).ok();
+                return Ok(stream);
+            }
+            Err(e) => {
+                if attempt + 1 < attempts {
+                    on_retry(attempt, &e);
+                }
+                last_err = Some(e);
+            }
+        }
+    }
+    Err(last_err.unwrap_or_else(|| std::io::Error::other("no connect attempts made")))
+}
+
+/// A framed, buffered view over a connected TCP stream.
+///
+/// Reading yields whole [`Frame`]s; corrupted frames (bad checksum or
+/// unknown kind tag) are skipped using the header's declared length and
+/// counted in [`FrameStream::crc_failures`], so one flipped bit drops one
+/// frame instead of killing the link.
+#[derive(Debug)]
+pub struct FrameStream {
+    stream: TcpStream,
+    buf: BytesMut,
+    crc_failures: u64,
+}
+
+impl FrameStream {
+    /// Wrap a connected stream. Disables Nagle so small control frames
+    /// (EOS, exceptions) are not delayed behind data.
+    pub fn new(stream: TcpStream) -> Self {
+        stream.set_nodelay(true).ok();
+        FrameStream { stream, buf: BytesMut::with_capacity(8 * 1024), crc_failures: 0 }
+    }
+
+    /// Set (or clear) the socket read timeout used by
+    /// [`FrameStream::read_frame`].
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Corrupted frames skipped so far on this stream.
+    pub fn crc_failures(&self) -> u64 {
+        self.crc_failures
+    }
+
+    /// The peer's address.
+    pub fn peer_addr(&self) -> std::io::Result<SocketAddr> {
+        self.stream.peer_addr()
+    }
+
+    /// Clone the underlying socket handle (shared file description), e.g.
+    /// to write from one thread while another reads.
+    pub fn try_clone_stream(&self) -> std::io::Result<TcpStream> {
+        self.stream.try_clone()
+    }
+
+    /// Encode and write one frame, flushing to the socket.
+    pub fn send(&mut self, frame: &Frame) -> std::io::Result<()> {
+        let bytes = encode_frame(frame);
+        self.stream.write_all(&bytes)?;
+        self.stream.flush()
+    }
+
+    /// Read the next intact frame.
+    ///
+    /// Returns `Ok(None)` on clean EOF (peer closed the connection),
+    /// `Err(TransportError::TimedOut)` when a configured read timeout
+    /// expires mid-frame (retryable), and `Err(TransportError::Io)` on a
+    /// socket error. Corrupted frames are skipped and counted, never
+    /// returned.
+    pub fn read_frame(&mut self) -> Result<Option<Frame>, TransportError> {
+        loop {
+            match decode_frame(&mut self.buf) {
+                Ok(frame) => return Ok(Some(frame)),
+                Err(FrameDecodeError::Truncated(_)) => {
+                    if !self.fill()? {
+                        if self.buf.is_empty() {
+                            return Ok(None);
+                        }
+                        // A partial frame followed by EOF: the tail can
+                        // never complete, treat it as a truncated link.
+                        return Err(TransportError::Io(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            format!(
+                                "connection closed mid-frame ({} bytes pending)",
+                                self.buf.len()
+                            ),
+                        )));
+                    }
+                }
+                Err(FrameDecodeError::BadChecksum(..)) | Err(FrameDecodeError::BadKind(_)) => {
+                    self.skip_bad_frame();
+                }
+            }
+        }
+    }
+
+    /// Drop the frame at the front of the buffer using the length its
+    /// header claims (the length prefix is outside the CRC region, so it
+    /// is the best available resync point).
+    fn skip_bad_frame(&mut self) {
+        use bytes::Buf;
+        debug_assert!(self.buf.len() >= FRAME_HEADER_LEN);
+        let payload_len =
+            u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        let total = (FRAME_HEADER_LEN + payload_len).min(self.buf.len());
+        self.buf.advance(total);
+        self.crc_failures += 1;
+    }
+
+    /// Read more bytes from the socket into the buffer. Returns `false`
+    /// on EOF.
+    fn fill(&mut self) -> Result<bool, TransportError> {
+        let mut chunk = [0u8; 8 * 1024];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => Ok(false),
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(true)
+            }
+            Err(e) => Err(TransportError::from(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameKind;
+    use bytes::Bytes;
+    use std::net::TcpListener;
+
+    fn frame(seq: u64, payload: &'static [u8]) -> Frame {
+        Frame { kind: FrameKind::Data, stream_id: 1, seq, payload: Bytes::from_static(payload) }
+    }
+
+    /// Loopback pair: returns (client stream, server-accepted stream).
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn frames_round_trip_over_loopback() {
+        let (client, server) = pair();
+        let mut tx = FrameStream::new(client);
+        let mut rx = FrameStream::new(server);
+        for seq in 0..10u64 {
+            tx.send(&frame(seq, b"hello over tcp")).unwrap();
+        }
+        drop(tx);
+        for seq in 0..10u64 {
+            let got = rx.read_frame().unwrap().expect("frame");
+            assert_eq!(got.seq, seq);
+            assert_eq!(&got.payload[..], b"hello over tcp");
+        }
+        assert!(rx.read_frame().unwrap().is_none(), "clean EOF after sender closes");
+        assert_eq!(rx.crc_failures(), 0);
+    }
+
+    #[test]
+    fn corrupted_frame_is_counted_and_skipped() {
+        let (mut client, server) = pair();
+        let mut rx = FrameStream::new(server);
+        let good = encode_frame(&frame(1, b"first"));
+        let mut bad = encode_frame(&frame(2, b"corrupt me")).to_vec();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF; // flip a payload bit -> CRC mismatch
+        let tail = encode_frame(&frame(3, b"after the damage"));
+        client.write_all(&good).unwrap();
+        client.write_all(&bad).unwrap();
+        client.write_all(&tail).unwrap();
+        drop(client);
+
+        assert_eq!(rx.read_frame().unwrap().unwrap().seq, 1);
+        let after = rx.read_frame().unwrap().expect("stream survives the bad frame");
+        assert_eq!(after.seq, 3, "corrupted frame 2 skipped");
+        assert_eq!(&after.payload[..], b"after the damage");
+        assert_eq!(rx.crc_failures(), 1);
+        assert!(rx.read_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error() {
+        let (mut client, server) = pair();
+        let mut rx = FrameStream::new(server);
+        let encoded = encode_frame(&frame(1, b"will be cut short"));
+        client.write_all(&encoded[..encoded.len() - 4]).unwrap();
+        drop(client);
+        match rx.read_frame() {
+            Err(TransportError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof)
+            }
+            other => panic!("expected mid-frame EOF error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_timeout_is_retryable() {
+        let (client, server) = pair();
+        let mut rx = FrameStream::new(server);
+        rx.set_read_timeout(Some(Duration::from_millis(20))).unwrap();
+        assert!(matches!(rx.read_frame(), Err(TransportError::TimedOut)));
+        // The stream is still usable afterwards.
+        let mut tx = FrameStream::new(client);
+        tx.send(&frame(9, b"late")).unwrap();
+        assert_eq!(rx.read_frame().unwrap().unwrap().seq, 9);
+    }
+
+    #[test]
+    fn connect_with_retry_reaches_a_late_listener() {
+        // Reserve a port, close the listener, re-open it after a delay.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let opener = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(120));
+            let listener = TcpListener::bind(addr).unwrap();
+            listener.accept().map(|_| ()).ok();
+        });
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(40),
+            max_delay: Duration::from_millis(200),
+        };
+        let mut retries = 0;
+        let stream =
+            connect_with_retry(addr, Duration::from_millis(200), &policy, |_, _| retries += 1);
+        assert!(stream.is_ok(), "late listener must be reached: {stream:?}");
+        assert!(retries >= 1, "at least one backoff retry happened");
+        opener.join().unwrap();
+    }
+
+    #[test]
+    fn connect_with_retry_gives_up_after_budget() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener); // nobody listening
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(20),
+        };
+        let mut attempts_logged = 0;
+        let res = connect_with_retry(addr, Duration::from_millis(100), &policy, |_, _| {
+            attempts_logged += 1
+        });
+        assert!(res.is_err());
+        assert_eq!(attempts_logged, 2, "on_retry fires between attempts, not after the last");
+    }
+
+    #[test]
+    fn retry_policy_backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 6,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_millis(300),
+        };
+        assert_eq!(p.delay(0), Duration::ZERO);
+        assert_eq!(p.delay(1), Duration::from_millis(50));
+        assert_eq!(p.delay(2), Duration::from_millis(100));
+        assert_eq!(p.delay(3), Duration::from_millis(200));
+        assert_eq!(p.delay(4), Duration::from_millis(300), "capped");
+        assert_eq!(p.delay(5), Duration::from_millis(300));
+        assert!(p.total_backoff() >= Duration::from_millis(950));
+    }
+}

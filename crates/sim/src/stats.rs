@@ -6,7 +6,7 @@
 //! rate α), and a linear histogram for queue-length distributions.
 
 /// Whole-stream mean/variance via Welford's algorithm.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Welford {
     count: u64,
     mean: f64,
@@ -67,6 +67,18 @@ impl Welford {
     /// Largest observation (`-∞` when empty).
     pub fn max(&self) -> f64 {
         self.max
+    }
+
+    /// Raw sum of squared deviations (the `M2` accumulator). Exposed so
+    /// accumulators can cross process boundaries losslessly.
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Rebuild an accumulator from its raw parts (the inverse of reading
+    /// `count`/`mean`/`m2`/`min`/`max`), e.g. after a network hop.
+    pub fn from_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Welford { count, mean, m2, min, max }
     }
 }
 

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # gates-streams
 //!
@@ -7,7 +7,7 @@
 //!
 //! The paper's `count-samps` application "implements a distributed
 //! version of the counting samples problem" using the approximate
-//! one-pass method of Gibbons and Matias (its reference [18]); that
+//! one-pass method of Gibbons and Matias (its reference \[18\]); that
 //! algorithm lives in [`counting_samples`]. The remaining modules supply
 //! the comparison baselines and extensions exercised by the examples and
 //! the intrusion-detection template:

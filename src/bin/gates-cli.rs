@@ -14,6 +14,12 @@
 //! # On native threads instead of the virtual-time engine:
 //! gates-cli run app.xml --engine threaded --max-time 30
 //!
+//! # Distributed: start a coordinator for three worker processes...
+//! gates-cli run app.xml --engine dist --listen 127.0.0.1:7070 --workers 3
+//!
+//! # ...and, in three other shells, the workers:
+//! gates-cli worker --name w0 --coordinator 127.0.0.1:7070
+//!
 //! # With a flight-recorder trace (JSONL) of the run:
 //! gates-cli run app.xml --trace run.jsonl
 //!
@@ -27,21 +33,24 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use gates::apps;
 use gates::core::trace::FlightRecorder;
-use gates::engine::{DesEngine, RunOptions, ThreadedEngine};
+use gates::engine::{DesEngine, DistConfig, DistEngine, DistWorker, RunOptions, ThreadedEngine};
 use gates::grid::{registry_from_xml, ApplicationRepository, Launcher, ResourceRegistry};
+use gates::net::RetryPolicy;
 use gates::sim::{SimDuration, SimTime};
 
 fn usage() -> &'static str {
-    "usage:\n  gates-cli run <app.xml> [--grid <grid.xml>] [--duration <secs>]\n                          [--max-time <secs>] [--engine des|threaded]\n                          [--trace <out.jsonl>]\n  gates-cli apps\n  gates-cli template app|grid"
+    "usage:\n  gates-cli run <app.xml> [--grid <grid.xml>] [--duration <secs>]\n                          [--max-time <secs>] [--engine des|threaded|dist]\n                          [--observe-ms <ms>] [--adapt-ms <ms>]\n                          [--trace <out.jsonl>]\n                          [--listen <host:port>] [--workers <n>]\n                          [--drain-ms <ms>] [--retry-attempts <n>] [--retry-base-ms <ms>]\n  gates-cli worker --name <name> --coordinator <host:port>\n                   [--site <site>] [--speed <f>] [--capacity <n>] [--bind-host <host>]\n  gates-cli apps\n  gates-cli template app|grid"
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
+        Some("worker") => worker(&args[1..]),
         Some("apps") => {
             let mut repo = ApplicationRepository::new();
             apps::publish_all(&mut repo);
@@ -98,6 +107,13 @@ struct RunArgs {
     max_time: Option<f64>,
     engine: String,
     trace_path: Option<String>,
+    observe_ms: Option<u64>,
+    adapt_ms: Option<u64>,
+    listen: String,
+    workers: usize,
+    drain_ms: Option<u64>,
+    retry_attempts: Option<u32>,
+    retry_base_ms: Option<u64>,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
@@ -108,6 +124,13 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         max_time: None,
         engine: "des".to_string(),
         trace_path: None,
+        observe_ms: None,
+        adapt_ms: None,
+        listen: "127.0.0.1:0".to_string(),
+        workers: 3,
+        drain_ms: None,
+        retry_attempts: None,
+        retry_base_ms: None,
     };
     let mut it = args.iter();
     let Some(app) = it.next() else {
@@ -129,16 +152,122 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             }
             "--engine" => {
                 let v = value("--engine")?;
-                if v != "des" && v != "threaded" {
-                    return Err(format!("--engine must be des or threaded, got {v:?}"));
+                if v != "des" && v != "threaded" && v != "dist" {
+                    return Err(format!("--engine must be des, threaded or dist, got {v:?}"));
                 }
                 parsed.engine = v;
             }
             "--trace" => parsed.trace_path = Some(value("--trace")?),
+            "--observe-ms" => {
+                parsed.observe_ms =
+                    Some(value("--observe-ms")?.parse().map_err(|_| "--observe-ms: not a number")?)
+            }
+            "--adapt-ms" => {
+                parsed.adapt_ms =
+                    Some(value("--adapt-ms")?.parse().map_err(|_| "--adapt-ms: not a number")?)
+            }
+            "--listen" => parsed.listen = value("--listen")?,
+            "--workers" => {
+                parsed.workers =
+                    Some(value("--workers")?.parse().map_err(|_| "--workers: not a number")?)
+                        .filter(|&n: &usize| n > 0)
+                        .ok_or("--workers must be at least 1")?
+            }
+            "--drain-ms" => {
+                parsed.drain_ms =
+                    Some(value("--drain-ms")?.parse().map_err(|_| "--drain-ms: not a number")?)
+            }
+            "--retry-attempts" => {
+                parsed.retry_attempts = Some(
+                    value("--retry-attempts")?
+                        .parse()
+                        .map_err(|_| "--retry-attempts: not a number")?,
+                )
+            }
+            "--retry-base-ms" => {
+                parsed.retry_base_ms = Some(
+                    value("--retry-base-ms")?
+                        .parse()
+                        .map_err(|_| "--retry-base-ms: not a number")?,
+                )
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     Ok(parsed)
+}
+
+/// `gates-cli worker`: one worker process of a distributed run.
+fn worker(args: &[String]) -> ExitCode {
+    let mut name = None;
+    let mut coordinator = None;
+    let mut site = None;
+    let mut speed = None;
+    let mut capacity = None;
+    let mut bind_host = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |n: &str| it.next().cloned().ok_or_else(|| format!("{n} needs a value"));
+        let result: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--name" => name = Some(value("--name")?),
+                "--coordinator" => coordinator = Some(value("--coordinator")?),
+                "--site" => site = Some(value("--site")?),
+                "--speed" => {
+                    speed = Some(
+                        value("--speed")?
+                            .parse::<f64>()
+                            .map_err(|_| "--speed: not a number".to_string())?,
+                    )
+                }
+                "--capacity" => {
+                    capacity = Some(
+                        value("--capacity")?
+                            .parse::<u32>()
+                            .map_err(|_| "--capacity: not a number".to_string())?,
+                    )
+                }
+                "--bind-host" => bind_host = Some(value("--bind-host")?),
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+    let (Some(name), Some(coordinator)) = (name, coordinator) else {
+        eprintln!("error: worker needs --name and --coordinator\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+
+    let mut repo = ApplicationRepository::new();
+    apps::publish_all(&mut repo);
+
+    let mut w = DistWorker::new(&name, coordinator);
+    if let Some(s) = site {
+        w = w.site(s);
+    }
+    if let Some(s) = speed {
+        w = w.speed(s);
+    }
+    if let Some(c) = capacity {
+        w = w.capacity(c);
+    }
+    if let Some(h) = bind_host {
+        w = w.bind_host(h);
+    }
+    match w.run(&repo) {
+        Ok(()) => {
+            eprintln!("worker {name} finished");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: worker {name}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn run(args: &[String]) -> ExitCode {
@@ -160,6 +289,27 @@ fn run(args: &[String]) -> ExitCode {
 
     let mut repo = ApplicationRepository::new();
     apps::publish_all(&mut repo);
+
+    let mut opts = RunOptions::default();
+    if let Some(mt) = parsed.max_time {
+        opts = opts.max_time(SimTime::from_secs_f64(mt));
+    }
+    if let Some(ms) = parsed.observe_ms {
+        opts = opts.observe_every(SimDuration::from_millis(ms));
+    }
+    if let Some(ms) = parsed.adapt_ms {
+        opts = opts.adapt_every(SimDuration::from_millis(ms));
+    }
+    let recorder = parsed.trace_path.as_ref().map(|_| Arc::new(FlightRecorder::default()));
+    if let Some(rec) = &recorder {
+        opts = opts.recorder(Arc::clone(rec) as _);
+    }
+
+    // The distributed engine builds its resource registry from worker
+    // registrations, so the local --grid machinery does not apply.
+    if parsed.engine == "dist" {
+        return run_dist(&parsed, &app_xml, &repo, opts, recorder);
+    }
 
     // Build the topology once just to learn the sites it wants, so an
     // auto-generated uniform grid can cover them when no --grid is given.
@@ -217,15 +367,6 @@ fn run(args: &[String]) -> ExitCode {
         eprintln!("  {:<20} -> {}", stage.name, deployment.plan.node_of(id).unwrap_or("?"));
     }
 
-    let mut opts = RunOptions::default();
-    if let Some(mt) = parsed.max_time {
-        opts = opts.max_time(SimTime::from_secs_f64(mt));
-    }
-    let recorder = parsed.trace_path.as_ref().map(|_| Arc::new(FlightRecorder::default()));
-    if let Some(rec) = &recorder {
-        opts = opts.recorder(Arc::clone(rec) as _);
-    }
-
     let report = match parsed.engine.as_str() {
         "threaded" => {
             match ThreadedEngine::new(deployment.topology, &deployment.plan, opts)
@@ -253,7 +394,64 @@ fn run(args: &[String]) -> ExitCode {
         }
     };
 
-    if let (Some(path), Some(rec)) = (&parsed.trace_path, &recorder) {
+    finish(&parsed, &report, recorder.as_ref())
+}
+
+/// Coordinator side of `--engine dist`: bind, announce the control
+/// address, and run the deployment across the registered workers.
+fn run_dist(
+    parsed: &RunArgs,
+    app_xml: &str,
+    repo: &ApplicationRepository,
+    opts: RunOptions,
+    recorder: Option<Arc<FlightRecorder>>,
+) -> ExitCode {
+    let mut config = DistConfig::default();
+    if let Some(ms) = parsed.drain_ms {
+        config.drain_window = Duration::from_millis(ms);
+    }
+    let mut retry = RetryPolicy::default();
+    if let Some(n) = parsed.retry_attempts {
+        retry.max_attempts = n;
+    }
+    if let Some(ms) = parsed.retry_base_ms {
+        retry.base_delay = Duration::from_millis(ms);
+    }
+    config.retry = retry;
+
+    let engine = match DistEngine::bind(app_xml, &parsed.listen, parsed.workers, opts, config) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match engine.local_addr() {
+        // Scripts (and the integration tests) parse this line to learn
+        // the port when --listen used port 0; keep it stable.
+        Ok(addr) => println!("coordinator listening on {addr}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("waiting for {} workers...", parsed.workers);
+    match engine.run(repo) {
+        Ok(report) => finish(parsed, &report, recorder.as_ref()),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Shared tail of every `run` variant: persist the trace, print tables.
+fn finish(
+    parsed: &RunArgs,
+    report: &gates::core::report::RunReport,
+    recorder: Option<&Arc<FlightRecorder>>,
+) -> ExitCode {
+    if let (Some(path), Some(rec)) = (&parsed.trace_path, recorder) {
         if let Err(e) = rec.save_jsonl(path) {
             eprintln!("error: cannot write trace {path}: {e}");
             return ExitCode::FAILURE;

@@ -1,0 +1,224 @@
+//! End-to-end tests of the distributed runtime through the real CLI
+//! binary: a coordinator (`gates-cli run --engine dist`) plus
+//! `gates-cli worker` child processes wired over loopback TCP.
+//!
+//! Two scenarios:
+//!
+//! * the README's loopback demo — three workers run the adaptive
+//!   counting-samples config and the converged suggested `k` matches a
+//!   virtual-time (DES) run of the same config within 10%;
+//! * a worker is killed mid-run — the senders that lose their peer
+//!   retry with backoff, the coordinator records the loss, and the run
+//!   drains to a clean exit instead of hanging.
+
+use std::io::{BufRead, BufReader, Read};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const CLI: &str = env!("CARGO_BIN_EXE_gates-cli");
+
+fn config_path(name: &str) -> String {
+    format!("{}/configs/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn spawn_worker(name: &str, site: &str, coordinator: &str) -> Child {
+    Command::new(CLI)
+        .args(["worker", "--name", name, "--site", site, "--coordinator", coordinator])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn worker")
+}
+
+/// Start a coordinator process and block until it announces its control
+/// address on stdout. Returns the child, the address, and a thread that
+/// keeps draining the rest of stdout (so the pipe never fills up).
+fn spawn_coordinator(args: &[&str]) -> (Child, String, std::thread::JoinHandle<String>) {
+    let mut child = Command::new(CLI)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn coordinator");
+    let stdout = child.stdout.take().expect("coordinator stdout piped");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        if reader.read_line(&mut line).expect("read coordinator stdout") == 0 {
+            let _ = child.kill();
+            panic!("coordinator exited before announcing its address");
+        }
+        if let Some(rest) = line.trim().strip_prefix("coordinator listening on ") {
+            break rest.to_string();
+        }
+    };
+    let pump = std::thread::spawn(move || {
+        let mut rest = String::new();
+        let _ = reader.read_to_string(&mut rest);
+        rest
+    });
+    (child, addr, pump)
+}
+
+fn wait_with_timeout(child: &mut Child, dur: Duration, what: &str) -> std::process::ExitStatus {
+    let deadline = Instant::now() + dur;
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            panic!("{what} did not exit within {dur:?}");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Extract the final value from a `parameter <stage>/<param>: start
+/// <a>, final <b>` line printed by the CLI.
+fn param_final(stdout: &str, stage: &str, param: &str) -> f64 {
+    let prefix = format!("parameter {stage}/{param}: ");
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with(&prefix))
+        .unwrap_or_else(|| panic!("no `{prefix}...` line in output:\n{stdout}"));
+    line.rsplit("final ")
+        .next()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("unparsable parameter line: {line}"))
+}
+
+/// The README quickstart, verbatim in test form: three workers plus a
+/// coordinator run the adaptive counting-samples demo over loopback,
+/// and the adaptation loop converges to the same suggested summary
+/// size `k` as the deterministic virtual-time engine (within 10%).
+#[test]
+fn loopback_demo_matches_des() {
+    let cfg = config_path("count_samps_dist.xml");
+    let (mut coord, addr, pump) = spawn_coordinator(&[
+        "run",
+        &cfg,
+        "--engine",
+        "dist",
+        "--listen",
+        "127.0.0.1:0",
+        "--workers",
+        "3",
+        "--observe-ms",
+        "20",
+        "--adapt-ms",
+        "100",
+        "--max-time",
+        "30",
+    ]);
+    let mut workers = vec![
+        spawn_worker("w0", "site-0", &addr),
+        spawn_worker("w1", "site-1", &addr),
+        spawn_worker("wc", "central", &addr),
+    ];
+
+    let status = wait_with_timeout(&mut coord, Duration::from_secs(90), "coordinator");
+    let stdout = pump.join().expect("stdout pump");
+    assert!(status.success(), "coordinator failed; output:\n{stdout}");
+    for w in &mut workers {
+        let st = wait_with_timeout(w, Duration::from_secs(15), "worker");
+        assert!(st.success(), "a worker exited nonzero");
+    }
+
+    // Same config, same observation/adaptation cadence, virtual time.
+    let des = Command::new(CLI)
+        .args(["run", &cfg, "--engine", "des", "--observe-ms", "20", "--adapt-ms", "100"])
+        .output()
+        .expect("run DES engine");
+    assert!(des.status.success(), "DES run failed");
+    let des_out = String::from_utf8_lossy(&des.stdout).to_string();
+
+    for stage in ["summarizer-0", "summarizer-1"] {
+        let dist_k = param_final(&stdout, stage, "k");
+        let des_k = param_final(&des_out, stage, "k");
+        assert!(
+            (dist_k - des_k).abs() <= 0.10 * des_k.abs(),
+            "{stage}: distributed k={dist_k} diverged from DES k={des_k} by more than 10%"
+        );
+    }
+}
+
+/// Kill the worker hosting the collector mid-run. The summarizers'
+/// senders must retry with backoff and then declare the link dead, the
+/// coordinator must record the lost worker, and the surviving pipeline
+/// must drain to a clean exit — all well inside the deadline.
+#[test]
+fn killed_worker_reconnects_with_backoff_then_drains() {
+    // A 4-second stream so the kill lands mid-run.
+    let dir = std::env::temp_dir();
+    let cfg = dir.join("gates_dist_kill.xml");
+    std::fs::write(
+        &cfg,
+        r#"<application name="count-samps-kill" repository="count-samps">
+  <param name="sources" value="2"/>
+  <param name="items_per_source" value="8000"/>
+  <param name="rate" value="2000"/>
+  <param name="mode" value="adaptive"/>
+  <param name="k_init" value="40"/>
+  <param name="bandwidth_kb" value="1000"/>
+  <param name="seed" value="7"/>
+</application>
+"#,
+    )
+    .expect("write kill-test config");
+    let trace = dir.join("gates_dist_kill_trace.jsonl");
+    let _ = std::fs::remove_file(&trace);
+
+    let (mut coord, addr, pump) = spawn_coordinator(&[
+        "run",
+        cfg.to_str().unwrap(),
+        "--engine",
+        "dist",
+        "--listen",
+        "127.0.0.1:0",
+        "--workers",
+        "3",
+        "--observe-ms",
+        "20",
+        "--adapt-ms",
+        "100",
+        "--max-time",
+        "30",
+        "--drain-ms",
+        "1000",
+        "--retry-attempts",
+        "3",
+        "--retry-base-ms",
+        "50",
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    let mut w0 = spawn_worker("w0", "site-0", &addr);
+    let mut w1 = spawn_worker("w1", "site-1", &addr);
+    let mut center = spawn_worker("wc", "central", &addr);
+
+    // Let the run get going, then take the collector's process down.
+    std::thread::sleep(Duration::from_millis(1800));
+    center.kill().expect("kill central worker");
+    let _ = center.wait();
+
+    let status = wait_with_timeout(&mut coord, Duration::from_secs(90), "coordinator");
+    let stdout = pump.join().expect("stdout pump");
+    assert!(status.success(), "coordinator must survive a lost worker; output:\n{stdout}");
+    for (w, name) in [(&mut w0, "w0"), (&mut w1, "w1")] {
+        let st = wait_with_timeout(w, Duration::from_secs(30), name);
+        assert!(st.success(), "surviving worker {name} exited nonzero");
+    }
+
+    let trace_text = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(
+        trace_text.contains("\"kind\":\"reconnecting\""),
+        "senders must retry the dead peer with backoff; trace:\n{trace_text}"
+    );
+    assert!(
+        trace_text.contains("\"kind\":\"worker_lost\""),
+        "coordinator must record the lost worker; trace:\n{trace_text}"
+    );
+}
