@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks of the data-plane hot path: CRC-32,
+//! frame encode/decode, and the segmented packet encoder.
+//!
+//! The machine-readable trajectory numbers live in
+//! `results/BENCH_PR3.json` (produced by the `throughput` binary); these
+//! benches are the interactive view of the same hot path.
+
+use bytes::{Bytes, BytesMut};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gates_core::Packet;
+use gates_net::{
+    crc32, decode_frame, encode_frame_into, Crc32, Frame, FrameKind, FRAME_HEADER_LEN,
+};
+
+fn payload(len: usize) -> Bytes {
+    let mut v = Vec::with_capacity(len);
+    let mut x = 0x9E37_79B9u32;
+    for _ in 0..len {
+        x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        v.push((x >> 24) as u8);
+    }
+    Bytes::from(v)
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let data = payload(64 * 1024);
+    let mut g = c.benchmark_group("crc32");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("one_shot_64KiB", |b| b.iter(|| black_box(crc32(black_box(&data)))));
+    g.bench_function("incremental_4KiB_chunks", |b| {
+        b.iter(|| {
+            let mut h = Crc32::new();
+            for chunk in data.chunks(4096) {
+                h.update(chunk);
+            }
+            black_box(h.finalize())
+        })
+    });
+    g.finish();
+}
+
+fn bench_frame_codec(c: &mut Criterion) {
+    for size in [1024usize, 64 * 1024] {
+        let frame = Frame { kind: FrameKind::Data, stream_id: 7, seq: 42, payload: payload(size) };
+        let wire = (FRAME_HEADER_LEN + size) as u64;
+        let mut g = c.benchmark_group(format!("frame_codec_{size}B"));
+        g.throughput(Throughput::Bytes(wire));
+
+        let mut out = BytesMut::with_capacity(wire as usize);
+        g.bench_function("encode_into_reused_buffer", |b| {
+            b.iter(|| {
+                out.clear();
+                encode_frame_into(black_box(&frame), &mut out);
+                black_box(out.len())
+            })
+        });
+
+        let mut encoded = BytesMut::new();
+        encode_frame_into(&frame, &mut encoded);
+        let mut inbuf = BytesMut::with_capacity(encoded.len());
+        g.bench_function("decode", |b| {
+            b.iter(|| {
+                inbuf.clear();
+                inbuf.extend_from_slice(&encoded);
+                black_box(decode_frame(&mut inbuf).expect("decode"))
+            })
+        });
+        g.finish();
+    }
+}
+
+fn bench_packet_codec(c: &mut Criterion) {
+    let packet = Packet::data(1, 9, 16, payload(1024));
+    let mut g = c.benchmark_group("packet_codec");
+    g.throughput(Throughput::Bytes(packet.wire_len()));
+    let mut out = BytesMut::with_capacity(packet.wire_len() as usize);
+    g.bench_function("encode_into_1KiB", |b| {
+        b.iter(|| {
+            out.clear();
+            packet.encode_into(&mut out);
+            black_box(out.len())
+        })
+    });
+    g.bench_function("to_frame_then_encode_1KiB", |b| {
+        b.iter(|| {
+            out.clear();
+            encode_frame_into(&black_box(&packet).to_frame(), &mut out);
+            black_box(out.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_crc, bench_frame_codec, bench_packet_codec);
+criterion_main!(benches);

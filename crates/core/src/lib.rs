@@ -41,7 +41,7 @@ mod topology;
 pub mod trace;
 
 pub use error::CoreError;
-pub use packet::{Packet, PacketKind, PayloadReader, PayloadWriter};
+pub use packet::{Packet, PacketKind, PayloadReader, PayloadWriter, PACKET_TRAILER_LEN};
 pub use param::{AdjustmentParameter, Direction, ParamId, ParamTable};
 pub use stage::{CostModel, SourceStatus, StageApi, StreamProcessor};
 pub use topology::{Edge, StageBuilder, StageId, StageSpec, Topology, TopologyError};

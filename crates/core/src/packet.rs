@@ -8,10 +8,17 @@
 //! is `FRAME_HEADER_LEN + payload length`.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use gates_net::{Frame, FrameKind, FRAME_HEADER_LEN};
+use gates_net::{encode_segments_into, Frame, FrameKind, FRAME_HEADER_LEN};
 use gates_sim::SimTime;
 
 use crate::CoreError;
+
+/// Size of the metadata trailer [`Packet::to_frame`] appends to the
+/// payload so `records` (u32) and `created_at` (u64 microseconds)
+/// survive the hop. Shared by [`Packet::to_frame`],
+/// [`Packet::from_frame`], [`Packet::encode_into`] and
+/// [`Packet::wire_len`].
+pub const PACKET_TRAILER_LEN: usize = 4 + 8;
 
 /// What a packet carries (mirrors `gates_net::FrameKind` minus control).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -111,18 +118,27 @@ impl Packet {
     }
 
     /// Bytes this packet occupies on a link: frame header + payload +
-    /// the 12-byte metadata trailer added by [`Packet::to_frame`].
+    /// the [`PACKET_TRAILER_LEN`]-byte metadata trailer added by
+    /// [`Packet::to_frame`].
     pub fn wire_len(&self) -> u64 {
-        (FRAME_HEADER_LEN + self.payload.len() + 12) as u64
+        (FRAME_HEADER_LEN + self.payload.len() + PACKET_TRAILER_LEN) as u64
+    }
+
+    /// The metadata trailer appended to the payload on the wire.
+    fn trailer(&self) -> [u8; PACKET_TRAILER_LEN] {
+        let mut t = [0u8; PACKET_TRAILER_LEN];
+        t[..4].copy_from_slice(&self.records.to_be_bytes());
+        t[4..].copy_from_slice(&self.created_at.as_micros().to_be_bytes());
+        t
     }
 
     /// Encode into a wire frame. `created_at` and `records` travel in a
-    /// 12-byte trailer appended to the payload so they survive the hop.
+    /// [`PACKET_TRAILER_LEN`]-byte trailer appended to the payload so
+    /// they survive the hop.
     pub fn to_frame(&self) -> Frame {
-        let mut payload = BytesMut::with_capacity(self.payload.len() + 12);
+        let mut payload = BytesMut::with_capacity(self.payload.len() + PACKET_TRAILER_LEN);
         payload.put_slice(&self.payload);
-        payload.put_u32(self.records);
-        payload.put_u64(self.created_at.as_micros());
+        payload.put_slice(&self.trailer());
         Frame {
             kind: self.kind.to_frame_kind(),
             stream_id: self.stream_id,
@@ -131,15 +147,32 @@ impl Packet {
         }
     }
 
+    /// Append this packet's complete wire frame to `out`, byte-identical
+    /// to `encode_frame(&self.to_frame())` but without materializing the
+    /// intermediate payload-plus-trailer buffer: the payload and the
+    /// stack-allocated trailer go straight into the frame encoder as
+    /// segments. This is the steady-state path of the distributed
+    /// runtime's senders — with a long-lived `out` buffer it performs
+    /// zero allocations per packet.
+    pub fn encode_into(&self, out: &mut BytesMut) {
+        encode_segments_into(
+            self.kind.to_frame_kind(),
+            self.stream_id,
+            self.seq,
+            &[&self.payload, &self.trailer()],
+            out,
+        );
+    }
+
     /// Decode from a wire frame produced by [`Packet::to_frame`].
     pub fn from_frame(frame: &Frame) -> Result<Self, CoreError> {
         let kind = PacketKind::from_frame_kind(frame.kind).ok_or_else(|| {
             CoreError::PayloadDecode(format!("unexpected frame kind {:?}", frame.kind))
         })?;
-        if frame.payload.len() < 12 {
+        if frame.payload.len() < PACKET_TRAILER_LEN {
             return Err(CoreError::PayloadDecode("missing packet trailer".into()));
         }
-        let body_len = frame.payload.len() - 12;
+        let body_len = frame.payload.len() - PACKET_TRAILER_LEN;
         let mut trailer = frame.payload.slice(body_len..);
         let records = trailer.get_u32();
         let created_at = SimTime::from_micros(trailer.get_u64());
@@ -294,9 +327,33 @@ mod tests {
     #[test]
     fn wire_len_matches_encoded_frame() {
         let p = Packet::data(1, 1, 1, Bytes::from_static(&[0u8; 10]));
-        assert_eq!(p.wire_len(), (FRAME_HEADER_LEN + 10 + 12) as u64);
+        assert_eq!(p.wire_len(), (FRAME_HEADER_LEN + 10 + PACKET_TRAILER_LEN) as u64);
         let encoded = gates_net::encode_frame(&p.to_frame());
         assert_eq!(p.wire_len(), encoded.len() as u64, "wire_len must match the actual encoding");
+    }
+
+    #[test]
+    fn encode_into_matches_to_frame_encoding() {
+        let packets = [
+            Packet::data(1, 9, 3, Bytes::from_static(b"some records here"))
+                .at(SimTime::from_micros(777)),
+            Packet::summary(2, 10, 50, Bytes::from_static(b"topk")),
+            Packet::eos(3, 11),
+        ];
+        let mut appended = BytesMut::new();
+        let mut reference = Vec::new();
+        for p in &packets {
+            p.encode_into(&mut appended);
+            reference.extend_from_slice(&gates_net::encode_frame(&p.to_frame()));
+        }
+        assert_eq!(&appended[..], &reference[..], "segmented encode must be byte-identical");
+
+        // And the appended stream decodes back to the same packets.
+        for p in &packets {
+            let frame = gates_net::decode_frame(&mut appended).unwrap();
+            assert_eq!(&Packet::from_frame(&frame).unwrap(), p);
+        }
+        assert!(appended.is_empty());
     }
 
     #[test]

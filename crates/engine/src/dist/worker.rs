@@ -418,10 +418,14 @@ impl DistWorker {
         // --- main loop: trace relay + coordinator control ------------
         let mut coordinator_gone = false;
         let reports = loop {
+            // All trace events ready this lap coalesce into one write.
             while let Ok(event) = trace_rx.try_recv() {
-                if !coordinator_gone && ctrl.send(&encode_ctrl(&CtrlMsg::Trace(event))).is_err() {
-                    coordinator_gone = true;
+                if !coordinator_gone {
+                    ctrl.queue(&encode_ctrl(&CtrlMsg::Trace(event)));
                 }
+            }
+            if !coordinator_gone && ctrl.flush_queued().is_err() {
+                coordinator_gone = true;
             }
             if coordinator_gone {
                 // An orphaned worker must not run unbounded: stop and
@@ -461,9 +465,12 @@ impl DistWorker {
         let _ = accept_handle.join();
         let _ = drain_handle.join();
         while let Ok(event) = trace_rx.try_recv() {
-            if !coordinator_gone && ctrl.send(&encode_ctrl(&CtrlMsg::Trace(event))).is_err() {
-                coordinator_gone = true;
+            if !coordinator_gone {
+                ctrl.queue(&encode_ctrl(&CtrlMsg::Trace(event)));
             }
+        }
+        if !coordinator_gone && ctrl.flush_queued().is_err() {
+            coordinator_gone = true;
         }
         if !coordinator_gone
             && ctrl
@@ -546,10 +553,17 @@ struct InEdge {
     reporter: LinkReporter,
 }
 
+/// Cap on the bytes a sender coalesces into one socket write. Past this
+/// the batch flushes even if more packets are waiting, bounding both the
+/// encode buffer and the burst a reconnect might have to replay.
+const MAX_COALESCED_BYTES: usize = 256 * 1024;
+
 /// Sender side of one remote edge: drains the bridge channel into a
 /// framed TCP connection, reconnecting with bounded backoff, and relays
 /// upstream-bound exception frames into the sending stage's control
-/// channel.
+/// channel. All packets ready in one wake are encoded into the stream's
+/// long-lived buffer and leave in a single syscall; end-of-stream
+/// markers flush immediately so adaptation/drain latency is unchanged.
 struct RemoteSender {
     edge: u32,
     endpoint: String,
@@ -596,25 +610,43 @@ impl RemoteSender {
                         }
                         continue;
                     }
-                    let frame = packet.to_frame();
-                    let mut send_err = None;
-                    if let Some(fs) = stream.as_mut() {
-                        send_err = fs.send(&frame).err();
+                    let fs = stream.as_mut().expect("live stream while not dead");
+                    // Coalesce: this packet plus everything else already
+                    // waiting in the bridge channel goes out in one
+                    // write. An end-of-stream marker ends the batch so
+                    // it (and everything before it) flushes immediately;
+                    // the byte cap bounds the burst.
+                    let mut batched = u64::from(!packet.is_eos());
+                    let mut saw_eos = packet.is_eos();
+                    packet.encode_into(fs.queue_buffer());
+                    while !saw_eos && fs.queued_len() < MAX_COALESCED_BYTES {
+                        match self.rx.try_recv() {
+                            Ok(p) => {
+                                saw_eos = p.is_eos();
+                                batched += u64::from(!p.is_eos());
+                                p.encode_into(fs.queue_buffer());
+                            }
+                            Err(_) => break,
+                        }
                     }
-                    if let Some(err) = send_err {
+                    if let Err(err) = fs.flush_queued() {
                         // One bounded-backoff reconnect cycle, then the
                         // link is dead for the rest of the run and the
-                        // receiver's drain window takes over.
+                        // receiver's drain window takes over. The failed
+                        // flush leaves the batch queued, so it can be
+                        // carried onto the replacement connection.
                         self.reporter
                             .record(LinkEventKind::Reconnecting, format!("send failed: {err}"));
+                        let pending = fs.take_queued();
                         stream = self.connect();
                         match stream.as_mut() {
                             Some(fs) => {
                                 self.reporter
                                     .record(LinkEventKind::Reconnected, self.endpoint.clone());
                                 crc_seen = 0;
-                                if fs.send(&frame).is_err() && !packet.is_eos() {
-                                    self.drops.fetch_add(1, Ordering::Relaxed);
+                                fs.queue_buffer().extend_from_slice(&pending);
+                                if fs.flush_queued().is_err() {
+                                    self.drops.fetch_add(batched, Ordering::Relaxed);
                                 }
                             }
                             None => {
@@ -623,9 +655,7 @@ impl RemoteSender {
                                     "retries exhausted; dropping until end of stream",
                                 );
                                 dead = true;
-                                if !packet.is_eos() {
-                                    self.drops.fetch_add(1, Ordering::Relaxed);
-                                }
+                                self.drops.fetch_add(batched, Ordering::Relaxed);
                             }
                         }
                     }

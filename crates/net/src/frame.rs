@@ -16,11 +16,23 @@
 //! charge against link bandwidth — the stand-in for Java serialization
 //! overhead in the original system.
 
-use crate::crc32::crc32;
+use crate::crc32::Crc32;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Length of the fixed frame header in bytes.
 pub const FRAME_HEADER_LEN: usize = 4 + 1 + 4 + 8 + 4;
+
+/// Sanity cap on a frame's total encoded size (header + payload).
+///
+/// The length prefix sits *outside* the CRC region (it is the resync
+/// point after a corrupted frame), so a flipped length bit could ask the
+/// streaming decoder to buffer gigabytes before the checksum ever runs.
+/// Any header claiming more than this is rejected as
+/// [`FrameDecodeError::Oversized`] instead of being treated as a
+/// not-yet-complete frame. 16 MiB is orders of magnitude above the
+/// largest legitimate frame (control-plane reports a few hundred KiB,
+/// stream packets tens of KiB).
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 
 /// Frame type tag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -90,6 +102,10 @@ pub enum FrameDecodeError {
     BadKind(u8),
     /// CRC mismatch (stored, computed).
     BadChecksum(u32, u32),
+    /// The header claims a frame larger than [`MAX_FRAME_LEN`]; contains
+    /// the claimed payload length. Almost certainly a corrupted length
+    /// prefix — the stream cannot be resynced by skipping.
+    Oversized(usize),
 }
 
 impl std::fmt::Display for FrameDecodeError {
@@ -98,7 +114,13 @@ impl std::fmt::Display for FrameDecodeError {
             FrameDecodeError::Truncated(n) => write!(f, "frame truncated, need {n} more bytes"),
             FrameDecodeError::BadKind(k) => write!(f, "unknown frame kind {k}"),
             FrameDecodeError::BadChecksum(stored, computed) => {
-                write!(f, "checksum mismatch: stored {stored:#10x}, computed {computed:#10x}")
+                write!(f, "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
+            FrameDecodeError::Oversized(n) => {
+                write!(
+                    f,
+                    "frame claims a {n}-byte payload, over the {MAX_FRAME_LEN}-byte frame cap"
+                )
             }
         }
     }
@@ -107,23 +129,58 @@ impl std::fmt::Display for FrameDecodeError {
 impl std::error::Error for FrameDecodeError {}
 
 /// Encode a frame to bytes.
+///
+/// Convenience wrapper over [`encode_frame_into`] that allocates a fresh
+/// buffer; steady-state senders should reuse one `BytesMut` via
+/// [`encode_frame_into`] instead.
 pub fn encode_frame(frame: &Frame) -> Bytes {
     let mut buf = BytesMut::with_capacity(FRAME_HEADER_LEN + frame.payload.len());
-    buf.put_u32(frame.payload.len() as u32);
-    // The CRC covers kind..payload; build that region first in a scratch
-    // area conceptually — here we compute it incrementally for zero-copy.
-    let mut crc_region = Vec::with_capacity(1 + 4 + 8 + frame.payload.len());
-    crc_region.push(frame.kind.to_u8());
-    crc_region.extend_from_slice(&frame.stream_id.to_be_bytes());
-    crc_region.extend_from_slice(&frame.seq.to_be_bytes());
-    crc_region.extend_from_slice(&frame.payload);
-    let crc = crc32(&crc_region);
-    buf.put_u8(frame.kind.to_u8());
-    buf.put_u32(frame.stream_id);
-    buf.put_u64(frame.seq);
-    buf.put_u32(crc);
-    buf.put_slice(&frame.payload);
+    encode_frame_into(frame, &mut buf);
     buf.freeze()
+}
+
+/// Append the encoding of `frame` to `out`.
+///
+/// Single pass, zero scratch allocations: the CRC over kind..payload is
+/// computed incrementally in place, never by gathering the region into a
+/// temporary copy. A long-lived `out` buffer makes steady-state encoding
+/// allocation-free.
+pub fn encode_frame_into(frame: &Frame, out: &mut BytesMut) {
+    encode_segments_into(frame.kind, frame.stream_id, frame.seq, &[&frame.payload], out);
+}
+
+/// Append a frame whose payload is the concatenation of `segments` to
+/// `out`, without first gathering the segments into one buffer.
+///
+/// This is the zero-copy entry point for callers whose logical payload
+/// lives in pieces — e.g. `gates-core`'s `Packet`, whose wire payload is
+/// application bytes plus a fixed metadata trailer. The result is
+/// byte-identical to encoding a [`Frame`] carrying the concatenated
+/// payload.
+pub fn encode_segments_into(
+    kind: FrameKind,
+    stream_id: u32,
+    seq: u64,
+    segments: &[&[u8]],
+    out: &mut BytesMut,
+) {
+    let payload_len: usize = segments.iter().map(|s| s.len()).sum();
+    out.reserve(FRAME_HEADER_LEN + payload_len);
+    out.put_u32(payload_len as u32);
+    out.put_u8(kind.to_u8());
+    out.put_u32(stream_id);
+    out.put_u64(seq);
+    let mut crc = Crc32::new();
+    crc.update(&[kind.to_u8()]);
+    crc.update(&stream_id.to_be_bytes());
+    crc.update(&seq.to_be_bytes());
+    for s in segments {
+        crc.update(s);
+    }
+    out.put_u32(crc.finalize());
+    for s in segments {
+        out.put_slice(s);
+    }
 }
 
 /// Decode one frame from the front of `buf`, consuming it on success.
@@ -135,19 +192,26 @@ pub fn decode_frame(buf: &mut BytesMut) -> Result<Frame, FrameDecodeError> {
         return Err(FrameDecodeError::Truncated(FRAME_HEADER_LEN - buf.len()));
     }
     let payload_len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    // Reject insane lengths before asking the caller to buffer them: the
+    // prefix is outside the CRC region, so this is the only line of
+    // defense against a corrupted length byte.
+    if payload_len > MAX_FRAME_LEN - FRAME_HEADER_LEN {
+        return Err(FrameDecodeError::Oversized(payload_len));
+    }
     let total = FRAME_HEADER_LEN + payload_len;
     if buf.len() < total {
         return Err(FrameDecodeError::Truncated(total - buf.len()));
     }
-    // Validate before consuming.
+    // Validate before consuming. The CRC runs over the buffered bytes in
+    // place — no scratch copy of the region.
     let kind_byte = buf[4];
     let kind = FrameKind::from_u8(kind_byte).ok_or(FrameDecodeError::BadKind(kind_byte))?;
     let stored_crc = u32::from_be_bytes([buf[17], buf[18], buf[19], buf[20]]);
     let computed = {
-        let mut region = Vec::with_capacity(13 + payload_len);
-        region.extend_from_slice(&buf[4..17]);
-        region.extend_from_slice(&buf[FRAME_HEADER_LEN..total]);
-        crc32(&region)
+        let mut crc = Crc32::new();
+        crc.update(&buf[4..17]);
+        crc.update(&buf[FRAME_HEADER_LEN..total]);
+        crc.finalize()
     };
     if stored_crc != computed {
         return Err(FrameDecodeError::BadChecksum(stored_crc, computed));
@@ -247,6 +311,77 @@ mod tests {
         assert_eq!(decode_frame(&mut buf).unwrap(), f1);
         assert_eq!(decode_frame(&mut buf).unwrap(), f2);
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn encode_frame_into_appends_and_matches_encode_frame() {
+        let f1 = sample();
+        let f2 = Frame { kind: FrameKind::Data, stream_id: 9, seq: 1, payload: Bytes::new() };
+        let mut buf = BytesMut::new();
+        encode_frame_into(&f1, &mut buf);
+        encode_frame_into(&f2, &mut buf);
+        let mut reference = Vec::new();
+        reference.extend_from_slice(&encode_frame(&f1));
+        reference.extend_from_slice(&encode_frame(&f2));
+        assert_eq!(&buf[..], &reference[..], "appending encode must match the one-shot encode");
+        assert_eq!(decode_frame(&mut buf).unwrap(), f1);
+        assert_eq!(decode_frame(&mut buf).unwrap(), f2);
+    }
+
+    #[test]
+    fn segmented_payload_matches_contiguous_encoding() {
+        let payload = b"split me three ways";
+        let whole = Frame {
+            kind: FrameKind::Data,
+            stream_id: 5,
+            seq: 77,
+            payload: Bytes::from_static(payload),
+        };
+        let mut contiguous = BytesMut::new();
+        encode_frame_into(&whole, &mut contiguous);
+        for a in 0..payload.len() {
+            for b in a..payload.len() {
+                let mut segmented = BytesMut::new();
+                encode_segments_into(
+                    FrameKind::Data,
+                    5,
+                    77,
+                    &[&payload[..a], &payload[a..b], &payload[b..]],
+                    &mut segmented,
+                );
+                assert_eq!(segmented, contiguous, "split at {a}/{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_not_buffered() {
+        let mut bytes = encode_frame(&sample()).to_vec();
+        bytes[..4].copy_from_slice(&(u32::MAX).to_be_bytes());
+        let len = bytes.len();
+        let mut buf = BytesMut::from(&bytes[..]);
+        match decode_frame(&mut buf) {
+            Err(FrameDecodeError::Oversized(n)) => assert_eq!(n, u32::MAX as usize),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(buf.len(), len, "buffer untouched so the caller decides how to recover");
+    }
+
+    #[test]
+    fn max_frame_len_boundary_still_decodes_as_truncated() {
+        // A header claiming exactly the cap is legal (just incomplete).
+        let mut bytes = encode_frame(&sample()).to_vec();
+        let cap = (MAX_FRAME_LEN - FRAME_HEADER_LEN) as u32;
+        bytes[..4].copy_from_slice(&cap.to_be_bytes());
+        let mut buf = BytesMut::from(&bytes[..]);
+        assert!(matches!(decode_frame(&mut buf), Err(FrameDecodeError::Truncated(_))));
+    }
+
+    #[test]
+    fn checksum_display_zero_pads_to_ten_columns() {
+        let msg = FrameDecodeError::BadChecksum(0x1A, 0x2B).to_string();
+        assert!(msg.contains("stored 0x0000001a"), "got: {msg}");
+        assert!(msg.contains("computed 0x0000002b"), "got: {msg}");
     }
 
     #[test]

@@ -32,8 +32,11 @@ mod spec;
 mod token_bucket;
 mod transport;
 
-pub use crc32::crc32;
-pub use frame::{decode_frame, encode_frame, Frame, FrameDecodeError, FrameKind, FRAME_HEADER_LEN};
+pub use crc32::{crc32, Crc32};
+pub use frame::{
+    decode_frame, encode_frame, encode_frame_into, encode_segments_into, Frame, FrameDecodeError,
+    FrameKind, FRAME_HEADER_LEN, MAX_FRAME_LEN,
+};
 pub use link::LinkModel;
 pub use spec::{Bandwidth, FlowControl, LinkSpec};
 pub use token_bucket::TokenBucket;

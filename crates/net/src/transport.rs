@@ -6,7 +6,17 @@
 //! decode contract of [`crate::decode_frame`]: short reads accumulate in
 //! an internal buffer, and a frame that fails its checksum is *counted
 //! and skipped* (the header's length field is trusted for resync) instead
-//! of poisoning the connection.
+//! of poisoning the connection. A header whose length field exceeds
+//! [`crate::MAX_FRAME_LEN`] *does* poison the connection — the length
+//! prefix is the resync point, so once it is corrupt there is nothing
+//! left to trust.
+//!
+//! On the write side each stream owns a long-lived encode buffer:
+//! [`FrameStream::queue`] encodes frames into it allocation-free and
+//! [`FrameStream::flush_queued`] writes the whole batch in one syscall,
+//! so sender loops coalesce every frame ready in one wake.
+//! [`FrameStream::send`] is the queue-then-flush convenience for
+//! latency-sensitive frames (control, EOS, exceptions).
 //!
 //! [`connect_with_retry`] provides the bounded-retry, exponential-backoff
 //! connect used by the distributed runtime: stage processes come up in
@@ -19,7 +29,7 @@ use std::time::Duration;
 
 use bytes::BytesMut;
 
-use crate::frame::{decode_frame, encode_frame, Frame, FrameDecodeError, FRAME_HEADER_LEN};
+use crate::frame::{decode_frame, encode_frame_into, Frame, FrameDecodeError, FRAME_HEADER_LEN};
 
 /// Errors surfaced by [`FrameStream`].
 #[derive(Debug)]
@@ -132,6 +142,10 @@ pub fn connect_with_retry(
 pub struct FrameStream {
     stream: TcpStream,
     buf: BytesMut,
+    /// Long-lived outgoing encode buffer: frames queue here and leave in
+    /// one `write_all` per [`FrameStream::flush_queued`], so a sender
+    /// loop can coalesce every frame ready in one wake into one syscall.
+    wbuf: BytesMut,
     crc_failures: u64,
 }
 
@@ -140,7 +154,12 @@ impl FrameStream {
     /// (EOS, exceptions) are not delayed behind data.
     pub fn new(stream: TcpStream) -> Self {
         stream.set_nodelay(true).ok();
-        FrameStream { stream, buf: BytesMut::with_capacity(8 * 1024), crc_failures: 0 }
+        FrameStream {
+            stream,
+            buf: BytesMut::with_capacity(8 * 1024),
+            wbuf: BytesMut::with_capacity(8 * 1024),
+            crc_failures: 0,
+        }
     }
 
     /// Set (or clear) the socket read timeout used by
@@ -165,11 +184,52 @@ impl FrameStream {
         self.stream.try_clone()
     }
 
-    /// Encode and write one frame, flushing to the socket.
+    /// Encode and write one frame, flushing to the socket immediately.
+    ///
+    /// Equivalent to [`FrameStream::queue`] + [`FrameStream::flush_queued`];
+    /// any previously queued frames go out in the same write.
     pub fn send(&mut self, frame: &Frame) -> std::io::Result<()> {
-        let bytes = encode_frame(frame);
-        self.stream.write_all(&bytes)?;
-        self.stream.flush()
+        self.queue(frame);
+        self.flush_queued()
+    }
+
+    /// Encode one frame into the outgoing buffer without writing to the
+    /// socket. Nothing reaches the wire until [`FrameStream::flush_queued`]
+    /// (or [`FrameStream::send`]) runs.
+    pub fn queue(&mut self, frame: &Frame) {
+        encode_frame_into(frame, &mut self.wbuf);
+    }
+
+    /// Direct access to the outgoing buffer, for callers that encode
+    /// frames themselves (e.g. `gates-core`'s segmented packet encoder).
+    /// Only append complete, correctly encoded frames — the buffer's
+    /// contents go to the peer verbatim on the next flush.
+    pub fn queue_buffer(&mut self) -> &mut BytesMut {
+        &mut self.wbuf
+    }
+
+    /// Bytes queued for the next flush.
+    pub fn queued_len(&self) -> usize {
+        self.wbuf.len()
+    }
+
+    /// Write every queued frame to the socket in one `write_all`, then
+    /// flush. On error the queued bytes are retained, so a caller that
+    /// reconnects can carry them to a new stream via
+    /// [`FrameStream::take_queued`].
+    pub fn flush_queued(&mut self) -> std::io::Result<()> {
+        if self.wbuf.is_empty() {
+            return Ok(());
+        }
+        self.stream.write_all(&self.wbuf)?;
+        self.stream.flush()?;
+        self.wbuf.clear();
+        Ok(())
+    }
+
+    /// Take the queued-but-unflushed bytes, leaving the buffer empty.
+    pub fn take_queued(&mut self) -> BytesMut {
+        std::mem::take(&mut self.wbuf)
     }
 
     /// Read the next intact frame.
@@ -201,6 +261,15 @@ impl FrameStream {
                 }
                 Err(FrameDecodeError::BadChecksum(..)) | Err(FrameDecodeError::BadKind(_)) => {
                     self.skip_bad_frame();
+                }
+                Err(FrameDecodeError::Oversized(claimed)) => {
+                    // The length prefix itself is corrupt, so there is no
+                    // trustworthy resync point: poison the connection and
+                    // let the caller's reconnect logic recover.
+                    return Err(TransportError::Io(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("frame header claims a {claimed}-byte payload; stream corrupt"),
+                    )));
                 }
             }
         }
@@ -237,7 +306,7 @@ impl FrameStream {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::frame::FrameKind;
+    use crate::frame::{encode_frame, FrameKind};
     use bytes::Bytes;
     use std::net::TcpListener;
 
@@ -292,6 +361,59 @@ mod tests {
         assert_eq!(&after.payload[..], b"after the damage");
         assert_eq!(rx.crc_failures(), 1);
         assert!(rx.read_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn queued_frames_coalesce_into_one_flush() {
+        let (client, server) = pair();
+        let mut tx = FrameStream::new(client);
+        let mut rx = FrameStream::new(server);
+        for seq in 0..50u64 {
+            tx.queue(&frame(seq, b"batched"));
+        }
+        assert!(tx.queued_len() > 0, "nothing on the wire before the flush");
+        assert_eq!(
+            tx.queued_len(),
+            50 * (FRAME_HEADER_LEN + b"batched".len()),
+            "queue holds exactly the encoded frames"
+        );
+        tx.flush_queued().unwrap();
+        assert_eq!(tx.queued_len(), 0);
+        drop(tx);
+        for seq in 0..50u64 {
+            assert_eq!(rx.read_frame().unwrap().expect("frame").seq, seq);
+        }
+        assert!(rx.read_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn take_queued_carries_pending_bytes_to_a_new_stream() {
+        let (client_a, _server_a) = pair();
+        let mut tx = FrameStream::new(client_a);
+        tx.queue(&frame(1, b"carried"));
+        let pending = tx.take_queued();
+        assert_eq!(tx.queued_len(), 0);
+
+        let (client_b, server_b) = pair();
+        let mut tx2 = FrameStream::new(client_b);
+        let mut rx = FrameStream::new(server_b);
+        tx2.queue_buffer().extend_from_slice(&pending);
+        tx2.flush_queued().unwrap();
+        drop(tx2);
+        assert_eq!(rx.read_frame().unwrap().expect("frame").seq, 1);
+    }
+
+    #[test]
+    fn corrupted_length_prefix_poisons_the_stream() {
+        let (mut client, server) = pair();
+        let mut rx = FrameStream::new(server);
+        let mut bytes = encode_frame(&frame(1, b"soon oversized")).to_vec();
+        bytes[..4].copy_from_slice(&u32::MAX.to_be_bytes());
+        client.write_all(&bytes).unwrap();
+        match rx.read_frame() {
+            Err(TransportError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::InvalidData),
+            other => panic!("expected poisoned stream, got {other:?}"),
+        }
     }
 
     #[test]

@@ -2,10 +2,24 @@
 
 use bytes::{Bytes, BytesMut};
 use gates_net::{
-    decode_frame, encode_frame, Bandwidth, Frame, FrameKind, LinkModel, LinkSpec, TokenBucket,
+    crc32, decode_frame, encode_frame, encode_frame_into, Bandwidth, Crc32, Frame, FrameKind,
+    LinkModel, LinkSpec, TokenBucket,
 };
 use gates_sim::SimTime;
 use proptest::prelude::*;
+
+/// Deterministic pseudo-random bytes from a seed, so proptest can shrink
+/// over `(len, seed)` instead of element-wise over multi-KiB vectors.
+fn seeded_bytes(len: usize, seed: u64) -> Bytes {
+    let mut state = seed | 1;
+    let mut v = Vec::with_capacity(len);
+    for _ in 0..len {
+        state =
+            state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+        v.push((state >> 56) as u8);
+    }
+    Bytes::from(v)
+}
 
 fn kind_strategy() -> impl Strategy<Value = FrameKind> {
     prop_oneof![
@@ -30,6 +44,53 @@ proptest! {
         let decoded = decode_frame(&mut buf).unwrap();
         prop_assert_eq!(decoded, frame);
         prop_assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn encode_into_round_trips_large_payloads(
+        kind in kind_strategy(),
+        stream_id in any::<u32>(),
+        seq in any::<u64>(),
+        len in 0usize..64 * 1024 + 1,
+        seed in any::<u64>(),
+    ) {
+        // Payloads up to 64 KiB: too big to shrink well as element-wise
+        // vecs, so the bytes come from a seeded generator and proptest
+        // explores (len, seed) instead.
+        let frame = Frame { kind, stream_id, seq, payload: seeded_bytes(len, seed) };
+        let mut buf = BytesMut::new();
+        encode_frame_into(&frame, &mut buf);
+        // A second frame appended to the same buffer must not disturb
+        // the first (the reuse contract of the long-lived encode buffer).
+        encode_frame_into(&frame, &mut buf);
+        let first = decode_frame(&mut buf).unwrap();
+        let second = decode_frame(&mut buf).unwrap();
+        prop_assert_eq!(&first, &frame);
+        prop_assert_eq!(&second, &frame);
+        prop_assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn incremental_crc_matches_one_shot(
+        len in 0usize..16 * 1024 + 1,
+        seed in any::<u64>(),
+        cuts in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let data = seeded_bytes(len, seed);
+        let one_shot = crc32(&data);
+        // Turn the raw cut points into a sorted list of split offsets and
+        // feed the slices between them to the incremental hasher.
+        let mut offsets: Vec<usize> =
+            cuts.iter().map(|&c| if data.is_empty() { 0 } else { c % (data.len() + 1) }).collect();
+        offsets.sort_unstable();
+        let mut hasher = Crc32::new();
+        let mut prev = 0;
+        for &off in &offsets {
+            hasher.update(&data[prev..off]);
+            prev = off;
+        }
+        hasher.update(&data[prev..]);
+        prop_assert_eq!(hasher.finalize(), one_shot);
     }
 
     #[test]
