@@ -170,6 +170,24 @@ impl StreamProcessor for ZipfSource {
         self.seq += 1;
         SourceStatus::Continue { next_poll: self.interval }
     }
+
+    // Failover state: how far the stream has progressed. The RNG state
+    // is deliberately not carried over — a restored source continues the
+    // same Zipf *distribution* from a fresh seed, which keeps the wire
+    // format and count bounded without serializing generator internals.
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::with_capacity(16);
+        w.put_u64(self.remaining);
+        w.put_u64(self.seq);
+        w.finish().to_vec()
+    }
+
+    fn restore(&mut self, state: &[u8]) {
+        let mut r = PayloadReader::new(state.to_vec().into());
+        let (Ok(remaining), Ok(seq)) = (r.get_u64(), r.get_u64()) else { return };
+        self.remaining = remaining;
+        self.seq = seq;
+    }
 }
 
 /// Source-side summarizer: maintains a counting sample of footprint `k`
@@ -309,6 +327,46 @@ impl StreamProcessor for Collector {
     }
 
     fn on_eos(&mut self, _api: &mut StageApi) {
+        self.publish();
+    }
+
+    // Failover state: the per-source latest summaries (distributed
+    // mode). Centralized mode keeps its state in a counting sample whose
+    // randomized internals are not worth shipping — it restarts fresh,
+    // which the empty default snapshot already expresses.
+    fn snapshot(&self) -> Vec<u8> {
+        if self.centralized || self.latest.is_empty() {
+            return Vec::new();
+        }
+        let mut streams: Vec<_> = self.latest.iter().collect();
+        streams.sort_by_key(|(id, _)| **id);
+        let mut w = PayloadWriter::with_capacity(
+            4 + streams.iter().map(|(_, e)| 8 + e.len() * 16).sum::<usize>(),
+        );
+        w.put_u32(streams.len() as u32);
+        for (id, entries) in streams {
+            w.put_u32(*id);
+            w.put_u32(entries.len() as u32);
+            for &(v, est) in entries {
+                w.put_u64(v);
+                w.put_f64(est);
+            }
+        }
+        w.finish().to_vec()
+    }
+
+    fn restore(&mut self, state: &[u8]) {
+        let mut r = PayloadReader::new(state.to_vec().into());
+        let Ok(n_streams) = r.get_u32() else { return };
+        for _ in 0..n_streams {
+            let (Ok(id), Ok(n)) = (r.get_u32(), r.get_u32()) else { return };
+            let mut entries = Vec::with_capacity(n.min(4_096) as usize);
+            for _ in 0..n {
+                let (Ok(v), Ok(est)) = (r.get_u64(), r.get_f64()) else { return };
+                entries.push((v, est));
+            }
+            self.latest.insert(id, entries);
+        }
         self.publish();
     }
 }
@@ -586,6 +644,64 @@ mod tests {
         let b = run(&p);
         assert_eq!(a.0.finished_at, b.0.finished_at);
         assert_eq!(*a.1.answer.lock(), *b.1.answer.lock());
+    }
+
+    #[test]
+    fn collector_checkpoint_round_trips() {
+        let answer = Arc::new(Mutex::new(Vec::new()));
+        let mut a = Collector {
+            centralized: false,
+            sample: CountingSamples::new(100),
+            rng: seeded_stream(1, 1),
+            latest: HashMap::new(),
+            merge_cost_per_entry: 0.0,
+            top_k: 10,
+            answer: Arc::clone(&answer),
+        };
+        a.latest.insert(0, vec![(7, 12.0), (9, 3.5)]);
+        a.latest.insert(2, vec![(7, 1.0)]);
+        let state = a.snapshot();
+        assert!(!state.is_empty(), "distributed collector has replayable state");
+
+        let mut b = Collector {
+            centralized: false,
+            sample: CountingSamples::new(100),
+            rng: seeded_stream(1, 2),
+            latest: HashMap::new(),
+            merge_cost_per_entry: 0.0,
+            top_k: 10,
+            answer: Arc::new(Mutex::new(Vec::new())),
+        };
+        b.restore(&state);
+        assert_eq!(b.latest, a.latest);
+        // Restore republishes, so the answer is warm before any packet.
+        assert_eq!(b.answer.lock().first(), Some(&(7, 13.0)));
+
+        let centralized = Collector { centralized: true, ..a };
+        assert!(centralized.snapshot().is_empty(), "centralized mode restarts fresh");
+    }
+
+    #[test]
+    fn zipf_source_checkpoint_round_trips() {
+        let truth = Arc::new(Mutex::new(HashMap::new()));
+        let mut src = ZipfSource {
+            stream_id: 3,
+            remaining: 1_234,
+            batch: 50,
+            interval: SimDuration::from_secs_f64(0.01),
+            zipf: ZipfGenerator::new(100, 1.1),
+            rng: seeded_stream(1, 3),
+            truth: Arc::clone(&truth),
+            seq: 77,
+        };
+        let state = src.snapshot();
+        src.remaining = 0;
+        src.seq = 0;
+        src.restore(&state);
+        assert_eq!((src.remaining, src.seq), (1_234, 77));
+        // Garbage state is ignored rather than corrupting progress.
+        src.restore(&[1, 2, 3]);
+        assert_eq!((src.remaining, src.seq), (1_234, 77));
     }
 
     #[test]

@@ -1,0 +1,280 @@
+//! Failover recovery-time drill, machine-readable.
+//!
+//! Runs the distributed runtime's kill-a-worker drill repeatedly and
+//! measures how long each recovery step takes, emitting the numbers as
+//! JSON (default `results/BENCH_PR4.json`) in the same stable schema as
+//! the PR 3 throughput baseline — one `{"bench": ..., "value": ...,
+//! "unit": ...}` row per measurement.
+//!
+//! Each drill is the integration test's scenario made quantitative: an
+//! in-process coordinator plus three worker *subprocesses* (re-exec of
+//! this binary) run the counting-samples pipeline over loopback; the
+//! worker hosting the collector is SIGKILLed mid-run; the flight
+//! recorder then yields the step timings:
+//!
+//! * **detect** — kill to the coordinator's `worker_lost` event;
+//! * **reassign** — `worker_lost` to the `reassigned` event (matchmaker
+//!   re-placement plus `Reassign` broadcast);
+//! * **resume** — the adopting worker's `restored` event to its
+//!   `resumed` event (first data packet into the adopted stage).
+//!
+//! The headline `failover_recovery_ms` rows are p50/p95 of the per-drill
+//! sum detect + reassign + resume. The sum is an approximation of
+//! end-to-end recovery: detect and reassign share the coordinator's
+//! clock and resume the adopting worker's, so the coordinator→worker
+//! ship time of the `Reassign` frame (sub-millisecond on loopback) is
+//! not counted.
+//!
+//! Flags: `--smoke` runs 3 drills instead of 10 for CI; `--out <path>`
+//! overrides the output file.
+
+use std::io::Write as _;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gates_apps as apps;
+use gates_core::trace::{FlightRecorder, LinkEventKind, TraceEvent};
+use gates_engine::{DistConfig, DistEngine, DistWorker, RunOptions};
+use gates_grid::ApplicationRepository;
+use gates_net::RetryPolicy;
+
+/// A ~4 s counting-samples stream: long enough that the kill lands
+/// mid-run and the survivors still have data to push through the
+/// adopted collector afterwards.
+const APP_XML: &str = r#"<application name="failover-drill" repository="count-samps">
+  <param name="sources" value="2"/>
+  <param name="items_per_source" value="8000"/>
+  <param name="rate" value="2000"/>
+  <param name="mode" value="distributed"/>
+  <param name="k" value="40"/>
+  <param name="bandwidth_kb" value="1000"/>
+  <param name="seed" value="7"/>
+</application>
+"#;
+
+struct Row {
+    bench: String,
+    value: f64,
+    unit: &'static str,
+}
+
+/// Step timings of one successful drill, all in milliseconds.
+struct Drill {
+    detect_ms: f64,
+    reassign_ms: f64,
+    resume_ms: f64,
+}
+
+impl Drill {
+    fn recovery_ms(&self) -> f64 {
+        self.detect_ms + self.reassign_ms + self.resume_ms
+    }
+}
+
+fn spawn_worker(exe: &std::path::Path, name: &str, site: &str, addr: &str) -> Child {
+    Command::new(exe)
+        .args(["--worker", name, site, addr])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn worker subprocess")
+}
+
+/// Child-process entry: one `gates-cli worker` equivalent, in this
+/// binary so the drill needs no other executable on disk.
+fn worker_main(name: &str, site: &str, coordinator: &str) -> ! {
+    let mut repo = ApplicationRepository::new();
+    apps::publish_all(&mut repo);
+    let worker = DistWorker::new(name, coordinator).site(site);
+    match worker.run(&repo) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("worker {name}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// First link event of the given kind observed by `node` (empty = any).
+fn event_t(events: &[TraceEvent], kind: LinkEventKind, node: &str) -> Option<f64> {
+    events.iter().find_map(|e| match e {
+        TraceEvent::Link(l) if l.kind == kind && (node.is_empty() || l.node == node) => Some(l.t),
+        _ => None,
+    })
+}
+
+/// Run one kill drill and extract the step timings.
+fn run_drill(exe: &std::path::Path, kill_after: Duration) -> Drill {
+    let mut repo = ApplicationRepository::new();
+    apps::publish_all(&mut repo);
+
+    let recorder = Arc::new(FlightRecorder::default());
+    let opts = RunOptions::default().recorder(Arc::clone(&recorder) as _);
+    let config = DistConfig::default()
+        .drain_window(Duration::from_millis(1_000))
+        .retry(RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(50),
+            ..Default::default()
+        })
+        .checkpoint_every(8);
+    let engine =
+        DistEngine::bind(APP_XML, "127.0.0.1:0", 3, opts, config).expect("bind coordinator");
+    let addr = engine.local_addr().expect("coordinator address").to_string();
+
+    let mut survivors =
+        vec![spawn_worker(exe, "w0", "site-0", &addr), spawn_worker(exe, "w1", "site-1", &addr)];
+    let mut victim = spawn_worker(exe, "wc", "central", &addr);
+
+    // `run` captures its own start instant immediately, so this anchor
+    // shares (within spawn overhead) the coordinator event clock.
+    let run_started = Instant::now();
+    let run = std::thread::spawn(move || engine.run(&repo));
+
+    std::thread::sleep(kill_after);
+    let kill_at = run_started.elapsed().as_secs_f64();
+    victim.kill().expect("SIGKILL victim worker");
+    let _ = victim.wait();
+
+    let report = run.join().expect("coordinator thread").expect("coordinator run");
+    for w in &mut survivors {
+        let _ = w.wait();
+    }
+
+    assert!(
+        report.lost_workers.iter().any(|l| l.worker == "wc"),
+        "drill must report the killed worker; got {:?}",
+        report.lost_workers
+    );
+    let lost_at = report.lost_workers.iter().find(|l| l.worker == "wc").expect("lost record").at;
+
+    let events = recorder.snapshot();
+    let t_lost = event_t(&events, LinkEventKind::WorkerLost, "coordinator")
+        .expect("worker_lost event recorded");
+    let t_reassigned = event_t(&events, LinkEventKind::Reassigned, "coordinator")
+        .expect("reassigned event recorded");
+    // Restored/resumed are stamped by the adopting worker; whichever
+    // survivor adopted, both events share its clock.
+    let adopter = events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::Link(l) if l.kind == LinkEventKind::Restored => Some(l.node.clone()),
+            _ => None,
+        })
+        .expect("restored event recorded");
+    let t_restored = event_t(&events, LinkEventKind::Restored, &adopter).expect("restored t");
+    let t_resumed =
+        event_t(&events, LinkEventKind::Resumed, &adopter).expect("resumed event recorded");
+
+    Drill {
+        detect_ms: (lost_at - kill_at).max(0.0) * 1e3,
+        reassign_ms: (t_reassigned - t_lost).max(0.0) * 1e3,
+        resume_ms: (t_resumed - t_restored).max(0.0) * 1e3,
+    }
+}
+
+/// Percentile over a sorted-ascending slice (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--worker") {
+        let [name, site, addr] = &args[1..] else {
+            eprintln!("usage (internal): failover --worker <name> <site> <coordinator>");
+            std::process::exit(2);
+        };
+        worker_main(name, site, addr);
+    }
+
+    let mut smoke = false;
+    let mut out = String::from("results/BENCH_PR4.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(path) => out = path.clone(),
+                None => {
+                    eprintln!("error: --out needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag {other:?} (supported: --smoke, --out <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let exe = std::env::current_exe().expect("own executable path");
+    let drills = if smoke { 3 } else { 10 };
+    let kill_after = Duration::from_millis(1_200);
+
+    let mut runs: Vec<Drill> = Vec::with_capacity(drills);
+    for i in 0..drills {
+        let d = run_drill(&exe, kill_after);
+        eprintln!(
+            "drill {}/{}: detect {:.1} ms, reassign {:.1} ms, resume {:.1} ms (recovery {:.1} ms)",
+            i + 1,
+            drills,
+            d.detect_ms,
+            d.reassign_ms,
+            d.resume_ms,
+            d.recovery_ms()
+        );
+        runs.push(d);
+    }
+
+    let mut recovery: Vec<f64> = runs.iter().map(Drill::recovery_ms).collect();
+    recovery.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mean = |f: fn(&Drill) -> f64| runs.iter().map(f).sum::<f64>() / runs.len() as f64;
+
+    let rows = vec![
+        Row {
+            bench: "failover_recovery_ms_p50".into(),
+            value: percentile(&recovery, 50.0),
+            unit: "ms",
+        },
+        Row {
+            bench: "failover_recovery_ms_p95".into(),
+            value: percentile(&recovery, 95.0),
+            unit: "ms",
+        },
+        Row { bench: "failover_detect_ms_mean".into(), value: mean(|d| d.detect_ms), unit: "ms" },
+        Row {
+            bench: "failover_reassign_ms_mean".into(),
+            value: mean(|d| d.reassign_ms),
+            unit: "ms",
+        },
+        Row { bench: "failover_resume_ms_mean".into(), value: mean(|d| d.resume_ms), unit: "ms" },
+        Row { bench: "failover_drills".into(), value: drills as f64, unit: "runs" },
+    ];
+
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "  {{\"bench\": \"{}\", \"value\": {:.3}, \"unit\": \"{}\"}}{sep}\n",
+            r.bench, r.value, r.unit
+        ));
+    }
+    json.push_str("]\n");
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    let mut f = std::fs::File::create(&out).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write output");
+
+    println!("{:<36} {:>12} unit", "bench", "value");
+    for r in &rows {
+        println!("{:<36} {:>12.3} {}", r.bench, r.value, r.unit);
+    }
+    println!("\nwritten to {out}");
+}

@@ -99,6 +99,25 @@ impl StageReport {
     }
 }
 
+/// A worker process the distributed runtime declared lost during a run.
+///
+/// A run that lost a worker is a *partial* run: the affected stages'
+/// statistics cover only what survived (or what a failover replacement
+/// accumulated after restoring the last checkpoint). Consumers comparing
+/// runs (parity tests, experiment harnesses) must check
+/// [`RunReport::lost_workers`] before trusting the numbers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LostWorker {
+    /// Name the worker registered under.
+    pub worker: String,
+    /// Why the coordinator declared it lost (connection closed, missed
+    /// heartbeats, no report before the deadline).
+    pub reason: String,
+    /// Run time of the declaration, seconds since the coordinator
+    /// started the run.
+    pub at: f64,
+}
+
 /// The outcome of executing a topology.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -108,6 +127,10 @@ pub struct RunReport {
     pub stages: Vec<StageReport>,
     /// Total events dispatched (virtual-time engine) or callbacks run.
     pub events: u64,
+    /// Workers declared lost during the run (distributed runtime only;
+    /// always empty for the virtual-time and threaded engines). Non-empty
+    /// means the run was partial — see [`LostWorker`].
+    pub lost_workers: Vec<LostWorker>,
     /// Flight recording grouped into per-stage time series, when the run
     /// was executed with a [`crate::trace::FlightRecorder`] attached.
     pub trace: Option<RunTrace>,
@@ -117,6 +140,12 @@ impl RunReport {
     /// A stage's report by name.
     pub fn stage(&self, name: &str) -> Option<&StageReport> {
         self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// True when at least one worker was lost, i.e. the statistics
+    /// describe a partial run.
+    pub fn is_partial(&self) -> bool {
+        !self.lost_workers.is_empty()
     }
 
     /// Total packets dropped anywhere in the pipeline.
@@ -242,6 +271,7 @@ mod tests {
                 StageReport { name: "b".into(), packets_dropped: 4, ..Default::default() },
             ],
             events: 10,
+            lost_workers: Vec::new(),
             trace: None,
         };
         assert!(report.stage("a").is_some());
@@ -254,6 +284,19 @@ mod tests {
         let detail = report.detail_table();
         assert!(detail.contains("util"));
         assert!(detail.contains("lat avg"));
+    }
+
+    #[test]
+    fn lost_workers_mark_partial_runs() {
+        let mut report = RunReport::default();
+        assert!(!report.is_partial(), "clean run");
+        report.lost_workers.push(LostWorker {
+            worker: "w1".into(),
+            reason: "no heartbeat for 3s".into(),
+            at: 2.5,
+        });
+        assert!(report.is_partial());
+        assert_eq!(report.lost_workers[0].worker, "w1");
     }
 
     #[test]

@@ -102,6 +102,30 @@ pub trait StreamProcessor: 'static {
     /// Called once after every input stream has delivered end-of-stream.
     /// Flush any pending output here; the engine then forwards EOS.
     fn on_eos(&mut self, _api: &mut StageApi) {}
+
+    /// Serialize this stage's replayable state for failover.
+    ///
+    /// The distributed runtime calls this periodically (every
+    /// `checkpoint_every` input packets) and ships the bytes to the
+    /// coordinator; when the hosting worker dies, a replacement stage is
+    /// started from the last snapshot via [`StreamProcessor::restore`].
+    ///
+    /// The default returns an empty vector, which the runtime treats as
+    /// "nothing to checkpoint": the replacement stage restarts fresh.
+    /// Either way recovery is **at-most-once replay** — packets in flight
+    /// between the last snapshot and the failure are lost, never
+    /// reprocessed, so state must be self-contained (no side effects that
+    /// a replay would double-apply).
+    fn snapshot(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Rebuild state from bytes produced by [`StreamProcessor::snapshot`].
+    ///
+    /// Called at most once, after [`StreamProcessor::on_start`] and
+    /// before any data flows, on a replacement stage instance during
+    /// failover. The default ignores the state (fresh restart).
+    fn restore(&mut self, _state: &[u8]) {}
 }
 
 /// The middleware surface a processor sees during a callback.

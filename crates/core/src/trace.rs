@@ -130,6 +130,18 @@ pub enum LinkEventKind {
     Drained,
     /// A worker's control connection to the coordinator was lost.
     WorkerLost,
+    /// The coordinator re-placed a lost worker's stage on a surviving
+    /// worker (failover step 1 of 3).
+    Reassigned,
+    /// A surviving worker started a replacement stage, restoring the last
+    /// checkpoint when one existed (failover step 2 of 3).
+    Restored,
+    /// The first data packet reached a replacement stage after failover
+    /// (failover step 3 of 3 — traffic is flowing again).
+    Resumed,
+    /// The coordinator refused a registration (malformed or timed-out
+    /// hello, duplicate worker name) and told the peer so.
+    Rejected,
 }
 
 impl LinkEventKind {
@@ -144,6 +156,10 @@ impl LinkEventKind {
             LinkEventKind::PeerEof => "peer_eof",
             LinkEventKind::Drained => "drained",
             LinkEventKind::WorkerLost => "worker_lost",
+            LinkEventKind::Reassigned => "reassigned",
+            LinkEventKind::Restored => "restored",
+            LinkEventKind::Resumed => "resumed",
+            LinkEventKind::Rejected => "rejected",
         }
     }
 }

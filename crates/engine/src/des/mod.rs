@@ -189,6 +189,7 @@ impl DesEngine {
             finished_at,
             stages,
             events: self.sim.events_processed(),
+            lost_workers: Vec::new(),
             trace: self.opts.recorder.as_flight().map(|f| f.run_trace()),
         }
     }

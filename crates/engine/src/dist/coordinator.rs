@@ -6,20 +6,30 @@
 //! matchmaker, ships every worker the XML plus the placement table,
 //! fires the start signal, and assembles the workers' per-stage reports
 //! into the same [`RunReport`] the other engines produce.
+//!
+//! While the run executes, the coordinator also plays failure detector
+//! and re-deployer: a worker whose control connection closes or goes
+//! silent past [`DistConfig::heartbeat_timeout`] is declared lost, its
+//! stages are re-placed over the surviving workers with the same
+//! matchmaker, and a `Reassign` (new placement rows plus each stage's
+//! last checkpoint) is broadcast so one survivor adopts the stages and
+//! the others re-point their data links. Lost workers always surface in
+//! [`RunReport::lost_workers`], so a partial run is visible even when
+//! failover could not save it.
 
 use std::collections::{HashMap, HashSet};
 use std::io::Write;
-use std::net::{SocketAddr, TcpListener};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
 
-use gates_core::report::{RunReport, StageReport};
+use gates_core::report::{LostWorker, RunReport, StageReport};
 use gates_core::trace::{LinkEvent, LinkEventKind, Recorder, RunMeta, TraceEvent};
-use gates_core::StageId;
-use gates_grid::{ApplicationRepository, Launcher, NodeSpec, ResourceRegistry};
+use gates_core::{StageId, Topology};
+use gates_grid::{ApplicationRepository, Launcher, Matchmaker, NodeSpec, ResourceRegistry};
 use gates_net::{encode_frame, FrameKind, FrameStream, TransportError};
 use gates_sim::SimTime;
 
@@ -47,7 +57,16 @@ struct WorkerConn {
     ctrl: FrameStream,
 }
 
-/// What a worker's control connection ultimately produced.
+/// Node facts retained past the handshake, so failover can rebuild a
+/// [`ResourceRegistry`] over the survivors.
+struct WorkerMeta {
+    site: Option<String>,
+    speed: f64,
+    capacity: u32,
+    data_addr: String,
+}
+
+/// What a worker's control connection produced.
 enum Outcome {
     /// The worker's final per-stage statistics.
     Report {
@@ -56,10 +75,22 @@ enum Outcome {
         /// Its stages' reports.
         stages: Vec<StageReport>,
     },
-    /// The control connection died before a report arrived.
+    /// The control connection died or went silent before a report arrived.
     Lost {
         /// Worker name.
         worker: String,
+        /// Why the worker was declared lost.
+        reason: String,
+    },
+    /// A stage shipped a state snapshot; the coordinator keeps the newest
+    /// per stage for failover.
+    Checkpoint {
+        /// Stage index.
+        stage: u32,
+        /// Input packets consumed at snapshot time.
+        seq: u64,
+        /// Opaque stage state.
+        state: Vec<u8>,
     },
 }
 
@@ -111,48 +142,85 @@ impl DistEngine {
         let start = Instant::now();
 
         // --- collect registrations -----------------------------------
-        self.listener.set_nonblocking(true).map_err(|e| EngineError::Transport(e.to_string()))?;
+        // A dedicated acceptor thread blocks in `accept` and hands
+        // sockets over a channel, so this loop sleeps in `recv_timeout`
+        // instead of polling a non-blocking listener.
+        let accept_listener = self
+            .listener
+            .try_clone()
+            .map_err(|e| EngineError::Transport(format!("clone listener: {e}")))?;
+        let local_addr = self.local_addr()?;
+        let accept_done = Arc::new(AtomicBool::new(false));
+        let (conn_tx, conn_rx) = unbounded::<TcpStream>();
+        let acceptor = {
+            let done = Arc::clone(&accept_done);
+            std::thread::Builder::new()
+                .name("gates-accept".into())
+                .spawn(move || loop {
+                    match accept_listener.accept() {
+                        Ok((socket, _peer)) => {
+                            if done.load(Ordering::Relaxed) || conn_tx.send(socket).is_err() {
+                                return;
+                            }
+                        }
+                        Err(_) => return,
+                    }
+                })
+                .map_err(|e| EngineError::Transport(e.to_string()))?
+        };
+        // Wake the acceptor out of its blocking `accept` (with a
+        // self-connect) and join it.
+        let retire_acceptor = move || {
+            accept_done.store(true, Ordering::Relaxed);
+            let _ = TcpStream::connect(local_addr);
+            let _ = acceptor.join();
+        };
+
         let mut workers: Vec<WorkerConn> = Vec::with_capacity(self.expected_workers);
+        let mut rejected = 0usize;
         let reg_deadline = Instant::now() + REGISTRATION_PATIENCE;
         while workers.len() < self.expected_workers {
-            if Instant::now() >= reg_deadline {
+            let now = Instant::now();
+            if now >= reg_deadline {
+                retire_acceptor();
                 return Err(EngineError::Transport(format!(
-                    "only {}/{} workers registered in time",
+                    "only {}/{} workers registered in time ({rejected} registration(s) rejected)",
                     workers.len(),
                     self.expected_workers
                 )));
             }
-            match self.listener.accept() {
-                Ok((socket, _peer)) => {
-                    let _ = socket.set_nonblocking(false);
-                    let mut fs = FrameStream::new(socket);
-                    if fs.set_read_timeout(Some(Duration::from_millis(100))).is_err() {
+            let socket = match conn_rx.recv_timeout(reg_deadline - now) {
+                Ok(socket) => socket,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    retire_acceptor();
+                    return Err(EngineError::Transport("accept thread died".into()));
+                }
+            };
+            let mut fs = FrameStream::new(socket);
+            if fs.set_read_timeout(Some(Duration::from_millis(100))).is_err() {
+                continue;
+            }
+            match read_ctrl(&mut fs, Instant::now() + Duration::from_secs(5), "hello") {
+                Ok(CtrlMsg::Hello { name, data_addr, site, speed, capacity }) => {
+                    if workers.iter().any(|w| w.name == name) {
+                        let reason = format!("duplicate worker name {name:?}");
+                        self.reject(start, &mut fs, &reason, &mut rejected);
                         continue;
                     }
-                    let hello =
-                        read_ctrl(&mut fs, Instant::now() + Duration::from_secs(5), "hello");
-                    if let Ok(CtrlMsg::Hello { name, data_addr, site, speed, capacity }) = hello {
-                        if workers.iter().any(|w| w.name == name) {
-                            return Err(EngineError::Protocol(format!(
-                                "duplicate worker name {name:?}"
-                            )));
-                        }
-                        workers.push(WorkerConn {
-                            name,
-                            data_addr,
-                            site,
-                            speed,
-                            capacity,
-                            ctrl: fs,
-                        });
-                    }
+                    workers.push(WorkerConn { name, data_addr, site, speed, capacity, ctrl: fs });
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(20));
+                Ok(other) => {
+                    let reason = format!("expected hello, got {other:?}");
+                    self.reject(start, &mut fs, &reason, &mut rejected);
                 }
-                Err(e) => return Err(EngineError::Transport(format!("accept: {e}"))),
+                Err(e) => {
+                    let reason = format!("malformed or missing hello: {e}");
+                    self.reject(start, &mut fs, &reason, &mut rejected);
+                }
             }
         }
+        retire_acceptor();
 
         // --- place the application -----------------------------------
         let mut registry = ResourceRegistry::new();
@@ -172,7 +240,7 @@ impl DistEngine {
         let plan = deployment.plan;
         let n = topology.stages().len();
 
-        let mut placements = Vec::with_capacity(n);
+        let mut placements: Vec<StagePlacement> = Vec::with_capacity(n);
         for i in 0..n {
             let id = StageId::from_index(i);
             let worker = plan
@@ -247,12 +315,29 @@ impl DistEngine {
         let stop = Arc::new(AtomicBool::new(false));
         let (res_tx, res_rx) = unbounded::<Outcome>();
         let worker_names: Vec<String> = workers.iter().map(|w| w.name.clone()).collect();
-        // Raw write handles for the Stop broadcast: the reader threads
-        // own the FrameStreams, but writes on a try-cloned socket are
-        // safe (a frame is one `write_all`).
-        let mut stop_writers = Vec::with_capacity(workers.len());
+        // Node facts outlive the handshake so failover can rebuild a
+        // registry over the survivors.
+        let meta: HashMap<String, WorkerMeta> = workers
+            .iter()
+            .map(|w| {
+                (
+                    w.name.clone(),
+                    WorkerMeta {
+                        site: w.site.clone(),
+                        speed: w.speed,
+                        capacity: w.capacity,
+                        data_addr: w.data_addr.clone(),
+                    },
+                )
+            })
+            .collect();
+        // Raw write handles for Stop/Reassign broadcasts: the reader
+        // threads own the FrameStreams, but writes on a try-cloned socket
+        // are safe (a frame is one `write_all`).
+        let mut writers: HashMap<String, TcpStream> = HashMap::new();
         for w in &workers {
-            stop_writers.push(
+            writers.insert(
+                w.name.clone(),
                 w.ctrl
                     .try_clone_stream()
                     .map_err(|e| EngineError::Transport(format!("clone {} ctrl: {e}", w.name)))?,
@@ -263,10 +348,13 @@ impl DistEngine {
             let recorder = Arc::clone(&self.opts.recorder);
             let results = res_tx.clone();
             let stop = Arc::clone(&stop);
+            let heartbeat_timeout = self.config.heartbeat_timeout;
             reader_handles.push(
                 std::thread::Builder::new()
                     .name(format!("gates-ctrl-{}", w.name))
-                    .spawn(move || worker_reader(w.ctrl, w.name, recorder, results, stop))
+                    .spawn(move || {
+                        worker_reader(w.ctrl, w.name, recorder, results, stop, heartbeat_timeout)
+                    })
                     .map_err(|e| EngineError::Transport(e.to_string()))?,
             );
         }
@@ -277,6 +365,8 @@ impl DistEngine {
         let mut stop_sent = false;
         let mut reports: HashMap<String, Vec<StageReport>> = HashMap::new();
         let mut lost: HashSet<String> = HashSet::new();
+        let mut lost_workers: Vec<LostWorker> = Vec::new();
+        let mut checkpoints: HashMap<u32, (u64, Vec<u8>)> = HashMap::new();
         while reports.len() + lost.len() < worker_names.len() {
             let now = Instant::now();
             if now >= deadline {
@@ -287,7 +377,7 @@ impl DistEngine {
                 // them one more grace period to report.
                 stop_sent = true;
                 let stop_frame = encode_frame(&encode_ctrl(&CtrlMsg::Stop));
-                for s in &mut stop_writers {
+                for s in writers.values_mut() {
                     let _ = s.write_all(&stop_frame);
                 }
                 deadline = now + self.config.report_grace;
@@ -298,9 +388,27 @@ impl DistEngine {
                 Ok(Outcome::Report { worker, stages }) => {
                     reports.insert(worker, stages);
                 }
-                Ok(Outcome::Lost { worker }) => {
-                    self.record_lost(start, &worker, "control connection closed before report");
-                    lost.insert(worker);
+                Ok(Outcome::Checkpoint { stage, seq, state }) => {
+                    checkpoints.insert(stage, (seq, state));
+                }
+                Ok(Outcome::Lost { worker, reason }) => {
+                    self.record_lost(start, &worker, &reason, &mut lost_workers);
+                    lost.insert(worker.clone());
+                    // A run already winding down (Stop sent) doesn't
+                    // bother re-placing stages.
+                    if !stop_sent {
+                        self.failover(
+                            start,
+                            &topology,
+                            &worker,
+                            &mut placements,
+                            &meta,
+                            &lost,
+                            &reports,
+                            &checkpoints,
+                            &mut writers,
+                        );
+                    }
                 }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => break,
@@ -312,7 +420,7 @@ impl DistEngine {
         }
         for name in &worker_names {
             if !reports.contains_key(name) && !lost.contains(name) {
-                self.record_lost(start, name, "no report before deadline");
+                self.record_lost(start, name, "no report before deadline", &mut lost_workers);
                 lost.insert(name.clone());
             }
         }
@@ -334,11 +442,32 @@ impl DistEngine {
             finished_at: SimTime::from_secs_f64(start.elapsed().as_secs_f64()),
             stages,
             events: 0,
+            lost_workers,
             trace: self.opts.recorder.as_flight().map(|f| f.run_trace()),
         })
     }
 
-    fn record_lost(&self, start: Instant, worker: &str, detail: &str) {
+    /// Refuse a registration attempt: send a typed `Reject` frame (best
+    /// effort), leave a flight-recorder event, and count the refusal so a
+    /// registration timeout can say how many connects were turned away.
+    fn reject(&self, start: Instant, fs: &mut FrameStream, reason: &str, rejected: &mut usize) {
+        *rejected += 1;
+        let _ = fs.send(&encode_ctrl(&CtrlMsg::Reject { reason: reason.into() }));
+        self.record_failover_event(start, "registration", LinkEventKind::Rejected, reason);
+    }
+
+    fn record_lost(
+        &self,
+        start: Instant,
+        worker: &str,
+        detail: &str,
+        lost_workers: &mut Vec<LostWorker>,
+    ) {
+        lost_workers.push(LostWorker {
+            worker: worker.into(),
+            reason: detail.into(),
+            at: start.elapsed().as_secs_f64(),
+        });
         if self.opts.recorder.enabled() {
             self.opts.recorder.record(TraceEvent::Link(LinkEvent {
                 t: start.elapsed().as_secs_f64(),
@@ -349,36 +478,161 @@ impl DistEngine {
             }));
         }
     }
+
+    fn record_failover_event(&self, start: Instant, link: &str, kind: LinkEventKind, detail: &str) {
+        if self.opts.recorder.enabled() {
+            self.opts.recorder.record(TraceEvent::Link(LinkEvent {
+                t: start.elapsed().as_secs_f64(),
+                link: link.into(),
+                node: "coordinator".into(),
+                kind,
+                detail: detail.into(),
+            }));
+        }
+    }
+
+    /// Coordinator-driven failover. Find the stages stranded on
+    /// `lost_worker`, re-run the matchmaker over the surviving registered
+    /// workers, update the placement table, and broadcast a `Reassign`
+    /// (changed rows plus each stage's last checkpoint) to every
+    /// survivor. The worker named in a row adopts the stage; everyone
+    /// else re-points the data links that used to dial the lost worker.
+    #[allow(clippy::too_many_arguments)]
+    fn failover(
+        &self,
+        start: Instant,
+        topology: &Topology,
+        lost_worker: &str,
+        placements: &mut [StagePlacement],
+        meta: &HashMap<String, WorkerMeta>,
+        lost: &HashSet<String>,
+        reports: &HashMap<String, Vec<StageReport>>,
+        checkpoints: &HashMap<u32, (u64, Vec<u8>)>,
+        writers: &mut HashMap<String, TcpStream>,
+    ) {
+        let stranded: Vec<usize> = placements
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.worker == lost_worker)
+            .map(|(i, _)| i)
+            .collect();
+        if stranded.is_empty() {
+            return;
+        }
+        // Survivors: registered, not lost, and still running (a worker
+        // that already reported is exiting and cannot adopt stages).
+        let mut registry = ResourceRegistry::new();
+        for (name, m) in meta {
+            if lost.contains(name) || reports.contains_key(name) {
+                continue;
+            }
+            registry.register(
+                NodeSpec::new(name.clone(), m.site.clone().unwrap_or_else(|| name.clone()))
+                    .speed(m.speed)
+                    .capacity(m.capacity as usize)
+                    .endpoint(m.data_addr.clone()),
+            );
+        }
+        let replacement = match Matchmaker.place(topology, &registry) {
+            Ok(map) => map,
+            Err(e) => {
+                self.record_failover_event(
+                    start,
+                    "failover",
+                    LinkEventKind::WorkerLost,
+                    &format!("cannot reassign stages of {lost_worker}: {e}"),
+                );
+                return;
+            }
+        };
+        let mut changed = Vec::with_capacity(stranded.len());
+        for i in stranded {
+            let id = StageId::from_index(i);
+            let Some(new_worker) = replacement.get(&id) else { continue };
+            let m = &meta[new_worker];
+            placements[i] = StagePlacement {
+                stage: i as u32,
+                worker: new_worker.clone(),
+                endpoint: m.data_addr.clone(),
+                speed: m.speed,
+            };
+            changed.push(placements[i].clone());
+            self.record_failover_event(
+                start,
+                &topology.stages()[i].name,
+                LinkEventKind::Reassigned,
+                &format!("{lost_worker} -> {new_worker}"),
+            );
+        }
+        let ckpts: Vec<(u32, u64, Vec<u8>)> = changed
+            .iter()
+            .filter_map(|p| checkpoints.get(&p.stage).map(|(s, st)| (p.stage, *s, st.clone())))
+            .collect();
+        let frame = encode_frame(&encode_ctrl(&CtrlMsg::Reassign {
+            placements: changed,
+            checkpoints: ckpts,
+        }));
+        for (name, s) in writers.iter_mut() {
+            if lost.contains(name) {
+                continue;
+            }
+            let _ = s.write_all(&frame);
+        }
+    }
 }
 
 /// Pump one worker's control connection: trace events into the
-/// coordinator's recorder, the final report (or the connection's death)
-/// into the results channel.
+/// coordinator's recorder, checkpoints and the final report (or the
+/// worker's death) into the results channel. Any frame counts as a sign
+/// of life; with `heartbeat_timeout` non-zero, silence past it declares
+/// the worker lost even while its socket stays open (the hung-process
+/// case a closed-connection check cannot see).
 fn worker_reader(
     mut fs: FrameStream,
     worker: String,
     recorder: Arc<dyn Recorder>,
     results: Sender<Outcome>,
     stop: Arc<AtomicBool>,
+    heartbeat_timeout: Duration,
 ) {
+    let mut last_seen = Instant::now();
     loop {
         if stop.load(Ordering::Relaxed) {
             return;
         }
         match fs.read_frame() {
-            Ok(Some(f)) if f.kind == FrameKind::Control => match decode_ctrl(&f) {
-                Ok(CtrlMsg::Trace(event)) if recorder.enabled() => recorder.record(event),
-                Ok(CtrlMsg::Trace(_)) => {}
-                Ok(CtrlMsg::Report { worker, stages }) => {
-                    let _ = results.send(Outcome::Report { worker, stages });
+            Ok(Some(f)) if f.kind == FrameKind::Control => {
+                last_seen = Instant::now();
+                match decode_ctrl(&f) {
+                    Ok(CtrlMsg::Trace(event)) if recorder.enabled() => recorder.record(event),
+                    Ok(CtrlMsg::Trace(_)) => {}
+                    Ok(CtrlMsg::Heartbeat { .. }) => {}
+                    Ok(CtrlMsg::Checkpoint { stage, seq, state }) => {
+                        let _ = results.send(Outcome::Checkpoint { stage, seq, state });
+                    }
+                    Ok(CtrlMsg::Report { worker, stages }) => {
+                        let _ = results.send(Outcome::Report { worker, stages });
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            Ok(Some(_)) => {
+                last_seen = Instant::now();
+            }
+            Err(TransportError::TimedOut) => {
+                if !heartbeat_timeout.is_zero() && last_seen.elapsed() >= heartbeat_timeout {
+                    let reason =
+                        format!("no heartbeat for {:.1}s", last_seen.elapsed().as_secs_f64());
+                    let _ = results.send(Outcome::Lost { worker, reason });
                     return;
                 }
-                _ => {}
-            },
-            Ok(Some(_)) => {}
-            Err(TransportError::TimedOut) => {}
+            }
             Ok(None) | Err(TransportError::Io(_)) => {
-                let _ = results.send(Outcome::Lost { worker });
+                let _ = results.send(Outcome::Lost {
+                    worker,
+                    reason: "control connection closed before report".into(),
+                });
                 return;
             }
         }
@@ -468,6 +722,7 @@ mod tests {
         assert_eq!(report.stage("src").unwrap().placed_on, "w0");
         assert_eq!(report.stage("mid").unwrap().placed_on, "w1");
         assert_eq!(report.stage("snk").unwrap().placed_on, "w2");
+        assert!(!report.is_partial(), "clean run reported lost workers: {:?}", report.lost_workers);
     }
 
     use crate::dist::DistWorker;
@@ -478,5 +733,104 @@ mod tests {
             DistEngine::bind(XML, "127.0.0.1:0", 0, RunOptions::default(), DistConfig::default())
                 .unwrap_err();
         assert!(matches!(err, EngineError::BadOptions(_)));
+    }
+
+    #[test]
+    fn heartbeat_timeout_alone_marks_worker_lost() {
+        let opts = RunOptions::default()
+            .observe_every(SimDuration::from_millis(20))
+            .adapt_every(SimDuration::from_millis(100))
+            .max_time(SimTime::from_secs_f64(30.0));
+        let config = DistConfig::default()
+            .report_grace(Duration::from_secs(5))
+            .heartbeat_timeout(Duration::from_millis(600));
+        let engine = DistEngine::bind(XML, "127.0.0.1:0", 1, opts, config).unwrap();
+        let addr = engine.local_addr().unwrap().to_string();
+
+        // A worker that completes the whole handshake, then hangs: its
+        // socket stays open (held until the end of the test), so only the
+        // heartbeat timeout — not a closed-connection check — can see it.
+        let (exit_tx, exit_rx) = unbounded::<()>();
+        let fake = std::thread::spawn(move || {
+            let socket = TcpStream::connect(&addr).unwrap();
+            let mut fs = FrameStream::new(socket);
+            fs.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+            fs.send(&encode_ctrl(&CtrlMsg::Hello {
+                name: "slowpoke".into(),
+                data_addr: "127.0.0.1:9".into(),
+                site: None,
+                speed: 1.0,
+                capacity: 8,
+            }))
+            .unwrap();
+            let deadline = Instant::now() + Duration::from_secs(10);
+            match read_ctrl(&mut fs, deadline, "assign").unwrap() {
+                CtrlMsg::Assign(_) => {}
+                other => panic!("expected assign, got {other:?}"),
+            }
+            fs.send(&encode_ctrl(&CtrlMsg::Ready { name: "slowpoke".into() })).unwrap();
+            match read_ctrl(&mut fs, deadline, "start").unwrap() {
+                CtrlMsg::Start => {}
+                other => panic!("expected start, got {other:?}"),
+            }
+            // Go silent but keep the connection alive.
+            let _ = exit_rx.recv_timeout(Duration::from_secs(30));
+            drop(fs);
+        });
+
+        let report = engine.run(&test_repo()).unwrap();
+        let _ = exit_tx.send(());
+        fake.join().unwrap();
+
+        assert!(report.is_partial());
+        assert_eq!(report.lost_workers.len(), 1);
+        assert_eq!(report.lost_workers[0].worker, "slowpoke");
+        assert!(
+            report.lost_workers[0].reason.contains("heartbeat"),
+            "reason: {}",
+            report.lost_workers[0].reason
+        );
+        assert!(report.lost_workers[0].at < 10.0, "detection took {}s", report.lost_workers[0].at);
+    }
+
+    #[test]
+    fn malformed_registration_gets_typed_reject() {
+        let opts = RunOptions::default()
+            .observe_every(SimDuration::from_millis(20))
+            .adapt_every(SimDuration::from_millis(100))
+            .max_time(SimTime::from_secs_f64(30.0));
+        let engine = DistEngine::bind(XML, "127.0.0.1:0", 3, opts, DistConfig::default()).unwrap();
+        let coord_addr = engine.local_addr().unwrap().to_string();
+
+        // First a client whose opening message is not a hello — it must
+        // get a typed Reject back — and only then the real workers, so
+        // the rejection provably happened before registration completed.
+        let clients = std::thread::spawn(move || {
+            let socket = TcpStream::connect(&coord_addr).unwrap();
+            let mut fs = FrameStream::new(socket);
+            fs.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+            fs.send(&encode_ctrl(&CtrlMsg::Ready { name: "imposter".into() })).unwrap();
+            match read_ctrl(&mut fs, Instant::now() + Duration::from_secs(10), "reject").unwrap() {
+                CtrlMsg::Reject { reason } => {
+                    assert!(reason.contains("hello"), "reason: {reason}")
+                }
+                other => panic!("expected reject, got {other:?}"),
+            }
+            let mut handles = Vec::new();
+            for (name, site) in [("w0", "s0"), ("w1", "s1"), ("w2", "s2")] {
+                let addr = coord_addr.clone();
+                handles.push(std::thread::spawn(move || {
+                    DistWorker::new(name, addr).site(site).run(&test_repo())
+                }));
+            }
+            for h in handles {
+                h.join().unwrap().unwrap();
+            }
+        });
+
+        let report = engine.run(&test_repo()).unwrap();
+        clients.join().unwrap();
+        assert_eq!(report.stage("snk").unwrap().packets_in, 40);
+        assert!(!report.is_partial());
     }
 }

@@ -42,6 +42,19 @@
 //! skipped. Every such transition is recorded as a
 //! [`gates_core::trace::LinkEvent`], so `--trace` shows per-link
 //! reconnects and drops for distributed runs.
+//!
+//! Whole-worker failures go beyond link repair: workers heartbeat over
+//! the control plane and ship periodic stage checkpoints
+//! ([`DistConfig::checkpoint_every`]); when the coordinator loses a
+//! worker (closed control connection or
+//! [`DistConfig::heartbeat_timeout`] without a frame) it re-runs the
+//! matchmaker over the survivors, broadcasts a `Reassign` with the new
+//! placements plus the last checkpoints, and a survivor adopts the
+//! stranded stages while its neighbors re-dial the new data address.
+//! Recovery is **at-most-once replay**: packets in flight between the
+//! last checkpoint and the failure are lost, never reprocessed. Losses
+//! are named in [`gates_core::report::RunReport::lost_workers`] rather
+//! than silently absorbed.
 
 mod coordinator;
 mod proto;
@@ -104,6 +117,20 @@ pub struct DistConfig {
     /// Extra wall-clock the coordinator waits beyond `max_time` for
     /// worker reports before declaring them lost.
     pub report_grace: Duration,
+    /// How often each worker sends a heartbeat on its control connection
+    /// once the run has started.
+    pub heartbeat_interval: Duration,
+    /// How long the coordinator tolerates silence (no heartbeat, trace,
+    /// checkpoint, or report) on a worker's control connection before
+    /// declaring the worker lost and starting failover. Must comfortably
+    /// exceed `heartbeat_interval`; zero disables heartbeat detection
+    /// (a closed connection is still detected immediately).
+    pub heartbeat_timeout: Duration,
+    /// A stage snapshots its state ([`gates_core::StreamProcessor::snapshot`])
+    /// every this many input packets and ships it to the coordinator as a
+    /// checkpoint; zero disables checkpointing (failover then restarts
+    /// stages fresh).
+    pub checkpoint_every: u64,
 }
 
 impl Default for DistConfig {
@@ -114,6 +141,9 @@ impl Default for DistConfig {
             retry: RetryPolicy::default(),
             drain_window: Duration::from_secs(5),
             report_grace: Duration::from_secs(10),
+            heartbeat_interval: Duration::from_millis(500),
+            heartbeat_timeout: Duration::from_secs(3),
+            checkpoint_every: 64,
         }
     }
 }
@@ -134,6 +164,26 @@ impl DistConfig {
     /// Builder: report grace beyond `max_time`.
     pub fn report_grace(mut self, grace: Duration) -> Self {
         self.report_grace = grace;
+        self
+    }
+
+    /// Builder: heartbeat send interval.
+    pub fn heartbeat_interval(mut self, interval: Duration) -> Self {
+        self.heartbeat_interval = interval;
+        self
+    }
+
+    /// Builder: control-connection silence tolerated before a worker is
+    /// declared lost (zero disables heartbeat-based detection).
+    pub fn heartbeat_timeout(mut self, timeout: Duration) -> Self {
+        self.heartbeat_timeout = timeout;
+        self
+    }
+
+    /// Builder: checkpoint cadence in input packets per stage (zero
+    /// disables checkpointing).
+    pub fn checkpoint_every(mut self, packets: u64) -> Self {
+        self.checkpoint_every = packets;
         self
     }
 }

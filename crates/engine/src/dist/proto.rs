@@ -30,6 +30,10 @@ const TAG_REPORT: u8 = 5;
 const TAG_TRACE: u8 = 6;
 const TAG_EDGE_HELLO: u8 = 7;
 const TAG_STOP: u8 = 8;
+const TAG_HEARTBEAT: u8 = 9;
+const TAG_CHECKPOINT: u8 = 10;
+const TAG_REJECT: u8 = 11;
+const TAG_REASSIGN: u8 = 12;
 
 /// One row of the coordinator's placement table, shipped to every worker
 /// so senders can resolve remote endpoints without further round-trips.
@@ -112,6 +116,44 @@ pub(crate) enum CtrlMsg {
     },
     /// Coordinator → worker: abort/stop the run.
     Stop,
+    /// Worker → coordinator: periodic liveness signal, sent every
+    /// [`DistConfig::heartbeat_interval`] once the run has started.
+    Heartbeat {
+        /// Worker name.
+        name: String,
+    },
+    /// Worker → coordinator: a stage's state snapshot, taken every
+    /// [`DistConfig::checkpoint_every`] input packets. The coordinator
+    /// keeps only the newest checkpoint per stage and ships it back out
+    /// during failover.
+    Checkpoint {
+        /// Stage index in topology order.
+        stage: u32,
+        /// Number of input packets the stage had consumed when the
+        /// snapshot was taken (monotonic per stage).
+        seq: u64,
+        /// Opaque state bytes from [`gates_core::StreamProcessor::snapshot`].
+        state: Vec<u8>,
+    },
+    /// Coordinator → worker: registration refused (malformed hello,
+    /// duplicate name, ...). The worker should report the reason and exit
+    /// rather than retry.
+    Reject {
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+    /// Coordinator → every surviving worker: a lost worker's stages have
+    /// new homes. `placements` holds only the *changed* rows; each
+    /// receiver updates its endpoint table, and the worker named in a row
+    /// adopts that stage, restoring from the paired checkpoint if one
+    /// exists.
+    Reassign {
+        /// Updated placement rows (changed stages only).
+        placements: Vec<StagePlacement>,
+        /// Last known checkpoint per reassigned stage:
+        /// `(stage, seq, state)`. Stages without an entry restart fresh.
+        checkpoints: Vec<(u32, u64, Vec<u8>)>,
+    },
 }
 
 fn put_str(w: &mut PayloadWriter, s: &str) {
@@ -291,6 +333,10 @@ fn link_kind_to_u8(k: LinkEventKind) -> u8 {
         LinkEventKind::PeerEof => 5,
         LinkEventKind::Drained => 6,
         LinkEventKind::WorkerLost => 7,
+        LinkEventKind::Reassigned => 8,
+        LinkEventKind::Restored => 9,
+        LinkEventKind::Resumed => 10,
+        LinkEventKind::Rejected => 11,
     }
 }
 
@@ -304,6 +350,10 @@ fn link_kind_from_u8(v: u8) -> Result<LinkEventKind, CoreError> {
         5 => LinkEventKind::PeerEof,
         6 => LinkEventKind::Drained,
         7 => LinkEventKind::WorkerLost,
+        8 => LinkEventKind::Reassigned,
+        9 => LinkEventKind::Restored,
+        10 => LinkEventKind::Resumed,
+        11 => LinkEventKind::Rejected,
         other => return Err(CoreError::PayloadDecode(format!("bad link event kind {other}"))),
     })
 }
@@ -365,6 +415,9 @@ fn put_config(w: &mut PayloadWriter, c: &DistConfig) {
     w.put_u64(c.retry.max_delay.as_micros() as u64);
     w.put_u64(c.drain_window.as_micros() as u64);
     w.put_u64(c.report_grace.as_micros() as u64);
+    w.put_u64(c.heartbeat_interval.as_micros() as u64);
+    w.put_u64(c.heartbeat_timeout.as_micros() as u64);
+    w.put_u64(c.checkpoint_every);
 }
 
 fn get_config(r: &mut PayloadReader) -> Result<DistConfig, CoreError> {
@@ -378,6 +431,9 @@ fn get_config(r: &mut PayloadReader) -> Result<DistConfig, CoreError> {
         },
         drain_window: Duration::from_micros(r.get_u64()?),
         report_grace: Duration::from_micros(r.get_u64()?),
+        heartbeat_interval: Duration::from_micros(r.get_u64()?),
+        heartbeat_timeout: Duration::from_micros(r.get_u64()?),
+        checkpoint_every: r.get_u64()?,
     })
 }
 
@@ -439,6 +495,38 @@ pub(crate) fn encode_ctrl(msg: &CtrlMsg) -> Frame {
         }
         CtrlMsg::Stop => {
             w.put_bytes(&[TAG_STOP]);
+        }
+        CtrlMsg::Heartbeat { name } => {
+            w.put_bytes(&[TAG_HEARTBEAT]);
+            put_str(&mut w, name);
+        }
+        CtrlMsg::Checkpoint { stage, seq, state } => {
+            w.put_bytes(&[TAG_CHECKPOINT]);
+            w.put_u32(*stage);
+            w.put_u64(*seq);
+            w.put_u32(state.len() as u32);
+            w.put_bytes(state);
+        }
+        CtrlMsg::Reject { reason } => {
+            w.put_bytes(&[TAG_REJECT]);
+            put_str(&mut w, reason);
+        }
+        CtrlMsg::Reassign { placements, checkpoints } => {
+            w.put_bytes(&[TAG_REASSIGN]);
+            w.put_u32(placements.len() as u32);
+            for p in placements {
+                w.put_u32(p.stage);
+                put_str(&mut w, &p.worker);
+                put_str(&mut w, &p.endpoint);
+                w.put_f64(p.speed);
+            }
+            w.put_u32(checkpoints.len() as u32);
+            for (stage, seq, state) in checkpoints {
+                w.put_u32(*stage);
+                w.put_u64(*seq);
+                w.put_u32(state.len() as u32);
+                w.put_bytes(state);
+            }
         }
     }
     Frame { kind: FrameKind::Control, stream_id: 0, seq: 0, payload: w.finish() }
@@ -510,6 +598,36 @@ pub(crate) fn decode_ctrl(frame: &Frame) -> Result<CtrlMsg, CoreError> {
         TAG_TRACE => CtrlMsg::Trace(get_trace_event(&mut r)?),
         TAG_EDGE_HELLO => CtrlMsg::EdgeHello { edge: r.get_u32()? },
         TAG_STOP => CtrlMsg::Stop,
+        TAG_HEARTBEAT => CtrlMsg::Heartbeat { name: get_str(&mut r)? },
+        TAG_CHECKPOINT => {
+            let stage = r.get_u32()?;
+            let seq = r.get_u64()?;
+            let len = r.get_u32()? as usize;
+            let state = r.get_bytes(len)?.to_vec();
+            CtrlMsg::Checkpoint { stage, seq, state }
+        }
+        TAG_REJECT => CtrlMsg::Reject { reason: get_str(&mut r)? },
+        TAG_REASSIGN => {
+            let n = r.get_u32()? as usize;
+            let mut placements = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                placements.push(StagePlacement {
+                    stage: r.get_u32()?,
+                    worker: get_str(&mut r)?,
+                    endpoint: get_str(&mut r)?,
+                    speed: r.get_f64()?,
+                });
+            }
+            let n = r.get_u32()? as usize;
+            let mut checkpoints = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let stage = r.get_u32()?;
+                let seq = r.get_u64()?;
+                let len = r.get_u32()? as usize;
+                checkpoints.push((stage, seq, r.get_bytes(len)?.to_vec()));
+            }
+            CtrlMsg::Reassign { placements, checkpoints }
+        }
         other => return Err(CoreError::PayloadDecode(format!("unknown control tag {other}"))),
     })
 }
@@ -595,6 +713,46 @@ mod tests {
         round_trip(CtrlMsg::Start);
         round_trip(CtrlMsg::EdgeHello { edge: 3 });
         round_trip(CtrlMsg::Stop);
+        round_trip(CtrlMsg::Heartbeat { name: "w0".into() });
+        round_trip(CtrlMsg::Reject { reason: "duplicate worker name w0".into() });
+    }
+
+    #[test]
+    fn checkpoint_round_trips() {
+        round_trip(CtrlMsg::Checkpoint { stage: 4, seq: 128, state: vec![1, 2, 3, 4, 5] });
+        round_trip(CtrlMsg::Checkpoint { stage: 0, seq: 0, state: Vec::new() });
+    }
+
+    #[test]
+    fn reassign_round_trips() {
+        round_trip(CtrlMsg::Reassign {
+            placements: vec![StagePlacement {
+                stage: 0,
+                worker: "w1".into(),
+                endpoint: "127.0.0.1:4001".into(),
+                speed: 2.0,
+            }],
+            checkpoints: vec![(0, 64, vec![9, 8, 7])],
+        });
+        round_trip(CtrlMsg::Reassign { placements: Vec::new(), checkpoints: Vec::new() });
+    }
+
+    #[test]
+    fn failover_link_kinds_round_trip() {
+        for kind in [
+            LinkEventKind::Reassigned,
+            LinkEventKind::Restored,
+            LinkEventKind::Resumed,
+            LinkEventKind::Rejected,
+        ] {
+            round_trip(CtrlMsg::Trace(TraceEvent::Link(LinkEvent {
+                t: 4.2,
+                link: "collector".into(),
+                node: "coordinator".into(),
+                kind,
+                detail: "w2 -> w0".into(),
+            })));
+        }
     }
 
     #[test]

@@ -7,11 +7,19 @@
 //! application repository, and runs its stages on the shared
 //! [`StageWorker`] event loop — local edges stay in-process channels,
 //! remote edges are bridged over TCP by dedicated sender/reader threads.
+//!
+//! During the run the worker heartbeats the coordinator, relays stage
+//! checkpoints, and acts on `Reassign` broadcasts: placement rows naming
+//! another worker just re-point the local senders' endpoint table (a
+//! dead link re-dials the new address), while rows naming *this* worker
+//! make it adopt the stage — fresh channels, fresh TCP in-edges for the
+//! neighbors to re-dial, and a [`StageWorker`] restored from the stage's
+//! last checkpoint, if any.
 
 use std::collections::HashMap;
-use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{
@@ -31,8 +39,29 @@ use gates_sim::{SimDuration, SimTime};
 use super::proto::{decode_ctrl, decode_exception, encode_ctrl, encode_exception, CtrlMsg};
 use super::{read_ctrl, DistConfig};
 use crate::options::RunOptions;
-use crate::runtime::{Control, OutPort, StageWorker};
+use crate::runtime::{CheckpointCfg, Control, OutPort, StageWorker};
 use crate::EngineError;
+
+/// The worker's live view of every stage's data endpoint. `Reassign`
+/// messages rewrite rows in place; remote senders whose link is down
+/// consult it to re-dial a stage's replacement home after failover.
+struct SharedPlacements {
+    endpoint_of: RwLock<Vec<String>>,
+}
+
+impl SharedPlacements {
+    fn endpoint(&self, stage: usize) -> String {
+        self.endpoint_of.read().expect("placement table")[stage].clone()
+    }
+
+    fn set_endpoint(&self, stage: usize, endpoint: String) {
+        self.endpoint_of.write().expect("placement table")[stage] = endpoint;
+    }
+}
+
+/// The shared, growable in-edge registry: failover registers new entries
+/// mid-run when this worker adopts a stage.
+type InEdgeRegistry = Arc<RwLock<HashMap<u32, Arc<InEdge>>>>;
 
 /// How long a worker waits for the coordinator's next handshake message
 /// (assignment, start) before giving up.
@@ -117,7 +146,7 @@ impl DistWorker {
             .map_err(|e| EngineError::Transport(e.to_string()))?;
         ctrl.send(&encode_ctrl(&CtrlMsg::Hello {
             name: self.name.clone(),
-            data_addr,
+            data_addr: data_addr.clone(),
             site: self.site.clone(),
             speed: self.speed,
             capacity: self.capacity,
@@ -130,6 +159,11 @@ impl DistWorker {
             match read_ctrl(&mut ctrl, deadline, "assignment")? {
                 CtrlMsg::Assign(a) => break a,
                 CtrlMsg::Stop => return Ok(()),
+                CtrlMsg::Reject { reason } => {
+                    return Err(EngineError::Protocol(format!(
+                        "coordinator rejected registration: {reason}"
+                    )))
+                }
                 _ => {}
             }
         };
@@ -149,7 +183,7 @@ impl DistWorker {
             )));
         }
         let mut worker_of = vec![String::new(); n];
-        let mut endpoint_of = vec![String::new(); n];
+        let mut endpoint_vec = vec![String::new(); n];
         let mut speed_of = vec![1.0f64; n];
         for p in &assign.placements {
             let i = p.stage as usize;
@@ -157,9 +191,10 @@ impl DistWorker {
                 return Err(EngineError::Protocol(format!("placement for unknown stage {i}")));
             }
             worker_of[i] = p.worker.clone();
-            endpoint_of[i] = p.endpoint.clone();
+            endpoint_vec[i] = p.endpoint.clone();
             speed_of[i] = p.speed;
         }
+        let placements_tbl = Arc::new(SharedPlacements { endpoint_of: RwLock::new(endpoint_vec) });
         let mut is_mine = vec![false; n];
         for &s in &assign.my_stages {
             let i = s as usize;
@@ -187,6 +222,9 @@ impl DistWorker {
         // --- wire the data plane -------------------------------------
         let stop = Arc::new(AtomicBool::new(false));
         let start = Instant::now();
+        // Stage snapshots funnel through this channel into the main
+        // loop, which relays them to the coordinator as checkpoints.
+        let (ckpt_tx, ckpt_rx) = unbounded::<(u32, u64, Vec<u8>)>();
 
         let mut data_tx: HashMap<usize, Sender<Packet>> = HashMap::new();
         let mut data_rx: HashMap<usize, Receiver<Packet>> = HashMap::new();
@@ -231,7 +269,8 @@ impl DistWorker {
                     remote_out.insert(ei, btx);
                     let sender = RemoteSender {
                         edge: ei as u32,
-                        endpoint: endpoint_of[to].clone(),
+                        to_stage: to,
+                        placements: Arc::clone(&placements_tbl),
                         rx: brx,
                         upstream: ctl_tx[&from].clone(),
                         drops: Arc::clone(&drops[&from]),
@@ -261,6 +300,7 @@ impl DistWorker {
                             // all must still drain eventually.
                             disconnected_at: Mutex::new(Some(Instant::now())),
                             connections: AtomicU64::new(0),
+                            announce_resume: AtomicBool::new(false),
                             reporter,
                         }),
                     );
@@ -268,25 +308,24 @@ impl DistWorker {
                 _ => {}
             }
         }
-        let in_edge_reg = Arc::new(in_edge_reg);
+        let in_edge_reg: InEdgeRegistry = Arc::new(RwLock::new(in_edge_reg));
 
         let accept_handle = {
             let reg = Arc::clone(&in_edge_reg);
             let stop = Arc::clone(&stop);
             let cfg = cfg.clone();
-            listener.set_nonblocking(true).map_err(|e| EngineError::Transport(e.to_string()))?;
             std::thread::Builder::new()
                 .name("gates-accept".into())
                 .spawn(move || accept_loop(listener, reg, stop, cfg))
                 .map_err(|e| EngineError::Transport(e.to_string()))?
         };
         let drain_handle = {
-            let edges: Vec<Arc<InEdge>> = in_edge_reg.values().cloned().collect();
+            let reg = Arc::clone(&in_edge_reg);
             let stop = Arc::clone(&stop);
             let window = cfg.drain_window;
             std::thread::Builder::new()
                 .name("gates-drain".into())
-                .spawn(move || drain_monitor(edges, stop, window))
+                .spawn(move || drain_monitor(reg, stop, window))
                 .map_err(|e| EngineError::Transport(e.to_string()))?
         };
 
@@ -364,6 +403,12 @@ impl DistWorker {
                 start,
                 stop: Arc::clone(&stop),
                 bucket_waited: 0.0,
+                checkpoint: (cfg.checkpoint_every > 0).then(|| CheckpointCfg {
+                    stage: i as u32,
+                    every: cfg.checkpoint_every,
+                    tx: ckpt_tx.clone(),
+                }),
+                restore: None,
             };
             handles.push(
                 std::thread::Builder::new()
@@ -382,7 +427,7 @@ impl DistWorker {
         drop(ctl_rx);
         drop(remote_out);
         drop(remote_exc);
-        let stage_ctl: Vec<Sender<Control>> = ctl_tx.values().cloned().collect();
+        let mut stage_ctl: Vec<Sender<Control>> = ctl_tx.values().cloned().collect();
         drop(ctl_tx);
 
         // Watchdog: stop the run when the budget elapses (detached; its
@@ -415,45 +460,223 @@ impl DistWorker {
             })
             .map_err(|e| EngineError::WorkerPanic(e.to_string()))?;
 
-        // --- main loop: trace relay + coordinator control ------------
+        // --- main loop: trace/heartbeat/checkpoint relay + control ---
         let mut coordinator_gone = false;
-        let reports = loop {
+        let mut base_reports: Option<Vec<StageReport>> = None;
+        let mut adopted_handles: Vec<std::thread::JoinHandle<StageReport>> = Vec::new();
+        let mut last_heartbeat = Instant::now();
+        loop {
             // All trace events ready this lap coalesce into one write.
             while let Ok(event) = trace_rx.try_recv() {
                 if !coordinator_gone {
                     ctrl.queue(&encode_ctrl(&CtrlMsg::Trace(event)));
                 }
             }
+            while let Ok((stage, seq, state)) = ckpt_rx.try_recv() {
+                if !coordinator_gone {
+                    ctrl.queue(&encode_ctrl(&CtrlMsg::Checkpoint { stage, seq, state }));
+                }
+            }
+            if !coordinator_gone
+                && !cfg.heartbeat_interval.is_zero()
+                && last_heartbeat.elapsed() >= cfg.heartbeat_interval
+            {
+                last_heartbeat = Instant::now();
+                ctrl.queue(&encode_ctrl(&CtrlMsg::Heartbeat { name: self.name.clone() }));
+            }
             if !coordinator_gone && ctrl.flush_queued().is_err() {
                 coordinator_gone = true;
             }
             if coordinator_gone {
-                // An orphaned worker must not run unbounded: stop and
-                // drain (idempotent; re-sent each lap until done).
+                // An orphaned worker must not run unbounded: stop, then
+                // block on the joiner instead of polling (the stages
+                // watch the stop flag and wind down promptly).
                 stop.store(true, Ordering::Relaxed);
                 for c in &stage_ctl {
                     let _ = c.send(Control::Stop);
                 }
-                std::thread::sleep(Duration::from_millis(20));
-            } else {
-                match ctrl.read_frame() {
-                    Ok(Some(f)) if f.kind == FrameKind::Control => {
-                        if let Ok(CtrlMsg::Stop) = decode_ctrl(&f) {
-                            stop.store(true, Ordering::Relaxed);
-                            for c in &stage_ctl {
-                                let _ = c.send(Control::Stop);
-                            }
+                if base_reports.is_none() {
+                    base_reports = Some(done_rx.recv().unwrap_or_default());
+                }
+                break;
+            }
+            match ctrl.read_frame() {
+                Ok(Some(f)) if f.kind == FrameKind::Control => match decode_ctrl(&f) {
+                    Ok(CtrlMsg::Stop) => {
+                        stop.store(true, Ordering::Relaxed);
+                        for c in &stage_ctl {
+                            let _ = c.send(Control::Stop);
                         }
                     }
-                    Ok(Some(_)) => {}
-                    Err(TransportError::TimedOut) => {}
-                    Ok(None) | Err(TransportError::Io(_)) => coordinator_gone = true,
+                    Ok(CtrlMsg::Reassign { placements: rows, checkpoints }) => {
+                        let ckpt_by_stage: HashMap<u32, (u64, Vec<u8>)> =
+                            checkpoints.into_iter().map(|(s, q, st)| (s, (q, st))).collect();
+                        // Re-point the shared endpoint table first:
+                        // senders whose link is down re-dial as soon as
+                        // they see the new address.
+                        for row in &rows {
+                            let i = row.stage as usize;
+                            if i >= n {
+                                continue;
+                            }
+                            placements_tbl.set_endpoint(i, row.endpoint.clone());
+                            worker_of[i] = row.worker.clone();
+                            speed_of[i] = row.speed;
+                        }
+                        for row in &rows {
+                            let i = row.stage as usize;
+                            if i >= n || row.worker != self.name || is_mine[i] {
+                                continue;
+                            }
+                            // Adopt the stage: fresh channels, TCP
+                            // in-edges for the neighbors (and this
+                            // process's own senders) to re-dial, fresh
+                            // senders for its outputs, and a StageWorker
+                            // restored from the last checkpoint.
+                            is_mine[i] = true;
+                            let stage = &topology.stages()[i];
+                            let id = StageId::from_index(i);
+                            let (dtx, drx) = bounded(stage.queue_capacity);
+                            let (ctx, crx) = unbounded::<Control>();
+                            let my_drops = Arc::new(AtomicU64::new(0));
+                            let mut upstream_ctl = Vec::new();
+                            for ei in topology.in_edges(id) {
+                                let edge = &topology.edges()[ei];
+                                let from = edge.from.index();
+                                let (etx, erx) = unbounded::<Control>();
+                                upstream_ctl.push(etx);
+                                in_edge_reg.write().expect("in-edge registry").insert(
+                                    ei as u32,
+                                    Arc::new(InEdge {
+                                        data_tx: dtx.clone(),
+                                        blocking: edge.link.flow == FlowControl::Blocking,
+                                        drops: Arc::clone(&my_drops),
+                                        exc_rx: erx,
+                                        eos_forwarded: AtomicBool::new(false),
+                                        connected: AtomicBool::new(false),
+                                        disconnected_at: Mutex::new(Some(Instant::now())),
+                                        connections: AtomicU64::new(0),
+                                        announce_resume: AtomicBool::new(true),
+                                        reporter: LinkReporter {
+                                            recorder: Arc::clone(&recorder),
+                                            start,
+                                            link: format!(
+                                                "{}->{}",
+                                                topology.stages()[from].name,
+                                                stage.name
+                                            ),
+                                            node: self.name.clone(),
+                                        },
+                                    }),
+                                );
+                            }
+                            let mut out = Vec::new();
+                            for ei in topology.out_edges(id) {
+                                let edge = &topology.edges()[ei];
+                                let to = edge.to.index();
+                                let cap = edge.link.buffer_packets.clamp(1, 1024);
+                                let (btx, brx) = bounded::<Packet>(cap);
+                                out.push(OutPort {
+                                    tx: btx,
+                                    bucket: OutPort::bucket_for(
+                                        edge.link.bandwidth.as_bytes_per_sec(),
+                                    ),
+                                    blocking: edge.link.flow == FlowControl::Blocking,
+                                    drops: Arc::clone(&my_drops),
+                                });
+                                let sender = RemoteSender {
+                                    edge: ei as u32,
+                                    to_stage: to,
+                                    placements: Arc::clone(&placements_tbl),
+                                    rx: brx,
+                                    upstream: ctx.clone(),
+                                    drops: Arc::clone(&my_drops),
+                                    cfg: cfg.clone(),
+                                    reporter: LinkReporter {
+                                        recorder: Arc::clone(&recorder),
+                                        start,
+                                        link: format!(
+                                            "{}->{}",
+                                            stage.name,
+                                            topology.stages()[to].name
+                                        ),
+                                        node: self.name.clone(),
+                                    },
+                                };
+                                bridge_handles.push(
+                                    std::thread::Builder::new()
+                                        .name(format!("gates-tx-{ei}"))
+                                        .spawn(move || sender.run())
+                                        .map_err(|e| EngineError::Transport(e.to_string()))?,
+                                );
+                            }
+                            let ckpt = ckpt_by_stage.get(&(i as u32));
+                            if recorder.enabled() {
+                                recorder.record(TraceEvent::Link(LinkEvent {
+                                    t: start.elapsed().as_secs_f64(),
+                                    link: stage.name.clone(),
+                                    node: self.name.clone(),
+                                    kind: LinkEventKind::Restored,
+                                    detail: match ckpt {
+                                        Some((seq, _)) => {
+                                            format!("resumed from checkpoint seq {seq}")
+                                        }
+                                        None => "restarted fresh (no checkpoint)".into(),
+                                    },
+                                }));
+                            }
+                            let worker = StageWorker {
+                                name: stage.name.clone(),
+                                placed_on: self.name.clone(),
+                                processor: stage.instantiate(),
+                                cost: stage.cost,
+                                speed: speed_of[i],
+                                tracker: stage.adaptation.clone().map(LoadTracker::new),
+                                rx: drx,
+                                ctl: crx,
+                                out,
+                                upstream_ctl,
+                                in_edges: topology.in_edges(id).len(),
+                                my_drops,
+                                opts: opts.clone(),
+                                start,
+                                stop: Arc::clone(&stop),
+                                bucket_waited: 0.0,
+                                checkpoint: (cfg.checkpoint_every > 0).then(|| CheckpointCfg {
+                                    stage: i as u32,
+                                    every: cfg.checkpoint_every,
+                                    tx: ckpt_tx.clone(),
+                                }),
+                                restore: ckpt.map(|(_, state)| state.clone()),
+                            };
+                            stage_ctl.push(ctx);
+                            adopted_handles.push(
+                                std::thread::Builder::new()
+                                    .name(format!("gates-{}", stage.name))
+                                    .spawn(move || worker.run())
+                                    .map_err(|e| EngineError::WorkerPanic(e.to_string()))?,
+                            );
+                        }
+                    }
+                    _ => {}
+                },
+                Ok(Some(_)) => {}
+                Err(TransportError::TimedOut) => {}
+                Ok(None) | Err(TransportError::Io(_)) => coordinator_gone = true,
+            }
+            if base_reports.is_none() {
+                if let Ok(r) = done_rx.try_recv() {
+                    base_reports = Some(r);
                 }
             }
-            if let Ok(r) = done_rx.try_recv() {
-                break r;
+            if base_reports.is_some() && adopted_handles.iter().all(|h| h.is_finished()) {
+                break;
             }
-        };
+        }
+        let mut reports = base_reports.unwrap_or_default();
+        for h in adopted_handles {
+            reports.push(h.join().unwrap_or_default());
+        }
 
         // --- shutdown ------------------------------------------------
         stop.store(true, Ordering::Relaxed);
@@ -462,6 +685,8 @@ impl DistWorker {
         for h in bridge_handles {
             let _ = h.join();
         }
+        // Wake the accept loop out of its blocking `accept`.
+        let _ = TcpStream::connect(&data_addr);
         let _ = accept_handle.join();
         let _ = drain_handle.join();
         while let Ok(event) = trace_rx.try_recv() {
@@ -550,6 +775,10 @@ struct InEdge {
     disconnected_at: Mutex<Option<Instant>>,
     /// Total accepted connections for this edge (>1 means reconnects).
     connections: AtomicU64,
+    /// Set on edges registered during failover: the first data packet
+    /// emits a `Resumed` event, marking the moment the adopted stage's
+    /// input stream came back to life.
+    announce_resume: AtomicBool,
     reporter: LinkReporter,
 }
 
@@ -564,9 +793,18 @@ const MAX_COALESCED_BYTES: usize = 256 * 1024;
 /// channel. All packets ready in one wake are encoded into the stream's
 /// long-lived buffer and leave in a single syscall; end-of-stream
 /// markers flush immediately so adaptation/drain latency is unchanged.
+///
+/// A dead link is not necessarily final: the sender keeps watching the
+/// shared placement table, and when failover moves the receiving stage
+/// to a new endpoint it re-dials there (replaying a stashed end-of-stream
+/// marker, so a stream that ended during the outage still terminates
+/// cleanly at the replacement).
 struct RemoteSender {
     edge: u32,
-    endpoint: String,
+    /// Receiving stage index — the key into the placement table.
+    to_stage: usize,
+    /// Live endpoint table, rewritten by `Reassign` messages.
+    placements: Arc<SharedPlacements>,
     rx: Receiver<Packet>,
     upstream: Sender<Control>,
     /// Drop counter of the *sending* stage (drops while the link is dead).
@@ -576,8 +814,8 @@ struct RemoteSender {
 }
 
 impl RemoteSender {
-    fn connect(&self) -> Option<FrameStream> {
-        let addr = self.endpoint.to_socket_addrs().ok()?.next()?;
+    fn connect(&self, endpoint: &str) -> Option<FrameStream> {
+        let addr = endpoint.to_socket_addrs().ok()?.next()?;
         let reporter = &self.reporter;
         let socket =
             connect_with_retry(addr, self.cfg.connect_timeout, &self.cfg.retry, |attempt, err| {
@@ -590,22 +828,66 @@ impl RemoteSender {
         Some(fs)
     }
 
+    /// While the link is dead, watch the placement table: an endpoint
+    /// that differs from the one last dialed means failover moved the
+    /// receiver, so dial the replacement and deliver any end-of-stream
+    /// marker that arrived during the outage.
+    fn try_revive(
+        &self,
+        stream: &mut Option<FrameStream>,
+        dialed: &mut String,
+        dead: &mut bool,
+        pending_eos: &mut bool,
+    ) {
+        let current = self.placements.endpoint(self.to_stage);
+        if current == *dialed {
+            return;
+        }
+        self.reporter.record(LinkEventKind::Reconnecting, format!("failover re-dial to {current}"));
+        *dialed = current.clone();
+        match self.connect(&current) {
+            Some(mut fs) => {
+                self.reporter
+                    .record(LinkEventKind::Reconnected, format!("failover re-dial to {current}"));
+                if *pending_eos {
+                    Packet::eos(u32::MAX, 0).encode_into(fs.queue_buffer());
+                    if fs.flush_queued().is_ok() {
+                        *pending_eos = false;
+                    }
+                }
+                *stream = Some(fs);
+                *dead = false;
+            }
+            None => {
+                self.reporter
+                    .record(LinkEventKind::Dead, format!("failover re-dial to {current} failed"));
+            }
+        }
+    }
+
     fn run(self) {
-        let mut stream = self.connect();
+        let mut dialed = self.placements.endpoint(self.to_stage);
+        let mut stream = self.connect(&dialed);
         let mut dead = false;
         match &stream {
-            Some(_) => self.reporter.record(LinkEventKind::Connected, self.endpoint.clone()),
+            Some(_) => self.reporter.record(LinkEventKind::Connected, dialed.clone()),
             None => {
                 self.reporter.record(LinkEventKind::Dead, "no data connection after retries");
                 dead = true;
             }
         }
+        let mut pending_eos = false;
         let mut crc_seen = 0u64;
         loop {
+            if dead {
+                self.try_revive(&mut stream, &mut dialed, &mut dead, &mut pending_eos);
+            }
             match self.rx.recv_timeout(Duration::from_millis(20)) {
                 Ok(packet) => {
                     if dead {
-                        if !packet.is_eos() {
+                        if packet.is_eos() {
+                            pending_eos = true;
+                        } else {
                             self.drops.fetch_add(1, Ordering::Relaxed);
                         }
                         continue;
@@ -631,18 +913,20 @@ impl RemoteSender {
                     }
                     if let Err(err) = fs.flush_queued() {
                         // One bounded-backoff reconnect cycle, then the
-                        // link is dead for the rest of the run and the
-                        // receiver's drain window takes over. The failed
-                        // flush leaves the batch queued, so it can be
-                        // carried onto the replacement connection.
+                        // link is dead until failover moves the receiver
+                        // (the receiver's drain window is the backstop).
+                        // The failed flush leaves the batch queued, so it
+                        // can be carried onto the replacement connection.
+                        // Re-read the table first: the coordinator may
+                        // already have reassigned the stage elsewhere.
                         self.reporter
                             .record(LinkEventKind::Reconnecting, format!("send failed: {err}"));
                         let pending = fs.take_queued();
-                        stream = self.connect();
+                        dialed = self.placements.endpoint(self.to_stage);
+                        stream = self.connect(&dialed);
                         match stream.as_mut() {
                             Some(fs) => {
-                                self.reporter
-                                    .record(LinkEventKind::Reconnected, self.endpoint.clone());
+                                self.reporter.record(LinkEventKind::Reconnected, dialed.clone());
                                 crc_seen = 0;
                                 fs.queue_buffer().extend_from_slice(&pending);
                                 if fs.flush_queued().is_err() {
@@ -652,10 +936,11 @@ impl RemoteSender {
                             None => {
                                 self.reporter.record(
                                     LinkEventKind::Dead,
-                                    "retries exhausted; dropping until end of stream",
+                                    "retries exhausted; dropping until failover or end of stream",
                                 );
                                 dead = true;
                                 self.drops.fetch_add(batched, Ordering::Relaxed);
+                                pending_eos = saw_eos;
                             }
                         }
                     }
@@ -686,53 +971,90 @@ impl RemoteSender {
                 }
             }
         }
+        // The bridge channel closed with an end-of-stream marker still
+        // stranded on a dead link. Give failover one drain window to
+        // move the receiver so the marker can land at the replacement;
+        // the receiver's own drain monitor is the backstop after that.
+        if dead && pending_eos {
+            let deadline = Instant::now() + self.cfg.drain_window;
+            while pending_eos && Instant::now() < deadline {
+                self.try_revive(&mut stream, &mut dialed, &mut dead, &mut pending_eos);
+                if !pending_eos {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
     }
 }
 
-/// Accept incoming data connections and hand each to a reader thread
-/// once its `EdgeHello` identifies the edge it carries.
-fn accept_loop(
-    listener: TcpListener,
-    reg: Arc<HashMap<u32, Arc<InEdge>>>,
+/// Accept incoming data connections on a *blocking* listener and hand
+/// each to a handler thread. The handler (not this loop) waits for the
+/// `EdgeHello`, so a slow peer cannot stall other dialers. Shutdown
+/// wakes the blocking accept with a throwaway self-connection.
+fn accept_loop(listener: TcpListener, reg: InEdgeRegistry, stop: Arc<AtomicBool>, cfg: DistConfig) {
+    loop {
+        match listener.accept() {
+            Ok((socket, _peer)) => {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                let reg = Arc::clone(&reg);
+                let stop = Arc::clone(&stop);
+                let cfg = cfg.clone();
+                let _ = std::thread::Builder::new()
+                    .name("gates-rx".into())
+                    .spawn(move || handle_data_conn(socket, reg, stop, cfg));
+            }
+            Err(_) => {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// Identify one accepted data connection by its `EdgeHello` and pump it.
+///
+/// The registry lookup retries briefly: after failover a neighbor may
+/// re-dial an adopted stage before this worker has finished processing
+/// its own `Reassign` (which is what registers the adopted in-edges).
+fn handle_data_conn(
+    socket: TcpStream,
+    reg: InEdgeRegistry,
     stop: Arc<AtomicBool>,
     cfg: DistConfig,
 ) {
-    while !stop.load(Ordering::Relaxed) {
-        match listener.accept() {
-            Ok((socket, _peer)) => {
-                let _ = socket.set_nonblocking(false);
-                let mut fs = FrameStream::new(socket);
-                if fs.set_read_timeout(Some(cfg.read_timeout)).is_err() {
-                    continue;
-                }
-                let deadline = Instant::now() + cfg.connect_timeout;
-                let hello = loop {
-                    if Instant::now() >= deadline {
-                        break None;
-                    }
-                    match fs.read_frame() {
-                        Ok(Some(f)) if f.kind == FrameKind::Control => break decode_ctrl(&f).ok(),
-                        Ok(Some(_)) | Ok(None) => break None,
-                        Err(TransportError::TimedOut) => {}
-                        Err(_) => break None,
-                    }
-                };
-                if let Some(CtrlMsg::EdgeHello { edge }) = hello {
-                    if let Some(in_edge) = reg.get(&edge) {
-                        let in_edge = Arc::clone(in_edge);
-                        let stop = Arc::clone(&stop);
-                        let _ = std::thread::Builder::new()
-                            .name(format!("gates-rx-{edge}"))
-                            .spawn(move || edge_reader(fs, in_edge, stop));
-                    }
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(20));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(20)),
-        }
+    let mut fs = FrameStream::new(socket);
+    if fs.set_read_timeout(Some(cfg.read_timeout)).is_err() {
+        return;
     }
+    let deadline = Instant::now() + cfg.connect_timeout;
+    let hello = loop {
+        if Instant::now() >= deadline {
+            break None;
+        }
+        match fs.read_frame() {
+            Ok(Some(f)) if f.kind == FrameKind::Control => break decode_ctrl(&f).ok(),
+            Ok(Some(_)) | Ok(None) => break None,
+            Err(TransportError::TimedOut) => {}
+            Err(_) => break None,
+        }
+    };
+    let Some(CtrlMsg::EdgeHello { edge }) = hello else { return };
+    let lookup_deadline = Instant::now() + cfg.connect_timeout;
+    let in_edge = loop {
+        if let Some(ie) = reg.read().expect("in-edge registry").get(&edge) {
+            break Arc::clone(ie);
+        }
+        if stop.load(Ordering::Relaxed) || Instant::now() >= lookup_deadline {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    edge_reader(fs, in_edge, stop);
 }
 
 /// Pump one accepted data connection: frames into the receiving stage's
@@ -787,6 +1109,12 @@ fn edge_reader(mut fs: FrameStream, ie: Arc<InEdge>, stop: Arc<AtomicBool>) {
 }
 
 fn deliver(ie: &InEdge, packet: Packet, stop: &AtomicBool) {
+    if !packet.is_eos()
+        && ie.announce_resume.load(Ordering::Relaxed)
+        && ie.announce_resume.swap(false, Ordering::Relaxed)
+    {
+        ie.reporter.record(LinkEventKind::Resumed, "first packet after failover");
+    }
     if packet.is_eos() {
         // Exactly-once: a reconnecting sender re-sends nothing, but a
         // drain-injected marker may race a late real one.
@@ -822,18 +1150,20 @@ fn push_with_stop(ie: &InEdge, packet: Packet, stop: &AtomicBool) {
 /// Watch disconnected in-edges; once one stays down for the drain
 /// window, inject an end-of-stream marker so the local pipeline drains
 /// instead of waiting forever on a dead sender.
-fn drain_monitor(edges: Vec<Arc<InEdge>>, stop: Arc<AtomicBool>, window: Duration) {
+///
+/// The registry is re-read on every lap rather than snapshotted once:
+/// failover registers adopted in-edges mid-run, and those need the same
+/// drain backstop as the original set. Consequently the monitor runs
+/// until the stop flag, not until the current edges are all drained.
+fn drain_monitor(reg: InEdgeRegistry, stop: Arc<AtomicBool>, window: Duration) {
     loop {
         if stop.load(Ordering::Relaxed) {
             return;
         }
-        let mut pending = false;
+        let edges: Vec<Arc<InEdge>> =
+            reg.read().expect("in-edge registry").values().cloned().collect();
         for ie in &edges {
-            if ie.eos_forwarded.load(Ordering::SeqCst) {
-                continue;
-            }
-            pending = true;
-            if ie.connected.load(Ordering::Relaxed) {
+            if ie.eos_forwarded.load(Ordering::SeqCst) || ie.connected.load(Ordering::Relaxed) {
                 continue;
             }
             let expired = ie
@@ -849,9 +1179,6 @@ fn drain_monitor(edges: Vec<Arc<InEdge>>, stop: Arc<AtomicBool>, window: Duratio
                     format!("no reconnect within {window:?}; injected end-of-stream"),
                 );
             }
-        }
-        if !pending {
-            return;
         }
         std::thread::sleep(Duration::from_millis(50));
     }

@@ -31,6 +31,20 @@ pub(crate) enum Control {
     Stop,
 }
 
+/// Checkpoint wiring for a stage running under the distributed runtime:
+/// every `every` input packets the worker snapshots the processor
+/// ([`gates_core::StreamProcessor::snapshot`]) and sends
+/// `(stage, packets_in, state)` on `tx`, from where the hosting process
+/// relays it to the coordinator. Empty snapshots are skipped.
+pub(crate) struct CheckpointCfg {
+    /// Global stage index (topology order), echoed in each checkpoint.
+    pub(crate) stage: u32,
+    /// Cadence in input packets; zero disables emission.
+    pub(crate) every: u64,
+    /// Where snapshots go: `(stage, seq, state)`.
+    pub(crate) tx: Sender<(u32, u64, Vec<u8>)>,
+}
+
 /// One outgoing edge of a stage: a bounded channel plus the token bucket
 /// realizing the link's bandwidth.
 pub(crate) struct OutPort {
@@ -73,6 +87,11 @@ pub(crate) struct StageWorker {
     pub(crate) stop: Arc<AtomicBool>,
     /// Total token-bucket wait realized by this stage, seconds.
     pub(crate) bucket_waited: f64,
+    /// Periodic state snapshots for failover (dist runtime only).
+    pub(crate) checkpoint: Option<CheckpointCfg>,
+    /// State bytes to restore into the processor right after `on_start`
+    /// (a stage adopted during failover resumes from its last checkpoint).
+    pub(crate) restore: Option<Vec<u8>>,
 }
 
 impl StageWorker {
@@ -84,6 +103,9 @@ impl StageWorker {
         let mut api = StageApi::new();
         api.set_now(self.now());
         self.processor.on_start(&mut api);
+        if let Some(state) = self.restore.take() {
+            self.processor.restore(&state);
+        }
 
         // Controllers for declared parameters (adaptation-enabled stages).
         let mut controllers: Vec<(gates_core::ParamId, ParamController)> = Vec::new();
@@ -107,6 +129,9 @@ impl StageWorker {
         let is_source = self.in_edges == 0;
         let mut eos_remaining = self.in_edges;
         let mut stopped = false;
+        // Progress mark (packets in, or out for sources) at the last
+        // checkpoint, so a slow stage doesn't re-snapshot identical state.
+        let mut last_ckpt = 0u64;
 
         let observe_every = Duration::from_secs_f64(self.opts.observe_interval.as_secs_f64());
         let adapt_every = Duration::from_secs_f64(self.opts.adapt_interval.as_secs_f64());
@@ -223,6 +248,7 @@ impl StageWorker {
                 match self.processor.poll_generate(&mut api) {
                     SourceStatus::Continue { next_poll } => {
                         self.flush(&mut api, &mut stats);
+                        self.maybe_checkpoint(stats.packets_out, &mut last_ckpt);
                         std::thread::sleep(Duration::from_secs_f64(next_poll.as_secs_f64()));
                     }
                     SourceStatus::Done => {
@@ -266,6 +292,7 @@ impl StageWorker {
                     }
                     stats.busy_time += SimDuration::from_secs_f64(slept);
                     self.flush(&mut api, &mut stats);
+                    self.maybe_checkpoint(stats.packets_in, &mut last_ckpt);
                 }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => break 'main,
@@ -292,6 +319,23 @@ impl StageWorker {
         });
         stats.params = trajectories;
         stats
+    }
+
+    /// Ship a state snapshot if the stage has checkpointing wired and has
+    /// made `every` packets of progress since the last one. `progress` is
+    /// packets consumed (or, for a source, produced). Empty snapshots are
+    /// skipped: a stateless stage would only be restored to its initial
+    /// state anyway, so shipping nothing means failover restarts it fresh.
+    fn maybe_checkpoint(&mut self, progress: u64, last_ckpt: &mut u64) {
+        let Some(cfg) = &self.checkpoint else { return };
+        if cfg.every == 0 || progress < *last_ckpt + cfg.every {
+            return;
+        }
+        *last_ckpt = progress;
+        let state = self.processor.snapshot();
+        if !state.is_empty() {
+            let _ = cfg.tx.send((cfg.stage, progress, state));
+        }
     }
 
     /// Send everything the processor emitted, pacing each packet with the

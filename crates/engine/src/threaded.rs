@@ -149,6 +149,8 @@ impl ThreadedEngine {
                 start,
                 stop: Arc::clone(&stop),
                 bucket_waited: 0.0,
+                checkpoint: None,
+                restore: None,
             };
             handles.push(
                 std::thread::Builder::new()
@@ -194,6 +196,7 @@ impl ThreadedEngine {
             finished_at,
             stages,
             events: 0,
+            lost_workers: Vec::new(),
             trace: self.opts.recorder.as_flight().map(|f| f.run_trace()),
         })
     }

@@ -43,7 +43,7 @@ use gates::net::RetryPolicy;
 use gates::sim::{SimDuration, SimTime};
 
 fn usage() -> &'static str {
-    "usage:\n  gates-cli run <app.xml> [--grid <grid.xml>] [--duration <secs>]\n                          [--max-time <secs>] [--engine des|threaded|dist]\n                          [--observe-ms <ms>] [--adapt-ms <ms>]\n                          [--trace <out.jsonl>]\n                          [--listen <host:port>] [--workers <n>]\n                          [--drain-ms <ms>] [--retry-attempts <n>] [--retry-base-ms <ms>]\n  gates-cli worker --name <name> --coordinator <host:port>\n                   [--site <site>] [--speed <f>] [--capacity <n>] [--bind-host <host>]\n  gates-cli apps\n  gates-cli template app|grid"
+    "usage:\n  gates-cli run <app.xml> [--grid <grid.xml>] [--duration <secs>]\n                          [--max-time <secs>] [--engine des|threaded|dist]\n                          [--observe-ms <ms>] [--adapt-ms <ms>]\n                          [--trace <out.jsonl>]\n                          [--listen <host:port>] [--workers <n>]\n                          [--drain-ms <ms>] [--retry-attempts <n>] [--retry-base-ms <ms>]\n                          [--heartbeat-ms <ms>] [--heartbeat-timeout-ms <ms>]\n                          [--checkpoint-every <packets>]\n  gates-cli worker --name <name> --coordinator <host:port>\n                   [--site <site>] [--speed <f>] [--capacity <n>] [--bind-host <host>]\n  gates-cli apps\n  gates-cli template app|grid"
 }
 
 fn main() -> ExitCode {
@@ -114,6 +114,9 @@ struct RunArgs {
     drain_ms: Option<u64>,
     retry_attempts: Option<u32>,
     retry_base_ms: Option<u64>,
+    heartbeat_ms: Option<u64>,
+    heartbeat_timeout_ms: Option<u64>,
+    checkpoint_every: Option<u64>,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
@@ -131,6 +134,9 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         drain_ms: None,
         retry_attempts: None,
         retry_base_ms: None,
+        heartbeat_ms: None,
+        heartbeat_timeout_ms: None,
+        checkpoint_every: None,
     };
     let mut it = args.iter();
     let Some(app) = it.next() else {
@@ -189,6 +195,25 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                     value("--retry-base-ms")?
                         .parse()
                         .map_err(|_| "--retry-base-ms: not a number")?,
+                )
+            }
+            "--heartbeat-ms" => {
+                parsed.heartbeat_ms = Some(
+                    value("--heartbeat-ms")?.parse().map_err(|_| "--heartbeat-ms: not a number")?,
+                )
+            }
+            "--heartbeat-timeout-ms" => {
+                parsed.heartbeat_timeout_ms = Some(
+                    value("--heartbeat-timeout-ms")?
+                        .parse()
+                        .map_err(|_| "--heartbeat-timeout-ms: not a number")?,
+                )
+            }
+            "--checkpoint-every" => {
+                parsed.checkpoint_every = Some(
+                    value("--checkpoint-every")?
+                        .parse()
+                        .map_err(|_| "--checkpoint-every: not a number")?,
                 )
             }
             other => return Err(format!("unknown flag {other:?}")),
@@ -418,6 +443,15 @@ fn run_dist(
         retry.base_delay = Duration::from_millis(ms);
     }
     config.retry = retry;
+    if let Some(ms) = parsed.heartbeat_ms {
+        config.heartbeat_interval = Duration::from_millis(ms);
+    }
+    if let Some(ms) = parsed.heartbeat_timeout_ms {
+        config.heartbeat_timeout = Duration::from_millis(ms);
+    }
+    if let Some(n) = parsed.checkpoint_every {
+        config.checkpoint_every = n;
+    }
 
     let engine = match DistEngine::bind(app_xml, &parsed.listen, parsed.workers, opts, config) {
         Ok(e) => e,
@@ -458,6 +492,18 @@ fn finish(
         }
         println!("{}", rec.run_trace().summary_table());
         eprintln!("trace written to {path} ({} events)", rec.len());
+    }
+
+    // A partial run must never look like a clean one: name every worker
+    // that vanished, and why. (Integration tests parse these lines.)
+    for lost in &report.lost_workers {
+        println!("lost worker: {} ({}) at {:.1}s", lost.worker, lost.reason, lost.at);
+    }
+    if !report.lost_workers.is_empty() {
+        println!(
+            "WARNING: partial run — {} worker(s) lost; stage counts may be incomplete",
+            report.lost_workers.len()
+        );
     }
 
     println!("{}", report.summary_table());

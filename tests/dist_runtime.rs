@@ -143,12 +143,17 @@ fn loopback_demo_matches_des() {
             "{stage}: distributed k={dist_k} diverged from DES k={des_k} by more than 10%"
         );
     }
+
+    // A clean run must not report phantom losses: every worker stayed up,
+    // so the partial-run machinery must stay silent.
+    assert!(!stdout.contains("lost worker:"), "clean run reported lost workers; output:\n{stdout}");
 }
 
-/// Kill the worker hosting the collector mid-run. The summarizers'
-/// senders must retry with backoff and then declare the link dead, the
-/// coordinator must record the lost worker, and the surviving pipeline
-/// must drain to a clean exit — all well inside the deadline.
+/// Kill the worker hosting the collector mid-run. The coordinator must
+/// notice, reassign the collector to a survivor via the matchmaker, ship
+/// its last checkpoint there, and the neighbors must re-dial the adopted
+/// stage so the run completes — with the loss named in the final report
+/// rather than silently absorbed.
 #[test]
 fn killed_worker_reconnects_with_backoff_then_drains() {
     // A 4-second stream so the kill lands mid-run.
@@ -192,6 +197,8 @@ fn killed_worker_reconnects_with_backoff_then_drains() {
         "3",
         "--retry-base-ms",
         "50",
+        "--checkpoint-every",
+        "8",
         "--trace",
         trace.to_str().unwrap(),
     ]);
@@ -212,6 +219,13 @@ fn killed_worker_reconnects_with_backoff_then_drains() {
         assert!(st.success(), "surviving worker {name} exited nonzero");
     }
 
+    // The loss is surfaced in the human-readable report...
+    assert!(
+        stdout.contains("lost worker: wc"),
+        "final report must name the killed worker; output:\n{stdout}"
+    );
+
+    // ...and every recovery step left a flight-recorder event.
     let trace_text = std::fs::read_to_string(&trace).expect("trace written");
     assert!(
         trace_text.contains("\"kind\":\"reconnecting\""),
@@ -220,5 +234,17 @@ fn killed_worker_reconnects_with_backoff_then_drains() {
     assert!(
         trace_text.contains("\"kind\":\"worker_lost\""),
         "coordinator must record the lost worker; trace:\n{trace_text}"
+    );
+    assert!(
+        trace_text.contains("\"kind\":\"reassigned\""),
+        "coordinator must re-place the stranded stage on a survivor; trace:\n{trace_text}"
+    );
+    assert!(
+        trace_text.contains("\"kind\":\"restored\""),
+        "a survivor must adopt and restart the stranded stage; trace:\n{trace_text}"
+    );
+    assert!(
+        trace_text.contains("resumed from checkpoint"),
+        "the adopted collector must start from shipped checkpoint state; trace:\n{trace_text}"
     );
 }
