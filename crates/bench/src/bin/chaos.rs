@@ -1,0 +1,367 @@
+//! Chaos soak: the distributed runtime under deterministic fault
+//! injection, machine-readable.
+//!
+//! Each drill runs the counting-samples pipeline on an in-process
+//! coordinator plus three worker subprocesses (re-exec of this binary,
+//! same pattern as the failover bench) with a seeded [`FaultPlan`]
+//! active on every data and control link. Four regimes:
+//!
+//! * **loss** — 2% frame drop plus 1% duplication;
+//! * **corrupt** — 0.5% single-bit flips (CRC skips and, for
+//!   length-prefix hits, stream poison followed by reconnect);
+//! * **partition** — worker `wc` cut off for 800 ms mid-run;
+//! * **kitchen** — all of the above plus injected delays and
+//!   connection resets at once.
+//!
+//! A drill passes when the run terminates under the hard per-drill
+//! timeout either clean or *correctly* partial (every shortfall is
+//! named in `lost_workers`). A run that outlives the timeout counts as
+//! a hang — the headline robustness number, expected to be zero.
+//!
+//! On top of the per-regime drills the bench replays the loss regime
+//! with the same seed and compares the two runs' `fault_injected`
+//! event sets: the chaos plane promises identical casualties for
+//! identical seeds, and `chaos_determinism_ok` records whether it
+//! kept that promise. Recovery latency (each `reconnecting` →
+//! `reconnected` pair across all drills) is reported as p50/p95.
+//!
+//! Output is JSON (default `results/BENCH_PR5.json`) in the PR 3
+//! schema: one `{"bench": ..., "value": ..., "unit": ...}` row per
+//! measurement. Flags: `--smoke` runs 3 drills per regime instead of
+//! 10; `--out <path>` overrides the output file.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use gates_apps as apps;
+use gates_core::trace::{FlightRecorder, LinkEventKind, TraceEvent};
+use gates_engine::{DistConfig, DistEngine, DistWorker, RunOptions};
+use gates_grid::ApplicationRepository;
+use gates_net::{FaultPlan, RetryPolicy};
+
+/// A ~3 s counting-samples stream: long enough for mid-run faults
+/// (and the partition window) to land while keeping a full 4×10-drill
+/// soak under a few minutes. `flush_every=50` pushes ~120 summary
+/// frames per remote link so even the 2% regimes inject several
+/// faults per drill instead of rounding down to none.
+const APP_XML: &str = r#"<application name="chaos-drill" repository="count-samps">
+  <param name="sources" value="2"/>
+  <param name="items_per_source" value="6000"/>
+  <param name="rate" value="2000"/>
+  <param name="mode" value="distributed"/>
+  <param name="k" value="40"/>
+  <param name="flush_every" value="50"/>
+  <param name="bandwidth_kb" value="1000"/>
+  <param name="seed" value="7"/>
+</application>
+"#;
+
+/// Hard per-drill ceiling. A healthy drill ends in ~4-8 s even with a
+/// partition; anything still running after this is wedged.
+const DRILL_TIMEOUT: Duration = Duration::from_secs(60);
+
+struct Row {
+    bench: String,
+    value: f64,
+    unit: &'static str,
+}
+
+/// One fault regime of the soak matrix.
+struct Regime {
+    name: &'static str,
+    spec: &'static str,
+}
+
+const REGIMES: [Regime; 4] = [
+    Regime { name: "loss", spec: "seed=7,drop=0.02,dup=0.01" },
+    Regime { name: "corrupt", spec: "seed=7,corrupt=0.005" },
+    Regime { name: "partition", spec: "seed=7,partition=wc@1s+800ms" },
+    Regime {
+        name: "kitchen",
+        spec: "seed=7,drop=0.02,corrupt=0.005,delay=5ms..40ms,dup=0.01,reset=0.002",
+    },
+];
+
+/// What one drill produced.
+enum DrillOutcome {
+    /// The run finished under the timeout.
+    Finished {
+        clean: bool,
+        faults: u64,
+        /// `(node, link, detail)` of every `fault_injected` event.
+        fault_events: Vec<(String, String, String)>,
+        /// `reconnecting -> reconnected` latencies, milliseconds.
+        recoveries_ms: Vec<f64>,
+    },
+    /// The coordinator was still running at the hard timeout.
+    Hang,
+}
+
+fn spawn_worker(exe: &std::path::Path, name: &str, site: &str, addr: &str) -> Child {
+    Command::new(exe)
+        .args(["--worker", name, site, addr])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn worker subprocess")
+}
+
+/// Child-process entry (re-exec): one worker of the drill pipeline.
+fn worker_main(name: &str, site: &str, coordinator: &str) -> ! {
+    let mut repo = ApplicationRepository::new();
+    apps::publish_all(&mut repo);
+    let worker = DistWorker::new(name, coordinator).site(site);
+    match worker.run(&repo) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("worker {name}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Run one drill under `plan`, enforcing the hard timeout.
+fn run_drill(exe: &std::path::Path, plan: &FaultPlan) -> DrillOutcome {
+    let mut repo = ApplicationRepository::new();
+    apps::publish_all(&mut repo);
+
+    let recorder = Arc::new(FlightRecorder::default());
+    let opts = RunOptions::default().recorder(Arc::clone(&recorder) as _);
+    let config = DistConfig::default()
+        .drain_window(Duration::from_millis(1_000))
+        .retry(RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(50),
+            ..Default::default()
+        })
+        .checkpoint_every(8)
+        .fault(plan.clone());
+    let engine =
+        DistEngine::bind(APP_XML, "127.0.0.1:0", 3, opts, config).expect("bind coordinator");
+    let addr = engine.local_addr().expect("coordinator address").to_string();
+
+    let mut workers = vec![
+        spawn_worker(exe, "w0", "site-0", &addr),
+        spawn_worker(exe, "w1", "site-1", &addr),
+        spawn_worker(exe, "wc", "central", &addr),
+    ];
+
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(engine.run(&repo));
+    });
+
+    let result = rx.recv_timeout(DRILL_TIMEOUT);
+    for w in &mut workers {
+        match result {
+            Ok(_) => {
+                let _ = w.wait();
+            }
+            Err(_) => {
+                // Wedged drill: reap the workers so the leaked
+                // coordinator thread cannot keep the next drill's
+                // subprocesses alive.
+                let _ = w.kill();
+                let _ = w.wait();
+            }
+        }
+    }
+    let report = match result {
+        Ok(Ok(report)) => report,
+        Ok(Err(e)) => panic!("coordinator run failed outright: {e}"),
+        Err(_) => return DrillOutcome::Hang,
+    };
+
+    let events = recorder.snapshot();
+    let mut fault_events = Vec::new();
+    // Open `reconnecting` per (node, link), closed by the next
+    // `reconnected` on the same link.
+    let mut open: HashMap<(String, String), f64> = HashMap::new();
+    let mut recoveries_ms = Vec::new();
+    for e in &events {
+        let TraceEvent::Link(l) = e else { continue };
+        match l.kind {
+            LinkEventKind::FaultInjected => {
+                fault_events.push((l.node.clone(), l.link.clone(), l.detail.clone()));
+            }
+            LinkEventKind::Reconnecting => {
+                open.entry((l.node.clone(), l.link.clone())).or_insert(l.t);
+            }
+            LinkEventKind::Reconnected => {
+                if let Some(t0) = open.remove(&(l.node.clone(), l.link.clone())) {
+                    recoveries_ms.push((l.t - t0).max(0.0) * 1e3);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    DrillOutcome::Finished {
+        clean: report.lost_workers.is_empty(),
+        faults: report.faults_injected,
+        fault_events,
+        recoveries_ms,
+    }
+}
+
+/// Percentile over a sorted-ascending slice (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--worker") {
+        let [name, site, addr] = &args[1..] else {
+            eprintln!("usage (internal): chaos --worker <name> <site> <coordinator>");
+            std::process::exit(2);
+        };
+        worker_main(name, site, addr);
+    }
+
+    let mut smoke = false;
+    let mut out = String::from("results/BENCH_PR5.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(path) => out = path.clone(),
+                None => {
+                    eprintln!("error: --out needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag {other:?} (supported: --smoke, --out <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let exe = std::env::current_exe().expect("own executable path");
+    let drills = if smoke { 3 } else { 10 };
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut all_recoveries: Vec<f64> = Vec::new();
+    let mut determinism_traces: Vec<Vec<(String, String, String)>> = Vec::new();
+    for regime in &REGIMES {
+        let plan = FaultPlan::parse(regime.spec).expect("regime spec parses");
+        let (mut clean, mut partial, mut hangs) = (0u32, 0u32, 0u32);
+        let mut faults_total = 0u64;
+        for i in 0..drills {
+            match run_drill(&exe, &plan) {
+                DrillOutcome::Finished { clean: ok, faults, fault_events, recoveries_ms } => {
+                    if ok {
+                        clean += 1;
+                    } else {
+                        partial += 1;
+                    }
+                    faults_total += faults;
+                    all_recoveries.extend(recoveries_ms);
+                    // The first two loss drills double as the
+                    // determinism pair: same seed, same casualties.
+                    if regime.name == "loss" && determinism_traces.len() < 2 {
+                        determinism_traces.push(fault_events);
+                    }
+                    eprintln!(
+                        "{} drill {}/{}: {} ({} faults)",
+                        regime.name,
+                        i + 1,
+                        drills,
+                        if ok { "clean" } else { "partial" },
+                        faults
+                    );
+                }
+                DrillOutcome::Hang => {
+                    hangs += 1;
+                    eprintln!("{} drill {}/{}: HANG (timeout)", regime.name, i + 1, drills);
+                }
+            }
+        }
+        rows.push(Row {
+            bench: format!("chaos_{}_clean", regime.name),
+            value: clean as f64,
+            unit: "runs",
+        });
+        rows.push(Row {
+            bench: format!("chaos_{}_partial", regime.name),
+            value: partial as f64,
+            unit: "runs",
+        });
+        rows.push(Row {
+            bench: format!("chaos_{}_hangs", regime.name),
+            value: hangs as f64,
+            unit: "runs",
+        });
+        rows.push(Row {
+            bench: format!("chaos_{}_faults_mean", regime.name),
+            value: faults_total as f64 / drills as f64,
+            unit: "faults",
+        });
+    }
+
+    let determinism_ok = match determinism_traces.as_mut_slice() {
+        [a, b] => {
+            a.sort();
+            b.sort();
+            if a == b {
+                1.0
+            } else {
+                eprintln!(
+                    "determinism check FAILED: {} vs {} fault events (or differing sets)",
+                    a.len(),
+                    b.len()
+                );
+                0.0
+            }
+        }
+        _ => 0.0, // a hang ate one of the pair runs
+    };
+
+    all_recoveries.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    rows.push(Row {
+        bench: "chaos_recovery_ms_p50".into(),
+        value: percentile(&all_recoveries, 50.0),
+        unit: "ms",
+    });
+    rows.push(Row {
+        bench: "chaos_recovery_ms_p95".into(),
+        value: percentile(&all_recoveries, 95.0),
+        unit: "ms",
+    });
+    rows.push(Row { bench: "chaos_determinism_ok".into(), value: determinism_ok, unit: "bool" });
+    rows.push(Row { bench: "chaos_drills_per_regime".into(), value: drills as f64, unit: "runs" });
+
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "  {{\"bench\": \"{}\", \"value\": {:.3}, \"unit\": \"{}\"}}{sep}\n",
+            r.bench, r.value, r.unit
+        ));
+    }
+    json.push_str("]\n");
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    let mut f = std::fs::File::create(&out).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write output");
+
+    println!("{:<36} {:>12} unit", "bench", "value");
+    for r in &rows {
+        println!("{:<36} {:>12.3} {}", r.bench, r.value, r.unit);
+    }
+    println!("\nwritten to {out}");
+}

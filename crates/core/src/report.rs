@@ -134,6 +134,14 @@ pub struct RunReport {
     /// Flight recording grouped into per-stage time series, when the run
     /// was executed with a [`crate::trace::FlightRecorder`] attached.
     pub trace: Option<RunTrace>,
+    /// Faults the chaos layer injected during the run (drops, bit flips,
+    /// duplicates, delays, resets, partition transitions). Zero when no
+    /// fault plan was configured.
+    pub faults_injected: u64,
+    /// Recovery actions completed in response to transport failures:
+    /// successful reconnects, restored/adopted stages, and idempotently
+    /// discarded stale control frames.
+    pub fault_recoveries: u64,
 }
 
 impl RunReport {
@@ -273,6 +281,8 @@ mod tests {
             events: 10,
             lost_workers: Vec::new(),
             trace: None,
+            faults_injected: 0,
+            fault_recoveries: 0,
         };
         assert!(report.stage("a").is_some());
         assert!(report.stage("zz").is_none());

@@ -142,6 +142,19 @@ pub enum LinkEventKind {
     /// The coordinator refused a registration (malformed or timed-out
     /// hello, duplicate worker name) and told the peer so.
     Rejected,
+    /// The chaos layer injected a fault (drop, bit flip, duplicate,
+    /// delay, reset, or partition transition); the detail names it.
+    FaultInjected,
+    /// A duplicated or out-of-date control frame (stale `Reassign`
+    /// epoch, checkpoint older than one already held) was discarded
+    /// idempotently instead of being applied.
+    StaleDiscarded,
+    /// A checkpoint payload failed its checksum and was not restored;
+    /// the stage restarted fresh instead.
+    CheckpointCorrupt,
+    /// A dead link's re-dial budget ran out; the link stays down until
+    /// failover re-places the peer stage or the stream ends.
+    ReconnectExhausted,
 }
 
 impl LinkEventKind {
@@ -160,6 +173,10 @@ impl LinkEventKind {
             LinkEventKind::Restored => "restored",
             LinkEventKind::Resumed => "resumed",
             LinkEventKind::Rejected => "rejected",
+            LinkEventKind::FaultInjected => "fault_injected",
+            LinkEventKind::StaleDiscarded => "stale_discarded",
+            LinkEventKind::CheckpointCorrupt => "checkpoint_corrupt",
+            LinkEventKind::ReconnectExhausted => "reconnect_exhausted",
         }
     }
 }

@@ -12,7 +12,7 @@ use gates_sim::{SimDuration, SimTime, Simulation};
 
 use crate::options::RunOptions;
 use crate::EngineError;
-use stage_actor::{EngineMsg, StageActor};
+use stage_actor::{EngineMsg, OutSpec, StageActor};
 
 /// Runs a deployed topology in virtual time.
 ///
@@ -73,7 +73,7 @@ impl DesEngine {
 
         for (idx, stage) in topology.stages().iter().enumerate() {
             let id = StageId::from_index(idx);
-            let out: Vec<(usize, LinkModel, usize, Option<usize>)> = topology
+            let out: Vec<OutSpec> = topology
                 .out_edges(id)
                 .into_iter()
                 .map(|ei| {
@@ -88,12 +88,16 @@ impl DesEngine {
                             Some((capacity / in_degree).max(1))
                         }
                     };
-                    (
-                        edge.to.index(),
-                        LinkModel::new(edge.link.clone()),
-                        edge.link.buffer_packets,
+                    let to = &topology.stages()[edge.to.index()];
+                    OutSpec {
+                        to: edge.to.index(),
+                        link: LinkModel::new(edge.link.clone()),
+                        buffer: edge.link.buffer_packets,
                         window,
-                    )
+                        edge_index: ei,
+                        to_stage: to.name.clone(),
+                        to_node: plan.node_of(edge.to).unwrap_or(&to.site).to_string(),
+                    }
                 })
                 .collect();
             let upstream: Vec<usize> = topology
@@ -174,9 +178,11 @@ impl DesEngine {
         let mut stages = Vec::with_capacity(self.stage_count);
         let mut finished_at = SimTime::ZERO;
         let mut all_finished = true;
+        let mut faults_injected = 0;
         for i in 0..self.stage_count {
             let actor = self.sim.actor::<StageActor>(i).expect("stage actor");
             stages.push(actor.report());
+            faults_injected += actor.faults_injected();
             match actor.finish_time() {
                 Some(t) => finished_at = finished_at.max(t),
                 None => all_finished = false,
@@ -190,6 +196,10 @@ impl DesEngine {
             stages,
             events: self.sim.events_processed(),
             lost_workers: Vec::new(),
+            faults_injected,
+            // Simulated links have no reconnect path: a lost frame is
+            // simply lost, so there is nothing to recover.
+            fault_recoveries: 0,
             trace: self.opts.recorder.as_flight().map(|f| f.run_trace()),
         }
     }
@@ -636,6 +646,76 @@ mod tests {
         let report = engine.run_to_completion();
         assert!(report.execution_secs() <= 5.5);
         assert!(!engine.is_complete());
+    }
+
+    #[test]
+    fn chaos_drop_plan_loses_packets_deterministically() {
+        use gates_net::FaultPlan;
+        let run = || {
+            let mut t = Topology::new();
+            let s = t.add_stage_raw(source(200, 32, 1)).unwrap();
+            let k =
+                t.add_stage(StageBuilder::new("sink").processor(CountingSink::default)).unwrap();
+            t.connect(s, k, LinkSpec::local());
+            let plan = deploy(&t);
+            let chaos = FaultPlan::parse("seed=7,drop=0.2").unwrap();
+            let opts = RunOptions::default().chaos(chaos);
+            let mut engine = DesEngine::new(t, &plan, opts).unwrap();
+            let r = engine.run_to_completion();
+            (r.faults_injected, r.stage("sink").unwrap().packets_in)
+        };
+        let (faults, delivered) = run();
+        assert!(faults > 10, "20% drop over 200 packets must fire, got {faults}");
+        assert_eq!(delivered + faults, 200, "every fault is a lost delivery here");
+        assert_eq!(run(), (faults, delivered), "same seed, same casualties");
+    }
+
+    #[test]
+    fn chaos_duplicates_and_delays_preserve_termination() {
+        use gates_net::FaultPlan;
+        // Windowed (blocking) edge, heavy dup+delay: the run must still
+        // terminate with every surviving packet delivered at least once.
+        let mut t = Topology::new();
+        let s = t.add_stage_raw(source(100, 16, 1)).unwrap();
+        let k = t.add_stage(StageBuilder::new("sink").processor(CountingSink::default)).unwrap();
+        t.connect(s, k, LinkSpec::local());
+        let plan = deploy(&t);
+        let chaos = FaultPlan::parse("seed=11,dup=0.2,delay=1ms..5ms").unwrap();
+        let opts = RunOptions::default().chaos(chaos);
+        let mut engine = DesEngine::new(t, &plan, opts).unwrap();
+        let report = engine.run_to_completion();
+        assert!(engine.is_complete(), "dup/delay chaos must not wedge the run");
+        assert!(report.faults_injected > 5, "plan must fire, got {}", report.faults_injected);
+        assert!(
+            report.stage("sink").unwrap().packets_in >= 100,
+            "nothing dropped, duplicates only add"
+        );
+    }
+
+    #[test]
+    fn chaos_partition_blacks_out_a_node_window() {
+        use gates_net::FaultPlan;
+        // Source emits for ~2 s; the sink's node is cut from 0.5 s for
+        // 0.5 s. Packets in that window vanish; the rest arrive.
+        let mut t = Topology::new();
+        let s = t.add_stage_raw(source(200, 8, 10)).unwrap();
+        let k = t
+            .add_stage(StageBuilder::new("sink").site("far").processor(CountingSink::default))
+            .unwrap();
+        t.connect(s, k, LinkSpec::local());
+        let plan = deploy(&t);
+        let node = plan.node_of(k).unwrap().to_string();
+        let chaos = FaultPlan::parse(&format!("seed=1,partition={node}@500ms+500ms")).unwrap();
+        let opts = RunOptions::default().chaos(chaos);
+        let mut engine = DesEngine::new(t, &plan, opts).unwrap();
+        let report = engine.run_to_completion();
+        let sink = report.stage("sink").unwrap();
+        assert!(
+            sink.packets_in >= 120 && sink.packets_in <= 170,
+            "a ~0.5 s cut out of ~2 s should eat ~50 of 200 packets, got {}",
+            sink.packets_in
+        );
+        assert_eq!(report.faults_injected, 200 - sink.packets_in);
     }
 
     #[test]

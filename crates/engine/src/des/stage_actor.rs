@@ -4,9 +4,9 @@ use std::collections::VecDeque;
 
 use gates_core::adapt::{LoadException, LoadTracker, ParamController};
 use gates_core::report::{ParamTrajectory, StageReport};
-use gates_core::trace::{AdaptRound, StageSample, TraceEvent};
+use gates_core::trace::{AdaptRound, LinkEvent, LinkEventKind, StageSample, TraceEvent};
 use gates_core::{CostModel, Packet, ParamId, SourceStatus, StageApi, StreamProcessor};
-use gates_net::LinkModel;
+use gates_net::{FaultFate, FaultInjector, LinkModel};
 use gates_sim::{Actor, ActorId, Context, Event, SimDuration, SimTime};
 
 use crate::options::RunOptions;
@@ -31,10 +31,35 @@ const TAG_GENERATE: u64 = 3;
 /// Credit timers are `TAG_CREDIT_BASE + out-edge slot`.
 const TAG_CREDIT_BASE: u64 = 4;
 
+/// Static description of one out edge, built by the engine from the
+/// topology and deployment plan.
+pub(crate) struct OutSpec {
+    /// Destination actor (mirrors the stage id).
+    pub(crate) to: ActorId,
+    /// Transit model for the edge.
+    pub(crate) link: LinkModel,
+    /// Sender-side buffer, in packets.
+    pub(crate) buffer: usize,
+    /// Flow-control window (`None` = lossy edge).
+    pub(crate) window: Option<usize>,
+    /// Topology edge index — the fault plane's stable link id.
+    pub(crate) edge_index: usize,
+    /// Destination stage name (trace labels).
+    pub(crate) to_stage: String,
+    /// Node the destination stage is placed on (partition matching).
+    pub(crate) to_node: String,
+}
+
 /// One outbound connection: the link model plus send-buffer accounting.
 pub(crate) struct OutLink {
     to: ActorId,
     link: LinkModel,
+    /// Destination stage name, for `"<from>-><to>"` trace labels.
+    to_stage: String,
+    /// Node the destination stage runs on, for partition matching.
+    to_node: String,
+    /// Seeded per-edge fault decider (`None` when no chaos plan is set).
+    injector: Option<FaultInjector>,
     /// Packets accepted by the transmitter but not yet serialized.
     in_flight: usize,
     /// Max `in_flight` before sends queue locally in `pending`.
@@ -93,6 +118,9 @@ pub(crate) struct StageActor {
     bytes_in: u64,
     bytes_out: u64,
     drops: u64,
+    /// Frames lost, duplicated, or delayed by the fault plane on this
+    /// stage's out edges.
+    faults_injected: u64,
     busy_time: SimDuration,
     exceptions_sent: (u64, u64),
     latency: gates_sim::stats::Welford,
@@ -112,12 +140,13 @@ impl StageActor {
         cost: CostModel,
         speed: f64,
         queue_capacity: usize,
-        out: Vec<(ActorId, LinkModel, usize, Option<usize>)>,
+        out: Vec<OutSpec>,
         upstream: Vec<ActorId>,
         in_edge_count: usize,
         tracker: Option<LoadTracker>,
         opts: RunOptions,
     ) -> Self {
+        let chaos = opts.chaos.clone().filter(|p| !p.is_noop());
         StageActor {
             name,
             placed_on,
@@ -131,13 +160,16 @@ impl StageActor {
             current_output: Vec::new(),
             out: out
                 .into_iter()
-                .map(|(to, link, buffer, window)| OutLink {
-                    to,
-                    link,
+                .map(|spec| OutLink {
+                    to: spec.to,
+                    link: spec.link,
+                    to_stage: spec.to_stage,
+                    to_node: spec.to_node,
+                    injector: chaos.as_ref().map(|p| p.injector_for_link(spec.edge_index as u64)),
                     in_flight: 0,
-                    buffer: buffer.max(1),
+                    buffer: spec.buffer.max(1),
                     pending: VecDeque::new(),
-                    window: window.map(|w| w.max(1)),
+                    window: spec.window.map(|w| w.max(1)),
                     unacked: 0,
                 })
                 .collect(),
@@ -160,6 +192,7 @@ impl StageActor {
             bytes_in: 0,
             bytes_out: 0,
             drops: 0,
+            faults_injected: 0,
             busy_time: SimDuration::ZERO,
             exceptions_sent: (0, 0),
             latency: gates_sim::stats::Welford::new(),
@@ -175,6 +208,11 @@ impl StageActor {
 
     pub(crate) fn finish_time(&self) -> Option<SimTime> {
         self.finish_time
+    }
+
+    /// Faults the chaos plan injected on this stage's out edges.
+    pub(crate) fn faults_injected(&self) -> u64 {
+        self.faults_injected
     }
 
     /// Snapshot statistics into a report.
@@ -242,18 +280,99 @@ impl StageActor {
     }
 
     fn enqueue_link(&mut self, i: usize, packet: Packet, ctx: &mut Context<'_, EngineMsg>) {
+        if !self.out[i].can_transmit() {
+            self.out[i].pending.push_back(packet);
+            return;
+        }
+        // The fault plane decides this frame's fate before it reaches the
+        // link. EOS is exempt (it carries termination, exactly like the
+        // payload-only injectors on real sockets) and does not consume a
+        // frame index, so data-frame fates match the distributed runtime's
+        // per-payload sequence.
+        if !packet.is_eos() {
+            if self.link_partitioned(i, ctx.now()) {
+                self.note_fault(i, ctx.now(), "partition");
+                self.transmit(i, packet, ctx, SimDuration::ZERO, false);
+                return;
+            }
+            let fate =
+                self.out[i].injector.as_mut().map_or(FaultFate::Deliver, FaultInjector::next_fate);
+            match fate {
+                FaultFate::Deliver => {}
+                FaultFate::Drop | FaultFate::Corrupt { .. } | FaultFate::Reset => {
+                    // A corrupted frame is discarded by the receiver's CRC
+                    // check and a reset has no connection to kill here, so
+                    // all three reduce to a lost delivery that still burns
+                    // serialization time on the sender.
+                    self.note_fault(i, ctx.now(), fate.name());
+                    self.transmit(i, packet, ctx, SimDuration::ZERO, false);
+                    return;
+                }
+                FaultFate::Duplicate => {
+                    self.note_fault(i, ctx.now(), "dup");
+                    self.transmit(i, packet.clone(), ctx, SimDuration::ZERO, true);
+                    self.transmit(i, packet, ctx, SimDuration::ZERO, true);
+                    return;
+                }
+                FaultFate::Delay(d) => {
+                    self.note_fault(i, ctx.now(), "delay");
+                    let extra = SimDuration::from_secs_f64(d.as_secs_f64());
+                    self.transmit(i, packet, ctx, extra, true);
+                    return;
+                }
+            }
+        }
+        self.transmit(i, packet, ctx, SimDuration::ZERO, true);
+    }
+
+    /// Put one packet on link `i`: charge transmission, and deliver it
+    /// after transit plus `extra` unless the fault plane ate it.
+    fn transmit(
+        &mut self,
+        i: usize,
+        packet: Packet,
+        ctx: &mut Context<'_, EngineMsg>,
+        extra: SimDuration,
+        deliver: bool,
+    ) {
         let now = ctx.now();
         let link = &mut self.out[i];
-        if link.can_transmit() {
-            let tx = link.link.transmit(now, packet.wire_len());
-            link.in_flight += 1;
+        let tx = link.link.transmit(now, packet.wire_len());
+        link.in_flight += 1;
+        if deliver {
             if link.window.is_some() {
                 link.unacked += 1;
             }
-            ctx.send(link.to, EngineMsg::Packet(packet), tx.delivered_at - now);
-            ctx.set_timer(tx.serialized_at - now, TAG_CREDIT_BASE + i as u64);
-        } else {
-            link.pending.push_back(packet);
+            ctx.send(link.to, EngineMsg::Packet(packet), tx.delivered_at - now + extra);
+        }
+        ctx.set_timer(tx.serialized_at - now, TAG_CREDIT_BASE + i as u64);
+    }
+
+    /// True while the chaos plan's partition window covers virtual `now`
+    /// and either endpoint of edge `i` sits on the partitioned node.
+    fn link_partitioned(&self, i: usize, now: SimTime) -> bool {
+        let Some(spec) = self.opts.chaos.as_ref().and_then(|p| p.partition.as_ref()) else {
+            return false;
+        };
+        if spec.node != self.placed_on && spec.node != self.out[i].to_node {
+            return false;
+        }
+        let t = now.as_secs_f64();
+        let start = spec.at.as_secs_f64();
+        t >= start && t < start + spec.duration.as_secs_f64()
+    }
+
+    /// Count one injected fault and surface it to the flight recorder.
+    fn note_fault(&mut self, i: usize, now: SimTime, what: &str) {
+        self.faults_injected += 1;
+        if self.opts.recorder.enabled() {
+            self.opts.recorder.record(TraceEvent::Link(LinkEvent {
+                t: now.as_secs_f64(),
+                link: format!("{}->{}", self.name, self.out[i].to_stage),
+                node: self.placed_on.clone(),
+                kind: LinkEventKind::FaultInjected,
+                detail: what.to_string(),
+            }));
         }
     }
 

@@ -20,7 +20,7 @@
 use std::collections::{HashMap, HashSet};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -30,7 +30,7 @@ use gates_core::report::{LostWorker, RunReport, StageReport};
 use gates_core::trace::{LinkEvent, LinkEventKind, Recorder, RunMeta, TraceEvent};
 use gates_core::{StageId, Topology};
 use gates_grid::{ApplicationRepository, Launcher, Matchmaker, NodeSpec, ResourceRegistry};
-use gates_net::{encode_frame, FrameKind, FrameStream, TransportError};
+use gates_net::{crc32, encode_frame, FrameKind, FrameStream, TransportError};
 use gates_sim::SimTime;
 
 use super::proto::{decode_ctrl, encode_ctrl, CtrlMsg, StagePlacement};
@@ -89,8 +89,21 @@ enum Outcome {
         stage: u32,
         /// Input packets consumed at snapshot time.
         seq: u64,
+        /// CRC-32 of `state` taken at snapshot time.
+        crc: u32,
         /// Opaque stage state.
         state: Vec<u8>,
+    },
+    /// A worker relayed a `ReconnectExhausted` link event: one of its
+    /// data links gave up re-dialing. The run keeps going, but the loss
+    /// must surface in [`RunReport::lost_workers`] reasons.
+    LinkExhausted {
+        /// Worker that gave up.
+        worker: String,
+        /// Which link, in `from->to` form.
+        link: String,
+        /// The event detail (budget spent, endpoint).
+        detail: String,
     },
 }
 
@@ -278,7 +291,7 @@ impl DistEngine {
         for w in &mut workers {
             let my_stages: Vec<u32> =
                 placements.iter().filter(|p| p.worker == w.name).map(|p| p.stage).collect();
-            let assign = CtrlMsg::Assign(super::proto::AssignMsg {
+            let assign = CtrlMsg::Assign(Box::new(super::proto::AssignMsg {
                 app_xml: self.xml.clone(),
                 observe_us: self.opts.observe_interval.as_micros(),
                 adapt_us: self.opts.adapt_interval.as_micros(),
@@ -288,7 +301,7 @@ impl DistEngine {
                 placements: placements.clone(),
                 my_stages,
                 config: self.config.clone(),
-            });
+            }));
             w.ctrl
                 .send(&encode_ctrl(&assign))
                 .map_err(|e| EngineError::Transport(format!("assign {}: {e}", w.name)))?;
@@ -343,17 +356,33 @@ impl DistEngine {
                     .map_err(|e| EngineError::Transport(format!("clone {} ctrl: {e}", w.name)))?,
             );
         }
+        // Fault-plane accounting, fed by relayed link events: every
+        // injected fault and every completed recovery in the run, from
+        // any process, lands in these two counters.
+        let faults_injected = Arc::new(AtomicU64::new(0));
+        let fault_recoveries = Arc::new(AtomicU64::new(0));
         let mut reader_handles = Vec::with_capacity(workers.len());
         for w in workers {
             let recorder = Arc::clone(&self.opts.recorder);
             let results = res_tx.clone();
             let stop = Arc::clone(&stop);
             let heartbeat_timeout = self.config.heartbeat_timeout;
+            let faults = Arc::clone(&faults_injected);
+            let recoveries = Arc::clone(&fault_recoveries);
             reader_handles.push(
                 std::thread::Builder::new()
                     .name(format!("gates-ctrl-{}", w.name))
                     .spawn(move || {
-                        worker_reader(w.ctrl, w.name, recorder, results, stop, heartbeat_timeout)
+                        worker_reader(
+                            w.ctrl,
+                            w.name,
+                            recorder,
+                            results,
+                            stop,
+                            heartbeat_timeout,
+                            faults,
+                            recoveries,
+                        )
                     })
                     .map_err(|e| EngineError::Transport(e.to_string()))?,
             );
@@ -366,7 +395,13 @@ impl DistEngine {
         let mut reports: HashMap<String, Vec<StageReport>> = HashMap::new();
         let mut lost: HashSet<String> = HashSet::new();
         let mut lost_workers: Vec<LostWorker> = Vec::new();
-        let mut checkpoints: HashMap<u32, (u64, Vec<u8>)> = HashMap::new();
+        let mut checkpoints: HashMap<u32, (u64, u32, Vec<u8>)> = HashMap::new();
+        // Failover generation, bumped per broadcast so workers can
+        // discard duplicated or reordered Reassign frames.
+        let mut epoch = 0u64;
+        // Links already reported as exhausted, so a worker retrying its
+        // event stream cannot flood the report with duplicates.
+        let mut exhausted_links: HashSet<(String, String)> = HashSet::new();
         while reports.len() + lost.len() < worker_names.len() {
             let now = Instant::now();
             if now >= deadline {
@@ -388,8 +423,43 @@ impl DistEngine {
                 Ok(Outcome::Report { worker, stages }) => {
                     reports.insert(worker, stages);
                 }
-                Ok(Outcome::Checkpoint { stage, seq, state }) => {
-                    checkpoints.insert(stage, (seq, state));
+                Ok(Outcome::Checkpoint { stage, seq, crc, state }) => {
+                    // Trust nothing that crossed the wire under chaos: a
+                    // checkpoint whose bytes no longer match their CRC is
+                    // discarded (restoring garbage is worse than a fresh
+                    // restart), and an older snapshot never overwrites a
+                    // newer one (duplicated/reordered control frames).
+                    if crc32(&state) != crc {
+                        self.record_failover_event(
+                            start,
+                            &format!("checkpoint-{stage}"),
+                            LinkEventKind::CheckpointCorrupt,
+                            &format!("seq {seq} failed CRC; discarded"),
+                        );
+                        fault_recoveries.fetch_add(1, Ordering::Relaxed);
+                    } else if checkpoints.get(&stage).is_some_and(|(have, _, _)| *have >= seq) {
+                        self.record_failover_event(
+                            start,
+                            &format!("checkpoint-{stage}"),
+                            LinkEventKind::StaleDiscarded,
+                            &format!("seq {seq} not newer than stored"),
+                        );
+                        fault_recoveries.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        checkpoints.insert(stage, (seq, crc, state));
+                    }
+                }
+                Ok(Outcome::LinkExhausted { worker, link, detail }) => {
+                    if exhausted_links.insert((worker.clone(), link.clone())) {
+                        // The worker itself is still alive and will
+                        // report; only the one link's traffic is gone.
+                        // Name the loss without triggering failover.
+                        lost_workers.push(LostWorker {
+                            worker: worker.clone(),
+                            reason: format!("link {link} reconnect exhausted: {detail}"),
+                            at: start.elapsed().as_secs_f64(),
+                        });
+                    }
                 }
                 Ok(Outcome::Lost { worker, reason }) => {
                     self.record_lost(start, &worker, &reason, &mut lost_workers);
@@ -407,6 +477,7 @@ impl DistEngine {
                             &reports,
                             &checkpoints,
                             &mut writers,
+                            &mut epoch,
                         );
                     }
                 }
@@ -444,6 +515,8 @@ impl DistEngine {
             events: 0,
             lost_workers,
             trace: self.opts.recorder.as_flight().map(|f| f.run_trace()),
+            faults_injected: faults_injected.load(Ordering::Relaxed),
+            fault_recoveries: fault_recoveries.load(Ordering::Relaxed),
         })
     }
 
@@ -507,8 +580,9 @@ impl DistEngine {
         meta: &HashMap<String, WorkerMeta>,
         lost: &HashSet<String>,
         reports: &HashMap<String, Vec<StageReport>>,
-        checkpoints: &HashMap<u32, (u64, Vec<u8>)>,
+        checkpoints: &HashMap<u32, (u64, u32, Vec<u8>)>,
         writers: &mut HashMap<String, TcpStream>,
+        epoch: &mut u64,
     ) {
         let stranded: Vec<usize> = placements
             .iter()
@@ -549,7 +623,10 @@ impl DistEngine {
         for i in stranded {
             let id = StageId::from_index(i);
             let Some(new_worker) = replacement.get(&id) else { continue };
-            let m = &meta[new_worker];
+            // The matchmaker only places on registered nodes, but a
+            // mismatch here must degrade to "stage not re-placed", not
+            // bring the whole coordinator down mid-failover.
+            let Some(m) = meta.get(new_worker) else { continue };
             placements[i] = StagePlacement {
                 stage: i as u32,
                 worker: new_worker.clone(),
@@ -564,19 +641,31 @@ impl DistEngine {
                 &format!("{lost_worker} -> {new_worker}"),
             );
         }
-        let ckpts: Vec<(u32, u64, Vec<u8>)> = changed
+        let ckpts: Vec<(u32, u64, u32, Vec<u8>)> = changed
             .iter()
-            .filter_map(|p| checkpoints.get(&p.stage).map(|(s, st)| (p.stage, *s, st.clone())))
+            .filter_map(|p| {
+                checkpoints.get(&p.stage).map(|(s, crc, st)| (p.stage, *s, *crc, st.clone()))
+            })
             .collect();
+        *epoch += 1;
         let frame = encode_frame(&encode_ctrl(&CtrlMsg::Reassign {
+            epoch: *epoch,
             placements: changed,
             checkpoints: ckpts,
         }));
+        // Under chaos the control plane may eat frames, so the broadcast
+        // switches to at-least-once: every survivor gets the Reassign
+        // twice. Workers are epoch-idempotent — the duplicate is
+        // discarded with a `stale_discarded` trace event, which also
+        // keeps that recovery path permanently exercised.
+        let sends = if self.config.fault.is_some() { 2 } else { 1 };
         for (name, s) in writers.iter_mut() {
             if lost.contains(name) {
                 continue;
             }
-            let _ = s.write_all(&frame);
+            for _ in 0..sends {
+                let _ = s.write_all(&frame);
+            }
         }
     }
 }
@@ -587,6 +676,7 @@ impl DistEngine {
 /// of life; with `heartbeat_timeout` non-zero, silence past it declares
 /// the worker lost even while its socket stays open (the hung-process
 /// case a closed-connection check cannot see).
+#[allow(clippy::too_many_arguments)]
 fn worker_reader(
     mut fs: FrameStream,
     worker: String,
@@ -594,6 +684,8 @@ fn worker_reader(
     results: Sender<Outcome>,
     stop: Arc<AtomicBool>,
     heartbeat_timeout: Duration,
+    faults_injected: Arc<AtomicU64>,
+    fault_recoveries: Arc<AtomicU64>,
 ) {
     let mut last_seen = Instant::now();
     loop {
@@ -604,11 +696,39 @@ fn worker_reader(
             Ok(Some(f)) if f.kind == FrameKind::Control => {
                 last_seen = Instant::now();
                 match decode_ctrl(&f) {
-                    Ok(CtrlMsg::Trace(event)) if recorder.enabled() => recorder.record(event),
-                    Ok(CtrlMsg::Trace(_)) => {}
+                    Ok(CtrlMsg::Trace(event)) => {
+                        // Relayed link events double as the run's fault
+                        // ledger: injections on one side, completed
+                        // recoveries on the other.
+                        if let TraceEvent::Link(l) = &event {
+                            match l.kind {
+                                LinkEventKind::FaultInjected => {
+                                    faults_injected.fetch_add(1, Ordering::Relaxed);
+                                }
+                                LinkEventKind::Reconnected
+                                | LinkEventKind::Restored
+                                | LinkEventKind::Resumed
+                                | LinkEventKind::StaleDiscarded
+                                | LinkEventKind::CheckpointCorrupt => {
+                                    fault_recoveries.fetch_add(1, Ordering::Relaxed);
+                                }
+                                LinkEventKind::ReconnectExhausted => {
+                                    let _ = results.send(Outcome::LinkExhausted {
+                                        worker: worker.clone(),
+                                        link: l.link.clone(),
+                                        detail: l.detail.clone(),
+                                    });
+                                }
+                                _ => {}
+                            }
+                        }
+                        if recorder.enabled() {
+                            recorder.record(event);
+                        }
+                    }
                     Ok(CtrlMsg::Heartbeat { .. }) => {}
-                    Ok(CtrlMsg::Checkpoint { stage, seq, state }) => {
-                        let _ = results.send(Outcome::Checkpoint { stage, seq, state });
+                    Ok(CtrlMsg::Checkpoint { stage, seq, crc, state }) => {
+                        let _ = results.send(Outcome::Checkpoint { stage, seq, crc, state });
                     }
                     Ok(CtrlMsg::Report { worker, stages }) => {
                         let _ = results.send(Outcome::Report { worker, stages });

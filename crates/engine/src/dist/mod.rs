@@ -131,6 +131,15 @@ pub struct DistConfig {
     /// checkpoint; zero disables checkpointing (failover then restarts
     /// stages fresh).
     pub checkpoint_every: u64,
+    /// Total wall-clock budget a sender spends re-dialing one endpoint
+    /// (across every reconnect round) before declaring the link
+    /// exhausted: the link goes dead for the rest of the run and the
+    /// event is reported instead of retrying forever.
+    pub max_redial: Duration,
+    /// Deterministic fault plan for this run, applied on every data and
+    /// control socket by each process. `None` (the default) injects
+    /// nothing and leaves the hot paths untouched.
+    pub fault: Option<gates_net::FaultPlan>,
 }
 
 impl Default for DistConfig {
@@ -144,6 +153,8 @@ impl Default for DistConfig {
             heartbeat_interval: Duration::from_millis(500),
             heartbeat_timeout: Duration::from_secs(3),
             checkpoint_every: 64,
+            max_redial: Duration::from_secs(15),
+            fault: None,
         }
     }
 }
@@ -184,6 +195,19 @@ impl DistConfig {
     /// disables checkpointing).
     pub fn checkpoint_every(mut self, packets: u64) -> Self {
         self.checkpoint_every = packets;
+        self
+    }
+
+    /// Builder: total re-dial budget per endpoint before a link is
+    /// declared exhausted.
+    pub fn max_redial(mut self, budget: Duration) -> Self {
+        self.max_redial = budget;
+        self
+    }
+
+    /// Builder: deterministic fault plan for the run.
+    pub fn fault(mut self, plan: gates_net::FaultPlan) -> Self {
+        self.fault = Some(plan);
         self
     }
 }

@@ -91,7 +91,7 @@ pub(crate) enum CtrlMsg {
         capacity: u32,
     },
     /// Coordinator → worker: the deployment.
-    Assign(AssignMsg),
+    Assign(Box<AssignMsg>),
     /// Worker → coordinator: topology built, data plane wired.
     Ready {
         /// Worker name.
@@ -132,6 +132,11 @@ pub(crate) enum CtrlMsg {
         /// Number of input packets the stage had consumed when the
         /// snapshot was taken (monotonic per stage).
         seq: u64,
+        /// CRC-32 of `state`, computed when the snapshot was taken. The
+        /// coordinator and any adopting worker verify it before trusting
+        /// the bytes; a mismatch discards the checkpoint rather than
+        /// restoring garbage into a stage.
+        crc: u32,
         /// Opaque state bytes from [`gates_core::StreamProcessor::snapshot`].
         state: Vec<u8>,
     },
@@ -148,11 +153,18 @@ pub(crate) enum CtrlMsg {
     /// adopts that stage, restoring from the paired checkpoint if one
     /// exists.
     Reassign {
+        /// Failover generation: the coordinator increments this on every
+        /// reassignment it broadcasts. Workers remember the highest epoch
+        /// they have applied and idempotently discard duplicates and
+        /// stale reorderings (epoch ≤ last applied).
+        epoch: u64,
         /// Updated placement rows (changed stages only).
         placements: Vec<StagePlacement>,
         /// Last known checkpoint per reassigned stage:
-        /// `(stage, seq, state)`. Stages without an entry restart fresh.
-        checkpoints: Vec<(u32, u64, Vec<u8>)>,
+        /// `(stage, seq, crc, state)`. Stages without an entry restart
+        /// fresh; an entry whose CRC does not match its bytes is treated
+        /// the same (restart fresh) rather than restoring garbage.
+        checkpoints: Vec<(u32, u64, u32, Vec<u8>)>,
     },
 }
 
@@ -337,6 +349,10 @@ fn link_kind_to_u8(k: LinkEventKind) -> u8 {
         LinkEventKind::Restored => 9,
         LinkEventKind::Resumed => 10,
         LinkEventKind::Rejected => 11,
+        LinkEventKind::FaultInjected => 12,
+        LinkEventKind::StaleDiscarded => 13,
+        LinkEventKind::CheckpointCorrupt => 14,
+        LinkEventKind::ReconnectExhausted => 15,
     }
 }
 
@@ -354,6 +370,10 @@ fn link_kind_from_u8(v: u8) -> Result<LinkEventKind, CoreError> {
         9 => LinkEventKind::Restored,
         10 => LinkEventKind::Resumed,
         11 => LinkEventKind::Rejected,
+        12 => LinkEventKind::FaultInjected,
+        13 => LinkEventKind::StaleDiscarded,
+        14 => LinkEventKind::CheckpointCorrupt,
+        15 => LinkEventKind::ReconnectExhausted,
         other => return Err(CoreError::PayloadDecode(format!("bad link event kind {other}"))),
     })
 }
@@ -418,6 +438,10 @@ fn put_config(w: &mut PayloadWriter, c: &DistConfig) {
     w.put_u64(c.heartbeat_interval.as_micros() as u64);
     w.put_u64(c.heartbeat_timeout.as_micros() as u64);
     w.put_u64(c.checkpoint_every);
+    w.put_u64(c.max_redial.as_micros() as u64);
+    // The fault plan ships as its canonical spec string: compact, and
+    // the parser is the single source of truth for its grammar.
+    put_opt_str(w, &c.fault.as_ref().map(|f| f.to_spec()));
 }
 
 fn get_config(r: &mut PayloadReader) -> Result<DistConfig, CoreError> {
@@ -434,6 +458,14 @@ fn get_config(r: &mut PayloadReader) -> Result<DistConfig, CoreError> {
         heartbeat_interval: Duration::from_micros(r.get_u64()?),
         heartbeat_timeout: Duration::from_micros(r.get_u64()?),
         checkpoint_every: r.get_u64()?,
+        max_redial: Duration::from_micros(r.get_u64()?),
+        fault: match get_opt_str(r)? {
+            Some(spec) => Some(
+                gates_net::FaultPlan::parse(&spec)
+                    .map_err(|e| CoreError::PayloadDecode(format!("bad fault spec: {e}")))?,
+            ),
+            None => None,
+        },
     })
 }
 
@@ -500,10 +532,11 @@ pub(crate) fn encode_ctrl(msg: &CtrlMsg) -> Frame {
             w.put_bytes(&[TAG_HEARTBEAT]);
             put_str(&mut w, name);
         }
-        CtrlMsg::Checkpoint { stage, seq, state } => {
+        CtrlMsg::Checkpoint { stage, seq, crc, state } => {
             w.put_bytes(&[TAG_CHECKPOINT]);
             w.put_u32(*stage);
             w.put_u64(*seq);
+            w.put_u32(*crc);
             w.put_u32(state.len() as u32);
             w.put_bytes(state);
         }
@@ -511,8 +544,9 @@ pub(crate) fn encode_ctrl(msg: &CtrlMsg) -> Frame {
             w.put_bytes(&[TAG_REJECT]);
             put_str(&mut w, reason);
         }
-        CtrlMsg::Reassign { placements, checkpoints } => {
+        CtrlMsg::Reassign { epoch, placements, checkpoints } => {
             w.put_bytes(&[TAG_REASSIGN]);
+            w.put_u64(*epoch);
             w.put_u32(placements.len() as u32);
             for p in placements {
                 w.put_u32(p.stage);
@@ -521,9 +555,10 @@ pub(crate) fn encode_ctrl(msg: &CtrlMsg) -> Frame {
                 w.put_f64(p.speed);
             }
             w.put_u32(checkpoints.len() as u32);
-            for (stage, seq, state) in checkpoints {
+            for (stage, seq, crc, state) in checkpoints {
                 w.put_u32(*stage);
                 w.put_u64(*seq);
+                w.put_u32(*crc);
                 w.put_u32(state.len() as u32);
                 w.put_bytes(state);
             }
@@ -572,7 +607,7 @@ pub(crate) fn decode_ctrl(frame: &Frame) -> Result<CtrlMsg, CoreError> {
                 my_stages.push(r.get_u32()?);
             }
             let config = get_config(&mut r)?;
-            CtrlMsg::Assign(AssignMsg {
+            CtrlMsg::Assign(Box::new(AssignMsg {
                 app_xml,
                 observe_us,
                 adapt_us,
@@ -582,7 +617,7 @@ pub(crate) fn decode_ctrl(frame: &Frame) -> Result<CtrlMsg, CoreError> {
                 placements,
                 my_stages,
                 config,
-            })
+            }))
         }
         TAG_READY => CtrlMsg::Ready { name: get_str(&mut r)? },
         TAG_START => CtrlMsg::Start,
@@ -602,12 +637,14 @@ pub(crate) fn decode_ctrl(frame: &Frame) -> Result<CtrlMsg, CoreError> {
         TAG_CHECKPOINT => {
             let stage = r.get_u32()?;
             let seq = r.get_u64()?;
+            let crc = r.get_u32()?;
             let len = r.get_u32()? as usize;
             let state = r.get_bytes(len)?.to_vec();
-            CtrlMsg::Checkpoint { stage, seq, state }
+            CtrlMsg::Checkpoint { stage, seq, crc, state }
         }
         TAG_REJECT => CtrlMsg::Reject { reason: get_str(&mut r)? },
         TAG_REASSIGN => {
+            let epoch = r.get_u64()?;
             let n = r.get_u32()? as usize;
             let mut placements = Vec::with_capacity(n.min(4096));
             for _ in 0..n {
@@ -623,10 +660,11 @@ pub(crate) fn decode_ctrl(frame: &Frame) -> Result<CtrlMsg, CoreError> {
             for _ in 0..n {
                 let stage = r.get_u32()?;
                 let seq = r.get_u64()?;
+                let crc = r.get_u32()?;
                 let len = r.get_u32()? as usize;
-                checkpoints.push((stage, seq, r.get_bytes(len)?.to_vec()));
+                checkpoints.push((stage, seq, crc, r.get_bytes(len)?.to_vec()));
             }
-            CtrlMsg::Reassign { placements, checkpoints }
+            CtrlMsg::Reassign { epoch, placements, checkpoints }
         }
         other => return Err(CoreError::PayloadDecode(format!("unknown control tag {other}"))),
     })
@@ -681,7 +719,7 @@ mod tests {
 
     #[test]
     fn assign_round_trips() {
-        round_trip(CtrlMsg::Assign(AssignMsg {
+        round_trip(CtrlMsg::Assign(Box::new(AssignMsg {
             app_xml: "<application name=\"x\" repository=\"count-samps\"/>".into(),
             observe_us: 100_000,
             adapt_us: 1_000_000,
@@ -704,7 +742,7 @@ mod tests {
             ],
             my_stages: vec![1],
             config: DistConfig::default(),
-        }));
+        })));
     }
 
     #[test]
@@ -719,22 +757,28 @@ mod tests {
 
     #[test]
     fn checkpoint_round_trips() {
-        round_trip(CtrlMsg::Checkpoint { stage: 4, seq: 128, state: vec![1, 2, 3, 4, 5] });
-        round_trip(CtrlMsg::Checkpoint { stage: 0, seq: 0, state: Vec::new() });
+        round_trip(CtrlMsg::Checkpoint {
+            stage: 4,
+            seq: 128,
+            crc: gates_net::crc32(&[1, 2, 3, 4, 5]),
+            state: vec![1, 2, 3, 4, 5],
+        });
+        round_trip(CtrlMsg::Checkpoint { stage: 0, seq: 0, crc: 0, state: Vec::new() });
     }
 
     #[test]
     fn reassign_round_trips() {
         round_trip(CtrlMsg::Reassign {
+            epoch: 3,
             placements: vec![StagePlacement {
                 stage: 0,
                 worker: "w1".into(),
                 endpoint: "127.0.0.1:4001".into(),
                 speed: 2.0,
             }],
-            checkpoints: vec![(0, 64, vec![9, 8, 7])],
+            checkpoints: vec![(0, 64, gates_net::crc32(&[9, 8, 7]), vec![9, 8, 7])],
         });
-        round_trip(CtrlMsg::Reassign { placements: Vec::new(), checkpoints: Vec::new() });
+        round_trip(CtrlMsg::Reassign { epoch: 0, placements: Vec::new(), checkpoints: Vec::new() });
     }
 
     #[test]

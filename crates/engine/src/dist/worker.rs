@@ -32,7 +32,8 @@ use gates_core::trace::{LinkEvent, LinkEventKind, NullRecorder, Recorder, TraceE
 use gates_core::{Packet, StageId};
 use gates_grid::{AppConfig, ApplicationRepository};
 use gates_net::{
-    connect_with_retry, FlowControl, FrameKind, FrameStream, RetryPolicy, TransportError,
+    connect_with_retry, connect_with_retry_jittered, crc32, derive, FaultInjector, FlowControl,
+    FrameKind, FrameStream, RetryPolicy, TransportError,
 };
 use gates_sim::{SimDuration, SimTime};
 
@@ -51,12 +52,23 @@ struct SharedPlacements {
 
 impl SharedPlacements {
     fn endpoint(&self, stage: usize) -> String {
-        self.endpoint_of.read().expect("placement table")[stage].clone()
+        // A poisoned table (a panicking reader elsewhere) still holds
+        // valid endpoints; recover instead of cascading the panic into
+        // every sender thread.
+        self.endpoint_of.read().unwrap_or_else(|p| p.into_inner())[stage].clone()
     }
 
     fn set_endpoint(&self, stage: usize, endpoint: String) {
-        self.endpoint_of.write().expect("placement table")[stage] = endpoint;
+        self.endpoint_of.write().unwrap_or_else(|p| p.into_inner())[stage] = endpoint;
     }
+}
+
+/// Stable per-process seed for reconnect jitter when no fault plan (and
+/// therefore no explicit seed) was configured: derived from the worker's
+/// name so two workers never share a jitter sequence.
+fn name_seed(name: &str) -> u64 {
+    name.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3))
 }
 
 /// The shared, growable in-edge registry: failover registers new entries
@@ -222,6 +234,15 @@ impl DistWorker {
         // --- wire the data plane -------------------------------------
         let stop = Arc::new(AtomicBool::new(false));
         let start = Instant::now();
+        // True while this worker is inside an injected network partition:
+        // senders stop flushing, the accept loop refuses connections,
+        // readers drop their sockets, and heartbeats stay home.
+        let partitioned = Arc::new(AtomicBool::new(false));
+        // Seed for reconnect-backoff jitter (and, when a fault plan is
+        // present, the plan's seed so the whole run replays from one
+        // number).
+        let jitter_root =
+            cfg.fault.as_ref().map(|f| f.seed).unwrap_or_else(|| name_seed(&self.name));
         // Stage snapshots funnel through this channel into the main
         // loop, which relays them to the coordinator as checkpoints.
         let (ckpt_tx, ckpt_rx) = unbounded::<(u32, u64, Vec<u8>)>();
@@ -275,6 +296,8 @@ impl DistWorker {
                         upstream: ctl_tx[&from].clone(),
                         drops: Arc::clone(&drops[&from]),
                         cfg: cfg.clone(),
+                        partitioned: Arc::clone(&partitioned),
+                        jitter_seed: derive(jitter_root, ei as u64),
                         reporter,
                     };
                     bridge_handles.push(
@@ -314,9 +337,10 @@ impl DistWorker {
             let reg = Arc::clone(&in_edge_reg);
             let stop = Arc::clone(&stop);
             let cfg = cfg.clone();
+            let partitioned = Arc::clone(&partitioned);
             std::thread::Builder::new()
                 .name("gates-accept".into())
-                .spawn(move || accept_loop(listener, reg, stop, cfg))
+                .spawn(move || accept_loop(listener, reg, stop, cfg, partitioned))
                 .map_err(|e| EngineError::Transport(e.to_string()))?
         };
         let drain_handle = {
@@ -342,6 +366,59 @@ impl DistWorker {
                 }
                 _ => {}
             }
+        }
+
+        // Injected partition: a timer flips the shared flag for the
+        // configured window. Only the named worker partitions; everyone
+        // else just observes its silence.
+        if let Some(spec) = cfg.fault.as_ref().and_then(|f| f.partition.clone()) {
+            if spec.node == self.name {
+                let flag = Arc::clone(&partitioned);
+                let stop_flag = Arc::clone(&stop);
+                let reporter = LinkReporter {
+                    recorder: Arc::clone(&recorder),
+                    start,
+                    link: "partition".into(),
+                    node: self.name.clone(),
+                };
+                std::thread::Builder::new()
+                    .name("gates-partition".into())
+                    .spawn(move || {
+                        let run_start = Instant::now();
+                        while run_start.elapsed() < spec.at {
+                            if stop_flag.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        flag.store(true, Ordering::Relaxed);
+                        reporter.record(
+                            LinkEventKind::FaultInjected,
+                            format!("partition cut for {:?}", spec.duration),
+                        );
+                        let cut_at = Instant::now();
+                        while cut_at.elapsed() < spec.duration {
+                            if stop_flag.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        flag.store(false, Ordering::Relaxed);
+                        reporter.record(LinkEventKind::FaultInjected, "partition healed");
+                    })
+                    .map_err(|e| EngineError::Transport(e.to_string()))?;
+            }
+        }
+        // Control-plane chaos starts only now: the handshake above must
+        // stay reliable or no run would ever assemble.
+        let ctrl_faults = LinkReporter {
+            recorder: Arc::clone(&recorder),
+            start,
+            link: "ctrl".into(),
+            node: self.name.clone(),
+        };
+        if let Some(plan) = cfg.fault.as_ref().filter(|f| f.ctrl) {
+            ctrl.set_fault_injector(Some(plan.injector_for_control(name_seed(&self.name))));
         }
 
         // --- run the assigned stages ---------------------------------
@@ -465,7 +542,9 @@ impl DistWorker {
         let mut base_reports: Option<Vec<StageReport>> = None;
         let mut adopted_handles: Vec<std::thread::JoinHandle<StageReport>> = Vec::new();
         let mut last_heartbeat = Instant::now();
+        let mut last_epoch = 0u64;
         loop {
+            let cut = partitioned.load(Ordering::Relaxed);
             // All trace events ready this lap coalesce into one write.
             while let Ok(event) = trace_rx.try_recv() {
                 if !coordinator_gone {
@@ -474,18 +553,43 @@ impl DistWorker {
             }
             while let Ok((stage, seq, state)) = ckpt_rx.try_recv() {
                 if !coordinator_gone {
-                    ctrl.queue(&encode_ctrl(&CtrlMsg::Checkpoint { stage, seq, state }));
+                    // The CRC travels with the snapshot so the
+                    // coordinator (and any adopting worker) can tell a
+                    // chaos-corrupted checkpoint from a real one.
+                    let crc = crc32(&state);
+                    ctrl.queue(&encode_ctrl(&CtrlMsg::Checkpoint { stage, seq, crc, state }));
                 }
             }
             if !coordinator_gone
+                && !cut
                 && !cfg.heartbeat_interval.is_zero()
                 && last_heartbeat.elapsed() >= cfg.heartbeat_interval
             {
                 last_heartbeat = Instant::now();
                 ctrl.queue(&encode_ctrl(&CtrlMsg::Heartbeat { name: self.name.clone() }));
             }
+            // A partitioned worker goes silent: nothing flushes and
+            // nothing is read until the window heals. Queued frames just
+            // accumulate and land afterwards.
+            if cut {
+                std::thread::sleep(Duration::from_millis(10));
+                if base_reports.is_none() {
+                    if let Ok(r) = done_rx.try_recv() {
+                        base_reports = Some(r);
+                    }
+                }
+                continue;
+            }
             if !coordinator_gone && ctrl.flush_queued().is_err() {
                 coordinator_gone = true;
+            }
+            if let Some(inj) = ctrl.fault_injector_mut() {
+                for af in inj.take_log() {
+                    ctrl_faults.record(
+                        LinkEventKind::FaultInjected,
+                        format!("ctrl frame {}: {}", af.index, af.fate.name()),
+                    );
+                }
             }
             if coordinator_gone {
                 // An orphaned worker must not run unbounded: stop, then
@@ -508,9 +612,23 @@ impl DistWorker {
                             let _ = c.send(Control::Stop);
                         }
                     }
-                    Ok(CtrlMsg::Reassign { placements: rows, checkpoints }) => {
-                        let ckpt_by_stage: HashMap<u32, (u64, Vec<u8>)> =
-                            checkpoints.into_iter().map(|(s, q, st)| (s, (q, st))).collect();
+                    Ok(CtrlMsg::Reassign { epoch, placements: rows, checkpoints }) => {
+                        // Idempotency: a duplicated or reordered
+                        // broadcast (chaos dup, or a late frame after a
+                        // newer failover) must not re-adopt stages or
+                        // roll the endpoint table backwards.
+                        if epoch <= last_epoch {
+                            ctrl_faults.record(
+                                LinkEventKind::StaleDiscarded,
+                                format!("reassign epoch {epoch} <= applied {last_epoch}"),
+                            );
+                            continue;
+                        }
+                        last_epoch = epoch;
+                        let ckpt_by_stage: HashMap<u32, (u64, u32, Vec<u8>)> = checkpoints
+                            .into_iter()
+                            .map(|(s, q, crc, st)| (s, (q, crc, st)))
+                            .collect();
                         // Re-point the shared endpoint table first:
                         // senders whose link is down re-dial as soon as
                         // they see the new address.
@@ -545,7 +663,7 @@ impl DistWorker {
                                 let from = edge.from.index();
                                 let (etx, erx) = unbounded::<Control>();
                                 upstream_ctl.push(etx);
-                                in_edge_reg.write().expect("in-edge registry").insert(
+                                in_edge_reg.write().unwrap_or_else(|p| p.into_inner()).insert(
                                     ei as u32,
                                     Arc::new(InEdge {
                                         data_tx: dtx.clone(),
@@ -592,6 +710,8 @@ impl DistWorker {
                                     upstream: ctx.clone(),
                                     drops: Arc::clone(&my_drops),
                                     cfg: cfg.clone(),
+                                    partitioned: Arc::clone(&partitioned),
+                                    jitter_seed: derive(jitter_root, ei as u64),
                                     reporter: LinkReporter {
                                         recorder: Arc::clone(&recorder),
                                         start,
@@ -610,14 +730,31 @@ impl DistWorker {
                                         .map_err(|e| EngineError::Transport(e.to_string()))?,
                                 );
                             }
-                            let ckpt = ckpt_by_stage.get(&(i as u32));
+                            // A checkpoint only counts if its bytes still
+                            // match the CRC taken at snapshot time; a
+                            // corrupted one restarts the stage fresh
+                            // rather than restoring garbage.
+                            let ckpt = ckpt_by_stage.get(&(i as u32)).and_then(|(seq, crc, state)| {
+                                if crc32(state) == *crc {
+                                    Some((*seq, state))
+                                } else {
+                                    ctrl_faults.record(
+                                        LinkEventKind::CheckpointCorrupt,
+                                        format!(
+                                            "stage {} checkpoint seq {seq} failed CRC; restarting fresh",
+                                            stage.name
+                                        ),
+                                    );
+                                    None
+                                }
+                            });
                             if recorder.enabled() {
                                 recorder.record(TraceEvent::Link(LinkEvent {
                                     t: start.elapsed().as_secs_f64(),
                                     link: stage.name.clone(),
                                     node: self.name.clone(),
                                     kind: LinkEventKind::Restored,
-                                    detail: match ckpt {
+                                    detail: match &ckpt {
                                         Some((seq, _)) => {
                                             format!("resumed from checkpoint seq {seq}")
                                         }
@@ -689,6 +826,17 @@ impl DistWorker {
         let _ = TcpStream::connect(&data_addr);
         let _ = accept_handle.join();
         let _ = drain_handle.join();
+        // The final report is the one control exchange chaos must not
+        // touch: a dropped or mangled report would turn every chaos run
+        // into a partial one. Injection ends here by design.
+        if let Some(mut inj) = ctrl.take_fault_injector() {
+            for af in inj.take_log() {
+                ctrl_faults.record(
+                    LinkEventKind::FaultInjected,
+                    format!("ctrl frame {}: {}", af.index, af.fate.name()),
+                );
+            }
+        }
         while let Ok(event) = trace_rx.try_recv() {
             if !coordinator_gone {
                 ctrl.queue(&encode_ctrl(&CtrlMsg::Trace(event)));
@@ -810,45 +958,111 @@ struct RemoteSender {
     /// Drop counter of the *sending* stage (drops while the link is dead).
     drops: Arc<AtomicU64>,
     cfg: DistConfig,
+    /// Injected-partition flag of the hosting worker: while set, this
+    /// sender neither flushes nor re-dials.
+    partitioned: Arc<AtomicBool>,
+    /// Seed for backoff jitter, derived from the run seed (or the worker
+    /// name) and this edge, so no two links sync their retry storms.
+    jitter_seed: u64,
     reporter: LinkReporter,
 }
 
+/// Tracker for the wall-clock a sender may spend re-dialing one
+/// endpoint. The budget resets when failover moves the receiver (a new
+/// endpoint deserves a fresh chance) and exhausts at
+/// [`DistConfig::max_redial`], after which the link stays down — loudly
+/// — until failover intervenes.
+struct RedialBudget {
+    spent: Duration,
+    attempt: u32,
+    next: Instant,
+    exhausted: bool,
+}
+
+impl RedialBudget {
+    fn fresh() -> Self {
+        RedialBudget { spent: Duration::ZERO, attempt: 0, next: Instant::now(), exhausted: false }
+    }
+}
+
 impl RemoteSender {
-    fn connect(&self, endpoint: &str) -> Option<FrameStream> {
+    fn connect(&self, endpoint: &str, carried: &mut Option<FaultInjector>) -> Option<FrameStream> {
         let addr = endpoint.to_socket_addrs().ok()?.next()?;
         let reporter = &self.reporter;
-        let socket =
-            connect_with_retry(addr, self.cfg.connect_timeout, &self.cfg.retry, |attempt, err| {
+        let socket = connect_with_retry_jittered(
+            addr,
+            self.cfg.connect_timeout,
+            &self.cfg.retry,
+            Some(self.jitter_seed),
+            |attempt, err| {
                 reporter.record(LinkEventKind::Reconnecting, format!("attempt {attempt}: {err}"));
-            })
-            .ok()?;
+            },
+        )
+        .ok()?;
         let mut fs = FrameStream::new(socket);
         fs.set_read_timeout(Some(Duration::from_millis(1))).ok()?;
         fs.send(&encode_ctrl(&CtrlMsg::EdgeHello { edge: self.edge })).ok()?;
+        // The injector survives reconnects: frame indices keep counting,
+        // so a run's fault schedule is one sequence per link rather than
+        // restarting on every new connection.
+        match carried.take() {
+            Some(inj) => fs.set_fault_injector(Some(inj)),
+            None => {
+                if let Some(plan) = &self.cfg.fault {
+                    fs.set_fault_injector(Some(plan.injector_for_link(self.edge as u64)));
+                }
+            }
+        }
         Some(fs)
     }
 
-    /// While the link is dead, watch the placement table: an endpoint
-    /// that differs from the one last dialed means failover moved the
-    /// receiver, so dial the replacement and deliver any end-of-stream
-    /// marker that arrived during the outage.
+    /// While the link is dead, two ways back: the placement table names a
+    /// *new* endpoint (failover moved the receiver — dial it now, fresh
+    /// budget), or the same endpoint might simply have healed (injected
+    /// partition, receiver restart), which is worth a jittered, budgeted
+    /// re-dial rather than either banging on it in a tight loop or giving
+    /// up forever.
+    #[allow(clippy::too_many_arguments)]
     fn try_revive(
         &self,
         stream: &mut Option<FrameStream>,
         dialed: &mut String,
         dead: &mut bool,
         pending_eos: &mut bool,
+        carried: &mut Option<FaultInjector>,
+        budget: &mut RedialBudget,
     ) {
-        let current = self.placements.endpoint(self.to_stage);
-        if current == *dialed {
+        if self.partitioned.load(Ordering::Relaxed) {
             return;
         }
-        self.reporter.record(LinkEventKind::Reconnecting, format!("failover re-dial to {current}"));
+        let current = self.placements.endpoint(self.to_stage);
+        let moved = current != *dialed;
+        if moved {
+            *budget = RedialBudget::fresh();
+            self.reporter
+                .record(LinkEventKind::Reconnecting, format!("failover re-dial to {current}"));
+        } else {
+            if budget.exhausted || Instant::now() < budget.next {
+                return;
+            }
+            if budget.spent >= self.cfg.max_redial {
+                budget.exhausted = true;
+                self.reporter.record(
+                    LinkEventKind::ReconnectExhausted,
+                    format!(
+                        "re-dial budget {:?} spent on {current}; link down until failover",
+                        self.cfg.max_redial
+                    ),
+                );
+                return;
+            }
+        }
         *dialed = current.clone();
-        match self.connect(&current) {
+        let began = Instant::now();
+        match self.connect(&current, carried) {
             Some(mut fs) => {
-                self.reporter
-                    .record(LinkEventKind::Reconnected, format!("failover re-dial to {current}"));
+                self.reporter.record(LinkEventKind::Reconnected, format!("re-dial to {current}"));
+                *budget = RedialBudget::fresh();
                 if *pending_eos {
                     Packet::eos(u32::MAX, 0).encode_into(fs.queue_buffer());
                     if fs.flush_queued().is_ok() {
@@ -859,15 +1073,20 @@ impl RemoteSender {
                 *dead = false;
             }
             None => {
-                self.reporter
-                    .record(LinkEventKind::Dead, format!("failover re-dial to {current} failed"));
+                budget.spent += began.elapsed();
+                budget.attempt += 1;
+                budget.next = Instant::now()
+                    + self.cfg.retry.jittered_delay(budget.attempt, self.jitter_seed);
+                self.reporter.record(LinkEventKind::Dead, format!("re-dial to {current} failed"));
             }
         }
     }
 
     fn run(self) {
+        let mut carried: Option<FaultInjector> = None;
+        let mut budget = RedialBudget::fresh();
         let mut dialed = self.placements.endpoint(self.to_stage);
-        let mut stream = self.connect(&dialed);
+        let mut stream = self.connect(&dialed, &mut carried);
         let mut dead = false;
         match &stream {
             Some(_) => self.reporter.record(LinkEventKind::Connected, dialed.clone()),
@@ -879,8 +1098,25 @@ impl RemoteSender {
         let mut pending_eos = false;
         let mut crc_seen = 0u64;
         loop {
+            if !dead && self.partitioned.load(Ordering::Relaxed) {
+                // Partition cut: drop the socket so the receiver sees a
+                // clean break, and stay dead until the window heals (the
+                // revive path refuses to dial while partitioned).
+                if let Some(mut fs) = stream.take() {
+                    carried = fs.take_fault_injector();
+                }
+                self.reporter.record(LinkEventKind::Dead, "injected partition cut");
+                dead = true;
+            }
             if dead {
-                self.try_revive(&mut stream, &mut dialed, &mut dead, &mut pending_eos);
+                self.try_revive(
+                    &mut stream,
+                    &mut dialed,
+                    &mut dead,
+                    &mut pending_eos,
+                    &mut carried,
+                    &mut budget,
+                );
             }
             match self.rx.recv_timeout(Duration::from_millis(20)) {
                 Ok(packet) => {
@@ -892,7 +1128,21 @@ impl RemoteSender {
                         }
                         continue;
                     }
-                    let fs = stream.as_mut().expect("live stream while not dead");
+                    let fs = match stream.as_mut() {
+                        Some(fs) => fs,
+                        None => {
+                            // Defensive: a dead-flag/stream mismatch is a
+                            // bug, but dropping into the dead path beats
+                            // taking the whole sender thread down.
+                            dead = true;
+                            if packet.is_eos() {
+                                pending_eos = true;
+                            } else {
+                                self.drops.fetch_add(1, Ordering::Relaxed);
+                            }
+                            continue;
+                        }
+                    };
                     // Coalesce: this packet plus everything else already
                     // waiting in the bridge channel goes out in one
                     // write. An end-of-stream marker ends the batch so
@@ -922,8 +1172,13 @@ impl RemoteSender {
                         self.reporter
                             .record(LinkEventKind::Reconnecting, format!("send failed: {err}"));
                         let pending = fs.take_queued();
+                        carried = fs.take_fault_injector();
                         dialed = self.placements.endpoint(self.to_stage);
-                        stream = self.connect(&dialed);
+                        stream = if self.partitioned.load(Ordering::Relaxed) {
+                            None
+                        } else {
+                            self.connect(&dialed, &mut carried)
+                        };
                         match stream.as_mut() {
                             Some(fs) => {
                                 self.reporter.record(LinkEventKind::Reconnected, dialed.clone());
@@ -963,6 +1218,14 @@ impl RemoteSender {
                         Ok(None) | Err(_) => break,
                     }
                 }
+                if let Some(inj) = fs.fault_injector_mut() {
+                    for af in inj.take_log() {
+                        self.reporter.record(
+                            LinkEventKind::FaultInjected,
+                            format!("frame {}: {}", af.index, af.fate.name()),
+                        );
+                    }
+                }
                 let crc = fs.crc_failures();
                 if crc > crc_seen {
                     self.reporter
@@ -978,11 +1241,29 @@ impl RemoteSender {
         if dead && pending_eos {
             let deadline = Instant::now() + self.cfg.drain_window;
             while pending_eos && Instant::now() < deadline {
-                self.try_revive(&mut stream, &mut dialed, &mut dead, &mut pending_eos);
+                self.try_revive(
+                    &mut stream,
+                    &mut dialed,
+                    &mut dead,
+                    &mut pending_eos,
+                    &mut carried,
+                    &mut budget,
+                );
                 if !pending_eos {
                     break;
                 }
                 std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+        // Surface any faults injected on the final frames.
+        if let Some(fs) = stream.as_mut() {
+            if let Some(inj) = fs.fault_injector_mut() {
+                for af in inj.take_log() {
+                    self.reporter.record(
+                        LinkEventKind::FaultInjected,
+                        format!("frame {}: {}", af.index, af.fate.name()),
+                    );
+                }
             }
         }
     }
@@ -992,19 +1273,31 @@ impl RemoteSender {
 /// each to a handler thread. The handler (not this loop) waits for the
 /// `EdgeHello`, so a slow peer cannot stall other dialers. Shutdown
 /// wakes the blocking accept with a throwaway self-connection.
-fn accept_loop(listener: TcpListener, reg: InEdgeRegistry, stop: Arc<AtomicBool>, cfg: DistConfig) {
+fn accept_loop(
+    listener: TcpListener,
+    reg: InEdgeRegistry,
+    stop: Arc<AtomicBool>,
+    cfg: DistConfig,
+    partitioned: Arc<AtomicBool>,
+) {
     loop {
         match listener.accept() {
             Ok((socket, _peer)) => {
                 if stop.load(Ordering::Relaxed) {
                     return;
                 }
+                // A partitioned node is unreachable: refuse the dialer
+                // by dropping its socket on the floor.
+                if partitioned.load(Ordering::Relaxed) {
+                    continue;
+                }
                 let reg = Arc::clone(&reg);
                 let stop = Arc::clone(&stop);
                 let cfg = cfg.clone();
+                let partitioned = Arc::clone(&partitioned);
                 let _ = std::thread::Builder::new()
                     .name("gates-rx".into())
-                    .spawn(move || handle_data_conn(socket, reg, stop, cfg));
+                    .spawn(move || handle_data_conn(socket, reg, stop, cfg, partitioned));
             }
             Err(_) => {
                 if stop.load(Ordering::Relaxed) {
@@ -1026,6 +1319,7 @@ fn handle_data_conn(
     reg: InEdgeRegistry,
     stop: Arc<AtomicBool>,
     cfg: DistConfig,
+    partitioned: Arc<AtomicBool>,
 ) {
     let mut fs = FrameStream::new(socket);
     if fs.set_read_timeout(Some(cfg.read_timeout)).is_err() {
@@ -1046,7 +1340,7 @@ fn handle_data_conn(
     let Some(CtrlMsg::EdgeHello { edge }) = hello else { return };
     let lookup_deadline = Instant::now() + cfg.connect_timeout;
     let in_edge = loop {
-        if let Some(ie) = reg.read().expect("in-edge registry").get(&edge) {
+        if let Some(ie) = reg.read().unwrap_or_else(|p| p.into_inner()).get(&edge) {
             break Arc::clone(ie);
         }
         if stop.load(Ordering::Relaxed) || Instant::now() >= lookup_deadline {
@@ -1054,15 +1348,20 @@ fn handle_data_conn(
         }
         std::thread::sleep(Duration::from_millis(10));
     };
-    edge_reader(fs, in_edge, stop);
+    edge_reader(fs, in_edge, stop, partitioned);
 }
 
 /// Pump one accepted data connection: frames into the receiving stage's
 /// queue downstream, exception frames back upstream.
-fn edge_reader(mut fs: FrameStream, ie: Arc<InEdge>, stop: Arc<AtomicBool>) {
+fn edge_reader(
+    mut fs: FrameStream,
+    ie: Arc<InEdge>,
+    stop: Arc<AtomicBool>,
+    partitioned: Arc<AtomicBool>,
+) {
     let nth = ie.connections.fetch_add(1, Ordering::Relaxed);
     ie.connected.store(true, Ordering::Relaxed);
-    *ie.disconnected_at.lock().expect("in-edge clock") = None;
+    *ie.disconnected_at.lock().unwrap_or_else(|p| p.into_inner()) = None;
     ie.reporter.record(
         if nth == 0 { LinkEventKind::Connected } else { LinkEventKind::Reconnected },
         format!("connection {}", nth + 1),
@@ -1073,6 +1372,13 @@ fn edge_reader(mut fs: FrameStream, ie: Arc<InEdge>, stop: Arc<AtomicBool>) {
             // Engine shutdown, not a link failure: leave the connected
             // flag alone so the drain monitor does not misread it.
             return;
+        }
+        if partitioned.load(Ordering::Relaxed) {
+            // Partition cut on the receiving side: sever the connection
+            // so the sender's end fails fast instead of silently queuing
+            // into a black hole.
+            ie.reporter.record(LinkEventKind::PeerEof, "injected partition cut");
+            break;
         }
         while let Ok(msg) = ie.exc_rx.try_recv() {
             if let Control::Exception(e) = msg {
@@ -1105,7 +1411,7 @@ fn edge_reader(mut fs: FrameStream, ie: Arc<InEdge>, stop: Arc<AtomicBool>) {
         }
     }
     ie.connected.store(false, Ordering::Relaxed);
-    *ie.disconnected_at.lock().expect("in-edge clock") = Some(Instant::now());
+    *ie.disconnected_at.lock().unwrap_or_else(|p| p.into_inner()) = Some(Instant::now());
 }
 
 fn deliver(ie: &InEdge, packet: Packet, stop: &AtomicBool) {
@@ -1161,7 +1467,7 @@ fn drain_monitor(reg: InEdgeRegistry, stop: Arc<AtomicBool>, window: Duration) {
             return;
         }
         let edges: Vec<Arc<InEdge>> =
-            reg.read().expect("in-edge registry").values().cloned().collect();
+            reg.read().unwrap_or_else(|p| p.into_inner()).values().cloned().collect();
         for ie in &edges {
             if ie.eos_forwarded.load(Ordering::SeqCst) || ie.connected.load(Ordering::Relaxed) {
                 continue;
@@ -1169,7 +1475,7 @@ fn drain_monitor(reg: InEdgeRegistry, stop: Arc<AtomicBool>, window: Duration) {
             let expired = ie
                 .disconnected_at
                 .lock()
-                .expect("in-edge clock")
+                .unwrap_or_else(|p| p.into_inner())
                 .map(|since| since.elapsed() >= window)
                 .unwrap_or(false);
             if expired && !ie.eos_forwarded.swap(true, Ordering::SeqCst) {

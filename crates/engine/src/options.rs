@@ -25,6 +25,10 @@ pub struct RunOptions {
     /// default [`NullRecorder`] is disabled and costs nothing beyond one
     /// `enabled()` check per tick.
     pub recorder: Arc<dyn Recorder>,
+    /// Deterministic fault plan applied to the virtual-time engine's
+    /// simulated links (the distributed runtime carries its plan in
+    /// [`crate::DistConfig::fault`] instead). `None` injects nothing.
+    pub chaos: Option<gates_net::FaultPlan>,
 }
 
 impl std::fmt::Debug for RunOptions {
@@ -35,6 +39,7 @@ impl std::fmt::Debug for RunOptions {
             .field("control_latency", &self.control_latency)
             .field("max_time", &self.max_time)
             .field("recorder_enabled", &self.recorder.enabled())
+            .field("chaos", &self.chaos)
             .finish()
     }
 }
@@ -47,6 +52,7 @@ impl PartialEq for RunOptions {
             && self.adapt_interval == other.adapt_interval
             && self.control_latency == other.control_latency
             && self.max_time == other.max_time
+            && self.chaos == other.chaos
     }
 }
 
@@ -58,6 +64,7 @@ impl Default for RunOptions {
             control_latency: SimDuration::from_millis(1),
             max_time: SimTime::from_secs_f64(3_600.0),
             recorder: Arc::new(NullRecorder),
+            chaos: None,
         }
     }
 }
@@ -105,6 +112,13 @@ impl RunOptions {
     /// [`gates_core::trace::FlightRecorder`]).
     pub fn recorder(mut self, r: Arc<dyn Recorder>) -> Self {
         self.recorder = r;
+        self
+    }
+
+    /// Builder: deterministic fault plan for the virtual-time engine's
+    /// simulated links.
+    pub fn chaos(mut self, plan: gates_net::FaultPlan) -> Self {
+        self.chaos = Some(plan);
         self
     }
 }

@@ -198,6 +198,8 @@ impl ThreadedEngine {
             events: 0,
             lost_workers: Vec::new(),
             trace: self.opts.recorder.as_flight().map(|f| f.run_trace()),
+            faults_injected: 0,
+            fault_recoveries: 0,
         })
     }
 }

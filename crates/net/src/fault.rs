@@ -1,0 +1,594 @@
+//! Seeded, deterministic fault injection for the data and control planes.
+//!
+//! A [`FaultPlan`] describes *what* to inject — drop/corrupt/duplicate/
+//! delay probabilities, connection resets, and an optional node
+//! partition window — and a [`FaultInjector`] decides, per frame, *which*
+//! fault fires. Every decision is a pure function of `(plan seed, link
+//! id, frame index)` through a SplitMix64 finalizer, never of wallclock
+//! or thread timing, so a drill replays exactly: the same seed over the
+//! same frame sequence injects the same faults in the same places no
+//! matter how the frames were batched, coalesced, or delayed.
+//!
+//! The plan is parsed from a compact spec string (the CLI's `--chaos`
+//! argument), e.g.:
+//!
+//! ```text
+//! seed=7,drop=0.02,corrupt=0.005,delay=5ms..40ms,dup=0.01,partition=wc@2s+800ms,reset=0.002
+//! ```
+//!
+//! Grammar (comma-separated `key=value` pairs, any order):
+//!
+//! | key         | value                     | meaning                                   |
+//! |-------------|---------------------------|-------------------------------------------|
+//! | `seed`      | u64                       | RNG seed (default 1)                      |
+//! | `drop`      | probability 0..=1         | silently drop a frame                     |
+//! | `corrupt`   | probability 0..=1         | flip one bit in a frame                   |
+//! | `dup`       | probability 0..=1         | send a frame twice                        |
+//! | `reset`     | probability 0..=1         | hard-close the connection at a frame      |
+//! | `delay`     | `A..B` durations          | stall the stream between A and B          |
+//! | `delay_p`   | probability 0..=1         | chance a frame triggers a stall (def 0.05)|
+//! | `partition` | `node@T+D`                | cut `node` off the network at T for D     |
+//! | `ctrl`      | `on` / `off`              | also fault the control plane (def off)    |
+//!
+//! Durations take `us`, `ms`, or `s` suffixes. One in eight corruptions
+//! lands in the frame's length prefix (the only field outside the CRC
+//! region), which the receiver cannot resync past — exercising the full
+//! poison-and-reconnect path rather than just the skip-and-count path.
+
+use std::time::Duration;
+
+/// Longest stall a single injected delay may impose, whatever the spec
+/// says — keeps kitchen-sink drills inside their hard timeout.
+const MAX_INJECTED_DELAY: Duration = Duration::from_secs(1);
+
+/// Fraction of corruptions aimed at the length prefix (stream poison)
+/// instead of the CRC-protected region (skip and count): 1 in 8.
+const LEN_PREFIX_FRACTION: f64 = 0.125;
+
+/// SplitMix64 finalizer: derive an independent value from a seed and a
+/// stream index. Mirrors `gates-sim`'s seed derivation (this crate does
+/// not depend on `gates-sim`, so the five magic constants are repeated
+/// here verbatim).
+pub fn derive(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a u64 draw onto `[0, 1)` using its top 53 bits.
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A scheduled network partition: one node drops off the network at a
+/// fixed offset into the run, for a fixed duration, then heals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionSpec {
+    /// Worker/node name to cut off.
+    pub node: String,
+    /// Offset from run start when the partition begins.
+    pub at: Duration,
+    /// How long the partition lasts before healing.
+    pub duration: Duration,
+}
+
+/// A complete, seeded fault-injection plan. See the module docs for the
+/// spec grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// RNG seed every injection decision derives from.
+    pub seed: u64,
+    /// Per-frame probability of a silent drop.
+    pub drop: f64,
+    /// Per-frame probability of a single-bit flip.
+    pub corrupt: f64,
+    /// Per-frame probability of sending the frame twice.
+    pub dup: f64,
+    /// Per-frame probability of a hard connection reset.
+    pub reset: f64,
+    /// Stall range applied with probability [`FaultPlan::delay_p`].
+    pub delay: Option<(Duration, Duration)>,
+    /// Per-frame probability of a stall when a delay range is set.
+    pub delay_p: f64,
+    /// Optional scheduled partition of one node.
+    pub partition: Option<PartitionSpec>,
+    /// Also inject (a reduced profile: duplicates and delays only) on
+    /// the control plane. Off by default so drops never eat an Assign.
+    pub ctrl: bool,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 1,
+            drop: 0.0,
+            corrupt: 0.0,
+            dup: 0.0,
+            reset: 0.0,
+            delay: None,
+            delay_p: 0.05,
+            partition: None,
+            ctrl: false,
+        }
+    }
+}
+
+fn parse_prob(key: &str, v: &str) -> Result<f64, String> {
+    let p: f64 = v.parse().map_err(|_| format!("{key}: not a number: {v:?}"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("{key}: probability {p} outside 0..=1"));
+    }
+    Ok(p)
+}
+
+fn parse_duration(v: &str) -> Result<Duration, String> {
+    let v = v.trim();
+    let (num, mul_us) = if let Some(n) = v.strip_suffix("us") {
+        (n, 1.0)
+    } else if let Some(n) = v.strip_suffix("ms") {
+        (n, 1_000.0)
+    } else if let Some(n) = v.strip_suffix('s') {
+        (n, 1_000_000.0)
+    } else {
+        return Err(format!("duration {v:?} needs a us/ms/s suffix"));
+    };
+    let x: f64 = num.parse().map_err(|_| format!("duration {v:?}: bad number"))?;
+    if !(x >= 0.0 && x.is_finite()) {
+        return Err(format!("duration {v:?}: must be finite and non-negative"));
+    }
+    Ok(Duration::from_micros((x * mul_us).round() as u64))
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let us = d.as_micros();
+    if us.is_multiple_of(1_000_000) {
+        format!("{}s", us / 1_000_000)
+    } else if us.is_multiple_of(1_000) {
+        format!("{}ms", us / 1_000)
+    } else {
+        format!("{us}us")
+    }
+}
+
+impl FaultPlan {
+    /// Parse a plan from the compact spec grammar (see module docs).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        let mut delay_p_set = false;
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) =
+                part.split_once('=').ok_or_else(|| format!("expected key=value, got {part:?}"))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "seed" => {
+                    plan.seed = value.parse().map_err(|_| format!("seed: bad u64: {value:?}"))?
+                }
+                "drop" => plan.drop = parse_prob(key, value)?,
+                "corrupt" => plan.corrupt = parse_prob(key, value)?,
+                "dup" => plan.dup = parse_prob(key, value)?,
+                "reset" => plan.reset = parse_prob(key, value)?,
+                "delay_p" => {
+                    plan.delay_p = parse_prob(key, value)?;
+                    delay_p_set = true;
+                }
+                "delay" => {
+                    let (a, b) = value
+                        .split_once("..")
+                        .ok_or_else(|| format!("delay: expected A..B, got {value:?}"))?;
+                    let (lo, hi) = (parse_duration(a)?, parse_duration(b)?);
+                    if lo > hi {
+                        return Err(format!("delay: range {value:?} is inverted"));
+                    }
+                    plan.delay = Some((lo, hi));
+                }
+                "partition" => {
+                    let (node, when) = value
+                        .split_once('@')
+                        .ok_or_else(|| format!("partition: expected node@T+D, got {value:?}"))?;
+                    let (at, dur) = when
+                        .split_once('+')
+                        .ok_or_else(|| format!("partition: expected node@T+D, got {value:?}"))?;
+                    if node.is_empty() {
+                        return Err("partition: empty node name".into());
+                    }
+                    plan.partition = Some(PartitionSpec {
+                        node: node.to_string(),
+                        at: parse_duration(at)?,
+                        duration: parse_duration(dur)?,
+                    });
+                }
+                "ctrl" => {
+                    plan.ctrl = match value {
+                        "on" | "true" | "1" => true,
+                        "off" | "false" | "0" => false,
+                        other => return Err(format!("ctrl: expected on/off, got {other:?}")),
+                    }
+                }
+                other => return Err(format!("unknown chaos key {other:?}")),
+            }
+        }
+        if !delay_p_set && plan.delay.is_none() {
+            plan.delay_p = 0.0;
+        }
+        let total = plan.drop + plan.corrupt + plan.dup + plan.reset + plan.effective_delay_p();
+        if total > 1.0 {
+            return Err(format!("fault probabilities sum to {total}, over 1.0"));
+        }
+        Ok(plan)
+    }
+
+    /// The delay probability actually in force (zero without a range).
+    fn effective_delay_p(&self) -> f64 {
+        if self.delay.is_some() {
+            self.delay_p
+        } else {
+            0.0
+        }
+    }
+
+    /// True when the plan injects nothing at all.
+    pub fn is_noop(&self) -> bool {
+        self.drop == 0.0
+            && self.corrupt == 0.0
+            && self.dup == 0.0
+            && self.reset == 0.0
+            && self.delay.is_none()
+            && self.partition.is_none()
+    }
+
+    /// Render the canonical spec string; `parse(to_spec())` round-trips.
+    pub fn to_spec(&self) -> String {
+        let mut s = format!("seed={}", self.seed);
+        let mut push = |k: &str, v: f64| {
+            if v > 0.0 {
+                s.push_str(&format!(",{k}={v}"));
+            }
+        };
+        push("drop", self.drop);
+        push("corrupt", self.corrupt);
+        push("dup", self.dup);
+        push("reset", self.reset);
+        if let Some((lo, hi)) = self.delay {
+            s.push_str(&format!(",delay={}..{}", fmt_duration(lo), fmt_duration(hi)));
+            s.push_str(&format!(",delay_p={}", self.delay_p));
+        }
+        if let Some(p) = &self.partition {
+            s.push_str(&format!(
+                ",partition={}@{}+{}",
+                p.node,
+                fmt_duration(p.at),
+                fmt_duration(p.duration)
+            ));
+        }
+        if self.ctrl {
+            s.push_str(",ctrl=on");
+        }
+        s
+    }
+
+    /// The reduced plan applied to control sockets: duplicates and
+    /// delays only. Dropping or corrupting an `Assign`/`Start` would
+    /// deadlock the handshake rather than exercise recovery, and the
+    /// idempotency of duplicated control frames is exactly what the
+    /// control plane must survive.
+    pub fn control_profile(&self) -> FaultPlan {
+        FaultPlan { drop: 0.0, corrupt: 0.0, reset: 0.0, partition: None, ..self.clone() }
+    }
+
+    /// Injector for the data-plane link `link_id` (faults payload frames
+    /// only; control/EOS frames pass untouched).
+    pub fn injector_for_link(&self, link_id: u64) -> FaultInjector {
+        FaultInjector::new(self, link_id, true)
+    }
+
+    /// Injector for a control socket, using the reduced
+    /// [`FaultPlan::control_profile`] and faulting every frame kind.
+    pub fn injector_for_control(&self, link_id: u64) -> FaultInjector {
+        FaultInjector::new(&self.control_profile(), link_id, false)
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_spec())
+    }
+}
+
+impl std::str::FromStr for FaultPlan {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        FaultPlan::parse(s)
+    }
+}
+
+/// What the injector decided for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultFate {
+    /// Pass the frame through untouched.
+    Deliver,
+    /// Silently drop the frame.
+    Drop,
+    /// Flip one bit. `len_prefix` aims at the length prefix (stream
+    /// poison); otherwise `bit` (reduced modulo the CRC-protected
+    /// region's size) picks the flipped bit.
+    Corrupt {
+        /// Corrupt the length prefix instead of the CRC region.
+        len_prefix: bool,
+        /// Raw bit draw; reduce modulo the target region's bit count.
+        bit: u64,
+    },
+    /// Send the frame twice.
+    Duplicate,
+    /// Stall the stream for this long before sending the frame.
+    Delay(Duration),
+    /// Hard-close the connection at this frame.
+    Reset,
+}
+
+impl FaultFate {
+    /// Short stable name for traces and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultFate::Deliver => "deliver",
+            FaultFate::Drop => "drop",
+            FaultFate::Corrupt { len_prefix: true, .. } => "corrupt_len",
+            FaultFate::Corrupt { len_prefix: false, .. } => "corrupt",
+            FaultFate::Duplicate => "dup",
+            FaultFate::Delay(_) => "delay",
+            FaultFate::Reset => "reset",
+        }
+    }
+}
+
+/// One injected fault, for flight-recorder reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedFault {
+    /// Frame index on this link at which the fault fired.
+    pub index: u64,
+    /// What was injected.
+    pub fate: FaultFate,
+}
+
+/// Per-link fault decider. Deterministic: the fate of frame `i` on link
+/// `l` is `fate(derive(plan.seed, l), i)`, independent of timing,
+/// batching, and every other link.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    link_seed: u64,
+    frame_index: u64,
+    drop: f64,
+    corrupt: f64,
+    dup: f64,
+    reset: f64,
+    delay: Option<(Duration, Duration)>,
+    delay_p: f64,
+    payload_only: bool,
+    injected: u64,
+    log: Vec<AppliedFault>,
+}
+
+impl FaultInjector {
+    fn new(plan: &FaultPlan, link_id: u64, payload_only: bool) -> FaultInjector {
+        FaultInjector {
+            link_seed: derive(plan.seed, link_id),
+            frame_index: 0,
+            drop: plan.drop,
+            corrupt: plan.corrupt,
+            dup: plan.dup,
+            reset: plan.reset,
+            delay: plan.delay,
+            delay_p: plan.effective_delay_p(),
+            payload_only,
+            injected: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// Only fault payload (data/summary) frames, passing control and EOS
+    /// frames untouched. True for data-plane injectors.
+    pub fn payload_only(&self) -> bool {
+        self.payload_only
+    }
+
+    /// The pure fate function: what happens to frame `index` on this
+    /// link. Does not advance any state.
+    pub fn fate_of(&self, index: u64) -> FaultFate {
+        let s = derive(self.link_seed, index);
+        let u = unit(s);
+        let mut acc = self.drop;
+        if u < acc {
+            return FaultFate::Drop;
+        }
+        acc += self.corrupt;
+        if u < acc {
+            return FaultFate::Corrupt {
+                len_prefix: unit(derive(s, 1)) < LEN_PREFIX_FRACTION,
+                bit: derive(s, 2),
+            };
+        }
+        acc += self.dup;
+        if u < acc {
+            return FaultFate::Duplicate;
+        }
+        acc += self.reset;
+        if u < acc {
+            return FaultFate::Reset;
+        }
+        if let Some((lo, hi)) = self.delay {
+            acc += self.delay_p;
+            if u < acc {
+                let span = hi.saturating_sub(lo).as_nanos() as f64;
+                let extra = Duration::from_nanos((unit(derive(s, 3)) * span) as u64);
+                return FaultFate::Delay((lo + extra).min(MAX_INJECTED_DELAY));
+            }
+        }
+        FaultFate::Deliver
+    }
+
+    /// Decide the next frame's fate, advancing the frame index and
+    /// logging any injected fault.
+    pub fn next_fate(&mut self) -> FaultFate {
+        let index = self.frame_index;
+        self.frame_index += 1;
+        let fate = self.fate_of(index);
+        if fate != FaultFate::Deliver {
+            self.injected += 1;
+            self.log.push(AppliedFault { index, fate });
+        }
+        fate
+    }
+
+    /// Total faults injected on this link so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Frames this injector has decided on so far.
+    pub fn frames_seen(&self) -> u64 {
+        self.frame_index
+    }
+
+    /// Drain the log of faults injected since the last call.
+    pub fn take_log(&mut self) -> Vec<AppliedFault> {
+        std::mem::take(&mut self.log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_spec_round_trips() {
+        let spec = "seed=7,drop=0.02,corrupt=0.005,delay=5ms..40ms,dup=0.01,\
+                    partition=wc@2s+800ms,reset=0.002";
+        let plan = FaultPlan::parse(spec).expect("parse");
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.drop, 0.02);
+        assert_eq!(plan.corrupt, 0.005);
+        assert_eq!(plan.dup, 0.01);
+        assert_eq!(plan.reset, 0.002);
+        assert_eq!(plan.delay, Some((Duration::from_millis(5), Duration::from_millis(40))));
+        let p = plan.partition.as_ref().expect("partition");
+        assert_eq!(p.node, "wc");
+        assert_eq!(p.at, Duration::from_secs(2));
+        assert_eq!(p.duration, Duration::from_millis(800));
+        let reparsed = FaultPlan::parse(&plan.to_spec()).expect("round trip");
+        assert_eq!(reparsed, plan);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "drop=2.0",
+            "drop=-0.1",
+            "seed=abc",
+            "delay=5ms",
+            "delay=40ms..5ms",
+            "partition=wc",
+            "partition=@1s+1s",
+            "nonsense=1",
+            "justakey",
+            "delay=5..40",
+            "ctrl=maybe",
+            "drop=0.6,corrupt=0.6",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn empty_spec_is_a_noop_plan() {
+        let plan = FaultPlan::parse("").expect("empty spec");
+        assert!(plan.is_noop());
+        assert_eq!(FaultPlan::parse("seed=9").expect("seed only").seed, 9);
+    }
+
+    #[test]
+    fn fates_are_a_pure_function_of_seed_link_and_index() {
+        let plan =
+            FaultPlan::parse("seed=42,drop=0.1,corrupt=0.05,dup=0.05,reset=0.01,delay=1ms..2ms")
+                .unwrap();
+        let a = plan.injector_for_link(3);
+        let mut b = plan.injector_for_link(3);
+        for i in 0..10_000 {
+            assert_eq!(a.fate_of(i), b.next_fate(), "frame {i}");
+        }
+        // A different link sees a different sequence.
+        let c = plan.injector_for_link(4);
+        assert!(
+            (0..10_000).any(|i| a.fate_of(i) != c.fate_of(i)),
+            "independent links must not share fault sequences"
+        );
+    }
+
+    #[test]
+    fn rates_land_near_their_probabilities() {
+        let plan = FaultPlan::parse("seed=1,drop=0.02,corrupt=0.005,dup=0.01").unwrap();
+        let inj = plan.injector_for_link(0);
+        let n = 200_000u64;
+        let mut drops = 0u64;
+        let mut corrupts = 0u64;
+        let mut dups = 0u64;
+        for i in 0..n {
+            match inj.fate_of(i) {
+                FaultFate::Drop => drops += 1,
+                FaultFate::Corrupt { .. } => corrupts += 1,
+                FaultFate::Duplicate => dups += 1,
+                _ => {}
+            }
+        }
+        let near = |got: u64, p: f64| {
+            let expect = p * n as f64;
+            (got as f64 - expect).abs() < expect * 0.25
+        };
+        assert!(near(drops, 0.02), "drop rate off: {drops}/{n}");
+        assert!(near(corrupts, 0.005), "corrupt rate off: {corrupts}/{n}");
+        assert!(near(dups, 0.01), "dup rate off: {dups}/{n}");
+    }
+
+    #[test]
+    fn control_profile_strips_destructive_faults() {
+        let plan = FaultPlan::parse(
+            "seed=3,drop=0.5,corrupt=0.2,dup=0.1,reset=0.1,delay=1ms..2ms,partition=w0@1s+1s",
+        )
+        .unwrap();
+        let ctrl = plan.control_profile();
+        assert_eq!(ctrl.drop, 0.0);
+        assert_eq!(ctrl.corrupt, 0.0);
+        assert_eq!(ctrl.reset, 0.0);
+        assert!(ctrl.partition.is_none());
+        assert_eq!(ctrl.dup, 0.1);
+        assert_eq!(ctrl.delay, plan.delay);
+    }
+
+    #[test]
+    fn injector_logs_and_counts_what_it_injects() {
+        let plan = FaultPlan::parse("seed=5,drop=0.5").unwrap();
+        let mut inj = plan.injector_for_link(1);
+        for _ in 0..100 {
+            inj.next_fate();
+        }
+        let log = inj.take_log();
+        assert_eq!(log.len() as u64, inj.injected());
+        assert!(inj.injected() > 20, "a 50% drop rate must fire often");
+        assert!(inj.take_log().is_empty(), "log drains");
+        assert_eq!(inj.frames_seen(), 100);
+    }
+
+    #[test]
+    fn delay_fates_stay_inside_the_requested_range() {
+        let plan = FaultPlan::parse("seed=11,delay=5ms..40ms,delay_p=1.0").unwrap();
+        let inj = plan.injector_for_link(0);
+        for i in 0..1_000 {
+            match inj.fate_of(i) {
+                FaultFate::Delay(d) => {
+                    assert!(d >= Duration::from_millis(5) && d <= Duration::from_millis(40));
+                }
+                other => panic!("delay_p=1.0 must always delay, got {other:?}"),
+            }
+        }
+    }
+}

@@ -24,8 +24,14 @@
 //!   over real `std::net` TCP sockets for the distributed runtime, with
 //!   buffered streaming decode, CRC-failure skip-and-count, and bounded
 //!   exponential-backoff reconnect.
+//! * [`FaultPlan`] / [`FaultInjector`] — the seeded, deterministic fault
+//!   plane: per-frame drop/corrupt/duplicate/delay/reset decisions that
+//!   are a pure function of (seed, link, frame index), applied by
+//!   [`FrameStream`] on flush and by the virtual-time engine on its
+//!   simulated links.
 
 mod crc32;
+mod fault;
 mod frame;
 mod link;
 mod spec;
@@ -33,6 +39,7 @@ mod token_bucket;
 mod transport;
 
 pub use crc32::{crc32, Crc32};
+pub use fault::{derive, AppliedFault, FaultFate, FaultInjector, FaultPlan, PartitionSpec};
 pub use frame::{
     decode_frame, encode_frame, encode_frame_into, encode_segments_into, Frame, FrameDecodeError,
     FrameKind, FRAME_HEADER_LEN, MAX_FRAME_LEN,
@@ -40,4 +47,6 @@ pub use frame::{
 pub use link::LinkModel;
 pub use spec::{Bandwidth, FlowControl, LinkSpec};
 pub use token_bucket::TokenBucket;
-pub use transport::{connect_with_retry, FrameStream, RetryPolicy, TransportError};
+pub use transport::{
+    connect_with_retry, connect_with_retry_jittered, FrameStream, RetryPolicy, TransportError,
+};

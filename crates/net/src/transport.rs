@@ -27,8 +27,9 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-use bytes::BytesMut;
+use bytes::{Buf, BytesMut};
 
+use crate::fault::{derive, FaultFate, FaultInjector};
 use crate::frame::{decode_frame, encode_frame_into, Frame, FrameDecodeError, FRAME_HEADER_LEN};
 
 /// Errors surfaced by [`FrameStream`].
@@ -98,6 +99,20 @@ impl RetryPolicy {
     pub fn total_backoff(&self) -> Duration {
         (0..self.max_attempts).map(|a| self.delay(a)).sum()
     }
+
+    /// Backoff before attempt `attempt` with seeded jitter: between 50%
+    /// and 100% of [`RetryPolicy::delay`], the fraction drawn
+    /// deterministically from `(jitter_seed, attempt)`. Desynchronizes
+    /// the reconnect herd after a partition heals without giving up
+    /// replayability.
+    pub fn jittered_delay(&self, attempt: u32, jitter_seed: u64) -> Duration {
+        let base = self.delay(attempt);
+        if base.is_zero() {
+            return base;
+        }
+        let frac = (derive(jitter_seed, attempt as u64) >> 11) as f64 / (1u64 << 53) as f64;
+        base.mul_f64(0.5 + 0.5 * frac)
+    }
 }
 
 /// Connect to `addr` with a per-attempt timeout, retrying with
@@ -107,12 +122,30 @@ pub fn connect_with_retry(
     addr: SocketAddr,
     connect_timeout: Duration,
     policy: &RetryPolicy,
+    on_retry: impl FnMut(u32, &std::io::Error),
+) -> std::io::Result<TcpStream> {
+    connect_with_retry_jittered(addr, connect_timeout, policy, None, on_retry)
+}
+
+/// [`connect_with_retry`] with optional seeded backoff jitter: when
+/// `jitter_seed` is set, each sleep is 50–100% of the policy's
+/// exponential delay, the fraction derived from `(seed, attempt)`. All
+/// senders re-dialing after a partition heals thereby spread out instead
+/// of stampeding the recovered peer in lockstep.
+pub fn connect_with_retry_jittered(
+    addr: SocketAddr,
+    connect_timeout: Duration,
+    policy: &RetryPolicy,
+    jitter_seed: Option<u64>,
     mut on_retry: impl FnMut(u32, &std::io::Error),
 ) -> std::io::Result<TcpStream> {
     let attempts = policy.max_attempts.max(1);
     let mut last_err = None;
     for attempt in 0..attempts {
-        let backoff = policy.delay(attempt);
+        let backoff = match jitter_seed {
+            Some(seed) => policy.jittered_delay(attempt, seed),
+            None => policy.delay(attempt),
+        };
         if !backoff.is_zero() {
             std::thread::sleep(backoff);
         }
@@ -147,6 +180,11 @@ pub struct FrameStream {
     /// loop can coalesce every frame ready in one wake into one syscall.
     wbuf: BytesMut,
     crc_failures: u64,
+    /// Optional chaos shim: when set, every flush walks the queued
+    /// frames and lets the injector drop/corrupt/duplicate/delay them or
+    /// reset the connection. `None` (the default) keeps the fast
+    /// single-`write_all` path byte-for-byte unchanged.
+    injector: Option<FaultInjector>,
 }
 
 impl FrameStream {
@@ -159,7 +197,26 @@ impl FrameStream {
             buf: BytesMut::with_capacity(8 * 1024),
             wbuf: BytesMut::with_capacity(8 * 1024),
             crc_failures: 0,
+            injector: None,
         }
+    }
+
+    /// Attach (or clear) a fault injector. Subsequent flushes pass every
+    /// queued frame through it; see [`crate::FaultPlan`].
+    pub fn set_fault_injector(&mut self, injector: Option<FaultInjector>) {
+        self.injector = injector;
+    }
+
+    /// The attached fault injector, if any — e.g. to drain its log of
+    /// injected faults into a flight recorder after a flush.
+    pub fn fault_injector_mut(&mut self) -> Option<&mut FaultInjector> {
+        self.injector.as_mut()
+    }
+
+    /// Detach and return the fault injector, preserving its frame index
+    /// so a reconnecting caller can carry it to the replacement stream.
+    pub fn take_fault_injector(&mut self) -> Option<FaultInjector> {
+        self.injector.take()
     }
 
     /// Set (or clear) the socket read timeout used by
@@ -221,8 +278,106 @@ impl FrameStream {
         if self.wbuf.is_empty() {
             return Ok(());
         }
+        if self.injector.is_some() {
+            return self.flush_with_faults();
+        }
         self.stream.write_all(&self.wbuf)?;
         self.stream.flush()?;
+        self.wbuf.clear();
+        Ok(())
+    }
+
+    /// The chaos flush: walk the queued frames (the length prefix
+    /// delimits them) and apply the injector's per-frame fate. Frames
+    /// after an injected reset stay queued, so the caller's normal
+    /// reconnect path ([`FrameStream::take_queued`] into a new stream)
+    /// carries them over — exactly as it would after a genuine failure.
+    fn flush_with_faults(&mut self) -> std::io::Result<()> {
+        let mut out = BytesMut::with_capacity(self.wbuf.len());
+        let mut cursor = 0usize;
+        let mut reset = false;
+        while cursor + FRAME_HEADER_LEN <= self.wbuf.len() {
+            let len = u32::from_be_bytes([
+                self.wbuf[cursor],
+                self.wbuf[cursor + 1],
+                self.wbuf[cursor + 2],
+                self.wbuf[cursor + 3],
+            ]) as usize;
+            let total = FRAME_HEADER_LEN + len;
+            if cursor + total > self.wbuf.len() {
+                break; // incomplete tail; sent verbatim below
+            }
+            let kind = self.wbuf[cursor + 4];
+            // Data-plane injectors leave control and EOS frames alone: a
+            // dropped EOS is not a fault drill, it is a guaranteed hang.
+            let payload_frame = kind == 0 || kind == 1;
+            let inj = self.injector.as_mut().expect("injector present in chaos flush");
+            let fate = if payload_frame || !inj.payload_only() {
+                inj.next_fate()
+            } else {
+                FaultFate::Deliver
+            };
+            let frame = &self.wbuf[cursor..cursor + total];
+            match fate {
+                FaultFate::Deliver => out.extend_from_slice(frame),
+                FaultFate::Drop => {}
+                FaultFate::Duplicate => {
+                    out.extend_from_slice(frame);
+                    out.extend_from_slice(frame);
+                }
+                FaultFate::Corrupt { len_prefix, bit } => {
+                    let at = out.len();
+                    out.extend_from_slice(frame);
+                    if len_prefix {
+                        // Force an Oversized header: unresyncable, so the
+                        // receiver must poison and reconnect the link.
+                        out[at] ^= 0x80;
+                    } else {
+                        // Flip one bit inside the CRC region: the receiver
+                        // must skip and count exactly this frame.
+                        let bits = ((total - 4) * 8) as u64;
+                        let b = (bit % bits) as usize;
+                        out[at + 4 + b / 8] ^= 1 << (b % 8);
+                    }
+                }
+                FaultFate::Delay(d) => {
+                    // Push what we have, stall, then resume with this frame.
+                    if !out.is_empty() {
+                        self.stream.write_all(&out)?;
+                        self.stream.flush()?;
+                        out.clear();
+                    }
+                    std::thread::sleep(d);
+                    out.extend_from_slice(frame);
+                }
+                FaultFate::Reset => {
+                    reset = true;
+                    break;
+                }
+            }
+            cursor += total;
+        }
+        if !reset && cursor < self.wbuf.len() {
+            out.extend_from_slice(&self.wbuf[cursor..]);
+            cursor = self.wbuf.len();
+        }
+        let wrote = self.stream.write_all(&out).and_then(|()| self.stream.flush());
+        if reset {
+            // Best-effort delivery of the frames before the reset, then
+            // kill the connection for real. The frame the reset landed on
+            // and everything after it stay queued for the reconnect.
+            let _ = wrote;
+            let _ = self.stream.shutdown(std::net::Shutdown::Both);
+            self.wbuf.advance(cursor);
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "injected connection reset (chaos)",
+            ));
+        }
+        // On a genuine write error the frames already walked cannot be
+        // un-sent; retain only the unwalked remainder for the reconnect.
+        self.wbuf.advance(cursor);
+        wrote?;
         self.wbuf.clear();
         Ok(())
     }
@@ -279,7 +434,6 @@ impl FrameStream {
     /// header claims (the length prefix is outside the CRC region, so it
     /// is the best available resync point).
     fn skip_bad_frame(&mut self) {
-        use bytes::Buf;
         debug_assert!(self.buf.len() >= FRAME_HEADER_LEN);
         let payload_len =
             u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
@@ -483,6 +637,176 @@ mod tests {
         });
         assert!(res.is_err());
         assert_eq!(attempts_logged, 2, "on_retry fires between attempts, not after the last");
+    }
+
+    #[test]
+    fn chaos_flush_drops_corrupts_and_duplicates_deterministically() {
+        use crate::fault::{FaultFate, FaultPlan};
+        let plan = FaultPlan::parse("seed=3,drop=0.2,corrupt=0.1,dup=0.1").unwrap();
+        // Length-prefix corruptions poison the receiver (tested
+        // separately); keep this run inside the poison-free prefix.
+        let probe = plan.injector_for_link(2);
+        let n = (0..400u64)
+            .take_while(|i| {
+                !matches!(probe.fate_of(*i), FaultFate::Corrupt { len_prefix: true, .. })
+            })
+            .count() as u64;
+        assert!(n >= 30, "seed 3 leaves a usable poison-free prefix, got {n}");
+
+        let run = || {
+            let (client, server) = pair();
+            let mut tx = FrameStream::new(client);
+            tx.set_fault_injector(Some(plan.injector_for_link(2)));
+            let mut rx = FrameStream::new(server);
+            for seq in 0..n {
+                tx.queue(&frame(seq, b"chaos payload"));
+            }
+            tx.flush_queued().expect("no reset in this plan");
+            let injected = tx.fault_injector_mut().unwrap().take_log();
+            drop(tx);
+            let mut seqs = Vec::new();
+            while let Some(f) = rx.read_frame().unwrap() {
+                seqs.push(f.seq);
+            }
+            (seqs, rx.crc_failures(), injected)
+        };
+
+        let (seqs, crc_failures, injected) = run();
+        let drops =
+            injected.iter().filter(|f| matches!(f.fate, crate::FaultFate::Drop)).count() as u64;
+        let dups = injected.iter().filter(|f| matches!(f.fate, crate::FaultFate::Duplicate)).count()
+            as u64;
+        let corrupts =
+            injected.iter().filter(|f| matches!(f.fate, crate::FaultFate::Corrupt { .. })).count()
+                as u64;
+        assert!(drops > 0 && dups > 0 && corrupts > 0, "plan must fire each fault: {injected:?}");
+        assert_eq!(crc_failures, corrupts, "every corruption is caught by the receiver's CRC");
+        assert_eq!(seqs.len() as u64, n - drops - corrupts + dups);
+        let mut expected: Vec<u64> = (0..n).collect();
+        for f in injected.iter().rev() {
+            match f.fate {
+                crate::FaultFate::Drop | crate::FaultFate::Corrupt { .. } => {
+                    expected.remove(f.index as usize);
+                }
+                crate::FaultFate::Duplicate => expected.insert(f.index as usize, f.index),
+                _ => {}
+            }
+        }
+        assert_eq!(seqs, expected, "surviving frames arrive in order");
+
+        // Replay: the same seed injects the identical fault sequence.
+        let (seqs2, crc2, injected2) = run();
+        assert_eq!(seqs2, seqs);
+        assert_eq!(crc2, crc_failures);
+        assert_eq!(injected2, injected);
+    }
+
+    #[test]
+    fn chaos_len_prefix_corruption_poisons_the_receiver() {
+        use crate::fault::{FaultFate, FaultPlan};
+        // Find a frame index whose corruption hits the length prefix.
+        let plan = FaultPlan::parse("seed=1,corrupt=1.0").unwrap();
+        let probe = plan.injector_for_link(0);
+        let poison_at = (0..200u64)
+            .find(|i| matches!(probe.fate_of(*i), FaultFate::Corrupt { len_prefix: true, .. }))
+            .expect("a 100% corrupt plan must hit the length prefix within 200 frames");
+
+        let (client, server) = pair();
+        let mut tx = FrameStream::new(client);
+        tx.set_fault_injector(Some(plan.injector_for_link(0)));
+        let mut rx = FrameStream::new(server);
+        for seq in 0..=poison_at {
+            tx.queue(&frame(seq, b"poison pending"));
+        }
+        tx.flush_queued().unwrap();
+        let err = loop {
+            match rx.read_frame() {
+                Ok(Some(_)) => panic!("every frame in this plan is corrupted"),
+                Ok(None) => panic!("stream must poison before EOF"),
+                Err(TransportError::TimedOut) => continue,
+                Err(TransportError::Io(e)) => break e,
+            }
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "length corruption poisons");
+    }
+
+    #[test]
+    fn chaos_reset_keeps_remaining_frames_queued_for_reconnect() {
+        use crate::fault::{FaultFate, FaultPlan};
+        let plan = FaultPlan::parse("seed=1,reset=0.05").unwrap();
+        let probe = plan.injector_for_link(7);
+        let reset_at = (0..500u64)
+            .find(|i| probe.fate_of(*i) == FaultFate::Reset)
+            .expect("a 5% reset plan fires within 500 frames");
+        // The retained frames are re-walked at fresh indices after the
+        // reconnect; this seed must not fire a second reset there.
+        assert!(
+            (reset_at + 1..reset_at + 11).all(|i| probe.fate_of(i) != FaultFate::Reset),
+            "pick a seed whose first reset is not immediately followed by another"
+        );
+
+        let (client, server) = pair();
+        let mut tx = FrameStream::new(client);
+        tx.set_fault_injector(Some(plan.injector_for_link(7)));
+        let mut rx = FrameStream::new(server);
+        let total = reset_at + 10;
+        for seq in 0..total {
+            tx.queue(&frame(seq, b"reset me"));
+        }
+        let err = tx.flush_queued().expect_err("plan injects a reset");
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionReset);
+        assert!(tx.queued_len() > 0, "frames after the reset stay queued");
+
+        // The standard reconnect dance: carry pending bytes and the
+        // injector to a new stream, and the tail arrives.
+        let pending = tx.take_queued();
+        let injector = tx.take_fault_injector();
+        let (client2, server2) = pair();
+        let mut tx2 = FrameStream::new(client2);
+        tx2.queue_buffer().extend_from_slice(&pending);
+        tx2.set_fault_injector(injector);
+        let mut rx2 = FrameStream::new(server2);
+        tx2.flush_queued().expect("second reset at these indices would be vanishingly likely");
+        drop(tx2);
+
+        let mut first_leg = Vec::new();
+        while let Some(f) = rx.read_frame().unwrap_or(None) {
+            first_leg.push(f.seq);
+        }
+        let mut second_leg = Vec::new();
+        while let Some(f) = rx2.read_frame().unwrap() {
+            second_leg.push(f.seq);
+        }
+        assert_eq!(*second_leg.last().expect("tail delivered"), total - 1);
+        assert_eq!(
+            first_leg.len() + second_leg.len(),
+            total as usize,
+            "no frame lost or duplicated across the reset"
+        );
+    }
+
+    #[test]
+    fn jittered_backoff_stays_within_half_and_full_delay() {
+        let p = RetryPolicy {
+            max_attempts: 6,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_secs(2),
+        };
+        assert_eq!(p.jittered_delay(0, 7), Duration::ZERO);
+        for attempt in 1..6 {
+            let base = p.delay(attempt);
+            let j = p.jittered_delay(attempt, 7);
+            assert!(
+                j >= base / 2 && j <= base,
+                "attempt {attempt}: {j:?} not in [{base:?}/2, {base:?}]"
+            );
+            assert_eq!(j, p.jittered_delay(attempt, 7), "jitter is deterministic");
+        }
+        assert_ne!(
+            p.jittered_delay(3, 1),
+            p.jittered_delay(3, 2),
+            "different seeds should land on different jitter"
+        );
     }
 
     #[test]

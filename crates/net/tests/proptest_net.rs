@@ -2,8 +2,8 @@
 
 use bytes::{Bytes, BytesMut};
 use gates_net::{
-    crc32, decode_frame, encode_frame, encode_frame_into, Bandwidth, Crc32, Frame, FrameKind,
-    LinkModel, LinkSpec, TokenBucket,
+    crc32, decode_frame, encode_frame, encode_frame_into, Bandwidth, Crc32, FaultFate, FaultPlan,
+    Frame, FrameDecodeError, FrameKind, LinkModel, LinkSpec, TokenBucket,
 };
 use gates_sim::SimTime;
 use proptest::prelude::*;
@@ -97,6 +97,80 @@ proptest! {
     fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
         let mut buf = BytesMut::from(&bytes[..]);
         let _ = decode_frame(&mut buf);
+    }
+
+    #[test]
+    fn corruptor_mutations_never_panic_and_never_validate(
+        seed in any::<u64>(),
+        link in any::<u64>(),
+        index in any::<u64>(),
+        kind in kind_strategy(),
+        stream_id in any::<u32>(),
+        seq in any::<u64>(),
+        len in 0usize..512,
+        pseed in any::<u64>(),
+    ) {
+        // The exact mutation the chaos flush applies, driven by the fault
+        // plane's own corruptor draw: a corrupted frame must never decode
+        // as valid, whichever bit the plan picked.
+        let plan = FaultPlan::parse(&format!("seed={seed},corrupt=1")).unwrap();
+        let fate = plan.injector_for_link(link).fate_of(index);
+        prop_assert!(
+            matches!(fate, FaultFate::Corrupt { .. }),
+            "corrupt=1 must always corrupt, got {:?}",
+            fate
+        );
+        let FaultFate::Corrupt { len_prefix, bit } = fate else { unreachable!() };
+        let frame = Frame { kind, stream_id, seq, payload: seeded_bytes(len, pseed) };
+        let mut buf = BytesMut::from(&encode_frame(&frame)[..]);
+        let total = buf.len();
+        if len_prefix {
+            // Length-prefix hit: the header now claims an absurd frame.
+            buf[0] ^= 0x80;
+            prop_assert!(
+                matches!(decode_frame(&mut buf), Err(FrameDecodeError::Oversized(_))),
+                "a 2 GiB length claim must be rejected as oversized"
+            );
+        } else {
+            // CRC-region hit: CRC-32 detects every single-bit error, so
+            // the decoder must skip this frame (bad kind or checksum).
+            let bits = ((total - 4) * 8) as u64;
+            let b = (bit % bits) as usize;
+            buf[4 + b / 8] ^= 1 << (b % 8);
+            let got = decode_frame(&mut buf);
+            prop_assert!(
+                matches!(
+                    got,
+                    Err(FrameDecodeError::BadKind(_) | FrameDecodeError::BadChecksum(_, _))
+                ),
+                "one flipped bit must never decode as a valid frame, got {:?}",
+                got
+            );
+        }
+    }
+
+    #[test]
+    fn fault_fates_are_pure_and_replayable(
+        seed in any::<u64>(),
+        link in any::<u64>(),
+        frames in 1usize..200,
+    ) {
+        // The chaos plane's determinism contract: the fate of frame i on
+        // link l is a pure function of (seed, l, i) — two injectors built
+        // from the same plan replay the identical schedule, and the
+        // stateless probe agrees with the stateful walk.
+        let plan = FaultPlan::parse(
+            &format!("seed={seed},drop=0.05,corrupt=0.05,dup=0.05,delay=1ms..2ms,reset=0.01"),
+        ).unwrap();
+        let probe = plan.injector_for_link(link);
+        let mut a = plan.injector_for_link(link);
+        let mut b = plan.injector_for_link(link);
+        for i in 0..frames as u64 {
+            let fa = a.next_fate();
+            prop_assert_eq!(fa, b.next_fate());
+            prop_assert_eq!(fa, probe.fate_of(i));
+        }
+        prop_assert_eq!(a.take_log(), b.take_log());
     }
 
     #[test]

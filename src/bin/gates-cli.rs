@@ -23,6 +23,10 @@
 //! # With a flight-recorder trace (JSONL) of the run:
 //! gates-cli run app.xml --trace run.jsonl
 //!
+//! # With deterministic fault injection (same seed => same faults):
+//! gates-cli run app.xml --engine dist --workers 3 --trace chaos.jsonl \
+//!     --chaos "seed=7,drop=0.02,corrupt=0.005,delay=5ms..40ms,dup=0.01"
+//!
 //! # List the built-in application templates:
 //! gates-cli apps
 //!
@@ -43,7 +47,7 @@ use gates::net::RetryPolicy;
 use gates::sim::{SimDuration, SimTime};
 
 fn usage() -> &'static str {
-    "usage:\n  gates-cli run <app.xml> [--grid <grid.xml>] [--duration <secs>]\n                          [--max-time <secs>] [--engine des|threaded|dist]\n                          [--observe-ms <ms>] [--adapt-ms <ms>]\n                          [--trace <out.jsonl>]\n                          [--listen <host:port>] [--workers <n>]\n                          [--drain-ms <ms>] [--retry-attempts <n>] [--retry-base-ms <ms>]\n                          [--heartbeat-ms <ms>] [--heartbeat-timeout-ms <ms>]\n                          [--checkpoint-every <packets>]\n  gates-cli worker --name <name> --coordinator <host:port>\n                   [--site <site>] [--speed <f>] [--capacity <n>] [--bind-host <host>]\n  gates-cli apps\n  gates-cli template app|grid"
+    "usage:\n  gates-cli run <app.xml> [--grid <grid.xml>] [--duration <secs>]\n                          [--max-time <secs>] [--engine des|threaded|dist]\n                          [--observe-ms <ms>] [--adapt-ms <ms>]\n                          [--trace <out.jsonl>]\n                          [--listen <host:port>] [--workers <n>]\n                          [--drain-ms <ms>] [--retry-attempts <n>] [--retry-base-ms <ms>]\n                          [--heartbeat-ms <ms>] [--heartbeat-timeout-ms <ms>]\n                          [--checkpoint-every <packets>]\n                          [--chaos <spec>]   e.g. \"seed=7,drop=0.02,delay=5ms..40ms\"\n  gates-cli worker --name <name> --coordinator <host:port>\n                   [--site <site>] [--speed <f>] [--capacity <n>] [--bind-host <host>]\n  gates-cli apps\n  gates-cli template app|grid"
 }
 
 fn main() -> ExitCode {
@@ -117,6 +121,7 @@ struct RunArgs {
     heartbeat_ms: Option<u64>,
     heartbeat_timeout_ms: Option<u64>,
     checkpoint_every: Option<u64>,
+    chaos: Option<gates::net::FaultPlan>,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
@@ -137,6 +142,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         heartbeat_ms: None,
         heartbeat_timeout_ms: None,
         checkpoint_every: None,
+        chaos: None,
     };
     let mut it = args.iter();
     let Some(app) = it.next() else {
@@ -214,6 +220,12 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                     value("--checkpoint-every")?
                         .parse()
                         .map_err(|_| "--checkpoint-every: not a number")?,
+                )
+            }
+            "--chaos" => {
+                parsed.chaos = Some(
+                    gates::net::FaultPlan::parse(&value("--chaos")?)
+                        .map_err(|e| format!("--chaos: {e}"))?,
                 )
             }
             other => return Err(format!("unknown flag {other:?}")),
@@ -328,6 +340,18 @@ fn run(args: &[String]) -> ExitCode {
     let recorder = parsed.trace_path.as_ref().map(|_| Arc::new(FlightRecorder::default()));
     if let Some(rec) = &recorder {
         opts = opts.recorder(Arc::clone(rec) as _);
+    }
+    if let Some(plan) = &parsed.chaos {
+        if parsed.engine == "threaded" {
+            eprintln!(
+                "warning: --chaos applies to the des and dist engines; threaded runs ignore it"
+            );
+        } else {
+            opts = opts.chaos(plan.clone());
+            if parsed.trace_path.is_none() && parsed.engine == "dist" {
+                eprintln!("note: pass --trace to relay per-fault events into the run report");
+            }
+        }
     }
 
     // The distributed engine builds its resource registry from worker
@@ -452,6 +476,9 @@ fn run_dist(
     if let Some(n) = parsed.checkpoint_every {
         config.checkpoint_every = n;
     }
+    // The distributed runtime carries the fault plan to every worker in
+    // its config; RunOptions::chaos only drives the virtual-time engine.
+    config.fault = parsed.chaos.clone();
 
     let engine = match DistEngine::bind(app_xml, &parsed.listen, parsed.workers, opts, config) {
         Ok(e) => e,
@@ -503,6 +530,13 @@ fn finish(
         println!(
             "WARNING: partial run — {} worker(s) lost; stage counts may be incomplete",
             report.lost_workers.len()
+        );
+    }
+    // Chaos accounting (integration tests parse this line too).
+    if report.faults_injected > 0 || report.fault_recoveries > 0 {
+        println!(
+            "chaos: {} faults injected, {} recoveries",
+            report.faults_injected, report.fault_recoveries
         );
     }
 

@@ -248,3 +248,254 @@ fn killed_worker_reconnects_with_backoff_then_drains() {
         "the adopted collector must start from shipped checkpoint state; trace:\n{trace_text}"
     );
 }
+
+/// Pull a `"key":"value"` string field out of a JSONL trace line. Good
+/// enough for flight-recorder events, whose string fields never contain
+/// escaped quotes.
+fn json_str_field<'a>(line: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat).map(|i| i + pat.len()).unwrap_or(line.len());
+    let rest = &line[start..];
+    &rest[..rest.find('"').unwrap_or(0)]
+}
+
+/// The `(link, node, detail)` signature of every injected fault in a
+/// trace, sorted — the wallclock `t` field is stripped so two runs of
+/// the same seed can be compared for identical fault schedules.
+fn fault_signatures(trace_text: &str) -> Vec<(String, String, String)> {
+    let mut sigs: Vec<_> = trace_text
+        .lines()
+        .filter(|l| l.contains("\"kind\":\"fault_injected\""))
+        .map(|l| {
+            (
+                json_str_field(l, "link").to_string(),
+                json_str_field(l, "node").to_string(),
+                json_str_field(l, "detail").to_string(),
+            )
+        })
+        .collect();
+    sigs.sort();
+    sigs
+}
+
+/// Run the chaos config through the distributed runtime once and return
+/// the coordinator's stdout plus the flight-recorder trace.
+fn run_dist_with_chaos(cfg: &std::path::Path, chaos: &str, tag: &str) -> (String, String) {
+    let trace = std::env::temp_dir().join(format!("gates_dist_chaos_{tag}.jsonl"));
+    let _ = std::fs::remove_file(&trace);
+    let (mut coord, addr, pump) = spawn_coordinator(&[
+        "run",
+        cfg.to_str().unwrap(),
+        "--engine",
+        "dist",
+        "--listen",
+        "127.0.0.1:0",
+        "--workers",
+        "3",
+        "--max-time",
+        "30",
+        "--drain-ms",
+        "1000",
+        "--retry-attempts",
+        "3",
+        "--retry-base-ms",
+        "50",
+        "--chaos",
+        chaos,
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    let mut workers = vec![
+        spawn_worker("w0", "site-0", &addr),
+        spawn_worker("w1", "site-1", &addr),
+        spawn_worker("wc", "central", &addr),
+    ];
+    let status = wait_with_timeout(&mut coord, Duration::from_secs(90), "coordinator");
+    let stdout = pump.join().expect("stdout pump");
+    assert!(status.success(), "coordinator failed under chaos `{chaos}`; output:\n{stdout}");
+    for w in &mut workers {
+        let st = wait_with_timeout(w, Duration::from_secs(30), "worker");
+        assert!(st.success(), "a worker exited nonzero under chaos `{chaos}`");
+    }
+    let trace_text = std::fs::read_to_string(&trace).expect("trace written");
+    (stdout, trace_text)
+}
+
+fn write_chaos_config(name: &str) -> std::path::PathBuf {
+    let cfg = std::env::temp_dir().join(format!("{name}.xml"));
+    // flush_every=50 so each remote link carries ~120 summary frames —
+    // enough volume for percent-level fault rates to actually fire.
+    std::fs::write(
+        &cfg,
+        r#"<application name="count-samps-chaos" repository="count-samps">
+  <param name="sources" value="2"/>
+  <param name="items_per_source" value="6000"/>
+  <param name="rate" value="2000"/>
+  <param name="mode" value="distributed"/>
+  <param name="k" value="40"/>
+  <param name="flush_every" value="50"/>
+  <param name="bandwidth_kb" value="1000"/>
+  <param name="seed" value="7"/>
+</application>
+"#,
+    )
+    .expect("write chaos-test config");
+    cfg
+}
+
+/// Drops and duplicates on the data plane: the run must still drain to a
+/// clean exit with the injected faults surfaced — and the same seed must
+/// replay the identical fault schedule on a second run.
+#[test]
+fn chaos_faults_are_injected_survived_and_deterministic() {
+    let cfg = write_chaos_config("gates_dist_chaos_loss");
+    let spec = "seed=7,drop=0.05,dup=0.02";
+    let (stdout_a, trace_a) = run_dist_with_chaos(&cfg, spec, "loss_a");
+    let (_stdout_b, trace_b) = run_dist_with_chaos(&cfg, spec, "loss_b");
+
+    // Faults fired, were counted, and did not cost us a worker.
+    assert!(!stdout_a.contains("lost worker:"), "chaos loss run lost a worker:\n{stdout_a}");
+    let chaos_line = stdout_a
+        .lines()
+        .find(|l| l.starts_with("chaos: "))
+        .unwrap_or_else(|| panic!("no `chaos:` summary line in output:\n{stdout_a}"));
+    let faults: u64 = chaos_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable chaos line: {chaos_line}"));
+    assert!(faults > 0, "drop=0.05 over ~240 frames must inject faults; line: {chaos_line}");
+
+    // Every injected fault left a flight-recorder event...
+    let sigs_a = fault_signatures(&trace_a);
+    assert!(!sigs_a.is_empty(), "no fault_injected events in trace:\n{trace_a}");
+    // ...and the schedule is a pure function of the seed: a second run
+    // with the same spec injects exactly the same faults on the same
+    // links (drop/dup never perturb frame indices, so the multisets
+    // must match event-for-event).
+    let sigs_b = fault_signatures(&trace_b);
+    assert_eq!(sigs_a, sigs_b, "same seed must replay the identical fault schedule");
+}
+
+/// Bit-flipped frames on the data plane: the CRC catches every one, the
+/// receiver skips or resets instead of delivering garbage, and the run
+/// completes — a corrupted frame must never poison the whole run.
+#[test]
+fn chaos_corrupted_frames_do_not_poison_the_run() {
+    let cfg = write_chaos_config("gates_dist_chaos_corrupt");
+    let (stdout, trace_text) = run_dist_with_chaos(&cfg, "seed=7,corrupt=0.1", "corrupt");
+
+    assert!(!stdout.contains("lost worker:"), "corruption run lost a worker:\n{stdout}");
+    assert!(
+        stdout.lines().any(|l| l.starts_with("chaos: ")),
+        "corruption must be counted in the chaos summary; output:\n{stdout}"
+    );
+    assert!(
+        trace_text.contains("\"kind\":\"fault_injected\""),
+        "corruptions must be traced as injected faults; trace:\n{trace_text}"
+    );
+    // The receiving end noticed: corrupted frames were dropped at the
+    // CRC check rather than delivered as data.
+    assert!(
+        trace_text.contains("\"kind\":\"crc_drop\""),
+        "receivers must skip corrupted frames; trace:\n{trace_text}"
+    );
+}
+
+/// The kill drill under chaos: SIGKILL the collector's worker while the
+/// control plane duplicates frames. Failover must still work, and every
+/// duplicated Reassign/Checkpoint must be discarded idempotently with a
+/// `stale_discarded` trace event instead of being applied twice.
+#[test]
+fn chaos_failover_discards_duplicate_control_frames_idempotently() {
+    let dir = std::env::temp_dir();
+    let cfg = dir.join("gates_dist_chaos_kill.xml");
+    std::fs::write(
+        &cfg,
+        r#"<application name="count-samps-chaos-kill" repository="count-samps">
+  <param name="sources" value="2"/>
+  <param name="items_per_source" value="8000"/>
+  <param name="rate" value="2000"/>
+  <param name="mode" value="adaptive"/>
+  <param name="k_init" value="40"/>
+  <param name="flush_every" value="50"/>
+  <param name="bandwidth_kb" value="1000"/>
+  <param name="seed" value="7"/>
+</application>
+"#,
+    )
+    .expect("write chaos-kill config");
+    let trace = dir.join("gates_dist_chaos_kill_trace.jsonl");
+    let _ = std::fs::remove_file(&trace);
+
+    let (mut coord, addr, pump) = spawn_coordinator(&[
+        "run",
+        cfg.to_str().unwrap(),
+        "--engine",
+        "dist",
+        "--listen",
+        "127.0.0.1:0",
+        "--workers",
+        "3",
+        "--observe-ms",
+        "20",
+        "--adapt-ms",
+        "100",
+        "--max-time",
+        "30",
+        "--drain-ms",
+        "1000",
+        "--retry-attempts",
+        "3",
+        "--retry-base-ms",
+        "50",
+        "--checkpoint-every",
+        "8",
+        "--chaos",
+        "seed=7,drop=0.02,dup=0.25,ctrl=on",
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    let mut w0 = spawn_worker("w0", "site-0", &addr);
+    let mut w1 = spawn_worker("w1", "site-1", &addr);
+    let mut center = spawn_worker("wc", "central", &addr);
+
+    std::thread::sleep(Duration::from_millis(1800));
+    center.kill().expect("kill central worker");
+    let _ = center.wait();
+
+    let status = wait_with_timeout(&mut coord, Duration::from_secs(90), "coordinator");
+    let stdout = pump.join().expect("stdout pump");
+    assert!(status.success(), "coordinator must survive kill + chaos; output:\n{stdout}");
+    for (w, name) in [(&mut w0, "w0"), (&mut w1, "w1")] {
+        let st = wait_with_timeout(w, Duration::from_secs(30), name);
+        assert!(st.success(), "surviving worker {name} exited nonzero");
+    }
+
+    assert!(
+        stdout.contains("lost worker: wc"),
+        "final report must name the killed worker; output:\n{stdout}"
+    );
+    let trace_text = std::fs::read_to_string(&trace).expect("trace written");
+    // Failover still completes with chaos on both planes...
+    assert!(
+        trace_text.contains("\"kind\":\"reassigned\""),
+        "coordinator must re-place the stranded stage; trace:\n{trace_text}"
+    );
+    assert!(
+        trace_text.contains("\"kind\":\"restored\""),
+        "a survivor must adopt the stranded stage; trace:\n{trace_text}"
+    );
+    // ...faults really were injected on the control plane too...
+    assert!(
+        trace_text.contains("\"kind\":\"fault_injected\""),
+        "chaos must leave fault_injected events; trace:\n{trace_text}"
+    );
+    // ...and duplicated control frames (including the at-least-once
+    // Reassign broadcast the coordinator uses under chaos) were
+    // discarded by epoch/seq instead of applied twice.
+    assert!(
+        trace_text.contains("\"kind\":\"stale_discarded\""),
+        "duplicated Reassign/Checkpoint must be idempotently discarded; trace:\n{trace_text}"
+    );
+}
