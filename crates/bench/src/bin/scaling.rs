@@ -1,0 +1,223 @@
+//! Executor scaling benchmark, machine-readable.
+//!
+//! Exercises the work-stealing stage executor two ways and emits the
+//! numbers as JSON (default `results/BENCH_PR6.json`) in the same
+//! stable one-row-per-measurement schema as the PR3 throughput file:
+//!
+//! * **Wide pipeline scaling** — a 16-stage relay chain whose stages
+//!   each burn 2 ms of modeled service time per packet, run on executor
+//!   pools of 1, 2 and 4 cores. Service time occupies a pool worker by
+//!   design, so end-to-end packets/s must rise with the core count
+//!   (pipeline parallelism: with N cores, N stages burn service
+//!   concurrently). The `pipeline16_scaling_4v1` row is the headline.
+//! * **Two-stage overhead check** — a zero-service source→sink pair run
+//!   once on the executor and once in `thread_per_stage` mode (the
+//!   pre-executor scheduler, unchanged state machine). The ratio row
+//!   shows the executor does not tax short pipelines that have no
+//!   parallelism to win.
+//!
+//! Flags: `--smoke` shrinks every measurement for CI (~2 s total);
+//! `--out <path>` overrides the output file.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use gates_core::{
+    CostModel, Packet, SourceStatus, StageApi, StageBuilder, StreamProcessor, Topology,
+};
+use gates_engine::{RunOptions, ThreadedEngine};
+use gates_grid::{Deployer, ResourceRegistry};
+use gates_sim::{SimDuration, SimTime};
+
+/// One emitted measurement row.
+struct Row {
+    bench: String,
+    value: f64,
+    unit: &'static str,
+}
+
+/// Source: emits `left` fixed-size packets as fast as the pipeline's
+/// backpressure allows, then ends the stream.
+struct Firehose {
+    left: u64,
+    batch: u64,
+}
+impl StreamProcessor for Firehose {
+    fn process(&mut self, _p: Packet, _a: &mut StageApi) {}
+    fn poll_generate(&mut self, api: &mut StageApi) -> SourceStatus {
+        if self.left == 0 {
+            return SourceStatus::Done;
+        }
+        let n = self.batch.min(self.left);
+        self.left -= n;
+        for i in 0..n {
+            api.emit(Packet::data(0, i, 1, Bytes::from_static(&[0u8; 64])));
+        }
+        if self.left == 0 {
+            SourceStatus::Done
+        } else {
+            SourceStatus::Continue { next_poll: SimDuration::from_micros(100) }
+        }
+    }
+}
+
+/// Relay: forwards every packet; its service cost comes from the stage's
+/// [`CostModel`], not from code here.
+struct Relay;
+impl StreamProcessor for Relay {
+    fn process(&mut self, p: Packet, api: &mut StageApi) {
+        api.emit(p);
+    }
+}
+
+struct CountingSink(Arc<AtomicU64>);
+impl StreamProcessor for CountingSink {
+    fn process(&mut self, _p: Packet, _a: &mut StageApi) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Source → `relays` relay stages (each `service_s` of modeled service
+/// per packet) → counting sink, all on blocking high-bandwidth links.
+fn build(packets: u64, relays: usize, service_s: f64) -> (Topology, Arc<AtomicU64>) {
+    use gates_net::{Bandwidth, LinkSpec};
+    let delivered = Arc::new(AtomicU64::new(0));
+    let mut t = Topology::new();
+    let src = t
+        .add_stage_raw(
+            StageBuilder::new("src")
+                .processor(move || Firehose { left: packets, batch: 16 })
+                .no_adaptation(),
+        )
+        .expect("add src");
+    let mut prev = src;
+    for i in 0..relays {
+        let stage = t
+            .add_stage(
+                StageBuilder::new(format!("relay-{i}"))
+                    .processor(|| Relay)
+                    .cost(CostModel::per_packet(service_s))
+                    .queue_capacity(32)
+                    .no_adaptation(),
+            )
+            .expect("add relay");
+        t.connect(prev, stage, LinkSpec::with_bandwidth(Bandwidth::mb_per_sec(1000.0)).blocking());
+        prev = stage;
+    }
+    let sink_count = Arc::clone(&delivered);
+    let sink = t
+        .add_stage(
+            StageBuilder::new("sink")
+                .processor(move || CountingSink(Arc::clone(&sink_count)))
+                .no_adaptation(),
+        )
+        .expect("add sink");
+    t.connect(prev, sink, LinkSpec::with_bandwidth(Bandwidth::mb_per_sec(1000.0)).blocking());
+    (t, delivered)
+}
+
+/// Run the pipeline on a given scheduler configuration and return
+/// delivered packets per wall-clock second.
+fn run_pps(packets: u64, relays: usize, service_s: f64, cores: usize, per_thread: bool) -> f64 {
+    let (t, delivered) = build(packets, relays, service_s);
+    let sites: Vec<String> = (0..t.stages().len()).map(|i| format!("s{i}")).collect();
+    let site_refs: Vec<&str> = sites.iter().map(String::as_str).collect();
+    let registry = ResourceRegistry::uniform_cluster(&site_refs);
+    let plan = Deployer::new().deploy(&t, &registry).expect("deploy");
+    let opts = RunOptions::default()
+        .max_time(SimTime::from_secs_f64(120.0))
+        .cores(cores)
+        .thread_per_stage(per_thread);
+    let begin = Instant::now();
+    let report = ThreadedEngine::new(t, &plan, opts).expect("engine").run().expect("run");
+    let wall = begin.elapsed().as_secs_f64();
+    let got = delivered.load(Ordering::Relaxed);
+    assert_eq!(got, packets, "sink must see every packet (dropped {:?})", report.total_dropped());
+    got as f64 / wall
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("results/BENCH_PR6.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(path) => out = path.clone(),
+                None => {
+                    eprintln!("error: --out needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag {other:?} (supported: --smoke, --out <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // 16 relay stages at 2 ms of modeled service each: 32 ms of serial
+    // work per packet, so a 1-core pool is hard-capped near 31 pps and
+    // every added core lifts the ceiling. Smoke keeps the shape but
+    // shrinks the packet count and the service time.
+    let relays = 16;
+    let (wide_packets, service_s) = if smoke { (40, 1e-3) } else { (120, 2e-3) };
+    let mut rows = Vec::new();
+    let mut by_cores = Vec::new();
+    for cores in [1usize, 2, 4] {
+        let pps = run_pps(wide_packets, relays, service_s, cores, false);
+        by_cores.push(pps);
+        rows.push(Row { bench: format!("pipeline16_pps_cores{cores}"), value: pps, unit: "pps" });
+    }
+    rows.push(Row {
+        bench: "pipeline16_scaling_4v1".into(),
+        value: by_cores[2] / by_cores[0],
+        unit: "x",
+    });
+
+    // Zero-service two-stage pair: scheduler overhead head-to-head
+    // against the pre-executor thread-per-stage baseline.
+    let short_packets = if smoke { 30_000 } else { 200_000 };
+    let exec = run_pps(short_packets, 0, 0.0, 0, false);
+    let baseline = run_pps(short_packets, 0, 0.0, 0, true);
+    rows.push(Row { bench: "twostage_pps_executor".into(), value: exec, unit: "pps" });
+    rows.push(Row {
+        bench: "twostage_pps_thread_per_stage_baseline".into(),
+        value: baseline,
+        unit: "pps",
+    });
+    rows.push(Row {
+        bench: "twostage_executor_vs_baseline".into(),
+        value: exec / baseline,
+        unit: "x",
+    });
+
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "  {{\"bench\": \"{}\", \"value\": {:.3}, \"unit\": \"{}\"}}{sep}\n",
+            r.bench, r.value, r.unit
+        ));
+    }
+    json.push_str("]\n");
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    let mut f = std::fs::File::create(&out).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write output");
+
+    println!("{:<44} {:>14} unit", "bench", "value");
+    for r in &rows {
+        println!("{:<44} {:>14.3} {}", r.bench, r.value, r.unit);
+    }
+    println!("\nwritten to {out}");
+}

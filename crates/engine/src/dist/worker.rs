@@ -39,8 +39,9 @@ use gates_sim::{SimDuration, SimTime};
 
 use super::proto::{decode_ctrl, decode_exception, encode_ctrl, encode_exception, CtrlMsg};
 use super::{read_ctrl, DistConfig};
+use crate::executor::{CorePool, TaskHandle, WakeHub};
 use crate::options::RunOptions;
-use crate::runtime::{CheckpointCfg, Control, OutPort, StageWorker};
+use crate::runtime::{CheckpointCfg, Control, OutPort, StageTask, StageWorker};
 use crate::EngineError;
 
 /// The worker's live view of every stage's data endpoint. `Reassign`
@@ -90,6 +91,7 @@ pub struct DistWorker {
     site: Option<String>,
     speed: f64,
     capacity: u32,
+    cores: usize,
 }
 
 impl DistWorker {
@@ -104,7 +106,16 @@ impl DistWorker {
             site: None,
             speed: 1.0,
             capacity: 4,
+            cores: 0,
         }
+    }
+
+    /// Builder: executor pool size ("modeled cores") this worker hosts
+    /// its stages on; `0` selects the machine's available parallelism.
+    /// Worker-local — heterogeneous pools across a deployment are fine.
+    pub fn cores(mut self, n: usize) -> Self {
+        self.cores = n;
+        self
     }
 
     /// Builder: the placement-site label this worker advertises.
@@ -228,8 +239,17 @@ impl DistWorker {
             .adapt_every(SimDuration::from_micros(assign.adapt_us))
             .control_latency(SimDuration::from_micros(assign.control_latency_us))
             .max_time(SimTime::from_micros(assign.max_time_us))
-            .recorder(Arc::clone(&recorder));
+            .recorder(Arc::clone(&recorder))
+            .cores(self.cores);
         opts.validate()?;
+
+        // Executor pool hosting every stage this worker runs, including
+        // any it adopts through failover later. The pool size is
+        // worker-local (not on the wire): heterogeneous deployments are
+        // expected. Dropping the pool joins its threads, so every early
+        // return below cleans up.
+        let pool = CorePool::new(opts.effective_cores());
+        let hub = pool.hub();
 
         // --- wire the data plane -------------------------------------
         let stop = Arc::new(AtomicBool::new(false));
@@ -324,6 +344,8 @@ impl DistWorker {
                             disconnected_at: Mutex::new(Some(Instant::now())),
                             connections: AtomicU64::new(0),
                             announce_resume: AtomicBool::new(false),
+                            hub: Arc::clone(&hub),
+                            wake_key: to as u32,
                             reporter,
                         }),
                     );
@@ -440,24 +462,31 @@ impl DistWorker {
                         bucket,
                         blocking,
                         drops: Arc::clone(&drops[&to]),
+                        wake_key: Some(to as u32),
                     });
                 } else {
                     // Remote edge: while the link is down, the transport
                     // attributes dropped packets to the *sending* stage
-                    // (it cannot see the receiver's queue).
+                    // (it cannot see the receiver's queue). The bridge
+                    // drains on its own OS thread, so no wake key.
                     out.push(OutPort {
                         tx: remote_out[&ei].clone(),
                         bucket,
                         blocking,
                         drops: Arc::clone(&drops[&i]),
+                        wake_key: None,
                     });
                 }
             }
             let mut upstream_ctl = Vec::new();
+            let mut upstream_keys = Vec::new();
             for ei in topology.in_edges(id) {
                 let from = topology.edges()[ei].from.index();
                 if is_mine[from] {
                     upstream_ctl.push(ctl_tx[&from].clone());
+                    // Local producer: consuming from our queue may
+                    // unblock its send retry, so wake it.
+                    upstream_keys.push(from as u32);
                 } else {
                     upstream_ctl.push(remote_exc[&ei].clone());
                 }
@@ -486,13 +515,10 @@ impl DistWorker {
                     tx: ckpt_tx.clone(),
                 }),
                 restore: None,
+                hub: Some(Arc::clone(&hub)),
+                upstream_keys,
             };
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("gates-{}", stage.name))
-                    .spawn(move || worker.run())
-                    .map_err(|e| EngineError::WorkerPanic(e.to_string()))?,
-            );
+            handles.push(pool.spawn(Box::new(StageTask::new(worker)), i as u32));
         }
         // As in the threaded engine, drop local clones so channels
         // disconnect when their peers finish. The in-edge registry
@@ -507,18 +533,22 @@ impl DistWorker {
         let mut stage_ctl: Vec<Sender<Control>> = ctl_tx.values().cloned().collect();
         drop(ctl_tx);
 
-        // Watchdog: stop the run when the budget elapses (detached; its
-        // late sends hit disconnected channels, which is fine).
+        // Watchdog: stop the run when the budget elapses. Clean finishes
+        // release it early through the done-channel (dropping the sender
+        // disconnects the receive), and shutdown joins it — no thread
+        // outlives the run.
         let budget = Duration::from_secs_f64(opts.max_time.as_secs_f64());
         let watchdog_stop = Arc::clone(&stop);
         let watchdog_ctl = stage_ctl.clone();
-        std::thread::Builder::new()
+        let (wd_done_tx, wd_done_rx) = bounded::<()>(1);
+        let watchdog_handle = std::thread::Builder::new()
             .name("gates-watchdog".into())
             .spawn(move || {
-                std::thread::sleep(budget);
-                watchdog_stop.store(true, Ordering::Relaxed);
-                for c in &watchdog_ctl {
-                    let _ = c.send(Control::Stop);
+                if matches!(wd_done_rx.recv_timeout(budget), Err(RecvTimeoutError::Timeout)) {
+                    watchdog_stop.store(true, Ordering::Relaxed);
+                    for c in &watchdog_ctl {
+                        let _ = c.send(Control::Stop);
+                    }
                 }
             })
             .map_err(|e| EngineError::Transport(e.to_string()))?;
@@ -540,7 +570,7 @@ impl DistWorker {
         // --- main loop: trace/heartbeat/checkpoint relay + control ---
         let mut coordinator_gone = false;
         let mut base_reports: Option<Vec<StageReport>> = None;
-        let mut adopted_handles: Vec<std::thread::JoinHandle<StageReport>> = Vec::new();
+        let mut adopted_handles: Vec<TaskHandle> = Vec::new();
         let mut last_heartbeat = Instant::now();
         let mut last_epoch = 0u64;
         loop {
@@ -675,6 +705,8 @@ impl DistWorker {
                                         disconnected_at: Mutex::new(Some(Instant::now())),
                                         connections: AtomicU64::new(0),
                                         announce_resume: AtomicBool::new(true),
+                                        hub: Arc::clone(&hub),
+                                        wake_key: i as u32,
                                         reporter: LinkReporter {
                                             recorder: Arc::clone(&recorder),
                                             start,
@@ -701,6 +733,9 @@ impl DistWorker {
                                     ),
                                     blocking: edge.link.flow == FlowControl::Blocking,
                                     drops: Arc::clone(&my_drops),
+                                    // All adopted outputs go through TCP
+                                    // bridges on their own threads.
+                                    wake_key: None,
                                 });
                                 let sender = RemoteSender {
                                     edge: ei as u32,
@@ -785,14 +820,16 @@ impl DistWorker {
                                     tx: ckpt_tx.clone(),
                                 }),
                                 restore: ckpt.map(|(_, state)| state.clone()),
+                                hub: Some(Arc::clone(&hub)),
+                                // An adopted stage's producers re-dial
+                                // over TCP; packets land via `InEdge`,
+                                // which wakes this stage itself. There
+                                // are no pool-local producers to nudge.
+                                upstream_keys: Vec::new(),
                             };
                             stage_ctl.push(ctx);
-                            adopted_handles.push(
-                                std::thread::Builder::new()
-                                    .name(format!("gates-{}", stage.name))
-                                    .spawn(move || worker.run())
-                                    .map_err(|e| EngineError::WorkerPanic(e.to_string()))?,
-                            );
+                            adopted_handles
+                                .push(pool.spawn(Box::new(StageTask::new(worker)), i as u32));
                         }
                     }
                     _ => {}
@@ -826,6 +863,11 @@ impl DistWorker {
         let _ = TcpStream::connect(&data_addr);
         let _ = accept_handle.join();
         let _ = drain_handle.join();
+        // Release the watchdog (clean finish) or reap it (budget fired),
+        // then stop the executor pool — all stages have reported by now.
+        drop(wd_done_tx);
+        let _ = watchdog_handle.join();
+        pool.shutdown();
         // The final report is the one control exchange chaos must not
         // touch: a dropped or mangled report would turn every chaos run
         // into a partial one. Injection ends here by design.
@@ -927,7 +969,18 @@ struct InEdge {
     /// emits a `Resumed` event, marking the moment the adopted stage's
     /// input stream came back to life.
     announce_resume: AtomicBool,
+    /// Wake hub of the pool hosting the receiving stage, plus that
+    /// stage's executor key: a delivered packet nudges the stage out of
+    /// its empty-queue park immediately instead of waiting out the tick.
+    hub: Arc<WakeHub>,
+    wake_key: u32,
     reporter: LinkReporter,
+}
+
+impl InEdge {
+    fn wake_receiver(&self) {
+        self.hub.wake(self.wake_key);
+    }
 }
 
 /// Cap on the bytes a sender coalesces into one socket write. Past this
@@ -1431,7 +1484,9 @@ fn deliver(ie: &InEdge, packet: Packet, stop: &AtomicBool) {
     }
     if ie.blocking {
         push_with_stop(ie, packet, stop);
-    } else if ie.data_tx.try_send(packet).is_err() {
+    } else if ie.data_tx.try_send(packet).is_ok() {
+        ie.wake_receiver();
+    } else {
         ie.drops.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -1442,11 +1497,16 @@ fn push_with_stop(ie: &InEdge, packet: Packet, stop: &AtomicBool) {
     let mut packet = packet;
     loop {
         if stop.load(Ordering::Relaxed) {
-            let _ = ie.data_tx.try_send(packet);
+            if ie.data_tx.try_send(packet).is_ok() {
+                ie.wake_receiver();
+            }
             return;
         }
         match ie.data_tx.send_timeout(packet, Duration::from_millis(10)) {
-            Ok(()) => return,
+            Ok(()) => {
+                ie.wake_receiver();
+                return;
+            }
             Err(SendTimeoutError::Timeout(p)) => packet = p,
             Err(SendTimeoutError::Disconnected(_)) => return,
         }

@@ -1,0 +1,152 @@
+//! Run queues: per-worker FIFO + LIFO wake slot, a shared injector for
+//! wakes arriving from foreign threads, and work stealing.
+//!
+//! The local queue is FIFO so stages co-located on one core round-robin
+//! fairly; the LIFO slot is a wake fast path (the most-recently-woken
+//! task runs next on the core that woke it, keeping producer→consumer
+//! handoffs hot in cache). Idle workers steal single tasks from the
+//! *back* of a victim's FIFO queue — never from the LIFO slot.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use super::task::Task;
+
+thread_local! {
+    /// `(pool_id, worker_idx)` of the pool worker running on this
+    /// thread; pool_id 0 means "not a pool worker".
+    static CURRENT_WORKER: Cell<(u64, usize)> = const { Cell::new((0, 0)) };
+}
+
+pub(super) fn set_current_worker(pool_id: u64, idx: usize) {
+    CURRENT_WORKER.with(|c| c.set((pool_id, idx)));
+}
+
+struct Local {
+    /// Wake fast path; not stealable.
+    lifo: Mutex<Option<Arc<Task>>>,
+    /// The run queue proper.
+    fifo: Mutex<VecDeque<Arc<Task>>>,
+}
+
+pub(crate) struct Queues {
+    pool_id: u64,
+    locals: Box<[Local]>,
+    /// Landing zone for tasks enqueued by non-pool threads (spawns, the
+    /// timer driver, socket bridges).
+    injector: Mutex<VecDeque<Arc<Task>>>,
+    /// Signaled when work arrives while workers sleep. Paired with the
+    /// injector mutex; sleeps are time-bounded so a missed signal costs
+    /// at most one bounded nap, never a hang.
+    available: Condvar,
+    sleepers: AtomicUsize,
+}
+
+impl Queues {
+    pub(super) fn new(pool_id: u64, cores: usize) -> Self {
+        let locals = (0..cores)
+            .map(|_| Local { lifo: Mutex::new(None), fifo: Mutex::new(VecDeque::new()) })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Queues {
+            pool_id,
+            locals,
+            injector: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+        }
+    }
+
+    pub(super) fn pool_id(&self) -> u64 {
+        self.pool_id
+    }
+
+    fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueue a freshly-woken (or freshly-spawned) task. From one of
+    /// this pool's own workers the task lands in that worker's LIFO
+    /// slot (displacing any previous occupant to the FIFO back); from
+    /// any other thread it goes to the shared injector.
+    pub(super) fn push_woken(&self, task: Arc<Task>) {
+        let (pool, idx) = CURRENT_WORKER.with(|c| c.get());
+        if pool == self.pool_id {
+            let displaced = Self::lock(&self.locals[idx].lifo).replace(task);
+            if let Some(prev) = displaced {
+                Self::lock(&self.locals[idx].fifo).push_back(prev);
+            }
+        } else {
+            Self::lock(&self.injector).push_back(task);
+        }
+        self.maybe_notify();
+    }
+
+    /// Requeue at the back of `worker`'s FIFO queue (yields and
+    /// post-sleep requeues; stealable by other workers).
+    pub(super) fn push_local(&self, worker: usize, task: Arc<Task>) {
+        Self::lock(&self.locals[worker].fifo).push_back(task);
+        self.maybe_notify();
+    }
+
+    /// Pop the next runnable task for `worker`: LIFO slot, local FIFO
+    /// front, injector, then steal one from the back of a peer's FIFO.
+    ///
+    /// Every other call (odd `tick`) the injector is polled *first*.
+    /// Without that, a task that yields constantly (a stage burning
+    /// modeled service time in tick slices) keeps its worker's FIFO
+    /// non-empty forever and timer-fired tasks in the injector starve —
+    /// on a one-core pool this lock-stepped whole pipelines to the
+    /// slowest stage's service rate.
+    pub(super) fn pop(&self, worker: usize, tick: u64) -> Option<Arc<Task>> {
+        if tick % 2 == 1 {
+            if let Some(task) = Self::lock(&self.injector).pop_front() {
+                return Some(task);
+            }
+        }
+        if let Some(task) = Self::lock(&self.locals[worker].lifo).take() {
+            return Some(task);
+        }
+        if let Some(task) = Self::lock(&self.locals[worker].fifo).pop_front() {
+            return Some(task);
+        }
+        if let Some(task) = Self::lock(&self.injector).pop_front() {
+            return Some(task);
+        }
+        let n = self.locals.len();
+        for off in 1..n {
+            let victim = (worker + off) % n;
+            if let Some(task) = Self::lock(&self.locals[victim].fifo).pop_back() {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    fn maybe_notify(&self) {
+        if self.sleepers.load(Ordering::Relaxed) > 0 {
+            self.available.notify_one();
+        }
+    }
+
+    /// Wake every sleeping worker (shutdown).
+    pub(super) fn notify_all(&self) {
+        self.available.notify_all();
+    }
+
+    /// Nap until work is signaled or a short timeout passes. The bound
+    /// keeps the pool live across the benign race where a producer
+    /// pushes between our last `pop` and this wait.
+    pub(super) fn idle_wait(&self) {
+        let guard = Self::lock(&self.injector);
+        if !guard.is_empty() {
+            return;
+        }
+        self.sleepers.fetch_add(1, Ordering::Relaxed);
+        let _ = self.available.wait_timeout(guard, Duration::from_millis(1));
+        self.sleepers.fetch_sub(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,156 @@
+//! The shared timer wheel.
+//!
+//! One hashed wheel (1 ms granularity, 256 slots) serves every parked
+//! task in the pool: service-time ticks, source `next_poll` delays,
+//! token-bucket pacing, blocking-send retries, and empty-queue naps all
+//! become entries here instead of per-thread `thread::sleep`s. A single
+//! driver thread (`gates-timer`) sleeps on a condvar until the nearest
+//! deadline (or a new registration), then wakes every due task.
+//!
+//! Entries fire at the first wheel tick at or after their deadline —
+//! never early — and the pool realizes sub-granularity waits inline, so
+//! the 1 ms coarseness never distorts fast pacing.
+
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use super::task::Task;
+
+const GRANULARITY: Duration = Duration::from_millis(1);
+const SLOTS: usize = 256;
+/// Cap on the driver's nap while no timers are armed; registrations
+/// notify the condvar, so this is only a safety bound.
+const IDLE_NAP: Duration = Duration::from_millis(50);
+
+struct Entry {
+    /// Absolute wheel tick (ceil of deadline − epoch over granularity).
+    tick: u64,
+    task: Arc<Task>,
+}
+
+struct Inner {
+    epoch: Instant,
+    wheel: Vec<Vec<Entry>>,
+    /// Number of armed entries across all slots.
+    armed: usize,
+    /// Highest absolute tick already fired.
+    fired_through: u64,
+    shutdown: bool,
+}
+
+pub(crate) struct TimerWheel {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl TimerWheel {
+    pub(super) fn new() -> Self {
+        TimerWheel {
+            inner: Mutex::new(Inner {
+                epoch: Instant::now(),
+                wheel: (0..SLOTS).map(|_| Vec::new()).collect(),
+                armed: 0,
+                fired_through: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub(super) fn granularity(&self) -> Duration {
+        GRANULARITY
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Arm a wake for `task` at the first wheel tick ≥ `until`.
+    pub(super) fn register(&self, until: Instant, task: Arc<Task>) {
+        let mut inner = self.lock();
+        let offset = until.saturating_duration_since(inner.epoch);
+        let g = GRANULARITY.as_nanos();
+        let tick = (offset.as_nanos().div_ceil(g) as u64).max(inner.fired_through + 1);
+        let slot = (tick % SLOTS as u64) as usize;
+        inner.wheel[slot].push(Entry { tick, task });
+        inner.armed += 1;
+        drop(inner);
+        self.cv.notify_one();
+    }
+
+    /// Stop the driver; it wakes every still-armed task on the way out
+    /// so nothing stays parked past shutdown.
+    pub(super) fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.cv.notify_all();
+    }
+
+    /// The driver loop (runs on the dedicated `gates-timer` thread).
+    pub(super) fn drive(&self) {
+        let mut inner = self.lock();
+        loop {
+            if inner.shutdown {
+                let leftovers: Vec<Entry> =
+                    inner.wheel.iter_mut().flat_map(std::mem::take).collect();
+                drop(inner);
+                for e in &leftovers {
+                    e.task.wake();
+                }
+                return;
+            }
+
+            let epoch = inner.epoch;
+            let now_tick = (Instant::now().saturating_duration_since(epoch).as_nanos()
+                / GRANULARITY.as_nanos()) as u64;
+            let mut due: Vec<Entry> = Vec::new();
+            if now_tick > inner.fired_through && inner.armed > 0 {
+                let span = now_tick - inner.fired_through;
+                if span >= SLOTS as u64 {
+                    // Slept past a full rotation: sweep every slot once.
+                    for slot in inner.wheel.iter_mut() {
+                        let (fire, keep) = std::mem::take(slot)
+                            .into_iter()
+                            .partition::<Vec<_>, _>(|e| e.tick <= now_tick);
+                        *slot = keep;
+                        due.extend(fire);
+                    }
+                } else {
+                    for t in (inner.fired_through + 1)..=now_tick {
+                        let slot = (t % SLOTS as u64) as usize;
+                        let (fire, keep) = std::mem::take(&mut inner.wheel[slot])
+                            .into_iter()
+                            .partition::<Vec<_>, _>(|e| e.tick <= now_tick);
+                        inner.wheel[slot] = keep;
+                        due.extend(fire);
+                    }
+                }
+                inner.armed -= due.len();
+            }
+            if now_tick > inner.fired_through {
+                inner.fired_through = now_tick;
+            }
+
+            if !due.is_empty() {
+                drop(inner);
+                for e in &due {
+                    e.task.wake();
+                }
+                inner = self.lock();
+                continue;
+            }
+
+            let nap = match inner.wheel.iter().flatten().map(|e| e.tick).min() {
+                None => IDLE_NAP,
+                Some(next_tick) => {
+                    let deadline =
+                        epoch + Duration::from_nanos((GRANULARITY.as_nanos() as u64) * next_tick);
+                    deadline
+                        .saturating_duration_since(Instant::now())
+                        .clamp(Duration::from_micros(100), IDLE_NAP.max(GRANULARITY))
+                }
+            };
+            let (guard, _) = self.cv.wait_timeout(inner, nap).unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+        }
+    }
+}

@@ -33,6 +33,7 @@
 
 mod des;
 mod dist;
+mod executor;
 mod options;
 mod runtime;
 mod threaded;

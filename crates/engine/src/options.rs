@@ -29,6 +29,15 @@ pub struct RunOptions {
     /// simulated links (the distributed runtime carries its plan in
     /// [`crate::DistConfig::fault`] instead). `None` injects nothing.
     pub chaos: Option<gates_net::FaultPlan>,
+    /// Executor worker threads for the wall-clock runtimes — the number
+    /// of *modeled cores* stages contend for (service-time sleeps
+    /// occupy a worker; pure waits park on the timer wheel). `0` means
+    /// auto: the machine's available parallelism.
+    pub cores: usize,
+    /// Run wall-clock stages one-OS-thread-per-stage instead of on the
+    /// executor pool. Baseline mode for A/B measurements; the state
+    /// machine and accounting are identical, only the scheduler differs.
+    pub thread_per_stage: bool,
 }
 
 impl std::fmt::Debug for RunOptions {
@@ -40,6 +49,8 @@ impl std::fmt::Debug for RunOptions {
             .field("max_time", &self.max_time)
             .field("recorder_enabled", &self.recorder.enabled())
             .field("chaos", &self.chaos)
+            .field("cores", &self.cores)
+            .field("thread_per_stage", &self.thread_per_stage)
             .finish()
     }
 }
@@ -53,6 +64,8 @@ impl PartialEq for RunOptions {
             && self.control_latency == other.control_latency
             && self.max_time == other.max_time
             && self.chaos == other.chaos
+            && self.cores == other.cores
+            && self.thread_per_stage == other.thread_per_stage
     }
 }
 
@@ -65,6 +78,8 @@ impl Default for RunOptions {
             max_time: SimTime::from_secs_f64(3_600.0),
             recorder: Arc::new(NullRecorder),
             chaos: None,
+            cores: 0,
+            thread_per_stage: false,
         }
     }
 }
@@ -120,6 +135,29 @@ impl RunOptions {
     pub fn chaos(mut self, plan: gates_net::FaultPlan) -> Self {
         self.chaos = Some(plan);
         self
+    }
+
+    /// Builder: executor pool size ("modeled cores") for the wall-clock
+    /// runtimes; `0` selects the machine's available parallelism.
+    pub fn cores(mut self, n: usize) -> Self {
+        self.cores = n;
+        self
+    }
+
+    /// Builder: run wall-clock stages one-OS-thread-per-stage (the
+    /// pre-executor baseline) instead of on the pool.
+    pub fn thread_per_stage(mut self, yes: bool) -> Self {
+        self.thread_per_stage = yes;
+        self
+    }
+
+    /// The pool size the wall-clock runtimes actually use.
+    pub(crate) fn effective_cores(&self) -> usize {
+        if self.cores > 0 {
+            self.cores
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
     }
 }
 

@@ -1,18 +1,33 @@
 //! Shared wall-clock stage plumbing.
 //!
-//! [`StageWorker`] is the per-stage event loop used by both wall-clock
-//! runtimes: the single-process [`crate::ThreadedEngine`] (one OS thread
-//! per stage) and the multi-process [`crate::DistEngine`] (one worker
-//! process per node, remote edges bridged over TCP). The worker itself is
+//! [`StageWorker`] bundles one stage's channels, links, and options;
+//! [`StageTask`] drives it as a run-to-yield state machine
+//! ([`crate::executor::Activation`]) used by both wall-clock runtimes:
+//! the single-process [`crate::ThreadedEngine`] and the multi-process
+//! [`crate::DistEngine`] schedule every stage onto a
+//! [`crate::executor::CorePool`], while [`StageWorker::run`] drives the
+//! same state machine synchronously on a dedicated thread (the
+//! thread-per-stage baseline selected by
+//! [`crate::RunOptions::thread_per_stage`]). The stage is
 //! transport-agnostic: it consumes `crossbeam` channels and writes into
 //! [`OutPort`]s, and it is the runtime's job to wire those endpoints to
 //! an in-process peer or to a socket bridge thread.
+//!
+//! The state machine yields at every former blocking point — queue
+//! receive, modeled service time, token-bucket pacing, blocking send,
+//! source `next_poll` — and caps every park at one monitoring tick, so
+//! an engine stop (stop flag, `Control::Stop`, peer disconnect) takes
+//! effect within one tick no matter where a stage is. Modeled service
+//! time is realized as an inline sleep that *occupies* a pool worker
+//! ("N cores" means N concurrent service slices); pure waits park on
+//! the pool's timer wheel and cost nothing.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{Receiver, RecvTimeoutError, SendTimeoutError, Sender};
+use crossbeam::channel::{Receiver, Sender, TryRecvError, TrySendError};
 
 use gates_core::adapt::{LoadException, LoadTracker, ParamController};
 use gates_core::report::{ParamTrajectory, StageReport};
@@ -21,6 +36,7 @@ use gates_core::{Packet, SourceStatus, StageApi};
 use gates_net::TokenBucket;
 use gates_sim::{SimDuration, SimTime};
 
+use crate::executor::{Activation, Step, WakeHub};
 use crate::options::RunOptions;
 
 /// Messages on a stage's control channel.
@@ -55,6 +71,9 @@ pub(crate) struct OutPort {
     /// Drop counter of the *receiving* stage (or, for a remote edge, the
     /// counter the transport attributes drops to).
     pub(crate) drops: Arc<AtomicU64>,
+    /// Executor key of the receiving stage when it lives on the same
+    /// pool, so a successful send wakes it; `None` for bridge channels.
+    pub(crate) wake_key: Option<u32>,
 }
 
 impl OutPort {
@@ -65,9 +84,10 @@ impl OutPort {
     }
 }
 
-/// The per-stage event loop: drives the [`gates_core::StreamProcessor`],
-/// realizes modeled service time as wall-clock sleeps, paces sends
-/// through token buckets, and runs the §4 observation/adaptation timers.
+/// Per-stage wiring for one wall-clock run: the
+/// [`gates_core::StreamProcessor`], its channels and out-edges, and the
+/// §4 observation/adaptation configuration. Drive it with
+/// [`StageTask`] on a pool or synchronously with [`StageWorker::run`].
 pub(crate) struct StageWorker {
     pub(crate) name: String,
     pub(crate) placed_on: String,
@@ -92,308 +112,665 @@ pub(crate) struct StageWorker {
     /// State bytes to restore into the processor right after `on_start`
     /// (a stage adopted during failover resumes from its last checkpoint).
     pub(crate) restore: Option<Vec<u8>>,
+    /// Wake hub of the pool hosting this run's stages (None when running
+    /// thread-per-stage, where blocked peers poll instead).
+    pub(crate) hub: Option<Arc<WakeHub>>,
+    /// Executor keys of upstream stages on the same pool: after draining
+    /// input this stage wakes them so senders blocked on its full queue
+    /// retry immediately.
+    pub(crate) upstream_keys: Vec<u32>,
 }
 
 impl StageWorker {
-    fn now(&self) -> SimTime {
-        SimTime::from_secs_f64(self.start.elapsed().as_secs_f64())
+    /// Synchronous driver: run the state machine to completion on the
+    /// current thread, realizing parks as plain sleeps. This *is* the
+    /// old thread-per-stage semantics and serves as the measurement
+    /// baseline for the executor.
+    pub(crate) fn run(self) -> StageReport {
+        let mut task = StageTask::new(self);
+        loop {
+            match task.advance() {
+                Step::Yield => {}
+                Step::Park { until } => {
+                    let now = Instant::now();
+                    if until > now {
+                        std::thread::sleep(until - now);
+                    }
+                }
+                Step::Done => return task.into_report(),
+            }
+        }
+    }
+}
+
+/// How many queued zero-service packets one activation may process
+/// before yielding, so co-scheduled stages stay responsive.
+const RECV_BATCH: usize = 64;
+/// Retry cadence for a blocking send into a full queue; a wake from the
+/// draining consumer short-circuits it.
+const SEND_RETRY: Duration = Duration::from_millis(1);
+
+/// One packet (or EOS marker) waiting in the stage's outbox.
+struct Emit {
+    port: usize,
+    packet: Packet,
+    /// `None`: token-bucket pacing not yet paid. `Some(t)`: hand the
+    /// packet to the channel no earlier than `t`.
+    ready_at: Option<Instant>,
+    /// Final EOS markers block like windowed edges but are exempt from
+    /// pacing and never counted as drops.
+    final_marker: bool,
+}
+
+/// Execution phases. Each `step` runs one bounded slice of exactly one
+/// phase; every former blocking point is a transition that yields.
+#[derive(Clone, Copy)]
+enum Phase {
+    /// Poll input (or generate, for a source).
+    Loop,
+    /// Realizing modeled service time, one tick-slice per step. The
+    /// sleep intentionally occupies a pool worker: that is the modeled
+    /// core executing the stage.
+    Service { remaining: f64 },
+    /// Draining the outbox (pacing, blocking sends, drops).
+    Flush { after: After },
+    /// A source waiting out its `next_poll` delay.
+    PollWait { until: Instant },
+    /// Stream ended or run stopped: run `on_eos` (clean end only) and
+    /// queue one EOS marker per out-edge.
+    Finish,
+    /// Everything delivered; `step` returns [`Step::Done`].
+    Report,
+}
+
+/// Where to go once the outbox drains.
+#[derive(Clone, Copy)]
+enum After {
+    /// Back to polling input; try a checkpoint first.
+    Loop,
+    /// Source: wait until the next poll instant; checkpoint first.
+    Poll { until: Instant },
+    /// Enter the shutdown sequence.
+    Finish,
+    /// EOS markers delivered; produce the report.
+    Report,
+}
+
+/// The run-to-yield stage state machine (see module docs).
+pub(crate) struct StageTask {
+    w: StageWorker,
+    api: StageApi,
+    controllers: Vec<(gates_core::ParamId, ParamController)>,
+    trajectories: Vec<ParamTrajectory>,
+    stats: StageReport,
+    is_source: bool,
+    eos_remaining: usize,
+    /// The run was cut short (stop flag or `Control::Stop`): skip
+    /// `on_eos` and switch sends to last-gasp semantics.
+    stopped: bool,
+    /// The shutdown sequence has begun; entering it twice would emit
+    /// duplicate EOS markers.
+    finishing: bool,
+    started: bool,
+    /// Progress mark (packets in, or out for sources) at the last
+    /// checkpoint, so a slow stage doesn't re-snapshot identical state.
+    last_ckpt: u64,
+    observe_every: Duration,
+    adapt_every: Duration,
+    tick: Duration,
+    last_observe: Instant,
+    last_adapt: Instant,
+    recording: bool,
+    /// Counters at the previous flight-recorder sample:
+    /// `(t, packets_in, busy_secs, bucket_waited)`.
+    last_rec: (f64, u64, f64, f64),
+    outbox: VecDeque<Emit>,
+    phase: Phase,
+}
+
+impl Activation for StageTask {
+    fn step(&mut self) -> Step {
+        self.advance()
     }
 
-    pub(crate) fn run(mut self) -> StageReport {
-        let mut api = StageApi::new();
-        api.set_now(self.now());
-        self.processor.on_start(&mut api);
-        if let Some(state) = self.restore.take() {
-            self.processor.restore(&state);
-        }
+    fn finish(self: Box<Self>) -> StageReport {
+        self.into_report()
+    }
+}
 
-        // Controllers for declared parameters (adaptation-enabled stages).
-        let mut controllers: Vec<(gates_core::ParamId, ParamController)> = Vec::new();
-        let mut trajectories: Vec<ParamTrajectory> = Vec::new();
-        if let Some(tracker) = &self.tracker {
+impl StageTask {
+    pub(crate) fn new(w: StageWorker) -> Self {
+        let observe_every = Duration::from_secs_f64(w.opts.observe_interval.as_secs_f64());
+        let adapt_every = Duration::from_secs_f64(w.opts.adapt_interval.as_secs_f64());
+        let tick = observe_every.min(Duration::from_millis(10));
+        let recording = w.opts.recorder.enabled();
+        let stats = StageReport {
+            name: w.name.clone(),
+            placed_on: w.placed_on.clone(),
+            ..Default::default()
+        };
+        let is_source = w.in_edges == 0;
+        let eos_remaining = w.in_edges;
+        StageTask {
+            w,
+            api: StageApi::new(),
+            controllers: Vec::new(),
+            trajectories: Vec::new(),
+            stats,
+            is_source,
+            eos_remaining,
+            stopped: false,
+            finishing: false,
+            started: false,
+            last_ckpt: 0,
+            observe_every,
+            adapt_every,
+            tick,
+            last_observe: Instant::now(),
+            last_adapt: Instant::now(),
+            recording,
+            last_rec: (0.0, 0, 0.0, 0.0),
+            outbox: VecDeque::new(),
+            phase: Phase::Loop,
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_secs_f64(self.w.start.elapsed().as_secs_f64())
+    }
+
+    /// Run one bounded slice of the stage.
+    fn advance(&mut self) -> Step {
+        if !self.started {
+            self.init();
+        }
+        if !self.stopped && self.w.stop.load(Ordering::Relaxed) {
+            self.enter_finish(true);
+        }
+        self.drain_control();
+        if !self.finishing {
+            self.run_timers();
+        }
+        match self.phase {
+            Phase::Loop => {
+                if self.is_source {
+                    self.step_source()
+                } else {
+                    self.step_receive()
+                }
+            }
+            Phase::Service { .. } => self.step_service(),
+            Phase::Flush { .. } => self.step_flush(),
+            Phase::PollWait { until } => {
+                if Instant::now() >= until {
+                    self.phase = Phase::Loop;
+                    self.step_source()
+                } else {
+                    self.park(until)
+                }
+            }
+            Phase::Finish => self.step_finish(),
+            Phase::Report => Step::Done,
+        }
+    }
+
+    /// `on_start`, failover restore, and adaptation controllers for the
+    /// stage's declared parameters.
+    fn init(&mut self) {
+        self.started = true;
+        self.api.set_now(self.now());
+        self.w.processor.on_start(&mut self.api);
+        if let Some(state) = self.w.restore.take() {
+            self.w.processor.restore(&state);
+        }
+        if let Some(tracker) = &self.w.tracker {
             let cfg = tracker.config().clone();
-            for (pid, spec, _) in api.params().iter() {
-                controllers.push((pid, ParamController::new(cfg.clone(), spec.clone())));
-                trajectories.push(ParamTrajectory {
+            for (pid, spec, _) in self.api.params().iter() {
+                self.controllers.push((pid, ParamController::new(cfg.clone(), spec.clone())));
+                self.trajectories.push(ParamTrajectory {
                     name: spec.name.clone(),
                     samples: vec![(0.0, spec.init)],
                 });
             }
         }
+        // Ship anything on_start emitted before polling input.
+        self.enqueue_emitted();
+        self.phase = Phase::Flush { after: After::Loop };
+    }
 
-        let mut stats = StageReport {
-            name: self.name.clone(),
-            placed_on: self.placed_on.clone(),
-            ..Default::default()
-        };
-        let is_source = self.in_edges == 0;
-        let mut eos_remaining = self.in_edges;
-        let mut stopped = false;
-        // Progress mark (packets in, or out for sources) at the last
-        // checkpoint, so a slow stage doesn't re-snapshot identical state.
-        let mut last_ckpt = 0u64;
+    /// Cap every park at one tick so the stop flag, control messages,
+    /// and the observe/adapt timers are serviced even while waiting.
+    fn park(&self, until: Instant) -> Step {
+        Step::Park { until: until.min(Instant::now() + self.tick) }
+    }
 
-        let observe_every = Duration::from_secs_f64(self.opts.observe_interval.as_secs_f64());
-        let adapt_every = Duration::from_secs_f64(self.opts.adapt_interval.as_secs_f64());
-        let mut last_observe = Instant::now();
-        let mut last_adapt = Instant::now();
-        let tick = observe_every.min(Duration::from_millis(10));
+    /// Begin the shutdown sequence (idempotent). `by_stop` marks the
+    /// run as cut short: `on_eos` is skipped and pending sends switch to
+    /// last-gasp semantics.
+    fn enter_finish(&mut self, by_stop: bool) {
+        if by_stop {
+            self.stopped = true;
+        }
+        if self.finishing {
+            return;
+        }
+        self.finishing = true;
+        match &mut self.phase {
+            // Let the outbox drain first (with stop semantics if
+            // stopped); the markers follow in order.
+            Phase::Flush { after } => *after = After::Finish,
+            _ => self.phase = Phase::Finish,
+        }
+    }
 
-        let recording = self.opts.recorder.enabled();
-        // Counters at the previous flight-recorder sample:
-        // `(t, packets_in, busy_secs, bucket_waited)`.
-        let mut last_rec = (0.0f64, 0u64, 0.0f64, 0.0f64);
-
-        // The monitoring heartbeat, also run between service-sleep slices
-        // so a busy stage keeps observing its queue (the virtual-time
-        // engine gets this for free from independent timer events). The
-        // observe tick doubles as the flight recorder's sampling clock.
-        macro_rules! run_timers {
-            () => {
-                if last_observe.elapsed() >= observe_every {
-                    last_observe = Instant::now();
-                    if let Some(tracker) = &mut self.tracker {
-                        if let Some(exception) = tracker.observe(self.rx.len() as f64) {
-                            match exception {
-                                LoadException::Overload => stats.exceptions_sent.0 += 1,
-                                LoadException::Underload => stats.exceptions_sent.1 += 1,
-                            }
-                            for up in &self.upstream_ctl {
-                                let _ = up.send(Control::Exception(exception));
-                            }
-                        }
+    /// Apply downstream exceptions; enter shutdown on `Stop`.
+    fn drain_control(&mut self) {
+        while let Ok(msg) = self.w.ctl.try_recv() {
+            match msg {
+                Control::Exception(e) => {
+                    for (_, c) in &mut self.controllers {
+                        c.on_exception(e);
                     }
-                    if recording {
-                        let t = self.start.elapsed().as_secs_f64();
-                        let (t0, in0, busy0, wait0) = last_rec;
-                        let dt = t - t0;
-                        let d_in = stats.packets_in - in0;
-                        let busy = stats.busy_time.as_secs_f64();
-                        last_rec = (t, stats.packets_in, busy, self.bucket_waited);
-                        self.opts.recorder.record(TraceEvent::Sample(StageSample {
+                }
+                Control::Stop => self.enter_finish(true),
+            }
+        }
+    }
+
+    /// The monitoring heartbeat, run on every activation so a busy or
+    /// parked stage keeps observing its queue (the virtual-time engine
+    /// gets this for free from independent timer events). The observe
+    /// tick doubles as the flight recorder's sampling clock.
+    fn run_timers(&mut self) {
+        if self.last_observe.elapsed() >= self.observe_every {
+            self.last_observe = Instant::now();
+            if let Some(tracker) = &mut self.w.tracker {
+                if let Some(exception) = tracker.observe(self.w.rx.len() as f64) {
+                    match exception {
+                        LoadException::Overload => self.stats.exceptions_sent.0 += 1,
+                        LoadException::Underload => self.stats.exceptions_sent.1 += 1,
+                    }
+                    for up in &self.w.upstream_ctl {
+                        let _ = up.send(Control::Exception(exception));
+                    }
+                }
+            }
+            if self.recording {
+                let t = self.w.start.elapsed().as_secs_f64();
+                let (t0, in0, busy0, wait0) = self.last_rec;
+                let dt = t - t0;
+                let d_in = self.stats.packets_in - in0;
+                let busy = self.stats.busy_time.as_secs_f64();
+                self.last_rec = (t, self.stats.packets_in, busy, self.w.bucket_waited);
+                self.w.opts.recorder.record(TraceEvent::Sample(StageSample {
+                    t,
+                    stage: self.w.name.clone(),
+                    queue_depth: self.w.rx.len(),
+                    packets_in: self.stats.packets_in,
+                    packets_out: self.stats.packets_out,
+                    dropped: self.w.my_drops.load(Ordering::Relaxed),
+                    throughput: if dt > 0.0 { d_in as f64 / dt } else { 0.0 },
+                    service_time: if d_in > 0 { (busy - busy0) / d_in as f64 } else { 0.0 },
+                    bucket_wait: self.w.bucket_waited - wait0,
+                }));
+            }
+        }
+        if let Some(tracker) = &self.w.tracker {
+            if self.last_adapt.elapsed() >= self.adapt_every {
+                self.last_adapt = Instant::now();
+                let d_tilde = tracker.d_tilde();
+                let t = self.w.start.elapsed().as_secs_f64();
+                let (phi1, phi2, phi3) = (tracker.phi1(), tracker.phi2(), tracker.phi3());
+                for (i, (pid, controller)) in self.controllers.iter_mut().enumerate() {
+                    let v = controller.adapt(d_tilde);
+                    let _ = self.api.push_suggestion(*pid, v);
+                    self.trajectories[i].samples.push((t, v));
+                    if self.recording {
+                        let outcome = controller.last_outcome().unwrap_or_default();
+                        let received = controller.exceptions_received();
+                        self.w.opts.recorder.record(TraceEvent::Adapt(AdaptRound {
                             t,
-                            stage: self.name.clone(),
-                            queue_depth: self.rx.len(),
-                            packets_in: stats.packets_in,
-                            packets_out: stats.packets_out,
-                            dropped: self.my_drops.load(Ordering::Relaxed),
-                            throughput: if dt > 0.0 { d_in as f64 / dt } else { 0.0 },
-                            service_time: if d_in > 0 { (busy - busy0) / d_in as f64 } else { 0.0 },
-                            bucket_wait: self.bucket_waited - wait0,
+                            stage: self.w.name.clone(),
+                            param: self.trajectories[i].name.clone(),
+                            d_tilde,
+                            phi1,
+                            phi2,
+                            phi3,
+                            sigma1: outcome.sigma1,
+                            sigma2: outcome.sigma2,
+                            suggested: v,
+                            overload_sent: self.stats.exceptions_sent.0,
+                            underload_sent: self.stats.exceptions_sent.1,
+                            overload_received: received.0,
+                            underload_received: received.1,
                         }));
                     }
                 }
-                if let Some(tracker) = &self.tracker {
-                    if last_adapt.elapsed() >= adapt_every {
-                        last_adapt = Instant::now();
-                        let d_tilde = tracker.d_tilde();
-                        let t = self.start.elapsed().as_secs_f64();
-                        let (phi1, phi2, phi3) = (tracker.phi1(), tracker.phi2(), tracker.phi3());
-                        for (i, (pid, controller)) in controllers.iter_mut().enumerate() {
-                            let v = controller.adapt(d_tilde);
-                            let _ = api.push_suggestion(*pid, v);
-                            trajectories[i].samples.push((t, v));
-                            if recording {
-                                let outcome = controller.last_outcome().unwrap_or_default();
-                                let received = controller.exceptions_received();
-                                self.opts.recorder.record(TraceEvent::Adapt(AdaptRound {
-                                    t,
-                                    stage: self.name.clone(),
-                                    param: trajectories[i].name.clone(),
-                                    d_tilde,
-                                    phi1,
-                                    phi2,
-                                    phi3,
-                                    sigma1: outcome.sigma1,
-                                    sigma2: outcome.sigma2,
-                                    suggested: v,
-                                    overload_sent: stats.exceptions_sent.0,
-                                    underload_sent: stats.exceptions_sent.1,
-                                    overload_received: received.0,
-                                    underload_received: received.1,
-                                }));
-                            }
-                        }
-                    }
-                }
-            };
+            }
         }
+    }
 
-        // Emit packets from on_start.
-        self.flush(&mut api, &mut stats);
-
-        'main: loop {
-            if self.stop.load(Ordering::Relaxed) {
-                stopped = true;
-                break 'main;
+    /// Source: one `poll_generate`, then flush and wait out `next_poll`.
+    fn step_source(&mut self) -> Step {
+        self.api.set_now(self.now());
+        match self.w.processor.poll_generate(&mut self.api) {
+            SourceStatus::Continue { next_poll } => {
+                self.enqueue_emitted();
+                let until = Instant::now() + Duration::from_secs_f64(next_poll.as_secs_f64());
+                self.phase = Phase::Flush { after: After::Poll { until } };
+                self.step_flush()
             }
-            // Control: exceptions from downstream, or engine stop.
-            while let Ok(msg) = self.ctl.try_recv() {
-                match msg {
-                    Control::Exception(e) => {
-                        for (_, c) in &mut controllers {
-                            c.on_exception(e);
-                        }
-                    }
-                    Control::Stop => {
-                        stopped = true;
-                        break 'main;
-                    }
-                }
+            SourceStatus::Done => {
+                self.enqueue_emitted();
+                self.enter_finish(false);
+                Step::Yield
             }
-            run_timers!();
+        }
+    }
 
-            if is_source {
-                api.set_now(self.now());
-                match self.processor.poll_generate(&mut api) {
-                    SourceStatus::Continue { next_poll } => {
-                        self.flush(&mut api, &mut stats);
-                        self.maybe_checkpoint(stats.packets_out, &mut last_ckpt);
-                        std::thread::sleep(Duration::from_secs_f64(next_poll.as_secs_f64()));
-                    }
-                    SourceStatus::Done => {
-                        self.flush(&mut api, &mut stats);
-                        break 'main;
-                    }
-                }
-                continue;
+    /// Non-source: drain up to [`RECV_BATCH`] queued packets, mirroring
+    /// the old per-packet loop body (stop flag, control messages, and
+    /// timers run between packets).
+    fn step_receive(&mut self) -> Step {
+        let mut consumed = false;
+        for _ in 0..RECV_BATCH {
+            if self.w.stop.load(Ordering::Relaxed) {
+                self.enter_finish(true);
+                break;
             }
-
-            match self.rx.recv_timeout(tick) {
+            self.drain_control();
+            if self.finishing {
+                break;
+            }
+            self.run_timers();
+            match self.w.rx.try_recv() {
                 Ok(packet) if packet.is_eos() => {
-                    eos_remaining = eos_remaining.saturating_sub(1);
-                    if eos_remaining == 0 {
-                        break 'main;
+                    self.eos_remaining = self.eos_remaining.saturating_sub(1);
+                    if self.eos_remaining == 0 {
+                        self.enter_finish(false);
+                        break;
                     }
                 }
                 Ok(packet) => {
-                    stats.packets_in += 1;
-                    stats.records_in += packet.records as u64;
-                    stats.bytes_in += packet.payload.len() as u64;
-                    stats.latency.push(self.now().since(packet.created_at).as_secs_f64());
-                    let service = self.cost.service_time(&packet, self.speed);
-                    api.set_now(self.now());
-                    self.processor.process(packet, &mut api);
-                    let extra = api.take_extra_cost();
-                    let total = service.as_secs_f64() + extra.as_secs_f64() / self.speed;
-                    // Realize the service time in monitoring-friendly
-                    // slices so the queue keeps being observed while the
-                    // stage is busy — and so an engine stop interrupts a
-                    // long service instead of overrunning the budget.
-                    let tick_secs = tick.as_secs_f64();
-                    let mut remaining = total;
-                    let mut slept = 0.0;
-                    while remaining > 0.0 && !self.stop.load(Ordering::Relaxed) {
-                        let slice = remaining.min(tick_secs);
-                        std::thread::sleep(Duration::from_secs_f64(slice));
-                        slept += slice;
-                        remaining -= slice;
-                        run_timers!();
+                    consumed = true;
+                    self.stats.packets_in += 1;
+                    self.stats.records_in += packet.records as u64;
+                    self.stats.bytes_in += packet.payload.len() as u64;
+                    self.stats.latency.push(self.now().since(packet.created_at).as_secs_f64());
+                    let service = self.w.cost.service_time(&packet, self.w.speed);
+                    self.api.set_now(self.now());
+                    self.w.processor.process(packet, &mut self.api);
+                    let extra = self.api.take_extra_cost();
+                    let total = service.as_secs_f64() + extra.as_secs_f64() / self.w.speed;
+                    self.enqueue_emitted();
+                    if total > 0.0 {
+                        // Realize the service time in tick slices (next
+                        // steps) so the queue keeps being observed and a
+                        // stop interrupts a long service.
+                        self.phase = Phase::Service { remaining: total };
+                        break;
                     }
-                    stats.busy_time += SimDuration::from_secs_f64(slept);
-                    self.flush(&mut api, &mut stats);
-                    self.maybe_checkpoint(stats.packets_in, &mut last_ckpt);
+                    // Zero-cost packet: try to flush inline and keep
+                    // draining; park only if pacing or a full peer
+                    // queue demands it.
+                    self.phase = Phase::Flush { after: After::Loop };
+                    match self.pump_outbox() {
+                        None => {
+                            self.maybe_checkpoint(self.stats.packets_in);
+                            self.phase = Phase::Loop;
+                        }
+                        Some(until) => {
+                            self.wake_upstreams(consumed);
+                            return self.park(until);
+                        }
+                    }
                 }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => break 'main,
+                Err(TryRecvError::Empty) => {
+                    self.wake_upstreams(consumed);
+                    return self.park(Instant::now() + self.tick);
+                }
+                Err(TryRecvError::Disconnected) => {
+                    self.enter_finish(false);
+                    break;
+                }
             }
         }
-
-        if !stopped && !is_source {
-            api.set_now(self.now());
-            self.processor.on_eos(&mut api);
-            self.flush(&mut api, &mut stats);
-        }
-        // Forward EOS downstream (one marker per out edge) with a timed
-        // send: a full queue on a stopping run must not wedge shutdown.
-        for i in 0..self.out.len() {
-            self.send_with_stop_check(i, Packet::eos(u32::MAX, 0), true);
-        }
-        if let Some(tracker) = &self.tracker {
-            stats.queue = tracker.queue_stats().clone();
-        }
-        stats.packets_dropped = self.my_drops.load(Ordering::Relaxed);
-        stats.exceptions_received = controllers.iter().fold((0, 0), |acc, (_, c)| {
-            let (o, u) = c.exceptions_received();
-            (acc.0 + o, acc.1 + u)
-        });
-        stats.params = trajectories;
-        stats
+        self.wake_upstreams(consumed);
+        Step::Yield
     }
 
-    /// Ship a state snapshot if the stage has checkpointing wired and has
-    /// made `every` packets of progress since the last one. `progress` is
-    /// packets consumed (or, for a source, produced). Empty snapshots are
-    /// skipped: a stateless stage would only be restored to its initial
-    /// state anyway, so shipping nothing means failover restarts it fresh.
-    fn maybe_checkpoint(&mut self, progress: u64, last_ckpt: &mut u64) {
-        let Some(cfg) = &self.checkpoint else { return };
-        if cfg.every == 0 || progress < *last_ckpt + cfg.every {
+    /// One tick-slice of modeled service time. The inline sleep is the
+    /// point: it occupies this pool worker the way the stage would
+    /// occupy its modeled core.
+    fn step_service(&mut self) -> Step {
+        let Phase::Service { remaining } = &mut self.phase else {
+            unreachable!("step_service outside Service phase")
+        };
+        let slice = remaining.min(self.tick.as_secs_f64());
+        if slice > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(slice));
+            self.stats.busy_time += SimDuration::from_secs_f64(slice);
+        }
+        let left = *remaining - slice;
+        if left > 0.0 {
+            self.phase = Phase::Service { remaining: left };
+            return Step::Yield;
+        }
+        self.phase = Phase::Flush { after: After::Loop };
+        Step::Yield
+    }
+
+    /// Pump the outbox; when it drains, move on per `after`.
+    fn step_flush(&mut self) -> Step {
+        match self.pump_outbox() {
+            Some(until) => self.park(until),
+            None => {
+                let Phase::Flush { after } = self.phase else {
+                    unreachable!("step_flush outside Flush phase")
+                };
+                match after {
+                    After::Loop => {
+                        self.maybe_checkpoint(self.stats.packets_in);
+                        self.phase = Phase::Loop;
+                        Step::Yield
+                    }
+                    After::Poll { until } => {
+                        self.maybe_checkpoint(self.stats.packets_out);
+                        self.phase = Phase::PollWait { until };
+                        if Instant::now() >= until {
+                            Step::Yield
+                        } else {
+                            self.park(until)
+                        }
+                    }
+                    After::Finish => {
+                        self.phase = Phase::Finish;
+                        Step::Yield
+                    }
+                    After::Report => {
+                        self.phase = Phase::Report;
+                        Step::Done
+                    }
+                }
+            }
+        }
+    }
+
+    /// Clean end of stream: let the processor flush (`on_eos`), then
+    /// queue one EOS marker per out-edge. A stopped run skips `on_eos`
+    /// but still offers EOS to live receivers.
+    fn step_finish(&mut self) -> Step {
+        if !self.stopped && !self.is_source {
+            self.api.set_now(self.now());
+            self.w.processor.on_eos(&mut self.api);
+            self.enqueue_emitted();
+        }
+        for port in 0..self.w.out.len() {
+            self.outbox.push_back(Emit {
+                port,
+                packet: Packet::eos(u32::MAX, 0),
+                // Markers are exempt from pacing.
+                ready_at: Some(Instant::now()),
+                final_marker: true,
+            });
+        }
+        self.phase = Phase::Flush { after: After::Report };
+        self.step_flush()
+    }
+
+    /// Queue everything the processor emitted, counting output stats
+    /// once per emission. A `Some(port)` tag routes to one edge; `None`
+    /// broadcasts.
+    fn enqueue_emitted(&mut self) {
+        for (target, packet) in self.api.take_emitted() {
+            if let Some(p) = target {
+                debug_assert!(p < self.w.out.len(), "emit_to({p}) out of range");
+                if p >= self.w.out.len() {
+                    continue;
+                }
+            }
+            self.stats.packets_out += 1;
+            self.stats.records_out += packet.records as u64;
+            self.stats.bytes_out += packet.payload.len() as u64;
+            match target {
+                Some(p) => self.outbox.push_back(Emit {
+                    port: p,
+                    packet,
+                    ready_at: None,
+                    final_marker: false,
+                }),
+                None => {
+                    for p in 0..self.w.out.len() {
+                        self.outbox.push_back(Emit {
+                            port: p,
+                            packet: packet.clone(),
+                            ready_at: None,
+                            final_marker: false,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drain the outbox head-first. Returns `Some(instant)` when the
+    /// head must wait (token-bucket pacing, or retry of a blocking send
+    /// into a full queue) and `None` once empty. Once the run is
+    /// stopped, pacing is skipped and every packet gets one last-gasp
+    /// `try_send` (a failed non-marker counts as a drop) so shutdown
+    /// never wedges on a full queue whose consumer already quit.
+    fn pump_outbox(&mut self) -> Option<Instant> {
+        loop {
+            let stop = self.stopped || self.w.stop.load(Ordering::Relaxed);
+            let head = self.outbox.front_mut()?;
+            if head.ready_at.is_none() {
+                if stop {
+                    head.ready_at = Some(Instant::now());
+                } else {
+                    let now = self.w.start.elapsed().as_secs_f64();
+                    let wait = self.w.out[head.port].bucket.acquire(head.packet.wire_len(), now);
+                    if wait > 0.0 {
+                        self.w.bucket_waited += wait;
+                        head.ready_at = Some(Instant::now() + Duration::from_secs_f64(wait));
+                    } else {
+                        head.ready_at = Some(Instant::now());
+                    }
+                }
+            }
+            let ready_at = head.ready_at.expect("pacing decided above");
+            if !stop && ready_at > Instant::now() {
+                return Some(ready_at);
+            }
+            let e = self.outbox.pop_front().expect("head exists");
+            let port = &self.w.out[e.port];
+            if stop {
+                if port.tx.try_send(e.packet).is_err() {
+                    if !e.final_marker {
+                        port.drops.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else {
+                    self.wake_port(e.port);
+                }
+                continue;
+            }
+            if port.blocking || e.final_marker {
+                // Windowed semantics: wait for the receiver to make
+                // room, retrying on a short timer (or sooner, when the
+                // consumer wakes us after draining).
+                match port.tx.try_send(e.packet) {
+                    Ok(()) => self.wake_port(e.port),
+                    Err(TrySendError::Full(p)) => {
+                        self.outbox.push_front(Emit {
+                            port: e.port,
+                            packet: p,
+                            ready_at: e.ready_at,
+                            final_marker: e.final_marker,
+                        });
+                        return Some(Instant::now() + SEND_RETRY);
+                    }
+                    // Receiver gone: the packet has nowhere to go.
+                    Err(TrySendError::Disconnected(_)) => {}
+                }
+            } else {
+                match port.tx.try_send(e.packet) {
+                    Ok(()) => self.wake_port(e.port),
+                    Err(_) => {
+                        port.drops.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Nudge the consumer behind out-edge `port` (pool mode only).
+    fn wake_port(&self, port: usize) {
+        if let (Some(hub), Some(key)) = (&self.w.hub, self.w.out[port].wake_key) {
+            hub.wake(key);
+        }
+    }
+
+    /// After consuming input, nudge senders that may be parked on our
+    /// previously-full queue.
+    fn wake_upstreams(&self, consumed: bool) {
+        if !consumed {
             return;
         }
-        *last_ckpt = progress;
-        let state = self.processor.snapshot();
+        if let Some(hub) = &self.w.hub {
+            for &key in &self.w.upstream_keys {
+                hub.wake(key);
+            }
+        }
+    }
+
+    /// Ship a state snapshot if the stage has checkpointing wired and
+    /// has made `every` packets of progress since the last one.
+    /// `progress` is packets consumed (or, for a source, produced).
+    /// Empty snapshots are skipped: a stateless stage would only be
+    /// restored to its initial state anyway, so shipping nothing means
+    /// failover restarts it fresh.
+    fn maybe_checkpoint(&mut self, progress: u64) {
+        let Some(cfg) = &self.w.checkpoint else { return };
+        if cfg.every == 0 || progress < self.last_ckpt + cfg.every {
+            return;
+        }
+        self.last_ckpt = progress;
+        let state = self.w.processor.snapshot();
         if !state.is_empty() {
             let _ = cfg.tx.send((cfg.stage, progress, state));
         }
     }
 
-    /// Send everything the processor emitted, pacing each packet with the
-    /// out-edge's token bucket. A `Some(port)` tag routes to one edge;
-    /// `None` broadcasts.
-    fn flush(&mut self, api: &mut StageApi, stats: &mut StageReport) {
-        for (target, packet) in api.take_emitted() {
-            if let Some(p) = target {
-                debug_assert!(p < self.out.len(), "emit_to({p}) out of range");
-                if p >= self.out.len() {
-                    continue;
-                }
-            }
-            stats.packets_out += 1;
-            stats.records_out += packet.records as u64;
-            stats.bytes_out += packet.payload.len() as u64;
-            let ports: Vec<usize> = match target {
-                Some(p) => vec![p],
-                None => (0..self.out.len()).collect(),
-            };
-            for i in ports {
-                let now = self.start.elapsed().as_secs_f64();
-                let wait = self.out[i].bucket.acquire(packet.wire_len(), now);
-                if wait > 0.0 {
-                    self.bucket_waited += wait;
-                    std::thread::sleep(Duration::from_secs_f64(wait));
-                }
-                if self.out[i].blocking {
-                    // Windowed semantics: block until the receiver has
-                    // room — but keep watching the stop flag so a stopped
-                    // run drains instead of deadlocking on a full queue
-                    // whose consumer has already quit.
-                    self.send_with_stop_check(i, packet.clone(), false);
-                } else if self.out[i].tx.try_send(packet.clone()).is_err() {
-                    self.out[i].drops.fetch_add(1, Ordering::Relaxed);
-                }
-            }
+    /// Final accounting; consumes the task.
+    pub(crate) fn into_report(mut self) -> StageReport {
+        if let Some(tracker) = &self.w.tracker {
+            self.stats.queue = tracker.queue_stats().clone();
         }
-    }
-
-    /// Blocking send on out-edge `i` that gives up once the engine stop
-    /// flag is raised (counting the packet as a drop) or the receiver
-    /// disconnects. With `final_attempt`, an already-stopped run still
-    /// tries one non-blocking send so EOS reaches a live receiver.
-    fn send_with_stop_check(&mut self, i: usize, packet: Packet, final_attempt: bool) {
-        let mut packet = packet;
-        loop {
-            if self.stop.load(Ordering::Relaxed) {
-                if self.out[i].tx.try_send(packet).is_err() && !final_attempt {
-                    self.out[i].drops.fetch_add(1, Ordering::Relaxed);
-                }
-                return;
-            }
-            match self.out[i].tx.send_timeout(packet, Duration::from_millis(10)) {
-                Ok(()) => return,
-                Err(SendTimeoutError::Timeout(p)) => packet = p,
-                Err(SendTimeoutError::Disconnected(_)) => return,
-            }
-        }
+        self.stats.packets_dropped = self.w.my_drops.load(Ordering::Relaxed);
+        self.stats.exceptions_received = self.controllers.iter().fold((0, 0), |acc, (_, c)| {
+            let (o, u) = c.exceptions_received();
+            (acc.0 + o, acc.1 + u)
+        });
+        self.stats.params = std::mem::take(&mut self.trajectories);
+        self.stats
     }
 }

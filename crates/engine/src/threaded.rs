@@ -1,13 +1,17 @@
-//! The native-thread wall-clock runtime.
+//! The wall-clock runtime.
 //!
-//! One OS thread per stage; bounded `crossbeam` channels as input queues;
-//! token buckets as links. Processing cost is *realized* (the thread
-//! sleeps for the modeled service time), so small runs behave like the
+//! Every stage runs as a run-to-yield activation on a shared
+//! [`crate::executor`] core pool (default size: the machine's available
+//! parallelism; override with [`RunOptions::cores`]); bounded
+//! `crossbeam` channels are the input queues and token buckets the
+//! links. Processing cost is *realized* (a service-time sleep occupies
+//! one pool worker — one modeled core), so small runs behave like the
 //! paper's real deployment — and the same [`StreamProcessor`]s and the
 //! same adaptation state machines run unchanged from the virtual-time
-//! engine.
+//! engine. [`RunOptions::thread_per_stage`] selects the pre-executor
+//! one-OS-thread-per-stage scheduler as an A/B baseline.
 //!
-//! The per-stage event loop itself lives in [`crate::runtime`] and is
+//! The per-stage state machine itself lives in [`crate::runtime`] and is
 //! shared with the multi-process [`crate::DistEngine`]; this module only
 //! wires every stage to in-process channel peers.
 //!
@@ -19,7 +23,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Sender};
+use crossbeam::channel::{bounded, unbounded, RecvTimeoutError, Sender};
 
 use gates_core::adapt::LoadTracker;
 use gates_core::report::RunReport;
@@ -30,8 +34,9 @@ use gates_core::{StageId, Topology};
 use gates_grid::DeploymentPlan;
 use gates_sim::SimTime;
 
+use crate::executor::CorePool;
 use crate::options::RunOptions;
-use crate::runtime::{Control, OutPort, StageWorker};
+use crate::runtime::{Control, OutPort, StageTask, StageWorker};
 use crate::EngineError;
 
 /// Wall-clock executor. Build with [`ThreadedEngine::new`], run with
@@ -105,7 +110,17 @@ impl ThreadedEngine {
             drops.push(Arc::new(AtomicU64::new(0)));
         }
 
-        let mut handles = Vec::with_capacity(n);
+        // The executor pool hosting every stage (unless the caller asked
+        // for the thread-per-stage baseline scheduler).
+        let pool = if self.opts.thread_per_stage {
+            None
+        } else {
+            Some(CorePool::new(self.opts.effective_cores()))
+        };
+        let hub = pool.as_ref().map(|p| p.hub());
+
+        let mut task_handles = Vec::new();
+        let mut thread_handles = Vec::new();
         for idx in 0..n {
             let stage = &self.topology.stages()[idx];
             let id = StageId::from_index(idx);
@@ -121,6 +136,7 @@ impl ThreadedEngine {
                         bucket: OutPort::bucket_for(edge.link.bandwidth.as_bytes_per_sec()),
                         blocking: edge.link.flow == gates_net::FlowControl::Blocking,
                         drops: Arc::clone(&drops[to]),
+                        wake_key: Some(to as u32),
                     }
                 })
                 .collect();
@@ -129,6 +145,12 @@ impl ThreadedEngine {
                 .in_edges(id)
                 .into_iter()
                 .map(|ei| ctl_tx[self.topology.edges()[ei].from.index()].clone())
+                .collect();
+            let upstream_keys: Vec<u32> = self
+                .topology
+                .in_edges(id)
+                .into_iter()
+                .map(|ei| self.topology.edges()[ei].from.index() as u32)
                 .collect();
             let in_edges = self.topology.in_edges(id).len();
 
@@ -151,13 +173,20 @@ impl ThreadedEngine {
                 bucket_waited: 0.0,
                 checkpoint: None,
                 restore: None,
+                hub: hub.clone(),
+                upstream_keys,
             };
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("gates-{}", stage.name))
-                    .spawn(move || worker.run())
-                    .map_err(|e| EngineError::WorkerPanic(e.to_string()))?,
-            );
+            match &pool {
+                Some(pool) => {
+                    task_handles.push(pool.spawn(Box::new(StageTask::new(worker)), idx as u32));
+                }
+                None => thread_handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("gates-{}", stage.name))
+                        .spawn(move || worker.run())
+                        .map_err(|e| EngineError::WorkerPanic(e.to_string()))?,
+                ),
+            }
         }
         // Drop our clones so channels disconnect naturally when their
         // workers finish. Keeping a receiver clone here would be a
@@ -168,34 +197,54 @@ impl ThreadedEngine {
         drop(data_rx);
         drop(ctl_rx);
 
-        // Watchdog: broadcast Stop when the budget elapses.
+        // Watchdog: broadcast Stop when the budget elapses. The done
+        // channel wakes it early once every stage has reported, so it
+        // can be joined instead of leaking for up to the full budget.
         let budget = Duration::from_secs_f64(self.opts.max_time.as_secs_f64());
         let watchdog_ctl: Vec<Sender<Control>> = ctl_tx.clone();
         drop(ctl_tx);
         let watchdog_stop = Arc::clone(&stop);
-        let watchdog = std::thread::spawn(move || {
-            std::thread::sleep(budget);
-            watchdog_stop.store(true, Ordering::Relaxed);
-            for c in &watchdog_ctl {
-                let _ = c.send(Control::Stop);
-            }
-        });
+        let (done_tx, done_rx) = bounded::<()>(1);
+        let watchdog = std::thread::Builder::new()
+            .name("gates-watchdog".into())
+            .spawn(move || {
+                if matches!(done_rx.recv_timeout(budget), Err(RecvTimeoutError::Timeout)) {
+                    watchdog_stop.store(true, Ordering::Relaxed);
+                    for c in &watchdog_ctl {
+                        let _ = c.send(Control::Stop);
+                    }
+                }
+            })
+            .map_err(|e| EngineError::WorkerPanic(e.to_string()))?;
+
+        // Collect every report before propagating any panic, so cleanup
+        // (watchdog join, pool shutdown) always runs.
+        let mut results: Vec<Result<gates_core::report::StageReport, String>> = Vec::new();
+        for handle in task_handles {
+            results.push(handle.join());
+        }
+        for handle in thread_handles {
+            results.push(handle.join().map_err(|_| "stage thread panicked".to_string()));
+        }
+        drop(done_tx); // disconnect wakes the watchdog without stopping anything
+        let _ = watchdog.join();
+        let events = pool.as_ref().map(|p| p.activations()).unwrap_or(0);
+        if let Some(pool) = pool {
+            pool.shutdown();
+        }
 
         let mut stages = Vec::with_capacity(n);
-        for handle in handles {
-            let report =
-                handle.join().map_err(|_| EngineError::WorkerPanic("stage thread".into()))?;
-            stages.push(report);
+        for result in results {
+            stages.push(result.map_err(EngineError::WorkerPanic)?);
         }
-        // The watchdog may still be sleeping; detach it (its sends will
-        // hit disconnected channels, which is fine).
-        drop(watchdog);
 
         let finished_at = SimTime::from_secs_f64(start.elapsed().as_secs_f64());
         Ok(RunReport {
             finished_at,
             stages,
-            events: 0,
+            // Executor activations (0 in thread-per-stage mode, which
+            // has no scheduler to count).
+            events,
             lost_workers: Vec::new(),
             trace: self.opts.recorder.as_flight().map(|f| f.run_trace()),
             faults_injected: 0,

@@ -47,7 +47,7 @@ use gates::net::RetryPolicy;
 use gates::sim::{SimDuration, SimTime};
 
 fn usage() -> &'static str {
-    "usage:\n  gates-cli run <app.xml> [--grid <grid.xml>] [--duration <secs>]\n                          [--max-time <secs>] [--engine des|threaded|dist]\n                          [--observe-ms <ms>] [--adapt-ms <ms>]\n                          [--trace <out.jsonl>]\n                          [--listen <host:port>] [--workers <n>]\n                          [--drain-ms <ms>] [--retry-attempts <n>] [--retry-base-ms <ms>]\n                          [--heartbeat-ms <ms>] [--heartbeat-timeout-ms <ms>]\n                          [--checkpoint-every <packets>]\n                          [--chaos <spec>]   e.g. \"seed=7,drop=0.02,delay=5ms..40ms\"\n  gates-cli worker --name <name> --coordinator <host:port>\n                   [--site <site>] [--speed <f>] [--capacity <n>] [--bind-host <host>]\n  gates-cli apps\n  gates-cli template app|grid"
+    "usage:\n  gates-cli run <app.xml> [--grid <grid.xml>] [--duration <secs>]\n                          [--max-time <secs>] [--engine des|threaded|dist]\n                          [--observe-ms <ms>] [--adapt-ms <ms>]\n                          [--trace <out.jsonl>]\n                          [--listen <host:port>] [--workers <n>]\n                          [--drain-ms <ms>] [--retry-attempts <n>] [--retry-base-ms <ms>]\n                          [--heartbeat-ms <ms>] [--heartbeat-timeout-ms <ms>]\n                          [--checkpoint-every <packets>]\n                          [--cores <n>]      executor pool size for threaded runs (default: auto)\n                          [--chaos <spec>]   e.g. \"seed=7,drop=0.02,delay=5ms..40ms\"\n  gates-cli worker --name <name> --coordinator <host:port>\n                   [--site <site>] [--speed <f>] [--capacity <n>] [--bind-host <host>]\n                   [--cores <n>]\n  gates-cli apps\n  gates-cli template app|grid"
 }
 
 fn main() -> ExitCode {
@@ -122,6 +122,7 @@ struct RunArgs {
     heartbeat_timeout_ms: Option<u64>,
     checkpoint_every: Option<u64>,
     chaos: Option<gates::net::FaultPlan>,
+    cores: Option<usize>,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
@@ -143,6 +144,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         heartbeat_timeout_ms: None,
         checkpoint_every: None,
         chaos: None,
+        cores: None,
     };
     let mut it = args.iter();
     let Some(app) = it.next() else {
@@ -228,6 +230,13 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                         .map_err(|e| format!("--chaos: {e}"))?,
                 )
             }
+            "--cores" => {
+                let n: usize = value("--cores")?.parse().map_err(|_| "--cores: not a number")?;
+                if n == 0 {
+                    return Err("--cores must be at least 1".into());
+                }
+                parsed.cores = Some(n);
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -242,6 +251,7 @@ fn worker(args: &[String]) -> ExitCode {
     let mut speed = None;
     let mut capacity = None;
     let mut bind_host = None;
+    let mut cores = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |n: &str| it.next().cloned().ok_or_else(|| format!("{n} needs a value"));
@@ -265,6 +275,15 @@ fn worker(args: &[String]) -> ExitCode {
                     )
                 }
                 "--bind-host" => bind_host = Some(value("--bind-host")?),
+                "--cores" => {
+                    let n: usize = value("--cores")?
+                        .parse()
+                        .map_err(|_| "--cores: not a number".to_string())?;
+                    if n == 0 {
+                        return Err("--cores must be at least 1".into());
+                    }
+                    cores = Some(n);
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
             Ok(())
@@ -294,6 +313,9 @@ fn worker(args: &[String]) -> ExitCode {
     }
     if let Some(h) = bind_host {
         w = w.bind_host(h);
+    }
+    if let Some(n) = cores {
+        w = w.cores(n);
     }
     match w.run(&repo) {
         Ok(()) => {
@@ -336,6 +358,9 @@ fn run(args: &[String]) -> ExitCode {
     }
     if let Some(ms) = parsed.adapt_ms {
         opts = opts.adapt_every(SimDuration::from_millis(ms));
+    }
+    if let Some(n) = parsed.cores {
+        opts = opts.cores(n);
     }
     let recorder = parsed.trace_path.as_ref().map(|_| Arc::new(FlightRecorder::default()));
     if let Some(rec) = &recorder {
