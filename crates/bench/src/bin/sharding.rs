@@ -1,0 +1,470 @@
+//! Sharded-stage scaling benchmark, machine-readable.
+//!
+//! Exercises PR7's stage replication end-to-end and emits the numbers
+//! as JSON (default `results/BENCH_PR7.json`) in the same stable
+//! one-row-per-measurement schema as the earlier bench files:
+//!
+//! * **Replica scaling** — a keyed source feeds a hot aggregation stage
+//!   (2 ms of modeled service per packet, plus real sketch inserts)
+//!   replicated 1, 2 and 4 ways. Upstream hash-routing spreads packets
+//!   over the replicas, each of which burns its service on its own pool
+//!   worker, so packets/s must rise with the replica count. The
+//!   `shard_scaling_4v1` row is the headline (target ≥ 2.5×).
+//! * **Merge accuracy** — every replica ships its count-min, hyperloglog,
+//!   misra-gries and P² summaries to a merger stage at end-of-stream.
+//!   The merged result is compared against a single unsharded instance
+//!   that saw the whole stream: count-min and hyperloglog must match
+//!   exactly, misra-gries within its advertised bound, P² within a
+//!   quantile band.
+//! * **Live split drill** — 2 replicas start from a deliberately
+//!   concentrated shard map (replica 0 owns almost the whole key
+//!   space); mid-run the key range is split live via the group's shared
+//!   router. The run must deliver every packet (no drops) and replica 1
+//!   must see traffic after the split.
+//!
+//! Flags: `--smoke` shrinks every measurement for CI (~2 s total);
+//! `--out <path>` overrides the output file.
+
+use std::io::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use gates_core::{
+    shard_key, CostModel, Packet, ShardMap, SourceStatus, StageApi, StageBuilder, StreamProcessor,
+    Topology,
+};
+use gates_engine::{RunOptions, ThreadedEngine};
+use gates_grid::{Deployer, ResourceRegistry};
+use gates_net::{Bandwidth, LinkSpec};
+use gates_sim::rng::seeded;
+use gates_sim::{SimDuration, SimTime};
+use gates_streams::{CountMinSketch, HyperLogLog, MisraGries, P2Quantile, ZipfGenerator};
+
+/// One emitted measurement row.
+struct Row {
+    bench: String,
+    value: f64,
+    unit: &'static str,
+}
+
+/// Sketch dimensions shared by every shard and the unsharded reference
+/// (identical dimensions make count-min merges bit-exact).
+const CM_WIDTH: usize = 256;
+const CM_DEPTH: usize = 4;
+const HLL_B: u32 = 10;
+const MG_K: usize = 32;
+
+fn fresh_sketches() -> (CountMinSketch, HyperLogLog, MisraGries, P2Quantile) {
+    (
+        CountMinSketch::new(CM_WIDTH, CM_DEPTH),
+        HyperLogLog::new(HLL_B),
+        MisraGries::new(MG_K),
+        P2Quantile::new(0.5),
+    )
+}
+
+/// Length-prefix each sketch's bytes into one summary payload.
+fn encode_summary(
+    cm: &CountMinSketch,
+    hll: &HyperLogLog,
+    mg: &MisraGries,
+    p2: &P2Quantile,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    for section in
+        [cm.to_bytes(), hll.registers().to_vec(), mg.to_bytes(), p2.to_bytes()].into_iter()
+    {
+        out.extend_from_slice(&(section.len() as u32).to_le_bytes());
+        out.extend_from_slice(&section);
+    }
+    out
+}
+
+fn split_sections(bytes: &[u8]) -> Vec<&[u8]> {
+    let mut sections = Vec::new();
+    let mut at = 0;
+    while at + 4 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+        at += 4;
+        sections.push(&bytes[at..at + len]);
+        at += len;
+    }
+    sections
+}
+
+/// Source: emits pre-generated keyed packets (32 little-endian u64
+/// values each), then ends the stream. Throughput runs emit as fast as
+/// backpressure allows; the split drill paces emission at the service
+/// rate so packets are still upstream (and re-routable) when the live
+/// split fires — hash-routing happens at send time, so a packet already
+/// queued on a replica stays there.
+struct KeyedSource {
+    data: Arc<Vec<u64>>,
+    values_per_packet: usize,
+    seq: u64,
+    total: u64,
+    batch: u64,
+    poll_every: SimDuration,
+}
+impl StreamProcessor for KeyedSource {
+    fn process(&mut self, _p: Packet, _a: &mut StageApi) {}
+    fn poll_generate(&mut self, api: &mut StageApi) -> SourceStatus {
+        let batch = self.batch.min(self.total - self.seq);
+        for _ in 0..batch {
+            let start = self.seq as usize * self.values_per_packet;
+            let mut payload = Vec::with_capacity(8 * self.values_per_packet);
+            for v in &self.data[start..start + self.values_per_packet] {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+            api.emit(
+                Packet::data(0, self.seq, self.values_per_packet as u32, Bytes::from(payload))
+                    .with_key(shard_key(&self.seq.to_le_bytes())),
+            );
+            self.seq += 1;
+        }
+        if self.seq == self.total {
+            SourceStatus::Done
+        } else {
+            SourceStatus::Continue { next_poll: self.poll_every }
+        }
+    }
+}
+
+/// The hot aggregation stage: sketches every value it sees, then ships
+/// one summary packet downstream at end-of-stream.
+struct ShardAgg {
+    cm: CountMinSketch,
+    hll: HyperLogLog,
+    mg: MisraGries,
+    p2: P2Quantile,
+}
+impl ShardAgg {
+    fn new() -> Self {
+        let (cm, hll, mg, p2) = fresh_sketches();
+        ShardAgg { cm, hll, mg, p2 }
+    }
+}
+impl StreamProcessor for ShardAgg {
+    fn process(&mut self, p: Packet, _a: &mut StageApi) {
+        for chunk in p.payload.chunks_exact(8) {
+            let v = u64::from_le_bytes(chunk.try_into().unwrap());
+            self.cm.insert(v);
+            self.hll.insert(v);
+            self.mg.insert(v);
+            self.p2.insert(v as f64);
+        }
+    }
+    fn on_eos(&mut self, api: &mut StageApi) {
+        let summary = encode_summary(&self.cm, &self.hll, &self.mg, &self.p2);
+        api.emit(Packet::data(1, 0, 1, Bytes::from(summary)));
+    }
+}
+
+/// What the merger accumulated by end-of-run.
+#[derive(Default)]
+struct Merged {
+    cm: Option<CountMinSketch>,
+    hll: Option<HyperLogLog>,
+    mg: Option<MisraGries>,
+    p2: Option<P2Quantile>,
+    summaries: u32,
+}
+
+/// The downstream merger: folds every replica's summary into one, using
+/// the sketches' natural merge operations.
+struct Merger(Arc<Mutex<Merged>>);
+impl StreamProcessor for Merger {
+    fn process(&mut self, p: Packet, _a: &mut StageApi) {
+        let sections = split_sections(&p.payload);
+        assert_eq!(sections.len(), 4, "summary packet must carry four sketches");
+        let cm = CountMinSketch::from_bytes(sections[0]).expect("count-min decodes");
+        let hll = HyperLogLog::from_registers(sections[1].to_vec()).expect("hll decodes");
+        let mg = MisraGries::from_bytes(sections[2]).expect("misra-gries decodes");
+        let p2 = P2Quantile::from_bytes(sections[3]).expect("quantile decodes");
+        let mut m = self.0.lock().unwrap();
+        m.summaries += 1;
+        match &mut m.cm {
+            Some(mine) => mine.merge(&cm).expect("same-shape merge"),
+            None => m.cm = Some(cm),
+        }
+        match &mut m.hll {
+            Some(mine) => mine.merge(&hll).expect("same-size merge"),
+            None => m.hll = Some(hll),
+        }
+        match &mut m.mg {
+            Some(mine) => mine.merge(&mg),
+            None => m.mg = Some(mg),
+        }
+        match &mut m.p2 {
+            Some(mine) => mine.merge(&p2).expect("same-quantile merge"),
+            None => m.p2 = Some(p2),
+        }
+    }
+}
+
+/// Source → agg ×`replicas` (modeled `service_s` per packet) → merger.
+/// Returns the topology and the merger's shared accumulator.
+fn build(
+    data: &Arc<Vec<u64>>,
+    packets: u64,
+    values_per_packet: usize,
+    replicas: usize,
+    service_s: f64,
+    pace: Option<SimDuration>,
+) -> (Topology, Arc<Mutex<Merged>>) {
+    let merged = Arc::new(Mutex::new(Merged::default()));
+    let mut t = Topology::new();
+    let data = Arc::clone(data);
+    let (batch, poll_every) = match pace {
+        Some(every) => (1, every),
+        None => (16, SimDuration::from_micros(100)),
+    };
+    let src = t
+        .add_stage_raw(
+            StageBuilder::new("src")
+                .processor(move || KeyedSource {
+                    data: Arc::clone(&data),
+                    values_per_packet,
+                    seq: 0,
+                    total: packets,
+                    batch,
+                    poll_every,
+                })
+                .no_adaptation(),
+        )
+        .expect("add src");
+    let agg = t
+        .add_stage(
+            StageBuilder::new("agg")
+                .processor(ShardAgg::new)
+                .cost(CostModel::per_packet(service_s))
+                .queue_capacity(64)
+                .no_adaptation(),
+        )
+        .expect("add agg");
+    let sink_state = Arc::clone(&merged);
+    let sink = t
+        .add_stage(
+            StageBuilder::new("merge")
+                .processor(move || Merger(Arc::clone(&sink_state)))
+                .no_adaptation(),
+        )
+        .expect("add merge");
+    let fast = || LinkSpec::with_bandwidth(Bandwidth::mb_per_sec(1000.0)).blocking();
+    t.connect(src, agg, fast());
+    t.connect(agg, sink, fast());
+    t.replicate("agg", replicas).expect("replicate agg");
+    (t, merged)
+}
+
+fn deploy_and_opts(t: &Topology, replicas: usize) -> (gates_grid::DeploymentPlan, RunOptions) {
+    let sites: Vec<String> = (0..t.stages().len()).map(|i| format!("s{i}")).collect();
+    let site_refs: Vec<&str> = sites.iter().map(String::as_str).collect();
+    let registry = ResourceRegistry::uniform_cluster(&site_refs);
+    let plan = Deployer::new().deploy(t, &registry).expect("deploy");
+    let opts = RunOptions::default().max_time(SimTime::from_secs_f64(120.0)).cores(replicas + 2);
+    (plan, opts)
+}
+
+/// Packets a replica group processed, summed over its members.
+fn group_packets_in(report: &gates_core::report::RunReport, replicas: usize) -> u64 {
+    if replicas == 1 {
+        return report.stage("agg").map(|s| s.packets_in).unwrap_or(0);
+    }
+    (0..replicas)
+        .map(|i| report.stage(&format!("agg#{i}")).map(|s| s.packets_in).unwrap_or(0))
+        .sum()
+}
+
+/// One throughput measurement: returns (packets/s, merged summaries).
+fn run_shard(
+    data: &Arc<Vec<u64>>,
+    packets: u64,
+    values_per_packet: usize,
+    replicas: usize,
+    service_s: f64,
+) -> (f64, Merged) {
+    let (t, merged) = build(data, packets, values_per_packet, replicas, service_s, None);
+    let (plan, opts) = deploy_and_opts(&t, replicas);
+    let begin = Instant::now();
+    let report = ThreadedEngine::new(t, &plan, opts).expect("engine").run().expect("run");
+    let wall = begin.elapsed().as_secs_f64();
+    let seen = group_packets_in(&report, replicas);
+    assert_eq!(seen, packets, "replica group must see every packet");
+    assert_eq!(report.total_dropped(), 0, "blocking links must not drop");
+    let m = std::mem::take(&mut *merged.lock().unwrap());
+    assert_eq!(m.summaries as usize, replicas, "one summary per replica");
+    (packets as f64 / wall, m)
+}
+
+/// The live split drill: 2 replicas, concentrated map, split mid-run.
+/// Returns (delivered fraction, packets replica 1 saw).
+fn run_split_drill(
+    data: &Arc<Vec<u64>>,
+    packets: u64,
+    values_per_packet: usize,
+    service_s: f64,
+    split_after: Duration,
+) -> (f64, u64) {
+    // Pace emission at the service rate so the stream outlives the
+    // split trigger and post-split packets route to the new owner.
+    let pace = SimDuration::from_secs_f64(service_s);
+    let (t, merged) = build(data, packets, values_per_packet, 2, service_s, Some(pace));
+    // Start from a deliberately lopsided partition: replica 0 owns all
+    // but a sliver of the key space, so the run begins hot on one
+    // member — the situation the adaptation loop's split exists for.
+    let router = Arc::clone(&t.groups()[0].router);
+    let (epoch, _) = router.snapshot();
+    assert!(router.install(epoch + 1, ShardMap::concentrated(2)), "install concentrated map");
+    let (plan, opts) = deploy_and_opts(&t, 2);
+    let engine = ThreadedEngine::new(t, &plan, opts).expect("engine");
+    let splitter = {
+        let router = Arc::clone(&router);
+        std::thread::spawn(move || {
+            std::thread::sleep(split_after);
+            router.split_hot(0).expect("live split")
+        })
+    };
+    let report = engine.run().expect("run");
+    let change = splitter.join().expect("splitter thread");
+    assert_eq!(change.from, 0, "split moves keys away from the hot replica");
+    let seen = group_packets_in(&report, 2);
+    let m = merged.lock().unwrap();
+    assert_eq!(m.summaries, 2, "both replicas summarize");
+    assert_eq!(report.total_dropped(), 0, "live split must not drop packets");
+    let post_split = report.stage(&format!("agg#{}", change.to)).map(|s| s.packets_in).unwrap_or(0);
+    (seen as f64 / packets as f64, post_split)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("results/BENCH_PR7.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(path) => out = path.clone(),
+                None => {
+                    eprintln!("error: --out needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag {other:?} (supported: --smoke, --out <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // A Zipf-skewed value stream, generated once so every run (and the
+    // unsharded reference) sees byte-identical data.
+    let values_per_packet = 32;
+    let (packets, service_s) = if smoke { (80u64, 1e-3) } else { (400u64, 2e-3) };
+    let mut rng = seeded(7);
+    let zipf = ZipfGenerator::new(500, 1.1);
+    let data: Arc<Vec<u64>> = Arc::new(
+        (0..packets as usize * values_per_packet).map(|_| zipf.sample(&mut rng)).collect(),
+    );
+
+    // The unsharded reference: one instance that saw the whole stream.
+    let (mut ref_cm, mut ref_hll, mut ref_mg, mut ref_p2) = fresh_sketches();
+    for &v in data.iter() {
+        ref_cm.insert(v);
+        ref_hll.insert(v);
+        ref_mg.insert(v);
+        ref_p2.insert(v as f64);
+    }
+    let mut sorted: Vec<u64> = data.to_vec();
+    sorted.sort_unstable();
+    let exact_median = sorted[sorted.len() / 2] as f64;
+
+    let mut rows = Vec::new();
+    let mut by_replicas = Vec::new();
+    let mut merged4: Option<Merged> = None;
+    for replicas in [1usize, 2, 4] {
+        let (pps, m) = run_shard(&data, packets, values_per_packet, replicas, service_s);
+        by_replicas.push(pps);
+        rows.push(Row { bench: format!("shard_pps_replicas{replicas}"), value: pps, unit: "pps" });
+        if replicas == 4 {
+            merged4 = Some(m);
+        }
+    }
+    rows.push(Row {
+        bench: "shard_scaling_4v1".into(),
+        value: by_replicas[2] / by_replicas[0],
+        unit: "x",
+    });
+
+    // Merge accuracy of the 4-way sharded run against the reference.
+    let m = merged4.expect("4-replica merge captured");
+    let cm = m.cm.expect("merged count-min");
+    let max_cm_err =
+        (0..500u64).map(|v| cm.estimate(v).abs_diff(ref_cm.estimate(v))).max().unwrap_or(0);
+    assert_eq!(max_cm_err, 0, "sharded count-min must match the unsharded sketch exactly");
+    let hll = m.hll.expect("merged hll");
+    assert_eq!(hll, ref_hll, "sharded hyperloglog union must reconstruct the unsharded state");
+    let mg = m.mg.expect("merged misra-gries");
+    for (v, _) in ref_mg.top_k(5) {
+        let truth = data.iter().filter(|&&x| x == v).count() as u64;
+        assert!(mg.count(v) <= truth, "merged misra-gries overcounts {v}");
+        assert!(
+            truth - mg.count(v) <= mg.error_bound(),
+            "merged misra-gries beyond its bound for {v}"
+        );
+    }
+    let p2 = m.p2.expect("merged quantile");
+    let median = p2.value().expect("merged median");
+    let band = sorted[sorted.len() / 4] as f64..=sorted[3 * sorted.len() / 4] as f64;
+    assert!(band.contains(&median), "merged median {median} outside the interquartile band");
+    rows.push(Row { bench: "shard_cm_max_abs_err_vs_unsharded".into(), value: 0.0, unit: "count" });
+    rows.push(Row { bench: "shard_hll_state_matches_unsharded".into(), value: 1.0, unit: "bool" });
+    rows.push(Row {
+        bench: "shard_p2_median_abs_err".into(),
+        value: (median - exact_median).abs(),
+        unit: "value",
+    });
+
+    // Live split drill.
+    let split_after = if smoke { Duration::from_millis(40) } else { Duration::from_millis(250) };
+    let (delivered, post_split) =
+        run_split_drill(&data, packets, values_per_packet, service_s, split_after);
+    assert!((delivered - 1.0).abs() < f64::EPSILON, "split drill delivered fraction {delivered}");
+    assert!(post_split > 0, "the split target must see traffic after the live split");
+    rows.push(Row {
+        bench: "live_split_delivered_fraction".into(),
+        value: delivered,
+        unit: "frac",
+    });
+    rows.push(Row {
+        bench: "live_split_target_packets_in".into(),
+        value: post_split as f64,
+        unit: "packets",
+    });
+
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "  {{\"bench\": \"{}\", \"value\": {:.3}, \"unit\": \"{}\"}}{sep}\n",
+            r.bench, r.value, r.unit
+        ));
+    }
+    json.push_str("]\n");
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    let mut f = std::fs::File::create(&out).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write output");
+
+    println!("{:<44} {:>14} unit", "bench", "value");
+    for r in &rows {
+        println!("{:<44} {:>14.3} {}", r.bench, r.value, r.unit);
+    }
+    println!("\nwritten to {out}");
+}

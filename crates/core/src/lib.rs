@@ -23,7 +23,10 @@
 //!   φ1/φ2/φ3, the long-term queue factor d̃, over-/under-load exceptions,
 //!   and the σ-gain parameter controller.
 //! * [`Topology`] — the pipeline description (stages, edges, links,
-//!   placement sites) consumed by the deployer and the engines.
+//!   placement sites) consumed by the deployer and the engines, including
+//!   stage replication ([`Topology::replicate`]).
+//! * [`shard`] — key-partitioned sharding: the hash, the versioned
+//!   key-range map, and the router replicated stages route through.
 //! * [`report`] — per-run statistics shared by all executors.
 //! * [`trace`] — the flight recorder: per-round adaptation events and
 //!   per-stage runtime samples both engines can feed for debugging.
@@ -36,6 +39,7 @@ mod error;
 mod packet;
 mod param;
 pub mod report;
+pub mod shard;
 mod stage;
 mod topology;
 pub mod trace;
@@ -43,8 +47,11 @@ pub mod trace;
 pub use error::CoreError;
 pub use packet::{Packet, PacketKind, PayloadReader, PayloadWriter, PACKET_TRAILER_LEN};
 pub use param::{AdjustmentParameter, Direction, ParamId, ParamTable};
+pub use shard::{shard_key, ShardChange, ShardError, ShardMap, ShardRange, ShardRouter};
 pub use stage::{CostModel, SourceStatus, StageApi, StreamProcessor};
-pub use topology::{Edge, StageBuilder, StageId, StageSpec, Topology, TopologyError};
+pub use topology::{
+    Edge, OutRoute, ReplicaGroup, StageBuilder, StageId, StageSpec, Topology, TopologyError,
+};
 
 /// Crate-level result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

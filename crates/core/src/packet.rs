@@ -14,11 +14,11 @@ use gates_sim::SimTime;
 use crate::CoreError;
 
 /// Size of the metadata trailer [`Packet::to_frame`] appends to the
-/// payload so `records` (u32) and `created_at` (u64 microseconds)
-/// survive the hop. Shared by [`Packet::to_frame`],
+/// payload so `records` (u32), `created_at` (u64 microseconds) and the
+/// routing `key` (u64) survive the hop. Shared by [`Packet::to_frame`],
 /// [`Packet::from_frame`], [`Packet::encode_into`] and
 /// [`Packet::wire_len`].
-pub const PACKET_TRAILER_LEN: usize = 4 + 8;
+pub const PACKET_TRAILER_LEN: usize = 4 + 8 + 8;
 
 /// What a packet carries (mirrors `gates_net::FrameKind` minus control).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,6 +65,12 @@ pub struct Packet {
     /// Virtual time at which the packet was created at its source, for
     /// end-to-end latency accounting.
     pub created_at: SimTime,
+    /// Sharding key: when the downstream stage is replicated, the packet
+    /// is routed to the replica whose key range contains this value (see
+    /// [`crate::shard::ShardMap`]). Producers set it with
+    /// [`Packet::with_key`] or [`crate::shard::shard_key`]; it defaults
+    /// to `0`, which always lands in replica ordinal 0's range.
+    pub key: u64,
     /// Application payload.
     pub payload: Bytes,
 }
@@ -78,6 +84,7 @@ impl Packet {
             seq,
             records,
             created_at: SimTime::ZERO,
+            key: 0,
             payload,
         }
     }
@@ -90,6 +97,7 @@ impl Packet {
             seq,
             records,
             created_at: SimTime::ZERO,
+            key: 0,
             payload,
         }
     }
@@ -102,6 +110,7 @@ impl Packet {
             seq,
             records: 0,
             created_at: SimTime::ZERO,
+            key: 0,
             payload: Bytes::new(),
         }
     }
@@ -109,6 +118,13 @@ impl Packet {
     /// Tag the packet with its creation time (builder style).
     pub fn at(mut self, t: SimTime) -> Self {
         self.created_at = t;
+        self
+    }
+
+    /// Tag the packet with its sharding key (builder style). When the
+    /// consuming stage is replicated, the key selects the owning replica.
+    pub fn with_key(mut self, key: u64) -> Self {
+        self.key = key;
         self
     }
 
@@ -128,7 +144,8 @@ impl Packet {
     fn trailer(&self) -> [u8; PACKET_TRAILER_LEN] {
         let mut t = [0u8; PACKET_TRAILER_LEN];
         t[..4].copy_from_slice(&self.records.to_be_bytes());
-        t[4..].copy_from_slice(&self.created_at.as_micros().to_be_bytes());
+        t[4..12].copy_from_slice(&self.created_at.as_micros().to_be_bytes());
+        t[12..].copy_from_slice(&self.key.to_be_bytes());
         t
     }
 
@@ -176,12 +193,14 @@ impl Packet {
         let mut trailer = frame.payload.slice(body_len..);
         let records = trailer.get_u32();
         let created_at = SimTime::from_micros(trailer.get_u64());
+        let key = trailer.get_u64();
         Ok(Packet {
             kind,
             stream_id: frame.stream_id,
             seq: frame.seq,
             records,
             created_at,
+            key,
             payload: frame.payload.slice(..body_len),
         })
     }
@@ -336,7 +355,8 @@ mod tests {
     fn encode_into_matches_to_frame_encoding() {
         let packets = [
             Packet::data(1, 9, 3, Bytes::from_static(b"some records here"))
-                .at(SimTime::from_micros(777)),
+                .at(SimTime::from_micros(777))
+                .with_key(42),
             Packet::summary(2, 10, 50, Bytes::from_static(b"topk")),
             Packet::eos(3, 11),
         ];
@@ -359,10 +379,12 @@ mod tests {
     #[test]
     fn frame_round_trip_preserves_metadata() {
         let p = Packet::summary(3, 42, 7, Bytes::from_static(b"payload"))
-            .at(SimTime::from_secs_f64(1.5));
+            .at(SimTime::from_secs_f64(1.5))
+            .with_key(0xDEAD_BEEF_CAFE_F00D);
         let frame = p.to_frame();
         let back = Packet::from_frame(&frame).unwrap();
         assert_eq!(back, p);
+        assert_eq!(back.key, 0xDEAD_BEEF_CAFE_F00D);
     }
 
     #[test]

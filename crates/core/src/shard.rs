@@ -1,0 +1,581 @@
+//! Key-partitioned sharding for replicated stages.
+//!
+//! When a stage is replicated ([`crate::Topology::replicate`]), the
+//! 64-bit key space is partitioned into contiguous ranges, one or more
+//! per replica *ordinal* (the replica's index within its group). Every
+//! packet carries a [`crate::Packet::key`]; upstream senders look the
+//! key up in the group's [`ShardMap`] and deliver the packet to exactly
+//! one replica. Because each sketch in `gates-streams` merges, the
+//! downstream aggregator can combine per-shard summaries into the same
+//! answer (within error bounds) that a singleton stage would produce.
+//!
+//! The map is versioned: every change bumps an *epoch*, and
+//! [`ShardRouter::install`] rejects stale maps, so concurrent updates
+//! from the adaptation loop (live split / merge) and from coordinator
+//! broadcasts in the distributed runtime converge on the newest
+//! partition.
+//!
+//! ```
+//! use gates_core::{shard_key, ShardMap};
+//!
+//! let map = ShardMap::uniform(4);
+//! let owner = map.owner_of(shard_key(b"user-123"));
+//! assert!(owner < 4);
+//! // Every key has exactly one owner.
+//! assert_eq!(map.owner_of(0), 0);
+//! assert_eq!(map.owner_of(u64::MAX), 3);
+//! ```
+
+use std::sync::RwLock;
+
+/// Hash arbitrary bytes to a 64-bit shard key (FNV-1a).
+///
+/// Deterministic across processes and platforms, so every sender in a
+/// distributed run routes the same record to the same replica.
+///
+/// ```
+/// use gates_core::shard_key;
+/// assert_eq!(shard_key(b"tenant-7"), shard_key(b"tenant-7"));
+/// assert_ne!(shard_key(b"tenant-7"), shard_key(b"tenant-8"));
+/// ```
+pub fn shard_key(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    // Final avalanche (splitmix64 tail) so short keys spread over the
+    // whole range instead of clustering near the FNV offset basis.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Typed sharding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// The ordinal does not exist in this group.
+    UnknownOrdinal(u32),
+    /// The ordinal owns no key range (already merged away).
+    NothingOwned(u32),
+    /// The ordinal's widest range is a single key and cannot split.
+    RangeTooNarrow(u32),
+    /// A merge would leave the key space with no owner.
+    LastOwner(u32),
+    /// A split found no sibling replica to hand keys to.
+    NoTarget,
+    /// A packet reached a replica that does not own its key — the
+    /// sender routed with a stale [`ShardMap`]. Receivers must re-route
+    /// or reject, never process.
+    WrongShard {
+        /// The packet's routing key.
+        key: u64,
+        /// The ordinal that owns the key under the receiver's map.
+        owner: u32,
+        /// The ordinal the packet was delivered to.
+        delivered_to: u32,
+    },
+    /// An encoded map failed to decode.
+    Decode(String),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::UnknownOrdinal(o) => write!(f, "unknown replica ordinal {o}"),
+            ShardError::NothingOwned(o) => write!(f, "replica {o} owns no key range"),
+            ShardError::RangeTooNarrow(o) => {
+                write!(f, "replica {o}'s range is too narrow to split")
+            }
+            ShardError::LastOwner(o) => {
+                write!(f, "replica {o} is the last owner; merging would orphan the key space")
+            }
+            ShardError::NoTarget => write!(f, "no sibling replica available to receive keys"),
+            ShardError::WrongShard { key, owner, delivered_to } => write!(
+                f,
+                "key {key:#x} owned by replica {owner} was delivered to replica {delivered_to} \
+                 (stale shard map)"
+            ),
+            ShardError::Decode(msg) => write!(f, "shard map decode: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// One contiguous key range: `[start, next range's start)`, owned by a
+/// replica ordinal. The last range extends through `u64::MAX`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRange {
+    /// First key of the range (inclusive).
+    pub start: u64,
+    /// Owning replica ordinal within the group.
+    pub ordinal: u32,
+}
+
+/// A total partition of the 64-bit key space among a replica group.
+///
+/// Invariants (enforced by every constructor and mutation):
+/// ranges are sorted by `start`, the first range starts at 0 (so every
+/// key has an owner), adjacent ranges have distinct ordinals, and every
+/// ordinal is `< members`.
+///
+/// ```
+/// use gates_core::ShardMap;
+///
+/// let mut map = ShardMap::uniform(2);
+/// // Splitting replica 0's range hands its upper half to replica 1.
+/// map.split(0, 1).unwrap();
+/// assert_eq!(map.owner_of(0), 0);
+/// assert_eq!(map.owner_of(u64::MAX / 2), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    members: u32,
+    ranges: Vec<ShardRange>,
+}
+
+impl ShardMap {
+    /// `n` replicas, each owning an equal `1/n` slice of the key space
+    /// (ordinal `i` owns the `i`-th slice). `n` is clamped to at least 1.
+    pub fn uniform(n: usize) -> Self {
+        let n = n.max(1) as u32;
+        let ranges = (0..n)
+            .map(|i| ShardRange {
+                start: ((i as u128) << 64).wrapping_div(n as u128) as u64,
+                ordinal: i,
+            })
+            .collect();
+        ShardMap { members: n, ranges }
+    }
+
+    /// `n` replicas with the *entire* key space on ordinal 0; the other
+    /// replicas idle until a live split hands them keys. This is the
+    /// starting point of the scale-out drill: traffic concentrates on
+    /// one replica, the overload signal fires, and
+    /// [`ShardMap::split`] activates a sibling.
+    pub fn concentrated(n: usize) -> Self {
+        let n = n.max(1) as u32;
+        ShardMap { members: n, ranges: vec![ShardRange { start: 0, ordinal: 0 }] }
+    }
+
+    /// Number of replicas in the group (owning keys or idle).
+    pub fn members(&self) -> u32 {
+        self.members
+    }
+
+    /// The ranges, sorted by start key.
+    pub fn ranges(&self) -> &[ShardRange] {
+        &self.ranges
+    }
+
+    /// The ordinal owning `key`. Total: every key has exactly one owner.
+    pub fn owner_of(&self, key: u64) -> u32 {
+        // Last range whose start <= key (first range starts at 0).
+        match self.ranges.binary_search_by(|r| r.start.cmp(&key)) {
+            Ok(i) => self.ranges[i].ordinal,
+            Err(i) => self.ranges[i - 1].ordinal,
+        }
+    }
+
+    /// Total width of the key space owned by `ordinal` (0 when idle).
+    pub fn width_of(&self, ordinal: u32) -> u128 {
+        let mut total: u128 = 0;
+        for (i, r) in self.ranges.iter().enumerate() {
+            if r.ordinal == ordinal {
+                total += self.range_width(i);
+            }
+        }
+        total
+    }
+
+    fn range_width(&self, i: usize) -> u128 {
+        let start = self.ranges[i].start as u128;
+        let end = match self.ranges.get(i + 1) {
+            Some(next) => next.start as u128,
+            None => 1u128 << 64,
+        };
+        end - start
+    }
+
+    /// The sibling of `from` owning the least key-space width (idle
+    /// replicas first); `None` when the group has no other member.
+    pub fn least_loaded_other(&self, from: u32) -> Option<u32> {
+        (0..self.members).filter(|&o| o != from).min_by_key(|&o| self.width_of(o))
+    }
+
+    /// Split `from`'s widest range in half, handing the upper half to
+    /// `to`. Both ordinals must exist; `from` must own a range at least
+    /// two keys wide.
+    pub fn split(&mut self, from: u32, to: u32) -> Result<(), ShardError> {
+        for o in [from, to] {
+            if o >= self.members {
+                return Err(ShardError::UnknownOrdinal(o));
+            }
+        }
+        if from == to {
+            return Err(ShardError::NoTarget);
+        }
+        let widest = (0..self.ranges.len())
+            .filter(|&i| self.ranges[i].ordinal == from)
+            .max_by_key(|&i| self.range_width(i))
+            .ok_or(ShardError::NothingOwned(from))?;
+        let width = self.range_width(widest);
+        if width < 2 {
+            return Err(ShardError::RangeTooNarrow(from));
+        }
+        let mid = self.ranges[widest].start.wrapping_add((width / 2) as u64);
+        self.ranges.insert(widest + 1, ShardRange { start: mid, ordinal: to });
+        self.coalesce();
+        Ok(())
+    }
+
+    /// Remove `from` from the partition, handing each of its ranges to
+    /// the neighbouring owner (the range to its left, or to its right
+    /// for the first range). At least one other ordinal must own keys.
+    pub fn merge(&mut self, from: u32) -> Result<(), ShardError> {
+        if from >= self.members {
+            return Err(ShardError::UnknownOrdinal(from));
+        }
+        if !self.ranges.iter().any(|r| r.ordinal == from) {
+            return Err(ShardError::NothingOwned(from));
+        }
+        if self.ranges.iter().all(|r| r.ordinal == from) {
+            return Err(ShardError::LastOwner(from));
+        }
+        // Reassign each of `from`'s ranges to a neighbour, preferring the
+        // left one (keeps ranges contiguous per owner where possible).
+        for i in 0..self.ranges.len() {
+            if self.ranges[i].ordinal != from {
+                continue;
+            }
+            let heir = if i > 0 {
+                self.ranges[i - 1].ordinal
+            } else {
+                // First range: walk right to the first non-`from` owner.
+                self.ranges[i..]
+                    .iter()
+                    .map(|r| r.ordinal)
+                    .find(|&o| o != from)
+                    .expect("checked: another owner exists")
+            };
+            self.ranges[i].ordinal = heir;
+        }
+        self.coalesce();
+        Ok(())
+    }
+
+    fn coalesce(&mut self) {
+        self.ranges.dedup_by(|next, prev| next.ordinal == prev.ordinal);
+    }
+
+    /// Serialize for the wire: `members:u32, count:u32, (start:u64,
+    /// ordinal:u32)*`, all big-endian.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.ranges.len() * 12);
+        out.extend_from_slice(&self.members.to_be_bytes());
+        out.extend_from_slice(&(self.ranges.len() as u32).to_be_bytes());
+        for r in &self.ranges {
+            out.extend_from_slice(&r.start.to_be_bytes());
+            out.extend_from_slice(&r.ordinal.to_be_bytes());
+        }
+        out
+    }
+
+    /// Decode a map encoded by [`ShardMap::encode`], revalidating every
+    /// invariant (sorted starts, first at 0, ordinals in range).
+    pub fn decode(bytes: &[u8]) -> Result<Self, ShardError> {
+        let take4 = |b: &[u8], at: usize| -> Result<u32, ShardError> {
+            b.get(at..at + 4)
+                .map(|s| u32::from_be_bytes(s.try_into().unwrap()))
+                .ok_or_else(|| ShardError::Decode("truncated".into()))
+        };
+        let take8 = |b: &[u8], at: usize| -> Result<u64, ShardError> {
+            b.get(at..at + 8)
+                .map(|s| u64::from_be_bytes(s.try_into().unwrap()))
+                .ok_or_else(|| ShardError::Decode("truncated".into()))
+        };
+        let members = take4(bytes, 0)?;
+        let count = take4(bytes, 4)? as usize;
+        if members == 0 || count == 0 {
+            return Err(ShardError::Decode("empty map".into()));
+        }
+        let mut ranges = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = 8 + i * 12;
+            let start = take8(bytes, at)?;
+            let ordinal = take4(bytes, at + 8)?;
+            if ordinal >= members {
+                return Err(ShardError::Decode(format!(
+                    "ordinal {ordinal} out of range (members {members})"
+                )));
+            }
+            ranges.push(ShardRange { start, ordinal });
+        }
+        if ranges[0].start != 0 {
+            return Err(ShardError::Decode("first range must start at 0".into()));
+        }
+        if ranges.windows(2).any(|w| w[0].start >= w[1].start) {
+            return Err(ShardError::Decode("range starts must strictly increase".into()));
+        }
+        Ok(ShardMap { members, ranges })
+    }
+}
+
+#[derive(Debug)]
+struct RouterInner {
+    map: ShardMap,
+    epoch: u64,
+}
+
+/// What a live [`ShardRouter`] mutation did, for logging and for the
+/// coordinator's broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardChange {
+    /// True for a split (scale-out), false for a merge (scale-in).
+    pub split: bool,
+    /// The replica whose load triggered the change.
+    pub from: u32,
+    /// The replica that received the keys.
+    pub to: u32,
+    /// The map epoch after the change.
+    pub epoch: u64,
+}
+
+/// Shared, epoch-versioned view of a replica group's [`ShardMap`].
+///
+/// One router per replica group, shared (via `Arc`) by every upstream
+/// sender, every replica, and the adaptation loop. Senders call
+/// [`ShardRouter::route`] per packet; the adaptation loop calls
+/// [`ShardRouter::split_hot`] / [`ShardRouter::merge_cold`]; the
+/// distributed runtime ships `(epoch, map)` snapshots and installs them
+/// with [`ShardRouter::install`], which rejects anything not newer than
+/// the current epoch.
+///
+/// ```
+/// use gates_core::ShardRouter;
+///
+/// let router = ShardRouter::uniform(2);
+/// let before = router.route(u64::MAX); // upper half → replica 1
+/// assert_eq!(before, 1);
+/// let change = router.split_hot(1).unwrap(); // replica 1 overloaded
+/// assert!(change.split);
+/// assert_eq!(router.epoch(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ShardRouter {
+    inner: RwLock<RouterInner>,
+}
+
+impl ShardRouter {
+    /// A router starting at epoch 0 with the given map.
+    pub fn new(map: ShardMap) -> Self {
+        ShardRouter { inner: RwLock::new(RouterInner { map, epoch: 0 }) }
+    }
+
+    /// A router over [`ShardMap::uniform`]`(n)`.
+    pub fn uniform(n: usize) -> Self {
+        ShardRouter::new(ShardMap::uniform(n))
+    }
+
+    /// Replica count of the group.
+    pub fn members(&self) -> u32 {
+        self.inner.read().unwrap().map.members()
+    }
+
+    /// The replica ordinal owning `key` under the current map.
+    pub fn route(&self, key: u64) -> usize {
+        self.inner.read().unwrap().map.owner_of(key) as usize
+    }
+
+    /// Current map version. Starts at 0; every mutation increments it.
+    pub fn epoch(&self) -> u64 {
+        self.inner.read().unwrap().epoch
+    }
+
+    /// Snapshot `(epoch, map)` atomically, e.g. for a coordinator
+    /// broadcast or a checkpoint.
+    pub fn snapshot(&self) -> (u64, ShardMap) {
+        let g = self.inner.read().unwrap();
+        (g.epoch, g.map.clone())
+    }
+
+    /// Install a newer map. Returns `false` (and changes nothing) when
+    /// `epoch` is not strictly newer than the current epoch — the
+    /// staleness guard for out-of-order coordinator broadcasts.
+    pub fn install(&self, epoch: u64, map: ShardMap) -> bool {
+        let mut g = self.inner.write().unwrap();
+        if epoch <= g.epoch {
+            return false;
+        }
+        g.map = map;
+        g.epoch = epoch;
+        true
+    }
+
+    /// Scale-out action: split the overloaded replica's widest range,
+    /// handing the upper half to the least-loaded sibling.
+    pub fn split_hot(&self, ordinal: u32) -> Result<ShardChange, ShardError> {
+        let mut g = self.inner.write().unwrap();
+        let to = g.map.least_loaded_other(ordinal).ok_or(ShardError::NoTarget)?;
+        g.map.split(ordinal, to)?;
+        g.epoch += 1;
+        Ok(ShardChange { split: true, from: ordinal, to, epoch: g.epoch })
+    }
+
+    /// Scale-in action: hand the underloaded replica's ranges to its
+    /// neighbours, idling it.
+    pub fn merge_cold(&self, ordinal: u32) -> Result<ShardChange, ShardError> {
+        let mut g = self.inner.write().unwrap();
+        g.map.merge(ordinal)?;
+        g.epoch += 1;
+        // `merge` may spread ranges over several heirs; report the owner
+        // of the first key the replica used to hold.
+        let to = g.map.owner_of(0);
+        Ok(ShardChange { split: false, from: ordinal, to, epoch: g.epoch })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_key_space() {
+        for n in 1..=8 {
+            let map = ShardMap::uniform(n);
+            assert_eq!(map.ranges().len(), n);
+            assert_eq!(map.owner_of(0), 0);
+            assert_eq!(map.owner_of(u64::MAX), n as u32 - 1);
+            // Boundaries are exact: the first key of slice i belongs to i.
+            for (i, r) in map.ranges().iter().enumerate() {
+                assert_eq!(map.owner_of(r.start), i as u32);
+                if r.start > 0 {
+                    assert_eq!(map.owner_of(r.start - 1), i as u32 - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concentrated_routes_everything_to_zero() {
+        let map = ShardMap::concentrated(4);
+        assert_eq!(map.members(), 4);
+        for key in [0u64, 1, u64::MAX / 2, u64::MAX] {
+            assert_eq!(map.owner_of(key), 0);
+        }
+        assert_eq!(map.width_of(0), 1u128 << 64);
+        assert_eq!(map.width_of(3), 0);
+    }
+
+    #[test]
+    fn split_halves_and_merge_restores() {
+        let mut map = ShardMap::concentrated(2);
+        map.split(0, 1).unwrap();
+        assert_eq!(map.owner_of(0), 0);
+        assert_eq!(map.owner_of(u64::MAX), 1);
+        assert_eq!(map.width_of(0), map.width_of(1));
+        map.merge(1).unwrap();
+        assert_eq!(map.width_of(0), 1u128 << 64);
+        assert_eq!(map.ranges().len(), 1);
+    }
+
+    #[test]
+    fn split_errors_are_typed() {
+        let mut map = ShardMap::concentrated(2);
+        assert_eq!(map.split(1, 0), Err(ShardError::NothingOwned(1)));
+        assert_eq!(map.split(0, 0), Err(ShardError::NoTarget));
+        assert_eq!(map.split(0, 9), Err(ShardError::UnknownOrdinal(9)));
+        let mut one = ShardMap::uniform(1);
+        assert_eq!(one.split(0, 0), Err(ShardError::NoTarget));
+    }
+
+    #[test]
+    fn merge_errors_are_typed() {
+        let mut map = ShardMap::concentrated(2);
+        assert_eq!(map.merge(0), Err(ShardError::LastOwner(0)));
+        assert_eq!(map.merge(1), Err(ShardError::NothingOwned(1)));
+        assert_eq!(map.merge(7), Err(ShardError::UnknownOrdinal(7)));
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let mut map = ShardMap::uniform(4);
+        map.split(2, 3).unwrap();
+        map.merge(1).unwrap();
+        let back = ShardMap::decode(&map.encode()).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let map = ShardMap::uniform(2);
+        let mut bytes = map.encode();
+        assert!(ShardMap::decode(&bytes[..bytes.len() - 1]).is_err());
+        // Out-of-range ordinal.
+        let last = bytes.len() - 1;
+        bytes[last] = 200;
+        assert!(ShardMap::decode(&bytes).is_err());
+        assert!(ShardMap::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn router_epoch_guards_installs() {
+        let router = ShardRouter::uniform(2);
+        assert_eq!(router.epoch(), 0);
+        let newer = ShardMap::concentrated(2);
+        assert!(router.install(3, newer.clone()));
+        assert_eq!(router.epoch(), 3);
+        // Stale and equal epochs are rejected.
+        assert!(!router.install(3, ShardMap::uniform(2)));
+        assert!(!router.install(1, ShardMap::uniform(2)));
+        assert_eq!(router.route(u64::MAX), 0, "concentrated map stays installed");
+    }
+
+    #[test]
+    fn split_hot_targets_idle_sibling() {
+        let router = ShardRouter::new(ShardMap::concentrated(3));
+        let change = router.split_hot(0).unwrap();
+        assert!(change.split);
+        assert_eq!(change.from, 0);
+        assert!(change.to == 1 || change.to == 2);
+        assert_eq!(change.epoch, 1);
+        assert_eq!(router.route(u64::MAX), change.to as usize);
+    }
+
+    #[test]
+    fn merge_cold_idles_replica() {
+        let router = ShardRouter::uniform(2);
+        let change = router.merge_cold(1).unwrap();
+        assert!(!change.split);
+        let (_, map) = router.snapshot();
+        assert_eq!(map.width_of(1), 0);
+        assert_eq!(map.width_of(0), 1u128 << 64);
+    }
+
+    #[test]
+    fn every_key_has_exactly_one_owner_after_mutations() {
+        let mut map = ShardMap::uniform(4);
+        map.split(0, 2).unwrap();
+        map.split(3, 1).unwrap();
+        map.merge(0).unwrap();
+        // Probe boundaries: starts, starts-1, extremes.
+        let mut probes = vec![0u64, u64::MAX, 1, u64::MAX - 1];
+        for r in map.ranges() {
+            probes.push(r.start);
+            probes.push(r.start.wrapping_sub(1));
+            probes.push(r.start.wrapping_add(1));
+        }
+        for key in probes {
+            let o = map.owner_of(key);
+            assert!(o < map.members());
+        }
+        // Widths sum to the full space.
+        let total: u128 = (0..map.members()).map(|o| map.width_of(o)).sum();
+        assert_eq!(total, 1u128 << 64);
+    }
+}

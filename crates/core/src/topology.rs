@@ -5,9 +5,12 @@
 //! The grid deployer maps each stage's *site* label onto a concrete node,
 //! and an executor (virtual-time or threaded) instantiates and runs it.
 
+use std::sync::Arc;
+
 use gates_net::LinkSpec;
 
 use crate::adapt::AdaptationConfig;
+use crate::shard::ShardRouter;
 use crate::stage::{CostModel, StreamProcessor};
 use crate::CoreError;
 
@@ -29,8 +32,10 @@ impl StageId {
     }
 }
 
-/// Factory producing fresh processor instances for a stage.
-pub type ProcessorFactory = Box<dyn Fn() -> Box<dyn StreamProcessor + Send> + Send + Sync>;
+/// Factory producing fresh processor instances for a stage. Shared
+/// (`Arc`) so [`Topology::replicate`] can hand the same factory to every
+/// replica of a stage.
+pub type ProcessorFactory = Arc<dyn Fn() -> Box<dyn StreamProcessor + Send> + Send + Sync>;
 
 /// Description of one stage.
 pub struct StageSpec {
@@ -129,7 +134,7 @@ impl StageBuilder {
         F: Fn() -> P + Send + Sync + 'static,
         P: StreamProcessor + Send,
     {
-        self.factory = Some(Box::new(move || Box::new(factory())));
+        self.factory = Some(Arc::new(move || Box::new(factory())));
         self
     }
 
@@ -212,11 +217,41 @@ impl std::fmt::Display for TopologyError {
 
 impl std::error::Error for TopologyError {}
 
+/// A group of replicas expanded from one declared stage by
+/// [`Topology::replicate`]. Members are named `"{base}#{ordinal}"` and
+/// share one [`ShardRouter`] that partitions the key space among them.
+#[derive(Debug)]
+pub struct ReplicaGroup {
+    /// The declared stage name the group was expanded from.
+    pub base: String,
+    /// Member stage ids in ordinal order (`members[k]` is ordinal `k`).
+    pub members: Vec<StageId>,
+    /// The group's shared key-range router.
+    pub router: Arc<ShardRouter>,
+}
+
+/// One logical output of a stage, as seen by `emit_to`. A route spans
+/// `len` consecutive physical out-edges: 1 for a singleton consumer, or
+/// the group size for a replicated consumer, in which case `router`
+/// picks the one physical port a packet's key maps to.
+#[derive(Debug, Clone)]
+pub struct OutRoute {
+    /// Index of the route's first physical port (position within the
+    /// stage's [`Topology::out_edges`] list).
+    pub start: usize,
+    /// Number of consecutive physical ports the route spans.
+    pub len: usize,
+    /// `Some` when the consumer is a replica group: routes each packet's
+    /// key to the owning member. `None` for singleton consumers.
+    pub router: Option<Arc<ShardRouter>>,
+}
+
 /// The full pipeline description.
 #[derive(Debug, Default)]
 pub struct Topology {
     stages: Vec<StageSpec>,
     edges: Vec<Edge>,
+    groups: Vec<ReplicaGroup>,
 }
 
 impl Topology {
@@ -360,6 +395,113 @@ impl Topology {
             }
         }
         Ok(())
+    }
+
+    /// Expand stage `name` into `n` replicas sharing one key-partitioned
+    /// [`ShardRouter`] (uniform initial ranges). The existing stage
+    /// becomes ordinal 0 (renamed `"{name}#0"`); ordinals `1..n` are
+    /// appended with the same site, cost, queue capacity, adaptation
+    /// config and processor factory. Every edge touching the stage is
+    /// expanded into `n` consecutive edges in ordinal order, so engines
+    /// that wire ports in declaration order see each replica group as a
+    /// contiguous port run (see [`Topology::out_routes`]).
+    ///
+    /// `n <= 1` is a no-op. Replicating a stage twice, or a stage that is
+    /// itself a replica, is an error.
+    pub fn replicate(&mut self, name: &str, n: usize) -> Result<(), CoreError> {
+        if n <= 1 {
+            return Ok(());
+        }
+        let id = self.stage_by_name(name).ok_or_else(|| {
+            CoreError::InvalidTopology(format!("replicate: unknown stage {name:?}"))
+        })?;
+        if self.groups.iter().any(|g| g.members.contains(&id)) {
+            return Err(CoreError::InvalidTopology(format!(
+                "stage {name:?} is already replicated"
+            )));
+        }
+        let (site, cost, queue_capacity, adaptation, factory) = {
+            let s = &self.stages[id.0];
+            (s.site.clone(), s.cost, s.queue_capacity, s.adaptation.clone(), Arc::clone(&s.factory))
+        };
+        self.stages[id.0].name = format!("{name}#0");
+        let mut members = vec![id];
+        for k in 1..n {
+            let spec = StageSpec {
+                name: format!("{name}#{k}"),
+                site: site.clone(),
+                cost,
+                queue_capacity,
+                adaptation: adaptation.clone(),
+                factory: Arc::clone(&factory),
+            };
+            members.push(self.push_spec(spec)?);
+        }
+        let old = std::mem::take(&mut self.edges);
+        for e in old {
+            if e.to == id {
+                for &m in &members {
+                    self.edges.push(Edge { from: e.from, to: m, link: e.link.clone() });
+                }
+            } else if e.from == id {
+                for &m in &members {
+                    self.edges.push(Edge { from: m, to: e.to, link: e.link.clone() });
+                }
+            } else {
+                self.edges.push(e);
+            }
+        }
+        self.groups.push(ReplicaGroup {
+            base: name.to_string(),
+            members,
+            router: Arc::new(ShardRouter::uniform(n)),
+        });
+        Ok(())
+    }
+
+    /// Replica groups created by [`Topology::replicate`].
+    pub fn groups(&self) -> &[ReplicaGroup] {
+        &self.groups
+    }
+
+    /// `(group index, ordinal)` when `id` is a member of a replica
+    /// group, else `None`.
+    pub fn replica_of(&self, id: StageId) -> Option<(usize, usize)> {
+        self.groups.iter().enumerate().find_map(|(gi, g)| {
+            g.members.iter().position(|&m| m == id).map(|ordinal| (gi, ordinal))
+        })
+    }
+
+    /// The logical output routes of `id`: consecutive physical out-ports
+    /// targeting one replica group collapse into one sharded route;
+    /// everything else is a singleton route. For an unreplicated
+    /// topology every route has `len == 1` and route index == physical
+    /// port index, so `emit_to` semantics are unchanged.
+    pub fn out_routes(&self, id: StageId) -> Vec<OutRoute> {
+        let ports = self.out_edges(id);
+        let mut routes = Vec::new();
+        let mut pos = 0;
+        while pos < ports.len() {
+            let target = self.edges[ports[pos]].to;
+            if let Some((gi, 0)) = self.replica_of(target) {
+                let g = &self.groups[gi];
+                let n = g.members.len();
+                let aligned = pos + n <= ports.len()
+                    && (0..n).all(|k| self.edges[ports[pos + k]].to == g.members[k]);
+                if aligned {
+                    routes.push(OutRoute {
+                        start: pos,
+                        len: n,
+                        router: Some(Arc::clone(&g.router)),
+                    });
+                    pos += n;
+                    continue;
+                }
+            }
+            routes.push(OutRoute { start: pos, len: 1, router: None });
+            pos += 1;
+        }
+        routes
     }
 
     /// Stage ids in a topological order (validate first).
@@ -527,6 +669,99 @@ mod tests {
         let a = t.add_stage(stage("alpha")).unwrap();
         assert_eq!(t.stage_by_name("alpha"), Some(a));
         assert_eq!(t.stage_by_name("beta"), None);
+    }
+
+    #[test]
+    fn replicate_expands_stages_and_edges() {
+        let mut t = Topology::new();
+        let src = t.add_stage(stage("src")).unwrap();
+        let agg = t.add_stage(stage("agg")).unwrap();
+        let sink = t.add_stage(stage("sink")).unwrap();
+        t.connect(src, agg, link());
+        t.connect(agg, sink, link());
+        t.replicate("agg", 3).unwrap();
+        t.validate().unwrap();
+
+        assert_eq!(t.stages().len(), 5);
+        assert_eq!(t.stage_by_name("agg"), None, "base name is renamed");
+        let g = &t.groups()[0];
+        assert_eq!(g.base, "agg");
+        assert_eq!(g.members.len(), 3);
+        assert_eq!(t.stage(g.members[0]).unwrap().name, "agg#0");
+        assert_eq!(t.stage(g.members[2]).unwrap().name, "agg#2");
+        // src fans out to all members, consecutively and in ordinal order.
+        let out = t.out_edges(src);
+        assert_eq!(out.len(), 3);
+        for (k, &ei) in out.iter().enumerate() {
+            assert_eq!(t.edges()[ei].to, g.members[k]);
+        }
+        // Each member has its own edge to the sink.
+        assert_eq!(t.in_edges(sink).len(), 3);
+        for &m in &g.members {
+            assert_eq!(t.out_edges(m).len(), 1);
+        }
+        assert_eq!(t.replica_of(g.members[1]), Some((0, 1)));
+        assert_eq!(t.replica_of(src), None);
+    }
+
+    #[test]
+    fn replicate_one_is_noop_and_twice_is_error() {
+        let mut t = Topology::new();
+        let a = t.add_stage(stage("a")).unwrap();
+        let b = t.add_stage(stage("b")).unwrap();
+        t.connect(a, b, link());
+        t.replicate("b", 1).unwrap();
+        assert_eq!(t.stages().len(), 2);
+        t.replicate("b", 2).unwrap();
+        assert!(t.replicate("b", 2).is_err(), "base name is gone after expansion");
+        assert!(t.replicate("b#0", 2).is_err(), "replicas cannot be re-replicated");
+        assert!(t.replicate("ghost", 2).is_err());
+    }
+
+    #[test]
+    fn out_routes_collapse_replica_groups() {
+        let mut t = Topology::new();
+        let src = t.add_stage(stage("src")).unwrap();
+        let agg = t.add_stage(stage("agg")).unwrap();
+        let side = t.add_stage(stage("side")).unwrap();
+        t.connect(src, agg, link());
+        t.connect(src, side, link());
+        t.connect(agg, side, link());
+        t.replicate("agg", 4).unwrap();
+
+        let routes = t.out_routes(src);
+        assert_eq!(routes.len(), 2, "4 replica ports + 1 side port = 2 logical routes");
+        assert_eq!((routes[0].start, routes[0].len), (0, 4));
+        assert!(routes[0].router.is_some());
+        assert_eq!((routes[1].start, routes[1].len), (4, 1));
+        assert!(routes[1].router.is_none());
+
+        // A singleton stage's routes are identity.
+        let agg0 = t.stage_by_name("agg#0").unwrap();
+        let r = t.out_routes(agg0);
+        assert_eq!(r.len(), 1);
+        assert_eq!((r[0].start, r[0].len), (0, 1));
+    }
+
+    #[test]
+    fn replicas_share_the_processor_factory() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&count);
+        let mut t = Topology::new();
+        let a = t.add_stage(stage("a")).unwrap();
+        let b = t
+            .add_stage(StageBuilder::new("b").processor(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                Nop
+            }))
+            .unwrap();
+        t.connect(a, b, link());
+        t.replicate("b", 3).unwrap();
+        for m in &t.groups()[0].members {
+            let _ = t.stage(*m).unwrap().instantiate();
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 3);
     }
 
     #[test]

@@ -155,6 +155,15 @@ pub enum LinkEventKind {
     /// A dead link's re-dial budget ran out; the link stays down until
     /// failover re-places the peer stage or the stream ends.
     ReconnectExhausted,
+    /// A replica group's shard map split: an overloaded replica handed
+    /// half its key range to a sibling (live scale-out).
+    ShardSplit,
+    /// A replica group's shard map merged: an underloaded replica handed
+    /// its key range to its neighbours (live scale-in).
+    ShardMerge,
+    /// A packet reached a replica that does not own its key (the sender
+    /// routed with a stale shard map); it was re-routed or rejected.
+    Misrouted,
 }
 
 impl LinkEventKind {
@@ -177,6 +186,9 @@ impl LinkEventKind {
             LinkEventKind::StaleDiscarded => "stale_discarded",
             LinkEventKind::CheckpointCorrupt => "checkpoint_corrupt",
             LinkEventKind::ReconnectExhausted => "reconnect_exhausted",
+            LinkEventKind::ShardSplit => "shard_split",
+            LinkEventKind::ShardMerge => "shard_merge",
+            LinkEventKind::Misrouted => "misrouted",
         }
     }
 }

@@ -1,0 +1,134 @@
+//! Property tests for key-partitioned sharding: the key space is a
+//! total partition of `u64` among the replica group — every key has
+//! exactly one owner, and split/merge churn never breaks that.
+
+use gates_core::{shard_key, ShardMap, ShardRouter};
+use proptest::prelude::*;
+
+/// One random resharding operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Split(u32),
+    Merge(u32),
+}
+
+fn op_strategy(n: u32) -> impl Strategy<Value = Op> {
+    (0..n, any::<bool>()).prop_map(|(o, split)| if split { Op::Split(o) } else { Op::Merge(o) })
+}
+
+proptest! {
+    #[test]
+    fn every_key_has_exactly_one_owner(
+        n in 1usize..16,
+        keys in proptest::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let map = ShardMap::uniform(n);
+        prop_assert_eq!(map.members(), n as u32);
+        for &k in &keys {
+            prop_assert!(map.owner_of(k) < n as u32, "key {k:#x} routed out of range");
+        }
+        // The range list is a partition: starts strictly increase from 0,
+        // so lookup by binary search finds one and only one range.
+        let ranges = map.ranges();
+        prop_assert_eq!(ranges[0].start, 0, "first range must cover key 0");
+        for w in ranges.windows(2) {
+            prop_assert!(w[0].start < w[1].start, "range starts must strictly increase");
+        }
+    }
+
+    #[test]
+    fn partition_survives_split_and_merge_churn(
+        n in 2usize..8,
+        ops in proptest::collection::vec(op_strategy(8), 1..24),
+        keys in proptest::collection::vec(any::<u64>(), 1..100),
+    ) {
+        let router = ShardRouter::uniform(n);
+        for op in ops {
+            // Individual operations may legitimately fail (narrow range,
+            // last owner, unknown ordinal) — the invariant is that the
+            // map stays a total partition either way.
+            let _ = match op {
+                Op::Split(o) => router.split_hot(o),
+                Op::Merge(o) => router.merge_cold(o),
+            };
+            let (_, map) = router.snapshot();
+            let ranges = map.ranges();
+            prop_assert_eq!(ranges[0].start, 0);
+            for w in ranges.windows(2) {
+                prop_assert!(w[0].start < w[1].start);
+            }
+            for &k in &keys {
+                let owner = map.owner_of(k);
+                prop_assert!(owner < n as u32);
+                prop_assert_eq!(router.route(k), owner as usize,
+                    "router and map disagree on key {:#x}", k);
+            }
+        }
+    }
+
+    #[test]
+    fn split_moves_keys_only_from_the_split_replica(
+        n in 2usize..8,
+        ordinal in 0u32..8,
+        keys in proptest::collection::vec(any::<u64>(), 1..200),
+    ) {
+        if (ordinal as usize) >= n {
+            return Ok(());
+        }
+        let router = ShardRouter::uniform(n);
+        let before: Vec<u32> = keys.iter().map(|&k| router.snapshot().1.owner_of(k)).collect();
+        let Ok(change) = router.split_hot(ordinal) else { return Ok(()) };
+        prop_assert_eq!(change.from, ordinal);
+        let (_, after) = router.snapshot();
+        for (&k, &was) in keys.iter().zip(&before) {
+            let now = after.owner_of(k);
+            if now != was {
+                prop_assert_eq!(was, change.from, "key {:#x} stolen from a bystander", k);
+                prop_assert_eq!(now, change.to, "key {:#x} handed to the wrong replica", k);
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_after_churn(
+        n in 1usize..8,
+        ops in proptest::collection::vec(op_strategy(8), 0..12),
+    ) {
+        let router = ShardRouter::uniform(n);
+        for op in ops {
+            let _ = match op {
+                Op::Split(o) => router.split_hot(o),
+                Op::Merge(o) => router.merge_cold(o),
+            };
+        }
+        let (_, map) = router.snapshot();
+        let decoded = ShardMap::decode(&map.encode()).unwrap();
+        prop_assert_eq!(decoded.ranges(), map.ranges());
+        prop_assert_eq!(decoded.members(), map.members());
+    }
+
+    #[test]
+    fn shard_key_is_deterministic(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(shard_key(&bytes), shard_key(&bytes));
+    }
+
+    #[test]
+    fn stale_installs_are_rejected(
+        n in 2usize..6,
+        splits in 1usize..4,
+    ) {
+        let router = ShardRouter::uniform(n);
+        let (old_epoch, old_map) = router.snapshot();
+        let mut did_split = false;
+        for o in 0..splits as u32 {
+            did_split |= router.split_hot(o % n as u32).is_ok();
+        }
+        if !did_split {
+            return Ok(());
+        }
+        let (new_epoch, _) = router.snapshot();
+        prop_assert!(new_epoch > old_epoch);
+        prop_assert!(!router.install(old_epoch, old_map), "stale epoch must not install");
+        prop_assert_eq!(router.epoch(), new_epoch);
+    }
+}

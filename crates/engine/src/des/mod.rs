@@ -10,9 +10,11 @@ use gates_grid::DeploymentPlan;
 use gates_net::LinkModel;
 use gates_sim::{SimDuration, SimTime, Simulation};
 
+use std::sync::Arc;
+
 use crate::options::RunOptions;
 use crate::EngineError;
-use stage_actor::{EngineMsg, OutSpec, StageActor};
+use stage_actor::{EngineMsg, OutSpec, ShardSpec, StageActor};
 
 /// Runs a deployed topology in virtual time.
 ///
@@ -109,6 +111,14 @@ impl DesEngine {
             let tracker = stage.adaptation.clone().map(LoadTracker::new);
             let placed_on = plan.node_of(id).unwrap_or(&stage.site).to_string();
             placements.push((stage.name.clone(), placed_on.clone()));
+            // Logical routes collapse a replicated consumer's consecutive
+            // ports into one key-hashed route; replicas themselves get
+            // their group's shared router for local shard scaling.
+            let routes = topology.out_routes(id);
+            let shard = topology.replica_of(id).map(|(gi, ordinal)| ShardSpec {
+                router: Arc::clone(&topology.groups()[gi].router),
+                ordinal: ordinal as u32,
+            });
             let actor = StageActor::new(
                 stage.name.clone(),
                 placed_on,
@@ -117,6 +127,8 @@ impl DesEngine {
                 plan.speed_of(id),
                 stage.queue_capacity,
                 out,
+                routes,
+                shard,
                 upstream,
                 in_edge_count,
                 tracker,
@@ -581,6 +593,49 @@ mod tests {
         assert_eq!(report.stage("even").unwrap().packets_in, 20);
         assert_eq!(report.stage("odd").unwrap().packets_in, 20);
         assert_eq!(report.stage("split").unwrap().packets_out, 40, "each packet sent once");
+    }
+
+    #[test]
+    fn replicated_stage_shards_by_key() {
+        // A keyed source into a 2-replica forwarder: every packet lands
+        // on exactly one replica (the key's owner) and all of them reach
+        // the sink once.
+        struct KeyedSource {
+            total: u64,
+            emitted: u64,
+        }
+        impl StreamProcessor for KeyedSource {
+            fn process(&mut self, _p: Packet, _a: &mut StageApi) {}
+            fn poll_generate(&mut self, api: &mut StageApi) -> SourceStatus {
+                if self.emitted >= self.total {
+                    return SourceStatus::Done;
+                }
+                let key = gates_core::shard_key(&self.emitted.to_be_bytes());
+                api.emit(Packet::data(0, self.emitted, 1, Bytes::from_static(b"k")).with_key(key));
+                self.emitted += 1;
+                SourceStatus::Continue { next_poll: SimDuration::from_millis(1) }
+            }
+        }
+        let mut t = Topology::new();
+        let s = t
+            .add_stage_raw(
+                StageBuilder::new("src").processor(|| KeyedSource { total: 64, emitted: 0 }),
+            )
+            .unwrap();
+        let f = t.add_stage(StageBuilder::new("fwd").processor(|| Forwarder)).unwrap();
+        let k = t.add_stage(StageBuilder::new("sink").processor(CountingSink::default)).unwrap();
+        t.connect(s, f, LinkSpec::local());
+        t.connect(f, k, LinkSpec::local());
+        t.replicate("fwd", 2).unwrap();
+        let plan = deploy(&t);
+        let mut engine = DesEngine::new(t, &plan, RunOptions::default()).unwrap();
+        let report = engine.run_to_completion();
+        assert!(engine.is_complete());
+        let r0 = report.stage("fwd#0").unwrap().packets_in;
+        let r1 = report.stage("fwd#1").unwrap().packets_in;
+        assert_eq!(r0 + r1, 64, "each packet visits exactly one replica");
+        assert!(r0 > 0 && r1 > 0, "hashing spreads keys over both replicas ({r0}/{r1})");
+        assert_eq!(report.stage("sink").unwrap().packets_in, 64);
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! The actor wrapping one stage instance in the virtual-time engine.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use gates_core::adapt::{LoadException, LoadTracker, ParamController};
 use gates_core::report::{ParamTrajectory, StageReport};
 use gates_core::trace::{AdaptRound, LinkEvent, LinkEventKind, StageSample, TraceEvent};
-use gates_core::{CostModel, Packet, ParamId, SourceStatus, StageApi, StreamProcessor};
+use gates_core::{
+    CostModel, OutRoute, Packet, ParamId, ShardRouter, SourceStatus, StageApi, StreamProcessor,
+};
 use gates_net::{FaultFate, FaultInjector, LinkModel};
 use gates_sim::{Actor, ActorId, Context, Event, SimDuration, SimTime};
 
@@ -22,6 +25,12 @@ pub(crate) enum EngineMsg {
     /// finally disposed of) one packet from the sending edge.
     Ack,
 }
+
+/// Consecutive same-direction load exceptions before a replica fires a
+/// shard action (mirrors the wall-clock runtime's debounce).
+const SHARD_STREAK: u32 = 3;
+/// Virtual-time settle window between shard actions.
+const SHARD_COOLDOWN: SimDuration = SimDuration::from_millis(500);
 
 /// Timer tags.
 const TAG_SERVICE_DONE: u64 = 0;
@@ -48,6 +57,27 @@ pub(crate) struct OutSpec {
     pub(crate) to_stage: String,
     /// Node the destination stage is placed on (partition matching).
     pub(crate) to_node: String,
+}
+
+/// Replica-group identity handed to a stage actor by the engine: the
+/// group's shared key router plus this member's ordinal. Scaling is
+/// always local in virtual time — every actor holds the same `Arc`, so
+/// a split or merge re-routes upstream senders on their next packet.
+pub(crate) struct ShardSpec {
+    /// The replica group's shared key-range router.
+    pub(crate) router: Arc<ShardRouter>,
+    /// This member's position within the group.
+    pub(crate) ordinal: u32,
+}
+
+/// Live shard-scaling state for one replica actor.
+struct ShardState {
+    router: Arc<ShardRouter>,
+    ordinal: u32,
+    /// Consecutive (overload, underload) exception counts.
+    streak: (u32, u32),
+    /// No shard action before this virtual instant.
+    cooldown_until: SimTime,
 }
 
 /// One outbound connection: the link model plus send-buffer accounting.
@@ -94,6 +124,11 @@ pub(crate) struct StageActor {
     /// service timer fires (port, packet).
     current_output: Vec<(Option<usize>, Packet)>,
     out: Vec<OutLink>,
+    /// Logical routes over `out`: `emit_to(r)` addresses route `r`, and
+    /// a route spanning a replica group hash-picks the physical port.
+    routes: Vec<OutRoute>,
+    /// Set when this stage is itself a replica-group member.
+    shard: Option<ShardState>,
     upstream: Vec<ActorId>,
     /// In-edges that have not yet delivered EOS.
     eos_remaining: usize,
@@ -141,12 +176,21 @@ impl StageActor {
         speed: f64,
         queue_capacity: usize,
         out: Vec<OutSpec>,
+        routes: Vec<OutRoute>,
+        shard: Option<ShardSpec>,
         upstream: Vec<ActorId>,
         in_edge_count: usize,
         tracker: Option<LoadTracker>,
         opts: RunOptions,
     ) -> Self {
         let chaos = opts.chaos.clone().filter(|p| !p.is_noop());
+        // No declared routes (plain topologies): each out edge is its own
+        // singleton route, which reproduces the pre-sharding semantics.
+        let routes = if routes.is_empty() {
+            (0..out.len()).map(|i| OutRoute { start: i, len: 1, router: None }).collect()
+        } else {
+            routes
+        };
         StageActor {
             name,
             placed_on,
@@ -173,6 +217,13 @@ impl StageActor {
                     unacked: 0,
                 })
                 .collect(),
+            routes,
+            shard: shard.map(|s| ShardState {
+                router: s.router,
+                ordinal: s.ordinal,
+                streak: (0, 0),
+                cooldown_until: SimTime::ZERO,
+            }),
             upstream,
             eos_remaining: in_edge_count,
             is_source: in_edge_count == 0,
@@ -257,25 +308,46 @@ impl StageActor {
         if self.out.is_empty() {
             return; // sink: output vanishes (results live in the processor)
         }
-        if let Some(p) = port {
-            // Routed emission: exactly one edge.
-            debug_assert!(p < self.out.len(), "stage {:?}: emit_to({p}) out of range", self.name);
-            if p >= self.out.len() {
+        if let Some(r) = port {
+            // Routed emission: exactly one logical route, which resolves
+            // to one physical edge (key-hashed when the consumer is a
+            // replica group).
+            debug_assert!(
+                r < self.routes.len(),
+                "stage {:?}: emit_to({r}) out of range",
+                self.name
+            );
+            if r >= self.routes.len() {
                 return;
             }
             self.packets_out += 1;
             self.records_out += packet.records as u64;
             self.bytes_out += packet.payload.len() as u64;
+            let p = self.route_port(r, &packet);
             self.enqueue_link(p, packet, ctx);
             return;
         }
         self.packets_out += 1;
         self.records_out += packet.records as u64;
         self.bytes_out += packet.payload.len() as u64;
-        // Broadcast to every out edge. The payload is a cheap `Bytes`
-        // handle, so the clone copies only the packet envelope.
-        for i in 0..self.out.len() {
-            self.enqueue_link(i, packet.clone(), ctx);
+        // Broadcast: one copy per logical route — a replicated consumer
+        // receives the packet once, on the key-owning member. The payload
+        // is a cheap `Bytes` handle, so the clone copies only the packet
+        // envelope.
+        for r in 0..self.routes.len() {
+            let p = self.route_port(r, &packet);
+            self.enqueue_link(p, packet.clone(), ctx);
+        }
+    }
+
+    /// Resolve logical route `r` to the physical out-edge slot a packet
+    /// travels on: the key-owning replica for sharded routes, the single
+    /// edge otherwise.
+    fn route_port(&self, r: usize, packet: &Packet) -> usize {
+        let route = &self.routes[r];
+        match &route.router {
+            Some(router) => route.start + router.route(packet.key).min(route.len - 1),
+            None => route.start,
         }
     }
 
@@ -453,12 +525,54 @@ impl StageActor {
                 for &up in &self.upstream {
                     ctx.send(up, EngineMsg::Exception(exception), latency);
                 }
+                self.note_shard_signal(exception, ctx);
             }
         }
         if self.opts.recorder.enabled() {
             self.record_sample(ctx.now());
         }
         ctx.set_timer(self.opts.observe_interval, TAG_OBSERVE);
+    }
+
+    /// Count consecutive same-direction exceptions; once the streak and
+    /// cooldown both allow it, turn the load signal into a shard action
+    /// on the group's shared router — scale-out (split) on overload,
+    /// scale-in (merge) on underload. Virtual-time twin of the threaded
+    /// runtime's `note_shard_signal`.
+    fn note_shard_signal(&mut self, exception: LoadException, ctx: &mut Context<'_, EngineMsg>) {
+        let Some(sh) = &mut self.shard else { return };
+        let split = match exception {
+            LoadException::Overload => {
+                sh.streak = (sh.streak.0 + 1, 0);
+                true
+            }
+            LoadException::Underload => {
+                sh.streak = (0, sh.streak.1 + 1);
+                false
+            }
+        };
+        let streak = if split { sh.streak.0 } else { sh.streak.1 };
+        if streak < SHARD_STREAK || ctx.now() < sh.cooldown_until {
+            return;
+        }
+        sh.streak = (0, 0);
+        sh.cooldown_until = ctx.now() + SHARD_COOLDOWN;
+        let result =
+            if split { sh.router.split_hot(sh.ordinal) } else { sh.router.merge_cold(sh.ordinal) };
+        if let Ok(change) = result {
+            if self.opts.recorder.enabled() {
+                self.opts.recorder.record(TraceEvent::Link(LinkEvent {
+                    t: ctx.now().as_secs_f64(),
+                    link: self.name.clone(),
+                    node: self.placed_on.clone(),
+                    kind: if split { LinkEventKind::ShardSplit } else { LinkEventKind::ShardMerge },
+                    detail: format!(
+                        "replica {} -> {} (epoch {})",
+                        change.from, change.to, change.epoch
+                    ),
+                }));
+            }
+        }
     }
 
     /// Flight recorder: one runtime sample, with rates computed against

@@ -105,6 +105,18 @@ enum Outcome {
         /// The event detail (budget spent, endpoint).
         detail: String,
     },
+    /// A replica asked for a key-range split (overload) or merge
+    /// (underload). The coordinator owns the authoritative shard maps;
+    /// it applies the change and broadcasts the new map to every worker.
+    ShardRequest {
+        /// Replica group index.
+        group: u32,
+        /// Requesting replica's ordinal.
+        ordinal: u32,
+        /// `true` = split the hot replica's range; `false` = merge the
+        /// cold replica's range away.
+        split: bool,
+    },
 }
 
 /// The coordinator of a distributed run. Bind with [`DistEngine::bind`],
@@ -449,6 +461,49 @@ impl DistEngine {
                         checkpoints.insert(stage, (seq, crc, state));
                     }
                 }
+                Ok(Outcome::ShardRequest { group, ordinal, split }) => {
+                    // Apply on the coordinator's authoritative router,
+                    // then broadcast the whole map; workers install it
+                    // epoch-guarded. A rejected request (narrow range,
+                    // last owner, already merged away…) just leaves a
+                    // trace — the replica keeps running on its current
+                    // range.
+                    let Some(g) = topology.groups().get(group as usize) else { continue };
+                    let kind =
+                        if split { LinkEventKind::ShardSplit } else { LinkEventKind::ShardMerge };
+                    let change = if split {
+                        g.router.split_hot(ordinal)
+                    } else {
+                        g.router.merge_cold(ordinal)
+                    };
+                    match change {
+                        Ok(ch) => {
+                            let (map_epoch, map) = g.router.snapshot();
+                            self.record_failover_event(
+                                start,
+                                &g.base,
+                                kind,
+                                &format!("replica {} -> {} (epoch {map_epoch})", ch.from, ch.to),
+                            );
+                            let frame = encode_frame(&encode_ctrl(&CtrlMsg::ShardUpdate {
+                                group,
+                                epoch: map_epoch,
+                                map: map.encode(),
+                            }));
+                            for (name, s) in writers.iter_mut() {
+                                if !lost.contains(name) {
+                                    let _ = s.write_all(&frame);
+                                }
+                            }
+                        }
+                        Err(e) => self.record_failover_event(
+                            start,
+                            &g.base,
+                            kind,
+                            &format!("replica {ordinal} request rejected: {e}"),
+                        ),
+                    }
+                }
                 Ok(Outcome::LinkExhausted { worker, link, detail }) => {
                     if exhausted_links.insert((worker.clone(), link.clone())) {
                         // The worker itself is still alive and will
@@ -729,6 +784,9 @@ fn worker_reader(
                     Ok(CtrlMsg::Heartbeat { .. }) => {}
                     Ok(CtrlMsg::Checkpoint { stage, seq, crc, state }) => {
                         let _ = results.send(Outcome::Checkpoint { stage, seq, crc, state });
+                    }
+                    Ok(CtrlMsg::ShardRequest { group, ordinal, split }) => {
+                        let _ = results.send(Outcome::ShardRequest { group, ordinal, split });
                     }
                     Ok(CtrlMsg::Report { worker, stages }) => {
                         let _ = results.send(Outcome::Report { worker, stages });

@@ -34,6 +34,8 @@ const TAG_HEARTBEAT: u8 = 9;
 const TAG_CHECKPOINT: u8 = 10;
 const TAG_REJECT: u8 = 11;
 const TAG_REASSIGN: u8 = 12;
+const TAG_SHARD_REQUEST: u8 = 13;
+const TAG_SHARD_UPDATE: u8 = 14;
 
 /// One row of the coordinator's placement table, shipped to every worker
 /// so senders can resolve remote endpoints without further round-trips.
@@ -165,6 +167,31 @@ pub(crate) enum CtrlMsg {
         /// fresh; an entry whose CRC does not match its bytes is treated
         /// the same (restart fresh) rather than restoring garbage.
         checkpoints: Vec<(u32, u64, u32, Vec<u8>)>,
+    },
+    /// Worker → coordinator: a replica's adaptation loop wants its shard
+    /// split (overload) or merged away (underload). The coordinator owns
+    /// the authoritative shard map, applies the change there, and
+    /// broadcasts the result as a [`CtrlMsg::ShardUpdate`]; the worker
+    /// changes nothing locally until that update arrives.
+    ShardRequest {
+        /// Replica group index in the topology.
+        group: u32,
+        /// Requesting replica's ordinal within the group.
+        ordinal: u32,
+        /// True to split the replica's range, false to merge it away.
+        split: bool,
+    },
+    /// Coordinator → every worker: a replica group's new shard map.
+    /// Workers install it into the group's local router epoch-guarded
+    /// ([`gates_core::ShardRouter::install`]), so duplicates and
+    /// out-of-order deliveries are no-ops.
+    ShardUpdate {
+        /// Replica group index in the topology.
+        group: u32,
+        /// Map epoch after the change (strictly increasing per group).
+        epoch: u64,
+        /// The map, encoded by [`gates_core::ShardMap::encode`].
+        map: Vec<u8>,
     },
 }
 
@@ -353,6 +380,9 @@ fn link_kind_to_u8(k: LinkEventKind) -> u8 {
         LinkEventKind::StaleDiscarded => 13,
         LinkEventKind::CheckpointCorrupt => 14,
         LinkEventKind::ReconnectExhausted => 15,
+        LinkEventKind::ShardSplit => 16,
+        LinkEventKind::ShardMerge => 17,
+        LinkEventKind::Misrouted => 18,
     }
 }
 
@@ -374,6 +404,9 @@ fn link_kind_from_u8(v: u8) -> Result<LinkEventKind, CoreError> {
         13 => LinkEventKind::StaleDiscarded,
         14 => LinkEventKind::CheckpointCorrupt,
         15 => LinkEventKind::ReconnectExhausted,
+        16 => LinkEventKind::ShardSplit,
+        17 => LinkEventKind::ShardMerge,
+        18 => LinkEventKind::Misrouted,
         other => return Err(CoreError::PayloadDecode(format!("bad link event kind {other}"))),
     })
 }
@@ -563,6 +596,19 @@ pub(crate) fn encode_ctrl(msg: &CtrlMsg) -> Frame {
                 w.put_bytes(state);
             }
         }
+        CtrlMsg::ShardRequest { group, ordinal, split } => {
+            w.put_bytes(&[TAG_SHARD_REQUEST]);
+            w.put_u32(*group);
+            w.put_u32(*ordinal);
+            w.put_bytes(&[*split as u8]);
+        }
+        CtrlMsg::ShardUpdate { group, epoch, map } => {
+            w.put_bytes(&[TAG_SHARD_UPDATE]);
+            w.put_u32(*group);
+            w.put_u64(*epoch);
+            w.put_u32(map.len() as u32);
+            w.put_bytes(map);
+        }
     }
     Frame { kind: FrameKind::Control, stream_id: 0, seq: 0, payload: w.finish() }
 }
@@ -665,6 +711,17 @@ pub(crate) fn decode_ctrl(frame: &Frame) -> Result<CtrlMsg, CoreError> {
                 checkpoints.push((stage, seq, crc, r.get_bytes(len)?.to_vec()));
             }
             CtrlMsg::Reassign { epoch, placements, checkpoints }
+        }
+        TAG_SHARD_REQUEST => CtrlMsg::ShardRequest {
+            group: r.get_u32()?,
+            ordinal: r.get_u32()?,
+            split: r.get_u8()? != 0,
+        },
+        TAG_SHARD_UPDATE => {
+            let group = r.get_u32()?;
+            let epoch = r.get_u64()?;
+            let len = r.get_u32()? as usize;
+            CtrlMsg::ShardUpdate { group, epoch, map: r.get_bytes(len)?.to_vec() }
         }
         other => return Err(CoreError::PayloadDecode(format!("unknown control tag {other}"))),
     })
@@ -795,6 +852,29 @@ mod tests {
                 node: "coordinator".into(),
                 kind,
                 detail: "w2 -> w0".into(),
+            })));
+        }
+    }
+
+    #[test]
+    fn shard_messages_round_trip() {
+        round_trip(CtrlMsg::ShardRequest { group: 0, ordinal: 2, split: true });
+        round_trip(CtrlMsg::ShardRequest { group: 1, ordinal: 0, split: false });
+        let map = gates_core::ShardMap::uniform(4);
+        round_trip(CtrlMsg::ShardUpdate { group: 0, epoch: 7, map: map.encode() });
+        round_trip(CtrlMsg::ShardUpdate { group: 3, epoch: 1, map: Vec::new() });
+    }
+
+    #[test]
+    fn shard_link_kinds_round_trip() {
+        for kind in [LinkEventKind::ShardSplit, LinkEventKind::ShardMerge, LinkEventKind::Misrouted]
+        {
+            round_trip(CtrlMsg::Trace(TraceEvent::Link(LinkEvent {
+                t: 1.0,
+                link: "agg#0".into(),
+                node: "w1".into(),
+                kind,
+                detail: "epoch 2".into(),
             })));
         }
     }

@@ -29,7 +29,7 @@ use crossbeam::channel::{
 use gates_core::adapt::LoadTracker;
 use gates_core::report::StageReport;
 use gates_core::trace::{LinkEvent, LinkEventKind, NullRecorder, Recorder, TraceEvent};
-use gates_core::{Packet, StageId};
+use gates_core::{Packet, ShardError, ShardMap, ShardRouter, StageId, Topology};
 use gates_grid::{AppConfig, ApplicationRepository};
 use gates_net::{
     connect_with_retry, connect_with_retry_jittered, crc32, derive, FaultInjector, FlowControl,
@@ -41,7 +41,9 @@ use super::proto::{decode_ctrl, decode_exception, encode_ctrl, encode_exception,
 use super::{read_ctrl, DistConfig};
 use crate::executor::{CorePool, TaskHandle, WakeHub};
 use crate::options::RunOptions;
-use crate::runtime::{CheckpointCfg, Control, OutPort, StageTask, StageWorker};
+use crate::runtime::{
+    CheckpointCfg, Control, OutPort, ShardCtl, ShardScaling, StageTask, StageWorker,
+};
 use crate::EngineError;
 
 /// The worker's live view of every stage's data endpoint. `Reassign`
@@ -194,9 +196,15 @@ impl DistWorker {
 
         let app = AppConfig::from_xml(&assign.app_xml)
             .map_err(|e| EngineError::Protocol(format!("bad application config: {e}")))?;
-        let topology = repo
+        let mut topology = repo
             .build(&app)
             .map_err(|e| EngineError::Protocol(format!("build application: {e}")))?;
+        // Replica expansion must mirror the coordinator's exactly: stage
+        // indices, edge ids and placement rows are all expressed against
+        // the expanded graph.
+        app.apply_replicas(&mut topology)
+            .map_err(|e| EngineError::Protocol(format!("apply replicas: {e}")))?;
+        let topology = topology;
         topology.validate().map_err(|e| EngineError::InvalidTopology(e.to_string()))?;
         let n = topology.stages().len();
         if assign.placements.len() != n {
@@ -266,6 +274,11 @@ impl DistWorker {
         // Stage snapshots funnel through this channel into the main
         // loop, which relays them to the coordinator as checkpoints.
         let (ckpt_tx, ckpt_rx) = unbounded::<(u32, u64, Vec<u8>)>();
+        // Replica scale-out signals (`(group, ordinal, split)`) follow
+        // the same path: a replica whose d̃ left [LT1, LT2] asks the
+        // coordinator to split or merge its key range, and the
+        // coordinator answers with a `ShardUpdate` broadcast.
+        let (shard_tx, shard_rx) = unbounded::<(u32, u32, bool)>();
 
         let mut data_tx: HashMap<usize, Sender<Packet>> = HashMap::new();
         let mut data_rx: HashMap<usize, Receiver<Packet>> = HashMap::new();
@@ -334,6 +347,7 @@ impl DistWorker {
                         ei as u32,
                         Arc::new(InEdge {
                             data_tx: data_tx[&to].clone(),
+                            shard: shard_guard(&topology, to, &data_tx),
                             blocking: edge.link.flow == FlowControl::Blocking,
                             drops: Arc::clone(&drops[&to]),
                             exc_rx: erx,
@@ -502,6 +516,8 @@ impl DistWorker {
                 rx: data_rx[&i].clone(),
                 ctl: ctl_rx[&i].clone(),
                 out,
+                routes: topology.out_routes(id),
+                shard: shard_ctl(&topology, id, &shard_tx),
                 upstream_ctl,
                 in_edges,
                 my_drops: Arc::clone(&drops[&i]),
@@ -581,6 +597,11 @@ impl DistWorker {
                     ctrl.queue(&encode_ctrl(&CtrlMsg::Trace(event)));
                 }
             }
+            while let Ok((group, ordinal, split)) = shard_rx.try_recv() {
+                if !coordinator_gone {
+                    ctrl.queue(&encode_ctrl(&CtrlMsg::ShardRequest { group, ordinal, split }));
+                }
+            }
             while let Ok((stage, seq, state)) = ckpt_rx.try_recv() {
                 if !coordinator_gone {
                     // The CRC travels with the snapshot so the
@@ -642,6 +663,38 @@ impl DistWorker {
                             let _ = c.send(Control::Stop);
                         }
                     }
+                    Ok(CtrlMsg::ShardUpdate { group, epoch, map }) => {
+                        // Key-range authority lives with the coordinator;
+                        // workers install its broadcasts epoch-guarded,
+                        // so a duplicated or reordered frame can never
+                        // roll a shard map backwards. Every local sender
+                        // and in-edge guard shares the group's router
+                        // through the topology, so one install re-routes
+                        // all of them at once.
+                        match ShardMap::decode(&map) {
+                            Ok(m) => match topology.groups().get(group as usize) {
+                                Some(g) => {
+                                    if !g.router.install(epoch, m) {
+                                        ctrl_faults.record(
+                                            LinkEventKind::StaleDiscarded,
+                                            format!(
+                                                "shard map epoch {epoch} for group {group} \
+                                                 not newer than installed"
+                                            ),
+                                        );
+                                    }
+                                }
+                                None => ctrl_faults.record(
+                                    LinkEventKind::StaleDiscarded,
+                                    format!("shard update for unknown group {group}"),
+                                ),
+                            },
+                            Err(e) => ctrl_faults.record(
+                                LinkEventKind::StaleDiscarded,
+                                format!("shard map for group {group} undecodable: {e}"),
+                            ),
+                        }
+                    }
                     Ok(CtrlMsg::Reassign { epoch, placements: rows, checkpoints }) => {
                         // Idempotency: a duplicated or reordered
                         // broadcast (chaos dup, or a late frame after a
@@ -697,6 +750,10 @@ impl DistWorker {
                                     ei as u32,
                                     Arc::new(InEdge {
                                         data_tx: dtx.clone(),
+                                        // An adopted replica has no
+                                        // pool-local siblings to re-route
+                                        // to; its guard rejects instead.
+                                        shard: shard_guard(&topology, i, &HashMap::new()),
                                         blocking: edge.link.flow == FlowControl::Blocking,
                                         drops: Arc::clone(&my_drops),
                                         exc_rx: erx,
@@ -807,6 +864,8 @@ impl DistWorker {
                                 rx: drx,
                                 ctl: crx,
                                 out,
+                                routes: topology.out_routes(id),
+                                shard: shard_ctl(&topology, id, &shard_tx),
                                 upstream_ctl,
                                 in_edges: topology.in_edges(id).len(),
                                 my_drops,
@@ -946,11 +1005,64 @@ impl LinkReporter {
     }
 }
 
+/// Shard identity of a receiving replica, carried by its in-edges so
+/// the reader threads can verify ownership of every delivered key.
+struct InShard {
+    /// The replica group's shared router (the receiver's current view).
+    router: Arc<ShardRouter>,
+    /// This replica's ordinal within the group.
+    ordinal: u32,
+    /// Input queues of same-group replicas hosted in this process,
+    /// keyed by ordinal — the local re-route targets for packets a
+    /// stale-mapped sender aimed at the wrong shard.
+    siblings: HashMap<u32, (Sender<Packet>, u32)>,
+}
+
+/// Build the [`InShard`] guard for packets arriving at stage index
+/// `stage`, when that stage is a replica. `local_tx` holds the input
+/// queues of locally hosted stages (re-route targets); pass an empty map
+/// for a reject-only guard.
+fn shard_guard(
+    topology: &Topology,
+    stage: usize,
+    local_tx: &HashMap<usize, Sender<Packet>>,
+) -> Option<InShard> {
+    let (gi, ordinal) = topology.replica_of(StageId::from_index(stage))?;
+    let group = &topology.groups()[gi];
+    let mut siblings = HashMap::new();
+    for (k, m) in group.members.iter().enumerate() {
+        if k != ordinal {
+            if let Some(tx) = local_tx.get(&m.index()) {
+                siblings.insert(k as u32, (tx.clone(), m.index() as u32));
+            }
+        }
+    }
+    Some(InShard { router: Arc::clone(&group.router), ordinal: ordinal as u32, siblings })
+}
+
+/// Build the [`ShardCtl`] for a replica stage in the distributed
+/// runtime: scale-out signals are *requested* from the coordinator (the
+/// key-range authority) rather than applied locally.
+fn shard_ctl(
+    topology: &Topology,
+    id: StageId,
+    shard_tx: &Sender<(u32, u32, bool)>,
+) -> Option<ShardCtl> {
+    topology.replica_of(id).map(|(gi, ordinal)| ShardCtl {
+        group: gi as u32,
+        ordinal: ordinal as u32,
+        router: Arc::clone(&topology.groups()[gi].router),
+        mode: ShardScaling::Request(shard_tx.clone()),
+    })
+}
+
 /// Receiver-side state of one remote in-edge, shared between the accept
 /// loop, its reader threads, and the drain monitor.
 struct InEdge {
     /// Input queue of the receiving stage.
     data_tx: Sender<Packet>,
+    /// Ownership guard when the receiving stage is a replica.
+    shard: Option<InShard>,
     blocking: bool,
     /// Queue-full drop counter of the receiving stage.
     drops: Arc<AtomicU64>,
@@ -1482,6 +1594,38 @@ fn deliver(ie: &InEdge, packet: Packet, stop: &AtomicBool) {
         }
         return;
     }
+    // Ownership check: a sender that routed with a shard map older than
+    // a mid-flight split/merge (or a placement-table race during
+    // Reassign) may aim a key at the wrong replica. Re-route to the
+    // owning sibling when it lives in this process, else reject with
+    // the typed error — never process on the wrong shard.
+    if let Some(sh) = &ie.shard {
+        let owner = sh.router.route(packet.key) as u32;
+        if owner != sh.ordinal {
+            let err = ShardError::WrongShard { key: packet.key, owner, delivered_to: sh.ordinal };
+            match sh.siblings.get(&owner) {
+                Some((tx, wake)) => {
+                    ie.reporter
+                        .record(LinkEventKind::Misrouted, format!("{err}; re-routed locally"));
+                    if ie.blocking {
+                        push_to(tx, &ie.hub, *wake, packet, stop);
+                    } else if tx.try_send(packet).is_ok() {
+                        ie.hub.wake(*wake);
+                    } else {
+                        ie.drops.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                None => {
+                    ie.drops.fetch_add(1, Ordering::Relaxed);
+                    ie.reporter.record(
+                        LinkEventKind::Misrouted,
+                        format!("{err}; owner not local, rejected"),
+                    );
+                }
+            }
+            return;
+        }
+    }
     if ie.blocking {
         push_with_stop(ie, packet, stop);
     } else if ie.data_tx.try_send(packet).is_ok() {
@@ -1494,17 +1638,23 @@ fn deliver(ie: &InEdge, packet: Packet, stop: &AtomicBool) {
 /// Blocking push into the stage queue that keeps watching the stop flag
 /// (mirror of the stage-side `send_with_stop_check`).
 fn push_with_stop(ie: &InEdge, packet: Packet, stop: &AtomicBool) {
+    push_to(&ie.data_tx, &ie.hub, ie.wake_key, packet, stop);
+}
+
+/// Blocking push into an arbitrary local stage queue (the in-edge's own
+/// receiver, or a sibling replica on a shard re-route).
+fn push_to(tx: &Sender<Packet>, hub: &WakeHub, wake_key: u32, packet: Packet, stop: &AtomicBool) {
     let mut packet = packet;
     loop {
         if stop.load(Ordering::Relaxed) {
-            if ie.data_tx.try_send(packet).is_ok() {
-                ie.wake_receiver();
+            if tx.try_send(packet).is_ok() {
+                hub.wake(wake_key);
             }
             return;
         }
-        match ie.data_tx.send_timeout(packet, Duration::from_millis(10)) {
+        match tx.send_timeout(packet, Duration::from_millis(10)) {
             Ok(()) => {
-                ie.wake_receiver();
+                hub.wake(wake_key);
                 return;
             }
             Err(SendTimeoutError::Timeout(p)) => packet = p,

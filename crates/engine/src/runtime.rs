@@ -31,8 +31,8 @@ use crossbeam::channel::{Receiver, Sender, TryRecvError, TrySendError};
 
 use gates_core::adapt::{LoadException, LoadTracker, ParamController};
 use gates_core::report::{ParamTrajectory, StageReport};
-use gates_core::trace::{AdaptRound, StageSample, TraceEvent};
-use gates_core::{Packet, SourceStatus, StageApi};
+use gates_core::trace::{AdaptRound, LinkEvent, LinkEventKind, StageSample, TraceEvent};
+use gates_core::{OutRoute, Packet, ShardRouter, SourceStatus, StageApi};
 use gates_net::TokenBucket;
 use gates_sim::{SimDuration, SimTime};
 
@@ -84,6 +84,38 @@ impl OutPort {
     }
 }
 
+/// How a replica's adaptation loop applies a shard split or merge.
+pub(crate) enum ShardScaling {
+    /// Apply directly on the shared router (single-process engines: the
+    /// upstream senders see the new map on their next `route` call).
+    Local,
+    /// Ship `(group, ordinal, split)` to the hosting worker's main loop,
+    /// which asks the coordinator; the coordinator owns the
+    /// authoritative map and broadcasts the result to every process.
+    Request(Sender<(u32, u32, bool)>),
+}
+
+/// Scale-out wiring for one replica of a sharded stage: when the
+/// stage's d̃ leaves [LT1·C, LT2·C] persistently, the replica splits
+/// (overload) or merges (underload) its key range — the adaptation
+/// action of ROADMAP item 1, alongside the paper's parameter shrink.
+pub(crate) struct ShardCtl {
+    /// Replica group index in the topology.
+    pub(crate) group: u32,
+    /// This replica's ordinal within the group.
+    pub(crate) ordinal: u32,
+    /// The group's shared router.
+    pub(crate) router: Arc<ShardRouter>,
+    /// Local application vs coordinator round-trip.
+    pub(crate) mode: ShardScaling,
+}
+
+/// Consecutive same-direction load exceptions required before a shard
+/// split/merge fires (debounces a single noisy observation).
+const SHARD_STREAK: u32 = 3;
+/// Minimum wall-clock spacing between shard actions from one replica.
+const SHARD_COOLDOWN: Duration = Duration::from_millis(500);
+
 /// Per-stage wiring for one wall-clock run: the
 /// [`gates_core::StreamProcessor`], its channels and out-edges, and the
 /// §4 observation/adaptation configuration. Drive it with
@@ -98,6 +130,14 @@ pub(crate) struct StageWorker {
     pub(crate) rx: Receiver<Packet>,
     pub(crate) ctl: Receiver<Control>,
     pub(crate) out: Vec<OutPort>,
+    /// Logical output routes over `out` (see
+    /// [`gates_core::Topology::out_routes`]): a sharded route spans the
+    /// consumer group's consecutive ports and picks one by packet key;
+    /// engines that leave this empty get identity singleton routes.
+    pub(crate) routes: Vec<OutRoute>,
+    /// Present when this stage is a replica of a sharded group: lets the
+    /// adaptation signal trigger live shard splits/merges.
+    pub(crate) shard: Option<ShardCtl>,
     pub(crate) upstream_ctl: Vec<Sender<Control>>,
     pub(crate) in_edges: usize,
     pub(crate) my_drops: Arc<AtomicU64>,
@@ -226,6 +266,9 @@ pub(crate) struct StageTask {
     last_rec: (f64, u64, f64, f64),
     outbox: VecDeque<Emit>,
     phase: Phase,
+    /// Consecutive overload / underload observations (shard debounce).
+    shard_streak: (u32, u32),
+    last_shard_action: Instant,
 }
 
 impl Activation for StageTask {
@@ -239,7 +282,13 @@ impl Activation for StageTask {
 }
 
 impl StageTask {
-    pub(crate) fn new(w: StageWorker) -> Self {
+    pub(crate) fn new(mut w: StageWorker) -> Self {
+        if w.routes.is_empty() && !w.out.is_empty() {
+            // Engines that don't shard wire one singleton route per port,
+            // preserving the original emit/emit_to semantics exactly.
+            w.routes =
+                (0..w.out.len()).map(|p| OutRoute { start: p, len: 1, router: None }).collect();
+        }
         let observe_every = Duration::from_secs_f64(w.opts.observe_interval.as_secs_f64());
         let adapt_every = Duration::from_secs_f64(w.opts.adapt_interval.as_secs_f64());
         let tick = observe_every.min(Duration::from_millis(10));
@@ -272,6 +321,8 @@ impl StageTask {
             last_rec: (0.0, 0, 0.0, 0.0),
             outbox: VecDeque::new(),
             phase: Phase::Loop,
+            shard_streak: (0, 0),
+            last_shard_action: Instant::now(),
         }
     }
 
@@ -385,14 +436,19 @@ impl StageTask {
         if self.last_observe.elapsed() >= self.observe_every {
             self.last_observe = Instant::now();
             if let Some(tracker) = &mut self.w.tracker {
-                if let Some(exception) = tracker.observe(self.w.rx.len() as f64) {
-                    match exception {
-                        LoadException::Overload => self.stats.exceptions_sent.0 += 1,
-                        LoadException::Underload => self.stats.exceptions_sent.1 += 1,
+                match tracker.observe(self.w.rx.len() as f64) {
+                    Some(exception) => {
+                        match exception {
+                            LoadException::Overload => self.stats.exceptions_sent.0 += 1,
+                            LoadException::Underload => self.stats.exceptions_sent.1 += 1,
+                        }
+                        for up in &self.w.upstream_ctl {
+                            let _ = up.send(Control::Exception(exception));
+                        }
+                        self.note_shard_signal(exception);
                     }
-                    for up in &self.w.upstream_ctl {
-                        let _ = up.send(Control::Exception(exception));
-                    }
+                    // d̃ back inside [LT1·C, LT2·C]: the streak breaks.
+                    None => self.shard_streak = (0, 0),
                 }
             }
             if self.recording {
@@ -446,6 +502,61 @@ impl StageTask {
                         }));
                     }
                 }
+            }
+        }
+    }
+
+    /// Count consecutive same-direction exceptions; once the streak and
+    /// the cooldown both allow it, turn the load signal into a shard
+    /// action — scale-out (split) on overload, scale-in (merge) on
+    /// underload — applied locally or requested from the coordinator
+    /// depending on [`ShardScaling`].
+    fn note_shard_signal(&mut self, exception: LoadException) {
+        let Some(ctl) = &self.w.shard else { return };
+        let split = match exception {
+            LoadException::Overload => {
+                self.shard_streak = (self.shard_streak.0 + 1, 0);
+                true
+            }
+            LoadException::Underload => {
+                self.shard_streak = (0, self.shard_streak.1 + 1);
+                false
+            }
+        };
+        let streak = if split { self.shard_streak.0 } else { self.shard_streak.1 };
+        if streak < SHARD_STREAK || self.last_shard_action.elapsed() < SHARD_COOLDOWN {
+            return;
+        }
+        self.shard_streak = (0, 0);
+        self.last_shard_action = Instant::now();
+        match &ctl.mode {
+            ShardScaling::Local => {
+                let result = if split {
+                    ctl.router.split_hot(ctl.ordinal)
+                } else {
+                    ctl.router.merge_cold(ctl.ordinal)
+                };
+                if let Ok(change) = result {
+                    if self.recording {
+                        self.w.opts.recorder.record(TraceEvent::Link(LinkEvent {
+                            t: self.w.start.elapsed().as_secs_f64(),
+                            link: self.w.name.clone(),
+                            node: self.w.placed_on.clone(),
+                            kind: if split {
+                                LinkEventKind::ShardSplit
+                            } else {
+                                LinkEventKind::ShardMerge
+                            },
+                            detail: format!(
+                                "replica {} -> {} (epoch {})",
+                                change.from, change.to, change.epoch
+                            ),
+                        }));
+                    }
+                }
+            }
+            ShardScaling::Request(tx) => {
+                let _ = tx.send((ctl.group, ctl.ordinal, split));
             }
         }
     }
@@ -619,13 +730,16 @@ impl StageTask {
     }
 
     /// Queue everything the processor emitted, counting output stats
-    /// once per emission. A `Some(port)` tag routes to one edge; `None`
-    /// broadcasts.
+    /// once per emission. A `Some(route)` tag targets one logical route;
+    /// `None` broadcasts to every route. A route whose consumer is a
+    /// replica group resolves to exactly one physical port — the replica
+    /// owning the packet's key under the group's current shard map — so
+    /// a keyed stream fans out across replicas instead of duplicating.
     fn enqueue_emitted(&mut self) {
         for (target, packet) in self.api.take_emitted() {
-            if let Some(p) = target {
-                debug_assert!(p < self.w.out.len(), "emit_to({p}) out of range");
-                if p >= self.w.out.len() {
+            if let Some(r) = target {
+                debug_assert!(r < self.w.routes.len(), "emit_to({r}) out of range");
+                if r >= self.w.routes.len() {
                     continue;
                 }
             }
@@ -633,16 +747,20 @@ impl StageTask {
             self.stats.records_out += packet.records as u64;
             self.stats.bytes_out += packet.payload.len() as u64;
             match target {
-                Some(p) => self.outbox.push_back(Emit {
-                    port: p,
-                    packet,
-                    ready_at: None,
-                    final_marker: false,
-                }),
+                Some(r) => {
+                    let port = Self::route_port(&self.w.routes[r], &packet);
+                    self.outbox.push_back(Emit {
+                        port,
+                        packet,
+                        ready_at: None,
+                        final_marker: false,
+                    });
+                }
                 None => {
-                    for p in 0..self.w.out.len() {
+                    for i in 0..self.w.routes.len() {
+                        let port = Self::route_port(&self.w.routes[i], &packet);
                         self.outbox.push_back(Emit {
-                            port: p,
+                            port,
                             packet: packet.clone(),
                             ready_at: None,
                             final_marker: false,
@@ -650,6 +768,16 @@ impl StageTask {
                     }
                 }
             }
+        }
+    }
+
+    /// The physical port a packet takes on a logical route: singleton
+    /// routes have exactly one, sharded routes ask the group's router
+    /// which replica owns the packet's key.
+    fn route_port(route: &OutRoute, packet: &Packet) -> usize {
+        match &route.router {
+            Some(router) => route.start + router.route(packet.key).min(route.len - 1),
+            None => route.start,
         }
     }
 

@@ -36,7 +36,7 @@ use gates_sim::SimTime;
 
 use crate::executor::CorePool;
 use crate::options::RunOptions;
-use crate::runtime::{Control, OutPort, StageTask, StageWorker};
+use crate::runtime::{Control, OutPort, ShardCtl, ShardScaling, StageTask, StageWorker};
 use crate::EngineError;
 
 /// Wall-clock executor. Build with [`ThreadedEngine::new`], run with
@@ -153,6 +153,16 @@ impl ThreadedEngine {
                 .map(|ei| self.topology.edges()[ei].from.index() as u32)
                 .collect();
             let in_edges = self.topology.in_edges(id).len();
+            let routes = self.topology.out_routes(id);
+            // A replica's overload/underload signal mutates the shared
+            // router directly: every in-process sender sees the new map
+            // on its next route lookup.
+            let shard = self.topology.replica_of(id).map(|(gi, ordinal)| ShardCtl {
+                group: gi as u32,
+                ordinal: ordinal as u32,
+                router: Arc::clone(&self.topology.groups()[gi].router),
+                mode: ShardScaling::Local,
+            });
 
             let worker = StageWorker {
                 name: stage.name.clone(),
@@ -164,6 +174,8 @@ impl ThreadedEngine {
                 rx: data_rx[idx].clone(),
                 ctl: ctl_rx[idx].clone(),
                 out,
+                routes,
+                shard,
                 upstream_ctl,
                 in_edges,
                 my_drops: Arc::clone(&drops[idx]),

@@ -12,15 +12,20 @@
 //! <application name="my-run" repository="count-samps">
 //!   <param name="sources" value="4"/>
 //!   <param name="bandwidth_kb">100</param>
+//!   <stage name="agg" replicas="4"/>
 //! </application>
 //! ```
 //!
 //! `repository` names the application in the [`crate::ApplicationRepository`];
 //! `<param>` entries are free-form key/values interpreted by the
 //! application factory. Both attribute and element-text forms of the
-//! value are accepted.
+//! value are accepted. `<stage>` entries declare per-stage deployment
+//! overrides — today the replica count, which the launcher applies to
+//! the built topology via [`AppConfig::apply_replicas`] (see
+//! [`gates_core::Topology::replicate`]).
 
 use crate::GridError;
+use gates_core::Topology;
 use gates_xml::parse;
 
 /// A parsed application configuration.
@@ -31,18 +36,40 @@ pub struct AppConfig {
     /// Application key in the repository.
     pub repository: String,
     params: Vec<(String, String)>,
+    replicas: Vec<(String, usize)>,
 }
 
 impl AppConfig {
     /// Build programmatically (tests, embedded defaults).
     pub fn new(name: impl Into<String>, repository: impl Into<String>) -> Self {
-        AppConfig { name: name.into(), repository: repository.into(), params: Vec::new() }
+        AppConfig {
+            name: name.into(),
+            repository: repository.into(),
+            params: Vec::new(),
+            replicas: Vec::new(),
+        }
     }
 
     /// Add or replace a parameter (builder style).
     pub fn with_param(mut self, key: impl Into<String>, value: impl ToString) -> Self {
         self.set_param(key, value);
         self
+    }
+
+    /// Declare a stage's replica count (builder style). `1` clears a
+    /// previous declaration — a singleton needs no entry.
+    pub fn with_replicas(mut self, stage: impl Into<String>, n: usize) -> Self {
+        self.set_replicas(stage, n);
+        self
+    }
+
+    /// Declare (or clear, with `n <= 1`) a stage's replica count.
+    pub fn set_replicas(&mut self, stage: impl Into<String>, n: usize) {
+        let stage = stage.into();
+        self.replicas.retain(|(s, _)| *s != stage);
+        if n > 1 {
+            self.replicas.push((stage, n));
+        }
     }
 
     /// Add or replace a parameter.
@@ -76,7 +103,27 @@ impl AppConfig {
                 GridError::BadConfig("<application> needs a repository attribute".into())
             })?
             .to_string();
-        let mut config = AppConfig { name, repository, params: Vec::new() };
+        let mut config = AppConfig { name, repository, params: Vec::new(), replicas: Vec::new() };
+        for s in root.children_named("stage") {
+            let stage = s
+                .attr("name")
+                .ok_or_else(|| GridError::BadConfig("<stage> needs a name attribute".into()))?;
+            let n = s
+                .attr("replicas")
+                .ok_or_else(|| {
+                    GridError::BadConfig(format!("<stage name={stage:?}> needs replicas"))
+                })?
+                .parse::<usize>()
+                .map_err(|_| {
+                    GridError::BadConfig(format!("replicas for stage {stage:?} is not an integer"))
+                })?;
+            if n == 0 {
+                return Err(GridError::BadConfig(format!(
+                    "stage {stage:?} declares zero replicas"
+                )));
+            }
+            config.set_replicas(stage, n);
+        }
         for p in root.children_named("param") {
             let key = p
                 .attr("name")
@@ -140,12 +187,46 @@ impl AppConfig {
         &self.params
     }
 
+    /// Declared `(stage, replicas)` pairs in declaration order. Only
+    /// stages with more than one replica appear.
+    pub fn replicas(&self) -> &[(String, usize)] {
+        &self.replicas
+    }
+
+    /// The declared replica count for `stage` (1 when undeclared).
+    pub fn replicas_of(&self, stage: &str) -> usize {
+        self.replicas.iter().find(|(s, _)| s == stage).map(|(_, n)| *n).unwrap_or(1)
+    }
+
+    /// Expand every `<stage replicas="N"/>` declaration into `N` replica
+    /// instances on the built topology (see
+    /// [`gates_core::Topology::replicate`]).
+    ///
+    /// Every process of a distributed run must call this against the
+    /// same configuration right after building the topology from the
+    /// repository — the expansion renumbers edges, and placement tables
+    /// and edge ids on the wire only line up if coordinator and workers
+    /// agree on the expanded graph.
+    pub fn apply_replicas(&self, topology: &mut Topology) -> Result<(), GridError> {
+        for (stage, n) in &self.replicas {
+            topology
+                .replicate(stage, *n)
+                .map_err(|e| GridError::BadConfig(format!("replicas for {stage:?}: {e}")))?;
+        }
+        Ok(())
+    }
+
     /// Serialize back to XML (round-trip support).
     pub fn to_xml(&self) -> String {
         use gates_xml::{write_document, Document, Element, WriteOptions};
         let mut root = Element::new("application")
             .with_attr("name", &self.name)
             .with_attr("repository", &self.repository);
+        for (s, n) in &self.replicas {
+            root = root.with_child(
+                Element::new("stage").with_attr("name", s).with_attr("replicas", n.to_string()),
+            );
+        }
         for (k, v) in &self.params {
             root =
                 root.with_child(Element::new("param").with_attr("name", k).with_attr("value", v));
@@ -223,5 +304,59 @@ mod tests {
         let xml = original.to_xml();
         let reparsed = AppConfig::from_xml(&xml).unwrap();
         assert_eq!(reparsed, original);
+    }
+
+    #[test]
+    fn parses_stage_replicas() {
+        let c = AppConfig::from_xml(
+            r#"<application name="x" repository="y">
+                 <stage name="agg" replicas="4"/>
+                 <stage name="solo" replicas="1"/>
+               </application>"#,
+        )
+        .unwrap();
+        assert_eq!(c.replicas_of("agg"), 4);
+        assert_eq!(c.replicas_of("solo"), 1, "one replica is a singleton");
+        assert_eq!(c.replicas_of("missing"), 1);
+        assert_eq!(c.replicas(), &[("agg".to_string(), 4)]);
+    }
+
+    #[test]
+    fn bad_replica_declarations_rejected() {
+        for xml in [
+            r#"<application name="x" repository="y"><stage replicas="2"/></application>"#,
+            r#"<application name="x" repository="y"><stage name="a"/></application>"#,
+            r#"<application name="x" repository="y"><stage name="a" replicas="many"/></application>"#,
+            r#"<application name="x" repository="y"><stage name="a" replicas="0"/></application>"#,
+        ] {
+            assert!(matches!(AppConfig::from_xml(xml), Err(GridError::BadConfig(_))), "{xml}");
+        }
+    }
+
+    #[test]
+    fn replicas_round_trip_and_apply() {
+        use gates_core::{Packet, StageApi, StageBuilder, StreamProcessor};
+        use gates_net::LinkSpec;
+        struct Nop;
+        impl StreamProcessor for Nop {
+            fn process(&mut self, _p: Packet, _a: &mut StageApi) {}
+        }
+
+        let original = AppConfig::new("trip", "app").with_replicas("mid", 3).with_param("k", 1);
+        let reparsed = AppConfig::from_xml(&original.to_xml()).unwrap();
+        assert_eq!(reparsed, original);
+
+        let mut t = Topology::new();
+        let src = t.add_stage(StageBuilder::new("src").processor(|| Nop)).unwrap();
+        let mid = t.add_stage(StageBuilder::new("mid").processor(|| Nop)).unwrap();
+        let snk = t.add_stage(StageBuilder::new("snk").processor(|| Nop)).unwrap();
+        t.connect(src, mid, LinkSpec::local());
+        t.connect(mid, snk, LinkSpec::local());
+        reparsed.apply_replicas(&mut t).unwrap();
+        assert_eq!(t.stages().len(), 5, "mid expanded to 3 replicas");
+        assert_eq!(t.groups().len(), 1);
+
+        let missing = AppConfig::new("trip", "app").with_replicas("ghost", 2);
+        assert!(missing.apply_replicas(&mut Topology::new()).is_err());
     }
 }

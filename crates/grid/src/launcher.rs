@@ -65,7 +65,11 @@ impl Launcher {
         repository: &ApplicationRepository,
         registry: &ResourceRegistry,
     ) -> Result<Deployment, GridError> {
-        let topology = repository.build(&config)?;
+        let mut topology = repository.build(&config)?;
+        // Replica expansion happens here — after the factory built the
+        // logical graph, before placement — so the matchmaker sees (and
+        // spreads) the individual replicas.
+        config.apply_replicas(&mut topology)?;
         let plan = self.deployer.deploy(&topology, registry)?;
         Ok(Deployment { config, topology, plan })
     }
@@ -148,6 +152,29 @@ mod tests {
         let err =
             Launcher::new().launch_xml(xml, &repository(), &ResourceRegistry::new()).unwrap_err();
         assert!(matches!(err, GridError::Placement(_)));
+    }
+
+    #[test]
+    fn launch_applies_replica_declarations() {
+        let xml = r#"
+            <application name="demo" repository="pipeline">
+              <param name="stages" value="3"/>
+              <stage name="s1" replicas="2"/>
+            </application>"#;
+        let mut r = registry(3);
+        for i in 0..3 {
+            r.register(NodeSpec::new(format!("extra-{i}"), format!("site-{i}")));
+        }
+        let deployment = Launcher::new().launch_xml(xml, &repository(), &r).unwrap();
+        assert_eq!(deployment.topology.stages().len(), 4, "s1 expanded into two replicas");
+        assert_eq!(deployment.plan.len(), 4);
+        let g = &deployment.topology.groups()[0];
+        assert_eq!(g.base, "s1");
+        // Anti-affinity: the two replicas land on different nodes even
+        // though both prefer site-1.
+        let n0 = deployment.plan.node_of(g.members[0]).unwrap();
+        let n1 = deployment.plan.node_of(g.members[1]).unwrap();
+        assert_ne!(n0, n1, "replicas spread across nodes");
     }
 
     #[test]

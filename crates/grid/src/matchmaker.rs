@@ -37,10 +37,16 @@ impl std::error::Error for PlacementError {}
 ///
 /// Policy, per stage in id order:
 /// 1. prefer a node whose site equals the stage's site label and that has
-///    free capacity (least-loaded first, then fastest);
-/// 2. otherwise any node with free capacity (least-loaded, then fastest) —
-///    "computing resources close to the source … can be used for initial
-///    processing" is a preference, not a hard constraint.
+///    free capacity (fewest same-group replicas first, then least-loaded,
+///    then fastest);
+/// 2. otherwise any node with free capacity (same ordering) — "computing
+///    resources close to the source … can be used for initial processing"
+///    is a preference, not a hard constraint.
+///
+/// The same-group criterion is replica anti-affinity: members of one
+/// [`gates_core::ReplicaGroup`] spread across distinct nodes whenever
+/// capacity allows, so a sharded stage actually gains parallel hardware
+/// (and a node failure strands at most one replica's key range).
 #[derive(Debug, Default)]
 pub struct Matchmaker;
 
@@ -55,30 +61,46 @@ impl Matchmaker {
             return Err(PlacementError::NoNodes);
         }
         let mut load: HashMap<&str, usize> = HashMap::new();
-        let mut placement = HashMap::new();
+        let mut placement: HashMap<StageId, String> = HashMap::new();
 
         for (idx, stage) in topology.stages().iter().enumerate() {
             let id = topology.stage_by_name(&stage.name).expect("stage exists");
             debug_assert_eq!(id.index(), idx);
 
+            // Nodes already hosting a sibling from this stage's replica
+            // group, weighted by how many.
+            let mut siblings: HashMap<&str, usize> = HashMap::new();
+            if let Some((gi, _)) = topology.replica_of(id) {
+                for m in &topology.groups()[gi].members {
+                    if let Some(node) = placement.get(m) {
+                        *siblings.entry(registry.node(node).unwrap().name.as_str()).or_insert(0) +=
+                            1;
+                    }
+                }
+            }
+
             let pick = |candidates: &mut dyn Iterator<Item = &crate::node::NodeSpec>,
-                        load: &HashMap<&str, usize>| {
+                        load: &HashMap<&str, usize>,
+                        siblings: &HashMap<&str, usize>| {
                 candidates
                     .filter(|n| load.get(n.name.as_str()).copied().unwrap_or(0) < n.max_stages)
                     .min_by(|a, b| {
+                        let sa = siblings.get(a.name.as_str()).copied().unwrap_or(0);
+                        let sb = siblings.get(b.name.as_str()).copied().unwrap_or(0);
                         let la = load.get(a.name.as_str()).copied().unwrap_or(0);
                         let lb = load.get(b.name.as_str()).copied().unwrap_or(0);
-                        la.cmp(&lb)
+                        sa.cmp(&sb)
+                            .then(la.cmp(&lb))
                             .then(b.cpu_speed.partial_cmp(&a.cpu_speed).unwrap())
                             .then(a.name.cmp(&b.name))
                     })
                     .map(|n| n.name.clone())
             };
 
-            let site_match = pick(&mut registry.at_site(&stage.site), &load);
+            let site_match = pick(&mut registry.at_site(&stage.site), &load, &siblings);
             let chosen = match site_match {
                 Some(name) => name,
-                None => pick(&mut registry.nodes().iter(), &load)
+                None => pick(&mut registry.nodes().iter(), &load, &siblings)
                     .ok_or_else(|| PlacementError::NoCapacity { stage: stage.name.clone() })?,
             };
             *load.entry(registry.node(&chosen).unwrap().name.as_str()).or_insert(0) += 1;
@@ -176,6 +198,53 @@ mod tests {
             Matchmaker.place(&t, &ResourceRegistry::new()).unwrap_err(),
             PlacementError::NoNodes
         );
+    }
+
+    #[test]
+    fn replicas_spread_across_nodes() {
+        let mut t = Topology::new();
+        let src = t.add_stage(stage("src", "pool")).unwrap();
+        let agg = t.add_stage(stage("agg", "pool")).unwrap();
+        let snk = t.add_stage(stage("snk", "pool")).unwrap();
+        t.connect(src, agg, link());
+        t.connect(agg, snk, link());
+        t.replicate("agg", 3).unwrap();
+
+        let mut r = ResourceRegistry::new();
+        // One node is much faster — without anti-affinity every replica
+        // would pile onto it (capacity allows).
+        r.register(NodeSpec::new("fast", "pool").speed(4.0).capacity(10));
+        r.register(NodeSpec::new("n1", "pool").speed(1.0).capacity(10));
+        r.register(NodeSpec::new("n2", "pool").speed(1.0).capacity(10));
+
+        let placement = Matchmaker.place(&t, &r).unwrap();
+        let g = &t.groups()[0];
+        let hosts: std::collections::HashSet<&String> =
+            g.members.iter().map(|m| &placement[m]).collect();
+        assert_eq!(hosts.len(), 3, "three replicas on three distinct nodes: {placement:?}");
+    }
+
+    #[test]
+    fn replicas_share_nodes_only_when_forced() {
+        let mut t = Topology::new();
+        let agg = t.add_stage(stage("agg", "pool")).unwrap();
+        let snk = t.add_stage(stage("snk", "pool")).unwrap();
+        t.connect(agg, snk, link());
+        t.replicate("agg", 4).unwrap();
+
+        let mut r = ResourceRegistry::new();
+        r.register(NodeSpec::new("n1", "pool").capacity(10));
+        r.register(NodeSpec::new("n2", "pool").capacity(10));
+
+        let placement = Matchmaker.place(&t, &r).unwrap();
+        let g = &t.groups()[0];
+        let mut per_node: HashMap<&str, usize> = HashMap::new();
+        for m in &g.members {
+            *per_node.entry(placement[m].as_str()).or_insert(0) += 1;
+        }
+        // Four replicas over two nodes: anti-affinity balances 2/2
+        // rather than stacking.
+        assert_eq!(per_node.values().copied().collect::<Vec<_>>(), vec![2, 2]);
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! Minimal little-endian cursor shared by the sketch serializers
+//! (`to_bytes`/`from_bytes`). Kept crate-private: the public surface is
+//! each sketch's own codec pair.
+
+/// A bounds-checked little-endian reader over a byte slice.
+pub(crate) struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end =
+            self.at.checked_add(n).filter(|&e| e <= self.bytes.len()).ok_or_else(|| {
+                format!("truncated summary: wanted {n} bytes at offset {}", self.at)
+            })?;
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Fails when trailing bytes remain (catches framing bugs early).
+    pub(crate) fn done(&self) -> Result<(), String> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!("{} trailing bytes after summary", self.bytes.len() - self.at))
+        }
+    }
+}

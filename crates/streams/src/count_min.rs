@@ -64,6 +64,26 @@ impl CountMinSketch {
     }
 
     /// Merge a same-shape sketch by element-wise addition.
+    ///
+    /// Sketches built with identical dimensions hash identically, so the
+    /// merge of per-shard sketches equals the sketch of the whole stream
+    /// — a key-partitioned aggregation loses nothing:
+    ///
+    /// ```
+    /// use gates_streams::CountMinSketch;
+    ///
+    /// let mut whole = CountMinSketch::new(256, 4);
+    /// let (mut a, mut b) = (CountMinSketch::new(256, 4), CountMinSketch::new(256, 4));
+    /// for i in 0..1_000u64 {
+    ///     let key = i % 37;
+    ///     whole.insert(key);
+    ///     if key % 2 == 0 { a.insert(key) } else { b.insert(key) } // two shards
+    /// }
+    /// a.merge(&b).unwrap();
+    /// for key in 0..37u64 {
+    ///     assert_eq!(a.estimate(key), whole.estimate(key));
+    /// }
+    /// ```
     pub fn merge(&mut self, other: &CountMinSketch) -> Result<(), String> {
         if self.width != other.width || self.depth != other.depth {
             return Err(format!(
@@ -93,6 +113,42 @@ impl CountMinSketch {
     /// Memory footprint in counters.
     pub fn counters(&self) -> usize {
         self.width * self.depth
+    }
+
+    /// Serialize for shipping in a shard-summary packet (little-endian;
+    /// see [`CountMinSketch::from_bytes`]). Hash seeds are derived from
+    /// `depth`, so only dimensions and counters travel.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 4 + 8 + 8 * self.counters());
+        out.extend_from_slice(&(self.width as u32).to_le_bytes());
+        out.extend_from_slice(&(self.depth as u32).to_le_bytes());
+        out.extend_from_slice(&self.total.to_le_bytes());
+        for row in &self.rows {
+            for &c in row {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Rebuild a sketch serialized by [`CountMinSketch::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = crate::codec::Reader::new(bytes);
+        let width = r.u32()? as usize;
+        let depth = r.u32()? as usize;
+        if width < 1 || depth < 1 || width.saturating_mul(depth) > (1 << 28) {
+            return Err(format!("implausible sketch shape {depth}x{width}"));
+        }
+        let total = r.u64()?;
+        let mut cm = CountMinSketch::new(width, depth);
+        cm.total = total;
+        for row in &mut cm.rows {
+            for c in row.iter_mut() {
+                *c = r.u64()?;
+            }
+        }
+        r.done()?;
+        Ok(cm)
     }
 }
 
@@ -179,5 +235,33 @@ mod tests {
     #[should_panic(expected = "sketch dimensions must be positive")]
     fn zero_width_panics() {
         let _ = CountMinSketch::new(0, 2);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut cm = CountMinSketch::new(128, 4);
+        for i in 0..5_000u64 {
+            cm.insert(i % 97);
+        }
+        let restored = CountMinSketch::from_bytes(&cm.to_bytes()).unwrap();
+        assert_eq!(restored.shape(), cm.shape());
+        assert_eq!(restored.total(), cm.total());
+        for key in 0..97u64 {
+            assert_eq!(restored.estimate(key), cm.estimate(key));
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(CountMinSketch::from_bytes(&[0; 7]).is_err());
+        let mut bytes = CountMinSketch::new(8, 2).to_bytes();
+        bytes.truncate(bytes.len() - 1);
+        assert!(CountMinSketch::from_bytes(&bytes).is_err());
+        // Implausible dimensions refused before allocation.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        huge.extend_from_slice(&0u64.to_le_bytes());
+        assert!(CountMinSketch::from_bytes(&huge).is_err());
     }
 }

@@ -84,6 +84,23 @@ impl HyperLogLog {
 
     /// Merge another estimator (must have the same register count).
     /// The union is exact: register-wise max.
+    ///
+    /// Because the union is exact, per-shard estimators of a
+    /// key-partitioned stream merge into *identical* state to a single
+    /// estimator that saw everything:
+    ///
+    /// ```
+    /// use gates_streams::HyperLogLog;
+    ///
+    /// let mut whole = HyperLogLog::new(10);
+    /// let (mut a, mut b) = (HyperLogLog::new(10), HyperLogLog::new(10));
+    /// for i in 0..10_000u64 {
+    ///     whole.insert(i);
+    ///     if i % 2 == 0 { a.insert(i) } else { b.insert(i) } // two shards
+    /// }
+    /// a.merge(&b).unwrap();
+    /// assert_eq!(a, whole, "register-wise max reconstructs the unsharded state");
+    /// ```
     pub fn merge(&mut self, other: &HyperLogLog) -> Result<(), String> {
         if self.b != other.b {
             return Err(format!("register mismatch: 2^{} vs 2^{}", self.b, other.b));

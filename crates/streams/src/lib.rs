@@ -25,6 +25,7 @@
 //! * [`workload`] — Zipf and uniform integer stream generators.
 
 pub mod bloom;
+pub(crate) mod codec;
 pub mod count_min;
 pub mod counting_samples;
 pub mod dgim;

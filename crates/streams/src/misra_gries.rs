@@ -72,6 +72,24 @@ impl MisraGries {
 
     /// Merge another summary (counts add; then the heaviest `k` entries
     /// are kept, with the standard offset subtraction for correctness).
+    ///
+    /// Per-shard summaries of a key-partitioned stream merge into a
+    /// valid summary of the whole stream — heavy hitters survive and the
+    /// combined error bound still holds:
+    ///
+    /// ```
+    /// use gates_streams::MisraGries;
+    ///
+    /// let (mut a, mut b) = (MisraGries::new(8), MisraGries::new(8));
+    /// for i in 0..1_000u64 {
+    ///     // 42 is heavy on shard a, 7 on shard b.
+    ///     a.insert(if i % 3 == 0 { 42 } else { i });
+    ///     b.insert(if i % 3 == 0 { 7 } else { 10_000 + i });
+    /// }
+    /// a.merge(&b);
+    /// assert!(a.count(42) > 0 && a.count(7) > 0, "heavy hitters survive the merge");
+    /// assert_eq!(a.items_processed(), 2_000);
+    /// ```
     pub fn merge(&mut self, other: &MisraGries) {
         for (&v, &c) in &other.counters {
             *self.counters.entry(v).or_insert(0) += c;
@@ -105,6 +123,47 @@ impl MisraGries {
     /// Items observed.
     pub fn items_processed(&self) -> u64 {
         self.items_processed
+    }
+
+    /// Serialize for shipping in a shard-summary packet (little-endian;
+    /// see [`MisraGries::from_bytes`]). Entries are written in `top_k`
+    /// order so the encoding is deterministic.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 8 + 8 + 4 + 16 * self.counters.len());
+        out.extend_from_slice(&(self.k as u32).to_le_bytes());
+        out.extend_from_slice(&self.items_processed.to_le_bytes());
+        out.extend_from_slice(&self.decrements.to_le_bytes());
+        out.extend_from_slice(&(self.counters.len() as u32).to_le_bytes());
+        for (v, c) in self.top_k(self.counters.len()) {
+            out.extend_from_slice(&v.to_le_bytes());
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out
+    }
+
+    /// Rebuild a summary serialized by [`MisraGries::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = crate::codec::Reader::new(bytes);
+        let k = r.u32()? as usize;
+        if k < 1 {
+            return Err("need at least one counter".into());
+        }
+        let items_processed = r.u64()?;
+        let decrements = r.u64()?;
+        let len = r.u32()? as usize;
+        if len > k {
+            return Err(format!("{len} entries exceed the {k}-counter budget"));
+        }
+        let mut mg = MisraGries::new(k);
+        mg.items_processed = items_processed;
+        mg.decrements = decrements;
+        for _ in 0..len {
+            let v = r.u64()?;
+            let c = r.u64()?;
+            mg.counters.insert(v, c);
+        }
+        r.done()?;
+        Ok(mg)
     }
 }
 
@@ -194,5 +253,31 @@ mod tests {
     #[should_panic(expected = "need at least one counter")]
     fn zero_counters_panics() {
         let _ = MisraGries::new(0);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut mg = MisraGries::new(6);
+        for i in 0..5_000u64 {
+            mg.insert(if i % 4 == 0 { 9 } else { i });
+        }
+        let restored = MisraGries::from_bytes(&mg.to_bytes()).unwrap();
+        assert_eq!(restored.len(), mg.len());
+        assert_eq!(restored.items_processed(), mg.items_processed());
+        assert_eq!(restored.error_bound(), mg.error_bound());
+        assert_eq!(restored.top_k(6), mg.top_k(6));
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(MisraGries::from_bytes(&[0; 3]).is_err());
+        // More entries than the counter budget.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&1u32.to_le_bytes()); // k = 1
+        bad.extend_from_slice(&2u64.to_le_bytes());
+        bad.extend_from_slice(&0u64.to_le_bytes());
+        bad.extend_from_slice(&2u32.to_le_bytes()); // but 2 entries
+        bad.extend_from_slice(&[0; 32]);
+        assert!(MisraGries::from_bytes(&bad).is_err());
     }
 }

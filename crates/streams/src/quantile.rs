@@ -122,6 +122,71 @@ impl P2Quantile {
         Some(self.heights[2])
     }
 
+    /// Merge another estimator tracking the same quantile.
+    ///
+    /// P² has no exact merge (markers summarize different prefixes of
+    /// different streams), so this is the standard count-weighted
+    /// approximation: marker heights average weighted by observation
+    /// counts, ranks add, and desired positions are recomputed for the
+    /// combined count. Uninitialized sides (fewer than 5 observations)
+    /// replay their buffered samples exactly. Per-shard estimates of a
+    /// key-partitioned stream combine to within the estimator's normal
+    /// accuracy:
+    ///
+    /// ```
+    /// use gates_streams::P2Quantile;
+    ///
+    /// let (mut a, mut b) = (P2Quantile::new(0.5), P2Quantile::new(0.5));
+    /// for i in 0..10_000 {
+    ///     // Two shards each seeing half of 0..10000.
+    ///     if i % 2 == 0 { a.insert(i as f64) } else { b.insert(i as f64) }
+    /// }
+    /// a.merge(&b).unwrap();
+    /// assert_eq!(a.count(), 10_000);
+    /// let median = a.value().unwrap();
+    /// assert!((median - 5_000.0).abs() < 500.0, "merged median {median}");
+    /// ```
+    pub fn merge(&mut self, other: &P2Quantile) -> Result<(), String> {
+        if (self.q - other.q).abs() > f64::EPSILON {
+            return Err(format!("quantile mismatch: {} vs {}", self.q, other.q));
+        }
+        if other.count == 0 {
+            return Ok(());
+        }
+        if other.init.len() < 5 {
+            // The other side never left its exact buffer: replay it.
+            for &x in &other.init {
+                self.insert(x);
+            }
+            return Ok(());
+        }
+        if self.init.len() < 5 {
+            // We are the small side: adopt the other's state and replay
+            // our exact buffer into it.
+            let mine = std::mem::take(&mut self.init);
+            *self = other.clone();
+            for x in mine {
+                self.insert(x);
+            }
+            return Ok(());
+        }
+        let (a, b) = (self.count as f64, other.count as f64);
+        for i in 0..5 {
+            // Weighted averages of two sorted marker arrays stay sorted.
+            self.heights[i] = (self.heights[i] * a + other.heights[i] * b) / (a + b);
+            self.positions[i] += other.positions[i];
+        }
+        self.positions[0] = 1.0; // the combined minimum still has rank 1
+        self.count += other.count;
+        let n = self.count as f64;
+        let q = self.q;
+        let base = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0];
+        for (i, b) in base.iter().enumerate() {
+            self.desired[i] = b + (n - 5.0) * self.increments[i];
+        }
+        Ok(())
+    }
+
     /// The tracked quantile.
     pub fn q(&self) -> f64 {
         self.q
@@ -130,6 +195,50 @@ impl P2Quantile {
     /// Observations so far.
     pub fn count(&self) -> usize {
         self.count
+    }
+
+    /// Serialize for shipping in a shard-summary packet (little-endian;
+    /// see [`P2Quantile::from_bytes`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 8 + 1 + 8 * self.init.len() + 8 * 15);
+        out.extend_from_slice(&self.q.to_le_bytes());
+        out.extend_from_slice(&(self.count as u64).to_le_bytes());
+        out.push(self.init.len() as u8);
+        for &x in &self.init {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        for arr in [&self.heights, &self.positions, &self.desired] {
+            for &x in arr.iter() {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Rebuild an estimator serialized by [`P2Quantile::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = crate::codec::Reader::new(bytes);
+        let q = r.f64()?;
+        if !(q > 0.0 && q < 1.0) {
+            return Err(format!("quantile {q} out of (0,1)"));
+        }
+        let count = r.u64()? as usize;
+        let init_len = r.u8()? as usize;
+        if init_len > 5 {
+            return Err(format!("init buffer length {init_len} exceeds 5"));
+        }
+        let mut p = P2Quantile::new(q);
+        p.count = count;
+        for _ in 0..init_len {
+            p.init.push(r.f64()?);
+        }
+        for arr in [&mut p.heights, &mut p.positions, &mut p.desired] {
+            for x in arr.iter_mut() {
+                *x = r.f64()?;
+            }
+        }
+        r.done()?;
+        Ok(p)
     }
 }
 
@@ -204,5 +313,80 @@ mod tests {
     #[should_panic(expected = "quantile must be in (0,1)")]
     fn quantile_bounds_enforced() {
         let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn merge_tracks_unsharded_estimate() {
+        let mut whole = P2Quantile::new(0.5);
+        let mut shards = vec![P2Quantile::new(0.5); 4];
+        let mut rng = seeded(3);
+        for _ in 0..40_000 {
+            let x = rng.gen::<f64>();
+            whole.insert(x);
+            let s = (rng.gen::<u64>() % 4) as usize;
+            shards[s].insert(x);
+        }
+        let mut merged = shards.remove(0);
+        for s in &shards {
+            merged.merge(s).unwrap();
+        }
+        assert_eq!(merged.count(), whole.count());
+        let (m, w) = (merged.value().unwrap(), whole.value().unwrap());
+        assert!((m - 0.5).abs() < 0.05, "merged median {m} off from 0.5");
+        assert!((m - w).abs() < 0.05, "merged {m} vs unsharded {w}");
+    }
+
+    #[test]
+    fn merge_with_tiny_sides() {
+        // Other side below its init buffer: replayed exactly.
+        let mut a = P2Quantile::new(0.5);
+        let mut b = P2Quantile::new(0.5);
+        for i in 0..100 {
+            a.insert(i as f64);
+        }
+        b.insert(1.0);
+        b.insert(2.0);
+        a.merge(&b).unwrap();
+        assert_eq!(a.count(), 102);
+        // Self below its buffer: adopts the other's state.
+        let mut c = P2Quantile::new(0.5);
+        c.insert(50.0);
+        c.merge(&a).unwrap();
+        assert_eq!(c.count(), 103);
+        assert!(c.value().is_some());
+    }
+
+    #[test]
+    fn merge_quantile_mismatch_is_error() {
+        let mut a = P2Quantile::new(0.5);
+        let b = P2Quantile::new(0.9);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut p = P2Quantile::new(0.9);
+        let mut rng = seeded(4);
+        for _ in 0..10_000 {
+            p.insert(rng.gen::<f64>());
+        }
+        let restored = P2Quantile::from_bytes(&p.to_bytes()).unwrap();
+        assert_eq!(restored.count(), p.count());
+        assert_eq!(restored.value(), p.value());
+        // A tiny (pre-init) estimator round-trips its exact buffer too.
+        let mut tiny = P2Quantile::new(0.5);
+        tiny.insert(3.0);
+        let restored = P2Quantile::from_bytes(&tiny.to_bytes()).unwrap();
+        assert_eq!(restored.value(), Some(3.0));
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(P2Quantile::from_bytes(&[1, 2, 3]).is_err());
+        let mut ok = P2Quantile::new(0.5);
+        ok.insert(1.0);
+        let mut bytes = ok.to_bytes();
+        bytes.push(0); // trailing byte
+        assert!(P2Quantile::from_bytes(&bytes).is_err());
     }
 }

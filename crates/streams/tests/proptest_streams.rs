@@ -305,6 +305,142 @@ proptest! {
         prop_assert_eq!(reassembled, stream);
     }
 
+    // ---- Sharded merge laws -------------------------------------------------
+    //
+    // When a replicated stage partitions a stream by key, the downstream
+    // aggregator merges per-shard summaries. These properties pin down
+    // what that relies on: merge is commutative/associative where the
+    // structure is lossless, and the merged result matches (or bounds)
+    // a single unsharded instance that saw the whole stream.
+
+    #[test]
+    fn count_min_merge_commutes_and_associates(
+        a in proptest::collection::vec(0u64..100, 0..300),
+        b in proptest::collection::vec(0u64..100, 0..300),
+        c in proptest::collection::vec(0u64..100, 0..300),
+    ) {
+        let build = |items: &[u64]| {
+            let mut cm = CountMinSketch::new(64, 4);
+            for &v in items {
+                cm.insert(v);
+            }
+            cm
+        };
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c) and a ∪ b == b ∪ a, checked on
+        // every estimate.
+        let mut ab_c = build(&a);
+        ab_c.merge(&build(&b)).unwrap();
+        ab_c.merge(&build(&c)).unwrap();
+        let mut bc = build(&b);
+        bc.merge(&build(&c)).unwrap();
+        let mut a_bc = build(&a);
+        a_bc.merge(&bc).unwrap();
+        let mut ba = build(&b);
+        ba.merge(&build(&a)).unwrap();
+        let mut ab = build(&a);
+        ab.merge(&build(&b)).unwrap();
+        for v in 0..100u64 {
+            prop_assert_eq!(ab_c.estimate(v), a_bc.estimate(v), "associativity at {}", v);
+            prop_assert_eq!(ab.estimate(v), ba.estimate(v), "commutativity at {}", v);
+        }
+        prop_assert_eq!(ab_c.total(), a_bc.total());
+    }
+
+    #[test]
+    fn hyperloglog_merge_associates(
+        a in proptest::collection::vec(any::<u64>(), 0..200),
+        b in proptest::collection::vec(any::<u64>(), 0..200),
+        c in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let build = |items: &[u64]| {
+            let mut h = HyperLogLog::new(8);
+            for &v in items {
+                h.insert(v);
+            }
+            h
+        };
+        let mut ab_c = build(&a);
+        ab_c.merge(&build(&b)).unwrap();
+        ab_c.merge(&build(&c)).unwrap();
+        let mut bc = build(&b);
+        bc.merge(&build(&c)).unwrap();
+        let mut a_bc = build(&a);
+        a_bc.merge(&bc).unwrap();
+        prop_assert_eq!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn sharded_count_min_matches_unsharded(
+        stream in proptest::collection::vec(0u64..200, 1..1_000),
+        shards in 2usize..5,
+    ) {
+        // Partition by key (as a replica group's router would), sketch
+        // each shard separately, merge — identical to the whole-stream
+        // sketch because addition is exact.
+        let mut whole = CountMinSketch::new(64, 4);
+        let mut parts = vec![CountMinSketch::new(64, 4); shards];
+        for &v in &stream {
+            whole.insert(v);
+            parts[(v as usize) % shards].insert(v);
+        }
+        let mut merged = parts.remove(0);
+        for p in &parts {
+            merged.merge(p).unwrap();
+        }
+        for v in 0..200u64 {
+            prop_assert_eq!(merged.estimate(v), whole.estimate(v));
+        }
+        prop_assert_eq!(merged.total(), whole.total());
+    }
+
+    #[test]
+    fn sharded_misra_gries_respects_combined_error_bound(
+        stream in proptest::collection::vec(0u64..60, 1..1_200),
+        shards in 2usize..5,
+        k in 4usize..16,
+    ) {
+        let mut parts = vec![MisraGries::new(k); shards];
+        for &v in &stream {
+            parts[(v as usize) % shards].insert(v);
+        }
+        let mut merged = parts.remove(0);
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(merged.items_processed(), stream.len() as u64);
+        prop_assert!(merged.len() <= k, "counter budget violated after merge");
+        // Merged counts never overcount, and undercount at most the
+        // summary's own advertised bound.
+        for (&v, &true_count) in &exact(&stream) {
+            let reported = merged.count(v);
+            prop_assert!(reported <= true_count, "overcount for {v}");
+            prop_assert!(
+                true_count - reported <= merged.error_bound(),
+                "undercount beyond the advertised bound for {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_quantile_merge_stays_in_range(
+        stream in proptest::collection::vec(-1e6f64..1e6, 20..1_500),
+        shards in 2usize..5,
+    ) {
+        let mut parts = vec![P2Quantile::new(0.5); shards];
+        for (i, &v) in stream.iter().enumerate() {
+            parts[i % shards].insert(v);
+        }
+        let mut merged = parts.remove(0);
+        for p in &parts {
+            merged.merge(p).unwrap();
+        }
+        prop_assert_eq!(merged.count(), stream.len());
+        let est = merged.value().unwrap();
+        let lo = stream.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = stream.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(est >= lo && est <= hi, "merged estimate {est} outside [{lo}, {hi}]");
+    }
+
     #[test]
     fn sliding_sum_matches_direct_computation(
         stream in proptest::collection::vec(-1e3f64..1e3, 1..500),
