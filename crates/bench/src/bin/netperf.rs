@@ -1,0 +1,433 @@
+//! Reactor data-plane benchmark: throughput, latency, and allocations.
+//!
+//! Pumps packets through the distributed runtime's transport stack over
+//! loopback TCP and measures the PR8 receive path — nonblocking socket
+//! driven by a [`Reactor`], frames cut out of recycling pool buffers by
+//! a [`PooledReader`] — against the pre-PR8 blocking
+//! [`FrameStream::read_frame`] path, which allocates a fresh payload
+//! per frame.
+//!
+//! Three claims are measured, not asserted:
+//!
+//! * **Throughput** — end-to-end packets/s at 1 KiB and 128 B payloads,
+//!   with the PR3-recorded coalesced number carried forward so the
+//!   speedup is diffable inside one file.
+//! * **Latency** — every packet carries its send time in the packet
+//!   trailer (`created_at`); the receiver buckets the end-to-end delay
+//!   into a log2-microsecond histogram, from which p50/p95/p99 rows are
+//!   extracted. The histogram is fixed-size atomics, so recording it
+//!   costs no allocations.
+//! * **Allocations** — a counting `#[global_allocator]` snapshots the
+//!   process-wide allocation count after warmup and at EOS; the
+//!   steady-state rows report allocations per packet across the whole
+//!   data plane (sender + reactor + receiver). The pooled path's row is
+//!   the zero-alloc claim.
+//!
+//! Output: JSON rows (default `results/BENCH_PR8.json`) in the same
+//! stable `{"bench", "value", "unit"}` schema as the PR3 baseline.
+//! Flags: `--smoke` shrinks the run for CI; `--out <path>` overrides
+//! the output file.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use gates_core::Packet;
+use gates_net::{BufferPool, Directive, FrameStream, PooledReader, Reactor, Ready, Source};
+use gates_sim::SimTime;
+
+// --- counting allocator -----------------------------------------------
+
+/// Global allocation counter: every `alloc`/`realloc` anywhere in the
+/// process bumps it. Deallocations are free passes — the claim under
+/// test is "no new allocations per packet", not "no frees".
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: defers to `System` for every operation; the counter is a
+// relaxed atomic side effect.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+// --- log2 latency histogram -------------------------------------------
+
+const BUCKETS: usize = 48;
+
+/// Fixed-size log2 histogram of microsecond latencies. Bucket `i` holds
+/// samples in `[2^(i-1), 2^i)` µs (bucket 0 is `0..1` µs). Recording is
+/// one atomic increment — no allocation, no locking.
+struct Hist {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Hist {
+    fn new() -> Hist {
+        Hist { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+
+    fn record(&self, us: u64) {
+        let idx = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Approximate percentile: the upper bound (in µs) of the bucket
+    /// holding the p-th sample.
+    fn percentile(&self, p: f64) -> f64 {
+        let total: u64 = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (total as f64 * p).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if i == 0 { 1.0 } else { (1u64 << i) as f64 };
+            }
+        }
+        (1u64 << (BUCKETS - 1)) as f64
+    }
+}
+
+// --- shared measurement state -----------------------------------------
+
+/// Counters the receiver publishes while the run is in flight. The
+/// warmup boundary snapshot (allocations + clock) is taken inside the
+/// receive path the moment the warmup-th packet lands.
+struct RunState {
+    hist: Hist,
+    got: AtomicU64,
+    warmup: u64,
+    allocs_at_warmup: AtomicU64,
+    start_ns: AtomicU64,
+    allocs_at_eos: AtomicU64,
+    end_ns: AtomicU64,
+    done: AtomicBool,
+    epoch: Instant,
+}
+
+impl RunState {
+    fn new(warmup: u64) -> RunState {
+        RunState {
+            hist: Hist::new(),
+            got: AtomicU64::new(0),
+            warmup,
+            allocs_at_warmup: AtomicU64::new(0),
+            start_ns: AtomicU64::new(0),
+            allocs_at_eos: AtomicU64::new(0),
+            end_ns: AtomicU64::new(0),
+            done: AtomicBool::new(false),
+            epoch: Instant::now(),
+        }
+    }
+
+    fn on_packet(&self, p: &Packet) {
+        let now_us = self.epoch.elapsed().as_micros() as u64;
+        self.hist.record(now_us.saturating_sub(p.created_at.as_micros()));
+        let got = self.got.fetch_add(1, Ordering::Relaxed) + 1;
+        if got == self.warmup {
+            self.allocs_at_warmup.store(ALLOCS.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.start_ns.store(self.epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    fn on_eos(&self) {
+        self.allocs_at_eos.store(ALLOCS.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.end_ns.store(self.epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.done.store(true, Ordering::Relaxed);
+    }
+
+    /// (packets/s, allocations/packet) over the post-warmup window.
+    fn results(&self, n: u64) -> (f64, f64) {
+        let measured = n.saturating_sub(self.warmup).max(1);
+        let secs = self
+            .end_ns
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.start_ns.load(Ordering::Relaxed)) as f64
+            / 1e9;
+        let allocs = self
+            .allocs_at_eos
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.allocs_at_warmup.load(Ordering::Relaxed));
+        (measured as f64 / secs.max(1e-9), allocs as f64 / measured as f64)
+    }
+}
+
+// --- the PR8 receive path: reactor + pooled reader --------------------
+
+/// Reactor source mirroring the worker data plane's in-edge: fill pool
+/// buffers from the socket on readiness, cut frames out as zero-copy
+/// views, decode to packets.
+struct RecvSource {
+    stream: TcpStream,
+    reader: PooledReader,
+    state: Arc<RunState>,
+}
+
+impl Source for RecvSource {
+    fn fd(&self) -> RawFd {
+        self.stream.as_raw_fd()
+    }
+
+    fn service(&mut self, ready: Ready, _now: Instant) -> Directive {
+        if !(ready.readable || ready.notified) {
+            return Directive::read();
+        }
+        loop {
+            match self.reader.next_frame() {
+                Ok(Some(frame)) => {
+                    let p = Packet::from_frame(&frame).expect("decode packet");
+                    if p.is_eos() {
+                        self.state.on_eos();
+                        return Directive::close();
+                    }
+                    std::hint::black_box(p.records);
+                    self.state.on_packet(&p);
+                    continue;
+                }
+                Ok(None) => {}
+                Err(e) => panic!("poisoned stream: {e}"),
+            }
+            match self.reader.fill(&mut (&self.stream)) {
+                Ok(0) => {
+                    self.state.on_eos();
+                    return Directive::close();
+                }
+                Ok(_) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) => panic!("read: {e}"),
+            }
+        }
+        Directive::read()
+    }
+}
+
+// --- driver shared by both paths --------------------------------------
+
+/// Deterministic pseudo-random payload (no RNG dependency needed).
+fn payload(len: usize) -> Bytes {
+    let mut v = Vec::with_capacity(len);
+    let mut x = 0x9E37_79B9u32;
+    for _ in 0..len {
+        x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        v.push((x >> 24) as u8);
+    }
+    Bytes::from(v)
+}
+
+/// Send `n` stamped packets (batch-coalesced, as the dist sender loop
+/// does) and an EOS over a fresh loopback connection. The receiver is
+/// chosen by `reactor`: the PR8 pooled path or the pre-PR8 blocking
+/// path. Returns (packets/s, allocs/packet, p50, p95, p99).
+fn loopback_run(n: u64, payload_len: usize, reactor_path: bool) -> (f64, f64, f64, f64, f64) {
+    let warmup = n / 10;
+    let state = Arc::new(RunState::new(warmup));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+
+    // Connect the sender first so the accept below cannot block.
+    let sender_sock = TcpStream::connect(addr).expect("connect loopback");
+    let (server_sock, _) = listener.accept().expect("accept");
+
+    let (reactor, reader_thread) = if reactor_path {
+        let r = Reactor::spawn("netperf").expect("spawn reactor");
+        r.register(Box::new(RecvSource {
+            stream: server_sock,
+            reader: PooledReader::new(BufferPool::default()),
+            state: Arc::clone(&state),
+        }));
+        (Some(r), None)
+    } else {
+        let st = Arc::clone(&state);
+        let t = std::thread::spawn(move || {
+            let mut fs = FrameStream::new(server_sock);
+            while let Ok(Some(frame)) = fs.read_frame() {
+                let p = Packet::from_frame(&frame).expect("decode packet");
+                if p.is_eos() {
+                    st.on_eos();
+                    break;
+                }
+                std::hint::black_box(p.records);
+                st.on_packet(&p);
+            }
+        });
+        (None, Some(t))
+    };
+    let mut sender_fs = FrameStream::new(sender_sock);
+
+    let body = payload(payload_len);
+    const BATCH: u64 = 32;
+    let mut queued = 0u64;
+    for seq in 0..n {
+        let stamp = SimTime::from_micros(state.epoch.elapsed().as_micros() as u64);
+        let packet = Packet::data(1, seq, 16, body.clone()).at(stamp);
+        packet.encode_into(sender_fs.queue_buffer());
+        queued += 1;
+        if queued == BATCH {
+            sender_fs.flush_queued().expect("flush");
+            queued = 0;
+        }
+    }
+    Packet::eos(1, n).encode_into(sender_fs.queue_buffer());
+    sender_fs.flush_queued().expect("final flush");
+
+    while !state.done.load(Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    if let Some(t) = reader_thread {
+        t.join().expect("reader thread");
+    }
+    if let Some(r) = reactor {
+        r.shutdown();
+    }
+    assert_eq!(state.got.load(Ordering::Relaxed), n, "receiver must see every packet");
+    let (pps, allocs) = state.results(n);
+    (
+        pps,
+        allocs,
+        state.hist.percentile(0.50),
+        state.hist.percentile(0.95),
+        state.hist.percentile(0.99),
+    )
+}
+
+// --- output -----------------------------------------------------------
+
+struct Row {
+    bench: String,
+    value: f64,
+    unit: &'static str,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("results/BENCH_PR8.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(path) => out = path.clone(),
+                None => {
+                    eprintln!("error: --out needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag {other:?} (supported: --smoke, --out <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let n: u64 = if smoke { 10_000 } else { 200_000 };
+    // PR3's recorded coalesced 1 KiB loopback number (results/
+    // BENCH_PR3.json), carried forward so the acceptance ratio lives in
+    // this file.
+    const PR3_1KIB_PPS: f64 = 68_017.523;
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &(size, label) in &[(1024usize, "1KiB"), (128usize, "128B")] {
+        let (pps, allocs, p50, p95, p99) = loopback_run(n, size, true);
+        let (base_pps, base_allocs, ..) = loopback_run(n, size, false);
+        rows.push(Row {
+            bench: format!("dist_loopback_reactor_{label}"),
+            value: pps,
+            unit: "packets/s",
+        });
+        rows.push(Row {
+            bench: format!("dist_loopback_reactor_p50_{label}"),
+            value: p50,
+            unit: "us",
+        });
+        rows.push(Row {
+            bench: format!("dist_loopback_reactor_p95_{label}"),
+            value: p95,
+            unit: "us",
+        });
+        rows.push(Row {
+            bench: format!("dist_loopback_reactor_p99_{label}"),
+            value: p99,
+            unit: "us",
+        });
+        rows.push(Row {
+            bench: format!("dist_loopback_reactor_allocs_per_packet_{label}"),
+            value: allocs,
+            unit: "allocs",
+        });
+        rows.push(Row {
+            bench: format!("dist_loopback_blocking_{label}"),
+            value: base_pps,
+            unit: "packets/s",
+        });
+        rows.push(Row {
+            bench: format!("dist_loopback_blocking_allocs_per_packet_{label}"),
+            value: base_allocs,
+            unit: "allocs",
+        });
+        rows.push(Row {
+            bench: format!("dist_loopback_reactor_speedup_vs_blocking_{label}"),
+            value: pps / base_pps,
+            unit: "x",
+        });
+        if label == "1KiB" {
+            rows.push(Row {
+                bench: "dist_loopback_coalesced_1KiB_pr3_recorded".into(),
+                value: PR3_1KIB_PPS,
+                unit: "packets/s",
+            });
+            rows.push(Row {
+                bench: "dist_loopback_reactor_speedup_vs_pr3_1KiB".into(),
+                value: pps / PR3_1KIB_PPS,
+                unit: "x",
+            });
+        }
+    }
+
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "  {{\"bench\": \"{}\", \"value\": {:.3}, \"unit\": \"{}\"}}{sep}\n",
+            r.bench, r.value, r.unit
+        ));
+    }
+    json.push_str("]\n");
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    let mut f = std::fs::File::create(&out).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write output");
+
+    println!("{:<52} {:>14} unit", "bench", "value");
+    for r in &rows {
+        println!("{:<52} {:>14.3} {}", r.bench, r.value, r.unit);
+    }
+    println!("\nwritten to {out}");
+}

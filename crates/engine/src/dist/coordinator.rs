@@ -18,10 +18,10 @@
 //! failover could not save it.
 
 use std::collections::{HashMap, HashSet};
-use std::io::Write;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, RecvTimeoutError, Sender};
@@ -30,7 +30,9 @@ use gates_core::report::{LostWorker, RunReport, StageReport};
 use gates_core::trace::{LinkEvent, LinkEventKind, Recorder, RunMeta, TraceEvent};
 use gates_core::{StageId, Topology};
 use gates_grid::{ApplicationRepository, Launcher, Matchmaker, NodeSpec, ResourceRegistry};
-use gates_net::{crc32, encode_frame, FrameKind, FrameStream, TransportError};
+use gates_net::{
+    crc32, Directive, Frame, FrameKind, FrameStream, Reactor, Ready, Source, Token, TransportError,
+};
 use gates_sim::SimTime;
 
 use super::proto::{decode_ctrl, encode_ctrl, CtrlMsg, StagePlacement};
@@ -167,39 +169,23 @@ impl DistEngine {
         let start = Instant::now();
 
         // --- collect registrations -----------------------------------
-        // A dedicated acceptor thread blocks in `accept` and hands
-        // sockets over a channel, so this loop sleeps in `recv_timeout`
-        // instead of polling a non-blocking listener.
+        // One reactor drives every coordinator socket: the listener, the
+        // registration handshakes, and later each worker's control
+        // connection. Readiness replaces the old per-socket read-timeout
+        // polling, and a slow (or hostile) client can no longer stall
+        // the handshakes of the workers behind it.
+        let reactor = Reactor::spawn("gates-coord")
+            .map_err(|e| EngineError::Transport(format!("spawn reactor: {e}")))?;
         let accept_listener = self
             .listener
             .try_clone()
             .map_err(|e| EngineError::Transport(format!("clone listener: {e}")))?;
-        let local_addr = self.local_addr()?;
-        let accept_done = Arc::new(AtomicBool::new(false));
-        let (conn_tx, conn_rx) = unbounded::<TcpStream>();
-        let acceptor = {
-            let done = Arc::clone(&accept_done);
-            std::thread::Builder::new()
-                .name("gates-accept".into())
-                .spawn(move || loop {
-                    match accept_listener.accept() {
-                        Ok((socket, _peer)) => {
-                            if done.load(Ordering::Relaxed) || conn_tx.send(socket).is_err() {
-                                return;
-                            }
-                        }
-                        Err(_) => return,
-                    }
-                })
-                .map_err(|e| EngineError::Transport(e.to_string()))?
-        };
-        // Wake the acceptor out of its blocking `accept` (with a
-        // self-connect) and join it.
-        let retire_acceptor = move || {
-            accept_done.store(true, Ordering::Relaxed);
-            let _ = TcpStream::connect(local_addr);
-            let _ = acceptor.join();
-        };
+        let (reg_tx, reg_rx) = unbounded::<RegOutcome>();
+        let listener_token = reactor.register(Box::new(RegListener {
+            listener: accept_listener,
+            reactor: reactor.clone(),
+            results: reg_tx,
+        }));
 
         let mut workers: Vec<WorkerConn> = Vec::with_capacity(self.expected_workers);
         let mut rejected = 0usize;
@@ -207,27 +193,15 @@ impl DistEngine {
         while workers.len() < self.expected_workers {
             let now = Instant::now();
             if now >= reg_deadline {
-                retire_acceptor();
+                reactor.shutdown();
                 return Err(EngineError::Transport(format!(
                     "only {}/{} workers registered in time ({rejected} registration(s) rejected)",
                     workers.len(),
                     self.expected_workers
                 )));
             }
-            let socket = match conn_rx.recv_timeout(reg_deadline - now) {
-                Ok(socket) => socket,
-                Err(RecvTimeoutError::Timeout) => continue,
-                Err(RecvTimeoutError::Disconnected) => {
-                    retire_acceptor();
-                    return Err(EngineError::Transport("accept thread died".into()));
-                }
-            };
-            let mut fs = FrameStream::new(socket);
-            if fs.set_read_timeout(Some(Duration::from_millis(100))).is_err() {
-                continue;
-            }
-            match read_ctrl(&mut fs, Instant::now() + Duration::from_secs(5), "hello") {
-                Ok(CtrlMsg::Hello { name, data_addr, site, speed, capacity }) => {
+            match reg_rx.recv_timeout(reg_deadline - now) {
+                Ok(RegOutcome::Hello { name, data_addr, site, speed, capacity, mut fs }) => {
                     if workers.iter().any(|w| w.name == name) {
                         let reason = format!("duplicate worker name {name:?}");
                         self.reject(start, &mut fs, &reason, &mut rejected);
@@ -235,17 +209,19 @@ impl DistEngine {
                     }
                     workers.push(WorkerConn { name, data_addr, site, speed, capacity, ctrl: fs });
                 }
-                Ok(other) => {
-                    let reason = format!("expected hello, got {other:?}");
+                Ok(RegOutcome::Bad { mut fs, reason }) => {
                     self.reject(start, &mut fs, &reason, &mut rejected);
                 }
-                Err(e) => {
-                    let reason = format!("malformed or missing hello: {e}");
-                    self.reject(start, &mut fs, &reason, &mut rejected);
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    reactor.shutdown();
+                    return Err(EngineError::Transport("coordinator reactor died".into()));
                 }
             }
         }
-        retire_acceptor();
+        // Registration is closed; drop the listener from the reactor so
+        // late connects are refused by the OS, not left dangling.
+        reactor.close(listener_token);
 
         // --- place the application -----------------------------------
         let mut registry = ResourceRegistry::new();
@@ -337,7 +313,6 @@ impl DistEngine {
         }
 
         // --- collect traces and reports ------------------------------
-        let stop = Arc::new(AtomicBool::new(false));
         let (res_tx, res_rx) = unbounded::<Outcome>();
         let worker_names: Vec<String> = workers.iter().map(|w| w.name.clone()).collect();
         // Node facts outlive the handshake so failover can rebuild a
@@ -356,48 +331,30 @@ impl DistEngine {
                 )
             })
             .collect();
-        // Raw write handles for Stop/Reassign broadcasts: the reader
-        // threads own the FrameStreams, but writes on a try-cloned socket
-        // are safe (a frame is one `write_all`).
-        let mut writers: HashMap<String, TcpStream> = HashMap::new();
-        for w in &workers {
-            writers.insert(
-                w.name.clone(),
-                w.ctrl
-                    .try_clone_stream()
-                    .map_err(|e| EngineError::Transport(format!("clone {} ctrl: {e}", w.name)))?,
-            );
-        }
         // Fault-plane accounting, fed by relayed link events: every
         // injected fault and every completed recovery in the run, from
         // any process, lands in these two counters.
         let faults_injected = Arc::new(AtomicU64::new(0));
         let fault_recoveries = Arc::new(AtomicU64::new(0));
-        let mut reader_handles = Vec::with_capacity(workers.len());
+        // Each worker's control connection becomes a reactor source that
+        // decodes inbound frames into `Outcome`s and writes queued
+        // broadcast frames (Stop/Reassign/ShardUpdate) when the socket
+        // is ready. Heartbeat silence is a reactor deadline, not a poll.
+        let mut writers: HashMap<String, WorkerHandle> = HashMap::new();
         for w in workers {
-            let recorder = Arc::clone(&self.opts.recorder);
-            let results = res_tx.clone();
-            let stop = Arc::clone(&stop);
-            let heartbeat_timeout = self.config.heartbeat_timeout;
-            let faults = Arc::clone(&faults_injected);
-            let recoveries = Arc::clone(&fault_recoveries);
-            reader_handles.push(
-                std::thread::Builder::new()
-                    .name(format!("gates-ctrl-{}", w.name))
-                    .spawn(move || {
-                        worker_reader(
-                            w.ctrl,
-                            w.name,
-                            recorder,
-                            results,
-                            stop,
-                            heartbeat_timeout,
-                            faults,
-                            recoveries,
-                        )
-                    })
-                    .map_err(|e| EngineError::Transport(e.to_string()))?,
-            );
+            let shared = Arc::new(BcastQueue::default());
+            let token = reactor.register(Box::new(WorkerReadSource {
+                fs: w.ctrl,
+                worker: w.name.clone(),
+                recorder: Arc::clone(&self.opts.recorder),
+                results: res_tx.clone(),
+                heartbeat_timeout: self.config.heartbeat_timeout,
+                faults_injected: Arc::clone(&faults_injected),
+                fault_recoveries: Arc::clone(&fault_recoveries),
+                last_seen: Instant::now(),
+                shared: Arc::clone(&shared),
+            }));
+            writers.insert(w.name, WorkerHandle { reactor: reactor.clone(), token, shared });
         }
         drop(res_tx);
 
@@ -423,9 +380,9 @@ impl DistEngine {
                 // Budget exhausted: tell every worker to stop, then give
                 // them one more grace period to report.
                 stop_sent = true;
-                let stop_frame = encode_frame(&encode_ctrl(&CtrlMsg::Stop));
-                for s in writers.values_mut() {
-                    let _ = s.write_all(&stop_frame);
+                let stop_frame = encode_ctrl(&CtrlMsg::Stop);
+                for h in writers.values() {
+                    h.send(stop_frame.clone());
                 }
                 deadline = now + self.config.report_grace;
                 continue;
@@ -485,14 +442,14 @@ impl DistEngine {
                                 kind,
                                 &format!("replica {} -> {} (epoch {map_epoch})", ch.from, ch.to),
                             );
-                            let frame = encode_frame(&encode_ctrl(&CtrlMsg::ShardUpdate {
+                            let frame = encode_ctrl(&CtrlMsg::ShardUpdate {
                                 group,
                                 epoch: map_epoch,
                                 map: map.encode(),
-                            }));
-                            for (name, s) in writers.iter_mut() {
+                            });
+                            for (name, h) in writers.iter() {
                                 if !lost.contains(name) {
-                                    let _ = s.write_all(&frame);
+                                    h.send(frame.clone());
                                 }
                             }
                         }
@@ -531,7 +488,7 @@ impl DistEngine {
                             &lost,
                             &reports,
                             &checkpoints,
-                            &mut writers,
+                            &writers,
                             &mut epoch,
                         );
                     }
@@ -540,10 +497,7 @@ impl DistEngine {
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        stop.store(true, Ordering::Relaxed);
-        for h in reader_handles {
-            let _ = h.join();
-        }
+        reactor.shutdown();
         for name in &worker_names {
             if !reports.contains_key(name) && !lost.contains(name) {
                 self.record_lost(start, name, "no report before deadline", &mut lost_workers);
@@ -636,7 +590,7 @@ impl DistEngine {
         lost: &HashSet<String>,
         reports: &HashMap<String, Vec<StageReport>>,
         checkpoints: &HashMap<u32, (u64, u32, Vec<u8>)>,
-        writers: &mut HashMap<String, TcpStream>,
+        writers: &HashMap<String, WorkerHandle>,
         epoch: &mut u64,
     ) {
         let stranded: Vec<usize> = placements
@@ -703,117 +657,313 @@ impl DistEngine {
             })
             .collect();
         *epoch += 1;
-        let frame = encode_frame(&encode_ctrl(&CtrlMsg::Reassign {
+        let frame = encode_ctrl(&CtrlMsg::Reassign {
             epoch: *epoch,
             placements: changed,
             checkpoints: ckpts,
-        }));
+        });
         // Under chaos the control plane may eat frames, so the broadcast
         // switches to at-least-once: every survivor gets the Reassign
         // twice. Workers are epoch-idempotent — the duplicate is
         // discarded with a `stale_discarded` trace event, which also
         // keeps that recovery path permanently exercised.
         let sends = if self.config.fault.is_some() { 2 } else { 1 };
-        for (name, s) in writers.iter_mut() {
+        for (name, h) in writers.iter() {
             if lost.contains(name) {
                 continue;
             }
             for _ in 0..sends {
-                let _ = s.write_all(&frame);
+                h.send(frame.clone());
             }
         }
     }
 }
 
-/// Pump one worker's control connection: trace events into the
-/// coordinator's recorder, checkpoints and the final report (or the
-/// worker's death) into the results channel. Any frame counts as a sign
-/// of life; with `heartbeat_timeout` non-zero, silence past it declares
-/// the worker lost even while its socket stays open (the hung-process
-/// case a closed-connection check cannot see).
-#[allow(clippy::too_many_arguments)]
-fn worker_reader(
-    mut fs: FrameStream,
+/// What a registration handshake produced, handed from the reactor to
+/// the registration loop. The `FrameStream` travels with the outcome
+/// (restored to blocking mode) so the loop can complete the
+/// assign/ready exchange — or send a typed `Reject` — synchronously.
+enum RegOutcome {
+    /// A well-formed hello.
+    Hello {
+        name: String,
+        data_addr: String,
+        site: Option<String>,
+        speed: f64,
+        capacity: u32,
+        fs: FrameStream,
+    },
+    /// Anything else: wrong first message, undecodable frame, silence
+    /// past the handshake deadline, or a connection that died mid-hello.
+    Bad { fs: FrameStream, reason: String },
+}
+
+/// Reactor source wrapping the registration listener: each accepted
+/// socket becomes its own [`HelloSource`], so handshakes overlap
+/// instead of queueing behind the slowest client.
+struct RegListener {
+    listener: TcpListener,
+    reactor: Reactor,
+    results: Sender<RegOutcome>,
+}
+
+impl Source for RegListener {
+    fn fd(&self) -> RawFd {
+        self.listener.as_raw_fd()
+    }
+
+    fn service(&mut self, _ready: Ready, now: Instant) -> Directive {
+        loop {
+            match self.listener.accept() {
+                Ok((socket, _peer)) => {
+                    let fs = FrameStream::new(socket);
+                    self.reactor.register(Box::new(HelloSource {
+                        fd: fs.get_ref().as_raw_fd(),
+                        fs: Some(fs),
+                        results: self.results.clone(),
+                        deadline: now + Duration::from_secs(5),
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                // Transient accept errors (aborted handshakes, fd
+                // pressure): retry on the next readiness edge.
+                Err(_) => break,
+            }
+        }
+        Directive::read()
+    }
+}
+
+/// Reactor source that reads exactly one control message — the hello —
+/// off a freshly accepted socket, then surrenders the stream to the
+/// registration loop and closes itself.
+struct HelloSource {
+    /// Cached so `fd()` stays valid after the stream is surrendered.
+    fd: RawFd,
+    fs: Option<FrameStream>,
+    results: Sender<RegOutcome>,
+    deadline: Instant,
+}
+
+impl HelloSource {
+    /// Take the stream back out of reactor (nonblocking) mode so the
+    /// registration loop can use it synchronously.
+    fn surrender(&mut self) -> FrameStream {
+        let fs = self.fs.take().expect("hello stream surrendered twice");
+        let _ = fs.get_ref().set_nonblocking(false);
+        let _ = fs.set_read_timeout(Some(Duration::from_millis(100)));
+        fs
+    }
+
+    fn finish(&mut self, out: RegOutcome) -> Directive {
+        let _ = self.results.send(out);
+        Directive::close()
+    }
+}
+
+impl Source for HelloSource {
+    fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    fn service(&mut self, _ready: Ready, now: Instant) -> Directive {
+        if self.fs.is_none() {
+            return Directive::close();
+        }
+        loop {
+            match self.fs.as_mut().expect("stream present").read_frame() {
+                Ok(Some(f)) if f.kind == FrameKind::Control => {
+                    let out = match decode_ctrl(&f) {
+                        Ok(CtrlMsg::Hello { name, data_addr, site, speed, capacity }) => {
+                            let fs = self.surrender();
+                            RegOutcome::Hello { name, data_addr, site, speed, capacity, fs }
+                        }
+                        Ok(other) => RegOutcome::Bad {
+                            fs: self.surrender(),
+                            reason: format!("expected hello, got {other:?}"),
+                        },
+                        Err(e) => RegOutcome::Bad {
+                            fs: self.surrender(),
+                            reason: format!("malformed or missing hello: {e}"),
+                        },
+                    };
+                    return self.finish(out);
+                }
+                Ok(Some(_)) => continue,
+                Err(TransportError::TimedOut) => break,
+                Ok(None) | Err(TransportError::Io(_)) => {
+                    let out = RegOutcome::Bad {
+                        fs: self.surrender(),
+                        reason: "malformed or missing hello: connection closed".into(),
+                    };
+                    return self.finish(out);
+                }
+            }
+        }
+        if now >= self.deadline {
+            let out = RegOutcome::Bad {
+                fs: self.surrender(),
+                reason: "malformed or missing hello: timed out".into(),
+            };
+            return self.finish(out);
+        }
+        Directive::read().with_deadline(self.deadline)
+    }
+}
+
+/// Broadcast frames queued for one worker, shared between the main
+/// loop (producer) and that worker's [`WorkerReadSource`] (consumer).
+#[derive(Default)]
+struct BcastQueue {
+    frames: Mutex<Vec<Frame>>,
+}
+
+/// The main loop's write handle to one worker's control connection:
+/// queue a frame, nudge the reactor, and the source writes it when the
+/// socket is ready.
+struct WorkerHandle {
+    reactor: Reactor,
+    token: Token,
+    shared: Arc<BcastQueue>,
+}
+
+impl WorkerHandle {
+    fn send(&self, frame: Frame) {
+        self.shared.frames.lock().unwrap_or_else(|p| p.into_inner()).push(frame);
+        self.reactor.notify(self.token);
+    }
+}
+
+/// Reactor source pumping one worker's control connection: trace events
+/// into the coordinator's recorder, checkpoints and the final report
+/// (or the worker's death) into the results channel, queued broadcasts
+/// out. Any frame counts as a sign of life; with `heartbeat_timeout`
+/// non-zero, silence past it declares the worker lost even while its
+/// socket stays open (the hung-process case a closed-connection check
+/// cannot see) — the timeout is the source's reactor deadline, so
+/// detection is readiness-driven rather than a 100ms poll.
+struct WorkerReadSource {
+    fs: FrameStream,
     worker: String,
     recorder: Arc<dyn Recorder>,
     results: Sender<Outcome>,
-    stop: Arc<AtomicBool>,
     heartbeat_timeout: Duration,
     faults_injected: Arc<AtomicU64>,
     fault_recoveries: Arc<AtomicU64>,
-) {
-    let mut last_seen = Instant::now();
-    loop {
-        if stop.load(Ordering::Relaxed) {
-            return;
+    last_seen: Instant,
+    shared: Arc<BcastQueue>,
+}
+
+impl WorkerReadSource {
+    fn lost(&mut self, reason: String) -> Directive {
+        let _ = self.results.send(Outcome::Lost { worker: self.worker.clone(), reason });
+        Directive::close()
+    }
+
+    /// Handle one decoded control message. `true` means the final report
+    /// arrived and the source should close.
+    fn on_msg(&mut self, msg: CtrlMsg) -> bool {
+        match msg {
+            CtrlMsg::Trace(event) => {
+                // Relayed link events double as the run's fault ledger:
+                // injections on one side, completed recoveries on the
+                // other.
+                if let TraceEvent::Link(l) = &event {
+                    match l.kind {
+                        LinkEventKind::FaultInjected => {
+                            self.faults_injected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        LinkEventKind::Reconnected
+                        | LinkEventKind::Restored
+                        | LinkEventKind::Resumed
+                        | LinkEventKind::StaleDiscarded
+                        | LinkEventKind::CheckpointCorrupt => {
+                            self.fault_recoveries.fetch_add(1, Ordering::Relaxed);
+                        }
+                        LinkEventKind::ReconnectExhausted => {
+                            let _ = self.results.send(Outcome::LinkExhausted {
+                                worker: self.worker.clone(),
+                                link: l.link.clone(),
+                                detail: l.detail.clone(),
+                            });
+                        }
+                        _ => {}
+                    }
+                }
+                if self.recorder.enabled() {
+                    self.recorder.record(event);
+                }
+            }
+            CtrlMsg::Heartbeat { .. } => {}
+            CtrlMsg::Checkpoint { stage, seq, crc, state } => {
+                let _ = self.results.send(Outcome::Checkpoint { stage, seq, crc, state });
+            }
+            CtrlMsg::ShardRequest { group, ordinal, split } => {
+                let _ = self.results.send(Outcome::ShardRequest { group, ordinal, split });
+            }
+            CtrlMsg::Report { worker, stages } => {
+                let _ = self.results.send(Outcome::Report { worker, stages });
+                return true;
+            }
+            _ => {}
         }
-        match fs.read_frame() {
-            Ok(Some(f)) if f.kind == FrameKind::Control => {
-                last_seen = Instant::now();
-                match decode_ctrl(&f) {
-                    Ok(CtrlMsg::Trace(event)) => {
-                        // Relayed link events double as the run's fault
-                        // ledger: injections on one side, completed
-                        // recoveries on the other.
-                        if let TraceEvent::Link(l) = &event {
-                            match l.kind {
-                                LinkEventKind::FaultInjected => {
-                                    faults_injected.fetch_add(1, Ordering::Relaxed);
-                                }
-                                LinkEventKind::Reconnected
-                                | LinkEventKind::Restored
-                                | LinkEventKind::Resumed
-                                | LinkEventKind::StaleDiscarded
-                                | LinkEventKind::CheckpointCorrupt => {
-                                    fault_recoveries.fetch_add(1, Ordering::Relaxed);
-                                }
-                                LinkEventKind::ReconnectExhausted => {
-                                    let _ = results.send(Outcome::LinkExhausted {
-                                        worker: worker.clone(),
-                                        link: l.link.clone(),
-                                        detail: l.detail.clone(),
-                                    });
-                                }
-                                _ => {}
+        false
+    }
+}
+
+impl Source for WorkerReadSource {
+    fn fd(&self) -> RawFd {
+        self.fs.get_ref().as_raw_fd()
+    }
+
+    fn service(&mut self, ready: Ready, now: Instant) -> Directive {
+        // Stage queued broadcasts and push whatever the socket takes.
+        {
+            let mut pending = self.shared.frames.lock().unwrap_or_else(|p| p.into_inner());
+            for f in pending.drain(..) {
+                self.fs.queue(&f);
+            }
+        }
+        if (self.fs.queued_len() > 0 || self.fs.has_staged())
+            && self.fs.flush_nonblocking().is_err()
+        {
+            return self.lost("control connection closed before report".into());
+        }
+        if ready.readable || ready.notified {
+            loop {
+                match self.fs.read_frame() {
+                    Ok(Some(f)) if f.kind == FrameKind::Control => {
+                        self.last_seen = now;
+                        if let Ok(msg) = decode_ctrl(&f) {
+                            if self.on_msg(msg) {
+                                return Directive::close();
                             }
                         }
-                        if recorder.enabled() {
-                            recorder.record(event);
-                        }
                     }
-                    Ok(CtrlMsg::Heartbeat { .. }) => {}
-                    Ok(CtrlMsg::Checkpoint { stage, seq, crc, state }) => {
-                        let _ = results.send(Outcome::Checkpoint { stage, seq, crc, state });
+                    Ok(Some(_)) => self.last_seen = now,
+                    Err(TransportError::TimedOut) => break,
+                    Ok(None) | Err(TransportError::Io(_)) => {
+                        return self.lost("control connection closed before report".into());
                     }
-                    Ok(CtrlMsg::ShardRequest { group, ordinal, split }) => {
-                        let _ = results.send(Outcome::ShardRequest { group, ordinal, split });
-                    }
-                    Ok(CtrlMsg::Report { worker, stages }) => {
-                        let _ = results.send(Outcome::Report { worker, stages });
-                        return;
-                    }
-                    _ => {}
                 }
-            }
-            Ok(Some(_)) => {
-                last_seen = Instant::now();
-            }
-            Err(TransportError::TimedOut) => {
-                if !heartbeat_timeout.is_zero() && last_seen.elapsed() >= heartbeat_timeout {
-                    let reason =
-                        format!("no heartbeat for {:.1}s", last_seen.elapsed().as_secs_f64());
-                    let _ = results.send(Outcome::Lost { worker, reason });
-                    return;
-                }
-            }
-            Ok(None) | Err(TransportError::Io(_)) => {
-                let _ = results.send(Outcome::Lost {
-                    worker,
-                    reason: "control connection closed before report".into(),
-                });
-                return;
             }
         }
+        if !self.heartbeat_timeout.is_zero() {
+            let silent = now.duration_since(self.last_seen);
+            if silent >= self.heartbeat_timeout {
+                return self.lost(format!("no heartbeat for {:.1}s", silent.as_secs_f64()));
+            }
+        }
+        let mut d = Directive {
+            want_read: true,
+            want_write: self.fs.queued_len() > 0 || self.fs.has_staged(),
+            deadline: None,
+            close: false,
+        };
+        if !self.heartbeat_timeout.is_zero() {
+            d = d.with_deadline(self.last_seen + self.heartbeat_timeout);
+        }
+        d
     }
 }
 
@@ -824,6 +974,7 @@ mod tests {
     use gates_core::{Packet, SourceStatus, StageApi, StageBuilder, StreamProcessor, Topology};
     use gates_net::LinkSpec;
     use gates_sim::SimDuration;
+    use std::net::TcpStream;
 
     struct Burst {
         left: u32,

@@ -57,6 +57,7 @@
 //! than silently absorbed.
 
 mod coordinator;
+mod plane;
 mod proto;
 mod worker;
 

@@ -1,0 +1,1032 @@
+//! Reactor-driven data plane of the distributed worker.
+//!
+//! Every worker socket — the data listener, each accepted in-edge, each
+//! per-edge sender connection, and (after the handshake) the control
+//! link to the coordinator — is a [`Source`] registered on a small
+//! fixed [`ReactorPool`] instead of owning a blocking OS thread. The
+//! reactor watches readiness (level-triggered `epoll`) and calls each
+//! source's `service` exactly when there is something to do; an idle
+//! data plane makes no wakeups beyond the 25 ms exception sweep on
+//! attached in-edges.
+//!
+//! Protocol behavior is kept byte-identical to the old thread-per-socket
+//! plane: the same handshake, the same coalescing and reconnect
+//! semantics, and the same deterministic chaos-injection points, so a
+//! seeded fault run produces the same fault trace either way. What
+//! changes is the cost model — reads land in recycled [`BufferPool`]
+//! leases (zero allocations per packet in steady state, see
+//! `gates_net::reader`), and writes go through
+//! [`FrameStream::flush_nonblocking`] with write-interest armed only
+//! while bytes are actually queued.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bytes::BytesMut;
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
+
+use gates_core::trace::LinkEventKind;
+use gates_core::{Packet, ShardError};
+use gates_net::{
+    encode_frame_into, AppliedFault, BufferPool, Directive, FaultInjector, FlushProgress, Frame,
+    FrameKind, FrameStream, PooledReader, Reactor, ReactorPool, Ready, Source, Token,
+    TransportError,
+};
+
+use super::proto::{decode_ctrl, decode_exception, encode_exception, CtrlMsg};
+use super::worker::{InEdge, InEdgeRegistry, LinkReporter};
+use super::DistConfig;
+use crate::runtime::{Control, RemoteWake};
+
+/// How often an attached in-edge sweeps for stage exceptions to relay
+/// upstream (and for partition flips). The old thread plane polled its
+/// socket every `read_timeout` (100 ms default); 25 ms strictly tightens
+/// exception latency while staying cheap.
+const EXC_SWEEP: Duration = Duration::from_millis(25);
+
+/// Retry cadence when a delivery into a full blocking stage queue is
+/// parked (mirror of the old 10 ms blocking `send_timeout` loop).
+const DELIVER_RETRY: Duration = Duration::from_millis(5);
+
+/// Registry-lookup retry cadence while an `EdgeHello` names an edge this
+/// worker has not (yet) registered — failover re-dials race `Reassign`.
+const LOOKUP_RETRY: Duration = Duration::from_millis(10);
+
+/// Cap on the bytes a sender coalesces into one socket write. Past this
+/// the batch flushes even if more packets are waiting, bounding both the
+/// encode buffer and the burst a reconnect might have to replay.
+pub(super) const MAX_COALESCED_BYTES: usize = 256 * 1024;
+
+/// Shared list of every registered source's wake handle. Stop and
+/// partition flips nudge all of them so parked sources re-check the
+/// flags instead of waiting out a deadline.
+#[derive(Clone, Default)]
+pub(super) struct NotifyList {
+    inner: Arc<Mutex<Vec<(Reactor, Token)>>>,
+}
+
+impl NotifyList {
+    pub(super) fn add(&self, reactor: Reactor, token: Token) {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).push((reactor, token));
+    }
+
+    pub(super) fn notify_all(&self) {
+        for (r, t) in self.inner.lock().unwrap_or_else(|p| p.into_inner()).iter() {
+            r.notify(*t);
+        }
+    }
+}
+
+/// Everything a freshly accepted data connection needs, cloned once per
+/// listener instead of once per connection spawn.
+#[derive(Clone)]
+pub(super) struct PlaneCtx {
+    pub(super) reg: InEdgeRegistry,
+    pub(super) stop: Arc<AtomicBool>,
+    pub(super) partitioned: Arc<AtomicBool>,
+    pub(super) cfg: DistConfig,
+    pub(super) buffers: BufferPool,
+    pub(super) reactors: Arc<ReactorPool>,
+    pub(super) notify: NotifyList,
+}
+
+/// Accepts incoming data connections on a nonblocking listener and
+/// registers each as a [`DataInSource`] on the reactor pool. A
+/// partitioned node is unreachable: the dialer's socket is dropped on
+/// the floor, exactly like the old accept loop.
+pub(super) struct ListenerSource {
+    listener: TcpListener,
+    ctx: PlaneCtx,
+}
+
+impl ListenerSource {
+    pub(super) fn new(listener: TcpListener, ctx: PlaneCtx) -> ListenerSource {
+        ListenerSource { listener, ctx }
+    }
+}
+
+impl Source for ListenerSource {
+    fn fd(&self) -> RawFd {
+        self.listener.as_raw_fd()
+    }
+
+    fn service(&mut self, _ready: Ready, now: Instant) -> Directive {
+        loop {
+            if self.ctx.stop.load(Ordering::Relaxed) {
+                return Directive::close();
+            }
+            match self.listener.accept() {
+                Ok((socket, _peer)) => {
+                    if self.ctx.partitioned.load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    let conn = DataInSource::new(socket, self.ctx.clone(), now);
+                    let reactor = self.ctx.reactors.pick();
+                    let token = reactor.register(Box::new(conn));
+                    self.ctx.notify.add(reactor, token);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                // Transient accept errors (EMFILE, aborted handshakes):
+                // back off briefly rather than spinning on the ready fd.
+                Err(_) => return Directive::read().with_deadline(now + Duration::from_millis(50)),
+            }
+        }
+        Directive::read()
+    }
+}
+
+/// Where one accepted data connection is in its lifecycle.
+enum InState {
+    /// Waiting for the identifying `EdgeHello` control frame.
+    Hello,
+    /// Hello seen; waiting for the named edge to appear in the registry
+    /// (failover re-dials can beat this worker's own `Reassign`).
+    Lookup(u32),
+    /// Pumping frames into the receiving stage.
+    Attached(Arc<InEdge>),
+}
+
+/// A delivery that found the stage queue full on a blocking edge: the
+/// routing decision is captured so the retry does not re-route (or
+/// re-log) the packet.
+enum Held {
+    /// Into the edge's own stage queue.
+    Stage(Packet),
+    /// Re-route to a sibling replica's queue (shard-ownership fixup).
+    Sibling(Packet, Sender<Packet>, u32),
+    /// The edge's single end-of-stream marker.
+    Eos(Packet),
+}
+
+/// One accepted data connection, reactor-driven: `EdgeHello` →
+/// registry lookup → pump. Frames decode zero-copy out of pooled read
+/// buffers; exception frames ride the same socket upstream.
+pub(super) struct DataInSource {
+    stream: TcpStream,
+    reader: PooledReader,
+    /// Encoded exception frames awaiting a (nonblocking) write.
+    out: BytesMut,
+    state: InState,
+    ctx: PlaneCtx,
+    /// At most one parked delivery: decoding pauses while it waits for
+    /// queue space, so backpressure reaches the socket (and the sender).
+    held: Option<Held>,
+    /// This source performed the `eos_forwarded` swap and owns delivery
+    /// of the (possibly parked) end-of-stream marker.
+    eos_claimed: bool,
+    crc_seen: u64,
+    hello_deadline: Instant,
+    lookup_deadline: Instant,
+}
+
+impl DataInSource {
+    fn new(stream: TcpStream, ctx: PlaneCtx, now: Instant) -> DataInSource {
+        let reader = PooledReader::new(ctx.buffers.clone());
+        let hello_deadline = now + ctx.cfg.connect_timeout;
+        let lookup_deadline = now + 2 * ctx.cfg.connect_timeout;
+        DataInSource {
+            stream,
+            reader,
+            out: BytesMut::new(),
+            state: InState::Hello,
+            ctx,
+            held: None,
+            eos_claimed: false,
+            crc_seen: 0,
+            hello_deadline,
+            lookup_deadline,
+        }
+    }
+
+    /// Decode the next buffered frame, filling from the socket as
+    /// needed.
+    fn read_step(&mut self) -> ReadStep {
+        loop {
+            match self.reader.next_frame() {
+                Ok(Some(f)) => return ReadStep::Frame(f),
+                Ok(None) => {}
+                // Untrustworthy length prefix: the stream is poisoned.
+                Err(e) => return ReadStep::Err(e.to_string()),
+            }
+            match self.reader.fill(&mut (&self.stream)) {
+                Ok(0) => {
+                    return if self.reader.pending() > 0 {
+                        ReadStep::Err("connection closed mid-frame".into())
+                    } else {
+                        ReadStep::Eof
+                    }
+                }
+                Ok(_) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return ReadStep::Idle,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return ReadStep::Err(e.to_string()),
+            }
+        }
+    }
+
+    /// Route one packet toward its stage queue without blocking; a full
+    /// blocking queue hands the packet back as a [`Held`] to retry.
+    fn route(&mut self, ie: &Arc<InEdge>, packet: Packet) -> Option<Held> {
+        if !packet.is_eos()
+            && ie.announce_resume.load(Ordering::Relaxed)
+            && ie.announce_resume.swap(false, Ordering::Relaxed)
+        {
+            ie.reporter.record(LinkEventKind::Resumed, "first packet after failover");
+        }
+        if packet.is_eos() {
+            // Exactly-once: a reconnecting sender re-sends nothing, but
+            // a drain-injected marker may race a late real one.
+            if !self.eos_claimed {
+                if ie.eos_forwarded.swap(true, Ordering::SeqCst) {
+                    return None;
+                }
+                self.eos_claimed = true;
+            }
+            return self.push_eos(ie, packet);
+        }
+        // Ownership check: a sender that routed with a shard map older
+        // than a mid-flight split/merge (or a placement-table race
+        // during Reassign) may aim a key at the wrong replica. Re-route
+        // to the owning sibling when it lives in this process, else
+        // reject with the typed error — never process on the wrong
+        // shard.
+        if let Some(sh) = &ie.shard {
+            let owner = sh.router.route(packet.key) as u32;
+            if owner != sh.ordinal {
+                let err =
+                    ShardError::WrongShard { key: packet.key, owner, delivered_to: sh.ordinal };
+                match sh.siblings.get(&owner) {
+                    Some((tx, wake)) => {
+                        ie.reporter
+                            .record(LinkEventKind::Misrouted, format!("{err}; re-routed locally"));
+                        let (tx, wake) = (tx.clone(), *wake);
+                        if ie.blocking {
+                            return match tx.try_send(packet) {
+                                Ok(()) => {
+                                    ie.hub.wake(wake);
+                                    None
+                                }
+                                Err(TrySendError::Full(p)) => Some(Held::Sibling(p, tx, wake)),
+                                Err(TrySendError::Disconnected(_)) => None,
+                            };
+                        }
+                        if tx.try_send(packet).is_ok() {
+                            ie.hub.wake(wake);
+                        } else {
+                            ie.drops.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    None => {
+                        ie.drops.fetch_add(1, Ordering::Relaxed);
+                        ie.reporter.record(
+                            LinkEventKind::Misrouted,
+                            format!("{err}; owner not local, rejected"),
+                        );
+                    }
+                }
+                return None;
+            }
+        }
+        if ie.blocking {
+            return match ie.data_tx.try_send(packet) {
+                Ok(()) => {
+                    ie.wake_receiver();
+                    None
+                }
+                Err(TrySendError::Full(p)) => Some(Held::Stage(p)),
+                Err(TrySendError::Disconnected(_)) => None,
+            };
+        }
+        if ie.data_tx.try_send(packet).is_ok() {
+            ie.wake_receiver();
+        } else {
+            ie.drops.fetch_add(1, Ordering::Relaxed);
+        }
+        None
+    }
+
+    fn push_eos(&mut self, ie: &Arc<InEdge>, packet: Packet) -> Option<Held> {
+        match ie.data_tx.try_send(packet) {
+            Ok(()) => {
+                ie.wake_receiver();
+                self.eos_claimed = false;
+                None
+            }
+            Err(TrySendError::Full(p)) => Some(Held::Eos(p)),
+            Err(TrySendError::Disconnected(_)) => {
+                self.eos_claimed = false;
+                None
+            }
+        }
+    }
+
+    /// Retry the parked delivery; true when the lane is clear again.
+    fn retry_held(&mut self, ie: &Arc<InEdge>) -> bool {
+        let Some(held) = self.held.take() else { return true };
+        let back = match held {
+            Held::Stage(p) => match ie.data_tx.try_send(p) {
+                Ok(()) => {
+                    ie.wake_receiver();
+                    None
+                }
+                Err(TrySendError::Full(p)) => Some(Held::Stage(p)),
+                Err(TrySendError::Disconnected(_)) => None,
+            },
+            Held::Sibling(p, tx, wake) => match tx.try_send(p) {
+                Ok(()) => {
+                    ie.hub.wake(wake);
+                    None
+                }
+                Err(TrySendError::Full(p)) => Some(Held::Sibling(p, tx, wake)),
+                Err(TrySendError::Disconnected(_)) => None,
+            },
+            Held::Eos(p) => self.push_eos(ie, p),
+        };
+        self.held = back;
+        self.held.is_none()
+    }
+
+    /// Drain stage exceptions into the out buffer and flush what fits.
+    /// Returns whether unsent bytes remain (write interest).
+    fn pump_exceptions(&mut self, ie: &Arc<InEdge>) -> bool {
+        while let Ok(msg) = ie.exc_rx.try_recv() {
+            if let Control::Exception(e) = msg {
+                encode_frame_into(&encode_exception(e), &mut self.out);
+            }
+        }
+        while !self.out.is_empty() {
+            match (&self.stream).write(&self.out) {
+                Ok(0) => break,
+                Ok(n) => {
+                    let _ = self.out.split_to(n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                // The read path will observe and report the broken
+                // socket; just stop writing.
+                Err(_) => {
+                    self.out.clear();
+                    break;
+                }
+            }
+        }
+        !self.out.is_empty()
+    }
+}
+
+enum ReadStep {
+    Frame(Frame),
+    Idle,
+    Eof,
+    Err(String),
+}
+
+impl Source for DataInSource {
+    fn fd(&self) -> RawFd {
+        self.stream.as_raw_fd()
+    }
+
+    fn service(&mut self, _ready: Ready, now: Instant) -> Directive {
+        if self.ctx.stop.load(Ordering::Relaxed) {
+            // Engine shutdown, not a link failure: one last held-packet
+            // attempt (mirror of the old stop-path try_send), then out.
+            if let InState::Attached(ie) = &self.state {
+                let ie = Arc::clone(ie);
+                self.retry_held(&ie);
+            }
+            return Directive::close();
+        }
+        if self.ctx.partitioned.load(Ordering::Relaxed) {
+            // Partition cut on the receiving side: sever the connection
+            // so the sender's end fails fast instead of silently
+            // queuing into a black hole.
+            if let InState::Attached(ie) = &self.state {
+                ie.reporter.record(LinkEventKind::PeerEof, "injected partition cut");
+            }
+            return Directive::close();
+        }
+        loop {
+            match &self.state {
+                InState::Hello => {
+                    return match self.read_step() {
+                        ReadStep::Frame(f) if f.kind == FrameKind::Control => {
+                            match decode_ctrl(&f) {
+                                Ok(CtrlMsg::EdgeHello { edge }) => {
+                                    self.state = InState::Lookup(edge);
+                                    continue;
+                                }
+                                _ => Directive::close(),
+                            }
+                        }
+                        ReadStep::Frame(_) | ReadStep::Eof | ReadStep::Err(_) => Directive::close(),
+                        ReadStep::Idle => {
+                            if now >= self.hello_deadline {
+                                Directive::close()
+                            } else {
+                                Directive::read().with_deadline(self.hello_deadline)
+                            }
+                        }
+                    };
+                }
+                InState::Lookup(edge) => {
+                    let found = self
+                        .ctx
+                        .reg
+                        .read()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .get(edge)
+                        .map(Arc::clone);
+                    match found {
+                        Some(ie) => {
+                            let nth = ie.connections.fetch_add(1, Ordering::Relaxed);
+                            ie.connected.store(true, Ordering::Relaxed);
+                            *ie.disconnected_at.lock().unwrap_or_else(|p| p.into_inner()) = None;
+                            ie.reporter.record(
+                                if nth == 0 {
+                                    LinkEventKind::Connected
+                                } else {
+                                    LinkEventKind::Reconnected
+                                },
+                                format!("connection {}", nth + 1),
+                            );
+                            self.state = InState::Attached(ie);
+                            continue;
+                        }
+                        None if now >= self.lookup_deadline => return Directive::close(),
+                        // Park without read interest: buffered data must
+                        // not spin the reactor while we wait for the
+                        // edge to register.
+                        None => {
+                            return Directive {
+                                want_read: false,
+                                want_write: false,
+                                deadline: Some(now + LOOKUP_RETRY),
+                                close: false,
+                            }
+                        }
+                    }
+                }
+                InState::Attached(ie) => {
+                    let ie = Arc::clone(ie);
+                    let want_write = self.pump_exceptions(&ie);
+                    if !self.retry_held(&ie) {
+                        // Still backed up: keep the socket unread so the
+                        // pressure propagates, retry shortly.
+                        return Directive {
+                            want_read: false,
+                            want_write,
+                            deadline: Some(now + DELIVER_RETRY),
+                            close: false,
+                        };
+                    }
+                    let mut dead: Option<String> = None;
+                    loop {
+                        match self.read_step() {
+                            ReadStep::Frame(f) => match f.kind {
+                                FrameKind::Data | FrameKind::Summary | FrameKind::Eos => {
+                                    if let Ok(packet) = Packet::from_frame(&f) {
+                                        self.held = self.route(&ie, packet);
+                                        if self.held.is_some() {
+                                            break;
+                                        }
+                                    }
+                                }
+                                _ => {}
+                            },
+                            ReadStep::Idle => break,
+                            ReadStep::Eof => {
+                                dead = Some("connection closed".into());
+                                break;
+                            }
+                            ReadStep::Err(e) => {
+                                dead = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    let crc = self.reader.crc_failures();
+                    if crc > self.crc_seen {
+                        ie.reporter.record(
+                            LinkEventKind::CrcDrop,
+                            format!("{crc} corrupted frames total"),
+                        );
+                        self.crc_seen = crc;
+                    }
+                    if let Some(why) = dead {
+                        ie.reporter.record(LinkEventKind::PeerEof, why);
+                        return Directive::close();
+                    }
+                    if self.held.is_some() {
+                        return Directive {
+                            want_read: false,
+                            want_write,
+                            deadline: Some(now + DELIVER_RETRY),
+                            close: false,
+                        };
+                    }
+                    // Idle: wake on data, sweep for exceptions (and
+                    // partition flips) on a coarse timer.
+                    return Directive {
+                        want_read: true,
+                        want_write,
+                        deadline: Some(now + EXC_SWEEP),
+                        close: false,
+                    };
+                }
+            }
+        }
+    }
+
+    fn closed(&mut self) {
+        // Engine shutdown leaves the connected flag alone so the drain
+        // monitor does not misread an orderly stop as a dead link.
+        if self.ctx.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        if let InState::Attached(ie) = &self.state {
+            ie.connected.store(false, Ordering::Relaxed);
+            *ie.disconnected_at.lock().unwrap_or_else(|p| p.into_inner()) = Some(Instant::now());
+        }
+    }
+}
+
+/// Why a [`SenderConn`] left the reactor, reported back to its tender
+/// thread (which owns reconnect policy and the redial budget).
+pub(super) enum ConnFate {
+    /// A write failed; everything needed to retry on a fresh connection.
+    Broken {
+        /// Unsent queued bytes (including the staged frame).
+        pending: BytesMut,
+        /// The link's fault injector, so frame indices keep counting.
+        carried: Option<FaultInjector>,
+        /// Packets in the failed batch (drop-accounted if the re-dial
+        /// also fails).
+        batched: u64,
+        /// The failed batch ended with an end-of-stream marker.
+        saw_eos: bool,
+    },
+    /// An injected partition severed the link.
+    Partitioned {
+        /// The link's fault injector, carried across the outage.
+        carried: Option<FaultInjector>,
+    },
+    /// The bridge channel disconnected and everything flushed: the edge
+    /// is complete.
+    Finished {
+        /// The injector, surrendered for the final fault-log drain.
+        carried: Option<FaultInjector>,
+    },
+    /// Engine stop: flushed what was possible.
+    Stopped,
+}
+
+/// Sender side of one live remote-edge connection, reactor-driven: it
+/// coalesces bridge-channel packets into single writes (same
+/// [`MAX_COALESCED_BYTES`] batching as the old sender thread), relays
+/// upstream-bound exception frames, and applies the link's seeded fault
+/// injector at exactly the same per-frame points — chaos traces are
+/// bit-identical to the blocking plane's. On any terminal condition it
+/// reports a [`ConnFate`] and leaves the reactor.
+pub(super) struct SenderConn {
+    fs: FrameStream,
+    rx: Receiver<Packet>,
+    upstream: Sender<Control>,
+    partitioned: Arc<AtomicBool>,
+    stop: Arc<AtomicBool>,
+    reporter: LinkReporter,
+    fate: Sender<ConnFate>,
+    wake: Arc<RemoteWake>,
+    /// Non-EOS packets encoded since the last fully flushed batch.
+    batched: u64,
+    saw_eos: bool,
+    rx_down: bool,
+    /// Peer half-closed: keep writing, stop watching for reads (a
+    /// level-triggered EOF would spin the reactor).
+    peer_eof: bool,
+    crc_seen: u64,
+    /// An injected delay is pending: flush resumes at this instant.
+    stall_until: Option<Instant>,
+    stop_deadline: Option<Instant>,
+    done: bool,
+}
+
+impl SenderConn {
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn new(
+        fs: FrameStream,
+        rx: Receiver<Packet>,
+        upstream: Sender<Control>,
+        partitioned: Arc<AtomicBool>,
+        stop: Arc<AtomicBool>,
+        reporter: LinkReporter,
+        fate: Sender<ConnFate>,
+        wake: Arc<RemoteWake>,
+    ) -> SenderConn {
+        SenderConn {
+            fs,
+            rx,
+            upstream,
+            partitioned,
+            stop,
+            reporter,
+            fate,
+            wake,
+            batched: 0,
+            saw_eos: false,
+            rx_down: false,
+            peer_eof: false,
+            crc_seen: 0,
+            stall_until: None,
+            stop_deadline: None,
+            done: false,
+        }
+    }
+
+    fn finish(&mut self, fate: ConnFate) -> Directive {
+        self.done = true;
+        let _ = self.fate.send(fate);
+        Directive::close()
+    }
+
+    /// Encode waiting bridge packets into the write buffer, up to the
+    /// coalescing cap or the end-of-stream marker.
+    fn ingest(&mut self) {
+        if self.rx_down {
+            return;
+        }
+        while self.fs.queued_len() < MAX_COALESCED_BYTES {
+            match self.rx.try_recv() {
+                Ok(p) => {
+                    let eos = p.is_eos();
+                    self.batched += u64::from(!eos);
+                    self.saw_eos |= eos;
+                    p.encode_into(self.fs.queue_buffer());
+                    if eos {
+                        // An end-of-stream marker ends the batch so it
+                        // (and everything before it) flushes at once.
+                        return;
+                    }
+                }
+                Err(TryRecvError::Empty) => return,
+                Err(TryRecvError::Disconnected) => {
+                    self.rx_down = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Relay exception frames from the remote downstream stage into the
+    /// sending stage's control channel.
+    fn read_upstream(&mut self) {
+        loop {
+            match self.fs.read_frame() {
+                Ok(Some(f)) if f.kind == FrameKind::Exception => {
+                    if let Ok(e) = decode_exception(&f) {
+                        let _ = self.upstream.send(Control::Exception(e));
+                    }
+                }
+                Ok(Some(_)) => {}
+                Err(TransportError::TimedOut) => break,
+                Ok(None) | Err(TransportError::Io(_)) => {
+                    self.peer_eof = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn report_faults(&mut self) {
+        if let Some(inj) = self.fs.fault_injector_mut() {
+            for af in inj.take_log() {
+                self.reporter.record(
+                    LinkEventKind::FaultInjected,
+                    format!("frame {}: {}", af.index, af.fate.name()),
+                );
+            }
+        }
+        let crc = self.fs.crc_failures();
+        if crc > self.crc_seen {
+            self.reporter.record(LinkEventKind::CrcDrop, format!("{crc} corrupted frames total"));
+            self.crc_seen = crc;
+        }
+    }
+
+    fn backlog(&self) -> bool {
+        self.fs.queued_len() > 0 || self.fs.has_staged()
+    }
+}
+
+impl Source for SenderConn {
+    fn fd(&self) -> RawFd {
+        self.fs.get_ref().as_raw_fd()
+    }
+
+    fn service(&mut self, ready: Ready, now: Instant) -> Directive {
+        if self.done {
+            return Directive::close();
+        }
+        // An injected delay parks the connection wholesale, mirroring
+        // the old inline sleep: nothing is read, written, or ingested
+        // until it elapses, so the fault schedule stays identical.
+        if let Some(until) = self.stall_until {
+            if now < until {
+                return Directive {
+                    want_read: false,
+                    want_write: false,
+                    deadline: Some(until),
+                    close: false,
+                };
+            }
+            self.stall_until = None;
+            self.fs.resume_stall();
+        }
+        if self.partitioned.load(Ordering::Relaxed) {
+            let carried = self.fs.take_fault_injector();
+            return self.finish(ConnFate::Partitioned { carried });
+        }
+        // Ingest + flush until dry, blocked, stalled, or broken.
+        loop {
+            self.ingest();
+            match self.fs.flush_nonblocking() {
+                Ok(FlushProgress::Done) => {
+                    self.batched = 0;
+                    self.saw_eos = false;
+                    if self.rx_down || self.rx.is_empty() {
+                        break;
+                    }
+                }
+                Ok(FlushProgress::Blocked) => break,
+                Ok(FlushProgress::Stalled(d)) => {
+                    if let Some(d) = d {
+                        self.stall_until = Some(now + d);
+                    }
+                    break;
+                }
+                Err(err) => {
+                    self.reporter
+                        .record(LinkEventKind::Reconnecting, format!("send failed: {err}"));
+                    let pending = self.fs.take_queued();
+                    let carried = self.fs.take_fault_injector();
+                    let (batched, saw_eos) = (self.batched, self.saw_eos);
+                    return self.finish(ConnFate::Broken { pending, carried, batched, saw_eos });
+                }
+            }
+        }
+        if ready.readable && !self.peer_eof {
+            self.read_upstream();
+        }
+        self.report_faults();
+        if self.rx_down && !self.backlog() && self.stall_until.is_none() {
+            let carried = self.fs.take_fault_injector();
+            return self.finish(ConnFate::Finished { carried });
+        }
+        if self.stop.load(Ordering::Relaxed) {
+            // Best-effort final flush (end-of-stream markers), bounded.
+            let deadline = *self.stop_deadline.get_or_insert(now + Duration::from_secs(1));
+            if !self.backlog() || now >= deadline {
+                return self.finish(ConnFate::Stopped);
+            }
+            return Directive {
+                want_read: false,
+                want_write: true,
+                deadline: Some(now + Duration::from_millis(20)),
+                close: false,
+            };
+        }
+        // Park until the stage pings us (or the socket turns writable /
+        // readable / the stall elapses). Re-check the channel after
+        // arming: a packet that slipped in between drain and arm would
+        // otherwise sleep forever.
+        self.wake.arm();
+        if !self.rx_down && !self.rx.is_empty() {
+            self.wake.ping();
+        }
+        Directive {
+            want_read: !self.peer_eof,
+            want_write: self.backlog() && self.stall_until.is_none(),
+            deadline: self.stall_until,
+            close: false,
+        }
+    }
+}
+
+/// Events surfaced by the [`CtrlSource`] to the worker's main loop.
+pub(super) enum CtrlEvent {
+    /// A decoded control message from the coordinator.
+    Msg(CtrlMsg),
+    /// A fault the control link's injector applied.
+    Fault(AppliedFault),
+    /// The coordinator connection is gone (EOF or I/O error).
+    Gone,
+}
+
+#[derive(Default)]
+struct CtrlQueue {
+    frames: VecDeque<Frame>,
+    flush_ack: Option<Sender<bool>>,
+    disarm: Option<Sender<Vec<AppliedFault>>>,
+}
+
+/// Thread-safe handle to the reactor-driven coordinator link: the main
+/// loop queues frames and kicks; barrier calls synchronize the final
+/// report exchange.
+pub(super) struct CtrlHandle {
+    reactor: Reactor,
+    token: Token,
+    shared: Arc<Mutex<CtrlQueue>>,
+}
+
+impl CtrlHandle {
+    /// Move an established (post-handshake) control stream onto
+    /// `reactor`; `events` receives everything it produces.
+    pub(super) fn register(
+        reactor: Reactor,
+        fs: FrameStream,
+        events: Sender<CtrlEvent>,
+        partitioned: Arc<AtomicBool>,
+        notify: &NotifyList,
+    ) -> CtrlHandle {
+        let shared = Arc::new(Mutex::new(CtrlQueue::default()));
+        let source = CtrlSource {
+            fs,
+            shared: Arc::clone(&shared),
+            events,
+            partitioned,
+            stall_until: None,
+            done: false,
+        };
+        let token = reactor.register(Box::new(source));
+        notify.add(reactor.clone(), token);
+        CtrlHandle { reactor, token, shared }
+    }
+
+    /// Queue a frame for the coordinator (sent on the next service).
+    pub(super) fn queue(&self, frame: Frame) {
+        self.shared.lock().unwrap_or_else(|p| p.into_inner()).frames.push_back(frame);
+    }
+
+    /// Nudge the source to drain the queue now.
+    pub(super) fn kick(&self) {
+        self.reactor.notify(self.token);
+    }
+
+    /// Barrier: true once every queued frame reached the socket.
+    pub(super) fn flush_sync(&self, timeout: Duration) -> bool {
+        let (tx, rx) = bounded(1);
+        self.shared.lock().unwrap_or_else(|p| p.into_inner()).flush_ack = Some(tx);
+        self.kick();
+        matches!(rx.recv_timeout(timeout), Ok(true))
+    }
+
+    /// Remove the link's fault injector (the final report exchange must
+    /// stay untouched by chaos) and collect its remaining log.
+    pub(super) fn disarm_faults(&self, timeout: Duration) -> Vec<AppliedFault> {
+        let (tx, rx) = bounded(1);
+        self.shared.lock().unwrap_or_else(|p| p.into_inner()).disarm = Some(tx);
+        self.kick();
+        rx.recv_timeout(timeout).unwrap_or_default()
+    }
+}
+
+/// The coordinator link as a reactor source: outbound frames drain from
+/// the shared queue, inbound control messages surface as [`CtrlEvent`]s.
+/// While the worker is partitioned the source goes silent — nothing
+/// flushes and nothing is read; queued frames simply accumulate and land
+/// after the window heals, exactly like the old polling loop.
+struct CtrlSource {
+    fs: FrameStream,
+    shared: Arc<Mutex<CtrlQueue>>,
+    events: Sender<CtrlEvent>,
+    partitioned: Arc<AtomicBool>,
+    stall_until: Option<Instant>,
+    done: bool,
+}
+
+impl CtrlSource {
+    fn gone(&mut self) -> Directive {
+        self.done = true;
+        let mut q = self.shared.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(ack) = q.flush_ack.take() {
+            let _ = ack.send(false);
+        }
+        if let Some(tx) = q.disarm.take() {
+            let log = match self.fs.take_fault_injector() {
+                Some(mut inj) => inj.take_log(),
+                None => Vec::new(),
+            };
+            let _ = tx.send(log);
+        }
+        drop(q);
+        let _ = self.events.send(CtrlEvent::Gone);
+        Directive::close()
+    }
+
+    fn relay_faults(&mut self) {
+        if let Some(inj) = self.fs.fault_injector_mut() {
+            for af in inj.take_log() {
+                let _ = self.events.send(CtrlEvent::Fault(af));
+            }
+        }
+    }
+}
+
+impl Source for CtrlSource {
+    fn fd(&self) -> RawFd {
+        self.fs.get_ref().as_raw_fd()
+    }
+
+    fn service(&mut self, ready: Ready, now: Instant) -> Directive {
+        if self.done {
+            return Directive::close();
+        }
+        if let Some(until) = self.stall_until {
+            if now < until {
+                return Directive {
+                    want_read: false,
+                    want_write: false,
+                    deadline: Some(until),
+                    close: false,
+                };
+            }
+            self.stall_until = None;
+            self.fs.resume_stall();
+        }
+        if self.partitioned.load(Ordering::Relaxed) {
+            // Silent: re-checked on the next notify (partition flips
+            // nudge every source) or this coarse fallback deadline.
+            return Directive {
+                want_read: false,
+                want_write: false,
+                deadline: Some(now + Duration::from_millis(25)),
+                close: false,
+            };
+        }
+        // Drain the shared queue into the wire buffer, then flush.
+        let (disarm, mut flush_ack) = {
+            let mut q = self.shared.lock().unwrap_or_else(|p| p.into_inner());
+            while let Some(f) = q.frames.pop_front() {
+                self.fs.queue(&f);
+            }
+            (q.disarm.take(), q.flush_ack.take())
+        };
+        if let Some(tx) = disarm {
+            let log = match self.fs.take_fault_injector() {
+                Some(mut inj) => inj.take_log(),
+                None => Vec::new(),
+            };
+            let _ = tx.send(log);
+        }
+        let mut blocked = false;
+        match self.fs.flush_nonblocking() {
+            Ok(FlushProgress::Done) => {
+                if let Some(ack) = flush_ack.take() {
+                    let _ = ack.send(true);
+                }
+            }
+            Ok(FlushProgress::Blocked) => blocked = true,
+            Ok(FlushProgress::Stalled(d)) => {
+                if let Some(d) = d {
+                    self.stall_until = Some(now + d);
+                }
+            }
+            Err(_) => {
+                if let Some(ack) = flush_ack.take() {
+                    let _ = ack.send(false);
+                }
+                return self.gone();
+            }
+        }
+        // A pending barrier with bytes still queued stays pending.
+        if let Some(ack) = flush_ack {
+            self.shared.lock().unwrap_or_else(|p| p.into_inner()).flush_ack = Some(ack);
+        }
+        self.relay_faults();
+        if ready.readable {
+            loop {
+                match self.fs.read_frame() {
+                    Ok(Some(f)) if f.kind == FrameKind::Control => {
+                        if let Ok(msg) = decode_ctrl(&f) {
+                            let _ = self.events.send(CtrlEvent::Msg(msg));
+                        }
+                    }
+                    Ok(Some(_)) => {}
+                    Err(TransportError::TimedOut) => break,
+                    Ok(None) | Err(TransportError::Io(_)) => return self.gone(),
+                }
+            }
+            self.relay_faults();
+        }
+        Directive {
+            want_read: true,
+            want_write: blocked || (self.fs.queued_len() > 0 && self.stall_until.is_none()),
+            deadline: self.stall_until,
+            close: false,
+        }
+    }
+}

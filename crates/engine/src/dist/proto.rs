@@ -203,7 +203,10 @@ fn put_str(w: &mut PayloadWriter, s: &str) {
 fn get_str(r: &mut PayloadReader) -> Result<String, CoreError> {
     let len = r.get_u32()? as usize;
     let bytes = r.get_bytes(len)?;
-    String::from_utf8(bytes.to_vec())
+    // `into_vec` reclaims the allocation when this view is the last
+    // owner (the common case for a frame decoded into a fresh payload),
+    // so the bytes move into the String instead of being copied twice.
+    String::from_utf8(bytes.into_vec())
         .map_err(|e| CoreError::PayloadDecode(format!("invalid utf-8 string: {e}")))
 }
 
@@ -685,7 +688,7 @@ pub(crate) fn decode_ctrl(frame: &Frame) -> Result<CtrlMsg, CoreError> {
             let seq = r.get_u64()?;
             let crc = r.get_u32()?;
             let len = r.get_u32()? as usize;
-            let state = r.get_bytes(len)?.to_vec();
+            let state = r.get_bytes(len)?.into_vec();
             CtrlMsg::Checkpoint { stage, seq, crc, state }
         }
         TAG_REJECT => CtrlMsg::Reject { reason: get_str(&mut r)? },
@@ -708,7 +711,7 @@ pub(crate) fn decode_ctrl(frame: &Frame) -> Result<CtrlMsg, CoreError> {
                 let seq = r.get_u64()?;
                 let crc = r.get_u32()?;
                 let len = r.get_u32()? as usize;
-                checkpoints.push((stage, seq, crc, r.get_bytes(len)?.to_vec()));
+                checkpoints.push((stage, seq, crc, r.get_bytes(len)?.into_vec()));
             }
             CtrlMsg::Reassign { epoch, placements, checkpoints }
         }
@@ -721,7 +724,7 @@ pub(crate) fn decode_ctrl(frame: &Frame) -> Result<CtrlMsg, CoreError> {
             let group = r.get_u32()?;
             let epoch = r.get_u64()?;
             let len = r.get_u32()? as usize;
-            CtrlMsg::ShardUpdate { group, epoch, map: r.get_bytes(len)?.to_vec() }
+            CtrlMsg::ShardUpdate { group, epoch, map: r.get_bytes(len)?.into_vec() }
         }
         other => return Err(CoreError::PayloadDecode(format!("unknown control tag {other}"))),
     })

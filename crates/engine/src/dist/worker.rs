@@ -17,7 +17,7 @@
 //! last checkpoint, if any.
 
 use std::collections::HashMap;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -29,20 +29,23 @@ use crossbeam::channel::{
 use gates_core::adapt::LoadTracker;
 use gates_core::report::StageReport;
 use gates_core::trace::{LinkEvent, LinkEventKind, NullRecorder, Recorder, TraceEvent};
-use gates_core::{Packet, ShardError, ShardMap, ShardRouter, StageId, Topology};
+use gates_core::{Packet, ShardMap, ShardRouter, StageId, Topology};
 use gates_grid::{AppConfig, ApplicationRepository};
 use gates_net::{
-    connect_with_retry, connect_with_retry_jittered, crc32, derive, FaultInjector, FlowControl,
-    FrameKind, FrameStream, RetryPolicy, TransportError,
+    connect_with_retry, connect_with_retry_jittered, crc32, derive, BufferPool, FaultInjector,
+    FlowControl, FrameStream, Reactor, ReactorPool, RetryPolicy,
 };
 use gates_sim::{SimDuration, SimTime};
 
-use super::proto::{decode_ctrl, decode_exception, encode_ctrl, encode_exception, CtrlMsg};
+use super::plane::{
+    ConnFate, CtrlEvent, CtrlHandle, ListenerSource, NotifyList, PlaneCtx, SenderConn,
+};
+use super::proto::{encode_ctrl, CtrlMsg};
 use super::{read_ctrl, DistConfig};
 use crate::executor::{CorePool, TaskHandle, WakeHub};
 use crate::options::RunOptions;
 use crate::runtime::{
-    CheckpointCfg, Control, OutPort, ShardCtl, ShardScaling, StageTask, StageWorker,
+    CheckpointCfg, Control, OutPort, RemoteWake, ShardCtl, ShardScaling, StageTask, StageWorker,
 };
 use crate::EngineError;
 
@@ -76,7 +79,7 @@ fn name_seed(name: &str) -> u64 {
 
 /// The shared, growable in-edge registry: failover registers new entries
 /// mid-run when this worker adopts a stage.
-type InEdgeRegistry = Arc<RwLock<HashMap<u32, Arc<InEdge>>>>;
+pub(super) type InEdgeRegistry = Arc<RwLock<HashMap<u32, Arc<InEdge>>>>;
 
 /// How long a worker waits for the coordinator's next handshake message
 /// (assignment, start) before giving up.
@@ -94,6 +97,7 @@ pub struct DistWorker {
     speed: f64,
     capacity: u32,
     cores: usize,
+    reactors: usize,
 }
 
 impl DistWorker {
@@ -109,7 +113,18 @@ impl DistWorker {
             speed: 1.0,
             capacity: 4,
             cores: 0,
+            reactors: 1,
         }
+    }
+
+    /// Builder: size of the reactor pool driving this worker's sockets
+    /// (data in-edges, per-edge senders, and the control link). One
+    /// reactor thread drives every connection of a typical worker; raise
+    /// it only when a single core cannot keep up with the socket fan-in.
+    /// `0` selects the default of one.
+    pub fn reactors(mut self, n: usize) -> Self {
+        self.reactors = n.max(1);
+        self
     }
 
     /// Builder: executor pool size ("modeled cores") this worker hosts
@@ -259,6 +274,20 @@ impl DistWorker {
         let pool = CorePool::new(opts.effective_cores());
         let hub = pool.hub();
 
+        // Reactor pool driving every socket this worker owns. Sized
+        // independently of the stage pool: one reactor thread handles a
+        // typical worker's whole connection fan-in.
+        let reactors = Arc::new(
+            ReactorPool::new(&self.name, self.reactors)
+                .map_err(|e| EngineError::Transport(format!("spawn reactors: {e}")))?,
+        );
+        // Recycled read buffers shared by every data in-edge; steady
+        // state reads allocate nothing per packet.
+        let buffers = BufferPool::default();
+        // Wake handles of every registered source, nudged on stop and
+        // partition flips.
+        let notify = NotifyList::default();
+
         // --- wire the data plane -------------------------------------
         let stop = Arc::new(AtomicBool::new(false));
         let start = Instant::now();
@@ -299,6 +328,7 @@ impl DistWorker {
         }
 
         let mut remote_out: HashMap<usize, Sender<Packet>> = HashMap::new();
+        let mut remote_wakes: HashMap<usize, Arc<RemoteWake>> = HashMap::new();
         let mut remote_exc: HashMap<usize, Sender<Control>> = HashMap::new();
         let mut in_edge_reg: HashMap<u32, Arc<InEdge>> = HashMap::new();
         let mut bridge_handles = Vec::new();
@@ -321,6 +351,8 @@ impl DistWorker {
                     let cap = edge.link.buffer_packets.clamp(1, 1024);
                     let (btx, brx) = bounded::<Packet>(cap);
                     remote_out.insert(ei, btx);
+                    let wake = RemoteWake::new();
+                    remote_wakes.insert(ei, Arc::clone(&wake));
                     let sender = RemoteSender {
                         edge: ei as u32,
                         to_stage: to,
@@ -332,6 +364,10 @@ impl DistWorker {
                         partitioned: Arc::clone(&partitioned),
                         jitter_seed: derive(jitter_root, ei as u64),
                         reporter,
+                        stop: Arc::clone(&stop),
+                        reactor: reactors.pick(),
+                        notify: notify.clone(),
+                        wake,
                     };
                     bridge_handles.push(
                         std::thread::Builder::new()
@@ -369,16 +405,22 @@ impl DistWorker {
         }
         let in_edge_reg: InEdgeRegistry = Arc::new(RwLock::new(in_edge_reg));
 
-        let accept_handle = {
-            let reg = Arc::clone(&in_edge_reg);
-            let stop = Arc::clone(&stop);
-            let cfg = cfg.clone();
-            let partitioned = Arc::clone(&partitioned);
-            std::thread::Builder::new()
-                .name("gates-accept".into())
-                .spawn(move || accept_loop(listener, reg, stop, cfg, partitioned))
-                .map_err(|e| EngineError::Transport(e.to_string()))?
-        };
+        // The data listener and every connection it accepts live on the
+        // reactor pool; there is no accept thread to wake at shutdown.
+        {
+            let ctx = PlaneCtx {
+                reg: Arc::clone(&in_edge_reg),
+                stop: Arc::clone(&stop),
+                partitioned: Arc::clone(&partitioned),
+                cfg: cfg.clone(),
+                buffers: buffers.clone(),
+                reactors: Arc::clone(&reactors),
+                notify: notify.clone(),
+            };
+            let reactor = reactors.pick();
+            let token = reactor.register(Box::new(ListenerSource::new(listener, ctx)));
+            notify.add(reactor, token);
+        }
         let drain_handle = {
             let reg = Arc::clone(&in_edge_reg);
             let stop = Arc::clone(&stop);
@@ -411,6 +453,7 @@ impl DistWorker {
             if spec.node == self.name {
                 let flag = Arc::clone(&partitioned);
                 let stop_flag = Arc::clone(&stop);
+                let nudge = notify.clone();
                 let reporter = LinkReporter {
                     recorder: Arc::clone(&recorder),
                     start,
@@ -428,6 +471,8 @@ impl DistWorker {
                             std::thread::sleep(Duration::from_millis(10));
                         }
                         flag.store(true, Ordering::Relaxed);
+                        // Parked sources re-check the flag immediately.
+                        nudge.notify_all();
                         reporter.record(
                             LinkEventKind::FaultInjected,
                             format!("partition cut for {:?}", spec.duration),
@@ -440,6 +485,7 @@ impl DistWorker {
                             std::thread::sleep(Duration::from_millis(10));
                         }
                         flag.store(false, Ordering::Relaxed);
+                        nudge.notify_all();
                         reporter.record(LinkEventKind::FaultInjected, "partition healed");
                     })
                     .map_err(|e| EngineError::Transport(e.to_string()))?;
@@ -456,6 +502,12 @@ impl DistWorker {
         if let Some(plan) = cfg.fault.as_ref().filter(|f| f.ctrl) {
             ctrl.set_fault_injector(Some(plan.injector_for_control(name_seed(&self.name))));
         }
+        // From here on the control socket lives on a reactor: the main
+        // loop queues frames through the handle and consumes decoded
+        // messages (and injector records) as events.
+        let (ev_tx, ev_rx) = unbounded::<CtrlEvent>();
+        let ctrl_handle =
+            CtrlHandle::register(reactors.pick(), ctrl, ev_tx, Arc::clone(&partitioned), &notify);
 
         // --- run the assigned stages ---------------------------------
         let mut handles = Vec::new();
@@ -477,6 +529,7 @@ impl DistWorker {
                         blocking,
                         drops: Arc::clone(&drops[&to]),
                         wake_key: Some(to as u32),
+                        remote_wake: None,
                     });
                 } else {
                     // Remote edge: while the link is down, the transport
@@ -489,6 +542,7 @@ impl DistWorker {
                         blocking,
                         drops: Arc::clone(&drops[&i]),
                         wake_key: None,
+                        remote_wake: Some(Arc::clone(&remote_wakes[&ei])),
                     });
                 }
             }
@@ -594,12 +648,16 @@ impl DistWorker {
             // All trace events ready this lap coalesce into one write.
             while let Ok(event) = trace_rx.try_recv() {
                 if !coordinator_gone {
-                    ctrl.queue(&encode_ctrl(&CtrlMsg::Trace(event)));
+                    ctrl_handle.queue(encode_ctrl(&CtrlMsg::Trace(event)));
                 }
             }
             while let Ok((group, ordinal, split)) = shard_rx.try_recv() {
                 if !coordinator_gone {
-                    ctrl.queue(&encode_ctrl(&CtrlMsg::ShardRequest { group, ordinal, split }));
+                    ctrl_handle.queue(encode_ctrl(&CtrlMsg::ShardRequest {
+                        group,
+                        ordinal,
+                        split,
+                    }));
                 }
             }
             while let Ok((stage, seq, state)) = ckpt_rx.try_recv() {
@@ -608,7 +666,7 @@ impl DistWorker {
                     // coordinator (and any adopting worker) can tell a
                     // chaos-corrupted checkpoint from a real one.
                     let crc = crc32(&state);
-                    ctrl.queue(&encode_ctrl(&CtrlMsg::Checkpoint { stage, seq, crc, state }));
+                    ctrl_handle.queue(encode_ctrl(&CtrlMsg::Checkpoint { stage, seq, crc, state }));
                 }
             }
             if !coordinator_gone
@@ -617,7 +675,7 @@ impl DistWorker {
                 && last_heartbeat.elapsed() >= cfg.heartbeat_interval
             {
                 last_heartbeat = Instant::now();
-                ctrl.queue(&encode_ctrl(&CtrlMsg::Heartbeat { name: self.name.clone() }));
+                ctrl_handle.queue(encode_ctrl(&CtrlMsg::Heartbeat { name: self.name.clone() }));
             }
             // A partitioned worker goes silent: nothing flushes and
             // nothing is read until the window heals. Queued frames just
@@ -631,16 +689,9 @@ impl DistWorker {
                 }
                 continue;
             }
-            if !coordinator_gone && ctrl.flush_queued().is_err() {
-                coordinator_gone = true;
-            }
-            if let Some(inj) = ctrl.fault_injector_mut() {
-                for af in inj.take_log() {
-                    ctrl_faults.record(
-                        LinkEventKind::FaultInjected,
-                        format!("ctrl frame {}: {}", af.index, af.fate.name()),
-                    );
-                }
+            if !coordinator_gone {
+                // Hand freshly queued frames to the reactor for writing.
+                ctrl_handle.kick();
             }
             if coordinator_gone {
                 // An orphaned worker must not run unbounded: stop, then
@@ -655,15 +706,32 @@ impl DistWorker {
                 }
                 break;
             }
-            match ctrl.read_frame() {
-                Ok(Some(f)) if f.kind == FrameKind::Control => match decode_ctrl(&f) {
-                    Ok(CtrlMsg::Stop) => {
+            // Drain control-plane events from the reactor: wait briefly
+            // for the first so the loop does not spin, then sweep
+            // whatever else arrived in the same lap.
+            let mut events = Vec::new();
+            match ev_rx.recv_timeout(Duration::from_millis(10)) {
+                Ok(ev) => events.push(ev),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => coordinator_gone = true,
+            }
+            while let Ok(ev) = ev_rx.try_recv() {
+                events.push(ev);
+            }
+            for ev in events {
+                match ev {
+                    CtrlEvent::Gone => coordinator_gone = true,
+                    CtrlEvent::Fault(af) => ctrl_faults.record(
+                        LinkEventKind::FaultInjected,
+                        format!("ctrl frame {}: {}", af.index, af.fate.name()),
+                    ),
+                    CtrlEvent::Msg(CtrlMsg::Stop) => {
                         stop.store(true, Ordering::Relaxed);
                         for c in &stage_ctl {
                             let _ = c.send(Control::Stop);
                         }
                     }
-                    Ok(CtrlMsg::ShardUpdate { group, epoch, map }) => {
+                    CtrlEvent::Msg(CtrlMsg::ShardUpdate { group, epoch, map }) => {
                         // Key-range authority lives with the coordinator;
                         // workers install its broadcasts epoch-guarded,
                         // so a duplicated or reordered frame can never
@@ -695,7 +763,7 @@ impl DistWorker {
                             ),
                         }
                     }
-                    Ok(CtrlMsg::Reassign { epoch, placements: rows, checkpoints }) => {
+                    CtrlEvent::Msg(CtrlMsg::Reassign { epoch, placements: rows, checkpoints }) => {
                         // Idempotency: a duplicated or reordered
                         // broadcast (chaos dup, or a late frame after a
                         // newer failover) must not re-adopt stages or
@@ -783,6 +851,7 @@ impl DistWorker {
                                 let to = edge.to.index();
                                 let cap = edge.link.buffer_packets.clamp(1, 1024);
                                 let (btx, brx) = bounded::<Packet>(cap);
+                                let wake = RemoteWake::new();
                                 out.push(OutPort {
                                     tx: btx,
                                     bucket: OutPort::bucket_for(
@@ -790,9 +859,10 @@ impl DistWorker {
                                     ),
                                     blocking: edge.link.flow == FlowControl::Blocking,
                                     drops: Arc::clone(&my_drops),
-                                    // All adopted outputs go through TCP
-                                    // bridges on their own threads.
+                                    // All adopted outputs go out over TCP
+                                    // via reactor-driven sender sources.
                                     wake_key: None,
+                                    remote_wake: Some(Arc::clone(&wake)),
                                 });
                                 let sender = RemoteSender {
                                     edge: ei as u32,
@@ -814,6 +884,10 @@ impl DistWorker {
                                         ),
                                         node: self.name.clone(),
                                     },
+                                    stop: Arc::clone(&stop),
+                                    reactor: reactors.pick(),
+                                    notify: notify.clone(),
+                                    wake,
                                 };
                                 bridge_handles.push(
                                     std::thread::Builder::new()
@@ -891,11 +965,8 @@ impl DistWorker {
                                 .push(pool.spawn(Box::new(StageTask::new(worker)), i as u32));
                         }
                     }
-                    _ => {}
-                },
-                Ok(Some(_)) => {}
-                Err(TransportError::TimedOut) => {}
-                Ok(None) | Err(TransportError::Io(_)) => coordinator_gone = true,
+                    CtrlEvent::Msg(_) => {}
+                }
             }
             if base_reports.is_none() {
                 if let Ok(r) = done_rx.try_recv() {
@@ -913,14 +984,14 @@ impl DistWorker {
 
         // --- shutdown ------------------------------------------------
         stop.store(true, Ordering::Relaxed);
-        // Bridge senders flush queued frames (including EOS markers)
+        // Every parked reactor source re-checks the stop flag on the
+        // next wakeup; this makes that wakeup immediate.
+        notify.notify_all();
+        // Sender tenders flush queued frames (including EOS markers)
         // before their channels disconnect, so join before reporting.
         for h in bridge_handles {
             let _ = h.join();
         }
-        // Wake the accept loop out of its blocking `accept`.
-        let _ = TcpStream::connect(&data_addr);
-        let _ = accept_handle.join();
         let _ = drain_handle.join();
         // Release the watchdog (clean finish) or reap it (budget fired),
         // then stop the executor pool — all stages have reported by now.
@@ -930,8 +1001,8 @@ impl DistWorker {
         // The final report is the one control exchange chaos must not
         // touch: a dropped or mangled report would turn every chaos run
         // into a partial one. Injection ends here by design.
-        if let Some(mut inj) = ctrl.take_fault_injector() {
-            for af in inj.take_log() {
+        if !coordinator_gone {
+            for af in ctrl_handle.disarm_faults(Duration::from_secs(1)) {
                 ctrl_faults.record(
                     LinkEventKind::FaultInjected,
                     format!("ctrl frame {}: {}", af.index, af.fate.name()),
@@ -940,19 +1011,20 @@ impl DistWorker {
         }
         while let Ok(event) = trace_rx.try_recv() {
             if !coordinator_gone {
-                ctrl.queue(&encode_ctrl(&CtrlMsg::Trace(event)));
+                ctrl_handle.queue(encode_ctrl(&CtrlMsg::Trace(event)));
             }
         }
-        if !coordinator_gone && ctrl.flush_queued().is_err() {
-            coordinator_gone = true;
+        if !coordinator_gone {
+            ctrl_handle.queue(encode_ctrl(&CtrlMsg::Report {
+                worker: self.name.clone(),
+                stages: reports,
+            }));
+            if !ctrl_handle.flush_sync(Duration::from_secs(5)) {
+                coordinator_gone = true;
+            }
         }
-        if !coordinator_gone
-            && ctrl
-                .send(&encode_ctrl(&CtrlMsg::Report { worker: self.name.clone(), stages: reports }))
-                .is_err()
-        {
-            coordinator_gone = true;
-        }
+        // Data-plane sources (listener, in-edges) close with the pool.
+        reactors.shutdown();
         if coordinator_gone {
             return Err(EngineError::Transport("coordinator connection lost".into()));
         }
@@ -984,7 +1056,7 @@ impl Recorder for ChannelRecorder {
 
 /// Emits [`LinkEvent`]s for one remote edge from one process's view.
 #[derive(Clone)]
-struct LinkReporter {
+pub(super) struct LinkReporter {
     recorder: Arc<dyn Recorder>,
     start: Instant,
     link: String,
@@ -992,7 +1064,7 @@ struct LinkReporter {
 }
 
 impl LinkReporter {
-    fn record(&self, kind: LinkEventKind, detail: impl Into<String>) {
+    pub(super) fn record(&self, kind: LinkEventKind, detail: impl Into<String>) {
         if self.recorder.enabled() {
             self.recorder.record(TraceEvent::Link(LinkEvent {
                 t: self.start.elapsed().as_secs_f64(),
@@ -1007,15 +1079,15 @@ impl LinkReporter {
 
 /// Shard identity of a receiving replica, carried by its in-edges so
 /// the reader threads can verify ownership of every delivered key.
-struct InShard {
+pub(super) struct InShard {
     /// The replica group's shared router (the receiver's current view).
-    router: Arc<ShardRouter>,
+    pub(super) router: Arc<ShardRouter>,
     /// This replica's ordinal within the group.
-    ordinal: u32,
+    pub(super) ordinal: u32,
     /// Input queues of same-group replicas hosted in this process,
     /// keyed by ordinal — the local re-route targets for packets a
     /// stale-mapped sender aimed at the wrong shard.
-    siblings: HashMap<u32, (Sender<Packet>, u32)>,
+    pub(super) siblings: HashMap<u32, (Sender<Packet>, u32)>,
 }
 
 /// Build the [`InShard`] guard for packets arriving at stage index
@@ -1056,58 +1128,55 @@ fn shard_ctl(
     })
 }
 
-/// Receiver-side state of one remote in-edge, shared between the accept
-/// loop, its reader threads, and the drain monitor.
-struct InEdge {
+/// Receiver-side state of one remote in-edge, shared between the
+/// reactor sources pumping its connections and the drain monitor.
+pub(super) struct InEdge {
     /// Input queue of the receiving stage.
-    data_tx: Sender<Packet>,
+    pub(super) data_tx: Sender<Packet>,
     /// Ownership guard when the receiving stage is a replica.
-    shard: Option<InShard>,
-    blocking: bool,
+    pub(super) shard: Option<InShard>,
+    pub(super) blocking: bool,
     /// Queue-full drop counter of the receiving stage.
-    drops: Arc<AtomicU64>,
+    pub(super) drops: Arc<AtomicU64>,
     /// Exceptions from the receiving stage, to be written upstream.
-    exc_rx: Receiver<Control>,
+    pub(super) exc_rx: Receiver<Control>,
     /// Exactly-once end-of-stream delivery: set by the first EOS frame
     /// or by the drain monitor, whichever comes first.
-    eos_forwarded: AtomicBool,
-    connected: AtomicBool,
+    pub(super) eos_forwarded: AtomicBool,
+    pub(super) connected: AtomicBool,
     /// When the link last went down (or registration time, if the
     /// sender has not connected yet); cleared while connected.
-    disconnected_at: Mutex<Option<Instant>>,
+    pub(super) disconnected_at: Mutex<Option<Instant>>,
     /// Total accepted connections for this edge (>1 means reconnects).
-    connections: AtomicU64,
+    pub(super) connections: AtomicU64,
     /// Set on edges registered during failover: the first data packet
     /// emits a `Resumed` event, marking the moment the adopted stage's
     /// input stream came back to life.
-    announce_resume: AtomicBool,
+    pub(super) announce_resume: AtomicBool,
     /// Wake hub of the pool hosting the receiving stage, plus that
     /// stage's executor key: a delivered packet nudges the stage out of
     /// its empty-queue park immediately instead of waiting out the tick.
-    hub: Arc<WakeHub>,
-    wake_key: u32,
-    reporter: LinkReporter,
+    pub(super) hub: Arc<WakeHub>,
+    pub(super) wake_key: u32,
+    pub(super) reporter: LinkReporter,
 }
 
 impl InEdge {
-    fn wake_receiver(&self) {
+    pub(super) fn wake_receiver(&self) {
         self.hub.wake(self.wake_key);
     }
 }
 
-/// Cap on the bytes a sender coalesces into one socket write. Past this
-/// the batch flushes even if more packets are waiting, bounding both the
-/// encode buffer and the burst a reconnect might have to replay.
-const MAX_COALESCED_BYTES: usize = 256 * 1024;
-
-/// Sender side of one remote edge: drains the bridge channel into a
-/// framed TCP connection, reconnecting with bounded backoff, and relays
-/// upstream-bound exception frames into the sending stage's control
-/// channel. All packets ready in one wake are encoded into the stream's
-/// long-lived buffer and leave in a single syscall; end-of-stream
-/// markers flush immediately so adaptation/drain latency is unchanged.
+/// Tender of one remote out-edge. While the link is up, the actual I/O
+/// runs on the reactor as a [`SenderConn`] (coalesced nonblocking
+/// writes, exception relay, chaos injection); this thread only holds
+/// the *policy* that must be allowed to block — dialing, bounded-backoff
+/// reconnects, the redial budget, and the drain of a dead link's bridge
+/// channel. Each terminal [`ConnFate`] the connection reports routes
+/// through exactly the same recovery paths as the old thread-per-socket
+/// sender, so link traces and drop accounting are unchanged.
 ///
-/// A dead link is not necessarily final: the sender keeps watching the
+/// A dead link is not necessarily final: the tender keeps watching the
 /// shared placement table, and when failover moves the receiving stage
 /// to a new endpoint it re-dials there (replaying a stashed end-of-stream
 /// marker, so a stream that ended during the outage still terminates
@@ -1130,6 +1199,14 @@ struct RemoteSender {
     /// name) and this edge, so no two links sync their retry storms.
     jitter_seed: u64,
     reporter: LinkReporter,
+    /// Engine stop flag (backstop for joining a parked connection).
+    stop: Arc<AtomicBool>,
+    /// The reactor hosting this edge's live connections.
+    reactor: Reactor,
+    /// Stop/partition nudge list; every registered connection joins it.
+    notify: NotifyList,
+    /// Emit-path wake handle shared with the sending stage's `OutPort`.
+    wake: Arc<RemoteWake>,
 }
 
 /// Tracker for the wall-clock a sender may spend re-dialing one
@@ -1261,83 +1338,74 @@ impl RemoteSender {
             }
         }
         let mut pending_eos = false;
-        let mut crc_seen = 0u64;
+        let (fate_tx, fate_rx) = unbounded::<ConnFate>();
+        let mut rx_open = true;
         loop {
-            if !dead && self.partitioned.load(Ordering::Relaxed) {
-                // Partition cut: drop the socket so the receiver sees a
-                // clean break, and stay dead until the window heals (the
-                // revive path refuses to dial while partitioned).
-                if let Some(mut fs) = stream.take() {
-                    carried = fs.take_fault_injector();
-                }
-                self.reporter.record(LinkEventKind::Dead, "injected partition cut");
-                dead = true;
-            }
-            if dead {
-                self.try_revive(
-                    &mut stream,
-                    &mut dialed,
-                    &mut dead,
-                    &mut pending_eos,
-                    &mut carried,
-                    &mut budget,
-                );
-            }
-            match self.rx.recv_timeout(Duration::from_millis(20)) {
-                Ok(packet) => {
-                    if dead {
-                        if packet.is_eos() {
-                            pending_eos = true;
-                        } else {
-                            self.drops.fetch_add(1, Ordering::Relaxed);
-                        }
+            if !dead {
+                // Live link: hand the socket to the reactor and wait for
+                // its terminal fate. The wake handle points at the new
+                // connection so the emit path can ping it.
+                let fs = match stream.take() {
+                    Some(fs) => fs,
+                    None => {
+                        // Defensive: a dead-flag/stream mismatch is a
+                        // bug, but dropping into the dead path beats
+                        // taking the whole tender thread down.
+                        dead = true;
                         continue;
                     }
-                    let fs = match stream.as_mut() {
-                        Some(fs) => fs,
-                        None => {
-                            // Defensive: a dead-flag/stream mismatch is a
-                            // bug, but dropping into the dead path beats
-                            // taking the whole sender thread down.
-                            dead = true;
-                            if packet.is_eos() {
-                                pending_eos = true;
-                            } else {
-                                self.drops.fetch_add(1, Ordering::Relaxed);
+                };
+                let conn = SenderConn::new(
+                    fs,
+                    self.rx.clone(),
+                    self.upstream.clone(),
+                    Arc::clone(&self.partitioned),
+                    Arc::clone(&self.stop),
+                    self.reporter.clone(),
+                    fate_tx.clone(),
+                    Arc::clone(&self.wake),
+                );
+                let token = self.reactor.register(Box::new(conn));
+                self.notify.add(self.reactor.clone(), token);
+                self.wake.install(self.reactor.clone(), token);
+                let fate = loop {
+                    match fate_rx.recv_timeout(Duration::from_millis(200)) {
+                        Ok(f) => break f,
+                        Err(RecvTimeoutError::Timeout) => {
+                            if self.stop.load(Ordering::Relaxed) {
+                                // Prod the parked source; it answers
+                                // with a fate once it sees the flag.
+                                self.reactor.notify(token);
                             }
-                            continue;
                         }
-                    };
-                    // Coalesce: this packet plus everything else already
-                    // waiting in the bridge channel goes out in one
-                    // write. An end-of-stream marker ends the batch so
-                    // it (and everything before it) flushes immediately;
-                    // the byte cap bounds the burst.
-                    let mut batched = u64::from(!packet.is_eos());
-                    let mut saw_eos = packet.is_eos();
-                    packet.encode_into(fs.queue_buffer());
-                    while !saw_eos && fs.queued_len() < MAX_COALESCED_BYTES {
-                        match self.rx.try_recv() {
-                            Ok(p) => {
-                                saw_eos = p.is_eos();
-                                batched += u64::from(!p.is_eos());
-                                p.encode_into(fs.queue_buffer());
-                            }
-                            Err(_) => break,
-                        }
+                        Err(RecvTimeoutError::Disconnected) => break ConnFate::Stopped,
                     }
-                    if let Err(err) = fs.flush_queued() {
+                };
+                self.wake.clear();
+                match fate {
+                    ConnFate::Finished { carried: c } => {
+                        carried = c;
+                        break;
+                    }
+                    ConnFate::Stopped => break,
+                    ConnFate::Partitioned { carried: c } => {
+                        // Partition cut: the socket is already dropped so
+                        // the receiver sees a clean break; stay dead
+                        // until the window heals (the revive path
+                        // refuses to dial while partitioned).
+                        carried = c;
+                        self.reporter.record(LinkEventKind::Dead, "injected partition cut");
+                        dead = true;
+                    }
+                    ConnFate::Broken { pending, carried: c, batched, saw_eos } => {
                         // One bounded-backoff reconnect cycle, then the
                         // link is dead until failover moves the receiver
                         // (the receiver's drain window is the backstop).
-                        // The failed flush leaves the batch queued, so it
-                        // can be carried onto the replacement connection.
+                        // The failed flush left the batch queued, so it
+                        // carries onto the replacement connection.
                         // Re-read the table first: the coordinator may
                         // already have reassigned the stage elsewhere.
-                        self.reporter
-                            .record(LinkEventKind::Reconnecting, format!("send failed: {err}"));
-                        let pending = fs.take_queued();
-                        carried = fs.take_fault_injector();
+                        carried = c;
                         dialed = self.placements.endpoint(self.to_stage);
                         stream = if self.partitioned.load(Ordering::Relaxed) {
                             None
@@ -1347,7 +1415,6 @@ impl RemoteSender {
                         match stream.as_mut() {
                             Some(fs) => {
                                 self.reporter.record(LinkEventKind::Reconnected, dialed.clone());
-                                crc_seen = 0;
                                 fs.queue_buffer().extend_from_slice(&pending);
                                 if fs.flush_queued().is_err() {
                                     self.drops.fetch_add(batched, Ordering::Relaxed);
@@ -1365,37 +1432,33 @@ impl RemoteSender {
                         }
                     }
                 }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => break,
+                continue;
             }
-            // Exceptions from the remote downstream stage ride this
-            // socket upstream; relay them into the sending stage's
-            // control channel.
-            if let Some(fs) = stream.as_mut() {
-                loop {
-                    match fs.read_frame() {
-                        Ok(Some(f)) if f.kind == FrameKind::Exception => {
-                            if let Ok(e) = decode_exception(&f) {
-                                let _ = self.upstream.send(Control::Exception(e));
-                            }
-                        }
-                        Ok(Some(_)) => {}
-                        Ok(None) | Err(_) => break,
+            // Dead link: drain the bridge (dropping non-markers, stashing
+            // the end-of-stream), watching for a revival.
+            self.try_revive(
+                &mut stream,
+                &mut dialed,
+                &mut dead,
+                &mut pending_eos,
+                &mut carried,
+                &mut budget,
+            );
+            if !dead {
+                continue;
+            }
+            match self.rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(packet) => {
+                    if packet.is_eos() {
+                        pending_eos = true;
+                    } else {
+                        self.drops.fetch_add(1, Ordering::Relaxed);
                     }
                 }
-                if let Some(inj) = fs.fault_injector_mut() {
-                    for af in inj.take_log() {
-                        self.reporter.record(
-                            LinkEventKind::FaultInjected,
-                            format!("frame {}: {}", af.index, af.fate.name()),
-                        );
-                    }
-                }
-                let crc = fs.crc_failures();
-                if crc > crc_seen {
-                    self.reporter
-                        .record(LinkEventKind::CrcDrop, format!("{crc} corrupted frames total"));
-                    crc_seen = crc;
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    rx_open = false;
+                    break;
                 }
             }
         }
@@ -1403,7 +1466,7 @@ impl RemoteSender {
         // stranded on a dead link. Give failover one drain window to
         // move the receiver so the marker can land at the replacement;
         // the receiver's own drain monitor is the backstop after that.
-        if dead && pending_eos {
+        if dead && !rx_open && pending_eos {
             let deadline = Instant::now() + self.cfg.drain_window;
             while pending_eos && Instant::now() < deadline {
                 self.try_revive(
@@ -1420,7 +1483,16 @@ impl RemoteSender {
                 std::thread::sleep(Duration::from_millis(50));
             }
         }
-        // Surface any faults injected on the final frames.
+        // Surface any faults injected on the final frames: either from
+        // the injector a terminal fate surrendered, or the live stream's.
+        if let Some(mut inj) = carried.take() {
+            for af in inj.take_log() {
+                self.reporter.record(
+                    LinkEventKind::FaultInjected,
+                    format!("frame {}: {}", af.index, af.fate.name()),
+                );
+            }
+        }
         if let Some(fs) = stream.as_mut() {
             if let Some(inj) = fs.fault_injector_mut() {
                 for af in inj.take_log() {
@@ -1431,207 +1503,6 @@ impl RemoteSender {
                 }
             }
         }
-    }
-}
-
-/// Accept incoming data connections on a *blocking* listener and hand
-/// each to a handler thread. The handler (not this loop) waits for the
-/// `EdgeHello`, so a slow peer cannot stall other dialers. Shutdown
-/// wakes the blocking accept with a throwaway self-connection.
-fn accept_loop(
-    listener: TcpListener,
-    reg: InEdgeRegistry,
-    stop: Arc<AtomicBool>,
-    cfg: DistConfig,
-    partitioned: Arc<AtomicBool>,
-) {
-    loop {
-        match listener.accept() {
-            Ok((socket, _peer)) => {
-                if stop.load(Ordering::Relaxed) {
-                    return;
-                }
-                // A partitioned node is unreachable: refuse the dialer
-                // by dropping its socket on the floor.
-                if partitioned.load(Ordering::Relaxed) {
-                    continue;
-                }
-                let reg = Arc::clone(&reg);
-                let stop = Arc::clone(&stop);
-                let cfg = cfg.clone();
-                let partitioned = Arc::clone(&partitioned);
-                let _ = std::thread::Builder::new()
-                    .name("gates-rx".into())
-                    .spawn(move || handle_data_conn(socket, reg, stop, cfg, partitioned));
-            }
-            Err(_) => {
-                if stop.load(Ordering::Relaxed) {
-                    return;
-                }
-                std::thread::sleep(Duration::from_millis(50));
-            }
-        }
-    }
-}
-
-/// Identify one accepted data connection by its `EdgeHello` and pump it.
-///
-/// The registry lookup retries briefly: after failover a neighbor may
-/// re-dial an adopted stage before this worker has finished processing
-/// its own `Reassign` (which is what registers the adopted in-edges).
-fn handle_data_conn(
-    socket: TcpStream,
-    reg: InEdgeRegistry,
-    stop: Arc<AtomicBool>,
-    cfg: DistConfig,
-    partitioned: Arc<AtomicBool>,
-) {
-    let mut fs = FrameStream::new(socket);
-    if fs.set_read_timeout(Some(cfg.read_timeout)).is_err() {
-        return;
-    }
-    let deadline = Instant::now() + cfg.connect_timeout;
-    let hello = loop {
-        if Instant::now() >= deadline {
-            break None;
-        }
-        match fs.read_frame() {
-            Ok(Some(f)) if f.kind == FrameKind::Control => break decode_ctrl(&f).ok(),
-            Ok(Some(_)) | Ok(None) => break None,
-            Err(TransportError::TimedOut) => {}
-            Err(_) => break None,
-        }
-    };
-    let Some(CtrlMsg::EdgeHello { edge }) = hello else { return };
-    let lookup_deadline = Instant::now() + cfg.connect_timeout;
-    let in_edge = loop {
-        if let Some(ie) = reg.read().unwrap_or_else(|p| p.into_inner()).get(&edge) {
-            break Arc::clone(ie);
-        }
-        if stop.load(Ordering::Relaxed) || Instant::now() >= lookup_deadline {
-            return;
-        }
-        std::thread::sleep(Duration::from_millis(10));
-    };
-    edge_reader(fs, in_edge, stop, partitioned);
-}
-
-/// Pump one accepted data connection: frames into the receiving stage's
-/// queue downstream, exception frames back upstream.
-fn edge_reader(
-    mut fs: FrameStream,
-    ie: Arc<InEdge>,
-    stop: Arc<AtomicBool>,
-    partitioned: Arc<AtomicBool>,
-) {
-    let nth = ie.connections.fetch_add(1, Ordering::Relaxed);
-    ie.connected.store(true, Ordering::Relaxed);
-    *ie.disconnected_at.lock().unwrap_or_else(|p| p.into_inner()) = None;
-    ie.reporter.record(
-        if nth == 0 { LinkEventKind::Connected } else { LinkEventKind::Reconnected },
-        format!("connection {}", nth + 1),
-    );
-    let mut crc_seen = 0u64;
-    loop {
-        if stop.load(Ordering::Relaxed) {
-            // Engine shutdown, not a link failure: leave the connected
-            // flag alone so the drain monitor does not misread it.
-            return;
-        }
-        if partitioned.load(Ordering::Relaxed) {
-            // Partition cut on the receiving side: sever the connection
-            // so the sender's end fails fast instead of silently queuing
-            // into a black hole.
-            ie.reporter.record(LinkEventKind::PeerEof, "injected partition cut");
-            break;
-        }
-        while let Ok(msg) = ie.exc_rx.try_recv() {
-            if let Control::Exception(e) = msg {
-                let _ = fs.send(&encode_exception(e));
-            }
-        }
-        match fs.read_frame() {
-            Ok(Some(f)) => match f.kind {
-                FrameKind::Data | FrameKind::Summary | FrameKind::Eos => {
-                    if let Ok(packet) = Packet::from_frame(&f) {
-                        deliver(&ie, packet, &stop);
-                    }
-                }
-                _ => {}
-            },
-            Ok(None) => {
-                ie.reporter.record(LinkEventKind::PeerEof, "connection closed");
-                break;
-            }
-            Err(TransportError::TimedOut) => {}
-            Err(TransportError::Io(e)) => {
-                ie.reporter.record(LinkEventKind::PeerEof, e.to_string());
-                break;
-            }
-        }
-        let crc = fs.crc_failures();
-        if crc > crc_seen {
-            ie.reporter.record(LinkEventKind::CrcDrop, format!("{crc} corrupted frames total"));
-            crc_seen = crc;
-        }
-    }
-    ie.connected.store(false, Ordering::Relaxed);
-    *ie.disconnected_at.lock().unwrap_or_else(|p| p.into_inner()) = Some(Instant::now());
-}
-
-fn deliver(ie: &InEdge, packet: Packet, stop: &AtomicBool) {
-    if !packet.is_eos()
-        && ie.announce_resume.load(Ordering::Relaxed)
-        && ie.announce_resume.swap(false, Ordering::Relaxed)
-    {
-        ie.reporter.record(LinkEventKind::Resumed, "first packet after failover");
-    }
-    if packet.is_eos() {
-        // Exactly-once: a reconnecting sender re-sends nothing, but a
-        // drain-injected marker may race a late real one.
-        if !ie.eos_forwarded.swap(true, Ordering::SeqCst) {
-            push_with_stop(ie, packet, stop);
-        }
-        return;
-    }
-    // Ownership check: a sender that routed with a shard map older than
-    // a mid-flight split/merge (or a placement-table race during
-    // Reassign) may aim a key at the wrong replica. Re-route to the
-    // owning sibling when it lives in this process, else reject with
-    // the typed error — never process on the wrong shard.
-    if let Some(sh) = &ie.shard {
-        let owner = sh.router.route(packet.key) as u32;
-        if owner != sh.ordinal {
-            let err = ShardError::WrongShard { key: packet.key, owner, delivered_to: sh.ordinal };
-            match sh.siblings.get(&owner) {
-                Some((tx, wake)) => {
-                    ie.reporter
-                        .record(LinkEventKind::Misrouted, format!("{err}; re-routed locally"));
-                    if ie.blocking {
-                        push_to(tx, &ie.hub, *wake, packet, stop);
-                    } else if tx.try_send(packet).is_ok() {
-                        ie.hub.wake(*wake);
-                    } else {
-                        ie.drops.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-                None => {
-                    ie.drops.fetch_add(1, Ordering::Relaxed);
-                    ie.reporter.record(
-                        LinkEventKind::Misrouted,
-                        format!("{err}; owner not local, rejected"),
-                    );
-                }
-            }
-            return;
-        }
-    }
-    if ie.blocking {
-        push_with_stop(ie, packet, stop);
-    } else if ie.data_tx.try_send(packet).is_ok() {
-        ie.wake_receiver();
-    } else {
-        ie.drops.fetch_add(1, Ordering::Relaxed);
     }
 }
 

@@ -24,7 +24,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, Sender, TryRecvError, TrySendError};
@@ -33,7 +33,7 @@ use gates_core::adapt::{LoadException, LoadTracker, ParamController};
 use gates_core::report::{ParamTrajectory, StageReport};
 use gates_core::trace::{AdaptRound, LinkEvent, LinkEventKind, StageSample, TraceEvent};
 use gates_core::{OutRoute, Packet, ShardRouter, SourceStatus, StageApi};
-use gates_net::TokenBucket;
+use gates_net::{Reactor, Token, TokenBucket};
 use gates_sim::{SimDuration, SimTime};
 
 use crate::executor::{Activation, Step, WakeHub};
@@ -61,6 +61,55 @@ pub(crate) struct CheckpointCfg {
     pub(crate) tx: Sender<(u32, u64, Vec<u8>)>,
 }
 
+/// Deduplicated wake handle from a stage's emit path to the reactor
+/// source draining its remote-edge bridge channel.
+///
+/// A per-packet `Reactor::notify` would put an eventfd write syscall on
+/// the hot path; instead the draining source *arms* the handle just
+/// before parking (then re-checks its channel, closing the lost-wakeup
+/// window), and [`RemoteWake::ping`] pays the syscall only on the
+/// armed→disarmed edge. While the source is actively draining, pings
+/// cost one atomic swap.
+pub(crate) struct RemoteWake {
+    armed: AtomicBool,
+    slot: Mutex<Option<(Reactor, Token)>>,
+}
+
+impl RemoteWake {
+    pub(crate) fn new() -> Arc<RemoteWake> {
+        Arc::new(RemoteWake { armed: AtomicBool::new(false), slot: Mutex::new(None) })
+    }
+
+    /// Point the handle at the currently registered source.
+    pub(crate) fn install(&self, reactor: Reactor, token: Token) {
+        *self.slot.lock().unwrap_or_else(|p| p.into_inner()) = Some((reactor, token));
+    }
+
+    /// Detach (source left the reactor); pings become no-ops.
+    pub(crate) fn clear(&self) {
+        self.armed.store(false, Ordering::Relaxed);
+        *self.slot.lock().unwrap_or_else(|p| p.into_inner()) = None;
+    }
+
+    /// Declare interest in the next ping. Callers must re-check their
+    /// work source *after* arming to avoid sleeping through a ping that
+    /// raced the arm.
+    pub(crate) fn arm(&self) {
+        self.armed.store(true, Ordering::Release);
+    }
+
+    /// Wake the parked source, once per arm.
+    pub(crate) fn ping(&self) {
+        if self.armed.swap(false, Ordering::AcqRel) {
+            if let Some((reactor, token)) =
+                self.slot.lock().unwrap_or_else(|p| p.into_inner()).as_ref()
+            {
+                reactor.notify(*token);
+            }
+        }
+    }
+}
+
 /// One outgoing edge of a stage: a bounded channel plus the token bucket
 /// realizing the link's bandwidth.
 pub(crate) struct OutPort {
@@ -74,6 +123,9 @@ pub(crate) struct OutPort {
     /// Executor key of the receiving stage when it lives on the same
     /// pool, so a successful send wakes it; `None` for bridge channels.
     pub(crate) wake_key: Option<u32>,
+    /// Wake handle of the reactor source draining this port's bridge
+    /// channel; `None` for local (in-process) edges.
+    pub(crate) remote_wake: Option<Arc<RemoteWake>>,
 }
 
 impl OutPort {
@@ -828,6 +880,11 @@ impl StageTask {
                 match port.tx.try_send(e.packet) {
                     Ok(()) => self.wake_port(e.port),
                     Err(TrySendError::Full(p)) => {
+                        // A full bridge channel means its drainer is
+                        // behind: nudge it so the retry finds room.
+                        if let Some(w) = &port.remote_wake {
+                            w.ping();
+                        }
                         self.outbox.push_front(Emit {
                             port: e.port,
                             packet: p,
@@ -850,10 +907,14 @@ impl StageTask {
         }
     }
 
-    /// Nudge the consumer behind out-edge `port` (pool mode only).
+    /// Nudge the consumer behind out-edge `port`: a pool-local stage via
+    /// the wake hub, or a reactor-driven remote sender via its ping.
     fn wake_port(&self, port: usize) {
         if let (Some(hub), Some(key)) = (&self.w.hub, self.w.out[port].wake_key) {
             hub.wake(key);
+        }
+        if let Some(w) = &self.w.out[port].remote_wake {
+            w.ping();
         }
     }
 

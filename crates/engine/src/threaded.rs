@@ -137,6 +137,7 @@ impl ThreadedEngine {
                         blocking: edge.link.flow == gates_net::FlowControl::Blocking,
                         drops: Arc::clone(&drops[to]),
                         wake_key: Some(to as u32),
+                        remote_wake: None,
                     }
                 })
                 .collect();

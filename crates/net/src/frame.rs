@@ -225,6 +225,59 @@ pub fn decode_frame(buf: &mut BytesMut) -> Result<Frame, FrameDecodeError> {
     Ok(Frame { kind, stream_id, seq, payload })
 }
 
+/// A frame located (but not copied out of) a contiguous byte region by
+/// [`decode_frame_slice`]. `payload` is the byte range of the payload
+/// within the region the frame was decoded from; `wire_len` is how many
+/// bytes the frame occupies starting at the region's front.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameView {
+    /// Frame type.
+    pub kind: FrameKind,
+    /// Which logical stream the frame belongs to.
+    pub stream_id: u32,
+    /// Per-stream sequence number.
+    pub seq: u64,
+    /// Payload byte range within the decoded region.
+    pub payload: std::ops::Range<usize>,
+    /// Total encoded size (header + payload).
+    pub wire_len: usize,
+}
+
+/// Decode one frame from the front of `buf` without consuming or
+/// copying anything: the returned [`FrameView`] locates the payload by
+/// range so callers holding shared storage (a pool buffer) can cut a
+/// zero-copy view out of it. Validation (length cap, kind, CRC) is
+/// identical to [`decode_frame`].
+pub fn decode_frame_slice(buf: &[u8]) -> Result<FrameView, FrameDecodeError> {
+    if buf.len() < FRAME_HEADER_LEN {
+        return Err(FrameDecodeError::Truncated(FRAME_HEADER_LEN - buf.len()));
+    }
+    let payload_len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if payload_len > MAX_FRAME_LEN - FRAME_HEADER_LEN {
+        return Err(FrameDecodeError::Oversized(payload_len));
+    }
+    let total = FRAME_HEADER_LEN + payload_len;
+    if buf.len() < total {
+        return Err(FrameDecodeError::Truncated(total - buf.len()));
+    }
+    let kind_byte = buf[4];
+    let kind = FrameKind::from_u8(kind_byte).ok_or(FrameDecodeError::BadKind(kind_byte))?;
+    let stored_crc = u32::from_be_bytes([buf[17], buf[18], buf[19], buf[20]]);
+    let computed = {
+        let mut crc = Crc32::new();
+        crc.update(&buf[4..17]);
+        crc.update(&buf[FRAME_HEADER_LEN..total]);
+        crc.finalize()
+    };
+    if stored_crc != computed {
+        return Err(FrameDecodeError::BadChecksum(stored_crc, computed));
+    }
+    let stream_id = u32::from_be_bytes([buf[5], buf[6], buf[7], buf[8]]);
+    let seq =
+        u64::from_be_bytes([buf[9], buf[10], buf[11], buf[12], buf[13], buf[14], buf[15], buf[16]]);
+    Ok(FrameView { kind, stream_id, seq, payload: FRAME_HEADER_LEN..total, wire_len: total })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,6 +435,32 @@ mod tests {
         let msg = FrameDecodeError::BadChecksum(0x1A, 0x2B).to_string();
         assert!(msg.contains("stored 0x0000001a"), "got: {msg}");
         assert!(msg.contains("computed 0x0000002b"), "got: {msg}");
+    }
+
+    #[test]
+    fn decode_frame_slice_matches_consuming_decode() {
+        let f1 = sample();
+        let f2 = Frame {
+            kind: FrameKind::Data,
+            stream_id: 3,
+            seq: 9,
+            payload: Bytes::from_static(b"tail"),
+        };
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&encode_frame(&f1));
+        wire.extend_from_slice(&encode_frame(&f2));
+
+        let v1 = decode_frame_slice(&wire).unwrap();
+        assert_eq!((v1.kind, v1.stream_id, v1.seq), (f1.kind, f1.stream_id, f1.seq));
+        assert_eq!(&wire[v1.payload.clone()], &f1.payload[..]);
+        let v2 = decode_frame_slice(&wire[v1.wire_len..]).unwrap();
+        assert_eq!(&wire[v1.wire_len..][v2.payload.clone()], &f2.payload[..]);
+
+        // Same errors as the consuming decode.
+        assert!(matches!(decode_frame_slice(&wire[..10]), Err(FrameDecodeError::Truncated(_))));
+        let mut bad = wire.clone();
+        bad[FRAME_HEADER_LEN] ^= 0x80;
+        assert!(matches!(decode_frame_slice(&bad), Err(FrameDecodeError::BadChecksum(_, _))));
     }
 
     #[test]

@@ -34,6 +34,9 @@ mod crc32;
 mod fault;
 mod frame;
 mod link;
+pub mod pool;
+pub mod reactor;
+pub mod reader;
 mod spec;
 mod token_bucket;
 mod transport;
@@ -41,12 +44,16 @@ mod transport;
 pub use crc32::{crc32, Crc32};
 pub use fault::{derive, AppliedFault, FaultFate, FaultInjector, FaultPlan, PartitionSpec};
 pub use frame::{
-    decode_frame, encode_frame, encode_frame_into, encode_segments_into, Frame, FrameDecodeError,
-    FrameKind, FRAME_HEADER_LEN, MAX_FRAME_LEN,
+    decode_frame, decode_frame_slice, encode_frame, encode_frame_into, encode_segments_into, Frame,
+    FrameDecodeError, FrameKind, FrameView, FRAME_HEADER_LEN, MAX_FRAME_LEN,
 };
 pub use link::LinkModel;
+pub use pool::{BufferPool, FrozenBuf, PoolBuf, PoolStats};
+pub use reactor::{Directive, Reactor, ReactorPool, Ready, Source, Token};
+pub use reader::{PooledReader, READ_CHUNK};
 pub use spec::{Bandwidth, FlowControl, LinkSpec};
 pub use token_bucket::TokenBucket;
 pub use transport::{
-    connect_with_retry, connect_with_retry_jittered, FrameStream, RetryPolicy, TransportError,
+    connect_with_retry, connect_with_retry_jittered, FlushProgress, FrameStream, RetryPolicy,
+    TransportError,
 };

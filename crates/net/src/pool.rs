@@ -1,0 +1,281 @@
+//! Recycling buffer pool for the zero-allocation data plane.
+//!
+//! Socket readers lease a [`PoolBuf`] from a [`BufferPool`], fill it
+//! from the wire, then [`PoolBuf::freeze`] it to cut zero-copy
+//! [`Bytes`] views (frame payloads) out of it. Freezing hands the
+//! backing storage back to the pool while the views are still alive;
+//! once every view drops, the pool's reference is the only one left and
+//! the next lease reuses the storage. In steady state the hot path —
+//! socket read → frame decode → stage delivery → return-to-pool —
+//! performs no allocations at all.
+//!
+//! Buffers are grouped into capacity classes (powers of two between
+//! [`MIN_CLASS_BYTES`] and [`MAX_CLASS_BYTES`]); a lease asks for a
+//! minimum capacity and gets the smallest class that fits. Each class
+//! retains at most [`BufferPool::max_per_class`] buffers; when every
+//! retained buffer is still in use the pool falls back to a fresh
+//! allocation (counted in [`PoolStats::misses`]), and storage returned
+//! to a full class is simply dropped, so the pool stays bounded under
+//! churn.
+
+use std::sync::{Arc, Mutex};
+
+use bytes::Bytes;
+
+/// Smallest capacity class, in bytes.
+pub const MIN_CLASS_BYTES: usize = 4 * 1024;
+/// Largest capacity class, in bytes. Larger leases are served by plain
+/// allocations that are never retained.
+pub const MAX_CLASS_BYTES: usize = 1024 * 1024;
+
+const NUM_CLASSES: usize = (MAX_CLASS_BYTES / MIN_CLASS_BYTES).ilog2() as usize + 1;
+
+/// Counters describing pool effectiveness, from [`BufferPool::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Leases served by recycling a retained buffer.
+    pub hits: u64,
+    /// Leases that had to allocate (nothing free in the class, or the
+    /// request exceeded [`MAX_CLASS_BYTES`]).
+    pub misses: u64,
+    /// Buffers dropped because their class was already full on return.
+    pub discards: u64,
+}
+
+struct Class {
+    /// Retained storage. An entry with `strong_count == 1` is free: the
+    /// pool holds the only reference, so no lease and no frozen view
+    /// can still touch it. Entries with a higher count are lent out.
+    slots: Vec<Arc<Vec<u8>>>,
+    capacity: usize,
+}
+
+struct Inner {
+    classes: Vec<Class>,
+    max_per_class: usize,
+    stats: PoolStats,
+}
+
+/// A recycling, capacity-classed buffer pool. Cheap to clone (shared
+/// handle); safe to lease from any thread.
+#[derive(Clone)]
+pub struct BufferPool {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        BufferPool::new(32)
+    }
+}
+
+impl BufferPool {
+    /// A pool retaining at most `max_per_class` buffers per capacity
+    /// class.
+    pub fn new(max_per_class: usize) -> BufferPool {
+        let mut classes = Vec::with_capacity(NUM_CLASSES);
+        let mut cap = MIN_CLASS_BYTES;
+        while cap <= MAX_CLASS_BYTES {
+            // Pre-size the slot vec so returns never reallocate it.
+            classes.push(Class { slots: Vec::with_capacity(max_per_class), capacity: cap });
+            cap *= 2;
+        }
+        BufferPool {
+            inner: Arc::new(Mutex::new(Inner {
+                classes,
+                max_per_class,
+                stats: PoolStats::default(),
+            })),
+        }
+    }
+
+    /// The retention cap per capacity class.
+    pub fn max_per_class(&self) -> usize {
+        self.inner.lock().unwrap().max_per_class
+    }
+
+    /// Lease a buffer with at least `min_capacity` bytes of capacity.
+    /// The buffer arrives logically empty (`len == 0`).
+    pub fn lease(&self, min_capacity: usize) -> PoolBuf {
+        let mut inner = self.inner.lock().unwrap();
+        let class = inner.classes.iter().position(|c| c.capacity >= min_capacity);
+        if let Some(ci) = class {
+            let class = &mut inner.classes[ci];
+            // Scan for a free slot: the pool holding the only reference
+            // proves every view has been dropped.
+            if let Some(si) = class.slots.iter().position(|s| Arc::strong_count(s) == 1) {
+                let mut arc = class.slots.swap_remove(si);
+                // Sound: strong_count == 1 and we hold the only Arc.
+                Arc::get_mut(&mut arc).expect("pool holds sole reference").clear();
+                inner.stats.hits += 1;
+                return PoolBuf { storage: arc, pool: Some((self.clone(), ci)) };
+            }
+            let capacity = class.capacity;
+            inner.stats.misses += 1;
+            drop(inner);
+            return PoolBuf {
+                storage: Arc::new(Vec::with_capacity(capacity)),
+                pool: Some((self.clone(), ci)),
+            };
+        }
+        // Oversized request: plain allocation, never retained.
+        inner.stats.misses += 1;
+        drop(inner);
+        PoolBuf { storage: Arc::new(Vec::with_capacity(min_capacity)), pool: None }
+    }
+
+    /// Current effectiveness counters.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().unwrap().stats
+    }
+
+    /// Number of buffers currently retained in the class serving
+    /// `min_capacity` (free or lent out). Test/diagnostic hook.
+    pub fn retained(&self, min_capacity: usize) -> usize {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .classes
+            .iter()
+            .find(|c| c.capacity >= min_capacity)
+            .map(|c| c.slots.len())
+            .unwrap_or(0)
+    }
+
+    /// Return storage to its class; called by freeze/drop.
+    fn restore(&self, class: usize, arc: Arc<Vec<u8>>) {
+        let mut inner = self.inner.lock().unwrap();
+        let max = inner.max_per_class;
+        let class = &mut inner.classes[class];
+        if class.slots.len() < max {
+            class.slots.push(arc);
+        } else {
+            inner.stats.discards += 1;
+        }
+    }
+}
+
+/// An exclusively-held pool buffer. Fill it via [`PoolBuf::storage_mut`],
+/// then [`PoolBuf::freeze`] it into zero-copy views; dropping it
+/// unfrozen returns it to the pool unused.
+pub struct PoolBuf {
+    storage: Arc<Vec<u8>>,
+    /// Home pool and class index; `None` for oversized one-shot buffers.
+    pool: Option<(BufferPool, usize)>,
+}
+
+impl PoolBuf {
+    /// Exclusive access to the backing storage for filling.
+    pub fn storage_mut(&mut self) -> &mut Vec<u8> {
+        // Sound: a PoolBuf is only ever constructed around an Arc whose
+        // sole reference it holds (freeze consumes self before sharing).
+        Arc::get_mut(&mut self.storage).expect("PoolBuf holds sole reference")
+    }
+
+    /// The filled bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.storage
+    }
+
+    /// Usable capacity of the backing storage.
+    pub fn capacity(&self) -> usize {
+        self.storage.capacity()
+    }
+
+    /// Share the filled buffer: the storage goes back to the pool (so
+    /// its class can recycle it once all views drop) and the returned
+    /// [`FrozenBuf`] cuts zero-copy views out of it.
+    pub fn freeze(mut self) -> FrozenBuf {
+        if let Some((pool, class)) = self.pool.take() {
+            pool.restore(class, self.storage.clone());
+        }
+        FrozenBuf { storage: self.storage.clone() }
+    }
+}
+
+impl Drop for PoolBuf {
+    fn drop(&mut self) {
+        // An unfrozen drop returns the storage. After freeze() the
+        // PoolBuf no longer exists, so this runs exactly once per lease.
+        if let Some((pool, class)) = self.pool.take() {
+            pool.restore(class, self.storage.clone());
+        }
+    }
+}
+
+/// A filled, shared pool buffer; hands out zero-copy [`Bytes`] views.
+/// The underlying storage returns to its pool's free set once this and
+/// every view created from it have been dropped.
+#[derive(Clone)]
+pub struct FrozenBuf {
+    storage: Arc<Vec<u8>>,
+}
+
+impl FrozenBuf {
+    /// The filled bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.storage
+    }
+
+    /// A zero-copy view of `start..end` of the filled bytes.
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds.
+    pub fn view(&self, start: usize, end: usize) -> Bytes {
+        Bytes::from_shared(self.storage.clone(), start, end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_fill_freeze_recycle() {
+        let pool = BufferPool::new(4);
+        let mut buf = pool.lease(8 * 1024);
+        assert!(buf.capacity() >= 8 * 1024);
+        buf.storage_mut().extend_from_slice(b"hello frames");
+        let frozen = buf.freeze();
+        let view = frozen.view(6, 12);
+        assert_eq!(&view[..], b"frames");
+        assert_eq!(pool.retained(8 * 1024), 1);
+
+        // Storage is lent out while views live: a new lease must miss.
+        let b2 = pool.lease(8 * 1024);
+        assert_eq!(pool.stats().misses, 2); // first lease + this one
+        drop(b2);
+        drop(view);
+        drop(frozen);
+
+        // All views dropped: the next lease recycles.
+        let b3 = pool.lease(8 * 1024);
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(b3.as_slice().len(), 0);
+    }
+
+    #[test]
+    fn classes_round_up_and_oversized_is_unpooled() {
+        let pool = BufferPool::new(2);
+        let b = pool.lease(MIN_CLASS_BYTES + 1);
+        assert!(b.capacity() >= 2 * MIN_CLASS_BYTES);
+        drop(b);
+        assert_eq!(pool.retained(MIN_CLASS_BYTES + 1), 1);
+
+        let big = pool.lease(MAX_CLASS_BYTES + 1);
+        assert!(big.capacity() > MAX_CLASS_BYTES);
+        drop(big);
+        // Oversized buffers are never retained.
+        for class_cap in [MIN_CLASS_BYTES, MAX_CLASS_BYTES] {
+            assert!(pool.retained(class_cap) <= 1);
+        }
+    }
+
+    #[test]
+    fn pool_stays_bounded_under_churn() {
+        let pool = BufferPool::new(2);
+        let held: Vec<_> = (0..8).map(|_| pool.lease(1024).freeze()).collect();
+        drop(held);
+        assert!(pool.retained(1024) <= 2);
+        assert!(pool.stats().discards >= 6);
+    }
+}

@@ -1,0 +1,492 @@
+//! Readiness-driven I/O reactor.
+//!
+//! A [`Reactor`] owns one thread and one epoll instance and drives any
+//! number of registered [`Source`]s — sockets, listeners, anything with
+//! an fd — with level-triggered readiness instead of blocking reads and
+//! `set_read_timeout` polling. Cross-thread coordination goes through a
+//! command queue flushed by an `eventfd` wakeup: other threads
+//! [`Reactor::register`] new sources, [`Reactor::notify`] a source
+//! (e.g. "your send queue is non-empty"), or [`Reactor::close`] one,
+//! all without touching the reactor thread's state directly.
+//!
+//! Each time a source is serviced it returns a [`Directive`] declaring
+//! what it wants next: read interest (dropped for backpressure pauses),
+//! write interest (registered only while there is something to flush),
+//! an optional deadline (retry timers, chaos delay stalls), or close.
+//! The reactor translates those into `epoll_ctl` interest changes and
+//! its `epoll_wait` timeout, so an idle data plane makes zero wakeups.
+//!
+//! Several reactors can share the load: a [`ReactorPool`] spawns `N`
+//! reactor threads (`--reactors N` in the CLI) and deals sources onto
+//! them round-robin.
+
+use std::collections::HashMap;
+use std::io;
+use std::os::unix::io::RawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use epoll::{Epoll, Event, EventFd, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+
+/// Identifies a registered source within its reactor.
+pub type Token = u64;
+
+/// Why a source is being serviced.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Ready {
+    /// The fd is readable (or hung up / errored, which a read reports).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// Another thread called [`Reactor::notify`] for this source.
+    pub notified: bool,
+    /// The deadline the source asked for has passed.
+    pub timed_out: bool,
+}
+
+/// What a source wants after being serviced.
+#[derive(Clone, Copy, Debug)]
+pub struct Directive {
+    /// Keep read interest. Dropping it pauses delivery (backpressure)
+    /// until a later directive or notify re-arms it.
+    pub want_read: bool,
+    /// Register write interest. Sources ask for this only while their
+    /// flush queue is non-empty, so an idle connection never wakes the
+    /// reactor with "still writable".
+    pub want_write: bool,
+    /// Service again (with `timed_out` set) once this instant passes.
+    pub deadline: Option<Instant>,
+    /// Deregister and drop the source.
+    pub close: bool,
+}
+
+impl Directive {
+    /// Keep read interest only: the steady state of a receive path.
+    pub fn read() -> Directive {
+        Directive { want_read: true, want_write: false, deadline: None, close: false }
+    }
+
+    /// Read interest plus write interest (flush queue non-empty).
+    pub fn read_write() -> Directive {
+        Directive { want_read: true, want_write: true, deadline: None, close: false }
+    }
+
+    /// Deregister and drop the source.
+    pub fn close() -> Directive {
+        Directive { want_read: false, want_write: false, deadline: None, close: true }
+    }
+
+    /// Add a deadline to this directive.
+    pub fn with_deadline(mut self, at: Instant) -> Directive {
+        self.deadline = Some(at);
+        self
+    }
+}
+
+/// An fd-backed object driven by a [`Reactor`].
+///
+/// The source owns its socket. `service` performs the actual
+/// nonblocking I/O; it is always called from the reactor thread, so a
+/// source needs no internal locking for state only it touches.
+pub trait Source: Send {
+    /// The fd to poll. Must stay valid and constant while registered.
+    fn fd(&self) -> RawFd;
+
+    /// Handle readiness/notify/deadline; say what to watch for next.
+    fn service(&mut self, ready: Ready, now: Instant) -> Directive;
+
+    /// Called once when the reactor drops the source (close directive,
+    /// [`Reactor::close`], or reactor shutdown).
+    fn closed(&mut self) {}
+}
+
+enum Cmd {
+    Register(Token, Box<dyn Source>),
+    Close(Token),
+}
+
+struct Shared {
+    epoll: Epoll,
+    wakeup: EventFd,
+    cmds: Mutex<Vec<Cmd>>,
+    notifies: Mutex<Vec<Token>>,
+    next_token: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// Handle to a reactor thread. Cheap to clone; all methods are safe
+/// from any thread (including from inside a source's `service`).
+#[derive(Clone)]
+pub struct Reactor {
+    shared: Arc<Shared>,
+    thread: Arc<Mutex<Option<JoinHandle<()>>>>,
+}
+
+/// Wakeup fd's reserved token; sources start above it.
+const WAKE_TOKEN: Token = 0;
+
+impl Reactor {
+    /// Spawn a reactor thread.
+    pub fn spawn(name: &str) -> io::Result<Reactor> {
+        let epoll = Epoll::new()?;
+        let wakeup = EventFd::new()?;
+        epoll.add(wakeup.fd(), EPOLLIN, WAKE_TOKEN)?;
+        let shared = Arc::new(Shared {
+            epoll,
+            wakeup,
+            cmds: Mutex::new(Vec::new()),
+            notifies: Mutex::new(Vec::new()),
+            next_token: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+        });
+        let loop_shared = shared.clone();
+        let thread = std::thread::Builder::new()
+            .name(format!("gates-reactor-{name}"))
+            .spawn(move || run_loop(loop_shared))?;
+        Ok(Reactor { shared, thread: Arc::new(Mutex::new(Some(thread))) })
+    }
+
+    /// Register a source; it is serviced once immediately (with only
+    /// `notified` set) so it can arm timers or start flushing.
+    pub fn register(&self, source: Box<dyn Source>) -> Token {
+        let token = self.shared.next_token.fetch_add(1, Ordering::Relaxed);
+        self.shared.cmds.lock().unwrap().push(Cmd::Register(token, source));
+        self.shared.wakeup.notify();
+        token
+    }
+
+    /// Service a source out-of-band (e.g. its send queue went
+    /// non-empty, or backpressure downstream cleared).
+    pub fn notify(&self, token: Token) {
+        self.shared.notifies.lock().unwrap().push(token);
+        self.shared.wakeup.notify();
+    }
+
+    /// Deregister and drop a source.
+    pub fn close(&self, token: Token) {
+        self.shared.cmds.lock().unwrap().push(Cmd::Close(token));
+        self.shared.wakeup.notify();
+    }
+
+    /// Stop the reactor thread, dropping every source. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wakeup.notify();
+        if let Some(t) = self.thread.lock().unwrap().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+struct Entry {
+    source: Box<dyn Source>,
+    fd: RawFd,
+    interest: u32,
+    deadline: Option<Instant>,
+}
+
+fn interest_mask(d: &Directive) -> u32 {
+    let mut m = 0;
+    if d.want_read {
+        m |= EPOLLIN | EPOLLRDHUP;
+    }
+    if d.want_write {
+        m |= EPOLLOUT;
+    }
+    m
+}
+
+fn run_loop(shared: Arc<Shared>) {
+    let mut entries: HashMap<Token, Entry> = HashMap::new();
+    let mut events: Vec<Event> = Vec::with_capacity(64);
+    // Scratch buffers swapped with the shared queues each iteration so
+    // the steady-state loop never allocates.
+    let mut cmds: Vec<Cmd> = Vec::new();
+    let mut notifies: Vec<Token> = Vec::new();
+    let mut due: Vec<Token> = Vec::new();
+
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+
+        // epoll timeout: the nearest source deadline, rounded up so a
+        // deadline never fires early and the loop never busy-spins.
+        let now = Instant::now();
+        let timeout_ms = entries.values().filter_map(|e| e.deadline).min().map(|d| {
+            let left = d.saturating_duration_since(now);
+            (left.as_millis() as i32).saturating_add(if left.subsec_nanos() % 1_000_000 != 0 {
+                1
+            } else {
+                0
+            })
+        });
+        if shared.epoll.wait(&mut events, timeout_ms).is_err() {
+            break;
+        }
+        let now = Instant::now();
+
+        // Phase 1: drain the wakeup fd and the cross-thread queues.
+        if events.iter().any(|e| e.token == WAKE_TOKEN) {
+            shared.wakeup.drain();
+        }
+        std::mem::swap(&mut cmds, &mut *shared.cmds.lock().unwrap());
+        for cmd in cmds.drain(..) {
+            match cmd {
+                Cmd::Register(token, source) => {
+                    let fd = source.fd();
+                    let _ = epoll::set_nonblocking(fd, true);
+                    let mut entry = Entry { source, fd, interest: 0, deadline: None };
+                    // Initial service lets the source arm itself.
+                    let d = entry.source.service(Ready { notified: true, ..Ready::default() }, now);
+                    if d.close {
+                        entry.source.closed();
+                        continue;
+                    }
+                    entry.interest = interest_mask(&d);
+                    entry.deadline = d.deadline;
+                    if shared.epoll.add(fd, entry.interest, token).is_ok() {
+                        entries.insert(token, entry);
+                    } else {
+                        entry.source.closed();
+                    }
+                }
+                Cmd::Close(token) => {
+                    if let Some(mut e) = entries.remove(&token) {
+                        let _ = shared.epoll.delete(e.fd);
+                        e.source.closed();
+                    }
+                }
+            }
+        }
+
+        // Phase 2: explicit notifies.
+        std::mem::swap(&mut notifies, &mut *shared.notifies.lock().unwrap());
+        for token in notifies.drain(..) {
+            service_one(
+                &shared,
+                &mut entries,
+                token,
+                Ready { notified: true, ..Ready::default() },
+                now,
+            );
+        }
+
+        // Phase 3: fd readiness.
+        for ev in events.iter().copied() {
+            if ev.token == WAKE_TOKEN {
+                continue;
+            }
+            let ready =
+                Ready { readable: ev.readable(), writable: ev.writable(), ..Ready::default() };
+            service_one(&shared, &mut entries, ev.token, ready, now);
+        }
+
+        // Phase 4: expired deadlines.
+        due.clear();
+        for (t, e) in entries.iter() {
+            if e.deadline.is_some_and(|d| d <= now) {
+                due.push(*t);
+            }
+        }
+        for token in due.drain(..) {
+            if let Some(e) = entries.get_mut(&token) {
+                e.deadline = None;
+            }
+            service_one(
+                &shared,
+                &mut entries,
+                token,
+                Ready { timed_out: true, ..Ready::default() },
+                now,
+            );
+        }
+    }
+
+    for (_, mut e) in entries.drain() {
+        let _ = shared.epoll.delete(e.fd);
+        e.source.closed();
+    }
+}
+
+fn service_one(
+    shared: &Shared,
+    entries: &mut HashMap<Token, Entry>,
+    token: Token,
+    ready: Ready,
+    now: Instant,
+) {
+    let Some(entry) = entries.get_mut(&token) else { return };
+    let d = entry.source.service(ready, now);
+    if d.close {
+        let mut e = entries.remove(&token).expect("entry present");
+        let _ = shared.epoll.delete(e.fd);
+        e.source.closed();
+        return;
+    }
+    entry.deadline = d.deadline;
+    let mask = interest_mask(&d);
+    if mask != entry.interest {
+        entry.interest = mask;
+        let _ = shared.epoll.modify(entry.fd, mask, token);
+    }
+}
+
+/// A fixed pool of reactor threads; sources are dealt round-robin.
+pub struct ReactorPool {
+    reactors: Vec<Reactor>,
+    next: AtomicUsize,
+}
+
+impl ReactorPool {
+    /// Spawn `n` reactors (at least one).
+    pub fn new(name: &str, n: usize) -> io::Result<ReactorPool> {
+        let n = n.max(1);
+        let mut reactors = Vec::with_capacity(n);
+        for i in 0..n {
+            reactors.push(Reactor::spawn(&format!("{name}-{i}"))?);
+        }
+        Ok(ReactorPool { reactors, next: AtomicUsize::new(0) })
+    }
+
+    /// Number of reactor threads.
+    pub fn len(&self) -> usize {
+        self.reactors.len()
+    }
+
+    /// Whether the pool is empty (never true: `new` spawns at least one).
+    pub fn is_empty(&self) -> bool {
+        self.reactors.is_empty()
+    }
+
+    /// The next reactor in round-robin order. Register the returned
+    /// handle's sources through it; keep a clone to notify them later.
+    pub fn pick(&self) -> Reactor {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.reactors.len();
+        self.reactors[i].clone()
+    }
+
+    /// Shut down every reactor.
+    pub fn shutdown(&self) {
+        for r in &self.reactors {
+            r.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Reads everything available and forwards it on a channel.
+    struct Echo {
+        stream: TcpStream,
+        out: mpsc::Sender<Vec<u8>>,
+    }
+
+    impl Source for Echo {
+        fn fd(&self) -> RawFd {
+            self.stream.as_raw_fd()
+        }
+        fn service(&mut self, ready: Ready, _now: Instant) -> Directive {
+            if !ready.readable {
+                return Directive::read();
+            }
+            let mut buf = [0u8; 1024];
+            loop {
+                match self.stream.read(&mut buf) {
+                    Ok(0) => return Directive::close(),
+                    Ok(n) => {
+                        let _ = self.out.send(buf[..n].to_vec());
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Directive::read(),
+                    Err(_) => return Directive::close(),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reactor_reads_on_readiness() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+
+        let reactor = Reactor::spawn("test").unwrap();
+        let (tx, rx) = mpsc::channel();
+        reactor.register(Box::new(Echo { stream: server, out: tx }));
+
+        client.write_all(b"hello").unwrap();
+        let got = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(got, b"hello");
+
+        // Peer close drops the source.
+        drop(client);
+        assert!(rx.recv_timeout(Duration::from_secs(2)).is_err());
+        reactor.shutdown();
+    }
+
+    /// Counts notifies and deadline firings.
+    struct Ticker {
+        stream: TcpStream,
+        evs: mpsc::Sender<&'static str>,
+        armed: bool,
+    }
+
+    impl Source for Ticker {
+        fn fd(&self) -> RawFd {
+            self.stream.as_raw_fd()
+        }
+        fn service(&mut self, ready: Ready, now: Instant) -> Directive {
+            if ready.timed_out {
+                let _ = self.evs.send("deadline");
+                return Directive::read();
+            }
+            if ready.notified && !self.armed {
+                self.armed = true;
+                let _ = self.evs.send("notified");
+                return Directive::read().with_deadline(now + Duration::from_millis(20));
+            }
+            Directive::read()
+        }
+    }
+
+    #[test]
+    fn notify_then_deadline_fires_once() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+
+        let reactor = Reactor::spawn("tick").unwrap();
+        let (tx, rx) = mpsc::channel();
+        let token = reactor.register(Box::new(Ticker { stream: server, evs: tx, armed: false }));
+        // Registration's initial service already counts as the notify.
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), "notified");
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), "deadline");
+        // No further deadline: the directive after firing had none.
+        assert!(rx.recv_timeout(Duration::from_millis(100)).is_err());
+        reactor.close(token);
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn pool_deals_round_robin() {
+        let pool = ReactorPool::new("rr", 2).unwrap();
+        assert_eq!(pool.len(), 2);
+        let a = pool.pick();
+        let b = pool.pick();
+        let c = pool.pick();
+        assert!(!Arc::ptr_eq(&a.shared, &b.shared));
+        assert!(Arc::ptr_eq(&a.shared, &c.shared));
+        pool.shutdown();
+    }
+}

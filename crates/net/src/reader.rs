@@ -1,0 +1,284 @@
+//! Zero-allocation streaming frame reader backed by a [`BufferPool`].
+//!
+//! [`FrameStream::read_frame`](crate::FrameStream::read_frame) copies
+//! every payload out of its receive buffer into a fresh allocation. A
+//! [`PooledReader`] instead fills leased pool buffers straight from the
+//! socket and cuts frames out of them as zero-copy [`Bytes`] views
+//! ([`PoolBuf::freeze`]): in steady state the read path performs no
+//! allocations at all — buffers recycle through the pool as soon as the
+//! last payload view drops.
+//!
+//! The reader is transport-agnostic (anything `Read`) and explicitly
+//! nonblocking-friendly: [`PooledReader::fill`] surfaces `WouldBlock`
+//! unchanged, which is exactly the signal a reactor source needs to
+//! hand control back to `epoll`.
+
+use std::io::Read;
+
+use bytes::Bytes;
+
+use crate::frame::{decode_frame_slice, Frame, FrameDecodeError, FrameKind, FRAME_HEADER_LEN};
+use crate::pool::{BufferPool, FrozenBuf, PoolBuf};
+
+/// Default capacity requested per leased read buffer. One lease holds
+/// dozens of typical frames, so the pool cycles (and the per-lease
+/// bookkeeping amortizes) per tens of KiB, not per frame.
+pub const READ_CHUNK: usize = 64 * 1024;
+
+/// The backing storage of the bytes currently being assembled.
+enum Storage {
+    /// Nothing buffered.
+    Empty,
+    /// An exclusively-held buffer still being filled.
+    Filling(PoolBuf),
+    /// A frozen buffer: complete frames have been cut out of it as
+    /// views; the undecoded tail (if any) is migrated into a fresh
+    /// lease before the next fill.
+    Frozen(FrozenBuf),
+}
+
+/// Streaming frame decoder that recycles its receive buffers through a
+/// [`BufferPool`] and yields frames whose payloads are zero-copy views
+/// into those buffers.
+pub struct PooledReader {
+    pool: BufferPool,
+    storage: Storage,
+    /// First byte not yet consumed by the decoder.
+    start: usize,
+    /// One past the last byte filled from the transport.
+    filled: usize,
+    crc_failures: u64,
+}
+
+impl PooledReader {
+    /// A reader leasing its buffers from `pool`.
+    pub fn new(pool: BufferPool) -> PooledReader {
+        PooledReader { pool, storage: Storage::Empty, start: 0, filled: 0, crc_failures: 0 }
+    }
+
+    /// Frames dropped so far because their CRC (or kind byte) did not
+    /// verify. Mirrors [`crate::FrameStream::crc_failures`].
+    pub fn crc_failures(&self) -> u64 {
+        self.crc_failures
+    }
+
+    /// Bytes buffered but not yet decoded (a partial frame tail).
+    pub fn pending(&self) -> usize {
+        self.filled - self.start
+    }
+
+    /// Lease a buffer of at least `need` bytes, copy the undecoded tail
+    /// into it, and make it the active filling buffer.
+    fn migrate(&mut self, need: usize) {
+        let mut fresh = self.pool.lease(need.max(READ_CHUNK));
+        let cap = fresh.capacity();
+        let v = fresh.storage_mut();
+        // Keep `len == capacity` so the spare region is addressable for
+        // socket reads; recycled buffers already arrive at length zero,
+        // so this zero-fill is paid once per lease, not per read.
+        v.resize(cap, 0);
+        let tail = self.filled - self.start;
+        if tail > 0 {
+            let (src_ptr, range) = match &self.storage {
+                Storage::Filling(b) => (b.as_slice(), self.start..self.filled),
+                Storage::Frozen(f) => (f.as_slice(), self.start..self.filled),
+                Storage::Empty => unreachable!("tail bytes without storage"),
+            };
+            v[..tail].copy_from_slice(&src_ptr[range]);
+        }
+        self.start = 0;
+        self.filled = tail;
+        self.storage = Storage::Filling(fresh);
+    }
+
+    /// Read once from `io` into the active buffer, leasing or growing it
+    /// as needed. Returns the byte count (`Ok(0)` is end-of-stream);
+    /// `WouldBlock` and every other error pass through untouched.
+    pub fn fill(&mut self, io: &mut impl Read) -> std::io::Result<usize> {
+        // Ensure an exclusively-held buffer with spare room. A frozen
+        // buffer (or a full one) forces a migration; if the pending
+        // frame claims more than the current capacity, lease for the
+        // whole frame so it can ever complete.
+        let need = self.claimed_total().unwrap_or(READ_CHUNK).max(READ_CHUNK);
+        match &mut self.storage {
+            Storage::Filling(b) if self.filled < b.capacity() => {}
+            _ => self.migrate(need),
+        }
+        let Storage::Filling(buf) = &mut self.storage else { unreachable!() };
+        let v = buf.storage_mut();
+        let n = io.read(&mut v[self.filled..])?;
+        self.filled += n;
+        Ok(n)
+    }
+
+    /// The total wire length the frame at `start` claims, if at least
+    /// its length prefix has arrived.
+    fn claimed_total(&self) -> Option<usize> {
+        let s = match &self.storage {
+            Storage::Empty => return None,
+            Storage::Filling(b) => b.as_slice(),
+            Storage::Frozen(f) => f.as_slice(),
+        };
+        let s = &s[self.start..self.filled];
+        if s.len() < 4 {
+            return None;
+        }
+        let payload_len = u32::from_be_bytes([s[0], s[1], s[2], s[3]]) as usize;
+        Some(FRAME_HEADER_LEN + payload_len)
+    }
+
+    /// Decode the next complete frame, if any. `Ok(None)` means more
+    /// bytes are needed ([`PooledReader::fill`] again); corrupted frames
+    /// are skipped and counted, exactly like
+    /// [`crate::FrameStream::read_frame`]. `Err` is reserved for an
+    /// untrustworthy length prefix (poisoned stream).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameDecodeError> {
+        loop {
+            if self.start == self.filled {
+                return Ok(None);
+            }
+            let view = {
+                let slice = match &self.storage {
+                    Storage::Empty => return Ok(None),
+                    Storage::Filling(b) => &b.as_slice()[self.start..self.filled],
+                    Storage::Frozen(f) => &f.as_slice()[self.start..self.filled],
+                };
+                match decode_frame_slice(slice) {
+                    Ok(view) => view,
+                    Err(FrameDecodeError::Truncated(_)) => return Ok(None),
+                    Err(FrameDecodeError::BadChecksum(..)) | Err(FrameDecodeError::BadKind(_)) => {
+                        // The length prefix sits outside the CRC region:
+                        // best available resync point.
+                        let total = self.claimed_total().expect("header present");
+                        self.start += total.min(self.filled - self.start);
+                        self.crc_failures += 1;
+                        continue;
+                    }
+                    Err(e @ FrameDecodeError::Oversized(_)) => return Err(e),
+                }
+            };
+            // A complete frame: share the storage so the payload view
+            // keeps it alive (and the pool can recycle it once every
+            // view drops).
+            let frozen = match std::mem::replace(&mut self.storage, Storage::Empty) {
+                Storage::Filling(buf) => {
+                    let frozen = buf.freeze();
+                    self.storage = Storage::Frozen(frozen.clone());
+                    frozen
+                }
+                Storage::Frozen(f) => {
+                    self.storage = Storage::Frozen(f.clone());
+                    f
+                }
+                Storage::Empty => unreachable!("decoded a frame from empty storage"),
+            };
+            let payload = self.view_payload(&frozen, view.payload);
+            self.start += view.wire_len;
+            if self.start == self.filled {
+                // Fully consumed: drop our reference so the buffer can
+                // recycle as soon as the payload views do.
+                self.storage = Storage::Empty;
+                self.start = 0;
+                self.filled = 0;
+            }
+            return Ok(Some(Frame {
+                kind: view.kind,
+                stream_id: view.stream_id,
+                seq: view.seq,
+                payload,
+            }));
+        }
+    }
+
+    fn view_payload(&self, frozen: &FrozenBuf, rel: std::ops::Range<usize>) -> Bytes {
+        frozen.view(self.start + rel.start, self.start + rel.end)
+    }
+
+    /// Convenience for tests and call sites that want typed handling of
+    /// kinds without re-matching: whether `frame` carries stream data.
+    pub fn is_data_kind(kind: FrameKind) -> bool {
+        matches!(kind, FrameKind::Data | FrameKind::Summary | FrameKind::Eos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::encode_frame;
+
+    fn frame(seq: u64, payload: &[u8]) -> Frame {
+        Frame { kind: FrameKind::Data, stream_id: 7, seq, payload: Bytes::from(payload.to_vec()) }
+    }
+
+    #[test]
+    fn decodes_across_split_fills() {
+        let pool = BufferPool::new(4);
+        let mut r = PooledReader::new(pool);
+        let mut wire = Vec::new();
+        for seq in 0..5u64 {
+            wire.extend_from_slice(&encode_frame(&frame(seq, &vec![seq as u8; 300])));
+        }
+        // Feed in awkward chunk sizes.
+        let mut out = Vec::new();
+        for chunk in wire.chunks(97) {
+            let mut cursor = std::io::Cursor::new(chunk);
+            while r.fill(&mut cursor).unwrap() > 0 {}
+            while let Some(f) = r.next_frame().unwrap() {
+                out.push(f);
+            }
+        }
+        assert_eq!(out.len(), 5);
+        for (seq, f) in out.iter().enumerate() {
+            assert_eq!(f.seq, seq as u64);
+            assert_eq!(f.payload.len(), 300);
+            assert!(f.payload.iter().all(|&b| b == seq as u8));
+        }
+    }
+
+    #[test]
+    fn corrupt_frame_is_skipped_and_counted() {
+        let pool = BufferPool::new(4);
+        let mut r = PooledReader::new(pool);
+        let mut wire = encode_frame(&frame(1, b"first")).to_vec();
+        let mut bad = encode_frame(&frame(2, b"second")).to_vec();
+        let n = bad.len();
+        bad[n - 2] ^= 0x40; // flip a payload bit: CRC mismatch
+        wire.extend_from_slice(&bad);
+        wire.extend_from_slice(&encode_frame(&frame(3, b"third")));
+        let mut cursor = std::io::Cursor::new(&wire[..]);
+        while r.fill(&mut cursor).unwrap() > 0 {}
+        let seqs: Vec<u64> =
+            std::iter::from_fn(|| r.next_frame().unwrap()).map(|f| f.seq).collect();
+        assert_eq!(seqs, vec![1, 3]);
+        assert_eq!(r.crc_failures(), 1);
+    }
+
+    #[test]
+    fn buffers_recycle_once_views_drop() {
+        let pool = BufferPool::new(2);
+        let mut r = PooledReader::new(pool.clone());
+        for round in 0..10 {
+            let wire = encode_frame(&frame(round, &[0xAB; 512]));
+            let mut cursor = std::io::Cursor::new(&wire[..]);
+            while r.fill(&mut cursor).unwrap() > 0 {}
+            let f = r.next_frame().unwrap().expect("frame");
+            assert_eq!(f.payload.len(), 512);
+            drop(f);
+        }
+        let stats = pool.stats();
+        // First round allocates; every later round recycles.
+        assert!(stats.hits >= 8, "expected recycling, got {stats:?}");
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn oversized_prefix_poisons() {
+        let pool = BufferPool::new(2);
+        let mut r = PooledReader::new(pool);
+        let mut wire = encode_frame(&frame(1, b"x")).to_vec();
+        wire[0] = 0xFF; // absurd length prefix
+        let mut cursor = std::io::Cursor::new(&wire[..]);
+        while r.fill(&mut cursor).unwrap() > 0 {}
+        assert!(matches!(r.next_frame(), Err(FrameDecodeError::Oversized(_))));
+    }
+}

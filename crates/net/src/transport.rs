@@ -165,6 +165,32 @@ pub fn connect_with_retry_jittered(
     Err(last_err.unwrap_or_else(|| std::io::Error::other("no connect attempts made")))
 }
 
+/// Progress report from [`FrameStream::flush_nonblocking`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushProgress {
+    /// Everything queued has reached the socket.
+    Done,
+    /// The socket would block; staged bytes remain. Register write
+    /// interest and call again on writability.
+    Blocked,
+    /// A chaos delay is holding the flush walk. `Some(d)` the first time
+    /// the fate fires (arm a timer for `d`, then call
+    /// [`FrameStream::resume_stall`]); `None` on subsequent calls while
+    /// the stall is still in effect.
+    Stalled(Option<Duration>),
+}
+
+/// What [`FrameStream::stage_next_frame`] did with the frame at the
+/// front of the queue.
+enum StageOutcome {
+    /// Frame (or verbatim tail) moved into the staged buffer.
+    Staged,
+    /// A `Delay` fate fired: pause the walk for this long.
+    Stall(Duration),
+    /// A `Reset` fate fired: kill the connection.
+    Reset,
+}
+
 /// A framed, buffered view over a connected TCP stream.
 ///
 /// Reading yields whole [`Frame`]s; corrupted frames (bad checksum or
@@ -179,6 +205,16 @@ pub struct FrameStream {
     /// one `write_all` per [`FrameStream::flush_queued`], so a sender
     /// loop can coalesce every frame ready in one wake into one syscall.
     wbuf: BytesMut,
+    /// Bytes that already passed the chaos fate walk but have not fully
+    /// reached a nonblocking socket yet (see
+    /// [`FrameStream::flush_nonblocking`]).
+    staged: BytesMut,
+    /// A chaos `Delay` fate is holding the nonblocking flush walk; the
+    /// caller times the resume and calls [`FrameStream::resume_stall`].
+    stalled: bool,
+    /// The frame at the front of `wbuf` already had its (Delay) fate
+    /// drawn; stage it without drawing another when the stall clears.
+    delay_fired: bool,
     crc_failures: u64,
     /// Optional chaos shim: when set, every flush walks the queued
     /// frames and lets the injector drop/corrupt/duplicate/delay them or
@@ -196,6 +232,9 @@ impl FrameStream {
             stream,
             buf: BytesMut::with_capacity(8 * 1024),
             wbuf: BytesMut::with_capacity(8 * 1024),
+            staged: BytesMut::new(),
+            stalled: false,
+            delay_fired: false,
             crc_failures: 0,
             injector: None,
         }
@@ -223,6 +262,11 @@ impl FrameStream {
     /// [`FrameStream::read_frame`].
     pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
         self.stream.set_read_timeout(timeout)
+    }
+
+    /// The underlying socket (e.g. for reactor registration by fd).
+    pub fn get_ref(&self) -> &std::net::TcpStream {
+        &self.stream
     }
 
     /// Corrupted frames skipped so far on this stream.
@@ -383,8 +427,186 @@ impl FrameStream {
     }
 
     /// Take the queued-but-unflushed bytes, leaving the buffer empty.
+    ///
+    /// Bytes staged by [`FrameStream::flush_nonblocking`] are *not*
+    /// included: they already passed the chaos fate walk, so (exactly as
+    /// in the blocking path) they cannot be un-sent and are abandoned
+    /// with the dead connection.
     pub fn take_queued(&mut self) -> BytesMut {
+        self.staged.clear();
+        self.stalled = false;
+        self.delay_fired = false;
         std::mem::take(&mut self.wbuf)
+    }
+
+    /// Whether fate-walked bytes are still waiting for socket space
+    /// (only ever true between [`FrameStream::flush_nonblocking`] calls
+    /// that reported [`FlushProgress::Blocked`] or a stall).
+    pub fn has_staged(&self) -> bool {
+        !self.staged.is_empty()
+    }
+
+    /// Clear a chaos stall previously reported as
+    /// [`FlushProgress::Stalled`]`(Some(d))`, after waiting `d`.
+    pub fn resume_stall(&mut self) {
+        self.stalled = false;
+    }
+
+    /// Nonblocking counterpart of [`FrameStream::flush_queued`] for
+    /// reactor-driven senders; the socket must be in nonblocking mode.
+    ///
+    /// Writes as much as the socket accepts without blocking, applying
+    /// the chaos fate walk incrementally in frame order — the fate
+    /// sequence (and so the fault trace) is identical to the blocking
+    /// path's, but a `Delay` fate is reported as
+    /// [`FlushProgress::Stalled`] for the caller to turn into a reactor
+    /// deadline instead of a `sleep`, and socket backpressure is
+    /// reported as [`FlushProgress::Blocked`] for the caller to turn
+    /// into write interest. An injected reset shuts the connection down
+    /// and leaves the reset frame and everything after it queued for
+    /// the caller's reconnect path, exactly like the blocking flush.
+    pub fn flush_nonblocking(&mut self) -> std::io::Result<FlushProgress> {
+        let mut fresh_stall = None;
+        loop {
+            // Drain already-fate-walked bytes first.
+            while !self.staged.is_empty() {
+                match self.stream.write(&self.staged) {
+                    Ok(0) => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::WriteZero,
+                            "socket accepted zero bytes",
+                        ))
+                    }
+                    Ok(n) => self.staged.advance(n),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        return Ok(FlushProgress::Blocked)
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        // Walked bytes cannot be un-sent; keep only the
+                        // unwalked remainder for the reconnect.
+                        self.staged.clear();
+                        return Err(e);
+                    }
+                }
+            }
+            if let Some(d) = fresh_stall {
+                return Ok(FlushProgress::Stalled(Some(d)));
+            }
+            if self.stalled {
+                return Ok(FlushProgress::Stalled(None));
+            }
+            if self.wbuf.is_empty() {
+                return Ok(FlushProgress::Done);
+            }
+            if self.injector.is_none() {
+                // Fast path: no fate walk, write straight from the queue.
+                match self.stream.write(&self.wbuf) {
+                    Ok(0) => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::WriteZero,
+                            "socket accepted zero bytes",
+                        ))
+                    }
+                    Ok(n) => self.wbuf.advance(n),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        return Ok(FlushProgress::Blocked)
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+                continue;
+            }
+            match self.stage_next_frame() {
+                StageOutcome::Staged => continue,
+                StageOutcome::Stall(d) => {
+                    self.stalled = true;
+                    self.delay_fired = true;
+                    fresh_stall = Some(d);
+                    // Loop once more to push staged bytes before pausing.
+                }
+                StageOutcome::Reset => {
+                    // Best-effort delivery of the frames before the
+                    // reset, then kill the connection for real, exactly
+                    // like the blocking chaos flush.
+                    let _ = self.stream.write(&self.staged);
+                    self.staged.clear();
+                    let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionReset,
+                        "injected connection reset (chaos)",
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Move the frame at the front of `wbuf` into `staged` according to
+    /// its chaos fate. Fate indices advance exactly once per frame in
+    /// queue order, so the fault trace matches the blocking walk's.
+    fn stage_next_frame(&mut self) -> StageOutcome {
+        let avail = self.wbuf.len();
+        debug_assert!(avail > 0);
+        let header_ok = avail >= FRAME_HEADER_LEN;
+        let total = if header_ok {
+            let len = u32::from_be_bytes([self.wbuf[0], self.wbuf[1], self.wbuf[2], self.wbuf[3]])
+                as usize;
+            FRAME_HEADER_LEN + len
+        } else {
+            0
+        };
+        if !header_ok || total > avail {
+            // Incomplete tail: send verbatim, as the blocking walk does.
+            self.staged.extend_from_slice(&self.wbuf);
+            self.wbuf.advance(avail);
+            return StageOutcome::Staged;
+        }
+        if self.delay_fired {
+            // This frame's Delay fate was drawn before the stall; deliver
+            // it now without drawing another.
+            self.delay_fired = false;
+            self.staged.extend_from_slice(&self.wbuf[..total]);
+            self.wbuf.advance(total);
+            return StageOutcome::Staged;
+        }
+        let kind = self.wbuf[4];
+        // Data-plane injectors leave control and EOS frames alone: a
+        // dropped EOS is not a fault drill, it is a guaranteed hang.
+        let payload_frame = kind == 0 || kind == 1;
+        let inj = self.injector.as_mut().expect("injector present in chaos stage");
+        let fate =
+            if payload_frame || !inj.payload_only() { inj.next_fate() } else { FaultFate::Deliver };
+        match fate {
+            FaultFate::Deliver => {
+                self.staged.extend_from_slice(&self.wbuf[..total]);
+                self.wbuf.advance(total);
+            }
+            FaultFate::Drop => self.wbuf.advance(total),
+            FaultFate::Duplicate => {
+                self.staged.extend_from_slice(&self.wbuf[..total]);
+                self.staged.extend_from_slice(&self.wbuf[..total]);
+                self.wbuf.advance(total);
+            }
+            FaultFate::Corrupt { len_prefix, bit } => {
+                let at = self.staged.len();
+                self.staged.extend_from_slice(&self.wbuf[..total]);
+                if len_prefix {
+                    // Force an Oversized header: unresyncable, so the
+                    // receiver must poison and reconnect the link.
+                    self.staged[at] ^= 0x80;
+                } else {
+                    // Flip one bit inside the CRC region: the receiver
+                    // must skip and count exactly this frame.
+                    let bits = ((total - 4) * 8) as u64;
+                    let b = (bit % bits) as usize;
+                    self.staged[at + 4 + b / 8] ^= 1 << (b % 8);
+                }
+                self.wbuf.advance(total);
+            }
+            FaultFate::Delay(d) => return StageOutcome::Stall(d),
+            FaultFate::Reset => return StageOutcome::Reset,
+        }
+        StageOutcome::Staged
     }
 
     /// Read the next intact frame.
@@ -783,6 +1005,177 @@ mod tests {
             total as usize,
             "no frame lost or duplicated across the reset"
         );
+    }
+
+    #[test]
+    fn nonblocking_flush_fast_path_delivers_and_handles_backpressure() {
+        let (client, server) = pair();
+        client.set_nonblocking(true).unwrap();
+        let mut tx = FrameStream::new(client);
+        let mut rx = FrameStream::new(server);
+
+        // Small batch: goes out in one call.
+        for seq in 0..10u64 {
+            tx.queue(&frame(seq, b"nonblocking"));
+        }
+        assert_eq!(tx.flush_nonblocking().unwrap(), FlushProgress::Done);
+        for seq in 0..10u64 {
+            assert_eq!(rx.read_frame().unwrap().unwrap().seq, seq);
+        }
+
+        // Overfill the socket buffer without reading: must report
+        // Blocked, then finish once the reader drains.
+        let big = vec![0xABu8; 32 * 1024];
+        let mut queued = 0u64;
+        let blocked = loop {
+            tx.queue(&Frame {
+                kind: FrameKind::Data,
+                stream_id: 1,
+                seq: queued,
+                payload: bytes::Bytes::from(big.clone()),
+            });
+            queued += 1;
+            match tx.flush_nonblocking().unwrap() {
+                FlushProgress::Done => {
+                    assert!(queued < 10_000, "socket buffer never filled");
+                }
+                FlushProgress::Blocked => break true,
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+        assert!(blocked);
+        let reader = std::thread::spawn(move || {
+            let mut got = 0u64;
+            while let Some(f) = rx.read_frame().unwrap() {
+                assert_eq!(f.seq, got);
+                got += 1;
+            }
+            got
+        });
+        // Drain the remainder as the reader consumes.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            match tx.flush_nonblocking().unwrap() {
+                FlushProgress::Done => break,
+                FlushProgress::Blocked => std::thread::sleep(Duration::from_millis(1)),
+                other => panic!("unexpected {other:?}"),
+            }
+            assert!(std::time::Instant::now() < deadline, "flush never completed");
+        }
+        drop(tx);
+        assert_eq!(reader.join().unwrap(), queued);
+    }
+
+    #[test]
+    fn nonblocking_chaos_flush_matches_blocking_fault_trace() {
+        use crate::fault::{FaultFate, FaultPlan};
+        let plan = FaultPlan::parse("seed=3,drop=0.2,corrupt=0.1,dup=0.1").unwrap();
+        let probe = plan.injector_for_link(2);
+        let n = (0..400u64)
+            .take_while(|i| {
+                !matches!(probe.fate_of(*i), FaultFate::Corrupt { len_prefix: true, .. })
+            })
+            .count() as u64;
+
+        // Blocking reference run.
+        let blocking = {
+            let (client, server) = pair();
+            let mut tx = FrameStream::new(client);
+            tx.set_fault_injector(Some(plan.injector_for_link(2)));
+            let mut rx = FrameStream::new(server);
+            for seq in 0..n {
+                tx.queue(&frame(seq, b"chaos payload"));
+            }
+            tx.flush_queued().unwrap();
+            let injected = tx.fault_injector_mut().unwrap().take_log();
+            drop(tx);
+            let mut seqs = Vec::new();
+            while let Some(f) = rx.read_frame().unwrap() {
+                seqs.push(f.seq);
+            }
+            (seqs, rx.crc_failures(), injected)
+        };
+
+        // Nonblocking run, flushing after every queued frame to prove
+        // incremental fate-walking gives the same trace as one big walk.
+        let nonblocking = {
+            let (client, server) = pair();
+            client.set_nonblocking(true).unwrap();
+            let mut tx = FrameStream::new(client);
+            tx.set_fault_injector(Some(plan.injector_for_link(2)));
+            let mut rx = FrameStream::new(server);
+            for seq in 0..n {
+                tx.queue(&frame(seq, b"chaos payload"));
+                loop {
+                    match tx.flush_nonblocking().unwrap() {
+                        FlushProgress::Done => break,
+                        FlushProgress::Blocked => std::thread::sleep(Duration::from_millis(1)),
+                        FlushProgress::Stalled(_) => unreachable!("plan has no delay"),
+                    }
+                }
+            }
+            let injected = tx.fault_injector_mut().unwrap().take_log();
+            drop(tx);
+            let mut seqs = Vec::new();
+            while let Some(f) = rx.read_frame().unwrap() {
+                seqs.push(f.seq);
+            }
+            (seqs, rx.crc_failures(), injected)
+        };
+
+        assert_eq!(nonblocking.2, blocking.2, "identical fault traces");
+        assert_eq!(nonblocking.0, blocking.0, "identical surviving frames");
+        assert_eq!(nonblocking.1, blocking.1, "identical CRC-skip counts");
+    }
+
+    #[test]
+    fn nonblocking_chaos_delay_stalls_instead_of_sleeping() {
+        use crate::fault::{FaultFate, FaultPlan};
+        let plan = FaultPlan::parse("seed=5,delay=5ms..10ms").unwrap();
+        let probe = plan.injector_for_link(1);
+        let delay_at = (0..200u64)
+            .find(|i| matches!(probe.fate_of(*i), FaultFate::Delay(_)))
+            .expect("delay plan fires within 200 frames");
+
+        let (client, server) = pair();
+        client.set_nonblocking(true).unwrap();
+        let mut tx = FrameStream::new(client);
+        tx.set_fault_injector(Some(plan.injector_for_link(1)));
+        let mut rx = FrameStream::new(server);
+        let total = delay_at + 3;
+        for seq in 0..total {
+            tx.queue(&frame(seq, b"delay me"));
+        }
+        let started = std::time::Instant::now();
+        let d = loop {
+            match tx.flush_nonblocking().unwrap() {
+                FlushProgress::Stalled(Some(d)) => break d,
+                FlushProgress::Stalled(None) => panic!("first stall must carry the duration"),
+                FlushProgress::Blocked => std::thread::sleep(Duration::from_millis(1)),
+                FlushProgress::Done => panic!("plan must stall before finishing"),
+            }
+        };
+        assert!(
+            started.elapsed() < d,
+            "flush returned without sleeping the {d:?} delay (took {:?})",
+            started.elapsed()
+        );
+        // Still stalled until the caller resumes.
+        assert_eq!(tx.flush_nonblocking().unwrap(), FlushProgress::Stalled(None));
+        tx.resume_stall();
+        loop {
+            match tx.flush_nonblocking().unwrap() {
+                FlushProgress::Done => break,
+                FlushProgress::Blocked => std::thread::sleep(Duration::from_millis(1)),
+                FlushProgress::Stalled(_) => panic!("only one delay in this window"),
+            }
+        }
+        drop(tx);
+        let mut seqs = Vec::new();
+        while let Some(f) = rx.read_frame().unwrap() {
+            seqs.push(f.seq);
+        }
+        assert_eq!(seqs, (0..total).collect::<Vec<_>>(), "delay reorders nothing");
     }
 
     #[test]

@@ -1,9 +1,18 @@
 //! Property tests for the network substrate.
 
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
 use bytes::{Bytes, BytesMut};
+use gates_net::pool::{MAX_CLASS_BYTES, MIN_CLASS_BYTES};
 use gates_net::{
-    crc32, decode_frame, encode_frame, encode_frame_into, Bandwidth, Crc32, FaultFate, FaultPlan,
-    Frame, FrameDecodeError, FrameKind, LinkModel, LinkSpec, TokenBucket,
+    crc32, decode_frame, encode_frame, encode_frame_into, Bandwidth, BufferPool, Crc32, Directive,
+    FaultFate, FaultPlan, Frame, FrameDecodeError, FrameKind, LinkModel, LinkSpec, PooledReader,
+    Reactor, Ready, Source, TokenBucket,
 };
 use gates_sim::SimTime;
 use proptest::prelude::*;
@@ -271,5 +280,192 @@ proptest! {
         let wait = tb.acquire(bytes, now);
         prop_assert!(wait >= 0.0);
         prop_assert!(wait.is_finite());
+    }
+
+    #[test]
+    fn pool_leases_are_exclusive_and_class_correct(
+        sizes in proptest::collection::vec(1usize..64 * 1024, 1..16),
+        seed in any::<u64>(),
+    ) {
+        // Simultaneous leases must never alias: each gets a distinct
+        // pattern, and every view must read back exactly its own bytes.
+        let pool = BufferPool::new(4);
+        let mut bufs = Vec::new();
+        for (i, &sz) in sizes.iter().enumerate() {
+            let mut b = pool.lease(sz);
+            prop_assert!(b.capacity() >= sz, "class must cover the request");
+            prop_assert_eq!(b.as_slice().len(), 0, "leases arrive logically empty");
+            let fill = seeded_bytes(sz, seed ^ i as u64);
+            b.storage_mut().extend_from_slice(&fill);
+            bufs.push((b, fill));
+        }
+        let views: Vec<_> = bufs
+            .into_iter()
+            .map(|(b, fill)| {
+                let len = fill.len();
+                (b.freeze().view(0, len), fill)
+            })
+            .collect();
+        for (view, fill) in &views {
+            prop_assert_eq!(&view[..], &fill[..], "double-leased storage would cross-talk");
+        }
+    }
+
+    #[test]
+    fn pool_stays_bounded_and_reuses_clean_under_churn(
+        ops in proptest::collection::vec((1usize..256 * 1024, any::<bool>()), 1..64),
+    ) {
+        // A random lease/freeze/drop schedule — with dirtied buffers and
+        // views of varying lifetime — must keep every class at or below
+        // its retention cap and must always hand out logically empty
+        // buffers, even when recycling dirty storage.
+        let pool = BufferPool::new(3);
+        let mut held = Vec::new();
+        for &(sz, freeze) in &ops {
+            let mut b = pool.lease(sz);
+            prop_assert_eq!(b.as_slice().len(), 0, "recycled buffers must arrive cleared");
+            b.storage_mut().extend_from_slice(&[0xEE; 64]);
+            if freeze {
+                let f = b.freeze();
+                held.push(f.view(0, 64));
+            }
+            if held.len() > 4 {
+                held.drain(..2);
+            }
+        }
+        drop(held);
+        let mut cap = MIN_CLASS_BYTES;
+        while cap <= MAX_CLASS_BYTES {
+            prop_assert!(pool.retained(cap) <= 3, "class {cap} exceeded its retention cap");
+            cap *= 2;
+        }
+    }
+
+    #[test]
+    fn pooled_reader_is_chunking_invariant(
+        frames in proptest::collection::vec((0usize..600, any::<u64>()), 1..10),
+        cut in 1usize..512,
+    ) {
+        // The frame sequence a PooledReader yields must be bit-identical
+        // no matter how the wire bytes are sliced across fills.
+        let originals: Vec<Frame> = frames
+            .iter()
+            .enumerate()
+            .map(|(i, &(len, seed))| Frame {
+                kind: FrameKind::Data,
+                stream_id: 9,
+                seq: i as u64,
+                payload: seeded_bytes(len, seed),
+            })
+            .collect();
+        let mut wire = Vec::new();
+        for f in &originals {
+            wire.extend_from_slice(&encode_frame(f));
+        }
+        let mut reader = PooledReader::new(BufferPool::new(4));
+        let mut decoded = Vec::new();
+        for chunk in wire.chunks(cut) {
+            let mut cursor = std::io::Cursor::new(chunk);
+            while reader.fill(&mut cursor).unwrap() > 0 {}
+            while let Some(f) = reader.next_frame().unwrap() {
+                decoded.push(f);
+            }
+        }
+        prop_assert_eq!(decoded, originals);
+        prop_assert_eq!(reader.crc_failures(), 0);
+        prop_assert_eq!(reader.pending(), 0);
+    }
+}
+
+/// Reactor source that drains a nonblocking socket into a shared sink
+/// and records end-of-stream; the property harness compares the sink
+/// against the writer's bytes.
+struct ByteSink {
+    stream: TcpStream,
+    got: Arc<Mutex<Vec<u8>>>,
+    done: Arc<AtomicBool>,
+}
+
+impl Source for ByteSink {
+    fn fd(&self) -> RawFd {
+        self.stream.as_raw_fd()
+    }
+
+    fn service(&mut self, ready: Ready, _now: Instant) -> Directive {
+        if !(ready.readable || ready.notified) {
+            return Directive::read();
+        }
+        let mut buf = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.done.store(true, Ordering::SeqCst);
+                    return Directive::close();
+                }
+                Ok(n) => self.got.lock().unwrap().extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) => panic!("sink read: {e}"),
+            }
+        }
+        Directive::read()
+    }
+}
+
+proptest! {
+    // Each case spins up a real reactor thread and sleeps between
+    // writes, so keep the case count small; the per-case search space
+    // (chunk sizes × jitter × spurious notifies) is what matters.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn reactor_loses_no_bytes_under_jittered_writes_and_spurious_wakeups(
+        chunks in proptest::collection::vec(1usize..2048, 1..20),
+        seed in any::<u64>(),
+        jitter_us in proptest::collection::vec(0u64..300, 1..8),
+        notify_every in 1usize..6,
+    ) {
+        // Whatever the write pacing and however many redundant wakeups
+        // fire, every byte written before the peer hangs up must land in
+        // the sink, in order, bit-identical — a lost level-triggered
+        // readiness edge or a lost wakeup would truncate or stall this.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut writer = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let done = Arc::new(AtomicBool::new(false));
+        let reactor = Reactor::spawn("proptest-sink").expect("spawn reactor");
+        let token = reactor.register(Box::new(ByteSink {
+            stream: server,
+            got: Arc::clone(&got),
+            done: Arc::clone(&done),
+        }));
+
+        let total: usize = chunks.iter().sum();
+        let wire = seeded_bytes(total, seed);
+        let mut off = 0;
+        for (i, &chunk) in chunks.iter().enumerate() {
+            writer.write_all(&wire[off..off + chunk]).expect("write");
+            off += chunk;
+            if i % notify_every == 0 {
+                // Spurious wakeup: must be harmless, never consume data.
+                reactor.notify(token);
+            }
+            let us = jitter_us[i % jitter_us.len()];
+            if us > 0 {
+                std::thread::sleep(Duration::from_micros(us));
+            }
+        }
+        drop(writer); // EOF: the reset/teardown edge the sink must see.
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !done.load(Ordering::SeqCst) {
+            prop_assert!(Instant::now() < deadline, "reactor lost a wakeup: sink never saw EOF");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        reactor.shutdown();
+        let got = got.lock().unwrap();
+        prop_assert_eq!(&got[..], &wire[..], "bytes must arrive complete and in order");
     }
 }

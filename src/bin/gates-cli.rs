@@ -47,7 +47,7 @@ use gates::net::RetryPolicy;
 use gates::sim::{SimDuration, SimTime};
 
 fn usage() -> &'static str {
-    "usage:\n  gates-cli run <app.xml> [--grid <grid.xml>] [--duration <secs>]\n                          [--max-time <secs>] [--engine des|threaded|dist]\n                          [--observe-ms <ms>] [--adapt-ms <ms>]\n                          [--trace <out.jsonl>]\n                          [--listen <host:port>] [--workers <n>]\n                          [--drain-ms <ms>] [--retry-attempts <n>] [--retry-base-ms <ms>]\n                          [--heartbeat-ms <ms>] [--heartbeat-timeout-ms <ms>]\n                          [--checkpoint-every <packets>]\n                          [--cores <n>]      executor pool size for threaded runs (default: auto)\n                          [--chaos <spec>]   e.g. \"seed=7,drop=0.02,delay=5ms..40ms\"\n  gates-cli worker --name <name> --coordinator <host:port>\n                   [--site <site>] [--speed <f>] [--capacity <n>] [--bind-host <host>]\n                   [--cores <n>]\n  gates-cli apps\n  gates-cli template app|grid"
+    "usage:\n  gates-cli run <app.xml> [--grid <grid.xml>] [--duration <secs>]\n                          [--max-time <secs>] [--engine des|threaded|dist]\n                          [--observe-ms <ms>] [--adapt-ms <ms>]\n                          [--trace <out.jsonl>]\n                          [--listen <host:port>] [--workers <n>]\n                          [--drain-ms <ms>] [--retry-attempts <n>] [--retry-base-ms <ms>]\n                          [--heartbeat-ms <ms>] [--heartbeat-timeout-ms <ms>]\n                          [--checkpoint-every <packets>]\n                          [--cores <n>]      executor pool size for threaded runs (default: auto)\n                          [--chaos <spec>]   e.g. \"seed=7,drop=0.02,delay=5ms..40ms\"\n  gates-cli worker --name <name> --coordinator <host:port>\n                   [--site <site>] [--speed <f>] [--capacity <n>] [--bind-host <host>]\n                   [--cores <n>] [--reactors <n>]  I/O reactor threads (default: 1)\n  gates-cli apps\n  gates-cli template app|grid"
 }
 
 fn main() -> ExitCode {
@@ -252,6 +252,7 @@ fn worker(args: &[String]) -> ExitCode {
     let mut capacity = None;
     let mut bind_host = None;
     let mut cores = None;
+    let mut reactors = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |n: &str| it.next().cloned().ok_or_else(|| format!("{n} needs a value"));
@@ -283,6 +284,15 @@ fn worker(args: &[String]) -> ExitCode {
                         return Err("--cores must be at least 1".into());
                     }
                     cores = Some(n);
+                }
+                "--reactors" => {
+                    let n: usize = value("--reactors")?
+                        .parse()
+                        .map_err(|_| "--reactors: not a number".to_string())?;
+                    if n == 0 {
+                        return Err("--reactors must be at least 1".into());
+                    }
+                    reactors = Some(n);
                 }
                 other => return Err(format!("unknown flag {other:?}")),
             }
@@ -316,6 +326,9 @@ fn worker(args: &[String]) -> ExitCode {
     }
     if let Some(n) = cores {
         w = w.cores(n);
+    }
+    if let Some(n) = reactors {
+        w = w.reactors(n);
     }
     match w.run(&repo) {
         Ok(()) => {

@@ -35,6 +35,35 @@ impl Bytes {
         Bytes { repr: Repr::Static(s), start: 0, end: s.len() }
     }
 
+    /// View a sub-range of shared storage without copying.
+    ///
+    /// The returned buffer holds a reference on `storage`; callers that
+    /// recycle storage (e.g. a buffer pool) can watch
+    /// [`Arc::strong_count`] drop back to their own reference count to
+    /// learn that every view has been released.
+    ///
+    /// # Panics
+    /// Panics when `start..end` is not a valid range of `storage`.
+    pub fn from_shared(storage: Arc<Vec<u8>>, start: usize, end: usize) -> Self {
+        assert!(start <= end && end <= storage.len(), "from_shared out of bounds");
+        Bytes { repr: Repr::Shared(storage), start, end }
+    }
+
+    /// Consume the buffer into an owned `Vec<u8>`.
+    ///
+    /// Zero-copy when this is the only reference to the full backing
+    /// storage; otherwise copies just once (unlike `to_vec()` on a
+    /// buffer that was itself built from a copy).
+    pub fn into_vec(self) -> Vec<u8> {
+        match self.repr {
+            Repr::Shared(arc) if self.start == 0 && self.end == arc.len() => {
+                Arc::try_unwrap(arc).unwrap_or_else(|arc| arc.as_slice().to_vec())
+            }
+            Repr::Shared(arc) => arc[self.start..self.end].to_vec(),
+            Repr::Static(s) => s[self.start..self.end].to_vec(),
+        }
+    }
+
     /// Number of bytes in the buffer.
     pub fn len(&self) -> usize {
         self.end - self.start
@@ -216,6 +245,10 @@ pub struct BytesMut {
     read: usize,
 }
 
+/// Consumed-prefix size past which appends compact the buffer instead of
+/// letting the backing `Vec` grow behind the read cursor forever.
+const COMPACT_THRESHOLD: usize = 4096;
+
 impl BytesMut {
     /// An empty buffer.
     pub fn new() -> Self {
@@ -243,8 +276,26 @@ impl BytesMut {
     }
 
     /// Append a slice.
+    ///
+    /// A long-lived buffer used as a socket read/write accumulator is
+    /// appended to and consumed from indefinitely; without compaction the
+    /// backing `Vec` would grow by every byte it ever carried. Appends
+    /// first reclaim the consumed prefix once it dominates the buffer.
     pub fn extend_from_slice(&mut self, s: &[u8]) {
+        self.compact();
         self.buf.extend_from_slice(s);
+    }
+
+    /// Move unread bytes to the front when the consumed prefix is large,
+    /// so the backing allocation stays proportional to the working set.
+    fn compact(&mut self) {
+        if self.read == self.buf.len() {
+            self.buf.clear();
+            self.read = 0;
+        } else if self.read >= COMPACT_THRESHOLD && self.read * 2 >= self.buf.len() {
+            self.buf.drain(..self.read);
+            self.read = 0;
+        }
     }
 
     /// Reserve capacity for at least `additional` more bytes.
@@ -335,6 +386,10 @@ impl Buf for BytesMut {
     fn advance(&mut self, cnt: usize) {
         assert!(cnt <= self.len(), "advance out of bounds");
         self.read += cnt;
+        if self.read == self.buf.len() {
+            self.buf.clear();
+            self.read = 0;
+        }
     }
 }
 
@@ -480,5 +535,53 @@ mod tests {
         let b = Bytes::from_static(b"abc");
         assert_eq!(b.len(), 3);
         assert_eq!(b, Bytes::from(vec![b'a', b'b', b'c']));
+    }
+
+    #[test]
+    fn from_shared_views_share_storage() {
+        let storage = Arc::new(vec![1u8, 2, 3, 4, 5, 6]);
+        let a = Bytes::from_shared(storage.clone(), 1, 4);
+        let b = Bytes::from_shared(storage.clone(), 4, 6);
+        assert_eq!(&a[..], &[2, 3, 4]);
+        assert_eq!(&b[..], &[5, 6]);
+        assert_eq!(Arc::strong_count(&storage), 3);
+        drop(a);
+        drop(b);
+        assert_eq!(Arc::strong_count(&storage), 1);
+    }
+
+    #[test]
+    fn into_vec_is_zero_copy_when_unique() {
+        let v = vec![7u8; 32];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        let back = b.into_vec();
+        assert_eq!(back.as_ptr(), ptr);
+        assert_eq!(back, vec![7u8; 32]);
+
+        let shared = Bytes::from(vec![1u8, 2, 3]);
+        let tail = shared.slice(1..);
+        assert_eq!(tail.into_vec(), vec![2, 3]);
+    }
+
+    #[test]
+    fn bytesmut_compacts_consumed_prefix() {
+        let mut m = BytesMut::new();
+        // Interleave appends and full drains: the backing allocation must
+        // stay near the chunk size instead of growing by every byte seen.
+        for _ in 0..1000 {
+            m.extend_from_slice(&[0u8; 1024]);
+            m.advance(1024);
+        }
+        assert!(m.buf.capacity() < 64 * 1024, "capacity {} grew unbounded", m.buf.capacity());
+
+        // Partial consumption past the threshold also compacts on append.
+        let mut m = BytesMut::new();
+        m.extend_from_slice(&vec![9u8; 10 * 1024]);
+        m.advance(9 * 1024);
+        m.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(m.read, 0);
+        assert_eq!(m.len(), 1024 + 3);
+        assert_eq!(&m.as_slice()[1024..], &[1, 2, 3]);
     }
 }

@@ -1,0 +1,300 @@
+//! Offline stand-in for Linux `epoll` bindings.
+//!
+//! The build environment has no network access to crates.io, so this
+//! crate declares the handful of raw syscall entry points it needs
+//! directly (`std` already links libc, making the symbols available)
+//! and wraps them in safe RAII types:
+//!
+//! - [`Epoll`]: a level-triggered readiness poller (`epoll_create1` /
+//!   `epoll_ctl` / `epoll_wait`),
+//! - [`EventFd`]: a cross-thread wakeup fd (`eventfd`),
+//! - [`set_nonblocking`]: `O_NONBLOCK` via `fcntl`.
+//!
+//! Only the subset used by the `gates-net` reactor is provided; the
+//! event mask constants mirror the kernel ABI values.
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+// Raw syscall surface. Linux ABI: epoll_event is packed on x86-64.
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+struct RawEpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut RawEpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut RawEpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+const F_GETFL: i32 = 3;
+const F_SETFL: i32 = 4;
+const O_NONBLOCK: i32 = 0o4000;
+
+/// Readable readiness (`EPOLLIN`).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness (`EPOLLOUT`).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (`EPOLLERR`); always reported, no need to request.
+pub const EPOLLERR: u32 = 0x008;
+/// Peer hang-up (`EPOLLHUP`); always reported, no need to request.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its write half (`EPOLLRDHUP`).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// One readiness report from [`Epoll::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// Bitmask of `EPOLL*` readiness flags.
+    pub events: u32,
+    /// The token registered with the fd.
+    pub token: u64,
+}
+
+impl Event {
+    /// Whether the fd is readable (or in an error/hang-up state, which
+    /// a read will surface).
+    pub fn readable(&self) -> bool {
+        self.events & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0
+    }
+
+    /// Whether the fd is writable.
+    pub fn writable(&self) -> bool {
+        self.events & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0
+    }
+}
+
+/// A level-triggered epoll instance. Closes its fd on drop.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+// The epoll fd is just an integer handle; all operations are kernel
+// syscalls that are safe to issue from any thread.
+unsafe impl Send for Epoll {}
+unsafe impl Sync for Epoll {}
+
+impl Epoll {
+    /// Create a new epoll instance.
+    pub fn new() -> io::Result<Epoll> {
+        // SAFETY: plain syscall, no pointers involved.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut ev = RawEpollEvent { events: interest, data: token };
+        let evp = if op == EPOLL_CTL_DEL { std::ptr::null_mut() } else { &mut ev };
+        // SAFETY: `evp` points at a live stack value (or is null for DEL,
+        // as the ABI allows on kernels >= 2.6.9).
+        let rc = unsafe { epoll_ctl(self.fd, op, fd, evp) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Register `fd` with the given interest mask; `token` comes back in
+    /// every [`Event`] for this fd.
+    pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+    }
+
+    /// Change the interest mask of a registered fd.
+    pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+    }
+
+    /// Deregister an fd.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Wait for readiness, filling `out` and returning the number of
+    /// events. `timeout_ms` of `None` blocks indefinitely; `Some(0)`
+    /// polls. Spurious zero-event returns (EINTR) are mapped to `Ok(0)`.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: Option<i32>) -> io::Result<usize> {
+        const MAX_EVENTS: usize = 64;
+        let mut raw = [RawEpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+        let timeout = timeout_ms.unwrap_or(-1);
+        // SAFETY: `raw` is a live buffer of MAX_EVENTS entries.
+        let n = unsafe { epoll_wait(self.fd, raw.as_mut_ptr(), MAX_EVENTS as i32, timeout) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        out.clear();
+        for ev in raw.iter().take(n as usize) {
+            out.push(Event { events: ev.events, token: ev.data });
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: fd is owned by this instance and not used after drop.
+        unsafe { close(self.fd) };
+    }
+}
+
+/// A kernel eventfd used as a cross-thread wakeup: any thread may
+/// [`EventFd::notify`]; a poller registers the fd for `EPOLLIN` and
+/// [`EventFd::drain`]s it when it fires. Closes its fd on drop.
+#[derive(Debug)]
+pub struct EventFd {
+    fd: RawFd,
+}
+
+unsafe impl Send for EventFd {}
+unsafe impl Sync for EventFd {}
+
+impl EventFd {
+    /// Create a nonblocking eventfd with an initial count of zero.
+    pub fn new() -> io::Result<EventFd> {
+        // SAFETY: plain syscall.
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(EventFd { fd })
+    }
+
+    /// The raw fd, for registration with an [`Epoll`].
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Wake any poller watching this fd. Never blocks: if the counter is
+    /// already saturated a wakeup is pending anyway.
+    pub fn notify(&self) {
+        let one: u64 = 1;
+        // SAFETY: writes 8 bytes from a live stack value; EAGAIN on a
+        // saturated counter is fine (a wakeup is already queued).
+        unsafe { write(self.fd, one.to_ne_bytes().as_ptr(), 8) };
+    }
+
+    /// Consume all pending wakeups so level-triggered polling quiesces.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        // SAFETY: reads 8 bytes into a live stack buffer; the fd is
+        // nonblocking so this returns EAGAIN once empty.
+        unsafe { read(self.fd, buf.as_mut_ptr(), 8) };
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        // SAFETY: fd is owned by this instance and not used after drop.
+        unsafe { close(self.fd) };
+    }
+}
+
+/// Switch `fd` into (or out of) nonblocking mode.
+pub fn set_nonblocking(fd: RawFd, nonblocking: bool) -> io::Result<()> {
+    // SAFETY: fcntl on a caller-supplied fd with no pointer arguments.
+    let flags = unsafe { fcntl(fd, F_GETFL, 0) };
+    if flags < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let new = if nonblocking { flags | O_NONBLOCK } else { flags & !O_NONBLOCK };
+    // SAFETY: as above.
+    if unsafe { fcntl(fd, F_SETFL, new) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn eventfd_wakes_epoll() {
+        let ep = Epoll::new().unwrap();
+        let ev = EventFd::new().unwrap();
+        ep.add(ev.fd(), EPOLLIN, 7).unwrap();
+
+        let mut out = Vec::new();
+        // Nothing pending: times out with no events.
+        assert_eq!(ep.wait(&mut out, Some(0)).unwrap(), 0);
+
+        ev.notify();
+        assert_eq!(ep.wait(&mut out, Some(1000)).unwrap(), 1);
+        assert_eq!(out[0].token, 7);
+        assert!(out[0].readable());
+
+        // Level-triggered: still readable until drained.
+        assert_eq!(ep.wait(&mut out, Some(0)).unwrap(), 1);
+        ev.drain();
+        assert_eq!(ep.wait(&mut out, Some(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn socket_readiness_and_interest_changes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+
+        let ep = Epoll::new().unwrap();
+        set_nonblocking(server.as_raw_fd(), true).unwrap();
+        ep.add(server.as_raw_fd(), EPOLLIN, 1).unwrap();
+
+        let mut out = Vec::new();
+        assert_eq!(ep.wait(&mut out, Some(0)).unwrap(), 0);
+
+        client.write_all(b"ping").unwrap();
+        assert_eq!(ep.wait(&mut out, Some(1000)).unwrap(), 1);
+        assert!(out[0].readable());
+        let mut buf = [0u8; 8];
+        let n = server.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+
+        // Ask for write interest too: an idle socket is instantly writable.
+        ep.modify(server.as_raw_fd(), EPOLLIN | EPOLLOUT, 2).unwrap();
+        assert_eq!(ep.wait(&mut out, Some(1000)).unwrap(), 1);
+        assert!(out[0].writable());
+        assert_eq!(out[0].token, 2);
+
+        ep.delete(server.as_raw_fd()).unwrap();
+        client.write_all(b"x").unwrap();
+        assert_eq!(ep.wait(&mut out, Some(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn nonblocking_read_returns_wouldblock() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        set_nonblocking(server.as_raw_fd(), true).unwrap();
+        let mut buf = [0u8; 8];
+        let err = server.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+    }
+}
