@@ -1,0 +1,215 @@
+//! A-B comparison of adaptation policies on one recorded scenario.
+//!
+//! Runs the comp-steer processing-constraint scenario (Figure 8,
+//! c = 10 ms/byte ⇒ theoretical sustainable sampling 0.625) once per
+//! [`PolicyKind`] — the paper's φ-blend, AIMD, and PID — with everything
+//! else held fixed: same seeds, same topology, same virtual-time
+//! engine, same observation cadence. Because the runs differ *only* in
+//! the policy (the record/replay harness makes the same guarantee for
+//! `gates-cli replay --policy`), every delta in the table is the
+//! policy's doing.
+//!
+//! Reported per policy:
+//! * **settled at** / **accuracy err** — tail mean of the sampling
+//!   factor and its absolute error against the theoretical 0.625. An
+//!   overshoot (≫ theory) means the policy ships data the downstream
+//!   stage cannot process in real time.
+//! * **converge t** — rise time: the first instant the trajectory
+//!   reaches its own tail mean (it starts at p = 0.13, below every
+//!   policy's equilibrium). The trajectories keep oscillating around
+//!   the equilibrium — so does the paper's Figure 8 — which makes
+//!   "stays inside a band forever" vacuous; time-to-first-reach is the
+//!   probing-speed number that survives the oscillation.
+//! * **tail std** — oscillation amplitude at equilibrium.
+//! * **latency avg** — mean end-to-end packet latency at the analyzer
+//!   (microseconds; local virtual-time links, so small by design).
+//! * **adapt rounds** — rounds the stage's controller actually ran.
+//!
+//! Output: JSON rows (default `results/BENCH_PR9.json`) in the PR 3
+//! schema; `--smoke` shrinks the run for CI.
+//!
+//! ```sh
+//! cargo run --release -p gates-bench --bin abtest -- [--smoke] [--out <path>]
+//! ```
+
+use std::sync::Arc;
+
+use gates_apps::comp_steer::CompSteerParams;
+use gates_bench::{convergence_summary, run_comp_steer_with, sampling_trajectory};
+use gates_core::adapt::{AdaptationConfig, PolicyKind};
+use gates_core::trace::{FlightRecorder, TraceEvent};
+use gates_engine::RunOptions;
+
+struct Row {
+    bench: String,
+    value: f64,
+    unit: &'static str,
+}
+
+struct Outcome {
+    policy: PolicyKind,
+    settled: f64,
+    accuracy_err: f64,
+    tail_std: f64,
+    converge_s: f64,
+    latency_avg_s: f64,
+    adapt_rounds: u64,
+}
+
+fn run_policy(policy: PolicyKind, secs: u64, tail: usize) -> Outcome {
+    let cfg = AdaptationConfig { policy, ..AdaptationConfig::with_capacity(100.0) };
+    let params =
+        CompSteerParams { adaptation_override: Some(cfg), ..CompSteerParams::figure8(10.0) };
+    let expected = params.expected_convergence();
+    let recorder = Arc::new(FlightRecorder::lossless());
+    let opts = RunOptions::default().recorder(Arc::clone(&recorder) as _);
+    let report = run_comp_steer_with(&params, secs, opts);
+    let trajectory = sampling_trajectory(&report);
+    let (mean, std, _) = convergence_summary(&trajectory, tail, 0.2);
+    // Rise time: first instant the trajectory reaches its tail mean.
+    let at = trajectory
+        .iter()
+        .find(|&&(_, v)| v >= mean)
+        .map(|&(t, _)| t)
+        .unwrap_or_else(|| trajectory.last().map(|&(t, _)| t).unwrap_or(0.0));
+    let analyzer = report
+        .stages
+        .iter()
+        .find(|s| s.name == "analyzer")
+        .expect("comp-steer has an analyzer stage");
+    let latency = if analyzer.latency.count() > 0 { analyzer.latency.mean() } else { 0.0 };
+    let adapt_rounds = recorder
+        .snapshot()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Adapt(a) if a.policy == policy.as_str()))
+        .count() as u64;
+    Outcome {
+        policy,
+        settled: mean,
+        accuracy_err: (mean - expected).abs(),
+        tail_std: std,
+        converge_s: at,
+        latency_avg_s: latency,
+        adapt_rounds,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("results/BENCH_PR9.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(path) => out = path.clone(),
+                None => {
+                    eprintln!("error: --out needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag {other:?} (supported: --smoke, --out <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (secs, tail) = if smoke { (150u64, 30usize) } else { (400, 50) };
+    println!(
+        "Adaptation policy A-B — comp-steer, 10 ms/byte, {secs}s (theory: settle near 0.625)\n"
+    );
+
+    let outcomes: Vec<Outcome> =
+        PolicyKind::all().iter().map(|&p| run_policy(p, secs, tail)).collect();
+
+    println!(
+        "{:<10} {:>10} {:>12} {:>10} {:>12} {:>13} {:>12}",
+        "policy",
+        "settled",
+        "accuracy err",
+        "tail std",
+        "converge t",
+        "lat avg (us)",
+        "adapt rounds"
+    );
+    for o in &outcomes {
+        println!(
+            "{:<10} {:>10.3} {:>12.3} {:>10.3} {:>12.0} {:>13.2} {:>12}",
+            o.policy.as_str(),
+            o.settled,
+            o.accuracy_err,
+            o.tail_std,
+            o.converge_s,
+            o.latency_avg_s * 1e6,
+            o.adapt_rounds
+        );
+    }
+    println!("\nreading guide:");
+    println!("  settled      — tail mean of the sampling factor (ideal = 0.625, never >>)");
+    println!("  accuracy err — |settled - theory|; the policy's steady-state accuracy");
+    println!("  converge t   — rise time: first instant the series reaches its tail mean");
+    println!("  latency avg  — mean end-to-end packet latency at the analyzer (us)");
+
+    let mut rows: Vec<Row> = Vec::new();
+    for o in &outcomes {
+        let p = o.policy.as_str();
+        rows.push(Row {
+            bench: format!("abtest_comp_steer_{p}_settled"),
+            value: o.settled,
+            unit: "sampling",
+        });
+        rows.push(Row {
+            bench: format!("abtest_comp_steer_{p}_accuracy_err"),
+            value: o.accuracy_err,
+            unit: "sampling",
+        });
+        rows.push(Row {
+            bench: format!("abtest_comp_steer_{p}_tail_std"),
+            value: o.tail_std,
+            unit: "sampling",
+        });
+        rows.push(Row {
+            bench: format!("abtest_comp_steer_{p}_converge_s"),
+            value: o.converge_s,
+            unit: "s",
+        });
+        rows.push(Row {
+            bench: format!("abtest_comp_steer_{p}_latency_avg"),
+            value: o.latency_avg_s * 1e6,
+            unit: "us",
+        });
+        rows.push(Row {
+            bench: format!("abtest_comp_steer_{p}_adapt_rounds"),
+            value: o.adapt_rounds as f64,
+            unit: "rounds",
+        });
+    }
+    rows.push(Row {
+        bench: "abtest_policies_compared".into(),
+        value: outcomes.len() as f64,
+        unit: "policies",
+    });
+
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "  {{\"bench\": \"{}\", \"value\": {:.3}, \"unit\": \"{}\"}}{sep}\n",
+            r.bench, r.value, r.unit
+        ));
+    }
+    json.push_str("]\n");
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out}");
+}

@@ -1,5 +1,6 @@
 //! Tuning constants of the self-adaptation algorithm (paper Figure 2).
 
+use super::policy::PolicyKind;
 use crate::CoreError;
 
 /// How the two demand signals (own queue, downstream exceptions) combine.
@@ -56,6 +57,10 @@ pub struct AdaptationConfig {
     pub step_scale: f64,
     /// Signal combination policy.
     pub combine: CombinePolicy,
+    /// Which adaptation policy decides each round (paper blend, AIMD or
+    /// PID; see [`PolicyKind`]). Selectable per stage from the XML
+    /// config via `<stage policy="..."/>`.
+    pub policy: PolicyKind,
 }
 
 impl Default for AdaptationConfig {
@@ -77,6 +82,7 @@ impl Default for AdaptationConfig {
             exception_decay: 1,
             step_scale: 2.0,
             combine: CombinePolicy::MaxDemand,
+            policy: PolicyKind::Paper,
         }
     }
 }
@@ -130,6 +136,13 @@ impl AdaptationConfig {
         }
         if self.exception_window == 0 {
             return fail("exception_window must be positive".into());
+        }
+        if self.exception_decay == 0 {
+            // A zero decay silently breaks the documented invariant that
+            // φ1(T1,T2) returns to 0 once the downstream stops
+            // complaining: stale exceptions would steer the parameter
+            // forever.
+            return fail("exception_decay must be positive".into());
         }
         if self.step_scale <= 0.0 || self.step_scale.is_nan() {
             return fail("step_scale must be positive".into());
@@ -195,5 +208,11 @@ mod tests {
     fn zero_step_scale_rejected() {
         let cfg = AdaptationConfig { step_scale: 0.0, ..Default::default() };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_exception_decay_rejected() {
+        let cfg = AdaptationConfig { exception_decay: 0, ..Default::default() };
+        assert!(cfg.validate().is_err(), "decay 0 would pin phi1 forever");
     }
 }

@@ -2,11 +2,10 @@
 
 use std::collections::VecDeque;
 
-use gates_sim::stats::RingStat;
-
-use super::config::{AdaptationConfig, CombinePolicy};
+use super::config::AdaptationConfig;
 use super::factors::phi1;
 use super::load::LoadException;
+use super::policy::{AdaptPolicy, PolicyInput};
 use crate::param::AdjustmentParameter;
 
 /// Everything a single adaptation round computed, kept for the flight
@@ -30,18 +29,20 @@ pub struct AdaptOutcome {
 /// Drives one adjustment parameter at the stage that owns it (server *B*
 /// in the paper's exposition), using B's own load factor d̃ and the
 /// exception stream reported by the downstream stage (server *C*).
-#[derive(Debug, Clone)]
+///
+/// The controller hosts the round bookkeeping — the exception window,
+/// clamping, quantization, trajectories — and delegates the per-round
+/// *decision* to its [`AdaptPolicy`] (the paper's blend by default; see
+/// [`super::PolicyKind`]).
+#[derive(Debug)]
 pub struct ParamController {
     cfg: AdaptationConfig,
     spec: AdjustmentParameter,
+    policy: Box<dyn AdaptPolicy>,
     value: f64,
     /// Recent downstream exceptions, +1 overload / −1 underload, capped at
     /// `exception_window` and aged by `exception_decay` per round.
     exceptions: VecDeque<i8>,
-    /// History of the normalized own-load signal, for σ1's variability.
-    dn_hist: RingStat,
-    /// History of the downstream balance φ1(T1, T2), for σ2's variability.
-    phi_hist: RingStat,
     rounds: u64,
     exceptions_received: (u64, u64),
     /// Trajectory of suggested values, one entry per round (for Figures
@@ -52,19 +53,27 @@ pub struct ParamController {
 }
 
 impl ParamController {
-    /// Controller for `spec` under constants `cfg`.
+    /// Controller for `spec` under constants `cfg`, using the policy
+    /// `cfg.policy` names.
     pub fn new(cfg: AdaptationConfig, spec: AdjustmentParameter) -> Self {
+        let policy = cfg.policy.build(&cfg);
+        ParamController::with_policy(cfg, spec, policy)
+    }
+
+    /// Controller with an explicit (possibly user-defined) policy.
+    pub fn with_policy(
+        cfg: AdaptationConfig,
+        spec: AdjustmentParameter,
+        policy: Box<dyn AdaptPolicy>,
+    ) -> Self {
         debug_assert!(cfg.validate().is_ok());
         let value = spec.init;
-        let dn_hist = RingStat::new(cfg.recent_window);
-        let phi_hist = RingStat::new(cfg.recent_window);
         ParamController {
             cfg,
             spec,
+            policy,
             value,
             exceptions: VecDeque::new(),
-            dn_hist,
-            phi_hist,
             rounds: 0,
             exceptions_received: (0, 0),
             trajectory: Vec::new(),
@@ -102,41 +111,32 @@ impl ParamController {
         self.rounds += 1;
         let dn = (d_tilde / self.cfg.capacity).clamp(-1.0, 1.0);
         let phi = self.downstream_phi();
-        self.dn_hist.push(dn);
-        self.phi_hist.push(phi);
-
-        // σ gains: base gain, inflated by the recent variability of the
-        // signal ("if the values of d_B and φ1(T1,T2) are unsteady, we
-        // want ΔP_B to be large").
-        let (g1, g2) = self.cfg.sigma_base;
-        let kappa = self.cfg.sigma_variability;
-        let sigma1 = g1 * (1.0 + kappa * self.dn_hist.variability(1.0));
-        let sigma2 = g2 * (1.0 + kappa * self.phi_hist.variability(1.0));
-
-        // Speed-up demand U ∈ ~[-σmax, σmax]: positive ⇒ the pipeline is
-        // stressed, make processing faster / volume smaller. A silent
-        // downstream (empty exception window) defers to the local signal,
-        // so an idle pipeline probes toward best accuracy — the paper's
-        // stated goal — instead of freezing.
-        let own = dn * sigma1;
-        let down = phi * sigma2;
-        let u = match self.cfg.combine {
-            CombinePolicy::MaxDemand if self.exceptions.is_empty() => own,
-            CombinePolicy::MaxDemand => own.max(down),
-            CombinePolicy::PaperAdditive => own + down,
+        let input = PolicyInput {
+            d_tilde,
+            dn,
+            downstream_phi: phi,
+            window_empty: self.exceptions.is_empty(),
+            value: self.value,
         };
 
-        // Map the demand onto the raw parameter through its declared
-        // direction, stepping in increments. The *internal* value stays
-        // unquantized so persistent small pressure accumulates across
-        // rounds instead of being swallowed by rounding (a sub-increment
-        // step would otherwise round back forever); only the reported
-        // suggestion snaps to the increment grid.
-        let delta = self.spec.direction.sign() * u * self.cfg.step_scale * self.spec.increment;
-        self.value = (self.value + delta).clamp(self.spec.min, self.spec.max);
+        // The policy proposes; the *internal* value stays unquantized so
+        // persistent small pressure accumulates across rounds instead of
+        // being swallowed by rounding (a sub-increment step would
+        // otherwise round back forever); only the reported suggestion
+        // snaps to the increment grid.
+        let decision = self.policy.round(&self.cfg, &self.spec, &input);
+        self.value = decision.raw_value.clamp(self.spec.min, self.spec.max);
 
         // Age the exception window so φ1(T1,T2) returns to 0 once the
-        // downstream stops complaining.
+        // downstream stops complaining. The decay must stay *linear* and
+        // run every round: exceptions pause whenever the downstream's d̃
+        // dips back inside the healthy band, so convergence depends on
+        // the window remembering sparse-but-sustained pressure across
+        // quiet rounds (an earlier proportional-decay variant forgot it
+        // and comp-steer drifted above its sustainable rate). The
+        // invariant that the window actually drains is enforced at
+        // deployment: `AdaptationConfig::validate` rejects
+        // `exception_decay == 0`, which silently froze φ1 forever.
         for _ in 0..self.cfg.exception_decay {
             if self.exceptions.pop_front().is_none() {
                 break;
@@ -149,8 +149,8 @@ impl ParamController {
             d_tilde,
             dn,
             downstream_phi: phi,
-            sigma1,
-            sigma2,
+            sigma1: decision.sigma1,
+            sigma2: decision.sigma2,
             suggested: reported,
         });
         reported
@@ -161,6 +161,11 @@ impl ParamController {
     /// window into the otherwise-internal σ gains.
     pub fn last_outcome(&self) -> Option<AdaptOutcome> {
         self.last_outcome
+    }
+
+    /// Name of the policy deciding the rounds (for traces and A-B runs).
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
     }
 
     /// Current suggested value (quantized to the increment grid).
@@ -196,6 +201,8 @@ impl ParamController {
 
 #[cfg(test)]
 mod tests {
+    use super::super::config::CombinePolicy;
+    use super::super::policy::PolicyKind;
     use super::*;
     use crate::param::Direction;
 
@@ -312,6 +319,43 @@ mod tests {
     }
 
     #[test]
+    fn phi1_returns_to_zero_after_quiescence() {
+        // Regression for the decay drift: the docs promise φ1 returns to
+        // 0 once the downstream stops complaining, but nothing enforced
+        // it — `exception_decay: 0` froze the window forever (now
+        // rejected by `AdaptationConfig::validate`). A between-rounds
+        // burst (exceptions arrive via `on_exception` outside `adapt`)
+        // must cap at `exception_window` and then drain within
+        // `exception_window / exception_decay` quiet rounds.
+        let mut c = controller();
+        for _ in 0..64 {
+            c.on_exception(LoadException::Overload);
+        }
+        assert!(c.downstream_phi() > 0.99);
+        let bound = {
+            let cfg = AdaptationConfig::default();
+            cfg.exception_window.div_ceil(cfg.exception_decay)
+        };
+        let mut rounds = 0;
+        while c.downstream_phi() != 0.0 {
+            c.adapt(0.0);
+            rounds += 1;
+            assert!(
+                rounds <= bound,
+                "phi1 stuck at {} after {rounds} quiet rounds ({} stale entries)",
+                c.downstream_phi(),
+                c.exceptions.len()
+            );
+        }
+        // And with the window empty, the parameter stops moving.
+        let settled = c.value();
+        for _ in 0..10 {
+            c.adapt(0.0);
+        }
+        assert_eq!(c.value(), settled, "no ghost pressure once quiesced");
+    }
+
+    #[test]
     fn neutral_inputs_hold_steady() {
         let mut c = controller();
         let before = c.value();
@@ -380,5 +424,34 @@ mod tests {
         c.on_exception(LoadException::Overload);
         c.on_exception(LoadException::Underload);
         assert_eq!(c.exceptions_received(), (2, 1));
+    }
+
+    #[test]
+    fn config_selects_the_policy() {
+        for kind in PolicyKind::all() {
+            let cfg = AdaptationConfig { policy: kind, ..Default::default() };
+            let c = ParamController::new(cfg, sampling_param());
+            assert_eq!(c.policy_name(), kind.as_str());
+        }
+    }
+
+    #[test]
+    fn alternative_policies_still_converge_directionally() {
+        // Not a precision claim — just that every shipped policy shrinks
+        // the parameter under sustained stress and grows it under slack.
+        for kind in PolicyKind::all() {
+            let cfg = AdaptationConfig { policy: kind, ..Default::default() };
+            let mut c = ParamController::new(cfg.clone(), sampling_param());
+            for _ in 0..30 {
+                c.on_exception(LoadException::Overload);
+                c.adapt(60.0);
+            }
+            assert!(c.value() < 0.13, "{kind}: stress must shrink the parameter");
+            let mut c = ParamController::new(cfg, sampling_param());
+            for _ in 0..300 {
+                c.adapt(-60.0);
+            }
+            assert!(c.value() > 0.13, "{kind}: slack must grow the parameter");
+        }
     }
 }

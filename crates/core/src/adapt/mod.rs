@@ -34,12 +34,26 @@
 //! The additive form is retained as [`CombinePolicy::PaperAdditive`] and
 //! evaluated in the ablation benchmarks.
 
+//! ## Pluggable policies (deviation from the paper, documented)
+//!
+//! The paper's parameter-adjustment rule is one fixed algorithm. Here it
+//! is one of several [`AdaptPolicy`] implementations hosted by the
+//! controller — the paper blend (default), AIMD and PID — selectable per
+//! stage via [`AdaptationConfig::policy`] / `<stage policy="..."/>` and
+//! compared head-to-head by the `abtest` benchmark. See [`policy`] for
+//! the rationale (Jacques-Silva et al., *User-defined Runtime Adaptation
+//! Routines for Stream Processing*).
+
 mod config;
 mod controller;
 mod factors;
 mod load;
+pub mod policy;
 
 pub use config::{AdaptationConfig, CombinePolicy};
 pub use controller::{AdaptOutcome, ParamController};
 pub use factors::{phi1, phi2, phi3};
 pub use load::{LoadException, LoadTracker};
+pub use policy::{
+    AdaptPolicy, AimdPolicy, PaperPolicy, PidPolicy, PolicyDecision, PolicyInput, PolicyKind,
+};

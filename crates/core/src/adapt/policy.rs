@@ -1,0 +1,436 @@
+//! Pluggable adaptation policies.
+//!
+//! The paper hard-codes one parameter-adjustment rule (§4.2). Follow-up
+//! work — Jacques-Silva et al., *User-defined Runtime Adaptation
+//! Routines for Stream Processing* — argues the rule should be a
+//! user-replaceable routine, because different applications want very
+//! different trade-offs between convergence speed, oscillation and
+//! deadline safety. This module is that seam: [`AdaptPolicy`] is the
+//! decision kernel of one adaptation round, and
+//! [`super::ParamController`] hosts whichever implementation the stage's
+//! [`super::AdaptationConfig`] names via [`PolicyKind`].
+//!
+//! The controller owns everything *around* the decision — the exception
+//! window, round counting, the unquantized internal value, clamping and
+//! quantization — so a policy only answers one question per round: given
+//! the normalized own-load signal, the downstream exception balance and
+//! the parameter declaration, where should the raw value move?
+//!
+//! Three implementations ship:
+//!
+//! * [`PaperPolicy`] — the paper's φ/σ blend, verbatim from PR 1
+//!   (variability-inflated gains, max-demand or additive combination).
+//!   This is the default; every pre-existing run is bit-identical.
+//! * [`AimdPolicy`] — additive-increase/multiplicative-decrease: probe
+//!   toward accuracy one increment at a time, halve the accuracy
+//!   headroom on stress. TCP's congestion rule, transplanted.
+//! * [`PidPolicy`] — a textbook PID loop on the combined stress signal,
+//!   with anti-windup clamping on the integral term.
+
+use super::config::{AdaptationConfig, CombinePolicy};
+use crate::param::AdjustmentParameter;
+use crate::CoreError;
+use gates_sim::stats::RingStat;
+
+/// What one adaptation round feeds a policy. All signals are normalized:
+/// `dn` and `downstream_phi` live in `[-1, 1]`, positive = stressed.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyInput {
+    /// The un-normalized long-term queue factor d̃ (diagnostics only;
+    /// policies should prefer `dn`).
+    pub d_tilde: f64,
+    /// d̃ normalized by queue capacity, clamped to [−1, 1].
+    pub dn: f64,
+    /// Downstream exception balance φ1(T1, T2) over the sliding window.
+    pub downstream_phi: f64,
+    /// True when the downstream exception window is empty — no recent
+    /// complaints either way, so `downstream_phi` is vacuous.
+    pub window_empty: bool,
+    /// Current raw (unquantized) parameter value.
+    pub value: f64,
+}
+
+/// What a policy decided: the new raw value plus the gains it applied
+/// (recorded in the flight-recorder [`crate::trace::AdaptRound`], so an
+/// A-B diff can see *why* two policies diverged, not just where).
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyDecision {
+    /// New raw value. The controller clamps it to `[min, max]` and
+    /// quantizes the reported suggestion; policies may return values
+    /// outside the bounds.
+    pub raw_value: f64,
+    /// Gain applied to the own-load signal this round (diagnostic).
+    pub sigma1: f64,
+    /// Gain applied to the downstream signal this round (diagnostic).
+    pub sigma2: f64,
+}
+
+/// The decision kernel of one adaptation round.
+///
+/// Implementations may keep state (signal histories, integral terms) but
+/// must be deterministic: the same sequence of inputs must produce the
+/// same sequence of decisions, because the record/replay harness diffs
+/// adaptation-round traces bit-for-bit.
+pub trait AdaptPolicy: Send + std::fmt::Debug {
+    /// Stable lowercase name, used in traces, XML configs and the wire
+    /// protocol.
+    fn name(&self) -> &'static str;
+
+    /// Compute the round's decision.
+    fn round(
+        &mut self,
+        cfg: &AdaptationConfig,
+        spec: &AdjustmentParameter,
+        input: &PolicyInput,
+    ) -> PolicyDecision;
+}
+
+/// Selector for the shipped policies; lives in [`AdaptationConfig`] and
+/// travels per stage through the XML config (`<stage policy="aimd"/>`),
+/// the launcher, and the distributed `Assign` message.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// The paper's §4.2 blend ([`PaperPolicy`]). Default.
+    #[default]
+    Paper,
+    /// Additive-increase / multiplicative-decrease ([`AimdPolicy`]).
+    Aimd,
+    /// Proportional-integral-derivative ([`PidPolicy`]).
+    Pid,
+}
+
+impl PolicyKind {
+    /// Stable lowercase name (inverse of [`PolicyKind::parse`]).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PolicyKind::Paper => "paper",
+            PolicyKind::Aimd => "aimd",
+            PolicyKind::Pid => "pid",
+        }
+    }
+
+    /// Parse a policy name from config/wire text.
+    pub fn parse(s: &str) -> Result<Self, CoreError> {
+        match s {
+            "paper" => Ok(PolicyKind::Paper),
+            "aimd" => Ok(PolicyKind::Aimd),
+            "pid" => Ok(PolicyKind::Pid),
+            other => Err(CoreError::InvalidParam(format!(
+                "unknown adaptation policy {other:?} (expected paper, aimd or pid)"
+            ))),
+        }
+    }
+
+    /// All shipped kinds, for sweeps and property tests.
+    pub fn all() -> [PolicyKind; 3] {
+        [PolicyKind::Paper, PolicyKind::Aimd, PolicyKind::Pid]
+    }
+
+    /// Instantiate a fresh policy of this kind.
+    pub fn build(self, cfg: &AdaptationConfig) -> Box<dyn AdaptPolicy> {
+        match self {
+            PolicyKind::Paper => Box::new(PaperPolicy::new(cfg)),
+            PolicyKind::Aimd => Box::new(AimdPolicy::new()),
+            PolicyKind::Pid => Box::new(PidPolicy::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The paper's §4.2 rule: speed-up demand `U` from the σ-scaled own and
+/// downstream signals, stepped through the parameter's declared
+/// direction. Extracted verbatim from the original `ParamController`.
+#[derive(Debug)]
+pub struct PaperPolicy {
+    /// History of the normalized own-load signal, for σ1's variability.
+    dn_hist: RingStat,
+    /// History of the downstream balance φ1(T1, T2), for σ2's.
+    phi_hist: RingStat,
+}
+
+impl PaperPolicy {
+    /// Fresh policy sized to `cfg`'s variability window.
+    pub fn new(cfg: &AdaptationConfig) -> Self {
+        PaperPolicy {
+            dn_hist: RingStat::new(cfg.recent_window),
+            phi_hist: RingStat::new(cfg.recent_window),
+        }
+    }
+}
+
+impl AdaptPolicy for PaperPolicy {
+    fn name(&self) -> &'static str {
+        "paper"
+    }
+
+    fn round(
+        &mut self,
+        cfg: &AdaptationConfig,
+        spec: &AdjustmentParameter,
+        input: &PolicyInput,
+    ) -> PolicyDecision {
+        self.dn_hist.push(input.dn);
+        self.phi_hist.push(input.downstream_phi);
+
+        // σ gains: base gain, inflated by the recent variability of the
+        // signal ("if the values of d_B and φ1(T1,T2) are unsteady, we
+        // want ΔP_B to be large").
+        let (g1, g2) = cfg.sigma_base;
+        let kappa = cfg.sigma_variability;
+        let sigma1 = g1 * (1.0 + kappa * self.dn_hist.variability(1.0));
+        let sigma2 = g2 * (1.0 + kappa * self.phi_hist.variability(1.0));
+
+        // Speed-up demand U ∈ ~[-σmax, σmax]: positive ⇒ the pipeline is
+        // stressed, make processing faster / volume smaller. A silent
+        // downstream (empty exception window) defers to the local signal,
+        // so an idle pipeline probes toward best accuracy — the paper's
+        // stated goal — instead of freezing.
+        let own = input.dn * sigma1;
+        let down = input.downstream_phi * sigma2;
+        let u = match cfg.combine {
+            CombinePolicy::MaxDemand if input.window_empty => own,
+            CombinePolicy::MaxDemand => own.max(down),
+            CombinePolicy::PaperAdditive => own + down,
+        };
+
+        // Map the demand onto the raw parameter through its declared
+        // direction, stepping in increments.
+        let delta = spec.direction.sign() * u * cfg.step_scale * spec.increment;
+        PolicyDecision { raw_value: input.value + delta, sigma1, sigma2 }
+    }
+}
+
+/// AIMD: when neither end is stressed, probe toward the accuracy bound
+/// one `step_scale`-sized additive step per round; the moment either
+/// signal crosses its stress threshold, multiplicatively surrender half
+/// the accuracy headroom. Converges as a sawtooth hugging the capacity
+/// line — fast to back off, deliberate to recover, never stuck.
+#[derive(Debug)]
+pub struct AimdPolicy {
+    /// Multiplicative-decrease factor β ∈ (0, 1): the fraction of the
+    /// accuracy headroom kept on stress.
+    pub beta: f64,
+}
+
+impl AimdPolicy {
+    /// The classic β = 1/2 rule.
+    pub fn new() -> Self {
+        AimdPolicy { beta: 0.5 }
+    }
+}
+
+impl Default for AimdPolicy {
+    fn default() -> Self {
+        AimdPolicy::new()
+    }
+}
+
+impl AdaptPolicy for AimdPolicy {
+    fn name(&self) -> &'static str {
+        "aimd"
+    }
+
+    fn round(
+        &mut self,
+        cfg: &AdaptationConfig,
+        spec: &AdjustmentParameter,
+        input: &PolicyInput,
+    ) -> PolicyDecision {
+        // The "fast" bound is where processing is cheapest; accuracy
+        // lies at the opposite bound (see `Direction::sign`).
+        let fast = if spec.direction.sign() < 0.0 { spec.min } else { spec.max };
+        let accuracy_sign = -spec.direction.sign();
+        let stressed =
+            input.dn > cfg.lt2 || (!input.window_empty && input.downstream_phi > cfg.lt2);
+        let raw = if stressed {
+            // Multiplicative decrease: keep β of the accuracy headroom.
+            fast + (input.value - fast) * self.beta
+        } else {
+            // Additive increase: one step toward accuracy.
+            input.value + accuracy_sign * cfg.step_scale * spec.increment
+        };
+        PolicyDecision {
+            raw_value: raw,
+            sigma1: if stressed { self.beta } else { 1.0 },
+            sigma2: 1.0,
+        }
+    }
+}
+
+/// PID control on the combined stress signal, target 0 (a centered
+/// queue with a quiet downstream). The proportional term mirrors the
+/// paper's reaction, the integral term removes steady-state error the
+/// paper's rule leaves (persistent mild stress), and the derivative term
+/// damps the oscillation AIMD exhibits by design.
+#[derive(Debug)]
+pub struct PidPolicy {
+    /// Proportional gain.
+    pub kp: f64,
+    /// Integral gain.
+    pub ki: f64,
+    /// Derivative gain.
+    pub kd: f64,
+    /// Anti-windup clamp on the integral accumulator.
+    pub integral_limit: f64,
+    integral: f64,
+    prev_error: Option<f64>,
+}
+
+impl PidPolicy {
+    /// Conservative default gains (kp 1.0, ki 0.1, kd 0.5).
+    pub fn new() -> Self {
+        PidPolicy {
+            kp: 1.0,
+            ki: 0.1,
+            kd: 0.5,
+            integral_limit: 10.0,
+            integral: 0.0,
+            prev_error: None,
+        }
+    }
+}
+
+impl Default for PidPolicy {
+    fn default() -> Self {
+        PidPolicy::new()
+    }
+}
+
+impl AdaptPolicy for PidPolicy {
+    fn name(&self) -> &'static str {
+        "pid"
+    }
+
+    fn round(
+        &mut self,
+        cfg: &AdaptationConfig,
+        spec: &AdjustmentParameter,
+        input: &PolicyInput,
+    ) -> PolicyDecision {
+        // Combined stress u ∈ [-1, 1], same silent-downstream rule as the
+        // paper policy: no complaints ⇒ trust the local queue.
+        let u = if input.window_empty { input.dn } else { input.dn.max(input.downstream_phi) };
+        self.integral = (self.integral + u).clamp(-self.integral_limit, self.integral_limit);
+        let derivative = u - self.prev_error.unwrap_or(u);
+        self.prev_error = Some(u);
+        let control = self.kp * u + self.ki * self.integral + self.kd * derivative;
+        let delta = spec.direction.sign() * control * cfg.step_scale * spec.increment;
+        PolicyDecision { raw_value: input.value + delta, sigma1: self.kp, sigma2: self.ki }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Direction;
+
+    fn spec() -> AdjustmentParameter {
+        AdjustmentParameter::new("p", 0.5, 0.01, 1.0, 0.01, Direction::IncreaseSlowsDown).unwrap()
+    }
+
+    fn input(dn: f64, phi: f64, empty: bool, value: f64) -> PolicyInput {
+        PolicyInput { d_tilde: dn * 100.0, dn, downstream_phi: phi, window_empty: empty, value }
+    }
+
+    #[test]
+    fn kind_round_trips_names() {
+        for kind in PolicyKind::all() {
+            assert_eq!(PolicyKind::parse(kind.as_str()).unwrap(), kind);
+            assert_eq!(format!("{kind}"), kind.as_str());
+        }
+        assert!(PolicyKind::parse("fancy").is_err());
+        assert_eq!(PolicyKind::default(), PolicyKind::Paper);
+    }
+
+    #[test]
+    fn built_policies_report_their_kind() {
+        let cfg = AdaptationConfig::default();
+        for kind in PolicyKind::all() {
+            assert_eq!(kind.build(&cfg).name(), kind.as_str());
+        }
+    }
+
+    #[test]
+    fn aimd_backs_off_multiplicatively_and_probes_additively() {
+        let cfg = AdaptationConfig::default();
+        let s = spec();
+        let mut p = AimdPolicy::new();
+        // Stress: halve the headroom above min (the fast bound).
+        let d = p.round(&cfg, &s, &input(0.9, 0.9, false, 0.81));
+        assert!((d.raw_value - (0.01 + 0.8 * 0.5)).abs() < 1e-12, "got {}", d.raw_value);
+        // Slack: one additive step toward max (the accuracy bound).
+        let d = p.round(&cfg, &s, &input(-0.5, 0.0, true, 0.5));
+        assert!((d.raw_value - (0.5 + 2.0 * 0.01)).abs() < 1e-12, "got {}", d.raw_value);
+    }
+
+    #[test]
+    fn aimd_respects_speed_up_direction() {
+        let cfg = AdaptationConfig::default();
+        let s =
+            AdjustmentParameter::new("decim", 10.0, 1.0, 100.0, 1.0, Direction::IncreaseSpeedsUp)
+                .unwrap();
+        let mut p = AimdPolicy::new();
+        // Stress: move toward max (the fast bound for speeds-up params).
+        let d = p.round(&cfg, &s, &input(0.9, 0.9, false, 10.0));
+        assert!(d.raw_value > 10.0, "stress must raise a speeds-up parameter");
+        // Slack: probe toward min (accuracy).
+        let d = p.round(&cfg, &s, &input(-0.5, 0.0, true, 50.0));
+        assert!(d.raw_value < 50.0, "slack must lower a speeds-up parameter");
+    }
+
+    #[test]
+    fn pid_integral_removes_steady_state_pressure() {
+        let cfg = AdaptationConfig::default();
+        let s = spec();
+        let mut p = PidPolicy::new();
+        // Constant mild stress: the integral term grows the step.
+        let first = 0.5 - p.round(&cfg, &s, &input(0.1, 0.0, true, 0.5)).raw_value;
+        let mut v = 0.5;
+        for _ in 0..20 {
+            v = p.round(&cfg, &s, &input(0.1, 0.0, true, v)).raw_value;
+        }
+        let late = v;
+        let later = p.round(&cfg, &s, &input(0.1, 0.0, true, late)).raw_value;
+        assert!(late - later > first, "integral term must amplify persistent stress");
+    }
+
+    #[test]
+    fn pid_integral_clamps() {
+        let cfg = AdaptationConfig::default();
+        let s = spec();
+        let mut p = PidPolicy::new();
+        for _ in 0..1_000 {
+            p.round(&cfg, &s, &input(1.0, 1.0, false, 0.5));
+        }
+        assert!(p.integral <= p.integral_limit + 1e-9, "anti-windup clamp holds");
+        // Recovery after saturation is bounded, not stuck for 1000 rounds.
+        let mut quiet = 0;
+        let mut v = 0.5;
+        for _ in 0..200 {
+            v = p.round(&cfg, &s, &input(-0.5, 0.0, true, v)).raw_value;
+            quiet += 1;
+            if v > 0.5 {
+                break;
+            }
+        }
+        assert!(quiet < 200, "integral unwinds in bounded time");
+    }
+
+    #[test]
+    fn paper_policy_matches_legacy_formula_on_first_round() {
+        // One round, no history: variability is 0, σ = base gains.
+        let cfg = AdaptationConfig { sigma_variability: 0.0, ..Default::default() };
+        let s = spec();
+        let mut p = PaperPolicy::new(&cfg);
+        let d = p.round(&cfg, &s, &input(0.5, 0.0, true, 0.5));
+        // delta = sign(-1) * (0.5 * 1.0) * 2.0 * 0.01 = -0.01
+        assert!((d.raw_value - 0.49).abs() < 1e-12, "got {}", d.raw_value);
+        assert_eq!(d.sigma1, 1.0);
+        assert_eq!(d.sigma2, 0.6);
+    }
+}

@@ -306,6 +306,29 @@ impl Topology {
         self.stages.iter().position(|s| s.name == name).map(StageId)
     }
 
+    /// Select the adaptation policy a stage's parameter controllers run
+    /// (see [`crate::adapt::PolicyKind`]). Errors if the stage does not
+    /// exist or has adaptation disabled. Call before
+    /// [`Topology::replicate`] so replicas inherit the choice.
+    pub fn set_adapt_policy(
+        &mut self,
+        stage: &str,
+        policy: crate::adapt::PolicyKind,
+    ) -> Result<(), CoreError> {
+        let id = self.stage_by_name(stage).ok_or_else(|| {
+            CoreError::InvalidTopology(format!("no stage named {stage:?} to set a policy on"))
+        })?;
+        match &mut self.stages[id.0].adaptation {
+            Some(cfg) => {
+                cfg.policy = policy;
+                Ok(())
+            }
+            None => Err(CoreError::InvalidTopology(format!(
+                "stage {stage:?} has adaptation disabled; no policy to set"
+            ))),
+        }
+    }
+
     /// All edges.
     pub fn edges(&self) -> &[Edge] {
         &self.edges

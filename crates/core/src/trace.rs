@@ -58,6 +58,9 @@ pub struct AdaptRound {
     pub stage: String,
     /// Adjustment-parameter name.
     pub param: String,
+    /// Adaptation policy that decided the round (`"paper"`, `"aimd"`,
+    /// `"pid"`, or a user-defined policy's name).
+    pub policy: String,
     /// Long-term queue factor d̃ fed into the round.
     pub d_tilde: f64,
     /// Load factor φ1 (queue-growth rate).
@@ -260,6 +263,7 @@ pub struct FlightRecorder {
     events: Mutex<VecDeque<TraceEvent>>,
     capacity: usize,
     dropped: AtomicU64,
+    dropped_adapt: AtomicU64,
 }
 
 impl Default for FlightRecorder {
@@ -279,7 +283,15 @@ impl FlightRecorder {
             events: Mutex::new(VecDeque::new()),
             capacity: capacity.max(1),
             dropped: AtomicU64::new(0),
+            dropped_adapt: AtomicU64::new(0),
         }
+    }
+
+    /// A recorder that never evicts. Record/replay uses this: a replay
+    /// diff is only meaningful against a complete adaptation-round
+    /// stream, so record mode must be lossless rather than ring-bounded.
+    pub fn lossless() -> Self {
+        FlightRecorder::new(usize::MAX)
     }
 
     /// Number of events currently buffered.
@@ -297,14 +309,25 @@ impl FlightRecorder {
         self.dropped.load(Ordering::Relaxed)
     }
 
+    /// Adaptation-round events among the evicted (tracked separately:
+    /// a trace missing rounds silently breaks replay diffs, so round
+    /// loss must be visible, not folded into a generic counter).
+    pub fn dropped_adapt(&self) -> u64 {
+        self.dropped_adapt.load(Ordering::Relaxed)
+    }
+
     /// Copy of the buffered events, oldest first.
     pub fn snapshot(&self) -> Vec<TraceEvent> {
         self.events.lock().expect("flight recorder lock").iter().cloned().collect()
     }
 
-    /// Group the buffered events into per-stage time series.
+    /// Group the buffered events into per-stage time series. Eviction
+    /// counters ride along so the summary can flag an incomplete trace.
     pub fn run_trace(&self) -> RunTrace {
-        RunTrace::from_events(&self.snapshot())
+        let mut trace = RunTrace::from_events(&self.snapshot());
+        trace.events_dropped = self.dropped();
+        trace.adapt_rounds_dropped = self.dropped_adapt();
+        trace
     }
 
     /// Serialize the buffered events as JSON Lines (one event object per
@@ -339,8 +362,12 @@ impl Recorder for FlightRecorder {
     fn record(&self, event: TraceEvent) {
         let mut events = self.events.lock().expect("flight recorder lock");
         if events.len() >= self.capacity {
-            events.pop_front();
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+            if let Some(evicted) = events.pop_front() {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                if matches!(evicted, TraceEvent::Adapt(_)) {
+                    self.dropped_adapt.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
         events.push_back(event);
     }
@@ -364,6 +391,10 @@ pub struct RunTrace {
     pub links: Vec<LinkEvent>,
     /// Events evicted from the ring before the trace was assembled.
     pub events_dropped: u64,
+    /// Adaptation-round events among the evicted. A non-zero value means
+    /// the per-stage `adapt_rounds` series are incomplete and must not be
+    /// used for replay diffs.
+    pub adapt_rounds_dropped: u64,
 }
 
 /// The recorded time series of a single stage.
@@ -471,7 +502,11 @@ impl RunTrace {
             }
         }
         if self.events_dropped > 0 {
-            let _ = writeln!(out, "({} events evicted from the ring buffer)", self.events_dropped);
+            let _ = writeln!(
+                out,
+                "({} events evicted from the ring buffer, {} adaptation rounds among them)",
+                self.events_dropped, self.adapt_rounds_dropped
+            );
         }
         out
     }
@@ -528,6 +563,8 @@ fn event_to_json(event: &TraceEvent, out: &mut String) {
             json_escape(&a.stage, out);
             out.push_str(",\"param\":");
             json_escape(&a.param, out);
+            out.push_str(",\"policy\":");
+            json_escape(&a.policy, out);
             for (key, v) in [
                 ("d_tilde", a.d_tilde),
                 ("phi1", a.phi1),
@@ -702,6 +739,44 @@ mod tests {
         assert!(first.contains("\"detail\":\"attempt 2\""), "{first}");
         let table = trace.summary_table();
         assert!(table.contains("transport events (2)"), "{table}");
+    }
+
+    #[test]
+    fn adapt_round_loss_is_visible() {
+        let r = FlightRecorder::new(2);
+        r.record(TraceEvent::Adapt(AdaptRound { stage: "a".into(), ..Default::default() }));
+        for i in 0..3 {
+            r.record(sample("s", i as f64, i));
+        }
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.dropped_adapt(), 1, "evicted round counted separately");
+        let trace = r.run_trace();
+        assert_eq!(trace.events_dropped, 2, "run_trace carries the eviction count");
+        assert_eq!(trace.adapt_rounds_dropped, 1);
+        let table = trace.summary_table();
+        assert!(table.contains("1 adaptation rounds among them"), "{table}");
+    }
+
+    #[test]
+    fn lossless_recorder_never_evicts() {
+        let r = FlightRecorder::lossless();
+        for i in 0..10_000 {
+            r.record(sample("s", i as f64, i));
+        }
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.len(), 10_000);
+    }
+
+    #[test]
+    fn adapt_round_serializes_policy() {
+        let r = FlightRecorder::new(4);
+        r.record(TraceEvent::Adapt(AdaptRound {
+            stage: "s".into(),
+            param: "p".into(),
+            policy: "aimd".into(),
+            ..Default::default()
+        }));
+        assert!(r.to_jsonl().contains("\"policy\":\"aimd\""), "{}", r.to_jsonl());
     }
 
     #[test]

@@ -94,6 +94,53 @@ proptest! {
     }
 
     #[test]
+    fn every_policy_quantizes_within_declared_bounds(
+        rounds in proptest::collection::vec((-100.0f64..100.0, 0u8..4), 1..200),
+        min in 0.01f64..0.4,
+        span in 0.2f64..1.5,
+        init_frac in 0.0f64..1.0,
+    ) {
+        // The [`AdaptPolicy`] contract: whatever the policy proposes,
+        // the controller's reported suggestion sits on the increment
+        // grid inside the declared [min, max] — for every shipped
+        // policy, under arbitrary demand and exception interleavings.
+        use gates_core::adapt::{LoadException, PolicyKind};
+        let max = min + span;
+        let incr = 0.01;
+        let init = min + init_frac * span;
+        for kind in PolicyKind::all() {
+            let spec = AdjustmentParameter::new(
+                "p", init, min, max, incr, Direction::IncreaseSlowsDown,
+            ).unwrap();
+            let cfg = AdaptationConfig { policy: kind, ..AdaptationConfig::default() };
+            let mut c = ParamController::new(cfg, spec);
+            for &(d, ex) in &rounds {
+                match ex {
+                    1 => c.on_exception(LoadException::Overload),
+                    2 => c.on_exception(LoadException::Underload),
+                    3 => {
+                        c.on_exception(LoadException::Overload);
+                        c.on_exception(LoadException::Underload);
+                    }
+                    _ => {}
+                }
+                let v = c.adapt(d);
+                prop_assert!(
+                    (min - 1e-9..=max + 1e-9).contains(&v),
+                    "{kind}: suggestion {v} escaped [{min}, {max}]"
+                );
+                // On the min-anchored increment grid — or clamped to the
+                // max endpoint, which need not itself sit on the grid.
+                let steps = (v - min) / incr;
+                prop_assert!(
+                    (steps - steps.round()).abs() < 1e-6 || (v - max).abs() < 1e-9,
+                    "{kind}: suggestion {v} off the increment grid"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn tracker_exception_kinds_match_d_tilde_sign(
         observations in proptest::collection::vec(0.0f64..150.0, 1..300),
     ) {

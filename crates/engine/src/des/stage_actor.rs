@@ -618,6 +618,7 @@ impl StageActor {
                         t,
                         stage: self.name.clone(),
                         param: self.trajectories[idx].name.clone(),
+                        policy: controller.policy_name().to_string(),
                         d_tilde,
                         phi1,
                         phi2,

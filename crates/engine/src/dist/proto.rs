@@ -346,6 +346,7 @@ fn put_trace_event(w: &mut PayloadWriter, e: &TraceEvent) {
             w.put_f64(a.t);
             put_str(w, &a.stage);
             put_str(w, &a.param);
+            put_str(w, &a.policy);
             for v in [a.d_tilde, a.phi1, a.phi2, a.phi3, a.sigma1, a.sigma2, a.suggested] {
                 w.put_f64(v);
             }
@@ -440,6 +441,7 @@ fn get_trace_event(r: &mut PayloadReader) -> Result<TraceEvent, CoreError> {
             t: r.get_f64()?,
             stage: get_str(r)?,
             param: get_str(r)?,
+            policy: get_str(r)?,
             d_tilde: r.get_f64()?,
             phi1: r.get_f64()?,
             phi2: r.get_f64()?,
@@ -949,6 +951,7 @@ mod tests {
                 t: 2.0,
                 stage: "summarizer-0".into(),
                 param: "k".into(),
+                policy: "aimd".into(),
                 d_tilde: 0.25,
                 phi1: 0.1,
                 phi2: 0.2,

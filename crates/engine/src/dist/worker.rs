@@ -214,11 +214,12 @@ impl DistWorker {
         let mut topology = repo
             .build(&app)
             .map_err(|e| EngineError::Protocol(format!("build application: {e}")))?;
-        // Replica expansion must mirror the coordinator's exactly: stage
-        // indices, edge ids and placement rows are all expressed against
-        // the expanded graph.
-        app.apply_replicas(&mut topology)
-            .map_err(|e| EngineError::Protocol(format!("apply replicas: {e}")))?;
+        // Override application must mirror the coordinator's exactly:
+        // stage indices, edge ids, placement rows and per-stage policies
+        // are all expressed against the expanded graph. The policy rides
+        // in the Assign's XML, so both sides read the same declaration.
+        app.apply_overrides(&mut topology)
+            .map_err(|e| EngineError::Protocol(format!("apply stage overrides: {e}")))?;
         let topology = topology;
         topology.validate().map_err(|e| EngineError::InvalidTopology(e.to_string()))?;
         let n = topology.stages().len();
@@ -291,6 +292,9 @@ impl DistWorker {
         // --- wire the data plane -------------------------------------
         let stop = Arc::new(AtomicBool::new(false));
         let start = Instant::now();
+        // Observed-time source for trace timestamps; scheduling stays on
+        // `start` (see [`crate::clock::EngineClock`]).
+        let clock = opts.run_clock();
         // True while this worker is inside an injected network partition:
         // senders stop flushing, the accept loop refuses connections,
         // readers drop their sockets, and heartbeats stay home.
@@ -337,7 +341,7 @@ impl DistWorker {
             let to = edge.to.index();
             let reporter = LinkReporter {
                 recorder: Arc::clone(&recorder),
-                start,
+                clock: Arc::clone(&clock),
                 link: format!("{}->{}", topology.stages()[from].name, topology.stages()[to].name),
                 node: self.name.clone(),
             };
@@ -456,7 +460,7 @@ impl DistWorker {
                 let nudge = notify.clone();
                 let reporter = LinkReporter {
                     recorder: Arc::clone(&recorder),
-                    start,
+                    clock: Arc::clone(&clock),
                     link: "partition".into(),
                     node: self.name.clone(),
                 };
@@ -495,7 +499,7 @@ impl DistWorker {
         // stay reliable or no run would ever assemble.
         let ctrl_faults = LinkReporter {
             recorder: Arc::clone(&recorder),
-            start,
+            clock: Arc::clone(&clock),
             link: "ctrl".into(),
             node: self.name.clone(),
         };
@@ -577,6 +581,7 @@ impl DistWorker {
                 my_drops: Arc::clone(&drops[&i]),
                 opts: opts.clone(),
                 start,
+                clock: Arc::clone(&clock),
                 stop: Arc::clone(&stop),
                 bucket_waited: 0.0,
                 checkpoint: (cfg.checkpoint_every > 0).then(|| CheckpointCfg {
@@ -834,7 +839,7 @@ impl DistWorker {
                                         wake_key: i as u32,
                                         reporter: LinkReporter {
                                             recorder: Arc::clone(&recorder),
-                                            start,
+                                            clock: Arc::clone(&clock),
                                             link: format!(
                                                 "{}->{}",
                                                 topology.stages()[from].name,
@@ -876,7 +881,7 @@ impl DistWorker {
                                     jitter_seed: derive(jitter_root, ei as u64),
                                     reporter: LinkReporter {
                                         recorder: Arc::clone(&recorder),
-                                        start,
+                                        clock: Arc::clone(&clock),
                                         link: format!(
                                             "{}->{}",
                                             stage.name,
@@ -916,7 +921,7 @@ impl DistWorker {
                             });
                             if recorder.enabled() {
                                 recorder.record(TraceEvent::Link(LinkEvent {
-                                    t: start.elapsed().as_secs_f64(),
+                                    t: clock.now_secs(),
                                     link: stage.name.clone(),
                                     node: self.name.clone(),
                                     kind: LinkEventKind::Restored,
@@ -945,6 +950,7 @@ impl DistWorker {
                                 my_drops,
                                 opts: opts.clone(),
                                 start,
+                                clock: Arc::clone(&clock),
                                 stop: Arc::clone(&stop),
                                 bucket_waited: 0.0,
                                 checkpoint: (cfg.checkpoint_every > 0).then(|| CheckpointCfg {
@@ -1058,7 +1064,7 @@ impl Recorder for ChannelRecorder {
 #[derive(Clone)]
 pub(super) struct LinkReporter {
     recorder: Arc<dyn Recorder>,
-    start: Instant,
+    clock: Arc<dyn crate::clock::EngineClock>,
     link: String,
     node: String,
 }
@@ -1067,7 +1073,7 @@ impl LinkReporter {
     pub(super) fn record(&self, kind: LinkEventKind, detail: impl Into<String>) {
         if self.recorder.enabled() {
             self.recorder.record(TraceEvent::Link(LinkEvent {
-                t: self.start.elapsed().as_secs_f64(),
+                t: self.clock.now_secs(),
                 link: self.link.clone(),
                 node: self.node.clone(),
                 kind,

@@ -31,6 +31,7 @@
 //! [`gates_core::adapt::ParamController`] per declared adjustment
 //! parameter pushing suggested values into the stage's `StageApi`.
 
+pub mod clock;
 mod des;
 mod dist;
 mod executor;
@@ -38,6 +39,7 @@ mod options;
 mod runtime;
 mod threaded;
 
+pub use clock::{EngineClock, ManualClock, RealClock};
 pub use des::DesEngine;
 pub use dist::{DistConfig, DistEngine, DistWorker};
 pub use options::RunOptions;

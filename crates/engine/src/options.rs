@@ -38,6 +38,13 @@ pub struct RunOptions {
     /// executor pool. Baseline mode for A/B measurements; the state
     /// machine and accounting are identical, only the scheduler differs.
     pub thread_per_stage: bool,
+    /// Observed-time source for the wall-clock runtimes (see
+    /// [`crate::clock::EngineClock`]): trace timestamps, trajectories,
+    /// `StageApi::now`, and report times read from it. `None` means real
+    /// elapsed time anchored at run start. Scheduling (parks, poll
+    /// deadlines, pacing) always uses real time. The virtual-time
+    /// [`crate::DesEngine`] ignores this — it already owns its clock.
+    pub clock: Option<Arc<dyn crate::clock::EngineClock>>,
 }
 
 impl std::fmt::Debug for RunOptions {
@@ -51,12 +58,14 @@ impl std::fmt::Debug for RunOptions {
             .field("chaos", &self.chaos)
             .field("cores", &self.cores)
             .field("thread_per_stage", &self.thread_per_stage)
+            .field("clock_overridden", &self.clock.is_some())
             .finish()
     }
 }
 
-// Equality intentionally ignores the recorder: it is an observer, not a
-// run parameter, and trait objects have no meaningful equality.
+// Equality intentionally ignores the recorder and the clock: they are
+// observers, not run parameters, and trait objects have no meaningful
+// equality.
 impl PartialEq for RunOptions {
     fn eq(&self, other: &Self) -> bool {
         self.observe_interval == other.observe_interval
@@ -80,6 +89,7 @@ impl Default for RunOptions {
             chaos: None,
             cores: 0,
             thread_per_stage: false,
+            clock: None,
         }
     }
 }
@@ -149,6 +159,19 @@ impl RunOptions {
     pub fn thread_per_stage(mut self, yes: bool) -> Self {
         self.thread_per_stage = yes;
         self
+    }
+
+    /// Builder: observed-time source for the wall-clock runtimes (tests
+    /// and replay pass a [`crate::clock::ManualClock`]).
+    pub fn clock(mut self, c: Arc<dyn crate::clock::EngineClock>) -> Self {
+        self.clock = Some(c);
+        self
+    }
+
+    /// The observed-time source a run should use: the override if one
+    /// was attached, otherwise real elapsed time anchored now.
+    pub(crate) fn run_clock(&self) -> Arc<dyn crate::clock::EngineClock> {
+        self.clock.clone().unwrap_or_else(|| Arc::new(crate::clock::RealClock::anchored_now()))
     }
 
     /// The pool size the wall-clock runtimes actually use.

@@ -195,6 +195,10 @@ pub(crate) struct StageWorker {
     pub(crate) my_drops: Arc<AtomicU64>,
     pub(crate) opts: RunOptions,
     pub(crate) start: Instant,
+    /// Observed-time source (see [`crate::clock::EngineClock`]): trace
+    /// timestamps, trajectories, and `StageApi::now` read from it, while
+    /// `start` keeps driving real scheduling (pacing, retry deadlines).
+    pub(crate) clock: std::sync::Arc<dyn crate::clock::EngineClock>,
     /// Engine-wide stop flag (see [`crate::ThreadedEngine::run`]).
     pub(crate) stop: Arc<AtomicBool>,
     /// Total token-bucket wait realized by this stage, seconds.
@@ -379,7 +383,7 @@ impl StageTask {
     }
 
     fn now(&self) -> SimTime {
-        SimTime::from_secs_f64(self.w.start.elapsed().as_secs_f64())
+        SimTime::from_secs_f64(self.w.clock.now_secs())
     }
 
     /// Run one bounded slice of the stage.
@@ -504,7 +508,7 @@ impl StageTask {
                 }
             }
             if self.recording {
-                let t = self.w.start.elapsed().as_secs_f64();
+                let t = self.w.clock.now_secs();
                 let (t0, in0, busy0, wait0) = self.last_rec;
                 let dt = t - t0;
                 let d_in = self.stats.packets_in - in0;
@@ -527,7 +531,7 @@ impl StageTask {
             if self.last_adapt.elapsed() >= self.adapt_every {
                 self.last_adapt = Instant::now();
                 let d_tilde = tracker.d_tilde();
-                let t = self.w.start.elapsed().as_secs_f64();
+                let t = self.w.clock.now_secs();
                 let (phi1, phi2, phi3) = (tracker.phi1(), tracker.phi2(), tracker.phi3());
                 for (i, (pid, controller)) in self.controllers.iter_mut().enumerate() {
                     let v = controller.adapt(d_tilde);
@@ -540,6 +544,7 @@ impl StageTask {
                             t,
                             stage: self.w.name.clone(),
                             param: self.trajectories[i].name.clone(),
+                            policy: controller.policy_name().to_string(),
                             d_tilde,
                             phi1,
                             phi2,
@@ -591,7 +596,7 @@ impl StageTask {
                 if let Ok(change) = result {
                     if self.recording {
                         self.w.opts.recorder.record(TraceEvent::Link(LinkEvent {
-                            t: self.w.start.elapsed().as_secs_f64(),
+                            t: self.w.clock.now_secs(),
                             link: self.w.name.clone(),
                             node: self.w.placed_on.clone(),
                             kind: if split {

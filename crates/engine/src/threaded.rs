@@ -74,6 +74,9 @@ impl ThreadedEngine {
     pub fn run(self) -> Result<RunReport, EngineError> {
         let n = self.topology.stages().len();
         let start = Instant::now();
+        // One observed-time source shared by every stage of the run, so
+        // their trace timestamps have a common zero.
+        let clock = self.opts.run_clock();
         // Engine-wide stop flag, set by the watchdog alongside the
         // `Control::Stop` messages. Workers poll it from inside blocking
         // sends and service sleeps, where a control message alone could
@@ -182,6 +185,7 @@ impl ThreadedEngine {
                 my_drops: Arc::clone(&drops[idx]),
                 opts: self.opts.clone(),
                 start,
+                clock: Arc::clone(&clock),
                 stop: Arc::clone(&stop),
                 bucket_waited: 0.0,
                 checkpoint: None,
@@ -251,7 +255,7 @@ impl ThreadedEngine {
             stages.push(result.map_err(EngineError::WorkerPanic)?);
         }
 
-        let finished_at = SimTime::from_secs_f64(start.elapsed().as_secs_f64());
+        let finished_at = SimTime::from_secs_f64(clock.now_secs());
         Ok(RunReport {
             finished_at,
             stages,

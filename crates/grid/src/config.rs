@@ -20,11 +20,14 @@
 //! `<param>` entries are free-form key/values interpreted by the
 //! application factory. Both attribute and element-text forms of the
 //! value are accepted. `<stage>` entries declare per-stage deployment
-//! overrides — today the replica count, which the launcher applies to
-//! the built topology via [`AppConfig::apply_replicas`] (see
-//! [`gates_core::Topology::replicate`]).
+//! overrides — the replica count and/or the adaptation policy
+//! (`<stage name="agg" replicas="4" policy="aimd"/>`), which the
+//! launcher applies to the built topology via
+//! [`AppConfig::apply_overrides`] (see [`gates_core::Topology::replicate`]
+//! and [`gates_core::adapt::PolicyKind`]).
 
 use crate::GridError;
+use gates_core::adapt::PolicyKind;
 use gates_core::Topology;
 use gates_xml::parse;
 
@@ -37,6 +40,7 @@ pub struct AppConfig {
     pub repository: String,
     params: Vec<(String, String)>,
     replicas: Vec<(String, usize)>,
+    policies: Vec<(String, PolicyKind)>,
 }
 
 impl AppConfig {
@@ -47,6 +51,7 @@ impl AppConfig {
             repository: repository.into(),
             params: Vec::new(),
             replicas: Vec::new(),
+            policies: Vec::new(),
         }
     }
 
@@ -61,6 +66,24 @@ impl AppConfig {
     pub fn with_replicas(mut self, stage: impl Into<String>, n: usize) -> Self {
         self.set_replicas(stage, n);
         self
+    }
+
+    /// Declare a stage's adaptation policy (builder style).
+    /// [`PolicyKind::Paper`] clears a previous declaration — the default
+    /// needs no entry.
+    pub fn with_policy(mut self, stage: impl Into<String>, policy: PolicyKind) -> Self {
+        self.set_policy(stage, policy);
+        self
+    }
+
+    /// Declare (or clear, with [`PolicyKind::Paper`]) a stage's
+    /// adaptation policy.
+    pub fn set_policy(&mut self, stage: impl Into<String>, policy: PolicyKind) {
+        let stage = stage.into();
+        self.policies.retain(|(s, _)| *s != stage);
+        if policy != PolicyKind::Paper {
+            self.policies.push((stage, policy));
+        }
     }
 
     /// Declare (or clear, with `n <= 1`) a stage's replica count.
@@ -103,26 +126,41 @@ impl AppConfig {
                 GridError::BadConfig("<application> needs a repository attribute".into())
             })?
             .to_string();
-        let mut config = AppConfig { name, repository, params: Vec::new(), replicas: Vec::new() };
+        let mut config = AppConfig {
+            name,
+            repository,
+            params: Vec::new(),
+            replicas: Vec::new(),
+            policies: Vec::new(),
+        };
         for s in root.children_named("stage") {
             let stage = s
                 .attr("name")
                 .ok_or_else(|| GridError::BadConfig("<stage> needs a name attribute".into()))?;
-            let n = s
-                .attr("replicas")
-                .ok_or_else(|| {
-                    GridError::BadConfig(format!("<stage name={stage:?}> needs replicas"))
-                })?
-                .parse::<usize>()
-                .map_err(|_| {
-                    GridError::BadConfig(format!("replicas for stage {stage:?} is not an integer"))
-                })?;
-            if n == 0 {
+            let replicas = s.attr("replicas");
+            let policy = s.attr("policy");
+            if replicas.is_none() && policy.is_none() {
                 return Err(GridError::BadConfig(format!(
-                    "stage {stage:?} declares zero replicas"
+                    "<stage name={stage:?}> declares neither replicas nor policy"
                 )));
             }
-            config.set_replicas(stage, n);
+            if let Some(raw) = replicas {
+                let n = raw.parse::<usize>().map_err(|_| {
+                    GridError::BadConfig(format!("replicas for stage {stage:?} is not an integer"))
+                })?;
+                if n == 0 {
+                    return Err(GridError::BadConfig(format!(
+                        "stage {stage:?} declares zero replicas"
+                    )));
+                }
+                config.set_replicas(stage, n);
+            }
+            if let Some(raw) = policy {
+                let kind = PolicyKind::parse(raw).map_err(|e| {
+                    GridError::BadConfig(format!("policy for stage {stage:?}: {e}"))
+                })?;
+                config.set_policy(stage, kind);
+            }
         }
         for p in root.children_named("param") {
             let key = p
@@ -198,6 +236,18 @@ impl AppConfig {
         self.replicas.iter().find(|(s, _)| s == stage).map(|(_, n)| *n).unwrap_or(1)
     }
 
+    /// Declared `(stage, policy)` pairs in declaration order. Only
+    /// non-default policies appear.
+    pub fn policies(&self) -> &[(String, PolicyKind)] {
+        &self.policies
+    }
+
+    /// The declared adaptation policy for `stage`
+    /// ([`PolicyKind::Paper`] when undeclared).
+    pub fn policy_of(&self, stage: &str) -> PolicyKind {
+        self.policies.iter().find(|(s, _)| s == stage).map(|(_, p)| *p).unwrap_or_default()
+    }
+
     /// Expand every `<stage replicas="N"/>` declaration into `N` replica
     /// instances on the built topology (see
     /// [`gates_core::Topology::replicate`]).
@@ -216,16 +266,55 @@ impl AppConfig {
         Ok(())
     }
 
+    /// Apply every `<stage policy="..."/>` declaration to the built
+    /// topology (see [`gates_core::Topology::set_adapt_policy`]).
+    pub fn apply_policies(&self, topology: &mut Topology) -> Result<(), GridError> {
+        for (stage, policy) in &self.policies {
+            topology
+                .set_adapt_policy(stage, *policy)
+                .map_err(|e| GridError::BadConfig(format!("policy for {stage:?}: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Apply every per-stage deployment override to the built topology:
+    /// adaptation policies first (so replicas inherit them), then
+    /// replica expansion.
+    ///
+    /// Every process of a distributed run must call this against the
+    /// same configuration right after building the topology from the
+    /// repository — see [`AppConfig::apply_replicas`] for why.
+    pub fn apply_overrides(&self, topology: &mut Topology) -> Result<(), GridError> {
+        self.apply_policies(topology)?;
+        self.apply_replicas(topology)
+    }
+
     /// Serialize back to XML (round-trip support).
     pub fn to_xml(&self) -> String {
         use gates_xml::{write_document, Document, Element, WriteOptions};
         let mut root = Element::new("application")
             .with_attr("name", &self.name)
             .with_attr("repository", &self.repository);
-        for (s, n) in &self.replicas {
-            root = root.with_child(
-                Element::new("stage").with_attr("name", s).with_attr("replicas", n.to_string()),
-            );
+        let mut stage_names: Vec<&str> = Vec::new();
+        for (s, _) in &self.replicas {
+            stage_names.push(s);
+        }
+        for (s, _) in &self.policies {
+            if !stage_names.contains(&s.as_str()) {
+                stage_names.push(s);
+            }
+        }
+        for s in stage_names {
+            let mut el = Element::new("stage").with_attr("name", s);
+            let n = self.replicas_of(s);
+            if n > 1 {
+                el = el.with_attr("replicas", n.to_string());
+            }
+            let p = self.policy_of(s);
+            if p != PolicyKind::Paper {
+                el = el.with_attr("policy", p.as_str());
+            }
+            root = root.with_child(el);
         }
         for (k, v) in &self.params {
             root =
@@ -328,9 +417,66 @@ mod tests {
             r#"<application name="x" repository="y"><stage name="a"/></application>"#,
             r#"<application name="x" repository="y"><stage name="a" replicas="many"/></application>"#,
             r#"<application name="x" repository="y"><stage name="a" replicas="0"/></application>"#,
+            r#"<application name="x" repository="y"><stage name="a" policy="fuzzy"/></application>"#,
         ] {
             assert!(matches!(AppConfig::from_xml(xml), Err(GridError::BadConfig(_))), "{xml}");
         }
+    }
+
+    #[test]
+    fn parses_stage_policies() {
+        let c = AppConfig::from_xml(
+            r#"<application name="x" repository="y">
+                 <stage name="sampler" policy="aimd"/>
+                 <stage name="agg" replicas="3" policy="pid"/>
+                 <stage name="plain" policy="paper"/>
+               </application>"#,
+        )
+        .unwrap();
+        assert_eq!(c.policy_of("sampler"), PolicyKind::Aimd);
+        assert_eq!(c.policy_of("agg"), PolicyKind::Pid);
+        assert_eq!(c.replicas_of("agg"), 3, "replicas and policy combine");
+        assert_eq!(c.policy_of("plain"), PolicyKind::Paper, "explicit default accepted");
+        assert_eq!(c.policy_of("missing"), PolicyKind::Paper);
+        assert_eq!(c.policies().len(), 2, "defaults are not stored");
+    }
+
+    #[test]
+    fn policies_round_trip_and_apply() {
+        use gates_core::{Packet, StageApi, StageBuilder, StreamProcessor};
+        use gates_net::LinkSpec;
+        struct Nop;
+        impl StreamProcessor for Nop {
+            fn process(&mut self, _p: Packet, _a: &mut StageApi) {}
+        }
+
+        let original = AppConfig::new("trip", "app")
+            .with_replicas("mid", 2)
+            .with_policy("mid", PolicyKind::Aimd)
+            .with_policy("snk", PolicyKind::Pid);
+        let xml = original.to_xml();
+        assert!(xml.contains(r#"policy="aimd""#), "{xml}");
+        let reparsed = AppConfig::from_xml(&xml).unwrap();
+        assert_eq!(reparsed, original);
+
+        let mut t = Topology::new();
+        let src = t.add_stage(StageBuilder::new("src").processor(|| Nop)).unwrap();
+        let mid = t.add_stage(StageBuilder::new("mid").processor(|| Nop)).unwrap();
+        let snk = t.add_stage(StageBuilder::new("snk").processor(|| Nop)).unwrap();
+        t.connect(src, mid, LinkSpec::local());
+        t.connect(mid, snk, LinkSpec::local());
+        reparsed.apply_overrides(&mut t).unwrap();
+        assert_eq!(t.stages().len(), 4, "mid expanded to 2 replicas");
+        // Policies were applied before expansion, so both replicas of
+        // `mid` inherit the declared kind.
+        for s in t.stages().iter().filter(|s| s.name.starts_with("mid")) {
+            assert_eq!(s.adaptation.as_ref().unwrap().policy, PolicyKind::Aimd, "{}", s.name);
+        }
+        let snk_spec = &t.stages()[t.stage_by_name("snk").unwrap().index()];
+        assert_eq!(snk_spec.adaptation.as_ref().unwrap().policy, PolicyKind::Pid);
+
+        let ghost = AppConfig::new("trip", "app").with_policy("ghost", PolicyKind::Aimd);
+        assert!(ghost.apply_policies(&mut Topology::new()).is_err());
     }
 
     #[test]

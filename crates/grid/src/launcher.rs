@@ -66,10 +66,11 @@ impl Launcher {
         registry: &ResourceRegistry,
     ) -> Result<Deployment, GridError> {
         let mut topology = repository.build(&config)?;
-        // Replica expansion happens here — after the factory built the
+        // Per-stage overrides happen here — after the factory built the
         // logical graph, before placement — so the matchmaker sees (and
-        // spreads) the individual replicas.
-        config.apply_replicas(&mut topology)?;
+        // spreads) the individual replicas, each carrying its declared
+        // adaptation policy.
+        config.apply_overrides(&mut topology)?;
         let plan = self.deployer.deploy(&topology, registry)?;
         Ok(Deployment { config, topology, plan })
     }

@@ -40,20 +40,23 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use gates::apps;
+use gates::core::adapt::PolicyKind;
 use gates::core::trace::FlightRecorder;
 use gates::engine::{DesEngine, DistConfig, DistEngine, DistWorker, RunOptions, ThreadedEngine};
 use gates::grid::{registry_from_xml, ApplicationRepository, Launcher, ResourceRegistry};
 use gates::net::RetryPolicy;
+use gates::replay::{diff_adapt, Recording, RunRecipe};
 use gates::sim::{SimDuration, SimTime};
 
 fn usage() -> &'static str {
-    "usage:\n  gates-cli run <app.xml> [--grid <grid.xml>] [--duration <secs>]\n                          [--max-time <secs>] [--engine des|threaded|dist]\n                          [--observe-ms <ms>] [--adapt-ms <ms>]\n                          [--trace <out.jsonl>]\n                          [--listen <host:port>] [--workers <n>]\n                          [--drain-ms <ms>] [--retry-attempts <n>] [--retry-base-ms <ms>]\n                          [--heartbeat-ms <ms>] [--heartbeat-timeout-ms <ms>]\n                          [--checkpoint-every <packets>]\n                          [--cores <n>]      executor pool size for threaded runs (default: auto)\n                          [--chaos <spec>]   e.g. \"seed=7,drop=0.02,delay=5ms..40ms\"\n  gates-cli worker --name <name> --coordinator <host:port>\n                   [--site <site>] [--speed <f>] [--capacity <n>] [--bind-host <host>]\n                   [--cores <n>] [--reactors <n>]  I/O reactor threads (default: 1)\n  gates-cli apps\n  gates-cli template app|grid"
+    "usage:\n  gates-cli run <app.xml> [--grid <grid.xml>] [--duration <secs>]\n                          [--max-time <secs>] [--engine des|threaded|dist]\n                          [--observe-ms <ms>] [--adapt-ms <ms>]\n                          [--trace <out.jsonl>]\n                          [--listen <host:port>] [--workers <n>]\n                          [--drain-ms <ms>] [--retry-attempts <n>] [--retry-base-ms <ms>]\n                          [--heartbeat-ms <ms>] [--heartbeat-timeout-ms <ms>]\n                          [--checkpoint-every <packets>]\n                          [--cores <n>]      executor pool size for threaded runs (default: auto)\n                          [--chaos <spec>]   e.g. \"seed=7,drop=0.02,delay=5ms..40ms\"\n                          [--record <out.jsonl>]  capture a replayable recording\n                          [--policy paper|aimd|pid]  adaptation policy for every stage\n  gates-cli replay <recording.jsonl> [--policy paper|aimd|pid] [--trace <out.jsonl>]\n  gates-cli worker --name <name> --coordinator <host:port>\n                   [--site <site>] [--speed <f>] [--capacity <n>] [--bind-host <host>]\n                   [--cores <n>] [--reactors <n>]  I/O reactor threads (default: 1)\n  gates-cli apps\n  gates-cli template app|grid"
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
+        Some("replay") => replay_cmd(&args[1..]),
         Some("worker") => worker(&args[1..]),
         Some("apps") => {
             let mut repo = ApplicationRepository::new();
@@ -123,6 +126,8 @@ struct RunArgs {
     checkpoint_every: Option<u64>,
     chaos: Option<gates::net::FaultPlan>,
     cores: Option<usize>,
+    record_path: Option<String>,
+    policy: Option<PolicyKind>,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
@@ -145,6 +150,8 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         checkpoint_every: None,
         chaos: None,
         cores: None,
+        record_path: None,
+        policy: None,
     };
     let mut it = args.iter();
     let Some(app) = it.next() else {
@@ -236,6 +243,12 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                     return Err("--cores must be at least 1".into());
                 }
                 parsed.cores = Some(n);
+            }
+            "--record" => parsed.record_path = Some(value("--record")?),
+            "--policy" => {
+                parsed.policy = Some(
+                    PolicyKind::parse(&value("--policy")?).map_err(|e| format!("--policy: {e}"))?,
+                )
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -351,7 +364,7 @@ fn run(args: &[String]) -> ExitCode {
         }
     };
 
-    let app_xml = match std::fs::read_to_string(&parsed.app_path) {
+    let mut app_xml = match std::fs::read_to_string(&parsed.app_path) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: cannot read {}: {e}", parsed.app_path);
@@ -361,6 +374,18 @@ fn run(args: &[String]) -> ExitCode {
 
     let mut repo = ApplicationRepository::new();
     apps::publish_all(&mut repo);
+
+    // --policy rewrites the config so every engine — and any recording
+    // made of this run — sees the override as ordinary <stage> attrs.
+    if let Some(kind) = parsed.policy {
+        match apply_policy_to_xml(&app_xml, kind, &repo) {
+            Ok(xml) => app_xml = xml,
+            Err(e) => {
+                eprintln!("error: --policy: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     let mut opts = RunOptions::default();
     if let Some(mt) = parsed.max_time {
@@ -375,7 +400,13 @@ fn run(args: &[String]) -> ExitCode {
     if let Some(n) = parsed.cores {
         opts = opts.cores(n);
     }
-    let recorder = parsed.trace_path.as_ref().map(|_| Arc::new(FlightRecorder::default()));
+    // A recording must be complete: --record uses an unbounded recorder
+    // so no adaptation round is evicted from the ring.
+    let recorder = if parsed.record_path.is_some() {
+        Some(Arc::new(FlightRecorder::lossless()))
+    } else {
+        parsed.trace_path.as_ref().map(|_| Arc::new(FlightRecorder::default()))
+    };
     if let Some(rec) = &recorder {
         opts = opts.recorder(Arc::clone(rec) as _);
     }
@@ -397,6 +428,7 @@ fn run(args: &[String]) -> ExitCode {
     if parsed.engine == "dist" {
         return run_dist(&parsed, &app_xml, &repo, opts, recorder);
     }
+    let recipe = make_recipe(&parsed, &app_xml);
 
     // Build the topology once just to learn the sites it wants, so an
     // auto-generated uniform grid can cover them when no --grid is given.
@@ -481,7 +513,7 @@ fn run(args: &[String]) -> ExitCode {
         }
     };
 
-    finish(&parsed, &report, recorder.as_ref())
+    finish(&parsed, &report, recorder.as_ref(), Some(&recipe))
 }
 
 /// Coordinator side of `--engine dist`: bind, announce the control
@@ -535,8 +567,9 @@ fn run_dist(
         }
     }
     eprintln!("waiting for {} workers...", parsed.workers);
+    let recipe = make_recipe(parsed, app_xml);
     match engine.run(repo) {
-        Ok(report) => finish(parsed, &report, recorder.as_ref()),
+        Ok(report) => finish(parsed, &report, recorder.as_ref(), Some(&recipe)),
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -544,11 +577,40 @@ fn run_dist(
     }
 }
 
+/// The replayable description of the run the CLI was asked to make.
+fn make_recipe(parsed: &RunArgs, app_xml: &str) -> RunRecipe {
+    let mut recipe = RunRecipe::new(app_xml, parsed.engine.as_str());
+    recipe.grid_xml = parsed.grid_path.as_ref().and_then(|p| std::fs::read_to_string(p).ok());
+    recipe.duration = parsed.duration;
+    recipe.max_time = parsed.max_time;
+    recipe.observe_ms = parsed.observe_ms;
+    recipe.adapt_ms = parsed.adapt_ms;
+    recipe.chaos = parsed.chaos.as_ref().map(|p| p.to_spec());
+    recipe
+}
+
+/// Rewrite `app_xml` so every adapting stage declares `policy`.
+fn apply_policy_to_xml(
+    app_xml: &str,
+    kind: PolicyKind,
+    repo: &ApplicationRepository,
+) -> Result<String, String> {
+    let mut config = gates::grid::AppConfig::from_xml(app_xml).map_err(|e| e.to_string())?;
+    let probe = repo.build(&config).map_err(|e| e.to_string())?;
+    for stage in probe.stages() {
+        if stage.adaptation.is_some() {
+            config.set_policy(&stage.name, kind);
+        }
+    }
+    Ok(config.to_xml())
+}
+
 /// Shared tail of every `run` variant: persist the trace, print tables.
 fn finish(
     parsed: &RunArgs,
     report: &gates::core::report::RunReport,
     recorder: Option<&Arc<FlightRecorder>>,
+    recipe: Option<&RunRecipe>,
 ) -> ExitCode {
     if let (Some(path), Some(rec)) = (&parsed.trace_path, recorder) {
         if let Err(e) = rec.save_jsonl(path) {
@@ -557,6 +619,16 @@ fn finish(
         }
         println!("{}", rec.run_trace().summary_table());
         eprintln!("trace written to {path} ({} events)", rec.len());
+    }
+    if let (Some(path), Some(rec), Some(recipe)) = (&parsed.record_path, recorder, recipe) {
+        if let Err(e) = Recording::save(path, recipe, rec) {
+            eprintln!("error: cannot write recording {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "recording written to {path} ({} trace events; replay with: gates-cli replay {path})",
+            rec.len()
+        );
     }
 
     // A partial run must never look like a clean one: name every worker
@@ -591,4 +663,107 @@ fn finish(
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `gates-cli replay`: re-drive a recording, optionally under a
+/// different adaptation policy, and diff the adaptation-round traces.
+fn replay_cmd(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("error: replay needs a recording file\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let mut policy = None;
+    let mut trace_out = None;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = |n: &str| it.next().cloned().ok_or_else(|| format!("{n} needs a value"));
+        let result: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--policy" => {
+                    policy = Some(
+                        PolicyKind::parse(&value("--policy")?)
+                            .map_err(|e| format!("--policy: {e}"))?,
+                    )
+                }
+                "--trace" => trace_out = Some(value("--trace")?),
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let recording = match Recording::load(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut repo = ApplicationRepository::new();
+    apps::publish_all(&mut repo);
+    eprintln!(
+        "replaying {path} (engine {}, {} recorded adaptation rounds){}",
+        recording.recipe.engine,
+        recording.adapt_lines().len(),
+        match policy {
+            Some(kind) => format!(" under policy {kind}"),
+            None => String::new(),
+        }
+    );
+    let (report, recorder) = match gates::replay::replay(&recording.recipe, policy, &repo) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(out) = &trace_out {
+        if let Err(e) = recorder.save_jsonl(out) {
+            eprintln!("error: cannot write trace {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("replay trace written to {out} ({} events)", recorder.len());
+    }
+
+    let recorded = recording.adapt_lines();
+    let replayed = gates::replay::adapt_lines_of(&recorder);
+    let diff = diff_adapt(&recorded, &replayed);
+    println!("{}", report.summary_table());
+    if policy.is_none() {
+        // Same recipe, same policy: on the virtual-time engine the
+        // adaptation trace must match the recording bit for bit.
+        // (Integration tests and CI parse these lines.)
+        if diff.identical() {
+            println!("replay: adaptation trace identical to recording ({} rounds)", diff.recorded);
+            ExitCode::SUCCESS
+        } else {
+            println!(
+                "replay: DIVERGED — {} recorded vs {} replayed rounds",
+                diff.recorded, diff.replayed
+            );
+            if let Some((i, a, b)) = &diff.first_divergence {
+                println!("  first divergence at round {i}:");
+                println!("    recorded: {}", a.as_deref().unwrap_or("<missing>"));
+                println!("    replayed: {}", b.as_deref().unwrap_or("<missing>"));
+            }
+            ExitCode::FAILURE
+        }
+    } else {
+        // A-B mode: divergence is the point; report how far apart.
+        match &diff.first_divergence {
+            Some((i, _, _)) => println!(
+                "replay: {} recorded vs {} replayed rounds; traces diverge at round {i}",
+                diff.recorded, diff.replayed
+            ),
+            None => println!(
+                "replay: adaptation trace identical despite policy change ({} rounds)",
+                diff.recorded
+            ),
+        }
+        ExitCode::SUCCESS
+    }
 }

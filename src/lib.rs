@@ -48,6 +48,8 @@
 //! assert!(report.execution_secs() > 0.0);
 //! ```
 
+pub mod replay;
+
 pub use gates_apps as apps;
 pub use gates_core as core;
 pub use gates_engine as engine;

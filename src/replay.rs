@@ -1,0 +1,512 @@
+//! Record/replay harness for deterministic A-B runs.
+//!
+//! A **recording** is one JSONL file: a `recipe` header line holding
+//! everything that *generates* the run — the application XML (which
+//! carries the source seeds and, via `<stage policy=...>`, the
+//! adaptation policies), the optional grid XML, the engine name, the
+//! timing knobs, and the `--chaos` fault-plan spec — followed by the
+//! run's lossless flight-recorder trace (see
+//! [`gates_core::trace::FlightRecorder`]). Capturing the generative
+//! inputs rather than raw packets is what makes re-driving possible:
+//! sources are seeded deterministic generators, fault plans are seeded,
+//! and the virtual-time engine schedules bit-identically from the same
+//! inputs.
+//!
+//! [`replay`] re-runs the recipe — optionally swapping every stage's
+//! adaptation policy — and [`diff_adapt`] compares the adaptation-round
+//! trace of the replay against the recording line-for-line. On the
+//! virtual-time (`des`) engine a replay with the *same* policy must be
+//! **bit-identical**: every `{"type":"adapt",...}` line, timestamps
+//! included, matches the recording exactly. Wall-clock engines re-drive
+//! the same inputs but schedule on real time, so their adaptation
+//! traces are comparable, not identical.
+//!
+//! ```text
+//! gates-cli run app.xml --record out.jsonl      # capture
+//! gates-cli replay out.jsonl                    # verify bit-identity
+//! gates-cli replay out.jsonl --policy aimd      # A-B: same run, new policy
+//! ```
+
+use std::sync::Arc;
+
+use gates_core::adapt::PolicyKind;
+use gates_core::report::RunReport;
+use gates_core::trace::FlightRecorder;
+use gates_engine::{DesEngine, RunOptions, ThreadedEngine};
+use gates_grid::{registry_from_xml, AppConfig, ApplicationRepository, Launcher, ResourceRegistry};
+use gates_sim::{SimDuration, SimTime};
+
+/// Everything needed to re-drive a run: the generative inputs, not the
+/// generated traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecipe {
+    /// The application configuration XML, verbatim (carries source
+    /// seeds as `<param>`s and per-stage policies as `<stage>` attrs).
+    pub app_xml: String,
+    /// The grid/resource XML, verbatim, when one was supplied.
+    pub grid_xml: Option<String>,
+    /// Engine the recording was made on: `des`, `threaded` or `dist`.
+    pub engine: String,
+    /// `--duration` (virtual seconds), when one was given.
+    pub duration: Option<u64>,
+    /// `--max-time` override, seconds.
+    pub max_time: Option<f64>,
+    /// `--observe-ms` override.
+    pub observe_ms: Option<u64>,
+    /// `--adapt-ms` override.
+    pub adapt_ms: Option<u64>,
+    /// The `--chaos` fault-plan spec string (seeded, so replayable).
+    pub chaos: Option<String>,
+}
+
+impl RunRecipe {
+    /// A recipe for `app_xml` on the given engine, everything else
+    /// defaulted.
+    pub fn new(app_xml: impl Into<String>, engine: impl Into<String>) -> Self {
+        RunRecipe {
+            app_xml: app_xml.into(),
+            grid_xml: None,
+            engine: engine.into(),
+            duration: None,
+            max_time: None,
+            observe_ms: None,
+            adapt_ms: None,
+            chaos: None,
+        }
+    }
+
+    /// Serialize as the one-line JSON header of a recording.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(self.app_xml.len() + 256);
+        out.push_str("{\"type\":\"recipe\",\"app_xml\":");
+        escape(&self.app_xml, &mut out);
+        out.push_str(",\"grid_xml\":");
+        match &self.grid_xml {
+            Some(g) => escape(g, &mut out),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"engine\":");
+        escape(&self.engine, &mut out);
+        for (key, val) in [
+            ("duration", self.duration.map(|v| v as f64)),
+            ("max_time", self.max_time),
+            ("observe_ms", self.observe_ms.map(|v| v as f64)),
+            ("adapt_ms", self.adapt_ms.map(|v| v as f64)),
+        ] {
+            out.push_str(",\"");
+            out.push_str(key);
+            out.push_str("\":");
+            match val {
+                Some(v) => out.push_str(&format_num(v)),
+                None => out.push_str("null"),
+            }
+        }
+        out.push_str(",\"chaos\":");
+        match &self.chaos {
+            Some(c) => escape(c, &mut out),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parse a recipe header line written by [`RunRecipe::to_json_line`].
+    pub fn from_json_line(line: &str) -> Result<Self, ReplayError> {
+        let fields = parse_flat_object(line)?;
+        let str_field = |key: &str| -> Option<String> {
+            fields.iter().find(|(k, _)| k == key).and_then(|(_, v)| match v {
+                JsonVal::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+        };
+        let num_field = |key: &str| -> Option<f64> {
+            fields.iter().find(|(k, _)| k == key).and_then(|(_, v)| match v {
+                JsonVal::Num(n) => Some(*n),
+                _ => None,
+            })
+        };
+        if str_field("type").as_deref() != Some("recipe") {
+            return Err(ReplayError("first line of a recording must be a recipe".into()));
+        }
+        Ok(RunRecipe {
+            app_xml: str_field("app_xml")
+                .ok_or_else(|| ReplayError("recipe is missing app_xml".into()))?,
+            grid_xml: str_field("grid_xml"),
+            engine: str_field("engine").unwrap_or_else(|| "des".into()),
+            duration: num_field("duration").map(|v| v as u64),
+            max_time: num_field("max_time"),
+            observe_ms: num_field("observe_ms").map(|v| v as u64),
+            adapt_ms: num_field("adapt_ms").map(|v| v as u64),
+            chaos: str_field("chaos"),
+        })
+    }
+}
+
+/// A loaded recording: the recipe plus the captured trace lines.
+#[derive(Debug, Clone)]
+pub struct Recording {
+    /// The generative inputs of the recorded run.
+    pub recipe: RunRecipe,
+    /// The flight-recorder JSONL lines, in capture order.
+    pub trace_lines: Vec<String>,
+}
+
+impl Recording {
+    /// Write a recording: the recipe header followed by the recorder's
+    /// full trace.
+    pub fn save(
+        path: impl AsRef<std::path::Path>,
+        recipe: &RunRecipe,
+        recorder: &FlightRecorder,
+    ) -> std::io::Result<()> {
+        let mut out = recipe.to_json_line();
+        out.push('\n');
+        out.push_str(&recorder.to_jsonl());
+        std::fs::write(path, out)
+    }
+
+    /// Load a recording written by [`Recording::save`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, ReplayError> {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| ReplayError(format!("cannot read recording: {e}")))?;
+        let mut lines = text.lines();
+        let head = lines.next().ok_or_else(|| ReplayError("recording is empty".into()))?;
+        let recipe = RunRecipe::from_json_line(head)?;
+        Ok(Recording {
+            recipe,
+            trace_lines: lines.filter(|l| !l.trim().is_empty()).map(str::to_string).collect(),
+        })
+    }
+
+    /// The recording's adaptation-round lines, in capture order.
+    pub fn adapt_lines(&self) -> Vec<&str> {
+        self.trace_lines.iter().map(String::as_str).filter(|l| is_adapt_line(l)).collect()
+    }
+}
+
+/// Errors from loading, parsing, or re-driving a recording.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayError(pub String);
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "replay: {}", self.0)
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Re-drive a recipe and capture a fresh lossless trace.
+///
+/// `policy` swaps the adaptation policy of **every** adapting stage
+/// (the A-B lever); `None` keeps whatever the recipe's XML declares.
+/// `repo` must contain the recipe's application, exactly as for a live
+/// run. Only the `des` and `threaded` engines can be re-driven in
+/// process; a `dist` recording replays on `des` (same topology, same
+/// seeds, virtual time).
+pub fn replay(
+    recipe: &RunRecipe,
+    policy: Option<PolicyKind>,
+    repo: &ApplicationRepository,
+) -> Result<(RunReport, Arc<FlightRecorder>), ReplayError> {
+    let mut config = AppConfig::from_xml(&recipe.app_xml)
+        .map_err(|e| ReplayError(format!("recipe app xml: {e}")))?;
+
+    // Probe the logical topology once to learn which stages adapt, so a
+    // policy override can name them all.
+    let probe = repo.build(&config).map_err(|e| ReplayError(format!("build application: {e}")))?;
+    if let Some(kind) = policy {
+        for stage in probe.stages() {
+            if stage.adaptation.is_some() {
+                config.set_policy(&stage.name, kind);
+            }
+        }
+    }
+
+    let registry = match &recipe.grid_xml {
+        Some(xml) => {
+            registry_from_xml(xml).map_err(|e| ReplayError(format!("recipe grid xml: {e}")))?
+        }
+        None => {
+            let mut seen = std::collections::BTreeSet::new();
+            let sites: Vec<&str> = probe
+                .stages()
+                .iter()
+                .map(|s| s.site.as_str())
+                .filter(|s| seen.insert(*s))
+                .collect();
+            ResourceRegistry::uniform_cluster(&sites)
+        }
+    };
+
+    let recorder = Arc::new(FlightRecorder::lossless());
+    let mut opts = RunOptions::default().recorder(Arc::clone(&recorder) as _);
+    if let Some(mt) = recipe.max_time {
+        opts = opts.max_time(SimTime::from_secs_f64(mt));
+    }
+    if let Some(ms) = recipe.observe_ms {
+        opts = opts.observe_every(SimDuration::from_millis(ms));
+    }
+    if let Some(ms) = recipe.adapt_ms {
+        opts = opts.adapt_every(SimDuration::from_millis(ms));
+    }
+    if let Some(spec) = &recipe.chaos {
+        let plan = gates_net::FaultPlan::parse(spec)
+            .map_err(|e| ReplayError(format!("recipe chaos spec: {e}")))?;
+        opts = opts.chaos(plan);
+    }
+
+    let deployment = Launcher::new()
+        .launch(config, repo, &registry)
+        .map_err(|e| ReplayError(format!("launch: {e}")))?;
+
+    let report = match recipe.engine.as_str() {
+        "threaded" => ThreadedEngine::new(deployment.topology, &deployment.plan, opts)
+            .and_then(ThreadedEngine::run)
+            .map_err(|e| ReplayError(format!("threaded run: {e}")))?,
+        // `des` — and `dist`, which re-drives in virtual time.
+        _ => {
+            let mut engine = DesEngine::new(deployment.topology, &deployment.plan, opts)
+                .map_err(|e| ReplayError(format!("des run: {e}")))?;
+            match recipe.duration {
+                Some(secs) => engine.run_for(SimDuration::from_secs(secs)),
+                None => engine.run_to_completion(),
+            }
+        }
+    };
+    Ok((report, recorder))
+}
+
+/// The outcome of comparing two adaptation-round traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptDiff {
+    /// Adaptation rounds in the recording.
+    pub recorded: usize,
+    /// Adaptation rounds in the replay.
+    pub replayed: usize,
+    /// First index where the traces disagree, with both lines
+    /// (`None` for a missing line when lengths differ).
+    pub first_divergence: Option<(usize, Option<String>, Option<String>)>,
+}
+
+impl AdaptDiff {
+    /// True when the traces are bit-identical: same number of rounds,
+    /// every line equal.
+    pub fn identical(&self) -> bool {
+        self.first_divergence.is_none() && self.recorded == self.replayed
+    }
+}
+
+/// Compare two adaptation-round traces line-for-line.
+pub fn diff_adapt<A: AsRef<str>, B: AsRef<str>>(recorded: &[A], replayed: &[B]) -> AdaptDiff {
+    let n = recorded.len().max(replayed.len());
+    let mut first = None;
+    for i in 0..n {
+        let a = recorded.get(i).map(|l| l.as_ref());
+        let b = replayed.get(i).map(|l| l.as_ref());
+        if a != b {
+            first = Some((i, a.map(str::to_string), b.map(str::to_string)));
+            break;
+        }
+    }
+    AdaptDiff { recorded: recorded.len(), replayed: replayed.len(), first_divergence: first }
+}
+
+/// True for flight-recorder lines describing an adaptation round.
+pub fn is_adapt_line(line: &str) -> bool {
+    line.starts_with("{\"type\":\"adapt\"")
+}
+
+/// Extract the adaptation-round lines from a recorder's JSONL dump.
+pub fn adapt_lines_of(recorder: &FlightRecorder) -> Vec<String> {
+    recorder.to_jsonl().lines().filter(|l| is_adapt_line(l)).map(str::to_string).collect()
+}
+
+// ---------------------------------------------------------------------
+// Minimal flat-JSON plumbing (the workspace carries no JSON dependency;
+// the recipe line is one flat object of strings, numbers and nulls).
+
+fn format_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum JsonVal {
+    Str(String),
+    Num(f64),
+    Null,
+}
+
+/// Parse one flat JSON object — string/number/null/bool values only, no
+/// nesting — into key/value pairs.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonVal)>, ReplayError> {
+    let bad = |msg: &str| ReplayError(format!("bad recipe line: {msg}"));
+    let mut chars = line.trim().chars().peekable();
+    let mut fields = Vec::new();
+    if chars.next() != Some('{') {
+        return Err(bad("expected '{'"));
+    }
+    loop {
+        // Skip whitespace and separators up to the next key or the end.
+        while matches!(chars.peek(), Some(&c) if c.is_whitespace() || c == ',') {
+            chars.next();
+        }
+        match chars.peek() {
+            Some('}') => break,
+            Some('"') => {}
+            _ => return Err(bad("expected a key")),
+        }
+        let key = parse_string(&mut chars).ok_or_else(|| bad("unterminated key"))?;
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        if chars.next() != Some(':') {
+            return Err(bad("expected ':'"));
+        }
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        let val = match chars.peek() {
+            Some('"') => {
+                JsonVal::Str(parse_string(&mut chars).ok_or_else(|| bad("unterminated string"))?)
+            }
+            Some('n') => {
+                for expect in "null".chars() {
+                    if chars.next() != Some(expect) {
+                        return Err(bad("expected null"));
+                    }
+                }
+                JsonVal::Null
+            }
+            Some('t') | Some('f') => {
+                // Booleans: tolerated, surfaced as numbers 1/0.
+                let word: String =
+                    std::iter::from_fn(|| chars.next_if(|c| c.is_ascii_alphabetic())).collect();
+                match word.as_str() {
+                    "true" => JsonVal::Num(1.0),
+                    "false" => JsonVal::Num(0.0),
+                    _ => return Err(bad("expected a boolean")),
+                }
+            }
+            Some(&c) if c.is_ascii_digit() || c == '-' => {
+                let raw: String = std::iter::from_fn(|| {
+                    chars
+                        .next_if(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+                })
+                .collect();
+                JsonVal::Num(raw.parse().map_err(|_| bad("malformed number"))?)
+            }
+            _ => return Err(bad("unsupported value (nested objects not allowed)")),
+        };
+        fields.push((key, val));
+    }
+    Ok(fields)
+}
+
+/// Parse a JSON string literal starting at the opening quote.
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    if chars.next() != Some('"') {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'b' => out.push('\u{8}'),
+                'f' => out.push('\u{c}'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recipe_round_trips_through_json() {
+        let mut recipe = RunRecipe::new(
+            "<application name=\"x\" repository=\"y\">\n  <param name=\"seed\" value=\"7\"/>\n</application>",
+            "des",
+        );
+        recipe.duration = Some(30);
+        recipe.observe_ms = Some(100);
+        recipe.chaos = Some("seed=7,drop=0.02,delay=5ms..40ms".into());
+        let line = recipe.to_json_line();
+        assert!(!line.contains('\n'), "recipe must be one line");
+        let back = RunRecipe::from_json_line(&line).unwrap();
+        assert_eq!(back, recipe);
+    }
+
+    #[test]
+    fn recipe_handles_awkward_strings() {
+        let mut recipe = RunRecipe::new("a \"quoted\" \\ backslash\ttab", "threaded");
+        recipe.grid_xml = Some("<grid>\n</grid>".into());
+        let back = RunRecipe::from_json_line(&recipe.to_json_line()).unwrap();
+        assert_eq!(back, recipe);
+    }
+
+    #[test]
+    fn junk_headers_rejected() {
+        assert!(RunRecipe::from_json_line("").is_err());
+        assert!(RunRecipe::from_json_line("not json").is_err());
+        assert!(RunRecipe::from_json_line("{\"type\":\"adapt\"}").is_err());
+        assert!(RunRecipe::from_json_line("{\"type\":\"recipe\"}").is_err(), "missing app_xml");
+        assert!(RunRecipe::from_json_line("{\"type\":\"recipe\",\"app_xml\":{}}").is_err());
+    }
+
+    #[test]
+    fn diff_reports_first_divergence() {
+        let a = ["x", "y", "z"];
+        let b = ["x", "q", "z"];
+        let d = diff_adapt(&a, &b);
+        assert!(!d.identical());
+        let (i, left, right) = d.first_divergence.unwrap();
+        assert_eq!((i, left.as_deref(), right.as_deref()), (1, Some("y"), Some("q")));
+
+        let d = diff_adapt(&a, &a[..2]);
+        assert!(!d.identical());
+        assert_eq!(d.first_divergence.unwrap().0, 2);
+
+        assert!(diff_adapt(&a, &a).identical());
+        assert!(diff_adapt::<&str, &str>(&[], &[]).identical());
+    }
+}
