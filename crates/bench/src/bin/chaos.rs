@@ -96,6 +96,15 @@ enum DrillOutcome {
         fault_events: Vec<(String, String, String)>,
         /// `reconnecting -> reconnected` latencies, milliseconds.
         recoveries_ms: Vec<f64>,
+        /// Frames lost past repair. Asserted zero on clean drills: the
+        /// at-least-once layer must absorb every injected drop.
+        packets_lost: u64,
+        /// Frames re-transmitted to repair injected faults.
+        packets_replayed: u64,
+        /// Duplicate frames discarded by receiver dedup.
+        packets_deduped: u64,
+        /// Microseconds senders spent stalled on a full credit window.
+        backpressure_us: u64,
     },
     /// The coordinator was still running at the hard timeout.
     Hang,
@@ -200,11 +209,26 @@ fn run_drill(exe: &std::path::Path, plan: &FaultPlan) -> DrillOutcome {
         }
     }
 
+    let clean = report.lost_workers.is_empty();
+    if clean {
+        // No worker was given up on, so every injected drop and dup
+        // must have been repaired by replay + dedup.
+        assert_eq!(
+            report.packets_lost, 0,
+            "clean chaos drill lost {} packets; replay must repair injected drops",
+            report.packets_lost
+        );
+    }
+
     DrillOutcome::Finished {
-        clean: report.lost_workers.is_empty(),
+        clean,
         faults: report.faults_injected,
         fault_events,
         recoveries_ms,
+        packets_lost: report.packets_lost,
+        packets_replayed: report.packets_replayed,
+        packets_deduped: report.packets_deduped,
+        backpressure_us: report.backpressure_us,
     }
 }
 
@@ -257,15 +281,30 @@ fn main() {
         let plan = FaultPlan::parse(regime.spec).expect("regime spec parses");
         let (mut clean, mut partial, mut hangs) = (0u32, 0u32, 0u32);
         let mut faults_total = 0u64;
+        let (mut lost_total, mut replayed_total) = (0u64, 0u64);
+        let (mut deduped_total, mut stalled_total) = (0u64, 0u64);
         for i in 0..drills {
             match run_drill(&exe, &plan) {
-                DrillOutcome::Finished { clean: ok, faults, fault_events, recoveries_ms } => {
+                DrillOutcome::Finished {
+                    clean: ok,
+                    faults,
+                    fault_events,
+                    recoveries_ms,
+                    packets_lost,
+                    packets_replayed,
+                    packets_deduped,
+                    backpressure_us,
+                } => {
                     if ok {
                         clean += 1;
                     } else {
                         partial += 1;
                     }
                     faults_total += faults;
+                    lost_total += packets_lost;
+                    replayed_total += packets_replayed;
+                    deduped_total += packets_deduped;
+                    stalled_total += backpressure_us;
                     all_recoveries.extend(recoveries_ms);
                     // The first two loss drills double as the
                     // determinism pair: same seed, same casualties.
@@ -273,12 +312,15 @@ fn main() {
                         determinism_traces.push(fault_events);
                     }
                     eprintln!(
-                        "{} drill {}/{}: {} ({} faults)",
+                        "{} drill {}/{}: {} ({} faults, {} lost / {} replayed / {} deduped)",
                         regime.name,
                         i + 1,
                         drills,
                         if ok { "clean" } else { "partial" },
-                        faults
+                        faults,
+                        packets_lost,
+                        packets_replayed,
+                        packets_deduped
                     );
                 }
                 DrillOutcome::Hang => {
@@ -306,6 +348,26 @@ fn main() {
             bench: format!("chaos_{}_faults_mean", regime.name),
             value: faults_total as f64 / drills as f64,
             unit: "faults",
+        });
+        rows.push(Row {
+            bench: format!("chaos_{}_packets_lost_total", regime.name),
+            value: lost_total as f64,
+            unit: "packets",
+        });
+        rows.push(Row {
+            bench: format!("chaos_{}_replayed_mean", regime.name),
+            value: replayed_total as f64 / drills as f64,
+            unit: "packets",
+        });
+        rows.push(Row {
+            bench: format!("chaos_{}_deduped_mean", regime.name),
+            value: deduped_total as f64 / drills as f64,
+            unit: "packets",
+        });
+        rows.push(Row {
+            bench: format!("chaos_{}_backpressure_us_mean", regime.name),
+            value: stalled_total as f64 / drills as f64,
+            unit: "us",
         });
     }
 

@@ -1,0 +1,609 @@
+//! Delivery-semantics bench: at-least-once accounting under fire,
+//! machine-readable.
+//!
+//! Three measurements back the PR10 acceptance criteria:
+//!
+//! * **SIGKILL drills** — the PR4 failover scenario (kill the worker
+//!   hosting the collector mid-run) repeated N times. Each drill runs
+//!   the counting-samples pipeline on an in-process coordinator plus
+//!   three re-exec'd worker subprocesses, extracts the detect /
+//!   reassign / resume segments from the flight recorder, and asserts
+//!   `packets_lost == 0`: every frame unacked at the kill must be
+//!   replayed to the adopted stage.
+//! * **Chaos drills** — the PR5 loss regime (`drop=0.02,dup=0.01`,
+//!   seeded) repeated N times. Each drill asserts `packets_lost == 0`,
+//!   demands dedup actually fired, and checks exact conservation from
+//!   the run report's stage counters: the collector's `packets_in`
+//!   must equal the summarizers' combined `packets_out` — injected
+//!   duplicates must not inflate the count by even one frame.
+//! * **Acked loopback throughput** — 1 KiB packets pumped over
+//!   loopback TCP through the full PR10 send path: link sequence
+//!   stamped per frame ([`Packet::encode_into_with_seq`]), the encoded
+//!   frame retained in an [`AckWindow`] until the receiver's
+//!   cumulative ack confirms it, and the sender stalling whenever the
+//!   credit window fills. The PR8 raw-transport number
+//!   (`dist_loopback_reactor_1KiB`, recorded in `BENCH_PR8.json`) is
+//!   carried forward so the cost of at-least-once delivery is a ratio
+//!   inside one file; acceptance wants it within 15%.
+//!
+//! Output: JSON rows (default `results/BENCH_PR10.json`) in the PR3
+//! `{"bench", "value", "unit"}` schema. Flags: `--smoke` shrinks drill
+//! counts and the throughput run for CI; `--out <path>` overrides the
+//! output file.
+
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use gates_apps as apps;
+use gates_core::trace::{FlightRecorder, LinkEventKind, TraceEvent};
+use gates_core::Packet;
+use gates_engine::{DistConfig, DistEngine, DistWorker, RunOptions};
+use gates_grid::ApplicationRepository;
+use gates_net::{AckWindow, FaultPlan, Frame, FrameKind, FrameStream, RetryPolicy};
+
+/// A ~4 s counting-samples stream: the 1.2 s kill lands mid-run with
+/// plenty of traffic still to move, and `flush_every=50` keeps enough
+/// summary frames in flight that the loss regime's 2% drop rate hits
+/// several frames per drill.
+const APP_XML: &str = r#"<application name="delivery-drill" repository="count-samps">
+  <param name="sources" value="2"/>
+  <param name="items_per_source" value="8000"/>
+  <param name="rate" value="2000"/>
+  <param name="mode" value="distributed"/>
+  <param name="k" value="40"/>
+  <param name="flush_every" value="50"/>
+  <param name="bandwidth_kb" value="1000"/>
+  <param name="seed" value="7"/>
+</application>
+"#;
+
+/// The PR5 regime the replay/dedup machinery exists for: pure frame
+/// loss plus duplication, no corruption (which forces reconnects and
+/// is measured separately by the chaos bench).
+const LOSS_SPEC: &str = "seed=7,drop=0.02,dup=0.01";
+
+/// PR8's recorded raw-transport loopback throughput at 1 KiB
+/// (`dist_loopback_reactor_1KiB` in `BENCH_PR8.json`) — the pre-PR10
+/// baseline the acked path is compared against.
+const PRE_PR10_1KIB_PPS: f64 = 443_745.900;
+
+/// Sender-side credit window / replay retention, matching the
+/// `DistConfig` defaults the real data plane runs with.
+const ACK_WINDOW: usize = 256;
+const REPLAY_RETAIN: usize = 1024;
+
+struct Row {
+    bench: String,
+    value: f64,
+    unit: &'static str,
+}
+
+// --- drill harness (re-exec worker pattern, as failover/chaos) --------
+
+fn spawn_worker(exe: &std::path::Path, name: &str, site: &str, addr: &str) -> Child {
+    Command::new(exe)
+        .args(["--worker", name, site, addr])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn worker subprocess")
+}
+
+/// Child-process entry (re-exec): one worker of the drill pipeline.
+fn worker_main(name: &str, site: &str, coordinator: &str) -> ! {
+    let mut repo = ApplicationRepository::new();
+    apps::publish_all(&mut repo);
+    let worker = DistWorker::new(name, coordinator).site(site);
+    match worker.run(&repo) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("worker {name}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// First link event of the given kind observed by `node` (empty = any).
+fn event_t(events: &[TraceEvent], kind: LinkEventKind, node: &str) -> Option<f64> {
+    events.iter().find_map(|e| match e {
+        TraceEvent::Link(l) if l.kind == kind && (node.is_empty() || l.node == node) => Some(l.t),
+        _ => None,
+    })
+}
+
+fn drill_config() -> DistConfig {
+    DistConfig::default()
+        .drain_window(Duration::from_millis(1_000))
+        .retry(RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(50),
+            ..Default::default()
+        })
+        .checkpoint_every(8)
+}
+
+struct KillDrill {
+    recovery_ms: f64,
+    packets_replayed: u64,
+    backpressure_us: u64,
+}
+
+/// SIGKILL the collector's worker 1.2 s in; the run must still finish
+/// with zero packets lost, the replayed frames covering the gap.
+fn run_kill_drill(exe: &std::path::Path) -> KillDrill {
+    let mut repo = ApplicationRepository::new();
+    apps::publish_all(&mut repo);
+
+    let recorder = Arc::new(FlightRecorder::default());
+    let opts = RunOptions::default().recorder(Arc::clone(&recorder) as _);
+    let engine = DistEngine::bind(APP_XML, "127.0.0.1:0", 3, opts, drill_config())
+        .expect("bind coordinator");
+    let addr = engine.local_addr().expect("coordinator address").to_string();
+
+    let mut survivors =
+        vec![spawn_worker(exe, "w0", "site-0", &addr), spawn_worker(exe, "w1", "site-1", &addr)];
+    let mut victim = spawn_worker(exe, "wc", "central", &addr);
+
+    let run_started = Instant::now();
+    let run = std::thread::spawn(move || engine.run(&repo));
+
+    std::thread::sleep(Duration::from_millis(1_200));
+    let kill_at = run_started.elapsed().as_secs_f64();
+    victim.kill().expect("SIGKILL victim worker");
+    let _ = victim.wait();
+
+    let report = run.join().expect("coordinator thread").expect("coordinator run");
+    for w in &mut survivors {
+        let _ = w.wait();
+    }
+
+    assert!(
+        report.lost_workers.iter().any(|l| l.worker == "wc"),
+        "drill must report the killed worker; got {:?}",
+        report.lost_workers
+    );
+    assert_eq!(
+        report.packets_lost, 0,
+        "SIGKILL drill lost {} packets; at-least-once delivery must replay them",
+        report.packets_lost
+    );
+
+    let events = recorder.snapshot();
+    // Recovery = kill -> the adopting survivor's `resumed` event. The
+    // adopter stamps resumed on its own clock, which shares the
+    // coordinator's run-start anchor to within spawn overhead.
+    let t_resumed = event_t(&events, LinkEventKind::Resumed, "").expect("resumed event recorded");
+
+    KillDrill {
+        recovery_ms: (t_resumed - kill_at).max(0.0) * 1e3,
+        packets_replayed: report.packets_replayed,
+        backpressure_us: report.backpressure_us,
+    }
+}
+
+struct ChaosDrill {
+    packets_replayed: u64,
+    packets_deduped: u64,
+    backpressure_us: u64,
+    /// Summarizers' combined `packets_out` and the collector's
+    /// `packets_in`; conservation demands they match exactly.
+    emitted: u64,
+    arrived: u64,
+}
+
+impl ChaosDrill {
+    fn conserved(&self) -> bool {
+        self.emitted == self.arrived
+    }
+}
+
+/// One loss-regime drill: seeded drop+dup on every link, no kills.
+/// Must finish clean with zero loss and an exactly conserved count.
+fn run_chaos_drill(exe: &std::path::Path, plan: &FaultPlan) -> ChaosDrill {
+    let mut repo = ApplicationRepository::new();
+    apps::publish_all(&mut repo);
+
+    let opts = RunOptions::default();
+    let config = drill_config().fault(plan.clone());
+    let engine =
+        DistEngine::bind(APP_XML, "127.0.0.1:0", 3, opts, config).expect("bind coordinator");
+    let addr = engine.local_addr().expect("coordinator address").to_string();
+
+    let mut workers = vec![
+        spawn_worker(exe, "w0", "site-0", &addr),
+        spawn_worker(exe, "w1", "site-1", &addr),
+        spawn_worker(exe, "wc", "central", &addr),
+    ];
+
+    let report = engine.run(&repo).expect("coordinator run");
+    for w in &mut workers {
+        let _ = w.wait();
+    }
+
+    assert!(
+        report.lost_workers.is_empty(),
+        "loss-regime drill must not lose workers; got {:?}",
+        report.lost_workers
+    );
+    assert_eq!(
+        report.packets_lost, 0,
+        "loss-regime drill lost {} packets; replay must repair injected drops",
+        report.packets_lost
+    );
+
+    // Exact conservation from the report's own stage counters: the
+    // summarizers' only out-edges are the remote links into the
+    // collector, so every emitted frame must arrive exactly once —
+    // injected duplicates must not inflate the count.
+    let stage = |name: &str| {
+        report
+            .stages
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("stage {name} in report"))
+    };
+    let emitted = stage("summarizer-0").packets_out + stage("summarizer-1").packets_out;
+    let arrived = stage("collector").packets_in;
+
+    ChaosDrill {
+        packets_replayed: report.packets_replayed,
+        packets_deduped: report.packets_deduped,
+        backpressure_us: report.backpressure_us,
+        emitted,
+        arrived,
+    }
+}
+
+// --- acked loopback throughput ----------------------------------------
+
+fn payload(len: usize) -> Bytes {
+    let mut v = Vec::with_capacity(len);
+    let mut x = 0x9E37_79B9u32;
+    for _ in 0..len {
+        x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        v.push((x >> 24) as u8);
+    }
+    Bytes::from(v)
+}
+
+/// Pump `n` 1 KiB packets over loopback. With `acked` the full PR10
+/// send path runs: per-frame link seq, frame retained in the ack
+/// window, cumulative acks flowing back on the same socket, sender
+/// stalling on a full credit window. Without it the pre-PR10 shape
+/// runs — same encode, batch, and socket, no retention and no acks —
+/// so the two numbers isolate the at-least-once overhead on the same
+/// machine in the same process. Returns (packets/s, stall seconds).
+fn loopback_pps(n: u64, payload_len: usize, acked: bool) -> (f64, f64) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let sender_sock = TcpStream::connect(addr).expect("connect loopback");
+    let (server_sock, _) = listener.accept().expect("accept");
+
+    let done = Arc::new(AtomicBool::new(false));
+    let received = Arc::new(AtomicU64::new(0));
+
+    // Receiver: deliver in seq order, ack cumulatively every 64 frames
+    // (the sweep-batched cadence the real exchange uses).
+    let rx_done = Arc::clone(&done);
+    let rx_count = Arc::clone(&received);
+    let ack_writer_sock = server_sock.try_clone().expect("clone server socket");
+    let receiver = std::thread::spawn(move || {
+        let mut fs = FrameStream::new(server_sock);
+        let mut ack_fs = FrameStream::new(ack_writer_sock);
+        let mut cursor = 0u64;
+        while let Ok(Some(frame)) = fs.read_frame() {
+            match frame.kind {
+                FrameKind::Eos => {
+                    if acked {
+                        let ack = Frame {
+                            kind: FrameKind::Ack,
+                            stream_id: 0,
+                            seq: cursor,
+                            payload: Bytes::new(),
+                        };
+                        let _ = ack_fs.send(&ack);
+                    }
+                    rx_done.store(true, Ordering::Release);
+                    break;
+                }
+                _ => {
+                    if acked {
+                        // Loopback TCP: no loss, so in-order arrival
+                        // is an invariant, not a hope.
+                        assert_eq!(frame.seq, cursor + 1, "loopback delivered out of order");
+                        cursor = frame.seq;
+                    }
+                    rx_count.fetch_add(1, Ordering::Relaxed);
+                    if acked && cursor.is_multiple_of(64) {
+                        let ack = Frame {
+                            kind: FrameKind::Ack,
+                            stream_id: 0,
+                            seq: cursor,
+                            payload: Bytes::new(),
+                        };
+                        let _ = ack_fs.send(&ack);
+                    }
+                }
+            }
+        }
+    });
+
+    // Ack reader: drain cumulative acks into the shared window so the
+    // sender's credit keeps opening.
+    let window = Arc::new(Mutex::new(AckWindow::new(ACK_WINDOW, REPLAY_RETAIN)));
+    let ack_window = Arc::clone(&window);
+    let ack_reader_sock = sender_sock.try_clone().expect("clone sender socket");
+    let ack_done = Arc::clone(&done);
+    let ack_reader = std::thread::spawn(move || {
+        let mut fs = FrameStream::new(ack_reader_sock);
+        fs.set_read_timeout(Some(Duration::from_millis(50))).expect("read timeout");
+        loop {
+            match fs.read_frame() {
+                Ok(Some(f)) if f.kind == FrameKind::Ack => {
+                    ack_window.lock().expect("ack window").ack_delivered(f.seq);
+                }
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(_) => {
+                    if ack_done.load(Ordering::Acquire) {
+                        break;
+                    }
+                }
+            }
+        }
+    });
+
+    let mut fs = FrameStream::new(sender_sock);
+    let body = payload(payload_len);
+    const BATCH: u64 = 32;
+    let mut stalled = Duration::ZERO;
+    let mut sent = 0u64;
+    let started = Instant::now();
+    while sent < n {
+        let full = if acked {
+            // One window lock per coalesced batch, exactly as the real
+            // sender's ingest sweep does.
+            let mut win = window.lock().expect("window");
+            let mut batch = 0u64;
+            while sent < n && batch < BATCH && !win.is_full() {
+                let packet = Packet::data(1, sent, 16, body.clone());
+                let seq = win.next_seq();
+                let buf = fs.queue_buffer();
+                let start = buf.len();
+                packet.encode_into_with_seq(seq, buf);
+                win.push(Bytes::from(buf[start..].to_vec()));
+                sent += 1;
+                batch += 1;
+            }
+            win.is_full()
+        } else {
+            let mut batch = 0u64;
+            while sent < n && batch < BATCH {
+                let packet = Packet::data(1, sent, 16, body.clone());
+                packet.encode_into(fs.queue_buffer());
+                sent += 1;
+                batch += 1;
+            }
+            false
+        };
+        fs.flush_queued().expect("flush");
+        if full && sent < n {
+            // Credit exhausted: the queued bytes are already flushed,
+            // so stall until the receiver's cumulative ack reopens it.
+            let t0 = Instant::now();
+            std::thread::sleep(Duration::from_micros(100));
+            stalled += t0.elapsed();
+        }
+    }
+    Packet::eos(1, n).encode_into(fs.queue_buffer());
+    fs.flush_queued().expect("final flush");
+
+    while !done.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    receiver.join().expect("receiver thread");
+    ack_reader.join().expect("ack reader thread");
+    assert_eq!(received.load(Ordering::Relaxed), n, "receiver must see every packet");
+
+    (n as f64 / elapsed, stalled.as_secs_f64())
+}
+
+/// Percentile over a sorted-ascending slice (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--worker") {
+        let [name, site, addr] = &args[1..] else {
+            eprintln!("usage (internal): delivery --worker <name> <site> <coordinator>");
+            std::process::exit(2);
+        };
+        worker_main(name, site, addr);
+    }
+
+    let mut smoke = false;
+    let mut out = String::from("results/BENCH_PR10.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(path) => out = path.clone(),
+                None => {
+                    eprintln!("error: --out needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag {other:?} (supported: --smoke, --out <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let exe = std::env::current_exe().expect("own executable path");
+    let drills = if smoke { 2 } else { 6 };
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // SIGKILL drills: zero loss across a real failover.
+    let mut recoveries: Vec<f64> = Vec::new();
+    let (mut kill_replayed, mut kill_stalled) = (0u64, 0u64);
+    for i in 0..drills {
+        let d = run_kill_drill(&exe);
+        eprintln!(
+            "kill drill {}/{}: 0 lost, {} replayed, recovery {:.1} ms",
+            i + 1,
+            drills,
+            d.packets_replayed,
+            d.recovery_ms
+        );
+        recoveries.push(d.recovery_ms);
+        kill_replayed += d.packets_replayed;
+        kill_stalled += d.backpressure_us;
+    }
+    recoveries.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    rows.push(Row {
+        bench: "delivery_failover_packets_lost_total".into(),
+        value: 0.0, // asserted per drill; a loss panics the bench
+        unit: "packets",
+    });
+    rows.push(Row {
+        bench: "delivery_failover_replayed_mean".into(),
+        value: kill_replayed as f64 / drills as f64,
+        unit: "packets",
+    });
+    rows.push(Row {
+        bench: "delivery_failover_recovery_ms_p50".into(),
+        value: percentile(&recoveries, 50.0),
+        unit: "ms",
+    });
+    rows.push(Row {
+        bench: "delivery_failover_recovery_ms_p95".into(),
+        value: percentile(&recoveries, 95.0),
+        unit: "ms",
+    });
+    rows.push(Row {
+        bench: "delivery_failover_backpressure_us_mean".into(),
+        value: kill_stalled as f64 / drills as f64,
+        unit: "us",
+    });
+    rows.push(Row { bench: "delivery_failover_drills".into(), value: drills as f64, unit: "runs" });
+
+    // Loss-regime chaos drills: zero loss, dedup fired, count conserved.
+    let plan = FaultPlan::parse(LOSS_SPEC).expect("loss spec parses");
+    let (mut replayed, mut deduped, mut stalled) = (0u64, 0u64, 0u64);
+    let mut conserved_all = true;
+    for i in 0..drills {
+        let d = run_chaos_drill(&exe, &plan);
+        eprintln!(
+            "chaos drill {}/{}: 0 lost, {} replayed, {} deduped, {} emitted -> {} arrived",
+            i + 1,
+            drills,
+            d.packets_replayed,
+            d.packets_deduped,
+            d.emitted,
+            d.arrived
+        );
+        replayed += d.packets_replayed;
+        deduped += d.packets_deduped;
+        stalled += d.backpressure_us;
+        conserved_all &= d.conserved();
+    }
+    assert!(conserved_all, "chaos drills must conserve the packet count exactly");
+    rows.push(Row {
+        bench: "delivery_chaos_packets_lost_total".into(),
+        value: 0.0, // asserted per drill
+        unit: "packets",
+    });
+    rows.push(Row {
+        bench: "delivery_chaos_replayed_mean".into(),
+        value: replayed as f64 / drills as f64,
+        unit: "packets",
+    });
+    rows.push(Row {
+        bench: "delivery_chaos_deduped_mean".into(),
+        value: deduped as f64 / drills as f64,
+        unit: "packets",
+    });
+    rows.push(Row {
+        bench: "delivery_chaos_backpressure_us_mean".into(),
+        value: stalled as f64 / drills as f64,
+        unit: "us",
+    });
+    rows.push(Row {
+        bench: "delivery_chaos_conservation_ok".into(),
+        value: if conserved_all { 1.0 } else { 0.0 },
+        unit: "bool",
+    });
+    rows.push(Row { bench: "delivery_chaos_drills".into(), value: drills as f64, unit: "runs" });
+
+    // Acked vs raw 1 KiB loopback throughput, measured back to back in
+    // this process so the ratio isolates the ack-path overhead from
+    // machine drift; the PR8 recorded number rides along for reference.
+    let n: u64 = if smoke { 20_000 } else { 200_000 };
+    let (raw_pps, _) = loopback_pps(n, 1024, false);
+    let (pps, stall_s) = loopback_pps(n, 1024, true);
+    eprintln!(
+        "loopback: {pps:.0} acked vs {raw_pps:.0} raw packets/s \
+         ({stall_s:.3} s stalled on credit)"
+    );
+    rows.push(Row { bench: "delivery_loopback_acked_1KiB".into(), value: pps, unit: "packets/s" });
+    rows.push(Row {
+        bench: "delivery_loopback_raw_1KiB".into(),
+        value: raw_pps,
+        unit: "packets/s",
+    });
+    rows.push(Row {
+        bench: "delivery_loopback_acked_vs_raw".into(),
+        value: pps / raw_pps,
+        unit: "x",
+    });
+    rows.push(Row { bench: "delivery_loopback_stall_s_1KiB".into(), value: stall_s, unit: "s" });
+    rows.push(Row {
+        bench: "delivery_loopback_1KiB_pr8_recorded".into(),
+        value: PRE_PR10_1KIB_PPS,
+        unit: "packets/s",
+    });
+    rows.push(Row {
+        bench: "delivery_loopback_acked_vs_pr8_recorded".into(),
+        value: pps / PRE_PR10_1KIB_PPS,
+        unit: "x",
+    });
+
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "  {{\"bench\": \"{}\", \"value\": {:.3}, \"unit\": \"{}\"}}{sep}\n",
+            r.bench, r.value, r.unit
+        ));
+    }
+    json.push_str("]\n");
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    let mut f = std::fs::File::create(&out).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write output");
+
+    println!("{:<44} {:>12} unit", "bench", "value");
+    for r in &rows {
+        println!("{:<44} {:>12.3} {}", r.bench, r.value, r.unit);
+    }
+    println!("\nwritten to {out}");
+}

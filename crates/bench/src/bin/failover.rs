@@ -59,11 +59,19 @@ struct Row {
     unit: &'static str,
 }
 
-/// Step timings of one successful drill, all in milliseconds.
+/// Step timings of one successful drill, all in milliseconds, plus the
+/// run's delivery-layer accounting.
 struct Drill {
     detect_ms: f64,
     reassign_ms: f64,
     resume_ms: f64,
+    /// Frames lost past repair — the at-least-once layer's headline,
+    /// asserted zero for every drill.
+    packets_lost: u64,
+    /// Frames re-transmitted to repair the kill.
+    packets_replayed: u64,
+    /// Microseconds senders spent stalled on a full credit window.
+    backpressure_us: u64,
 }
 
 impl Drill {
@@ -167,10 +175,21 @@ fn run_drill(exe: &std::path::Path, kill_after: Duration) -> Drill {
     let t_resumed =
         event_t(&events, LinkEventKind::Resumed, &adopter).expect("resumed event recorded");
 
+    // The delivery layer must repair the kill completely: unacked frames
+    // replay to the adopted stage, so nothing is lost.
+    assert_eq!(
+        report.packets_lost, 0,
+        "SIGKILL drill lost {} packets; at-least-once delivery must replay them",
+        report.packets_lost
+    );
+
     Drill {
         detect_ms: (lost_at - kill_at).max(0.0) * 1e3,
         reassign_ms: (t_reassigned - t_lost).max(0.0) * 1e3,
         resume_ms: (t_resumed - t_restored).max(0.0) * 1e3,
+        packets_lost: report.packets_lost,
+        packets_replayed: report.packets_replayed,
+        backpressure_us: report.backpressure_us,
     }
 }
 
@@ -218,13 +237,17 @@ fn main() {
     for i in 0..drills {
         let d = run_drill(&exe, kill_after);
         eprintln!(
-            "drill {}/{}: detect {:.1} ms, reassign {:.1} ms, resume {:.1} ms (recovery {:.1} ms)",
+            "drill {}/{}: detect {:.1} ms, reassign {:.1} ms, resume {:.1} ms (recovery {:.1} ms), \
+             {} lost / {} replayed, {} us stalled",
             i + 1,
             drills,
             d.detect_ms,
             d.reassign_ms,
             d.resume_ms,
-            d.recovery_ms()
+            d.recovery_ms(),
+            d.packets_lost,
+            d.packets_replayed,
+            d.backpressure_us
         );
         runs.push(d);
     }
@@ -251,6 +274,21 @@ fn main() {
             unit: "ms",
         },
         Row { bench: "failover_resume_ms_mean".into(), value: mean(|d| d.resume_ms), unit: "ms" },
+        Row {
+            bench: "failover_packets_lost_total".into(),
+            value: runs.iter().map(|d| d.packets_lost as f64).sum(),
+            unit: "packets",
+        },
+        Row {
+            bench: "failover_packets_replayed_mean".into(),
+            value: mean(|d| d.packets_replayed as f64),
+            unit: "packets",
+        },
+        Row {
+            bench: "failover_backpressure_us_mean".into(),
+            value: mean(|d| d.backpressure_us as f64),
+            unit: "us",
+        },
         Row { bench: "failover_drills".into(), value: drills as f64, unit: "runs" },
     ];
 

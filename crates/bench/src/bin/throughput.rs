@@ -156,6 +156,7 @@ mod prepr3 {
             FrameKind::Control => 2,
             FrameKind::Exception => 3,
             FrameKind::Eos => 4,
+            FrameKind::Ack => 5,
         }
     }
 
@@ -166,6 +167,7 @@ mod prepr3 {
             2 => FrameKind::Control,
             3 => FrameKind::Exception,
             4 => FrameKind::Eos,
+            5 => FrameKind::Ack,
             _ => return None,
         })
     }

@@ -14,11 +14,18 @@ use gates_sim::SimTime;
 use crate::CoreError;
 
 /// Size of the metadata trailer [`Packet::to_frame`] appends to the
-/// payload so `records` (u32), `created_at` (u64 microseconds) and the
-/// routing `key` (u64) survive the hop. Shared by [`Packet::to_frame`],
-/// [`Packet::from_frame`], [`Packet::encode_into`] and
-/// [`Packet::wire_len`].
-pub const PACKET_TRAILER_LEN: usize = 4 + 8 + 8;
+/// payload so `records` (u32), `created_at` (u64 microseconds), the
+/// routing `key` (u64) and the producer's `seq` (u64) survive the hop.
+/// Shared by [`Packet::to_frame`], [`Packet::from_frame`],
+/// [`Packet::encode_into`] and [`Packet::wire_len`].
+///
+/// The producer sequence number travels in the trailer — not (only) in
+/// the frame header — because the frame-header `seq` belongs to the
+/// *link* layer: the distributed runtime's replay windows stamp a
+/// per-edge monotonic sequence there (see
+/// [`Packet::encode_into_with_seq`]) for acked at-least-once delivery,
+/// and the application's own numbering must survive that renumbering.
+pub const PACKET_TRAILER_LEN: usize = 4 + 8 + 8 + 8;
 
 /// What a packet carries (mirrors `gates_net::FrameKind` minus control).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -145,7 +152,8 @@ impl Packet {
         let mut t = [0u8; PACKET_TRAILER_LEN];
         t[..4].copy_from_slice(&self.records.to_be_bytes());
         t[4..12].copy_from_slice(&self.created_at.as_micros().to_be_bytes());
-        t[12..].copy_from_slice(&self.key.to_be_bytes());
+        t[12..20].copy_from_slice(&self.key.to_be_bytes());
+        t[20..].copy_from_slice(&self.seq.to_be_bytes());
         t
     }
 
@@ -172,16 +180,29 @@ impl Packet {
     /// runtime's senders — with a long-lived `out` buffer it performs
     /// zero allocations per packet.
     pub fn encode_into(&self, out: &mut BytesMut) {
+        self.encode_into_with_seq(self.seq, out);
+    }
+
+    /// Like [`Packet::encode_into`], but stamp `wire_seq` into the frame
+    /// header instead of the packet's own sequence number. This is the
+    /// distributed runtime's send path: the header carries a per-edge
+    /// monotonic link sequence (acked, replayed, and deduplicated by the
+    /// at-least-once machinery) while the producer's `seq` rides in the
+    /// trailer and is restored by [`Packet::from_frame`].
+    pub fn encode_into_with_seq(&self, wire_seq: u64, out: &mut BytesMut) {
         encode_segments_into(
             self.kind.to_frame_kind(),
             self.stream_id,
-            self.seq,
+            wire_seq,
             &[&self.payload, &self.trailer()],
             out,
         );
     }
 
-    /// Decode from a wire frame produced by [`Packet::to_frame`].
+    /// Decode from a wire frame produced by [`Packet::to_frame`]. The
+    /// producer's sequence number comes from the trailer, so a frame
+    /// whose header seq was renumbered by the link layer round-trips the
+    /// packet unchanged.
     pub fn from_frame(frame: &Frame) -> Result<Self, CoreError> {
         let kind = PacketKind::from_frame_kind(frame.kind).ok_or_else(|| {
             CoreError::PayloadDecode(format!("unexpected frame kind {:?}", frame.kind))
@@ -194,10 +215,11 @@ impl Packet {
         let records = trailer.get_u32();
         let created_at = SimTime::from_micros(trailer.get_u64());
         let key = trailer.get_u64();
+        let seq = trailer.get_u64();
         Ok(Packet {
             kind,
             stream_id: frame.stream_id,
-            seq: frame.seq,
+            seq,
             records,
             created_at,
             key,
@@ -385,6 +407,17 @@ mod tests {
         let back = Packet::from_frame(&frame).unwrap();
         assert_eq!(back, p);
         assert_eq!(back.key, 0xDEAD_BEEF_CAFE_F00D);
+    }
+
+    #[test]
+    fn wire_seq_renumbering_preserves_producer_seq() {
+        let p = Packet::data(4, 1234, 2, Bytes::from_static(b"renumber me")).with_key(9);
+        let mut buf = BytesMut::new();
+        p.encode_into_with_seq(777, &mut buf);
+        let frame = gates_net::decode_frame(&mut buf).unwrap();
+        assert_eq!(frame.seq, 777, "header carries the link seq");
+        let back = Packet::from_frame(&frame).unwrap();
+        assert_eq!(back, p, "producer seq restored from the trailer");
     }
 
     #[test]

@@ -142,6 +142,23 @@ pub struct RunReport {
     /// successful reconnects, restored/adopted stages, and idempotently
     /// discarded stale control frames.
     pub fault_recoveries: u64,
+    /// Packets the at-least-once layer gave up on: frames still unacked
+    /// when a link's redial budget ran out, or evicted from a replay
+    /// buffer past its retention cap. Zero in a clean run — injected
+    /// drops and duplicates are repaired by replay and dedup, not
+    /// counted here (distributed runtime only).
+    pub packets_lost: u64,
+    /// Frames the at-least-once layer re-transmitted (reconnect replay
+    /// and gap NAKs) across all links (distributed runtime only).
+    pub packets_replayed: u64,
+    /// Already-delivered frames receivers discarded by edge sequence
+    /// number — chaos duplicates and over-covering replays that would
+    /// previously have double-delivered (distributed runtime only).
+    pub packets_deduped: u64,
+    /// Total microseconds sending stages spent stalled on a full ack
+    /// credit window — the visible cost of credit-based backpressure
+    /// (distributed runtime only).
+    pub backpressure_us: u64,
 }
 
 impl RunReport {
@@ -283,6 +300,10 @@ mod tests {
             trace: None,
             faults_injected: 0,
             fault_recoveries: 0,
+            packets_lost: 0,
+            packets_replayed: 0,
+            packets_deduped: 0,
+            backpressure_us: 0,
         };
         assert!(report.stage("a").is_some());
         assert!(report.stage("zz").is_none());

@@ -112,10 +112,18 @@ pub trait StreamProcessor: 'static {
     ///
     /// The default returns an empty vector, which the runtime treats as
     /// "nothing to checkpoint": the replacement stage restarts fresh.
-    /// Either way recovery is **at-most-once replay** — packets in flight
-    /// between the last snapshot and the failure are lost, never
-    /// reprocessed, so state must be self-contained (no side effects that
-    /// a replay would double-apply).
+    ///
+    /// Recovery is **at-least-once**: each checkpoint also records the
+    /// stage's per-edge input cursors, upstream senders retain sent
+    /// frames in acked replay buffers until a checkpoint covers them,
+    /// and a restored stage is re-fed exactly the frames between its
+    /// snapshot and the failure (receivers deduplicate by edge sequence
+    /// number, so reconnect replay and chaos duplicates never
+    /// double-deliver). A packet may still be *processed* more than once
+    /// across a crash — snapshot state must therefore be self-contained,
+    /// with no external side effects that a replayed packet would
+    /// double-apply. A stage that skips checkpointing restarts fresh and
+    /// opts out of replay coverage for its own inputs.
     fn snapshot(&self) -> Vec<u8> {
         Vec::new()
     }

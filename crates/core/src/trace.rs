@@ -167,6 +167,22 @@ pub enum LinkEventKind {
     /// A packet reached a replica that does not own its key (the sender
     /// routed with a stale shard map); it was re-routed or rejected.
     Misrouted,
+    /// A sender's replay window advanced on a cumulative ack from the
+    /// receiver (delivered or durable); the detail carries the floor.
+    Acked,
+    /// A sender re-transmitted retained frames (reconnect replay, or a
+    /// gap NAK from the receiver); the detail counts the frames.
+    Replayed,
+    /// The receiver discarded an already-delivered frame by its edge
+    /// sequence number (chaos duplicate, or an over-covering replay).
+    Deduped,
+    /// A sender's credit window filled and backpressure parked the
+    /// stage; the detail carries the accumulated stall time.
+    Stalled,
+    /// A receiver jumped its delivery cursor forward past frames the
+    /// sender no longer retains (retention-cap eviction before a
+    /// delivered ack arrived); the skipped frames are counted as lost.
+    Skipped,
 }
 
 impl LinkEventKind {
@@ -192,6 +208,11 @@ impl LinkEventKind {
             LinkEventKind::ShardSplit => "shard_split",
             LinkEventKind::ShardMerge => "shard_merge",
             LinkEventKind::Misrouted => "misrouted",
+            LinkEventKind::Acked => "acked",
+            LinkEventKind::Replayed => "replayed",
+            LinkEventKind::Deduped => "deduped",
+            LinkEventKind::Stalled => "stalled",
+            LinkEventKind::Skipped => "skipped",
         }
     }
 }

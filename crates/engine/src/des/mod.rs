@@ -213,6 +213,11 @@ impl DesEngine {
             // simply lost, so there is nothing to recover.
             fault_recoveries: 0,
             trace: self.opts.recorder.as_flight().map(|f| f.run_trace()),
+            // Delivery-layer counters are distributed-runtime-only.
+            packets_lost: 0,
+            packets_replayed: 0,
+            packets_deduped: 0,
+            backpressure_us: 0,
         }
     }
 

@@ -35,7 +35,9 @@ use gates_net::{
 };
 use gates_sim::SimTime;
 
-use super::proto::{decode_ctrl, encode_ctrl, CtrlMsg, StagePlacement};
+use super::proto::{
+    decode_ctrl, encode_ctrl, CheckpointEntry, CtrlMsg, StageCheckpoint, StagePlacement,
+};
 use super::{read_ctrl, DistConfig};
 use crate::options::RunOptions;
 use crate::EngineError;
@@ -76,6 +78,14 @@ enum Outcome {
         worker: String,
         /// Its stages' reports.
         stages: Vec<StageReport>,
+        /// Frames this worker's links lost past repair.
+        lost: u64,
+        /// Frames its senders re-transmitted.
+        replayed: u64,
+        /// Duplicate frames its receivers discarded.
+        deduped: u64,
+        /// Microseconds its senders stalled on a full credit window.
+        stalled_us: u64,
     },
     /// The control connection died or went silent before a report arrived.
     Lost {
@@ -95,6 +105,10 @@ enum Outcome {
         crc: u32,
         /// Opaque stage state.
         state: Vec<u8>,
+        /// Per remote in-edge, the input sequence consumed at snapshot
+        /// time: `(edge index, cursor)`. Failover hands these back so
+        /// the adopted stage's senders replay from the cursor.
+        cursors: Vec<(u32, u64)>,
     },
     /// A worker relayed a `ReconnectExhausted` link event: one of its
     /// data links gave up re-dialing. The run keeps going, but the loss
@@ -364,7 +378,9 @@ impl DistEngine {
         let mut reports: HashMap<String, Vec<StageReport>> = HashMap::new();
         let mut lost: HashSet<String> = HashSet::new();
         let mut lost_workers: Vec<LostWorker> = Vec::new();
-        let mut checkpoints: HashMap<u32, (u64, u32, Vec<u8>)> = HashMap::new();
+        let mut checkpoints: HashMap<u32, CheckpointEntry> = HashMap::new();
+        let (mut packets_lost, mut packets_replayed) = (0u64, 0u64);
+        let (mut packets_deduped, mut backpressure_us) = (0u64, 0u64);
         // Failover generation, bumped per broadcast so workers can
         // discard duplicated or reordered Reassign frames.
         let mut epoch = 0u64;
@@ -389,10 +405,14 @@ impl DistEngine {
             }
             match res_rx.recv_timeout(deadline.duration_since(now).min(Duration::from_millis(100)))
             {
-                Ok(Outcome::Report { worker, stages }) => {
+                Ok(Outcome::Report { worker, stages, lost: l, replayed, deduped, stalled_us }) => {
+                    packets_lost += l;
+                    packets_replayed += replayed;
+                    packets_deduped += deduped;
+                    backpressure_us += stalled_us;
                     reports.insert(worker, stages);
                 }
-                Ok(Outcome::Checkpoint { stage, seq, crc, state }) => {
+                Ok(Outcome::Checkpoint { stage, seq, crc, state, cursors }) => {
                     // Trust nothing that crossed the wire under chaos: a
                     // checkpoint whose bytes no longer match their CRC is
                     // discarded (restoring garbage is worse than a fresh
@@ -406,7 +426,7 @@ impl DistEngine {
                             &format!("seq {seq} failed CRC; discarded"),
                         );
                         fault_recoveries.fetch_add(1, Ordering::Relaxed);
-                    } else if checkpoints.get(&stage).is_some_and(|(have, _, _)| *have >= seq) {
+                    } else if checkpoints.get(&stage).is_some_and(|(have, _, _, _)| *have >= seq) {
                         self.record_failover_event(
                             start,
                             &format!("checkpoint-{stage}"),
@@ -415,7 +435,7 @@ impl DistEngine {
                         );
                         fault_recoveries.fetch_add(1, Ordering::Relaxed);
                     } else {
-                        checkpoints.insert(stage, (seq, crc, state));
+                        checkpoints.insert(stage, (seq, crc, state, cursors));
                     }
                 }
                 Ok(Outcome::ShardRequest { group, ordinal, split }) => {
@@ -526,6 +546,10 @@ impl DistEngine {
             trace: self.opts.recorder.as_flight().map(|f| f.run_trace()),
             faults_injected: faults_injected.load(Ordering::Relaxed),
             fault_recoveries: fault_recoveries.load(Ordering::Relaxed),
+            packets_lost,
+            packets_replayed,
+            packets_deduped,
+            backpressure_us,
         })
     }
 
@@ -589,7 +613,7 @@ impl DistEngine {
         meta: &HashMap<String, WorkerMeta>,
         lost: &HashSet<String>,
         reports: &HashMap<String, Vec<StageReport>>,
-        checkpoints: &HashMap<u32, (u64, u32, Vec<u8>)>,
+        checkpoints: &HashMap<u32, CheckpointEntry>,
         writers: &HashMap<String, WorkerHandle>,
         epoch: &mut u64,
     ) {
@@ -650,10 +674,12 @@ impl DistEngine {
                 &format!("{lost_worker} -> {new_worker}"),
             );
         }
-        let ckpts: Vec<(u32, u64, u32, Vec<u8>)> = changed
+        let ckpts: Vec<StageCheckpoint> = changed
             .iter()
             .filter_map(|p| {
-                checkpoints.get(&p.stage).map(|(s, crc, st)| (p.stage, *s, *crc, st.clone()))
+                checkpoints
+                    .get(&p.stage)
+                    .map(|(s, crc, st, cur)| (p.stage, *s, *crc, st.clone(), cur.clone()))
             })
             .collect();
         *epoch += 1;
@@ -895,14 +921,21 @@ impl WorkerReadSource {
                 }
             }
             CtrlMsg::Heartbeat { .. } => {}
-            CtrlMsg::Checkpoint { stage, seq, crc, state } => {
-                let _ = self.results.send(Outcome::Checkpoint { stage, seq, crc, state });
+            CtrlMsg::Checkpoint { stage, seq, crc, state, cursors } => {
+                let _ = self.results.send(Outcome::Checkpoint { stage, seq, crc, state, cursors });
             }
             CtrlMsg::ShardRequest { group, ordinal, split } => {
                 let _ = self.results.send(Outcome::ShardRequest { group, ordinal, split });
             }
-            CtrlMsg::Report { worker, stages } => {
-                let _ = self.results.send(Outcome::Report { worker, stages });
+            CtrlMsg::Report { worker, stages, lost, replayed, deduped, stalled_us } => {
+                let _ = self.results.send(Outcome::Report {
+                    worker,
+                    stages,
+                    lost,
+                    replayed,
+                    deduped,
+                    stalled_us,
+                });
                 return true;
             }
             _ => {}

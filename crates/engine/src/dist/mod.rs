@@ -30,12 +30,25 @@
 //! `Exception` frames on the same socket, so the §4 adaptation loop runs
 //! unchanged across process boundaries.
 //!
+//! Every data edge is **at-least-once**: the sender stamps a per-edge
+//! monotonic sequence number into each frame header and retains the
+//! encoded frame in an acked replay window ([`gates_net::AckWindow`],
+//! bounded by [`DistConfig::ack_window`] /
+//! [`DistConfig::replay_retain`]); the receiver delivers contiguously,
+//! deduplicates by sequence number, and streams cumulative `Ack` frames
+//! back on the same socket (coalesced by the reactor, exempt from the
+//! chaos fate walk like other control traffic). A full credit window
+//! parks the sending stage on the executor's timer wheel — graceful
+//! backpressure instead of unbounded buffering.
+//!
 //! ## Robustness
 //!
 //! A broken data connection is retried with bounded exponential backoff
-//! ([`gates_net::RetryPolicy`]); while dead, the sender accounts dropped
-//! packets against the *sending* stage (the receiver-side queue-full
-//! drops stay with the receiving stage, as in the paper). A receiver
+//! ([`gates_net::RetryPolicy`]); while dead, the sender parks on its
+//! replay window and re-transmits the unacked tail once the link is
+//! back (only a link whose re-dial budget runs out gives its retained
+//! frames up as lost; receiver-side queue-full drops stay with the
+//! receiving stage, as in the paper). A receiver
 //! that sees EOF waits one [`DistConfig::drain_window`] for a reconnect,
 //! then injects an end-of-stream marker so the rest of the pipeline
 //! drains instead of hanging. Frames failing their CRC are counted and
@@ -51,10 +64,15 @@
 //! matchmaker over the survivors, broadcasts a `Reassign` with the new
 //! placements plus the last checkpoints, and a survivor adopts the
 //! stranded stages while its neighbors re-dial the new data address.
-//! Recovery is **at-most-once replay**: packets in flight between the
-//! last checkpoint and the failure are lost, never reprocessed. Losses
-//! are named in [`gates_core::report::RunReport::lost_workers`] rather
-//! than silently absorbed.
+//! Recovery is **at-least-once replay**: each checkpoint records the
+//! stage's per-edge input cursors alongside its state, upstream replay
+//! windows retain every frame past the last durable (checkpoint-covered)
+//! ack, and the re-dialing neighbors replay that tail to the adopted
+//! stage — packets in flight between the last checkpoint and the
+//! failure are reprocessed, not lost. Partial runs are still named in
+//! [`gates_core::report::RunReport::lost_workers`], and any frames the
+//! layer did give up on (redial exhaustion, retention-cap eviction)
+//! are counted in [`gates_core::report::RunReport::packets_lost`].
 
 mod coordinator;
 mod plane;
@@ -141,6 +159,16 @@ pub struct DistConfig {
     /// control socket by each process. `None` (the default) injects
     /// nothing and leaves the hot paths untouched.
     pub fault: Option<gates_net::FaultPlan>,
+    /// Credit window per data edge: how many frames may be in flight
+    /// (sent but not delivered-acked) before the sender stops ingesting
+    /// and backpressure parks the stage. Also the floor of
+    /// `replay_retain`.
+    pub ack_window: usize,
+    /// Retention cap per data edge: how many encoded frames the replay
+    /// buffer keeps past the last durable (checkpoint-covered) ack
+    /// before evicting delivered ones oldest-first. Sized so it
+    /// comfortably covers `checkpoint_every` packets per upstream edge.
+    pub replay_retain: usize,
 }
 
 impl Default for DistConfig {
@@ -156,6 +184,8 @@ impl Default for DistConfig {
             checkpoint_every: 64,
             max_redial: Duration::from_secs(15),
             fault: None,
+            ack_window: 256,
+            replay_retain: 1024,
         }
     }
 }
@@ -209,6 +239,19 @@ impl DistConfig {
     /// Builder: deterministic fault plan for the run.
     pub fn fault(mut self, plan: gates_net::FaultPlan) -> Self {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Builder: per-edge credit window (frames in flight before the
+    /// sender stalls).
+    pub fn ack_window(mut self, frames: usize) -> Self {
+        self.ack_window = frames;
+        self
+    }
+
+    /// Builder: per-edge replay retention cap in frames.
+    pub fn replay_retain(mut self, frames: usize) -> Self {
+        self.replay_retain = frames;
         self
     }
 }

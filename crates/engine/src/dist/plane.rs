@@ -27,19 +27,19 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use bytes::BytesMut;
+use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 
 use gates_core::trace::LinkEventKind;
 use gates_core::{Packet, ShardError};
 use gates_net::{
-    encode_frame_into, AppliedFault, BufferPool, Directive, FaultInjector, FlushProgress, Frame,
-    FrameKind, FrameStream, PooledReader, Reactor, ReactorPool, Ready, Source, Token,
-    TransportError,
+    encode_frame_into, AckWindow, AppliedFault, BufferPool, Directive, FaultInjector,
+    FlushProgress, Frame, FrameKind, FrameStream, PooledReader, Reactor, ReactorPool, Ready,
+    Source, Token, TransportError,
 };
 
 use super::proto::{decode_ctrl, decode_exception, encode_exception, CtrlMsg};
-use super::worker::{InEdge, InEdgeRegistry, LinkReporter};
+use super::worker::{DeliveryStats, InEdge, InEdgeRegistry, LinkReporter};
 use super::DistConfig;
 use crate::runtime::{Control, RemoteWake};
 
@@ -61,6 +61,31 @@ const LOOKUP_RETRY: Duration = Duration::from_millis(10);
 /// the batch flushes even if more packets are waiting, bounding both the
 /// encode buffer and the burst a reconnect might have to replay.
 pub(super) const MAX_COALESCED_BYTES: usize = 256 * 1024;
+
+/// `stream_id` tags on [`FrameKind::Ack`] frames; the frame's `seq`
+/// field carries the cursor. All flow receiver → sender except
+/// [`ACK_SKIP`]. Ack frames are control traffic: the chaos fate walk
+/// never touches them.
+///
+/// Cumulative delivered cursor — everything `<= seq` reached the
+/// receiving stage. Opens sender credit; retained frames stay for
+/// possible failover replay until a durable ack covers them.
+pub(super) const ACK_DELIVERED: u32 = 0;
+/// The receiver is missing `seq + 1` but has seen later frames: replay
+/// everything retained past `seq`. Implies delivery through `seq`.
+pub(super) const ACK_NAK: u32 = 1;
+/// A checkpoint covering everything `<= seq` was relayed toward the
+/// coordinator: the sender may trim its replay retention to `seq`.
+pub(super) const ACK_DURABLE: u32 = 2;
+/// Sender → receiver: a NAK asked for frames below the sender's
+/// retention floor. Jump the delivery cursor to `seq` and count the
+/// gap as lost instead of re-requesting forever.
+pub(super) const ACK_SKIP: u32 = 3;
+
+/// Build a payload-less ack frame (tag in `stream_id`, cursor in `seq`).
+fn ack_frame(tag: u32, seq: u64) -> Frame {
+    Frame { kind: FrameKind::Ack, stream_id: tag, seq, payload: Bytes::new() }
+}
 
 /// Shared list of every registered source's wake handle. Stop and
 /// partition flips nudge all of them so parked sources re-check the
@@ -144,9 +169,10 @@ impl Source for ListenerSource {
 enum InState {
     /// Waiting for the identifying `EdgeHello` control frame.
     Hello,
-    /// Hello seen; waiting for the named edge to appear in the registry
-    /// (failover re-dials can beat this worker's own `Reassign`).
-    Lookup(u32),
+    /// Hello seen (edge id, sender incarnation); waiting for the named
+    /// edge to appear in the registry (failover re-dials can beat this
+    /// worker's own `Reassign`).
+    Lookup(u32, u64),
     /// Pumping frames into the receiving stage.
     Attached(Arc<InEdge>),
 }
@@ -169,13 +195,26 @@ enum Held {
 pub(super) struct DataInSource {
     stream: TcpStream,
     reader: PooledReader,
-    /// Encoded exception frames awaiting a (nonblocking) write.
+    /// Encoded exception and ack frames awaiting a (nonblocking) write.
     out: BytesMut,
     state: InState,
     ctx: PlaneCtx,
     /// At most one parked delivery: decoding pauses while it waits for
     /// queue space, so backpressure reaches the socket (and the sender).
     held: Option<Held>,
+    /// Link sequence number of the parked delivery; the edge cursor
+    /// advances only once the packet actually lands in a queue.
+    held_seq: Option<u64>,
+    /// Highest link sequence number seen on *this* connection; a gap
+    /// between it and the edge cursor drives the NAK request.
+    highest_seen: u64,
+    /// Last delivered cursor acked upstream (suppresses no-op acks).
+    last_acked: u64,
+    /// Last durable cursor acked upstream.
+    last_durable: u64,
+    /// Last NAK sent `(cursor, when)`: one request per cursor value per
+    /// sweep, so a persistent gap does not flood the upstream path.
+    last_nak: Option<(u64, Instant)>,
     /// This source performed the `eos_forwarded` swap and owns delivery
     /// of the (possibly parked) end-of-stream marker.
     eos_claimed: bool,
@@ -196,6 +235,11 @@ impl DataInSource {
             state: InState::Hello,
             ctx,
             held: None,
+            held_seq: None,
+            highest_seen: 0,
+            last_acked: 0,
+            last_durable: 0,
+            last_nak: None,
             eos_claimed: false,
             crc_seen: 0,
             hello_deadline,
@@ -351,14 +395,46 @@ impl DataInSource {
         self.held.is_none()
     }
 
-    /// Drain stage exceptions into the out buffer and flush what fits.
-    /// Returns whether unsent bytes remain (write interest).
-    fn pump_exceptions(&mut self, ie: &Arc<InEdge>) -> bool {
+    /// Drain stage exceptions into the out buffer.
+    fn queue_exceptions(&mut self, ie: &Arc<InEdge>) {
         while let Ok(msg) = ie.exc_rx.try_recv() {
             if let Control::Exception(e) = msg {
                 encode_frame_into(&encode_exception(e), &mut self.out);
             }
         }
+    }
+
+    /// Queue at-least-once acks for the sender: cumulative delivered
+    /// and durable cursors when they moved, plus (throttled) a NAK when
+    /// this connection has seen past a gap the stage never received.
+    /// NAKs are suppressed while a delivery is parked — the "gap" would
+    /// just be the held frame itself.
+    fn queue_acks(&mut self, ie: &Arc<InEdge>, now: Instant) {
+        let cursor = ie.cursor.load(Ordering::Acquire);
+        if cursor > self.last_acked {
+            encode_frame_into(&ack_frame(ACK_DELIVERED, cursor), &mut self.out);
+            self.last_acked = cursor;
+        }
+        let durable = ie.durable.load(Ordering::Acquire);
+        if durable > self.last_durable {
+            encode_frame_into(&ack_frame(ACK_DURABLE, durable), &mut self.out);
+            self.last_durable = durable;
+        }
+        if self.highest_seen > cursor && self.held.is_none() {
+            let due = match self.last_nak {
+                Some((c, at)) => c != cursor || now.duration_since(at) >= EXC_SWEEP,
+                None => true,
+            };
+            if due {
+                encode_frame_into(&ack_frame(ACK_NAK, cursor), &mut self.out);
+                self.last_nak = Some((cursor, now));
+            }
+        }
+    }
+
+    /// Flush what fits of the upstream-bound buffer (exceptions and
+    /// acks). Returns whether unsent bytes remain (write interest).
+    fn pump_out(&mut self) -> bool {
         while !self.out.is_empty() {
             match (&self.stream).write(&self.out) {
                 Ok(0) => break,
@@ -416,8 +492,8 @@ impl Source for DataInSource {
                     return match self.read_step() {
                         ReadStep::Frame(f) if f.kind == FrameKind::Control => {
                             match decode_ctrl(&f) {
-                                Ok(CtrlMsg::EdgeHello { edge }) => {
-                                    self.state = InState::Lookup(edge);
+                                Ok(CtrlMsg::EdgeHello { edge, incarnation }) => {
+                                    self.state = InState::Lookup(edge, incarnation);
                                     continue;
                                 }
                                 _ => Directive::close(),
@@ -433,7 +509,8 @@ impl Source for DataInSource {
                         }
                     };
                 }
-                InState::Lookup(edge) => {
+                InState::Lookup(edge, incarnation) => {
+                    let incarnation = *incarnation;
                     let found = self
                         .ctx
                         .reg
@@ -443,6 +520,27 @@ impl Source for DataInSource {
                         .map(Arc::clone);
                     match found {
                         Some(ie) => {
+                            // Sequence-space attach: a hello from a new
+                            // sender incarnation (a replacement stage
+                            // adopted at some failover epoch) numbers
+                            // its frames from 1 again, so the delivery
+                            // cursor restarts; the same incarnation
+                            // reconnecting resumes the old space. On an
+                            // edge restored from a checkpoint (sentinel
+                            // still unset) the original sender — born
+                            // in an older epoch — resumes against the
+                            // restored cursor.
+                            let stored = ie.sender_incarnation.load(Ordering::Acquire);
+                            let reset = if stored == u64::MAX {
+                                incarnation >= ie.adoption_epoch
+                            } else {
+                                incarnation != stored
+                            };
+                            if reset {
+                                ie.cursor.store(0, Ordering::Release);
+                                ie.durable.store(0, Ordering::Release);
+                            }
+                            ie.sender_incarnation.store(incarnation, Ordering::Release);
                             let nth = ie.connections.fetch_add(1, Ordering::Relaxed);
                             ie.connected.store(true, Ordering::Relaxed);
                             *ie.disconnected_at.lock().unwrap_or_else(|p| p.into_inner()) = None;
@@ -473,10 +571,11 @@ impl Source for DataInSource {
                 }
                 InState::Attached(ie) => {
                     let ie = Arc::clone(ie);
-                    let want_write = self.pump_exceptions(&ie);
+                    self.queue_exceptions(&ie);
                     if !self.retry_held(&ie) {
                         // Still backed up: keep the socket unread so the
                         // pressure propagates, retry shortly.
+                        let want_write = self.pump_out();
                         return Directive {
                             want_read: false,
                             want_write,
@@ -484,16 +583,67 @@ impl Source for DataInSource {
                             close: false,
                         };
                     }
+                    if let Some(seq) = self.held_seq.take() {
+                        // The parked delivery landed: its sequence slot
+                        // is consumed now (and only now), so a crash
+                        // between hold and landing replays the packet.
+                        ie.cursor.fetch_max(seq, Ordering::AcqRel);
+                    }
                     let mut dead: Option<String> = None;
                     loop {
                         match self.read_step() {
                             ReadStep::Frame(f) => match f.kind {
                                 FrameKind::Data | FrameKind::Summary | FrameKind::Eos => {
-                                    if let Ok(packet) = Packet::from_frame(&f) {
-                                        self.held = self.route(&ie, packet);
-                                        if self.held.is_some() {
-                                            break;
+                                    self.highest_seen = self.highest_seen.max(f.seq);
+                                    let cursor = ie.cursor.load(Ordering::Acquire);
+                                    if f.seq <= cursor {
+                                        // Already delivered: a chaos
+                                        // duplicate or an over-covering
+                                        // replay. Dropping it here (before
+                                        // routing) is what makes replayed
+                                        // EOS markers idempotent.
+                                        ie.stats.deduped.fetch_add(1, Ordering::Relaxed);
+                                        ie.reporter.record(
+                                            LinkEventKind::Deduped,
+                                            format!("seq {} at cursor {cursor}", f.seq),
+                                        );
+                                    } else if f.seq == cursor + 1 {
+                                        // Contiguous. An undecodable
+                                        // payload still consumes the slot:
+                                        // the sender's frame arrived, and
+                                        // re-requesting it cannot fix it.
+                                        if let Ok(packet) = Packet::from_frame(&f) {
+                                            self.held = self.route(&ie, packet);
+                                            if self.held.is_some() {
+                                                self.held_seq = Some(f.seq);
+                                                break;
+                                            }
                                         }
+                                        ie.cursor.fetch_max(f.seq, Ordering::AcqRel);
+                                        self.last_nak = None;
+                                    }
+                                    // else: a gap — frames past a loss are
+                                    // discarded and re-requested via NAK,
+                                    // keeping delivery strictly in order.
+                                }
+                                FrameKind::Ack if f.stream_id == ACK_SKIP => {
+                                    // The sender no longer retains the
+                                    // frames we are missing: jump forward
+                                    // and account the gap as lost.
+                                    let cursor = ie.cursor.load(Ordering::Acquire);
+                                    if f.seq > cursor {
+                                        let gap = f.seq - cursor;
+                                        ie.stats.lost.fetch_add(gap, Ordering::Relaxed);
+                                        ie.cursor.fetch_max(f.seq, Ordering::AcqRel);
+                                        self.last_nak = None;
+                                        ie.reporter.record(
+                                            LinkEventKind::Skipped,
+                                            format!(
+                                                "cursor {cursor} -> {}: {gap} frames lost \
+                                                 upstream of retention",
+                                                f.seq
+                                            ),
+                                        );
                                     }
                                 }
                                 _ => {}
@@ -521,6 +671,8 @@ impl Source for DataInSource {
                         ie.reporter.record(LinkEventKind::PeerEof, why);
                         return Directive::close();
                     }
+                    self.queue_acks(&ie, now);
+                    let want_write = self.pump_out();
                     if self.held.is_some() {
                         return Directive {
                             want_read: false,
@@ -529,8 +681,8 @@ impl Source for DataInSource {
                             close: false,
                         };
                     }
-                    // Idle: wake on data, sweep for exceptions (and
-                    // partition flips) on a coarse timer.
+                    // Idle: wake on data, sweep for exceptions, acks
+                    // (and partition flips) on a coarse timer.
                     return Directive {
                         want_read: true,
                         want_write,
@@ -558,17 +710,13 @@ impl Source for DataInSource {
 /// Why a [`SenderConn`] left the reactor, reported back to its tender
 /// thread (which owns reconnect policy and the redial budget).
 pub(super) enum ConnFate {
-    /// A write failed; everything needed to retry on a fresh connection.
+    /// The connection failed (write error or peer EOF before the final
+    /// ack). Nothing is carried over byte-wise: every unacked frame
+    /// lives in the shared replay window, and the tender re-sends from
+    /// there on the next connection.
     Broken {
-        /// Unsent queued bytes (including the staged frame).
-        pending: BytesMut,
         /// The link's fault injector, so frame indices keep counting.
         carried: Option<FaultInjector>,
-        /// Packets in the failed batch (drop-accounted if the re-dial
-        /// also fails).
-        batched: u64,
-        /// The failed batch ended with an end-of-stream marker.
-        saw_eos: bool,
     },
     /// An injected partition severed the link.
     Partitioned {
@@ -601,12 +749,19 @@ pub(super) struct SenderConn {
     reporter: LinkReporter,
     fate: Sender<ConnFate>,
     wake: Arc<RemoteWake>,
-    /// Non-EOS packets encoded since the last fully flushed batch.
-    batched: u64,
-    saw_eos: bool,
+    /// The edge's acked replay window, shared with the tender thread
+    /// (which replays from it across reconnects).
+    window: Arc<Mutex<AckWindow>>,
+    /// Worker-global delivery counters.
+    stats: DeliveryStats,
+    /// The credit window is full: ingestion is paused and backpressure
+    /// is backing the bridge (and the stage behind it) up.
+    credit_blocked: bool,
+    /// When the current credit stall began, for `stalled_us` accounting.
+    stall_started: Option<Instant>,
     rx_down: bool,
-    /// Peer half-closed: keep writing, stop watching for reads (a
-    /// level-triggered EOF would spin the reactor).
+    /// Peer half-closed: no ack can ever arrive, so the connection is
+    /// finished `Broken` and the tender re-dials to replay.
     peer_eof: bool,
     crc_seen: u64,
     /// An injected delay is pending: flush resumes at this instant.
@@ -626,6 +781,8 @@ impl SenderConn {
         reporter: LinkReporter,
         fate: Sender<ConnFate>,
         wake: Arc<RemoteWake>,
+        window: Arc<Mutex<AckWindow>>,
+        stats: DeliveryStats,
     ) -> SenderConn {
         SenderConn {
             fs,
@@ -636,8 +793,10 @@ impl SenderConn {
             reporter,
             fate,
             wake,
-            batched: 0,
-            saw_eos: false,
+            window,
+            stats,
+            credit_blocked: false,
+            stall_started: None,
             rx_down: false,
             peer_eof: false,
             crc_seen: 0,
@@ -653,19 +812,42 @@ impl SenderConn {
         Directive::close()
     }
 
-    /// Encode waiting bridge packets into the write buffer, up to the
-    /// coalescing cap or the end-of-stream marker.
+    /// Encode waiting bridge packets into the write buffer (stamping
+    /// each with the next link sequence number and retaining the frame
+    /// in the replay window), up to the coalescing cap, the credit
+    /// window, or the end-of-stream marker.
     fn ingest(&mut self) {
         if self.rx_down {
             return;
         }
+        let mut win = self.window.lock().unwrap_or_else(|p| p.into_inner());
+        if self.credit_blocked && !win.is_full() {
+            self.credit_blocked = false;
+            if let Some(at) = self.stall_started.take() {
+                let us = at.elapsed().as_micros() as u64;
+                self.stats.stalled_us.fetch_add(us, Ordering::Relaxed);
+                self.reporter
+                    .record(LinkEventKind::Stalled, format!("credit window full for {us} us"));
+            }
+        }
         while self.fs.queued_len() < MAX_COALESCED_BYTES {
+            if win.is_full() {
+                // Out of credit: stop consuming so the bridge (and the
+                // stage behind it) backs up — that is the backpressure.
+                if !self.credit_blocked {
+                    self.credit_blocked = true;
+                    self.stall_started = Some(Instant::now());
+                }
+                return;
+            }
             match self.rx.try_recv() {
                 Ok(p) => {
                     let eos = p.is_eos();
-                    self.batched += u64::from(!eos);
-                    self.saw_eos |= eos;
-                    p.encode_into(self.fs.queue_buffer());
+                    let seq = win.next_seq();
+                    let buf = self.fs.queue_buffer();
+                    let start = buf.len();
+                    p.encode_into_with_seq(seq, buf);
+                    win.push(Bytes::from(buf[start..].to_vec()));
                     if eos {
                         // An end-of-stream marker ends the batch so it
                         // (and everything before it) flushes at once.
@@ -681,8 +863,57 @@ impl SenderConn {
         }
     }
 
+    /// Apply one ack frame from the receiver to the replay window.
+    fn on_ack(&mut self, f: &Frame) {
+        let mut win = self.window.lock().unwrap_or_else(|p| p.into_inner());
+        match f.stream_id {
+            ACK_DELIVERED => {
+                win.ack_delivered(f.seq);
+            }
+            ACK_DURABLE => {
+                win.ack_durable(f.seq);
+                self.reporter
+                    .record(LinkEventKind::Acked, format!("durable through seq {}", f.seq));
+            }
+            ACK_NAK => {
+                // The receiver is missing `seq + 1`: everything through
+                // `seq` is delivered, everything retained past it goes
+                // out again. A gap that starts below the retention
+                // floor is unanswerable — tell the receiver to skip it.
+                win.ack_delivered(f.seq);
+                let floor = win.floor();
+                if floor > f.seq {
+                    encode_frame_into(&ack_frame(ACK_SKIP, floor), self.fs.queue_buffer());
+                    self.reporter.record(
+                        LinkEventKind::Skipped,
+                        format!("NAK at {} below retention floor {floor}", f.seq),
+                    );
+                }
+                // Replay only into a draining buffer: a blocked socket
+                // re-requests naturally via the receiver's next NAK.
+                if self.fs.queued_len() < MAX_COALESCED_BYTES {
+                    let from = floor.max(f.seq);
+                    let mut n = 0u64;
+                    for b in win.replay_from(from) {
+                        self.fs.queue_buffer().extend_from_slice(b);
+                        n += 1;
+                    }
+                    if n > 0 {
+                        self.stats.replayed.fetch_add(n, Ordering::Relaxed);
+                        self.reporter.record(
+                            LinkEventKind::Replayed,
+                            format!("{n} frames from seq {}", from + 1),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
     /// Relay exception frames from the remote downstream stage into the
-    /// sending stage's control channel.
+    /// sending stage's control channel, and apply ack frames to the
+    /// replay window.
     fn read_upstream(&mut self) {
         loop {
             match self.fs.read_frame() {
@@ -691,6 +922,7 @@ impl SenderConn {
                         let _ = self.upstream.send(Control::Exception(e));
                     }
                 }
+                Ok(Some(f)) if f.kind == FrameKind::Ack => self.on_ack(&f),
                 Ok(Some(_)) => {}
                 Err(TransportError::TimedOut) => break,
                 Ok(None) | Err(TransportError::Io(_)) => {
@@ -719,6 +951,34 @@ impl SenderConn {
 
     fn backlog(&self) -> bool {
         self.fs.queued_len() > 0 || self.fs.has_staged()
+    }
+
+    /// Ingest + flush until dry, blocked, stalled, out of credit, or
+    /// broken. `Some` carries the terminal directive for a broken link.
+    fn pump(&mut self, now: Instant) -> Option<Directive> {
+        loop {
+            self.ingest();
+            match self.fs.flush_nonblocking() {
+                Ok(FlushProgress::Done) => {
+                    if self.rx_down || self.credit_blocked || self.rx.is_empty() {
+                        return None;
+                    }
+                }
+                Ok(FlushProgress::Blocked) => return None,
+                Ok(FlushProgress::Stalled(d)) => {
+                    if let Some(d) = d {
+                        self.stall_until = Some(now + d);
+                    }
+                    return None;
+                }
+                Err(err) => {
+                    self.reporter
+                        .record(LinkEventKind::Reconnecting, format!("send failed: {err}"));
+                    let carried = self.fs.take_fault_injector();
+                    return Some(self.finish(ConnFate::Broken { carried }));
+                }
+            }
+        }
     }
 }
 
@@ -750,41 +1010,44 @@ impl Source for SenderConn {
             let carried = self.fs.take_fault_injector();
             return self.finish(ConnFate::Partitioned { carried });
         }
-        // Ingest + flush until dry, blocked, stalled, or broken.
-        loop {
-            self.ingest();
-            match self.fs.flush_nonblocking() {
-                Ok(FlushProgress::Done) => {
-                    self.batched = 0;
-                    self.saw_eos = false;
-                    if self.rx_down || self.rx.is_empty() {
-                        break;
-                    }
-                }
-                Ok(FlushProgress::Blocked) => break,
-                Ok(FlushProgress::Stalled(d)) => {
-                    if let Some(d) = d {
-                        self.stall_until = Some(now + d);
-                    }
-                    break;
-                }
-                Err(err) => {
-                    self.reporter
-                        .record(LinkEventKind::Reconnecting, format!("send failed: {err}"));
-                    let pending = self.fs.take_queued();
-                    let carried = self.fs.take_fault_injector();
-                    let (batched, saw_eos) = (self.batched, self.saw_eos);
-                    return self.finish(ConnFate::Broken { pending, carried, batched, saw_eos });
-                }
-            }
+        if let Some(d) = self.pump(now) {
+            return d;
         }
         if ready.readable && !self.peer_eof {
             self.read_upstream();
+            // Acks may have opened the credit window (or queued a skip
+            // frame / replay): make progress now rather than waiting
+            // for the next readiness event.
+            if let Some(d) = self.pump(now) {
+                return d;
+            }
         }
         self.report_faults();
         if self.rx_down && !self.backlog() && self.stall_until.is_none() {
+            let in_flight = self.window.lock().unwrap_or_else(|p| p.into_inner()).in_flight();
+            if in_flight == 0 {
+                // Every frame flushed *and* delivery-acked: the edge is
+                // complete for real, not just buffered in a socket.
+                let carried = self.fs.take_fault_injector();
+                return self.finish(ConnFate::Finished { carried });
+            }
+            if !self.peer_eof && !self.stop.load(Ordering::Relaxed) {
+                // Everything flushed; wait (readable) for the trailing
+                // acks, re-checking on the sweep cadence.
+                return Directive {
+                    want_read: true,
+                    want_write: false,
+                    deadline: Some(now + EXC_SWEEP),
+                    close: false,
+                };
+            }
+        }
+        if self.peer_eof {
+            // A half-closed peer can never ack: hand the unacked tail
+            // back to the tender, which re-dials and replays it.
+            self.reporter.record(LinkEventKind::Reconnecting, "peer closed before final ack");
             let carried = self.fs.take_fault_injector();
-            return self.finish(ConnFate::Finished { carried });
+            return self.finish(ConnFate::Broken { carried });
         }
         if self.stop.load(Ordering::Relaxed) {
             // Best-effort final flush (end-of-stream markers), bounded.
@@ -802,15 +1065,17 @@ impl Source for SenderConn {
         // Park until the stage pings us (or the socket turns writable /
         // readable / the stall elapses). Re-check the channel after
         // arming: a packet that slipped in between drain and arm would
-        // otherwise sleep forever.
+        // otherwise sleep forever. A credit-blocked sender must NOT
+        // ping itself on a non-empty bridge — the wake it needs is the
+        // receiver's ack (readable), not its own spin.
         self.wake.arm();
-        if !self.rx_down && !self.rx.is_empty() {
+        if !self.rx_down && !self.credit_blocked && !self.rx.is_empty() {
             self.wake.ping();
         }
         Directive {
-            want_read: !self.peer_eof,
+            want_read: true,
             want_write: self.backlog() && self.stall_until.is_none(),
-            deadline: self.stall_until,
+            deadline: self.stall_until.or_else(|| self.credit_blocked.then(|| now + EXC_SWEEP)),
             close: false,
         }
     }

@@ -19,8 +19,20 @@ use gates_sim::stats::Welford;
 use gates_sim::SimDuration;
 
 use super::DistConfig;
+use crate::runtime::EdgeCursors;
 use gates_net::RetryPolicy;
 use std::time::Duration;
+
+/// A stage checkpoint as the coordinator stores it, keyed by stage
+/// elsewhere: `(seq, crc, state, cursors)` — input-packet sequence at
+/// snapshot time, CRC32 of the state bytes, the opaque processor
+/// snapshot, and the per-input-edge delivery cursors recorded with it.
+pub(crate) type CheckpointEntry = (u64, u32, Vec<u8>, EdgeCursors);
+
+/// A stage checkpoint on the wire, in a [`CtrlMsg::Reassign`]:
+/// `(stage, seq, crc, state, cursors)` — a [`CheckpointEntry`] prefixed
+/// with the global stage index it belongs to.
+pub(crate) type StageCheckpoint = (u32, u64, u32, Vec<u8>, EdgeCursors);
 
 const TAG_HELLO: u8 = 1;
 const TAG_ASSIGN: u8 = 2;
@@ -107,6 +119,18 @@ pub(crate) enum CtrlMsg {
         worker: String,
         /// Reports for the worker's stages, in its `my_stages` order.
         stages: Vec<StageReport>,
+        /// Frames this worker's links gave up on (redial exhaustion,
+        /// retention skips) — summed into `RunReport::packets_lost`.
+        lost: u64,
+        /// Frames this worker's senders re-transmitted (reconnect
+        /// replay and gap NAKs).
+        replayed: u64,
+        /// Duplicate frames this worker's receivers discarded by edge
+        /// sequence number.
+        deduped: u64,
+        /// Microseconds this worker's senders spent stalled on a full
+        /// ack credit window.
+        stalled_us: u64,
     },
     /// Worker → coordinator: one live flight-recorder event.
     Trace(TraceEvent),
@@ -115,6 +139,14 @@ pub(crate) enum CtrlMsg {
     EdgeHello {
         /// Global edge index.
         edge: u32,
+        /// Sender incarnation: `0` for the sender instance created at run
+        /// start, or the failover epoch that created it (an adopted
+        /// stage's re-emitting sender). A receiver that sees a *new*
+        /// incarnation resets its delivery cursor to zero — the fresh
+        /// sender instance numbers its frames from 1 — while a plain
+        /// reconnect of the same instance keeps the cursor so replayed
+        /// frames dedup.
+        incarnation: u64,
     },
     /// Coordinator → worker: abort/stop the run.
     Stop,
@@ -141,6 +173,12 @@ pub(crate) enum CtrlMsg {
         crc: u32,
         /// Opaque state bytes from [`gates_core::StreamProcessor::snapshot`].
         state: Vec<u8>,
+        /// Per-input-edge delivery cursors at snapshot time:
+        /// `(edge, highest link sequence number folded into `state`)`.
+        /// During failover the adopting worker installs these so its
+        /// receivers dedup the pre-snapshot prefix, and the re-dialing
+        /// upstream senders replay exactly the unconsumed tail.
+        cursors: Vec<(u32, u64)>,
     },
     /// Coordinator → worker: registration refused (malformed hello,
     /// duplicate name, ...). The worker should report the reason and exit
@@ -163,10 +201,12 @@ pub(crate) enum CtrlMsg {
         /// Updated placement rows (changed stages only).
         placements: Vec<StagePlacement>,
         /// Last known checkpoint per reassigned stage:
-        /// `(stage, seq, crc, state)`. Stages without an entry restart
-        /// fresh; an entry whose CRC does not match its bytes is treated
-        /// the same (restart fresh) rather than restoring garbage.
-        checkpoints: Vec<(u32, u64, u32, Vec<u8>)>,
+        /// `(stage, seq, crc, state, cursors)` with `cursors` the
+        /// per-input-edge delivery cursors recorded alongside the
+        /// snapshot. Stages without an entry restart fresh; an entry
+        /// whose CRC does not match its bytes is treated the same
+        /// (restart fresh) rather than restoring garbage.
+        checkpoints: Vec<StageCheckpoint>,
     },
     /// Worker → coordinator: a replica's adaptation loop wants its shard
     /// split (overload) or merged away (underload). The coordinator owns
@@ -224,6 +264,23 @@ fn put_opt_str(w: &mut PayloadWriter, s: &Option<String>) {
 
 fn get_opt_str(r: &mut PayloadReader) -> Result<Option<String>, CoreError> {
     Ok(if r.get_u8()? == 1 { Some(get_str(r)?) } else { None })
+}
+
+fn put_cursors(w: &mut PayloadWriter, cursors: &[(u32, u64)]) {
+    w.put_u32(cursors.len() as u32);
+    for &(edge, cursor) in cursors {
+        w.put_u32(edge);
+        w.put_u64(cursor);
+    }
+}
+
+fn get_cursors(r: &mut PayloadReader) -> Result<Vec<(u32, u64)>, CoreError> {
+    let n = r.get_u32()? as usize;
+    let mut cursors = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        cursors.push((r.get_u32()?, r.get_u64()?));
+    }
+    Ok(cursors)
 }
 
 fn put_welford(w: &mut PayloadWriter, s: &Welford) {
@@ -387,6 +444,11 @@ fn link_kind_to_u8(k: LinkEventKind) -> u8 {
         LinkEventKind::ShardSplit => 16,
         LinkEventKind::ShardMerge => 17,
         LinkEventKind::Misrouted => 18,
+        LinkEventKind::Acked => 19,
+        LinkEventKind::Replayed => 20,
+        LinkEventKind::Deduped => 21,
+        LinkEventKind::Stalled => 22,
+        LinkEventKind::Skipped => 23,
     }
 }
 
@@ -411,6 +473,11 @@ fn link_kind_from_u8(v: u8) -> Result<LinkEventKind, CoreError> {
         16 => LinkEventKind::ShardSplit,
         17 => LinkEventKind::ShardMerge,
         18 => LinkEventKind::Misrouted,
+        19 => LinkEventKind::Acked,
+        20 => LinkEventKind::Replayed,
+        21 => LinkEventKind::Deduped,
+        22 => LinkEventKind::Stalled,
+        23 => LinkEventKind::Skipped,
         other => return Err(CoreError::PayloadDecode(format!("bad link event kind {other}"))),
     })
 }
@@ -480,6 +547,8 @@ fn put_config(w: &mut PayloadWriter, c: &DistConfig) {
     // The fault plan ships as its canonical spec string: compact, and
     // the parser is the single source of truth for its grammar.
     put_opt_str(w, &c.fault.as_ref().map(|f| f.to_spec()));
+    w.put_u64(c.ack_window as u64);
+    w.put_u64(c.replay_retain as u64);
 }
 
 fn get_config(r: &mut PayloadReader) -> Result<DistConfig, CoreError> {
@@ -504,6 +573,8 @@ fn get_config(r: &mut PayloadReader) -> Result<DistConfig, CoreError> {
             ),
             None => None,
         },
+        ack_window: r.get_u64()? as usize,
+        replay_retain: r.get_u64()? as usize,
     })
 }
 
@@ -547,9 +618,13 @@ pub(crate) fn encode_ctrl(msg: &CtrlMsg) -> Frame {
         CtrlMsg::Start => {
             w.put_bytes(&[TAG_START]);
         }
-        CtrlMsg::Report { worker, stages } => {
+        CtrlMsg::Report { worker, stages, lost, replayed, deduped, stalled_us } => {
             w.put_bytes(&[TAG_REPORT]);
             put_str(&mut w, worker);
+            w.put_u64(*lost);
+            w.put_u64(*replayed);
+            w.put_u64(*deduped);
+            w.put_u64(*stalled_us);
             w.put_u32(stages.len() as u32);
             for s in stages {
                 put_stage_report(&mut w, s);
@@ -559,9 +634,10 @@ pub(crate) fn encode_ctrl(msg: &CtrlMsg) -> Frame {
             w.put_bytes(&[TAG_TRACE]);
             put_trace_event(&mut w, e);
         }
-        CtrlMsg::EdgeHello { edge } => {
+        CtrlMsg::EdgeHello { edge, incarnation } => {
             w.put_bytes(&[TAG_EDGE_HELLO]);
             w.put_u32(*edge);
+            w.put_u64(*incarnation);
         }
         CtrlMsg::Stop => {
             w.put_bytes(&[TAG_STOP]);
@@ -570,13 +646,14 @@ pub(crate) fn encode_ctrl(msg: &CtrlMsg) -> Frame {
             w.put_bytes(&[TAG_HEARTBEAT]);
             put_str(&mut w, name);
         }
-        CtrlMsg::Checkpoint { stage, seq, crc, state } => {
+        CtrlMsg::Checkpoint { stage, seq, crc, state, cursors } => {
             w.put_bytes(&[TAG_CHECKPOINT]);
             w.put_u32(*stage);
             w.put_u64(*seq);
             w.put_u32(*crc);
             w.put_u32(state.len() as u32);
             w.put_bytes(state);
+            put_cursors(&mut w, cursors);
         }
         CtrlMsg::Reject { reason } => {
             w.put_bytes(&[TAG_REJECT]);
@@ -593,12 +670,13 @@ pub(crate) fn encode_ctrl(msg: &CtrlMsg) -> Frame {
                 w.put_f64(p.speed);
             }
             w.put_u32(checkpoints.len() as u32);
-            for (stage, seq, crc, state) in checkpoints {
+            for (stage, seq, crc, state, cursors) in checkpoints {
                 w.put_u32(*stage);
                 w.put_u64(*seq);
                 w.put_u32(*crc);
                 w.put_u32(state.len() as u32);
                 w.put_bytes(state);
+                put_cursors(&mut w, cursors);
             }
         }
         CtrlMsg::ShardRequest { group, ordinal, split } => {
@@ -674,15 +752,19 @@ pub(crate) fn decode_ctrl(frame: &Frame) -> Result<CtrlMsg, CoreError> {
         TAG_START => CtrlMsg::Start,
         TAG_REPORT => {
             let worker = get_str(&mut r)?;
+            let lost = r.get_u64()?;
+            let replayed = r.get_u64()?;
+            let deduped = r.get_u64()?;
+            let stalled_us = r.get_u64()?;
             let n = r.get_u32()? as usize;
             let mut stages = Vec::with_capacity(n.min(4096));
             for _ in 0..n {
                 stages.push(get_stage_report(&mut r)?);
             }
-            CtrlMsg::Report { worker, stages }
+            CtrlMsg::Report { worker, stages, lost, replayed, deduped, stalled_us }
         }
         TAG_TRACE => CtrlMsg::Trace(get_trace_event(&mut r)?),
-        TAG_EDGE_HELLO => CtrlMsg::EdgeHello { edge: r.get_u32()? },
+        TAG_EDGE_HELLO => CtrlMsg::EdgeHello { edge: r.get_u32()?, incarnation: r.get_u64()? },
         TAG_STOP => CtrlMsg::Stop,
         TAG_HEARTBEAT => CtrlMsg::Heartbeat { name: get_str(&mut r)? },
         TAG_CHECKPOINT => {
@@ -691,7 +773,8 @@ pub(crate) fn decode_ctrl(frame: &Frame) -> Result<CtrlMsg, CoreError> {
             let crc = r.get_u32()?;
             let len = r.get_u32()? as usize;
             let state = r.get_bytes(len)?.into_vec();
-            CtrlMsg::Checkpoint { stage, seq, crc, state }
+            let cursors = get_cursors(&mut r)?;
+            CtrlMsg::Checkpoint { stage, seq, crc, state, cursors }
         }
         TAG_REJECT => CtrlMsg::Reject { reason: get_str(&mut r)? },
         TAG_REASSIGN => {
@@ -713,7 +796,8 @@ pub(crate) fn decode_ctrl(frame: &Frame) -> Result<CtrlMsg, CoreError> {
                 let seq = r.get_u64()?;
                 let crc = r.get_u32()?;
                 let len = r.get_u32()? as usize;
-                checkpoints.push((stage, seq, crc, r.get_bytes(len)?.into_vec()));
+                let state = r.get_bytes(len)?.into_vec();
+                checkpoints.push((stage, seq, crc, state, get_cursors(&mut r)?));
             }
             CtrlMsg::Reassign { epoch, placements, checkpoints }
         }
@@ -811,7 +895,8 @@ mod tests {
     fn simple_messages_round_trip() {
         round_trip(CtrlMsg::Ready { name: "w2".into() });
         round_trip(CtrlMsg::Start);
-        round_trip(CtrlMsg::EdgeHello { edge: 3 });
+        round_trip(CtrlMsg::EdgeHello { edge: 3, incarnation: 0 });
+        round_trip(CtrlMsg::EdgeHello { edge: 7, incarnation: 2 });
         round_trip(CtrlMsg::Stop);
         round_trip(CtrlMsg::Heartbeat { name: "w0".into() });
         round_trip(CtrlMsg::Reject { reason: "duplicate worker name w0".into() });
@@ -824,8 +909,15 @@ mod tests {
             seq: 128,
             crc: gates_net::crc32(&[1, 2, 3, 4, 5]),
             state: vec![1, 2, 3, 4, 5],
+            cursors: vec![(2, 120), (5, 8)],
         });
-        round_trip(CtrlMsg::Checkpoint { stage: 0, seq: 0, crc: 0, state: Vec::new() });
+        round_trip(CtrlMsg::Checkpoint {
+            stage: 0,
+            seq: 0,
+            crc: 0,
+            state: Vec::new(),
+            cursors: Vec::new(),
+        });
     }
 
     #[test]
@@ -838,7 +930,7 @@ mod tests {
                 endpoint: "127.0.0.1:4001".into(),
                 speed: 2.0,
             }],
-            checkpoints: vec![(0, 64, gates_net::crc32(&[9, 8, 7]), vec![9, 8, 7])],
+            checkpoints: vec![(0, 64, gates_net::crc32(&[9, 8, 7]), vec![9, 8, 7], vec![(1, 60)])],
         });
         round_trip(CtrlMsg::Reassign { epoch: 0, placements: Vec::new(), checkpoints: Vec::new() });
     }
@@ -859,6 +951,44 @@ mod tests {
                 detail: "w2 -> w0".into(),
             })));
         }
+    }
+
+    #[test]
+    fn delivery_link_kinds_round_trip() {
+        for kind in [
+            LinkEventKind::Acked,
+            LinkEventKind::Replayed,
+            LinkEventKind::Deduped,
+            LinkEventKind::Stalled,
+            LinkEventKind::Skipped,
+        ] {
+            round_trip(CtrlMsg::Trace(TraceEvent::Link(LinkEvent {
+                t: 0.5,
+                link: "summarizer-0->collector".into(),
+                node: "w1".into(),
+                kind,
+                detail: "cursor 64".into(),
+            })));
+        }
+    }
+
+    #[test]
+    fn non_default_config_round_trips() {
+        round_trip(CtrlMsg::Assign(Box::new(AssignMsg {
+            app_xml: "<application name=\"x\" repository=\"count-samps\"/>".into(),
+            observe_us: 1,
+            adapt_us: 2,
+            control_latency_us: 3,
+            max_time_us: 4,
+            trace: false,
+            placements: Vec::new(),
+            my_stages: Vec::new(),
+            config: DistConfig::default()
+                .checkpoint_every(7)
+                .ack_window(32)
+                .replay_retain(96)
+                .fault(gates_net::FaultPlan::parse("seed=7,drop=0.02,dup=0.01").unwrap()),
+        })));
     }
 
     #[test]
@@ -910,11 +1040,18 @@ mod tests {
                 samples: vec![(0.0, 100.0), (0.2, 110.0), (0.4, 120.0)],
             }],
         };
-        let frame =
-            encode_ctrl(&CtrlMsg::Report { worker: "w1".into(), stages: vec![report.clone()] });
+        let frame = encode_ctrl(&CtrlMsg::Report {
+            worker: "w1".into(),
+            stages: vec![report.clone()],
+            lost: 3,
+            replayed: 17,
+            deduped: 9,
+            stalled_us: 12_500,
+        });
         match decode_ctrl(&frame).unwrap() {
-            CtrlMsg::Report { worker, stages } => {
+            CtrlMsg::Report { worker, stages, lost, replayed, deduped, stalled_us } => {
                 assert_eq!(worker, "w1");
+                assert_eq!((lost, replayed, deduped, stalled_us), (3, 17, 9, 12_500));
                 assert_eq!(stages.len(), 1);
                 let s = &stages[0];
                 assert_eq!(s.name, "summarizer-0");

@@ -22,8 +22,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
+use bytes::BytesMut;
 use crossbeam::channel::{
-    bounded, unbounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender,
+    bounded, unbounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender, TryRecvError,
 };
 
 use gates_core::adapt::LoadTracker;
@@ -32,20 +33,21 @@ use gates_core::trace::{LinkEvent, LinkEventKind, NullRecorder, Recorder, TraceE
 use gates_core::{Packet, ShardMap, ShardRouter, StageId, Topology};
 use gates_grid::{AppConfig, ApplicationRepository};
 use gates_net::{
-    connect_with_retry, connect_with_retry_jittered, crc32, derive, BufferPool, FaultInjector,
-    FlowControl, FrameStream, Reactor, ReactorPool, RetryPolicy,
+    connect_with_retry, connect_with_retry_jittered, crc32, derive, AckWindow, BufferPool,
+    FaultInjector, FlowControl, FrameStream, Reactor, ReactorPool, RetryPolicy,
 };
 use gates_sim::{SimDuration, SimTime};
 
 use super::plane::{
     ConnFate, CtrlEvent, CtrlHandle, ListenerSource, NotifyList, PlaneCtx, SenderConn,
 };
-use super::proto::{encode_ctrl, CtrlMsg};
+use super::proto::{encode_ctrl, CheckpointEntry, CtrlMsg};
 use super::{read_ctrl, DistConfig};
 use crate::executor::{CorePool, TaskHandle, WakeHub};
 use crate::options::RunOptions;
 use crate::runtime::{
-    CheckpointCfg, Control, OutPort, RemoteWake, ShardCtl, ShardScaling, StageTask, StageWorker,
+    CheckpointCfg, Control, CursorProbe, OutPort, RemoteWake, ShardCtl, ShardScaling, StageTask,
+    StageWorker,
 };
 use crate::EngineError;
 
@@ -80,6 +82,25 @@ fn name_seed(name: &str) -> u64 {
 /// The shared, growable in-edge registry: failover registers new entries
 /// mid-run when this worker adopts a stage.
 pub(super) type InEdgeRegistry = Arc<RwLock<HashMap<u32, Arc<InEdge>>>>;
+
+/// Worker-global at-least-once delivery counters. One instance per
+/// worker process, cloned into every in-edge and remote sender; the
+/// totals ride in the final `Report` control message, so the
+/// coordinator aggregates exact counts without needing the trace plane.
+#[derive(Clone, Default)]
+pub(super) struct DeliveryStats {
+    /// Frames given up for good: redial-exhaustion drains, unacked
+    /// tails on permanently dead links, and receiver-side skip gaps.
+    pub(super) lost: Arc<AtomicU64>,
+    /// Frames re-transmitted from a replay window (reconnect replay
+    /// and NAK-driven gap repair).
+    pub(super) replayed: Arc<AtomicU64>,
+    /// Duplicate frames discarded by receiver-side sequence dedup.
+    pub(super) deduped: Arc<AtomicU64>,
+    /// Microseconds sending stages spent parked on a full credit
+    /// window (the visible cost of credit-based backpressure).
+    pub(super) stalled_us: Arc<AtomicU64>,
+}
 
 /// How long a worker waits for the coordinator's next handshake message
 /// (assignment, start) before giving up.
@@ -304,9 +325,12 @@ impl DistWorker {
         // number).
         let jitter_root =
             cfg.fault.as_ref().map(|f| f.seed).unwrap_or_else(|| name_seed(&self.name));
-        // Stage snapshots funnel through this channel into the main
-        // loop, which relays them to the coordinator as checkpoints.
-        let (ckpt_tx, ckpt_rx) = unbounded::<(u32, u64, Vec<u8>)>();
+        // Stage snapshots (state + per-edge input cursors) funnel
+        // through this channel into the main loop, which relays them to
+        // the coordinator as checkpoints.
+        let (ckpt_tx, ckpt_rx) = unbounded::<(u32, u64, Vec<u8>, Vec<(u32, u64)>)>();
+        // At-least-once delivery totals for this process.
+        let delivery = DeliveryStats::default();
         // Replica scale-out signals (`(group, ordinal, split)`) follow
         // the same path: a replica whose d̃ left [LT1, LT2] asks the
         // coordinator to split or merge its key range, and the
@@ -372,6 +396,12 @@ impl DistWorker {
                         reactor: reactors.pick(),
                         notify: notify.clone(),
                         wake,
+                        window: Arc::new(Mutex::new(AckWindow::new(
+                            cfg.ack_window,
+                            cfg.replay_retain,
+                        ))),
+                        incarnation: 0,
+                        stats: delivery.clone(),
                     };
                     bridge_handles.push(
                         std::thread::Builder::new()
@@ -398,6 +428,11 @@ impl DistWorker {
                             disconnected_at: Mutex::new(Some(Instant::now())),
                             connections: AtomicU64::new(0),
                             announce_resume: AtomicBool::new(false),
+                            cursor: AtomicU64::new(0),
+                            durable: AtomicU64::new(0),
+                            sender_incarnation: AtomicU64::new(u64::MAX),
+                            adoption_epoch: 0,
+                            stats: delivery.clone(),
                             hub: Arc::clone(&hub),
                             wake_key: to as u32,
                             reporter,
@@ -564,6 +599,13 @@ impl DistWorker {
                 }
             }
             let in_edges = topology.in_edges(id).len();
+            let remote_in: Vec<u32> = topology
+                .in_edges(id)
+                .into_iter()
+                .filter(|&ei| !is_mine[topology.edges()[ei].from.index()])
+                .map(|ei| ei as u32)
+                .collect();
+            let probe_rx = data_rx[&i].clone();
             let worker = StageWorker {
                 name: stage.name.clone(),
                 placed_on: worker_of[i].clone(),
@@ -588,6 +630,7 @@ impl DistWorker {
                     stage: i as u32,
                     every: cfg.checkpoint_every,
                     tx: ckpt_tx.clone(),
+                    cursors: cursor_probe(remote_in, &in_edge_reg, probe_rx),
                 }),
                 restore: None,
                 hub: Some(Arc::clone(&hub)),
@@ -665,13 +708,31 @@ impl DistWorker {
                     }));
                 }
             }
-            while let Ok((stage, seq, state)) = ckpt_rx.try_recv() {
+            while let Ok((stage, seq, state, cursors)) = ckpt_rx.try_recv() {
+                // Durable floors advance regardless of coordinator
+                // health: receivers advertise them upstream as durable
+                // acks, which is what lets senders trim replay
+                // retention.
+                {
+                    let reg = in_edge_reg.read().unwrap_or_else(|p| p.into_inner());
+                    for &(edge, cur) in &cursors {
+                        if let Some(ie) = reg.get(&edge) {
+                            ie.durable.fetch_max(cur, Ordering::AcqRel);
+                        }
+                    }
+                }
                 if !coordinator_gone {
                     // The CRC travels with the snapshot so the
                     // coordinator (and any adopting worker) can tell a
                     // chaos-corrupted checkpoint from a real one.
                     let crc = crc32(&state);
-                    ctrl_handle.queue(encode_ctrl(&CtrlMsg::Checkpoint { stage, seq, crc, state }));
+                    ctrl_handle.queue(encode_ctrl(&CtrlMsg::Checkpoint {
+                        stage,
+                        seq,
+                        crc,
+                        state,
+                        cursors,
+                    }));
                 }
             }
             if !coordinator_gone
@@ -781,9 +842,9 @@ impl DistWorker {
                             continue;
                         }
                         last_epoch = epoch;
-                        let ckpt_by_stage: HashMap<u32, (u64, u32, Vec<u8>)> = checkpoints
+                        let ckpt_by_stage: HashMap<u32, CheckpointEntry> = checkpoints
                             .into_iter()
-                            .map(|(s, q, crc, st)| (s, (q, crc, st)))
+                            .map(|(s, q, crc, st, cur)| (s, (q, crc, st, cur)))
                             .collect();
                         // Re-point the shared endpoint table first:
                         // senders whose link is down re-dial as soon as
@@ -813,12 +874,24 @@ impl DistWorker {
                             let (dtx, drx) = bounded(stage.queue_capacity);
                             let (ctx, crx) = unbounded::<Control>();
                             let my_drops = Arc::new(AtomicU64::new(0));
+                            // Per-edge input cursors from the stage's
+                            // last checkpoint. They install regardless
+                            // of the *state* CRC below: cursors ride
+                            // the control frame (whose own CRC guards
+                            // transit), and seeding them into the fresh
+                            // in-edges is what scopes the original
+                            // senders' replay to the unprocessed tail.
+                            let restored_cursors: HashMap<u32, u64> = ckpt_by_stage
+                                .get(&(i as u32))
+                                .map(|(_, _, _, cur)| cur.iter().copied().collect())
+                                .unwrap_or_default();
                             let mut upstream_ctl = Vec::new();
                             for ei in topology.in_edges(id) {
                                 let edge = &topology.edges()[ei];
                                 let from = edge.from.index();
                                 let (etx, erx) = unbounded::<Control>();
                                 upstream_ctl.push(etx);
+                                let cur0 = restored_cursors.get(&(ei as u32)).copied().unwrap_or(0);
                                 in_edge_reg.write().unwrap_or_else(|p| p.into_inner()).insert(
                                     ei as u32,
                                     Arc::new(InEdge {
@@ -835,6 +908,11 @@ impl DistWorker {
                                         disconnected_at: Mutex::new(Some(Instant::now())),
                                         connections: AtomicU64::new(0),
                                         announce_resume: AtomicBool::new(true),
+                                        cursor: AtomicU64::new(cur0),
+                                        durable: AtomicU64::new(cur0),
+                                        sender_incarnation: AtomicU64::new(u64::MAX),
+                                        adoption_epoch: epoch,
+                                        stats: delivery.clone(),
                                         hub: Arc::clone(&hub),
                                         wake_key: i as u32,
                                         reporter: LinkReporter {
@@ -893,6 +971,15 @@ impl DistWorker {
                                     reactor: reactors.pick(),
                                     notify: notify.clone(),
                                     wake,
+                                    window: Arc::new(Mutex::new(AckWindow::new(
+                                        cfg.ack_window,
+                                        cfg.replay_retain,
+                                    ))),
+                                    // A fresh sequence space: receivers
+                                    // see the epoch in the hello and
+                                    // restart their cursors.
+                                    incarnation: epoch,
+                                    stats: delivery.clone(),
                                 };
                                 bridge_handles.push(
                                     std::thread::Builder::new()
@@ -905,20 +992,21 @@ impl DistWorker {
                             // match the CRC taken at snapshot time; a
                             // corrupted one restarts the stage fresh
                             // rather than restoring garbage.
-                            let ckpt = ckpt_by_stage.get(&(i as u32)).and_then(|(seq, crc, state)| {
-                                if crc32(state) == *crc {
-                                    Some((*seq, state))
-                                } else {
-                                    ctrl_faults.record(
-                                        LinkEventKind::CheckpointCorrupt,
-                                        format!(
-                                            "stage {} checkpoint seq {seq} failed CRC; restarting fresh",
-                                            stage.name
-                                        ),
-                                    );
-                                    None
-                                }
-                            });
+                            let ckpt =
+                                ckpt_by_stage.get(&(i as u32)).and_then(|(seq, crc, state, _)| {
+                                    if crc32(state) == *crc {
+                                        Some((*seq, state))
+                                    } else {
+                                        ctrl_faults.record(
+                                            LinkEventKind::CheckpointCorrupt,
+                                            format!(
+                                                "stage {} checkpoint seq {seq} failed CRC; restarting fresh",
+                                                stage.name
+                                            ),
+                                        );
+                                        None
+                                    }
+                                });
                             if recorder.enabled() {
                                 recorder.record(TraceEvent::Link(LinkEvent {
                                     t: clock.now_secs(),
@@ -933,6 +1021,7 @@ impl DistWorker {
                                     },
                                 }));
                             }
+                            let probe_rx = drx.clone();
                             let worker = StageWorker {
                                 name: stage.name.clone(),
                                 placed_on: self.name.clone(),
@@ -957,6 +1046,18 @@ impl DistWorker {
                                     stage: i as u32,
                                     every: cfg.checkpoint_every,
                                     tx: ckpt_tx.clone(),
+                                    // Every in-edge of an adopted stage
+                                    // is remote (all inputs re-dial
+                                    // over TCP).
+                                    cursors: cursor_probe(
+                                        topology
+                                            .in_edges(id)
+                                            .into_iter()
+                                            .map(|ei| ei as u32)
+                                            .collect(),
+                                        &in_edge_reg,
+                                        probe_rx,
+                                    ),
                                 }),
                                 restore: ckpt.map(|(_, state)| state.clone()),
                                 hub: Some(Arc::clone(&hub)),
@@ -1024,6 +1125,10 @@ impl DistWorker {
             ctrl_handle.queue(encode_ctrl(&CtrlMsg::Report {
                 worker: self.name.clone(),
                 stages: reports,
+                lost: delivery.lost.load(Ordering::Relaxed),
+                replayed: delivery.replayed.load(Ordering::Relaxed),
+                deduped: delivery.deduped.load(Ordering::Relaxed),
+                stalled_us: delivery.stalled_us.load(Ordering::Relaxed),
             }));
             if !ctrl_handle.flush_sync(Duration::from_secs(5)) {
                 coordinator_gone = true;
@@ -1134,6 +1239,36 @@ fn shard_ctl(
     })
 }
 
+/// Build the per-stage checkpoint cursor sampler: for each remote
+/// in-edge, the highest input sequence the stage has *consumed* — the
+/// receiver cursor minus whatever is still parked in the stage's input
+/// queue. The two reads are not atomic with respect to each other, and
+/// the cursor is read first so a race can only *under*-report: the
+/// sender then replays a little deeper and the receiver dedup absorbs
+/// the overlap. Stages with no remote inputs get `None` (their
+/// checkpoints carry no cursors).
+fn cursor_probe(
+    remote_in: Vec<u32>,
+    reg: &InEdgeRegistry,
+    rx: Receiver<Packet>,
+) -> Option<CursorProbe> {
+    if remote_in.is_empty() {
+        return None;
+    }
+    let reg = Arc::clone(reg);
+    Some(Arc::new(move || {
+        let edges = reg.read().unwrap_or_else(|p| p.into_inner());
+        remote_in
+            .iter()
+            .filter_map(|ei| {
+                let ie = edges.get(ei)?;
+                let cur = ie.cursor.load(Ordering::Acquire);
+                Some((*ei, cur.saturating_sub(rx.len() as u64)))
+            })
+            .collect()
+    }))
+}
+
 /// Receiver-side state of one remote in-edge, shared between the
 /// reactor sources pumping its connections and the drain monitor.
 pub(super) struct InEdge {
@@ -1165,6 +1300,25 @@ pub(super) struct InEdge {
     pub(super) hub: Arc<WakeHub>,
     pub(super) wake_key: u32,
     pub(super) reporter: LinkReporter,
+    /// Highest contiguously delivered sequence on this edge — the
+    /// receiver-side at-least-once cursor. Frames at or below it are
+    /// duplicates; frame `cursor + 1` is the next deliverable.
+    pub(super) cursor: AtomicU64,
+    /// Highest sequence covered by a relayed checkpoint, acked back as
+    /// durable so the sender can trim replay retention.
+    pub(super) durable: AtomicU64,
+    /// Incarnation of the sender currently attached (`u64::MAX` until
+    /// the first hello). A changed incarnation means a fresh sequence
+    /// space: cursor and durable reset to zero.
+    pub(super) sender_incarnation: AtomicU64,
+    /// Failover epoch at which this edge was (re)registered. A first
+    /// hello with `incarnation >= adoption_epoch` comes from a sender
+    /// that was itself adopted (fresh sequence space); an older
+    /// incarnation is the original sender resuming into the restored
+    /// cursor.
+    pub(super) adoption_epoch: u64,
+    /// Worker-global delivery counters.
+    pub(super) stats: DeliveryStats,
 }
 
 impl InEdge {
@@ -1213,6 +1367,16 @@ struct RemoteSender {
     notify: NotifyList,
     /// Emit-path wake handle shared with the sending stage's `OutPort`.
     wake: Arc<RemoteWake>,
+    /// Acked replay window: frames stay here until the receiver's
+    /// cumulative delivered ack confirms them, and every reconnect
+    /// replays from it before sending anything new.
+    window: Arc<Mutex<AckWindow>>,
+    /// Sequence-space incarnation stamped into the edge hello: zero for
+    /// run-start senders, the failover epoch for adopted ones. The
+    /// receiver resets its cursor when the incarnation changes.
+    incarnation: u64,
+    /// Worker-global delivery counters.
+    stats: DeliveryStats,
 }
 
 /// Tracker for the wall-clock a sender may spend re-dialing one
@@ -1249,7 +1413,11 @@ impl RemoteSender {
         .ok()?;
         let mut fs = FrameStream::new(socket);
         fs.set_read_timeout(Some(Duration::from_millis(1))).ok()?;
-        fs.send(&encode_ctrl(&CtrlMsg::EdgeHello { edge: self.edge })).ok()?;
+        fs.send(&encode_ctrl(&CtrlMsg::EdgeHello {
+            edge: self.edge,
+            incarnation: self.incarnation,
+        }))
+        .ok()?;
         // The injector survives reconnects: frame indices keep counting,
         // so a run's fault schedule is one sequence per link rather than
         // restarting on every new connection.
@@ -1261,7 +1429,38 @@ impl RemoteSender {
                 }
             }
         }
+        // Queue everything past the receiver's delivered cursor before
+        // any new traffic: the fresh connection opens with the replay,
+        // and the receiver dedups whatever the cursor already covered.
+        {
+            let win = self.window.lock().unwrap_or_else(|p| p.into_inner());
+            let from = win.delivered();
+            let mut n = 0u64;
+            let buf = fs.queue_buffer();
+            for frame in win.replay_from(from) {
+                buf.extend_from_slice(frame);
+                n += 1;
+            }
+            if n > 0 {
+                self.stats.replayed.fetch_add(n, Ordering::Relaxed);
+                self.reporter.record(
+                    LinkEventKind::Replayed,
+                    format!("{n} frames from seq {} on reconnect", from + 1),
+                );
+            }
+        }
         Some(fs)
+    }
+
+    /// Stamp and retain one packet in the replay window while the link
+    /// is down; it rides to the receiver with the next successful dial's
+    /// replay instead of being dropped.
+    fn stash(&self, packet: Packet) {
+        let mut win = self.window.lock().unwrap_or_else(|p| p.into_inner());
+        let seq = win.next_seq();
+        let mut buf = BytesMut::new();
+        packet.encode_into_with_seq(seq, &mut buf);
+        win.push(buf.freeze());
     }
 
     /// While the link is dead, two ways back: the placement table names a
@@ -1270,13 +1469,11 @@ impl RemoteSender {
     /// partition, receiver restart), which is worth a jittered, budgeted
     /// re-dial rather than either banging on it in a tight loop or giving
     /// up forever.
-    #[allow(clippy::too_many_arguments)]
     fn try_revive(
         &self,
         stream: &mut Option<FrameStream>,
         dialed: &mut String,
         dead: &mut bool,
-        pending_eos: &mut bool,
         carried: &mut Option<FaultInjector>,
         budget: &mut RedialBudget,
     ) {
@@ -1308,15 +1505,9 @@ impl RemoteSender {
         *dialed = current.clone();
         let began = Instant::now();
         match self.connect(&current, carried) {
-            Some(mut fs) => {
+            Some(fs) => {
                 self.reporter.record(LinkEventKind::Reconnected, format!("re-dial to {current}"));
                 *budget = RedialBudget::fresh();
-                if *pending_eos {
-                    Packet::eos(u32::MAX, 0).encode_into(fs.queue_buffer());
-                    if fs.flush_queued().is_ok() {
-                        *pending_eos = false;
-                    }
-                }
                 *stream = Some(fs);
                 *dead = false;
             }
@@ -1343,9 +1534,11 @@ impl RemoteSender {
                 dead = true;
             }
         }
-        let mut pending_eos = false;
         let (fate_tx, fate_rx) = unbounded::<ConnFate>();
         let mut rx_open = true;
+        // Set when the bridge closes with unacked frames stranded on a
+        // dead link: the clock on how long we wait for failover.
+        let mut closed_at: Option<Instant> = None;
         loop {
             if !dead {
                 // Live link: hand the socket to the reactor and wait for
@@ -1370,6 +1563,8 @@ impl RemoteSender {
                     self.reporter.clone(),
                     fate_tx.clone(),
                     Arc::clone(&self.wake),
+                    Arc::clone(&self.window),
+                    self.stats.clone(),
                 );
                 let token = self.reactor.register(Box::new(conn));
                 self.notify.add(self.reactor.clone(), token);
@@ -1403,14 +1598,16 @@ impl RemoteSender {
                         self.reporter.record(LinkEventKind::Dead, "injected partition cut");
                         dead = true;
                     }
-                    ConnFate::Broken { pending, carried: c, batched, saw_eos } => {
+                    ConnFate::Broken { carried: c } => {
                         // One bounded-backoff reconnect cycle, then the
                         // link is dead until failover moves the receiver
                         // (the receiver's drain window is the backstop).
-                        // The failed flush left the batch queued, so it
-                        // carries onto the replacement connection.
-                        // Re-read the table first: the coordinator may
-                        // already have reassigned the stage elsewhere.
+                        // Unacked frames sit in the replay window, and
+                        // `connect` queues them onto the replacement
+                        // connection — nothing rides on the broken
+                        // socket's half-flushed bytes. Re-read the table
+                        // first: the coordinator may already have
+                        // reassigned the stage elsewhere.
                         carried = c;
                         dialed = self.placements.endpoint(self.to_stage);
                         stream = if self.partitioned.load(Ordering::Relaxed) {
@@ -1418,75 +1615,95 @@ impl RemoteSender {
                         } else {
                             self.connect(&dialed, &mut carried)
                         };
-                        match stream.as_mut() {
-                            Some(fs) => {
+                        match &stream {
+                            Some(_) => {
                                 self.reporter.record(LinkEventKind::Reconnected, dialed.clone());
-                                fs.queue_buffer().extend_from_slice(&pending);
-                                if fs.flush_queued().is_err() {
-                                    self.drops.fetch_add(batched, Ordering::Relaxed);
-                                }
                             }
                             None => {
                                 self.reporter.record(
                                     LinkEventKind::Dead,
-                                    "retries exhausted; dropping until failover or end of stream",
+                                    "retries exhausted; parking on the replay window until failover",
                                 );
                                 dead = true;
-                                self.drops.fetch_add(batched, Ordering::Relaxed);
-                                pending_eos = saw_eos;
                             }
                         }
                     }
                 }
                 continue;
             }
-            // Dead link: drain the bridge (dropping non-markers, stashing
-            // the end-of-stream), watching for a revival.
-            self.try_revive(
-                &mut stream,
-                &mut dialed,
-                &mut dead,
-                &mut pending_eos,
-                &mut carried,
-                &mut budget,
-            );
+            // Dead link: absorb the bridge into the replay window so the
+            // frames survive onto the next connection, watching for a
+            // revival the whole time.
+            self.try_revive(&mut stream, &mut dialed, &mut dead, &mut carried, &mut budget);
             if !dead {
                 continue;
             }
-            match self.rx.recv_timeout(Duration::from_millis(20)) {
-                Ok(packet) => {
-                    if packet.is_eos() {
-                        pending_eos = true;
-                    } else {
-                        self.drops.fetch_add(1, Ordering::Relaxed);
+            if self.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            if !rx_open {
+                // Bridge already closed: nothing left to absorb, just
+                // wait out the revive-or-abandon clock below.
+                std::thread::sleep(Duration::from_millis(20));
+            } else if budget.exhausted {
+                // No reconnect is coming here; failover is the only way
+                // out, and it replays from the retained window. Anything
+                // *beyond* what the window holds has nowhere to go —
+                // drain the bridge so the stage behind it is not wedged
+                // forever, and count the stream's loss honestly.
+                match self.rx.recv_timeout(Duration::from_millis(20)) {
+                    Ok(packet) => {
+                        let full = self.window.lock().unwrap_or_else(|p| p.into_inner()).is_full();
+                        if !full {
+                            self.stash(packet);
+                        } else if !packet.is_eos() {
+                            self.drops.fetch_add(1, Ordering::Relaxed);
+                            self.stats.lost.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => rx_open = false,
+                }
+            } else {
+                // A reconnect (or failover re-dial) is still plausible:
+                // stash what the replay window can hold. A full window
+                // parks the bridge — that *is* the credit backpressure,
+                // pushing back on the sending stage.
+                loop {
+                    if self.window.lock().unwrap_or_else(|p| p.into_inner()).is_full() {
+                        break;
+                    }
+                    match self.rx.try_recv() {
+                        Ok(packet) => self.stash(packet),
+                        Err(TryRecvError::Empty) => break,
+                        Err(TryRecvError::Disconnected) => {
+                            rx_open = false;
+                            break;
+                        }
                     }
                 }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => {
-                    rx_open = false;
-                    break;
-                }
+                std::thread::sleep(Duration::from_millis(20));
             }
-        }
-        // The bridge channel closed with an end-of-stream marker still
-        // stranded on a dead link. Give failover one drain window to
-        // move the receiver so the marker can land at the replacement;
-        // the receiver's own drain monitor is the backstop after that.
-        if dead && !rx_open && pending_eos {
-            let deadline = Instant::now() + self.cfg.drain_window;
-            while pending_eos && Instant::now() < deadline {
-                self.try_revive(
-                    &mut stream,
-                    &mut dialed,
-                    &mut dead,
-                    &mut pending_eos,
-                    &mut carried,
-                    &mut budget,
-                );
-                if !pending_eos {
+            if !rx_open {
+                // The stream has ended but unacked frames are stranded
+                // on a dead link. Give failover one drain window to move
+                // the receiver so the replay can land at the
+                // replacement; after that the frames are lost with the
+                // link and the receiver's drain monitor closes the
+                // stream out.
+                let unacked = self.window.lock().unwrap_or_else(|p| p.into_inner()).in_flight();
+                if unacked == 0 {
                     break;
                 }
-                std::thread::sleep(Duration::from_millis(50));
+                let since = *closed_at.get_or_insert_with(Instant::now);
+                if since.elapsed() >= self.cfg.drain_window {
+                    self.stats.lost.fetch_add(unacked as u64, Ordering::Relaxed);
+                    self.reporter.record(
+                        LinkEventKind::Dead,
+                        format!("{unacked} unacked frames lost with the link"),
+                    );
+                    break;
+                }
             }
         }
         // Surface any faults injected on the final frames: either from

@@ -39,6 +39,17 @@ use gates_sim::{SimDuration, SimTime};
 use crate::executor::{Activation, Step, WakeHub};
 use crate::options::RunOptions;
 
+/// Per-edge input cursors `(edge, seq)`: for each remote in-edge, the
+/// highest contiguously delivered link sequence. Recorded with every
+/// checkpoint so an adopting worker can resume dedup exactly where the
+/// snapshot left off.
+pub(crate) type EdgeCursors = Vec<(u32, u64)>;
+
+/// Sampler for a stage's live [`EdgeCursors`]. Runs in stage-task
+/// context, between packets, so the sampled floor never exceeds what
+/// the snapshot captured.
+pub(crate) type CursorProbe = Arc<dyn Fn() -> EdgeCursors + Send + Sync>;
+
 /// Messages on a stage's control channel.
 pub(crate) enum Control {
     /// An over-/under-load exception from a downstream stage.
@@ -50,15 +61,22 @@ pub(crate) enum Control {
 /// Checkpoint wiring for a stage running under the distributed runtime:
 /// every `every` input packets the worker snapshots the processor
 /// ([`gates_core::StreamProcessor::snapshot`]) and sends
-/// `(stage, packets_in, state)` on `tx`, from where the hosting process
-/// relays it to the coordinator. Empty snapshots are skipped.
+/// `(stage, packets_in, state, cursors)` on `tx`, from where the
+/// hosting process relays it to the coordinator. A checkpoint with an
+/// empty state and no cursors is skipped.
 pub(crate) struct CheckpointCfg {
     /// Global stage index (topology order), echoed in each checkpoint.
     pub(crate) stage: u32,
     /// Cadence in input packets; zero disables emission.
     pub(crate) every: u64,
-    /// Where snapshots go: `(stage, seq, state)`.
-    pub(crate) tx: Sender<(u32, u64, Vec<u8>)>,
+    /// Where snapshots go: `(stage, seq, state, cursors)`.
+    pub(crate) tx: Sender<(u32, u64, Vec<u8>, EdgeCursors)>,
+    /// Samples this stage's per-edge input cursors `(edge, seq)` at
+    /// snapshot time — the replay floor the at-least-once layer records
+    /// with the state. It runs in stage-task context, between packets,
+    /// so the sampled floor never exceeds what the snapshot captured.
+    /// `None` for stages without remote in-edges.
+    pub(crate) cursors: Option<CursorProbe>,
 }
 
 /// Deduplicated wake handle from a stage's emit path to the reactor
@@ -939,9 +957,11 @@ impl StageTask {
     /// Ship a state snapshot if the stage has checkpointing wired and
     /// has made `every` packets of progress since the last one.
     /// `progress` is packets consumed (or, for a source, produced).
-    /// Empty snapshots are skipped: a stateless stage would only be
-    /// restored to its initial state anyway, so shipping nothing means
-    /// failover restarts it fresh.
+    /// The per-edge input cursors are sampled here, in stage-task
+    /// context between packets, so they are a valid replay floor for
+    /// the state in the same snapshot. A checkpoint that carries
+    /// neither state nor cursors is skipped: a stateless, source-fed
+    /// stage would only be restored to its initial state anyway.
     fn maybe_checkpoint(&mut self, progress: u64) {
         let Some(cfg) = &self.w.checkpoint else { return };
         if cfg.every == 0 || progress < self.last_ckpt + cfg.every {
@@ -949,8 +969,9 @@ impl StageTask {
         }
         self.last_ckpt = progress;
         let state = self.w.processor.snapshot();
-        if !state.is_empty() {
-            let _ = cfg.tx.send((cfg.stage, progress, state));
+        let cursors = cfg.cursors.as_ref().map(|f| f()).unwrap_or_default();
+        if !state.is_empty() || !cursors.is_empty() {
+            let _ = cfg.tx.send((cfg.stage, progress, state, cursors));
         }
     }
 

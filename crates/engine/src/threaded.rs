@@ -266,6 +266,11 @@ impl ThreadedEngine {
             trace: self.opts.recorder.as_flight().map(|f| f.run_trace()),
             faults_injected: 0,
             fault_recoveries: 0,
+            // Delivery-layer counters are distributed-runtime-only.
+            packets_lost: 0,
+            packets_replayed: 0,
+            packets_deduped: 0,
+            backpressure_us: 0,
         })
     }
 }

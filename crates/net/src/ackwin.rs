@@ -1,0 +1,446 @@
+//! Sender-side acked replay window for at-least-once links.
+//!
+//! Every data edge of the distributed runtime stamps a per-edge
+//! monotonic sequence number into the frame header at send time and
+//! retains the encoded frame here until the receiver acknowledges it.
+//! Two cumulative acknowledgement levels flow back on the same socket
+//! (as [`crate::FrameKind::Ack`] frames):
+//!
+//! * **delivered** — the receiver's highest contiguous delivery cursor.
+//!   It opens the credit window: the in-flight count (sent minus
+//!   delivered) is bounded by `window`, and a full window is the
+//!   backpressure signal that parks the sending stage instead of
+//!   buffering unboundedly.
+//! * **durable** — the highest sequence number whose effects are
+//!   captured in a relayed stage checkpoint. Only a durable ack trims
+//!   the retained frames: anything newer must stay replayable so a
+//!   stage restored from that checkpoint can be fed the exact gap it
+//!   lost with the crashed worker.
+//!
+//! Replay is cumulative and idempotent: [`AckWindow::replay_from`]
+//! yields every retained frame above a cursor in sequence order, and
+//! the receiver deduplicates by `seq <= cursor`, so replaying too much
+//! (a full-window reconnect replay, a duplicated NAK) costs bandwidth
+//! but never correctness.
+//!
+//! Retention is bounded by `retain_cap`: when a stage never checkpoints
+//! (so durable acks never advance), delivered frames are evicted oldest
+//! first past the cap — reconnect replay is unaffected (the receiver's
+//! cursor survives in its registry entry), only failover replay for a
+//! stage that opted out of checkpointing degrades, which is exactly the
+//! pre-existing restart-fresh semantics.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+
+/// Bounded replay buffer + credit window for one data edge. See the
+/// module docs for the protocol.
+#[derive(Debug)]
+pub struct AckWindow {
+    /// Sequence number the next [`AckWindow::push`] assigns (starts 1).
+    next_seq: u64,
+    /// Highest cumulative delivered ack from the receiver.
+    delivered: u64,
+    /// Highest cumulative durable (checkpoint-covered) ack.
+    durable: u64,
+    /// Retained encoded frames, ascending contiguous seqs; the front is
+    /// the oldest frame neither durably acked nor evicted.
+    retained: VecDeque<(u64, Bytes)>,
+    /// Credit bound on in-flight (sent minus delivered) frames.
+    window: usize,
+    /// Hard bound on retained frames.
+    retain_cap: usize,
+    /// Delivered-but-not-durable frames evicted past `retain_cap`.
+    evicted: u64,
+}
+
+impl AckWindow {
+    /// A window admitting `window` unacknowledged frames in flight and
+    /// retaining at most `retain_cap` frames for replay.
+    pub fn new(window: usize, retain_cap: usize) -> Self {
+        let window = window.max(1);
+        AckWindow {
+            next_seq: 1,
+            delivered: 0,
+            durable: 0,
+            retained: VecDeque::new(),
+            window,
+            retain_cap: retain_cap.max(window),
+            evicted: 0,
+        }
+    }
+
+    /// Sequence number the next [`AckWindow::push`] will assign; stamp
+    /// it into the frame header before encoding.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Frames sent but not yet delivered-acked.
+    pub fn in_flight(&self) -> usize {
+        (self.next_seq - 1 - self.delivered) as usize
+    }
+
+    /// True when the credit window is exhausted: stop ingesting and let
+    /// backpressure propagate to the stage.
+    pub fn is_full(&self) -> bool {
+        self.in_flight() >= self.window
+    }
+
+    /// Highest sequence number assigned so far.
+    pub fn highest_sent(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Current delivered-ack floor.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Current durable-ack (trim) floor.
+    pub fn durable(&self) -> u64 {
+        self.durable
+    }
+
+    /// Frames currently retained for replay.
+    pub fn retained_len(&self) -> usize {
+        self.retained.len()
+    }
+
+    /// Delivered frames evicted past the retention cap (the failover
+    /// replay exposure of a never-checkpointing stage).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The replay floor: the sequence number just below the oldest
+    /// retained frame (or `highest_sent` when nothing is retained). A
+    /// NAK for a cursor below this floor cannot be answered — the sender
+    /// tells the receiver to skip forward to it instead.
+    pub fn floor(&self) -> u64 {
+        self.retained.front().map_or(self.highest_sent(), |(s, _)| s - 1)
+    }
+
+    /// Record a sent frame (its complete encoded bytes), assigning and
+    /// returning its sequence number. Callers gate sends on
+    /// [`AckWindow::is_full`]; pushing into a full window is allowed
+    /// (the bound is credit, not capacity) but defeats backpressure.
+    pub fn push(&mut self, frame: Bytes) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.retained.push_back((seq, frame));
+        // Past the cap, evict oldest frames — but only delivered ones:
+        // undelivered frames are the reconnect replay set and in-flight
+        // is window-bounded, so the deque can never be all-undelivered
+        // while over a cap >= window.
+        while self.retained.len() > self.retain_cap {
+            match self.retained.front() {
+                Some((s, _)) if *s <= self.delivered => {
+                    self.retained.pop_front();
+                    self.evicted += 1;
+                }
+                _ => break,
+            }
+        }
+        seq
+    }
+
+    /// Apply a cumulative delivered ack; returns how many frames it
+    /// newly marked delivered. Stale and future values are clamped.
+    pub fn ack_delivered(&mut self, seq: u64) -> u64 {
+        let seq = seq.min(self.highest_sent());
+        if seq <= self.delivered {
+            return 0;
+        }
+        let newly = seq - self.delivered;
+        self.delivered = seq;
+        newly
+    }
+
+    /// Apply a cumulative durable ack, trimming retained frames it
+    /// covers; returns how many frames it released. A durable ack
+    /// implies delivery, so the delivered floor advances with it.
+    pub fn ack_durable(&mut self, seq: u64) -> u64 {
+        let seq = seq.min(self.highest_sent());
+        if seq <= self.durable {
+            return 0;
+        }
+        self.durable = seq;
+        if self.delivered < seq {
+            self.delivered = seq;
+        }
+        let mut released = 0;
+        while matches!(self.retained.front(), Some((s, _)) if *s <= seq) {
+            self.retained.pop_front();
+            released += 1;
+        }
+        released
+    }
+
+    /// Retained frames with sequence numbers above `cursor`, in order.
+    /// `replay_from(0)` is the full reconnect replay;
+    /// `replay_from(receiver_cursor)` answers a gap NAK. The receiver
+    /// dedups by cursor, so over-replaying is always safe.
+    pub fn replay_from(&self, cursor: u64) -> impl Iterator<Item = &Bytes> + '_ {
+        let start = self.retained.partition_point(|(s, _)| *s <= cursor);
+        self.retained.iter().skip(start).map(|(_, b)| b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn frame(seq: u64) -> Bytes {
+        Bytes::from(seq.to_be_bytes().to_vec())
+    }
+
+    #[test]
+    fn seqs_are_monotonic_from_one() {
+        let mut w = AckWindow::new(4, 8);
+        assert_eq!(w.next_seq(), 1);
+        assert_eq!(w.push(frame(1)), 1);
+        assert_eq!(w.push(frame(2)), 2);
+        assert_eq!(w.highest_sent(), 2);
+        assert_eq!(w.in_flight(), 2);
+    }
+
+    #[test]
+    fn credit_window_fills_and_drains_on_delivered_acks() {
+        let mut w = AckWindow::new(2, 8);
+        w.push(frame(1));
+        assert!(!w.is_full());
+        w.push(frame(2));
+        assert!(w.is_full(), "window of 2 is full at 2 in flight");
+        assert_eq!(w.ack_delivered(1), 1);
+        assert!(!w.is_full());
+        assert_eq!(w.ack_delivered(1), 0, "stale ack is a no-op");
+        assert_eq!(w.ack_delivered(99), 1, "future ack clamps to highest sent");
+        assert_eq!(w.in_flight(), 0);
+    }
+
+    #[test]
+    fn only_durable_acks_trim_retention() {
+        let mut w = AckWindow::new(8, 8);
+        for i in 1..=4 {
+            w.push(frame(i));
+        }
+        w.ack_delivered(4);
+        assert_eq!(w.retained_len(), 4, "delivered frames stay replayable");
+        assert_eq!(w.ack_durable(2), 2);
+        assert_eq!(w.retained_len(), 2);
+        assert_eq!(w.durable(), 2);
+        assert_eq!(w.ack_durable(2), 0);
+    }
+
+    #[test]
+    fn durable_ack_implies_delivery() {
+        let mut w = AckWindow::new(8, 8);
+        for i in 1..=3 {
+            w.push(frame(i));
+        }
+        w.ack_durable(3);
+        assert_eq!(w.delivered(), 3);
+        assert_eq!(w.in_flight(), 0);
+    }
+
+    #[test]
+    fn replay_covers_exactly_the_gap_above_the_cursor() {
+        let mut w = AckWindow::new(8, 8);
+        for i in 1..=5 {
+            w.push(frame(i));
+        }
+        w.ack_durable(2);
+        let replayed: Vec<_> = w.replay_from(3).cloned().collect();
+        assert_eq!(replayed, vec![frame(4), frame(5)]);
+        let full: Vec<_> = w.replay_from(0).cloned().collect();
+        assert_eq!(full, vec![frame(3), frame(4), frame(5)], "full replay = all retained");
+    }
+
+    #[test]
+    fn retention_cap_evicts_only_delivered_frames() {
+        let mut w = AckWindow::new(2, 3);
+        w.push(frame(1));
+        w.push(frame(2));
+        w.ack_delivered(2);
+        w.push(frame(3));
+        w.push(frame(4));
+        // Cap 3: frame 1 (delivered, never durable) is evicted.
+        assert_eq!(w.retained_len(), 3);
+        assert_eq!(w.evicted(), 1);
+        let replay: Vec<_> = w.replay_from(0).cloned().collect();
+        assert_eq!(replay, vec![frame(2), frame(3), frame(4)]);
+        w.ack_delivered(4);
+        w.push(frame(5));
+        w.push(frame(6));
+        assert_eq!(w.retained_len(), 3, "eviction keeps the cap");
+    }
+
+    // ---- property tests: the satellite-3 state machine ------------------
+    //
+    // A model sender, lossy in-order channel, and deduplicating receiver
+    // run arbitrary interleavings of send / deliver / drop / ack /
+    // checkpoint / reconnect. The receiver NAKs gaps (replay from its
+    // cursor) exactly like `DataInSource`, and the drain phase at the end
+    // mirrors a quiescing link.
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Send,
+        Deliver,
+        Drop,
+        AckDelivered,
+        AckDurable,
+        Reconnect,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        // The vendored proptest's `prop_oneof!` is uniform; repeating
+        // the hot arms weights the mix toward send/deliver traffic.
+        prop_oneof![
+            Just(Op::Send),
+            Just(Op::Send),
+            Just(Op::Send),
+            Just(Op::Send),
+            Just(Op::Deliver),
+            Just(Op::Deliver),
+            Just(Op::Deliver),
+            Just(Op::Deliver),
+            Just(Op::Drop),
+            Just(Op::AckDelivered),
+            Just(Op::AckDelivered),
+            Just(Op::AckDurable),
+            Just(Op::Reconnect),
+        ]
+    }
+
+    struct Model {
+        w: AckWindow,
+        /// Frames on the wire, in order (seq per frame).
+        channel: VecDeque<u64>,
+        /// Receiver's highest contiguous delivered seq.
+        cursor: u64,
+        /// Payload seqs the receiver handed to the stage, in order.
+        delivered_out: Vec<u64>,
+        dups: u64,
+        window: usize,
+    }
+
+    impl Model {
+        fn new(window: usize, cap: usize) -> Self {
+            Model {
+                w: AckWindow::new(window, cap),
+                channel: VecDeque::new(),
+                cursor: 0,
+                delivered_out: Vec::new(),
+                dups: 0,
+                window,
+            }
+        }
+
+        fn send(&mut self) {
+            if self.w.is_full() {
+                return; // backpressure: the stage parks instead
+            }
+            let seq = self.w.next_seq();
+            let assigned = self.w.push(frame(seq));
+            assert_eq!(assigned, seq);
+            self.channel.push_back(seq);
+        }
+
+        fn replay(&mut self, cursor: u64) {
+            let frames: Vec<u64> = self
+                .w
+                .replay_from(cursor)
+                .map(|b| u64::from_be_bytes(b[..8].try_into().unwrap()))
+                .collect();
+            self.channel.extend(frames);
+        }
+
+        fn deliver(&mut self) {
+            let Some(seq) = self.channel.pop_front() else { return };
+            if seq <= self.cursor {
+                self.dups += 1; // deduped, not re-delivered
+            } else if seq == self.cursor + 1 {
+                self.cursor = seq;
+                self.delivered_out.push(seq);
+            } else {
+                // Gap: discard and NAK — sender replays above the cursor.
+                self.replay(self.cursor);
+            }
+        }
+
+        fn reconnect(&mut self) {
+            // Connection dies with everything in flight; the sender
+            // replays every retained frame onto the fresh socket.
+            self.channel.clear();
+            self.replay(0);
+        }
+
+        fn check(&self) {
+            // No frame acked before delivery.
+            assert!(
+                self.w.delivered() <= self.cursor,
+                "delivered ack {} beyond receiver cursor {}",
+                self.w.delivered(),
+                self.cursor
+            );
+            assert!(self.w.durable() <= self.w.delivered());
+            // Credit window respected when sends are gated on is_full.
+            assert!(
+                self.w.in_flight() <= self.window,
+                "in-flight {} exceeds window {}",
+                self.w.in_flight(),
+                self.window
+            );
+            // Exactly-once, in-order delivery to the stage.
+            for (i, s) in self.delivered_out.iter().enumerate() {
+                assert_eq!(*s, i as u64 + 1, "delivery must be contiguous and dedup'd");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ack_window_state_machine(
+            ops in proptest::collection::vec(op_strategy(), 1..200),
+            window in 1usize..8,
+        ) {
+            // Cap high enough that nothing durable-unacked is evicted:
+            // this run asserts zero loss, the eviction path is covered
+            // by `retention_cap_evicts_only_delivered_frames`.
+            let mut m = Model::new(window, 4096);
+            for op in ops {
+                match op {
+                    Op::Send => m.send(),
+                    Op::Deliver => m.deliver(),
+                    Op::Drop => { m.channel.pop_front(); }
+                    Op::AckDelivered => { m.w.ack_delivered(m.cursor); }
+                    // A checkpoint can only cover what the stage has
+                    // consumed; the model's stage consumes instantly, so
+                    // any value up to the cursor is a valid durable ack.
+                    Op::AckDurable => { m.w.ack_durable(m.cursor); }
+                    Op::Reconnect => m.reconnect(),
+                }
+                m.check();
+            }
+            // Quiesce: a real link keeps delivering and the receiver
+            // NAKs gaps until the stream is contiguous. A reconnect
+            // first models the no-more-traffic tail (a dropped final
+            // frame is replayed on redial or flushed out by EOS).
+            m.reconnect();
+            let mut spins = 0;
+            while !m.channel.is_empty() {
+                m.deliver();
+                m.check();
+                spins += 1;
+                prop_assert!(spins < 1_000_000, "drain did not converge");
+            }
+            // Zero loss: every sent frame was delivered exactly once.
+            prop_assert_eq!(m.cursor, m.w.highest_sent());
+            prop_assert_eq!(m.delivered_out.len() as u64, m.w.highest_sent());
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     payload length (u32 BE)
-//! 4       1     kind (data / summary / control / exception / eos)
+//! 4       1     kind (data / summary / control / exception / eos / ack)
 //! 5       4     stream id (u32 BE)
 //! 9       8     sequence number (u64 BE)
 //! 17      4     CRC-32 of kind..payload (u32 BE)
@@ -47,6 +47,13 @@ pub enum FrameKind {
     Exception,
     /// End of stream.
     Eos,
+    /// Cumulative delivery acknowledgement: `seq` is the highest
+    /// contiguous sequence number the receiver has delivered on this
+    /// edge, flowing *against* the data direction on the same socket.
+    /// Like `Control`/`Eos`, ack frames are exempt from the
+    /// payload-only chaos fate walk — a dropped ack would stall the
+    /// sender's replay window, not exercise recovery.
+    Ack,
 }
 
 impl FrameKind {
@@ -57,6 +64,7 @@ impl FrameKind {
             FrameKind::Control => 2,
             FrameKind::Exception => 3,
             FrameKind::Eos => 4,
+            FrameKind::Ack => 5,
         }
     }
 
@@ -67,6 +75,7 @@ impl FrameKind {
             2 => FrameKind::Control,
             3 => FrameKind::Exception,
             4 => FrameKind::Eos,
+            5 => FrameKind::Ack,
             _ => return None,
         })
     }
@@ -471,6 +480,7 @@ mod tests {
             FrameKind::Control,
             FrameKind::Exception,
             FrameKind::Eos,
+            FrameKind::Ack,
         ] {
             assert_eq!(FrameKind::from_u8(kind.to_u8()), Some(kind));
         }

@@ -24,12 +24,17 @@
 //!   over real `std::net` TCP sockets for the distributed runtime, with
 //!   buffered streaming decode, CRC-failure skip-and-count, and bounded
 //!   exponential-backoff reconnect.
+//! * [`AckWindow`] — the sender-side acked replay buffer behind the
+//!   distributed runtime's at-least-once delivery: per-edge sequence
+//!   numbers, cumulative delivered/durable acks, bounded retention that
+//!   doubles as a credit-based backpressure window.
 //! * [`FaultPlan`] / [`FaultInjector`] — the seeded, deterministic fault
 //!   plane: per-frame drop/corrupt/duplicate/delay/reset decisions that
 //!   are a pure function of (seed, link, frame index), applied by
 //!   [`FrameStream`] on flush and by the virtual-time engine on its
 //!   simulated links.
 
+pub mod ackwin;
 mod crc32;
 mod fault;
 mod frame;
@@ -41,6 +46,7 @@ mod spec;
 mod token_bucket;
 mod transport;
 
+pub use ackwin::AckWindow;
 pub use crc32::{crc32, Crc32};
 pub use fault::{derive, AppliedFault, FaultFate, FaultInjector, FaultPlan, PartitionSpec};
 pub use frame::{

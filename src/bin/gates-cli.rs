@@ -649,6 +649,22 @@ fn finish(
             report.faults_injected, report.fault_recoveries
         );
     }
+    // At-least-once delivery accounting (integration tests and the bench
+    // drills parse this line). Printed whenever the delivery layer did
+    // any work, so a zero-loss chaos run still shows its repairs.
+    if report.packets_lost > 0
+        || report.packets_replayed > 0
+        || report.packets_deduped > 0
+        || report.backpressure_us > 0
+    {
+        println!(
+            "delivery: {} lost, {} replayed, {} deduped, {} us stalled",
+            report.packets_lost,
+            report.packets_replayed,
+            report.packets_deduped,
+            report.backpressure_us
+        );
+    }
 
     println!("{}", report.summary_table());
     println!("{}", report.detail_table());

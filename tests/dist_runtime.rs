@@ -279,11 +279,13 @@ fn fault_signatures(trace_text: &str) -> Vec<(String, String, String)> {
 }
 
 /// Run the chaos config through the distributed runtime once and return
-/// the coordinator's stdout plus the flight-recorder trace.
-fn run_dist_with_chaos(cfg: &std::path::Path, chaos: &str, tag: &str) -> (String, String) {
+/// the coordinator's stdout plus the flight-recorder trace. `chaos: None`
+/// runs the same topology fault-free (the baseline for exact-count
+/// comparisons).
+fn run_dist_with_chaos(cfg: &std::path::Path, chaos: Option<&str>, tag: &str) -> (String, String) {
     let trace = std::env::temp_dir().join(format!("gates_dist_chaos_{tag}.jsonl"));
     let _ = std::fs::remove_file(&trace);
-    let (mut coord, addr, pump) = spawn_coordinator(&[
+    let mut args = vec![
         "run",
         cfg.to_str().unwrap(),
         "--engine",
@@ -300,11 +302,14 @@ fn run_dist_with_chaos(cfg: &std::path::Path, chaos: &str, tag: &str) -> (String
         "3",
         "--retry-base-ms",
         "50",
-        "--chaos",
-        chaos,
         "--trace",
         trace.to_str().unwrap(),
-    ]);
+    ];
+    if let Some(spec) = chaos {
+        args.push("--chaos");
+        args.push(spec);
+    }
+    let (mut coord, addr, pump) = spawn_coordinator(&args);
     let mut workers = vec![
         spawn_worker("w0", "site-0", &addr),
         spawn_worker("w1", "site-1", &addr),
@@ -312,10 +317,10 @@ fn run_dist_with_chaos(cfg: &std::path::Path, chaos: &str, tag: &str) -> (String
     ];
     let status = wait_with_timeout(&mut coord, Duration::from_secs(90), "coordinator");
     let stdout = pump.join().expect("stdout pump");
-    assert!(status.success(), "coordinator failed under chaos `{chaos}`; output:\n{stdout}");
+    assert!(status.success(), "coordinator failed under chaos {chaos:?}; output:\n{stdout}");
     for w in &mut workers {
         let st = wait_with_timeout(w, Duration::from_secs(30), "worker");
-        assert!(st.success(), "a worker exited nonzero under chaos `{chaos}`");
+        assert!(st.success(), "a worker exited nonzero under chaos {chaos:?}");
     }
     let trace_text = std::fs::read_to_string(&trace).expect("trace written");
     (stdout, trace_text)
@@ -350,8 +355,8 @@ fn write_chaos_config(name: &str) -> std::path::PathBuf {
 fn chaos_faults_are_injected_survived_and_deterministic() {
     let cfg = write_chaos_config("gates_dist_chaos_loss");
     let spec = "seed=7,drop=0.05,dup=0.02";
-    let (stdout_a, trace_a) = run_dist_with_chaos(&cfg, spec, "loss_a");
-    let (_stdout_b, trace_b) = run_dist_with_chaos(&cfg, spec, "loss_b");
+    let (stdout_a, trace_a) = run_dist_with_chaos(&cfg, Some(spec), "loss_a");
+    let (_stdout_b, trace_b) = run_dist_with_chaos(&cfg, Some(spec), "loss_b");
 
     // Faults fired, were counted, and did not cost us a worker.
     assert!(!stdout_a.contains("lost worker:"), "chaos loss run lost a worker:\n{stdout_a}");
@@ -383,7 +388,7 @@ fn chaos_faults_are_injected_survived_and_deterministic() {
 #[test]
 fn chaos_corrupted_frames_do_not_poison_the_run() {
     let cfg = write_chaos_config("gates_dist_chaos_corrupt");
-    let (stdout, trace_text) = run_dist_with_chaos(&cfg, "seed=7,corrupt=0.1", "corrupt");
+    let (stdout, trace_text) = run_dist_with_chaos(&cfg, Some("seed=7,corrupt=0.1"), "corrupt");
 
     assert!(!stdout.contains("lost worker:"), "corruption run lost a worker:\n{stdout}");
     assert!(
@@ -498,4 +503,91 @@ fn chaos_failover_discards_duplicate_control_frames_idempotently() {
         trace_text.contains("\"kind\":\"stale_discarded\""),
         "duplicated Reassign/Checkpoint must be idempotently discarded; trace:\n{trace_text}"
     );
+}
+
+/// A stage's `(pkts in, pkts out)` from the run's summary table (the
+/// block headed `stage  pkts in  pkts out ...` — other tables also lead
+/// with stage names, so the parser anchors on that header).
+fn stage_pkts(stdout: &str, stage: &str) -> (u64, u64) {
+    let mut lines = stdout.lines();
+    for l in lines.by_ref() {
+        let mut w = l.split_whitespace();
+        if w.next() == Some("stage") && l.contains("pkts in") {
+            break;
+        }
+    }
+    let row = lines
+        .find(|l| l.split_whitespace().next() == Some(stage))
+        .unwrap_or_else(|| panic!("no summary-table row for `{stage}` in output:\n{stdout}"));
+    let mut w = row.split_whitespace().skip(1);
+    let pkts_in = w.next().and_then(|v| v.parse().ok());
+    let pkts_out = w.next().and_then(|v| v.parse().ok());
+    match (pkts_in, pkts_out) {
+        (Some(i), Some(o)) => (i, o),
+        _ => panic!("unparsable summary row: {row}"),
+    }
+}
+
+/// Parse the CLI's `delivery: X lost, Y replayed, Z deduped, W us
+/// stalled` accounting line.
+fn delivery_counts(stdout: &str) -> (u64, u64, u64, u64) {
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("delivery: "))
+        .unwrap_or_else(|| panic!("no `delivery:` line in output:\n{stdout}"));
+    let nums: Vec<u64> = line.split_whitespace().filter_map(|w| w.parse().ok()).collect();
+    assert_eq!(nums.len(), 4, "unparsable delivery line: {line}");
+    (nums[0], nums[1], nums[2], nums[3])
+}
+
+/// Exact packet conservation across the remote links: everything the
+/// summarizers emitted arrived at the collector exactly once — no loss,
+/// no duplicate delivery. (The summarizers' only out-edge is the remote
+/// link to the collector, and the collector's only inputs are those two
+/// links, so the counts must balance to the packet.)
+fn assert_conservation(stdout: &str, what: &str) {
+    let (_, out0) = stage_pkts(stdout, "summarizer-0");
+    let (_, out1) = stage_pkts(stdout, "summarizer-1");
+    let (got, _) = stage_pkts(stdout, "collector");
+    assert_eq!(
+        got,
+        out0 + out1,
+        "{what}: summarizers emitted {out0}+{out1} packets but the collector consumed {got};\n\
+         output:\n{stdout}"
+    );
+}
+
+/// Aggressive duplication on the data plane (`dup=0.05`): every
+/// duplicate — including any replayed end-of-stream marker — must be
+/// discarded by the receiver's edge-sequence dedup, never delivered
+/// twice and never allowed to double-close a drain window. The
+/// collector must consume *exactly* what the summarizers emitted, and
+/// the dedup work must be visible in the delivery accounting.
+#[test]
+fn chaos_duplicates_are_deduped_exactly() {
+    let cfg = write_chaos_config("gates_dist_chaos_dup");
+    let (stdout, _) = run_dist_with_chaos(&cfg, Some("seed=7,dup=0.05"), "dup");
+
+    assert!(!stdout.contains("lost worker:"), "dup-only run lost a worker:\n{stdout}");
+    let (lost, _replayed, deduped, _stalled) = delivery_counts(&stdout);
+    assert_eq!(lost, 0, "duplication must never lose frames; output:\n{stdout}");
+    assert!(deduped > 0, "dup=0.05 must exercise receiver dedup; output:\n{stdout}");
+    assert_conservation(&stdout, "dup=0.05");
+}
+
+/// The drop+dup chaos regime on the at-least-once plane: dropped frames
+/// are repaired by NAK-triggered replay and duplicates are deduped, so
+/// the run ends with zero packets lost and the collector consuming
+/// exactly what the summarizers emitted — drops are *repaired*, not
+/// absorbed into fuzzy totals.
+#[test]
+fn chaos_drops_are_replayed_to_zero_loss() {
+    let cfg = write_chaos_config("gates_dist_chaos_zeroloss");
+    let (stdout, _) = run_dist_with_chaos(&cfg, Some("seed=7,drop=0.02,dup=0.01"), "zeroloss");
+
+    assert!(!stdout.contains("lost worker:"), "zero-loss run lost a worker:\n{stdout}");
+    let (lost, replayed, _deduped, _stalled) = delivery_counts(&stdout);
+    assert_eq!(lost, 0, "drop=0.02 must be fully repaired by replay; output:\n{stdout}");
+    assert!(replayed > 0, "repairing drops must replay frames; output:\n{stdout}");
+    assert_conservation(&stdout, "drop=0.02,dup=0.01");
 }
